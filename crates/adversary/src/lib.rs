@@ -1,0 +1,29 @@
+//! # partalloc-adversary
+//!
+//! The lower-bound constructions of Gao–Rosenberg–Sitaraman (SPAA'96):
+//!
+//! * [`DeterministicAdversary`] — the phase/potential construction of
+//!   **Theorem 4.3**: against *any* deterministic `d`-reallocation
+//!   algorithm it builds (adaptively, by observing the algorithm's
+//!   placements) a sequence with optimal load `L* = 1` on which the
+//!   algorithm's load reaches at least
+//!   `⌈(min{d, log N} + 1)/2⌉`.
+//! * [`RandomHardSequence`] — the random sequence σ_r of **Theorem
+//!   5.2**: oblivious to the algorithm, it forces every no-reallocation
+//!   online algorithm (deterministic or randomized) to an expected load
+//!   of `Ω((log N / log log N)^{1/3})` while `L* = 1` with high
+//!   probability.
+//!
+//! Both are *drivers*: the deterministic adversary owns the allocator
+//! while it plays (its departures depend on the algorithm's current
+//! placements); the random sequence is generated up front and can be
+//! replayed against anything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deterministic;
+mod random_sequence;
+
+pub use deterministic::{AdversaryOutcome, DepartureRule, DeterministicAdversary};
+pub use random_sequence::{RandomHardSequence, SigmaRParams};

@@ -1,0 +1,301 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use partalloc_model::{SequenceBuilder, TaskSequence};
+use partalloc_topology::BuddyTree;
+
+/// Shape parameters of the σ_r construction, derived from the machine
+/// size (exposed for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigmaRParams {
+    /// `log N`.
+    pub log_n: u32,
+    /// The paper's base `log N`, rounded **down** to a power of two so
+    /// that the phase-`i` task size `base^i` stays a power of two
+    /// (exact — no rounding — whenever `log N` is itself a power of
+    /// two, i.e. `N ∈ {4, 16, 256, 65536, …}`).
+    pub base: u32,
+    /// Number of phases: `max(1, ⌊log N / (2 log log N)⌋)`.
+    pub phases: u32,
+}
+
+impl SigmaRParams {
+    /// Derive the construction parameters for an `N`-PE machine
+    /// (`N ≥ 4` so that `log log N ≥ 1`).
+    pub fn for_machine(machine: BuddyTree) -> Self {
+        let log_n = machine.levels();
+        assert!(log_n >= 2, "σ_r needs N ≥ 4 (log log N ≥ 1)");
+        let base = 1 << (31 - log_n.leading_zeros()); // 2^⌊log2 log N⌋
+        let loglog = 31 - log_n.leading_zeros(); // ⌊log2 log N⌋ ≥ 1
+        let phases = (log_n / (2 * loglog)).max(1);
+        SigmaRParams {
+            log_n,
+            base,
+            phases,
+        }
+    }
+
+    /// Task size (in PEs) used at phase `i`: `base^i`.
+    pub fn size_at_phase(&self, i: u32) -> u64 {
+        (u64::from(self.base)).pow(i)
+    }
+
+    /// The load the paper proves σ_r forces with high probability:
+    /// `(log N / (240 log log N))^{1/3}` (Lemma 7).
+    pub fn whp_load(&self) -> f64 {
+        let log_n = f64::from(self.log_n);
+        (log_n / (240.0 * log_n.log2())).cbrt()
+    }
+
+    /// Theorem 5.2's stated lower-bound factor:
+    /// `(1/7)(log N / log log N)^{1/3}`.
+    pub fn bound_factor(&self) -> f64 {
+        let log_n = f64::from(self.log_n);
+        (log_n / log_n.log2()).cbrt() / 7.0
+    }
+}
+
+/// The random hard sequence σ_r of Theorem 5.2.
+///
+/// For a machine with `N` PEs, σ_r consists of
+/// `log N / (2 log log N)` phases; at phase `i`:
+///
+/// 1. `N / (3 logⁱ N)` tasks of size `logⁱ N` arrive;
+/// 2. each of them *independently departs* with probability
+///    `1 − 1/log N`.
+///
+/// With high probability `s(σ_r) ≤ N` (Lemma 5), so `L* = 1`; yet any
+/// online algorithm that never reallocates — deterministic or
+/// randomized — reaches load `(log N / (240 log log N))^{1/3}` with
+/// probability `≥ 1 − N⁻⁵` (Lemma 7). Survivors of each phase pin the
+/// fragmentation in place, and the next phase's larger tasks must
+/// stack on top of them.
+///
+/// Task sizes must be powers of two in our model, so the base `log N`
+/// is rounded down to a power of two ([`SigmaRParams::base`]); pick
+/// `N ∈ {4, 16, 256, 65536}` for zero rounding error.
+///
+/// The paper's parameters only bite asymptotically (`log N ≫ 1`); for
+/// a finite-size stressor that exhibits the same survivor-pinning
+/// mechanism at simulable `N`, see
+/// [`RandomHardSequence::aggressive`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomHardSequence {
+    machine: BuddyTree,
+    params: SigmaRParams,
+    /// Per-task survival probability at the end of each phase.
+    survive_prob: f64,
+    /// log2 of the phase-to-phase size multiplier.
+    base_log2: u32,
+}
+
+impl RandomHardSequence {
+    /// A σ_r generator for `machine` (needs `N ≥ 4`) with the paper's
+    /// parameters: sizes `(log N)^i`, survival probability `1/log N`,
+    /// `log N / (2 log log N)` phases.
+    pub fn new(machine: BuddyTree) -> Self {
+        let params = SigmaRParams::for_machine(machine);
+        RandomHardSequence {
+            machine,
+            params,
+            survive_prob: 1.0 / f64::from(params.log_n),
+            base_log2: params.base.trailing_zeros(),
+        }
+    }
+
+    /// A generalized instance with explicit base (`sizes = 2^(b·i)`),
+    /// survival probability, and phase count — the same
+    /// survivors-pin-fragmentation mechanism, tuned to bite at small
+    /// `N`. The paper's choice is `custom(machine, log2(log N),
+    /// 1/log N, log N / (2 log log N))`.
+    pub fn custom(machine: BuddyTree, base_log2: u32, survive_prob: f64, phases: u32) -> Self {
+        assert!(base_log2 >= 1, "base must be at least 2");
+        assert!((0.0..=1.0).contains(&survive_prob));
+        assert!(phases >= 1);
+        assert!(
+            base_log2 * (phases - 1) <= machine.levels(),
+            "final phase size exceeds the machine"
+        );
+        let params = SigmaRParams {
+            log_n: machine.levels(),
+            base: 1 << base_log2,
+            phases,
+        };
+        RandomHardSequence {
+            machine,
+            params,
+            survive_prob,
+            base_log2,
+        }
+    }
+
+    /// The finite-size stressor: base 4, survival probability 1/4,
+    /// `min(log N / 2, 8)` phases. Keeps `s(σ) ≤ N` likely (so `L*`
+    /// stays at 1) while leaving enough survivors each phase to
+    /// visibly fragment every no-reallocation algorithm at machine
+    /// sizes a simulation can reach.
+    pub fn aggressive(machine: BuddyTree) -> Self {
+        assert!(machine.levels() >= 2, "σ_r needs N ≥ 4");
+        Self::custom(machine, 2, 0.25, (machine.levels() / 2).clamp(1, 8))
+    }
+
+    /// The derived shape parameters.
+    pub fn params(&self) -> SigmaRParams {
+        self.params
+    }
+
+    /// Draw one σ_r instance from `seed`.
+    pub fn generate(&self, seed: u64) -> TaskSequence {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = u64::from(self.machine.num_pes());
+        let mut b = SequenceBuilder::new();
+        for i in 0..self.params.phases {
+            let size = 1u64 << (u64::from(self.base_log2) * u64::from(i));
+            debug_assert!(size.is_power_of_two() && size <= n);
+            let size_log2 = size.trailing_zeros() as u8;
+            let count = n / (3 * size);
+            let ids = b.arrive_many(count, size_log2);
+            for id in ids {
+                if !rng.gen_bool(self.survive_prob) {
+                    b.depart(id);
+                }
+            }
+        }
+        b.finish().expect("σ_r is valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::{Allocator, Greedy};
+
+    #[test]
+    fn params_for_power_of_two_log_n() {
+        // N = 2^16: log N = 16 = 2^4, so base is exact and there are
+        // 16 / (2·4) = 2 phases.
+        let machine = BuddyTree::with_levels(16).unwrap();
+        let p = SigmaRParams::for_machine(machine);
+        assert_eq!(p.base, 16);
+        assert_eq!(p.phases, 2);
+        assert_eq!(p.size_at_phase(0), 1);
+        assert_eq!(p.size_at_phase(1), 16);
+    }
+
+    #[test]
+    fn params_round_base_down() {
+        // log N = 10 → base 8, loglog = 3, phases = ⌊10/6⌋ = 1.
+        let machine = BuddyTree::with_levels(10).unwrap();
+        let p = SigmaRParams::for_machine(machine);
+        assert_eq!(p.base, 8);
+        assert_eq!(p.phases, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "N ≥ 4")]
+    fn too_small_machine_rejected() {
+        RandomHardSequence::new(BuddyTree::new(2).unwrap());
+    }
+
+    #[test]
+    fn generated_sequence_shape() {
+        let machine = BuddyTree::with_levels(16).unwrap();
+        let g = RandomHardSequence::new(machine);
+        let seq = g.generate(42);
+        let stats = seq.stats();
+        // Phase 0: N/3 unit tasks; phase 1: N/48 size-16 tasks.
+        let n = 1u64 << 16;
+        assert_eq!(
+            stats.num_arrivals as u64,
+            n / 3 + n / 48,
+            "arrival counts per phase"
+        );
+        assert_eq!(stats.size_histogram[0] as u64, n / 3);
+        assert_eq!(stats.size_histogram[4] as u64, n / 48);
+        // With p_depart = 15/16, survivors are rare.
+        assert!(stats.leaked_tasks < stats.num_arrivals / 8);
+    }
+
+    #[test]
+    fn lstar_is_one_with_high_probability() {
+        // Lemma 5: s(σ_r) ≤ N w.h.p. At this scale the slack is large;
+        // all 10 seeds should satisfy it.
+        let machine = BuddyTree::with_levels(16).unwrap();
+        let g = RandomHardSequence::new(machine);
+        for seed in 0..10 {
+            let seq = g.generate(seed);
+            assert!(seq.peak_active_size() <= 1 << 16, "seed {seed} exceeded N");
+        }
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let machine = BuddyTree::with_levels(8).unwrap();
+        let g = RandomHardSequence::new(machine);
+        assert_eq!(g.generate(7), g.generate(7));
+        assert_ne!(g.generate(7), g.generate(8));
+    }
+
+    #[test]
+    fn aggressive_variant_fragments_visibly() {
+        use partalloc_core::{Allocator, Constant, Greedy};
+        let machine = BuddyTree::with_levels(10).unwrap();
+        let gen = RandomHardSequence::aggressive(machine);
+        assert_eq!(gen.params().phases, 5);
+        let mut worst = 0u64;
+        for seed in 0..5 {
+            let seq = gen.generate(seed);
+            let n = u64::from(machine.num_pes());
+            let lstar = seq.optimal_load(n);
+            let mut g = Greedy::new(machine);
+            let mut peak = 0;
+            for ev in seq.events() {
+                g.handle(ev);
+                peak = peak.max(g.max_load());
+            }
+            // A_C (run fresh) stays at L*; greedy should exceed it on
+            // at least some seeds — fragmentation is visible.
+            let mut c = Constant::new(machine);
+            let mut c_peak = 0;
+            for ev in seq.events() {
+                c.handle(ev);
+                c_peak = c_peak.max(c.max_load());
+            }
+            assert_eq!(c_peak, lstar);
+            worst = worst.max(peak.saturating_sub(lstar));
+        }
+        assert!(worst >= 1, "aggressive σ_r never fragmented greedy");
+    }
+
+    #[test]
+    fn custom_rejects_oversized_final_phase() {
+        let machine = BuddyTree::with_levels(4).unwrap();
+        let result = std::panic::catch_unwind(|| {
+            RandomHardSequence::custom(machine, 2, 0.5, 4) // sizes up to 2^6 > 2^4
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn paper_parameters_via_custom_match_new() {
+        let machine = BuddyTree::with_levels(16).unwrap();
+        let a = RandomHardSequence::new(machine);
+        let b = RandomHardSequence::custom(machine, 4, 1.0 / 16.0, 2);
+        assert_eq!(a.generate(3), b.generate(3));
+    }
+
+    #[test]
+    fn greedy_survives_replay() {
+        // Smoke: the sequence is playable end to end.
+        let machine = BuddyTree::with_levels(8).unwrap();
+        let seq = RandomHardSequence::new(machine).generate(1);
+        let mut g = Greedy::new(machine);
+        for ev in seq.events() {
+            g.handle(ev);
+        }
+        assert_eq!(g.active_size(), {
+            let ids = seq.final_active_tasks();
+            ids.iter().map(|&id| seq.size_of(id)).sum::<u64>()
+        });
+    }
+}

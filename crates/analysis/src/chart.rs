@@ -1,0 +1,209 @@
+//! Terminal charts for experiment output: sparklines for load
+//! trajectories, horizontal bars for per-category comparisons, and a
+//! multi-row line plot for sweeps.
+
+/// Eight-level block characters, lowest to highest.
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a sequence of values as a one-line sparkline, downsampling
+/// (by max, so peaks survive) to at most `width` characters.
+///
+/// ```
+/// use partalloc_analysis::sparkline;
+/// let s = sparkline(&[0, 1, 2, 3, 4, 5, 6, 7], 8);
+/// assert_eq!(s.chars().count(), 8);
+/// assert!(s.ends_with('█'));
+/// ```
+pub fn sparkline(values: &[u64], width: usize) -> String {
+    assert!(width > 0, "sparkline needs positive width");
+    if values.is_empty() {
+        return String::new();
+    }
+    let buckets = bucket_max(values, width);
+    let max = buckets.iter().copied().max().unwrap_or(0).max(1);
+    buckets
+        .iter()
+        .map(|&v| BLOCKS[((v * 7) / max) as usize])
+        .collect()
+}
+
+/// Downsample to at most `width` buckets, each keeping its maximum.
+fn bucket_max(values: &[u64], width: usize) -> Vec<u64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|b| {
+            let lo = b * values.len() / width;
+            let hi = ((b + 1) * values.len() / width).max(lo + 1);
+            values[lo..hi].iter().copied().max().unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Render labelled horizontal bars, scaled to `width` columns, with
+/// the numeric value appended.
+///
+/// ```
+/// use partalloc_analysis::bar_chart;
+/// let out = bar_chart(&[("A_G", 4.0), ("A_C", 1.0)], 20);
+/// assert!(out.lines().count() == 2);
+/// assert!(out.contains("A_G"));
+/// ```
+pub fn bar_chart(items: &[(&str, f64)], width: usize) -> String {
+    assert!(width > 0, "bar chart needs positive width");
+    if items.is_empty() {
+        return String::new();
+    }
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let max = items
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for &(label, value) in items {
+        assert!(value >= 0.0, "bar values must be non-negative");
+        let bars = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$}  {}{} {value:.2}\n",
+            "█".repeat(bars),
+            if bars == 0 && value > 0.0 { "▏" } else { "" },
+        ));
+    }
+    out
+}
+
+/// Render several named series over a shared integer x-axis as rows of
+/// sparklines plus a min–max legend. Series may have different
+/// lengths; each is downsampled independently.
+pub fn multi_sparkline(series: &[(&str, &[u64])], width: usize) -> String {
+    let label_w = series
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::new();
+    for &(label, values) in series {
+        let (lo, hi) = (
+            values.iter().copied().min().unwrap_or(0),
+            values.iter().copied().max().unwrap_or(0),
+        );
+        out.push_str(&format!(
+            "{label:<label_w$}  {}  [{lo}..{hi}]\n",
+            sparkline(values, width)
+        ));
+    }
+    out
+}
+
+/// Render per-PE loads as a one-line heatmap (one block per PE,
+/// downsampled by max if the machine is wider than `width`), scaled to
+/// the given ceiling so several heatmaps can share a scale.
+///
+/// ```
+/// use partalloc_analysis::load_heatmap;
+/// let h = load_heatmap(&[0, 1, 2, 4], 4, 64);
+/// assert_eq!(h.chars().count(), 4);
+/// ```
+pub fn load_heatmap(per_pe: &[u64], ceiling: u64, width: usize) -> String {
+    assert!(width > 0, "heatmap needs positive width");
+    if per_pe.is_empty() {
+        return String::new();
+    }
+    let ceiling = ceiling.max(1);
+    let buckets = bucket_max(per_pe, width);
+    buckets
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                '·'
+            } else {
+                BLOCKS[((v.min(ceiling) * 7) / ceiling) as usize]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[], 10), "");
+        let flat = sparkline(&[5, 5, 5], 10);
+        assert_eq!(flat, "███");
+        let ramp = sparkline(&[0, 7], 10);
+        assert_eq!(ramp, "▁█");
+    }
+
+    #[test]
+    fn sparkline_downsamples_keeping_peaks() {
+        // A spike in a long flat run must survive bucketing.
+        let mut values = vec![1u64; 1000];
+        values[500] = 100;
+        let s = sparkline(&values, 20);
+        assert_eq!(s.chars().count(), 20);
+        assert!(s.contains('█'), "peak lost in downsampling: {s}");
+    }
+
+    #[test]
+    fn bucket_boundaries_cover_everything() {
+        let values: Vec<u64> = (0..97).collect();
+        let buckets = bucket_max(&values, 10);
+        assert_eq!(buckets.len(), 10);
+        assert_eq!(*buckets.last().unwrap(), 96);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let out = bar_chart(&[("big", 10.0), ("half", 5.0), ("zero", 0.0)], 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0].matches('█').count(), 10);
+        assert_eq!(lines[1].matches('█').count(), 5);
+        assert_eq!(lines[2].matches('█').count(), 0);
+    }
+
+    #[test]
+    fn tiny_nonzero_values_get_a_sliver() {
+        let out = bar_chart(&[("big", 1000.0), ("tiny", 0.1)], 10);
+        assert!(out.lines().nth(1).unwrap().contains('▏'));
+    }
+
+    #[test]
+    fn multi_sparkline_aligns_labels() {
+        let a = [1u64, 2, 3];
+        let b = [3u64, 2, 1];
+        let out = multi_sparkline(&[("long-name", &a), ("x", &b)], 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("long-name"));
+        assert!(lines[1].starts_with("x        "));
+        assert!(lines[0].contains("[1..3]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive width")]
+    fn zero_width_rejected() {
+        sparkline(&[1], 0);
+    }
+
+    #[test]
+    fn heatmap_marks_idle_pes() {
+        let h = load_heatmap(&[0, 0, 4, 0], 4, 4);
+        assert_eq!(h, "··█·");
+        // Shared ceiling keeps scales comparable.
+        let half = load_heatmap(&[2], 4, 1);
+        let full = load_heatmap(&[4], 4, 1);
+        assert_ne!(half, full);
+        assert_eq!(full, "█");
+        // Values above the ceiling clamp.
+        assert_eq!(load_heatmap(&[9], 4, 1), "█");
+        assert_eq!(load_heatmap(&[], 4, 3), "");
+    }
+}

@@ -1,0 +1,20 @@
+//! # partalloc-analysis
+//!
+//! Experiment support: the paper's bound formulas ([`bounds`]),
+//! summary statistics over repeated trials ([`Summary`]), and plain
+//! text / Markdown / CSV table rendering ([`Table`]) used by every
+//! experiment binary to print the rows recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+mod chart;
+mod stats;
+mod svgchart;
+mod table;
+
+pub use chart::{bar_chart, load_heatmap, multi_sparkline, sparkline};
+pub use stats::{LinearFit, Summary};
+pub use svgchart::{line_chart_svg, Series};
+pub use table::{fmt_f64, Table};

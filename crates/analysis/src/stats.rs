@@ -1,0 +1,237 @@
+use serde::Serialize;
+
+/// Summary statistics over repeated trials (e.g. the seeds of a
+/// randomized-algorithm experiment).
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarize a slice of samples. Panics on empty input or NaN.
+    ///
+    /// ```
+    /// let s = partalloc_analysis::Summary::of(&[1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean, 2.0);
+    /// assert_eq!(s.median, 2.0);
+    /// assert_eq!((s.min, s.max), (1.0, 3.0));
+    /// ```
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize zero samples");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "samples must not contain NaN"
+        );
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_of_sorted(&sorted, 50.0),
+        }
+    }
+
+    /// Summarize integer samples.
+    pub fn of_u64(samples: &[u64]) -> Self {
+        let as_f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&as_f)
+    }
+
+    /// The `p`-th percentile of the samples (`0 ≤ p ≤ 100`), by linear
+    /// interpolation.
+    pub fn percentile(samples: &[f64], p: f64) -> f64 {
+        assert!(!samples.is_empty());
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        percentile_of_sorted(&sorted, p)
+    }
+
+    /// Half-width of the 95% normal confidence interval of the mean.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// Ordinary least-squares fit of `y = intercept + slope·x`, for
+/// reading growth rates out of experiment sweeps (e.g. fitting forced
+/// load against `log N` should recover Theorem 4.3's slope of ~½).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LinearFit {
+    /// The fitted intercept.
+    pub intercept: f64,
+    /// The fitted slope.
+    pub slope: f64,
+    /// Coefficient of determination (1 = perfect fit; 1 is also
+    /// reported for degenerate all-equal-`y` inputs).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fit the points. Panics on fewer than two points or a constant
+    /// `x` (no slope is identifiable).
+    pub fn of(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two points to fit");
+        let n = points.len() as f64;
+        let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+        assert!(sxx > 0.0, "x must vary to fit a slope");
+        let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        LinearFit {
+            intercept,
+            slope,
+            r_squared,
+        }
+    }
+
+    /// The fitted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample std of 1..4 is sqrt(5/3).
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95() > 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn integer_samples() {
+        let s = Summary::of_u64(&[2, 2, 4]);
+        assert!((s.mean - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(Summary::percentile(&xs, 0.0), 10.0);
+        assert_eq!(Summary::percentile(&xs, 100.0), 50.0);
+        assert_eq!(Summary::percentile(&xs, 50.0), 30.0);
+        assert!((Summary::percentile(&xs, 25.0) - 20.0).abs() < 1e-12);
+        assert!((Summary::percentile(&xs, 90.0) - 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines() {
+        let f = LinearFit::of(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_on_noisy_data() {
+        // y ≈ 0.5x with alternating ±0.1 noise.
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            })
+            .collect();
+        let f = LinearFit::of(&pts);
+        assert!((f.slope - 0.5).abs() < 0.01, "slope {}", f.slope);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn linear_fit_flat_line() {
+        let f = LinearFit::of(&[(0.0, 4.0), (1.0, 4.0), (5.0, 4.0)]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn linear_fit_needs_two_points() {
+        LinearFit::of(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must vary")]
+    fn linear_fit_needs_varying_x() {
+        LinearFit::of(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::of(&[1.0, f64::NAN]);
+    }
+}

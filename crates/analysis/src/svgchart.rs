@@ -1,0 +1,189 @@
+//! Standalone SVG line charts for sweep curves (no dependencies, dark
+//! theme matching the HTML reports).
+
+use std::fmt::Write as _;
+
+/// One named series of (x, y) points.
+pub type Series<'a> = (&'a str, &'a [(f64, f64)]);
+
+/// Render named series as an SVG line chart with axes, ticks and a
+/// legend. Panics if no series has any points or any value is
+/// non-finite.
+///
+/// ```
+/// use partalloc_analysis::line_chart_svg;
+/// let upper = [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)];
+/// let measured = [(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)];
+/// let svg = line_chart_svg(
+///     &[("upper bound", &upper), ("measured", &measured)],
+///     640, 360, "d", "load factor",
+/// );
+/// assert!(svg.starts_with("<svg"));
+/// assert_eq!(svg.matches("<polyline").count(), 2);
+/// ```
+pub fn line_chart_svg(
+    series: &[Series<'_>],
+    width: u32,
+    height: u32,
+    x_label: &str,
+    y_label: &str,
+) -> String {
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    assert!(!points.is_empty(), "chart needs at least one point");
+    assert!(
+        points.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+        "chart values must be finite"
+    );
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY); // y axis anchored at 0
+    for &(x, y) in &points {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 == x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+
+    let (w, h) = (f64::from(width), f64::from(height));
+    let (ml, mr, mt, mb) = (56.0, 16.0, 16.0, 44.0); // margins
+    let px = |x: f64| ml + (x - x0) / (x1 - x0) * (w - ml - mr);
+    let py = |y: f64| h - mb - (y - y0) / (y1 - y0) * (h - mt - mb);
+
+    const COLORS: [&str; 6] = ["#6cf", "#fa5", "#9e8", "#e7e", "#fd4", "#f66"];
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\" font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"{width}\" height=\"{height}\" fill=\"#181818\"/>\n"
+    );
+
+    // Axes + 5 ticks each.
+    let _ = write!(
+        svg,
+        "<line x1=\"{ml}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#777\"/>\n\
+         <line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{0}\" stroke=\"#777\"/>\n",
+        h - mb,
+        w - mr
+    );
+    for i in 0..=4 {
+        let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
+        let fy = y0 + (y1 - y0) * f64::from(i) / 4.0;
+        let _ = write!(
+            svg,
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"#aaa\" text-anchor=\"middle\">{}</text>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" fill=\"#aaa\" text-anchor=\"end\">{}</text>\n",
+            px(fx),
+            h - mb + 16.0,
+            trim_num(fx),
+            ml - 6.0,
+            py(fy) + 4.0,
+            trim_num(fy),
+        );
+    }
+    let _ = write!(
+        svg,
+        "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"#ccc\" text-anchor=\"middle\">{x_label}</text>\n\
+         <text x=\"14\" y=\"{:.1}\" fill=\"#ccc\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 14 {:.1})\">{y_label}</text>\n",
+        (ml + w - mr) / 2.0,
+        h - 8.0,
+        (mt + h - mb) / 2.0,
+        (mt + h - mb) / 2.0,
+    );
+
+    // Series + legend.
+    for (i, (name, pts)) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = writeln!(
+            svg,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>",
+            path.join(" ")
+        );
+        for &(x, y) in pts.iter() {
+            let _ = writeln!(
+                svg,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.6\" fill=\"{color}\"/>",
+                px(x),
+                py(y)
+            );
+        }
+        let ly = mt + 16.0 * i as f64 + 6.0;
+        let _ = write!(
+            svg,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{color}\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" fill=\"#ccc\">{name}</text>\n",
+            ml + 10.0,
+            ly,
+            ml + 26.0,
+            ly + 9.0,
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn trim_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_axes_series_and_legend() {
+        let a = [(0.0, 1.0), (5.0, 6.0)];
+        let b = [(0.0, 2.0), (5.0, 2.0)];
+        let svg = line_chart_svg(&[("a", &a), ("b", &b)], 400, 300, "x", "y");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(">x</text>"));
+        assert!(svg.contains(">y</text>"));
+        assert!(svg.contains(">a</text>"));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let a = [(3.0, 3.0)];
+        let svg = line_chart_svg(&[("only", &a)], 200, 200, "x", "y");
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_rejected() {
+        line_chart_svg(&[("empty", &[])], 200, 200, "x", "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let a = [(0.0, f64::NAN)];
+        line_chart_svg(&[("bad", &a)], 200, 200, "x", "y");
+    }
+
+    #[test]
+    fn tick_labels_trim() {
+        assert_eq!(trim_num(3.0), "3");
+        assert_eq!(trim_num(2.5), "2.50");
+    }
+}

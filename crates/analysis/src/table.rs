@@ -1,0 +1,217 @@
+use std::fmt::Write as _;
+
+/// A simple experiment-report table with aligned plain-text, Markdown,
+/// and CSV rendering.
+///
+/// ```
+/// use partalloc_analysis::Table;
+/// let mut t = Table::new(&["N", "peak", "bound"]);
+/// t.row(&["64", "3", "4"]);
+/// t.row(&["256", "4", "5"]);
+/// let text = t.render_text();
+/// assert!(text.contains("N"));
+/// assert!(text.lines().count() >= 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty of data rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with space-aligned columns and a header rule.
+    pub fn render_text(&self) -> String {
+        let widths: Vec<usize> = (0..self.headers.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r[c].chars().count())
+                    .chain(std::iter::once(self.headers[c].chars().count()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                // Right-align numeric-looking cells, left-align text.
+                if cell.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    for _ in 0..pad {
+                        out.push(' ');
+                    }
+                    out.push_str(cell);
+                } else {
+                    out.push_str(cell);
+                    for _ in 0..pad {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.headers, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        for _ in 0..rule {
+            out.push('-');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Render as CSV (naive quoting: cells containing commas are
+    /// wrapped in double quotes).
+    pub fn render_csv(&self) -> String {
+        let quote = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format a float with `digits` decimal places (helper for table
+/// cells).
+pub fn fmt_f64(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(&["alg", "N", "ratio"]);
+        t.row(&["A_G", "1024", "2.50"]);
+        t.row(&["A_M(d=2)", "1024", "1.20"]);
+        t
+    }
+
+    #[test]
+    fn text_alignment() {
+        let text = sample().render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width (trailing alignment spaces trimmed on
+        // numeric-ending rows may differ; check the rule spans header).
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("A_G"));
+        assert!(lines[3].contains("1.20"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().render_markdown();
+        assert!(md.starts_with("| alg | N | ratio |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| A_M(d=2) | 1024 | 1.20 |"));
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["x,y", "plain"]);
+        t.row(&["has \"quote\"", "2"]);
+        let csv = t.render_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.contains("\"has \"\"quote\"\"\",2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new(&["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn fmt_helper() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(2.0, 0), "2");
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(sample().len(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! B4 — cost of playing the Theorem 4.3 adversary game.
+//!
+//! The adversary is adaptive (it interrogates the algorithm after
+//! every phase), so its cost matters for the big lower-bound sweeps;
+//! the incremental `used_below` accounting should keep the whole game
+//! near `O(N log N)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use partalloc_adversary::DeterministicAdversary;
+use partalloc_core::Greedy;
+use partalloc_topology::BuddyTree;
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary_game");
+    for levels in [6u32, 8, 10, 12] {
+        let machine = BuddyTree::with_levels(levels).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N=2^{levels}")),
+            &machine,
+            |b, &machine| {
+                b.iter(|| {
+                    let mut g = Greedy::new(machine);
+                    let out = DeterministicAdversary::new(u64::MAX).run(&mut g);
+                    black_box(out.peak_load)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_adversary
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! B1 — event throughput of every allocator on a common workload.
+//!
+//! Measures events/second driving each algorithm through the same
+//! closed-loop sequence on a 1024-PE machine: the cost of the
+//! allocation decision itself (the paper's thread-management overhead
+//! is about *running* with load; this is the overhead of *placing*).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_core::AllocatorKind;
+use partalloc_sim::run_sequence_dyn;
+use partalloc_topology::BuddyTree;
+use partalloc_workload::{ClosedLoopConfig, Generator};
+
+fn bench_allocators(c: &mut Criterion) {
+    let n: u64 = 1024;
+    let machine = BuddyTree::new(n).unwrap();
+    let seq = ClosedLoopConfig::new(n)
+        .events(10_000)
+        .target_load(3)
+        .generate(7);
+
+    let mut group = c.benchmark_group("allocator_throughput");
+    group.throughput(Throughput::Elements(seq.len() as u64));
+    for kind in [
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::DRealloc(2),
+        AllocatorKind::Randomized,
+        AllocatorKind::RoundRobin,
+        AllocatorKind::LeftmostAlways,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut alloc = kind.build(machine, 3);
+                    black_box(run_sequence_dyn(alloc.as_mut(), &seq).peak_load)
+                })
+            },
+        );
+    }
+    // A_C is quadratic by design; bench it on a shorter prefix so the
+    // suite stays fast.
+    let short = seq.prefix(1_000);
+    group.throughput(Throughput::Elements(short.len() as u64));
+    group.bench_function("A_C(1k events)", |b| {
+        b.iter(|| {
+            let mut alloc = AllocatorKind::Constant.build(machine, 3);
+            black_box(run_sequence_dyn(alloc.as_mut(), &short).peak_load)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_allocators
+}
+criterion_main!(benches);

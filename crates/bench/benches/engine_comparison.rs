@@ -1,0 +1,62 @@
+//! B6 — production engine vs. the naive reference.
+//!
+//! Same op stream on a 256-PE machine; the `PathTreeEngine` should win
+//! by orders of magnitude on the min-max query mix, justifying its
+//! complexity over the `NaiveEngine` used for differential testing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_core::loadmap::{LoadEngine, NaiveEngine, PathTreeEngine};
+use partalloc_topology::{BuddyTree, NodeId};
+
+const STEPS: u64 = 1_024;
+
+fn drive<E: LoadEngine>(engine: &mut E) -> u64 {
+    let tree = engine.tree();
+    let mut acc = 0u64;
+    let mut live: Vec<NodeId> = Vec::new();
+    let mut state = 0xDEADBEEFu64;
+    for _ in 0..STEPS {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pick = (state >> 33) as u32;
+        if live.len() < 32 || pick.is_multiple_of(2) {
+            let node = NodeId(1 + pick % tree.num_nodes());
+            engine.assign(node);
+            live.push(node);
+        } else {
+            let node = live.swap_remove((pick as usize / 2) % live.len());
+            engine.remove(node);
+        }
+        acc = acc.wrapping_add(engine.min_max_submachine(pick % (tree.levels() + 1)).1);
+    }
+    acc
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let tree = BuddyTree::new(256).unwrap();
+    let mut group = c.benchmark_group("engine_comparison");
+    group.throughput(Throughput::Elements(STEPS));
+    group.bench_function("pathtree", |b| {
+        b.iter(|| {
+            let mut e = PathTreeEngine::new(tree);
+            black_box(drive(&mut e))
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut e = NaiveEngine::new(tree);
+            black_box(drive(&mut e))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! B7 — throughput of the two execution models: the shared round-robin
+//! executor (ticks with per-task progress) and the exclusive FCFS
+//! machine (event-driven with subcube recognition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_core::AllocatorKind;
+use partalloc_exclusive::{
+    run_exclusive_with_policy, BuddyStrategy, GrayCodeStrategy, QueuePolicy, SubcubeStrategy,
+};
+use partalloc_sim::{execute, ExecutorConfig};
+use partalloc_topology::BuddyTree;
+use partalloc_workload::TimedConfig;
+
+fn bench_executor(c: &mut Criterion) {
+    let levels = 8u32;
+    let n = 1u64 << levels;
+    let machine = BuddyTree::new(n).unwrap();
+    let workload = TimedConfig::new(n).tasks(400).generate(3);
+
+    let mut group = c.benchmark_group("execution_models");
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    for kind in [AllocatorKind::Greedy, AllocatorKind::DRealloc(1)] {
+        group.bench_with_input(
+            BenchmarkId::new("shared", kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let r = execute(kind.build(machine, 3), &workload, &ExecutorConfig::ideal());
+                    black_box(r.makespan)
+                })
+            },
+        );
+    }
+    let strategies: [(&str, &dyn SubcubeStrategy, QueuePolicy); 3] = [
+        ("buddy-fcfs", &BuddyStrategy, QueuePolicy::StrictFcfs),
+        ("gray-fcfs", &GrayCodeStrategy, QueuePolicy::StrictFcfs),
+        ("gray-easy", &GrayCodeStrategy, QueuePolicy::EasyBackfill),
+    ];
+    for (name, strategy, policy) in strategies {
+        group.bench_function(BenchmarkId::new("exclusive", name), |b| {
+            b.iter(|| {
+                let r = run_exclusive_with_policy(levels, strategy, &workload, policy);
+                black_box(r.makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_executor
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! B2 — scaling of the production load engine.
+//!
+//! `PathTreeEngine` promises `O(log² N)` updates and `O(log N)`
+//! min-max queries; this bench sweeps machine sizes to confirm the
+//! near-flat growth (doubling N should add a roughly constant cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_core::loadmap::{LoadEngine, PathTreeEngine};
+use partalloc_topology::BuddyTree;
+
+/// A deterministic op mix: assign/remove on pseudo-random nodes plus a
+/// min-max query per step.
+fn drive(engine: &mut PathTreeEngine, steps: u64) -> u64 {
+    let tree = engine.tree();
+    let mut acc = 0u64;
+    let mut live: Vec<partalloc_topology::NodeId> = Vec::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..steps {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pick = (state >> 33) as u32;
+        if live.len() < 64 || pick.is_multiple_of(2) {
+            let node = partalloc_topology::NodeId(1 + pick % tree.num_nodes());
+            engine.assign(node);
+            live.push(node);
+        } else {
+            let node = live.swap_remove((pick as usize / 2) % live.len());
+            engine.remove(node);
+        }
+        let level = pick % (tree.levels() + 1);
+        acc = acc.wrapping_add(engine.min_max_submachine(level).1);
+    }
+    acc
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loadmap_scaling");
+    const STEPS: u64 = 4_096;
+    group.throughput(Throughput::Elements(STEPS));
+    for levels in [6u32, 8, 10, 12, 14, 16] {
+        let tree = BuddyTree::with_levels(levels).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N=2^{levels}")),
+            &tree,
+            |b, &tree| {
+                b.iter(|| {
+                    let mut engine = PathTreeEngine::new(tree);
+                    black_box(drive(&mut engine, STEPS))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_scaling
+}
+criterion_main!(benches);

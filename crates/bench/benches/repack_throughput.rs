@@ -1,0 +1,52 @@
+//! B3 — throughput of the reallocation procedure `A_R`.
+//!
+//! Repacking is the unit the paper's `d` meters out; this bench
+//! measures its cost as the active task count grows, on a 4096-PE
+//! machine with a realistic size mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_core::repack;
+use partalloc_model::TaskId;
+use partalloc_topology::BuddyTree;
+
+fn make_tasks(count: usize, levels: u32) -> Vec<(TaskId, u8)> {
+    let mut state = 0xABCDEFu64;
+    (0..count)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Geometric-ish mix biased to small sizes, capped at N/2.
+            let x = ((state >> 33) % 100) as u8;
+            let size = match x {
+                0..=49 => 0,
+                50..=74 => 1,
+                75..=87 => 2,
+                88..=94 => 3,
+                95..=98 => 4,
+                _ => (levels - 1) as u8,
+            };
+            (TaskId(i as u64), size)
+        })
+        .collect()
+}
+
+fn bench_repack(c: &mut Criterion) {
+    let machine = BuddyTree::with_levels(12).unwrap();
+    let mut group = c.benchmark_group("repack_throughput");
+    for count in [64usize, 256, 1024, 4096] {
+        let tasks = make_tasks(count, 12);
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &tasks, |b, tasks| {
+            b.iter(|| black_box(repack(machine, tasks).1.num_layers()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_repack
+}
+criterion_main!(benches);

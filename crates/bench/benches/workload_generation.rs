@@ -1,0 +1,43 @@
+//! B5 — workload generator throughput.
+//!
+//! Sequence generation should never be the bottleneck of a sweep;
+//! this bench pins events/second for each generator family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_workload::{BurstyConfig, ClosedLoopConfig, Generator, PhasedConfig, PoissonConfig};
+
+fn bench_generators(c: &mut Criterion) {
+    let n: u64 = 1024;
+    let mut group = c.benchmark_group("workload_generation");
+
+    let gens: Vec<(&str, Box<dyn Generator>, u64)> = vec![
+        (
+            "closed-loop",
+            Box::new(ClosedLoopConfig::new(n).events(10_000)),
+            10_000,
+        ),
+        (
+            "poisson",
+            Box::new(PoissonConfig::new(n).arrivals(5_000)),
+            10_000,
+        ),
+        ("bursty", Box::new(BurstyConfig::new(n).cycles(20)), 4_000),
+        ("phased", Box::new(PhasedConfig::new(n)), 4_000),
+    ];
+    for (name, gen, approx_events) in gens {
+        group.throughput(Throughput::Elements(approx_events));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &gen, |b, gen| {
+            b.iter(|| black_box(gen.generate(17).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generators
+}
+criterion_main!(benches);

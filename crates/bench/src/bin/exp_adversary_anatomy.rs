@@ -1,0 +1,88 @@
+//! E15 — anatomy of the Theorem 4.3 adversary: which part of the
+//! construction does the forcing?
+//!
+//! The construction has two components: the **skeleton** (depart one
+//! half of every submachine, refill with double-size tasks) and the
+//! **potential rule** (depart the half with the smaller
+//! `Q(T') = 2^i·l(T') − L(T')`, keeping fragmentation alive). We play
+//! the paper's rule against two ablations — inverted `Q` and an
+//! oblivious always-left rule — across algorithm types.
+//!
+//! Finding: against *balancing* algorithms (A_G, A_B) every rule works
+//! (their halves stay symmetric, so the potentials tie and the
+//! skeleton alone forces the bound); the `Q` rule earns its keep
+//! against *asymmetric* placers — a random-tie greedy escapes the
+//! ablated adversaries but not the paper's, and the oblivious A_rand
+//! suffers nearly twice as much under potential guidance. Theorem
+//! 4.3's universal quantifier ("any deterministic algorithm") is
+//! exactly what needs the potential argument.
+
+use partalloc_adversary::{DepartureRule, DeterministicAdversary};
+use partalloc_analysis::Table;
+use partalloc_bench::banner;
+use partalloc_core::{AllocatorKind, TieBreak};
+use partalloc_topology::BuddyTree;
+
+fn main() {
+    banner(
+        "E15",
+        "Adversary anatomy: skeleton vs potential rule",
+        "Theorem 4.3 / Lemma 3 (the potential argument)",
+    );
+    let n: u64 = 1024;
+    let machine = BuddyTree::new(n).unwrap();
+    println!("machine: {n} PEs; guarantee ⌈(log N + 1)/2⌉ = 6; forced loads:\n");
+
+    let kinds = [
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::RoundRobin,
+        AllocatorKind::GreedyTie(TieBreak::Random),
+        AllocatorKind::Randomized,
+    ];
+    let rules = [
+        ("paper (keep fragmented)", DepartureRule::KeepFragmented),
+        ("inverted (keep packed)", DepartureRule::KeepPacked),
+        ("oblivious (always left)", DepartureRule::AlwaysLeft),
+    ];
+    let mut table = Table::new(&["algorithm", rules[0].0, rules[1].0, rules[2].0]);
+    for kind in kinds {
+        let mut cells = vec![kind.label()];
+        for &(_, rule) in &rules {
+            let mut alloc = kind.build(machine, 5);
+            let out = DeterministicAdversary::with_rule(u64::MAX, rule).run(alloc.as_mut());
+            cells.push(out.peak_load.to_string());
+        }
+        table.row(&cells);
+    }
+    println!("{}", table.render_text());
+    partalloc_bench::save_csv("e15_adversary_anatomy", &table);
+
+    // The assertions that encode the finding.
+    let play = |kind: AllocatorKind, rule| {
+        let mut alloc = kind.build(machine, 5);
+        DeterministicAdversary::with_rule(u64::MAX, rule)
+            .run(alloc.as_mut())
+            .peak_load
+    };
+    for kind in [AllocatorKind::Greedy, AllocatorKind::Basic] {
+        for &(_, rule) in &rules {
+            assert!(play(kind, rule) >= 6, "{} escaped {rule:?}", kind.label());
+        }
+    }
+    let random_tie = AllocatorKind::GreedyTie(TieBreak::Random);
+    assert!(play(random_tie, DepartureRule::KeepFragmented) >= 6);
+    assert!(
+        play(random_tie, DepartureRule::KeepPacked) < 6
+            || play(random_tie, DepartureRule::AlwaysLeft) < 6,
+        "ablated rules unexpectedly forced the bound on the asymmetric placer"
+    );
+
+    println!(
+        "E15 reading: the skeleton forces balancing algorithms by itself (their\n\
+         potentials tie, so any half works); the potential rule is what makes the\n\
+         bound hold for *every* deterministic algorithm — ablate it and the\n\
+         asymmetric random-tie greedy slips underneath the guarantee. This is\n\
+         Lemma 3's potential argument, observed mechanically  ✓"
+    );
+}

@@ -1,0 +1,106 @@
+//! E14 — ablations of the two placement rules the paper fixes without
+//! comment:
+//!
+//! 1. `A_G` breaks load ties **leftmost**. Does the direction matter?
+//!    (The Theorem 4.1 proof's left/right asymmetry — ceil on one
+//!    side, floor on the other — suggests the *consistency* matters,
+//!    not the direction; a random tie-break loses that consistency.)
+//! 2. `A_B` searches copies **first-fit** in creation order — the rule
+//!    Lemma 2's analysis is built on. Best-fit and worst-fit are the
+//!    classic alternatives.
+//!
+//! Measured on stochastic load, the fragmentation stressor, and the
+//! adaptive adversary.
+
+use partalloc_adversary::{DeterministicAdversary, RandomHardSequence};
+use partalloc_analysis::{fmt_f64, Summary, Table};
+use partalloc_bench::{banner, default_seeds, run_kind};
+use partalloc_core::{AllocatorKind, CopyFit, TieBreak};
+use partalloc_topology::BuddyTree;
+use partalloc_workload::{ClosedLoopConfig, Generator};
+
+fn main() {
+    banner(
+        "E14",
+        "Design ablations: greedy tie-break and A_B copy-selection",
+        "§4.1 (the algorithms' fixed choices)",
+    );
+    let n: u64 = 1024;
+    let machine = BuddyTree::new(n).unwrap();
+    let seeds = default_seeds(12);
+    let stressor = RandomHardSequence::aggressive(machine);
+
+    let mean_ratio = |kind: AllocatorKind, make: &dyn Fn(u64) -> partalloc_model::TaskSequence| {
+        let ratios: Vec<f64> = seeds
+            .iter()
+            .map(|&s| {
+                let m = run_kind(kind, n, &make(s), s);
+                m.peak_load as f64 / m.lstar as f64
+            })
+            .collect();
+        Summary::of(&ratios).mean
+    };
+    let closed = |s: u64| {
+        ClosedLoopConfig::new(n)
+            .events(4000)
+            .target_load(2)
+            .generate(s)
+    };
+    let sigma = |s: u64| stressor.generate(s);
+
+    println!("-- greedy tie-break (Theorem 4.1 bound is ⌈(logN+1)/2⌉ = 6 at N = {n}) --");
+    let mut table = Table::new(&[
+        "variant",
+        "closed-loop E[peak/L*]",
+        "σ_r E[peak/L*]",
+        "adversary forced load",
+    ]);
+    for tie in [TieBreak::Leftmost, TieBreak::Rightmost, TieBreak::Random] {
+        let kind = AllocatorKind::GreedyTie(tie);
+        let mut alloc = kind.build(machine, 0);
+        let adv = DeterministicAdversary::new(u64::MAX).run(alloc.as_mut());
+        table.row(&[
+            kind.label(),
+            fmt_f64(mean_ratio(kind, &closed), 2),
+            fmt_f64(mean_ratio(kind, &sigma), 2),
+            adv.peak_load.to_string(),
+        ]);
+    }
+    println!("{}", table.render_text());
+    println!(
+        "reading: left and right are exact mirrors (the adversary's potential\n\
+         argument is direction-blind, and it forces the same load on both). The\n\
+         random tie-break, though, is measurably worse on stochastic load: a\n\
+         consistent direction *compacts* — tied minima fill from one end, keeping\n\
+         the other end empty for future large tasks — while random tie-breaking\n\
+         scatters unit tasks and fragments the frontier. The paper's 'leftmost'\n\
+         is doing quiet work beyond determinism.\n"
+    );
+
+    println!("-- A_B copy selection (Lemma 2 bound is ⌈S/N⌉ over arrival volume) --");
+    let mut table = Table::new(&[
+        "variant",
+        "closed-loop E[peak/L*]",
+        "σ_r E[peak/L*]",
+        "adversary forced load",
+    ]);
+    for fit in [CopyFit::FirstFit, CopyFit::BestFit, CopyFit::WorstFit] {
+        let kind = AllocatorKind::BasicFit(fit);
+        let mut alloc = kind.build(machine, 0);
+        let adv = DeterministicAdversary::new(u64::MAX).run(alloc.as_mut());
+        table.row(&[
+            kind.label(),
+            fmt_f64(mean_ratio(kind, &closed), 2),
+            fmt_f64(mean_ratio(kind, &sigma), 2),
+            adv.peak_load.to_string(),
+        ]);
+    }
+    println!("{}", table.render_text());
+    println!(
+        "reading: best-fit tracks first-fit closely (both drain holes before\n\
+         opening copies); worst-fit deliberately spreads load across copies and\n\
+         pays for it — Lemma 2's first-fit choice is the load-safe one.\n\
+         All variants remain subject to the Theorem 4.3 lower bound, as the\n\
+         adversary column shows."
+    );
+}

@@ -1,0 +1,148 @@
+//! E13 — why share at all? The related-work model (§1) gives every
+//! task exclusive processors, so arrivals queue; the paper's model
+//! shares PEs and pays in thread load instead. Same timed workload,
+//! both worlds, one table.
+//!
+//! The exclusive side uses the hypercube subcube-allocation strategies
+//! the paper cites — Chen–Shin buddy and Gray-code [9, 10], plus
+//! Dutt–Hayes-class complete recognition \[11\] — under strict FCFS.
+//! The shared side runs the paper's algorithms through the round-robin
+//! executor. Expected shape: at low load the two models tie (nothing
+//! queues, nothing shares); as load climbs, exclusive queueing delays
+//! explode combinatorially (head-of-line blocking + fragmentation)
+//! while shared stretch grows only with the thread load the paper
+//! bounds.
+
+use partalloc_analysis::{fmt_f64, Table};
+use partalloc_bench::{banner, default_seeds};
+use partalloc_core::AllocatorKind;
+use partalloc_exclusive::{
+    run_exclusive, run_exclusive_with_policy, BuddyStrategy, FullRecognition, GrayCodeStrategy,
+    QueuePolicy, SubcubeStrategy,
+};
+use partalloc_sim::{execute, ExecutorConfig};
+use partalloc_topology::BuddyTree;
+use partalloc_workload::TimedConfig;
+
+fn main() {
+    banner(
+        "E13",
+        "Exclusive queueing vs shared thread management",
+        "§1 + related-work contrast ([9, 10, 11] vs this paper)",
+    );
+    let levels = 6u32;
+    let n = 1u64 << levels;
+    let machine = BuddyTree::new(n).unwrap();
+    let seeds = default_seeds(5);
+
+    println!("machine: {n} PEs; strategy coverage of k-subcubes (k=1):");
+    for s in [
+        &BuddyStrategy as &dyn SubcubeStrategy,
+        &GrayCodeStrategy,
+        &FullRecognition,
+    ] {
+        println!("  {:<10} {:>6} candidates", s.name(), s.coverage(levels, 1));
+    }
+    println!();
+
+    for (label, interarrival) in [
+        ("light load", 8.0),
+        ("moderate load", 4.0),
+        ("heavy load", 2.0),
+    ] {
+        let cfg = TimedConfig::new(n)
+            .tasks(250)
+            .mean_interarrival(interarrival)
+            .mean_work(20.0);
+        println!("-- {label}: mean inter-arrival {interarrival} ticks, mean work 20 --");
+        let mut table = Table::new(&[
+            "model",
+            "mean stretch",
+            "max stretch",
+            "makespan",
+            "frag. stalls",
+        ]);
+
+        // Exclusive world.
+        for strategy in [
+            &BuddyStrategy as &dyn SubcubeStrategy,
+            &GrayCodeStrategy,
+            &FullRecognition,
+        ] {
+            let (mut mean, mut maxs, mut mk, mut stalls) = (0.0, 0.0f64, 0u64, 0u64);
+            for &seed in &seeds {
+                let w = cfg.generate(seed);
+                let r = run_exclusive(levels, strategy, &w);
+                mean += r.mean_stretch;
+                maxs = maxs.max(r.max_stretch);
+                mk = mk.max(r.makespan);
+                stalls += r.fragmentation_stalls;
+            }
+            table.row(&[
+                format!("exclusive / {}", strategy.name()),
+                fmt_f64(mean / seeds.len() as f64, 2),
+                fmt_f64(maxs, 1),
+                mk.to_string(),
+                stalls.to_string(),
+            ]);
+        }
+
+        // Exclusive with EASY backfilling (gray-code recognition).
+        {
+            let (mut mean, mut maxs, mut mk, mut stalls) = (0.0, 0.0f64, 0u64, 0u64);
+            for &seed in &seeds {
+                let w = cfg.generate(seed);
+                let r = run_exclusive_with_policy(
+                    levels,
+                    &GrayCodeStrategy,
+                    &w,
+                    QueuePolicy::EasyBackfill,
+                );
+                mean += r.mean_stretch;
+                maxs = maxs.max(r.max_stretch);
+                mk = mk.max(r.makespan);
+                stalls += r.fragmentation_stalls;
+            }
+            table.row(&[
+                "exclusive / gray + EASY backfill".to_string(),
+                fmt_f64(mean / seeds.len() as f64, 2),
+                fmt_f64(maxs, 1),
+                mk.to_string(),
+                stalls.to_string(),
+            ]);
+        }
+
+        // Shared world.
+        for (name, kind) in [
+            ("shared / A_C", AllocatorKind::Constant),
+            ("shared / A_M(d=1)", AllocatorKind::DRealloc(1)),
+            ("shared / A_G", AllocatorKind::Greedy),
+        ] {
+            let (mut mean, mut maxs, mut mk) = (0.0, 0.0f64, 0u64);
+            for &seed in &seeds {
+                let w = cfg.generate(seed);
+                let r = execute(kind.build(machine, seed), &w, &ExecutorConfig::ideal());
+                mean += r.mean_stretch;
+                maxs = maxs.max(r.max_stretch);
+                mk = mk.max(r.makespan);
+            }
+            table.row(&[
+                name.to_string(),
+                fmt_f64(mean / seeds.len() as f64, 2),
+                fmt_f64(maxs, 1),
+                mk.to_string(),
+                "-".to_string(),
+            ]);
+        }
+        println!("{}", table.render_text());
+    }
+    println!(
+        "E13 reading: better recognition (buddy → gray → full) trims exclusive\n\
+         queueing at the margin, and EASY backfilling helps more — but under\n\
+         load every exclusive variant still loses to sharing: a task would\n\
+         rather run at 1/k speed now than wait whole job-lengths for a clean\n\
+         subcube. That observation — sharing is how CM-5 and SP2 were actually\n\
+         used — is the paper's starting point; its theorems then bound what the\n\
+         sharing costs (thread load) and how reallocation buys it back."
+    );
+}

@@ -1,0 +1,161 @@
+//! E7 — Theorem 5.2: the randomized lower bound. The oblivious random
+//! sequence σ_r forces every no-reallocation online algorithm —
+//! deterministic or randomized — to expected load
+//! `Ω((log N / log log N)^{1/3})` while `L* = 1` w.h.p.
+//!
+//! σ_r's phases interleave arrivals of geometrically growing sizes
+//! with mass departures (each task dies with probability
+//! `1 − 1/log N`), so the rare survivors pin fragmentation across the
+//! machine. We replay it against every no-reallocation algorithm and
+//! report expected peak loads against the paper's `ℓ` and `(1/7)(…)^{1/3}`
+//! formulas. Reallocating algorithms (played out of competition)
+//! escape the bound — reallocation is exactly what the theorem forbids.
+
+use partalloc_adversary::RandomHardSequence;
+use partalloc_analysis::{fmt_f64, Summary, Table};
+use partalloc_bench::{banner, default_seeds, run_kind};
+use partalloc_core::AllocatorKind;
+use partalloc_topology::BuddyTree;
+
+fn main() {
+    banner(
+        "E7",
+        "Randomized lower bound via σ_r",
+        "Theorem 5.2 (+ Lemmas 5-7)",
+    );
+    let seeds = default_seeds(20);
+    println!("σ_r instances per machine size: {}\n", seeds.len());
+
+    let mut table = Table::new(&[
+        "N",
+        "phases",
+        "whp ℓ=(logN/240loglogN)^⅓",
+        "bound (1/7)(logN/loglogN)^⅓",
+        "E[peak] A_G",
+        "E[peak] A_rand",
+        "E[peak] A_B",
+        "E[peak] A_C*",
+    ]);
+    for levels in [4u32, 8, 16] {
+        let n = 1u64 << levels;
+        let machine = BuddyTree::new(n).unwrap();
+        let gen = RandomHardSequence::new(machine);
+        let params = gen.params();
+
+        let mean_over = |kind: AllocatorKind| -> Summary {
+            let peaks: Vec<f64> = seeds
+                .iter()
+                .map(|&s| {
+                    let seq = gen.generate(s);
+                    run_kind(kind, n, &seq, s.wrapping_add(1)).peak_load as f64
+                })
+                .collect();
+            Summary::of(&peaks)
+        };
+
+        let greedy = mean_over(AllocatorKind::Greedy);
+        let rand = mean_over(AllocatorKind::Randomized);
+        let basic = mean_over(AllocatorKind::Basic);
+        // A_C repacks every arrival; at N = 2^16 (tens of thousands of
+        // active unit tasks) that is quadratic, so the out-of-competition
+        // column is computed at the smaller sizes only.
+        let constant = (levels <= 8).then(|| mean_over(AllocatorKind::Constant));
+
+        // L* = 1 w.h.p.: every no-reallocation algorithm's expected
+        // peak must sit at or above the theorem's factor.
+        let floor = params.bound_factor();
+        for (label, s) in [("A_G", &greedy), ("A_rand", &rand), ("A_B", &basic)] {
+            assert!(
+                s.mean >= floor,
+                "{label} beat the Theorem 5.2 floor at N={n}: {} < {floor}",
+                s.mean
+            );
+        }
+
+        table.row(&[
+            format!("2^{levels}"),
+            params.phases.to_string(),
+            fmt_f64(params.whp_load(), 2),
+            fmt_f64(floor, 2),
+            fmt_f64(greedy.mean, 2),
+            fmt_f64(rand.mean, 2),
+            fmt_f64(basic.mean, 2),
+            constant
+                .map(|s| fmt_f64(s.mean, 2))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{}", table.render_text());
+    println!(
+        "(*A_C reallocates and is out of competition — it shows what the theorem's\n\
+          no-reallocation restriction is worth.)\n\n\
+         E7 check (paper parameters): every no-reallocation algorithm's expected\n\
+         peak ≥ the (1/7)(…)^⅓ floor  ✓ — but note the floor is < 1 at simulable N:\n\
+         the paper's parameters (survival 1/log N, log N/(2 log log N) phases) only\n\
+         bite asymptotically.\n"
+    );
+
+    // Part 2: the same survivor-pinning mechanism, tuned to bite at
+    // finite N (base 2, survival 1/2, up to 6 phases).
+    println!("-- finite-size stressor: same mechanism, parameters that bite --");
+    let mut table = Table::new(&[
+        "N",
+        "phases",
+        "E[L*]",
+        "E[peak/L*] A_G",
+        "E[peak/L*] A_rand",
+        "E[peak/L*] A_B",
+        "E[peak/L*] A_C*",
+    ]);
+    for levels in [8u32, 10, 12] {
+        let n = 1u64 << levels;
+        let machine = BuddyTree::new(n).unwrap();
+        let gen = RandomHardSequence::aggressive(machine);
+
+        let ratio_over = |kind: AllocatorKind| -> Summary {
+            let ratios: Vec<f64> = seeds
+                .iter()
+                .map(|&s| {
+                    let seq = gen.generate(s);
+                    let m = run_kind(kind, n, &seq, s.wrapping_add(1));
+                    m.peak_load as f64 / m.lstar as f64
+                })
+                .collect();
+            Summary::of(&ratios)
+        };
+        let lstars: Vec<f64> = seeds
+            .iter()
+            .map(|&s| gen.generate(s).optimal_load(n) as f64)
+            .collect();
+
+        let greedy = ratio_over(AllocatorKind::Greedy);
+        let rand = ratio_over(AllocatorKind::Randomized);
+        let basic = ratio_over(AllocatorKind::Basic);
+        let constant = ratio_over(AllocatorKind::Constant);
+        assert!(
+            (constant.mean - 1.0).abs() < 1e-9,
+            "A_C must stay at L* even on the stressor"
+        );
+        assert!(
+            greedy.mean > 1.0 && rand.mean > 1.5 && basic.mean > 1.0,
+            "stressor failed to fragment the no-reallocation algorithms at N={n}"
+        );
+        table.row(&[
+            format!("2^{levels}"),
+            gen.params().phases.to_string(),
+            fmt_f64(Summary::of(&lstars).mean, 2),
+            fmt_f64(greedy.mean, 2),
+            fmt_f64(rand.mean, 2),
+            fmt_f64(basic.mean, 2),
+            fmt_f64(constant.mean, 2),
+        ]);
+    }
+    println!("{}", table.render_text());
+    println!(
+        "E7 check (stressor): survivors pin fragmentation and every\n\
+         no-reallocation algorithm — including the randomized one, unlike against\n\
+         the E5 adversary — pays a growing factor over L*, while reallocation\n\
+         (A_C) erases it entirely. This is Theorem 5.2's mechanism at visible\n\
+         scale  ✓"
+    );
+}

@@ -1,0 +1,150 @@
+//! # partalloc-bench
+//!
+//! The experiment suite reproducing every evaluation artifact of the
+//! SPAA'96 paper. The paper is a theory paper: its artifacts are the
+//! worked example of **Figure 1** and the bounds of **Theorems 3.1,
+//! 4.1, 4.2, 4.3, 5.1, 5.2** (plus Lemmas 1 and 2). Each experiment
+//! binary regenerates one of them as a table of
+//! *paper bound vs. measured value*; `EXPERIMENTS.md` records the
+//! outcomes. Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p partalloc-bench --bin exp_figure1
+//! cargo run --release -p partalloc-bench --bin exp_tradeoff
+//! ```
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `exp_figure1` | Figure 1 (σ* on the 4-PE machine) |
+//! | `exp_optimal_realloc` | Theorem 3.1 / Lemma 1 (`A_C` optimal) |
+//! | `exp_greedy_bound` | Theorem 4.1 (`A_G` upper bound) |
+//! | `exp_tradeoff` | Theorem 4.2 (the `d` ↔ load trade-off) |
+//! | `exp_lower_det` | Theorem 4.3 (deterministic lower bound) |
+//! | `exp_random_bound` | Theorem 5.1 (randomized upper bound) |
+//! | `exp_lower_rand` | Theorem 5.2 (randomized lower bound, σ_r) |
+//! | `exp_realloc_cost` | ablation: the *cost* side of the trade |
+//! | `exp_topologies` | §1 generality claim (tree/hypercube/mesh/…) |
+//! | `exp_slowdown` | §1 slowdown interpretation of load |
+//!
+//! This library crate holds the small shared utilities the binaries
+//! use; the criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use partalloc_analysis::Summary;
+use partalloc_core::AllocatorKind;
+use partalloc_model::TaskSequence;
+use partalloc_sim::{run_sequence_dyn, RunMetrics};
+use partalloc_topology::BuddyTree;
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, title: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Run one allocator kind over a sequence on an `N`-PE machine.
+pub fn run_kind(kind: AllocatorKind, num_pes: u64, seq: &TaskSequence, seed: u64) -> RunMetrics {
+    let machine = BuddyTree::new(num_pes).expect("power-of-two machine");
+    let mut alloc = kind.build(machine, seed);
+    run_sequence_dyn(alloc.as_mut(), seq)
+}
+
+/// Worst peak-over-L* ratio of a kind across several seeds of a
+/// seeded sequence family.
+pub fn worst_ratio<F>(kind: AllocatorKind, num_pes: u64, seeds: &[u64], make: F) -> f64
+where
+    F: Fn(u64) -> TaskSequence,
+{
+    seeds
+        .iter()
+        .map(|&s| {
+            let seq = make(s);
+            let m = run_kind(kind, num_pes, &seq, s);
+            if m.lstar == 0 {
+                0.0
+            } else {
+                m.peak_load as f64 / m.lstar as f64
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Mean peak load of a kind across seeds (the "expected maximum load"
+/// of the randomized theorems, estimated by trials).
+pub fn mean_peak<F>(kind: AllocatorKind, num_pes: u64, seeds: &[u64], make: F) -> Summary
+where
+    F: Fn(u64) -> TaskSequence,
+{
+    let peaks: Vec<f64> = seeds
+        .iter()
+        .map(|&s| run_kind(kind, num_pes, &make(s), s).peak_load as f64)
+        .collect();
+    Summary::of(&peaks)
+}
+
+/// The seeds used throughout the experiment suite (fixed for
+/// reproducibility; printed by every binary).
+pub fn default_seeds(count: u64) -> Vec<u64> {
+    (0..count).map(|i| 0xC0FFEE + i).collect()
+}
+
+/// If `PARTALLOC_RESULTS_DIR` is set, write `table` there as
+/// `<experiment>.csv` (and say so); otherwise do nothing. Lets CI or a
+/// paper build collect machine-readable results without cluttering
+/// interactive runs.
+pub fn save_csv(experiment: &str, table: &partalloc_analysis::Table) {
+    let Ok(dir) = std::env::var("PARTALLOC_RESULTS_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create results dir {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{experiment}.csv"));
+    match std::fs::write(&path, table.render_csv()) {
+        Ok(()) => println!("(results saved to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_model::figure1_sigma_star;
+
+    #[test]
+    fn run_kind_smoke() {
+        let m = run_kind(AllocatorKind::Greedy, 4, &figure1_sigma_star(), 0);
+        assert_eq!(m.peak_load, 2);
+    }
+
+    #[test]
+    fn worst_ratio_over_figure1_is_two() {
+        let r = worst_ratio(AllocatorKind::Greedy, 4, &[1, 2, 3], |_| {
+            figure1_sigma_star()
+        });
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_peak_constant_is_optimal() {
+        let s = mean_peak(AllocatorKind::Constant, 4, &[1, 2], |_| {
+            figure1_sigma_star()
+        });
+        assert_eq!(s.mean, 1.0);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds = default_seeds(10);
+        assert_eq!(seeds.len(), 10);
+        let mut dedup = seeds.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+}

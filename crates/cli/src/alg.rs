@@ -1,0 +1,66 @@
+//! Algorithm-name parsing for the CLI (`--alg A_M:2`, `--alg A_G`, …).
+
+use partalloc_core::AllocatorKind;
+
+/// Parse an algorithm spec into an [`AllocatorKind`].
+///
+/// Accepted forms (case-insensitive):
+/// `A_C`, `A_G`, `A_B`, `A_M:<d>`, `A_rand`, `A_rand:<d>`,
+/// `leftmost`, `round-robin`.
+pub fn parse_alg(spec: &str) -> Result<AllocatorKind, String> {
+    let lower = spec.to_ascii_lowercase();
+    let (head, param) = match lower.split_once(':') {
+        Some((h, p)) => (h, Some(p)),
+        None => (lower.as_str(), None),
+    };
+    let d = |p: Option<&str>| -> Result<u64, String> {
+        p.ok_or_else(|| format!("{spec}: missing d (use e.g. {head}:2)"))?
+            .parse()
+            .map_err(|_| format!("{spec}: d must be an integer"))
+    };
+    match head {
+        "a_c" | "ac" | "constant" => Ok(AllocatorKind::Constant),
+        "a_g" | "ag" | "greedy" => Ok(AllocatorKind::Greedy),
+        "a_b" | "ab" | "basic" => Ok(AllocatorKind::Basic),
+        "a_m" | "am" | "drealloc" => Ok(AllocatorKind::DRealloc(d(param)?)),
+        "a_rand" | "arand" | "random" => match param {
+            None => Ok(AllocatorKind::Randomized),
+            Some(_) => Ok(AllocatorKind::RandomizedDRealloc(d(param)?)),
+        },
+        "leftmost" => Ok(AllocatorKind::LeftmostAlways),
+        "round-robin" | "roundrobin" | "rr" => Ok(AllocatorKind::RoundRobin),
+        _ => Err(format!(
+            "unknown algorithm {spec:?} (expected A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_all_forms() {
+        assert_eq!(parse_alg("A_C").unwrap(), AllocatorKind::Constant);
+        assert_eq!(parse_alg("greedy").unwrap(), AllocatorKind::Greedy);
+        assert_eq!(parse_alg("a_b").unwrap(), AllocatorKind::Basic);
+        assert_eq!(parse_alg("A_M:3").unwrap(), AllocatorKind::DRealloc(3));
+        assert_eq!(parse_alg("A_rand").unwrap(), AllocatorKind::Randomized);
+        assert_eq!(
+            parse_alg("A_rand:1").unwrap(),
+            AllocatorKind::RandomizedDRealloc(1)
+        );
+        assert_eq!(parse_alg("rr").unwrap(), AllocatorKind::RoundRobin);
+        assert_eq!(
+            parse_alg("LEFTMOST").unwrap(),
+            AllocatorKind::LeftmostAlways
+        );
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_alg("A_M").is_err()); // needs d
+        assert!(parse_alg("A_M:x").is_err());
+        assert!(parse_alg("what").is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed command line: one subcommand plus `--key value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing or flag extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` with no following value.
+    MissingValue(String),
+    /// Something that is neither the subcommand nor a flag.
+    Unexpected(String),
+    /// A required flag was absent.
+    Required(&'static str),
+    /// A flag value failed to parse.
+    Invalid {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `palloc help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            ArgError::Unexpected(arg) => write!(f, "unexpected argument {arg:?}"),
+            ArgError::Required(flag) => write!(f, "missing required flag --{flag}"),
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} got {value:?}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw argument list (without the program name).
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut command = None;
+        let mut flags = BTreeMap::new();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+                flags.insert(name.to_owned(), value);
+            } else if command.is_none() {
+                command = Some(arg);
+            } else {
+                return Err(ArgError::Unexpected(arg));
+            }
+        }
+        Ok(Args {
+            command: command.ok_or(ArgError::MissingCommand)?,
+            flags,
+        })
+    }
+
+    /// An optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::Required(flag))
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &'static str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                flag: flag.to_owned(),
+                value: v.to_owned(),
+                expected,
+            }),
+        }
+    }
+
+    /// A required parsed flag.
+    pub fn require_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &'static str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        let v = self.require(flag)?;
+        v.parse().map_err(|_| ArgError::Invalid {
+            flag: flag.to_owned(),
+            value: v.to_owned(),
+            expected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = Args::parse(["run", "--pes", "64", "--alg", "A_G"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("pes"), Some("64"));
+        assert_eq!(a.get("alg"), Some("A_G"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn flag_order_is_free() {
+        let a = Args::parse(["--pes", "64", "run"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("pes"), Some("64"));
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            Args::parse(Vec::<String>::new()),
+            Err(ArgError::MissingCommand)
+        );
+        assert_eq!(
+            Args::parse(["run", "--pes"]),
+            Err(ArgError::MissingValue("pes".into()))
+        );
+        assert_eq!(
+            Args::parse(["run", "extra"]),
+            Err(ArgError::Unexpected("extra".into()))
+        );
+    }
+
+    #[test]
+    fn typed_extraction() {
+        let a = Args::parse(["run", "--pes", "64", "--bad", "xyz"]).unwrap();
+        assert_eq!(a.get_or("pes", 0u64, "integer").unwrap(), 64);
+        assert_eq!(a.get_or("absent", 7u64, "integer").unwrap(), 7);
+        assert!(matches!(
+            a.get_or("bad", 0u64, "integer"),
+            Err(ArgError::Invalid { .. })
+        ));
+        assert!(matches!(
+            a.require_parsed::<u64>("absent", "integer"),
+            Err(ArgError::Required("absent"))
+        ));
+    }
+}

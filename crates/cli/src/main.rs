@@ -1,0 +1,884 @@
+//! `palloc` — command-line front end for the partalloc workspace.
+//!
+//! ```text
+//! palloc gen --kind closed-loop --pes 256 --events 5000 --seed 1 --out trace.json
+//! palloc run --trace trace.json --alg A_M:2
+//! palloc sweep --pes 1024 --events 5000 --trials 5
+//! palloc adversary --pes 1024 --d 4 --alg A_M:4
+//! palloc bounds --pes 1024
+//! palloc figure1
+//! palloc help
+//! ```
+
+mod alg;
+mod args;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use partalloc_adversary::DeterministicAdversary;
+use partalloc_analysis::{bounds, fmt_f64, sparkline, Table};
+use partalloc_core::AllocatorKind;
+use partalloc_model::{read_trace, write_trace, TaskSequence};
+use partalloc_sim::{parallel_sweep, run_sequence_dyn};
+use partalloc_topology::BuddyTree;
+use partalloc_workload::{
+    BurstyConfig, ClosedLoopConfig, DiurnalConfig, Generator, PhasedConfig, PoissonConfig,
+    TimedConfig,
+};
+
+use alg::parse_alg;
+use args::Args;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&raw) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("palloc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Route to a subcommand; returns the full stdout text (testable).
+fn dispatch(raw: &[String]) -> Result<String, String> {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
+        return Ok(usage());
+    }
+    let args = Args::parse(raw.iter().cloned()).map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "report" => cmd_report(&args),
+        "sweep" => cmd_sweep(&args),
+        "adversary" => cmd_adversary(&args),
+        "bounds" => cmd_bounds(&args),
+        "stats" => cmd_stats(&args),
+        "render" => cmd_render(&args),
+        "import" => cmd_import(&args),
+        "exec" => cmd_exec(&args),
+        "exclusive" => cmd_exclusive(&args),
+        "figure1" => Ok(cmd_figure1()),
+        other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "palloc — processor allocation for partitionable multiprocessors (SPAA'96)\n\
+     \n\
+     subcommands:\n\
+     \x20 gen        generate a workload trace\n\
+     \x20            --kind closed-loop|poisson|bursty|phased|diurnal --pes N\n\
+     \x20            [--events E] [--seed S] [--target-load L] --out FILE\n\
+     \x20 run        run one allocator over a trace\n\
+     \x20            --trace FILE --alg SPEC [--pes N] [--seed S] [--json yes]\n\
+     \x20 compare    run several allocators over one trace, side by side\n\
+     \x20            --trace FILE --algs SPEC,SPEC,... [--pes N] [--seed S]\n\
+     \x20 report     self-contained HTML report (tables + timelines)\n\
+     \x20            --trace FILE --algs SPEC,... --out FILE.html [--pes N]\n\
+     \x20 sweep      sweep d on a generated workload\n\
+     \x20            --pes N [--events E] [--trials T]\n\
+     \x20 adversary  play the Theorem 4.3 adversary\n\
+     \x20            --pes N --d D [--alg SPEC]\n\
+     \x20 bounds     print the paper's bound table for one machine size\n\
+     \x20            --pes N\n\
+     \x20 stats      summarize a workload trace\n\
+     \x20            --trace FILE [--pes N]\n\
+     \x20 render     draw a run's allocation timeline\n\
+     \x20            --trace FILE --alg SPEC [--pes N] [--svg FILE] [--seed S]\n\
+     \x20 import     convert a Standard Workload Format (SWF) trace\n\
+     \x20            --swf FILE --pes N --out TRACE.json\n\
+     \x20 exec       run a timed workload to completion (round-robin sharing)\n\
+     \x20            --pes N --alg SPEC [--tasks T] [--overhead C] [--seed S]\n\
+     \x20 exclusive  same timed workload under exclusive FCFS subcube allocation\n\
+     \x20            --pes N --strategy buddy|gray|full [--tasks T] [--seed S]\n\
+     \x20 figure1    replay the paper's Figure 1 example\n\
+     \n\
+     algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n"
+        .to_owned()
+}
+
+fn machine_for(pes: u64) -> Result<BuddyTree, String> {
+    BuddyTree::new(pes).map_err(|e| e.to_string())
+}
+
+fn cmd_gen(args: &Args) -> Result<String, String> {
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two")
+        .map_err(|e| e.to_string())?;
+    machine_for(pes)?; // validate
+    let kind = args.require("kind").map_err(|e| e.to_string())?;
+    let events: usize = args
+        .get_or("events", 5000, "an integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let target: u64 = args
+        .get_or("target-load", 2, "an integer")
+        .map_err(|e| e.to_string())?;
+    let out = args.require("out").map_err(|e| e.to_string())?;
+
+    let generator: Box<dyn Generator> = match kind {
+        "closed-loop" => Box::new(
+            ClosedLoopConfig::new(pes)
+                .events(events)
+                .target_load(target),
+        ),
+        "poisson" => Box::new(PoissonConfig::new(pes).arrivals(events / 2)),
+        "bursty" => Box::new(BurstyConfig::new(pes).cycles((events / 200).max(1) as u32)),
+        "phased" => Box::new(PhasedConfig::new(pes)),
+        "diurnal" => Box::new(DiurnalConfig::new(pes).events(events).target_load(target)),
+        other => return Err(format!("unknown workload kind {other:?}")),
+    };
+    let seq = generator.generate(seed);
+    write_trace(Path::new(out), &seq).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} events ({} tasks, peak active {} PEs, L* = {}) to {out}\n",
+        seq.len(),
+        seq.num_tasks(),
+        seq.peak_active_size(),
+        seq.optimal_load(pes)
+    ))
+}
+
+fn run_one(
+    seq: &TaskSequence,
+    pes: u64,
+    kind: AllocatorKind,
+    seed: u64,
+) -> Result<partalloc_sim::RunMetrics, String> {
+    let machine = machine_for(pes)?;
+    if let Some(max) = seq.max_size_log2() {
+        if u64::from(max) > u64::from(machine.levels()) {
+            return Err(format!(
+                "trace holds tasks of 2^{max} PEs but the machine has only {pes}"
+            ));
+        }
+    }
+    let mut alloc = kind.build(machine, seed);
+    Ok(run_sequence_dyn(alloc.as_mut(), seq))
+}
+
+fn cmd_run(args: &Args) -> Result<String, String> {
+    let trace = args.require("trace").map_err(|e| e.to_string())?;
+    let seq = read_trace(Path::new(trace)).map_err(|e| e.to_string())?;
+    let default_pes = 1u64 << seq.max_size_log2().unwrap_or(0).max(1);
+    let pes: u64 = args
+        .get_or("pes", default_pes, "a power of two")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let kind = parse_alg(args.require("alg").map_err(|e| e.to_string())?)?;
+    let metrics = run_one(&seq, pes, kind, seed)?;
+    if args.get("json").is_some() {
+        return serde_json::to_string_pretty(&metrics)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} on {} events (N = {pes}):\n\
+         \x20 peak load      {}  (L* = {}, ratio {})\n\
+         \x20 final load     {}\n\
+         \x20 reallocations  {}  ({} tasks moved, {} PEs of state)\n\
+         \x20 load profile   {}\n",
+        metrics.allocator,
+        metrics.events,
+        metrics.peak_load,
+        metrics.lstar,
+        fmt_f64(metrics.peak_ratio(), 2),
+        metrics.final_load,
+        metrics.realloc_events,
+        metrics.physical_migrations,
+        metrics.migrated_pes,
+        sparkline(&metrics.load_profile, 60),
+    ));
+    Ok(out)
+}
+
+fn cmd_compare(args: &Args) -> Result<String, String> {
+    let trace = args.require("trace").map_err(|e| e.to_string())?;
+    let seq = read_trace(Path::new(trace)).map_err(|e| e.to_string())?;
+    let default_pes = 1u64 << seq.max_size_log2().unwrap_or(0).max(1);
+    let pes: u64 = args
+        .get_or("pes", default_pes, "a power of two")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let specs = args.require("algs").map_err(|e| e.to_string())?;
+    let kinds: Vec<AllocatorKind> = specs
+        .split(',')
+        .map(|s| parse_alg(s.trim()))
+        .collect::<Result<_, _>>()?;
+    if kinds.is_empty() {
+        return Err("--algs needs at least one algorithm".into());
+    }
+    let lstar = seq.optimal_load(pes);
+    let mut table = Table::new(&[
+        "algorithm",
+        "peak load",
+        "peak/L*",
+        "reallocs",
+        "tasks moved",
+        "load over time",
+    ]);
+    for &kind in &kinds {
+        let m = run_one(&seq, pes, kind, seed)?;
+        table.row(&[
+            m.allocator.clone(),
+            m.peak_load.to_string(),
+            fmt_f64(m.peak_ratio(), 2),
+            m.realloc_events.to_string(),
+            m.physical_migrations.to_string(),
+            sparkline(&m.load_profile, 32),
+        ]);
+    }
+    Ok(format!(
+        "{} events on N = {pes}, L* = {lstar}:\n{}",
+        seq.len(),
+        table.render_text()
+    ))
+}
+
+fn cmd_report(args: &Args) -> Result<String, String> {
+    let trace = args.require("trace").map_err(|e| e.to_string())?;
+    let seq = read_trace(Path::new(trace)).map_err(|e| e.to_string())?;
+    let default_pes = 1u64 << seq.max_size_log2().unwrap_or(0).max(1);
+    let pes: u64 = args
+        .get_or("pes", default_pes, "a power of two")
+        .map_err(|e| e.to_string())?;
+    let machine = machine_for(pes)?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let out_path = args.require("out").map_err(|e| e.to_string())?;
+    let specs = args.require("algs").map_err(|e| e.to_string())?;
+    let kinds: Vec<AllocatorKind> = specs
+        .split(',')
+        .map(|s| parse_alg(s.trim()))
+        .collect::<Result<_, _>>()?;
+    if kinds.is_empty() {
+        return Err("--algs needs at least one algorithm".into());
+    }
+    let lstar = seq.optimal_load(pes);
+
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n\
+         <title>partalloc report</title>\n<style>\n\
+         body{font-family:system-ui,sans-serif;background:#181818;color:#ddd;\
+         max-width:1340px;margin:2em auto;padding:0 1em}\n\
+         table{border-collapse:collapse;margin:1em 0}\n\
+         td,th{border:1px solid #444;padding:.35em .7em;text-align:right}\n\
+         th{background:#252525}\ntd:first-child{text-align:left}\n\
+         h2{margin-top:2em;border-bottom:1px solid #333;padding-bottom:.2em}\n\
+         svg{width:100%;height:auto;border:1px solid #333}\n\
+         .meta{color:#999}\n</style></head><body>\n",
+    );
+    html.push_str(&format!(
+        "<h1>partalloc run report</h1>\n<p class=\"meta\">trace: {trace} — {} events, \
+         {} tasks, peak active {} PEs on N = {pes} (L* = {lstar}), seed {seed}</p>\n",
+        seq.len(),
+        seq.num_tasks(),
+        seq.peak_active_size(),
+    ));
+
+    html.push_str(
+        "<h2>Summary</h2>\n<table><tr><th>algorithm</th><th>peak load</th>\
+                   <th>peak/L*</th><th>reallocations</th><th>tasks moved</th>\
+                   <th>Jain fairness (final)</th></tr>\n",
+    );
+    for &kind in &kinds {
+        let m = run_one(&seq, pes, kind, seed)?;
+        html.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            m.allocator,
+            m.peak_load,
+            fmt_f64(m.peak_ratio(), 2),
+            m.realloc_events,
+            m.physical_migrations,
+            fmt_f64(m.jain_fairness(), 3),
+        ));
+    }
+    html.push_str("</table>\n");
+
+    for &kind in &kinds {
+        let timeline = partalloc_sim::Timeline::record(kind.build(machine, seed), &seq);
+        html.push_str(&format!(
+            "<h2>{} — occupancy timeline</h2>\n{}\n",
+            kind.label(),
+            timeline.render_svg(1280, 360)
+        ));
+    }
+    html.push_str("</body></html>\n");
+    std::fs::write(out_path, &html).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "report for {} algorithm(s) over {} events written to {out_path} ({} bytes)\n",
+        kinds.len(),
+        seq.len(),
+        html.len()
+    ))
+}
+
+fn cmd_sweep(args: &Args) -> Result<String, String> {
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two")
+        .map_err(|e| e.to_string())?;
+    let machine = machine_for(pes)?;
+    let events: usize = args
+        .get_or("events", 5000, "an integer")
+        .map_err(|e| e.to_string())?;
+    let trials: u64 = args
+        .get_or("trials", 3, "an integer")
+        .map_err(|e| e.to_string())?;
+    let threshold = partalloc_core::greedy_threshold(machine);
+    let points: Vec<u64> = (0..=threshold).collect();
+    let rows = parallel_sweep(&points, |&d| {
+        let mut worst = 0.0f64;
+        let mut reallocs = 0u64;
+        for seed in 0..trials {
+            let seq = ClosedLoopConfig::new(pes)
+                .events(events)
+                .target_load(2)
+                .generate(seed);
+            let mut alloc = AllocatorKind::DRealloc(d).build(machine, seed);
+            let m = run_sequence_dyn(alloc.as_mut(), &seq);
+            worst = worst.max(m.peak_ratio());
+            reallocs += m.realloc_events;
+        }
+        (d, worst, reallocs)
+    });
+    let mut table = Table::new(&["d", "worst peak/L*", "bound", "reallocs (total)"]);
+    for (d, worst, reallocs) in rows {
+        table.row(&[
+            d.to_string(),
+            fmt_f64(worst, 2),
+            bounds::det_upper_factor(pes, d).to_string(),
+            reallocs.to_string(),
+        ]);
+    }
+    Ok(format!(
+        "d-sweep on N = {pes} ({events} events × {trials} trials per point):\n{}",
+        table.render_text()
+    ))
+}
+
+fn cmd_adversary(args: &Args) -> Result<String, String> {
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two")
+        .map_err(|e| e.to_string())?;
+    let machine = machine_for(pes)?;
+    let d: u64 = args
+        .require_parsed("d", "an integer")
+        .map_err(|e| e.to_string())?;
+    let kind = match args.get("alg") {
+        Some(spec) => parse_alg(spec)?,
+        None => AllocatorKind::DRealloc(d),
+    };
+    let mut alloc = kind.build(machine, 0);
+    let out = DeterministicAdversary::new(d).run(alloc.as_mut());
+    Ok(format!(
+        "adversary vs {} on N = {pes}, d = {d}:\n\
+         \x20 phases        {}\n\
+         \x20 events        {}\n\
+         \x20 L*            {}\n\
+         \x20 forced load   {}  (Theorem 4.3 guarantees ≥ {})\n",
+        kind.label(),
+        out.phases,
+        out.sequence.len(),
+        out.lstar,
+        out.peak_load,
+        out.guaranteed_load,
+    ))
+}
+
+fn cmd_bounds(args: &Args) -> Result<String, String> {
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two")
+        .map_err(|e| e.to_string())?;
+    machine_for(pes)?;
+    let mut table = Table::new(&[
+        "d",
+        "upper min{d+1,⌈(logN+1)/2⌉}",
+        "lower ⌈(min{d,logN}+1)/2⌉",
+    ]);
+    let threshold = (u64::from(pes.trailing_zeros()) + 1).div_ceil(2);
+    for d in 0..=threshold + 1 {
+        table.row(&[
+            d.to_string(),
+            bounds::det_upper_factor(pes, d).to_string(),
+            bounds::det_lower_factor(pes, d).to_string(),
+        ]);
+    }
+    Ok(format!(
+        "bounds for N = {pes} (log N = {}):\n{}\n\
+         randomized (no reallocation): upper {} · L*, lower {} · L*\n",
+        pes.trailing_zeros(),
+        table.render_text(),
+        fmt_f64(bounds::rand_upper_factor(pes), 2),
+        fmt_f64(bounds::rand_lower_factor(pes), 2),
+    ))
+}
+
+fn cmd_import(args: &Args) -> Result<String, String> {
+    let swf_path = args.require("swf").map_err(|e| e.to_string())?;
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two")
+        .map_err(|e| e.to_string())?;
+    machine_for(pes)?;
+    let out = args.require("out").map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(swf_path).map_err(|e| e.to_string())?;
+    let import = partalloc_workload::parse_swf(&text, pes).map_err(|e| e.to_string())?;
+    write_trace(Path::new(out), &import.sequence).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "imported {} jobs from {swf_path} ({} skipped):\n\
+         \x20 internal fragmentation from power-of-two rounding: {:.1}%\n\
+         \x20 peak active size {} PEs → L* = {} on N = {pes}\n\
+         \x20 event trace written to {out}\n",
+        import.accepted,
+        import.skipped,
+        100.0 * import.internal_fragmentation(),
+        import.sequence.peak_active_size(),
+        import.sequence.optimal_load(pes),
+    ))
+}
+
+fn cmd_render(args: &Args) -> Result<String, String> {
+    let trace = args.require("trace").map_err(|e| e.to_string())?;
+    let seq = read_trace(Path::new(trace)).map_err(|e| e.to_string())?;
+    let default_pes = 1u64 << seq.max_size_log2().unwrap_or(0).max(1);
+    let pes: u64 = args
+        .get_or("pes", default_pes, "a power of two")
+        .map_err(|e| e.to_string())?;
+    let machine = machine_for(pes)?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let kind = parse_alg(args.require("alg").map_err(|e| e.to_string())?)?;
+    let timeline = partalloc_sim::Timeline::record(kind.build(machine, seed), &seq);
+    let mut out = format!(
+        "{} on {} events (N = {pes}), {} residency spans:\n{}",
+        kind.label(),
+        seq.len(),
+        timeline.spans().len(),
+        timeline.render_ascii(100, 16),
+    );
+    if let Some(svg_path) = args.get("svg") {
+        std::fs::write(svg_path, timeline.render_svg(1280, 480)).map_err(|e| e.to_string())?;
+        out.push_str(&format!("SVG written to {svg_path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_stats(args: &Args) -> Result<String, String> {
+    let trace = args.require("trace").map_err(|e| e.to_string())?;
+    let seq = read_trace(Path::new(trace)).map_err(|e| e.to_string())?;
+    let stats = seq.stats();
+    let mut out = format!(
+        "trace {trace}:\n\
+         \x20 events            {}\n\
+         \x20 arrivals          {}\n\
+         \x20 departures        {}\n\
+         \x20 still active      {}\n\
+         \x20 peak active size  {} PEs ({} tasks)\n\
+         \x20 mean lifetime     {:.1} events\n",
+        stats.num_events,
+        stats.num_arrivals,
+        stats.num_departures,
+        stats.leaked_tasks,
+        stats.peak_active_size,
+        stats.peak_active_tasks,
+        stats.mean_lifetime,
+    );
+    out.push_str(" size mix:\n");
+    for (x, count) in stats.size_histogram.iter().enumerate() {
+        if *count > 0 {
+            out.push_str(&format!("   {:>6}-PE requests: {count}\n", 1u64 << x));
+        }
+    }
+    if let Some(pes) = args.get("pes") {
+        let pes: u64 = pes
+            .parse()
+            .map_err(|_| "--pes must be an integer".to_string())?;
+        if pes.is_power_of_two() && pes > 0 {
+            out.push_str(&format!(" L* on N = {pes}: {}\n", seq.optimal_load(pes)));
+        } else {
+            return Err("--pes must be a power of two".into());
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_exec(args: &Args) -> Result<String, String> {
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two")
+        .map_err(|e| e.to_string())?;
+    let machine = machine_for(pes)?;
+    let tasks: usize = args
+        .get_or("tasks", 300, "an integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let overhead: f64 = args
+        .get_or("overhead", 0.0, "a number")
+        .map_err(|e| e.to_string())?;
+    let kind = parse_alg(args.require("alg").map_err(|e| e.to_string())?)?;
+    let workload = TimedConfig::new(pes).tasks(tasks).generate(seed);
+    let report = partalloc_sim::execute(
+        kind.build(machine, seed),
+        &workload,
+        &partalloc_sim::ExecutorConfig::with_overhead(overhead),
+    );
+    Ok(format!(
+        "{} executing {tasks} timed tasks on N = {pes} (overhead c = {overhead}):\n\
+         \x20 mean stretch  {}\n\
+         \x20 p95 stretch   {}\n\
+         \x20 max stretch   {}\n\
+         \x20 makespan      {} ticks\n\
+         \x20 peak load     {}\n",
+        kind.label(),
+        fmt_f64(report.mean_stretch, 3),
+        fmt_f64(report.p95_stretch, 2),
+        fmt_f64(report.max_stretch, 2),
+        report.makespan,
+        report.peak_load,
+    ))
+}
+
+fn cmd_exclusive(args: &Args) -> Result<String, String> {
+    use partalloc_exclusive::{
+        run_exclusive, BuddyStrategy, FullRecognition, GrayCodeStrategy, SubcubeStrategy,
+    };
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two")
+        .map_err(|e| e.to_string())?;
+    machine_for(pes)?;
+    let levels = pes.trailing_zeros();
+    let tasks: usize = args
+        .get_or("tasks", 300, "an integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let strategy: &dyn SubcubeStrategy = match args.get("strategy").unwrap_or("buddy") {
+        "buddy" => &BuddyStrategy,
+        "gray" | "gray-code" => &GrayCodeStrategy,
+        "full" => &FullRecognition,
+        other => return Err(format!("unknown strategy {other:?} (buddy|gray|full)")),
+    };
+    let workload = TimedConfig::new(pes).tasks(tasks).generate(seed);
+    let report = run_exclusive(levels, strategy, &workload);
+    Ok(format!(
+        "exclusive/{} serving {tasks} timed tasks on N = {pes} (FCFS):\n\
+         \x20 mean stretch          {}\n\
+         \x20 max stretch           {}\n\
+         \x20 makespan              {} ticks\n\
+         \x20 utilization           {}\n\
+         \x20 fragmentation stalls  {}\n",
+        report.strategy,
+        fmt_f64(report.mean_stretch, 3),
+        fmt_f64(report.max_stretch, 2),
+        report.makespan,
+        fmt_f64(report.utilization, 3),
+        report.fragmentation_stalls,
+    ))
+}
+
+fn cmd_figure1() -> String {
+    let seq = partalloc_model::figure1_sigma_star();
+    let machine = BuddyTree::new(4).expect("4 is a power of two");
+    let mut out = String::from("Figure 1 (σ* on the 4-PE tree machine):\n");
+    for kind in [
+        AllocatorKind::Greedy,
+        AllocatorKind::DRealloc(1),
+        AllocatorKind::Constant,
+    ] {
+        let mut alloc = kind.build(machine, 0);
+        let m = run_sequence_dyn(alloc.as_mut(), &seq);
+        out.push_str(&format!(
+            "  {:<10} peak load {}  profile {:?}\n",
+            m.allocator, m.peak_load, m.load_profile
+        ));
+    }
+    out.push_str(
+        "(greedy reaches 2; reallocation recovers the optimal 1 — the paper's opening example)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&["help"]).unwrap().contains("subcommands"));
+        assert!(run(&[]).unwrap().contains("subcommands"));
+        assert!(run(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn bounds_table() {
+        let out = run(&["bounds", "--pes", "1024"]).unwrap();
+        assert!(out.contains("log N = 10"));
+        assert!(out.contains("randomized"));
+        assert!(run(&["bounds", "--pes", "1000"]).is_err());
+    }
+
+    #[test]
+    fn figure1_output() {
+        let out = run(&["figure1"]).unwrap();
+        assert!(out.contains("A_G"));
+        assert!(out.contains("peak load 2"));
+        assert!(out.contains("peak load 1"));
+    }
+
+    #[test]
+    fn gen_run_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("palloc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let trace_s = trace.to_str().unwrap();
+        let out = run(&[
+            "gen",
+            "--kind",
+            "closed-loop",
+            "--pes",
+            "64",
+            "--events",
+            "500",
+            "--seed",
+            "3",
+            "--out",
+            trace_s,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let out = run(&["run", "--trace", trace_s, "--alg", "A_M:2", "--pes", "64"]).unwrap();
+        assert!(out.contains("A_M(d=2)"));
+        assert!(out.contains("peak load"));
+        // JSON mode parses back.
+        let json = run(&[
+            "run", "--trace", trace_s, "--alg", "A_G", "--pes", "64", "--json", "yes",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["peak_load"].as_u64().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_rejects_undersized_machine() {
+        let dir = std::env::temp_dir().join(format!("palloc-small-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let trace_s = trace.to_str().unwrap();
+        run(&["gen", "--kind", "phased", "--pes", "64", "--out", trace_s]).unwrap();
+        let err = run(&["run", "--trace", trace_s, "--alg", "A_G", "--pes", "4"]).unwrap_err();
+        assert!(err.contains("machine has only"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_command() {
+        let dir = std::env::temp_dir().join(format!("palloc-compare-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let trace_s = trace.to_str().unwrap();
+        run(&[
+            "gen", "--kind", "diurnal", "--pes", "64", "--events", "800", "--out", trace_s,
+        ])
+        .unwrap();
+        let out = run(&[
+            "compare",
+            "--trace",
+            trace_s,
+            "--algs",
+            "A_C, A_M:1, A_G",
+            "--pes",
+            "64",
+        ])
+        .unwrap();
+        assert!(out.contains("A_C"));
+        assert!(out.contains("A_M(d=1)"));
+        assert!(out.contains("A_G"));
+        assert!(run(&["compare", "--trace", trace_s, "--algs", "junk"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_command() {
+        let dir = std::env::temp_dir().join(format!("palloc-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let trace_s = trace.to_str().unwrap();
+        run(&["gen", "--kind", "bursty", "--pes", "32", "--out", trace_s]).unwrap();
+        let html = dir.join("report.html");
+        let out = run(&[
+            "report",
+            "--trace",
+            trace_s,
+            "--algs",
+            "A_C,A_G",
+            "--pes",
+            "32",
+            "--out",
+            html.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("written to"));
+        let text = std::fs::read_to_string(&html).unwrap();
+        assert!(text.starts_with("<!DOCTYPE html>"));
+        assert!(text.contains("occupancy timeline"));
+        assert_eq!(text.matches("<svg").count(), 2);
+        assert!(text.contains("Jain fairness"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn adversary_command() {
+        let out = run(&["adversary", "--pes", "256", "--d", "4"]).unwrap();
+        assert!(out.contains("forced load"));
+        assert!(out.contains("guarantees ≥ 3"));
+    }
+
+    #[test]
+    fn sweep_command() {
+        let out = run(&["sweep", "--pes", "64", "--events", "600", "--trials", "2"]).unwrap();
+        assert!(out.contains("d-sweep"));
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn import_command() {
+        let dir = std::env::temp_dir().join(format!("palloc-import-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let swf = dir.join("mini.swf");
+        std::fs::write(
+            &swf,
+            "; mini\n1 0 0 30 3 -1 -1 3 -1 -1 1 1 1 -1 1 -1 -1 -1\n\
+             2 5 0 20 8 -1 -1 8 -1 -1 1 1 1 -1 1 -1 -1 -1\n",
+        )
+        .unwrap();
+        let out = dir.join("trace.json");
+        let msg = run(&[
+            "import",
+            "--swf",
+            swf.to_str().unwrap(),
+            "--pes",
+            "64",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(msg.contains("imported 2 jobs"));
+        assert!(msg.contains("fragmentation"));
+        // The emitted trace replays.
+        let msg = run(&[
+            "run",
+            "--trace",
+            out.to_str().unwrap(),
+            "--alg",
+            "A_G",
+            "--pes",
+            "64",
+        ])
+        .unwrap();
+        assert!(msg.contains("peak load"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn render_command() {
+        let dir = std::env::temp_dir().join(format!("palloc-render-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let trace_s = trace.to_str().unwrap();
+        run(&["gen", "--kind", "bursty", "--pes", "32", "--out", trace_s]).unwrap();
+        let svg = dir.join("t.svg");
+        let out = run(&[
+            "render",
+            "--trace",
+            trace_s,
+            "--alg",
+            "A_M:1",
+            "--pes",
+            "32",
+            "--svg",
+            svg.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("residency spans"));
+        assert!(out.contains("time →"));
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_command() {
+        let dir = std::env::temp_dir().join(format!("palloc-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.json");
+        let trace_s = trace.to_str().unwrap();
+        run(&[
+            "gen", "--kind", "poisson", "--pes", "64", "--events", "400", "--out", trace_s,
+        ])
+        .unwrap();
+        let out = run(&["stats", "--trace", trace_s, "--pes", "64"]).unwrap();
+        assert!(out.contains("peak active size"));
+        assert!(out.contains("size mix"));
+        assert!(out.contains("L* on N = 64"));
+        assert!(run(&["stats", "--trace", trace_s, "--pes", "63"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exec_and_exclusive_commands() {
+        let out = run(&["exec", "--pes", "64", "--alg", "A_M:1", "--tasks", "80"]).unwrap();
+        assert!(out.contains("mean stretch"));
+        assert!(out.contains("A_M(d=1)"));
+        let out = run(&[
+            "exclusive",
+            "--pes",
+            "64",
+            "--strategy",
+            "gray",
+            "--tasks",
+            "80",
+        ])
+        .unwrap();
+        assert!(out.contains("gray-code"));
+        assert!(out.contains("utilization"));
+        assert!(run(&["exclusive", "--pes", "64", "--strategy", "nope"]).is_err());
+    }
+
+    #[test]
+    fn gen_rejects_unknown_kind() {
+        assert!(run(&[
+            "gen",
+            "--kind",
+            "weird",
+            "--pes",
+            "64",
+            "--out",
+            "/tmp/x.json"
+        ])
+        .is_err());
+    }
+}

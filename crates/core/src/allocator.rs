@@ -1,0 +1,143 @@
+use partalloc_model::{Event, Task, TaskId};
+use partalloc_topology::{BuddyTree, NodeId};
+
+use crate::placement::{Migration, Placement};
+use crate::snapshot::SnapshotEntry;
+
+/// What an arrival did: where the task landed, and any reallocation it
+/// triggered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalOutcome {
+    /// Placement of the arriving task.
+    pub placement: Placement,
+    /// Did this arrival trigger a reallocation?
+    pub reallocated: bool,
+    /// Tasks moved by the reallocation (excluding the arriving task,
+    /// which had no previous placement).
+    pub migrations: Vec<Migration>,
+}
+
+impl ArrivalOutcome {
+    /// An outcome with no reallocation.
+    pub fn placed(placement: Placement) -> Self {
+        ArrivalOutcome {
+            placement,
+            reallocated: false,
+            migrations: Vec::new(),
+        }
+    }
+}
+
+/// Uniform event result, for generic drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// An arrival was placed.
+    Arrival(ArrivalOutcome),
+    /// A departure freed the given placement.
+    Departure(Placement),
+}
+
+/// An online processor-allocation algorithm (paper §2).
+///
+/// The driver feeds events strictly in sequence order; the allocator
+/// must place each arriving task immediately on a submachine of exactly
+/// the requested size, knowing nothing about the future. Implementations
+/// keep whatever internal structure they need (load maps, copy stacks)
+/// and expose the PE-load view used by metrics and adversaries.
+///
+/// The trait is object-safe: sweeps hold `Box<dyn Allocator>`.
+pub trait Allocator {
+    /// The machine being allocated.
+    fn machine(&self) -> BuddyTree;
+
+    /// Display name, e.g. `"A_M(d=2)"`.
+    fn name(&self) -> String;
+
+    /// Place an arriving task. Panics if the task is larger than the
+    /// machine or its id is already active.
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome;
+
+    /// Release a departing task; returns the freed placement. Panics if
+    /// the task is not active.
+    fn on_departure(&mut self, id: TaskId) -> Placement;
+
+    /// Current placement of an active task.
+    fn placement_of(&self, id: TaskId) -> Option<Placement>;
+
+    /// All active tasks as `(id, size_log2, placement)`, in id order.
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)>;
+
+    /// Load (thread count) of one PE.
+    fn pe_load(&self, pe: u32) -> u64;
+
+    /// Maximum PE load inside the submachine at `node` — the paper's
+    /// `l(T')`, used by the lower-bound adversary.
+    fn max_load_in(&self, node: NodeId) -> u64;
+
+    /// Maximum PE load over the whole machine (the algorithm's current
+    /// load `L_A(σ; τ)`).
+    fn max_load(&self) -> u64;
+
+    /// Cumulative size of active tasks.
+    fn active_size(&self) -> u64;
+
+    /// Rebuild state from a checkpoint: force-place every entry at its
+    /// recorded position. Must be called on a freshly constructed
+    /// allocator; used by [`crate::restore`].
+    fn force_restore(&mut self, entries: &[SnapshotEntry], arrived_since_realloc: u64);
+
+    /// Dispatch one event.
+    fn handle(&mut self, event: &Event) -> EventOutcome {
+        match *event {
+            Event::Arrival { id, size_log2 } => {
+                EventOutcome::Arrival(self.on_arrival(Task { id, size_log2 }))
+            }
+            Event::Departure { id } => EventOutcome::Departure(self.on_departure(id)),
+        }
+    }
+}
+
+impl Allocator for Box<dyn Allocator> {
+    fn machine(&self) -> BuddyTree {
+        (**self).machine()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        (**self).on_arrival(task)
+    }
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        (**self).on_departure(id)
+    }
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        (**self).placement_of(id)
+    }
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        (**self).active_tasks()
+    }
+    fn pe_load(&self, pe: u32) -> u64 {
+        (**self).pe_load(pe)
+    }
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        (**self).max_load_in(node)
+    }
+    fn max_load(&self) -> u64 {
+        (**self).max_load()
+    }
+    fn active_size(&self) -> u64 {
+        (**self).active_size()
+    }
+    fn force_restore(&mut self, entries: &[SnapshotEntry], arrived_since_realloc: u64) {
+        (**self).force_restore(entries, arrived_since_realloc)
+    }
+}
+
+/// Check that `task` fits `machine`; shared by all implementations.
+pub(crate) fn check_fits(machine: BuddyTree, task: Task) {
+    assert!(
+        u32::from(task.size_log2) <= machine.levels(),
+        "task {task} exceeds the {}-PE machine",
+        machine.num_pes()
+    );
+}

@@ -1,0 +1,241 @@
+//! Naive allocators used as experimental foils.
+//!
+//! Neither is from the paper; both satisfy the model's rules (every
+//! task gets a correctly sized submachine immediately) while ignoring
+//! loads, which makes the value of `A_G`/`A_M`'s load-awareness visible
+//! in the experiment tables.
+
+use partalloc_model::{Task, TaskId};
+use partalloc_topology::{BuddyTree, NodeId};
+
+use crate::allocator::{check_fits, Allocator, ArrivalOutcome};
+use crate::loadmap::{LoadEngine, PathTreeEngine};
+use crate::placement::Placement;
+use crate::table::TaskTable;
+
+/// Worst-case naive baseline: every task of size `2^x` goes to the
+/// **leftmost** `2^x`-PE submachine, unconditionally.
+///
+/// All load piles up on PE 0's subtree; the maximum load equals the
+/// number of active tasks, which is up to `N · L*` — the hardest
+/// possible contrast with the paper's algorithms.
+#[derive(Debug, Clone)]
+pub struct LeftmostAlways {
+    machine: BuddyTree,
+    engine: PathTreeEngine,
+    table: TaskTable,
+}
+
+impl LeftmostAlways {
+    /// A leftmost-always allocator for `machine`.
+    pub fn new(machine: BuddyTree) -> Self {
+        LeftmostAlways {
+            machine,
+            engine: PathTreeEngine::new(machine),
+            table: TaskTable::new(),
+        }
+    }
+}
+
+impl Allocator for LeftmostAlways {
+    fn machine(&self) -> BuddyTree {
+        self.machine
+    }
+
+    fn name(&self) -> String {
+        "leftmost".to_owned()
+    }
+
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        check_fits(self.machine, task);
+        let node = self.machine.first_at_level(u32::from(task.size_log2));
+        self.engine.assign(node);
+        let placement = Placement::base(node);
+        self.table.insert(task.id, task.size_log2, placement);
+        ArrivalOutcome::placed(placement)
+    }
+
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        let (_, placement) = self.table.remove(id);
+        self.engine.remove(placement.node);
+        placement
+    }
+
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        self.table.get(id).map(|(_, p)| p)
+    }
+
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        self.table.active_tasks()
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        self.engine.pe_load(pe)
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        self.engine.max_load_in(node)
+    }
+
+    fn max_load(&self) -> u64 {
+        self.engine.max_load()
+    }
+
+    fn active_size(&self) -> u64 {
+        self.table.active_size()
+    }
+
+    fn force_restore(&mut self, entries: &[crate::snapshot::SnapshotEntry], _arrived: u64) {
+        assert_eq!(
+            self.table.num_active(),
+            0,
+            "restore needs a fresh allocator"
+        );
+        for e in entries {
+            let p = crate::placement::Placement::base(partalloc_topology::NodeId(e.node));
+            self.engine.assign(p.node);
+            self.table.insert(e.task_id(), e.size_log2, p);
+        }
+    }
+}
+
+/// Load-oblivious round robin: the `k`-th task of size `2^x` goes to
+/// submachine `k mod (N / 2^x)` of that level.
+///
+/// Spreads *arrivals* evenly but ignores departures, so long-lived
+/// tasks can still pile up on one submachine.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    machine: BuddyTree,
+    engine: PathTreeEngine,
+    table: TaskTable,
+    /// Next index per level.
+    cursor: Vec<u32>,
+}
+
+impl RoundRobin {
+    /// A round-robin allocator for `machine`.
+    pub fn new(machine: BuddyTree) -> Self {
+        RoundRobin {
+            machine,
+            engine: PathTreeEngine::new(machine),
+            table: TaskTable::new(),
+            cursor: vec![0; machine.levels() as usize + 1],
+        }
+    }
+}
+
+impl Allocator for RoundRobin {
+    fn machine(&self) -> BuddyTree {
+        self.machine
+    }
+
+    fn name(&self) -> String {
+        "round-robin".to_owned()
+    }
+
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        check_fits(self.machine, task);
+        let level = u32::from(task.size_log2);
+        let count = self.machine.count_at_level(level);
+        let k = self.cursor[level as usize] % count;
+        self.cursor[level as usize] = (k + 1) % count;
+        let node = self.machine.node_at(level, k);
+        self.engine.assign(node);
+        let placement = Placement::base(node);
+        self.table.insert(task.id, task.size_log2, placement);
+        ArrivalOutcome::placed(placement)
+    }
+
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        let (_, placement) = self.table.remove(id);
+        self.engine.remove(placement.node);
+        placement
+    }
+
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        self.table.get(id).map(|(_, p)| p)
+    }
+
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        self.table.active_tasks()
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        self.engine.pe_load(pe)
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        self.engine.max_load_in(node)
+    }
+
+    fn max_load(&self) -> u64 {
+        self.engine.max_load()
+    }
+
+    fn active_size(&self) -> u64 {
+        self.table.active_size()
+    }
+
+    fn force_restore(&mut self, entries: &[crate::snapshot::SnapshotEntry], _arrived: u64) {
+        assert_eq!(
+            self.table.num_active(),
+            0,
+            "restore needs a fresh allocator"
+        );
+        for e in entries {
+            let p = crate::placement::Placement::base(partalloc_topology::NodeId(e.node));
+            self.engine.assign(p.node);
+            self.table.insert(e.task_id(), e.size_log2, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leftmost_piles_up() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut l = LeftmostAlways::new(machine);
+        for i in 0..5 {
+            let out = l.on_arrival(Task::new(TaskId(i), 0));
+            assert_eq!(out.placement.node, machine.leaf_of(0));
+        }
+        assert_eq!(l.max_load(), 5);
+        assert_eq!(l.pe_load(0), 5);
+        assert_eq!(l.pe_load(1), 0);
+    }
+
+    #[test]
+    fn round_robin_cycles_each_level() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut r = RoundRobin::new(machine);
+        let mut leaves = Vec::new();
+        for i in 0..10 {
+            leaves.push(r.on_arrival(Task::new(TaskId(i), 0)).placement.node);
+        }
+        // 8 distinct leaves, then wraps around.
+        assert_eq!(leaves[0], machine.leaf_of(0));
+        assert_eq!(leaves[7], machine.leaf_of(7));
+        assert_eq!(leaves[8], machine.leaf_of(0));
+        // Independent cursor per level.
+        let p = r.on_arrival(Task::new(TaskId(10), 2)).placement.node;
+        assert_eq!(p, NodeId(2));
+        assert_eq!(r.max_load(), 3); // PE 0: two units + the size-4 task
+    }
+
+    #[test]
+    fn round_robin_balances_uniform_arrivals() {
+        let machine = BuddyTree::new(16).unwrap();
+        let mut r = RoundRobin::new(machine);
+        for i in 0..64 {
+            r.on_arrival(Task::new(TaskId(i), 0));
+        }
+        for pe in 0..16 {
+            assert_eq!(r.pe_load(pe), 4);
+        }
+        assert_eq!(r.max_load(), 4);
+    }
+}

@@ -1,0 +1,215 @@
+use partalloc_model::{Task, TaskId};
+use partalloc_topology::{BuddyTree, NodeId};
+
+use crate::allocator::{check_fits, Allocator, ArrivalOutcome};
+use crate::layers::{CopyFit, LayerStack};
+use crate::loadmap::{LoadEngine, PathTreeEngine};
+use crate::placement::Placement;
+use crate::table::TaskTable;
+
+/// Algorithm `A_B` (paper §4.1): copy-based first fit, never
+/// reallocating.
+///
+/// > *Task Arrival:* when a task of size `2^x` arrives, search for the
+/// > first copy of `T` that contains a `2^x`-PE vacant submachine (if
+/// > there is none, create a new copy); assign the task to the leftmost
+/// > `2^x`-PE vacant submachine in this copy. *Task Departure:*
+/// > deallocate its submachine.
+///
+/// Copies are searched in creation order; each copy is emulated as one
+/// thread per PE, so the machine's load is at most the number of
+/// copies.
+///
+/// **Lemma 2**: on a sequence whose arrivals total `S` PEs, `A_B`'s
+/// load never exceeds `⌈S / N⌉` (note: total *arrival volume*, not peak
+/// active size — `A_B` alone is not competitive, which is why `A_M`
+/// periodically repacks and resets this accounting).
+#[derive(Debug, Clone)]
+pub struct Basic {
+    machine: BuddyTree,
+    stack: LayerStack,
+    engine: PathTreeEngine,
+    table: TaskTable,
+    fit: CopyFit,
+}
+
+impl Basic {
+    /// A copy-based first-fit allocator for `machine` (the paper's
+    /// `A_B`).
+    pub fn new(machine: BuddyTree) -> Self {
+        Self::with_fit(machine, CopyFit::FirstFit)
+    }
+
+    /// Ablation constructor: `A_B` with an alternative copy-selection
+    /// rule. Lemma 2's `⌈S/N⌉` analysis assumes first fit; the
+    /// variants let `exp_design_ablations` measure how much that
+    /// choice matters.
+    pub fn with_fit(machine: BuddyTree, fit: CopyFit) -> Self {
+        Basic {
+            machine,
+            stack: LayerStack::new(machine),
+            engine: PathTreeEngine::new(machine),
+            table: TaskTable::new(),
+            fit,
+        }
+    }
+
+    /// The copy-selection rule in use.
+    pub fn fit(&self) -> CopyFit {
+        self.fit
+    }
+
+    /// Number of copies of `T` created so far (an upper bound on the
+    /// load ever reached).
+    pub fn num_layers(&self) -> u32 {
+        self.stack.num_layers()
+    }
+}
+
+impl Allocator for Basic {
+    fn machine(&self) -> BuddyTree {
+        self.machine
+    }
+
+    fn name(&self) -> String {
+        match self.fit {
+            CopyFit::FirstFit => "A_B".to_owned(),
+            other => format!("A_B({})", other.label()),
+        }
+    }
+
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        check_fits(self.machine, task);
+        let (layer, node) = self.stack.place_with(u32::from(task.size_log2), self.fit);
+        self.engine.assign(node);
+        let placement = Placement::in_layer(node, layer);
+        self.table.insert(task.id, task.size_log2, placement);
+        ArrivalOutcome::placed(placement)
+    }
+
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        let (_, placement) = self.table.remove(id);
+        self.stack.free(placement.layer, placement.node);
+        self.engine.remove(placement.node);
+        placement
+    }
+
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        self.table.get(id).map(|(_, p)| p)
+    }
+
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        self.table.active_tasks()
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        self.engine.pe_load(pe)
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        self.engine.max_load_in(node)
+    }
+
+    fn max_load(&self) -> u64 {
+        self.engine.max_load()
+    }
+
+    fn active_size(&self) -> u64 {
+        self.table.active_size()
+    }
+    fn force_restore(&mut self, entries: &[crate::snapshot::SnapshotEntry], _arrived: u64) {
+        assert_eq!(
+            self.table.num_active(),
+            0,
+            "restore needs a fresh allocator"
+        );
+        for e in entries {
+            let p = e.placement();
+            self.stack.occupy_at(p.layer, p.node);
+            self.engine.assign(p.node);
+            self.table.insert(e.task_id(), e.size_log2, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn packs_first_copy_before_opening_second() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut b = Basic::new(machine);
+        let p0 = b.on_arrival(Task::new(TaskId(0), 1)).placement;
+        let p1 = b.on_arrival(Task::new(TaskId(1), 1)).placement;
+        assert_eq!((p0.layer, p1.layer), (0, 0));
+        let p2 = b.on_arrival(Task::new(TaskId(2), 0)).placement;
+        assert_eq!(p2.layer, 1);
+        assert_eq!(b.num_layers(), 2);
+        assert_eq!(b.max_load(), 2);
+    }
+
+    #[test]
+    fn reuses_freed_slots_in_earliest_copy() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut b = Basic::new(machine);
+        b.on_arrival(Task::new(TaskId(0), 1));
+        b.on_arrival(Task::new(TaskId(1), 1));
+        b.on_arrival(Task::new(TaskId(2), 1)); // copy 1
+        b.on_departure(TaskId(0));
+        let p = b.on_arrival(Task::new(TaskId(3), 1)).placement;
+        assert_eq!(p.layer, 0); // hole in copy 0 found first
+        assert_eq!(p.node, NodeId(2));
+    }
+
+    #[test]
+    fn figure1_basic_matches_greedy_here() {
+        // On σ*, A_B also ends at load 2: after t2/t4 depart, copy 0 has
+        // unit holes at PEs 1 and 3, no 2-PE vacancy, so t5 opens copy 1
+        // over PEs 0-1 where t1 still runs.
+        let machine = BuddyTree::new(4).unwrap();
+        let mut b = Basic::new(machine);
+        for ev in partalloc_model::figure1_sigma_star().events() {
+            b.handle(ev);
+        }
+        assert_eq!(b.max_load(), 2);
+        let t5 = b.placement_of(TaskId(4)).unwrap();
+        assert_eq!((t5.layer, t5.node), (1, NodeId(2)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn lemma2_bound_holds(
+            levels in 0u32..5,
+            ops in proptest::collection::vec((any::<bool>(), 0u32..32), 1..80),
+        ) {
+            let machine = BuddyTree::with_levels(levels).unwrap();
+            let mut b = Basic::new(machine);
+            let mut next_id = 0u64;
+            let mut live: Vec<TaskId> = Vec::new();
+            let mut total_arrivals = 0u64;
+            let mut peak = 0u64;
+            for (is_arrival, pick) in ops {
+                if is_arrival || live.is_empty() {
+                    let x = (pick % (levels + 1)) as u8;
+                    let id = TaskId(next_id);
+                    next_id += 1;
+                    b.on_arrival(Task::new(id, x));
+                    live.push(id);
+                    total_arrivals += 1 << x;
+                } else {
+                    let id = live.swap_remove(pick as usize % live.len());
+                    b.on_departure(id);
+                }
+                peak = peak.max(b.max_load());
+            }
+            // Lemma 2: load ≤ ceil(total arrival volume / N) throughout.
+            let bound = total_arrivals.div_ceil(u64::from(machine.num_pes()));
+            prop_assert!(peak <= bound, "peak {} > Lemma 2 bound {}", peak, bound);
+            // Load never exceeds the number of copies in existence.
+            prop_assert!(b.max_load() <= u64::from(b.num_layers()));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+use partalloc_model::{Task, TaskId};
+use partalloc_topology::{BuddyTree, NodeId};
+
+use crate::allocator::{check_fits, Allocator, ArrivalOutcome};
+use crate::layers::LayerStack;
+use crate::loadmap::{LoadEngine, PathTreeEngine};
+use crate::placement::{Migration, Placement};
+use crate::repack::repack;
+use crate::table::TaskTable;
+
+/// Algorithm `A_C` (paper §3): the constantly reallocating
+/// (0-reallocation) algorithm.
+///
+/// On every arrival, *all* active tasks are reallocated with procedure
+/// `A_R` ([`repack`]); departures simply free the submachine.
+///
+/// **Theorem 3.1**: `A_C` achieves the optimal load `L* = ⌈s(σ)/N⌉` on
+/// every task sequence — it is the benchmark the online algorithms are
+/// measured against, and the `d = 0` endpoint of the
+/// reallocation-frequency trade-off.
+#[derive(Debug, Clone)]
+pub struct Constant {
+    machine: BuddyTree,
+    stack: LayerStack,
+    engine: PathTreeEngine,
+    table: TaskTable,
+}
+
+impl Constant {
+    /// A constantly reallocating allocator for `machine`.
+    pub fn new(machine: BuddyTree) -> Self {
+        Constant {
+            machine,
+            stack: LayerStack::new(machine),
+            engine: PathTreeEngine::new(machine),
+            table: TaskTable::new(),
+        }
+    }
+}
+
+impl Allocator for Constant {
+    fn machine(&self) -> BuddyTree {
+        self.machine
+    }
+
+    fn name(&self) -> String {
+        "A_C".to_owned()
+    }
+
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        check_fits(self.machine, task);
+        // Repack every active task plus the newcomer.
+        let mut input: Vec<(TaskId, u8)> = self
+            .table
+            .active_tasks()
+            .into_iter()
+            .map(|(id, x, _)| (id, x))
+            .collect();
+        input.push((task.id, task.size_log2));
+        let (placements, stack) = repack(self.machine, &input);
+        self.stack = stack;
+
+        // Apply the new packing as a *diff* against the engine: the
+        // first-fit-decreasing repack is highly stable, so most tasks
+        // keep their node and the per-arrival cost stays near
+        // O(moved · log² N) instead of O(N).
+        let mut migrations = Vec::new();
+        let mut new_placement = None;
+        for &(id, placement) in &placements {
+            if id == task.id {
+                new_placement = Some(placement);
+            } else {
+                let (_, old) = self.table.get(id).expect("repacked task is active");
+                if old != placement {
+                    if old.node != placement.node {
+                        self.engine.remove(old.node);
+                        self.engine.assign(placement.node);
+                    }
+                    migrations.push(Migration {
+                        task: id,
+                        from: old,
+                        to: placement,
+                    });
+                }
+                self.table.relocate(id, placement);
+            }
+        }
+        let placement = new_placement.expect("arriving task was repacked");
+        self.engine.assign(placement.node);
+        self.table.insert(task.id, task.size_log2, placement);
+        ArrivalOutcome {
+            placement,
+            reallocated: true,
+            migrations,
+        }
+    }
+
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        let (_, placement) = self.table.remove(id);
+        self.stack.free(placement.layer, placement.node);
+        self.engine.remove(placement.node);
+        placement
+    }
+
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        self.table.get(id).map(|(_, p)| p)
+    }
+
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        self.table.active_tasks()
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        self.engine.pe_load(pe)
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        self.engine.max_load_in(node)
+    }
+
+    fn max_load(&self) -> u64 {
+        self.engine.max_load()
+    }
+
+    fn active_size(&self) -> u64 {
+        self.table.active_size()
+    }
+    fn force_restore(&mut self, entries: &[crate::snapshot::SnapshotEntry], _arrived: u64) {
+        assert_eq!(
+            self.table.num_active(),
+            0,
+            "restore needs a fresh allocator"
+        );
+        for e in entries {
+            let p = e.placement();
+            self.stack.occupy_at(p.layer, p.node);
+            self.engine.assign(p.node);
+            self.table.insert(e.task_id(), e.size_log2, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_model::figure1_sigma_star;
+    use proptest::prelude::*;
+
+    #[test]
+    fn figure1_constant_achieves_optimum() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut c = Constant::new(machine);
+        let mut peak = 0;
+        for ev in figure1_sigma_star().events() {
+            c.handle(ev);
+            peak = peak.max(c.max_load());
+        }
+        assert_eq!(peak, 1); // L* = 1
+    }
+
+    #[test]
+    fn arrival_reports_migrations() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut c = Constant::new(machine);
+        // Two unit tasks land on PEs 0 and 1.
+        c.on_arrival(Task::new(TaskId(0), 0));
+        c.on_arrival(Task::new(TaskId(1), 0));
+        c.on_departure(TaskId(0));
+        // A pair task arrives: repack puts it first (biggest), pushing
+        // the unit task off PE 1 — a physical migration.
+        let out = c.on_arrival(Task::new(TaskId(2), 1));
+        assert!(out.reallocated);
+        assert_eq!(out.placement.node, NodeId(2));
+        assert_eq!(out.migrations.len(), 1);
+        assert_eq!(out.migrations[0].task, TaskId(1));
+        assert!(out.migrations[0].is_physical());
+        assert_eq!(c.max_load(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn theorem31_load_is_always_optimal(
+            levels in 0u32..5,
+            ops in proptest::collection::vec((any::<bool>(), 0u32..32), 1..60),
+        ) {
+            let machine = BuddyTree::with_levels(levels).unwrap();
+            let n = u64::from(machine.num_pes());
+            let mut c = Constant::new(machine);
+            let mut next_id = 0u64;
+            let mut live: Vec<TaskId> = Vec::new();
+            let mut load_before = 0u64;
+            for (is_arrival, pick) in ops {
+                if is_arrival || live.is_empty() {
+                    let x = (pick % (levels + 1)) as u8;
+                    let id = TaskId(next_id);
+                    next_id += 1;
+                    c.on_arrival(Task::new(id, x));
+                    live.push(id);
+                    // Theorem 3.1 (via Lemma 1): load after an arrival is
+                    // exactly ceil(S(σ;τ)/N).
+                    prop_assert_eq!(c.max_load(), c.active_size().div_ceil(n));
+                } else {
+                    let id = live.swap_remove(pick as usize % live.len());
+                    c.on_departure(id);
+                    // Departures never increase load (§3: "since
+                    // departures decrease load...").
+                    prop_assert!(c.max_load() <= load_before);
+                }
+                load_before = c.max_load();
+            }
+        }
+    }
+}

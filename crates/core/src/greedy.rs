@@ -1,0 +1,242 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use partalloc_model::{Task, TaskId};
+use partalloc_topology::{BuddyTree, NodeId};
+
+use crate::allocator::{check_fits, Allocator, ArrivalOutcome};
+use crate::loadmap::{LoadEngine, PathTreeEngine, TieBreak};
+use crate::placement::Placement;
+use crate::table::TaskTable;
+
+/// Algorithm `A_G` (paper §4.1): greedy online allocation, never
+/// reallocating.
+///
+/// > *Task Arrival:* when a task of size `2^x` arrives, compute the
+/// > loads for all `2^x`-PE submachines of `T`; assign the task to the
+/// > **leftmost** submachine of size `2^x` that has the **smallest
+/// > load**. *Task Departure:* deallocate its submachine.
+///
+/// **Theorem 4.1**: on every sequence σ, `A_G`'s maximum load is at most
+/// `⌈(log N + 1)/2⌉ · L*`.
+///
+/// The per-arrival "compute the loads of all submachines" is realized in
+/// `O(log N)` by [`PathTreeEngine`], not by scanning.
+#[derive(Debug, Clone)]
+pub struct Greedy {
+    machine: BuddyTree,
+    engine: PathTreeEngine,
+    table: TaskTable,
+    tie: TieBreak,
+    /// Coin source for [`TieBreak::Random`] (unused otherwise).
+    rng: SmallRng,
+}
+
+impl Greedy {
+    /// A greedy allocator for `machine` with the paper's leftmost
+    /// tie-break.
+    pub fn new(machine: BuddyTree) -> Self {
+        Self::with_tie_break(machine, TieBreak::Leftmost, 0)
+    }
+
+    /// Ablation constructor: greedy with an explicit tie-break rule
+    /// (`seed` feeds the coin of [`TieBreak::Random`]).
+    pub fn with_tie_break(machine: BuddyTree, tie: TieBreak, seed: u64) -> Self {
+        Greedy {
+            machine,
+            engine: PathTreeEngine::new(machine),
+            table: TaskTable::new(),
+            tie,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The tie-break rule in use.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+}
+
+impl Allocator for Greedy {
+    fn machine(&self) -> BuddyTree {
+        self.machine
+    }
+
+    fn name(&self) -> String {
+        match self.tie {
+            TieBreak::Leftmost => "A_G".to_owned(),
+            TieBreak::Rightmost => "A_G(rightmost)".to_owned(),
+            TieBreak::Random => "A_G(random-tie)".to_owned(),
+        }
+    }
+
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        check_fits(self.machine, task);
+        let rng = &mut self.rng;
+        let (node, _load) =
+            self.engine
+                .min_max_submachine_with(u32::from(task.size_log2), self.tie, || rng.gen::<bool>());
+        self.engine.assign(node);
+        let placement = Placement::base(node);
+        self.table.insert(task.id, task.size_log2, placement);
+        ArrivalOutcome::placed(placement)
+    }
+
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        let (_, placement) = self.table.remove(id);
+        self.engine.remove(placement.node);
+        placement
+    }
+
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        self.table.get(id).map(|(_, p)| p)
+    }
+
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        self.table.active_tasks()
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        self.engine.pe_load(pe)
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        self.engine.max_load_in(node)
+    }
+
+    fn max_load(&self) -> u64 {
+        self.engine.max_load()
+    }
+
+    fn active_size(&self) -> u64 {
+        self.table.active_size()
+    }
+
+    fn force_restore(&mut self, entries: &[crate::snapshot::SnapshotEntry], _arrived: u64) {
+        assert_eq!(
+            self.table.num_active(),
+            0,
+            "restore needs a fresh allocator"
+        );
+        for e in entries {
+            let p = crate::placement::Placement::base(partalloc_topology::NodeId(e.node));
+            self.engine.assign(p.node);
+            self.table.insert(e.task_id(), e.size_log2, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_model::figure1_sigma_star;
+
+    fn drive(alloc: &mut Greedy, seq: &partalloc_model::TaskSequence) -> u64 {
+        let mut peak = 0;
+        for ev in seq.events() {
+            alloc.handle(ev);
+            peak = peak.max(alloc.max_load());
+        }
+        peak
+    }
+
+    #[test]
+    fn figure1_greedy_incurs_load_two() {
+        // The paper's Figure 1: greedy places t1..t4 on PEs 0..3, t2 and
+        // t4 depart, and t5 (size 2) must overlap t1 (leftmost min-load
+        // pair), reaching load 2 while L* = 1.
+        let machine = BuddyTree::new(4).unwrap();
+        let mut g = Greedy::new(machine);
+        let seq = figure1_sigma_star();
+        let peak = drive(&mut g, &seq);
+        assert_eq!(peak, 2);
+        // t5 sits on the left pair (n2), stacked over t1 on PE 0.
+        assert_eq!(g.placement_of(TaskId(4)).unwrap().node, NodeId(2));
+        assert_eq!(g.pe_load(0), 2);
+        assert_eq!(g.pe_load(2), 1); // t3 alone
+    }
+
+    #[test]
+    fn ties_break_leftmost() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut g = Greedy::new(machine);
+        for i in 0..4 {
+            let out = g.on_arrival(Task::new(TaskId(i), 0));
+            assert_eq!(out.placement.node, machine.leaf_of(i as u32));
+        }
+    }
+
+    #[test]
+    fn full_machine_tasks_stack_on_root() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut g = Greedy::new(machine);
+        for i in 0..3 {
+            let out = g.on_arrival(Task::new(TaskId(i), 2));
+            assert_eq!(out.placement.node, machine.root());
+        }
+        assert_eq!(g.max_load(), 3);
+        assert_eq!(g.active_size(), 12);
+    }
+
+    #[test]
+    fn departures_rebalance_future_choices() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut g = Greedy::new(machine);
+        let a = g.on_arrival(Task::new(TaskId(0), 1)).placement; // left pair
+        let _ = g.on_arrival(Task::new(TaskId(1), 1)); // right pair
+        assert_eq!(a.node, NodeId(2));
+        g.on_departure(TaskId(0));
+        // Left pair is empty again → next size-2 task goes left.
+        let c = g.on_arrival(Task::new(TaskId(2), 1)).placement;
+        assert_eq!(c.node, NodeId(2));
+        assert_eq!(g.max_load(), 1);
+    }
+
+    #[test]
+    fn never_reallocates() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut g = Greedy::new(machine);
+        for i in 0..20 {
+            let out = g.on_arrival(Task::new(TaskId(i), (i % 3) as u8));
+            assert!(!out.reallocated);
+            assert!(out.migrations.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_task_panics() {
+        let machine = BuddyTree::new(4).unwrap();
+        Greedy::new(machine).on_arrival(Task::new(TaskId(0), 3));
+    }
+
+    #[test]
+    fn rightmost_variant_mirrors_leftmost() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut g = Greedy::with_tie_break(machine, TieBreak::Rightmost, 0);
+        assert_eq!(g.name(), "A_G(rightmost)");
+        for i in 0..4 {
+            let out = g.on_arrival(Task::new(TaskId(i), 0));
+            assert_eq!(out.placement.node, machine.leaf_of(7 - i as u32));
+        }
+    }
+
+    #[test]
+    fn random_tie_is_seed_deterministic_and_load_aware() {
+        let machine = BuddyTree::new(16).unwrap();
+        let run = |seed| {
+            let mut g = Greedy::with_tie_break(machine, TieBreak::Random, seed);
+            (0..12)
+                .map(|i| g.on_arrival(Task::new(TaskId(i), 0)).placement.node)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+        // Still greedy: 16 units on 16 PEs must balance perfectly.
+        let mut g = Greedy::with_tie_break(machine, TieBreak::Random, 3);
+        for i in 0..16 {
+            g.on_arrival(Task::new(TaskId(i), 0));
+        }
+        assert_eq!(g.max_load(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+use partalloc_topology::BuddyTree;
+
+use crate::allocator::Allocator;
+use crate::baselines::{LeftmostAlways, RoundRobin};
+use crate::basic::Basic;
+use crate::constant::Constant;
+use crate::dreall::{DReallocation, EpochPolicy, ReallocTrigger};
+use crate::greedy::Greedy;
+use crate::layers::CopyFit;
+use crate::loadmap::TieBreak;
+use crate::rand_realloc::RandomizedDRealloc;
+use crate::randomized::RandomizedOblivious;
+
+/// Uniform constructor for every allocator in this crate, for sweeps
+/// and CLI-style experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorKind {
+    /// `A_C`: reallocate on every arrival (optimal load).
+    Constant,
+    /// `A_G`: greedy, never reallocates.
+    Greedy,
+    /// `A_B`: copy-based first fit, never reallocates.
+    Basic,
+    /// `A_B` with an alternative copy-selection rule (ablation).
+    BasicFit(CopyFit),
+    /// `A_G` with an alternative tie-break rule (ablation).
+    GreedyTie(TieBreak),
+    /// `A_M` with the given reallocation parameter `d` (eager trigger,
+    /// unified copies).
+    DRealloc(u64),
+    /// `A_M` with explicit trigger/policy options.
+    DReallocWith(u64, EpochPolicy, ReallocTrigger),
+    /// `A_rand`: oblivious uniform random placement.
+    Randomized,
+    /// Randomized placement with periodic reallocation (the paper's
+    /// open question, explored empirically).
+    RandomizedDRealloc(u64),
+    /// Baseline: always the leftmost submachine.
+    LeftmostAlways,
+    /// Baseline: round-robin per level.
+    RoundRobin,
+}
+
+impl AllocatorKind {
+    /// Build a boxed allocator of this kind for `machine`.
+    ///
+    /// `seed` feeds the randomized allocator and is ignored by the
+    /// deterministic ones, so a sweep can pass one value everywhere.
+    pub fn build(self, machine: BuddyTree, seed: u64) -> Box<dyn Allocator> {
+        match self {
+            AllocatorKind::Constant => Box::new(Constant::new(machine)),
+            AllocatorKind::Greedy => Box::new(Greedy::new(machine)),
+            AllocatorKind::Basic => Box::new(Basic::new(machine)),
+            AllocatorKind::BasicFit(fit) => Box::new(Basic::with_fit(machine, fit)),
+            AllocatorKind::GreedyTie(tie) => Box::new(Greedy::with_tie_break(machine, tie, seed)),
+            AllocatorKind::DRealloc(d) => Box::new(DReallocation::new(machine, d)),
+            AllocatorKind::DReallocWith(d, policy, trigger) => {
+                Box::new(DReallocation::with_options(machine, d, policy, trigger))
+            }
+            AllocatorKind::Randomized => Box::new(RandomizedOblivious::new(machine, seed)),
+            AllocatorKind::RandomizedDRealloc(d) => {
+                Box::new(RandomizedDRealloc::new(machine, d, seed))
+            }
+            AllocatorKind::LeftmostAlways => Box::new(LeftmostAlways::new(machine)),
+            AllocatorKind::RoundRobin => Box::new(RoundRobin::new(machine)),
+        }
+    }
+
+    /// Stable label for reports (machine-independent; `A_M` labels
+    /// include `d`).
+    pub fn label(self) -> String {
+        match self {
+            AllocatorKind::Constant => "A_C".into(),
+            AllocatorKind::Greedy => "A_G".into(),
+            AllocatorKind::Basic => "A_B".into(),
+            AllocatorKind::BasicFit(fit) => format!("A_B({})", fit.label()),
+            AllocatorKind::GreedyTie(tie) => match tie {
+                TieBreak::Leftmost => "A_G".into(),
+                TieBreak::Rightmost => "A_G(rightmost)".into(),
+                TieBreak::Random => "A_G(random-tie)".into(),
+            },
+            AllocatorKind::DRealloc(d) => format!("A_M(d={d})"),
+            AllocatorKind::DReallocWith(d, policy, trigger) => {
+                let mut s = format!("A_M(d={d}");
+                if policy == EpochPolicy::Stacked {
+                    s.push_str(",stacked");
+                }
+                if trigger == ReallocTrigger::Lazy {
+                    s.push_str(",lazy");
+                }
+                s.push(')');
+                s
+            }
+            AllocatorKind::Randomized => "A_rand".into(),
+            AllocatorKind::RandomizedDRealloc(d) => format!("A_rand(d={d})"),
+            AllocatorKind::LeftmostAlways => "leftmost".into(),
+            AllocatorKind::RoundRobin => "round-robin".into(),
+        }
+    }
+
+    /// Does this allocator ever migrate tasks?
+    pub fn reallocates(self) -> bool {
+        matches!(
+            self,
+            AllocatorKind::Constant
+                | AllocatorKind::DRealloc(_)
+                | AllocatorKind::DReallocWith(..)
+                | AllocatorKind::RandomizedDRealloc(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_model::{Task, TaskId};
+
+    #[test]
+    fn builds_every_kind() {
+        let machine = BuddyTree::new(16).unwrap();
+        let kinds = [
+            AllocatorKind::Constant,
+            AllocatorKind::Greedy,
+            AllocatorKind::Basic,
+            AllocatorKind::DRealloc(2),
+            AllocatorKind::DReallocWith(1, EpochPolicy::Stacked, ReallocTrigger::Lazy),
+            AllocatorKind::Randomized,
+            AllocatorKind::RandomizedDRealloc(1),
+            AllocatorKind::LeftmostAlways,
+            AllocatorKind::RoundRobin,
+        ];
+        for kind in kinds {
+            let mut a = kind.build(machine, 42);
+            assert_eq!(a.machine().num_pes(), 16);
+            let out = a.on_arrival(Task::new(TaskId(0), 2));
+            assert_eq!(machine.level_of(out.placement.node), 2);
+            assert_eq!(a.max_load(), 1);
+            a.on_departure(TaskId(0));
+            assert_eq!(a.max_load(), 0, "{} did not clean up", kind.label());
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AllocatorKind::Greedy.label(), "A_G");
+        assert_eq!(AllocatorKind::DRealloc(3).label(), "A_M(d=3)");
+        assert_eq!(
+            AllocatorKind::DReallocWith(1, EpochPolicy::Stacked, ReallocTrigger::Lazy).label(),
+            "A_M(d=1,stacked,lazy)"
+        );
+    }
+
+    #[test]
+    fn reallocates_flag() {
+        assert!(AllocatorKind::Constant.reallocates());
+        assert!(AllocatorKind::DRealloc(5).reallocates());
+        assert!(!AllocatorKind::Greedy.reallocates());
+        assert!(!AllocatorKind::Randomized.reallocates());
+    }
+}

@@ -1,0 +1,522 @@
+//! The "copies of `T`" structure of the paper's `A_R` and `A_B`.
+//!
+//! Both algorithms view the machine as a growing stack of identical
+//! copies of the tree machine `T`; within each copy a PE may be
+//! assigned to **at most one** task, and each copy is emulated as one
+//! extra thread on the real machine, so the machine's load is at most
+//! the number of copies. A submachine of a copy is *vacant* if none of
+//! its PEs is assigned, and copies are searched in creation order.
+//!
+//! [`Layer`] is one copy: a buddy tree with per-node occupancy and a
+//! `max_vacant` summary enabling `O(log N)` leftmost-vacant-fit queries.
+//! [`LayerStack`] is the ordered collection with first-fit search.
+
+use partalloc_topology::{BuddyTree, NodeId};
+
+/// One copy of the machine `T`: an exclusive buddy allocation of
+/// submachines to tasks.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    tree: BuddyTree,
+    /// `occupied[v]`: a task is assigned exactly at node `v`.
+    occupied: Vec<bool>,
+    /// Number of occupied nodes in the subtree of `v` (including `v`).
+    occ_below: Vec<u32>,
+    /// `max_vacant[v]`: `1 + level` of the largest vacant submachine
+    /// inside `v`'s subtree (`0` if none), assuming no occupied
+    /// ancestor above `v`.
+    max_vacant: Vec<u8>,
+    tasks: u32,
+}
+
+impl Layer {
+    /// An empty copy of `tree`.
+    pub fn new(tree: BuddyTree) -> Self {
+        let len = tree.heap_len();
+        let mut layer = Layer {
+            tree,
+            occupied: vec![false; len],
+            occ_below: vec![0; len],
+            max_vacant: vec![0; len],
+            tasks: 0,
+        };
+        for v in tree.all_nodes() {
+            layer.max_vacant[v.idx()] = tree.level_of(v) as u8 + 1;
+        }
+        layer
+    }
+
+    /// The machine shape.
+    pub fn tree(&self) -> BuddyTree {
+        self.tree
+    }
+
+    /// Number of tasks assigned in this copy.
+    pub fn num_tasks(&self) -> u32 {
+        self.tasks
+    }
+
+    /// Is this copy completely empty?
+    pub fn is_empty(&self) -> bool {
+        self.tasks == 0
+    }
+
+    /// Does this copy contain a vacant `2^level`-PE submachine?
+    pub fn has_vacancy(&self, level: u32) -> bool {
+        u32::from(self.largest_vacancy()) > level
+    }
+
+    /// `1 + level` of the largest vacant submachine of the copy, or 0
+    /// if the copy is completely occupied.
+    pub fn largest_vacancy(&self) -> u8 {
+        self.max_vacant[self.tree.root().idx()]
+    }
+
+    /// The leftmost vacant `2^level`-PE submachine, if any.
+    pub fn leftmost_vacant(&self, level: u32) -> Option<NodeId> {
+        if !self.has_vacancy(level) {
+            return None;
+        }
+        let need = level as u8 + 1;
+        let mut v = self.tree.root();
+        while self.tree.level_of(v) > level {
+            let l = self.tree.left(v).expect("internal node");
+            let r = self.tree.right(v).expect("internal node");
+            v = if self.max_vacant[l.idx()] >= need {
+                l
+            } else {
+                r
+            };
+        }
+        debug_assert!(self.max_vacant[v.idx()] >= need);
+        Some(v)
+    }
+
+    /// Assign a task to the leftmost vacant `2^level`-PE submachine;
+    /// returns its node, or `None` if the copy has no such vacancy.
+    pub fn place(&mut self, level: u32) -> Option<NodeId> {
+        let node = self.leftmost_vacant(level)?;
+        self.occupy(node);
+        Some(node)
+    }
+
+    /// Mark `node` occupied. Panics if the submachine is not vacant.
+    pub fn occupy(&mut self, node: NodeId) {
+        assert!(
+            self.is_vacant(node),
+            "occupy of non-vacant submachine {node}"
+        );
+        self.occupied[node.idx()] = true;
+        self.tasks += 1;
+        for v in self.tree.path_to_root(node) {
+            self.occ_below[v.idx()] += 1;
+        }
+        self.refresh_path(node);
+    }
+
+    /// Mark `node` free again. Panics if no task is assigned there.
+    pub fn vacate(&mut self, node: NodeId) {
+        assert!(
+            self.occupied[node.idx()],
+            "vacate of unassigned submachine {node}"
+        );
+        self.occupied[node.idx()] = false;
+        self.tasks -= 1;
+        for v in self.tree.path_to_root(node) {
+            self.occ_below[v.idx()] -= 1;
+        }
+        self.refresh_path(node);
+    }
+
+    /// Is the submachine at `node` vacant (no assignment at it, below
+    /// it, or at any ancestor)?
+    pub fn is_vacant(&self, node: NodeId) -> bool {
+        self.occ_below[node.idx()] == 0
+            && self.tree.ancestors(node).all(|a| !self.occupied[a.idx()])
+    }
+
+    /// Does a task occupy exactly this node?
+    pub fn occupies(&self, node: NodeId) -> bool {
+        self.occupied[node.idx()]
+    }
+
+    /// The levels of all *maximal* vacant submachines of the copy: a
+    /// vacant submachine not properly contained in a vacant submachine.
+    pub fn maximal_vacancies(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.tree.root()];
+        while let Some(v) = stack.pop() {
+            if self.occupied[v.idx()] {
+                continue; // nothing below an occupied node is vacant
+            }
+            if self.occ_below[v.idx()] == 0 {
+                out.push(v); // fully vacant, maximal by construction
+                continue;
+            }
+            if let (Some(l), Some(r)) = (self.tree.left(v), self.tree.right(v)) {
+                stack.push(r);
+                stack.push(l);
+            }
+        }
+        out
+    }
+
+    fn refresh_path(&mut self, node: NodeId) {
+        for v in self.tree.path_to_root(node) {
+            let vi = v.idx();
+            self.max_vacant[vi] = if self.occupied[vi] {
+                0
+            } else if self.occ_below[vi] == 0 {
+                self.tree.level_of(v) as u8 + 1
+            } else {
+                let l = self.tree.left(v).expect("occupied subtree is internal");
+                let r = self.tree.right(v).expect("occupied subtree is internal");
+                self.max_vacant[l.idx()].max(self.max_vacant[r.idx()])
+            };
+        }
+    }
+}
+
+/// Which copy a new task goes to when several have room — the paper's
+/// `A_B` searches copies in creation order (first fit); the
+/// alternatives are ablation variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CopyFit {
+    /// The paper's rule: the first copy (in creation order) with a
+    /// vacancy. Lemma 2's analysis is built on this choice.
+    #[default]
+    FirstFit,
+    /// The copy whose largest vacancy is *smallest* while still
+    /// fitting — classic best-fit, hoarding big holes for big tasks.
+    BestFit,
+    /// The copy whose largest vacancy is *largest* — classic
+    /// worst-fit, spreading tasks across copies.
+    WorstFit,
+}
+
+impl CopyFit {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CopyFit::FirstFit => "first-fit",
+            CopyFit::BestFit => "best-fit",
+            CopyFit::WorstFit => "worst-fit",
+        }
+    }
+}
+
+/// An ordered stack of [`Layer`]s with first-fit search, as used by
+/// `A_B` (incremental) and `A_R` (bulk repacking).
+#[derive(Debug, Clone)]
+pub struct LayerStack {
+    tree: BuddyTree,
+    layers: Vec<Layer>,
+}
+
+impl LayerStack {
+    /// An empty stack (no copies yet).
+    pub fn new(tree: BuddyTree) -> Self {
+        LayerStack {
+            tree,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Number of copies ever created.
+    pub fn num_layers(&self) -> u32 {
+        self.layers.len() as u32
+    }
+
+    /// Number of copies currently holding at least one task.
+    pub fn num_nonempty_layers(&self) -> u32 {
+        self.layers.iter().filter(|l| !l.is_empty()).count() as u32
+    }
+
+    /// Access a layer by index.
+    pub fn layer(&self, idx: u32) -> &Layer {
+        &self.layers[idx as usize]
+    }
+
+    /// First-fit: assign a `2^level`-PE task to the first copy (in
+    /// creation order) with a vacancy, creating a new copy if needed.
+    /// Returns `(layer index, node)`.
+    pub fn place(&mut self, level: u32) -> (u32, NodeId) {
+        self.place_with(level, CopyFit::FirstFit)
+    }
+
+    /// Like [`LayerStack::place`], but choosing the copy by `fit`
+    /// (ties broken by creation order).
+    pub fn place_with(&mut self, level: u32, fit: CopyFit) -> (u32, NodeId) {
+        let need = level as u8 + 1;
+        let chosen: Option<usize> = match fit {
+            CopyFit::FirstFit => self.layers.iter().position(|l| l.has_vacancy(level)),
+            CopyFit::BestFit => self
+                .layers
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.largest_vacancy() >= need)
+                .min_by_key(|&(i, l)| (l.largest_vacancy(), i))
+                .map(|(i, _)| i),
+            CopyFit::WorstFit => self
+                .layers
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.largest_vacancy() >= need)
+                .max_by_key(|&(i, l)| (l.largest_vacancy(), std::cmp::Reverse(i)))
+                .map(|(i, _)| i),
+        };
+        if let Some(i) = chosen {
+            let node = self.layers[i]
+                .place(level)
+                .expect("chosen copy has a vacancy");
+            return (i as u32, node);
+        }
+        let mut fresh = Layer::new(self.tree);
+        let node = fresh
+            .place(level)
+            .expect("empty copy always fits a task of machine size or less");
+        self.layers.push(fresh);
+        (self.layers.len() as u32 - 1, node)
+    }
+
+    /// Force-occupy `node` in copy `layer`, creating empty copies as
+    /// needed (checkpoint restore). Panics if the submachine is not
+    /// vacant in that copy.
+    pub fn occupy_at(&mut self, layer: u32, node: NodeId) {
+        while self.layers.len() <= layer as usize {
+            self.layers.push(Layer::new(self.tree));
+        }
+        self.layers[layer as usize].occupy(node);
+    }
+
+    /// Free the task at `(layer, node)`.
+    pub fn free(&mut self, layer: u32, node: NodeId) {
+        self.layers[layer as usize].vacate(node);
+    }
+
+    /// Drop all copies.
+    pub fn clear(&mut self) {
+        self.layers.clear();
+    }
+
+    /// Check Lemma 1's invariant for a freshly packed stack: no copy
+    /// except the last contains any vacancy. (Only meaningful right
+    /// after a bulk repack; departures legitimately break it.)
+    pub fn is_tightly_packed(&self) -> bool {
+        self.layers.iter().rev().skip(1).all(|l| !l.has_vacancy(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_layer_has_every_vacancy() {
+        let t = BuddyTree::new(8).unwrap();
+        let l = Layer::new(t);
+        for level in 0..=3 {
+            assert!(l.has_vacancy(level));
+        }
+        assert_eq!(l.leftmost_vacant(3), Some(NodeId(1)));
+        assert_eq!(l.maximal_vacancies(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn place_fills_left_to_right() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut l = Layer::new(t);
+        assert_eq!(l.place(0), Some(NodeId(8)));
+        assert_eq!(l.place(0), Some(NodeId(9)));
+        assert_eq!(l.place(1), Some(NodeId(5))); // PEs 2-3
+        assert_eq!(l.place(2), Some(NodeId(3))); // right half
+        assert!(!l.has_vacancy(0));
+        assert_eq!(l.place(0), None);
+        assert_eq!(l.num_tasks(), 4);
+    }
+
+    #[test]
+    fn occupied_node_blocks_descendants_and_ancestors() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut l = Layer::new(t);
+        l.occupy(NodeId(5)); // PEs 2-3
+        assert!(!l.is_vacant(NodeId(5)));
+        assert!(!l.is_vacant(NodeId(10))); // child
+        assert!(!l.is_vacant(NodeId(2))); // ancestor
+        assert!(!l.is_vacant(NodeId(1)));
+        assert!(l.is_vacant(NodeId(4)));
+        assert!(l.is_vacant(NodeId(3)));
+        // A 4-PE request must go right even though 2 PEs are free left.
+        assert_eq!(l.leftmost_vacant(2), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn vacate_merges_vacancies() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut l = Layer::new(t);
+        let a = l.place(0).unwrap();
+        let b = l.place(0).unwrap();
+        // The right pair is the only 2-PE hole.
+        assert_eq!(l.leftmost_vacant(1), Some(NodeId(3)));
+        l.vacate(a);
+        assert!(!l.has_vacancy(2));
+        l.vacate(b);
+        assert!(l.has_vacancy(2)); // whole machine vacant again
+        assert_eq!(l.leftmost_vacant(2), Some(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-vacant")]
+    fn double_occupy_panics() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut l = Layer::new(t);
+        l.occupy(NodeId(2));
+        l.occupy(NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "unassigned")]
+    fn vacate_unassigned_panics() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut l = Layer::new(t);
+        l.vacate(NodeId(2));
+    }
+
+    #[test]
+    fn maximal_vacancies_after_fragmentation() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut l = Layer::new(t);
+        let tasks: Vec<_> = (0..8).map(|_| l.place(0).unwrap()).collect();
+        // Free PEs 1 and 4: two maximal unit vacancies.
+        l.vacate(tasks[1]);
+        l.vacate(tasks[4]);
+        let mv = l.maximal_vacancies();
+        assert_eq!(mv, vec![NodeId(9), NodeId(12)]);
+        // Free PE 5 as well: PEs 4-5 merge into one 2-PE vacancy.
+        l.vacate(tasks[5]);
+        let mv = l.maximal_vacancies();
+        assert_eq!(mv, vec![NodeId(9), NodeId(6)]);
+    }
+
+    #[test]
+    fn stack_first_fit_creates_layers_on_demand() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut s = LayerStack::new(t);
+        assert_eq!(s.place(2), (0, NodeId(1))); // fills copy 0
+        assert_eq!(s.place(1), (1, NodeId(2))); // forces copy 1
+        assert_eq!(s.place(1), (1, NodeId(3)));
+        assert_eq!(s.place(0), (2, NodeId(4)));
+        assert_eq!(s.num_layers(), 3);
+        assert_eq!(s.num_nonempty_layers(), 3);
+    }
+
+    #[test]
+    fn stack_reuses_holes_in_earlier_layers() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut s = LayerStack::new(t);
+        let (l0, n0) = s.place(1);
+        let (_, _n1) = s.place(1);
+        let (l2, _) = s.place(1); // copy 1
+        assert_eq!((l0, l2), (0, 1));
+        s.free(0, n0);
+        // The hole in copy 0 is found before copy 1's remaining space.
+        assert_eq!(s.place(1), (0, n0));
+    }
+
+    #[test]
+    fn copy_fit_variants_choose_differently() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut s = LayerStack::new(t);
+        // Copy 0: half full (largest vacancy = half machine).
+        s.place(2);
+        // Copy 1: create, then nearly fill (largest vacancy = 1 PE).
+        let (l1, _) = s.place_with(2, CopyFit::WorstFit); // forces copy 1? no: copy 0 fits
+        assert_eq!(l1, 0); // worst-fit found copy 0 (only copy)
+                           // Now copy 0 is full; build copy 1 with a unit hole.
+        let (l, _) = s.place(1); // copy 1, PEs 0-1
+        assert_eq!(l, 1);
+        s.place(1); // copy 1, PEs 2-3
+        s.place(1); // copy 1, PEs 4-5
+        s.place(0); // copy 1, PE 6 → hole at PE 7
+                    // Copy 2: fresh (largest vacancy = whole machine).
+        let (l2, _) = s.place_with(2, CopyFit::FirstFit); // needs 4 PEs → copy 2
+        assert_eq!(l2, 2);
+        // A unit task now: first-fit → copy 1 (earliest with room);
+        // best-fit → copy 1 (tightest); worst-fit → copy 2 (roomiest).
+        let mut probe = s.clone();
+        assert_eq!(probe.place_with(0, CopyFit::FirstFit).0, 1);
+        let mut probe = s.clone();
+        assert_eq!(probe.place_with(0, CopyFit::BestFit).0, 1);
+        let mut probe = s.clone();
+        assert_eq!(probe.place_with(0, CopyFit::WorstFit).0, 2);
+    }
+
+    #[test]
+    fn largest_vacancy_levels() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut l = Layer::new(t);
+        assert_eq!(l.largest_vacancy(), 4); // level 3 + 1
+        l.place(2);
+        assert_eq!(l.largest_vacancy(), 3); // a half remains
+        l.place(2);
+        assert_eq!(l.largest_vacancy(), 0);
+    }
+
+    #[test]
+    fn tightly_packed_detection() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut s = LayerStack::new(t);
+        s.place(2); // copy 0 full
+        s.place(1); // copy 1 half full
+        assert!(s.is_tightly_packed());
+        let (l, n) = (0, NodeId(1));
+        s.free(l, n);
+        assert!(!s.is_tightly_packed());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn layer_operations_keep_summaries_consistent(
+            levels in 0u32..5,
+            ops in proptest::collection::vec((any::<bool>(), 0u32..16), 1..40),
+        ) {
+            let tree = BuddyTree::with_levels(levels).unwrap();
+            let mut layer = Layer::new(tree);
+            let mut live: Vec<NodeId> = Vec::new();
+            for (is_place, pick) in ops {
+                if is_place || live.is_empty() {
+                    let level = pick % (levels + 1);
+                    if let Some(node) = layer.place(level) {
+                        prop_assert_eq!(tree.level_of(node), level);
+                        live.push(node);
+                    } else {
+                        // No vacancy claimed: verify via brute force.
+                        let any_vacant = tree
+                            .nodes_at_level(level)
+                            .any(|v| layer.is_vacant(v));
+                        prop_assert!(!any_vacant, "place refused but vacancy exists");
+                    }
+                } else {
+                    let node = live.swap_remove(pick as usize % live.len());
+                    layer.vacate(node);
+                }
+                // has_vacancy must agree with brute force at all levels.
+                for level in 0..=levels {
+                    let brute = tree.nodes_at_level(level).any(|v| layer.is_vacant(v));
+                    prop_assert_eq!(layer.has_vacancy(level), brute, "level {}", level);
+                    // leftmost_vacant agrees with brute-force leftmost.
+                    let brute_left = tree.nodes_at_level(level).find(|&v| layer.is_vacant(v));
+                    prop_assert_eq!(layer.leftmost_vacant(level), brute_left);
+                }
+                // Maximal vacancies tile exactly the free PEs.
+                let mv = layer.maximal_vacancies();
+                let covered: u64 = mv.iter().map(|&v| u64::from(tree.size_of(v))).sum();
+                let free_pes = u64::from(tree.num_pes())
+                    - live.iter().map(|&v| u64::from(tree.size_of(v))).sum::<u64>();
+                prop_assert_eq!(covered, free_pes);
+            }
+        }
+    }
+}

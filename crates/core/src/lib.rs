@@ -1,0 +1,55 @@
+//! # partalloc-core
+//!
+//! The allocation algorithms of Gao–Rosenberg–Sitaraman (SPAA 1996):
+//!
+//! | Paper name | Type | Guarantee (L* = optimal load) |
+//! |---|---|---|
+//! | `A_R` ([`repack`]) | reallocation procedure | packs total size `S` with load `⌈S/N⌉` (Lemma 1) |
+//! | `A_C` ([`Constant`]) | 0-reallocation | load exactly `L*` (Thm 3.1) |
+//! | `A_G` ([`Greedy`]) | online, no reallocation | `≤ ⌈(log N + 1)/2⌉·L*` (Thm 4.1) |
+//! | `A_B` ([`Basic`]) | online, no reallocation | `≤ ⌈S/N⌉` for arrival volume `S` (Lemma 2) |
+//! | `A_M` ([`DReallocation`]) | `d`-reallocation online | `≤ min{d+1, ⌈(log N + 1)/2⌉}·L*` (Thm 4.2) |
+//! | `A_rand` ([`RandomizedOblivious`]) | randomized, no reallocation | `E ≤ (3 log N / log log N + 1)·L*` (Thm 5.1) |
+//!
+//! plus the naive baselines [`LeftmostAlways`] and [`RoundRobin`] used as
+//! experimental foils, and the load-tracking engines in [`loadmap`] that
+//! answer "which `2^x`-PE submachine currently has the smallest maximum
+//! PE load?" in `O(log N)` time.
+//!
+//! All algorithms implement the object-safe [`Allocator`] trait and can
+//! be constructed uniformly through [`AllocatorKind`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocator;
+mod baselines;
+mod basic;
+mod constant;
+mod dreall;
+mod greedy;
+mod kind;
+pub mod layers;
+pub mod loadmap;
+mod placement;
+mod rand_realloc;
+mod randomized;
+mod repack;
+mod snapshot;
+mod table;
+pub mod validate;
+
+pub use allocator::{Allocator, ArrivalOutcome, EventOutcome};
+pub use baselines::{LeftmostAlways, RoundRobin};
+pub use basic::Basic;
+pub use constant::Constant;
+pub use dreall::{DReallocation, EpochPolicy, ReallocTrigger};
+pub use greedy::Greedy;
+pub use kind::AllocatorKind;
+pub use layers::CopyFit;
+pub use loadmap::TieBreak;
+pub use placement::{Migration, Placement};
+pub use rand_realloc::RandomizedDRealloc;
+pub use randomized::RandomizedOblivious;
+pub use repack::{greedy_threshold, repack};
+pub use snapshot::{restore, snapshot, RestoreError, Snapshot, SnapshotEntry};

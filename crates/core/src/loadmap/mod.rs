@@ -1,0 +1,147 @@
+//! Load-tracking engines over the buddy tree.
+//!
+//! A task assigned to node `v` adds one thread to *every* PE under `v`,
+//! so the load of a PE is the number of assignments on its root-to-leaf
+//! path. The engines answer the two queries every algorithm in this
+//! crate needs:
+//!
+//! * `max_load_in(v)` — the maximum PE load inside the submachine at
+//!   `v` (the paper's `l(T')`);
+//! * `min_max_submachine(x)` — the *leftmost* `2^x`-PE submachine whose
+//!   maximum PE load is smallest (greedy `A_G`'s placement rule).
+//!
+//! Two implementations share the [`LoadEngine`] trait:
+//! [`NaiveEngine`] recomputes from per-node counters (simple, `O(N)`
+//! queries — the differential-testing reference), and
+//! [`PathTreeEngine`] maintains per-node depth-indexed minima for
+//! `O(log N)` updates and `O(log N)` queries (the production engine).
+
+mod naive;
+mod pathtree;
+
+pub use naive::NaiveEngine;
+pub use pathtree::{PathTreeEngine, TieBreak};
+
+use partalloc_topology::{BuddyTree, NodeId};
+
+/// Mutable view of "how many tasks sit on each buddy-tree node", with
+/// the submachine-load queries used by the allocation algorithms.
+pub trait LoadEngine {
+    /// Create an empty engine for `tree`.
+    fn new(tree: BuddyTree) -> Self
+    where
+        Self: Sized;
+
+    /// The machine this engine tracks.
+    fn tree(&self) -> BuddyTree;
+
+    /// Record one more task assigned exactly at `node`.
+    fn assign(&mut self, node: NodeId);
+
+    /// Remove one task assigned exactly at `node`.
+    ///
+    /// Panics if no task is currently assigned there.
+    fn remove(&mut self, node: NodeId);
+
+    /// Number of tasks assigned exactly at `node` (not counting
+    /// ancestors or descendants).
+    fn count_at(&self, node: NodeId) -> u64;
+
+    /// Load of a single PE: tasks on the root-to-leaf path.
+    fn pe_load(&self, pe: u32) -> u64;
+
+    /// Maximum PE load within the submachine rooted at `node`
+    /// (the paper's `l(T')`, including load contributed by tasks
+    /// assigned at ancestors of `node`).
+    fn max_load_in(&self, node: NodeId) -> u64;
+
+    /// Maximum PE load over the whole machine.
+    fn max_load(&self) -> u64 {
+        self.max_load_in(self.tree().root())
+    }
+
+    /// The leftmost `2^level`-PE submachine with the smallest maximum
+    /// PE load, and that load.
+    fn min_max_submachine(&self, level: u32) -> (NodeId, u64);
+
+    /// Remove every assignment, returning the engine to empty.
+    fn clear(&mut self);
+
+    /// Total number of assignments currently recorded.
+    fn num_assignments(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Drive both engines through the same script and compare answers.
+    fn differential(levels: u32, script: &[(bool, u32)]) {
+        let tree = BuddyTree::with_levels(levels).unwrap();
+        let mut naive = NaiveEngine::new(tree);
+        let mut fast = PathTreeEngine::new(tree);
+        // Multiset of live assignments so removals stay valid.
+        let mut live: Vec<NodeId> = Vec::new();
+        for &(is_assign, pick) in script {
+            if is_assign || live.is_empty() {
+                let node = NodeId(1 + pick % tree.num_nodes());
+                naive.assign(node);
+                fast.assign(node);
+                live.push(node);
+            } else {
+                let node = live.swap_remove(pick as usize % live.len());
+                naive.remove(node);
+                fast.remove(node);
+            }
+            assert_eq!(naive.num_assignments(), fast.num_assignments());
+            assert_eq!(naive.max_load(), fast.max_load(), "max_load diverged");
+            for pe in 0..tree.num_pes() {
+                assert_eq!(naive.pe_load(pe), fast.pe_load(pe), "pe {pe}");
+            }
+            for node in tree.all_nodes() {
+                assert_eq!(
+                    naive.max_load_in(node),
+                    fast.max_load_in(node),
+                    "max_load_in({node})"
+                );
+            }
+            for level in 0..=tree.levels() {
+                assert_eq!(
+                    naive.min_max_submachine(level),
+                    fast.min_max_submachine(level),
+                    "min_max at level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn differential_small_hand_script() {
+        // On 8 PEs: load up the left half, check the min drifts right.
+        differential(
+            3,
+            &[
+                (true, 0), // root
+                (true, 1), // n2 (left half)
+                (true, 3), // n4
+                (true, 7), // n8 (leaf 0)
+                (false, 0),
+                (true, 2), // n3 (right half)
+                (false, 1),
+                (true, 11),
+            ],
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn differential_random_scripts(
+            levels in 0u32..5,
+            script in proptest::collection::vec((any::<bool>(), any::<u32>()), 1..60),
+        ) {
+            differential(levels, &script);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+use partalloc_topology::{BuddyTree, NodeId};
+
+use super::LoadEngine;
+
+/// Reference load engine: a bare per-node counter array.
+///
+/// Every query walks the tree, so `max_load_in` costs `O(2^level)` and
+/// `min_max_submachine` costs `O(N)`. Used as the differential-testing
+/// oracle for [`super::PathTreeEngine`] and by the lower-bound adversary
+/// (whose machines are small).
+#[derive(Debug, Clone)]
+pub struct NaiveEngine {
+    tree: BuddyTree,
+    /// `count[v]` = tasks assigned exactly at heap index `v`.
+    count: Vec<u64>,
+    total: u64,
+}
+
+impl NaiveEngine {
+    /// Max over leaves below `node` of the path sum from `node` down
+    /// (inclusive).
+    fn down_max(&self, node: NodeId) -> u64 {
+        let here = self.count[node.idx()];
+        match (self.tree.left(node), self.tree.right(node)) {
+            (Some(l), Some(r)) => here + self.down_max(l).max(self.down_max(r)),
+            _ => here,
+        }
+    }
+
+    /// Sum of counts on the strict-ancestor path of `node`.
+    fn path_above(&self, node: NodeId) -> u64 {
+        self.tree.ancestors(node).map(|a| self.count[a.idx()]).sum()
+    }
+}
+
+impl LoadEngine for NaiveEngine {
+    fn new(tree: BuddyTree) -> Self {
+        NaiveEngine {
+            tree,
+            count: vec![0; tree.heap_len()],
+            total: 0,
+        }
+    }
+
+    fn tree(&self) -> BuddyTree {
+        self.tree
+    }
+
+    fn assign(&mut self, node: NodeId) {
+        debug_assert!(self.tree.is_valid(node));
+        self.count[node.idx()] += 1;
+        self.total += 1;
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        assert!(self.count[node.idx()] > 0, "remove from empty node {node}");
+        self.count[node.idx()] -= 1;
+        self.total -= 1;
+    }
+
+    fn count_at(&self, node: NodeId) -> u64 {
+        self.count[node.idx()]
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        let leaf = self.tree.leaf_of(pe);
+        self.tree
+            .path_to_root(leaf)
+            .map(|v| self.count[v.idx()])
+            .sum()
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        self.path_above(node) + self.down_max(node)
+    }
+
+    fn min_max_submachine(&self, level: u32) -> (NodeId, u64) {
+        self.tree
+            .nodes_at_level(level)
+            .map(|v| (v, self.max_load_in(v)))
+            .min_by_key(|&(v, load)| (load, v))
+            .expect("every level has at least one node")
+    }
+
+    fn clear(&mut self) {
+        self.count.fill(0);
+        self.total = 0;
+    }
+
+    fn num_assignments(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_engine() {
+        let t = BuddyTree::new(8).unwrap();
+        let e = NaiveEngine::new(t);
+        assert_eq!(e.max_load(), 0);
+        assert_eq!(e.pe_load(3), 0);
+        assert_eq!(e.min_max_submachine(1), (NodeId(4), 0));
+        assert_eq!(e.num_assignments(), 0);
+    }
+
+    #[test]
+    fn loads_compose_along_paths() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut e = NaiveEngine::new(t);
+        e.assign(NodeId(1)); // whole machine
+        e.assign(NodeId(2)); // left half
+        e.assign(NodeId(8)); // leaf 0
+        assert_eq!(e.pe_load(0), 3);
+        assert_eq!(e.pe_load(1), 2);
+        assert_eq!(e.pe_load(4), 1);
+        assert_eq!(e.max_load(), 3);
+        assert_eq!(e.max_load_in(NodeId(3)), 1); // right half only sees root
+                                                 // Leftmost min 2-PE submachine is in the right half.
+        assert_eq!(e.min_max_submachine(1), (NodeId(6), 1));
+        // Min 1-PE: leaf 1 has load 2, leaves 4..8 have load 1.
+        assert_eq!(e.min_max_submachine(0), (NodeId(12), 1));
+    }
+
+    #[test]
+    fn remove_restores() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut e = NaiveEngine::new(t);
+        e.assign(NodeId(2));
+        e.assign(NodeId(2));
+        e.remove(NodeId(2));
+        assert_eq!(e.pe_load(0), 1);
+        assert_eq!(e.count_at(NodeId(2)), 1);
+        e.remove(NodeId(2));
+        assert_eq!(e.max_load(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "remove from empty")]
+    fn remove_from_empty_panics() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut e = NaiveEngine::new(t);
+        e.remove(NodeId(1));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let t = BuddyTree::new(4).unwrap();
+        let mut e = NaiveEngine::new(t);
+        e.assign(NodeId(1));
+        e.assign(NodeId(4));
+        e.clear();
+        assert_eq!(e.num_assignments(), 0);
+        assert_eq!(e.max_load(), 0);
+    }
+
+    #[test]
+    fn tie_break_is_leftmost() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut e = NaiveEngine::new(t);
+        // Equal loads everywhere → leftmost node of the level.
+        e.assign(NodeId(1));
+        assert_eq!(e.min_max_submachine(2).0, NodeId(2));
+        assert_eq!(e.min_max_submachine(0).0, NodeId(8));
+    }
+}

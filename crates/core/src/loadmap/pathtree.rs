@@ -1,0 +1,307 @@
+use partalloc_topology::{BuddyTree, NodeId};
+
+use super::LoadEngine;
+
+/// How `min_max_submachine` resolves ties between equally loaded
+/// submachines. The paper's `A_G` specifies leftmost; the alternatives
+/// are ablation variants (experiment `exp_design_ablations`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// The paper's rule: leftmost among the minima.
+    #[default]
+    Leftmost,
+    /// Mirror image: rightmost among the minima.
+    Rightmost,
+    /// Uniformly random among minima at each branch (caller supplies
+    /// the coin flips through [`PathTreeEngine::min_max_submachine_with`]).
+    Random,
+}
+
+/// Production load engine: `O(log² N)` updates, `O(log N)` queries.
+///
+/// Per node `v` it maintains:
+///
+/// * `count[v]` — tasks assigned exactly at `v`;
+/// * `down[v]` — the maximum, over leaves `u` under `v`, of the count
+///   sum on the path `v → u` (inclusive). `down[root]` is the global
+///   maximum PE load;
+/// * `fmin[v][k]` — the minimum, over descendants `w` of `v` at
+///   relative depth `k`, of (count sum on the *open* path `v → w`,
+///   excluding both endpoints) plus `down[w]`.
+///
+/// With these, the maximum load inside the submachine at `w` is
+/// `(count sum of strict ancestors of w) + down[w]`, and the greedy
+/// query "leftmost level-`x` submachine of minimum maximum load" is a
+/// single root-to-level descent guided by `fmin`:
+/// the answer value is `count[root] + fmin[root][D]` for relative depth
+/// `D = levels − x > 0` (and `down[root]` for `D = 0`).
+///
+/// An assignment at `v` only changes `count[v]`, hence `down`/`fmin` of
+/// `v` and its ancestors — `O(log N)` nodes, each recomputing a `fmin`
+/// array of length `O(log N)`.
+#[derive(Debug, Clone)]
+pub struct PathTreeEngine {
+    tree: BuddyTree,
+    count: Vec<u64>,
+    down: Vec<u64>,
+    /// `fmin[v]` has `level_of(v) + 1` entries (relative depths `0 ..=
+    /// level`).
+    fmin: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl PathTreeEngine {
+    /// Recompute `down[v]` and `fmin[v][..]` from the children (which
+    /// must already be up to date).
+    fn refresh(&mut self, v: NodeId) {
+        let vi = v.idx();
+        match (self.tree.left(v), self.tree.right(v)) {
+            (Some(l), Some(r)) => {
+                let (li, ri) = (l.idx(), r.idx());
+                self.down[vi] = self.count[vi] + self.down[li].max(self.down[ri]);
+                let height = self.tree.level_of(v) as usize;
+                // fmin[v][0] = down[v]; fmin[v][k] = count[v] + min over
+                // children c of fmin[c][k-1]. Expanding the recursion,
+                // fmin[v][k] = min over descendants w at relative depth
+                // k of (count sum on the path v..parent(w)) + down[w].
+                self.fmin[vi][0] = self.down[vi];
+                for k in 1..=height {
+                    let best = self.fmin[li][k - 1].min(self.fmin[ri][k - 1]);
+                    self.fmin[vi][k] = self.count[vi] + best;
+                }
+            }
+            _ => {
+                self.down[vi] = self.count[vi];
+                self.fmin[vi][0] = self.down[vi];
+            }
+        }
+    }
+
+    fn refresh_path(&mut self, v: NodeId) {
+        self.refresh(v);
+        let mut cur = v;
+        while let Some(p) = self.tree.parent(cur) {
+            self.refresh(p);
+            cur = p;
+        }
+    }
+
+    /// [`LoadEngine::min_max_submachine`] with an explicit tie-break
+    /// rule; `coin` is consulted only for [`TieBreak::Random`] and must
+    /// return `true` with probability ½ (go left).
+    pub fn min_max_submachine_with(
+        &self,
+        level: u32,
+        tie: TieBreak,
+        mut coin: impl FnMut() -> bool,
+    ) -> (NodeId, u64) {
+        assert!(level <= self.tree.levels());
+        let mut v = self.tree.root();
+        let mut k = (self.tree.levels() - level) as usize;
+        let value = self.fmin[v.idx()][k];
+        while k > 0 {
+            let l = self.tree.left(v).expect("not a leaf while k > 0");
+            let r = self.tree.right(v).expect("not a leaf while k > 0");
+            let (lv, rv) = (self.fmin[l.idx()][k - 1], self.fmin[r.idx()][k - 1]);
+            v = if lv < rv {
+                l
+            } else if rv < lv {
+                r
+            } else {
+                match tie {
+                    TieBreak::Leftmost => l,
+                    TieBreak::Rightmost => r,
+                    TieBreak::Random => {
+                        if coin() {
+                            l
+                        } else {
+                            r
+                        }
+                    }
+                }
+            };
+            k -= 1;
+        }
+        (v, value)
+    }
+}
+
+impl LoadEngine for PathTreeEngine {
+    fn new(tree: BuddyTree) -> Self {
+        let len = tree.heap_len();
+        let mut fmin = Vec::with_capacity(len);
+        fmin.push(Vec::new()); // index 0 unused
+        for v in tree.all_nodes() {
+            fmin.push(vec![0; tree.level_of(v) as usize + 1]);
+        }
+        PathTreeEngine {
+            tree,
+            count: vec![0; len],
+            down: vec![0; len],
+            fmin,
+            total: 0,
+        }
+    }
+
+    fn tree(&self) -> BuddyTree {
+        self.tree
+    }
+
+    fn assign(&mut self, node: NodeId) {
+        debug_assert!(self.tree.is_valid(node));
+        self.count[node.idx()] += 1;
+        self.total += 1;
+        self.refresh_path(node);
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        assert!(self.count[node.idx()] > 0, "remove from empty node {node}");
+        self.count[node.idx()] -= 1;
+        self.total -= 1;
+        self.refresh_path(node);
+    }
+
+    fn count_at(&self, node: NodeId) -> u64 {
+        self.count[node.idx()]
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        let leaf = self.tree.leaf_of(pe);
+        self.tree
+            .path_to_root(leaf)
+            .map(|v| self.count[v.idx()])
+            .sum()
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        let above: u64 = self.tree.ancestors(node).map(|a| self.count[a.idx()]).sum();
+        above + self.down[node.idx()]
+    }
+
+    fn max_load(&self) -> u64 {
+        self.down[self.tree.root().idx()]
+    }
+
+    fn min_max_submachine(&self, level: u32) -> (NodeId, u64) {
+        assert!(level <= self.tree.levels());
+        let mut v = self.tree.root();
+        let mut k = (self.tree.levels() - level) as usize;
+        let value = self.fmin[v.idx()][k];
+        // Descend along the argmin, preferring left on ties (the
+        // paper's tie-break rule for A_G).
+        while k > 0 {
+            let l = self.tree.left(v).expect("not a leaf while k > 0");
+            let r = self.tree.right(v).expect("not a leaf while k > 0");
+            v = if self.fmin[l.idx()][k - 1] <= self.fmin[r.idx()][k - 1] {
+                l
+            } else {
+                r
+            };
+            k -= 1;
+        }
+        (v, value)
+    }
+
+    fn clear(&mut self) {
+        self.count.fill(0);
+        self.down.fill(0);
+        for f in &mut self.fmin {
+            f.fill(0);
+        }
+        self.total = 0;
+    }
+
+    fn num_assignments(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_example() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut e = PathTreeEngine::new(t);
+        e.assign(NodeId(1));
+        e.assign(NodeId(2));
+        e.assign(NodeId(8));
+        assert_eq!(e.pe_load(0), 3);
+        assert_eq!(e.pe_load(7), 1);
+        assert_eq!(e.max_load(), 3);
+        assert_eq!(e.max_load_in(NodeId(3)), 1);
+        assert_eq!(e.min_max_submachine(1), (NodeId(6), 1));
+        assert_eq!(e.min_max_submachine(3), (NodeId(1), 3));
+    }
+
+    #[test]
+    fn descent_finds_leftmost_argmin() {
+        let t = BuddyTree::new(16).unwrap();
+        let mut e = PathTreeEngine::new(t);
+        // Load leaves 0..8 (left half) with one task each; min leaves are
+        // 8..16 and leftmost is leaf 8 = node 24.
+        for pe in 0..8 {
+            e.assign(t.leaf_of(pe));
+        }
+        assert_eq!(e.min_max_submachine(0), (NodeId(24), 0));
+        // Load leaf 8 too; now leaf 9 (node 25) is the leftmost zero.
+        e.assign(t.leaf_of(8));
+        assert_eq!(e.min_max_submachine(0), (NodeId(25), 0));
+    }
+
+    #[test]
+    fn single_pe_machine() {
+        let t = BuddyTree::new(1).unwrap();
+        let mut e = PathTreeEngine::new(t);
+        assert_eq!(e.min_max_submachine(0), (NodeId(1), 0));
+        e.assign(NodeId(1));
+        assert_eq!(e.max_load(), 1);
+        assert_eq!(e.min_max_submachine(0), (NodeId(1), 1));
+    }
+
+    #[test]
+    fn tie_break_variants() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut e = PathTreeEngine::new(t);
+        // Empty machine: every leaf ties at load 0.
+        let (l, v) = e.min_max_submachine_with(0, TieBreak::Leftmost, || unreachable!("no coin"));
+        assert_eq!((l, v), (NodeId(8), 0));
+        let (r, _) = e.min_max_submachine_with(0, TieBreak::Rightmost, || unreachable!("no coin"));
+        assert_eq!(r, NodeId(15));
+        // Forced coin: always-left reproduces leftmost, always-right
+        // reproduces rightmost.
+        assert_eq!(
+            e.min_max_submachine_with(0, TieBreak::Random, || true).0,
+            NodeId(8)
+        );
+        assert_eq!(
+            e.min_max_submachine_with(0, TieBreak::Random, || false).0,
+            NodeId(15)
+        );
+        // With a strict minimum there is no tie to break.
+        for pe in 0..7 {
+            e.assign(t.leaf_of(pe));
+        }
+        for tie in [TieBreak::Leftmost, TieBreak::Rightmost, TieBreak::Random] {
+            assert_eq!(
+                e.min_max_submachine_with(0, tie, || panic!("coin on non-tie"))
+                    .0,
+                t.leaf_of(7)
+            );
+        }
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let t = BuddyTree::new(8).unwrap();
+        let mut e = PathTreeEngine::new(t);
+        e.assign(NodeId(1));
+        e.assign(NodeId(9));
+        e.clear();
+        assert_eq!(e.max_load(), 0);
+        assert_eq!(e.min_max_submachine(0), (NodeId(8), 0));
+        e.assign(NodeId(8));
+        assert_eq!(e.min_max_submachine(0), (NodeId(9), 0));
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+use partalloc_model::TaskId;
+use partalloc_topology::NodeId;
+
+/// Where a task lives: the buddy-tree node of its submachine, plus the
+/// *copy* (layer) index for copy-structured algorithms.
+///
+/// The paper's `A_R`/`A_B` view the machine as a stack of identical
+/// copies of `T`, each copy emulated as one thread per PE; `layer` is
+/// the index of that copy (always `0` for algorithms that do not use the
+/// copy structure — `A_G`, `A_rand`, the baselines). Physical PE usage
+/// is determined by `node` alone: two placements on the same node in
+/// different layers occupy the same PEs (and each contributes one thread
+/// to them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// The buddy-tree node rooting the assigned submachine.
+    pub node: NodeId,
+    /// Copy index for copy-structured algorithms; `0` otherwise.
+    pub layer: u32,
+}
+
+impl Placement {
+    /// A placement in the base copy.
+    pub fn base(node: NodeId) -> Self {
+        Placement { node, layer: 0 }
+    }
+
+    /// A placement in a specific copy.
+    pub fn in_layer(node: NodeId, layer: u32) -> Self {
+        Placement { node, layer }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.layer == 0 {
+            write!(f, "{}", self.node)
+        } else {
+            write!(f, "{}@{}", self.node, self.layer)
+        }
+    }
+}
+
+/// One task movement performed during a reallocation.
+///
+/// A migration is *physical* (costly: checkpoint + transfer) when the
+/// node changes; a pure layer change re-tags the same PEs and is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The migrated task.
+    pub task: TaskId,
+    /// Placement before the reallocation.
+    pub from: Placement,
+    /// Placement after the reallocation.
+    pub to: Placement,
+}
+
+impl Migration {
+    /// Did the task actually change PEs (as opposed to only changing
+    /// copy index)?
+    pub fn is_physical(&self) -> bool {
+        self.from.node != self.to.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Placement::base(NodeId(5)).to_string(), "n5");
+        assert_eq!(Placement::in_layer(NodeId(5), 2).to_string(), "n5@2");
+    }
+
+    #[test]
+    fn physical_vs_layer_only() {
+        let m = Migration {
+            task: TaskId(0),
+            from: Placement::in_layer(NodeId(4), 0),
+            to: Placement::in_layer(NodeId(4), 3),
+        };
+        assert!(!m.is_physical());
+        let m2 = Migration {
+            task: TaskId(0),
+            from: Placement::base(NodeId(4)),
+            to: Placement::base(NodeId(5)),
+        };
+        assert!(m2.is_physical());
+    }
+}

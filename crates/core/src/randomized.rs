@@ -1,0 +1,186 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use partalloc_model::{Task, TaskId};
+use partalloc_topology::{BuddyTree, NodeId};
+
+use crate::allocator::{check_fits, Allocator, ArrivalOutcome};
+use crate::loadmap::{LoadEngine, PathTreeEngine};
+use crate::placement::Placement;
+use crate::table::TaskTable;
+
+/// The oblivious randomized algorithm of §5.1 (the paper also calls it
+/// `A_R`; renamed here to avoid clashing with the reallocation
+/// procedure).
+///
+/// > *Task Arrival:* when a task of size `2^x` arrives, assign it to
+/// > any `2^x`-PE submachine of `T` with probability `2^x / N`.
+///
+/// The choice is uniform over the `N / 2^x` submachines of the right
+/// size and **ignores current loads entirely** — yet, by a Hoeffding
+/// argument:
+///
+/// **Theorem 5.1**: the maximum expected load is at most
+/// `(3 log N / log log N + 1) · L*`, beating every deterministic
+/// no-reallocation algorithm (whose lower bound is
+/// `⌈(log N + 1)/2⌉` — Theorem 4.3 with `d = ∞`).
+///
+/// Randomness comes only from the seed, so runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct RandomizedOblivious {
+    machine: BuddyTree,
+    engine: PathTreeEngine,
+    table: TaskTable,
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl RandomizedOblivious {
+    /// A randomized allocator for `machine`, with all randomness drawn
+    /// from `seed`.
+    pub fn new(machine: BuddyTree, seed: u64) -> Self {
+        RandomizedOblivious {
+            machine,
+            engine: PathTreeEngine::new(machine),
+            table: TaskTable::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this instance was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Allocator for RandomizedOblivious {
+    fn machine(&self) -> BuddyTree {
+        self.machine
+    }
+
+    fn name(&self) -> String {
+        "A_rand".to_owned()
+    }
+
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        check_fits(self.machine, task);
+        let level = u32::from(task.size_log2);
+        let k = self.rng.gen_range(0..self.machine.count_at_level(level));
+        let node = self.machine.node_at(level, k);
+        self.engine.assign(node);
+        let placement = Placement::base(node);
+        self.table.insert(task.id, task.size_log2, placement);
+        ArrivalOutcome::placed(placement)
+    }
+
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        let (_, placement) = self.table.remove(id);
+        self.engine.remove(placement.node);
+        placement
+    }
+
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        self.table.get(id).map(|(_, p)| p)
+    }
+
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        self.table.active_tasks()
+    }
+
+    fn pe_load(&self, pe: u32) -> u64 {
+        self.engine.pe_load(pe)
+    }
+
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        self.engine.max_load_in(node)
+    }
+
+    fn max_load(&self) -> u64 {
+        self.engine.max_load()
+    }
+
+    fn active_size(&self) -> u64 {
+        self.table.active_size()
+    }
+
+    fn force_restore(&mut self, entries: &[crate::snapshot::SnapshotEntry], _arrived: u64) {
+        assert_eq!(
+            self.table.num_active(),
+            0,
+            "restore needs a fresh allocator"
+        );
+        for e in entries {
+            let p = crate::placement::Placement::base(partalloc_topology::NodeId(e.node));
+            self.engine.assign(p.node);
+            self.table.insert(e.task_id(), e.size_log2, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let machine = BuddyTree::new(64).unwrap();
+        let mut a = RandomizedOblivious::new(machine, 7);
+        let mut b = RandomizedOblivious::new(machine, 7);
+        for i in 0..50 {
+            let t = Task::new(TaskId(i), (i % 4) as u8);
+            assert_eq!(a.on_arrival(t), b.on_arrival(t));
+        }
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let machine = BuddyTree::new(64).unwrap();
+        let mut a = RandomizedOblivious::new(machine, 1);
+        let mut b = RandomizedOblivious::new(machine, 2);
+        let mut same = 0;
+        for i in 0..50 {
+            let t = Task::new(TaskId(i), 0);
+            if a.on_arrival(t) == b.on_arrival(t) {
+                same += 1;
+            }
+        }
+        assert!(same < 50, "seeds 1 and 2 produced identical streams");
+    }
+
+    #[test]
+    fn placements_have_the_right_size() {
+        let machine = BuddyTree::new(32).unwrap();
+        let mut r = RandomizedOblivious::new(machine, 3);
+        for i in 0..100 {
+            let x = (i % 6) as u8;
+            let out = r.on_arrival(Task::new(TaskId(i), x));
+            assert_eq!(machine.level_of(out.placement.node), u32::from(x));
+            r.on_departure(TaskId(i));
+        }
+        assert_eq!(r.max_load(), 0);
+    }
+
+    #[test]
+    fn choices_spread_over_the_machine() {
+        // 512 unit tasks on 16 PEs: every PE should receive at least
+        // one with overwhelming probability.
+        let machine = BuddyTree::new(16).unwrap();
+        let mut r = RandomizedOblivious::new(machine, 11);
+        for i in 0..512 {
+            r.on_arrival(Task::new(TaskId(i), 0));
+        }
+        for pe in 0..16 {
+            assert!(r.pe_load(pe) > 0, "PE {pe} never chosen in 512 draws");
+        }
+    }
+
+    #[test]
+    fn full_size_tasks_go_to_the_root() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut r = RandomizedOblivious::new(machine, 0);
+        let out = r.on_arrival(Task::new(TaskId(0), 3));
+        assert_eq!(out.placement.node, machine.root());
+    }
+}

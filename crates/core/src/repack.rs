@@ -1,0 +1,191 @@
+//! The paper's reallocation procedure `A_R` (§3) and the greedy/basic
+//! mode threshold of `A_M` (§4).
+
+use partalloc_model::TaskId;
+use partalloc_topology::BuddyTree;
+
+use crate::layers::LayerStack;
+use crate::placement::Placement;
+
+/// The mode threshold of Algorithm `A_M`: `⌈(log N + 1) / 2⌉`.
+///
+/// For reallocation parameter `d` at or above this value, periodic
+/// reallocation can no longer beat plain greedy (Thm 4.1's bound), so
+/// `A_M` runs `A_G` and never reallocates.
+pub fn greedy_threshold(machine: BuddyTree) -> u64 {
+    u64::from(machine.levels() + 1).div_ceil(2)
+}
+
+/// Reallocation procedure `A_R`: pack `tasks` into copies of `T` by
+/// first-fit decreasing.
+///
+/// Tasks are sorted in order of decreasing size (ties broken by id, for
+/// determinism); each is assigned to the leftmost vacant submachine of
+/// its size in the first copy that has one, creating copies as needed.
+///
+/// **Lemma 1**: for a task set of total size `S`, the resulting load is
+/// exactly `⌈S / N⌉` — no copy except possibly the last contains a
+/// vacant submachine. Both facts are debug-asserted here and
+/// property-tested.
+///
+/// Returns the placements in the same order as `tasks`, plus the stack
+/// (useful when the caller keeps allocating into it, as `A_M` does).
+///
+/// ```
+/// use partalloc_core::repack;
+/// use partalloc_model::TaskId;
+/// use partalloc_topology::BuddyTree;
+///
+/// let machine = BuddyTree::new(8).unwrap();
+/// // 4 + 2 + 1 + 1 = 8 PEs of tasks pack into exactly one copy.
+/// let tasks = [(TaskId(0), 2), (TaskId(1), 1), (TaskId(2), 0), (TaskId(3), 0)];
+/// let (placements, stack) = repack(machine, &tasks);
+/// assert_eq!(stack.num_layers(), 1); // Lemma 1: ceil(8/8)
+/// assert!(placements.iter().all(|(_, p)| p.layer == 0));
+/// ```
+pub fn repack(
+    machine: BuddyTree,
+    tasks: &[(TaskId, u8)],
+) -> (Vec<(TaskId, Placement)>, LayerStack) {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    // Decreasing size; stable on ids because sort_by_key is stable and
+    // `tasks` is in id order for every caller that cares.
+    order.sort_by_key(|&i| std::cmp::Reverse(tasks[i].1));
+
+    let mut stack = LayerStack::new(machine);
+    let mut placements = vec![None; tasks.len()];
+    for i in order {
+        let (id, size_log2) = tasks[i];
+        assert!(
+            u32::from(size_log2) <= machine.levels(),
+            "task {id} of size 2^{size_log2} exceeds the machine"
+        );
+        let (layer, node) = stack.place(u32::from(size_log2));
+        placements[i] = Some((id, Placement::in_layer(node, layer)));
+    }
+
+    debug_assert!(stack.is_tightly_packed(), "Lemma 1 claim violated");
+    let total: u64 = tasks.iter().map(|&(_, x)| 1u64 << x).sum();
+    debug_assert_eq!(
+        u64::from(stack.num_layers()),
+        total.div_ceil(u64::from(machine.num_pes())),
+        "Lemma 1 load bound violated"
+    );
+
+    (
+        placements
+            .into_iter()
+            .map(|p| p.expect("all placed"))
+            .collect(),
+        stack,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(sizes: &[u8]) -> Vec<(TaskId, u8)> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (TaskId(i as u64), x))
+            .collect()
+    }
+
+    #[test]
+    fn threshold_values() {
+        // ⌈(log N + 1)/2⌉ for N = 2, 4, 16, 1024.
+        assert_eq!(greedy_threshold(BuddyTree::new(2).unwrap()), 1);
+        assert_eq!(greedy_threshold(BuddyTree::new(4).unwrap()), 2);
+        assert_eq!(greedy_threshold(BuddyTree::new(16).unwrap()), 3);
+        assert_eq!(greedy_threshold(BuddyTree::new(1024).unwrap()), 6);
+        assert_eq!(greedy_threshold(BuddyTree::new(1).unwrap()), 1);
+    }
+
+    #[test]
+    fn empty_task_set() {
+        let t = BuddyTree::new(8).unwrap();
+        let (p, stack) = repack(t, &[]);
+        assert!(p.is_empty());
+        assert_eq!(stack.num_layers(), 0);
+    }
+
+    #[test]
+    fn exact_fill_uses_one_copy() {
+        let t = BuddyTree::new(8).unwrap();
+        let (p, stack) = repack(t, &ids(&[2, 1, 0, 0])); // 4+2+1+1 = 8
+        assert_eq!(stack.num_layers(), 1);
+        assert!(p.iter().all(|(_, pl)| pl.layer == 0));
+    }
+
+    #[test]
+    fn decreasing_order_prevents_fragmentation() {
+        // Sizes 1,1,4,2 in arrival order would fragment under plain
+        // first-fit on a 4-PE machine; sorted-decreasing packs 4 | 2+1+1.
+        let t = BuddyTree::new(4).unwrap();
+        let (p, stack) = repack(t, &ids(&[0, 0, 2, 1]));
+        assert_eq!(stack.num_layers(), 2); // ceil(8/4)
+                                           // The size-4 task owns one full copy.
+        let big = p.iter().find(|(id, _)| *id == TaskId(2)).unwrap().1;
+        assert_eq!(t.size_of(big.node), 4);
+    }
+
+    #[test]
+    fn placements_keep_input_order() {
+        let t = BuddyTree::new(8).unwrap();
+        let tasks = ids(&[0, 3, 1]);
+        let (p, _) = repack(t, &tasks);
+        let got: Vec<TaskId> = p.iter().map(|&(id, _)| id).collect();
+        assert_eq!(got, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let t = BuddyTree::new(16).unwrap();
+        let tasks = ids(&[1, 1, 2, 0, 3, 0, 2]);
+        let (p1, _) = repack(t, &tasks);
+        let (p2, _) = repack(t, &tasks);
+        assert_eq!(p1, p2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn lemma1_load_is_ceil_s_over_n(
+            levels in 0u32..6,
+            raw_sizes in proptest::collection::vec(0u8..6, 0..40),
+        ) {
+            let machine = BuddyTree::with_levels(levels).unwrap();
+            let sizes: Vec<u8> = raw_sizes
+                .into_iter()
+                .map(|x| x.min(levels as u8))
+                .collect();
+            let tasks = ids(&sizes);
+            let (placements, stack) = repack(machine, &tasks);
+
+            // Load = number of copies = ceil(S/N) (Lemma 1).
+            let total: u64 = sizes.iter().map(|&x| 1u64 << x).sum();
+            let expected = total.div_ceil(u64::from(machine.num_pes()));
+            prop_assert_eq!(u64::from(stack.num_layers()), expected);
+
+            // Validity: right sizes, and no two tasks overlap in a copy.
+            for (i, &(id, pl)) in placements.iter().enumerate() {
+                prop_assert_eq!(id, TaskId(i as u64));
+                prop_assert_eq!(machine.level_of(pl.node), u32::from(sizes[i]));
+            }
+            for (i, &(_, a)) in placements.iter().enumerate() {
+                for &(_, b) in placements.iter().skip(i + 1) {
+                    if a.layer == b.layer {
+                        prop_assert!(
+                            !machine.contains(a.node, b.node)
+                                && !machine.contains(b.node, a.node),
+                            "overlap within a copy"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Checkpoint/restore of allocation state.
+//!
+//! Long simulations (and the paper's own motivation — checkpointing is
+//! what makes reallocation expensive!) want to pause and resume. A
+//! [`Snapshot`] captures the active placement map plus the small
+//! per-algorithm counters; [`restore`] rebuilds a working allocator
+//! from it. The snapshot is serde-serializable, so it round-trips
+//! through JSON alongside the trace that produced it.
+
+use serde::{Deserialize, Serialize};
+
+use partalloc_model::TaskId;
+use partalloc_topology::{BuddyTree, NodeId};
+
+use crate::allocator::Allocator;
+use crate::kind::AllocatorKind;
+use crate::placement::Placement;
+
+/// One active task's captured placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Task id.
+    pub id: u64,
+    /// log2 of the task's size.
+    pub size_log2: u8,
+    /// Heap index of the placed node.
+    pub node: u32,
+    /// Copy index.
+    pub layer: u32,
+}
+
+impl SnapshotEntry {
+    pub(crate) fn placement(&self) -> Placement {
+        Placement::in_layer(NodeId(self.node), self.layer)
+    }
+
+    pub(crate) fn task_id(&self) -> TaskId {
+        TaskId(self.id)
+    }
+}
+
+/// A serializable checkpoint of an allocator's externally visible
+/// state: which algorithm, which machine, and where every active task
+/// sits.
+///
+/// Restoring replays the active set into a fresh allocator, which then
+/// continues under the algorithm's normal rules. Load-driven
+/// algorithms resume behaviourally identically (their decisions depend
+/// only on current loads); randomized ones are re-seeded from the
+/// recorded `seed` (reproducible, but not a bit-level continuation of
+/// the original RNG stream); `A_M`'s epoch progress is carried in
+/// `arrived_since_realloc`, and a `Stacked`-policy `A_M` resumes with
+/// its repacked base folded into the unified stack. Two lossy corners:
+/// the round-robin baseline's per-level cursor restarts at zero, and
+/// randomized algorithms restart their RNG stream — both resume
+/// *valid*, just not future-identical (the deterministic algorithms
+/// are future-identical, which `tests/snapshot_roundtrip.rs` asserts
+/// by replaying the remainder of the sequence on both instances).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Machine size.
+    pub num_pes: u64,
+    /// Algorithm label (as produced by [`AllocatorKind::label`]).
+    pub algorithm: String,
+    /// Active placements.
+    pub entries: Vec<SnapshotEntry>,
+    /// `A_M`/`A_rand(d)` epoch progress, if applicable.
+    pub arrived_since_realloc: u64,
+    /// RNG seed to resume randomized algorithms with.
+    pub seed: u64,
+}
+
+/// Capture a snapshot of `alloc`.
+///
+/// `arrived_since_realloc` must be supplied by the caller for the
+/// `d`-reallocation algorithms (exposed as
+/// `DReallocation::arrived_since_realloc`); pass 0 otherwise.
+pub fn snapshot(
+    alloc: &dyn Allocator,
+    kind: AllocatorKind,
+    seed: u64,
+    arrived_since_realloc: u64,
+) -> Snapshot {
+    let entries = alloc
+        .active_tasks()
+        .into_iter()
+        .map(|(id, size_log2, p)| SnapshotEntry {
+            id: id.0,
+            size_log2,
+            node: p.node.index(),
+            layer: p.layer,
+        })
+        .collect();
+    Snapshot {
+        num_pes: u64::from(alloc.machine().num_pes()),
+        algorithm: kind.label(),
+        entries,
+        arrived_since_realloc,
+        seed,
+    }
+}
+
+/// Errors restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot's algorithm label does not match `kind`.
+    AlgorithmMismatch {
+        /// Label recorded in the snapshot.
+        snapshot: String,
+        /// Label of the requested kind.
+        requested: String,
+    },
+    /// The machine size is not a valid power of two.
+    BadMachine(u64),
+    /// An entry's node does not root a submachine of the entry's size.
+    BadPlacement(SnapshotEntry),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::AlgorithmMismatch {
+                snapshot,
+                requested,
+            } => write!(
+                f,
+                "snapshot is for {snapshot}, cannot restore into {requested}"
+            ),
+            RestoreError::BadMachine(n) => write!(f, "invalid machine size {n}"),
+            RestoreError::BadPlacement(e) => {
+                write!(f, "entry t{} has an inconsistent placement", e.id)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Rebuild a working allocator from a snapshot.
+pub fn restore(snap: &Snapshot, kind: AllocatorKind) -> Result<Box<dyn Allocator>, RestoreError> {
+    if kind.label() != snap.algorithm {
+        return Err(RestoreError::AlgorithmMismatch {
+            snapshot: snap.algorithm.clone(),
+            requested: kind.label(),
+        });
+    }
+    let machine =
+        BuddyTree::new(snap.num_pes).map_err(|_| RestoreError::BadMachine(snap.num_pes))?;
+    for e in &snap.entries {
+        let node = NodeId(e.node);
+        if !machine.is_valid(node) || machine.level_of(node) != u32::from(e.size_log2) {
+            return Err(RestoreError::BadPlacement(*e));
+        }
+    }
+    let mut alloc = kind.build(machine, snap.seed);
+    alloc.force_restore(&snap.entries, snap.arrived_since_realloc);
+    Ok(alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dreall::DReallocation;
+    use partalloc_model::Task;
+
+    // Cross-algorithm round-trip coverage lives in the workspace-root
+    // integration test `tests/snapshot_roundtrip.rs`; the unit tests
+    // here pin the error paths and two representative round trips.
+
+    #[test]
+    fn mismatched_algorithm_rejected() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut g = crate::greedy::Greedy::new(machine);
+        g.on_arrival(Task::new(TaskId(0), 1));
+        let snap = snapshot(&g, AllocatorKind::Greedy, 0, 0);
+        let err = match restore(&snap, AllocatorKind::Basic) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched restore succeeded"),
+        };
+        assert!(matches!(err, RestoreError::AlgorithmMismatch { .. }));
+    }
+
+    #[test]
+    fn bad_placement_rejected() {
+        let snap = Snapshot {
+            num_pes: 8,
+            algorithm: "A_G".into(),
+            entries: vec![SnapshotEntry {
+                id: 0,
+                size_log2: 2, // node 8 is a leaf, not a 4-PE submachine
+                node: 8,
+                layer: 0,
+            }],
+            arrived_since_realloc: 0,
+            seed: 0,
+        };
+        assert!(matches!(
+            restore(&snap, AllocatorKind::Greedy).err(),
+            Some(RestoreError::BadPlacement(_))
+        ));
+    }
+
+    #[test]
+    fn bad_machine_rejected() {
+        let snap = Snapshot {
+            num_pes: 12,
+            algorithm: "A_G".into(),
+            entries: vec![],
+            arrived_since_realloc: 0,
+            seed: 0,
+        };
+        assert!(matches!(
+            restore(&snap, AllocatorKind::Greedy).err(),
+            Some(RestoreError::BadMachine(12))
+        ));
+    }
+
+    #[test]
+    fn greedy_roundtrip_preserves_loads() {
+        let machine = BuddyTree::new(16).unwrap();
+        let mut g = crate::greedy::Greedy::new(machine);
+        for i in 0..6 {
+            g.on_arrival(Task::new(TaskId(i), (i % 3) as u8));
+        }
+        g.on_departure(TaskId(2));
+        let snap = snapshot(&g, AllocatorKind::Greedy, 0, 0);
+        let restored = restore(&snap, AllocatorKind::Greedy).unwrap();
+        for pe in 0..16 {
+            assert_eq!(g.pe_load(pe), restored.pe_load(pe));
+        }
+        assert_eq!(g.active_size(), restored.active_size());
+        // JSON round-trip of the snapshot itself.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries, snap.entries);
+    }
+
+    #[test]
+    fn dreall_epoch_counter_survives() {
+        let machine = BuddyTree::new(8).unwrap(); // quota for d=1 is 8
+        let mut m = DReallocation::new(machine, 1);
+        for i in 0..5 {
+            m.on_arrival(Task::new(TaskId(i), 0));
+        }
+        assert_eq!(m.arrived_since_realloc(), 5);
+        let snap = snapshot(&m, AllocatorKind::DRealloc(1), 0, m.arrived_since_realloc());
+        let mut restored = restore(&snap, AllocatorKind::DRealloc(1)).unwrap();
+        // Three more units reach the quota: the restored instance must
+        // reallocate exactly where the original would.
+        for i in 5..7 {
+            assert!(!restored.on_arrival(Task::new(TaskId(i), 0)).reallocated);
+        }
+        assert!(restored.on_arrival(Task::new(TaskId(7), 0)).reallocated);
+    }
+}

@@ -1,0 +1,136 @@
+//! Per-task bookkeeping shared by all allocators.
+
+use partalloc_model::TaskId;
+
+use crate::placement::Placement;
+
+/// Flat table from task id to (size, placement) for active tasks.
+///
+/// Task ids are dense in arrival order (an invariant of
+/// `partalloc_model::TaskSequence`), so a growable vector beats a hash
+/// map on every workload.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TaskTable {
+    entries: Vec<Option<(u8, Placement)>>,
+    active: usize,
+    active_size: u64,
+}
+
+impl TaskTable {
+    pub(crate) fn new() -> Self {
+        TaskTable::default()
+    }
+
+    /// Record an active task. Panics if the id is already active.
+    pub(crate) fn insert(&mut self, id: TaskId, size_log2: u8, placement: Placement) {
+        if self.entries.len() <= id.idx() {
+            self.entries.resize(id.idx() + 1, None);
+        }
+        let slot = &mut self.entries[id.idx()];
+        assert!(slot.is_none(), "task {id} is already active");
+        *slot = Some((size_log2, placement));
+        self.active += 1;
+        self.active_size += 1 << size_log2;
+    }
+
+    /// Remove an active task, returning its entry. Panics if unknown.
+    pub(crate) fn remove(&mut self, id: TaskId) -> (u8, Placement) {
+        let slot = self
+            .entries
+            .get_mut(id.idx())
+            .and_then(Option::take)
+            .unwrap_or_else(|| panic!("departure of unknown task {id}"));
+        self.active -= 1;
+        self.active_size -= 1 << slot.0;
+        slot
+    }
+
+    /// Look up an active task.
+    pub(crate) fn get(&self, id: TaskId) -> Option<(u8, Placement)> {
+        self.entries.get(id.idx()).copied().flatten()
+    }
+
+    /// Update the placement of an active task (reallocation).
+    pub(crate) fn relocate(&mut self, id: TaskId, placement: Placement) {
+        let slot = self.entries[id.idx()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("relocate of unknown task {id}"));
+        slot.1 = placement;
+    }
+
+    /// All active `(id, size_log2, placement)` triples, in id order.
+    pub(crate) fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|(x, p)| (TaskId(i as u64), x, p)))
+            .collect()
+    }
+
+    /// Number of active tasks.
+    pub(crate) fn num_active(&self) -> usize {
+        self.active
+    }
+
+    /// Cumulative size of active tasks (`S(σ; now)`).
+    pub(crate) fn active_size(&self) -> u64 {
+        self.active_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_topology::NodeId;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = TaskTable::new();
+        t.insert(TaskId(0), 2, Placement::base(NodeId(3)));
+        t.insert(TaskId(5), 0, Placement::in_layer(NodeId(9), 1));
+        assert_eq!(t.num_active(), 2);
+        assert_eq!(t.active_size(), 5);
+        assert_eq!(t.get(TaskId(0)), Some((2, Placement::base(NodeId(3)))));
+        assert_eq!(t.get(TaskId(3)), None);
+        let (x, p) = t.remove(TaskId(0));
+        assert_eq!((x, p.node), (2, NodeId(3)));
+        assert_eq!(t.num_active(), 1);
+        assert_eq!(t.active_size(), 1);
+    }
+
+    #[test]
+    fn relocate_updates_placement() {
+        let mut t = TaskTable::new();
+        t.insert(TaskId(1), 1, Placement::base(NodeId(2)));
+        t.relocate(TaskId(1), Placement::in_layer(NodeId(3), 4));
+        assert_eq!(
+            t.get(TaskId(1)).unwrap().1,
+            Placement::in_layer(NodeId(3), 4)
+        );
+    }
+
+    #[test]
+    fn active_tasks_in_id_order() {
+        let mut t = TaskTable::new();
+        t.insert(TaskId(2), 0, Placement::base(NodeId(4)));
+        t.insert(TaskId(0), 1, Placement::base(NodeId(2)));
+        let a = t.active_tasks();
+        assert_eq!(a[0].0, TaskId(0));
+        assert_eq!(a[1].0, TaskId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn double_insert_panics() {
+        let mut t = TaskTable::new();
+        t.insert(TaskId(0), 0, Placement::base(NodeId(1)));
+        t.insert(TaskId(0), 0, Placement::base(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn remove_unknown_panics() {
+        let mut t = TaskTable::new();
+        t.remove(TaskId(7));
+    }
+}

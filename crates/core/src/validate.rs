@@ -1,0 +1,295 @@
+//! Invariant checking for [`Allocator`] implementations.
+//!
+//! The trait is open — downstream users can write their own placement
+//! policies — and these checks catch the mistakes that silently corrupt
+//! experiments: wrong-size submachines, PE loads that disagree with
+//! the reported placements, overlapping tasks inside one copy. The
+//! workspace's own shadow-replay integration tests are built from the
+//! same predicates; this module packages them as a reusable API.
+
+use std::fmt;
+
+use partalloc_topology::NodeId;
+
+use crate::allocator::Allocator;
+
+/// A violated invariant, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A task's placement node does not root a submachine of the
+    /// task's size.
+    WrongSize {
+        /// The offending task.
+        task: partalloc_model::TaskId,
+        /// Its placed node.
+        node: NodeId,
+        /// The node's level.
+        node_level: u32,
+        /// The task's size exponent.
+        size_log2: u8,
+    },
+    /// `pe_load` disagrees with the load derived from `active_tasks`.
+    LoadMismatch {
+        /// The PE whose load disagrees.
+        pe: u32,
+        /// What `pe_load` reported.
+        reported: u64,
+        /// What the placements imply.
+        derived: u64,
+    },
+    /// `max_load` is not the maximum of the per-PE loads.
+    MaxLoadMismatch {
+        /// What `max_load` reported.
+        reported: u64,
+        /// The actual maximum over `pe_load`.
+        derived: u64,
+    },
+    /// `active_size` disagrees with the sum of active task sizes.
+    ActiveSizeMismatch {
+        /// What `active_size` reported.
+        reported: u64,
+        /// The sum over `active_tasks`.
+        derived: u64,
+    },
+    /// Two tasks in the same copy overlap on PEs.
+    CopyOverlap {
+        /// First task.
+        a: partalloc_model::TaskId,
+        /// Second task.
+        b: partalloc_model::TaskId,
+        /// The shared copy index.
+        layer: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WrongSize {
+                task,
+                node,
+                node_level,
+                size_log2,
+            } => write!(
+                f,
+                "{task} of size 2^{size_log2} placed on {node} (level {node_level})"
+            ),
+            Violation::LoadMismatch {
+                pe,
+                reported,
+                derived,
+            } => write!(
+                f,
+                "PE {pe}: pe_load says {reported}, placements imply {derived}"
+            ),
+            Violation::MaxLoadMismatch { reported, derived } => {
+                write!(f, "max_load says {reported}, per-PE maximum is {derived}")
+            }
+            Violation::ActiveSizeMismatch { reported, derived } => {
+                write!(
+                    f,
+                    "active_size says {reported}, placements sum to {derived}"
+                )
+            }
+            Violation::CopyOverlap { a, b, layer } => {
+                write!(f, "{a} and {b} overlap inside copy {layer}")
+            }
+        }
+    }
+}
+
+/// Check every cross-cutting invariant of `alloc`'s current state.
+///
+/// `check_copy_exclusivity` should be `true` for copy-structured
+/// algorithms (`A_B`, `A_C`, `A_M` in periodic mode), where a PE may
+/// serve at most one task per copy, and `false` for flat algorithms
+/// (`A_G`, `A_rand`, baselines), which stack everything in copy 0.
+///
+/// Returns all violations found (empty = consistent). Cost is
+/// `O(active² + N·active·log N)` — a debugging tool, not a hot-path
+/// check.
+pub fn validate(alloc: &dyn Allocator, check_copy_exclusivity: bool) -> Vec<Violation> {
+    let machine = alloc.machine();
+    let active = alloc.active_tasks();
+    let mut violations = Vec::new();
+
+    // 1. Placement sizes.
+    for &(task, size_log2, p) in &active {
+        if machine.level_of(p.node) != u32::from(size_log2) {
+            violations.push(Violation::WrongSize {
+                task,
+                node: p.node,
+                node_level: machine.level_of(p.node),
+                size_log2,
+            });
+        }
+    }
+
+    // 2. Per-PE loads derived from placements.
+    let mut derived_max = 0u64;
+    for pe in 0..machine.num_pes() {
+        let leaf = machine.leaf_of(pe);
+        let derived = active
+            .iter()
+            .filter(|&&(_, _, p)| machine.contains(p.node, leaf))
+            .count() as u64;
+        derived_max = derived_max.max(derived);
+        let reported = alloc.pe_load(pe);
+        if reported != derived {
+            violations.push(Violation::LoadMismatch {
+                pe,
+                reported,
+                derived,
+            });
+        }
+    }
+
+    // 3. Aggregates.
+    if alloc.max_load() != derived_max {
+        violations.push(Violation::MaxLoadMismatch {
+            reported: alloc.max_load(),
+            derived: derived_max,
+        });
+    }
+    let derived_size: u64 = active.iter().map(|&(_, x, _)| 1u64 << x).sum();
+    if alloc.active_size() != derived_size {
+        violations.push(Violation::ActiveSizeMismatch {
+            reported: alloc.active_size(),
+            derived: derived_size,
+        });
+    }
+
+    // 4. Copy exclusivity.
+    if check_copy_exclusivity {
+        for (i, &(a, _, pa)) in active.iter().enumerate() {
+            for &(b, _, pb) in active.iter().skip(i + 1) {
+                if pa.layer == pb.layer
+                    && (machine.contains(pa.node, pb.node) || machine.contains(pb.node, pa.node))
+                {
+                    violations.push(Violation::CopyOverlap {
+                        a,
+                        b,
+                        layer: pa.layer,
+                    });
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::Basic;
+    use crate::constant::Constant;
+    use crate::greedy::Greedy;
+    use partalloc_model::{Task, TaskId};
+    use partalloc_topology::BuddyTree;
+
+    #[test]
+    fn healthy_allocators_validate_clean() {
+        let machine = BuddyTree::new(16).unwrap();
+        let mut g = Greedy::new(machine);
+        let mut b = Basic::new(machine);
+        let mut c = Constant::new(machine);
+        for i in 0..10 {
+            let t = Task::new(TaskId(i), (i % 3) as u8);
+            g.on_arrival(t);
+            b.on_arrival(t);
+            c.on_arrival(t);
+        }
+        g.on_departure(TaskId(3));
+        b.on_departure(TaskId(3));
+        c.on_departure(TaskId(3));
+        assert!(validate(&g, false).is_empty());
+        assert!(validate(&b, true).is_empty());
+        assert!(validate(&c, true).is_empty());
+    }
+
+    #[test]
+    fn catches_a_broken_implementation() {
+        /// An allocator that lies about its loads.
+        struct Liar {
+            inner: Greedy,
+        }
+        impl Allocator for Liar {
+            fn machine(&self) -> BuddyTree {
+                self.inner.machine()
+            }
+            fn name(&self) -> String {
+                "liar".into()
+            }
+            fn on_arrival(&mut self, task: Task) -> crate::ArrivalOutcome {
+                self.inner.on_arrival(task)
+            }
+            fn on_departure(&mut self, id: TaskId) -> crate::Placement {
+                self.inner.on_departure(id)
+            }
+            fn placement_of(&self, id: TaskId) -> Option<crate::Placement> {
+                self.inner.placement_of(id)
+            }
+            fn active_tasks(&self) -> Vec<(TaskId, u8, crate::Placement)> {
+                self.inner.active_tasks()
+            }
+            fn pe_load(&self, pe: u32) -> u64 {
+                self.inner.pe_load(pe) + u64::from(pe == 0) // off by one on PE 0
+            }
+            fn max_load_in(&self, node: NodeId) -> u64 {
+                self.inner.max_load_in(node)
+            }
+            fn max_load(&self) -> u64 {
+                self.inner.max_load() + 5
+            }
+            fn active_size(&self) -> u64 {
+                self.inner.active_size() + 1
+            }
+            fn force_restore(&mut self, e: &[crate::SnapshotEntry], a: u64) {
+                self.inner.force_restore(e, a)
+            }
+        }
+        let machine = BuddyTree::new(8).unwrap();
+        let mut liar = Liar {
+            inner: Greedy::new(machine),
+        };
+        liar.on_arrival(Task::new(TaskId(0), 1));
+        let violations = validate(&liar, false);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::LoadMismatch { pe: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MaxLoadMismatch { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::ActiveSizeMismatch { .. })));
+    }
+
+    #[test]
+    fn catches_copy_overlap() {
+        // A_G legitimately stacks tasks on the same PEs in copy 0;
+        // validating it WITH copy exclusivity must therefore flag the
+        // overlap — which doubles as the detection test.
+        let machine = BuddyTree::new(4).unwrap();
+        let mut g = Greedy::new(machine);
+        g.on_arrival(Task::new(TaskId(0), 2));
+        g.on_arrival(Task::new(TaskId(1), 2));
+        assert!(validate(&g, false).is_empty());
+        let violations = validate(&g, true);
+        assert!(matches!(
+            violations.as_slice(),
+            [Violation::CopyOverlap { layer: 0, .. }]
+        ));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::LoadMismatch {
+            pe: 3,
+            reported: 2,
+            derived: 1,
+        };
+        assert!(v.to_string().contains("PE 3"));
+    }
+}

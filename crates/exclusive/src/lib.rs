@@ -1,0 +1,34 @@
+//! # partalloc-exclusive
+//!
+//! The *exclusive-use* allocation model of the paper's related work
+//! (§1): each task gets sole use of its processors, so arrivals that
+//! do not fit must **wait in a queue** — the hypercube subcube
+//! allocation literature the paper cites (Chen–Shin's buddy and
+//! Gray-code strategies \[9, 10\], Dutt–Hayes \[11\]).
+//!
+//! The paper's central departure from that literature is *sharing*:
+//! "in all the above mentioned work … machines are never truly shared
+//! … no two users are allocated to share the same processor at the
+//! same time. Therefore, thread management is not considered to be an
+//! issue." This crate implements the contrasted-against model so the
+//! trade can be measured end to end (experiment `exp_exclusive_vs_shared`):
+//!
+//! * [`SubcubeStrategy`] — which free subcubes a recognizer can see:
+//!   [`BuddyStrategy`] (aligned blocks), [`GrayCodeStrategy`]
+//!   (Chen–Shin, recognizes twice as many subcubes), and
+//!   [`FullRecognition`] (Dutt–Hayes-class complete recognition);
+//! * [`ExclusiveMachine`] — the free-set bookkeeping plus an FCFS wait
+//!   queue;
+//! * [`run_exclusive`] — drives a timed workload to completion,
+//!   reporting waits, stretches, utilization and fragmentation stalls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod strategy;
+
+pub use machine::{
+    run_exclusive, run_exclusive_with_policy, ExclusiveMachine, ExclusiveReport, QueuePolicy,
+};
+pub use strategy::{BuddyStrategy, FullRecognition, GrayCodeStrategy, SubcubeStrategy};

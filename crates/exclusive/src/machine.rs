@@ -1,0 +1,515 @@
+use partalloc_workload::TimedWorkload;
+use serde::Serialize;
+
+use crate::strategy::SubcubeStrategy;
+
+/// Free-set bookkeeping plus an FCFS wait queue for exclusive
+/// allocation.
+///
+/// In this model (the related-work model the paper contrasts with) a
+/// task gets *sole* use of its subcube: arrivals that fit are placed
+/// immediately, the rest wait in FIFO order. Strict FCFS — the head of
+/// the queue blocks everyone behind it — keeps the comparison with the
+/// paper's never-blocking shared model clean (no backfilling tricks).
+pub struct ExclusiveMachine<'s> {
+    n: u32,
+    free: Vec<bool>,
+    strategy: &'s dyn SubcubeStrategy,
+    /// Allocated PE sets by task id.
+    held: Vec<Option<Vec<u32>>>,
+    /// Times the queue head fit in the free PE *count* but the
+    /// strategy found no subcube — pure fragmentation stalls.
+    fragmentation_stalls: u64,
+}
+
+impl<'s> ExclusiveMachine<'s> {
+    /// An empty machine of `2^n` PEs using `strategy`.
+    pub fn new(n: u32, strategy: &'s dyn SubcubeStrategy) -> Self {
+        ExclusiveMachine {
+            n,
+            free: vec![true; 1 << n],
+            strategy,
+            held: Vec::new(),
+            fragmentation_stalls: 0,
+        }
+    }
+
+    /// Number of free PEs.
+    pub fn free_pes(&self) -> usize {
+        self.free.iter().filter(|&&f| f).count()
+    }
+
+    /// Number of fragmentation stalls observed so far.
+    pub fn fragmentation_stalls(&self) -> u64 {
+        self.fragmentation_stalls
+    }
+
+    /// Try to allocate a `2^k`-PE subcube to `task`; `true` on
+    /// success.
+    pub fn try_allocate(&mut self, task: usize, k: u32) -> bool {
+        if self.held.len() <= task {
+            self.held.resize(task + 1, None);
+        }
+        assert!(self.held[task].is_none(), "task {task} already holds PEs");
+        match self.strategy.find(&self.free, self.n, k) {
+            Some(pes) => {
+                for &p in &pes {
+                    debug_assert!(self.free[p as usize]);
+                    self.free[p as usize] = false;
+                }
+                self.held[task] = Some(pes);
+                true
+            }
+            None => {
+                if self.free_pes() >= (1usize << k) {
+                    self.fragmentation_stalls += 1;
+                }
+                false
+            }
+        }
+    }
+
+    /// The earliest tick at which a `2^k`-PE subcube will be
+    /// recognizable, assuming the given running tasks (finish tick,
+    /// task id) release their PEs on schedule and nothing else
+    /// changes. `None` if even a fully drained machine has no such
+    /// subcube (impossible for `k ≤ n`).
+    pub fn reservation_for(&self, k: u32, running: &[(u64, usize)]) -> Option<u64> {
+        // Already recognizable in the current free set: the earliest
+        // start is "now" (returned as 0; callers clamp to the current
+        // tick).
+        if self.strategy.find(&self.free, self.n, k).is_some() {
+            return Some(0);
+        }
+        let mut free = self.free.clone();
+        let mut order: Vec<&(u64, usize)> = running.iter().collect();
+        order.sort();
+        for &&(finish, task) in &order {
+            for &p in self.held[task].as_ref().expect("running task holds PEs") {
+                free[p as usize] = true;
+            }
+            // Several tasks can finish at the same tick; only probe
+            // once all frees at this tick are applied.
+            if order
+                .iter()
+                .all(|&&(f, t)| f != finish || t == task || free_holds(&free, &self.held, t))
+                && self.strategy.find(&free, self.n, k).is_some()
+            {
+                return Some(finish);
+            }
+        }
+        None
+    }
+
+    /// Release the PEs of `task`.
+    pub fn release(&mut self, task: usize) {
+        let pes = self.held[task].take().unwrap_or_else(|| {
+            panic!("task {task} holds no PEs");
+        });
+        for p in pes {
+            debug_assert!(!self.free[p as usize]);
+            self.free[p as usize] = true;
+        }
+    }
+}
+
+fn free_holds(free: &[bool], held: &[Option<Vec<u32>>], task: usize) -> bool {
+    held[task]
+        .as_ref()
+        .is_none_or(|pes| pes.iter().all(|&p| free[p as usize]))
+}
+
+/// Results of an exclusive run over a timed workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExclusiveReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Start tick of each task.
+    pub start: Vec<u64>,
+    /// Completion tick of each task.
+    pub completion: Vec<u64>,
+    /// Queueing delay of each task (start − arrival).
+    pub wait: Vec<u64>,
+    /// Stretch of each task: (wait + run) / work. Runs are unshared,
+    /// so all stretch above 1 is queueing.
+    pub stretch: Vec<f64>,
+    /// Mean stretch.
+    pub mean_stretch: f64,
+    /// Worst stretch.
+    pub max_stretch: f64,
+    /// Tick of the last completion.
+    pub makespan: u64,
+    /// Busy PE-ticks divided by `N × makespan`.
+    pub utilization: f64,
+    /// Queue-head stalls caused purely by fragmentation (enough free
+    /// PEs, no recognizable subcube).
+    pub fragmentation_stalls: u64,
+}
+
+/// How the wait queue is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Strict FCFS: the head blocks everyone behind it.
+    #[default]
+    StrictFcfs,
+    /// EASY backfilling (Lifka): when the head does not fit, compute
+    /// its *reservation* (the earliest tick a subcube of its size is
+    /// recognizable, given the running tasks' known completions), and
+    /// let later queued jobs start now if they fit and are guaranteed
+    /// to finish by the reservation — filling holes without ever
+    /// delaying the head. The standard mitigation for exactly the
+    /// head-of-line blocking experiment E13 exposes.
+    EasyBackfill,
+    /// Conservative backfilling (simplified): a candidate may jump
+    /// only if it finishes before the *earliest* reservation of **any**
+    /// job queued ahead of it — never delaying anyone, at the cost of
+    /// fewer backfills than EASY. (Full conservative scheduling builds
+    /// a reservation per queued job; computing those under subcube
+    /// constraints amounts to simulating the whole future schedule, so
+    /// this implementation uses the safe earliest-reservation
+    /// approximation and documents it as such.)
+    ConservativeBackfill,
+}
+
+/// Run `workload` under exclusive strict-FCFS allocation (see
+/// [`run_exclusive_with_policy`] for backfilling).
+///
+/// ```
+/// use partalloc_exclusive::{run_exclusive, BuddyStrategy};
+/// use partalloc_workload::{TimedTask, TimedWorkload};
+///
+/// // Two half-machine jobs on 4 PEs: both start immediately.
+/// let w = TimedWorkload::new(vec![
+///     TimedTask { arrival: 0, size_log2: 1, work: 10.0 },
+///     TimedTask { arrival: 0, size_log2: 1, work: 10.0 },
+/// ]);
+/// let r = run_exclusive(2, &BuddyStrategy, &w);
+/// assert_eq!(r.wait, vec![0, 0]);
+/// assert_eq!(r.makespan, 10);
+/// ```
+pub fn run_exclusive(
+    n: u32,
+    strategy: &dyn SubcubeStrategy,
+    workload: &TimedWorkload,
+) -> ExclusiveReport {
+    run_exclusive_with_policy(n, strategy, workload, QueuePolicy::StrictFcfs)
+}
+
+/// Run `workload` to completion under exclusive allocation with the
+/// given queue policy.
+///
+/// Tick loop: completions first (freeing subcubes), then arrivals join
+/// the queue, then the queue is served (head first, then backfill
+/// candidates under [`QueuePolicy::EasyBackfill`]). Tasks run
+/// unshared, so task `i` completes exactly `⌈work_i⌉` ticks after it
+/// starts.
+pub fn run_exclusive_with_policy(
+    n: u32,
+    strategy: &dyn SubcubeStrategy,
+    workload: &TimedWorkload,
+    policy: QueuePolicy,
+) -> ExclusiveReport {
+    let tasks = workload.tasks();
+    let mut machine = ExclusiveMachine::new(n, strategy);
+    let mut start = vec![0u64; tasks.len()];
+    let mut completion = vec![0u64; tasks.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut running: Vec<(u64, usize)> = Vec::new(); // (finish tick, task)
+    let mut next_arrival = 0usize;
+    let mut tick = 0u64;
+    let mut remaining = tasks.len();
+    let mut busy_pe_ticks = 0u64;
+
+    while remaining > 0 {
+        // Completions due now.
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].0 <= tick {
+                let (t_fin, task) = running.swap_remove(i);
+                machine.release(task);
+                completion[task] = t_fin;
+                remaining -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        // Arrivals due now.
+        while next_arrival < tasks.len() && tasks[next_arrival].arrival <= tick {
+            queue.push_back(next_arrival);
+            next_arrival += 1;
+        }
+        // FCFS service: the head goes first, always.
+        while let Some(&head) = queue.front() {
+            let k = u32::from(tasks[head].size_log2);
+            if machine.try_allocate(head, k) {
+                queue.pop_front();
+                start[head] = tick;
+                let run_ticks = (tasks[head].work.ceil() as u64).max(1);
+                running.push((tick + run_ticks, head));
+            } else {
+                break;
+            }
+        }
+        // EASY backfill: jobs behind a blocked head may jump the queue
+        // if they fit now and finish by the head's reservation.
+        if policy == QueuePolicy::EasyBackfill && queue.len() > 1 {
+            let head_k = u32::from(tasks[*queue.front().expect("non-empty")].size_log2);
+            if let Some(reservation) = machine.reservation_for(head_k, &running) {
+                let mut idx = 1;
+                while idx < queue.len() {
+                    let cand = queue[idx];
+                    let run_ticks = (tasks[cand].work.ceil() as u64).max(1);
+                    let harmless = tick + run_ticks <= reservation;
+                    if harmless && machine.try_allocate(cand, u32::from(tasks[cand].size_log2)) {
+                        queue.remove(idx);
+                        start[cand] = tick;
+                        running.push((tick + run_ticks, cand));
+                    } else {
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        busy_pe_ticks += ((1usize << n) - machine.free_pes()) as u64;
+        // Advance to the next interesting tick.
+        let next_fin = running.iter().map(|&(f, _)| f).min();
+        let next_arr = tasks.get(next_arrival).map(|t| t.arrival);
+        tick = match (next_fin, next_arr) {
+            (Some(f), Some(a)) => f.min(a.max(tick + 1)),
+            (Some(f), None) => f,
+            (None, Some(a)) => a.max(tick + 1),
+            (None, None) => tick + 1,
+        }
+        .max(tick + 1);
+    }
+
+    let wait: Vec<u64> = start
+        .iter()
+        .zip(tasks)
+        .map(|(&s, t)| s - t.arrival)
+        .collect();
+    let stretch: Vec<f64> = completion
+        .iter()
+        .zip(tasks)
+        .map(|(&c, t)| (c - t.arrival) as f64 / t.work)
+        .collect();
+    let mean_stretch = stretch.iter().sum::<f64>() / stretch.len().max(1) as f64;
+    let max_stretch = stretch.iter().copied().fold(0.0, f64::max);
+    let makespan = completion.iter().copied().max().unwrap_or(0);
+    ExclusiveReport {
+        strategy: strategy.name().to_owned(),
+        start,
+        completion,
+        wait,
+        stretch,
+        mean_stretch,
+        max_stretch,
+        makespan,
+        utilization: if makespan == 0 {
+            0.0
+        } else {
+            busy_pe_ticks as f64 / ((1u64 << n) * makespan) as f64
+        },
+        fragmentation_stalls: machine.fragmentation_stalls(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{BuddyStrategy, FullRecognition, GrayCodeStrategy};
+    use partalloc_workload::{TimedTask, TimedWorkload};
+
+    fn t(arrival: u64, size_log2: u8, work: f64) -> TimedTask {
+        TimedTask {
+            arrival,
+            size_log2,
+            work,
+        }
+    }
+
+    #[test]
+    fn machine_allocates_and_releases() {
+        let s = BuddyStrategy;
+        let mut m = ExclusiveMachine::new(2, &s);
+        assert!(m.try_allocate(0, 1));
+        assert!(m.try_allocate(1, 1));
+        assert_eq!(m.free_pes(), 0);
+        assert!(!m.try_allocate(2, 0));
+        m.release(0);
+        assert_eq!(m.free_pes(), 2);
+        assert!(m.try_allocate(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no PEs")]
+    fn double_release_panics() {
+        let s = BuddyStrategy;
+        let mut m = ExclusiveMachine::new(2, &s);
+        m.try_allocate(0, 0);
+        m.release(0);
+        m.release(0);
+    }
+
+    #[test]
+    fn unloaded_tasks_never_wait() {
+        let w = TimedWorkload::new(vec![t(0, 1, 5.0), t(0, 1, 5.0)]);
+        let r = run_exclusive(2, &BuddyStrategy, &w);
+        assert_eq!(r.wait, vec![0, 0]);
+        assert_eq!(r.completion, vec![5, 5]);
+        assert!(r.stretch.iter().all(|&s| (s - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn overfull_machine_queues_fcfs() {
+        // Three half-machine tasks on a 4-PE machine: the third waits
+        // for the first completion.
+        let w = TimedWorkload::new(vec![t(0, 1, 4.0), t(0, 1, 4.0), t(0, 1, 4.0)]);
+        let r = run_exclusive(2, &BuddyStrategy, &w);
+        assert_eq!(r.wait, vec![0, 0, 4]);
+        assert_eq!(r.completion, vec![4, 4, 8]);
+        assert!(r.makespan == 8);
+    }
+
+    /// Eight unit fillers with two shorts at the given task indices,
+    /// then a pair request arriving as the shorts finish.
+    fn filler_with_shorts(short_a: usize, short_b: usize) -> TimedWorkload {
+        let mut tasks: Vec<TimedTask> = (0..8).map(|_| t(0, 0, 10.0)).collect();
+        tasks[short_a].work = 2.0;
+        tasks[short_b].work = 2.0;
+        tasks.push(t(3, 1, 4.0));
+        TimedWorkload::new(tasks)
+    }
+
+    #[test]
+    fn gray_recognition_beats_buddy_on_fragmented_frees() {
+        // Under gray's own placement order (PE = gray(rank)), shorts at
+        // task indices 1 and 2 free PEs 1 and 3 — gray ranks 1, 2 are
+        // adjacent, so the pair proceeds at its arrival tick.
+        let gray = run_exclusive(3, &GrayCodeStrategy, &filler_with_shorts(1, 2));
+        assert_eq!(gray.wait[8], 0);
+        assert_eq!(gray.fragmentation_stalls, 0);
+        // Under buddy's identity placement, the same workload frees
+        // PEs 1 and 2 — no recognizable (indeed no actual) subcube:
+        // the pair stalls until the long tasks drain at tick 10.
+        let buddy = run_exclusive(3, &BuddyStrategy, &filler_with_shorts(1, 2));
+        assert_eq!(buddy.wait[8], 7);
+        assert!(buddy.fragmentation_stalls > 0);
+        // Even shorts on a true subcube {1, 3} stay invisible to buddy.
+        let buddy = run_exclusive(3, &BuddyStrategy, &filler_with_shorts(1, 3));
+        assert_eq!(buddy.wait[8], 7);
+    }
+
+    #[test]
+    fn full_recognition_dominates_gray() {
+        // Full recognition places like buddy (identity order); shorts
+        // at tasks 1 and 5 free the subcube {1, 5} (differ in bit 2),
+        // which full recognition serves immediately...
+        let full = run_exclusive(3, &FullRecognition, &filler_with_shorts(1, 5));
+        assert_eq!(full.wait[8], 0);
+        // ...while gray, given shorts at the gray ranks of PEs 1 and 5
+        // (ranks 1 and 6 — not adjacent), must stall on the same free
+        // pattern.
+        let gray = run_exclusive(3, &GrayCodeStrategy, &filler_with_shorts(1, 6));
+        assert_eq!(gray.wait[8], 7);
+        assert!(gray.fragmentation_stalls > 0);
+    }
+
+    #[test]
+    fn utilization_bounded_and_positive() {
+        let w = TimedWorkload::new(vec![t(0, 2, 6.0), t(1, 1, 3.0)]);
+        let r = run_exclusive(3, &BuddyStrategy, &w);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn easy_backfill_fills_holes_without_delaying_the_head() {
+        // Head wants the whole 4-PE machine (blocked until tick 4); a
+        // unit job behind it fits now and finishes by the reservation,
+        // so EASY starts it immediately — strict FCFS makes it wait.
+        let w = TimedWorkload::new(vec![
+            t(0, 1, 4.0), // pair on PEs 0-1, finishes at 4
+            t(1, 2, 4.0), // whole machine: blocked, reservation = 4
+            t(1, 0, 2.0), // unit, harmless: 1 + 2 ≤ 4
+        ]);
+        let strict = run_exclusive(2, &BuddyStrategy, &w);
+        let easy = run_exclusive_with_policy(2, &BuddyStrategy, &w, QueuePolicy::EasyBackfill);
+        // The head starts at the same tick under both policies.
+        assert_eq!(strict.start[1], 4);
+        assert_eq!(easy.start[1], 4);
+        // The small job jumps under EASY only.
+        assert!(strict.start[2] >= 8);
+        assert_eq!(easy.start[2], 1);
+        assert!(easy.mean_stretch < strict.mean_stretch);
+    }
+
+    #[test]
+    fn easy_backfill_refuses_harmful_jumps() {
+        // The candidate would overrun the head's reservation: it must
+        // wait even though it fits physically.
+        let w = TimedWorkload::new(vec![
+            t(0, 1, 4.0),  // finishes at 4; reservation for head = 4
+            t(1, 2, 4.0),  // whole machine, blocked
+            t(1, 0, 10.0), // unit, would run past tick 4 → refused
+        ]);
+        let easy = run_exclusive_with_policy(2, &BuddyStrategy, &w, QueuePolicy::EasyBackfill);
+        assert_eq!(easy.start[1], 4, "head was delayed by a backfill");
+        assert!(easy.start[2] >= 8, "harmful backfill was allowed");
+    }
+
+    #[test]
+    fn conservative_backfill_is_stricter_than_easy() {
+        // A long pair occupies PEs 0-1 until tick 6; the head (whole
+        // machine) is blocked with reservation 6. Two units queue
+        // behind: EASY backfills both onto the free PEs 2-3 (each
+        // finishes well before 6); the conservative deadline is pinned
+        // to "now" by the queued units' own immediate reservations, so
+        // it refuses every jump.
+        let w = TimedWorkload::new(vec![
+            t(0, 1, 6.0), // pair on PEs 0-1, finishes at 6
+            t(1, 2, 4.0), // head: whole machine, reservation 6
+            t(1, 0, 1.0), // unit, EASY: 1 + 1 ≤ 6
+            t(1, 0, 2.0), // unit, EASY: 1 + 2 ≤ 6
+        ]);
+        let strict = run_exclusive(2, &BuddyStrategy, &w);
+        let easy = run_exclusive_with_policy(2, &BuddyStrategy, &w, QueuePolicy::EasyBackfill);
+        let cons =
+            run_exclusive_with_policy(2, &BuddyStrategy, &w, QueuePolicy::ConservativeBackfill);
+        // Neither policy delays the head relative to strict FCFS.
+        assert_eq!(strict.start[1], 6);
+        assert_eq!(easy.start[1], 6);
+        assert_eq!(cons.start[1], 6);
+        // EASY backfills the units immediately; conservative holds them
+        // behind the head like strict FCFS does.
+        assert_eq!(easy.start[2], 1);
+        assert_eq!(easy.start[3], 1);
+        assert!(cons.start[2] >= strict.start[1]);
+        assert!(cons.start[3] >= strict.start[1]);
+        assert!(easy.mean_stretch < cons.mean_stretch);
+    }
+
+    #[test]
+    fn reservation_computation() {
+        let s = BuddyStrategy;
+        let mut m = ExclusiveMachine::new(2, &s);
+        assert!(m.try_allocate(0, 1)); // PEs 0-1
+        assert!(m.try_allocate(1, 1)); // PEs 2-3
+                                       // Whole machine frees when the later of the two finishes.
+        let running = vec![(7u64, 0usize), (4u64, 1usize)];
+        assert_eq!(m.reservation_for(2, &running), Some(7));
+        // A pair frees at the earlier completion.
+        assert_eq!(m.reservation_for(1, &running), Some(4));
+    }
+
+    #[test]
+    fn strict_fcfs_head_blocks_the_rest() {
+        // Head wants the whole machine; a unit behind it could fit but
+        // must wait (no backfilling).
+        let w = TimedWorkload::new(vec![t(0, 1, 4.0), t(1, 2, 4.0), t(1, 0, 1.0)]);
+        let r = run_exclusive(2, &BuddyStrategy, &w);
+        // Task 1 (whole machine) waits for task 0 (finishes at 4);
+        // task 2 waits behind it even though a PE is free at tick 1.
+        assert_eq!(r.start[1], 4);
+        assert!(r.start[2] >= 8);
+    }
+}

@@ -1,0 +1,361 @@
+//! Subcube recognition strategies for exclusive hypercube allocation.
+//!
+//! A strategy looks at the free-PE set of an `N = 2^n` machine and
+//! tries to find a free `k`-subcube (a set of `2^k` vertices of the
+//! n-cube that differ in exactly `k` coordinate positions). Strategies
+//! differ in *coverage*: the classic buddy scheme sees only aligned
+//! address blocks; Chen–Shin's Gray-code scheme sees twice as many
+//! candidate subcubes; complete recognition sees them all but pays
+//! combinatorially for it.
+
+/// A way of finding a free `k`-subcube among the free PEs.
+pub trait SubcubeStrategy {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Find a free `2^k`-PE subcube in a machine of `2^n` PEs given
+    /// the free map, returning the PE list (sorted ascending), or
+    /// `None` if this strategy recognizes no free subcube of that
+    /// size.
+    fn find(&self, free: &[bool], n: u32, k: u32) -> Option<Vec<u32>>;
+
+    /// How many *candidate* placements of size `2^k` this strategy can
+    /// ever see on an empty `2^n` machine (its recognition coverage).
+    fn coverage(&self, n: u32, k: u32) -> u64;
+}
+
+fn check_args(free: &[bool], n: u32, k: u32) {
+    assert_eq!(free.len(), 1usize << n, "free map must cover the machine");
+    assert!(k <= n, "subcube larger than the machine");
+}
+
+/// Classic buddy strategy: the candidate `k`-subcubes are the aligned
+/// address blocks `[j·2^k, (j+1)·2^k)` — exactly the submachines of
+/// the buddy tree that the paper's shared model uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuddyStrategy;
+
+impl SubcubeStrategy for BuddyStrategy {
+    fn name(&self) -> &'static str {
+        "buddy"
+    }
+
+    fn find(&self, free: &[bool], n: u32, k: u32) -> Option<Vec<u32>> {
+        check_args(free, n, k);
+        let block = 1usize << k;
+        for j in 0..(1usize << (n - k)) {
+            let start = j * block;
+            if free[start..start + block].iter().all(|&f| f) {
+                return Some((start as u32..(start + block) as u32).collect());
+            }
+        }
+        None
+    }
+
+    fn coverage(&self, n: u32, k: u32) -> u64 {
+        1u64 << (n - k)
+    }
+}
+
+/// Chen–Shin Gray-code strategy (the paper's refs [9, 10]): order the
+/// PEs by the binary-reflected Gray code; every run of `2^k`
+/// consecutive codewords starting at a multiple of `2^(k−1)` forms a
+/// `k`-subcube (wrapping around), which doubles the buddy strategy's
+/// coverage for `k ≥ 1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GrayCodeStrategy;
+
+/// The binary-reflected Gray code of `r`.
+pub(crate) fn gray(r: u32) -> u32 {
+    r ^ (r >> 1)
+}
+
+impl SubcubeStrategy for GrayCodeStrategy {
+    fn name(&self) -> &'static str {
+        "gray-code"
+    }
+
+    fn find(&self, free: &[bool], n: u32, k: u32) -> Option<Vec<u32>> {
+        check_args(free, n, k);
+        let size = 1u32 << n;
+        let block = 1u32 << k;
+        let step = if k == 0 { 1 } else { 1u32 << (k - 1) };
+        let mut j = 0u32;
+        while j < size {
+            let mut pes: Vec<u32> = (0..block).map(|i| gray((j + i) % size)).collect();
+            if pes.iter().all(|&p| free[p as usize]) {
+                pes.sort_unstable();
+                debug_assert!(is_subcube(&pes), "gray block is not a subcube");
+                return Some(pes);
+            }
+            j += step;
+        }
+        None
+    }
+
+    fn coverage(&self, n: u32, k: u32) -> u64 {
+        if k == 0 || k == n {
+            1u64 << (n - k)
+        } else {
+            1u64 << (n - k + 1)
+        }
+    }
+}
+
+/// Complete recognition (Dutt–Hayes-class): try every one of the
+/// `C(n, k) · 2^(n−k)` subcubes. Maximal coverage, combinatorial cost
+/// — the upper baseline for what recognition alone can buy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullRecognition;
+
+impl SubcubeStrategy for FullRecognition {
+    fn name(&self) -> &'static str {
+        "full"
+    }
+
+    fn find(&self, free: &[bool], n: u32, k: u32) -> Option<Vec<u32>> {
+        check_args(free, n, k);
+        // Enumerate the k-subsets of dimensions as bitmasks, then every
+        // assignment of the fixed n−k coordinates.
+        let mut dim_mask_stack = vec![(0u32, 0u32, k)]; // (mask, next_bit, remaining)
+        let mut masks = Vec::new();
+        while let Some((mask, next, remaining)) = dim_mask_stack.pop() {
+            if remaining == 0 {
+                masks.push(mask);
+                continue;
+            }
+            if next >= n {
+                continue;
+            }
+            dim_mask_stack.push((mask, next + 1, remaining));
+            dim_mask_stack.push((mask | (1 << next), next + 1, remaining - 1));
+        }
+        for &mask in &masks {
+            // Iterate the fixed bits over all values.
+            let fixed_bits: Vec<u32> = (0..n).filter(|b| mask & (1 << b) == 0).collect();
+            for assign in 0u32..(1 << fixed_bits.len()) {
+                let mut base = 0u32;
+                for (i, &b) in fixed_bits.iter().enumerate() {
+                    if assign & (1 << i) != 0 {
+                        base |= 1 << b;
+                    }
+                }
+                // The subcube = base with the masked bits free.
+                if subcube_free(free, base, mask) {
+                    let mut pes = expand(base, mask);
+                    pes.sort_unstable();
+                    return Some(pes);
+                }
+            }
+        }
+        None
+    }
+
+    fn coverage(&self, n: u32, k: u32) -> u64 {
+        binomial(u64::from(n), u64::from(k)) << (n - k)
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1u64;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+/// All PEs of the subcube `base ⊕ subset(mask)`.
+fn expand(base: u32, mask: u32) -> Vec<u32> {
+    let mut pes = vec![base];
+    let mut bit = 1u32;
+    while bit != 0 {
+        if mask & bit != 0 {
+            let more: Vec<u32> = pes.iter().map(|&p| p | bit).collect();
+            pes.extend(more);
+        }
+        bit <<= 1;
+    }
+    pes
+}
+
+fn subcube_free(free: &[bool], base: u32, mask: u32) -> bool {
+    expand(base, mask).into_iter().all(|p| free[p as usize])
+}
+
+/// Is the sorted PE set a genuine subcube of the hypercube?
+pub(crate) fn is_subcube(pes: &[u32]) -> bool {
+    if !pes.len().is_power_of_two() {
+        return false;
+    }
+    let and = pes.iter().fold(u32::MAX, |a, &p| a & p);
+    let or = pes.iter().fold(0u32, |a, &p| a | p);
+    let diff = and ^ or;
+    if 1usize << diff.count_ones() != pes.len() {
+        return false;
+    }
+    // Every PE must agree with the base outside the differing bits,
+    // and all combinations must be present (set size + distinctness).
+    let mut seen: Vec<u32> = pes.to_vec();
+    seen.dedup();
+    seen.len() == pes.len() && pes.iter().all(|&p| p & !diff == and)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty(n: u32) -> Vec<bool> {
+        vec![true; 1 << n]
+    }
+
+    #[test]
+    fn gray_code_is_the_reflected_code() {
+        let seq: Vec<u32> = (0..8).map(gray).collect();
+        assert_eq!(seq, vec![0, 1, 3, 2, 6, 7, 5, 4]);
+    }
+
+    #[test]
+    fn buddy_finds_aligned_blocks_only() {
+        let n = 3;
+        let mut free = empty(n);
+        // Occupy PE 0: the block [0,2) is gone, [2,4) is free.
+        free[0] = false;
+        let got = BuddyStrategy.find(&free, n, 1).unwrap();
+        assert_eq!(got, vec![2, 3]);
+        // Occupy 2 as well: buddy must skip to [4,6).
+        free[2] = false;
+        assert_eq!(BuddyStrategy.find(&free, n, 1).unwrap(), vec![4, 5]);
+        // Free PEs 1 and 3 form a valid subcube {1,3} but buddy cannot
+        // see it.
+        free[4] = false;
+        free[5] = false;
+        free[6] = false;
+        free[7] = false;
+        assert!(is_subcube(&[1, 3]));
+        assert!(BuddyStrategy.find(&free, n, 1).is_none());
+    }
+
+    #[test]
+    fn gray_code_sees_more_than_buddy() {
+        // The fragmentation pattern above: only PEs 1 and 3 free.
+        let n = 3;
+        let mut free = vec![false; 8];
+        free[1] = true;
+        free[3] = true;
+        assert!(BuddyStrategy.find(&free, n, 1).is_none());
+        let got = GrayCodeStrategy.find(&free, n, 1).unwrap();
+        assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn full_recognition_sees_everything() {
+        // Free PEs {1, 5}: differ in bit 2 only — a genuine subcube
+        // invisible to buddy (unaligned) AND to gray-code (ranks 1 and
+        // 6 are not adjacent in the reflected code).
+        let n = 3;
+        let mut free = vec![false; 8];
+        free[1] = true;
+        free[5] = true;
+        assert!(BuddyStrategy.find(&free, n, 1).is_none());
+        assert!(GrayCodeStrategy.find(&free, n, 1).is_none());
+        assert_eq!(FullRecognition.find(&free, n, 1).unwrap(), vec![1, 5]);
+    }
+
+    #[test]
+    fn gray_sees_wrapped_and_adjacent_pairs() {
+        // {2, 6} sit at gray ranks 3 and 4 — adjacent — so gray finds
+        // them even though buddy cannot.
+        let n = 3;
+        let mut free = vec![false; 8];
+        free[2] = true;
+        free[6] = true;
+        assert!(BuddyStrategy.find(&free, n, 1).is_none());
+        assert_eq!(GrayCodeStrategy.find(&free, n, 1).unwrap(), vec![2, 6]);
+        // The wrap-around pair {0, 4} (ranks 0 and 7).
+        let mut free = vec![false; 8];
+        free[0] = true;
+        free[4] = true;
+        assert_eq!(GrayCodeStrategy.find(&free, n, 1).unwrap(), vec![0, 4]);
+    }
+
+    #[test]
+    fn every_gray_candidate_is_a_subcube() {
+        // Exhaustively: for all n ≤ 5, k ≤ n, all block starts.
+        for n in 1..=5u32 {
+            let size = 1u32 << n;
+            for k in 1..=n {
+                let step = 1u32 << (k - 1);
+                let mut j = 0;
+                while j < size {
+                    let pes: Vec<u32> = (0..1u32 << k).map(|i| gray((j + i) % size)).collect();
+                    let mut sorted = pes.clone();
+                    sorted.sort_unstable();
+                    assert!(
+                        is_subcube(&sorted),
+                        "gray block at j={j}, n={n}, k={k} is {sorted:?}"
+                    );
+                    j += step;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_formulas() {
+        // n=4: buddy sees 8 1-subcubes, gray 16, full C(4,1)·8 = 32.
+        assert_eq!(BuddyStrategy.coverage(4, 1), 8);
+        assert_eq!(GrayCodeStrategy.coverage(4, 1), 16);
+        assert_eq!(FullRecognition.coverage(4, 1), 32);
+        // Whole machine: everyone sees exactly one.
+        assert_eq!(BuddyStrategy.coverage(4, 4), 1);
+        assert_eq!(GrayCodeStrategy.coverage(4, 4), 1);
+        assert_eq!(FullRecognition.coverage(4, 4), 1);
+    }
+
+    #[test]
+    fn all_strategies_fill_an_empty_machine() {
+        for k in 0..=3u32 {
+            for s in [
+                &BuddyStrategy as &dyn SubcubeStrategy,
+                &GrayCodeStrategy,
+                &FullRecognition,
+            ] {
+                let got = s.find(&empty(3), 3, k).unwrap();
+                assert_eq!(got.len(), 1 << k, "{} at k={k}", s.name());
+                assert!(is_subcube(&got));
+            }
+        }
+    }
+
+    #[test]
+    fn full_machine_request() {
+        let free = empty(2);
+        for s in [
+            &BuddyStrategy as &dyn SubcubeStrategy,
+            &GrayCodeStrategy,
+            &FullRecognition,
+        ] {
+            assert_eq!(s.find(&free, 2, 2).unwrap(), vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn is_subcube_rejects_non_cubes() {
+        assert!(!is_subcube(&[0, 1, 2])); // not a power of two
+        assert!(!is_subcube(&[0, 3])); // differ in two bits
+        assert!(!is_subcube(&[0, 1, 2, 7])); // wrong closure
+        assert!(is_subcube(&[0, 1, 2, 3]));
+        assert!(is_subcube(&[5]));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

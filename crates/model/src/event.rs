@@ -1,0 +1,117 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::{Task, TaskId};
+
+/// One event of a task sequence: a task arrival or a task departure.
+///
+/// Per the paper, a task must be assigned a submachine *as soon as it
+/// arrives*, and the submachine is deallocated when it departs; an
+/// online algorithm sees events strictly in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Event {
+    /// A task arrives requesting a `2^size_log2`-PE submachine.
+    Arrival {
+        /// The arriving task's id.
+        id: TaskId,
+        /// log2 of the requested submachine size.
+        size_log2: u8,
+    },
+    /// The task with the given id departs.
+    Departure {
+        /// The departing task's id.
+        id: TaskId,
+    },
+}
+
+impl Event {
+    /// The id of the task this event concerns.
+    #[inline]
+    pub fn task_id(&self) -> TaskId {
+        match *self {
+            Event::Arrival { id, .. } | Event::Departure { id } => id,
+        }
+    }
+
+    /// Is this an arrival?
+    #[inline]
+    pub fn is_arrival(&self) -> bool {
+        matches!(self, Event::Arrival { .. })
+    }
+
+    /// For arrivals, the arriving [`Task`]; `None` for departures.
+    #[inline]
+    pub fn arriving_task(&self) -> Option<Task> {
+        match *self {
+            Event::Arrival { id, size_log2 } => Some(Task { id, size_log2 }),
+            Event::Departure { .. } => None,
+        }
+    }
+
+    /// The size contribution of this event: `+2^x` for an arrival of
+    /// size `2^x`, `0` for a departure (the departing size is looked up
+    /// by the sequence, which knows the arrival).
+    #[inline]
+    pub fn arrival_size(&self) -> u64 {
+        match *self {
+            Event::Arrival { size_log2, .. } => 1 << size_log2,
+            Event::Departure { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::Arrival { id, size_log2 } => {
+                write!(f, "+{id}({} PEs)", 1u64 << size_log2)
+            }
+            Event::Departure { id } => write!(f, "-{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Event::Arrival {
+            id: TaskId(3),
+            size_log2: 2,
+        };
+        let d = Event::Departure { id: TaskId(3) };
+        assert!(a.is_arrival());
+        assert!(!d.is_arrival());
+        assert_eq!(a.task_id(), d.task_id());
+        assert_eq!(a.arrival_size(), 4);
+        assert_eq!(d.arrival_size(), 0);
+        assert_eq!(a.arriving_task().unwrap().size(), 4);
+        assert!(d.arriving_task().is_none());
+    }
+
+    #[test]
+    fn display() {
+        let a = Event::Arrival {
+            id: TaskId(1),
+            size_log2: 3,
+        };
+        assert_eq!(a.to_string(), "+t1(8 PEs)");
+        assert_eq!(Event::Departure { id: TaskId(1) }.to_string(), "-t1");
+    }
+
+    #[test]
+    fn serde_tagged() {
+        let a = Event::Arrival {
+            id: TaskId(1),
+            size_log2: 3,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("\"kind\":\"arrival\""));
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

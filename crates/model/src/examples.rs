@@ -1,0 +1,65 @@
+//! Hand-worked sequences from the paper, used in tests, examples and the
+//! Figure 1 experiment.
+
+use crate::sequence::{SequenceBuilder, TaskSequence};
+
+/// The sequence σ* of the paper's Figure 1, on a 4-PE tree machine:
+///
+/// > t1 arrives, t2 arrives, t3 arrives, t4 arrives, t2 departs,
+/// > t4 departs, t5 arrives — where t1..t4 have size 1 and t5 has size 2.
+///
+/// The greedy online algorithm `A_G` incurs load 2 on σ* (t5 must overlap
+/// two of the surviving unit tasks), while a 1-reallocation algorithm
+/// reallocates t3 next to t1 when t5 arrives and achieves load 1 — which
+/// is optimal, since `s(σ*) = 4 = N` gives `L* = 1`.
+///
+/// Task ids here are 0-based: paper task `t_k` is [`crate::TaskId`]`(k-1)`.
+pub fn figure1_sigma_star() -> TaskSequence {
+    let mut b = SequenceBuilder::new();
+    let t1 = b.arrive(1);
+    let t2 = b.arrive(1);
+    let t3 = b.arrive(1);
+    let t4 = b.arrive(1);
+    b.depart(t2);
+    b.depart(t4);
+    let t5 = b.arrive(2);
+    debug_assert_eq!(t5.0, 4);
+    let _ = (t1, t3);
+    b.finish().expect("σ* is a valid sequence")
+}
+
+/// A small sequence that exercises greedy tie-breaking: four unit tasks
+/// on an 8-PE machine, all placed while every PE has equal load, so a
+/// leftmost-tie-break algorithm must use PEs 0, 1, 2, 3 in that order.
+pub fn greedy_tie_breaker_demo() -> TaskSequence {
+    let mut b = SequenceBuilder::new();
+    for _ in 0..4 {
+        b.arrive(1);
+    }
+    b.finish().expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_star_shape() {
+        let s = figure1_sigma_star();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.num_tasks(), 5);
+        assert_eq!(s.peak_active_size(), 4);
+        assert_eq!(s.optimal_load(4), 1); // L* = 1 on the 4-PE machine
+        assert_eq!(s.size_of(crate::TaskId(4)), 2); // t5 has size 2
+        let profile = s.active_size_profile();
+        assert_eq!(profile, vec![1, 2, 3, 4, 3, 2, 4]);
+    }
+
+    #[test]
+    fn tie_breaker_demo_shape() {
+        let s = greedy_tie_breaker_demo();
+        assert_eq!(s.num_tasks(), 4);
+        assert_eq!(s.peak_active_size(), 4);
+        assert_eq!(s.optimal_load(8), 1);
+    }
+}

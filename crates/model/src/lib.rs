@@ -1,0 +1,50 @@
+//! # partalloc-model
+//!
+//! The task/event/sequence model of Gao–Rosenberg–Sitaraman (SPAA'96),
+//! §2 "Model and Definitions":
+//!
+//! * a **task** `t` requests a submachine of `s(t) = 2^x` PEs; its size
+//!   is known on arrival, its duration is not ([`Task`]);
+//! * a **task sequence** σ is a time-ordered list of arrival and
+//!   departure events ([`TaskSequence`], [`Event`]);
+//! * `S(σ; τ)` is the cumulative size of the tasks active at time τ, and
+//!   the **size of the sequence** `s(σ)` is its maximum over
+//!   `0 < τ ≤ |σ|`, where `|σ|` is the time of the last arrival;
+//! * the **optimal load** is `L* = ⌈s(σ) / N⌉` — the load some PE must
+//!   carry even under perfectly balanced placement
+//!   ([`TaskSequence::optimal_load`]).
+//!
+//! Time is logical: the τ-th event of the sequence happens at time τ
+//! (1-based). The paper's definitions only depend on event order, so
+//! this loses no generality; generators that model wall-clock arrival
+//! processes linearize their events before constructing a sequence.
+//!
+//! ```
+//! use partalloc_model::{SequenceBuilder, TaskId};
+//!
+//! let mut b = SequenceBuilder::new();
+//! let t1 = b.arrive(4);      // a task wanting 4 PEs
+//! let t2 = b.arrive(2);
+//! b.depart(t1);
+//! let seq = b.finish().unwrap();
+//! assert_eq!(seq.peak_active_size(), 6);
+//! assert_eq!(seq.optimal_load(4), 2);   // ceil(6/4)
+//! # let _ = t2;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod examples;
+mod sequence;
+mod stats;
+mod task;
+mod trace;
+
+pub use event::Event;
+pub use examples::{figure1_sigma_star, greedy_tie_breaker_demo};
+pub use sequence::{SequenceBuilder, SequenceError, TaskSequence};
+pub use stats::SequenceStats;
+pub use task::{Task, TaskId, MAX_SIZE_LOG2};
+pub use trace::{read_trace, read_trace_str, write_trace, write_trace_string, TraceError};

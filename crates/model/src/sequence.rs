@@ -1,0 +1,506 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+use crate::stats::SequenceStats;
+use crate::task::{Task, TaskId, MAX_SIZE_LOG2};
+
+/// Validation errors for task sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequenceError {
+    /// Arrival ids must be dense and in arrival order (the k-th arrival
+    /// carries id k, counting from 0).
+    NonDenseId {
+        /// The id the k-th arrival should have carried.
+        expected: u64,
+        /// The id it actually carried.
+        got: u64,
+    },
+    /// A departure names a task that never arrived (or has not arrived
+    /// yet).
+    UnknownDeparture(TaskId),
+    /// A departure names a task that already departed.
+    DoubleDeparture(TaskId),
+    /// A task's size exponent exceeds [`MAX_SIZE_LOG2`].
+    OversizedTask(Task),
+}
+
+impl fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceError::NonDenseId { expected, got } => write!(
+                f,
+                "arrival ids must be dense in arrival order: expected t{expected}, got t{got}"
+            ),
+            SequenceError::UnknownDeparture(id) => {
+                write!(f, "departure of {id}, which never arrived")
+            }
+            SequenceError::DoubleDeparture(id) => {
+                write!(f, "{id} departed twice")
+            }
+            SequenceError::OversizedTask(t) => {
+                write!(f, "task {t} exceeds the supported maximum size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+/// A validated task sequence σ: arrivals and departures in time order.
+///
+/// Logical time: the τ-th event (1-based) happens at time τ. The
+/// sequence owns the size of every task, so departures carry only ids.
+///
+/// Invariants (checked at construction):
+/// * the k-th arrival (0-based) carries [`TaskId`]`(k)` — ids are dense
+///   in arrival order, so per-task state can live in flat arrays;
+/// * every departure names a task that arrived earlier and has not yet
+///   departed;
+/// * all sizes are `≤ 2^`[`MAX_SIZE_LOG2`].
+///
+/// Tasks never departing by the end of the sequence is allowed (they are
+/// simply still active), as is an empty sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<Event>", into = "Vec<Event>")]
+pub struct TaskSequence {
+    events: Vec<Event>,
+    /// `size_log2` of task `i`, indexed by id.
+    sizes: Vec<u8>,
+    /// `s(σ)`: peak cumulative active size over times up to the last
+    /// arrival.
+    peak_active_size: u64,
+    /// Index (0-based) of the last arrival event, if any.
+    last_arrival_index: Option<usize>,
+}
+
+impl TaskSequence {
+    /// Validate `events` into a sequence.
+    pub fn from_events(events: Vec<Event>) -> Result<Self, SequenceError> {
+        let mut sizes = Vec::new();
+        let mut active = Vec::new(); // active flag per task id
+        let mut active_size = 0u64;
+        let mut peak = 0u64;
+        let mut last_arrival_index = None;
+        for (i, ev) in events.iter().enumerate() {
+            match *ev {
+                Event::Arrival { id, size_log2 } => {
+                    if id.0 != sizes.len() as u64 {
+                        return Err(SequenceError::NonDenseId {
+                            expected: sizes.len() as u64,
+                            got: id.0,
+                        });
+                    }
+                    if size_log2 > MAX_SIZE_LOG2 {
+                        return Err(SequenceError::OversizedTask(Task { id, size_log2 }));
+                    }
+                    sizes.push(size_log2);
+                    active.push(true);
+                    active_size += 1 << size_log2;
+                    peak = peak.max(active_size);
+                    last_arrival_index = Some(i);
+                }
+                Event::Departure { id } => {
+                    match active.get_mut(id.idx()) {
+                        None => return Err(SequenceError::UnknownDeparture(id)),
+                        Some(a) if !*a => return Err(SequenceError::DoubleDeparture(id)),
+                        Some(a) => *a = false,
+                    }
+                    active_size -= 1u64 << sizes[id.idx()];
+                }
+            }
+        }
+        Ok(TaskSequence {
+            events,
+            sizes,
+            peak_active_size: peak,
+            last_arrival_index,
+        })
+    }
+
+    /// The events, in time order.
+    #[inline]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the sequence empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct tasks that arrive over the whole sequence.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `size_log2` of a task that arrives somewhere in the sequence.
+    #[inline]
+    pub fn size_log2_of(&self, id: TaskId) -> u8 {
+        self.sizes[id.idx()]
+    }
+
+    /// `s(t)`: the PE count requested by task `id`.
+    #[inline]
+    pub fn size_of(&self, id: TaskId) -> u64 {
+        1 << self.sizes[id.idx()]
+    }
+
+    /// The largest task size exponent appearing in the sequence
+    /// (`None` if no tasks arrive).
+    pub fn max_size_log2(&self) -> Option<u8> {
+        self.sizes.iter().copied().max()
+    }
+
+    /// `s(σ)`: peak cumulative active size over all times up to the
+    /// last arrival (per §2; after the last arrival the active size only
+    /// decreases, so this is also the all-time peak).
+    #[inline]
+    pub fn peak_active_size(&self) -> u64 {
+        self.peak_active_size
+    }
+
+    /// Sum of the sizes of *all* arrivals (the `S` of Lemma 2, which is
+    /// about the total volume of arrivals, not the active peak).
+    pub fn total_arrival_size(&self) -> u64 {
+        self.sizes.iter().map(|&x| 1u64 << x).sum()
+    }
+
+    /// Index (0-based) of the last arrival event (`|σ|` in paper time is
+    /// this plus one), or `None` for a sequence with no arrivals.
+    #[inline]
+    pub fn last_arrival_index(&self) -> Option<usize> {
+        self.last_arrival_index
+    }
+
+    /// `L* = ⌈s(σ) / N⌉`: the optimal (inevitable) load on an
+    /// `num_pes`-PE machine.
+    pub fn optimal_load(&self, num_pes: u64) -> u64 {
+        assert!(num_pes > 0, "machine must have at least one PE");
+        self.peak_active_size.div_ceil(num_pes)
+    }
+
+    /// `S(σ; τ)` after each event: element τ-1 is the cumulative active
+    /// size immediately after the τ-th event.
+    pub fn active_size_profile(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.events.len());
+        let mut cur = 0u64;
+        for ev in &self.events {
+            match *ev {
+                Event::Arrival { size_log2, .. } => cur += 1 << size_log2,
+                Event::Departure { id } => cur -= self.size_of(id),
+            }
+            out.push(cur);
+        }
+        out
+    }
+
+    /// The set of task ids active after the full sequence has played.
+    pub fn final_active_tasks(&self) -> Vec<TaskId> {
+        let mut active = vec![false; self.sizes.len()];
+        for ev in &self.events {
+            match *ev {
+                Event::Arrival { id, .. } => active[id.idx()] = true,
+                Event::Departure { id } => active[id.idx()] = false,
+            }
+        }
+        active
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(TaskId(i as u64)))
+            .collect()
+    }
+
+    /// The prefix consisting of the first `n` events (clamped to the
+    /// sequence length). Always valid: a prefix of a valid sequence is
+    /// valid.
+    pub fn prefix(&self, n: usize) -> TaskSequence {
+        let n = n.min(self.events.len());
+        TaskSequence::from_events(self.events[..n].to_vec())
+            .expect("prefix of a valid sequence is valid")
+    }
+
+    /// Append another sequence's events after this one, renumbering the
+    /// other's task ids to stay dense. Departures in `other` keep
+    /// pointing at `other`'s own arrivals.
+    pub fn concat(&self, other: &TaskSequence) -> TaskSequence {
+        let offset = self.sizes.len() as u64;
+        let mut events = self.events.clone();
+        events.extend(other.events.iter().map(|ev| match *ev {
+            Event::Arrival { id, size_log2 } => Event::Arrival {
+                id: TaskId(id.0 + offset),
+                size_log2,
+            },
+            Event::Departure { id } => Event::Departure {
+                id: TaskId(id.0 + offset),
+            },
+        }));
+        TaskSequence::from_events(events).expect("renumbered concatenation is valid")
+    }
+
+    /// Summary statistics of the sequence.
+    pub fn stats(&self) -> SequenceStats {
+        SequenceStats::compute(self)
+    }
+}
+
+impl TryFrom<Vec<Event>> for TaskSequence {
+    type Error = SequenceError;
+    fn try_from(events: Vec<Event>) -> Result<Self, Self::Error> {
+        TaskSequence::from_events(events)
+    }
+}
+
+impl From<TaskSequence> for Vec<Event> {
+    fn from(seq: TaskSequence) -> Vec<Event> {
+        seq.events
+    }
+}
+
+/// Incremental constructor for [`TaskSequence`], assigning dense task
+/// ids automatically.
+///
+/// ```
+/// use partalloc_model::SequenceBuilder;
+/// let mut b = SequenceBuilder::new();
+/// let a = b.arrive(8);
+/// let c = b.arrive_log2(0); // a 1-PE task
+/// b.depart(a);
+/// let seq = b.finish().unwrap();
+/// assert_eq!(seq.num_tasks(), 2);
+/// assert_eq!(seq.size_of(c), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SequenceBuilder {
+    events: Vec<Event>,
+    next_id: u64,
+}
+
+impl SequenceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the arrival of a task of `size` PEs (must be a power of
+    /// two). Returns the new task's id.
+    pub fn arrive(&mut self, size: u64) -> TaskId {
+        assert!(
+            size.is_power_of_two(),
+            "task sizes must be powers of two, got {size}"
+        );
+        self.arrive_log2(size.trailing_zeros() as u8)
+    }
+
+    /// Record the arrival of a task of `2^size_log2` PEs.
+    pub fn arrive_log2(&mut self, size_log2: u8) -> TaskId {
+        let id = TaskId(self.next_id);
+        self.next_id += 1;
+        self.events.push(Event::Arrival { id, size_log2 });
+        id
+    }
+
+    /// Record `count` arrivals of `2^size_log2` PEs each; returns their
+    /// ids.
+    pub fn arrive_many(&mut self, count: u64, size_log2: u8) -> Vec<TaskId> {
+        (0..count).map(|_| self.arrive_log2(size_log2)).collect()
+    }
+
+    /// Record the departure of `id`.
+    pub fn depart(&mut self, id: TaskId) {
+        self.events.push(Event::Departure { id });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the builder empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate and build the sequence.
+    pub fn finish(self) -> Result<TaskSequence, SequenceError> {
+        TaskSequence::from_events(self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(id: u64, x: u8) -> Event {
+        Event::Arrival {
+            id: TaskId(id),
+            size_log2: x,
+        }
+    }
+    fn dep(id: u64) -> Event {
+        Event::Departure { id: TaskId(id) }
+    }
+
+    #[test]
+    fn empty_sequence_is_valid() {
+        let s = TaskSequence::from_events(vec![]).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.peak_active_size(), 0);
+        assert_eq!(s.optimal_load(8), 0);
+        assert_eq!(s.last_arrival_index(), None);
+        assert_eq!(s.max_size_log2(), None);
+    }
+
+    #[test]
+    fn peak_tracks_arrivals_and_departures() {
+        let s = TaskSequence::from_events(vec![
+            arr(0, 2), // +4 → 4
+            arr(1, 2), // +4 → 8
+            dep(0),    //    → 4
+            arr(2, 0), // +1 → 5
+        ])
+        .unwrap();
+        assert_eq!(s.peak_active_size(), 8);
+        assert_eq!(s.active_size_profile(), vec![4, 8, 4, 5]);
+        assert_eq!(s.total_arrival_size(), 9);
+        assert_eq!(s.optimal_load(4), 2);
+        assert_eq!(s.optimal_load(8), 1);
+        assert_eq!(s.last_arrival_index(), Some(3));
+    }
+
+    #[test]
+    fn validation_rejects_non_dense_ids() {
+        assert_eq!(
+            TaskSequence::from_events(vec![arr(1, 0)]),
+            Err(SequenceError::NonDenseId {
+                expected: 0,
+                got: 1
+            })
+        );
+        assert_eq!(
+            TaskSequence::from_events(vec![arr(0, 0), arr(0, 0)]),
+            Err(SequenceError::NonDenseId {
+                expected: 1,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_departures() {
+        assert_eq!(
+            TaskSequence::from_events(vec![dep(0)]),
+            Err(SequenceError::UnknownDeparture(TaskId(0)))
+        );
+        assert_eq!(
+            TaskSequence::from_events(vec![arr(0, 0), dep(0), dep(0)]),
+            Err(SequenceError::DoubleDeparture(TaskId(0)))
+        );
+    }
+
+    #[test]
+    fn validation_rejects_oversized() {
+        assert!(matches!(
+            TaskSequence::from_events(vec![arr(0, MAX_SIZE_LOG2 + 1)]),
+            Err(SequenceError::OversizedTask(_))
+        ));
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = SequenceBuilder::new();
+        let a = b.arrive(4);
+        let c = b.arrive(1);
+        b.depart(a);
+        let ids = b.arrive_many(3, 1);
+        let s = b.finish().unwrap();
+        assert_eq!(a, TaskId(0));
+        assert_eq!(c, TaskId(1));
+        assert_eq!(ids, vec![TaskId(2), TaskId(3), TaskId(4)]);
+        assert_eq!(s.num_tasks(), 5);
+        assert_eq!(s.size_of(TaskId(0)), 4);
+        assert_eq!(s.size_log2_of(TaskId(4)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn builder_rejects_non_power_sizes() {
+        SequenceBuilder::new().arrive(3);
+    }
+
+    #[test]
+    fn final_active_tasks() {
+        let mut b = SequenceBuilder::new();
+        let a = b.arrive(2);
+        let c = b.arrive(2);
+        let d = b.arrive(4);
+        b.depart(c);
+        let s = b.finish().unwrap();
+        assert_eq!(s.final_active_tasks(), vec![a, d]);
+    }
+
+    #[test]
+    fn prefix_and_concat() {
+        let mut b = SequenceBuilder::new();
+        let a = b.arrive(2);
+        b.arrive(4);
+        b.depart(a);
+        let s = b.finish().unwrap();
+
+        let p = s.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.peak_active_size(), 6);
+        assert_eq!(s.prefix(99).len(), 3);
+
+        let joined = s.concat(&s);
+        assert_eq!(joined.len(), 6);
+        assert_eq!(joined.num_tasks(), 4);
+        // Second copy's departure refers to the renumbered first task.
+        assert_eq!(joined.events()[5], dep(2));
+    }
+
+    #[test]
+    fn peak_only_counts_up_to_last_arrival() {
+        // Departures after the last arrival cannot raise the peak anyway;
+        // just confirm accounting is consistent.
+        let s = TaskSequence::from_events(vec![arr(0, 3), dep(0)]).unwrap();
+        assert_eq!(s.peak_active_size(), 8);
+    }
+
+    #[test]
+    fn serde_roundtrip_validates() {
+        let mut b = SequenceBuilder::new();
+        let a = b.arrive(4);
+        b.arrive(2);
+        b.depart(a);
+        let s = b.finish().unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: TaskSequence = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Invalid event streams fail to deserialize.
+        let bad = r#"[{"kind":"departure","id":0}]"#;
+        assert!(serde_json::from_str::<TaskSequence>(bad).is_err());
+    }
+
+    #[test]
+    fn optimal_load_divides_exactly() {
+        let mut b = SequenceBuilder::new();
+        for _ in 0..8 {
+            b.arrive(4);
+        }
+        let s = b.finish().unwrap();
+        assert_eq!(s.peak_active_size(), 32);
+        assert_eq!(s.optimal_load(16), 2);
+        assert_eq!(s.optimal_load(32), 1);
+        assert_eq!(s.optimal_load(5), 7); // ceil(32/5)
+    }
+}

@@ -1,0 +1,113 @@
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+use crate::sequence::TaskSequence;
+
+/// Summary statistics of a task sequence, used by experiment reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceStats {
+    /// Total number of events.
+    pub num_events: usize,
+    /// Number of arrivals.
+    pub num_arrivals: usize,
+    /// Number of departures.
+    pub num_departures: usize,
+    /// `s(σ)`: peak cumulative active size.
+    pub peak_active_size: u64,
+    /// Largest number of simultaneously active tasks.
+    pub peak_active_tasks: usize,
+    /// Sum of all arrival sizes.
+    pub total_arrival_size: u64,
+    /// `histogram[x]` = number of arrivals of size `2^x`.
+    pub size_histogram: Vec<usize>,
+    /// Mean task lifetime in events, over tasks that depart within the
+    /// sequence.
+    pub mean_lifetime: f64,
+    /// Tasks still active when the sequence ends.
+    pub leaked_tasks: usize,
+}
+
+impl SequenceStats {
+    /// Compute statistics for `seq` in one pass.
+    pub fn compute(seq: &TaskSequence) -> Self {
+        let mut num_arrivals = 0;
+        let mut num_departures = 0;
+        let mut active_tasks = 0usize;
+        let mut peak_active_tasks = 0usize;
+        let mut size_histogram: Vec<usize> = Vec::new();
+        let mut arrival_time = vec![0usize; seq.num_tasks()];
+        let mut lifetime_sum = 0u64;
+        let mut lifetime_count = 0u64;
+        for (i, ev) in seq.events().iter().enumerate() {
+            match *ev {
+                Event::Arrival { id, size_log2 } => {
+                    num_arrivals += 1;
+                    active_tasks += 1;
+                    peak_active_tasks = peak_active_tasks.max(active_tasks);
+                    let x = size_log2 as usize;
+                    if size_histogram.len() <= x {
+                        size_histogram.resize(x + 1, 0);
+                    }
+                    size_histogram[x] += 1;
+                    arrival_time[id.idx()] = i;
+                }
+                Event::Departure { id } => {
+                    num_departures += 1;
+                    active_tasks -= 1;
+                    lifetime_sum += (i - arrival_time[id.idx()]) as u64;
+                    lifetime_count += 1;
+                }
+            }
+        }
+        SequenceStats {
+            num_events: seq.len(),
+            num_arrivals,
+            num_departures,
+            peak_active_size: seq.peak_active_size(),
+            peak_active_tasks,
+            total_arrival_size: seq.total_arrival_size(),
+            size_histogram,
+            mean_lifetime: if lifetime_count == 0 {
+                0.0
+            } else {
+                lifetime_sum as f64 / lifetime_count as f64
+            },
+            leaked_tasks: num_arrivals - num_departures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sequence::SequenceBuilder;
+
+    #[test]
+    fn stats_of_simple_sequence() {
+        let mut b = SequenceBuilder::new();
+        let a = b.arrive(4); // event 0
+        let c = b.arrive(1); // event 1
+        b.depart(a); //          event 2: lifetime 2
+        b.arrive(4); //          event 3
+        b.depart(c); //          event 4: lifetime 3
+        let s = b.finish().unwrap();
+        let st = s.stats();
+        assert_eq!(st.num_events, 5);
+        assert_eq!(st.num_arrivals, 3);
+        assert_eq!(st.num_departures, 2);
+        assert_eq!(st.peak_active_size, 5);
+        assert_eq!(st.peak_active_tasks, 2);
+        assert_eq!(st.total_arrival_size, 9);
+        assert_eq!(st.size_histogram, vec![1, 0, 2]); // one 1-PE, two 4-PE
+        assert!((st.mean_lifetime - 2.5).abs() < 1e-12);
+        assert_eq!(st.leaked_tasks, 1);
+    }
+
+    #[test]
+    fn stats_of_empty_sequence() {
+        let s = SequenceBuilder::new().finish().unwrap();
+        let st = s.stats();
+        assert_eq!(st.num_events, 0);
+        assert_eq!(st.mean_lifetime, 0.0);
+        assert!(st.size_histogram.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Largest supported task size exponent: tasks request at most `2^30`
+/// PEs, matching the largest machine `partalloc-topology` can build.
+pub const MAX_SIZE_LOG2: u8 = 30;
+
+/// Identifier of a task (a user's submachine request).
+///
+/// Ids are dense, assigned in arrival order by [`crate::SequenceBuilder`]
+/// and by the workload generators, which lets allocators index per-task
+/// state by `id.0` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// The id as a `usize`, for direct array indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A task: a request for a `2^size_log2`-PE submachine.
+///
+/// Per the paper (§2), "the size of a task is a power of 2 and is known
+/// as soon as it arrives, but its execution time is not".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    /// The task's identifier.
+    pub id: TaskId,
+    /// log2 of the requested submachine size.
+    pub size_log2: u8,
+}
+
+impl Task {
+    /// Create a task. Panics if `size_log2 > MAX_SIZE_LOG2`.
+    pub fn new(id: TaskId, size_log2: u8) -> Self {
+        assert!(
+            size_log2 <= MAX_SIZE_LOG2,
+            "task size 2^{size_log2} exceeds the supported maximum"
+        );
+        Task { id, size_log2 }
+    }
+
+    /// Number of PEs the task requests (`s(t) = 2^size_log2`).
+    #[inline]
+    pub fn size(&self) -> u64 {
+        1 << self.size_log2
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} PEs]", self.id, self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_power_of_two() {
+        let t = Task::new(TaskId(0), 3);
+        assert_eq!(t.size(), 8);
+        assert_eq!(Task::new(TaskId(1), 0).size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_task_rejected() {
+        let _ = Task::new(TaskId(0), MAX_SIZE_LOG2 + 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId(7).to_string(), "t7");
+        assert_eq!(Task::new(TaskId(7), 2).to_string(), "t7[4 PEs]");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Task::new(TaskId(42), 5);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        // TaskId serializes transparently as a bare integer.
+        assert_eq!(serde_json::to_string(&TaskId(9)).unwrap(), "9");
+    }
+}

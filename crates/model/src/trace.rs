@@ -1,0 +1,188 @@
+//! Trace persistence: JSON record/replay of task sequences.
+//!
+//! Traces are versioned so future format changes stay detectable:
+//!
+//! ```json
+//! { "format": "partalloc-trace", "version": 1,
+//!   "events": [ {"kind": "arrival", "id": 0, "size_log2": 2}, ... ] }
+//! ```
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+use crate::sequence::{SequenceError, TaskSequence};
+
+/// Current trace format version.
+const TRACE_VERSION: u32 = 1;
+/// Magic format tag.
+const TRACE_FORMAT: &str = "partalloc-trace";
+
+#[derive(Serialize, Deserialize)]
+struct TraceFile {
+    format: String,
+    version: u32,
+    events: Vec<Event>,
+}
+
+/// Errors reading or writing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The file is not valid JSON or not a trace.
+    Format(serde_json::Error),
+    /// Wrong magic tag.
+    NotATrace {
+        /// The tag found in the file.
+        found: String,
+    },
+    /// Unsupported version.
+    Version {
+        /// The version found in the file.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The events do not form a valid sequence.
+    Invalid(SequenceError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Format(e) => write!(f, "trace parse error: {e}"),
+            TraceError::NotATrace { found } => {
+                write!(f, "not a partalloc trace (format tag {found:?})")
+            }
+            TraceError::Version { found, supported } => write!(
+                f,
+                "trace version {found} unsupported (this build reads version {supported})"
+            ),
+            TraceError::Invalid(e) => write!(f, "trace contains an invalid sequence: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Format(e)
+    }
+}
+
+fn validate_header(t: &TraceFile) -> Result<(), TraceError> {
+    if t.format != TRACE_FORMAT {
+        return Err(TraceError::NotATrace {
+            found: t.format.clone(),
+        });
+    }
+    if t.version != TRACE_VERSION {
+        return Err(TraceError::Version {
+            found: t.version,
+            supported: TRACE_VERSION,
+        });
+    }
+    Ok(())
+}
+
+/// Serialize `seq` as a JSON trace string.
+pub fn write_trace_string(seq: &TaskSequence) -> String {
+    let t = TraceFile {
+        format: TRACE_FORMAT.to_owned(),
+        version: TRACE_VERSION,
+        events: seq.events().to_vec(),
+    };
+    serde_json::to_string_pretty(&t).expect("trace serialization cannot fail")
+}
+
+/// Parse a JSON trace string.
+pub fn read_trace_str(s: &str) -> Result<TaskSequence, TraceError> {
+    let t: TraceFile = serde_json::from_str(s)?;
+    validate_header(&t)?;
+    TaskSequence::from_events(t.events).map_err(TraceError::Invalid)
+}
+
+/// Write `seq` to `path` as a JSON trace.
+pub fn write_trace(path: &Path, seq: &TaskSequence) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(write_trace_string(seq).as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a JSON trace from `path`.
+pub fn read_trace(path: &Path) -> Result<TaskSequence, TraceError> {
+    let r = BufReader::new(File::open(path)?);
+    let t: TraceFile = serde_json::from_reader(r)?;
+    validate_header(&t)?;
+    TaskSequence::from_events(t.events).map_err(TraceError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure1_sigma_star;
+
+    #[test]
+    fn string_roundtrip() {
+        let s = figure1_sigma_star();
+        let text = write_trace_string(&s);
+        assert!(text.contains("partalloc-trace"));
+        let back = read_trace_str(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("partalloc-trace-test-{}.json", std::process::id()));
+        let s = figure1_sigma_star();
+        write_trace(&path, &s).unwrap();
+        let back = read_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn rejects_wrong_format_tag() {
+        let bad = r#"{"format":"something-else","version":1,"events":[]}"#;
+        assert!(matches!(
+            read_trace_str(bad),
+            Err(TraceError::NotATrace { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let bad = r#"{"format":"partalloc-trace","version":99,"events":[]}"#;
+        assert!(matches!(
+            read_trace_str(bad),
+            Err(TraceError::Version { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_sequence() {
+        let bad = r#"{"format":"partalloc-trace","version":1,
+                      "events":[{"kind":"departure","id":0}]}"#;
+        assert!(matches!(read_trace_str(bad), Err(TraceError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(read_trace_str("{"), Err(TraceError::Format(_))));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests over random well-formed event streams: construction
+//! invariants, prefix/concat algebra, and trace round-tripping.
+
+use partalloc_model::{read_trace_str, write_trace_string, Event, SequenceBuilder, TaskSequence};
+use proptest::prelude::*;
+
+/// Build a random valid sequence from an op script.
+fn build(ops: &[(bool, u8, u8)]) -> TaskSequence {
+    let mut b = SequenceBuilder::new();
+    let mut live = Vec::new();
+    for &(is_arrival, size, pick) in ops {
+        if is_arrival || live.is_empty() {
+            live.push(b.arrive_log2(size % 8));
+        } else {
+            b.depart(live.swap_remove(pick as usize % live.len()));
+        }
+    }
+    b.finish().expect("builder output is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_roundtrip_is_identity(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 0..80),
+    ) {
+        let seq = build(&ops);
+        let text = write_trace_string(&seq);
+        let back = read_trace_str(&text).expect("written traces parse");
+        prop_assert_eq!(seq, back);
+    }
+
+    #[test]
+    fn profile_is_consistent_with_peak(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 1..80),
+    ) {
+        let seq = build(&ops);
+        let profile = seq.active_size_profile();
+        prop_assert_eq!(profile.len(), seq.len());
+        // Peak over the profile equals s(σ).
+        prop_assert_eq!(
+            profile.iter().copied().max().unwrap_or(0),
+            seq.peak_active_size()
+        );
+        // The profile steps by exactly each event's signed size.
+        let mut prev = 0u64;
+        for (v, ev) in profile.iter().zip(seq.events()) {
+            match *ev {
+                Event::Arrival { size_log2, .. } => {
+                    prop_assert_eq!(*v, prev + (1 << size_log2));
+                }
+                Event::Departure { id } => {
+                    prop_assert_eq!(*v, prev - seq.size_of(id));
+                }
+            }
+            prev = *v;
+        }
+    }
+
+    #[test]
+    fn prefixes_never_increase_peak(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 1..60),
+        cut in any::<usize>(),
+    ) {
+        let seq = build(&ops);
+        let p = seq.prefix(cut % (seq.len() + 1));
+        prop_assert!(p.peak_active_size() <= seq.peak_active_size());
+        prop_assert!(p.len() <= seq.len());
+        // The prefix's events are literally the originals.
+        prop_assert_eq!(p.events(), &seq.events()[..p.len()]);
+    }
+
+    #[test]
+    fn concat_adds_sizes_and_stays_valid(
+        a in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 0..40),
+        b in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 0..40),
+    ) {
+        let (sa, sb) = (build(&a), build(&b));
+        let joined = sa.concat(&sb);
+        prop_assert_eq!(joined.len(), sa.len() + sb.len());
+        prop_assert_eq!(joined.num_tasks(), sa.num_tasks() + sb.num_tasks());
+        prop_assert_eq!(
+            joined.total_arrival_size(),
+            sa.total_arrival_size() + sb.total_arrival_size()
+        );
+        // Peak of the concatenation is at least each part's peak
+        // (leftovers from `a` only add to `b`'s prefix loads).
+        prop_assert!(joined.peak_active_size() >= sa.peak_active_size());
+        prop_assert!(joined.peak_active_size() >= sb.peak_active_size());
+    }
+
+    #[test]
+    fn stats_agree_with_direct_counts(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 0..80),
+    ) {
+        let seq = build(&ops);
+        let stats = seq.stats();
+        let arrivals = seq.events().iter().filter(|e| e.is_arrival()).count();
+        prop_assert_eq!(stats.num_arrivals, arrivals);
+        prop_assert_eq!(stats.num_departures, seq.len() - arrivals);
+        prop_assert_eq!(stats.leaked_tasks, seq.final_active_tasks().len());
+        prop_assert_eq!(
+            stats.size_histogram.iter().sum::<usize>(),
+            stats.num_arrivals
+        );
+    }
+}

@@ -1,0 +1,152 @@
+use partalloc_core::Migration;
+use partalloc_topology::Partitionable;
+use serde::Serialize;
+
+/// Prices a task migration, making concrete the reallocation cost the
+/// paper treats abstractly through the parameter `d` (§1: "process
+/// reallocation can require extensive communication cost (e.g., moving
+/// checkpointing states) and memory space").
+///
+/// A physical migration of a `2^x`-PE task costs
+///
+/// ```text
+/// per_task  +  per_pe · 2^x  +  per_hop_pe · 2^x · hops
+/// ```
+///
+/// where `hops` is the worst-case PE-to-PE transfer distance between
+/// the old and new submachines on the *concrete* topology
+/// (checkpointing each PE's thread state, then streaming it across the
+/// network). Layer-only moves cost nothing — the task keeps its PEs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationCostModel {
+    /// Fixed coordination cost per migrated task.
+    pub per_task: f64,
+    /// Checkpoint cost per PE of task state.
+    pub per_pe: f64,
+    /// Transfer cost per PE of state per network hop.
+    pub per_hop_pe: f64,
+}
+
+impl MigrationCostModel {
+    /// A model with the given coefficients.
+    pub fn new(per_task: f64, per_pe: f64, per_hop_pe: f64) -> Self {
+        assert!(
+            per_task >= 0.0 && per_pe >= 0.0 && per_hop_pe >= 0.0,
+            "cost coefficients must be non-negative"
+        );
+        MigrationCostModel {
+            per_task,
+            per_pe,
+            per_hop_pe,
+        }
+    }
+
+    /// A reasonable default: coordination 1, checkpoint 1 per PE,
+    /// transfer 0.25 per PE-hop.
+    pub fn standard() -> Self {
+        MigrationCostModel::new(1.0, 1.0, 0.25)
+    }
+
+    /// Cost of one migration of a task of `size` PEs on `topo`.
+    pub fn migration_cost<P: Partitionable + ?Sized>(
+        &self,
+        topo: &P,
+        migration: &Migration,
+        size: u64,
+    ) -> f64 {
+        if !migration.is_physical() {
+            return 0.0;
+        }
+        let hops = topo.migration_distance(migration.from.node, migration.to.node);
+        self.per_task + self.per_pe * size as f64 + self.per_hop_pe * size as f64 * f64::from(hops)
+    }
+}
+
+/// Aggregated migration cost of one run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CostReport {
+    /// Sum of all migration costs.
+    pub total_cost: f64,
+    /// Largest cost charged by a single event (one reallocation).
+    pub max_event_cost: f64,
+    /// Number of physical migrations priced.
+    pub physical_migrations: u64,
+    /// Total PEs' worth of task state moved.
+    pub migrated_pes: u64,
+    /// Events in the run (for per-event averages).
+    pub events: usize,
+}
+
+impl CostReport {
+    /// Mean migration cost per event.
+    pub fn cost_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total_cost / self.events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::Placement;
+    use partalloc_model::TaskId;
+    use partalloc_topology::{NodeId, TreeMachine};
+
+    fn mig(from: u32, to: u32) -> Migration {
+        Migration {
+            task: TaskId(0),
+            from: Placement::base(NodeId(from)),
+            to: Placement::base(NodeId(to)),
+        }
+    }
+
+    #[test]
+    fn layer_only_moves_are_free() {
+        let topo = TreeMachine::new(8).unwrap();
+        let model = MigrationCostModel::standard();
+        let m = Migration {
+            task: TaskId(0),
+            from: Placement::in_layer(NodeId(4), 0),
+            to: Placement::in_layer(NodeId(4), 3),
+        };
+        assert_eq!(model.migration_cost(&topo, &m, 2), 0.0);
+    }
+
+    #[test]
+    fn cost_grows_with_size_and_distance() {
+        let topo = TreeMachine::new(8).unwrap();
+        let model = MigrationCostModel::new(1.0, 1.0, 1.0);
+        // Sibling pairs (nodes 4 → 5): distance 4 on an 8-PE tree.
+        let near = model.migration_cost(&topo, &mig(4, 5), 2);
+        // Across the root (nodes 4 → 7): distance 6.
+        let far = model.migration_cost(&topo, &mig(4, 7), 2);
+        assert!(far > near);
+        // Bigger task, same move.
+        let near4 = model.migration_cost(&topo, &mig(2, 3), 4);
+        assert!(near4 > near);
+        // Exact: 1 + 1·2 + 1·2·4 = 11.
+        assert!((near - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_average() {
+        let r = CostReport {
+            total_cost: 10.0,
+            max_event_cost: 4.0,
+            physical_migrations: 3,
+            migrated_pes: 6,
+            events: 5,
+        };
+        assert!((r.cost_per_event() - 2.0).abs() < 1e-12);
+        assert_eq!(CostReport::default().cost_per_event(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coefficients_rejected() {
+        MigrationCostModel::new(-1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! The round-robin execution model: completion times under thread
+//! sharing.
+//!
+//! The paper's load metric is a proxy for user-visible progress: a PE
+//! managing `k` threads round-robins among them, so each runs at
+//! (at best) `1/k` speed, and a parallel task advances at the pace of
+//! its *slowest* PE. This executor makes the proxy concrete — tasks
+//! carry work requirements, and depart when the work completes — so
+//! "trading task reallocation for thread management" becomes a
+//! measurable response-time trade.
+
+use partalloc_core::Allocator;
+use partalloc_model::{Task, TaskId};
+use partalloc_workload::TimedWorkload;
+use serde::Serialize;
+
+/// Parameters of the execution model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorConfig {
+    /// Per-extra-thread management overhead `c`: a PE at load `k` runs
+    /// each thread at rate `1 / (k · (1 + c·(k − 1)))`. `c = 0` is
+    /// ideal round-robin; `c > 0` models the nonproductive
+    /// thread-management work of the paper's refs [4, 5] (scheduling,
+    /// context switches, cache pollution), which grows with the number
+    /// of co-resident threads.
+    pub switch_overhead: f64,
+    /// Safety cap on simulated ticks.
+    pub max_ticks: u64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            switch_overhead: 0.0,
+            max_ticks: 10_000_000,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Ideal round-robin (no management overhead).
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// Round-robin with per-thread management overhead `c`.
+    pub fn with_overhead(c: f64) -> Self {
+        assert!(c >= 0.0 && c.is_finite());
+        ExecutorConfig {
+            switch_overhead: c,
+            ..Self::default()
+        }
+    }
+
+    /// Effective slowdown of a task whose submachine's maximum PE load
+    /// is `load`.
+    pub fn slowdown(&self, load: u64) -> f64 {
+        let k = load.max(1) as f64;
+        k * (1.0 + self.switch_overhead * (k - 1.0))
+    }
+}
+
+/// Per-task and aggregate response-time results.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResponseReport {
+    /// Completion tick of each task, by task id (arrival order).
+    pub completion: Vec<u64>,
+    /// Response time (completion − arrival) of each task.
+    pub response: Vec<u64>,
+    /// Stretch of each task: response / work (≥ 1; 1 means the task
+    /// never shared a PE).
+    pub stretch: Vec<f64>,
+    /// Mean stretch.
+    pub mean_stretch: f64,
+    /// 95th-percentile stretch.
+    pub p95_stretch: f64,
+    /// Worst stretch.
+    pub max_stretch: f64,
+    /// Tick at which the last task completed.
+    pub makespan: u64,
+    /// Peak load observed while executing.
+    pub peak_load: u64,
+}
+
+/// Execute `workload` on `alloc` under round-robin sharing.
+///
+/// Tick loop: arrivals due at the tick are placed (in arrival order);
+/// every active task then advances by `1 / slowdown` where the
+/// slowdown comes from the maximum PE load inside its current
+/// submachine; tasks reaching their work requirement depart at the end
+/// of the tick (in id order). Departures take effect before the next
+/// tick's arrivals, so freed submachines are reusable immediately.
+///
+/// ```
+/// use partalloc_core::Greedy;
+/// use partalloc_sim::{execute, ExecutorConfig};
+/// use partalloc_topology::BuddyTree;
+/// use partalloc_workload::{TimedTask, TimedWorkload};
+///
+/// let machine = BuddyTree::new(4).unwrap();
+/// let w = TimedWorkload::new(vec![
+///     TimedTask { arrival: 0, size_log2: 0, work: 5.0 },
+///     TimedTask { arrival: 0, size_log2: 0, work: 5.0 },
+/// ]);
+/// let r = execute(Greedy::new(machine), &w, &ExecutorConfig::ideal());
+/// // Greedy keeps the two unit tasks on separate PEs: no slowdown.
+/// assert_eq!(r.completion, vec![5, 5]);
+/// ```
+pub fn execute<A: Allocator>(
+    mut alloc: A,
+    workload: &TimedWorkload,
+    config: &ExecutorConfig,
+) -> ResponseReport {
+    let tasks = workload.tasks();
+    let mut progress = vec![0.0f64; tasks.len()];
+    let mut completion = vec![0u64; tasks.len()];
+    let mut active: Vec<usize> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut tick = 0u64;
+    let mut peak_load = 0u64;
+    let mut remaining = tasks.len();
+
+    while remaining > 0 {
+        assert!(
+            tick < config.max_ticks,
+            "executor exceeded {} ticks — workload cannot drain",
+            config.max_ticks
+        );
+        // Arrivals due now.
+        while next_arrival < tasks.len() && tasks[next_arrival].arrival <= tick {
+            let t = &tasks[next_arrival];
+            alloc.on_arrival(Task::new(TaskId(next_arrival as u64), t.size_log2));
+            active.push(next_arrival);
+            next_arrival += 1;
+        }
+        peak_load = peak_load.max(alloc.max_load());
+
+        // Progress under the current placement.
+        for &i in &active {
+            let placement = alloc
+                .placement_of(TaskId(i as u64))
+                .expect("active task has a placement");
+            let load = alloc.max_load_in(placement.node);
+            progress[i] += 1.0 / config.slowdown(load);
+        }
+
+        // Completions (id order keeps the run deterministic).
+        tick += 1;
+        let mut still = Vec::with_capacity(active.len());
+        for &i in &active {
+            // Epsilon absorbs accumulated floating-point error (e.g.
+            // fifteen additions of 1/3 summing to just under 5.0).
+            if progress[i] + 1e-9 >= tasks[i].work {
+                alloc.on_departure(TaskId(i as u64));
+                completion[i] = tick;
+                remaining -= 1;
+            } else {
+                still.push(i);
+            }
+        }
+        active = still;
+
+        // Fast-forward idle gaps.
+        if active.is_empty() && next_arrival < tasks.len() {
+            tick = tick.max(tasks[next_arrival].arrival);
+        }
+    }
+
+    let response: Vec<u64> = completion
+        .iter()
+        .zip(tasks)
+        .map(|(&c, t)| c - t.arrival)
+        .collect();
+    let stretch: Vec<f64> = response
+        .iter()
+        .zip(tasks)
+        .map(|(&r, t)| r as f64 / t.work)
+        .collect();
+    let mean_stretch = stretch.iter().sum::<f64>() / stretch.len().max(1) as f64;
+    let mut sorted = stretch.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let p95_stretch = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * 0.95).round() as usize]
+    };
+    let max_stretch = sorted.last().copied().unwrap_or(0.0);
+    ResponseReport {
+        makespan: completion.iter().copied().max().unwrap_or(0),
+        completion,
+        response,
+        stretch,
+        mean_stretch,
+        p95_stretch,
+        max_stretch,
+        peak_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::{Constant, Greedy, LeftmostAlways};
+    use partalloc_topology::BuddyTree;
+    use partalloc_workload::{TimedTask, TimedWorkload};
+
+    fn t(arrival: u64, size_log2: u8, work: f64) -> TimedTask {
+        TimedTask {
+            arrival,
+            size_log2,
+            work,
+        }
+    }
+
+    #[test]
+    fn unshared_tasks_run_at_full_speed() {
+        let machine = BuddyTree::new(4).unwrap();
+        let w = TimedWorkload::new(vec![t(0, 0, 5.0), t(0, 0, 5.0)]);
+        let r = execute(Greedy::new(machine), &w, &ExecutorConfig::ideal());
+        // Two units on separate PEs: both finish after exactly 5 ticks.
+        assert_eq!(r.completion, vec![5, 5]);
+        assert_eq!(r.response, vec![5, 5]);
+        assert!(r.stretch.iter().all(|&s| (s - 1.0).abs() < 1e-9));
+        assert_eq!(r.peak_load, 1);
+    }
+
+    #[test]
+    fn sharing_doubles_the_response() {
+        // Force both tasks onto PE 0.
+        let machine = BuddyTree::new(4).unwrap();
+        let w = TimedWorkload::new(vec![t(0, 0, 5.0), t(0, 0, 5.0)]);
+        let r = execute(LeftmostAlways::new(machine), &w, &ExecutorConfig::ideal());
+        // Both progress at 1/2: done after 10 ticks.
+        assert_eq!(r.completion, vec![10, 10]);
+        assert!((r.mean_stretch - 2.0).abs() < 1e-9);
+        assert_eq!(r.peak_load, 2);
+    }
+
+    #[test]
+    fn overhead_makes_sharing_worse_than_linear() {
+        let machine = BuddyTree::new(4).unwrap();
+        let w = TimedWorkload::new(vec![t(0, 0, 5.0), t(0, 0, 5.0)]);
+        let r = execute(
+            LeftmostAlways::new(machine),
+            &w,
+            &ExecutorConfig::with_overhead(0.5),
+        );
+        // slowdown = 2·(1 + 0.5) = 3 → 15 ticks.
+        assert_eq!(r.completion, vec![15, 15]);
+    }
+
+    #[test]
+    fn completion_frees_pes_for_the_rest() {
+        let machine = BuddyTree::new(2).unwrap();
+        // A short and a long task forced together on PE 0.
+        let w = TimedWorkload::new(vec![t(0, 0, 2.0), t(0, 0, 10.0)]);
+        let r = execute(LeftmostAlways::new(machine), &w, &ExecutorConfig::ideal());
+        // Shared at rate 1/2 until the short one finishes at tick 4
+        // (progress 2.0); the long one then has 8 units left at full
+        // speed → completes at 12.
+        assert_eq!(r.completion[0], 4);
+        assert_eq!(r.completion[1], 12);
+    }
+
+    #[test]
+    fn idle_gaps_fast_forward() {
+        let machine = BuddyTree::new(4).unwrap();
+        let w = TimedWorkload::new(vec![t(0, 0, 1.0), t(1_000, 0, 1.0)]);
+        let r = execute(Greedy::new(machine), &w, &ExecutorConfig::ideal());
+        assert_eq!(r.completion, vec![1, 1_001]);
+        assert_eq!(r.makespan, 1_001);
+    }
+
+    #[test]
+    fn reallocating_allocator_helps_stretch() {
+        // Fragmented half-machine tasks: A_C should give (weakly)
+        // better mean stretch than leftmost.
+        let machine = BuddyTree::new(8).unwrap();
+        let w = TimedWorkload::new(vec![
+            t(0, 0, 8.0),
+            t(0, 0, 8.0),
+            t(0, 0, 8.0),
+            t(0, 0, 8.0),
+            t(1, 2, 8.0),
+        ]);
+        let best = execute(Constant::new(machine), &w, &ExecutorConfig::ideal());
+        let worst = execute(LeftmostAlways::new(machine), &w, &ExecutorConfig::ideal());
+        assert!(best.mean_stretch <= worst.mean_stretch);
+        assert!((best.mean_stretch - 1.0).abs() < 1e-9); // fits with no sharing
+    }
+
+    #[test]
+    fn empty_workload() {
+        let machine = BuddyTree::new(4).unwrap();
+        let w = TimedWorkload::new(vec![]);
+        let r = execute(Greedy::new(machine), &w, &ExecutorConfig::ideal());
+        assert_eq!(r.makespan, 0);
+        assert!(r.stretch.is_empty());
+    }
+}

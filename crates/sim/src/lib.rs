@@ -1,0 +1,37 @@
+//! # partalloc-sim
+//!
+//! The measurement harness: drives any [`partalloc_core::Allocator`]
+//! over a [`partalloc_model::TaskSequence`] and records what the paper
+//! reasons about —
+//!
+//! * the **load trajectory** `L_A(σ; τ)` and its maximum `L_A(σ)`
+//!   ([`RunMetrics`]);
+//! * the **cost of reallocation** the paper treats abstractly through
+//!   the parameter `d`, made concrete by a checkpoint/transfer model
+//!   priced on the machine's physical topology ([`MigrationCostModel`]);
+//! * the **user-visible slowdown** of round-robin thread sharing — the
+//!   paper's §1 observation that a user's worst slowdown is
+//!   proportional to the maximum load of any PE in their submachine
+//!   ([`run_with_slowdowns`]);
+//!
+//! plus a work-stealing [`parallel_sweep`] runner (crossbeam scoped
+//! threads) for the parameter grids the experiment suite sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod executor;
+mod metrics;
+mod runner;
+mod slowdown;
+mod sweep;
+mod timeline;
+
+pub use cost::{CostReport, MigrationCostModel};
+pub use executor::{execute, ExecutorConfig, ResponseReport};
+pub use metrics::RunMetrics;
+pub use runner::{run_sequence, run_sequence_dyn, run_with_cost};
+pub use slowdown::{run_with_slowdowns, SlowdownReport};
+pub use sweep::parallel_sweep;
+pub use timeline::{Span, Timeline};

@@ -1,0 +1,164 @@
+use serde::Serialize;
+
+/// What one run of an allocator over a sequence produced.
+///
+/// `load_profile[τ]` is `L_A(σ; τ+1)` — the machine's maximum PE load
+/// immediately after the `(τ+1)`-th event — so `peak_load` is the
+/// paper's `L_A(σ) = max_τ L_A(σ; τ)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMetrics {
+    /// Allocator display name.
+    pub allocator: String,
+    /// Number of events processed.
+    pub events: usize,
+    /// `L_A(σ)`: maximum load over all times.
+    pub peak_load: u64,
+    /// Load after the final event.
+    pub final_load: u64,
+    /// `L*`: the sequence's optimal load on this machine.
+    pub lstar: u64,
+    /// Maximum load after each event.
+    pub load_profile: Vec<u64>,
+    /// Number of arrivals that triggered a reallocation.
+    pub realloc_events: u64,
+    /// Total migration records reported (including layer-only moves).
+    pub migrations: u64,
+    /// Migrations that actually changed PEs.
+    pub physical_migrations: u64,
+    /// Total PEs' worth of task state physically moved
+    /// (`Σ` task sizes over physical migrations).
+    pub migrated_pes: u64,
+    /// Per-PE load after the final event.
+    pub per_pe_final: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// `L_A(σ) / L*` — the realized competitive ratio
+    /// (`NaN` if the sequence was empty).
+    pub fn peak_ratio(&self) -> f64 {
+        self.peak_load as f64 / self.lstar as f64
+    }
+
+    /// Mean of the final per-PE loads.
+    pub fn mean_final_load(&self) -> f64 {
+        if self.per_pe_final.is_empty() {
+            0.0
+        } else {
+            self.per_pe_final.iter().sum::<u64>() as f64 / self.per_pe_final.len() as f64
+        }
+    }
+
+    /// Final imbalance: max PE load minus min PE load.
+    pub fn final_imbalance(&self) -> u64 {
+        let max = self.per_pe_final.iter().max().copied().unwrap_or(0);
+        let min = self.per_pe_final.iter().min().copied().unwrap_or(0);
+        max - min
+    }
+
+    /// Jain's fairness index over the final per-PE loads:
+    /// `(Σx)² / (n·Σx²)`, in `(0, 1]`; 1 means perfectly even load.
+    /// The standard fairness summary for allocation studies — a
+    /// single-number view of the imbalance the paper's algorithms
+    /// bound.
+    pub fn jain_fairness(&self) -> f64 {
+        let n = self.per_pe_final.len() as f64;
+        let sum: f64 = self.per_pe_final.iter().map(|&x| x as f64).sum();
+        let sum_sq: f64 = self.per_pe_final.iter().map(|&x| (x as f64).powi(2)).sum();
+        if sum_sq == 0.0 {
+            1.0 // an empty machine is trivially fair
+        } else {
+            sum * sum / (n * sum_sq)
+        }
+    }
+
+    /// Coefficient of variation of the final per-PE loads
+    /// (std-dev / mean; 0 = perfectly even, 0 for an empty machine).
+    pub fn load_cv(&self) -> f64 {
+        let n = self.per_pe_final.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.mean_final_load();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .per_pe_final
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Physical migrations per arrival-triggered reallocation (0 if no
+    /// reallocation happened).
+    pub fn migrations_per_realloc(&self) -> f64 {
+        if self.realloc_events == 0 {
+            0.0
+        } else {
+            self.physical_migrations as f64 / self.realloc_events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            allocator: "A_G".into(),
+            events: 4,
+            peak_load: 6,
+            final_load: 4,
+            lstar: 2,
+            load_profile: vec![1, 3, 6, 4],
+            realloc_events: 2,
+            migrations: 10,
+            physical_migrations: 6,
+            migrated_pes: 24,
+            per_pe_final: vec![4, 2, 0, 2],
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let m = sample();
+        assert!((m.peak_ratio() - 3.0).abs() < 1e-12);
+        assert!((m.mean_final_load() - 2.0).abs() < 1e-12);
+        assert_eq!(m.final_imbalance(), 4);
+        assert!((m.migrations_per_realloc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_metrics() {
+        let mut m = sample();
+        // Perfectly even loads → Jain 1, CV 0.
+        m.per_pe_final = vec![3, 3, 3, 3];
+        assert!((m.jain_fairness() - 1.0).abs() < 1e-12);
+        assert_eq!(m.load_cv(), 0.0);
+        // One hot PE out of four: Jain = 16/(4·16) = 0.25.
+        m.per_pe_final = vec![4, 0, 0, 0];
+        assert!((m.jain_fairness() - 0.25).abs() < 1e-12);
+        assert!(m.load_cv() > 1.0);
+        // Empty machine.
+        m.per_pe_final = vec![0, 0];
+        assert_eq!(m.jain_fairness(), 1.0);
+        assert_eq!(m.load_cv(), 0.0);
+    }
+
+    #[test]
+    fn zero_realloc_rate_is_zero() {
+        let mut m = sample();
+        m.realloc_events = 0;
+        assert_eq!(m.migrations_per_realloc(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let m = sample();
+        let j = serde_json::to_string(&m).unwrap();
+        assert!(j.contains("\"peak_load\":6"));
+    }
+}

@@ -1,0 +1,189 @@
+use partalloc_core::{Allocator, EventOutcome};
+use partalloc_model::TaskSequence;
+use partalloc_topology::Partitionable;
+
+use crate::cost::{CostReport, MigrationCostModel};
+use crate::metrics::RunMetrics;
+
+/// Drive `alloc` through `seq` and collect [`RunMetrics`].
+///
+/// Takes the allocator by value (it is consumed by the run); use
+/// [`run_sequence_dyn`] when holding a `Box<dyn Allocator>` from a
+/// sweep.
+pub fn run_sequence<A: Allocator>(mut alloc: A, seq: &TaskSequence) -> RunMetrics {
+    run_sequence_dyn(&mut alloc, seq)
+}
+
+/// Dynamic-dispatch variant of [`run_sequence`].
+pub fn run_sequence_dyn(alloc: &mut dyn Allocator, seq: &TaskSequence) -> RunMetrics {
+    run_inner(alloc, seq, None).0
+}
+
+/// Like [`run_sequence`], but also price every physical migration with
+/// `model` on the machine's concrete topology.
+pub fn run_with_cost<A: Allocator, P: Partitionable>(
+    mut alloc: A,
+    seq: &TaskSequence,
+    topo: &P,
+    model: &MigrationCostModel,
+) -> (RunMetrics, CostReport) {
+    assert_eq!(
+        topo.buddy(),
+        alloc.machine(),
+        "topology and allocator must describe the same machine"
+    );
+    let (metrics, report) = run_inner(&mut alloc, seq, Some((topo, model)));
+    (metrics, report.expect("cost model was supplied"))
+}
+
+fn run_inner(
+    alloc: &mut dyn Allocator,
+    seq: &TaskSequence,
+    costing: Option<(&dyn Partitionable, &MigrationCostModel)>,
+) -> (RunMetrics, Option<CostReport>) {
+    let machine = alloc.machine();
+    let n = u64::from(machine.num_pes());
+    let mut load_profile = Vec::with_capacity(seq.len());
+    let mut peak = 0u64;
+    let mut realloc_events = 0u64;
+    let mut migrations = 0u64;
+    let mut physical = 0u64;
+    let mut migrated_pes = 0u64;
+    let mut report = costing.map(|_| CostReport::default());
+
+    for ev in seq.events() {
+        let outcome = alloc.handle(ev);
+        if let EventOutcome::Arrival(out) = &outcome {
+            if out.reallocated {
+                realloc_events += 1;
+            }
+            migrations += out.migrations.len() as u64;
+            let mut realloc_cost = 0.0;
+            for m in &out.migrations {
+                if m.is_physical() {
+                    physical += 1;
+                    let size = seq.size_of(m.task);
+                    migrated_pes += size;
+                    if let Some((topo, model)) = costing {
+                        realloc_cost += model.migration_cost(topo, m, size);
+                    }
+                }
+            }
+            if let Some(r) = report.as_mut() {
+                r.total_cost += realloc_cost;
+                if realloc_cost > r.max_event_cost {
+                    r.max_event_cost = realloc_cost;
+                }
+            }
+        }
+        let load = alloc.max_load();
+        peak = peak.max(load);
+        load_profile.push(load);
+    }
+
+    if let Some(r) = report.as_mut() {
+        r.physical_migrations = physical;
+        r.migrated_pes = migrated_pes;
+        r.events = seq.len();
+    }
+
+    let metrics = RunMetrics {
+        allocator: alloc.name(),
+        events: seq.len(),
+        peak_load: peak,
+        final_load: load_profile.last().copied().unwrap_or(0),
+        lstar: seq.optimal_load(n),
+        load_profile,
+        realloc_events,
+        migrations,
+        physical_migrations: physical,
+        migrated_pes,
+        per_pe_final: (0..machine.num_pes()).map(|pe| alloc.pe_load(pe)).collect(),
+    };
+    (metrics, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::{Constant, DReallocation, Greedy};
+    use partalloc_model::figure1_sigma_star;
+    use partalloc_topology::{BuddyTree, TreeMachine};
+
+    #[test]
+    fn figure1_metrics_for_greedy() {
+        let machine = BuddyTree::new(4).unwrap();
+        let seq = figure1_sigma_star();
+        let m = run_sequence(Greedy::new(machine), &seq);
+        assert_eq!(m.allocator, "A_G");
+        assert_eq!(m.events, 7);
+        assert_eq!(m.peak_load, 2);
+        assert_eq!(m.lstar, 1);
+        assert_eq!(m.load_profile, vec![1, 1, 1, 1, 1, 1, 2]);
+        assert_eq!(m.realloc_events, 0);
+        assert_eq!(m.per_pe_final, vec![2, 1, 1, 0]);
+        assert!((m.peak_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_metrics_for_constant() {
+        let machine = BuddyTree::new(4).unwrap();
+        let seq = figure1_sigma_star();
+        let m = run_sequence(Constant::new(machine), &seq);
+        assert_eq!(m.peak_load, 1);
+        assert_eq!(m.realloc_events, 5); // every arrival
+    }
+
+    #[test]
+    fn cost_accounting_charges_physical_moves_only() {
+        let machine = BuddyTree::new(4).unwrap();
+        let topo = TreeMachine::new(4).unwrap();
+        let seq = figure1_sigma_star();
+        let model = MigrationCostModel::new(1.0, 0.5, 0.25);
+        let (m, cost) = run_with_cost(Constant::new(machine), &seq, &topo, &model);
+        assert_eq!(cost.physical_migrations, m.physical_migrations);
+        assert_eq!(cost.events, 7);
+        if cost.physical_migrations > 0 {
+            assert!(cost.total_cost > 0.0);
+            assert!(cost.max_event_cost <= cost.total_cost);
+        }
+    }
+
+    #[test]
+    fn no_migrations_means_zero_cost() {
+        let machine = BuddyTree::new(8).unwrap();
+        let topo = TreeMachine::new(8).unwrap();
+        let seq = figure1_sigma_star();
+        let model = MigrationCostModel::new(1.0, 1.0, 1.0);
+        let (_, cost) = run_with_cost(Greedy::new(machine), &seq, &topo, &model);
+        assert_eq!(cost.total_cost, 0.0);
+        assert_eq!(cost.physical_migrations, 0);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let machine = BuddyTree::new(4).unwrap();
+        let seq = partalloc_model::TaskSequence::from_events(vec![]).unwrap();
+        let m = run_sequence(Greedy::new(machine), &seq);
+        assert_eq!(m.peak_load, 0);
+        assert_eq!(m.final_load, 0);
+        assert!(m.load_profile.is_empty());
+    }
+
+    #[test]
+    fn dreallocation_reports_realloc_events() {
+        let machine = BuddyTree::new(4).unwrap();
+        let seq = figure1_sigma_star();
+        let m = run_sequence(DReallocation::new(machine, 1), &seq);
+        assert_eq!(m.realloc_events, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same machine")]
+    fn topology_mismatch_panics() {
+        let machine = BuddyTree::new(4).unwrap();
+        let topo = TreeMachine::new(8).unwrap();
+        let model = MigrationCostModel::new(1.0, 0.0, 0.0);
+        let _ = run_with_cost(Greedy::new(machine), &figure1_sigma_star(), &topo, &model);
+    }
+}

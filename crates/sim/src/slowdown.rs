@@ -1,0 +1,120 @@
+use partalloc_core::Allocator;
+use partalloc_model::{Event, TaskSequence};
+use serde::Serialize;
+
+/// Per-user slowdown under round-robin thread sharing.
+///
+/// Paper §1: "when tasks allocated to a single PE are time-shared in a
+/// round-robin fashion, the worst slowdown ever experienced by a user
+/// is proportional to the maximum load of any PE in the submachine
+/// allocated to it." A task's *slowdown* here is therefore the maximum,
+/// over its lifetime, of the maximum PE load inside its (current)
+/// submachine.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlowdownReport {
+    /// Slowdown of each task that arrived, indexed by task id.
+    pub per_task: Vec<u64>,
+    /// Worst slowdown over all tasks.
+    pub worst: u64,
+    /// Mean slowdown.
+    pub mean: f64,
+    /// 95th percentile slowdown.
+    pub p95: u64,
+}
+
+/// Drive `alloc` through `seq`, tracking each task's worst observed
+/// submachine load.
+///
+/// Costs `O(events × active tasks × log N)` — meant for the slowdown
+/// experiment at moderate scale, not for the big sweeps.
+pub fn run_with_slowdowns<A: Allocator>(mut alloc: A, seq: &TaskSequence) -> SlowdownReport {
+    let mut per_task = vec![0u64; seq.num_tasks()];
+    let mut active: Vec<partalloc_model::TaskId> = Vec::new();
+    for ev in seq.events() {
+        alloc.handle(ev);
+        match *ev {
+            Event::Arrival { id, .. } => active.push(id),
+            Event::Departure { id } => {
+                active.retain(|&a| a != id);
+            }
+        }
+        // Refresh the worst-observed load of every active task.
+        for &id in &active {
+            let placement = alloc.placement_of(id).expect("active task has a placement");
+            let load = alloc.max_load_in(placement.node);
+            if load > per_task[id.idx()] {
+                per_task[id.idx()] = load;
+            }
+        }
+    }
+    let worst = per_task.iter().copied().max().unwrap_or(0);
+    let mean = if per_task.is_empty() {
+        0.0
+    } else {
+        per_task.iter().sum::<u64>() as f64 / per_task.len() as f64
+    };
+    let mut sorted = per_task.clone();
+    sorted.sort_unstable();
+    let p95 = if sorted.is_empty() {
+        0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * 0.95).round() as usize]
+    };
+    SlowdownReport {
+        per_task,
+        worst,
+        mean,
+        p95,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::{Constant, Greedy};
+    use partalloc_model::figure1_sigma_star;
+    use partalloc_topology::BuddyTree;
+
+    #[test]
+    fn figure1_slowdowns_for_greedy() {
+        let machine = BuddyTree::new(4).unwrap();
+        let r = run_with_slowdowns(Greedy::new(machine), &figure1_sigma_star());
+        // t1 (PE 0) and t5 (PEs 0-1) both see load 2 once t5 stacks on
+        // t1; t3 stays alone on PE 2; t2/t4 departed at load 1.
+        assert_eq!(r.per_task, vec![2, 1, 1, 1, 2]);
+        assert_eq!(r.worst, 2);
+        assert!((r.mean - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_keeps_everyone_at_optimum() {
+        let machine = BuddyTree::new(4).unwrap();
+        let r = run_with_slowdowns(Constant::new(machine), &figure1_sigma_star());
+        assert_eq!(r.worst, 1);
+        assert!((r.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence_report() {
+        let machine = BuddyTree::new(4).unwrap();
+        let seq = TaskSequence::from_events(vec![]).unwrap();
+        let r = run_with_slowdowns(Greedy::new(machine), &seq);
+        assert_eq!(r.worst, 0);
+        assert_eq!(r.mean, 0.0);
+        assert_eq!(r.p95, 0);
+        assert!(r.per_task.is_empty());
+    }
+
+    #[test]
+    fn percentile_is_ordered() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut b = partalloc_model::SequenceBuilder::new();
+        for _ in 0..20 {
+            b.arrive(1);
+        }
+        let seq = b.finish().unwrap();
+        let r = run_with_slowdowns(Greedy::new(machine), &seq);
+        assert!(r.p95 <= r.worst);
+        assert!(r.mean <= r.worst as f64);
+    }
+}

@@ -1,0 +1,294 @@
+//! Allocation timelines: reconstruct *where every task lived and when*
+//! from a run, and render the occupancy as an ASCII heat map or an SVG
+//! Gantt-style chart (PE rows × event-time columns).
+//!
+//! The paper's whole subject — fragmentation building up, reallocation
+//! sweeping it away — is visible at a glance in these charts, which is
+//! why `palloc render` exists.
+
+use partalloc_core::{Allocator, EventOutcome};
+use partalloc_model::{TaskId, TaskSequence};
+use partalloc_topology::BuddyTree;
+
+/// One residency interval: task `task` occupied the submachine at
+/// `node` from event index `from` (inclusive) to `until` (exclusive;
+/// `until == events` means it never left or moved again).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The resident task.
+    pub task: TaskId,
+    /// The buddy node it occupied.
+    pub node: partalloc_topology::NodeId,
+    /// First event index of the residency.
+    pub from: usize,
+    /// One-past-the-last event index.
+    pub until: usize,
+}
+
+/// The full placement history of one run.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    machine: BuddyTree,
+    events: usize,
+    spans: Vec<Span>,
+}
+
+impl Timeline {
+    /// Drive `alloc` through `seq`, recording every residency interval
+    /// (migrations split a task's residency into several spans).
+    ///
+    /// ```
+    /// use partalloc_core::Greedy;
+    /// use partalloc_model::figure1_sigma_star;
+    /// use partalloc_sim::Timeline;
+    /// use partalloc_topology::BuddyTree;
+    ///
+    /// let machine = BuddyTree::new(4).unwrap();
+    /// let tl = Timeline::record(Greedy::new(machine), &figure1_sigma_star());
+    /// assert_eq!(tl.spans().len(), 5); // five tasks, no migrations
+    /// let svg = tl.render_svg(640, 200);
+    /// assert!(svg.starts_with("<svg"));
+    /// ```
+    pub fn record<A: Allocator>(mut alloc: A, seq: &TaskSequence) -> Timeline {
+        let machine = alloc.machine();
+        let mut open: Vec<Option<(usize, partalloc_topology::NodeId)>> =
+            vec![None; seq.num_tasks()];
+        let mut spans = Vec::new();
+        for (i, ev) in seq.events().iter().enumerate() {
+            match alloc.handle(ev) {
+                EventOutcome::Arrival(out) => {
+                    for m in &out.migrations {
+                        if m.from.node != m.to.node {
+                            let (from, node) =
+                                open[m.task.idx()].take().expect("migrated task is open");
+                            debug_assert_eq!(node, m.from.node);
+                            spans.push(Span {
+                                task: m.task,
+                                node,
+                                from,
+                                until: i,
+                            });
+                            open[m.task.idx()] = Some((i, m.to.node));
+                        }
+                    }
+                    open[ev.task_id().idx()] = Some((i, out.placement.node));
+                }
+                EventOutcome::Departure(freed) => {
+                    let (from, node) = open[ev.task_id().idx()].take().expect("open task");
+                    debug_assert_eq!(node, freed.node);
+                    spans.push(Span {
+                        task: ev.task_id(),
+                        node,
+                        from,
+                        until: i,
+                    });
+                }
+            }
+        }
+        for (idx, slot) in open.into_iter().enumerate() {
+            if let Some((from, node)) = slot {
+                spans.push(Span {
+                    task: TaskId(idx as u64),
+                    node,
+                    from,
+                    until: seq.len(),
+                });
+            }
+        }
+        spans.sort_by_key(|s| (s.from, s.task));
+        Timeline {
+            machine,
+            events: seq.len(),
+            spans,
+        }
+    }
+
+    /// The recorded residency intervals, ordered by start event.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of events in the underlying run.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Per-PE load at one event index (counting spans covering it).
+    pub fn load_at(&self, pe: u32, event: usize) -> u64 {
+        let leaf = self.machine.leaf_of(pe);
+        self.spans
+            .iter()
+            .filter(|s| s.from <= event && event < s.until)
+            .filter(|s| self.machine.contains(s.node, leaf))
+            .count() as u64
+    }
+
+    /// ASCII occupancy map: one row per PE (downsampled to at most
+    /// `max_rows`), one column per event bucket (at most `width`),
+    /// cells shaded by load.
+    pub fn render_ascii(&self, width: usize, max_rows: usize) -> String {
+        assert!(width > 0 && max_rows > 0);
+        if self.events == 0 {
+            return String::new();
+        }
+        let n = self.machine.num_pes() as usize;
+        let rows = n.min(max_rows);
+        let cols = self.events.min(width);
+        // grid[r][c] = max load over the PEs and events in the bucket.
+        let mut grid = vec![vec![0u64; cols]; rows];
+        for span in &self.spans {
+            let pes = self.machine.pes_of(span.node);
+            let c0 = span.from * cols / self.events;
+            let c1 = ((span.until.max(span.from + 1) - 1) * cols / self.events).min(cols - 1);
+            for pe in pes {
+                let r = pe as usize * rows / n;
+                for cell in &mut grid[r][c0..=c1] {
+                    *cell += 1; // approximate: bucket-max ≈ sum cap
+                }
+            }
+        }
+        let peak = grid
+            .iter()
+            .flat_map(|r| r.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let mut out = String::new();
+        for (r, row) in grid.iter().enumerate() {
+            let first_pe = r * n / rows;
+            out.push_str(&format!("PE {first_pe:>4} "));
+            for &v in row {
+                out.push(if v == 0 {
+                    '·'
+                } else {
+                    BLOCKS[((v.min(peak) * 7) / peak) as usize]
+                });
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "        time → ({} events, peak cell {peak})\n",
+            self.events
+        ));
+        out
+    }
+
+    /// SVG Gantt chart: one rectangle per span (x = event interval,
+    /// y = PE range), hue hashed from the task id, translucent so
+    /// overlaps (load) read as saturation.
+    pub fn render_svg(&self, width_px: u32, height_px: u32) -> String {
+        let n = f64::from(self.machine.num_pes());
+        let events = self.events.max(1) as f64;
+        let w = f64::from(width_px);
+        let h = f64::from(height_px);
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" \
+             height=\"{height_px}\" viewBox=\"0 0 {width_px} {height_px}\">\n\
+             <rect width=\"{width_px}\" height=\"{height_px}\" fill=\"#111\"/>\n"
+        ));
+        for span in &self.spans {
+            let pes = self.machine.pes_of(span.node);
+            let x = span.from as f64 / events * w;
+            let sw = ((span.until - span.from).max(1)) as f64 / events * w;
+            let y = f64::from(pes.start) / n * h;
+            let sh = f64::from(pes.end - pes.start) / n * h;
+            let hue = (span.task.0.wrapping_mul(137)) % 360;
+            svg.push_str(&format!(
+                "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{sw:.2}\" height=\"{sh:.2}\" \
+                 fill=\"hsl({hue},70%,55%)\" fill-opacity=\"0.55\">\
+                 <title>t{} on PEs {}..{} [{}..{})</title></rect>\n",
+                span.task.0, pes.start, pes.end, span.from, span.until
+            ));
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::{Constant, Greedy};
+    use partalloc_model::figure1_sigma_star;
+
+    #[test]
+    fn figure1_timeline_spans() {
+        let machine = BuddyTree::new(4).unwrap();
+        let tl = Timeline::record(Greedy::new(machine), &figure1_sigma_star());
+        assert_eq!(tl.events(), 7);
+        // Five tasks, no migrations: five spans.
+        assert_eq!(tl.spans().len(), 5);
+        // t2 (id 1) lived on PE 1 from event 1 to its departure at 4.
+        let t2 = tl.spans().iter().find(|s| s.task == TaskId(1)).unwrap();
+        assert_eq!((t2.from, t2.until), (1, 4));
+        assert_eq!(machine.pes_of(t2.node), 1..2);
+        // t5 (id 4) runs to the end.
+        let t5 = tl.spans().iter().find(|s| s.task == TaskId(4)).unwrap();
+        assert_eq!(t5.until, 7);
+    }
+
+    #[test]
+    fn migrations_split_spans() {
+        let machine = BuddyTree::new(4).unwrap();
+        let tl = Timeline::record(Constant::new(machine), &figure1_sigma_star());
+        // A_C repacks on every arrival; t3 (id 2) is moved when t5
+        // arrives (Figure 1's reallocation), so it has ≥ 2 spans.
+        let t3_spans: Vec<_> = tl.spans().iter().filter(|s| s.task == TaskId(2)).collect();
+        assert!(
+            t3_spans.len() >= 2,
+            "expected a migration split, got {t3_spans:?}"
+        );
+        // Spans of one task never overlap in time.
+        for w in t3_spans.windows(2) {
+            assert!(w[0].until <= w[1].from);
+        }
+    }
+
+    #[test]
+    fn load_at_matches_known_profile() {
+        let machine = BuddyTree::new(4).unwrap();
+        let tl = Timeline::record(Greedy::new(machine), &figure1_sigma_star());
+        // After the last event (index 6): PE0 holds t1 + t5 = 2.
+        assert_eq!(tl.load_at(0, 6), 2);
+        assert_eq!(tl.load_at(2, 6), 1);
+        assert_eq!(tl.load_at(3, 6), 0);
+        // At event 3 all four PEs hold exactly one unit task.
+        for pe in 0..4 {
+            assert_eq!(tl.load_at(pe, 3), 1);
+        }
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let machine = BuddyTree::new(4).unwrap();
+        let tl = Timeline::record(Greedy::new(machine), &figure1_sigma_star());
+        let art = tl.render_ascii(7, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5); // 4 PE rows + the time axis
+        assert!(lines[0].starts_with("PE    0"));
+        assert!(lines[3].contains('·'), "PE 3 should show idle time");
+    }
+
+    #[test]
+    fn svg_render_is_well_formed() {
+        let machine = BuddyTree::new(4).unwrap();
+        let tl = Timeline::record(Greedy::new(machine), &figure1_sigma_star());
+        let svg = tl.render_svg(640, 200);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 1 + tl.spans().len());
+        assert!(svg.contains("<title>t0"));
+    }
+
+    #[test]
+    fn empty_sequence_renders_empty() {
+        let machine = BuddyTree::new(4).unwrap();
+        let seq = TaskSequence::from_events(vec![]).unwrap();
+        let tl = Timeline::record(Greedy::new(machine), &seq);
+        assert!(tl.spans().is_empty());
+        assert_eq!(tl.render_ascii(10, 4), "");
+    }
+}

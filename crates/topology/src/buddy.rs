@@ -1,0 +1,531 @@
+use std::fmt;
+use std::ops::Range;
+
+use crate::error::TopologyError;
+
+/// Identifier of a node of the [`BuddyTree`].
+///
+/// Nodes are numbered in *heap order*: the root is `1`, and node `i` has
+/// children `2i` and `2i + 1`. For a machine of `N = 2^n` PEs the leaves
+/// carry indices `N ..= 2N - 1`, and the leaf with heap index `N + p`
+/// hosts PE `p`.
+///
+/// A `NodeId` names a **submachine**: the complete binary subtree rooted
+/// at the node, i.e. a contiguous, aligned block of PEs whose size is a
+/// power of two. This is exactly the paper's notion of an `M`-PE
+/// submachine of the tree machine `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Heap index of the node.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Heap index as a `usize`, for direct array indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The complete binary decomposition tree over `N = 2^n` PEs.
+///
+/// This is the abstract shape shared by every hierarchically decomposable
+/// machine: the root is the whole machine, each node splits into two
+/// half-size submachines, and the leaves are individual PEs. All
+/// allocation algorithms in `partalloc-core` operate on this structure;
+/// concrete topologies (`TreeMachine`, `Hypercube`, …) describe how the
+/// abstract PEs are laid out physically.
+///
+/// Terminology used throughout the workspace:
+///
+/// * the machine has `levels() = n` **levels**; a node at *level* `x`
+///   roots a submachine of `2^x` PEs (leaves are level 0, the root is
+///   level `n`);
+/// * *depth* runs the other way: the root has depth 0, leaves depth `n`.
+///
+/// `BuddyTree` is a value type (two words) — cheap to copy and to store
+/// inside allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BuddyTree {
+    /// log2 of the number of PEs.
+    levels: u32,
+}
+
+/// Largest supported machine: `2^30` PEs keeps all heap indices in `u32`.
+pub(crate) const MAX_LEVELS: u32 = 30;
+
+impl BuddyTree {
+    /// Create the decomposition tree for a machine with `num_pes` PEs.
+    ///
+    /// `num_pes` must be a power of two in `1 ..= 2^30`.
+    pub fn new(num_pes: u64) -> Result<Self, TopologyError> {
+        if num_pes == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if !num_pes.is_power_of_two() {
+            return Err(TopologyError::NotPowerOfTwo { requested: num_pes });
+        }
+        let levels = num_pes.trailing_zeros();
+        if levels > MAX_LEVELS {
+            return Err(TopologyError::TooLarge {
+                requested: num_pes,
+                max: 1 << MAX_LEVELS,
+            });
+        }
+        Ok(BuddyTree { levels })
+    }
+
+    /// Create a tree with `2^levels` PEs directly from the level count.
+    pub fn with_levels(levels: u32) -> Result<Self, TopologyError> {
+        if levels > MAX_LEVELS {
+            return Err(TopologyError::TooLarge {
+                requested: 1u64 << levels.min(63),
+                max: 1 << MAX_LEVELS,
+            });
+        }
+        Ok(BuddyTree { levels })
+    }
+
+    /// Number of PEs (`N`).
+    #[inline]
+    pub fn num_pes(&self) -> u32 {
+        1 << self.levels
+    }
+
+    /// `log2 N`: number of levels below the root.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total number of tree nodes (`2N - 1`).
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        2 * self.num_pes() - 1
+    }
+
+    /// One-past-the-last heap index (`2N`); arrays indexed by heap index
+    /// should have this capacity.
+    #[inline]
+    pub fn heap_len(&self) -> usize {
+        2 * self.num_pes() as usize
+    }
+
+    /// The root node (the whole machine).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(1)
+    }
+
+    /// Is `node` a valid node of this tree?
+    #[inline]
+    pub fn is_valid(&self, node: NodeId) -> bool {
+        node.0 >= 1 && node.0 < 2 * self.num_pes()
+    }
+
+    /// Depth of `node` (root = 0, leaves = `levels()`).
+    #[inline]
+    pub fn depth_of(&self, node: NodeId) -> u32 {
+        debug_assert!(self.is_valid(node));
+        31 - node.0.leading_zeros()
+    }
+
+    /// Level of `node`: log2 of the submachine size it roots
+    /// (leaves = 0, root = `levels()`).
+    #[inline]
+    pub fn level_of(&self, node: NodeId) -> u32 {
+        self.levels - self.depth_of(node)
+    }
+
+    /// Number of PEs in the submachine rooted at `node`.
+    #[inline]
+    pub fn size_of(&self, node: NodeId) -> u32 {
+        1 << self.level_of(node)
+    }
+
+    /// Is `node` a leaf (a single PE)?
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        node.0 >= self.num_pes()
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        if node.0 <= 1 {
+            None
+        } else {
+            Some(NodeId(node.0 >> 1))
+        }
+    }
+
+    /// Left child, or `None` for leaves.
+    #[inline]
+    pub fn left(&self, node: NodeId) -> Option<NodeId> {
+        if self.is_leaf(node) {
+            None
+        } else {
+            Some(NodeId(node.0 << 1))
+        }
+    }
+
+    /// Right child, or `None` for leaves.
+    #[inline]
+    pub fn right(&self, node: NodeId) -> Option<NodeId> {
+        if self.is_leaf(node) {
+            None
+        } else {
+            Some(NodeId((node.0 << 1) | 1))
+        }
+    }
+
+    /// The buddy (sibling) of `node`, or `None` for the root.
+    #[inline]
+    pub fn sibling(&self, node: NodeId) -> Option<NodeId> {
+        if node.0 <= 1 {
+            None
+        } else {
+            Some(NodeId(node.0 ^ 1))
+        }
+    }
+
+    /// All nodes at `level` (each rooting a `2^level`-PE submachine),
+    /// in left-to-right order.
+    ///
+    /// There are `N / 2^level` of them.
+    pub fn nodes_at_level(&self, level: u32) -> impl Iterator<Item = NodeId> + use<> {
+        assert!(
+            level <= self.levels,
+            "level {level} exceeds machine height {}",
+            self.levels
+        );
+        let first = self.num_pes() >> level;
+        (first..2 * first).map(NodeId)
+    }
+
+    /// Number of submachines of size `2^level`.
+    #[inline]
+    pub fn count_at_level(&self, level: u32) -> u32 {
+        debug_assert!(level <= self.levels);
+        self.num_pes() >> level
+    }
+
+    /// Heap index of the leftmost (first) node at `level`.
+    #[inline]
+    pub fn first_at_level(&self, level: u32) -> NodeId {
+        debug_assert!(level <= self.levels);
+        NodeId(self.num_pes() >> level)
+    }
+
+    /// The `k`-th (0-based, left to right) node at `level`.
+    #[inline]
+    pub fn node_at(&self, level: u32, k: u32) -> NodeId {
+        debug_assert!(level <= self.levels);
+        debug_assert!(k < self.count_at_level(level));
+        NodeId((self.num_pes() >> level) + k)
+    }
+
+    /// Left-to-right rank of `node` among the nodes of its level.
+    #[inline]
+    pub fn rank_in_level(&self, node: NodeId) -> u32 {
+        node.0 - (self.num_pes() >> self.level_of(node))
+    }
+
+    /// The contiguous PE index range covered by the submachine at `node`.
+    #[inline]
+    pub fn pes_of(&self, node: NodeId) -> Range<u32> {
+        let level = self.level_of(node);
+        let first = (node.0 << level) - self.num_pes();
+        first..first + (1 << level)
+    }
+
+    /// The leaf node hosting PE `pe`.
+    #[inline]
+    pub fn leaf_of(&self, pe: u32) -> NodeId {
+        debug_assert!(pe < self.num_pes());
+        NodeId(self.num_pes() + pe)
+    }
+
+    /// Does the submachine at `outer` contain the submachine at `inner`
+    /// (including `outer == inner`)?
+    #[inline]
+    pub fn contains(&self, outer: NodeId, inner: NodeId) -> bool {
+        debug_assert!(self.is_valid(outer) && self.is_valid(inner));
+        let (do_, di) = (self.depth_of(outer), self.depth_of(inner));
+        di >= do_ && (inner.0 >> (di - do_)) == outer.0
+    }
+
+    /// The ancestor of `node` at the given `level`.
+    ///
+    /// Panics (in debug builds) if `level` is below the node's own level.
+    #[inline]
+    pub fn ancestor_at_level(&self, node: NodeId, level: u32) -> NodeId {
+        let own = self.level_of(node);
+        debug_assert!(level >= own && level <= self.levels);
+        NodeId(node.0 >> (level - own))
+    }
+
+    /// Iterate over the strict ancestors of `node`, from its parent up to
+    /// the root.
+    pub fn ancestors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + use<> {
+        let mut cur = node.0;
+        std::iter::from_fn(move || {
+            cur >>= 1;
+            (cur >= 1).then_some(NodeId(cur))
+        })
+    }
+
+    /// Iterate over `node` and all its ancestors up to the root.
+    pub fn path_to_root(&self, node: NodeId) -> impl Iterator<Item = NodeId> + use<> {
+        std::iter::once(node).chain(self.ancestors(node))
+    }
+
+    /// The lowest common ancestor of two nodes.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        debug_assert!(self.is_valid(a) && self.is_valid(b));
+        let (mut x, mut y) = (a.0, b.0);
+        // Bring both to the same depth, then walk up in lockstep.
+        let (dx, dy) = (31 - x.leading_zeros(), 31 - y.leading_zeros());
+        if dx > dy {
+            x >>= dx - dy;
+        } else {
+            y >>= dy - dx;
+        }
+        while x != y {
+            x >>= 1;
+            y >>= 1;
+        }
+        NodeId(x)
+    }
+
+    /// All nodes in heap (BFS) order: root first, leaves last.
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + use<> {
+        (1..2 * self.num_pes()).map(NodeId)
+    }
+}
+
+impl fmt::Display for BuddyTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BuddyTree[{} PEs, {} levels]",
+            self.num_pes(),
+            self.levels
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_accepts_powers_of_two_only() {
+        assert!(BuddyTree::new(1).is_ok());
+        assert!(BuddyTree::new(2).is_ok());
+        assert!(BuddyTree::new(1024).is_ok());
+        assert_eq!(BuddyTree::new(0), Err(TopologyError::Empty));
+        assert_eq!(
+            BuddyTree::new(3),
+            Err(TopologyError::NotPowerOfTwo { requested: 3 })
+        );
+        assert_eq!(
+            BuddyTree::new(12),
+            Err(TopologyError::NotPowerOfTwo { requested: 12 })
+        );
+        assert!(matches!(
+            BuddyTree::new(1 << 40),
+            Err(TopologyError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn with_levels_matches_new() {
+        for n in 0..12 {
+            let a = BuddyTree::with_levels(n).unwrap();
+            let b = BuddyTree::new(1 << n).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.num_pes(), 1 << n);
+        }
+    }
+
+    #[test]
+    fn single_pe_machine() {
+        let t = BuddyTree::new(1).unwrap();
+        assert_eq!(t.levels(), 0);
+        assert_eq!(t.num_pes(), 1);
+        assert_eq!(t.root(), NodeId(1));
+        assert!(t.is_leaf(t.root()));
+        assert_eq!(t.pes_of(t.root()), 0..1);
+        assert_eq!(t.leaf_of(0), NodeId(1));
+    }
+
+    #[test]
+    fn levels_and_depths() {
+        let t = BuddyTree::new(8).unwrap();
+        assert_eq!(t.depth_of(NodeId(1)), 0);
+        assert_eq!(t.level_of(NodeId(1)), 3);
+        assert_eq!(t.size_of(NodeId(1)), 8);
+        assert_eq!(t.depth_of(NodeId(5)), 2);
+        assert_eq!(t.level_of(NodeId(5)), 1);
+        assert_eq!(t.size_of(NodeId(5)), 2);
+        for leaf in 8..16 {
+            assert_eq!(t.level_of(NodeId(leaf)), 0);
+            assert!(t.is_leaf(NodeId(leaf)));
+        }
+    }
+
+    #[test]
+    fn family_relations() {
+        let t = BuddyTree::new(8).unwrap();
+        assert_eq!(t.parent(NodeId(1)), None);
+        assert_eq!(t.parent(NodeId(6)), Some(NodeId(3)));
+        assert_eq!(t.left(NodeId(3)), Some(NodeId(6)));
+        assert_eq!(t.right(NodeId(3)), Some(NodeId(7)));
+        assert_eq!(t.left(NodeId(9)), None);
+        assert_eq!(t.sibling(NodeId(6)), Some(NodeId(7)));
+        assert_eq!(t.sibling(NodeId(7)), Some(NodeId(6)));
+        assert_eq!(t.sibling(NodeId(1)), None);
+    }
+
+    #[test]
+    fn pe_ranges_tile_each_level() {
+        let t = BuddyTree::new(32).unwrap();
+        for level in 0..=t.levels() {
+            let mut next = 0u32;
+            for node in t.nodes_at_level(level) {
+                let r = t.pes_of(node);
+                assert_eq!(r.start, next, "level {level} not contiguous");
+                assert_eq!(r.end - r.start, 1 << level);
+                next = r.end;
+            }
+            assert_eq!(next, 32);
+        }
+    }
+
+    #[test]
+    fn node_at_and_rank_roundtrip() {
+        let t = BuddyTree::new(16).unwrap();
+        for level in 0..=4 {
+            for k in 0..t.count_at_level(level) {
+                let n = t.node_at(level, k);
+                assert_eq!(t.level_of(n), level);
+                assert_eq!(t.rank_in_level(n), k);
+            }
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let t = BuddyTree::new(16).unwrap();
+        let root = t.root();
+        for n in t.all_nodes() {
+            assert!(t.contains(root, n));
+            assert!(t.contains(n, n));
+        }
+        assert!(t.contains(NodeId(2), NodeId(4)));
+        assert!(t.contains(NodeId(2), NodeId(11)));
+        assert!(!t.contains(NodeId(2), NodeId(3)));
+        assert!(!t.contains(NodeId(4), NodeId(2)));
+        assert!(!t.contains(NodeId(2), NodeId(12)));
+    }
+
+    #[test]
+    fn ancestor_at_level_walks_up() {
+        let t = BuddyTree::new(16).unwrap();
+        let leaf = t.leaf_of(13);
+        assert_eq!(t.ancestor_at_level(leaf, 0), leaf);
+        assert_eq!(t.ancestor_at_level(leaf, 4), t.root());
+        let a2 = t.ancestor_at_level(leaf, 2);
+        assert_eq!(t.level_of(a2), 2);
+        assert!(t.contains(a2, leaf));
+        assert!(t.pes_of(a2).contains(&13));
+    }
+
+    #[test]
+    fn ancestors_iterator() {
+        let t = BuddyTree::new(8).unwrap();
+        let anc: Vec<_> = t.ancestors(NodeId(13)).collect();
+        assert_eq!(anc, vec![NodeId(6), NodeId(3), NodeId(1)]);
+        let path: Vec<_> = t.path_to_root(NodeId(13)).collect();
+        assert_eq!(path, vec![NodeId(13), NodeId(6), NodeId(3), NodeId(1)]);
+        assert_eq!(t.ancestors(t.root()).count(), 0);
+    }
+
+    #[test]
+    fn lca_examples() {
+        let t = BuddyTree::new(16).unwrap();
+        assert_eq!(t.lca(NodeId(16), NodeId(17)), NodeId(8));
+        assert_eq!(t.lca(NodeId(16), NodeId(31)), NodeId(1));
+        assert_eq!(t.lca(NodeId(8), NodeId(19)), NodeId(4));
+        assert_eq!(t.lca(NodeId(5), NodeId(5)), NodeId(5));
+        // LCA of a node and its ancestor is the ancestor.
+        assert_eq!(t.lca(NodeId(2), NodeId(9)), NodeId(2));
+    }
+
+    #[test]
+    fn leaf_of_roundtrips_with_pes_of() {
+        let t = BuddyTree::new(64).unwrap();
+        for pe in 0..64 {
+            let leaf = t.leaf_of(pe);
+            assert!(t.is_leaf(leaf));
+            assert_eq!(t.pes_of(leaf), pe..pe + 1);
+        }
+    }
+
+    #[test]
+    fn lca_is_the_deepest_common_ancestor() {
+        // Exhaustive on a 16-PE tree: the LCA contains both nodes, and
+        // no strictly deeper node does.
+        let t = BuddyTree::new(16).unwrap();
+        for a in t.all_nodes() {
+            for b in t.all_nodes() {
+                let l = t.lca(a, b);
+                assert!(t.contains(l, a) && t.contains(l, b));
+                if let (Some(la), Some(lb)) = (t.left(l), t.right(l)) {
+                    for deeper in [la, lb] {
+                        assert!(
+                            !(t.contains(deeper, a) && t.contains(deeper, b)),
+                            "lca({a},{b}) = {l} is not deepest"
+                        );
+                    }
+                }
+                // Symmetric.
+                assert_eq!(l, t.lca(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn pes_and_containment_agree() {
+        // contains(a, b) ⇔ pes_of(b) ⊆ pes_of(a), exhaustively at N=16.
+        let t = BuddyTree::new(16).unwrap();
+        for a in t.all_nodes() {
+            for b in t.all_nodes() {
+                let (ra, rb) = (t.pes_of(a), t.pes_of(b));
+                let subset = ra.start <= rb.start && rb.end <= ra.end;
+                assert_eq!(t.contains(a, b), subset, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let t = BuddyTree::new(32).unwrap();
+        assert_eq!(t.num_nodes(), 63);
+        assert_eq!(t.heap_len(), 64);
+        assert_eq!(t.all_nodes().count(), 63);
+        let total: u32 = (0..=5).map(|l| t.count_at_level(l)).sum();
+        assert_eq!(total, 63);
+    }
+}

@@ -1,0 +1,98 @@
+use crate::buddy::BuddyTree;
+use crate::error::TopologyError;
+use crate::partition::{Partitionable, TopologyKind};
+
+/// An `n`-level butterfly network with `N = 2^n` PEs on its input rank.
+///
+/// Two inputs whose labels agree on the high `n - k` bits belong to a
+/// common `2^k`-input sub-butterfly, which is itself a complete butterfly
+/// — this is the hierarchical decomposition the buddy tree captures. A
+/// message between two such inputs traverses the `k` switch ranks of
+/// that sub-butterfly forward and back, giving hop distance `2k`
+/// (structurally different from the tree machine, but with the same
+/// prefix-locality metric — which is why the paper can treat both with
+/// one analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Butterfly {
+    tree: BuddyTree,
+}
+
+impl Butterfly {
+    /// A butterfly with `num_pes = 2^n` inputs.
+    pub fn new(num_pes: u64) -> Result<Self, TopologyError> {
+        Ok(Butterfly {
+            tree: BuddyTree::new(num_pes)?,
+        })
+    }
+
+    /// Number of switch ranks (`n`).
+    pub fn ranks(&self) -> u32 {
+        self.tree.levels()
+    }
+
+    /// Total number of switching elements: `N (n + 1)` nodes arranged in
+    /// `n + 1` ranks of `N`.
+    pub fn num_switches(&self) -> u64 {
+        u64::from(self.tree.num_pes()) * u64::from(self.tree.levels() + 1)
+    }
+}
+
+impl Partitionable for Butterfly {
+    fn buddy(&self) -> BuddyTree {
+        self.tree
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Butterfly
+    }
+
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.tree.num_pes() && b < self.tree.num_pes());
+        if a == b {
+            return 0;
+        }
+        // Smallest common sub-butterfly has 2^k inputs where k is the
+        // bit length of a XOR b; the round trip crosses its k ranks twice.
+        2 * (32 - (a ^ b).leading_zeros())
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.tree.levels() == 0 {
+            0
+        } else {
+            2 * self.tree.levels()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::proptests::{check_metric, check_migration};
+
+    #[test]
+    fn structure() {
+        let m = Butterfly::new(8).unwrap();
+        assert_eq!(m.ranks(), 3);
+        assert_eq!(m.num_switches(), 32);
+    }
+
+    #[test]
+    fn sub_butterfly_distances() {
+        let m = Butterfly::new(16).unwrap();
+        assert_eq!(m.distance(4, 4), 0);
+        assert_eq!(m.distance(4, 5), 2); // common 2-input sub-butterfly
+        assert_eq!(m.distance(4, 6), 4);
+        assert_eq!(m.distance(0, 15), 8); // whole network
+        assert_eq!(m.diameter(), 8);
+    }
+
+    #[test]
+    fn metric_laws() {
+        for n in [1u64, 4, 32] {
+            let m = Butterfly::new(n).unwrap();
+            check_metric(&m);
+            check_migration(&m);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors produced when constructing or interrogating machine topologies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The requested PE count is not a power of two (all machines in this
+    /// crate are hierarchically decomposable by repeated halving).
+    NotPowerOfTwo {
+        /// The offending PE count.
+        requested: u64,
+    },
+    /// The requested PE count is zero.
+    Empty,
+    /// The requested PE count exceeds what the index types support.
+    TooLarge {
+        /// The offending PE count.
+        requested: u64,
+        /// The largest supported PE count.
+        max: u64,
+    },
+    /// A submachine size larger than the whole machine was requested.
+    OversizedSubmachine {
+        /// Requested submachine level (log2 of its size).
+        level: u32,
+        /// Number of levels in the machine.
+        levels: u32,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotPowerOfTwo { requested } => {
+                write!(f, "PE count {requested} is not a power of two")
+            }
+            TopologyError::Empty => write!(f, "a machine must have at least one PE"),
+            TopologyError::TooLarge { requested, max } => {
+                write!(
+                    f,
+                    "PE count {requested} exceeds the supported maximum {max}"
+                )
+            }
+            TopologyError::OversizedSubmachine { level, levels } => write!(
+                f,
+                "submachine level {level} exceeds machine height {levels}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

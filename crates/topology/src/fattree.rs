@@ -1,0 +1,109 @@
+use crate::buddy::BuddyTree;
+use crate::error::TopologyError;
+use crate::partition::{Partitionable, TopologyKind};
+
+/// A CM-5-class 4-ary fat tree over `N = 2^n` PEs.
+///
+/// The Connection Machine CM-5 (Leiserson et al., the paper's ref \[17\])
+/// connects its processing nodes by a 4-ary fat tree: each switch level
+/// groups four submachines of the level below. Two PEs whose labels
+/// first differ in bit `b` (0-based) share their lowest common switch at
+/// 4-ary height `⌈(b + 1) / 2⌉`, and a message climbs to that switch and
+/// back down, for `2 × height` hops.
+///
+/// Relative to the binary [`crate::TreeMachine`], the fat tree is twice
+/// as shallow, halving (roughly) all migration distances — the geometry
+/// actually exhibited by the machines (CM-5, SP2) that motivated the
+/// paper's multi-user sharing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTree {
+    tree: BuddyTree,
+}
+
+impl FatTree {
+    /// A fat tree over `num_pes` PEs (a power of two).
+    pub fn new(num_pes: u64) -> Result<Self, TopologyError> {
+        Ok(FatTree {
+            tree: BuddyTree::new(num_pes)?,
+        })
+    }
+
+    /// Height of the 4-ary switch hierarchy: `⌈n / 2⌉`.
+    pub fn switch_height(&self) -> u32 {
+        self.tree.levels().div_ceil(2)
+    }
+}
+
+impl Partitionable for FatTree {
+    fn buddy(&self) -> BuddyTree {
+        self.tree
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::FatTree
+    }
+
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.tree.num_pes() && b < self.tree.num_pes());
+        if a == b {
+            return 0;
+        }
+        let binary_level = 32 - (a ^ b).leading_zeros(); // 1-based bit length
+        2 * binary_level.div_ceil(2)
+    }
+
+    fn diameter(&self) -> u32 {
+        2 * self.switch_height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::proptests::{check_metric, check_migration};
+    use crate::TreeMachine;
+
+    #[test]
+    fn heights() {
+        assert_eq!(FatTree::new(16).unwrap().switch_height(), 2);
+        assert_eq!(FatTree::new(32).unwrap().switch_height(), 3);
+        assert_eq!(FatTree::new(1).unwrap().switch_height(), 0);
+    }
+
+    #[test]
+    fn quad_groups_share_one_switch() {
+        let m = FatTree::new(16).unwrap();
+        // PEs 0..4 hang off one height-1 switch.
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    assert_eq!(m.distance(a, b), 2);
+                }
+            }
+        }
+        assert_eq!(m.distance(0, 4), 4);
+        assert_eq!(m.distance(0, 15), 4);
+        assert_eq!(m.diameter(), 4);
+    }
+
+    #[test]
+    fn shallower_than_binary_tree() {
+        let fat = FatTree::new(64).unwrap();
+        let bin = TreeMachine::new(64).unwrap();
+        for a in 0..64 {
+            for b in 0..64 {
+                assert!(fat.distance(a, b) <= bin.distance(a, b));
+            }
+        }
+        assert!(fat.diameter() < bin.diameter());
+    }
+
+    #[test]
+    fn metric_laws() {
+        for n in [1u64, 4, 16, 64] {
+            let m = FatTree::new(n).unwrap();
+            check_metric(&m);
+            check_migration(&m);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+use crate::buddy::BuddyTree;
+use crate::error::TopologyError;
+use crate::partition::{Partitionable, TopologyKind};
+
+/// A boolean `n`-cube with `N = 2^n` PEs at the vertices.
+///
+/// PE indices are the vertex labels; two PEs are neighbours iff their
+/// labels differ in one bit, so the hop distance is the Hamming
+/// distance. The buddy decomposition maps a level-`x` node onto the
+/// subcube obtained by fixing the high `n - x` address bits — exactly
+/// the subcube-allocation model of Chen–Shin and Dutt–Hayes that the
+/// paper cites ([9, 10, 11]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypercube {
+    tree: BuddyTree,
+}
+
+impl Hypercube {
+    /// An `n`-cube with `num_pes = 2^n` PEs.
+    pub fn new(num_pes: u64) -> Result<Self, TopologyError> {
+        Ok(Hypercube {
+            tree: BuddyTree::new(num_pes)?,
+        })
+    }
+
+    /// Cube dimension `n`.
+    pub fn dimension(&self) -> u32 {
+        self.tree.levels()
+    }
+}
+
+impl Partitionable for Hypercube {
+    fn buddy(&self) -> BuddyTree {
+        self.tree
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Hypercube
+    }
+
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.tree.num_pes() && b < self.tree.num_pes());
+        (a ^ b).count_ones()
+    }
+
+    fn diameter(&self) -> u32 {
+        self.tree.levels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::proptests::{check_metric, check_migration};
+
+    #[test]
+    fn hamming_distances() {
+        let m = Hypercube::new(16).unwrap();
+        assert_eq!(m.dimension(), 4);
+        assert_eq!(m.distance(0b0000, 0b0000), 0);
+        assert_eq!(m.distance(0b0000, 0b0001), 1);
+        assert_eq!(m.distance(0b0101, 0b1010), 4);
+        assert_eq!(m.diameter(), 4);
+    }
+
+    #[test]
+    fn metric_laws() {
+        for n in [1u64, 2, 16, 64] {
+            let m = Hypercube::new(n).unwrap();
+            check_metric(&m);
+            check_migration(&m);
+        }
+    }
+
+    #[test]
+    fn buddy_nodes_are_subcubes() {
+        // Every level-x node's PE range must share the high n-x bits.
+        let m = Hypercube::new(64).unwrap();
+        let t = m.buddy();
+        for level in 0..=t.levels() {
+            for node in t.nodes_at_level(level) {
+                let pes: Vec<u32> = t.pes_of(node).collect();
+                let prefix = pes[0] >> level;
+                for &p in &pes {
+                    assert_eq!(p >> level, prefix, "node {node} is not a subcube");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn migration_within_small_subcube_is_cheap() {
+        let m = Hypercube::new(16).unwrap();
+        let t = m.buddy();
+        let pairs: Vec<_> = t.nodes_at_level(1).collect();
+        // Sibling pairs differ in exactly one (high) bit.
+        assert_eq!(m.migration_distance(pairs[0], pairs[1]), 1);
+        // Far pairs differ in several bits but never more than n.
+        assert!(m.migration_distance(pairs[0], pairs[7]) <= 4);
+    }
+}

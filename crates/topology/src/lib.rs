@@ -1,0 +1,62 @@
+//! # partalloc-topology
+//!
+//! Machine models for *partitionable* (hierarchically decomposable)
+//! multiprocessors, the substrate of
+//! Gao, Rosenberg, Sitaraman, *"On Trading Task Reallocation for Thread
+//! Management in Partitionable Multiprocessors"* (SPAA 1996).
+//!
+//! The paper states all results for an `N`-leaf complete-binary-tree
+//! machine whose leaves hold processing elements (PEs) and whose internal
+//! nodes hold switches, and notes that they carry over to any
+//! hierarchically decomposable machine (CM-5-class fat trees, hypercubes,
+//! meshes, butterflies).
+//!
+//! This crate follows the same strategy:
+//!
+//! * [`BuddyTree`] is the *abstract* complete binary decomposition tree
+//!   over `N = 2^n` PEs. Every allocation algorithm in `partalloc-core`
+//!   is written against it. A **submachine** of size `2^x` is exactly a
+//!   node of the buddy tree at level `x` (levels count up from the
+//!   leaves), and the PEs of a submachine form a contiguous index range.
+//! * [`Partitionable`] maps the abstract decomposition onto a concrete
+//!   physical topology — supplying PE coordinates and inter-PE distances
+//!   so that migration costs can be modelled. Implementations:
+//!   [`TreeMachine`], [`Hypercube`], [`Mesh2D`], [`Butterfly`],
+//!   [`FatTree`].
+//!
+//! ```
+//! use partalloc_topology::{BuddyTree, NodeId};
+//!
+//! let t = BuddyTree::new(8).unwrap();       // an 8-PE tree machine
+//! assert_eq!(t.levels(), 3);                // log2 N
+//! let root = t.root();
+//! assert_eq!(t.size_of(root), 8);
+//! // The two 4-PE submachines:
+//! let subs: Vec<NodeId> = t.nodes_at_level(2).collect();
+//! assert_eq!(subs.len(), 2);
+//! assert_eq!(t.pes_of(subs[0]), 0..4);
+//! assert_eq!(t.pes_of(subs[1]), 4..8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buddy;
+mod butterfly;
+mod error;
+mod fattree;
+mod hypercube;
+mod mesh;
+mod partition;
+mod torus;
+mod tree;
+
+pub use buddy::{BuddyTree, NodeId};
+pub use butterfly::Butterfly;
+pub use error::TopologyError;
+pub use fattree::FatTree;
+pub use hypercube::Hypercube;
+pub use mesh::Mesh2D;
+pub use partition::{Partitionable, TopologyKind};
+pub use torus::Torus2D;
+pub use tree::TreeMachine;

@@ -1,0 +1,166 @@
+use crate::buddy::BuddyTree;
+use crate::error::TopologyError;
+use crate::partition::{Partitionable, TopologyKind};
+
+/// A two-dimensional mesh decomposed by alternating bisection (Z-order).
+///
+/// `N = 2^n` PEs are arranged on a `W × H` grid with `W = 2^⌈n/2⌉`,
+/// `H = 2^⌊n/2⌋`. PE indices follow the Morton (Z-order) curve: the even
+/// bits of the index give the x coordinate and the odd bits the y
+/// coordinate. Under this numbering every buddy-tree node covers an
+/// axis-aligned rectangle whose aspect ratio is 1:1 or 2:1, so the
+/// hierarchical decomposition the algorithms rely on is realized by
+/// recursive mesh bisection. Distance is the Manhattan (XY-routing) hop
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2D {
+    tree: BuddyTree,
+}
+
+impl Mesh2D {
+    /// A mesh with `num_pes` PEs (a power of two).
+    pub fn new(num_pes: u64) -> Result<Self, TopologyError> {
+        Ok(Mesh2D {
+            tree: BuddyTree::new(num_pes)?,
+        })
+    }
+
+    /// Grid width (`2^⌈n/2⌉`).
+    pub fn width(&self) -> u32 {
+        1 << self.tree.levels().div_ceil(2)
+    }
+
+    /// Grid height (`2^⌊n/2⌋`).
+    pub fn height(&self) -> u32 {
+        1 << (self.tree.levels() / 2)
+    }
+
+    /// Grid coordinates of PE `pe` (Morton decode: even bits → x,
+    /// odd bits → y).
+    pub fn coords(&self, pe: u32) -> (u32, u32) {
+        debug_assert!(pe < self.tree.num_pes());
+        let (mut x, mut y) = (0u32, 0u32);
+        for i in 0..16 {
+            x |= ((pe >> (2 * i)) & 1) << i;
+            y |= ((pe >> (2 * i + 1)) & 1) << i;
+        }
+        (x, y)
+    }
+
+    /// Inverse of [`Mesh2D::coords`].
+    pub fn pe_at(&self, x: u32, y: u32) -> u32 {
+        debug_assert!(x < self.width() && y < self.height());
+        let mut pe = 0u32;
+        for i in 0..16 {
+            pe |= ((x >> i) & 1) << (2 * i);
+            pe |= ((y >> i) & 1) << (2 * i + 1);
+        }
+        pe
+    }
+}
+
+impl Partitionable for Mesh2D {
+    fn buddy(&self) -> BuddyTree {
+        self.tree
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Mesh2D
+    }
+
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    fn diameter(&self) -> u32 {
+        (self.width() - 1) + (self.height() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::proptests::{check_metric, check_migration};
+
+    #[test]
+    fn grid_shape() {
+        let m = Mesh2D::new(64).unwrap();
+        assert_eq!((m.width(), m.height()), (8, 8));
+        let m = Mesh2D::new(32).unwrap();
+        assert_eq!((m.width(), m.height()), (8, 4));
+        let m = Mesh2D::new(1).unwrap();
+        assert_eq!((m.width(), m.height()), (1, 1));
+    }
+
+    #[test]
+    fn morton_roundtrip() {
+        let m = Mesh2D::new(256).unwrap();
+        for pe in 0..256 {
+            let (x, y) = m.coords(pe);
+            assert!(x < m.width() && y < m.height());
+            assert_eq!(m.pe_at(x, y), pe);
+        }
+    }
+
+    #[test]
+    fn coords_cover_grid_exactly_once() {
+        let m = Mesh2D::new(32).unwrap();
+        let mut seen = [false; 32];
+        for y in 0..m.height() {
+            for x in 0..m.width() {
+                let pe = m.pe_at(x, y) as usize;
+                assert!(!seen[pe]);
+                seen[pe] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn buddy_nodes_are_rectangles() {
+        let m = Mesh2D::new(64).unwrap();
+        let t = m.buddy();
+        for level in 0..=t.levels() {
+            for node in t.nodes_at_level(level) {
+                let cs: Vec<(u32, u32)> = t.pes_of(node).map(|p| m.coords(p)).collect();
+                let (xmin, xmax) = cs
+                    .iter()
+                    .map(|c| c.0)
+                    .fold((u32::MAX, 0), |(lo, hi), v| (lo.min(v), hi.max(v)));
+                let (ymin, ymax) = cs
+                    .iter()
+                    .map(|c| c.1)
+                    .fold((u32::MAX, 0), |(lo, hi), v| (lo.min(v), hi.max(v)));
+                let area = (xmax - xmin + 1) * (ymax - ymin + 1);
+                assert_eq!(
+                    area,
+                    cs.len() as u32,
+                    "node {node} at level {level} is not a filled rectangle"
+                );
+                // Aspect ratio 1:1 or 2:1.
+                let (w, h) = (xmax - xmin + 1, ymax - ymin + 1);
+                assert!(w == h || w == 2 * h || h == 2 * w);
+            }
+        }
+    }
+
+    #[test]
+    fn metric_laws() {
+        for n in [1u64, 2, 16, 64] {
+            let m = Mesh2D::new(n).unwrap();
+            check_metric(&m);
+            check_migration(&m);
+        }
+    }
+
+    #[test]
+    fn manhattan_examples() {
+        let m = Mesh2D::new(16).unwrap();
+        let a = m.pe_at(0, 0);
+        let b = m.pe_at(3, 3);
+        assert_eq!(m.distance(a, b), 6);
+        assert_eq!(m.diameter(), 6);
+    }
+}

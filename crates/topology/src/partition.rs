@@ -1,0 +1,174 @@
+use crate::buddy::{BuddyTree, NodeId};
+
+/// Which concrete network a [`Partitionable`] implementation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Complete-binary-tree machine (the paper's base model).
+    Tree,
+    /// Boolean hypercube; submachines are subcubes.
+    Hypercube,
+    /// Two-dimensional mesh decomposed by quadrants (Z-order).
+    Mesh2D,
+    /// Two-dimensional torus (the mesh with wrap-around links).
+    Torus2D,
+    /// Butterfly network; submachines are sub-butterflies.
+    Butterfly,
+    /// CM-5-class 4-ary fat tree.
+    FatTree,
+}
+
+impl TopologyKind {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Tree => "tree",
+            TopologyKind::Hypercube => "hypercube",
+            TopologyKind::Mesh2D => "mesh2d",
+            TopologyKind::Torus2D => "torus2d",
+            TopologyKind::Butterfly => "butterfly",
+            TopologyKind::FatTree => "fat-tree",
+        }
+    }
+}
+
+/// A concrete, hierarchically decomposable machine.
+///
+/// Every implementation shares the same abstract decomposition — the
+/// [`BuddyTree`] returned by [`Partitionable::buddy`] — so every
+/// allocation algorithm works unchanged on every topology (this is the
+/// paper's §1 claim that its algorithms "apply to other networks such as
+/// the butterfly, the hypercube and the mesh"). What differs between
+/// topologies is *geometry*: where PE `p` physically sits and how far
+/// apart two PEs are. Geometry feeds the migration-cost model of
+/// `partalloc-sim` (moving a checkpointed task farther costs more).
+///
+/// Distances are measured in *hops* of the respective network.
+pub trait Partitionable {
+    /// The abstract decomposition tree of this machine.
+    fn buddy(&self) -> BuddyTree;
+
+    /// Which network family this is.
+    fn kind(&self) -> TopologyKind;
+
+    /// Number of network hops between two PEs.
+    ///
+    /// Must be a metric: `distance(a, a) == 0`, symmetric, and satisfy
+    /// the triangle inequality (property-tested for every
+    /// implementation).
+    fn distance(&self, a: u32, b: u32) -> u32;
+
+    /// The largest distance between any two PEs.
+    fn diameter(&self) -> u32;
+
+    /// Number of PEs.
+    fn num_pes(&self) -> u32 {
+        self.buddy().num_pes()
+    }
+
+    /// Worst-case distance a task must travel when migrating from
+    /// submachine `from` to submachine `to`: the maximum over
+    /// corresponding PE pairs (PE `i` of `from` to PE `i` of `to`).
+    ///
+    /// Tasks occupy whole submachines, so a migration moves each of the
+    /// `2^x` per-PE thread states; the slowest transfer dominates.
+    fn migration_distance(&self, from: NodeId, to: NodeId) -> u32 {
+        let t = self.buddy();
+        debug_assert_eq!(t.level_of(from), t.level_of(to));
+        let fa = t.pes_of(from);
+        let ta = t.pes_of(to);
+        fa.zip(ta)
+            .map(|(a, b)| self.distance(a, b))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<P: Partitionable + ?Sized> Partitionable for &P {
+    fn buddy(&self) -> BuddyTree {
+        (**self).buddy()
+    }
+    fn kind(&self) -> TopologyKind {
+        (**self).kind()
+    }
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        (**self).distance(a, b)
+    }
+    fn diameter(&self) -> u32 {
+        (**self).diameter()
+    }
+    fn migration_distance(&self, from: NodeId, to: NodeId) -> u32 {
+        (**self).migration_distance(from, to)
+    }
+}
+
+impl<P: Partitionable + ?Sized> Partitionable for Box<P> {
+    fn buddy(&self) -> BuddyTree {
+        (**self).buddy()
+    }
+    fn kind(&self) -> TopologyKind {
+        (**self).kind()
+    }
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        (**self).distance(a, b)
+    }
+    fn diameter(&self) -> u32 {
+        (**self).diameter()
+    }
+    fn migration_distance(&self, from: NodeId, to: NodeId) -> u32 {
+        (**self).migration_distance(from, to)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod proptests {
+    //! Shared metric-law checks used by every topology's test module.
+    use super::*;
+
+    /// Assert metric laws on an exhaustive sample of PE pairs.
+    pub(crate) fn check_metric<P: Partitionable>(m: &P) {
+        let n = m.num_pes();
+        let mut max_seen = 0;
+        for a in 0..n {
+            assert_eq!(m.distance(a, a), 0, "d({a},{a}) != 0");
+            for b in 0..n {
+                let d = m.distance(a, b);
+                assert_eq!(d, m.distance(b, a), "asymmetric at ({a},{b})");
+                assert!(d <= m.diameter(), "d({a},{b})={d} > diameter");
+                max_seen = max_seen.max(d);
+            }
+        }
+        assert_eq!(
+            max_seen,
+            m.diameter(),
+            "diameter not attained ({}: got {max_seen})",
+            m.kind().name()
+        );
+        // Triangle inequality on a subsample (cubic is fine for small n).
+        let step = (n / 8).max(1);
+        for a in (0..n).step_by(step as usize) {
+            for b in (0..n).step_by(step as usize) {
+                for c in (0..n).step_by(step as usize) {
+                    assert!(
+                        m.distance(a, c) <= m.distance(a, b) + m.distance(b, c),
+                        "triangle violated at ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Migration distance between a node and itself is zero; between
+    /// distinct same-level nodes it is positive.
+    pub(crate) fn check_migration<P: Partitionable>(m: &P) {
+        let t = m.buddy();
+        for level in 0..=t.levels() {
+            let nodes: Vec<NodeId> = t.nodes_at_level(level).collect();
+            for &x in &nodes {
+                assert_eq!(m.migration_distance(x, x), 0);
+            }
+            if nodes.len() >= 2 {
+                assert!(m.migration_distance(nodes[0], nodes[1]) > 0);
+            }
+        }
+    }
+}

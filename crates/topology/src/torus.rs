@@ -1,0 +1,114 @@
+use crate::buddy::BuddyTree;
+use crate::error::TopologyError;
+use crate::mesh::Mesh2D;
+use crate::partition::{Partitionable, TopologyKind};
+
+/// A two-dimensional torus: the [`Mesh2D`] with wrap-around links in
+/// both dimensions.
+///
+/// Same Z-order buddy decomposition as the mesh (so all allocation
+/// behaviour is identical); distance is the wrap-aware Manhattan
+/// metric, halving the diameter. Included because torus interconnects
+/// (not plain meshes) are what most mesh-class machines of the paper's
+/// era actually shipped (e.g. Cray T3D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus2D {
+    mesh: Mesh2D,
+}
+
+impl Torus2D {
+    /// A torus with `num_pes` PEs (a power of two).
+    pub fn new(num_pes: u64) -> Result<Self, TopologyError> {
+        Ok(Torus2D {
+            mesh: Mesh2D::new(num_pes)?,
+        })
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u32 {
+        self.mesh.width()
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u32 {
+        self.mesh.height()
+    }
+
+    /// Grid coordinates of a PE (shared with the mesh).
+    pub fn coords(&self, pe: u32) -> (u32, u32) {
+        self.mesh.coords(pe)
+    }
+}
+
+fn wrap_dist(a: u32, b: u32, extent: u32) -> u32 {
+    let d = a.abs_diff(b);
+    d.min(extent - d)
+}
+
+impl Partitionable for Torus2D {
+    fn buddy(&self) -> BuddyTree {
+        self.mesh.buddy()
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Torus2D
+    }
+
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        wrap_dist(ax, bx, self.width()) + wrap_dist(ay, by, self.height())
+    }
+
+    fn diameter(&self) -> u32 {
+        self.width() / 2 + self.height() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::proptests::{check_metric, check_migration};
+
+    #[test]
+    fn wrapping_shortens_edges() {
+        let t = Torus2D::new(64).unwrap(); // 8x8
+        let mesh = Mesh2D::new(64).unwrap();
+        let a = t.mesh.pe_at(0, 0);
+        let b = t.mesh.pe_at(7, 0);
+        assert_eq!(mesh.distance(a, b), 7);
+        assert_eq!(t.distance(a, b), 1); // wrap link
+        let c = t.mesh.pe_at(7, 7);
+        assert_eq!(t.distance(a, c), 2);
+        assert_eq!(t.diameter(), 8);
+    }
+
+    #[test]
+    fn never_longer_than_the_mesh() {
+        let t = Torus2D::new(64).unwrap();
+        let mesh = Mesh2D::new(64).unwrap();
+        for a in 0..64 {
+            for b in 0..64 {
+                assert!(t.distance(a, b) <= mesh.distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn metric_laws() {
+        for n in [1u64, 4, 16, 64, 128] {
+            let t = Torus2D::new(n).unwrap();
+            check_metric(&t);
+            check_migration(&t);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let t = Torus2D::new(1).unwrap();
+        assert_eq!(t.diameter(), 0);
+        let t = Torus2D::new(2).unwrap();
+        assert_eq!(t.distance(0, 1), 1);
+        assert_eq!(t.diameter(), 1);
+    }
+}

@@ -1,0 +1,91 @@
+use crate::buddy::BuddyTree;
+use crate::error::TopologyError;
+use crate::partition::{Partitionable, TopologyKind};
+
+/// The paper's base model: an `N`-leaf complete binary tree whose leaves
+/// hold PEs and whose internal nodes hold communication switches
+/// (Browning's "tree machine"; see paper §2 and refs [3, 6]).
+///
+/// A message between PEs `a` and `b` climbs to their lowest common
+/// ancestor switch and descends, so the hop distance is twice the level
+/// of the LCA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeMachine {
+    tree: BuddyTree,
+}
+
+impl TreeMachine {
+    /// A tree machine with `num_pes` leaf PEs (a power of two).
+    pub fn new(num_pes: u64) -> Result<Self, TopologyError> {
+        Ok(TreeMachine {
+            tree: BuddyTree::new(num_pes)?,
+        })
+    }
+}
+
+impl Partitionable for TreeMachine {
+    fn buddy(&self) -> BuddyTree {
+        self.tree
+    }
+
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Tree
+    }
+
+    fn distance(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(a < self.tree.num_pes() && b < self.tree.num_pes());
+        if a == b {
+            return 0;
+        }
+        // Level of the LCA switch == bit length of a XOR b.
+        let lca_level = 32 - (a ^ b).leading_zeros();
+        2 * lca_level
+    }
+
+    fn diameter(&self) -> u32 {
+        if self.tree.levels() == 0 {
+            0
+        } else {
+            2 * self.tree.levels()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::proptests::{check_metric, check_migration};
+
+    #[test]
+    fn small_distances() {
+        let m = TreeMachine::new(8).unwrap();
+        assert_eq!(m.distance(0, 0), 0);
+        assert_eq!(m.distance(0, 1), 2); // siblings meet one switch up
+        assert_eq!(m.distance(0, 2), 4);
+        assert_eq!(m.distance(0, 3), 4);
+        assert_eq!(m.distance(0, 7), 6); // through the root
+        assert_eq!(m.distance(3, 4), 6);
+        assert_eq!(m.diameter(), 6);
+    }
+
+    #[test]
+    fn metric_laws() {
+        for n in [1u64, 2, 8, 32] {
+            let m = TreeMachine::new(n).unwrap();
+            check_metric(&m);
+            check_migration(&m);
+        }
+    }
+
+    #[test]
+    fn migration_distance_between_halves() {
+        let m = TreeMachine::new(8).unwrap();
+        let t = m.buddy();
+        let halves: Vec<_> = t.nodes_at_level(2).collect();
+        // Corresponding PEs (0->4, 1->5, ...) all route through the root.
+        assert_eq!(m.migration_distance(halves[0], halves[1]), 6);
+        // Adjacent pairs at level 1: PEs {0,1} -> {2,3}.
+        let pairs: Vec<_> = t.nodes_at_level(1).collect();
+        assert_eq!(m.migration_distance(pairs[0], pairs[1]), 4);
+    }
+}

@@ -1,0 +1,190 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use partalloc_model::{SequenceBuilder, TaskId, TaskSequence};
+
+use crate::size_dist::SizeDistribution;
+use crate::Generator;
+
+/// Closed-loop workload: the cumulative active size never exceeds
+/// `target_load × N`, so the generated sequence has
+/// `L* ≤ target_load` exactly (and `= target_load` whenever the cap is
+/// reached, which the generator drives toward).
+///
+/// At each step the generator flips an arrival-biased coin; an arrival
+/// draws a size from the distribution and is dropped (replaced by a
+/// departure) if it would burst the cap; a departure removes a
+/// uniformly random active task. This emulates a saturated time-shared
+/// machine: the admission queue is never empty, and the active mix
+/// churns constantly — the paper's motivating scenario.
+///
+/// ```
+/// use partalloc_workload::{ClosedLoopConfig, Generator};
+/// let seq = ClosedLoopConfig::new(64).events(500).target_load(2).generate(7);
+/// assert!(seq.optimal_load(64) <= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    num_pes: u64,
+    events: usize,
+    target_load: u64,
+    arrival_prob: f64,
+    sizes: SizeDistribution,
+}
+
+impl ClosedLoopConfig {
+    /// A closed-loop generator for an `num_pes`-PE machine, with
+    /// defaults: 1000 events, target load 2, arrival probability 0.6,
+    /// sizes uniform over `2^0 .. 2^(log N − 1)` (strictly below `N`,
+    /// matching the assumption of the paper's Theorems 4.1/4.2).
+    pub fn new(num_pes: u64) -> Self {
+        assert!(num_pes.is_power_of_two() && num_pes >= 2);
+        let max_log2 = (num_pes.trailing_zeros() - 1) as u8;
+        ClosedLoopConfig {
+            num_pes,
+            events: 1000,
+            target_load: 2,
+            arrival_prob: 0.6,
+            sizes: SizeDistribution::UniformLog {
+                min_log2: 0,
+                max_log2,
+            },
+        }
+    }
+
+    /// Set the number of events to generate.
+    pub fn events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Set the active-size cap to `target_load × N`.
+    pub fn target_load(mut self, target_load: u64) -> Self {
+        assert!(target_load >= 1);
+        self.target_load = target_load;
+        self
+    }
+
+    /// Set the probability a step attempts an arrival (vs. a
+    /// departure).
+    pub fn arrival_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.arrival_prob = p;
+        self
+    }
+
+    /// Set the task-size distribution.
+    pub fn sizes(mut self, sizes: SizeDistribution) -> Self {
+        assert!(
+            (1u64 << sizes.max_log2()) <= self.num_pes,
+            "size distribution exceeds the machine"
+        );
+        self.sizes = sizes;
+        self
+    }
+}
+
+impl Generator for ClosedLoopConfig {
+    fn generate(&self, seed: u64) -> TaskSequence {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cap = self.target_load * self.num_pes;
+        let mut b = SequenceBuilder::new();
+        let mut live: Vec<(TaskId, u64)> = Vec::new();
+        let mut active_size = 0u64;
+        for _ in 0..self.events {
+            let want_arrival = rng.gen_bool(self.arrival_prob) || live.is_empty();
+            if want_arrival {
+                let x = self.sizes.sample(&mut rng);
+                let size = 1u64 << x;
+                if active_size + size <= cap {
+                    let id = b.arrive_log2(x);
+                    live.push((id, size));
+                    active_size += size;
+                    continue;
+                }
+                // Cap would burst: fall through to a departure (the
+                // arriving user waits; the queue is abstracted away).
+            }
+            if let Some(&(id, size)) = pick(&mut rng, &live) {
+                live.swap_remove(live.iter().position(|e| e.0 == id).expect("live"));
+                b.depart(id);
+                active_size -= size;
+            }
+        }
+        b.finish().expect("closed-loop sequences are valid")
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "closed-loop(N={},L*≤{},{})",
+            self.num_pes,
+            self.target_load,
+            self.sizes.label()
+        )
+    }
+}
+
+fn pick<'a, R: Rng>(rng: &mut R, live: &'a [(TaskId, u64)]) -> Option<&'a (TaskId, u64)> {
+    if live.is_empty() {
+        None
+    } else {
+        Some(&live[rng.gen_range(0..live.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_the_cap() {
+        let g = ClosedLoopConfig::new(32).events(2000).target_load(3);
+        let seq = g.generate(1);
+        assert!(seq.peak_active_size() <= 3 * 32);
+        assert!(seq.optimal_load(32) <= 3);
+    }
+
+    #[test]
+    fn saturates_toward_the_cap() {
+        // With heavy arrival bias the peak should actually reach the
+        // cap's last load level.
+        let g = ClosedLoopConfig::new(16)
+            .events(3000)
+            .target_load(2)
+            .arrival_prob(0.9);
+        let seq = g.generate(5);
+        assert_eq!(seq.optimal_load(16), 2);
+    }
+
+    #[test]
+    fn reproducible_and_seed_sensitive() {
+        let g = ClosedLoopConfig::new(64).events(400);
+        assert_eq!(g.generate(3), g.generate(3));
+        assert_ne!(g.generate(3), g.generate(4));
+    }
+
+    #[test]
+    fn custom_sizes_respected() {
+        let g = ClosedLoopConfig::new(64)
+            .events(500)
+            .sizes(SizeDistribution::Fixed(2));
+        let seq = g.generate(0);
+        assert!(seq.num_tasks() > 0);
+        for id in 0..seq.num_tasks() {
+            assert_eq!(seq.size_of(partalloc_model::TaskId(id as u64)), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the machine")]
+    fn oversized_distribution_rejected() {
+        let _ = ClosedLoopConfig::new(4).sizes(SizeDistribution::Fixed(5));
+    }
+
+    #[test]
+    fn label_mentions_parameters() {
+        let g = ClosedLoopConfig::new(64).target_load(3);
+        assert!(g.label().contains("N=64"));
+        assert!(g.label().contains("3"));
+    }
+}

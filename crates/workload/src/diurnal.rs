@@ -1,0 +1,175 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use partalloc_model::{SequenceBuilder, TaskId, TaskSequence};
+
+use crate::size_dist::SizeDistribution;
+use crate::Generator;
+
+/// Diurnal workload: a day/night cycle on a shared machine.
+///
+/// The arrival probability follows a raised sinusoid over a period of
+/// `cycle_events` events — busy "days" where the active size pushes
+/// toward the cap, quiet "nights" where departures dominate and the
+/// machine drains. Production traces (the Parallel Workloads Archive's
+/// CM-5 and SP2 logs) show exactly this pattern, and it stresses the
+/// paper's reallocation trade differently from the flat closed loop:
+/// each morning's ramp lands on whatever fragmentation the night's
+/// departures left behind.
+#[derive(Debug, Clone)]
+pub struct DiurnalConfig {
+    num_pes: u64,
+    events: usize,
+    cycle_events: usize,
+    target_load: u64,
+    sizes: SizeDistribution,
+}
+
+impl DiurnalConfig {
+    /// Defaults: 4000 events, cycle of 1000 events, active-size cap
+    /// `2N`, sizes uniform over `2^0 .. 2^(log N − 1)`.
+    pub fn new(num_pes: u64) -> Self {
+        assert!(num_pes.is_power_of_two() && num_pes >= 2);
+        let max_log2 = (num_pes.trailing_zeros() - 1) as u8;
+        DiurnalConfig {
+            num_pes,
+            events: 4000,
+            cycle_events: 1000,
+            target_load: 2,
+            sizes: SizeDistribution::UniformLog {
+                min_log2: 0,
+                max_log2,
+            },
+        }
+    }
+
+    /// Set the number of events.
+    pub fn events(mut self, events: usize) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Set the day/night period, in events.
+    pub fn cycle_events(mut self, cycle: usize) -> Self {
+        assert!(cycle >= 2);
+        self.cycle_events = cycle;
+        self
+    }
+
+    /// Set the active-size cap to `target_load × N`.
+    pub fn target_load(mut self, target_load: u64) -> Self {
+        assert!(target_load >= 1);
+        self.target_load = target_load;
+        self
+    }
+
+    /// Set the task-size distribution.
+    pub fn sizes(mut self, sizes: SizeDistribution) -> Self {
+        assert!(
+            (1u64 << sizes.max_log2()) <= self.num_pes,
+            "size distribution exceeds the machine"
+        );
+        self.sizes = sizes;
+        self
+    }
+
+    /// Arrival probability at event index `i`: 0.15 at midnight,
+    /// 0.85 at noon.
+    fn arrival_prob(&self, i: usize) -> f64 {
+        let phase = (i % self.cycle_events) as f64 / self.cycle_events as f64;
+        0.5 + 0.35 * (std::f64::consts::TAU * phase).sin()
+    }
+}
+
+impl Generator for DiurnalConfig {
+    fn generate(&self, seed: u64) -> TaskSequence {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cap = self.target_load * self.num_pes;
+        let mut b = SequenceBuilder::new();
+        let mut live: Vec<(TaskId, u64)> = Vec::new();
+        let mut active_size = 0u64;
+        for i in 0..self.events {
+            let want_arrival = rng.gen_bool(self.arrival_prob(i)) || live.is_empty();
+            if want_arrival {
+                let x = self.sizes.sample(&mut rng);
+                let size = 1u64 << x;
+                if active_size + size <= cap {
+                    let id = b.arrive_log2(x);
+                    live.push((id, size));
+                    active_size += size;
+                    continue;
+                }
+            }
+            if !live.is_empty() {
+                let k = rng.gen_range(0..live.len());
+                let (id, size) = live.swap_remove(k);
+                b.depart(id);
+                active_size -= size;
+            }
+        }
+        b.finish().expect("diurnal sequences are valid")
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "diurnal(N={},cycle={},L*≤{})",
+            self.num_pes, self.cycle_events, self.target_load
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_the_cap_and_cycles() {
+        let g = DiurnalConfig::new(64)
+            .events(3000)
+            .cycle_events(600)
+            .target_load(2);
+        let seq = g.generate(3);
+        assert!(seq.peak_active_size() <= 128);
+        assert!(seq.optimal_load(64) <= 2);
+    }
+
+    #[test]
+    fn day_phases_are_busier_than_nights() {
+        // Compare active size at mid-day vs mid-night sample points
+        // over several cycles; days should dominate on average.
+        let cycle = 500;
+        let g = DiurnalConfig::new(64).events(4000).cycle_events(cycle);
+        let seq = g.generate(7);
+        let profile = seq.active_size_profile();
+        let mut day = 0u64;
+        let mut night = 0u64;
+        let mut count = 0;
+        for c in 1..(profile.len() / cycle) {
+            // sin peaks at the quarter cycle, troughs at three quarters.
+            day += profile[c * cycle + cycle / 4];
+            night += profile[c * cycle + 3 * cycle / 4];
+            count += 1;
+        }
+        assert!(count >= 3);
+        assert!(
+            day > night + night / 4,
+            "days ({day}) not busier than nights ({night})"
+        );
+    }
+
+    #[test]
+    fn probability_range() {
+        let g = DiurnalConfig::new(16);
+        for i in 0..2000 {
+            let p = g.arrival_prob(i);
+            assert!((0.14..=0.86).contains(&p), "p={p} at {i}");
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let g = DiurnalConfig::new(32);
+        assert_eq!(g.generate(1), g.generate(1));
+        assert_ne!(g.generate(1), g.generate(2));
+    }
+}

@@ -1,0 +1,56 @@
+//! # partalloc-workload
+//!
+//! Synthetic multi-user workloads for the partitionable-multiprocessor
+//! model: users arrive at unpredictable times, request power-of-two
+//! submachines, run for unpredictable durations, and depart (paper §1).
+//!
+//! Four generator families cover the experiment suite:
+//!
+//! * [`ClosedLoopConfig`] — keeps the cumulative active size under a
+//!   cap, so the sequence's optimal load `L*` is controlled exactly;
+//!   the workhorse for bound-validation experiments.
+//! * [`PoissonConfig`] — an open M/G/∞-style system: Poisson arrivals,
+//!   exponential or heavy-tailed lifetimes; models the paper's
+//!   "users arrive and depart at unpredictable times".
+//! * [`BurstyConfig`] — on/off load: bursts of arrivals followed by
+//!   drain periods; stresses reallocation timing.
+//! * [`PhasedConfig`] — waves of uniformly sized tasks with partial
+//!   drains between waves; the deterministic fragmentation stressor
+//!   (a tame cousin of the Theorem 4.3 adversary).
+//!
+//! All generators implement [`Generator`], take every random decision
+//! from an explicit seed, and produce validated
+//! [`partalloc_model::TaskSequence`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bursty;
+mod closed_loop;
+mod diurnal;
+mod phased;
+mod poisson;
+mod size_dist;
+mod swf;
+mod timed;
+
+pub use bursty::BurstyConfig;
+pub use closed_loop::ClosedLoopConfig;
+pub use diurnal::DiurnalConfig;
+pub use phased::PhasedConfig;
+pub use poisson::{LifetimeDistribution, PoissonConfig};
+pub use size_dist::SizeDistribution;
+pub use swf::{parse_swf, SwfError, SwfImport};
+pub use timed::{TimedConfig, TimedTask, TimedWorkload};
+
+use partalloc_model::TaskSequence;
+
+/// A seeded workload generator.
+pub trait Generator {
+    /// Produce one sequence from `seed`. Equal seeds give equal
+    /// sequences.
+    fn generate(&self, seed: u64) -> TaskSequence;
+
+    /// Short label for reports.
+    fn label(&self) -> String;
+}

@@ -1,0 +1,233 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use partalloc_model::{SequenceBuilder, TaskSequence};
+
+use crate::size_dist::SizeDistribution;
+use crate::Generator;
+
+/// Task-lifetime distribution for the open (Poisson) system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifetimeDistribution {
+    /// Exponential with the given mean (an M/M/∞ node).
+    Exponential {
+        /// Mean lifetime in model-time units.
+        mean: f64,
+    },
+    /// Pareto with the given minimum and shape (`shape > 1` for a
+    /// finite mean); models the heavy-tailed job durations observed on
+    /// shared machines — a few near-immortal jobs pin fragmentation in
+    /// place.
+    Pareto {
+        /// Scale (minimum lifetime).
+        min: f64,
+        /// Tail index.
+        shape: f64,
+    },
+}
+
+impl LifetimeDistribution {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            LifetimeDistribution::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -mean * u.ln()
+            }
+            LifetimeDistribution::Pareto { min, shape } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                min / u.powf(1.0 / shape)
+            }
+        }
+    }
+}
+
+/// Open-system workload: users arrive by a Poisson process of rate
+/// `arrival_rate` and hold their submachines for random lifetimes.
+///
+/// The continuous-time history is linearized into the event order the
+/// model needs; the offered load (mean active size) is
+/// `arrival_rate × mean lifetime × mean size`, which the constructor
+/// reports via [`PoissonConfig::offered_load`] so experiments can dial
+/// an expected `L*`.
+#[derive(Debug, Clone)]
+pub struct PoissonConfig {
+    num_pes: u64,
+    arrivals: usize,
+    arrival_rate: f64,
+    lifetimes: LifetimeDistribution,
+    sizes: SizeDistribution,
+}
+
+impl PoissonConfig {
+    /// A Poisson generator for an `num_pes`-PE machine with defaults:
+    /// 1000 arrivals, rate 1.0, exponential lifetimes of mean 8, sizes
+    /// uniform over `2^0 .. 2^(log N − 1)`.
+    pub fn new(num_pes: u64) -> Self {
+        assert!(num_pes.is_power_of_two() && num_pes >= 2);
+        let max_log2 = (num_pes.trailing_zeros() - 1) as u8;
+        PoissonConfig {
+            num_pes,
+            arrivals: 1000,
+            arrival_rate: 1.0,
+            lifetimes: LifetimeDistribution::Exponential { mean: 8.0 },
+            sizes: SizeDistribution::UniformLog {
+                min_log2: 0,
+                max_log2,
+            },
+        }
+    }
+
+    /// Set the number of arrivals to generate.
+    pub fn arrivals(mut self, arrivals: usize) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Set the Poisson arrival rate.
+    pub fn arrival_rate(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0);
+        self.arrival_rate = rate;
+        self
+    }
+
+    /// Set the lifetime distribution.
+    pub fn lifetimes(mut self, lifetimes: LifetimeDistribution) -> Self {
+        self.lifetimes = lifetimes;
+        self
+    }
+
+    /// Set the task-size distribution.
+    pub fn sizes(mut self, sizes: SizeDistribution) -> Self {
+        assert!(
+            (1u64 << sizes.max_log2()) <= self.num_pes,
+            "size distribution exceeds the machine"
+        );
+        self.sizes = sizes;
+        self
+    }
+
+    /// Expected mean active size divided by `N` (a rough expected
+    /// load level; exact only for exponential lifetimes).
+    pub fn offered_load(&self) -> f64 {
+        let mean_life = match self.lifetimes {
+            LifetimeDistribution::Exponential { mean } => mean,
+            LifetimeDistribution::Pareto { min, shape } => {
+                if shape > 1.0 {
+                    min * shape / (shape - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+        };
+        // Mean size under the configured distribution, estimated from
+        // a fixed-seed sample (cheap, deterministic).
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mean_size: f64 = (0..512)
+            .map(|_| (1u64 << self.sizes.sample(&mut rng)) as f64)
+            .sum::<f64>()
+            / 512.0;
+        self.arrival_rate * mean_life * mean_size / self.num_pes as f64
+    }
+}
+
+impl Generator for PoissonConfig {
+    fn generate(&self, seed: u64) -> TaskSequence {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Draw the continuous-time history.
+        let mut t = 0.0f64;
+        // (time, is_arrival, arrival index)
+        let mut events: Vec<(f64, bool, usize)> = Vec::with_capacity(2 * self.arrivals);
+        let mut sizes = Vec::with_capacity(self.arrivals);
+        for k in 0..self.arrivals {
+            let gap: f64 = {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -u.ln() / self.arrival_rate
+            };
+            t += gap;
+            let x = self.sizes.sample(&mut rng);
+            sizes.push(x);
+            events.push((t, true, k));
+            events.push((t + self.lifetimes.sample(&mut rng), false, k));
+        }
+        // Linearize. Ties broken arrivals-first then by index, so the
+        // order is total and deterministic.
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("no NaN times")
+                .then_with(|| b.1.cmp(&a.1))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        let mut b = SequenceBuilder::new();
+        let mut ids = vec![None; self.arrivals];
+        for (_, is_arrival, k) in events {
+            if is_arrival {
+                ids[k] = Some(b.arrive_log2(sizes[k]));
+            } else {
+                b.depart(ids[k].expect("arrival precedes departure"));
+            }
+        }
+        b.finish().expect("poisson sequences are valid")
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "poisson(N={},λ={},{})",
+            self.num_pes,
+            self.arrival_rate,
+            self.sizes.label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_arrival_eventually_departs() {
+        let seq = PoissonConfig::new(64).arrivals(300).generate(1);
+        let stats = seq.stats();
+        assert_eq!(stats.num_arrivals, 300);
+        assert_eq!(stats.num_departures, 300);
+        assert_eq!(stats.leaked_tasks, 0);
+    }
+
+    #[test]
+    fn offered_load_tracks_realized_load() {
+        let g = PoissonConfig::new(64)
+            .arrivals(4000)
+            .arrival_rate(2.0)
+            .lifetimes(LifetimeDistribution::Exponential { mean: 16.0 });
+        let offered = g.offered_load();
+        let seq = g.generate(9);
+        // Peak active should be within a small factor of the offered
+        // mean (law of large numbers at 4000 arrivals).
+        let peak = seq.peak_active_size() as f64 / 64.0;
+        assert!(peak > offered * 0.5, "peak {peak} vs offered {offered}");
+        assert!(peak < offered * 4.0, "peak {peak} vs offered {offered}");
+    }
+
+    #[test]
+    fn pareto_lifetimes_leave_long_tails() {
+        let exp = PoissonConfig::new(32)
+            .arrivals(1500)
+            .lifetimes(LifetimeDistribution::Exponential { mean: 4.0 })
+            .generate(3);
+        let par = PoissonConfig::new(32)
+            .arrivals(1500)
+            .lifetimes(LifetimeDistribution::Pareto {
+                min: 1.0,
+                shape: 1.2,
+            })
+            .generate(3);
+        // Heavy tails stretch mean lifetime (measured in events).
+        assert!(par.stats().mean_lifetime > exp.stats().mean_lifetime);
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let g = PoissonConfig::new(16).arrivals(200);
+        assert_eq!(g.generate(11), g.generate(11));
+        assert_ne!(g.generate(11), g.generate(12));
+    }
+}

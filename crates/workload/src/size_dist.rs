@@ -1,0 +1,203 @@
+use rand::Rng;
+
+/// Distribution of task size exponents (`size = 2^x`).
+///
+/// Observed supercomputer request-size mixes are dominated by small
+/// jobs with a heavy tail of large ones, which [`SizeDistribution::Geometric`]
+/// and [`SizeDistribution::Bimodal`] model; [`SizeDistribution::UniformLog`]
+/// and [`SizeDistribution::Fixed`] are for controlled stress tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDistribution {
+    /// Every exponent in `min_log2 ..= max_log2` equally likely
+    /// (uniform over *size classes*, not over PE counts).
+    UniformLog {
+        /// Smallest exponent.
+        min_log2: u8,
+        /// Largest exponent.
+        max_log2: u8,
+    },
+    /// Exponent `x` has probability proportional to `ratio^x` over
+    /// `0 ..= max_log2`; `ratio < 1` favours small tasks.
+    Geometric {
+        /// Largest exponent.
+        max_log2: u8,
+        /// Per-step probability ratio (must be positive).
+        ratio: f64,
+    },
+    /// Mostly `small_log2`, with probability `large_prob` of
+    /// `large_log2`.
+    Bimodal {
+        /// The common exponent.
+        small_log2: u8,
+        /// The rare, large exponent.
+        large_log2: u8,
+        /// Probability of drawing the large exponent.
+        large_prob: f64,
+    },
+    /// Always the same exponent.
+    Fixed(u8),
+    /// Explicit weights: exponent `x` drawn with probability
+    /// `weights[x] / Σ weights`.
+    Weighted(Vec<f64>),
+}
+
+impl SizeDistribution {
+    /// Draw a size exponent.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        match self {
+            SizeDistribution::UniformLog { min_log2, max_log2 } => {
+                assert!(min_log2 <= max_log2);
+                rng.gen_range(*min_log2..=*max_log2)
+            }
+            SizeDistribution::Geometric { max_log2, ratio } => {
+                assert!(*ratio > 0.0);
+                let weights: Vec<f64> = (0..=*max_log2).map(|x| ratio.powi(x.into())).collect();
+                weighted_pick(rng, &weights)
+            }
+            SizeDistribution::Bimodal {
+                small_log2,
+                large_log2,
+                large_prob,
+            } => {
+                if rng.gen_bool(*large_prob) {
+                    *large_log2
+                } else {
+                    *small_log2
+                }
+            }
+            SizeDistribution::Fixed(x) => *x,
+            SizeDistribution::Weighted(weights) => weighted_pick(rng, weights),
+        }
+    }
+
+    /// The largest exponent this distribution can emit.
+    pub fn max_log2(&self) -> u8 {
+        match self {
+            SizeDistribution::UniformLog { max_log2, .. } => *max_log2,
+            SizeDistribution::Geometric { max_log2, .. } => *max_log2,
+            SizeDistribution::Bimodal {
+                small_log2,
+                large_log2,
+                ..
+            } => (*small_log2).max(*large_log2),
+            SizeDistribution::Fixed(x) => *x,
+            SizeDistribution::Weighted(w) => (w.len().saturating_sub(1)) as u8,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SizeDistribution::UniformLog { min_log2, max_log2 } => {
+                format!("uniform[2^{min_log2}..2^{max_log2}]")
+            }
+            SizeDistribution::Geometric { max_log2, ratio } => {
+                format!("geometric(r={ratio},max=2^{max_log2})")
+            }
+            SizeDistribution::Bimodal {
+                small_log2,
+                large_log2,
+                large_prob,
+            } => format!("bimodal(2^{small_log2}|2^{large_log2}@{large_prob})"),
+            SizeDistribution::Fixed(x) => format!("fixed(2^{x})"),
+            SizeDistribution::Weighted(_) => "weighted".to_owned(),
+        }
+    }
+}
+
+fn weighted_pick<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> u8 {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut draw = rng.gen_range(0.0..total);
+    for (x, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return x as u8;
+        }
+        draw -= w;
+    }
+    (weights.len() - 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn histogram(dist: &SizeDistribution, draws: usize) -> Vec<usize> {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut h = vec![0usize; dist.max_log2() as usize + 1];
+        for _ in 0..draws {
+            h[dist.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let d = SizeDistribution::UniformLog {
+            min_log2: 1,
+            max_log2: 3,
+        };
+        let h = histogram(&d, 3000);
+        assert_eq!(h[0], 0);
+        for (x, &count) in h.iter().enumerate().skip(1).take(3) {
+            assert!(count > 700, "exponent {x} underrepresented: {count}");
+        }
+    }
+
+    #[test]
+    fn geometric_favours_small() {
+        let d = SizeDistribution::Geometric {
+            max_log2: 4,
+            ratio: 0.5,
+        };
+        let h = histogram(&d, 4000);
+        assert!(h[0] > h[2]);
+        assert!(h[2] > h[4]);
+    }
+
+    #[test]
+    fn bimodal_rates() {
+        let d = SizeDistribution::Bimodal {
+            small_log2: 0,
+            large_log2: 4,
+            large_prob: 0.1,
+        };
+        let h = histogram(&d, 5000);
+        assert_eq!(h.iter().sum::<usize>(), 5000);
+        assert_eq!(h[1] + h[2] + h[3], 0);
+        let large_frac = h[4] as f64 / 5000.0;
+        assert!((0.05..0.2).contains(&large_frac), "got {large_frac}");
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let d = SizeDistribution::Fixed(3);
+        let h = histogram(&d, 100);
+        assert_eq!(h[3], 100);
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let d = SizeDistribution::Weighted(vec![0.0, 1.0, 0.0, 1.0]);
+        let h = histogram(&d, 2000);
+        assert_eq!(h[0] + h[2], 0);
+        assert!(h[1] > 700 && h[3] > 700);
+    }
+
+    #[test]
+    fn max_log2_values() {
+        assert_eq!(
+            SizeDistribution::UniformLog {
+                min_log2: 0,
+                max_log2: 5
+            }
+            .max_log2(),
+            5
+        );
+        assert_eq!(SizeDistribution::Fixed(2).max_log2(), 2);
+        assert_eq!(SizeDistribution::Weighted(vec![1.0; 4]).max_log2(), 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Standard Workload Format (SWF) import.
+//!
+//! The Parallel Workloads Archive distributes production supercomputer
+//! traces (including machines of exactly the paper's era and class —
+//! the CM-5 at LANL, the SP2 at CTC/KTH) in SWF: one job per line,
+//! whitespace-separated fields, `;` comments. This importer turns an
+//! SWF trace into both model forms:
+//!
+//! * a [`TimedWorkload`] (submit time, runtime-as-work, size) for the
+//!   executor and the exclusive machine;
+//! * a [`partalloc_model::TaskSequence`] (arrival/departure events in
+//!   submit/finish order) for the allocators.
+//!
+//! SWF processor requests are arbitrary integers; the paper's model
+//! wants powers of two, so requests are **rounded up** to the next
+//! power of two (the classic buddy-system policy) and the induced
+//! internal fragmentation is reported. Jobs that cannot run (no
+//! processors, no runtime, or larger than the machine) are skipped and
+//! counted.
+
+use std::fmt;
+
+use partalloc_model::{SequenceBuilder, TaskSequence};
+
+use crate::timed::{TimedTask, TimedWorkload};
+
+/// Errors parsing an SWF trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfError {
+    /// A data line had fewer than the 5 leading fields we need.
+    ShortLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A needed field was not an integer.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based SWF field index.
+        field: usize,
+    },
+    /// The trace contained no usable jobs.
+    Empty,
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::ShortLine { line } => write!(f, "SWF line {line}: too few fields"),
+            SwfError::BadField { line, field } => {
+                write!(f, "SWF line {line}: field {field} is not an integer")
+            }
+            SwfError::Empty => write!(f, "SWF trace contains no usable jobs"),
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// The result of importing an SWF trace onto an `N`-PE machine.
+#[derive(Debug, Clone)]
+pub struct SwfImport {
+    /// Timed form (for the executor / exclusive machine).
+    pub workload: TimedWorkload,
+    /// Event-sequence form (for the allocators), departures ordered by
+    /// job finish time (submit + runtime).
+    pub sequence: TaskSequence,
+    /// Jobs kept.
+    pub accepted: usize,
+    /// Jobs dropped (zero procs, zero runtime, or wider than the
+    /// machine).
+    pub skipped: usize,
+    /// Σ requested PEs over accepted jobs.
+    pub requested_pes: u64,
+    /// Σ allocated (rounded-up) PEs over accepted jobs.
+    pub rounded_pes: u64,
+}
+
+impl SwfImport {
+    /// Internal fragmentation of the power-of-two rounding:
+    /// `1 − requested/rounded`.
+    pub fn internal_fragmentation(&self) -> f64 {
+        if self.rounded_pes == 0 {
+            0.0
+        } else {
+            1.0 - self.requested_pes as f64 / self.rounded_pes as f64
+        }
+    }
+}
+
+/// Parse SWF text for an `num_pes`-PE machine.
+///
+/// Field usage (1-based SWF indices): 2 = submit time, 4 = runtime,
+/// 8 = requested processors (falling back to 5 = allocated processors
+/// when the request is absent, the archive convention).
+///
+/// ```
+/// let swf = "; header\n1 0 0 100 3 -1 -1 3 -1 -1 1 1 1 -1 1 -1 -1 -1\n";
+/// let imp = partalloc_workload::parse_swf(swf, 64).unwrap();
+/// assert_eq!(imp.accepted, 1);
+/// assert_eq!(imp.workload.tasks()[0].size_log2, 2); // 3 procs → 4
+/// ```
+pub fn parse_swf(text: &str, num_pes: u64) -> Result<SwfImport, SwfError> {
+    assert!(num_pes.is_power_of_two() && num_pes >= 1);
+    let mut jobs: Vec<TimedTask> = Vec::new();
+    let mut skipped = 0usize;
+    let mut requested_pes = 0u64;
+    let mut rounded_pes = 0u64;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 8 {
+            return Err(SwfError::ShortLine { line: lineno + 1 });
+        }
+        let get = |idx1: usize| -> Result<i64, SwfError> {
+            fields[idx1 - 1].parse().map_err(|_| SwfError::BadField {
+                line: lineno + 1,
+                field: idx1,
+            })
+        };
+        let submit = get(2)?;
+        let runtime = get(4)?;
+        let requested = {
+            let req = get(8)?;
+            if req > 0 {
+                req
+            } else {
+                get(5)?
+            }
+        };
+        if runtime <= 0 || requested <= 0 {
+            skipped += 1;
+            continue;
+        }
+        let rounded = (requested as u64).next_power_of_two();
+        if rounded > num_pes {
+            skipped += 1;
+            continue;
+        }
+        requested_pes += requested as u64;
+        rounded_pes += rounded;
+        jobs.push(TimedTask {
+            arrival: submit.max(0) as u64,
+            size_log2: rounded.trailing_zeros() as u8,
+            work: runtime as f64,
+        });
+    }
+    if jobs.is_empty() {
+        return Err(SwfError::Empty);
+    }
+    let workload = TimedWorkload::new(jobs);
+
+    // Event-sequence form: interleave arrivals (at submit) and
+    // departures (at submit + runtime), ties arrivals-first by job
+    // order so the sequence is total and deterministic.
+    let tasks = workload.tasks();
+    let mut events: Vec<(u64, bool, usize)> = Vec::with_capacity(2 * tasks.len());
+    for (k, t) in tasks.iter().enumerate() {
+        events.push((t.arrival, true, k));
+        events.push((t.arrival + t.work.ceil() as u64, false, k));
+    }
+    events.sort_by_key(|&(time, is_arrival, k)| (time, !is_arrival, k));
+    let mut b = SequenceBuilder::new();
+    let mut ids = vec![None; tasks.len()];
+    for (_, is_arrival, k) in events {
+        if is_arrival {
+            ids[k] = Some(b.arrive_log2(tasks[k].size_log2));
+        } else {
+            b.depart(ids[k].expect("arrival sorts before departure"));
+        }
+    }
+    let sequence = b.finish().expect("SWF sequences are valid");
+
+    Ok(SwfImport {
+        accepted: workload.len(),
+        workload,
+        sequence,
+        skipped,
+        requested_pes,
+        rounded_pes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature SWF trace in the archive's format (header comments,
+    /// 18 columns, -1 for unknown fields).
+    const SAMPLE: &str = "\
+; Version: 2.2
+; Computer: miniature test machine
+; Procs: 64
+;
+1 0 3 100 3 -1 -1 3 -1 -1 1 1 1 -1 1 -1 -1 -1
+2 10 0 50 8 -1 -1 8 -1 -1 1 2 1 -1 1 -1 -1 -1
+3 20 5 200 -1 -1 -1 5 -1 -1 1 1 1 -1 1 -1 -1 -1
+4 30 0 0 4 -1 -1 4 -1 -1 0 3 1 -1 1 -1 -1 -1
+5 40 0 60 100 -1 -1 100 -1 -1 1 4 2 -1 2 -1 -1 -1
+6 50 1 10 -1 -1 -1 -1 -1 -1 1 5 2 -1 2 -1 -1 -1
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let imp = parse_swf(SAMPLE, 64).unwrap();
+        // Job 4 (zero runtime), job 5 (wider than N), job 6 (no proc
+        // count at all) are skipped.
+        assert_eq!(imp.accepted, 3);
+        assert_eq!(imp.skipped, 3);
+        let tasks = imp.workload.tasks();
+        // Job 1: 3 procs → 4; job 2: 8 → 8; job 3: 5 → 8.
+        assert_eq!(tasks[0].size_log2, 2);
+        assert_eq!(tasks[1].size_log2, 3);
+        assert_eq!(tasks[2].size_log2, 3);
+        assert_eq!(tasks[0].arrival, 0);
+        assert_eq!(tasks[2].work, 200.0);
+        assert_eq!(imp.requested_pes, 3 + 8 + 5);
+        assert_eq!(imp.rounded_pes, 4 + 8 + 8);
+        let frag = imp.internal_fragmentation();
+        assert!((frag - (1.0 - 16.0 / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_form_is_consistent() {
+        let imp = parse_swf(SAMPLE, 64).unwrap();
+        let seq = &imp.sequence;
+        assert_eq!(seq.num_tasks(), 3);
+        assert_eq!(seq.stats().num_departures, 3);
+        // Job 1 runs [0, 100), job 2 [10, 60), job 3 [20, 220):
+        // peak active size = 4 + 8 + 8 = 20 during [20, 60).
+        assert_eq!(seq.peak_active_size(), 20);
+    }
+
+    #[test]
+    fn allocators_run_the_import() {
+        use partalloc_core::{Allocator, Greedy};
+        use partalloc_topology::BuddyTree;
+        let imp = parse_swf(SAMPLE, 64).unwrap();
+        let machine = BuddyTree::new(64).unwrap();
+        let mut g = Greedy::new(machine);
+        let mut peak = 0;
+        for ev in imp.sequence.events() {
+            g.handle(ev);
+            peak = peak.max(g.max_load());
+        }
+        assert_eq!(peak, 1); // 20 PEs of work on 64 PEs never overlaps
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(
+            parse_swf("; only comments\n", 64),
+            Err(SwfError::Empty)
+        ));
+        assert!(matches!(
+            parse_swf("1 0 3\n", 64),
+            Err(SwfError::ShortLine { line: 1 })
+        ));
+        assert!(matches!(
+            parse_swf("1 zero 3 100 3 -1 -1 3 -1 -1 1 1 1 -1 1 -1 -1 -1\n", 64),
+            Err(SwfError::BadField { line: 1, field: 2 })
+        ));
+        // A trace where every job is skipped is also Empty.
+        assert!(matches!(
+            parse_swf("1 0 0 0 4 -1 -1 4 -1 -1 0 1 1 -1 1 -1 -1 -1\n", 64),
+            Err(SwfError::Empty)
+        ));
+    }
+
+    #[test]
+    fn negative_submit_clamps_to_zero() {
+        let text = "1 -5 0 10 2 -1 -1 2 -1 -1 1 1 1 -1 1 -1 -1 -1\n";
+        let imp = parse_swf(text, 8).unwrap();
+        assert_eq!(imp.workload.tasks()[0].arrival, 0);
+    }
+}

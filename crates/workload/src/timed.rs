@@ -1,0 +1,231 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::size_dist::SizeDistribution;
+
+/// A task with real-time semantics: when it arrives and how much work
+/// it needs (in PE-seconds of its own submachine running unshared).
+///
+/// Plain [`crate::Generator`] sequences fix departure *times*; timed
+/// tasks fix *work*, so completion depends on how much the allocator
+/// makes them share — the quantity the paper's load metric stands in
+/// for. Fed to `partalloc_sim`'s round-robin executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedTask {
+    /// Arrival tick.
+    pub arrival: u64,
+    /// log2 of the requested submachine size.
+    pub size_log2: u8,
+    /// Work requirement in unshared ticks.
+    pub work: f64,
+}
+
+/// A batch of timed tasks, sorted by arrival tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedWorkload {
+    tasks: Vec<TimedTask>,
+}
+
+impl TimedWorkload {
+    /// Wrap a task list (sorted by arrival; ties keep input order).
+    pub fn new(mut tasks: Vec<TimedTask>) -> Self {
+        assert!(
+            tasks.iter().all(|t| t.work > 0.0 && t.work.is_finite()),
+            "work must be positive and finite"
+        );
+        tasks.sort_by_key(|t| t.arrival);
+        TimedWorkload { tasks }
+    }
+
+    /// The tasks, in arrival order (the executor assigns task ids by
+    /// this order).
+    pub fn tasks(&self) -> &[TimedTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Is the workload empty?
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total work across all tasks, weighted by size (PE-ticks).
+    pub fn total_weighted_work(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.work * (1u64 << t.size_log2) as f64)
+            .sum()
+    }
+}
+
+/// Generator of timed workloads: Poisson-ish arrivals (geometric
+/// inter-arrival gaps in whole ticks), exponential or Pareto work,
+/// sizes from a [`SizeDistribution`].
+#[derive(Debug, Clone)]
+pub struct TimedConfig {
+    num_pes: u64,
+    tasks: usize,
+    mean_interarrival: f64,
+    mean_work: f64,
+    pareto_work: bool,
+    sizes: SizeDistribution,
+}
+
+impl TimedConfig {
+    /// Defaults: 200 tasks, mean inter-arrival 2 ticks, exponential
+    /// work of mean 20 ticks, sizes uniform over `2^0 .. 2^(log N−1)`.
+    pub fn new(num_pes: u64) -> Self {
+        assert!(num_pes.is_power_of_two() && num_pes >= 2);
+        let max_log2 = (num_pes.trailing_zeros() - 1) as u8;
+        TimedConfig {
+            num_pes,
+            tasks: 200,
+            mean_interarrival: 2.0,
+            mean_work: 20.0,
+            pareto_work: false,
+            sizes: SizeDistribution::UniformLog {
+                min_log2: 0,
+                max_log2,
+            },
+        }
+    }
+
+    /// Set the number of tasks.
+    pub fn tasks(mut self, tasks: usize) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Set the mean inter-arrival gap (ticks).
+    pub fn mean_interarrival(mut self, gap: f64) -> Self {
+        assert!(gap > 0.0);
+        self.mean_interarrival = gap;
+        self
+    }
+
+    /// Set the mean work (ticks of unshared execution).
+    pub fn mean_work(mut self, work: f64) -> Self {
+        assert!(work > 0.0);
+        self.mean_work = work;
+        self
+    }
+
+    /// Draw work from a Pareto (shape 1.5) instead of an exponential —
+    /// heavy-tailed job lengths.
+    pub fn heavy_tailed_work(mut self) -> Self {
+        self.pareto_work = true;
+        self
+    }
+
+    /// Set the task-size distribution.
+    pub fn sizes(mut self, sizes: SizeDistribution) -> Self {
+        assert!(
+            (1u64 << sizes.max_log2()) <= self.num_pes,
+            "size distribution exceeds the machine"
+        );
+        self.sizes = sizes;
+        self
+    }
+
+    /// Generate the workload from `seed`.
+    pub fn generate(&self, seed: u64) -> TimedWorkload {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = 0u64;
+        let tasks = (0..self.tasks)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += (-self.mean_interarrival * u.ln()).round() as u64;
+                let work = if self.pareto_work {
+                    // Pareto(shape 1.5) scaled to the requested mean
+                    // (mean = min·shape/(shape−1) = 3·min).
+                    let min = self.mean_work / 3.0;
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    min / u.powf(1.0 / 1.5)
+                } else {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    -self.mean_work * u.ln()
+                };
+                TimedTask {
+                    arrival: t,
+                    size_log2: self.sizes.sample(&mut rng),
+                    work: work.max(0.5),
+                }
+            })
+            .collect();
+        TimedWorkload::new(tasks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_sorted_and_seeded() {
+        let cfg = TimedConfig::new(64).tasks(100);
+        let w = cfg.generate(3);
+        assert_eq!(w.len(), 100);
+        assert!(w.tasks().windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert_eq!(w, cfg.generate(3));
+        assert_ne!(w, cfg.generate(4));
+    }
+
+    #[test]
+    fn heavy_tails_stretch_the_max() {
+        let exp = TimedConfig::new(64).tasks(500).generate(1);
+        let par = TimedConfig::new(64)
+            .tasks(500)
+            .heavy_tailed_work()
+            .generate(1);
+        let max_of = |w: &TimedWorkload| w.tasks().iter().map(|t| t.work).fold(0.0f64, f64::max);
+        assert!(max_of(&par) > max_of(&exp));
+    }
+
+    #[test]
+    fn weighted_work_accounts_sizes() {
+        let w = TimedWorkload::new(vec![
+            TimedTask {
+                arrival: 0,
+                size_log2: 0,
+                work: 10.0,
+            },
+            TimedTask {
+                arrival: 1,
+                size_log2: 3,
+                work: 5.0,
+            },
+        ]);
+        assert!((w.total_weighted_work() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_sorts_by_arrival() {
+        let w = TimedWorkload::new(vec![
+            TimedTask {
+                arrival: 9,
+                size_log2: 0,
+                work: 1.0,
+            },
+            TimedTask {
+                arrival: 2,
+                size_log2: 0,
+                work: 1.0,
+            },
+        ]);
+        assert_eq!(w.tasks()[0].arrival, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_work_rejected() {
+        TimedWorkload::new(vec![TimedTask {
+            arrival: 0,
+            size_log2: 0,
+            work: 0.0,
+        }]);
+    }
+}

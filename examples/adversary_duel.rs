@@ -1,0 +1,102 @@
+//! Watch the Theorem 4.3 adversary dismantle an online allocator,
+//! phase by phase.
+//!
+//! The adversary fills the machine with unit tasks, then repeatedly
+//! (a) inspects the algorithm's placement, (b) kills the *better
+//! packed* half of every submachine (keeping the fragmented half),
+//! and (c) refills with double-sized tasks that no longer fit the
+//! holes. Each phase costs the algorithm about half a unit of load,
+//! and after `min{d, log N}` phases the load is
+//! `⌈(min{d, log N} + 1)/2⌉` — on a sequence a clairvoyant packer
+//! would have served with load 1.
+//!
+//! ```text
+//! cargo run --release --example adversary_duel
+//! ```
+
+use partalloc::prelude::*;
+
+fn main() {
+    let n: u64 = 1024;
+    let machine = BuddyTree::new(n).expect("power-of-two machine");
+
+    println!("== duel 1: the adversary vs greedy (d = ∞) on N = {n} ==\n");
+    let mut greedy = Greedy::new(machine);
+    let outcome = DeterministicAdversary::new(u64::MAX).run(&mut greedy);
+    report(&outcome);
+    // Where the damage landed: final per-PE thread counts.
+    let per_pe: Vec<u64> = (0..machine.num_pes())
+        .map(|pe| greedy.pe_load(pe))
+        .collect();
+    println!(
+        "final per-PE loads   {}  (scale 0..{})",
+        load_heatmap(&per_pe, outcome.peak_load, 64),
+        outcome.peak_load
+    );
+
+    println!("\n== duel 2: the adversary vs A_M across d ==\n");
+    let mut table = Table::new(&[
+        "d",
+        "phases played",
+        "forced load",
+        "guarantee ⌈(p+1)/2⌉",
+        "events in σ",
+    ]);
+    for d in [0u64, 1, 2, 4, 6, 8, 10] {
+        let mut alloc = DReallocation::new(machine, d);
+        let out = DeterministicAdversary::new(d).run(&mut alloc);
+        table.row(&[
+            d.to_string(),
+            out.phases.to_string(),
+            out.peak_load.to_string(),
+            out.guaranteed_load.to_string(),
+            out.sequence.len().to_string(),
+        ]);
+    }
+    println!("{}", table.render_text());
+
+    println!("== duel 3: replaying greedy's hard sequence against other algorithms ==\n");
+    let mut table = Table::new(&["algorithm", "peak load on σ_greedy", "vs its own guarantee"]);
+    for kind in [
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::Constant,
+        AllocatorKind::Randomized,
+    ] {
+        let m = {
+            let mut alloc = kind.build(machine, 7);
+            run_sequence_dyn(alloc.as_mut(), &outcome.sequence)
+        };
+        let note = match kind {
+            AllocatorKind::Greedy => "forced to the bound",
+            AllocatorKind::Constant => "reallocation erases the trap",
+            AllocatorKind::Randomized => "the trap was tuned to greedy, not to A_rand",
+            _ => "copies fragment the same way",
+        };
+        table.row(&[m.allocator, m.peak_load.to_string(), note.to_string()]);
+    }
+    println!("{}", table.render_text());
+    println!(
+        "the replay shows why Theorem 4.3 is per-algorithm: σ was built by\n\
+         observing greedy, and only greedy (and similar deterministic packers)\n\
+         step into every trap."
+    );
+}
+
+fn report(outcome: &AdversaryOutcome) {
+    println!(
+        "phases: {}   events: {}   arrivals: {} PEs total",
+        outcome.phases,
+        outcome.sequence.len(),
+        outcome.sequence.total_arrival_size()
+    );
+    println!(
+        "optimal load of the sequence: {} (active size never exceeds N)",
+        outcome.lstar
+    );
+    println!(
+        "forced load: {}   (guarantee was ≥ {})",
+        outcome.peak_load, outcome.guaranteed_load
+    );
+    println!("forced competitive ratio: {:.2}", outcome.forced_ratio());
+}

@@ -1,0 +1,59 @@
+//! Watch fragmentation build and get swept away: the same hostile
+//! workload rendered as occupancy timelines (PE rows × time columns)
+//! for a never-reallocating allocator, a periodic one, and the
+//! always-reallocating optimum — plus an SVG export of each.
+//!
+//! ```text
+//! cargo run --release --example fragmentation_movie
+//! ```
+
+use partalloc::prelude::*;
+
+fn main() {
+    let n: u64 = 64;
+    let machine = BuddyTree::new(n).expect("power-of-two machine");
+
+    // Waves of uniform task sizes with random half-drains between
+    // them: survivors scatter and pin fragmentation in place.
+    let seq = PhasedConfig::new(n).waves(18).generate(7);
+    println!(
+        "workload: {} events, {} tasks, L* = {} on {n} PEs\n",
+        seq.len(),
+        seq.num_tasks(),
+        seq.optimal_load(n)
+    );
+
+    let runs: Vec<(&str, AllocatorKind)> = vec![
+        (
+            "A_G — never reallocates: survivors pin holes, big tasks stack",
+            AllocatorKind::Greedy,
+        ),
+        (
+            "A_M(d=1) — periodic repacks sweep the holes",
+            AllocatorKind::DRealloc(1),
+        ),
+        (
+            "A_C — reallocates every arrival: always tight",
+            AllocatorKind::Constant,
+        ),
+    ];
+    let out_dir = std::env::temp_dir().join("partalloc-movie");
+    std::fs::create_dir_all(&out_dir).expect("temp dir");
+    for (caption, kind) in runs {
+        let timeline = Timeline::record(kind.build(machine, 7), &seq);
+        println!("== {caption} ==");
+        println!("{}", timeline.render_ascii(96, 8));
+        let svg_path = out_dir.join(format!(
+            "{}.svg",
+            kind.label().replace(['(', ')', '='], "_")
+        ));
+        std::fs::write(&svg_path, timeline.render_svg(1280, 400)).expect("svg written");
+        println!("   (SVG: {})\n", svg_path.display());
+    }
+    println!(
+        "reading: in the A_G panel the shaded load deepens with every wave as\n\
+         survivors block clean submachines; A_M(d=1)'s panel shows the periodic\n\
+         'sweeps' where columns go uniform again; A_C never lets texture build.\n\
+         This is the paper's trade-off as a picture."
+    );
+}

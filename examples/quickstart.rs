@@ -1,0 +1,67 @@
+//! Quickstart: allocate a multi-user workload on a 256-PE tree machine
+//! and see the paper's trade-off in one table.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use partalloc::prelude::*;
+
+fn main() {
+    // A 256-PE partitionable machine (the paper's complete-binary-tree
+    // model; see `topology_tour` for hypercubes, meshes, fat trees).
+    let n: u64 = 256;
+    let machine = BuddyTree::new(n).expect("power-of-two machine");
+
+    // A saturated time-shared workload: users arrive, grab power-of-two
+    // submachines, run for unpredictable times, leave. The closed loop
+    // caps the active size at 2N, so the optimal load L* is at most 2.
+    let workload = ClosedLoopConfig::new(n)
+        .events(5_000)
+        .target_load(2)
+        .generate(42);
+    let lstar = workload.optimal_load(n);
+    println!(
+        "workload: {} events, {} users, peak active size {} → L* = {lstar}\n",
+        workload.len(),
+        workload.num_tasks(),
+        workload.peak_active_size()
+    );
+
+    // The paper's spectrum: d = 0 reallocates on every arrival and is
+    // optimal but pays constant migration; growing d reallocates less
+    // and loads more, saturating at greedy (never reallocates).
+    let mut table = Table::new(&[
+        "algorithm",
+        "peak load",
+        "peak/L*",
+        "bound",
+        "reallocations",
+    ]);
+    let threshold = greedy_threshold(machine);
+    for d in 0..=threshold {
+        let metrics = run_sequence(DReallocation::new(machine, d), &workload);
+        table.row(&[
+            metrics.allocator.clone(),
+            metrics.peak_load.to_string(),
+            fmt_f64(metrics.peak_ratio(), 2),
+            format!("≤ {}", bounds::det_upper_factor(n, d) * lstar),
+            metrics.realloc_events.to_string(),
+        ]);
+    }
+    let greedy = run_sequence(Greedy::new(machine), &workload);
+    let greedy_profile = greedy.load_profile.clone();
+    table.row(&[
+        "A_G (d = ∞)".to_string(),
+        greedy.peak_load.to_string(),
+        fmt_f64(greedy.peak_ratio(), 2),
+        format!("≤ {}", bounds::greedy_upper_factor(n) * lstar),
+        "0".to_string(),
+    ]);
+    println!("{}", table.render_text());
+    println!("greedy load over time   {}", sparkline(&greedy_profile, 64));
+    println!(
+        "\nTheorem 4.2 in action: load ≤ min{{d+1, ⌈(log N + 1)/2⌉}} · L* — pick d\n\
+         by how much checkpoint/migration traffic the machine can afford."
+    );
+}

@@ -1,0 +1,70 @@
+//! Record / replay workflow: capture a workload as a versioned JSON
+//! trace, reload it, and confirm every algorithm reproduces the exact
+//! same run — the harness pattern for sharing regression inputs.
+//!
+//! ```text
+//! cargo run --release --example trace_workflow
+//! ```
+
+use partalloc::prelude::*;
+
+fn main() {
+    let n: u64 = 128;
+    let machine = BuddyTree::new(n).expect("power-of-two machine");
+
+    // 1. Generate a workload and write it out.
+    let seq = PoissonConfig::new(n)
+        .arrivals(500)
+        .sizes(SizeDistribution::Bimodal {
+            small_log2: 0,
+            large_log2: 5,
+            large_prob: 0.15,
+        })
+        .generate(7);
+    let path = std::env::temp_dir().join("partalloc-example-trace.json");
+    write_trace(&path, &seq).expect("trace written");
+    let bytes = std::fs::metadata(&path).expect("trace exists").len();
+    println!(
+        "recorded {} events ({} users) to {} ({bytes} bytes)\n",
+        seq.len(),
+        seq.num_tasks(),
+        path.display()
+    );
+
+    // 2. Read it back; the loader validates structure, version and
+    //    sequence well-formedness.
+    let replayed = read_trace(&path).expect("trace read back");
+    assert_eq!(replayed, seq);
+    println!("reload: byte-identical sequence, validation passed");
+
+    // 3. Replay through the allocators: deterministic algorithms must
+    //    reproduce exactly; the randomized one reproduces per seed.
+    let mut table = Table::new(&["algorithm", "peak (run 1)", "peak (replay)", "identical?"]);
+    for kind in [
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::DRealloc(2),
+        AllocatorKind::Constant,
+        AllocatorKind::Randomized,
+    ] {
+        let m1 = {
+            let mut a = kind.build(machine, 11);
+            run_sequence_dyn(a.as_mut(), &seq)
+        };
+        let m2 = {
+            let mut a = kind.build(machine, 11);
+            run_sequence_dyn(a.as_mut(), &replayed)
+        };
+        assert_eq!(m1.load_profile, m2.load_profile);
+        table.row(&[
+            m1.allocator.clone(),
+            m1.peak_load.to_string(),
+            m2.peak_load.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    println!("{}", table.render_text());
+
+    std::fs::remove_file(&path).ok();
+    println!("trace file cleaned up — done.");
+}

@@ -1,0 +1,95 @@
+//! # partalloc
+//!
+//! A Rust implementation of
+//! Gao, Rosenberg, Sitaraman, *"On Trading Task Reallocation for Thread
+//! Management in Partitionable Multiprocessors"* (SPAA 1996): online
+//! processor allocation for hierarchically decomposable multiprocessors,
+//! with the paper's full algorithm suite, lower-bound adversaries,
+//! workload generators, and a discrete-event simulation harness.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`topology`] — buddy-tree decomposition and concrete machines
+//!   (tree, hypercube, mesh, butterfly, CM-5-class fat tree);
+//! * [`model`] — tasks, events, sequences, `s(σ)` and `L*`;
+//! * [`core`] — the allocation algorithms (`A_C`, `A_G`, `A_B`, `A_M`,
+//!   `A_rand`, the repacker `A_R`, and baselines);
+//! * [`adversary`] — the deterministic lower-bound adversary (Thm 4.3)
+//!   and the random hard sequence (Thm 5.2);
+//! * [`workload`] — synthetic workload generators and trace replay;
+//! * [`sim`] — metrics, migration-cost models, and parallel sweeps;
+//! * [`analysis`] — the paper's bound formulas, statistics, tables.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use partalloc::prelude::*;
+//!
+//! // A 64-PE tree machine and a random multi-user workload.
+//! let machine = BuddyTree::new(64).unwrap();
+//! let workload = ClosedLoopConfig::new(64)
+//!     .events(2_000)
+//!     .target_load(3)
+//!     .generate(42);
+//!
+//! // Run the paper's d-reallocation algorithm with d = 2 ...
+//! let alloc = DReallocation::new(machine, 2);
+//! let run = run_sequence(alloc, &workload);
+//!
+//! // ... and compare against the optimum L* = ceil(s(σ)/N).
+//! let lstar = workload.optimal_load(64);
+//! assert!(run.peak_load <= (2 + 1) * lstar);   // Theorem 4.2
+//! ```
+
+#![forbid(unsafe_code)]
+
+// Compile-check the README's code example as a doctest.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
+pub use partalloc_adversary as adversary;
+pub use partalloc_analysis as analysis;
+pub use partalloc_core as core;
+pub use partalloc_exclusive as exclusive;
+pub use partalloc_model as model;
+pub use partalloc_sim as sim;
+pub use partalloc_topology as topology;
+pub use partalloc_workload as workload;
+
+/// Convenient glob import of the most common types.
+pub mod prelude {
+    pub use partalloc_adversary::{
+        AdversaryOutcome, DepartureRule, DeterministicAdversary, RandomHardSequence,
+    };
+    pub use partalloc_analysis::{
+        bar_chart, bounds, fmt_f64, line_chart_svg, load_heatmap, multi_sparkline, sparkline,
+        LinearFit, Summary, Table,
+    };
+    pub use partalloc_core::validate::{validate, Violation};
+    pub use partalloc_core::{
+        greedy_threshold, repack, Allocator, AllocatorKind, Basic, Constant, CopyFit,
+        DReallocation, EpochPolicy, Greedy, LeftmostAlways, Migration, Placement,
+        RandomizedDRealloc, RandomizedOblivious, ReallocTrigger, RoundRobin, TieBreak,
+    };
+    pub use partalloc_exclusive::{
+        run_exclusive, run_exclusive_with_policy, BuddyStrategy, FullRecognition, GrayCodeStrategy,
+        QueuePolicy, SubcubeStrategy,
+    };
+    pub use partalloc_model::{
+        figure1_sigma_star, read_trace, write_trace, Event, SequenceBuilder, SequenceStats, Task,
+        TaskId, TaskSequence,
+    };
+    pub use partalloc_sim::{
+        execute, parallel_sweep, run_sequence, run_sequence_dyn, run_with_cost, run_with_slowdowns,
+        ExecutorConfig, MigrationCostModel, RunMetrics, Span, Timeline,
+    };
+    pub use partalloc_topology::{
+        BuddyTree, Butterfly, FatTree, Hypercube, Mesh2D, NodeId, Partitionable, TopologyKind,
+        Torus2D, TreeMachine,
+    };
+    pub use partalloc_workload::{
+        parse_swf, BurstyConfig, ClosedLoopConfig, DiurnalConfig, Generator, PhasedConfig,
+        PoissonConfig, SizeDistribution, SwfImport, TimedConfig, TimedTask, TimedWorkload,
+    };
+}

@@ -1,0 +1,93 @@
+//! Reproducibility guarantees: equal seeds give equal sequences, equal
+//! runs, and parallel sweeps match serial execution bit for bit.
+
+use partalloc::prelude::*;
+
+#[test]
+fn generators_are_seed_deterministic() {
+    let n = 128;
+    let gens: Vec<Box<dyn Generator>> = vec![
+        Box::new(ClosedLoopConfig::new(n).events(500)),
+        Box::new(PoissonConfig::new(n).arrivals(200)),
+        Box::new(BurstyConfig::new(n).cycles(5)),
+        Box::new(PhasedConfig::new(n)),
+    ];
+    for g in gens {
+        assert_eq!(g.generate(42), g.generate(42), "{} unstable", g.label());
+        assert_ne!(g.generate(42), g.generate(43), "{} ignores seed", g.label());
+    }
+}
+
+#[test]
+fn runs_are_deterministic_including_randomized() {
+    let n = 64;
+    let machine = BuddyTree::new(n).unwrap();
+    let seq = ClosedLoopConfig::new(n).events(800).generate(1);
+    for kind in [
+        AllocatorKind::Constant,
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::DRealloc(2),
+        AllocatorKind::Randomized,
+    ] {
+        let run = |seed| {
+            let mut a = kind.build(machine, seed);
+            run_sequence_dyn(a.as_mut(), &seq).load_profile
+        };
+        assert_eq!(
+            run(7),
+            run(7),
+            "{} unstable under a fixed seed",
+            kind.label()
+        );
+    }
+    // The randomized allocator must differ across seeds (on a long
+    // enough sequence this fails with negligible probability).
+    let a = {
+        let mut x = AllocatorKind::Randomized.build(machine, 1);
+        run_sequence_dyn(x.as_mut(), &seq).load_profile
+    };
+    let b = {
+        let mut x = AllocatorKind::Randomized.build(machine, 2);
+        run_sequence_dyn(x.as_mut(), &seq).load_profile
+    };
+    assert_ne!(a, b);
+}
+
+#[test]
+fn parallel_sweep_equals_serial() {
+    let n = 64;
+    let machine = BuddyTree::new(n).unwrap();
+    let points: Vec<(u64, u64)> = (0..24).map(|i| (i % 4, 100 + i)).collect();
+    let work = |&(d, seed): &(u64, u64)| {
+        let seq = ClosedLoopConfig::new(n).events(600).generate(seed);
+        run_sequence(DReallocation::new(machine, d), &seq).peak_load
+    };
+    let serial: Vec<u64> = points.iter().map(work).collect();
+    let parallel = parallel_sweep(&points, work);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn adversary_outcome_is_deterministic() {
+    let machine = BuddyTree::new(256).unwrap();
+    let game = || {
+        let mut g = Greedy::new(machine);
+        DeterministicAdversary::new(u64::MAX).run(&mut g)
+    };
+    let (a, b) = (game(), game());
+    assert_eq!(a.sequence, b.sequence);
+    assert_eq!(a.peak_load, b.peak_load);
+}
+
+#[test]
+fn sigma_r_is_seed_deterministic() {
+    let machine = BuddyTree::with_levels(8).unwrap();
+    for gen in [
+        RandomHardSequence::new(machine),
+        RandomHardSequence::aggressive(machine),
+    ] {
+        assert_eq!(gen.generate(5), gen.generate(5));
+        assert_ne!(gen.generate(5), gen.generate(6));
+    }
+}

@@ -1,0 +1,225 @@
+//! Full-pipeline integration: every allocator, over every workload
+//! family, with an independent shadow that re-derives PE loads from
+//! the allocator's reported placements and migrations. Catches any
+//! divergence between what an allocator *says* it did (placements)
+//! and what its load engine *thinks* happened.
+
+use std::collections::HashMap;
+
+use partalloc::prelude::*;
+
+/// Mirror of placements, rebuilt only from the Allocator trait's
+/// reported outcomes.
+#[derive(Default)]
+struct Shadow {
+    placements: HashMap<TaskId, (u8, Placement)>,
+}
+
+impl Shadow {
+    fn apply(&mut self, ev: &Event, outcome: &partalloc::core::EventOutcome, seq: &TaskSequence) {
+        match (ev, outcome) {
+            (Event::Arrival { id, size_log2 }, partalloc::core::EventOutcome::Arrival(out)) => {
+                for m in &out.migrations {
+                    let entry = self
+                        .placements
+                        .get_mut(&m.task)
+                        .expect("migrated is active");
+                    assert_eq!(entry.1, m.from, "migration 'from' mismatch");
+                    entry.1 = m.to;
+                }
+                self.placements.insert(*id, (*size_log2, out.placement));
+                let _ = seq;
+            }
+            (Event::Departure { id }, partalloc::core::EventOutcome::Departure(freed)) => {
+                let (_, p) = self.placements.remove(id).expect("departing is active");
+                assert_eq!(p, *freed, "freed placement mismatch");
+            }
+            _ => panic!("outcome kind does not match event kind"),
+        }
+    }
+
+    fn pe_load(&self, machine: BuddyTree, pe: u32) -> u64 {
+        let leaf = machine.leaf_of(pe);
+        self.placements
+            .values()
+            .filter(|(_, p)| machine.contains(p.node, leaf))
+            .count() as u64
+    }
+
+    fn check_against(&self, alloc: &dyn Allocator) {
+        let machine = alloc.machine();
+        for pe in 0..machine.num_pes() {
+            assert_eq!(
+                self.pe_load(machine, pe),
+                alloc.pe_load(pe),
+                "pe {pe} load mismatch in {}",
+                alloc.name()
+            );
+        }
+        // Placement sizes must match task sizes.
+        for (&id, &(x, p)) in &self.placements {
+            assert_eq!(
+                machine.level_of(p.node),
+                u32::from(x),
+                "task {id} placed on wrong-size submachine"
+            );
+            assert_eq!(alloc.placement_of(id), Some(p));
+        }
+        // No two same-layer placements may overlap (tasks share PEs
+        // only across layers/copies).
+        let all: Vec<(&TaskId, &(u8, Placement))> = self.placements.iter().collect();
+        for (i, (_, &(_, a))) in all.iter().enumerate() {
+            for (_, &(_, b)) in all.iter().skip(i + 1) {
+                if a.layer == b.layer && layered(alloc.name().as_str()) {
+                    assert!(
+                        !machine.contains(a.node, b.node) && !machine.contains(b.node, a.node),
+                        "copy {} holds overlapping tasks in {}",
+                        a.layer,
+                        alloc.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Copy-exclusivity applies only to copy-structured algorithms
+/// (A_M in greedy mode stacks tasks freely, like A_G).
+fn layered(name: &str) -> bool {
+    (name.starts_with("A_B") || name.starts_with("A_C") || name.starts_with("A_M(d"))
+        && !name.contains("greedy")
+}
+
+fn all_kinds() -> Vec<AllocatorKind> {
+    vec![
+        AllocatorKind::Constant,
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::DRealloc(0),
+        AllocatorKind::DRealloc(1),
+        AllocatorKind::DRealloc(3),
+        AllocatorKind::DReallocWith(1, EpochPolicy::Stacked, ReallocTrigger::Eager),
+        AllocatorKind::DReallocWith(1, EpochPolicy::Unified, ReallocTrigger::Lazy),
+        AllocatorKind::Randomized,
+        AllocatorKind::LeftmostAlways,
+        AllocatorKind::RoundRobin,
+    ]
+}
+
+fn run_shadowed(kind: AllocatorKind, n: u64, seq: &TaskSequence, seed: u64) {
+    let machine = BuddyTree::new(n).unwrap();
+    let mut alloc = kind.build(machine, seed);
+    let mut shadow = Shadow::default();
+    for (i, ev) in seq.events().iter().enumerate() {
+        let outcome = alloc.handle(ev);
+        shadow.apply(ev, &outcome, seq);
+        // Full check every 50 events and at the end (quadratic bits
+        // inside are modest at these sizes).
+        if i % 50 == 0 || i + 1 == seq.len() {
+            shadow.check_against(alloc.as_ref());
+        }
+    }
+    assert_eq!(
+        alloc.active_size(),
+        shadow
+            .placements
+            .values()
+            .map(|&(x, _)| 1u64 << x)
+            .sum::<u64>()
+    );
+}
+
+#[test]
+fn every_allocator_is_consistent_on_closed_loop() {
+    let n = 64;
+    let seq = ClosedLoopConfig::new(n)
+        .events(700)
+        .target_load(3)
+        .generate(5);
+    for kind in all_kinds() {
+        run_shadowed(kind, n, &seq, 5);
+    }
+}
+
+#[test]
+fn every_allocator_is_consistent_on_poisson() {
+    let n = 32;
+    let seq = PoissonConfig::new(n).arrivals(250).generate(6);
+    for kind in all_kinds() {
+        run_shadowed(kind, n, &seq, 6);
+    }
+}
+
+#[test]
+fn every_allocator_is_consistent_on_phased() {
+    let n = 64;
+    let seq = PhasedConfig::new(n).generate(7);
+    for kind in all_kinds() {
+        run_shadowed(kind, n, &seq, 7);
+    }
+}
+
+#[test]
+fn every_allocator_is_consistent_on_adversary_sequences() {
+    // Replay an adversary transcript (built against greedy) through
+    // everything else — heavy departures in bulk.
+    let n = 64;
+    let machine = BuddyTree::new(n).unwrap();
+    let mut g = Greedy::new(machine);
+    let out = DeterministicAdversary::new(u64::MAX).run(&mut g);
+    for kind in all_kinds() {
+        run_shadowed(kind, n, &out.sequence, 8);
+    }
+}
+
+#[test]
+fn validator_passes_for_every_allocator() {
+    use partalloc::prelude::{validate, Violation};
+    let n = 64;
+    let seq = ClosedLoopConfig::new(n)
+        .events(800)
+        .target_load(3)
+        .generate(11);
+    for kind in all_kinds() {
+        let machine = BuddyTree::new(n).unwrap();
+        let mut alloc = kind.build(machine, 11);
+        for ev in seq.events() {
+            alloc.handle(ev);
+        }
+        let copy_structured = layered(&alloc.name());
+        let violations: Vec<Violation> = validate(alloc.as_ref(), copy_structured);
+        assert!(
+            violations.is_empty(),
+            "{} failed validation: {:?}",
+            kind.label(),
+            violations
+        );
+    }
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    let n = 128;
+    let seq = BurstyConfig::new(n).cycles(8).generate(9);
+    for kind in all_kinds() {
+        let machine = BuddyTree::new(n).unwrap();
+        let mut alloc = kind.build(machine, 9);
+        let m = run_sequence_dyn(alloc.as_mut(), &seq);
+        assert_eq!(m.events, seq.len());
+        assert_eq!(m.load_profile.len(), seq.len());
+        assert_eq!(m.peak_load, m.load_profile.iter().copied().max().unwrap());
+        assert_eq!(m.final_load, *m.load_profile.last().unwrap());
+        assert_eq!(m.per_pe_final.len(), n as usize);
+        assert_eq!(
+            m.final_load,
+            m.per_pe_final.iter().copied().max().unwrap(),
+            "final load must equal the max per-PE load for {}",
+            m.allocator
+        );
+        assert!(m.physical_migrations <= m.migrations);
+        if !kind.reallocates() {
+            assert_eq!(m.realloc_events, 0);
+            assert_eq!(m.migrations, 0);
+        }
+    }
+}

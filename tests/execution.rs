@@ -1,0 +1,133 @@
+//! Property tests of the two execution models (shared round-robin
+//! executor, exclusive FCFS machine) across random timed workloads.
+
+use partalloc::prelude::*;
+use proptest::prelude::*;
+
+/// Random timed workload with sizes < N, bounded work.
+fn timed_workload(levels: u32, spec: &[(u8, u8, u8)]) -> TimedWorkload {
+    let mut t = 0u64;
+    let tasks = spec
+        .iter()
+        .map(|&(gap, size_pick, work_pick)| {
+            t += u64::from(gap % 8);
+            TimedTask {
+                arrival: t,
+                size_log2: size_pick % levels.max(1) as u8,
+                work: f64::from(work_pick % 30) + 1.0,
+            }
+        })
+        .collect();
+    TimedWorkload::new(tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn executor_invariants(
+        levels in 2u32..6,
+        kind_pick in 0usize..5,
+        spec in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..40),
+    ) {
+        let n = 1u64 << levels;
+        let machine = BuddyTree::new(n).unwrap();
+        let w = timed_workload(levels, &spec);
+        let kinds = [
+            AllocatorKind::Constant,
+            AllocatorKind::Greedy,
+            AllocatorKind::Basic,
+            AllocatorKind::DRealloc(1),
+            AllocatorKind::Randomized,
+        ];
+        let kind = kinds[kind_pick];
+        let r = execute(kind.build(machine, 7), &w, &ExecutorConfig::ideal());
+
+        // Every task completes after its arrival, no faster than its
+        // unshared work, and stretch reflects exactly that.
+        for (i, task) in w.tasks().iter().enumerate() {
+            prop_assert!(r.completion[i] > task.arrival);
+            prop_assert!(
+                (r.response[i] as f64) + 1e-9 >= task.work.floor(),
+                "task {i} finished faster than its work"
+            );
+            prop_assert!(r.stretch[i] >= 0.99, "stretch below 1 for task {i}");
+        }
+        prop_assert_eq!(r.makespan, r.completion.iter().copied().max().unwrap());
+        // Aggregate throughput bound: N PEs can retire at most N
+        // PE-ticks of weighted work per tick (round-robin with c = 0
+        // is work-conserving per PE).
+        prop_assert!(
+            (r.makespan as f64) * n as f64 + 1e-6 >= w.total_weighted_work(),
+            "makespan below the throughput floor"
+        );
+    }
+
+    #[test]
+    fn overhead_never_helps(
+        levels in 2u32..5,
+        spec in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let n = 1u64 << levels;
+        let machine = BuddyTree::new(n).unwrap();
+        let w = timed_workload(levels, &spec);
+        let ideal = execute(Greedy::new(machine), &w, &ExecutorConfig::ideal());
+        let costly = execute(Greedy::new(machine), &w, &ExecutorConfig::with_overhead(0.5));
+        prop_assert!(costly.mean_stretch + 1e-9 >= ideal.mean_stretch);
+        prop_assert!(costly.makespan >= ideal.makespan);
+    }
+
+    #[test]
+    fn exclusive_invariants(
+        levels in 2u32..5,
+        strategy_pick in 0usize..3,
+        spec in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let w = timed_workload(levels, &spec);
+        let strategies: [&dyn SubcubeStrategy; 3] =
+            [&BuddyStrategy, &GrayCodeStrategy, &FullRecognition];
+        let r = run_exclusive(levels, strategies[strategy_pick], &w);
+
+        for (i, task) in w.tasks().iter().enumerate() {
+            prop_assert!(r.start[i] >= task.arrival, "task {i} started early");
+            // Exclusive runs are unshared: completion = start + ceil(work).
+            let run_ticks = (task.work.ceil() as u64).max(1);
+            prop_assert_eq!(r.completion[i], r.start[i] + run_ticks);
+            prop_assert!(r.stretch[i] >= 0.99);
+        }
+        prop_assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+        // FCFS: start times respect arrival order for equal-size tasks
+        // (the head blocks, so a later equal request can never start
+        // strictly earlier than an earlier one of the same size).
+        for i in 0..w.len() {
+            for j in (i + 1)..w.len() {
+                let (a, b) = (&w.tasks()[i], &w.tasks()[j]);
+                if a.size_log2 == b.size_log2 && a.arrival <= b.arrival {
+                    prop_assert!(
+                        r.start[i] <= r.start[j],
+                        "FCFS violated between tasks {i} and {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_and_exclusive_agree_when_uncontended(
+        levels in 2u32..5,
+        work in 1u8..20,
+    ) {
+        // A single task: both worlds run it unshared at full speed.
+        let n = 1u64 << levels;
+        let machine = BuddyTree::new(n).unwrap();
+        let w = TimedWorkload::new(vec![TimedTask {
+            arrival: 0,
+            size_log2: (levels - 1) as u8,
+            work: f64::from(work),
+        }]);
+        let shared = execute(Greedy::new(machine), &w, &ExecutorConfig::ideal());
+        let exclusive = run_exclusive(levels, &BuddyStrategy, &w);
+        prop_assert_eq!(shared.completion[0], u64::from(work));
+        prop_assert_eq!(exclusive.completion[0], u64::from(work));
+    }
+}

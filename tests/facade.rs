@@ -1,0 +1,77 @@
+//! Facade-level tests: the `partalloc::prelude` surface is usable
+//! as documented, and the README/lib.rs quickstart really holds.
+
+use partalloc::prelude::*;
+
+#[test]
+fn lib_doc_quickstart_holds() {
+    let machine = BuddyTree::new(64).unwrap();
+    let workload = ClosedLoopConfig::new(64)
+        .events(2_000)
+        .target_load(3)
+        .generate(42);
+    let alloc = DReallocation::new(machine, 2);
+    let run = run_sequence(alloc, &workload);
+    let lstar = workload.optimal_load(64);
+    assert!(run.peak_load <= (2 + 1) * lstar);
+}
+
+#[test]
+fn figure1_accessible_from_facade() {
+    let seq = figure1_sigma_star();
+    let machine = BuddyTree::new(4).unwrap();
+    assert_eq!(run_sequence(Greedy::new(machine), &seq).peak_load, 2);
+    assert_eq!(run_sequence(Constant::new(machine), &seq).peak_load, 1);
+    let lazy = DReallocation::with_options(machine, 1, EpochPolicy::Unified, ReallocTrigger::Lazy);
+    assert_eq!(run_sequence(lazy, &seq).peak_load, 1);
+}
+
+#[test]
+fn bounds_module_reachable() {
+    assert_eq!(bounds::greedy_upper_factor(1024), 6);
+    assert_eq!(bounds::det_upper_factor(1024, 2), 3);
+    assert!(bounds::rand_upper_factor(1024) > 1.0);
+}
+
+#[test]
+fn topologies_reachable_and_consistent() {
+    let tree = TreeMachine::new(64).unwrap();
+    let cube = Hypercube::new(64).unwrap();
+    let mesh = Mesh2D::new(64).unwrap();
+    let bfly = Butterfly::new(64).unwrap();
+    let fat = FatTree::new(64).unwrap();
+    for topo in [&tree as &dyn Partitionable, &cube, &mesh, &bfly, &fat] {
+        assert_eq!(topo.num_pes(), 64);
+        assert_eq!(topo.buddy(), BuddyTree::new(64).unwrap());
+    }
+    assert_eq!(tree.kind(), TopologyKind::Tree);
+    assert_eq!(fat.kind().name(), "fat-tree");
+}
+
+#[test]
+fn boxed_allocators_satisfy_the_trait() {
+    // `impl Allocator for Box<dyn Allocator>` lets sweep-built boxes
+    // feed the by-value harness entry points.
+    let machine = BuddyTree::new(32).unwrap();
+    let seq = ClosedLoopConfig::new(32).events(300).generate(3);
+    let boxed: Box<dyn Allocator> = AllocatorKind::Greedy.build(machine, 0);
+    let m = run_sequence(boxed, &seq);
+    assert!(m.peak_load >= m.lstar);
+    let boxed2: Box<dyn Allocator> = AllocatorKind::Basic.build(machine, 0);
+    let s = run_with_slowdowns(boxed2, &seq);
+    assert!(s.worst >= 1);
+}
+
+#[test]
+fn cost_model_via_facade() {
+    let machine = BuddyTree::new(32).unwrap();
+    let topo = TreeMachine::new(32).unwrap();
+    let seq = BurstyConfig::new(32).cycles(4).generate(2);
+    let (m, cost) = run_with_cost(
+        Constant::new(machine),
+        &seq,
+        &topo,
+        &MigrationCostModel::standard(),
+    );
+    assert_eq!(cost.physical_migrations, m.physical_migrations);
+}

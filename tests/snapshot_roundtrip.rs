@@ -1,0 +1,122 @@
+//! Checkpoint/restore round trips across every algorithm kind: warm an
+//! allocator up on a random prefix, snapshot, restore, and require the
+//! restored instance to be observationally equivalent (identical PE
+//! loads and placements) and — for the deterministic algorithms — to
+//! replay the rest of the sequence identically.
+
+use partalloc::core::{restore, snapshot};
+use partalloc::prelude::*;
+use proptest::prelude::*;
+
+fn deterministic_kinds() -> Vec<AllocatorKind> {
+    vec![
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::BasicFit(CopyFit::BestFit),
+        AllocatorKind::Constant,
+        AllocatorKind::DRealloc(1),
+        AllocatorKind::DRealloc(2),
+        AllocatorKind::LeftmostAlways,
+    ]
+}
+
+#[test]
+fn roundtrip_preserves_state_and_future() {
+    let n = 64u64;
+    let machine = BuddyTree::new(n).unwrap();
+    let seq = ClosedLoopConfig::new(n)
+        .events(600)
+        .target_load(2)
+        .generate(9);
+    let cut = 300;
+
+    for kind in deterministic_kinds() {
+        // Drive the original through the prefix, tracking the epoch
+        // counter from observable outcomes (reset on realloc, add on
+        // arrival).
+        let mut original = kind.build(machine, 4);
+        let mut arrived = 0u64;
+        for ev in &seq.events()[..cut] {
+            match original.handle(ev) {
+                partalloc::core::EventOutcome::Arrival(out) => {
+                    if out.reallocated {
+                        arrived = 0;
+                    } else {
+                        arrived += match *ev {
+                            Event::Arrival { size_log2, .. } => 1u64 << size_log2,
+                            _ => unreachable!(),
+                        };
+                    }
+                }
+                partalloc::core::EventOutcome::Departure(_) => {}
+            }
+        }
+        let snap = snapshot(original.as_ref(), kind, 4, arrived);
+        let mut restored = restore(&snap, kind).unwrap_or_else(|e| {
+            panic!("restore failed for {}: {e}", kind.label());
+        });
+
+        // Observational equivalence at the checkpoint.
+        for pe in 0..machine.num_pes() {
+            assert_eq!(
+                original.pe_load(pe),
+                restored.pe_load(pe),
+                "pe {pe} differs after restore of {}",
+                kind.label()
+            );
+        }
+        assert_eq!(original.active_size(), restored.active_size());
+        for (id, x, p) in original.active_tasks() {
+            assert_eq!(restored.placement_of(id), Some(p), "{}", kind.label());
+            let _ = x;
+        }
+
+        // Identical future (deterministic kinds, load-driven or
+        // copy-driven — both depend only on the restored state).
+        for ev in &seq.events()[cut..] {
+            let a = original.handle(ev);
+            let b = restored.handle(ev);
+            assert_eq!(a, b, "future diverged after restore of {}", kind.label());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_cut_points_roundtrip(
+        seed in 0u64..1000,
+        cut_frac in 0.0f64..1.0,
+        kind_pick in 0usize..7,
+    ) {
+        let n = 32u64;
+        let machine = BuddyTree::new(n).unwrap();
+        let seq = BurstyConfig::new(n).cycles(6).generate(seed);
+        let cut = ((seq.len() as f64) * cut_frac) as usize;
+        let kind = deterministic_kinds()[kind_pick];
+
+        let mut original = kind.build(machine, seed);
+        let mut arrived = 0u64;
+        for ev in &seq.events()[..cut] {
+            match original.handle(ev) {
+                partalloc::core::EventOutcome::Arrival(out) => {
+                    if out.reallocated {
+                        arrived = 0;
+                    } else if let Event::Arrival { size_log2, .. } = *ev {
+                        arrived += 1u64 << size_log2;
+                    }
+                }
+                partalloc::core::EventOutcome::Departure(_) => {}
+            }
+        }
+        let snap = snapshot(original.as_ref(), kind, seed, arrived);
+        // Serde round trip of the snapshot itself.
+        let json = serde_json::to_string(&snap).unwrap();
+        let snap2: partalloc::core::Snapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = restore(&snap2, kind).expect("restore succeeds");
+        for ev in &seq.events()[cut..] {
+            prop_assert_eq!(original.handle(ev), restored.handle(ev));
+        }
+        prop_assert_eq!(original.max_load(), restored.max_load());
+    }
+}

@@ -1,0 +1,100 @@
+//! Large-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test --release -- --ignored`). They pin the scalability
+//! claims: `O(log N)` per-event allocation on million-PE machines, the
+//! adversary at depth, and long-haul allocator consistency.
+
+use partalloc::prelude::*;
+
+/// Greedy on a 2^20-PE machine: 100k events must complete quickly
+/// (the PathTree engine is O(log² N) per event; a naive engine would
+/// need ~10^11 operations here).
+#[test]
+#[ignore = "large-scale stress; run with --ignored --release"]
+fn greedy_on_a_million_pes() {
+    let levels = 20;
+    let n = 1u64 << levels;
+    let machine = BuddyTree::new(n).unwrap();
+    let seq = ClosedLoopConfig::new(n)
+        .events(100_000)
+        .target_load(2)
+        .sizes(SizeDistribution::Geometric {
+            max_log2: (levels - 1) as u8,
+            ratio: 0.7,
+        })
+        .generate(1);
+    let start = std::time::Instant::now();
+    let m = run_sequence(Greedy::new(machine), &seq);
+    let elapsed = start.elapsed();
+    assert!(m.peak_load <= bounds::greedy_upper_factor(n) * m.lstar);
+    assert!(
+        elapsed.as_secs() < 60,
+        "100k events on 2^20 PEs took {elapsed:?}"
+    );
+    println!(
+        "2^20 PEs, 100k events: peak {} (L* {}), {:?} ({:.0} events/s)",
+        m.peak_load,
+        m.lstar,
+        elapsed,
+        100_000.0 / elapsed.as_secs_f64()
+    );
+}
+
+/// The full adversary game at log N = 16: 65k-PE machine, 16 phases.
+#[test]
+#[ignore = "large-scale stress; run with --ignored --release"]
+fn adversary_at_depth_sixteen() {
+    let machine = BuddyTree::with_levels(16).unwrap();
+    let mut g = Greedy::new(machine);
+    let out = DeterministicAdversary::new(u64::MAX).run(&mut g);
+    assert_eq!(out.lstar, 1);
+    // guarantee = ⌈17/2⌉ = 9.
+    assert_eq!(out.guaranteed_load, 9);
+    assert!(out.peak_load >= 9);
+    assert!(out.peak_load <= bounds::greedy_upper_factor(1 << 16)); // Thm 4.1 with L* = 1
+    println!(
+        "adversary at 2^16: forced {} over {} events",
+        out.peak_load,
+        out.sequence.len()
+    );
+}
+
+/// A_M(d=2) through one million events: bounds hold, state stays
+/// consistent (final active size re-derivable from placements).
+#[test]
+#[ignore = "large-scale stress; run with --ignored --release"]
+fn dreallocation_long_haul() {
+    let n = 4096u64;
+    let machine = BuddyTree::new(n).unwrap();
+    let seq = ClosedLoopConfig::new(n)
+        .events(1_000_000)
+        .target_load(3)
+        .generate(2);
+    let mut alloc = DReallocation::new(machine, 2);
+    let m = run_sequence_dyn(&mut alloc, &seq);
+    assert!(m.peak_load <= bounds::det_upper_factor(n, 2) * m.lstar);
+    let derived: u64 = alloc
+        .active_tasks()
+        .iter()
+        .map(|&(_, x, _)| 1u64 << x)
+        .sum();
+    assert_eq!(derived, alloc.active_size());
+    println!(
+        "1M events: peak {} (L* {}), {} reallocations, {} migrations",
+        m.peak_load, m.lstar, m.realloc_events, m.physical_migrations
+    );
+}
+
+/// Parallel sweep saturating all cores with real runs.
+#[test]
+#[ignore = "large-scale stress; run with --ignored --release"]
+fn sweep_saturation() {
+    let n = 1024u64;
+    let machine = BuddyTree::new(n).unwrap();
+    let points: Vec<(u64, u64)> = (0..64).map(|i| (i % 8, i)).collect();
+    let peaks = parallel_sweep(&points, |&(d, seed)| {
+        let seq = ClosedLoopConfig::new(n).events(20_000).generate(seed);
+        run_sequence(DReallocation::new(machine, d), &seq).peak_load
+    });
+    assert_eq!(peaks.len(), 64);
+    assert!(peaks.iter().all(|&p| p >= 1));
+}

@@ -1,0 +1,100 @@
+//! Cross-crate SWF pipeline: a production-format trace flows through
+//! import → both model forms → allocators, executor, and the exclusive
+//! machine, and the two model forms stay mutually consistent.
+
+use partalloc::prelude::*;
+
+/// A synthetic trace in the archive's SWF format: a CM-5-flavoured mix
+/// (many small jobs, a few wide ones), hand-written so the expected
+/// numbers are checkable.
+const MINI_SWF: &str = "\
+; SWF 2.2 — synthetic mini-trace for pipeline testing
+; Procs: 128
+1  0    0  120   4  -1 -1   4 -1 -1 1 1 1 -1 1 -1 -1 -1
+2  5    2   40  16  -1 -1  13 -1 -1 1 2 1 -1 1 -1 -1 -1
+3  9    0  300   1  -1 -1   1 -1 -1 1 3 1 -1 1 -1 -1 -1
+4  20  10   75  32  -1 -1  32 -1 -1 1 1 1 -1 1 -1 -1 -1
+5  31   0   10   2  -1 -1   2 -1 -1 1 4 2 -1 2 -1 -1 -1
+6  40   0   55  64  -1 -1  50 -1 -1 1 5 2 -1 2 -1 -1 -1
+7  44   1  200   8  -1 -1   7 -1 -1 1 2 1 -1 1 -1 -1 -1
+8  60   0    5 256  -1 -1 256 -1 -1 1 6 2 -1 2 -1 -1 -1
+9  71   0   90   4  -1 -1   3 -1 -1 1 3 1 -1 1 -1 -1 -1
+";
+
+#[test]
+fn import_shape() {
+    let imp = parse_swf(MINI_SWF, 128).unwrap();
+    assert_eq!(imp.accepted, 8); // job 8 wants 256 > 128
+    assert_eq!(imp.skipped, 1);
+    // Requests 4+13+1+32+2+50+7+3 = 112; rounded 4+16+1+32+2+64+8+4 = 131.
+    assert_eq!(imp.requested_pes, 112);
+    assert_eq!(imp.rounded_pes, 131);
+    let frag = imp.internal_fragmentation();
+    assert!((frag - (1.0 - 112.0 / 131.0)).abs() < 1e-12);
+}
+
+#[test]
+fn sequence_and_timed_forms_agree() {
+    let imp = parse_swf(MINI_SWF, 128).unwrap();
+    // Same multiset of (size, count).
+    let mut seq_hist = vec![0u32; 8];
+    for id in 0..imp.sequence.num_tasks() {
+        seq_hist[imp.sequence.size_log2_of(TaskId(id as u64)) as usize] += 1;
+    }
+    let mut timed_hist = vec![0u32; 8];
+    for t in imp.workload.tasks() {
+        timed_hist[t.size_log2 as usize] += 1;
+    }
+    assert_eq!(seq_hist, timed_hist);
+    // Peak active size of the event form must be reachable from the
+    // timed form's intervals.
+    let mut boundaries: Vec<(u64, i64)> = Vec::new();
+    for t in imp.workload.tasks() {
+        let size = 1i64 << t.size_log2;
+        boundaries.push((t.arrival, size));
+        boundaries.push((t.arrival + t.work.ceil() as u64, -size));
+    }
+    boundaries.sort_by_key(|&(time, delta)| (time, delta)); // departures first on ties
+    let mut cur = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in boundaries {
+        cur += delta;
+        peak = peak.max(cur);
+    }
+    assert_eq!(imp.sequence.peak_active_size(), peak as u64);
+}
+
+#[test]
+fn all_three_harnesses_run_the_import() {
+    let imp = parse_swf(MINI_SWF, 128).unwrap();
+    let machine = BuddyTree::new(128).unwrap();
+    let lstar = imp.sequence.optimal_load(128);
+
+    // 1. Event-driven allocators.
+    for kind in [
+        AllocatorKind::Constant,
+        AllocatorKind::Greedy,
+        AllocatorKind::DRealloc(1),
+    ] {
+        let mut alloc = kind.build(machine, 1);
+        let m = run_sequence_dyn(alloc.as_mut(), &imp.sequence);
+        assert!(m.peak_load >= lstar);
+        assert!(m.peak_load <= bounds::greedy_upper_factor(128) * lstar);
+        assert!(m.jain_fairness() > 0.0);
+    }
+
+    // 2. Round-robin executor (work semantics).
+    let r = execute(
+        Greedy::new(machine),
+        &imp.workload,
+        &ExecutorConfig::ideal(),
+    );
+    assert!(r.stretch.iter().all(|&s| s >= 0.99));
+
+    // 3. Exclusive FCFS machine.
+    let e = run_exclusive(7, &BuddyStrategy, &imp.workload);
+    assert!(e.utilization > 0.0 && e.utilization <= 1.0);
+    // Unshared runs: the mini trace is light enough that most jobs
+    // never queue.
+    assert!(e.mean_stretch < 3.0);
+}
