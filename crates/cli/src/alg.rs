@@ -1,43 +1,24 @@
 //! Algorithm-name parsing for the CLI (`--alg A_M:2`, `--alg A_G`, …).
+//!
+//! The grammar lives in `partalloc_core` (`AllocatorKind::from_str`),
+//! shared with the service wire protocol so the two can never drift;
+//! this module only adapts the error type to the CLI's `String` errors.
 
 use partalloc_core::AllocatorKind;
 
 /// Parse an algorithm spec into an [`AllocatorKind`].
 ///
 /// Accepted forms (case-insensitive):
-/// `A_C`, `A_G`, `A_B`, `A_M:<d>`, `A_rand`, `A_rand:<d>`,
-/// `leftmost`, `round-robin`.
+/// `A_C`, `A_G[:tie]`, `A_B[:fit]`, `A_M:<d>[:policy[:trigger]]`,
+/// `A_rand`, `A_rand:<d>`, `leftmost`, `round-robin`.
 pub fn parse_alg(spec: &str) -> Result<AllocatorKind, String> {
-    let lower = spec.to_ascii_lowercase();
-    let (head, param) = match lower.split_once(':') {
-        Some((h, p)) => (h, Some(p)),
-        None => (lower.as_str(), None),
-    };
-    let d = |p: Option<&str>| -> Result<u64, String> {
-        p.ok_or_else(|| format!("{spec}: missing d (use e.g. {head}:2)"))?
-            .parse()
-            .map_err(|_| format!("{spec}: d must be an integer"))
-    };
-    match head {
-        "a_c" | "ac" | "constant" => Ok(AllocatorKind::Constant),
-        "a_g" | "ag" | "greedy" => Ok(AllocatorKind::Greedy),
-        "a_b" | "ab" | "basic" => Ok(AllocatorKind::Basic),
-        "a_m" | "am" | "drealloc" => Ok(AllocatorKind::DRealloc(d(param)?)),
-        "a_rand" | "arand" | "random" => match param {
-            None => Ok(AllocatorKind::Randomized),
-            Some(_) => Ok(AllocatorKind::RandomizedDRealloc(d(param)?)),
-        },
-        "leftmost" => Ok(AllocatorKind::LeftmostAlways),
-        "round-robin" | "roundrobin" | "rr" => Ok(AllocatorKind::RoundRobin),
-        _ => Err(format!(
-            "unknown algorithm {spec:?} (expected A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin)"
-        )),
-    }
+    spec.parse().map_err(|e| format!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use partalloc_core::{CopyFit, EpochPolicy, ReallocTrigger, TieBreak};
 
     #[test]
     fn accepts_all_forms() {
@@ -54,6 +35,22 @@ mod tests {
         assert_eq!(
             parse_alg("LEFTMOST").unwrap(),
             AllocatorKind::LeftmostAlways
+        );
+    }
+
+    #[test]
+    fn accepts_extended_forms() {
+        assert_eq!(
+            parse_alg("A_G:rightmost").unwrap(),
+            AllocatorKind::GreedyTie(TieBreak::Rightmost)
+        );
+        assert_eq!(
+            parse_alg("A_B:best").unwrap(),
+            AllocatorKind::BasicFit(CopyFit::BestFit)
+        );
+        assert_eq!(
+            parse_alg("A_M:2:stacked:lazy").unwrap(),
+            AllocatorKind::DReallocWith(2, EpochPolicy::Stacked, ReallocTrigger::Lazy)
         );
     }
 

@@ -6,12 +6,15 @@
 //! palloc sweep --pes 1024 --events 5000 --trials 5
 //! palloc adversary --pes 1024 --d 4 --alg A_M:4
 //! palloc bounds --pes 1024
+//! palloc serve --pes 256 --alg A_M:2 --shards 4 --addr 127.0.0.1:7411
+//! palloc drive --addr 127.0.0.1:7411 --trace trace.json --shutdown yes
 //! palloc figure1
 //! palloc help
 //! ```
 
 mod alg;
 mod args;
+mod serve;
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -63,6 +66,8 @@ fn dispatch(raw: &[String]) -> Result<String, String> {
         "import" => cmd_import(&args),
         "exec" => cmd_exec(&args),
         "exclusive" => cmd_exclusive(&args),
+        "serve" => serve::cmd_serve(&args),
+        "drive" => serve::cmd_drive(&args),
         "figure1" => Ok(cmd_figure1()),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
@@ -97,9 +102,17 @@ fn usage() -> String {
      \x20            --pes N --alg SPEC [--tasks T] [--overhead C] [--seed S]\n\
      \x20 exclusive  same timed workload under exclusive FCFS subcube allocation\n\
      \x20            --pes N --strategy buddy|gray|full [--tasks T] [--seed S]\n\
+     \x20 serve      run the allocation daemon (NDJSON over TCP)\n\
+     \x20            --pes N --alg SPEC [--shards K] [--router POLICY]\n\
+     \x20            [--addr HOST:PORT] [--addr-file FILE] [--seed S]\n\
+     \x20            [--snapshot FILE [--snapshot-every M]] [--resume FILE]\n\
+     \x20 drive      replay a trace or generated workload against a daemon\n\
+     \x20            --addr HOST:PORT (--trace FILE | --pes N [--events E])\n\
+     \x20            [--seed S] [--shutdown yes]\n\
      \x20 figure1    replay the paper's Figure 1 example\n\
      \n\
-     algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n"
+     algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n\
+     routing policies: round-robin, least-loaded, size-class\n"
         .to_owned()
 }
 

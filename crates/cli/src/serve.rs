@@ -1,0 +1,265 @@
+//! `palloc serve` and `palloc drive` — the daemon and its load driver.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use partalloc_model::{read_trace, Event, TaskSequence};
+use partalloc_service::{
+    RouterKind, Server, ServiceConfig, ServiceCore, ServiceSnapshot, TcpClient,
+};
+use partalloc_workload::{ClosedLoopConfig, Generator};
+
+use crate::alg::parse_alg;
+use crate::args::Args;
+
+/// Run the allocation daemon until a client sends `shutdown`.
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let grace: u64 = args
+        .get_or("grace-ms", 1000, "milliseconds")
+        .map_err(|e| e.to_string())?;
+
+    let core = if let Some(resume) = args.get("resume") {
+        let snap = ServiceSnapshot::load(Path::new(resume))
+            .map_err(|e| format!("cannot read {resume}: {e}"))?;
+        ServiceCore::from_snapshot(&snap).map_err(|e| e.to_string())?
+    } else {
+        let pes: u64 = args
+            .require_parsed("pes", "a power of two")
+            .map_err(|e| e.to_string())?;
+        let kind = parse_alg(args.require("alg").map_err(|e| e.to_string())?)?;
+        let shards: usize = args
+            .get_or("shards", 1, "an integer")
+            .map_err(|e| e.to_string())?;
+        let router: RouterKind = args
+            .get_or("router", RouterKind::default(), "a routing policy")
+            .map_err(|e| e.to_string())?;
+        ServiceCore::new(
+            ServiceConfig::new(kind, pes)
+                .shards(shards)
+                .seed(seed)
+                .router(router),
+        )
+        .map_err(|e| e.to_string())?
+    };
+    let core = match (args.get("snapshot"), args.get("snapshot-every")) {
+        (Some(path), every) => {
+            let every: u64 = every
+                .map(|v| v.parse().map_err(|_| "--snapshot-every must be an integer"))
+                .transpose()?
+                .unwrap_or(0);
+            core.persisting(PathBuf::from(path), every)
+        }
+        (None, Some(_)) => return Err("--snapshot-every needs --snapshot FILE".into()),
+        (None, None) => core,
+    };
+
+    let config = core.config().clone();
+    let server = Server::spawn(std::sync::Arc::new(core), addr).map_err(|e| e.to_string())?;
+    let local = server.local_addr();
+
+    // Announce the bound address immediately (stdout, before blocking),
+    // and optionally drop it in a file so scripts and tests can find an
+    // ephemeral port without parsing our output.
+    println!(
+        "serving {} × {} PEs ({}, router {}) on {local}",
+        config.num_shards,
+        config.pes_per_shard,
+        config.kind.label(),
+        config.router.spec(),
+    );
+    std::io::stdout().flush().ok();
+    if let Some(addr_file) = args.get("addr-file") {
+        std::fs::write(addr_file, format!("{local}\n")).map_err(|e| e.to_string())?;
+    }
+
+    let core = server.core();
+    server.run_until_shutdown(Duration::from_millis(grace));
+    let stats = core.stats();
+    Ok(format!(
+        "shut down after {} requests ({} arrivals, {} departures, {} errors, \
+         {} reallocation epochs)\n",
+        stats.latency.count, stats.arrivals, stats.departures, stats.errors, stats.realloc_epochs,
+    ))
+}
+
+/// Replay a trace (or a generated workload) against a running daemon.
+pub fn cmd_drive(args: &Args) -> Result<String, String> {
+    let addr = args.require("addr").map_err(|e| e.to_string())?;
+    let seq = load_or_generate(args)?;
+    let mut client = TcpClient::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    client.ping().map_err(|e| e.to_string())?;
+
+    // The service assigns its own global ids; remember which one each
+    // trace task got so departures name the right task.
+    let mut ids: HashMap<u64, u64> = HashMap::new();
+    let mut reallocs = 0u64;
+    let mut errors = 0u64;
+    let start = Instant::now();
+    for event in seq.events() {
+        match *event {
+            Event::Arrival { id, size_log2 } => match client.arrive(size_log2) {
+                Ok(placed) => {
+                    ids.insert(id.0, placed.task);
+                    reallocs += u64::from(placed.reallocated);
+                }
+                Err(partalloc_service::ClientError::Server(_)) => errors += 1,
+                Err(e) => return Err(e.to_string()),
+            },
+            Event::Departure { id } => {
+                let Some(&global) = ids.get(&id.0) else {
+                    errors += 1;
+                    continue;
+                };
+                match client.depart(global) {
+                    Ok(_) => {}
+                    Err(partalloc_service::ClientError::Server(_)) => errors += 1,
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    let load = client.query_load().map_err(|e| e.to_string())?;
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    if args.get("shutdown").is_some() {
+        client.shutdown().map_err(|e| e.to_string())?;
+    }
+    let rate = seq.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(format!(
+        "drove {} events to {addr} in {:.2?} ({:.0} req/s over TCP):\n\
+         \x20 max load          {}  over {} shard(s)\n\
+         \x20 active            {} tasks, {} PEs\n\
+         \x20 realloc epochs    {} (this client), {} (server lifetime)\n\
+         \x20 rejected requests {}\n\
+         \x20 server p99        {} ns\n",
+        seq.len(),
+        elapsed,
+        rate,
+        load.max_load,
+        load.shards.len(),
+        load.active_tasks,
+        load.active_size,
+        reallocs,
+        stats.realloc_epochs,
+        errors,
+        stats.latency.p99_ns,
+    ))
+}
+
+fn load_or_generate(args: &Args) -> Result<TaskSequence, String> {
+    if let Some(trace) = args.get("trace") {
+        return read_trace(Path::new(trace)).map_err(|e| e.to_string());
+    }
+    let pes: u64 = args
+        .require_parsed("pes", "a power of two (or pass --trace FILE)")
+        .map_err(|e| e.to_string())?;
+    let events: usize = args
+        .get_or("events", 2000, "an integer")
+        .map_err(|e| e.to_string())?;
+    let target: u64 = args
+        .get_or("target-load", 2, "an integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    Ok(ClosedLoopConfig::new(pes)
+        .events(events)
+        .target_load(target)
+        .generate(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn serve_then_drive_then_shutdown() {
+        let dir = std::env::temp_dir().join(format!("palloc-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_M:2",
+                "--shards",
+                "2",
+                "--router",
+                "least-loaded",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+            ])
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+
+        let out = run(&[
+            "drive",
+            "--addr",
+            &addr,
+            "--pes",
+            "64",
+            "--events",
+            "300",
+            "--shutdown",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("drove 300 events"), "{out}");
+        assert!(out.contains("max load"), "{out}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("shut down after"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        assert!(run(&[
+            "serve",
+            "--pes",
+            "64",
+            "--alg",
+            "A_G",
+            "--snapshot-every",
+            "5"
+        ])
+        .unwrap_err()
+        .contains("--snapshot"));
+        assert!(run(&["serve", "--pes", "63", "--alg", "A_G"]).is_err());
+        assert!(run(&["serve", "--pes", "64", "--alg", "A_G", "--router", "warp"]).is_err());
+        assert!(run(&[
+            "drive",
+            "--addr",
+            "127.0.0.1:1",
+            "--pes",
+            "64",
+            "--events",
+            "10"
+        ])
+        .is_err());
+    }
+}

@@ -1,6 +1,7 @@
 use partalloc_model::{Event, Task, TaskId};
 use partalloc_topology::{BuddyTree, NodeId};
 
+use crate::error::CoreError;
 use crate::placement::{Migration, Placement};
 use crate::snapshot::SnapshotEntry;
 
@@ -45,8 +46,11 @@ pub enum EventOutcome {
 /// keep whatever internal structure they need (load maps, copy stacks)
 /// and expose the PE-load view used by metrics and adversaries.
 ///
-/// The trait is object-safe: sweeps hold `Box<dyn Allocator>`.
-pub trait Allocator {
+/// The trait is object-safe: sweeps hold `Box<dyn Allocator>`. It
+/// requires `Send` so a boxed allocator can live behind a lock in a
+/// multi-threaded server (every implementation in this crate is plain
+/// owned data).
+pub trait Allocator: Send {
     /// The machine being allocated.
     fn machine(&self) -> BuddyTree;
 
@@ -85,6 +89,33 @@ pub trait Allocator {
     /// recorded position. Must be called on a freshly constructed
     /// allocator; used by [`crate::restore`].
     fn force_restore(&mut self, entries: &[SnapshotEntry], arrived_since_realloc: u64);
+
+    /// Fallible arrival for untrusted input (the service boundary):
+    /// rejects oversized tasks and duplicate ids with a [`CoreError`]
+    /// instead of panicking, then places the task normally.
+    fn try_arrive(&mut self, task: Task) -> Result<ArrivalOutcome, CoreError> {
+        let machine = self.machine();
+        if u32::from(task.size_log2) > machine.levels() {
+            return Err(CoreError::TaskTooLarge {
+                id: task.id,
+                size_log2: task.size_log2,
+                num_pes: u64::from(machine.num_pes()),
+            });
+        }
+        if self.placement_of(task.id).is_some() {
+            return Err(CoreError::DuplicateTask(task.id));
+        }
+        Ok(self.on_arrival(task))
+    }
+
+    /// Fallible departure for untrusted input: rejects unknown task
+    /// ids with [`CoreError::UnknownTask`] instead of panicking.
+    fn try_depart(&mut self, id: TaskId) -> Result<Placement, CoreError> {
+        if self.placement_of(id).is_none() {
+            return Err(CoreError::UnknownTask(id));
+        }
+        Ok(self.on_departure(id))
+    }
 
     /// Dispatch one event.
     fn handle(&mut self, event: &Event) -> EventOutcome {
@@ -140,4 +171,65 @@ pub(crate) fn check_fits(machine: BuddyTree, task: Task) {
         "task {task} exceeds the {}-PE machine",
         machine.num_pes()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::Greedy;
+    use crate::kind::AllocatorKind;
+
+    #[test]
+    fn try_paths_reject_bad_requests_without_panicking() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut g = Greedy::new(machine);
+        // Oversized arrival.
+        let err = g.try_arrive(Task::new(TaskId(0), 5)).unwrap_err();
+        assert!(matches!(err, CoreError::TaskTooLarge { num_pes: 8, .. }));
+        // Valid arrival, then a duplicate id.
+        g.try_arrive(Task::new(TaskId(0), 1)).unwrap();
+        assert_eq!(
+            g.try_arrive(Task::new(TaskId(0), 0)),
+            Err(CoreError::DuplicateTask(TaskId(0)))
+        );
+        // Unknown departure, then a valid one, then unknown again.
+        assert_eq!(
+            g.try_depart(TaskId(9)),
+            Err(CoreError::UnknownTask(TaskId(9)))
+        );
+        g.try_depart(TaskId(0)).unwrap();
+        assert_eq!(
+            g.try_depart(TaskId(0)),
+            Err(CoreError::UnknownTask(TaskId(0)))
+        );
+        assert_eq!(g.max_load(), 0);
+    }
+
+    #[test]
+    fn try_paths_work_through_boxed_allocators() {
+        let machine = BuddyTree::new(16).unwrap();
+        for kind in [
+            AllocatorKind::Constant,
+            AllocatorKind::Greedy,
+            AllocatorKind::Basic,
+            AllocatorKind::DRealloc(1),
+            AllocatorKind::Randomized,
+            AllocatorKind::RoundRobin,
+        ] {
+            let mut alloc = kind.build(machine, 7);
+            assert!(alloc.try_depart(TaskId(0)).is_err(), "{}", kind.label());
+            let out = alloc.try_arrive(Task::new(TaskId(0), 2)).unwrap();
+            assert_eq!(machine.level_of(out.placement.node), 2);
+            assert!(alloc.try_arrive(Task::new(TaskId(0), 2)).is_err());
+            alloc.try_depart(TaskId(0)).unwrap();
+            assert_eq!(alloc.max_load(), 0, "{} did not clean up", kind.label());
+        }
+    }
+
+    #[test]
+    fn boxed_allocators_are_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let alloc = AllocatorKind::Greedy.build(BuddyTree::new(4).unwrap(), 0);
+        assert_send(&alloc);
+    }
 }

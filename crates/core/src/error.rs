@@ -1,0 +1,77 @@
+//! Typed errors for the fallible allocator entry points.
+//!
+//! The allocators' internal invariants are still enforced by panics —
+//! a bug in an algorithm should fail loudly — but requests that cross
+//! a trust boundary (a network client naming a task id, a replayed
+//! trace of unknown provenance) go through the `try_*` methods on
+//! [`crate::Allocator`], which reject malformed input with a
+//! [`CoreError`] instead of killing the process.
+
+use std::fmt;
+
+use partalloc_model::TaskId;
+
+/// A request the allocator cannot honour (as opposed to an internal
+/// invariant violation, which still panics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// The named task is not active (departure or relocation of an
+    /// unknown or already-departed task).
+    UnknownTask(TaskId),
+    /// An arrival reused the id of a task that is still active.
+    DuplicateTask(TaskId),
+    /// An arriving task requests more PEs than the machine has.
+    TaskTooLarge {
+        /// The oversized task's id.
+        id: TaskId,
+        /// log2 of the requested size.
+        size_log2: u8,
+        /// Number of PEs in the machine.
+        num_pes: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CoreError::UnknownTask(id) => write!(f, "task {id} is not active"),
+            CoreError::DuplicateTask(id) => write!(f, "task {id} is already active"),
+            CoreError::TaskTooLarge {
+                id,
+                size_log2,
+                num_pes,
+            } => write!(
+                f,
+                "task {id} requests 2^{size_log2} PEs but the machine has only {num_pes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            CoreError::UnknownTask(TaskId(3)).to_string(),
+            "task t3 is not active"
+        );
+        assert_eq!(
+            CoreError::DuplicateTask(TaskId(0)).to_string(),
+            "task t0 is already active"
+        );
+        let e = CoreError::TaskTooLarge {
+            id: TaskId(1),
+            size_log2: 5,
+            num_pes: 16,
+        };
+        assert_eq!(
+            e.to_string(),
+            "task t1 requests 2^5 PEs but the machine has only 16"
+        );
+    }
+}

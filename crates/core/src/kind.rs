@@ -1,3 +1,6 @@
+use std::fmt;
+use std::str::FromStr;
+
 use partalloc_topology::BuddyTree;
 
 use crate::allocator::Allocator;
@@ -98,6 +101,45 @@ impl AllocatorKind {
         }
     }
 
+    /// Canonical machine-readable spec, the inverse of
+    /// [`AllocatorKind::from_str`]: `kind.spec().parse()` always yields
+    /// `kind` back. This is the single grammar shared by the CLI's
+    /// `--alg` flag and the service wire protocol's `"algorithm"`
+    /// field, so the two can never drift apart.
+    pub fn spec(self) -> String {
+        match self {
+            AllocatorKind::Constant => "A_C".into(),
+            AllocatorKind::Greedy => "A_G".into(),
+            AllocatorKind::Basic => "A_B".into(),
+            AllocatorKind::BasicFit(fit) => match fit {
+                CopyFit::FirstFit => "A_B:first".into(),
+                CopyFit::BestFit => "A_B:best".into(),
+                CopyFit::WorstFit => "A_B:worst".into(),
+            },
+            AllocatorKind::GreedyTie(tie) => match tie {
+                TieBreak::Leftmost => "A_G:leftmost".into(),
+                TieBreak::Rightmost => "A_G:rightmost".into(),
+                TieBreak::Random => "A_G:random".into(),
+            },
+            AllocatorKind::DRealloc(d) => format!("A_M:{d}"),
+            AllocatorKind::DReallocWith(d, policy, trigger) => {
+                let policy = match policy {
+                    EpochPolicy::Unified => "unified",
+                    EpochPolicy::Stacked => "stacked",
+                };
+                let trigger = match trigger {
+                    ReallocTrigger::Eager => "eager",
+                    ReallocTrigger::Lazy => "lazy",
+                };
+                format!("A_M:{d}:{policy}:{trigger}")
+            }
+            AllocatorKind::Randomized => "A_rand".into(),
+            AllocatorKind::RandomizedDRealloc(d) => format!("A_rand:{d}"),
+            AllocatorKind::LeftmostAlways => "leftmost".into(),
+            AllocatorKind::RoundRobin => "round-robin".into(),
+        }
+    }
+
     /// Does this allocator ever migrate tasks?
     pub fn reallocates(self) -> bool {
         matches!(
@@ -107,6 +149,112 @@ impl AllocatorKind {
                 | AllocatorKind::DReallocWith(..)
                 | AllocatorKind::RandomizedDRealloc(_)
         )
+    }
+}
+
+/// Why an algorithm spec failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAllocatorError {
+    spec: String,
+    reason: String,
+}
+
+impl fmt::Display for ParseAllocatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for ParseAllocatorError {}
+
+impl FromStr for AllocatorKind {
+    type Err = ParseAllocatorError;
+
+    /// Parse an algorithm spec (case-insensitive):
+    ///
+    /// * `A_C`, `A_G`, `A_B`, `A_M:<d>`, `A_rand`, `A_rand:<d>`,
+    ///   `leftmost`, `round-robin` — the CLI's documented grammar;
+    /// * `A_G:leftmost|rightmost|random` — greedy tie-break ablations;
+    /// * `A_B:first|best|worst` — copy-fit ablations;
+    /// * `A_M:<d>:unified|stacked[:eager|lazy]` — explicit `A_M`
+    ///   epoch-policy/trigger options.
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let err = |reason: String| ParseAllocatorError {
+            spec: spec.to_owned(),
+            reason,
+        };
+        let lower = spec.trim().to_ascii_lowercase();
+        let mut parts = lower.split(':');
+        let head = parts.next().unwrap_or_default();
+        let params: Vec<&str> = parts.collect();
+        let parse_d = |p: &str| -> Result<u64, ParseAllocatorError> {
+            p.parse()
+                .map_err(|_| err(format!("d must be an integer, got {p:?}")))
+        };
+        let no_params = |kind: AllocatorKind| -> Result<AllocatorKind, ParseAllocatorError> {
+            if params.is_empty() {
+                Ok(kind)
+            } else {
+                Err(err(format!("{head} takes no parameters")))
+            }
+        };
+        match head {
+            "a_c" | "ac" | "constant" => no_params(AllocatorKind::Constant),
+            "a_g" | "ag" | "greedy" => match params.as_slice() {
+                [] => Ok(AllocatorKind::Greedy),
+                ["leftmost"] => Ok(AllocatorKind::GreedyTie(TieBreak::Leftmost)),
+                ["rightmost"] => Ok(AllocatorKind::GreedyTie(TieBreak::Rightmost)),
+                ["random"] => Ok(AllocatorKind::GreedyTie(TieBreak::Random)),
+                _ => Err(err("expected leftmost, rightmost, or random".into())),
+            },
+            "a_b" | "ab" | "basic" => match params.as_slice() {
+                [] => Ok(AllocatorKind::Basic),
+                ["first"] => Ok(AllocatorKind::BasicFit(CopyFit::FirstFit)),
+                ["best"] => Ok(AllocatorKind::BasicFit(CopyFit::BestFit)),
+                ["worst"] => Ok(AllocatorKind::BasicFit(CopyFit::WorstFit)),
+                _ => Err(err("expected first, best, or worst".into())),
+            },
+            "a_m" | "am" | "drealloc" => {
+                let (d_str, rest) = params
+                    .split_first()
+                    .ok_or_else(|| err(format!("missing d (use e.g. {head}:2)")))?;
+                let d = parse_d(d_str)?;
+                if rest.is_empty() {
+                    return Ok(AllocatorKind::DRealloc(d));
+                }
+                let policy = match rest[0] {
+                    "unified" => EpochPolicy::Unified,
+                    "stacked" => EpochPolicy::Stacked,
+                    other => {
+                        return Err(err(format!("expected unified or stacked, got {other:?}")))
+                    }
+                };
+                let trigger = match rest.get(1) {
+                    None => ReallocTrigger::Eager,
+                    Some(&"eager") => ReallocTrigger::Eager,
+                    Some(&"lazy") => ReallocTrigger::Lazy,
+                    Some(other) => {
+                        return Err(err(format!("expected eager or lazy, got {other:?}")))
+                    }
+                };
+                if rest.len() > 2 {
+                    return Err(err("too many parameters".into()));
+                }
+                Ok(AllocatorKind::DReallocWith(d, policy, trigger))
+            }
+            "a_rand" | "arand" | "random" => match params.as_slice() {
+                [] => Ok(AllocatorKind::Randomized),
+                [p] => Ok(AllocatorKind::RandomizedDRealloc(parse_d(p)?)),
+                _ => Err(err("too many parameters".into())),
+            },
+            "leftmost" => no_params(AllocatorKind::LeftmostAlways),
+            "round-robin" | "roundrobin" | "rr" => no_params(AllocatorKind::RoundRobin),
+            _ => Err(err(
+                "unknown algorithm (expected A_C, A_G, A_B, A_M:<d>, A_rand[:d], \
+                 leftmost, round-robin)"
+                    .into(),
+            )),
+        }
     }
 }
 

@@ -27,6 +27,7 @@ mod baselines;
 mod basic;
 mod constant;
 mod dreall;
+mod error;
 mod greedy;
 mod kind;
 pub mod layers;
@@ -44,8 +45,9 @@ pub use baselines::{LeftmostAlways, RoundRobin};
 pub use basic::Basic;
 pub use constant::Constant;
 pub use dreall::{DReallocation, EpochPolicy, ReallocTrigger};
+pub use error::CoreError;
 pub use greedy::Greedy;
-pub use kind::AllocatorKind;
+pub use kind::{AllocatorKind, ParseAllocatorError};
 pub use layers::CopyFit;
 pub use loadmap::TieBreak;
 pub use placement::{Migration, Placement};

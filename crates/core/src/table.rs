@@ -2,6 +2,7 @@
 
 use partalloc_model::TaskId;
 
+use crate::error::CoreError;
 use crate::placement::Placement;
 
 /// Flat table from task id to (size, placement) for active tasks.
@@ -33,16 +34,25 @@ impl TaskTable {
         self.active_size += 1 << size_log2;
     }
 
-    /// Remove an active task, returning its entry. Panics if unknown.
+    /// Remove an active task, returning its entry. Panics if unknown;
+    /// internal callers have already validated the id (see
+    /// [`TaskTable::try_remove`] for the trust-boundary path).
     pub(crate) fn remove(&mut self, id: TaskId) -> (u8, Placement) {
+        self.try_remove(id)
+            .unwrap_or_else(|_| panic!("departure of unknown task {id}"))
+    }
+
+    /// Remove an active task, returning its entry, or
+    /// [`CoreError::UnknownTask`] if the id is not active.
+    pub(crate) fn try_remove(&mut self, id: TaskId) -> Result<(u8, Placement), CoreError> {
         let slot = self
             .entries
             .get_mut(id.idx())
             .and_then(Option::take)
-            .unwrap_or_else(|| panic!("departure of unknown task {id}"));
+            .ok_or(CoreError::UnknownTask(id))?;
         self.active -= 1;
         self.active_size -= 1 << slot.0;
-        slot
+        Ok(slot)
     }
 
     /// Look up an active task.
@@ -50,12 +60,27 @@ impl TaskTable {
         self.entries.get(id.idx()).copied().flatten()
     }
 
-    /// Update the placement of an active task (reallocation).
+    /// Update the placement of an active task (reallocation). Panics if
+    /// unknown; see [`TaskTable::try_relocate`] for the fallible path.
     pub(crate) fn relocate(&mut self, id: TaskId, placement: Placement) {
-        let slot = self.entries[id.idx()]
-            .as_mut()
-            .unwrap_or_else(|| panic!("relocate of unknown task {id}"));
+        self.try_relocate(id, placement)
+            .unwrap_or_else(|_| panic!("relocate of unknown task {id}"))
+    }
+
+    /// Update the placement of an active task, or
+    /// [`CoreError::UnknownTask`] if the id is not active.
+    pub(crate) fn try_relocate(
+        &mut self,
+        id: TaskId,
+        placement: Placement,
+    ) -> Result<(), CoreError> {
+        let slot = self
+            .entries
+            .get_mut(id.idx())
+            .and_then(Option::as_mut)
+            .ok_or(CoreError::UnknownTask(id))?;
         slot.1 = placement;
+        Ok(())
     }
 
     /// All active `(id, size_log2, placement)` triples, in id order.
@@ -132,5 +157,36 @@ mod tests {
     fn remove_unknown_panics() {
         let mut t = TaskTable::new();
         t.remove(TaskId(7));
+    }
+
+    #[test]
+    fn try_remove_reports_unknown_tasks() {
+        let mut t = TaskTable::new();
+        assert_eq!(
+            t.try_remove(TaskId(7)),
+            Err(CoreError::UnknownTask(TaskId(7)))
+        );
+        t.insert(TaskId(0), 1, Placement::base(NodeId(2)));
+        assert_eq!(t.try_remove(TaskId(0)), Ok((1, Placement::base(NodeId(2)))));
+        // A second removal of the same id is unknown again.
+        assert_eq!(
+            t.try_remove(TaskId(0)),
+            Err(CoreError::UnknownTask(TaskId(0)))
+        );
+        assert_eq!(t.num_active(), 0);
+        assert_eq!(t.active_size(), 0);
+    }
+
+    #[test]
+    fn try_relocate_reports_unknown_tasks() {
+        let mut t = TaskTable::new();
+        let p = Placement::base(NodeId(3));
+        assert_eq!(
+            t.try_relocate(TaskId(0), p),
+            Err(CoreError::UnknownTask(TaskId(0)))
+        );
+        t.insert(TaskId(0), 0, Placement::base(NodeId(2)));
+        assert_eq!(t.try_relocate(TaskId(0), p), Ok(()));
+        assert_eq!(t.get(TaskId(0)), Some((0, p)));
     }
 }

@@ -1,0 +1,86 @@
+//! Property test: `AllocatorKind::spec` and `AllocatorKind::from_str`
+//! are exact inverses, for every constructible kind.
+//!
+//! The CLI's `--alg A_M:2` flag and the service wire protocol's
+//! `"algorithm"` field both go through this one grammar, so this test
+//! is what keeps them from drifting apart.
+
+use proptest::prelude::*;
+
+use partalloc_core::{AllocatorKind, CopyFit, EpochPolicy, ReallocTrigger, TieBreak};
+
+fn arb_kind() -> impl Strategy<Value = AllocatorKind> {
+    let d = 0u64..100;
+    prop_oneof![
+        Just(AllocatorKind::Constant),
+        Just(AllocatorKind::Greedy),
+        Just(AllocatorKind::Basic),
+        prop_oneof![
+            Just(CopyFit::FirstFit),
+            Just(CopyFit::BestFit),
+            Just(CopyFit::WorstFit),
+        ]
+        .prop_map(AllocatorKind::BasicFit),
+        prop_oneof![
+            Just(TieBreak::Leftmost),
+            Just(TieBreak::Rightmost),
+            Just(TieBreak::Random),
+        ]
+        .prop_map(AllocatorKind::GreedyTie),
+        d.clone().prop_map(AllocatorKind::DRealloc),
+        (
+            d.clone(),
+            prop_oneof![Just(EpochPolicy::Unified), Just(EpochPolicy::Stacked)],
+            prop_oneof![Just(ReallocTrigger::Eager), Just(ReallocTrigger::Lazy)],
+        )
+            .prop_map(|(d, p, t)| AllocatorKind::DReallocWith(d, p, t)),
+        Just(AllocatorKind::Randomized),
+        d.prop_map(AllocatorKind::RandomizedDRealloc),
+        Just(AllocatorKind::LeftmostAlways),
+        Just(AllocatorKind::RoundRobin),
+    ]
+}
+
+proptest! {
+    /// spec → parse is the identity on every kind.
+    #[test]
+    fn spec_parses_back_to_the_same_kind(kind in arb_kind()) {
+        let spec = kind.spec();
+        let back: AllocatorKind = spec.parse().unwrap_or_else(|e| {
+            panic!("canonical spec {spec:?} failed to parse: {e}")
+        });
+        prop_assert_eq!(back, kind);
+    }
+
+    /// Parsing is case-insensitive on the canonical spec.
+    #[test]
+    fn spec_parsing_is_case_insensitive(kind in arb_kind()) {
+        let lower = kind.spec().to_ascii_lowercase();
+        let upper = kind.spec().to_ascii_uppercase();
+        prop_assert_eq!(lower.parse::<AllocatorKind>().unwrap(), kind);
+        prop_assert_eq!(upper.parse::<AllocatorKind>().unwrap(), kind);
+    }
+
+    /// Specs stay unique: two different kinds never share one.
+    #[test]
+    fn specs_are_injective(a in arb_kind(), b in arb_kind()) {
+        if a != b {
+            prop_assert_ne!(a.spec(), b.spec());
+        }
+    }
+}
+
+#[test]
+fn junk_specs_are_rejected() {
+    for bad in [
+        "",
+        "A_M",
+        "A_M:x",
+        "A_C:1",
+        "A_G:sideways",
+        "A_B:snug",
+        "zzz",
+    ] {
+        assert!(bad.parse::<AllocatorKind>().is_err(), "{bad:?} parsed");
+    }
+}

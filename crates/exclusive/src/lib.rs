@@ -29,6 +29,7 @@ mod machine;
 mod strategy;
 
 pub use machine::{
-    run_exclusive, run_exclusive_with_policy, ExclusiveMachine, ExclusiveReport, QueuePolicy,
+    run_exclusive, run_exclusive_with_policy, ExclusiveMachine, ExclusiveReport, NoPesHeld,
+    QueuePolicy,
 };
 pub use strategy::{BuddyStrategy, FullRecognition, GrayCodeStrategy, SubcubeStrategy};

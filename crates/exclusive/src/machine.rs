@@ -1,7 +1,29 @@
+use std::fmt;
+
 use partalloc_workload::TimedWorkload;
 use serde::Serialize;
 
 use crate::strategy::SubcubeStrategy;
+
+/// A release request the machine cannot honour: the named task holds
+/// no PEs (never allocated, or already released).
+///
+/// Internal invariant violations still panic; this error exists so
+/// code serving untrusted callers (e.g. a network boundary) can use
+/// [`ExclusiveMachine::try_release`] without risking the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoPesHeld(
+    /// The offending task id.
+    pub usize,
+);
+
+impl fmt::Display for NoPesHeld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} holds no PEs", self.0)
+    }
+}
+
+impl std::error::Error for NoPesHeld {}
 
 /// Free-set bookkeeping plus an FCFS wait queue for exclusive
 /// allocation.
@@ -101,15 +123,26 @@ impl<'s> ExclusiveMachine<'s> {
         None
     }
 
-    /// Release the PEs of `task`.
+    /// Release the PEs of `task`. Panics if the task holds none;
+    /// internal callers (the tick loop) only release running tasks.
+    /// See [`ExclusiveMachine::try_release`] for the fallible path.
     pub fn release(&mut self, task: usize) {
-        let pes = self.held[task].take().unwrap_or_else(|| {
-            panic!("task {task} holds no PEs");
-        });
+        self.try_release(task).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Release the PEs of `task`, or report [`NoPesHeld`] if the task
+    /// holds none (unknown id or double release).
+    pub fn try_release(&mut self, task: usize) -> Result<(), NoPesHeld> {
+        let pes = self
+            .held
+            .get_mut(task)
+            .and_then(Option::take)
+            .ok_or(NoPesHeld(task))?;
         for p in pes {
             debug_assert!(!self.free[p as usize]);
             self.free[p as usize] = true;
         }
+        Ok(())
     }
 }
 
@@ -349,6 +382,20 @@ mod tests {
         m.try_allocate(0, 0);
         m.release(0);
         m.release(0);
+    }
+
+    #[test]
+    fn try_release_reports_instead_of_panicking() {
+        let s = BuddyStrategy;
+        let mut m = ExclusiveMachine::new(2, &s);
+        // Unknown id (out of range) and never-allocated id both error.
+        assert_eq!(m.try_release(7), Err(NoPesHeld(7)));
+        assert!(m.try_allocate(0, 1));
+        assert_eq!(m.try_release(0), Ok(()));
+        assert_eq!(m.free_pes(), 4);
+        // Double release errors rather than corrupting the free set.
+        assert_eq!(m.try_release(0), Err(NoPesHeld(0)));
+        assert_eq!(NoPesHeld(3).to_string(), "task 3 holds no PEs");
     }
 
     #[test]

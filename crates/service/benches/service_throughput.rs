@@ -1,0 +1,87 @@
+//! Request throughput of the service core.
+//!
+//! The in-process path (a [`ServiceHandle`] straight into
+//! [`ServiceCore::handle`]) is the service's intrinsic cost — routing,
+//! shard lock, allocator, directory, metrics — with no socket in the
+//! way; the acceptance bar is ≥100k requests/s on a single shard. The
+//! TCP group then prices the transport: the same dialogue through a
+//! real connection, dominated by loop-back round trips.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_core::AllocatorKind;
+use partalloc_service::{Server, ServiceConfig, ServiceCore, ServiceHandle, TcpClient};
+
+fn handle(kind: AllocatorKind, pes: u64, shards: usize) -> ServiceHandle {
+    ServiceHandle::new(ServiceCore::new(ServiceConfig::new(kind, pes).shards(shards)).unwrap())
+}
+
+/// An arrive/depart pair per iteration: steady state, bounded active
+/// set (the task table still grows — local ids are never reused — but
+/// only by ~16 bytes per pair).
+fn bench_in_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_in_process");
+    for (label, kind) in [
+        ("A_G", AllocatorKind::Greedy),
+        ("A_B", AllocatorKind::Basic),
+        ("A_M:2", AllocatorKind::DRealloc(2)),
+    ] {
+        let h = handle(kind, 256, 1);
+        group.throughput(Throughput::Elements(2));
+        group.bench_function(BenchmarkId::new("arrive_depart", label), |b| {
+            b.iter(|| {
+                let p = h.arrive(2).unwrap();
+                black_box(h.depart(p.task).unwrap());
+            })
+        });
+    }
+
+    // Read-side requests against a part-filled 4-shard service.
+    let h = handle(AllocatorKind::Greedy, 256, 4);
+    for _ in 0..64 {
+        h.arrive(1).unwrap();
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("query_load/4-shards", |b| {
+        b.iter(|| black_box(h.query_load().unwrap().max_load))
+    });
+    group.bench_function("stats", |b| {
+        b.iter(|| black_box(h.stats().unwrap().arrivals))
+    });
+    group.finish();
+}
+
+/// The same pair through a real TCP connection: two NDJSON round
+/// trips over loop-back.
+fn bench_tcp(c: &mut Criterion) {
+    let core = ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 256)).unwrap();
+    let server = Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+
+    let mut group = c.benchmark_group("service_tcp");
+    group.throughput(Throughput::Elements(2));
+    group.bench_function("arrive_depart/A_G", |b| {
+        b.iter(|| {
+            let p = client.arrive(2).unwrap();
+            black_box(client.depart(p.task).unwrap());
+        })
+    });
+    group.finish();
+
+    drop(client);
+    server.shutdown(Duration::from_millis(200));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_in_process, bench_tcp
+}
+criterion_main!(benches);

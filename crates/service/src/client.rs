@@ -1,0 +1,141 @@
+//! A small blocking NDJSON client for the TCP transport — what
+//! `palloc drive` and the e2e tests speak.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::metrics::ServiceStats;
+use crate::proto::{Departed, ErrorReply, LoadReport, Placed, Request, Response};
+use crate::snapshot::ServiceSnapshot;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed or closed mid-dialogue.
+    Io(io::Error),
+    /// The server's reply line did not parse, or was the wrong variant.
+    Protocol(String),
+    /// The server answered with an error reply.
+    Server(ErrorReply),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Server(e) => write!(f, "server error ({:?}): {}", e.code, e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a running server.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(TcpClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one raw line (no trailing newline needed) and read one
+    /// reply line. Public so tests can exercise malformed input.
+    pub fn send_raw(&mut self, line: &str) -> Result<Response, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        serde_json::from_str(reply.trim())
+            .map_err(|e| ClientError::Protocol(format!("{e}: {reply:?}")))
+    }
+
+    /// Send one request, read one reply.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let line = serde_json::to_string(req)
+            .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+        self.send_raw(&line)
+    }
+
+    fn fail(resp: Response) -> ClientError {
+        match resp {
+            Response::Error(e) => ClientError::Server(e),
+            other => ClientError::Protocol(format!("unexpected reply: {other:?}")),
+        }
+    }
+
+    /// Place a task of `2^size_log2` PEs.
+    pub fn arrive(&mut self, size_log2: u8) -> Result<Placed, ClientError> {
+        match self.request(&Request::Arrive { size_log2 })? {
+            Response::Placed(p) => Ok(p),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Release a task.
+    pub fn depart(&mut self, task: u64) -> Result<Departed, ClientError> {
+        match self.request(&Request::Depart { task })? {
+            Response::Departed(d) => Ok(d),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Current loads.
+    pub fn query_load(&mut self) -> Result<LoadReport, ClientError> {
+        match self.request(&Request::QueryLoad)? {
+            Response::Load(l) => Ok(l),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Capture a snapshot.
+    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, ClientError> {
+        match self.request(&Request::Snapshot)? {
+            Response::Snapshot(s) => Ok(s),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Live metrics.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(Self::fail(other)),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # partalloc-service
+//!
+//! A long-running allocation daemon around the paper's online
+//! algorithms: where the other crates *simulate* an allocation
+//! sequence, this one *serves* it — concurrent clients submit
+//! arrivals and departures over a newline-delimited JSON protocol and
+//! get placements, load reports and live metrics back, against
+//! machine state that persists across requests (and, via snapshots,
+//! across restarts).
+//!
+//! * [`ServiceCore`] — the transport-independent daemon: machines
+//!   sharded across independent [`Shard`]s (any [`AllocatorKind`]),
+//!   arrivals routed by a pluggable [`ShardRouter`], a global task
+//!   directory mapping client-visible ids to shard-local ones, a
+//!   lock-free [`Metrics`] registry, and atomic [`ServiceSnapshot`]
+//!   persistence;
+//! * [`ServiceHandle`] — the in-process client (tests, benches,
+//!   embedding);
+//! * [`Server`] / [`TcpClient`] — the `std::net` TCP transport with
+//!   graceful, always-terminating shutdown drain;
+//! * [`Request`] / [`Response`] — the wire protocol, one JSON object
+//!   per line, documented in `DESIGN.md`.
+//!
+//! Malformed lines, unknown tasks and oversized requests all come
+//! back as [`Response::Error`] replies — no input a client can send
+//! kills the daemon.
+//!
+//! [`AllocatorKind`]: partalloc_core::AllocatorKind
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod metrics;
+mod net;
+mod proto;
+mod server;
+mod shard;
+mod snapshot;
+
+pub use client::{ClientError, TcpClient};
+pub use metrics::{LatencyHistogram, LatencySummary, Metrics, ServiceStats};
+pub use net::Server;
+pub use proto::{
+    Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
+};
+pub use server::{ServiceConfig, ServiceCore, ServiceError, ServiceHandle};
+pub use shard::{
+    LeastLoadedRouter, ParseRouterError, RoundRobinRouter, RouterKind, Shard, ShardArrival,
+    ShardRouter, SizeClassRouter,
+};
+pub use snapshot::{ServiceSnapshot, ServiceTaskEntry};

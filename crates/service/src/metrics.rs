@@ -1,0 +1,243 @@
+//! Lock-free live metrics: request counters, reallocation tallies and
+//! a log2-bucketed latency histogram, all readable while the daemon is
+//! under load.
+//!
+//! Counters are plain relaxed [`AtomicU64`]s — a `stats` request reads
+//! a near-consistent view without stalling the request path. The
+//! histogram buckets request latencies by `floor(log2(ns))`, which is
+//! coarse (each bucket spans a factor of two) but constant-time and
+//! allocation-free; quantiles reported in [`ServiceStats`] are the
+//! upper edge of the containing bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log2 latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` ns (bucket 0 holds 0 ns, the last bucket absorbs
+/// everything ≥ 2^62 ns — ~146 years, i.e. never).
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of nanosecond latencies.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        ((64 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper edge (in ns) of the bucket containing the `q`-quantile
+    /// sample, or 0 for an empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample, exactly.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Summarize for a `stats` reply.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            p50_ns: self.quantile_ns(0.50),
+            p90_ns: self.quantile_ns(0.90),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+/// The live metrics registry held by the service core.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Arrivals placed.
+    pub arrivals: AtomicU64,
+    /// Departures honoured.
+    pub departures: AtomicU64,
+    /// `query-load` requests served.
+    pub load_queries: AtomicU64,
+    /// `snapshot` requests served.
+    pub snapshots: AtomicU64,
+    /// `stats` requests served.
+    pub stats_queries: AtomicU64,
+    /// `ping` requests served.
+    pub pings: AtomicU64,
+    /// Error replies sent (all classes, including malformed lines).
+    pub errors: AtomicU64,
+    /// Reallocation epochs triggered across all shards.
+    pub realloc_epochs: AtomicU64,
+    /// Tasks moved by reallocations (layer-only and physical).
+    pub migrations: AtomicU64,
+    /// The physical subset (task actually changed PEs).
+    pub physical_migrations: AtomicU64,
+    /// Request latency histogram (all ops).
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the registry for a `stats` reply. `shard_max_loads` are
+    /// the per-shard load gauges at read time.
+    pub fn report(&self, shard_max_loads: Vec<u64>) -> ServiceStats {
+        ServiceStats {
+            arrivals: self.arrivals.load(Ordering::Relaxed),
+            departures: self.departures.load(Ordering::Relaxed),
+            load_queries: self.load_queries.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            stats_queries: self.stats_queries.load(Ordering::Relaxed),
+            pings: self.pings.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            realloc_epochs: self.realloc_epochs.load(Ordering::Relaxed),
+            migrations: self.migrations.load(Ordering::Relaxed),
+            physical_migrations: self.physical_migrations.load(Ordering::Relaxed),
+            shard_max_loads,
+            latency: self.latency.summary(),
+        }
+    }
+}
+
+/// Latency figures for a `stats` reply; quantiles are bucket upper
+/// edges (factor-of-two resolution), `max_ns` is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Median latency (ns, bucket upper edge).
+    pub p50_ns: u64,
+    /// 90th percentile (ns, bucket upper edge).
+    pub p90_ns: u64,
+    /// 99th percentile (ns, bucket upper edge).
+    pub p99_ns: u64,
+    /// Worst observed latency (ns, exact).
+    pub max_ns: u64,
+}
+
+/// The wire form of the registry, returned by a `stats` request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Arrivals placed.
+    pub arrivals: u64,
+    /// Departures honoured.
+    pub departures: u64,
+    /// `query-load` requests served.
+    pub load_queries: u64,
+    /// `snapshot` requests served.
+    pub snapshots: u64,
+    /// `stats` requests served.
+    pub stats_queries: u64,
+    /// `ping` requests served.
+    pub pings: u64,
+    /// Error replies sent.
+    pub errors: u64,
+    /// Reallocation epochs triggered.
+    pub realloc_epochs: u64,
+    /// Tasks moved by reallocations.
+    pub migrations: u64,
+    /// Migrations that changed PEs.
+    pub physical_migrations: u64,
+    /// Per-shard max-load gauges at read time.
+    pub shard_max_loads: Vec<u64>,
+    /// Request latency summary.
+    pub latency: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_samples() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 100_000] {
+            h.record(ns);
+        }
+        // 9/10 samples sit in the [64, 128) bucket.
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile_ns(0.5), 128);
+        assert_eq!(h.quantile_ns(0.9), 128);
+        // The outlier lands in [65536, 131072).
+        assert_eq!(h.quantile_ns(0.99), 131_072);
+        assert_eq!(h.max_ns(), 100_000);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let m = Metrics::new();
+        Metrics::incr(&m.arrivals);
+        Metrics::add(&m.migrations, 4);
+        m.latency.record(500);
+        let stats = m.report(vec![3, 0]);
+        assert_eq!(stats.arrivals, 1);
+        assert_eq!(stats.migrations, 4);
+        assert_eq!(stats.shard_max_loads, vec![3, 0]);
+        assert_eq!(stats.latency.count, 1);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ServiceStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -1,0 +1,166 @@
+//! The TCP transport: newline-delimited JSON over `std::net`, one
+//! thread per connection.
+//!
+//! A connection reads one request per line and writes one response per
+//! line; lines that do not parse get a `bad-request` error reply and
+//! the connection keeps going — nothing a client sends can kill the
+//! daemon. Shutdown is graceful: a `shutdown` request (or
+//! [`Server::shutdown`]) flips the core's flag, the accept loop is
+//! poked awake by a loop-back connection and exits, live connections
+//! get a grace period to finish their in-flight dialogue, and any
+//! still open after the grace are force-closed via
+//! [`TcpStream::shutdown`] so the drain always terminates.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::proto::{Request, Response};
+use crate::server::ServiceCore;
+
+type ConnSlot = (TcpStream, JoinHandle<()>);
+
+/// A running NDJSON-over-TCP server around a shared [`ServiceCore`].
+pub struct Server {
+    core: Arc<ServiceCore>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnSlot>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// accepting connections.
+    pub fn spawn(core: Arc<ServiceCore>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_core = Arc::clone(&core);
+        let accept_conns = Arc::clone(&conns);
+        let accept_thread = thread::Builder::new()
+            .name("partalloc-accept".into())
+            .spawn(move || accept_loop(listener, accept_core, accept_conns))?;
+        Ok(Server {
+            core,
+            addr,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared core.
+    pub fn core(&self) -> Arc<ServiceCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// Block until a `shutdown` request flips the core's flag, then
+    /// drain and return. This is what `palloc serve` runs.
+    pub fn run_until_shutdown(self, grace: Duration) {
+        while !self.core.is_shutting_down() {
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.finish(grace);
+    }
+
+    /// Shut down from the server side: flip the flag, then drain.
+    pub fn shutdown(self, grace: Duration) {
+        self.core.begin_shutdown();
+        self.finish(grace);
+    }
+
+    fn finish(mut self, grace: Duration) {
+        // Poke the accept loop awake; it sees the flag and exits. The
+        // connect also covers the race where a real client grabbed the
+        // wakeup slot: accept keeps looping until the flag is visible.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Grace period: let live connections finish their dialogue.
+        let deadline = Instant::now() + grace;
+        loop {
+            let mut conns = self.conns.lock();
+            conns.retain(|(_, h)| !h.is_finished());
+            if conns.is_empty() {
+                return;
+            }
+            if Instant::now() >= deadline {
+                // Force-close the stragglers; their reads error out.
+                for (stream, _) in conns.iter() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                let handles: Vec<JoinHandle<()>> = conns.drain(..).map(|(_, h)| h).collect();
+                drop(conns);
+                for h in handles {
+                    let _ = h.join();
+                }
+                return;
+            }
+            drop(conns);
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, core: Arc<ServiceCore>, conns: Arc<Mutex<Vec<ConnSlot>>>) {
+    for incoming in listener.incoming() {
+        if core.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let Ok(retained) = stream.try_clone() else {
+            continue;
+        };
+        let conn_core = Arc::clone(&core);
+        let spawned = thread::Builder::new()
+            .name("partalloc-conn".into())
+            .spawn(move || serve_conn(conn_core, stream));
+        if let Ok(handle) = spawned {
+            let mut conns = conns.lock();
+            conns.retain(|(_, h)| !h.is_finished());
+            conns.push((retained, handle));
+        }
+    }
+}
+
+fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(_) => break, // force-closed during drain, or I/O error
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let resp = match serde_json::from_str::<Request>(trimmed) {
+            Ok(req) => core.handle(&req),
+            Err(e) => core.malformed(e),
+        };
+        let Ok(mut json) = serde_json::to_string(&resp) else {
+            break;
+        };
+        json.push('\n');
+        if writer.write_all(json.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}

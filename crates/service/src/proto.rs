@@ -1,0 +1,278 @@
+//! The NDJSON wire protocol: one JSON object per line, both ways.
+//!
+//! Every request is a single-line JSON object tagged by `"op"`; every
+//! response is a single-line JSON object tagged by `"reply"`. A
+//! malformed line or an unhonourable request yields an
+//! [`Response::Error`] — the connection (and the daemon) always stay
+//! up.
+//!
+//! ```text
+//! → {"op":"arrive","size_log2":2}
+//! ← {"reply":"placed","task":0,"shard":0,"node":4,"layer":0,"reallocated":false,...}
+//! → {"op":"depart","task":0}
+//! ← {"reply":"departed","task":0,"shard":0,"node":4,"layer":0}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use partalloc_core::CoreError;
+
+use crate::snapshot::ServiceSnapshot;
+
+/// A client request, tagged by `"op"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "kebab-case", deny_unknown_fields)]
+pub enum Request {
+    /// Place a new task on some shard; the service assigns the task id
+    /// and returns it in [`Response::Placed`].
+    Arrive {
+        /// log2 of the requested submachine size.
+        size_log2: u8,
+    },
+    /// Release the task previously returned by an arrival.
+    Depart {
+        /// The service-assigned task id.
+        task: u64,
+    },
+    /// Report the current load of every shard.
+    QueryLoad,
+    /// Capture (and, if configured, persist) a snapshot of the full
+    /// service state.
+    Snapshot,
+    /// Report the live metrics registry.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful shutdown: no new work is accepted, connections
+    /// drain, and the server exits.
+    Shutdown,
+}
+
+impl Request {
+    /// Stable label for metrics and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::Arrive { .. } => "arrive",
+            Request::Depart { .. } => "depart",
+            Request::QueryLoad => "query-load",
+            Request::Snapshot => "snapshot",
+            Request::Stats => "stats",
+            Request::Ping => "ping",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Where an arrival landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placed {
+    /// Service-assigned task id; pass it back to depart.
+    pub task: u64,
+    /// Index of the shard the task was routed to.
+    pub shard: usize,
+    /// Heap index of the placed buddy-tree node within the shard.
+    pub node: u32,
+    /// Copy (layer) index within the shard.
+    pub layer: u32,
+    /// Did this arrival trigger a reallocation epoch?
+    pub reallocated: bool,
+    /// Tasks moved by the triggered reallocation (zero otherwise).
+    pub migrations: u64,
+    /// The subset of migrations that changed PEs (checkpoint cost).
+    pub physical_migrations: u64,
+}
+
+/// What a departure freed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Departed {
+    /// The departed task id.
+    pub task: u64,
+    /// Shard the task lived on.
+    pub shard: usize,
+    /// Heap index of the freed node.
+    pub node: u32,
+    /// Copy (layer) index that was freed.
+    pub layer: u32,
+}
+
+/// One shard's load figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Maximum PE load within the shard (`L_A`).
+    pub max_load: u64,
+    /// Number of active tasks on the shard.
+    pub active_tasks: u64,
+    /// Cumulative active size on the shard (`S(σ; now)`).
+    pub active_size: u64,
+}
+
+/// Service-wide load report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Maximum PE load over all shards.
+    pub max_load: u64,
+    /// Total active tasks.
+    pub active_tasks: u64,
+    /// Total cumulative active size.
+    pub active_size: u64,
+    /// Per-shard breakdown.
+    pub shards: Vec<ShardLoad>,
+}
+
+/// Machine-readable error class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ErrorCode {
+    /// The named task is not active on any shard.
+    UnknownTask,
+    /// An arrival collided with an active task id (internal).
+    DuplicateTask,
+    /// The requested size exceeds the shard machine.
+    TaskTooLarge,
+    /// The request line did not parse as a known request.
+    BadRequest,
+    /// The service is shutting down and accepts no new work.
+    Unavailable,
+    /// The request was valid but the service failed to honour it.
+    Internal,
+}
+
+/// An error reply; the connection stays open.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Machine-readable error class.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// A server response, tagged by `"reply"`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "kebab-case")]
+pub enum Response {
+    /// An arrival was placed.
+    Placed(Placed),
+    /// A departure freed its placement.
+    Departed(Departed),
+    /// Load report for `query-load`.
+    Load(LoadReport),
+    /// Captured state for `snapshot`.
+    Snapshot(ServiceSnapshot),
+    /// Metrics for `stats`.
+    Stats(crate::metrics::ServiceStats),
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `shutdown`: the service is draining.
+    ShuttingDown,
+    /// The request could not be honoured.
+    Error(ErrorReply),
+}
+
+impl Response {
+    /// Build an error reply.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::Error(ErrorReply {
+            code,
+            message: message.into(),
+        })
+    }
+
+    /// Map a core rejection onto the wire error classes.
+    pub fn from_core_error(err: CoreError) -> Self {
+        let code = match err {
+            CoreError::UnknownTask(_) => ErrorCode::UnknownTask,
+            CoreError::DuplicateTask(_) => ErrorCode::DuplicateTask,
+            CoreError::TaskTooLarge { .. } => ErrorCode::TaskTooLarge,
+        };
+        Response::error(code, err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_as_tagged_json() {
+        let reqs = [
+            Request::Arrive { size_log2: 3 },
+            Request::Depart { task: 7 },
+            Request::QueryLoad,
+            Request::Snapshot,
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            assert!(json.contains("\"op\""), "{json}");
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req);
+        }
+        // The documented spellings parse.
+        let arrive: Request = serde_json::from_str(r#"{"op":"arrive","size_log2":2}"#).unwrap();
+        assert_eq!(arrive, Request::Arrive { size_log2: 2 });
+        let load: Request = serde_json::from_str(r#"{"op":"query-load"}"#).unwrap();
+        assert_eq!(load, Request::QueryLoad);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"op":"levitate"}"#,
+            r#"{"op":"arrive"}"#,
+            r#"{"op":"arrive","size_log2":2,"extra":1}"#,
+            r#"{"op":"depart","task":"zero"}"#,
+        ] {
+            assert!(serde_json::from_str::<Request>(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let placed = Response::Placed(Placed {
+            task: 1,
+            shard: 0,
+            node: 4,
+            layer: 2,
+            reallocated: true,
+            migrations: 3,
+            physical_migrations: 1,
+        });
+        let json = serde_json::to_string(&placed).unwrap();
+        assert!(json.contains("\"reply\":\"placed\""), "{json}");
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Placed(p) => {
+                assert_eq!(p.task, 1);
+                assert_eq!(p.layer, 2);
+                assert!(p.reallocated);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let pong = serde_json::to_string(&Response::Pong).unwrap();
+        assert_eq!(pong, r#"{"reply":"pong"}"#);
+    }
+
+    #[test]
+    fn core_errors_map_to_wire_codes() {
+        use partalloc_model::TaskId;
+        let resp = Response::from_core_error(CoreError::UnknownTask(TaskId(5)));
+        match resp {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::UnknownTask);
+                assert!(e.message.contains("t5"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_labels() {
+        assert_eq!(Request::QueryLoad.label(), "query-load");
+        assert_eq!(Request::Arrive { size_log2: 0 }.label(), "arrive");
+    }
+}

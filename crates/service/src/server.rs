@@ -1,0 +1,709 @@
+//! The transport-independent service core: sharded allocators, the
+//! global task directory, request dispatch, metrics and snapshots.
+//!
+//! [`ServiceCore::handle`] is the single entry point both transports
+//! share — the TCP server in [`crate::net`] and the in-process
+//! [`ServiceHandle`] used by tests and benches — so the wire protocol
+//! and the embedded API can never disagree about semantics.
+//!
+//! ## Concurrency
+//!
+//! Mutations (arrive/depart) lock only the one shard they touch plus
+//! the global directory, so different shards proceed in parallel. A
+//! `quiesce` [`RwLock`] makes snapshots atomic across the whole
+//! service: every mutation holds it shared for its critical section,
+//! and a snapshot build holds it exclusive — the captured shard
+//! states, directory and counters are therefore mutually consistent
+//! (no task half-arrived into a shard but missing from the directory).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
+
+use partalloc_core::{restore, AllocatorKind, CoreError};
+use partalloc_model::TaskId;
+use partalloc_topology::BuddyTree;
+
+use crate::metrics::{Metrics, ServiceStats};
+use crate::proto::{
+    Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
+};
+use crate::shard::{RouterKind, Shard, ShardRouter};
+use crate::snapshot::{ServiceSnapshot, ServiceTaskEntry};
+
+/// How to build a service.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Allocation algorithm for every shard.
+    pub kind: AllocatorKind,
+    /// PEs per shard machine (a power of two).
+    pub pes_per_shard: u64,
+    /// Number of independent shard machines.
+    pub num_shards: usize,
+    /// Base RNG seed; shard `i` is built with `seed + i`.
+    pub seed: u64,
+    /// Shard-routing policy for arrivals.
+    pub router: RouterKind,
+    /// Where to persist snapshots (periodic and on-request); `None`
+    /// keeps snapshots wire-only.
+    pub snapshot_path: Option<PathBuf>,
+    /// Persist automatically every this many mutations (0 = only on
+    /// explicit `snapshot` requests). Persistence is best-effort: a
+    /// failed periodic write never fails the request that tripped it.
+    pub snapshot_every: u64,
+}
+
+impl ServiceConfig {
+    /// A single-shard service with defaults: seed 0, round-robin
+    /// routing, no persistence.
+    pub fn new(kind: AllocatorKind, pes_per_shard: u64) -> Self {
+        ServiceConfig {
+            kind,
+            pes_per_shard,
+            num_shards: 1,
+            seed: 0,
+            router: RouterKind::default(),
+            snapshot_path: None,
+            snapshot_every: 0,
+        }
+    }
+
+    /// Set the shard count.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.num_shards = n;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the routing policy.
+    pub fn router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Enable snapshot persistence to `path`, auto-persisting every
+    /// `every` mutations (0 = only on request).
+    pub fn persist_to(mut self, path: PathBuf, every: u64) -> Self {
+        self.snapshot_path = Some(path);
+        self.snapshot_every = every;
+        self
+    }
+}
+
+/// Why a service could not be built.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// `num_shards` was zero.
+    NoShards,
+    /// `pes_per_shard` is not a valid machine size.
+    BadMachine(String),
+    /// A persisted snapshot could not be restored.
+    BadSnapshot(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::NoShards => write!(f, "a service needs at least one shard"),
+            ServiceError::BadMachine(m) => write!(f, "invalid shard machine: {m}"),
+            ServiceError::BadSnapshot(m) => write!(f, "cannot restore snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// The shared, transport-independent daemon state.
+pub struct ServiceCore {
+    config: ServiceConfig,
+    shards: Vec<Shard>,
+    router: Box<dyn ShardRouter>,
+    /// global id → (shard index, shard-local id), active tasks only.
+    directory: Mutex<HashMap<u64, (usize, u64)>>,
+    next_global: AtomicU64,
+    mutations: AtomicU64,
+    metrics: Metrics,
+    shutting_down: AtomicBool,
+    /// Mutations hold this shared; snapshot builds hold it exclusive.
+    quiesce: RwLock<()>,
+}
+
+impl ServiceCore {
+    /// Build a fresh service.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        if config.num_shards == 0 {
+            return Err(ServiceError::NoShards);
+        }
+        let machine = BuddyTree::new(config.pes_per_shard)
+            .map_err(|e| ServiceError::BadMachine(e.to_string()))?;
+        let shards = (0..config.num_shards)
+            .map(|i| Shard::new(i, config.kind.build(machine, config.seed + i as u64)))
+            .collect();
+        let router = config.router.build();
+        Ok(ServiceCore {
+            config,
+            shards,
+            router,
+            directory: Mutex::new(HashMap::new()),
+            next_global: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            metrics: Metrics::new(),
+            shutting_down: AtomicBool::new(false),
+            quiesce: RwLock::new(()),
+        })
+    }
+
+    /// Rebuild a service from a checkpoint. Persistence is off on the
+    /// restored instance; re-enable it with [`ServiceCore::persisting`].
+    pub fn from_snapshot(snap: &ServiceSnapshot) -> Result<Self, ServiceError> {
+        let bad = |m: String| ServiceError::BadSnapshot(m);
+        let kind: AllocatorKind = snap
+            .algorithm
+            .parse()
+            .map_err(|e| bad(format!("algorithm: {e}")))?;
+        let router_kind: RouterKind = snap
+            .router
+            .parse()
+            .map_err(|e| bad(format!("router: {e}")))?;
+        if snap.shards.is_empty() {
+            return Err(ServiceError::NoShards);
+        }
+        if snap.next_local.len() != snap.shards.len() {
+            return Err(bad(format!(
+                "{} shards but {} next-local counters",
+                snap.shards.len(),
+                snap.next_local.len()
+            )));
+        }
+        let mut shards = Vec::with_capacity(snap.shards.len());
+        for (i, shard_snap) in snap.shards.iter().enumerate() {
+            let alloc = restore(shard_snap, kind).map_err(|e| bad(format!("shard {i}: {e}")))?;
+            shards.push(Shard::restored(
+                i,
+                alloc,
+                snap.next_local[i],
+                shard_snap.arrived_since_realloc,
+            ));
+        }
+        let mut directory = HashMap::with_capacity(snap.tasks.len());
+        for t in &snap.tasks {
+            if t.shard >= shards.len() {
+                return Err(bad(format!("task {} names shard {}", t.global, t.shard)));
+            }
+            if directory.insert(t.global, (t.shard, t.local)).is_some() {
+                return Err(bad(format!("task {} appears twice", t.global)));
+            }
+        }
+        let config = ServiceConfig {
+            kind,
+            pes_per_shard: snap.shards[0].num_pes,
+            num_shards: snap.shards.len(),
+            seed: snap.seed,
+            router: router_kind,
+            snapshot_path: None,
+            snapshot_every: 0,
+        };
+        let router = router_kind.build();
+        Ok(ServiceCore {
+            config,
+            shards,
+            router,
+            directory: Mutex::new(directory),
+            next_global: AtomicU64::new(snap.next_global),
+            mutations: AtomicU64::new(0),
+            metrics: Metrics::new(),
+            shutting_down: AtomicBool::new(false),
+            quiesce: RwLock::new(()),
+        })
+    }
+
+    /// Re-attach snapshot persistence (builder-style, before sharing).
+    pub fn persisting(mut self, path: PathBuf, every: u64) -> Self {
+        self.config.snapshot_path = Some(path);
+        self.config.snapshot_every = every;
+        self
+    }
+
+    /// The configuration the service is running with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Has a `shutdown` request been received?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Flip the shutdown flag (also done by a `shutdown` request).
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Serve one request. Never panics on untrusted input: every
+    /// failure mode is an [`Response::Error`].
+    pub fn handle(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        let resp = self.dispatch(req);
+        if matches!(resp, Response::Error(_)) {
+            Metrics::incr(&self.metrics.errors);
+        }
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.latency.record(ns);
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match *req {
+            Request::Arrive { size_log2 } => self.arrive(size_log2),
+            Request::Depart { task } => self.depart(task),
+            Request::QueryLoad => {
+                Metrics::incr(&self.metrics.load_queries);
+                Response::Load(self.load_report())
+            }
+            Request::Snapshot => {
+                Metrics::incr(&self.metrics.snapshots);
+                let snap = self.build_snapshot();
+                if let Some(path) = &self.config.snapshot_path {
+                    if let Err(e) = snap.save(path) {
+                        return Response::error(
+                            ErrorCode::Internal,
+                            format!("snapshot not persisted: {e}"),
+                        );
+                    }
+                }
+                Response::Snapshot(snap)
+            }
+            Request::Stats => {
+                Metrics::incr(&self.metrics.stats_queries);
+                Response::Stats(self.stats())
+            }
+            Request::Ping => {
+                Metrics::incr(&self.metrics.pings);
+                Response::Pong
+            }
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn arrive(&self, size_log2: u8) -> Response {
+        if self.is_shutting_down() {
+            return Response::error(ErrorCode::Unavailable, "service is shutting down");
+        }
+        let placed = {
+            let _shared = self.quiesce.read();
+            let shard_idx = self.router.route(size_log2, &self.shards);
+            let arrival = match self.shards[shard_idx].arrive(size_log2) {
+                Ok(a) => a,
+                Err(e) => return Response::from_core_error(e),
+            };
+            let global = self.next_global.fetch_add(1, Ordering::SeqCst);
+            self.directory
+                .lock()
+                .insert(global, (shard_idx, arrival.local));
+            Metrics::incr(&self.metrics.arrivals);
+            let outcome = &arrival.outcome;
+            let migrations = outcome.migrations.len() as u64;
+            let physical = outcome
+                .migrations
+                .iter()
+                .filter(|m| m.is_physical())
+                .count() as u64;
+            if outcome.reallocated {
+                Metrics::incr(&self.metrics.realloc_epochs);
+                Metrics::add(&self.metrics.migrations, migrations);
+                Metrics::add(&self.metrics.physical_migrations, physical);
+            }
+            Placed {
+                task: global,
+                shard: shard_idx,
+                node: outcome.placement.node.index(),
+                layer: outcome.placement.layer,
+                reallocated: outcome.reallocated,
+                migrations,
+                physical_migrations: physical,
+            }
+        };
+        self.after_mutation();
+        Response::Placed(placed)
+    }
+
+    fn depart(&self, task: u64) -> Response {
+        let departed = {
+            let _shared = self.quiesce.read();
+            // Claim the directory entry first: local ids are never
+            // reused, so a claimed entry always departs cleanly, and a
+            // racing duplicate depart loses the claim and reports
+            // `unknown-task` (instead of racing inside the shard).
+            let entry = self.directory.lock().remove(&task);
+            let Some((shard_idx, local)) = entry else {
+                return Response::from_core_error(CoreError::UnknownTask(TaskId(task)));
+            };
+            let placement = match self.shards[shard_idx].depart(local) {
+                Ok(p) => p,
+                Err(e) => return Response::from_core_error(e),
+            };
+            Metrics::incr(&self.metrics.departures);
+            Departed {
+                task,
+                shard: shard_idx,
+                node: placement.node.index(),
+                layer: placement.layer,
+            }
+        };
+        self.after_mutation();
+        Response::Departed(departed)
+    }
+
+    /// Periodic persistence, outside the mutation critical section so
+    /// the snapshot build can take the quiesce lock exclusively.
+    fn after_mutation(&self) {
+        let every = self.config.snapshot_every;
+        if every == 0 || self.config.snapshot_path.is_none() {
+            return;
+        }
+        let n = self.mutations.fetch_add(1, Ordering::SeqCst) + 1;
+        if n % every == 0 {
+            let snap = self.build_snapshot();
+            if let Some(path) = &self.config.snapshot_path {
+                // Best-effort: a failed periodic write must not fail
+                // the request that tripped it.
+                let _ = snap.save(path);
+            }
+        }
+    }
+
+    /// Service-wide load report (consistent per shard, near-consistent
+    /// across shards).
+    pub fn load_report(&self) -> LoadReport {
+        let shards: Vec<ShardLoad> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let (max_load, active_tasks, active_size) = s.load_figures();
+                ShardLoad {
+                    shard: s.index(),
+                    max_load,
+                    active_tasks,
+                    active_size,
+                }
+            })
+            .collect();
+        LoadReport {
+            max_load: shards.iter().map(|s| s.max_load).max().unwrap_or(0),
+            active_tasks: shards.iter().map(|s| s.active_tasks).sum(),
+            active_size: shards.iter().map(|s| s.active_size).sum(),
+            shards,
+        }
+    }
+
+    /// Capture an atomic snapshot of the whole service.
+    pub fn build_snapshot(&self) -> ServiceSnapshot {
+        let _exclusive = self.quiesce.write();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut next_local = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (snap, next) = shard.snapshot(self.config.kind, self.config.seed + i as u64);
+            shards.push(snap);
+            next_local.push(next);
+        }
+        let mut tasks: Vec<ServiceTaskEntry> = self
+            .directory
+            .lock()
+            .iter()
+            .map(|(&global, &(shard, local))| ServiceTaskEntry {
+                global,
+                shard,
+                local,
+            })
+            .collect();
+        tasks.sort_by_key(|t| t.global);
+        ServiceSnapshot {
+            algorithm: self.config.kind.spec(),
+            seed: self.config.seed,
+            router: self.config.router.spec().to_owned(),
+            shards,
+            tasks,
+            next_global: self.next_global.load(Ordering::SeqCst),
+            next_local,
+        }
+    }
+
+    /// Persist a snapshot now, regardless of the periodic schedule.
+    pub fn persist_snapshot(&self) -> io::Result<()> {
+        match &self.config.snapshot_path {
+            Some(path) => self.build_snapshot().save(path),
+            None => Ok(()),
+        }
+    }
+
+    /// The live metrics, as a `stats` reply would report them.
+    pub fn stats(&self) -> ServiceStats {
+        let gauges = self.shards.iter().map(Shard::load).collect();
+        self.metrics.report(gauges)
+    }
+
+    /// Report a request line that did not parse: counts toward the
+    /// error metric and yields the `bad-request` reply the transport
+    /// should send (the connection stays open).
+    pub fn malformed(&self, detail: impl fmt::Display) -> Response {
+        Metrics::incr(&self.metrics.errors);
+        Response::error(
+            ErrorCode::BadRequest,
+            format!("malformed request: {detail}"),
+        )
+    }
+}
+
+/// A cheap, clonable in-process client: the same [`ServiceCore`] the
+/// TCP server drives, without the socket. This is what tests and the
+/// throughput bench use.
+#[derive(Clone)]
+pub struct ServiceHandle(Arc<ServiceCore>);
+
+impl ServiceHandle {
+    /// Wrap a core for sharing.
+    pub fn new(core: ServiceCore) -> Self {
+        ServiceHandle(Arc::new(core))
+    }
+
+    /// The shared core (for spawning a TCP server on top).
+    pub fn core(&self) -> Arc<ServiceCore> {
+        Arc::clone(&self.0)
+    }
+
+    /// Serve one request.
+    pub fn request(&self, req: &Request) -> Response {
+        self.0.handle(req)
+    }
+
+    fn unexpected(resp: Response) -> ErrorReply {
+        match resp {
+            Response::Error(e) => e,
+            other => ErrorReply {
+                code: ErrorCode::Internal,
+                message: format!("unexpected reply: {other:?}"),
+            },
+        }
+    }
+
+    /// Place a task of `2^size_log2` PEs.
+    pub fn arrive(&self, size_log2: u8) -> Result<Placed, ErrorReply> {
+        match self.request(&Request::Arrive { size_log2 }) {
+            Response::Placed(p) => Ok(p),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Release a task.
+    pub fn depart(&self, task: u64) -> Result<Departed, ErrorReply> {
+        match self.request(&Request::Depart { task }) {
+            Response::Departed(d) => Ok(d),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Current loads.
+    pub fn query_load(&self) -> Result<LoadReport, ErrorReply> {
+        match self.request(&Request::QueryLoad) {
+            Response::Load(l) => Ok(l),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Capture (and persist, if configured) a snapshot.
+    pub fn snapshot(&self) -> Result<ServiceSnapshot, ErrorReply> {
+        match self.request(&Request::Snapshot) {
+            Response::Snapshot(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Live metrics.
+    pub fn stats(&self) -> Result<ServiceStats, ErrorReply> {
+        match self.request(&Request::Stats) {
+            Response::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> bool {
+        matches!(self.request(&Request::Ping), Response::Pong)
+    }
+
+    /// Begin a graceful shutdown.
+    pub fn shutdown(&self) {
+        self.request(&Request::Shutdown);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(kind: AllocatorKind, pes: u64, shards: usize) -> ServiceHandle {
+        ServiceHandle::new(ServiceCore::new(ServiceConfig::new(kind, pes).shards(shards)).unwrap())
+    }
+
+    #[test]
+    fn arrive_depart_roundtrip() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let p = h.arrive(1).unwrap();
+        assert_eq!((p.task, p.shard), (0, 0));
+        let q = h.arrive(1).unwrap();
+        assert_eq!(q.task, 1);
+        let load = h.query_load().unwrap();
+        assert_eq!(
+            (load.max_load, load.active_tasks, load.active_size),
+            (1, 2, 4)
+        );
+        let d = h.depart(0).unwrap();
+        assert_eq!((d.node, d.layer), (p.node, p.layer));
+        assert_eq!(h.query_load().unwrap().active_tasks, 1);
+    }
+
+    #[test]
+    fn errors_are_replies_not_panics() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let e = h.arrive(4).unwrap_err();
+        assert_eq!(e.code, ErrorCode::TaskTooLarge);
+        let e = h.depart(99).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnknownTask);
+        // A double depart: the second claim fails.
+        let p = h.arrive(0).unwrap();
+        h.depart(p.task).unwrap();
+        assert_eq!(h.depart(p.task).unwrap_err().code, ErrorCode::UnknownTask);
+        // The daemon is still alive and counting.
+        assert!(h.ping());
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.errors, 3);
+        assert_eq!(stats.arrivals, 1);
+        assert_eq!(stats.departures, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_but_drains_old() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let p = h.arrive(0).unwrap();
+        h.shutdown();
+        assert_eq!(h.arrive(0).unwrap_err().code, ErrorCode::Unavailable);
+        // Departures of existing tasks still drain.
+        h.depart(p.task).unwrap();
+        assert!(h.ping());
+    }
+
+    #[test]
+    fn round_robin_spreads_over_shards() {
+        let h = handle(AllocatorKind::Greedy, 8, 3);
+        let shards: Vec<usize> = (0..6).map(|_| h.arrive(0).unwrap().shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+        // Global ids are service-wide even though locals restart per shard.
+        let load = h.query_load().unwrap();
+        assert_eq!(load.active_tasks, 6);
+        assert_eq!(load.shards.len(), 3);
+        for s in &load.shards {
+            assert_eq!(s.active_tasks, 2);
+        }
+        h.depart(3).unwrap(); // second task on shard 0
+        assert_eq!(h.query_load().unwrap().shards[0].active_tasks, 1);
+    }
+
+    #[test]
+    fn realloc_metrics_flow_through() {
+        // d=1 on 8 PEs: the 8th size-0 arrival triggers a repack.
+        let h = handle(AllocatorKind::DRealloc(1), 8, 1);
+        let mut reallocs = 0;
+        for _ in 0..8 {
+            let p = h.arrive(0).unwrap();
+            reallocs += u64::from(p.reallocated);
+        }
+        assert_eq!(reallocs, 1);
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.realloc_epochs, 1);
+        // The stats request records its own latency only after the
+        // report is built, so exactly the 8 arrivals are counted.
+        assert_eq!(stats.latency.count, 8);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let h = handle(AllocatorKind::DRealloc(1), 16, 1);
+        for _ in 0..5 {
+            h.arrive(1).unwrap();
+        }
+        h.depart(2).unwrap();
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.algorithm, "A_M:1");
+        assert_eq!(snap.tasks.len(), 4);
+        let r = ServiceHandle::new(ServiceCore::from_snapshot(&snap).unwrap());
+        // Identical state...
+        let (a, b) = (h.query_load().unwrap(), r.query_load().unwrap());
+        assert_eq!(a, b);
+        // ...and identical future: drive both with the same requests.
+        for size in [0u8, 2, 1, 0, 1, 2, 0] {
+            let x = h.arrive(size).unwrap();
+            let y = r.arrive(size).unwrap();
+            assert_eq!(
+                (x.task, x.node, x.layer, x.reallocated),
+                (y.task, y.node, y.layer, y.reallocated)
+            );
+        }
+        assert_eq!(h.query_load().unwrap(), r.query_load().unwrap());
+    }
+
+    #[test]
+    fn snapshots_persist_atomically() {
+        let path = std::env::temp_dir().join(format!(
+            "partalloc-service-core-test-{}.json",
+            std::process::id()
+        ));
+        let core = ServiceCore::new(
+            ServiceConfig::new(AllocatorKind::Basic, 8).persist_to(path.clone(), 2),
+        )
+        .unwrap();
+        let h = ServiceHandle::new(core);
+        h.arrive(0).unwrap();
+        h.arrive(0).unwrap(); // second mutation trips the periodic write
+        let on_disk = ServiceSnapshot::load(&path).unwrap();
+        assert_eq!(on_disk.tasks.len(), 2);
+        let r = ServiceHandle::new(ServiceCore::from_snapshot(&on_disk).unwrap());
+        assert_eq!(r.query_load().unwrap(), h.query_load().unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        assert!(matches!(
+            ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 8).shards(0)),
+            Err(ServiceError::NoShards)
+        ));
+        assert!(matches!(
+            ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 12)),
+            Err(ServiceError::BadMachine(_))
+        ));
+        let mut snap = ServiceHandle::new(
+            ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 8)).unwrap(),
+        )
+        .snapshot()
+        .unwrap();
+        snap.algorithm = "A_X".into();
+        assert!(matches!(
+            ServiceCore::from_snapshot(&snap),
+            Err(ServiceError::BadSnapshot(_))
+        ));
+    }
+}

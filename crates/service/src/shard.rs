@@ -1,0 +1,351 @@
+//! Sharded machine state and the pluggable routing policies that pick
+//! a shard for each arrival.
+//!
+//! Each [`Shard`] owns one independent allocator instance behind its
+//! own `parking_lot` mutex, so mutations on different shards never
+//! contend. A relaxed [`AtomicU64`] load gauge shadows the shard's
+//! current max load; routers read gauges lock-free, which keeps
+//! routing off the mutation critical path (the gauge may lag a racing
+//! mutation by one request — routing is a heuristic, correctness never
+//! depends on it).
+//!
+//! Shard-local task ids are dense and **never reused**: the paper's
+//! repack procedure `A_R` walks active tasks in id order, so recycling
+//! ids would reorder repacks and break replay equivalence with an
+//! offline [`run_sequence`] over the same trace.
+//!
+//! [`run_sequence`]: https://docs.rs/partalloc-sim
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use partalloc_core::{
+    snapshot, Allocator, AllocatorKind, ArrivalOutcome, CoreError, Placement, Snapshot,
+};
+use partalloc_model::{Task, TaskId};
+
+struct ShardState {
+    alloc: Box<dyn Allocator>,
+    /// Next dense local id (never reused; see module docs).
+    next_local: u64,
+    /// Mirror of the allocator's epoch progress, maintained under the
+    /// same lock so service snapshots capture it exactly: reset to 0 by
+    /// a reallocating arrival, otherwise grown by the task's size —
+    /// the precise rule `A_M` and `A_rand(d)` follow internally.
+    arrived_since_realloc: u64,
+}
+
+/// One shard: an independent machine instance behind its own lock.
+pub struct Shard {
+    index: usize,
+    state: Mutex<ShardState>,
+    load_gauge: AtomicU64,
+}
+
+/// What a shard-level arrival produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardArrival {
+    /// The dense local id assigned to the task.
+    pub local: u64,
+    /// The allocator's placement outcome.
+    pub outcome: ArrivalOutcome,
+}
+
+impl Shard {
+    /// A fresh shard around a newly built allocator.
+    pub fn new(index: usize, alloc: Box<dyn Allocator>) -> Self {
+        Self::restored(index, alloc, 0, 0)
+    }
+
+    /// A shard resuming from a checkpoint, with its counters restored.
+    pub fn restored(
+        index: usize,
+        alloc: Box<dyn Allocator>,
+        next_local: u64,
+        arrived_since_realloc: u64,
+    ) -> Self {
+        let load_gauge = AtomicU64::new(alloc.max_load());
+        Shard {
+            index,
+            state: Mutex::new(ShardState {
+                alloc,
+                next_local,
+                arrived_since_realloc,
+            }),
+            load_gauge,
+        }
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Lock-free read of the shard's last-published max load.
+    pub fn load(&self) -> u64 {
+        self.load_gauge.load(Ordering::Relaxed)
+    }
+
+    /// Place an arriving task, assigning it the next dense local id.
+    pub fn arrive(&self, size_log2: u8) -> Result<ShardArrival, CoreError> {
+        let mut st = self.state.lock();
+        let task = Task::new(TaskId(st.next_local), size_log2);
+        let outcome = st.alloc.try_arrive(task)?;
+        let local = st.next_local;
+        st.next_local += 1;
+        if outcome.reallocated {
+            st.arrived_since_realloc = 0;
+        } else {
+            st.arrived_since_realloc += task.size();
+        }
+        self.load_gauge
+            .store(st.alloc.max_load(), Ordering::Relaxed);
+        Ok(ShardArrival { local, outcome })
+    }
+
+    /// Release a task by its local id.
+    pub fn depart(&self, local: u64) -> Result<Placement, CoreError> {
+        let mut st = self.state.lock();
+        let placement = st.alloc.try_depart(TaskId(local))?;
+        self.load_gauge
+            .store(st.alloc.max_load(), Ordering::Relaxed);
+        Ok(placement)
+    }
+
+    /// Consistent `(max_load, active_tasks, active_size)` under the lock.
+    pub fn load_figures(&self) -> (u64, u64, u64) {
+        let st = self.state.lock();
+        (
+            st.alloc.max_load(),
+            st.alloc.active_tasks().len() as u64,
+            st.alloc.active_size(),
+        )
+    }
+
+    /// Capture a core snapshot plus this shard's `next_local` counter.
+    pub fn snapshot(&self, kind: AllocatorKind, seed: u64) -> (Snapshot, u64) {
+        let st = self.state.lock();
+        let snap = snapshot(&*st.alloc, kind, seed, st.arrived_since_realloc);
+        (snap, st.next_local)
+    }
+}
+
+/// A policy choosing which shard receives an arriving task.
+///
+/// Implementations must be cheap and lock-free (they run on every
+/// arrival, possibly from many connection threads at once) — read the
+/// shard [`load gauges`](Shard::load), not the shard locks.
+pub trait ShardRouter: Send + Sync {
+    /// Pick a shard index in `0..shards.len()` for a task of
+    /// `2^size_log2` PEs. `shards` is never empty.
+    fn route(&self, size_log2: u8, shards: &[Shard]) -> usize;
+}
+
+/// Rotate arrivals across shards regardless of size or load.
+#[derive(Debug, Default)]
+pub struct RoundRobinRouter {
+    next: AtomicUsize,
+}
+
+impl ShardRouter for RoundRobinRouter {
+    fn route(&self, _size_log2: u8, shards: &[Shard]) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % shards.len()
+    }
+}
+
+/// Send each arrival to the shard with the smallest published max
+/// load (ties to the lowest index).
+#[derive(Debug, Default)]
+pub struct LeastLoadedRouter;
+
+impl ShardRouter for LeastLoadedRouter {
+    fn route(&self, _size_log2: u8, shards: &[Shard]) -> usize {
+        shards
+            .iter()
+            .min_by_key(|s| (s.load(), s.index()))
+            .expect("shards is never empty")
+            .index()
+    }
+}
+
+/// Pin each size class to one shard (`size_log2 mod num_shards`), so
+/// same-size tasks pack together and buddy fragmentation stays local.
+#[derive(Debug, Default)]
+pub struct SizeClassRouter;
+
+impl ShardRouter for SizeClassRouter {
+    fn route(&self, size_log2: u8, shards: &[Shard]) -> usize {
+        usize::from(size_log2) % shards.len()
+    }
+}
+
+/// Uniform constructor for the routing policies, mirroring
+/// [`AllocatorKind`]'s role for allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterKind {
+    /// [`RoundRobinRouter`] (the default).
+    #[default]
+    RoundRobin,
+    /// [`LeastLoadedRouter`].
+    LeastLoaded,
+    /// [`SizeClassRouter`].
+    SizeClass,
+}
+
+impl RouterKind {
+    /// Build the policy.
+    pub fn build(self) -> Box<dyn ShardRouter> {
+        match self {
+            RouterKind::RoundRobin => Box::<RoundRobinRouter>::default(),
+            RouterKind::LeastLoaded => Box::new(LeastLoadedRouter),
+            RouterKind::SizeClass => Box::new(SizeClassRouter),
+        }
+    }
+
+    /// Canonical spec; `kind.spec().parse()` yields `kind` back.
+    pub fn spec(self) -> &'static str {
+        match self {
+            RouterKind::RoundRobin => "round-robin",
+            RouterKind::LeastLoaded => "least-loaded",
+            RouterKind::SizeClass => "size-class",
+        }
+    }
+}
+
+/// Why a router spec failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRouterError(String);
+
+impl std::fmt::Display for ParseRouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}: unknown router (expected round-robin, least-loaded, or size-class)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseRouterError {}
+
+impl FromStr for RouterKind {
+    type Err = ParseRouterError;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "round-robin" | "roundrobin" | "rr" => Ok(RouterKind::RoundRobin),
+            "least-loaded" | "leastloaded" | "ll" => Ok(RouterKind::LeastLoaded),
+            "size-class" | "sizeclass" | "sc" => Ok(RouterKind::SizeClass),
+            _ => Err(ParseRouterError(spec.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_topology::BuddyTree;
+
+    fn shards(n: usize, pes: u64) -> Vec<Shard> {
+        let machine = BuddyTree::new(pes).unwrap();
+        (0..n)
+            .map(|i| Shard::new(i, AllocatorKind::Greedy.build(machine, i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn local_ids_are_dense_and_never_reused() {
+        let s = &shards(1, 8)[0];
+        assert_eq!(s.arrive(0).unwrap().local, 0);
+        assert_eq!(s.arrive(1).unwrap().local, 1);
+        s.depart(0).unwrap();
+        // The freed id is not recycled.
+        assert_eq!(s.arrive(0).unwrap().local, 2);
+        assert_eq!(s.depart(0).unwrap_err(), CoreError::UnknownTask(TaskId(0)));
+    }
+
+    #[test]
+    fn gauge_tracks_mutations() {
+        let s = &shards(1, 8)[0];
+        assert_eq!(s.load(), 0);
+        s.arrive(3).unwrap();
+        assert_eq!(s.load(), 1);
+        s.arrive(3).unwrap();
+        assert_eq!(s.load(), 2);
+        s.depart(1).unwrap();
+        assert_eq!(s.load(), 1);
+        assert_eq!(s.load_figures(), (1, 1, 8));
+    }
+
+    #[test]
+    fn epoch_mirror_matches_the_allocator() {
+        // A_M with d=1 on 8 PEs: quota 8, so the 8th unit triggers a
+        // reallocation and resets the counter.
+        let machine = BuddyTree::new(8).unwrap();
+        let s = Shard::new(0, AllocatorKind::DRealloc(1).build(machine, 0));
+        for i in 0..7 {
+            let a = s.arrive(0).unwrap();
+            assert!(!a.outcome.reallocated, "arrival {i} reallocated early");
+        }
+        let (snap, next_local) = s.snapshot(AllocatorKind::DRealloc(1), 0);
+        assert_eq!(snap.arrived_since_realloc, 7);
+        assert_eq!(next_local, 7);
+        assert!(s.arrive(0).unwrap().outcome.reallocated);
+        let (snap, _) = s.snapshot(AllocatorKind::DRealloc(1), 0);
+        assert_eq!(snap.arrived_since_realloc, 0);
+    }
+
+    #[test]
+    fn oversized_arrivals_leave_the_shard_clean() {
+        let s = &shards(1, 8)[0];
+        assert!(matches!(s.arrive(5), Err(CoreError::TaskTooLarge { .. })));
+        // The failed arrival consumed no id.
+        assert_eq!(s.arrive(0).unwrap().local, 0);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let shards = shards(3, 8);
+        let r = RoundRobinRouter::default();
+        let picks: Vec<usize> = (0..6).map(|_| r.route(0, &shards)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_shards() {
+        let shards = shards(3, 8);
+        let r = LeastLoadedRouter;
+        shards[0].arrive(3).unwrap();
+        assert_eq!(r.route(0, &shards), 1);
+        shards[1].arrive(3).unwrap();
+        shards[2].arrive(3).unwrap();
+        // All equal again: ties go to the lowest index.
+        assert_eq!(r.route(0, &shards), 0);
+    }
+
+    #[test]
+    fn size_class_pins_sizes() {
+        let shards = shards(2, 8);
+        let r = SizeClassRouter;
+        assert_eq!(r.route(0, &shards), 0);
+        assert_eq!(r.route(1, &shards), 1);
+        assert_eq!(r.route(2, &shards), 0);
+        assert_eq!(r.route(3, &shards), 1);
+    }
+
+    #[test]
+    fn router_kind_specs_roundtrip() {
+        for kind in [
+            RouterKind::RoundRobin,
+            RouterKind::LeastLoaded,
+            RouterKind::SizeClass,
+        ] {
+            assert_eq!(kind.spec().parse::<RouterKind>().unwrap(), kind);
+        }
+        assert_eq!("RR".parse::<RouterKind>().unwrap(), RouterKind::RoundRobin);
+        assert!("zigzag".parse::<RouterKind>().is_err());
+        assert_eq!(RouterKind::default(), RouterKind::RoundRobin);
+    }
+}

@@ -1,0 +1,136 @@
+//! Whole-service checkpoints.
+//!
+//! A [`ServiceSnapshot`] wraps one [`partalloc_core::Snapshot`] per
+//! shard with the service-level state the core cannot know: the
+//! global→(shard, local) task directory, the id counters, and the
+//! canonical algorithm spec (see [`AllocatorKind::spec`]) so a restored
+//! daemon rebuilds byte-identical allocators. Snapshots serialize as a
+//! single JSON document and persist atomically (write to a `.tmp`
+//! sibling, then rename), so a crash mid-write never corrupts the last
+//! good checkpoint.
+//!
+//! [`AllocatorKind::spec`]: partalloc_core::AllocatorKind::spec
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use partalloc_core::Snapshot;
+
+/// One active task's entry in the global directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceTaskEntry {
+    /// Service-assigned global id (what clients hold).
+    pub global: u64,
+    /// Shard the task lives on.
+    pub shard: usize,
+    /// Shard-local id (what the shard's allocator sees).
+    pub local: u64,
+}
+
+/// A serializable checkpoint of the whole daemon.
+///
+/// Two corners are deliberately lossy: the round-robin router's cursor
+/// restarts at shard 0, and a randomized allocator resumes from a
+/// reseeded RNG stream rather than the stream position at capture.
+/// Deterministic allocators replay futures identical to never having
+/// restarted at all (asserted end-to-end in `tests/e2e.rs`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Canonical algorithm spec (parses back via `AllocatorKind::from_str`).
+    pub algorithm: String,
+    /// Base RNG seed; shard `i` was built with `seed + i`.
+    pub seed: u64,
+    /// Routing policy spec the daemon was running with.
+    pub router: String,
+    /// One core snapshot per shard, in shard order.
+    pub shards: Vec<Snapshot>,
+    /// The global task directory (active tasks only), in global-id order.
+    pub tasks: Vec<ServiceTaskEntry>,
+    /// Next global id to assign.
+    pub next_global: u64,
+    /// Next local id per shard (local ids are never reused).
+    pub next_local: Vec<u64>,
+}
+
+impl ServiceSnapshot {
+    /// Persist atomically: serialize, write a `.tmp` sibling, rename
+    /// over `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        fs::write(&tmp, json + "\n")?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Load a snapshot persisted by [`ServiceSnapshot::save`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        serde_json::from_str(&fs::read_to_string(path)?).map_err(io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::SnapshotEntry;
+
+    fn sample() -> ServiceSnapshot {
+        ServiceSnapshot {
+            algorithm: "A_M:2".into(),
+            seed: 7,
+            router: "round-robin".into(),
+            shards: vec![Snapshot {
+                num_pes: 8,
+                algorithm: "A_M(d=2)".into(),
+                entries: vec![SnapshotEntry {
+                    id: 0,
+                    size_log2: 1,
+                    node: 2,
+                    layer: 0,
+                }],
+                arrived_since_realloc: 2,
+                seed: 7,
+            }],
+            tasks: vec![ServiceTaskEntry {
+                global: 5,
+                shard: 0,
+                local: 0,
+            }],
+            next_global: 6,
+            next_local: vec![1],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: ServiceSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.algorithm, snap.algorithm);
+        assert_eq!(back.tasks, snap.tasks);
+        assert_eq!(back.next_local, snap.next_local);
+        assert_eq!(back.shards[0].entries, snap.shards[0].entries);
+    }
+
+    #[test]
+    fn save_is_atomic_and_loads_back() {
+        let path = std::env::temp_dir().join(format!(
+            "partalloc-service-snap-test-{}.json",
+            std::process::id()
+        ));
+        let snap = sample();
+        snap.save(&path).unwrap();
+        // No .tmp residue.
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(!PathBuf::from(tmp_name).exists());
+        let back = ServiceSnapshot::load(&path).unwrap();
+        assert_eq!(back.next_global, 6);
+        assert_eq!(back.shards[0].arrived_since_realloc, 2);
+        fs::remove_file(&path).unwrap();
+    }
+}

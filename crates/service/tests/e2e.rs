@@ -1,0 +1,253 @@
+//! End-to-end tests: a real server on an ephemeral TCP port, driven by
+//! the NDJSON client, checked against offline replays of the same
+//! trace through the core allocators directly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use partalloc_core::{Allocator, AllocatorKind};
+use partalloc_model::{Event, Task};
+use partalloc_service::{
+    ErrorCode, Response, Server, ServiceConfig, ServiceCore, ServiceSnapshot, TcpClient,
+};
+use partalloc_sim::run_sequence_dyn;
+use partalloc_topology::BuddyTree;
+use partalloc_workload::{ClosedLoopConfig, Generator};
+
+const GRACE: Duration = Duration::from_millis(500);
+
+fn spawn_server(config: ServiceConfig) -> Server {
+    let core = ServiceCore::new(config).unwrap();
+    Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap()
+}
+
+/// Replay `events` through `client`, returning the per-arrival
+/// `(node, layer, reallocated)` trail. `ids` maps trace ids to the
+/// service's global ids and carries over across server restarts.
+fn drive_online(
+    client: &mut TcpClient,
+    events: &[Event],
+    ids: &mut HashMap<u64, u64>,
+) -> Vec<(u32, u32, bool)> {
+    let mut trail = Vec::new();
+    for event in events {
+        match *event {
+            Event::Arrival { id, size_log2 } => {
+                let p = client.arrive(size_log2).unwrap();
+                ids.insert(id.0, p.task);
+                trail.push((p.node, p.layer, p.reallocated));
+            }
+            Event::Departure { id } => {
+                client.depart(ids[&id.0]).unwrap();
+            }
+        }
+    }
+    trail
+}
+
+/// The offline ground truth: the same events straight into a core
+/// allocator, no service in between.
+fn drive_offline(alloc: &mut dyn Allocator, events: &[Event]) -> Vec<(u32, u32, bool)> {
+    let mut trail = Vec::new();
+    for event in events {
+        match *event {
+            Event::Arrival { id, size_log2 } => {
+                let out = alloc.on_arrival(Task::new(id, size_log2));
+                trail.push((
+                    out.placement.node.index(),
+                    out.placement.layer,
+                    out.reallocated,
+                ));
+            }
+            Event::Departure { id } => {
+                alloc.on_departure(id);
+            }
+        }
+    }
+    trail
+}
+
+#[test]
+fn tcp_replay_matches_offline_replay_exactly() {
+    let kind = AllocatorKind::DRealloc(2);
+    let seq = ClosedLoopConfig::new(64)
+        .events(600)
+        .target_load(2)
+        .generate(9);
+
+    let server = spawn_server(ServiceConfig::new(kind, 64));
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    let mut ids = HashMap::new();
+    let online = drive_online(&mut client, seq.events(), &mut ids);
+    // One client on one shard: the service's dense global ids coincide
+    // with the trace's dense task ids.
+    for (trace_id, global) in &ids {
+        assert_eq!(trace_id, global);
+    }
+    let load = client.query_load().unwrap();
+    drop(client);
+    server.shutdown(GRACE);
+
+    let machine = BuddyTree::new(64).unwrap();
+    let mut alloc = kind.build(machine, 0);
+    let offline = drive_offline(alloc.as_mut(), seq.events());
+
+    // Byte-for-byte: every placement, layer and reallocation flag.
+    assert_eq!(online, offline);
+    assert_eq!(load.max_load, alloc.max_load());
+    assert_eq!(load.active_size, alloc.active_size());
+
+    // And the sim crate's replay agrees on the final load.
+    let mut alloc2 = kind.build(machine, 0);
+    let metrics = run_sequence_dyn(alloc2.as_mut(), &seq);
+    assert_eq!(load.max_load, metrics.final_load);
+}
+
+#[test]
+fn snapshot_restart_restore_roundtrip_through_the_service() {
+    let kind = AllocatorKind::DRealloc(1);
+    let seq = ClosedLoopConfig::new(32)
+        .events(400)
+        .target_load(2)
+        .generate(11);
+    let events = seq.events();
+    let split = events.len() / 2;
+    let snap_path =
+        std::env::temp_dir().join(format!("partalloc-e2e-snap-{}.json", std::process::id()));
+
+    // First life: serve the first half, snapshot (persisting to disk),
+    // shut down.
+    let core =
+        ServiceCore::new(ServiceConfig::new(kind, 32).persist_to(snap_path.clone(), 0)).unwrap();
+    let server = Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    let mut ids = HashMap::new();
+    let mut online = drive_online(&mut client, &events[..split], &mut ids);
+    let wire_snap = client.snapshot().unwrap();
+    drop(client);
+    server.shutdown(GRACE);
+
+    // The wire reply and the persisted file carry the same checkpoint.
+    let disk_snap = ServiceSnapshot::load(&snap_path).unwrap();
+    assert_eq!(
+        serde_json::to_string(&wire_snap).unwrap(),
+        serde_json::to_string(&disk_snap).unwrap()
+    );
+
+    // Second life: restore from disk, serve the rest.
+    let core = ServiceCore::from_snapshot(&disk_snap).unwrap();
+    let server = Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    online.extend(drive_online(&mut client, &events[split..], &mut ids));
+    let load = client.query_load().unwrap();
+    drop(client);
+    server.shutdown(GRACE);
+    std::fs::remove_file(&snap_path).ok();
+
+    // The spliced two-life trail matches one uninterrupted offline run.
+    let machine = BuddyTree::new(32).unwrap();
+    let mut alloc = kind.build(machine, 0);
+    let offline = drive_offline(alloc.as_mut(), events);
+    assert_eq!(online, offline);
+    assert_eq!(load.max_load, alloc.max_load());
+    assert_eq!(load.active_tasks, alloc.active_tasks().len() as u64);
+}
+
+#[test]
+fn hostile_input_never_kills_the_daemon() {
+    let server = spawn_server(ServiceConfig::new(AllocatorKind::Greedy, 8));
+    let addr = server.local_addr();
+    let mut client = TcpClient::connect(addr).unwrap();
+
+    for garbage in [
+        "not json at all",
+        "{\"op\":\"levitate\"}",
+        "{\"op\":\"arrive\"}",
+        "{}",
+        "[1,2,3]",
+    ] {
+        match client.send_raw(garbage).unwrap() {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest, "{garbage}"),
+            other => panic!("{garbage} got {other:?}"),
+        }
+    }
+    // Well-formed but unhonourable requests: typed error codes.
+    match client.send_raw("{\"op\":\"depart\",\"task\":42}").unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::UnknownTask),
+        other => panic!("{other:?}"),
+    }
+    match client
+        .send_raw("{\"op\":\"arrive\",\"size_log2\":40}")
+        .unwrap()
+    {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::TaskTooLarge),
+        other => panic!("{other:?}"),
+    }
+
+    // The connection survived all of it, and so did the daemon.
+    client.ping().unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.errors, 7);
+    let mut second = TcpClient::connect(addr).unwrap();
+    second.arrive(0).unwrap();
+    drop((client, second));
+    server.shutdown(GRACE);
+}
+
+#[test]
+fn concurrent_clients_share_one_consistent_directory() {
+    let server = spawn_server(ServiceConfig::new(AllocatorKind::Greedy, 64).shards(2));
+    let addr = server.local_addr();
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).unwrap();
+                let mut mine = Vec::new();
+                for i in 0..50 {
+                    mine.push(client.arrive((i % 3) as u8).unwrap().task);
+                }
+                for task in mine {
+                    client.depart(task).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let mut client = TcpClient::connect(addr).unwrap();
+    let load = client.query_load().unwrap();
+    assert_eq!(load.active_tasks, 0);
+    assert_eq!(load.max_load, 0);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.arrivals, 200);
+    assert_eq!(stats.departures, 200);
+    assert_eq!(stats.errors, 0);
+    drop(client);
+    server.shutdown(GRACE);
+}
+
+#[test]
+fn shutdown_request_drains_even_with_idle_clients() {
+    let server = spawn_server(ServiceConfig::new(AllocatorKind::Greedy, 8));
+    let addr = server.local_addr();
+    let core = server.core();
+
+    // An idle client that never disconnects on its own.
+    let idle = TcpClient::connect(addr).unwrap();
+    let mut active = TcpClient::connect(addr).unwrap();
+    active.shutdown().unwrap();
+    assert!(core.is_shutting_down());
+    // New arrivals on the still-open connection are refused…
+    match active.request(&partalloc_service::Request::Arrive { size_log2: 0 }) {
+        Ok(Response::Error(e)) => assert_eq!(e.code, ErrorCode::Unavailable),
+        other => panic!("{other:?}"),
+    }
+    // …and the drain terminates despite the idle connection, because
+    // stragglers are force-closed after the grace period.
+    server.run_until_shutdown(Duration::from_millis(100));
+    drop((idle, active));
+}

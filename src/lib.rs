@@ -18,7 +18,9 @@
 //!   and the random hard sequence (Thm 5.2);
 //! * [`workload`] — synthetic workload generators and trace replay;
 //! * [`sim`] — metrics, migration-cost models, and parallel sweeps;
-//! * [`analysis`] — the paper's bound formulas, statistics, tables.
+//! * [`analysis`] — the paper's bound formulas, statistics, tables;
+//! * [`service`] — the allocation daemon (sharded machines, NDJSON
+//!   over TCP, live metrics, snapshot persistence).
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use partalloc_analysis as analysis;
 pub use partalloc_core as core;
 pub use partalloc_exclusive as exclusive;
 pub use partalloc_model as model;
+pub use partalloc_service as service;
 pub use partalloc_sim as sim;
 pub use partalloc_topology as topology;
 pub use partalloc_workload as workload;
@@ -79,6 +82,9 @@ pub mod prelude {
     pub use partalloc_model::{
         figure1_sigma_star, read_trace, write_trace, Event, SequenceBuilder, SequenceStats, Task,
         TaskId, TaskSequence,
+    };
+    pub use partalloc_service::{
+        RouterKind, Server, ServiceConfig, ServiceCore, ServiceHandle, ServiceSnapshot, TcpClient,
     };
     pub use partalloc_sim::{
         execute, parallel_sweep, run_sequence, run_sequence_dyn, run_with_cost, run_with_slowdowns,
