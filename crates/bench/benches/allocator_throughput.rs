@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use partalloc_core::AllocatorKind;
-use partalloc_sim::run_sequence_dyn;
+use partalloc_engine::run_sequence_dyn;
 use partalloc_topology::BuddyTree;
 use partalloc_workload::{ClosedLoopConfig, Generator};
 

@@ -20,7 +20,7 @@ use partalloc_exclusive::{
     run_exclusive, run_exclusive_with_policy, BuddyStrategy, FullRecognition, GrayCodeStrategy,
     QueuePolicy, SubcubeStrategy,
 };
-use partalloc_sim::{execute, ExecutorConfig};
+use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_topology::BuddyTree;
 use partalloc_workload::TimedConfig;
 

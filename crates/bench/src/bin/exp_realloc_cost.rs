@@ -12,7 +12,7 @@
 use partalloc_analysis::{fmt_f64, Table};
 use partalloc_bench::{banner, default_seeds};
 use partalloc_core::{DReallocation, EpochPolicy, ReallocTrigger};
-use partalloc_sim::{run_with_cost, MigrationCostModel};
+use partalloc_engine::{run_with_cost, MigrationCostModel};
 use partalloc_topology::{BuddyTree, FatTree, Partitionable, TreeMachine};
 use partalloc_workload::{BurstyConfig, ClosedLoopConfig, Generator};
 

@@ -13,7 +13,7 @@
 use partalloc_analysis::{fmt_f64, Table};
 use partalloc_bench::{banner, default_seeds};
 use partalloc_core::AllocatorKind;
-use partalloc_sim::{execute, ExecutorConfig};
+use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_topology::BuddyTree;
 use partalloc_workload::TimedConfig;
 

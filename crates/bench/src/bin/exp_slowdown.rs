@@ -10,7 +10,7 @@
 use partalloc_analysis::{fmt_f64, Table};
 use partalloc_bench::{banner, default_seeds};
 use partalloc_core::{Basic, Constant, DReallocation, Greedy, LeftmostAlways, RandomizedOblivious};
-use partalloc_sim::run_with_slowdowns;
+use partalloc_engine::run_with_slowdowns;
 use partalloc_topology::BuddyTree;
 use partalloc_workload::{ClosedLoopConfig, Generator};
 

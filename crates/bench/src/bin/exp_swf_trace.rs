@@ -18,7 +18,7 @@ use partalloc_core::AllocatorKind;
 use partalloc_exclusive::{
     run_exclusive_with_policy, BuddyStrategy, GrayCodeStrategy, QueuePolicy,
 };
-use partalloc_sim::{execute, ExecutorConfig};
+use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_topology::BuddyTree;
 use partalloc_workload::parse_swf;
 

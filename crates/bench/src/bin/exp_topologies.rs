@@ -10,7 +10,7 @@
 use partalloc_analysis::{fmt_f64, Table};
 use partalloc_bench::{banner, default_seeds};
 use partalloc_core::DReallocation;
-use partalloc_sim::{run_with_cost, MigrationCostModel};
+use partalloc_engine::{run_with_cost, MigrationCostModel};
 use partalloc_topology::{
     BuddyTree, Butterfly, FatTree, Hypercube, Mesh2D, Partitionable, Torus2D, TreeMachine,
 };

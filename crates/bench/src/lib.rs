@@ -35,7 +35,7 @@
 use partalloc_analysis::Summary;
 use partalloc_core::AllocatorKind;
 use partalloc_model::TaskSequence;
-use partalloc_sim::{run_sequence_dyn, RunMetrics};
+use partalloc_engine::{run_sequence_dyn, RunMetrics};
 use partalloc_topology::BuddyTree;
 
 /// Print the standard experiment banner.

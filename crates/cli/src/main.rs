@@ -108,7 +108,7 @@ fn usage() -> String {
      \x20            [--snapshot FILE [--snapshot-every M]] [--resume FILE]\n\
      \x20 drive      replay a trace or generated workload against a daemon\n\
      \x20            --addr HOST:PORT (--trace FILE | --pes N [--events E])\n\
-     \x20            [--seed S] [--shutdown yes]\n\
+     \x20            [--seed S] [--batch B] [--shutdown yes]\n\
      \x20 figure1    replay the paper's Figure 1 example\n\
      \n\
      algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n\

@@ -7,7 +7,8 @@ use std::time::{Duration, Instant};
 
 use partalloc_model::{read_trace, Event, TaskSequence};
 use partalloc_service::{
-    RouterKind, Server, ServiceConfig, ServiceCore, ServiceSnapshot, TcpClient,
+    BatchItem, Response, RouterKind, Server, ServiceConfig, ServiceCore, ServiceSnapshot,
+    TcpClient,
 };
 use partalloc_workload::{ClosedLoopConfig, Generator};
 
@@ -88,9 +89,17 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     ))
 }
 
-/// Replay a trace (or a generated workload) against a running daemon.
+/// Replay a trace (or a generated workload) against a running daemon,
+/// per event or — with `--batch N` — in batched requests of up to `N`
+/// mutations each (same placements, far fewer round-trips).
 pub fn cmd_drive(args: &Args) -> Result<String, String> {
     let addr = args.require("addr").map_err(|e| e.to_string())?;
+    let batch: usize = args
+        .get_or("batch", 1, "an integer")
+        .map_err(|e| e.to_string())?;
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
     let seq = load_or_generate(args)?;
     let mut client = TcpClient::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
     client.ping().map_err(|e| e.to_string())?;
@@ -101,25 +110,36 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
     let mut reallocs = 0u64;
     let mut errors = 0u64;
     let start = Instant::now();
-    for event in seq.events() {
-        match *event {
-            Event::Arrival { id, size_log2 } => match client.arrive(size_log2) {
-                Ok(placed) => {
-                    ids.insert(id.0, placed.task);
-                    reallocs += u64::from(placed.reallocated);
-                }
-                Err(partalloc_service::ClientError::Server(_)) => errors += 1,
-                Err(e) => return Err(e.to_string()),
-            },
-            Event::Departure { id } => {
-                let Some(&global) = ids.get(&id.0) else {
-                    errors += 1;
-                    continue;
-                };
-                match client.depart(global) {
-                    Ok(_) => {}
+    if batch > 1 {
+        drive_batched(
+            &mut client,
+            &seq,
+            batch,
+            &mut ids,
+            &mut reallocs,
+            &mut errors,
+        )?;
+    } else {
+        for event in seq.events() {
+            match *event {
+                Event::Arrival { id, size_log2 } => match client.arrive(size_log2) {
+                    Ok(placed) => {
+                        ids.insert(id.0, placed.task);
+                        reallocs += u64::from(placed.reallocated);
+                    }
                     Err(partalloc_service::ClientError::Server(_)) => errors += 1,
                     Err(e) => return Err(e.to_string()),
+                },
+                Event::Departure { id } => {
+                    let Some(&global) = ids.get(&id.0) else {
+                        errors += 1;
+                        continue;
+                    };
+                    match client.depart(global) {
+                        Ok(_) => {}
+                        Err(partalloc_service::ClientError::Server(_)) => errors += 1,
+                        Err(e) => return Err(e.to_string()),
+                    }
                 }
             }
         }
@@ -131,8 +151,13 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
         client.shutdown().map_err(|e| e.to_string())?;
     }
     let rate = seq.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let mode = if batch > 1 {
+        format!(", batched ×{batch}")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "drove {} events to {addr} in {:.2?} ({:.0} req/s over TCP):\n\
+        "drove {} events to {addr} in {:.2?} ({:.0} req/s over TCP{mode}):\n\
          \x20 max load          {}  over {} shard(s)\n\
          \x20 active            {} tasks, {} PEs\n\
          \x20 realloc epochs    {} (this client), {} (server lifetime)\n\
@@ -150,6 +175,84 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
         errors,
         stats.latency.p99_ns,
     ))
+}
+
+/// Replay `seq` in batches of up to `cap` mutations. Departures whose
+/// arrival is still buffered force an early flush so the directory
+/// lookup can succeed — placements stay identical to per-event driving.
+fn drive_batched(
+    client: &mut TcpClient,
+    seq: &TaskSequence,
+    cap: usize,
+    ids: &mut HashMap<u64, u64>,
+    reallocs: &mut u64,
+    errors: &mut u64,
+) -> Result<(), String> {
+    let mut items: Vec<BatchItem> = Vec::with_capacity(cap);
+    // For each buffered item, the trace id an arrival should bind to
+    // (departures carry `None`); kept aligned with `items`.
+    let mut traces: Vec<Option<u64>> = Vec::with_capacity(cap);
+
+    fn flush(
+        client: &mut TcpClient,
+        items: &mut Vec<BatchItem>,
+        traces: &mut Vec<Option<u64>>,
+        ids: &mut HashMap<u64, u64>,
+        reallocs: &mut u64,
+        errors: &mut u64,
+    ) -> Result<(), String> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let results = client
+            .batch(std::mem::take(items))
+            .map_err(|e| e.to_string())?;
+        if results.len() != traces.len() {
+            return Err(format!(
+                "batch reply shape mismatch: sent {}, got {} results",
+                traces.len(),
+                results.len()
+            ));
+        }
+        for (resp, trace) in results.into_iter().zip(traces.drain(..)) {
+            match resp {
+                Response::Placed(p) => {
+                    if let Some(trace) = trace {
+                        ids.insert(trace, p.task);
+                    }
+                    *reallocs += u64::from(p.reallocated);
+                }
+                Response::Departed(_) => {}
+                Response::Error(_) => *errors += 1,
+                other => return Err(format!("unexpected batch item reply: {other:?}")),
+            }
+        }
+        Ok(())
+    }
+
+    for event in seq.events() {
+        match *event {
+            Event::Arrival { id, size_log2 } => {
+                items.push(BatchItem::Arrive { size_log2 });
+                traces.push(Some(id.0));
+            }
+            Event::Departure { id } => {
+                if !ids.contains_key(&id.0) && !items.is_empty() {
+                    flush(client, &mut items, &mut traces, ids, reallocs, errors)?;
+                }
+                let Some(&global) = ids.get(&id.0) else {
+                    *errors += 1;
+                    continue;
+                };
+                items.push(BatchItem::Depart { task: global });
+                traces.push(None);
+            }
+        }
+        if items.len() >= cap {
+            flush(client, &mut items, &mut traces, ids, reallocs, errors)?;
+        }
+    }
+    flush(client, &mut items, &mut traces, ids, reallocs, errors)
 }
 
 fn load_or_generate(args: &Args) -> Result<TaskSequence, String> {
@@ -233,6 +336,61 @@ mod tests {
 
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("shut down after"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drive_supports_batching() {
+        let dir = std::env::temp_dir().join(format!("palloc-serve-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_G",
+                "--shards",
+                "2",
+                "--router",
+                "round-robin",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+            ])
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+
+        let out = run(&[
+            "drive",
+            "--addr",
+            &addr,
+            "--pes",
+            "64",
+            "--events",
+            "300",
+            "--batch",
+            "16",
+            "--shutdown",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("drove 300 events"), "{out}");
+        assert!(out.contains("batched ×16"), "{out}");
+        assert!(out.contains("rejected requests 0"), "{out}");
+
+        server.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -126,6 +126,58 @@ pub trait Allocator: Send {
             Event::Departure { id } => EventOutcome::Departure(self.on_departure(id)),
         }
     }
+
+    /// Fallible event dispatch for untrusted input (the service
+    /// boundary): routes through [`Allocator::try_arrive`] /
+    /// [`Allocator::try_depart`], so a rejected event leaves the
+    /// allocator untouched instead of panicking.
+    fn try_handle(&mut self, event: &Event) -> Result<EventOutcome, CoreError> {
+        match *event {
+            Event::Arrival { id, size_log2 } => self
+                .try_arrive(Task { id, size_log2 })
+                .map(EventOutcome::Arrival),
+            Event::Departure { id } => self.try_depart(id).map(EventOutcome::Departure),
+        }
+    }
+}
+
+/// Mutable references forward the whole trait, so generic drivers
+/// (`partalloc-engine`'s `Engine<A>`) can borrow an allocator instead
+/// of consuming it.
+impl<A: Allocator + ?Sized> Allocator for &mut A {
+    fn machine(&self) -> BuddyTree {
+        (**self).machine()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn on_arrival(&mut self, task: Task) -> ArrivalOutcome {
+        (**self).on_arrival(task)
+    }
+    fn on_departure(&mut self, id: TaskId) -> Placement {
+        (**self).on_departure(id)
+    }
+    fn placement_of(&self, id: TaskId) -> Option<Placement> {
+        (**self).placement_of(id)
+    }
+    fn active_tasks(&self) -> Vec<(TaskId, u8, Placement)> {
+        (**self).active_tasks()
+    }
+    fn pe_load(&self, pe: u32) -> u64 {
+        (**self).pe_load(pe)
+    }
+    fn max_load_in(&self, node: NodeId) -> u64 {
+        (**self).max_load_in(node)
+    }
+    fn max_load(&self) -> u64 {
+        (**self).max_load()
+    }
+    fn active_size(&self) -> u64 {
+        (**self).active_size()
+    }
+    fn force_restore(&mut self, entries: &[SnapshotEntry], arrived_since_realloc: u64) {
+        (**self).force_restore(entries, arrived_since_realloc)
+    }
 }
 
 impl Allocator for Box<dyn Allocator> {

@@ -1,0 +1,280 @@
+//! Per-event vs batched driving, at every layer batching touches:
+//!
+//! * `engine` — raw [`Engine::drive`] in a loop vs one
+//!   [`Engine::drive_batch`] call (no locks, so the gap here is just
+//!   call overhead — the semantics are identical by construction);
+//! * `in_process` — [`ServiceHandle`] mutations one at a time vs
+//!   [`ServiceHandle::submit_batch`] (one shard-lock acquisition and
+//!   one gauge publish per batch instead of per event);
+//! * `tcp` — the same dialogue over a real loop-back connection, where
+//!   batching collapses `2·B` NDJSON round trips into 2.
+//!
+//! Besides the criterion groups, `--save-json PATH` runs a small
+//! fixed-duration harness over the same workloads and writes an
+//! `events_per_sec` summary — that is what produces the repo-root
+//! `BENCH_engine.json` perf trajectory:
+//!
+//! ```text
+//! cargo bench -p partalloc-engine --bench batch_throughput -- \
+//!     --save-json BENCH_engine.json
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use partalloc_core::AllocatorKind;
+use partalloc_engine::Engine;
+use partalloc_model::{Event, TaskId};
+use partalloc_service::{
+    BatchItem, Response, Server, ServiceConfig, ServiceCore, ServiceHandle, TcpClient,
+};
+use partalloc_topology::BuddyTree;
+
+/// Task pairs per batch (B arrivals + B departures per round).
+const BATCH: usize = 64;
+
+/// B arrival events with fresh ids starting at `*next`, then B
+/// departures of the same tasks — a steady-state pair workload.
+fn pair_events(next: &mut u64, size_log2: u8) -> Vec<Event> {
+    let base = *next;
+    *next += BATCH as u64;
+    let mut events: Vec<Event> = (0..BATCH as u64)
+        .map(|i| Event::Arrival {
+            id: TaskId(base + i),
+            size_log2,
+        })
+        .collect();
+    events.extend((0..BATCH as u64).map(|i| Event::Departure {
+        id: TaskId(base + i),
+    }));
+    events
+}
+
+fn fresh_engine() -> Engine<Box<dyn partalloc_core::Allocator>> {
+    let machine = BuddyTree::new(256).unwrap();
+    Engine::new(AllocatorKind::Greedy.build(machine, 0))
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(2 * BATCH as u64));
+
+    let mut engine = fresh_engine();
+    let mut next = 0u64;
+    group.bench_function(BenchmarkId::new("drive", "per_event"), |b| {
+        b.iter(|| {
+            for ev in &pair_events(&mut next, 2) {
+                black_box(engine.drive(ev, &mut []));
+            }
+        })
+    });
+
+    let mut engine = fresh_engine();
+    let mut next = 0u64;
+    group.bench_function(BenchmarkId::new("drive", "batched"), |b| {
+        b.iter(|| {
+            let events = pair_events(&mut next, 2);
+            black_box(engine.drive_batch(&events, &mut []));
+        })
+    });
+    group.finish();
+}
+
+fn service_handle() -> ServiceHandle {
+    ServiceHandle::new(ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 256)).unwrap())
+}
+
+/// One per-event round: B arrive calls, then B depart calls.
+fn per_event_round_in_process(h: &ServiceHandle) {
+    let mut tasks = Vec::with_capacity(BATCH);
+    for _ in 0..BATCH {
+        tasks.push(h.arrive(2).unwrap().task);
+    }
+    for task in tasks {
+        h.depart(task).unwrap();
+    }
+}
+
+/// One batched round: one submit of B arrivals, one of B departures.
+fn batched_round_in_process(h: &ServiceHandle) {
+    let placed = h
+        .submit_batch(vec![BatchItem::Arrive { size_log2: 2 }; BATCH])
+        .unwrap();
+    let departs: Vec<BatchItem> = placed
+        .iter()
+        .map(|r| match r {
+            Response::Placed(p) => BatchItem::Depart { task: p.task },
+            other => panic!("expected a placement, got {other:?}"),
+        })
+        .collect();
+    h.submit_batch(departs).unwrap();
+}
+
+fn bench_in_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("in_process");
+    group.throughput(Throughput::Elements(2 * BATCH as u64));
+    let h = service_handle();
+    group.bench_function(BenchmarkId::new("arrive_depart", "per_event"), |b| {
+        b.iter(|| per_event_round_in_process(&h))
+    });
+    let h = service_handle();
+    group.bench_function(BenchmarkId::new("arrive_depart", "batched"), |b| {
+        b.iter(|| batched_round_in_process(&h))
+    });
+    group.finish();
+}
+
+fn per_event_round_tcp(client: &mut TcpClient) {
+    let mut tasks = Vec::with_capacity(BATCH);
+    for _ in 0..BATCH {
+        tasks.push(client.arrive(2).unwrap().task);
+    }
+    for task in tasks {
+        client.depart(task).unwrap();
+    }
+}
+
+fn batched_round_tcp(client: &mut TcpClient) {
+    let placed = client
+        .batch(vec![BatchItem::Arrive { size_log2: 2 }; BATCH])
+        .unwrap();
+    let departs: Vec<BatchItem> = placed
+        .iter()
+        .map(|r| match r {
+            Response::Placed(p) => BatchItem::Depart { task: p.task },
+            other => panic!("expected a placement, got {other:?}"),
+        })
+        .collect();
+    client.batch(departs).unwrap();
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    let core = ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 256)).unwrap();
+    let server = Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+
+    let mut group = c.benchmark_group("tcp");
+    group.throughput(Throughput::Elements(2 * BATCH as u64));
+    group.bench_function(BenchmarkId::new("arrive_depart", "per_event"), |b| {
+        b.iter(|| per_event_round_tcp(&mut client))
+    });
+    group.bench_function(BenchmarkId::new("arrive_depart", "batched"), |b| {
+        b.iter(|| batched_round_tcp(&mut client))
+    });
+    group.finish();
+
+    drop(client);
+    server.shutdown(Duration::from_millis(200));
+}
+
+/// Fixed-duration measurement for the JSON trajectory: run `round`
+/// for ~0.5 s and report events per second.
+fn measure(mut round: impl FnMut()) -> f64 {
+    for _ in 0..4 {
+        round(); // warm-up
+    }
+    let start = Instant::now();
+    let mut rounds = 0u64;
+    while start.elapsed() < Duration::from_millis(500) {
+        round();
+        rounds += 1;
+    }
+    (rounds * 2 * BATCH as u64) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn save_json(path: &str) {
+    let mut results = Vec::new();
+
+    let mut engine = fresh_engine();
+    let mut next = 0u64;
+    results.push((
+        "engine",
+        "per_event",
+        measure(|| {
+            for ev in &pair_events(&mut next, 2) {
+                black_box(engine.drive(ev, &mut []));
+            }
+        }),
+    ));
+    let mut engine = fresh_engine();
+    let mut next = 0u64;
+    results.push((
+        "engine",
+        "batched",
+        measure(|| {
+            let events = pair_events(&mut next, 2);
+            black_box(engine.drive_batch(&events, &mut []));
+        }),
+    ));
+
+    let h = service_handle();
+    results.push((
+        "in_process",
+        "per_event",
+        measure(|| per_event_round_in_process(&h)),
+    ));
+    let h = service_handle();
+    results.push((
+        "in_process",
+        "batched",
+        measure(|| batched_round_in_process(&h)),
+    ));
+
+    let core = ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 256)).unwrap();
+    let server = Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap();
+    let mut client = TcpClient::connect(server.local_addr()).unwrap();
+    results.push((
+        "tcp",
+        "per_event",
+        measure(|| per_event_round_tcp(&mut client)),
+    ));
+    results.push(("tcp", "batched", measure(|| batched_round_tcp(&mut client))));
+    drop(client);
+    server.shutdown(Duration::from_millis(200));
+
+    let entries: Vec<serde_json::Value> = results
+        .iter()
+        .map(|(path, mode, eps)| {
+            serde_json::json!({
+                "path": path,
+                "mode": mode,
+                "events_per_sec": (eps.round() as u64),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "bench": "engine_batch_throughput",
+        "batch": BATCH,
+        "allocator": "A_G",
+        "pes": 256,
+        "results": entries,
+    });
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap() + "\n").unwrap();
+    println!("wrote {path}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_engine, bench_in_process, bench_tcp
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--save-json") {
+        let path = args
+            .get(i + 1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_engine.json");
+        save_json(path);
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

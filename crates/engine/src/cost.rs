@@ -1,6 +1,11 @@
-use partalloc_core::Migration;
+//! Migration pricing: the cost model ported from `sim`, plus the
+//! engine observer that applies it to every physical migration.
+
+use partalloc_core::{Allocator, EventOutcome, Migration};
 use partalloc_topology::Partitionable;
 use serde::Serialize;
+
+use crate::engine::{Observer, SizeTable, Step};
 
 /// Prices a task migration, making concrete the reallocation cost the
 /// paper treats abstractly through the parameter `d` (§1: "process
@@ -84,6 +89,52 @@ impl CostReport {
             0.0
         } else {
             self.total_cost / self.events as f64
+        }
+    }
+}
+
+/// The engine observer that prices every physical migration on a
+/// concrete topology — the ported cost half of `sim::run_with_cost`.
+pub struct CostObserver<'t> {
+    topo: &'t dyn Partitionable,
+    model: MigrationCostModel,
+    report: CostReport,
+}
+
+impl<'t> CostObserver<'t> {
+    /// Price migrations on `topo` with `model`.
+    pub fn new(topo: &'t dyn Partitionable, model: MigrationCostModel) -> Self {
+        CostObserver {
+            topo,
+            model,
+            report: CostReport::default(),
+        }
+    }
+
+    /// Consume into the final [`CostReport`].
+    pub fn into_report(self) -> CostReport {
+        self.report
+    }
+}
+
+impl Observer for CostObserver<'_> {
+    fn on_event(&mut self, step: &Step<'_>, _alloc: &dyn Allocator, sizes: &SizeTable) {
+        self.report.events += 1;
+        let EventOutcome::Arrival(out) = step.outcome else {
+            return;
+        };
+        let mut event_cost = 0.0;
+        for m in &out.migrations {
+            if m.is_physical() {
+                let size = sizes.size(m.task);
+                self.report.physical_migrations += 1;
+                self.report.migrated_pes += size;
+                event_cost += self.model.migration_cost(self.topo, m, size);
+            }
+        }
+        self.report.total_cost += event_cost;
+        if event_cost > self.report.max_event_cost {
+            self.report.max_event_cost = event_cost;
         }
     }
 }

@@ -1,0 +1,344 @@
+//! The drive loop itself: [`Engine`], [`Observer`], [`Step`] and the
+//! engine's task [`SizeTable`].
+
+use std::collections::HashMap;
+
+use partalloc_core::{Allocator, CoreError, EventOutcome};
+use partalloc_model::{Event, TaskId, TaskSequence};
+
+/// Sizes of the tasks currently active in an [`Engine`], maintained by
+/// the engine across events so observers can price migrations without
+/// an `O(active)` scan of the allocator.
+///
+/// During [`Observer::on_event`] the table reflects the machine *at
+/// the instant of the event*: an arriving task is already present, and
+/// a departing task is still present (it is pruned only after all
+/// observers ran).
+#[derive(Debug, Clone, Default)]
+pub struct SizeTable {
+    sizes: HashMap<TaskId, u8>,
+}
+
+impl SizeTable {
+    /// Size exponent of an active task.
+    pub fn size_log2(&self, id: TaskId) -> Option<u8> {
+        self.sizes.get(&id).copied()
+    }
+
+    /// Size in PEs of an active task; panics on an unknown id (the
+    /// engine guarantees every task named by an outcome is in the
+    /// table during observer dispatch).
+    pub fn size(&self, id: TaskId) -> u64 {
+        1u64 << self.size_log2(id).expect("task is active in the engine")
+    }
+
+    /// Number of active tasks.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Is the machine empty?
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+}
+
+/// One driven event, as observers see it.
+#[derive(Debug, Clone, Copy)]
+pub struct Step<'a> {
+    /// 0-based index of this event within the engine's lifetime (not
+    /// reset by batches).
+    pub index: u64,
+    /// The event that was applied.
+    pub event: &'a Event,
+    /// What the allocator did with it.
+    pub outcome: &'a EventOutcome,
+}
+
+/// A composable instrument over the engine's drive loop.
+///
+/// Observers are notified after every applied event with the [`Step`],
+/// a read view of the allocator, and the engine's [`SizeTable`];
+/// [`Observer::finish`] runs once at the end of an
+/// [`Engine::run`]. Batched and per-event driving deliver *identical*
+/// observer callbacks — one per event, in order — which is what makes
+/// the two modes provably equivalent.
+pub trait Observer {
+    /// Called after each event is applied.
+    fn on_event(&mut self, step: &Step<'_>, alloc: &dyn Allocator, sizes: &SizeTable);
+
+    /// Called once when a full run over a sequence completes.
+    fn finish(&mut self, _alloc: &dyn Allocator) {}
+}
+
+/// The unified drive loop: owns an allocator (possibly borrowed —
+/// `&mut dyn Allocator` and `Box<dyn Allocator>` both implement
+/// [`Allocator`]), applies events one at a time or in batches, and
+/// fans each applied event out to the observers it is given.
+///
+/// Every consumer in the workspace drives allocators through this one
+/// loop: `partalloc_sim`'s metric runs, the timed round-robin
+/// executor, the service's sharded mutation paths, `palloc drive`, and
+/// the experiment binaries. One semantics everywhere.
+///
+/// ```
+/// use partalloc_core::Greedy;
+/// use partalloc_engine::{Engine, MetricsObserver};
+/// use partalloc_model::figure1_sigma_star;
+/// use partalloc_topology::BuddyTree;
+///
+/// let machine = BuddyTree::new(4).unwrap();
+/// let seq = figure1_sigma_star();
+/// let mut engine = Engine::new(Greedy::new(machine));
+/// let mut metrics = MetricsObserver::new();
+/// engine.run(&seq, &mut [&mut metrics]);
+/// let m = metrics.into_metrics(seq.optimal_load(4));
+/// assert_eq!(m.peak_load, 2);
+/// ```
+#[derive(Debug)]
+pub struct Engine<A: Allocator> {
+    alloc: A,
+    sizes: SizeTable,
+    driven: u64,
+}
+
+impl<A: Allocator> Engine<A> {
+    /// Wrap `alloc`. The size table is seeded from the allocator's
+    /// active tasks, so engines over restored (non-empty) allocators
+    /// start consistent.
+    pub fn new(alloc: A) -> Self {
+        let sizes = SizeTable {
+            sizes: alloc
+                .active_tasks()
+                .into_iter()
+                .map(|(id, size_log2, _)| (id, size_log2))
+                .collect(),
+        };
+        Engine {
+            alloc,
+            sizes,
+            driven: 0,
+        }
+    }
+
+    /// Read access to the driven allocator.
+    pub fn allocator(&self) -> &A {
+        &self.alloc
+    }
+
+    /// The engine's size table (active tasks only).
+    pub fn sizes(&self) -> &SizeTable {
+        &self.sizes
+    }
+
+    /// Events applied over the engine's lifetime.
+    pub fn events_driven(&self) -> u64 {
+        self.driven
+    }
+
+    /// Unwrap the allocator.
+    pub fn into_inner(self) -> A {
+        self.alloc
+    }
+
+    /// Book-keep + notify for one applied event.
+    fn settle(
+        &mut self,
+        event: &Event,
+        outcome: EventOutcome,
+        observers: &mut [&mut dyn Observer],
+    ) -> EventOutcome {
+        if let Event::Arrival { id, size_log2 } = *event {
+            self.sizes.sizes.insert(id, size_log2);
+        }
+        let step = Step {
+            index: self.driven,
+            event,
+            outcome: &outcome,
+        };
+        for obs in observers.iter_mut() {
+            obs.on_event(&step, &self.alloc, &self.sizes);
+        }
+        if let Event::Departure { id } = *event {
+            self.sizes.sizes.remove(&id);
+        }
+        self.driven += 1;
+        outcome
+    }
+
+    /// Apply one trusted event (panics on invalid input, like
+    /// [`Allocator::handle`]).
+    pub fn drive(&mut self, event: &Event, observers: &mut [&mut dyn Observer]) -> EventOutcome {
+        let outcome = self.alloc.handle(event);
+        self.settle(event, outcome, observers)
+    }
+
+    /// Apply one untrusted event: a rejected event ([`CoreError`])
+    /// leaves the allocator, the size table, and the observers
+    /// untouched.
+    pub fn try_drive(
+        &mut self,
+        event: &Event,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<EventOutcome, CoreError> {
+        let outcome = self.alloc.try_handle(event)?;
+        Ok(self.settle(event, outcome, observers))
+    }
+
+    /// Apply a slice of trusted events in order.
+    ///
+    /// Semantics are *identical* to calling [`Engine::drive`] once per
+    /// event — observers fire per event — so batched submission can be
+    /// verified byte-for-byte against per-event submission (the
+    /// workspace's equivalence proptest does exactly that). What
+    /// batching buys is amortization in the layers above: one request,
+    /// one lock acquisition, one gauge publish per batch.
+    pub fn drive_batch(
+        &mut self,
+        events: &[Event],
+        observers: &mut [&mut dyn Observer],
+    ) -> Vec<EventOutcome> {
+        events
+            .iter()
+            .map(|ev| self.drive(ev, observers))
+            .collect()
+    }
+
+    /// Drive a whole validated sequence, then deliver
+    /// [`Observer::finish`] to every observer.
+    pub fn run(&mut self, seq: &TaskSequence, observers: &mut [&mut dyn Observer]) {
+        for ev in seq.events() {
+            self.drive(ev, observers);
+        }
+        for obs in observers.iter_mut() {
+            obs.finish(&self.alloc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_core::{AllocatorKind, Greedy};
+    use partalloc_model::{figure1_sigma_star, Task};
+    use partalloc_topology::BuddyTree;
+
+    /// Counts callbacks and remembers the last step index.
+    #[derive(Default)]
+    struct Probe {
+        events: u64,
+        finishes: u64,
+        last_index: u64,
+        last_active: usize,
+    }
+
+    impl Observer for Probe {
+        fn on_event(&mut self, step: &Step<'_>, _alloc: &dyn Allocator, sizes: &SizeTable) {
+            self.events += 1;
+            self.last_index = step.index;
+            self.last_active = sizes.len();
+        }
+        fn finish(&mut self, _alloc: &dyn Allocator) {
+            self.finishes += 1;
+        }
+    }
+
+    #[test]
+    fn run_notifies_once_per_event_then_finishes() {
+        let machine = BuddyTree::new(4).unwrap();
+        let seq = figure1_sigma_star();
+        let mut engine = Engine::new(Greedy::new(machine));
+        let mut probe = Probe::default();
+        engine.run(&seq, &mut [&mut probe]);
+        assert_eq!(probe.events, seq.len() as u64);
+        assert_eq!(probe.finishes, 1);
+        assert_eq!(probe.last_index, seq.len() as u64 - 1);
+        assert_eq!(engine.events_driven(), seq.len() as u64);
+    }
+
+    #[test]
+    fn size_table_tracks_arrivals_and_departures() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut engine = Engine::new(Greedy::new(machine));
+        engine.drive(
+            &Event::Arrival {
+                id: TaskId(0),
+                size_log2: 2,
+            },
+            &mut [],
+        );
+        assert_eq!(engine.sizes().size(TaskId(0)), 4);
+        engine.drive(&Event::Departure { id: TaskId(0) }, &mut []);
+        assert!(engine.sizes().is_empty());
+    }
+
+    #[test]
+    fn departing_task_is_still_sized_during_dispatch() {
+        struct SizeCheck;
+        impl Observer for SizeCheck {
+            fn on_event(&mut self, step: &Step<'_>, _: &dyn Allocator, sizes: &SizeTable) {
+                if let Event::Departure { id } = *step.event {
+                    assert_eq!(sizes.size(id), 2);
+                }
+            }
+        }
+        let machine = BuddyTree::new(8).unwrap();
+        let mut engine = Engine::new(Greedy::new(machine));
+        let mut check = SizeCheck;
+        engine.drive(
+            &Event::Arrival {
+                id: TaskId(0),
+                size_log2: 1,
+            },
+            &mut [&mut check],
+        );
+        engine.drive(&Event::Departure { id: TaskId(0) }, &mut [&mut check]);
+    }
+
+    #[test]
+    fn try_drive_rejects_without_side_effects() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut engine = Engine::new(AllocatorKind::Greedy.build(machine, 0));
+        let mut probe = Probe::default();
+        let err = engine.try_drive(
+            &Event::Arrival {
+                id: TaskId(0),
+                size_log2: 7,
+            },
+            &mut [&mut probe],
+        );
+        assert!(err.is_err());
+        assert_eq!(probe.events, 0);
+        assert!(engine.sizes().is_empty());
+        assert_eq!(engine.events_driven(), 0);
+    }
+
+    #[test]
+    fn new_seeds_sizes_from_a_restored_allocator() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut alloc = Greedy::new(machine);
+        alloc.on_arrival(Task::new(TaskId(3), 1));
+        let engine = Engine::new(alloc);
+        assert_eq!(engine.sizes().size(TaskId(3)), 2);
+    }
+
+    #[test]
+    fn engines_work_over_borrowed_and_boxed_allocators() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut boxed = AllocatorKind::Basic.build(machine, 0);
+        {
+            let mut engine = Engine::new(boxed.as_mut());
+            engine.drive(
+                &Event::Arrival {
+                    id: TaskId(0),
+                    size_log2: 0,
+                },
+                &mut [],
+            );
+        }
+        assert_eq!(boxed.max_load(), 1);
+        let mut owning = Engine::new(boxed);
+        owning.drive(&Event::Departure { id: TaskId(0) }, &mut []);
+        assert_eq!(owning.allocator().max_load(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Epoch tracking: the `arrived_since_realloc` mirror that the
+//! service's shards (and core snapshots) persist.
+
+use partalloc_core::{Allocator, EventOutcome};
+use partalloc_model::Event;
+
+use crate::engine::{Observer, SizeTable, Step};
+
+/// Mirrors an allocator's reallocation-epoch progress: reset to 0 by a
+/// reallocating arrival, otherwise grown by the arriving task's size —
+/// the precise rule `A_M` and `A_rand(d)` follow internally. Keeping it
+/// as an engine observer means every consumer (shards, snapshots,
+/// tests) derives it from the same event stream the allocator saw.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpochObserver {
+    arrived_since_realloc: u64,
+}
+
+impl EpochObserver {
+    /// A fresh epoch (counter 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resume from a checkpointed counter.
+    pub fn resumed(arrived_since_realloc: u64) -> Self {
+        EpochObserver {
+            arrived_since_realloc,
+        }
+    }
+
+    /// Task size arrived since the last reallocation epoch.
+    pub fn arrived_since_realloc(&self) -> u64 {
+        self.arrived_since_realloc
+    }
+}
+
+impl Observer for EpochObserver {
+    fn on_event(&mut self, step: &Step<'_>, _alloc: &dyn Allocator, _sizes: &SizeTable) {
+        if let (Event::Arrival { size_log2, .. }, EventOutcome::Arrival(out)) =
+            (step.event, step.outcome)
+        {
+            if out.reallocated {
+                self.arrived_since_realloc = 0;
+            } else {
+                self.arrived_since_realloc += 1u64 << size_log2;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use partalloc_core::AllocatorKind;
+    use partalloc_model::{Event, TaskId};
+    use partalloc_topology::BuddyTree;
+
+    #[test]
+    fn mirrors_the_d_realloc_rule() {
+        // A_M with d=1 on 8 PEs: quota 8, so the 8th unit triggers a
+        // reallocation and resets the counter.
+        let machine = BuddyTree::new(8).unwrap();
+        let mut engine = Engine::new(AllocatorKind::DRealloc(1).build(machine, 0));
+        let mut epoch = EpochObserver::new();
+        for i in 0..7 {
+            engine.drive(
+                &Event::Arrival {
+                    id: TaskId(i),
+                    size_log2: 0,
+                },
+                &mut [&mut epoch],
+            );
+        }
+        assert_eq!(epoch.arrived_since_realloc(), 7);
+        engine.drive(
+            &Event::Arrival {
+                id: TaskId(7),
+                size_log2: 0,
+            },
+            &mut [&mut epoch],
+        );
+        assert_eq!(epoch.arrived_since_realloc(), 0);
+    }
+
+    #[test]
+    fn departures_leave_the_epoch_alone() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut engine = Engine::new(AllocatorKind::Greedy.build(machine, 0));
+        let mut epoch = EpochObserver::resumed(5);
+        engine.drive(
+            &Event::Arrival {
+                id: TaskId(0),
+                size_log2: 1,
+            },
+            &mut [&mut epoch],
+        );
+        assert_eq!(epoch.arrived_since_realloc(), 7);
+        engine.drive(&Event::Departure { id: TaskId(0) }, &mut [&mut epoch]);
+        assert_eq!(epoch.arrived_since_realloc(), 7);
+    }
+}

@@ -1,5 +1,5 @@
 //! The round-robin execution model: completion times under thread
-//! sharing.
+//! sharing, driven through the [`Engine`].
 //!
 //! The paper's load metric is a proxy for user-visible progress: a PE
 //! managing `k` threads round-robins among them, so each runs at
@@ -10,9 +10,11 @@
 //! measurable response-time trade.
 
 use partalloc_core::Allocator;
-use partalloc_model::{Task, TaskId};
+use partalloc_model::{Event, TaskId};
 use partalloc_workload::TimedWorkload;
 use serde::Serialize;
+
+use crate::engine::{Engine, Observer};
 
 /// Parameters of the execution model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,9 +93,12 @@ pub struct ResponseReport {
 /// of the tick (in id order). Departures take effect before the next
 /// tick's arrivals, so freed submachines are reusable immediately.
 ///
+/// Every placement mutation routes through the shared [`Engine`] drive
+/// loop; use [`execute_with`] to attach observers to those events.
+///
 /// ```
 /// use partalloc_core::Greedy;
-/// use partalloc_sim::{execute, ExecutorConfig};
+/// use partalloc_engine::{execute, ExecutorConfig};
 /// use partalloc_topology::BuddyTree;
 /// use partalloc_workload::{TimedTask, TimedWorkload};
 ///
@@ -107,10 +112,22 @@ pub struct ResponseReport {
 /// assert_eq!(r.completion, vec![5, 5]);
 /// ```
 pub fn execute<A: Allocator>(
-    mut alloc: A,
+    alloc: A,
     workload: &TimedWorkload,
     config: &ExecutorConfig,
 ) -> ResponseReport {
+    execute_with(alloc, workload, config, &mut [])
+}
+
+/// [`execute`] with engine observers attached to every arrival and
+/// departure the executor drives.
+pub fn execute_with<A: Allocator>(
+    alloc: A,
+    workload: &TimedWorkload,
+    config: &ExecutorConfig,
+    observers: &mut [&mut dyn Observer],
+) -> ResponseReport {
+    let mut engine = Engine::new(alloc);
     let tasks = workload.tasks();
     let mut progress = vec![0.0f64; tasks.len()];
     let mut completion = vec![0u64; tasks.len()];
@@ -129,18 +146,25 @@ pub fn execute<A: Allocator>(
         // Arrivals due now.
         while next_arrival < tasks.len() && tasks[next_arrival].arrival <= tick {
             let t = &tasks[next_arrival];
-            alloc.on_arrival(Task::new(TaskId(next_arrival as u64), t.size_log2));
+            engine.drive(
+                &Event::Arrival {
+                    id: TaskId(next_arrival as u64),
+                    size_log2: t.size_log2,
+                },
+                observers,
+            );
             active.push(next_arrival);
             next_arrival += 1;
         }
-        peak_load = peak_load.max(alloc.max_load());
+        peak_load = peak_load.max(engine.allocator().max_load());
 
         // Progress under the current placement.
         for &i in &active {
-            let placement = alloc
+            let placement = engine
+                .allocator()
                 .placement_of(TaskId(i as u64))
                 .expect("active task has a placement");
-            let load = alloc.max_load_in(placement.node);
+            let load = engine.allocator().max_load_in(placement.node);
             progress[i] += 1.0 / config.slowdown(load);
         }
 
@@ -151,7 +175,7 @@ pub fn execute<A: Allocator>(
             // Epsilon absorbs accumulated floating-point error (e.g.
             // fifteen additions of 1/3 summing to just under 5.0).
             if progress[i] + 1e-9 >= tasks[i].work {
-                alloc.on_departure(TaskId(i as u64));
+                engine.drive(&Event::Departure { id: TaskId(i as u64) }, observers);
                 completion[i] = tick;
                 remaining -= 1;
             } else {
@@ -200,6 +224,7 @@ pub fn execute<A: Allocator>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{SizeTable, Step};
     use partalloc_core::{Constant, Greedy, LeftmostAlways};
     use partalloc_topology::BuddyTree;
     use partalloc_workload::{TimedTask, TimedWorkload};
@@ -296,5 +321,26 @@ mod tests {
         let r = execute(Greedy::new(machine), &w, &ExecutorConfig::ideal());
         assert_eq!(r.makespan, 0);
         assert!(r.stretch.is_empty());
+    }
+
+    #[test]
+    fn observers_see_every_arrival_and_departure() {
+        struct Count(u64);
+        impl crate::engine::Observer for Count {
+            fn on_event(&mut self, _: &Step<'_>, _: &dyn Allocator, _: &SizeTable) {
+                self.0 += 1;
+            }
+        }
+        let machine = BuddyTree::new(4).unwrap();
+        let w = TimedWorkload::new(vec![t(0, 0, 3.0), t(1, 1, 2.0)]);
+        let mut count = Count(0);
+        execute_with(
+            Greedy::new(machine),
+            &w,
+            &ExecutorConfig::ideal(),
+            &mut [&mut count],
+        );
+        // 2 arrivals + 2 departures.
+        assert_eq!(count.0, 4);
     }
 }

@@ -1,0 +1,135 @@
+//! Invariant checking as an observer: `partalloc_core::validate`
+//! lifted off the hot path and into the instrumentation layer, for
+//! debug builds and tests.
+
+use partalloc_core::validate::{validate, Violation};
+use partalloc_core::Allocator;
+
+use crate::engine::{Observer, SizeTable, Step};
+
+/// Runs the full cross-cutting invariant check
+/// ([`partalloc_core::validate::validate`]) against the allocator
+/// every `every`-th event and once at `finish`, collecting any
+/// violations.
+///
+/// The check costs `O(active² + N·active·log N)` per invocation — this
+/// observer is a **debug/test tool**, deliberately *not* attached by
+/// the release drive paths (`run_sequence`, the service shards). The
+/// equivalence proptest and the engine's own tests attach it so every
+/// randomly driven allocator state is audited.
+pub struct InvariantObserver {
+    check_copy_exclusivity: bool,
+    every: u64,
+    violations: Vec<(u64, Violation)>,
+}
+
+impl InvariantObserver {
+    /// Check after every event.
+    pub fn new(check_copy_exclusivity: bool) -> Self {
+        Self::every(check_copy_exclusivity, 1)
+    }
+
+    /// Check after every `every`-th event (and at finish); `every ≥ 1`.
+    pub fn every(check_copy_exclusivity: bool, every: u64) -> Self {
+        assert!(every >= 1, "check interval must be at least 1");
+        InvariantObserver {
+            check_copy_exclusivity,
+            every,
+            violations: Vec::new(),
+        }
+    }
+
+    /// All violations found so far, tagged with the event index that
+    /// exposed them (`u64::MAX` for finish-time checks).
+    pub fn violations(&self) -> &[(u64, Violation)] {
+        &self.violations
+    }
+
+    /// Panic with a readable report if any invariant was violated.
+    pub fn assert_clean(&self) {
+        if let Some((idx, v)) = self.violations.first() {
+            panic!(
+                "allocator invariant violated at event {idx}: {v} \
+                 ({} violations total)",
+                self.violations.len()
+            );
+        }
+    }
+
+    fn check(&mut self, index: u64, alloc: &dyn Allocator) {
+        for v in validate(alloc, self.check_copy_exclusivity) {
+            self.violations.push((index, v));
+        }
+    }
+}
+
+impl Observer for InvariantObserver {
+    fn on_event(&mut self, step: &Step<'_>, alloc: &dyn Allocator, _sizes: &SizeTable) {
+        if step.index % self.every == 0 {
+            self.check(step.index, alloc);
+        }
+    }
+
+    fn finish(&mut self, alloc: &dyn Allocator) {
+        self.check(u64::MAX, alloc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use partalloc_core::AllocatorKind;
+    use partalloc_model::figure1_sigma_star;
+    use partalloc_topology::BuddyTree;
+
+    #[test]
+    fn healthy_runs_validate_clean() {
+        let machine = BuddyTree::new(4).unwrap();
+        for kind in [
+            AllocatorKind::Greedy,
+            AllocatorKind::Basic,
+            AllocatorKind::Constant,
+            AllocatorKind::DRealloc(2),
+        ] {
+            let mut engine = Engine::new(kind.build(machine, 0));
+            // Copy exclusivity is guaranteed throughout a run only for
+            // the strictly copy-structured kinds.
+            let copy = matches!(kind, AllocatorKind::Basic | AllocatorKind::Constant);
+            let mut inv = InvariantObserver::new(copy);
+            engine.run(&figure1_sigma_star(), &mut [&mut inv]);
+            inv.assert_clean();
+        }
+    }
+
+    #[test]
+    fn downsampled_checking_still_finishes() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut engine = Engine::new(AllocatorKind::Greedy.build(machine, 0));
+        let mut inv = InvariantObserver::every(false, 4);
+        engine.run(&figure1_sigma_star(), &mut [&mut inv]);
+        assert!(inv.violations().is_empty());
+    }
+
+    #[test]
+    fn copy_overlap_is_reported_through_the_observer() {
+        // A_G legitimately stacks tasks in copy 0; auditing it WITH
+        // copy exclusivity must therefore flag overlaps — which
+        // doubles as the detection test.
+        let machine = BuddyTree::new(4).unwrap();
+        let mut engine = Engine::new(AllocatorKind::Greedy.build(machine, 0));
+        let mut inv = InvariantObserver::new(true);
+        engine.run(&figure1_sigma_star(), &mut [&mut inv]);
+        assert!(!inv.violations().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn assert_clean_panics_on_violations() {
+        let machine = BuddyTree::new(4).unwrap();
+        let mut engine = Engine::new(AllocatorKind::Greedy.build(machine, 0));
+        let mut inv = InvariantObserver::new(true);
+        engine.run(&figure1_sigma_star(), &mut [&mut inv]);
+        inv.assert_clean();
+    }
+}

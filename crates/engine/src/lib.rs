@@ -1,0 +1,60 @@
+//! The unified event engine: **one** batched, observer-instrumented
+//! drive loop shared by the simulator, the allocation service, the CLI,
+//! and the benches.
+//!
+//! # Why one loop
+//!
+//! Before this crate, every consumer of an [`partalloc_core::Allocator`]
+//! hand-rolled its own event loop: `sim`'s metric runner, its cost
+//! runner, its slowdown runner, the timed round-robin executor, the
+//! service's shards, and `palloc drive` each re-implemented
+//! "apply event, then account for what happened" with subtly different
+//! bookkeeping. The [`Engine`] extracts that loop once; everything else
+//! becomes an [`Observer`] composed onto it:
+//!
+//! ```text
+//!                    ┌───────────────────────────┐
+//!     Event ───────▶ │  Engine ── allocator      │
+//!   (or batch)       │     │   └─ SizeTable      │
+//!                    │     ▼ Step {event,outcome}│
+//!                    └─────┬─────────────────────┘
+//!                          │ one callback per event, in order
+//!          ┌───────────┬───┴───────┬─────────────┬───────────┐
+//!          ▼           ▼           ▼             ▼           ▼
+//!    MetricsObserver CostObserver SlowdownObs. EpochObs. InvariantObs.
+//!     (RunMetrics)   (CostReport) (SlowdownRpt) (shards)  (debug/test)
+//! ```
+//!
+//! # Batching
+//!
+//! [`Engine::drive_batch`] applies a slice of events with semantics
+//! *identical* to per-event [`Engine::drive`] calls — observers fire
+//! once per event, in order, either way. Batching is therefore a pure
+//! transport/locking optimization for the layers above (one request,
+//! one lock acquisition, one gauge publish per batch), and the
+//! equivalence is checked property-style in this crate's test suite:
+//! batched and per-event driving must produce byte-identical placements
+//! and metrics for every allocator kind.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod engine;
+mod epoch;
+mod executor;
+mod invariant;
+mod metrics;
+mod run;
+mod slowdown;
+
+pub use cost::{CostObserver, CostReport, MigrationCostModel};
+pub use engine::{Engine, Observer, SizeTable, Step};
+pub use epoch::EpochObserver;
+pub use executor::{execute, execute_with, ExecutorConfig, ResponseReport};
+pub use invariant::InvariantObserver;
+pub use metrics::{
+    LoadProfileRecorder, MetricsObserver, RunMetrics, DEFAULT_PROFILE_CAP,
+};
+pub use run::{run_sequence, run_sequence_dyn, run_with_cost, run_with_slowdowns};
+pub use slowdown::{SlowdownObserver, SlowdownReport};

@@ -1,0 +1,403 @@
+//! Run metrics and the observer that collects them, including the
+//! bounded load-profile recorder that keeps million-event runs at a
+//! fixed memory footprint.
+
+use partalloc_core::{Allocator, EventOutcome};
+use serde::Serialize;
+
+use crate::engine::{Observer, SizeTable, Step};
+
+/// Default cap on recorded load-profile samples; below it the profile
+/// is exact (stride 1), above it the recorder decimates.
+pub const DEFAULT_PROFILE_CAP: usize = 1 << 16;
+
+/// A bounded recorder of the load trajectory `L_A(σ; τ)`.
+///
+/// Stores at most `cap` samples. While the event count fits, every
+/// event's load is kept (stride 1) and the profile is exact — all
+/// small-run behavior is unchanged. When the cap would overflow, the
+/// recorder halves its resolution: it drops every other retained
+/// sample and doubles its stride, so a run of any length costs
+/// `O(cap)` memory and the retained samples are the loads at event
+/// indices `0, stride, 2·stride, …`.
+#[derive(Debug, Clone)]
+pub struct LoadProfileRecorder {
+    samples: Vec<u64>,
+    stride: u64,
+    cap: usize,
+    seen: u64,
+}
+
+impl LoadProfileRecorder {
+    /// A recorder keeping at most `cap` samples (`cap ≥ 2`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2, "a load profile needs at least two samples");
+        LoadProfileRecorder {
+            samples: Vec::new(),
+            stride: 1,
+            cap,
+            seen: 0,
+        }
+    }
+
+    /// Record the load after the next event.
+    pub fn push(&mut self, load: u64) {
+        if self.seen % self.stride == 0 {
+            if self.samples.len() == self.cap {
+                // Halve resolution: keep indices 0, 2, 4, … of the
+                // retained samples, i.e. double the stride.
+                let mut keep = 0;
+                for i in (0..self.samples.len()).step_by(2) {
+                    self.samples[keep] = self.samples[i];
+                    keep += 1;
+                }
+                self.samples.truncate(keep);
+                self.stride *= 2;
+                if self.seen % self.stride == 0 {
+                    self.samples.push(load);
+                }
+            } else {
+                self.samples.push(load);
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// The retained samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Event-index distance between retained samples (1 = exact).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Consume into `(samples, stride)`.
+    pub fn into_parts(self) -> (Vec<u64>, u64) {
+        (self.samples, self.stride)
+    }
+}
+
+/// What one run of an allocator over a sequence produced.
+///
+/// `load_profile[k]` is `L_A(σ; k·profile_stride + 1)` — the machine's
+/// maximum PE load immediately after the `(k·profile_stride + 1)`-th
+/// event. For runs of up to [`DEFAULT_PROFILE_CAP`] events,
+/// `profile_stride` is 1 and the profile is exact; longer runs are
+/// downsampled (see [`LoadProfileRecorder`]). `peak_load` is always
+/// exact — it is tracked per event, not derived from the profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RunMetrics {
+    /// Allocator display name.
+    pub allocator: String,
+    /// Number of events processed.
+    pub events: usize,
+    /// `L_A(σ)`: maximum load over all times (exact).
+    pub peak_load: u64,
+    /// Load after the final event (exact).
+    pub final_load: u64,
+    /// `L*`: the sequence's optimal load on this machine.
+    pub lstar: u64,
+    /// Maximum load after each retained event (possibly downsampled;
+    /// see `profile_stride`).
+    pub load_profile: Vec<u64>,
+    /// Event-index distance between `load_profile` samples (1 = every
+    /// event was retained).
+    pub profile_stride: u64,
+    /// Number of arrivals that triggered a reallocation.
+    pub realloc_events: u64,
+    /// Total migration records reported (including layer-only moves).
+    pub migrations: u64,
+    /// Migrations that actually changed PEs.
+    pub physical_migrations: u64,
+    /// Total PEs' worth of task state physically moved
+    /// (`Σ` task sizes over physical migrations).
+    pub migrated_pes: u64,
+    /// Per-PE load after the final event.
+    pub per_pe_final: Vec<u64>,
+}
+
+impl RunMetrics {
+    /// `L_A(σ) / L*` — the realized competitive ratio.
+    ///
+    /// **Contract:** returns [`f64::NAN`] when `lstar == 0` (an empty
+    /// sequence, or one with no arrivals, has no optimum to compare
+    /// against) — never `inf` — so downstream tables and charts can
+    /// filter undefined ratios with `is_nan()` instead of silently
+    /// plotting infinities.
+    pub fn peak_ratio(&self) -> f64 {
+        if self.lstar == 0 {
+            return f64::NAN;
+        }
+        self.peak_load as f64 / self.lstar as f64
+    }
+
+    /// Mean of the final per-PE loads.
+    pub fn mean_final_load(&self) -> f64 {
+        if self.per_pe_final.is_empty() {
+            0.0
+        } else {
+            self.per_pe_final.iter().sum::<u64>() as f64 / self.per_pe_final.len() as f64
+        }
+    }
+
+    /// Final imbalance: max PE load minus min PE load.
+    pub fn final_imbalance(&self) -> u64 {
+        let max = self.per_pe_final.iter().max().copied().unwrap_or(0);
+        let min = self.per_pe_final.iter().min().copied().unwrap_or(0);
+        max - min
+    }
+
+    /// Jain's fairness index over the final per-PE loads:
+    /// `(Σx)² / (n·Σx²)`, in `(0, 1]`; 1 means perfectly even load.
+    /// The standard fairness summary for allocation studies — a
+    /// single-number view of the imbalance the paper's algorithms
+    /// bound.
+    pub fn jain_fairness(&self) -> f64 {
+        let n = self.per_pe_final.len() as f64;
+        let sum: f64 = self.per_pe_final.iter().map(|&x| x as f64).sum();
+        let sum_sq: f64 = self.per_pe_final.iter().map(|&x| (x as f64).powi(2)).sum();
+        if sum_sq == 0.0 {
+            1.0 // an empty machine is trivially fair
+        } else {
+            sum * sum / (n * sum_sq)
+        }
+    }
+
+    /// Coefficient of variation of the final per-PE loads
+    /// (std-dev / mean; 0 = perfectly even, 0 for an empty machine).
+    pub fn load_cv(&self) -> f64 {
+        let n = self.per_pe_final.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self.mean_final_load();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .per_pe_final
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Physical migrations per arrival-triggered reallocation (0 if no
+    /// reallocation happened).
+    pub fn migrations_per_realloc(&self) -> f64 {
+        if self.realloc_events == 0 {
+            0.0
+        } else {
+            self.physical_migrations as f64 / self.realloc_events as f64
+        }
+    }
+}
+
+/// The engine observer that collects [`RunMetrics`] — the ported
+/// `sim::runner` accounting: realloc/migration tallies, the (bounded)
+/// load profile, exact peak and final loads.
+#[derive(Debug, Clone)]
+pub struct MetricsObserver {
+    profile: LoadProfileRecorder,
+    events: usize,
+    peak: u64,
+    final_load: u64,
+    realloc_events: u64,
+    migrations: u64,
+    physical: u64,
+    migrated_pes: u64,
+    allocator: String,
+    per_pe_final: Vec<u64>,
+}
+
+impl Default for MetricsObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsObserver {
+    /// An observer with the default profile cap
+    /// ([`DEFAULT_PROFILE_CAP`]).
+    pub fn new() -> Self {
+        Self::with_profile_cap(DEFAULT_PROFILE_CAP)
+    }
+
+    /// An observer retaining at most `cap` load-profile samples.
+    pub fn with_profile_cap(cap: usize) -> Self {
+        MetricsObserver {
+            profile: LoadProfileRecorder::new(cap),
+            events: 0,
+            peak: 0,
+            final_load: 0,
+            realloc_events: 0,
+            migrations: 0,
+            physical: 0,
+            migrated_pes: 0,
+            allocator: String::new(),
+            per_pe_final: Vec::new(),
+        }
+    }
+
+    /// Consume into [`RunMetrics`]; `lstar` is the sequence's optimal
+    /// load on the driven machine (`seq.optimal_load(n)`).
+    pub fn into_metrics(self, lstar: u64) -> RunMetrics {
+        let (load_profile, profile_stride) = self.profile.into_parts();
+        RunMetrics {
+            allocator: self.allocator,
+            events: self.events,
+            peak_load: self.peak,
+            final_load: self.final_load,
+            lstar,
+            load_profile,
+            profile_stride,
+            realloc_events: self.realloc_events,
+            migrations: self.migrations,
+            physical_migrations: self.physical,
+            migrated_pes: self.migrated_pes,
+            per_pe_final: self.per_pe_final,
+        }
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn on_event(&mut self, step: &Step<'_>, alloc: &dyn Allocator, sizes: &SizeTable) {
+        if let EventOutcome::Arrival(out) = step.outcome {
+            if out.reallocated {
+                self.realloc_events += 1;
+            }
+            self.migrations += out.migrations.len() as u64;
+            for m in &out.migrations {
+                if m.is_physical() {
+                    self.physical += 1;
+                    self.migrated_pes += sizes.size(m.task);
+                }
+            }
+        }
+        let load = alloc.max_load();
+        self.peak = self.peak.max(load);
+        self.final_load = load;
+        self.profile.push(load);
+        self.events += 1;
+    }
+
+    fn finish(&mut self, alloc: &dyn Allocator) {
+        self.allocator = alloc.name();
+        let machine = alloc.machine();
+        self.per_pe_final = (0..machine.num_pes()).map(|pe| alloc.pe_load(pe)).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunMetrics {
+        RunMetrics {
+            allocator: "A_G".into(),
+            events: 4,
+            peak_load: 6,
+            final_load: 4,
+            lstar: 2,
+            load_profile: vec![1, 3, 6, 4],
+            profile_stride: 1,
+            realloc_events: 2,
+            migrations: 10,
+            physical_migrations: 6,
+            migrated_pes: 24,
+            per_pe_final: vec![4, 2, 0, 2],
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let m = sample();
+        assert!((m.peak_ratio() - 3.0).abs() < 1e-12);
+        assert!((m.mean_final_load() - 2.0).abs() < 1e-12);
+        assert_eq!(m.final_imbalance(), 4);
+        assert!((m.migrations_per_realloc() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_ratio_is_nan_when_lstar_is_zero() {
+        // The documented contract: no optimum to compare against means
+        // NaN — even when peak_load > 0 (which would otherwise divide
+        // to +inf) — so charts can filter with is_nan().
+        let mut m = sample();
+        m.lstar = 0;
+        assert!(m.peak_ratio().is_nan());
+        m.peak_load = 0;
+        assert!(m.peak_ratio().is_nan());
+        m.lstar = 2;
+        assert_eq!(m.peak_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fairness_metrics() {
+        let mut m = sample();
+        // Perfectly even loads → Jain 1, CV 0.
+        m.per_pe_final = vec![3, 3, 3, 3];
+        assert!((m.jain_fairness() - 1.0).abs() < 1e-12);
+        assert_eq!(m.load_cv(), 0.0);
+        // One hot PE out of four: Jain = 16/(4·16) = 0.25.
+        m.per_pe_final = vec![4, 0, 0, 0];
+        assert!((m.jain_fairness() - 0.25).abs() < 1e-12);
+        assert!(m.load_cv() > 1.0);
+        // Empty machine.
+        m.per_pe_final = vec![0, 0];
+        assert_eq!(m.jain_fairness(), 1.0);
+        assert_eq!(m.load_cv(), 0.0);
+    }
+
+    #[test]
+    fn zero_realloc_rate_is_zero() {
+        let mut m = sample();
+        m.realloc_events = 0;
+        assert_eq!(m.migrations_per_realloc(), 0.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let m = sample();
+        let j = serde_json::to_string(&m).unwrap();
+        assert!(j.contains("\"peak_load\":6"));
+        assert!(j.contains("\"profile_stride\":1"));
+    }
+
+    #[test]
+    fn recorder_is_exact_under_the_cap() {
+        let mut r = LoadProfileRecorder::new(8);
+        for load in 0..8 {
+            r.push(load);
+        }
+        assert_eq!(r.samples(), (0..8).collect::<Vec<u64>>());
+        assert_eq!(r.stride(), 1);
+    }
+
+    #[test]
+    fn recorder_decimates_past_the_cap() {
+        let mut r = LoadProfileRecorder::new(8);
+        for load in 0..32 {
+            r.push(load);
+        }
+        // Stride doubled twice: 32 events at cap 8 → stride 4.
+        assert_eq!(r.stride(), 4);
+        assert_eq!(r.samples(), vec![0, 4, 8, 12, 16, 20, 24, 28]);
+        assert!(r.samples().len() <= 8);
+    }
+
+    #[test]
+    fn recorder_memory_is_bounded_for_huge_runs() {
+        let mut r = LoadProfileRecorder::new(16);
+        for i in 0..1_000_000u64 {
+            r.push(i % 7);
+        }
+        assert!(r.samples().len() <= 16);
+        assert!(r.stride().is_power_of_two());
+        // First retained sample is always the first event.
+        assert_eq!(r.samples()[0], 0);
+    }
+}

@@ -1,9 +1,15 @@
-use partalloc_core::{Allocator, EventOutcome};
+//! One-shot run helpers: the `sim` entry points
+//! (`run_sequence`, `run_with_cost`, `run_with_slowdowns`), now thin
+//! compositions of an [`Engine`] with the matching observers.
+
+use partalloc_core::Allocator;
 use partalloc_model::TaskSequence;
 use partalloc_topology::Partitionable;
 
-use crate::cost::{CostReport, MigrationCostModel};
-use crate::metrics::RunMetrics;
+use crate::cost::{CostObserver, CostReport, MigrationCostModel};
+use crate::engine::Engine;
+use crate::metrics::{MetricsObserver, RunMetrics};
+use crate::slowdown::{SlowdownObserver, SlowdownReport};
 
 /// Drive `alloc` through `seq` and collect [`RunMetrics`].
 ///
@@ -16,13 +22,17 @@ pub fn run_sequence<A: Allocator>(mut alloc: A, seq: &TaskSequence) -> RunMetric
 
 /// Dynamic-dispatch variant of [`run_sequence`].
 pub fn run_sequence_dyn(alloc: &mut dyn Allocator, seq: &TaskSequence) -> RunMetrics {
-    run_inner(alloc, seq, None).0
+    let n = u64::from(alloc.machine().num_pes());
+    let mut engine = Engine::new(alloc);
+    let mut metrics = MetricsObserver::new();
+    engine.run(seq, &mut [&mut metrics]);
+    metrics.into_metrics(seq.optimal_load(n))
 }
 
 /// Like [`run_sequence`], but also price every physical migration with
 /// `model` on the machine's concrete topology.
 pub fn run_with_cost<A: Allocator, P: Partitionable>(
-    mut alloc: A,
+    alloc: A,
     seq: &TaskSequence,
     topo: &P,
     model: &MigrationCostModel,
@@ -32,75 +42,24 @@ pub fn run_with_cost<A: Allocator, P: Partitionable>(
         alloc.machine(),
         "topology and allocator must describe the same machine"
     );
-    let (metrics, report) = run_inner(&mut alloc, seq, Some((topo, model)));
-    (metrics, report.expect("cost model was supplied"))
+    let n = u64::from(alloc.machine().num_pes());
+    let mut engine = Engine::new(alloc);
+    let mut metrics = MetricsObserver::new();
+    let mut cost = CostObserver::new(topo, *model);
+    engine.run(seq, &mut [&mut metrics, &mut cost]);
+    (
+        metrics.into_metrics(seq.optimal_load(n)),
+        cost.into_report(),
+    )
 }
 
-fn run_inner(
-    alloc: &mut dyn Allocator,
-    seq: &TaskSequence,
-    costing: Option<(&dyn Partitionable, &MigrationCostModel)>,
-) -> (RunMetrics, Option<CostReport>) {
-    let machine = alloc.machine();
-    let n = u64::from(machine.num_pes());
-    let mut load_profile = Vec::with_capacity(seq.len());
-    let mut peak = 0u64;
-    let mut realloc_events = 0u64;
-    let mut migrations = 0u64;
-    let mut physical = 0u64;
-    let mut migrated_pes = 0u64;
-    let mut report = costing.map(|_| CostReport::default());
-
-    for ev in seq.events() {
-        let outcome = alloc.handle(ev);
-        if let EventOutcome::Arrival(out) = &outcome {
-            if out.reallocated {
-                realloc_events += 1;
-            }
-            migrations += out.migrations.len() as u64;
-            let mut realloc_cost = 0.0;
-            for m in &out.migrations {
-                if m.is_physical() {
-                    physical += 1;
-                    let size = seq.size_of(m.task);
-                    migrated_pes += size;
-                    if let Some((topo, model)) = costing {
-                        realloc_cost += model.migration_cost(topo, m, size);
-                    }
-                }
-            }
-            if let Some(r) = report.as_mut() {
-                r.total_cost += realloc_cost;
-                if realloc_cost > r.max_event_cost {
-                    r.max_event_cost = realloc_cost;
-                }
-            }
-        }
-        let load = alloc.max_load();
-        peak = peak.max(load);
-        load_profile.push(load);
-    }
-
-    if let Some(r) = report.as_mut() {
-        r.physical_migrations = physical;
-        r.migrated_pes = migrated_pes;
-        r.events = seq.len();
-    }
-
-    let metrics = RunMetrics {
-        allocator: alloc.name(),
-        events: seq.len(),
-        peak_load: peak,
-        final_load: load_profile.last().copied().unwrap_or(0),
-        lstar: seq.optimal_load(n),
-        load_profile,
-        realloc_events,
-        migrations,
-        physical_migrations: physical,
-        migrated_pes,
-        per_pe_final: (0..machine.num_pes()).map(|pe| alloc.pe_load(pe)).collect(),
-    };
-    (metrics, report)
+/// Drive `alloc` through `seq`, tracking each task's worst observed
+/// submachine load (see [`SlowdownObserver`]).
+pub fn run_with_slowdowns<A: Allocator>(alloc: A, seq: &TaskSequence) -> SlowdownReport {
+    let mut engine = Engine::new(alloc);
+    let mut slow = SlowdownObserver::new();
+    engine.run(seq, &mut [&mut slow]);
+    slow.into_report()
 }
 
 #[cfg(test)]
@@ -120,6 +79,7 @@ mod tests {
         assert_eq!(m.peak_load, 2);
         assert_eq!(m.lstar, 1);
         assert_eq!(m.load_profile, vec![1, 1, 1, 1, 1, 1, 2]);
+        assert_eq!(m.profile_stride, 1);
         assert_eq!(m.realloc_events, 0);
         assert_eq!(m.per_pe_final, vec![2, 1, 1, 0]);
         assert!((m.peak_ratio() - 2.0).abs() < 1e-12);
@@ -142,6 +102,7 @@ mod tests {
         let model = MigrationCostModel::new(1.0, 0.5, 0.25);
         let (m, cost) = run_with_cost(Constant::new(machine), &seq, &topo, &model);
         assert_eq!(cost.physical_migrations, m.physical_migrations);
+        assert_eq!(cost.migrated_pes, m.migrated_pes);
         assert_eq!(cost.events, 7);
         if cost.physical_migrations > 0 {
             assert!(cost.total_cost > 0.0);
@@ -168,6 +129,8 @@ mod tests {
         assert_eq!(m.peak_load, 0);
         assert_eq!(m.final_load, 0);
         assert!(m.load_profile.is_empty());
+        // No arrivals → no optimum: the documented NaN contract.
+        assert!(m.peak_ratio().is_nan());
     }
 
     #[test]
@@ -185,5 +148,15 @@ mod tests {
         let topo = TreeMachine::new(8).unwrap();
         let model = MigrationCostModel::new(1.0, 0.0, 0.0);
         let _ = run_with_cost(Greedy::new(machine), &figure1_sigma_star(), &topo, &model);
+    }
+
+    #[test]
+    fn by_value_and_dyn_runs_agree() {
+        let seq = figure1_sigma_star();
+        let by_value = run_sequence(Greedy::new(BuddyTree::new(4).unwrap()), &seq);
+        let mut boxed: Box<dyn Allocator> =
+            Box::new(Greedy::new(BuddyTree::new(4).unwrap()));
+        let dynamic = run_sequence_dyn(boxed.as_mut(), &seq);
+        assert_eq!(by_value, dynamic);
     }
 }

@@ -1,6 +1,10 @@
+//! Per-user slowdown tracking as an engine observer.
+
 use partalloc_core::Allocator;
-use partalloc_model::{Event, TaskSequence};
+use partalloc_model::{Event, TaskId};
 use serde::Serialize;
+
+use crate::engine::{Observer, SizeTable, Step};
 
 /// Per-user slowdown under round-robin thread sharing.
 ///
@@ -22,57 +26,83 @@ pub struct SlowdownReport {
     pub p95: u64,
 }
 
-/// Drive `alloc` through `seq`, tracking each task's worst observed
-/// submachine load.
+/// The engine observer that tracks each task's worst observed
+/// submachine load — the ported `sim::run_with_slowdowns` accounting.
 ///
-/// Costs `O(events × active tasks × log N)` — meant for the slowdown
+/// After each event, the worst-seen load of every *still-active* task
+/// is refreshed (a departing task's record is frozen at the departure).
+/// `per_task` grows on demand, so the observer needs no advance
+/// knowledge of the sequence length. Costs
+/// `O(events × active tasks × log N)` — meant for the slowdown
 /// experiment at moderate scale, not for the big sweeps.
-pub fn run_with_slowdowns<A: Allocator>(mut alloc: A, seq: &TaskSequence) -> SlowdownReport {
-    let mut per_task = vec![0u64; seq.num_tasks()];
-    let mut active: Vec<partalloc_model::TaskId> = Vec::new();
-    for ev in seq.events() {
-        alloc.handle(ev);
-        match *ev {
-            Event::Arrival { id, .. } => active.push(id),
+#[derive(Debug, Clone, Default)]
+pub struct SlowdownObserver {
+    per_task: Vec<u64>,
+    active: Vec<TaskId>,
+}
+
+impl SlowdownObserver {
+    /// An empty tracker (assumes the engine starts on an empty
+    /// machine, as runs over a [`partalloc_model::TaskSequence`] do).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume into the final [`SlowdownReport`].
+    pub fn into_report(self) -> SlowdownReport {
+        let per_task = self.per_task;
+        let worst = per_task.iter().copied().max().unwrap_or(0);
+        let mean = if per_task.is_empty() {
+            0.0
+        } else {
+            per_task.iter().sum::<u64>() as f64 / per_task.len() as f64
+        };
+        let mut sorted = per_task.clone();
+        sorted.sort_unstable();
+        let p95 = if sorted.is_empty() {
+            0
+        } else {
+            sorted[((sorted.len() - 1) as f64 * 0.95).round() as usize]
+        };
+        SlowdownReport {
+            per_task,
+            worst,
+            mean,
+            p95,
+        }
+    }
+}
+
+impl Observer for SlowdownObserver {
+    fn on_event(&mut self, step: &Step<'_>, alloc: &dyn Allocator, _sizes: &SizeTable) {
+        match *step.event {
+            Event::Arrival { id, .. } => {
+                if self.per_task.len() <= id.idx() {
+                    self.per_task.resize(id.idx() + 1, 0);
+                }
+                self.active.push(id);
+            }
             Event::Departure { id } => {
-                active.retain(|&a| a != id);
+                self.active.retain(|&a| a != id);
             }
         }
         // Refresh the worst-observed load of every active task.
-        for &id in &active {
+        for &id in &self.active {
             let placement = alloc.placement_of(id).expect("active task has a placement");
             let load = alloc.max_load_in(placement.node);
-            if load > per_task[id.idx()] {
-                per_task[id.idx()] = load;
+            if load > self.per_task[id.idx()] {
+                self.per_task[id.idx()] = load;
             }
         }
-    }
-    let worst = per_task.iter().copied().max().unwrap_or(0);
-    let mean = if per_task.is_empty() {
-        0.0
-    } else {
-        per_task.iter().sum::<u64>() as f64 / per_task.len() as f64
-    };
-    let mut sorted = per_task.clone();
-    sorted.sort_unstable();
-    let p95 = if sorted.is_empty() {
-        0
-    } else {
-        sorted[((sorted.len() - 1) as f64 * 0.95).round() as usize]
-    };
-    SlowdownReport {
-        per_task,
-        worst,
-        mean,
-        p95,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::run_with_slowdowns;
     use partalloc_core::{Constant, Greedy};
-    use partalloc_model::figure1_sigma_star;
+    use partalloc_model::{figure1_sigma_star, TaskSequence};
     use partalloc_topology::BuddyTree;
 
     #[test]

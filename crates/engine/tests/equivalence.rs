@@ -1,0 +1,154 @@
+//! The batching equivalence guarantee, property-tested: for **every**
+//! allocator kind and random valid event sequences, driving the engine
+//! per event and driving it in arbitrary batch splits must produce
+//! identical outcomes (placements, reallocations, migrations) and
+//! byte-identical serialized [`RunMetrics`] — with the invariant
+//! auditor attached so every randomly reached allocator state is also
+//! structurally valid.
+
+use partalloc_core::{
+    AllocatorKind, CopyFit, EpochPolicy, EventOutcome, ReallocTrigger, TieBreak,
+};
+use partalloc_engine::{Engine, InvariantObserver, MetricsObserver, Observer, RunMetrics};
+use partalloc_model::{Event, TaskId};
+use partalloc_topology::BuddyTree;
+use proptest::prelude::*;
+
+/// Every `AllocatorKind` variant, with representative parameters for
+/// the parameterized ones.
+fn all_kinds() -> Vec<AllocatorKind> {
+    vec![
+        AllocatorKind::Constant,
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::BasicFit(CopyFit::BestFit),
+        AllocatorKind::GreedyTie(TieBreak::Random),
+        AllocatorKind::DRealloc(2),
+        AllocatorKind::DReallocWith(1, EpochPolicy::Stacked, ReallocTrigger::Lazy),
+        AllocatorKind::Randomized,
+        AllocatorKind::RandomizedDRealloc(2),
+        AllocatorKind::LeftmostAlways,
+        AllocatorKind::RoundRobin,
+    ]
+}
+
+/// Turn raw proptest fuel into a *valid* event sequence: arrivals get
+/// fresh ids and sizes that fit the machine; departures name a live
+/// task (or fall back to an arrival when the machine is empty).
+fn materialize(pes_log2: u8, raw: &[(bool, u8, usize)]) -> Vec<Event> {
+    let mut live: Vec<TaskId> = Vec::new();
+    let mut next = 0u64;
+    let mut events = Vec::with_capacity(raw.len());
+    for &(arrive, size, pick) in raw {
+        if arrive || live.is_empty() {
+            let id = TaskId(next);
+            next += 1;
+            events.push(Event::Arrival {
+                id,
+                size_log2: size % (pes_log2 + 1),
+            });
+            live.push(id);
+        } else {
+            let id = live.swap_remove(pick % live.len());
+            events.push(Event::Departure { id });
+        }
+    }
+    events
+}
+
+/// Drive `events` through a fresh allocator of `kind`, splitting the
+/// stream into `drive_batch` calls of the given `chunks` lengths
+/// (chunk length 0 ⇒ per-event `drive`). Returns every outcome plus
+/// the run's metrics; panics if the invariant auditor found anything.
+fn run_split(
+    kind: AllocatorKind,
+    pes: u64,
+    seed: u64,
+    events: &[Event],
+    chunks: Option<&[usize]>,
+) -> (Vec<EventOutcome>, RunMetrics) {
+    let machine = BuddyTree::new(pes).unwrap();
+    let mut engine = Engine::new(kind.build(machine, seed));
+    let mut metrics = MetricsObserver::new();
+    // Copy exclusivity holds throughout a run only for the strictly
+    // copy-structured kinds; everything else gets the structural audit.
+    let copy = matches!(kind, AllocatorKind::Basic | AllocatorKind::Constant);
+    let mut inv = InvariantObserver::new(copy);
+    let mut outcomes = Vec::with_capacity(events.len());
+    match chunks {
+        None => {
+            for ev in events {
+                outcomes.push(engine.drive(ev, &mut [&mut metrics, &mut inv]));
+            }
+        }
+        Some(chunks) => {
+            let mut rest = events;
+            let mut lens = chunks.iter().cycle();
+            while !rest.is_empty() {
+                let take = (*lens.next().unwrap()).clamp(1, rest.len());
+                let (batch, tail) = rest.split_at(take);
+                outcomes.extend(engine.drive_batch(batch, &mut [&mut metrics, &mut inv]));
+                rest = tail;
+            }
+        }
+    }
+    metrics.finish(engine.allocator());
+    inv.finish(engine.allocator());
+    inv.assert_clean();
+    assert_eq!(engine.events_driven(), events.len() as u64);
+    (outcomes, metrics.into_metrics(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole guarantee: batched ≡ per-event for every kind.
+    #[test]
+    fn batched_driving_equals_per_event_driving(
+        raw in proptest::collection::vec((any::<bool>(), 0u8..8, any::<usize>()), 1..60),
+        chunks in proptest::collection::vec(1usize..6, 1..10),
+        seed in any::<u64>(),
+    ) {
+        let pes_log2 = 4u8;
+        let events = materialize(pes_log2, &raw);
+        for kind in all_kinds() {
+            let (a_out, a_metrics) =
+                run_split(kind, 1 << pes_log2, seed, &events, None);
+            let (b_out, b_metrics) =
+                run_split(kind, 1 << pes_log2, seed, &events, Some(&chunks));
+            prop_assert_eq!(&a_out, &b_out, "outcomes diverged for {:?}", kind);
+            // Byte-identical metrics, not just equal structs.
+            let a_json = serde_json::to_string(&a_metrics).unwrap();
+            let b_json = serde_json::to_string(&b_metrics).unwrap();
+            prop_assert_eq!(a_json, b_json, "metrics diverged for {:?}", kind);
+        }
+    }
+}
+
+/// A deterministic spot check so the guarantee is exercised even under
+/// `--test-threads` setups that skip proptest, and as a readable
+/// example of the contract.
+#[test]
+fn one_big_batch_equals_singleton_batches() {
+    let events = materialize(
+        3,
+        &[
+            (true, 2, 0),
+            (true, 0, 0),
+            (false, 0, 1),
+            (true, 3, 0),
+            (true, 1, 3),
+            (false, 0, 0),
+            (true, 2, 2),
+        ],
+    );
+    for kind in all_kinds() {
+        let (whole, m1) = run_split(kind, 8, 7, &events, Some(&[events.len()]));
+        let (single, m2) = run_split(kind, 8, 7, &events, Some(&[1]));
+        let (free, m3) = run_split(kind, 8, 7, &events, None);
+        assert_eq!(whole, single, "{kind:?}");
+        assert_eq!(whole, free, "{kind:?}");
+        assert_eq!(m1, m2, "{kind:?}");
+        assert_eq!(m1, m3, "{kind:?}");
+    }
+}

@@ -6,7 +6,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::metrics::ServiceStats;
-use crate::proto::{Departed, ErrorReply, LoadReport, Placed, Request, Response};
+use crate::proto::{BatchItem, Departed, ErrorReply, LoadReport, Placed, Request, Response};
 use crate::snapshot::ServiceSnapshot;
 
 /// Why a client call failed.
@@ -95,6 +95,16 @@ impl TcpClient {
     pub fn depart(&mut self, task: u64) -> Result<Departed, ClientError> {
         match self.request(&Request::Depart { task })? {
             Response::Departed(d) => Ok(d),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Submit a list of mutations in one request; returns one reply
+    /// per item, in order (`placed`, `departed`, or `error`). One
+    /// round-trip for the whole batch.
+    pub fn batch(&mut self, items: Vec<BatchItem>) -> Result<Vec<Response>, ClientError> {
+        match self.request(&Request::Batch { items })? {
+            Response::Batch { results } => Ok(results),
             other => Err(Self::fail(other)),
         }
     }

@@ -19,7 +19,15 @@
 //! * [`Server`] / [`TcpClient`] — the `std::net` TCP transport with
 //!   graceful, always-terminating shutdown drain;
 //! * [`Request`] / [`Response`] — the wire protocol, one JSON object
-//!   per line, documented in `DESIGN.md`.
+//!   per line, documented in `DESIGN.md`; mutations can be submitted
+//!   in bulk via [`Request::Batch`], which costs one round-trip, one
+//!   lock acquisition and one gauge publish per same-shard run instead
+//!   of per event (and produces byte-identical placements — see the
+//!   equivalence tests in `tests/e2e.rs`).
+//!
+//! Every shard drives its allocator through a
+//! [`partalloc_engine::Engine`], so the daemon, the simulator and the
+//! CLI share one event-application semantics.
 //!
 //! Malformed lines, unknown tasks and oversized requests all come
 //! back as [`Response::Error`] replies — no input a client can send
@@ -39,14 +47,16 @@ mod shard;
 mod snapshot;
 
 pub use client::{ClientError, TcpClient};
-pub use metrics::{LatencyHistogram, LatencySummary, Metrics, ServiceStats};
+pub use metrics::{
+    BatchSizeSummary, LatencyHistogram, LatencySummary, Log2Histogram, Metrics, ServiceStats,
+};
 pub use net::Server;
 pub use proto::{
-    Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
+    BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
 };
 pub use server::{ServiceConfig, ServiceCore, ServiceError, ServiceHandle};
 pub use shard::{
     LeastLoadedRouter, ParseRouterError, RoundRobinRouter, RouterKind, Shard, ShardArrival,
-    ShardRouter, SizeClassRouter,
+    ShardEffect, ShardOp, ShardRouter, SizeClassRouter,
 };
 pub use snapshot::{ServiceSnapshot, ServiceTaskEntry};

@@ -1,44 +1,51 @@
 //! Lock-free live metrics: request counters, reallocation tallies and
-//! a log2-bucketed latency histogram, all readable while the daemon is
-//! under load.
+//! log2-bucketed histograms (request latency, batch sizes), all
+//! readable while the daemon is under load.
 //!
 //! Counters are plain relaxed [`AtomicU64`]s — a `stats` request reads
 //! a near-consistent view without stalling the request path. The
-//! histogram buckets request latencies by `floor(log2(ns))`, which is
+//! [`Log2Histogram`] buckets samples by `floor(log2(v))`, which is
 //! coarse (each bucket spans a factor of two) but constant-time and
 //! allocation-free; quantiles reported in [`ServiceStats`] are the
-//! upper edge of the containing bucket.
+//! upper edge of the containing bucket. One instance tracks request
+//! latencies in nanoseconds, another the item counts of `batch`
+//! requests.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-/// Number of log2 latency buckets: bucket `i` holds samples in
-/// `[2^(i-1), 2^i)` ns (bucket 0 holds 0 ns, the last bucket absorbs
-/// everything ≥ 2^62 ns — ~146 years, i.e. never).
+/// Number of log2 buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` (bucket 0 holds the value 0, the last bucket
+/// absorbs everything ≥ 2^62 — for latencies that is ~146 years in
+/// ns, i.e. never).
 const BUCKETS: usize = 64;
 
-/// A log2-bucketed histogram of nanosecond latencies.
+/// A log2-bucketed histogram of `u64` samples (latencies in ns, batch
+/// sizes in items, …).
 #[derive(Debug, Default)]
-pub struct LatencyHistogram {
+pub struct Log2Histogram {
     buckets: [AtomicU64; BUCKETS],
-    max_ns: AtomicU64,
+    max: AtomicU64,
 }
 
-impl LatencyHistogram {
+/// The latency histogram's historical name, kept as an alias.
+pub type LatencyHistogram = Log2Histogram;
+
+impl Log2Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
     }
 
-    fn bucket_of(ns: u64) -> usize {
-        ((64 - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
     /// Record one sample.
-    pub fn record(&self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
@@ -46,9 +53,9 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
-    /// Upper edge (in ns) of the bucket containing the `q`-quantile
-    /// sample, or 0 for an empty histogram. `q` is clamped to `[0, 1]`.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
+    /// Upper edge of the bucket containing the `q`-quantile sample, or
+    /// 0 for an empty histogram. `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self
             .buckets
             .iter()
@@ -66,22 +73,33 @@ impl LatencyHistogram {
                 return if i == 0 { 0 } else { 1u64 << i };
             }
         }
-        self.max_ns.load(Ordering::Relaxed)
+        self.max.load(Ordering::Relaxed)
     }
 
     /// Largest recorded sample, exactly.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns.load(Ordering::Relaxed)
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
     }
 
-    /// Summarize for a `stats` reply.
-    pub fn summary(&self) -> LatencySummary {
+    /// Summarize as request latencies for a `stats` reply.
+    pub fn latency_summary(&self) -> LatencySummary {
         LatencySummary {
             count: self.count(),
-            p50_ns: self.quantile_ns(0.50),
-            p90_ns: self.quantile_ns(0.90),
-            p99_ns: self.quantile_ns(0.99),
-            max_ns: self.max_ns(),
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            max_ns: self.max(),
+        }
+    }
+
+    /// Summarize as batch sizes for a `stats` reply.
+    pub fn batch_summary(&self) -> BatchSizeSummary {
+        BatchSizeSummary {
+            batches: self.count(),
+            p50_items: self.quantile(0.50),
+            p90_items: self.quantile(0.90),
+            p99_items: self.quantile(0.99),
+            max_items: self.max(),
         }
     }
 }
@@ -89,9 +107,9 @@ impl LatencyHistogram {
 /// The live metrics registry held by the service core.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// Arrivals placed.
+    /// Arrivals placed (batched or not).
     pub arrivals: AtomicU64,
-    /// Departures honoured.
+    /// Departures honoured (batched or not).
     pub departures: AtomicU64,
     /// `query-load` requests served.
     pub load_queries: AtomicU64,
@@ -101,7 +119,8 @@ pub struct Metrics {
     pub stats_queries: AtomicU64,
     /// `ping` requests served.
     pub pings: AtomicU64,
-    /// Error replies sent (all classes, including malformed lines).
+    /// Error replies sent (all classes, including malformed lines and
+    /// per-item batch errors).
     pub errors: AtomicU64,
     /// Reallocation epochs triggered across all shards.
     pub realloc_epochs: AtomicU64,
@@ -109,8 +128,11 @@ pub struct Metrics {
     pub migrations: AtomicU64,
     /// The physical subset (task actually changed PEs).
     pub physical_migrations: AtomicU64,
-    /// Request latency histogram (all ops).
-    pub latency: LatencyHistogram,
+    /// Request latency histogram in ns (one sample per request line,
+    /// so a whole batch is one sample).
+    pub latency: Log2Histogram,
+    /// Item counts of `batch` requests (one sample per batch).
+    pub batch_sizes: Log2Histogram,
 }
 
 impl Metrics {
@@ -144,7 +166,8 @@ impl Metrics {
             migrations: self.migrations.load(Ordering::Relaxed),
             physical_migrations: self.physical_migrations.load(Ordering::Relaxed),
             shard_max_loads,
-            latency: self.latency.summary(),
+            latency: self.latency.latency_summary(),
+            batch_sizes: self.batch_sizes.batch_summary(),
         }
     }
 }
@@ -163,6 +186,22 @@ pub struct LatencySummary {
     pub p99_ns: u64,
     /// Worst observed latency (ns, exact).
     pub max_ns: u64,
+}
+
+/// Batch-size figures for a `stats` reply; quantiles are bucket upper
+/// edges (factor-of-two resolution), `max_items` is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchSizeSummary {
+    /// `batch` requests measured.
+    pub batches: u64,
+    /// Median items per batch (bucket upper edge).
+    pub p50_items: u64,
+    /// 90th percentile (bucket upper edge).
+    pub p90_items: u64,
+    /// 99th percentile (bucket upper edge).
+    pub p99_items: u64,
+    /// Largest batch seen (exact).
+    pub max_items: u64,
 }
 
 /// The wire form of the registry, returned by a `stats` request.
@@ -192,6 +231,8 @@ pub struct ServiceStats {
     pub shard_max_loads: Vec<u64>,
     /// Request latency summary.
     pub latency: LatencySummary,
+    /// Batch-size summary.
+    pub batch_sizes: BatchSizeSummary,
 }
 
 #[cfg(test)]
@@ -200,29 +241,44 @@ mod tests {
 
     #[test]
     fn bucket_edges() {
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 1);
-        assert_eq!(LatencyHistogram::bucket_of(2), 2);
-        assert_eq!(LatencyHistogram::bucket_of(3), 2);
-        assert_eq!(LatencyHistogram::bucket_of(4), 3);
-        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), 63);
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 63);
     }
 
     #[test]
     fn quantiles_track_recorded_samples() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_ns(0.5), 0);
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
         for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 100_000] {
             h.record(ns);
         }
         // 9/10 samples sit in the [64, 128) bucket.
         assert_eq!(h.count(), 10);
-        assert_eq!(h.quantile_ns(0.5), 128);
-        assert_eq!(h.quantile_ns(0.9), 128);
+        assert_eq!(h.quantile(0.5), 128);
+        assert_eq!(h.quantile(0.9), 128);
         // The outlier lands in [65536, 131072).
-        assert_eq!(h.quantile_ns(0.99), 131_072);
-        assert_eq!(h.max_ns(), 100_000);
+        assert_eq!(h.quantile(0.99), 131_072);
+        assert_eq!(h.max(), 100_000);
+    }
+
+    #[test]
+    fn batch_summary_reads_the_same_machinery() {
+        let h = Log2Histogram::new();
+        for items in [1u64, 2, 2, 3, 200] {
+            h.record(items);
+        }
+        let s = h.batch_summary();
+        assert_eq!(s.batches, 5);
+        // The median samples (2 and 3) sit in the [2, 4) bucket.
+        assert_eq!(s.p50_items, 4);
+        assert_eq!(s.max_items, 200);
+        // The 200-item outlier lands in [128, 256).
+        assert_eq!(s.p99_items, 256);
     }
 
     #[test]
@@ -231,11 +287,15 @@ mod tests {
         Metrics::incr(&m.arrivals);
         Metrics::add(&m.migrations, 4);
         m.latency.record(500);
+        m.batch_sizes.record(3);
         let stats = m.report(vec![3, 0]);
         assert_eq!(stats.arrivals, 1);
         assert_eq!(stats.migrations, 4);
         assert_eq!(stats.shard_max_loads, vec![3, 0]);
         assert_eq!(stats.latency.count, 1);
+        assert_eq!(stats.batch_sizes.batches, 1);
+        assert_eq!(stats.batch_sizes.p50_items, 4);
+        assert_eq!(stats.batch_sizes.max_items, 3);
         let json = serde_json::to_string(&stats).unwrap();
         let back: ServiceStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);

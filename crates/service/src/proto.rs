@@ -12,6 +12,15 @@
 //! → {"op":"depart","task":0}
 //! ← {"reply":"departed","task":0,"shard":0,"node":4,"layer":0}
 //! ```
+//!
+//! Mutations can also be submitted in bulk: a `batch` request carries
+//! a list of arrive/depart items and gets one reply per item back, in
+//! order, each item succeeding or failing independently:
+//!
+//! ```text
+//! → {"op":"batch","items":[{"op":"arrive","size_log2":1},{"op":"depart","task":0}]}
+//! ← {"reply":"batch","results":[{"reply":"placed",...},{"reply":"departed",...}]}
+//! ```
 
 use serde::{Deserialize, Serialize};
 
@@ -19,8 +28,26 @@ use partalloc_core::CoreError;
 
 use crate::snapshot::ServiceSnapshot;
 
-/// A client request, tagged by `"op"`.
+/// One mutation inside a [`Request::Batch`], tagged by `"op"` exactly
+/// like a top-level request. Only the mutating operations may be
+/// batched — queries are cheap and answered per request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "kebab-case", deny_unknown_fields)]
+pub enum BatchItem {
+    /// Place a new task; replied with [`Response::Placed`].
+    Arrive {
+        /// log2 of the requested submachine size.
+        size_log2: u8,
+    },
+    /// Release a task; replied with [`Response::Departed`].
+    Depart {
+        /// The service-assigned task id.
+        task: u64,
+    },
+}
+
+/// A client request, tagged by `"op"`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(tag = "op", rename_all = "kebab-case", deny_unknown_fields)]
 pub enum Request {
     /// Place a new task on some shard; the service assigns the task id
@@ -33,6 +60,14 @@ pub enum Request {
     Depart {
         /// The service-assigned task id.
         task: u64,
+    },
+    /// Submit a list of mutations in one request; replied with
+    /// [`Response::Batch`] carrying one result per item, in order.
+    /// Items succeed or fail independently — an error in the middle
+    /// does not abort the rest.
+    Batch {
+        /// The mutations, applied in order.
+        items: Vec<BatchItem>,
     },
     /// Report the current load of every shard.
     QueryLoad,
@@ -54,6 +89,7 @@ impl Request {
         match self {
             Request::Arrive { .. } => "arrive",
             Request::Depart { .. } => "depart",
+            Request::Batch { .. } => "batch",
             Request::QueryLoad => "query-load",
             Request::Snapshot => "snapshot",
             Request::Stats => "stats",
@@ -156,6 +192,12 @@ pub enum Response {
     Placed(Placed),
     /// A departure freed its placement.
     Departed(Departed),
+    /// One result per batched item, in item order: `placed`,
+    /// `departed`, or `error` replies.
+    Batch {
+        /// The per-item results.
+        results: Vec<Response>,
+    },
     /// Load report for `query-load`.
     Load(LoadReport),
     /// Captured state for `snapshot`.
@@ -199,6 +241,12 @@ mod tests {
         let reqs = [
             Request::Arrive { size_log2: 3 },
             Request::Depart { task: 7 },
+            Request::Batch {
+                items: vec![
+                    BatchItem::Arrive { size_log2: 1 },
+                    BatchItem::Depart { task: 2 },
+                ],
+            },
             Request::QueryLoad,
             Request::Snapshot,
             Request::Stats,
@@ -216,6 +264,60 @@ mod tests {
         assert_eq!(arrive, Request::Arrive { size_log2: 2 });
         let load: Request = serde_json::from_str(r#"{"op":"query-load"}"#).unwrap();
         assert_eq!(load, Request::QueryLoad);
+    }
+
+    #[test]
+    fn batch_requests_use_the_documented_spelling() {
+        let batch: Request = serde_json::from_str(
+            r#"{"op":"batch","items":[{"op":"arrive","size_log2":1},{"op":"depart","task":0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            batch,
+            Request::Batch {
+                items: vec![
+                    BatchItem::Arrive { size_log2: 1 },
+                    BatchItem::Depart { task: 0 },
+                ],
+            }
+        );
+        // Queries cannot be smuggled into a batch.
+        for bad in [
+            r#"{"op":"batch"}"#,
+            r#"{"op":"batch","items":[{"op":"ping"}]}"#,
+            r#"{"op":"batch","items":[{"op":"snapshot"}]}"#,
+            r#"{"op":"batch","items":[{"op":"arrive"}]}"#,
+        ] {
+            assert!(serde_json::from_str::<Request>(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn batch_responses_nest_per_item_replies() {
+        let resp = Response::Batch {
+            results: vec![
+                Response::Placed(Placed {
+                    task: 0,
+                    shard: 0,
+                    node: 4,
+                    layer: 0,
+                    reallocated: false,
+                    migrations: 0,
+                    physical_migrations: 0,
+                }),
+                Response::error(ErrorCode::UnknownTask, "t9: unknown"),
+            ],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"reply\":\"batch\""), "{json}");
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Batch { results } => {
+                assert_eq!(results.len(), 2);
+                assert!(matches!(results[0], Response::Placed(_)));
+                assert!(matches!(results[1], Response::Error(_)));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

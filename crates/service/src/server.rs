@@ -32,9 +32,9 @@ use partalloc_topology::BuddyTree;
 
 use crate::metrics::{Metrics, ServiceStats};
 use crate::proto::{
-    Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
+    BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
 };
-use crate::shard::{RouterKind, Shard, ShardRouter};
+use crate::shard::{RouterKind, Shard, ShardEffect, ShardOp, ShardRouter};
 use crate::snapshot::{ServiceSnapshot, ServiceTaskEntry};
 
 /// How to build a service.
@@ -137,6 +137,30 @@ pub struct ServiceCore {
     shutting_down: AtomicBool,
     /// Mutations hold this shared; snapshot builds hold it exclusive.
     quiesce: RwLock<()>,
+}
+
+/// One grouped same-shard run within a batch dispatch.
+struct BatchRun {
+    shard: usize,
+    ops: Vec<ShardOp>,
+    metas: Vec<BatchMeta>,
+}
+
+impl BatchRun {
+    fn new(shard: usize) -> Self {
+        BatchRun {
+            shard,
+            ops: Vec::new(),
+            metas: Vec::new(),
+        }
+    }
+}
+
+/// Reply-side bookkeeping for one batched op: what the wire reply
+/// needs beyond the shard effect.
+enum BatchMeta {
+    Arrive,
+    Depart { global: u64 },
 }
 
 impl ServiceCore {
@@ -264,9 +288,10 @@ impl ServiceCore {
     }
 
     fn dispatch(&self, req: &Request) -> Response {
-        match *req {
-            Request::Arrive { size_log2 } => self.arrive(size_log2),
-            Request::Depart { task } => self.depart(task),
+        match req {
+            Request::Arrive { size_log2 } => self.arrive(*size_log2),
+            Request::Depart { task } => self.depart(*task),
+            Request::Batch { items } => self.batch(items),
             Request::QueryLoad => {
                 Metrics::incr(&self.metrics.load_queries);
                 Response::Load(self.load_report())
@@ -337,7 +362,7 @@ impl ServiceCore {
                 physical_migrations: physical,
             }
         };
-        self.after_mutation();
+        self.after_mutations(1);
         Response::Placed(placed)
     }
 
@@ -364,19 +389,155 @@ impl ServiceCore {
                 layer: placement.layer,
             }
         };
-        self.after_mutation();
+        self.after_mutations(1);
         Response::Departed(departed)
+    }
+
+    /// Serve a `batch` request: apply the items in order, grouping
+    /// consecutive same-shard runs so each run costs one shard lock
+    /// acquisition and one gauge publish ([`Shard::submit_batch`]).
+    ///
+    /// Per-item semantics are identical to submitting the items as
+    /// individual requests on one connection: global ids are assigned
+    /// in item order, items succeed or fail independently, and a
+    /// departure may name an arrival from earlier in the same batch
+    /// (the pending run is flushed so the directory lookup can see it).
+    fn batch(&self, items: &[BatchItem]) -> Response {
+        self.metrics.batch_sizes.record(items.len() as u64);
+        let mut results: Vec<Response> = Vec::with_capacity(items.len());
+        let mut applied = 0u64;
+        {
+            let _shared = self.quiesce.read();
+            let mut run: Option<BatchRun> = None;
+            for item in items {
+                match *item {
+                    BatchItem::Arrive { size_log2 } => {
+                        if self.is_shutting_down() {
+                            if let Some(r) = run.take() {
+                                applied += self.flush_run(r, &mut results);
+                            }
+                            Metrics::incr(&self.metrics.errors);
+                            results.push(Response::error(
+                                ErrorCode::Unavailable,
+                                "service is shutting down",
+                            ));
+                            continue;
+                        }
+                        let shard_idx = self.router.route(size_log2, &self.shards);
+                        if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
+                            applied +=
+                                self.flush_run(run.take().expect("checked above"), &mut results);
+                        }
+                        let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
+                        r.ops.push(ShardOp::Arrive { size_log2 });
+                        r.metas.push(BatchMeta::Arrive);
+                    }
+                    BatchItem::Depart { task } => {
+                        let mut entry = self.directory.lock().remove(&task);
+                        if entry.is_none() {
+                            // The task may be an arrival from earlier in
+                            // this very batch, not yet flushed into the
+                            // directory: flush the pending run, retry.
+                            if let Some(r) = run.take() {
+                                applied += self.flush_run(r, &mut results);
+                                entry = self.directory.lock().remove(&task);
+                            }
+                        }
+                        let Some((shard_idx, local)) = entry else {
+                            Metrics::incr(&self.metrics.errors);
+                            results.push(Response::from_core_error(CoreError::UnknownTask(
+                                TaskId(task),
+                            )));
+                            continue;
+                        };
+                        if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
+                            applied +=
+                                self.flush_run(run.take().expect("checked above"), &mut results);
+                        }
+                        let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
+                        r.ops.push(ShardOp::Depart { local });
+                        r.metas.push(BatchMeta::Depart { global: task });
+                    }
+                }
+            }
+            if let Some(r) = run.take() {
+                applied += self.flush_run(r, &mut results);
+            }
+        }
+        self.after_mutations(applied);
+        Response::Batch { results }
+    }
+
+    /// Apply one grouped same-shard run, appending one reply per op;
+    /// returns how many ops applied successfully.
+    fn flush_run(&self, run: BatchRun, results: &mut Vec<Response>) -> u64 {
+        let effects = self.shards[run.shard].submit_batch(&run.ops);
+        let mut applied = 0u64;
+        for (effect, meta) in effects.into_iter().zip(run.metas) {
+            match effect {
+                Ok(ShardEffect::Arrived(arrival)) => {
+                    applied += 1;
+                    let global = self.next_global.fetch_add(1, Ordering::SeqCst);
+                    self.directory
+                        .lock()
+                        .insert(global, (run.shard, arrival.local));
+                    Metrics::incr(&self.metrics.arrivals);
+                    let outcome = &arrival.outcome;
+                    let migrations = outcome.migrations.len() as u64;
+                    let physical = outcome
+                        .migrations
+                        .iter()
+                        .filter(|m| m.is_physical())
+                        .count() as u64;
+                    if outcome.reallocated {
+                        Metrics::incr(&self.metrics.realloc_epochs);
+                        Metrics::add(&self.metrics.migrations, migrations);
+                        Metrics::add(&self.metrics.physical_migrations, physical);
+                    }
+                    results.push(Response::Placed(Placed {
+                        task: global,
+                        shard: run.shard,
+                        node: outcome.placement.node.index(),
+                        layer: outcome.placement.layer,
+                        reallocated: outcome.reallocated,
+                        migrations,
+                        physical_migrations: physical,
+                    }));
+                }
+                Ok(ShardEffect::Departed { placement, .. }) => {
+                    applied += 1;
+                    let BatchMeta::Depart { global } = meta else {
+                        unreachable!("depart effects come from depart ops")
+                    };
+                    Metrics::incr(&self.metrics.departures);
+                    results.push(Response::Departed(Departed {
+                        task: global,
+                        shard: run.shard,
+                        node: placement.node.index(),
+                        layer: placement.layer,
+                    }));
+                }
+                Err(e) => {
+                    Metrics::incr(&self.metrics.errors);
+                    results.push(Response::from_core_error(e));
+                }
+            }
+        }
+        applied
     }
 
     /// Periodic persistence, outside the mutation critical section so
     /// the snapshot build can take the quiesce lock exclusively.
-    fn after_mutation(&self) {
+    /// `count` is how many mutations just applied (a whole batch
+    /// reports once); the periodic write fires whenever the counter
+    /// crosses a multiple of `snapshot_every`.
+    fn after_mutations(&self, count: u64) {
         let every = self.config.snapshot_every;
-        if every == 0 || self.config.snapshot_path.is_none() {
+        if count == 0 || every == 0 || self.config.snapshot_path.is_none() {
             return;
         }
-        let n = self.mutations.fetch_add(1, Ordering::SeqCst) + 1;
-        if n % every == 0 {
+        let n = self.mutations.fetch_add(count, Ordering::SeqCst) + count;
+        if n / every != (n - count) / every {
             let snap = self.build_snapshot();
             if let Some(path) = &self.config.snapshot_path {
                 // Best-effort: a failed periodic write must not fail
@@ -516,6 +677,15 @@ impl ServiceHandle {
         }
     }
 
+    /// Submit a list of mutations in one request; returns one reply
+    /// per item, in order (`placed`, `departed`, or `error`).
+    pub fn submit_batch(&self, items: Vec<BatchItem>) -> Result<Vec<Response>, ErrorReply> {
+        match self.request(&Request::Batch { items }) {
+            Response::Batch { results } => Ok(results),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
     /// Current loads.
     pub fn query_load(&self) -> Result<LoadReport, ErrorReply> {
         match self.request(&Request::QueryLoad) {
@@ -620,6 +790,119 @@ mod tests {
         }
         h.depart(3).unwrap(); // second task on shard 0
         assert_eq!(h.query_load().unwrap().shards[0].active_tasks, 1);
+    }
+
+    #[test]
+    fn batch_matches_per_request_sequence() {
+        let batched = handle(AllocatorKind::Greedy, 8, 2);
+        let singly = handle(AllocatorKind::Greedy, 8, 2);
+        let items = vec![
+            BatchItem::Arrive { size_log2: 1 },
+            BatchItem::Arrive { size_log2: 0 },
+            BatchItem::Arrive { size_log2: 2 },
+            BatchItem::Depart { task: 1 },
+            BatchItem::Arrive { size_log2: 0 },
+        ];
+        let results = batched.submit_batch(items.clone()).unwrap();
+        let singles: Vec<Response> = items
+            .into_iter()
+            .map(|item| match item {
+                BatchItem::Arrive { size_log2 } => singly.request(&Request::Arrive { size_log2 }),
+                BatchItem::Depart { task } => singly.request(&Request::Depart { task }),
+            })
+            .collect();
+        // Byte-identical replies, identical machine state after.
+        assert_eq!(
+            serde_json::to_string(&results).unwrap(),
+            serde_json::to_string(&singles).unwrap()
+        );
+        assert_eq!(
+            batched.query_load().unwrap(),
+            singly.query_load().unwrap()
+        );
+    }
+
+    #[test]
+    fn a_batch_can_depart_its_own_arrivals() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let results = h
+            .submit_batch(vec![
+                BatchItem::Arrive { size_log2: 0 },
+                BatchItem::Depart { task: 0 },
+            ])
+            .unwrap();
+        assert!(matches!(results[0], Response::Placed(_)));
+        match &results[1] {
+            Response::Departed(d) => assert_eq!(d.task, 0),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(h.query_load().unwrap().active_tasks, 0);
+    }
+
+    #[test]
+    fn batch_errors_isolate_and_count() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let results = h
+            .submit_batch(vec![
+                BatchItem::Arrive { size_log2: 0 },
+                BatchItem::Depart { task: 77 },
+                BatchItem::Arrive { size_log2: 4 },
+                BatchItem::Arrive { size_log2: 0 },
+            ])
+            .unwrap();
+        assert!(matches!(results[0], Response::Placed(_)));
+        assert!(matches!(results[1], Response::Error(_)));
+        assert!(matches!(results[2], Response::Error(_)));
+        match &results[3] {
+            // Rejected items consume no global ids.
+            Response::Placed(p) => assert_eq!(p.task, 1),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.arrivals, 2);
+        assert_eq!(stats.batch_sizes.batches, 1);
+        assert_eq!(stats.batch_sizes.max_items, 4);
+        // A batch is one request line, so one latency sample.
+        assert_eq!(stats.latency.count, 1);
+    }
+
+    #[test]
+    fn batches_reject_arrivals_during_shutdown_but_drain_departs() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let p = h.arrive(0).unwrap();
+        h.shutdown();
+        let results = h
+            .submit_batch(vec![
+                BatchItem::Arrive { size_log2: 0 },
+                BatchItem::Depart { task: p.task },
+            ])
+            .unwrap();
+        match &results[0] {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(matches!(results[1], Response::Departed(_)));
+    }
+
+    #[test]
+    fn batched_mutations_trip_periodic_persistence() {
+        let path = std::env::temp_dir().join(format!(
+            "partalloc-service-batch-test-{}.json",
+            std::process::id()
+        ));
+        let core = ServiceCore::new(
+            ServiceConfig::new(AllocatorKind::Basic, 8).persist_to(path.clone(), 2),
+        )
+        .unwrap();
+        let h = ServiceHandle::new(core);
+        // Three mutations land in one counter bump, crossing the
+        // every-2 boundary mid-batch: the write still fires.
+        h.submit_batch(vec![BatchItem::Arrive { size_log2: 0 }; 3])
+            .unwrap();
+        let on_disk = ServiceSnapshot::load(&path).unwrap();
+        assert_eq!(on_disk.tasks.len(), 3);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -1,20 +1,31 @@
 //! Sharded machine state and the pluggable routing policies that pick
 //! a shard for each arrival.
 //!
-//! Each [`Shard`] owns one independent allocator instance behind its
-//! own `parking_lot` mutex, so mutations on different shards never
+//! Each [`Shard`] owns one independent allocator instance — wrapped in
+//! a [`partalloc_engine::Engine`] so shard mutations flow through the
+//! same drive loop as every simulator run — behind its own
+//! `parking_lot` mutex, so mutations on different shards never
 //! contend. A relaxed [`AtomicU64`] load gauge shadows the shard's
 //! current max load; routers read gauges lock-free, which keeps
 //! routing off the mutation critical path (the gauge may lag a racing
 //! mutation by one request — routing is a heuristic, correctness never
 //! depends on it).
 //!
+//! Mutations are submitted as [`ShardOp`]s, singly or in batches:
+//! [`Shard::submit_batch`] applies a whole slice of operations under
+//! **one** lock acquisition and publishes the load gauge **once** at
+//! the end, which is where the wire protocol's `batch` request gets
+//! its amortization. Per-op semantics are identical either way — each
+//! op is driven through the engine one event at a time — so a batch
+//! and the equivalent per-request sequence produce byte-identical
+//! placements (asserted end-to-end in `tests/e2e.rs`).
+//!
 //! Shard-local task ids are dense and **never reused**: the paper's
 //! repack procedure `A_R` walks active tasks in id order, so recycling
 //! ids would reorder repacks and break replay equivalence with an
 //! offline [`run_sequence`] over the same trace.
 //!
-//! [`run_sequence`]: https://docs.rs/partalloc-sim
+//! [`run_sequence`]: https://docs.rs/partalloc-engine
 
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -22,19 +33,21 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use parking_lot::Mutex;
 
 use partalloc_core::{
-    snapshot, Allocator, AllocatorKind, ArrivalOutcome, CoreError, Placement, Snapshot,
+    snapshot, Allocator, AllocatorKind, ArrivalOutcome, CoreError, EventOutcome, Placement,
+    Snapshot,
 };
-use partalloc_model::{Task, TaskId};
+use partalloc_engine::{Engine, EpochObserver};
+use partalloc_model::{Event, TaskId};
 
 struct ShardState {
-    alloc: Box<dyn Allocator>,
+    /// The drive loop around this shard's allocator.
+    engine: Engine<Box<dyn Allocator>>,
+    /// Mirror of the allocator's epoch progress, fed by the engine's
+    /// event stream under the same lock so service snapshots capture
+    /// it exactly.
+    epoch: EpochObserver,
     /// Next dense local id (never reused; see module docs).
     next_local: u64,
-    /// Mirror of the allocator's epoch progress, maintained under the
-    /// same lock so service snapshots capture it exactly: reset to 0 by
-    /// a reallocating arrival, otherwise grown by the task's size —
-    /// the precise rule `A_M` and `A_rand(d)` follow internally.
-    arrived_since_realloc: u64,
 }
 
 /// One shard: an independent machine instance behind its own lock.
@@ -44,6 +57,35 @@ pub struct Shard {
     load_gauge: AtomicU64,
 }
 
+/// One shard-level mutation, ready to be applied singly or batched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOp {
+    /// Place a task of `2^size_log2` PEs.
+    Arrive {
+        /// Size exponent of the arriving task.
+        size_log2: u8,
+    },
+    /// Release the task with this shard-local id.
+    Depart {
+        /// The shard-local id to release.
+        local: u64,
+    },
+}
+
+/// What one applied [`ShardOp`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardEffect {
+    /// An arrival was placed.
+    Arrived(ShardArrival),
+    /// A departure freed its placement.
+    Departed {
+        /// The shard-local id that departed.
+        local: u64,
+        /// Where the task was living.
+        placement: Placement,
+    },
+}
+
 /// What a shard-level arrival produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardArrival {
@@ -51,6 +93,36 @@ pub struct ShardArrival {
     pub local: u64,
     /// The allocator's placement outcome.
     pub outcome: ArrivalOutcome,
+}
+
+/// Apply one op to the locked state. A rejected op leaves the engine,
+/// the epoch mirror and the id counter untouched ([`Engine::try_drive`]
+/// has no side effects on error), so errors isolate per op even
+/// mid-batch.
+fn apply(st: &mut ShardState, op: &ShardOp) -> Result<ShardEffect, CoreError> {
+    match *op {
+        ShardOp::Arrive { size_log2 } => {
+            let ev = Event::Arrival {
+                id: TaskId(st.next_local),
+                size_log2,
+            };
+            let outcome = st.engine.try_drive(&ev, &mut [&mut st.epoch])?;
+            let EventOutcome::Arrival(outcome) = outcome else {
+                unreachable!("arrival events produce arrival outcomes")
+            };
+            let local = st.next_local;
+            st.next_local += 1;
+            Ok(ShardEffect::Arrived(ShardArrival { local, outcome }))
+        }
+        ShardOp::Depart { local } => {
+            let ev = Event::Departure { id: TaskId(local) };
+            let outcome = st.engine.try_drive(&ev, &mut [&mut st.epoch])?;
+            let EventOutcome::Departure(placement) = outcome else {
+                unreachable!("departure events produce departure outcomes")
+            };
+            Ok(ShardEffect::Departed { local, placement })
+        }
+    }
 }
 
 impl Shard {
@@ -70,9 +142,9 @@ impl Shard {
         Shard {
             index,
             state: Mutex::new(ShardState {
-                alloc,
+                engine: Engine::new(alloc),
+                epoch: EpochObserver::resumed(arrived_since_realloc),
                 next_local,
-                arrived_since_realloc,
             }),
             load_gauge,
         }
@@ -88,46 +160,66 @@ impl Shard {
         self.load_gauge.load(Ordering::Relaxed)
     }
 
+    /// Apply a slice of operations under one lock acquisition,
+    /// publishing the load gauge once at the end.
+    ///
+    /// Each op succeeds or fails independently: a rejected op (unknown
+    /// task, oversized arrival) contributes its error to the result
+    /// vector and the batch carries on. Results are in op order,
+    /// one per op.
+    pub fn submit_batch(&self, ops: &[ShardOp]) -> Vec<Result<ShardEffect, CoreError>> {
+        let mut st = self.state.lock();
+        let results: Vec<Result<ShardEffect, CoreError>> =
+            ops.iter().map(|op| apply(&mut st, op)).collect();
+        self.load_gauge
+            .store(st.engine.allocator().max_load(), Ordering::Relaxed);
+        results
+    }
+
     /// Place an arriving task, assigning it the next dense local id.
     pub fn arrive(&self, size_log2: u8) -> Result<ShardArrival, CoreError> {
-        let mut st = self.state.lock();
-        let task = Task::new(TaskId(st.next_local), size_log2);
-        let outcome = st.alloc.try_arrive(task)?;
-        let local = st.next_local;
-        st.next_local += 1;
-        if outcome.reallocated {
-            st.arrived_since_realloc = 0;
-        } else {
-            st.arrived_since_realloc += task.size();
+        let effect = self
+            .submit_batch(&[ShardOp::Arrive { size_log2 }])
+            .pop()
+            .expect("one op in, one result out")?;
+        match effect {
+            ShardEffect::Arrived(a) => Ok(a),
+            ShardEffect::Departed { .. } => unreachable!("arrive ops produce Arrived effects"),
         }
-        self.load_gauge
-            .store(st.alloc.max_load(), Ordering::Relaxed);
-        Ok(ShardArrival { local, outcome })
     }
 
     /// Release a task by its local id.
     pub fn depart(&self, local: u64) -> Result<Placement, CoreError> {
-        let mut st = self.state.lock();
-        let placement = st.alloc.try_depart(TaskId(local))?;
-        self.load_gauge
-            .store(st.alloc.max_load(), Ordering::Relaxed);
-        Ok(placement)
+        let effect = self
+            .submit_batch(&[ShardOp::Depart { local }])
+            .pop()
+            .expect("one op in, one result out")?;
+        match effect {
+            ShardEffect::Departed { placement, .. } => Ok(placement),
+            ShardEffect::Arrived(_) => unreachable!("depart ops produce Departed effects"),
+        }
     }
 
     /// Consistent `(max_load, active_tasks, active_size)` under the lock.
     pub fn load_figures(&self) -> (u64, u64, u64) {
         let st = self.state.lock();
+        let alloc = st.engine.allocator();
         (
-            st.alloc.max_load(),
-            st.alloc.active_tasks().len() as u64,
-            st.alloc.active_size(),
+            alloc.max_load(),
+            alloc.active_tasks().len() as u64,
+            alloc.active_size(),
         )
     }
 
     /// Capture a core snapshot plus this shard's `next_local` counter.
     pub fn snapshot(&self, kind: AllocatorKind, seed: u64) -> (Snapshot, u64) {
         let st = self.state.lock();
-        let snap = snapshot(&*st.alloc, kind, seed, st.arrived_since_realloc);
+        let snap = snapshot(
+            &**st.engine.allocator(),
+            kind,
+            seed,
+            st.epoch.arrived_since_realloc(),
+        );
         (snap, st.next_local)
     }
 }
@@ -157,6 +249,13 @@ impl ShardRouter for RoundRobinRouter {
 
 /// Send each arrival to the shard with the smallest published max
 /// load (ties to the lowest index).
+///
+/// Load-aware routing reads the gauges, which a batch publishes only
+/// at its end — so a batched trace and the equivalent per-request
+/// trace can route differently under this policy. The equivalence
+/// guarantees in `tests/e2e.rs` therefore hold for the deterministic
+/// routers ([`RoundRobinRouter`], [`SizeClassRouter`]); see
+/// `DESIGN.md`.
 #[derive(Debug, Default)]
 pub struct LeastLoadedRouter;
 
@@ -303,6 +402,68 @@ mod tests {
         assert!(matches!(s.arrive(5), Err(CoreError::TaskTooLarge { .. })));
         // The failed arrival consumed no id.
         assert_eq!(s.arrive(0).unwrap().local, 0);
+    }
+
+    #[test]
+    fn batches_mix_arrivals_and_departures() {
+        let s = &shards(1, 8)[0];
+        let results = s.submit_batch(&[
+            ShardOp::Arrive { size_log2: 1 },
+            ShardOp::Arrive { size_log2: 0 },
+            ShardOp::Depart { local: 0 },
+        ]);
+        assert_eq!(results.len(), 3);
+        let ShardEffect::Arrived(a0) = results[0].as_ref().unwrap() else {
+            panic!("expected an arrival effect");
+        };
+        assert_eq!(a0.local, 0);
+        let ShardEffect::Departed { local, .. } = results[2].as_ref().unwrap() else {
+            panic!("expected a departure effect");
+        };
+        assert_eq!(*local, 0);
+        // Only the unit task (local 1) is left.
+        assert_eq!(s.load_figures(), (1, 1, 1));
+        assert_eq!(s.load(), 1);
+    }
+
+    #[test]
+    fn batch_errors_isolate_per_op() {
+        let s = &shards(1, 8)[0];
+        let results = s.submit_batch(&[
+            ShardOp::Arrive { size_log2: 0 },
+            ShardOp::Arrive { size_log2: 5 },  // oversized: rejected
+            ShardOp::Depart { local: 42 },     // unknown: rejected
+            ShardOp::Arrive { size_log2: 0 }, // still applies
+        ]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::TaskTooLarge { .. })));
+        assert_eq!(results[2], Err(CoreError::UnknownTask(TaskId(42))));
+        // The rejected arrival consumed no id.
+        let ShardEffect::Arrived(a) = results[3].as_ref().unwrap() else {
+            panic!("expected an arrival effect");
+        };
+        assert_eq!(a.local, 1);
+        assert_eq!(s.load(), 1);
+    }
+
+    #[test]
+    fn batch_matches_per_op_submission() {
+        let ops = [
+            ShardOp::Arrive { size_log2: 2 },
+            ShardOp::Arrive { size_log2: 1 },
+            ShardOp::Depart { local: 0 },
+            ShardOp::Arrive { size_log2: 2 },
+        ];
+        let batched = &shards(1, 8)[0];
+        let singly = &shards(1, 8)[0];
+        let batch_results = batched.submit_batch(&ops);
+        let single_results: Vec<_> = ops.iter().map(|op| singly.submit_batch(&[*op]).pop().unwrap()).collect();
+        assert_eq!(batch_results, single_results);
+        assert_eq!(batched.load_figures(), singly.load_figures());
+        let (snap_b, nl_b) = batched.snapshot(AllocatorKind::Greedy, 0);
+        let (snap_s, nl_s) = singly.snapshot(AllocatorKind::Greedy, 0);
+        assert_eq!(snap_b.entries, snap_s.entries);
+        assert_eq!(nl_b, nl_s);
     }
 
     #[test]

@@ -9,7 +9,8 @@ use std::time::Duration;
 use partalloc_core::{Allocator, AllocatorKind};
 use partalloc_model::{Event, Task};
 use partalloc_service::{
-    ErrorCode, Response, Server, ServiceConfig, ServiceCore, ServiceSnapshot, TcpClient,
+    BatchItem, ErrorCode, Request, Response, RouterKind, Server, ServiceConfig, ServiceCore,
+    ServiceSnapshot, TcpClient,
 };
 use partalloc_sim::run_sequence_dyn;
 use partalloc_topology::BuddyTree;
@@ -102,6 +103,93 @@ fn tcp_replay_matches_offline_replay_exactly() {
     let mut alloc2 = kind.build(machine, 0);
     let metrics = run_sequence_dyn(alloc2.as_mut(), &seq);
     assert_eq!(load.max_load, metrics.final_load);
+}
+
+#[test]
+fn batched_tcp_replay_is_byte_identical_to_per_event_replay() {
+    // Two servers with the same deterministic config (round-robin
+    // routing; least-loaded is documented as batch-variant): one driven
+    // per event, one in batches of 7. Per-item replies, load reports
+    // and snapshots must all serialize to the same bytes.
+    let kind = AllocatorKind::DRealloc(2);
+    let config = || {
+        ServiceConfig::new(kind, 64)
+            .shards(2)
+            .router(RouterKind::RoundRobin)
+    };
+    let seq = ClosedLoopConfig::new(64)
+        .events(400)
+        .target_load(2)
+        .generate(13);
+
+    let server_a = spawn_server(config());
+    let mut a = TcpClient::connect(server_a.local_addr()).unwrap();
+    let mut replies_a = Vec::new();
+    for event in seq.events() {
+        let req = match *event {
+            Event::Arrival { size_log2, .. } => Request::Arrive { size_log2 },
+            Event::Departure { id } => Request::Depart { task: id.0 },
+        };
+        let reply = a.request(&req).unwrap();
+        // One serial client ⇒ globals are assigned in arrival order and
+        // coincide with the trace's dense ids — which is what lets the
+        // batched replay below name departures by trace id.
+        if let (Event::Arrival { id, .. }, Response::Placed(p)) = (event, &reply) {
+            assert_eq!(p.task, id.0);
+        }
+        replies_a.push(reply);
+    }
+
+    let server_b = spawn_server(config());
+    let mut b = TcpClient::connect(server_b.local_addr()).unwrap();
+    let mut replies_b = Vec::new();
+    for chunk in seq.events().chunks(7) {
+        let items: Vec<BatchItem> = chunk
+            .iter()
+            .map(|ev| match *ev {
+                Event::Arrival { size_log2, .. } => BatchItem::Arrive { size_log2 },
+                Event::Departure { id } => BatchItem::Depart { task: id.0 },
+            })
+            .collect();
+        // Some chunks depart tasks that arrive earlier in the same
+        // chunk — the server resolves those via its flush-and-retry
+        // directory lookup, so no client-side splitting is needed.
+        replies_b.extend(b.batch(items).unwrap());
+    }
+
+    let to_json = |rs: &[Response]| -> Vec<String> {
+        rs.iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect()
+    };
+    assert_eq!(to_json(&replies_a), to_json(&replies_b));
+
+    let load_a = a.query_load().unwrap();
+    let load_b = b.query_load().unwrap();
+    assert_eq!(
+        serde_json::to_string(&load_a).unwrap(),
+        serde_json::to_string(&load_b).unwrap()
+    );
+    let snap_a = a.snapshot().unwrap();
+    let snap_b = b.snapshot().unwrap();
+    assert_eq!(
+        serde_json::to_string(&snap_a).unwrap(),
+        serde_json::to_string(&snap_b).unwrap()
+    );
+
+    // Same mutations, very different request counts.
+    let stats_a = a.stats().unwrap();
+    let stats_b = b.stats().unwrap();
+    assert_eq!(stats_a.arrivals, stats_b.arrivals);
+    assert_eq!(stats_a.departures, stats_b.departures);
+    assert_eq!(stats_b.errors, 0);
+    assert_eq!(stats_a.batch_sizes.batches, 0);
+    assert_eq!(stats_b.batch_sizes.batches, seq.len().div_ceil(7) as u64);
+    assert!(stats_b.latency.count < stats_a.latency.count);
+
+    drop((a, b));
+    server_a.shutdown(GRACE);
+    server_b.shutdown(GRACE);
 }
 
 #[test]

@@ -15,23 +15,25 @@
 //!   ([`run_with_slowdowns`]);
 //!
 //! plus a work-stealing [`parallel_sweep`] runner (crossbeam scoped
-//! threads) for the parameter grids the experiment suite sweeps.
+//! threads) for the parameter grids the experiment suite sweeps, and
+//! the [`Timeline`] occupancy recorder behind `palloc render`.
+//!
+//! The drive loops themselves live in [`partalloc_engine`]: every run
+//! helper here is a re-export of an [`Engine`] composed with the
+//! matching [`Observer`]s, so the simulator, the allocation service,
+//! the CLI, and the benches all share one event-application semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cost;
-mod executor;
-mod metrics;
-mod runner;
-mod slowdown;
 mod sweep;
 mod timeline;
 
-pub use cost::{CostReport, MigrationCostModel};
-pub use executor::{execute, ExecutorConfig, ResponseReport};
-pub use metrics::RunMetrics;
-pub use runner::{run_sequence, run_sequence_dyn, run_with_cost};
-pub use slowdown::{run_with_slowdowns, SlowdownReport};
+pub use partalloc_engine::{
+    execute, execute_with, run_sequence, run_sequence_dyn, run_with_cost, run_with_slowdowns,
+    CostObserver, CostReport, Engine, EpochObserver, ExecutorConfig, InvariantObserver,
+    LoadProfileRecorder, MetricsObserver, MigrationCostModel, Observer, ResponseReport,
+    RunMetrics, SizeTable, SlowdownObserver, SlowdownReport, Step, DEFAULT_PROFILE_CAP,
+};
 pub use sweep::parallel_sweep;
 pub use timeline::{Span, Timeline};

@@ -7,6 +7,7 @@
 //! why `palloc render` exists.
 
 use partalloc_core::{Allocator, EventOutcome};
+use partalloc_engine::{Engine, Observer, SizeTable, Step};
 use partalloc_model::{TaskId, TaskSequence};
 use partalloc_topology::BuddyTree;
 
@@ -49,42 +50,58 @@ impl Timeline {
     /// let svg = tl.render_svg(640, 200);
     /// assert!(svg.starts_with("<svg"));
     /// ```
-    pub fn record<A: Allocator>(mut alloc: A, seq: &TaskSequence) -> Timeline {
-        let machine = alloc.machine();
-        let mut open: Vec<Option<(usize, partalloc_topology::NodeId)>> =
-            vec![None; seq.num_tasks()];
-        let mut spans = Vec::new();
-        for (i, ev) in seq.events().iter().enumerate() {
-            match alloc.handle(ev) {
-                EventOutcome::Arrival(out) => {
-                    for m in &out.migrations {
-                        if m.from.node != m.to.node {
-                            let (from, node) =
-                                open[m.task.idx()].take().expect("migrated task is open");
-                            debug_assert_eq!(node, m.from.node);
-                            spans.push(Span {
-                                task: m.task,
-                                node,
-                                from,
-                                until: i,
-                            });
-                            open[m.task.idx()] = Some((i, m.to.node));
+    pub fn record<A: Allocator>(alloc: A, seq: &TaskSequence) -> Timeline {
+        /// Span bookkeeping as an engine observer: openings, splits at
+        /// physical migrations, and closings, all derived from the
+        /// per-event [`Step`]s.
+        struct SpanRecorder {
+            open: Vec<Option<(usize, partalloc_topology::NodeId)>>,
+            spans: Vec<Span>,
+        }
+        impl Observer for SpanRecorder {
+            fn on_event(&mut self, step: &Step<'_>, _alloc: &dyn Allocator, _sizes: &SizeTable) {
+                let i = step.index as usize;
+                let ev = step.event;
+                match step.outcome {
+                    EventOutcome::Arrival(out) => {
+                        for m in &out.migrations {
+                            if m.from.node != m.to.node {
+                                let (from, node) =
+                                    self.open[m.task.idx()].take().expect("migrated task is open");
+                                debug_assert_eq!(node, m.from.node);
+                                self.spans.push(Span {
+                                    task: m.task,
+                                    node,
+                                    from,
+                                    until: i,
+                                });
+                                self.open[m.task.idx()] = Some((i, m.to.node));
+                            }
                         }
+                        self.open[ev.task_id().idx()] = Some((i, out.placement.node));
                     }
-                    open[ev.task_id().idx()] = Some((i, out.placement.node));
-                }
-                EventOutcome::Departure(freed) => {
-                    let (from, node) = open[ev.task_id().idx()].take().expect("open task");
-                    debug_assert_eq!(node, freed.node);
-                    spans.push(Span {
-                        task: ev.task_id(),
-                        node,
-                        from,
-                        until: i,
-                    });
+                    EventOutcome::Departure(freed) => {
+                        let (from, node) = self.open[ev.task_id().idx()].take().expect("open task");
+                        debug_assert_eq!(node, freed.node);
+                        self.spans.push(Span {
+                            task: ev.task_id(),
+                            node,
+                            from,
+                            until: i,
+                        });
+                    }
                 }
             }
         }
+
+        let machine = alloc.machine();
+        let mut engine = Engine::new(alloc);
+        let mut rec = SpanRecorder {
+            open: vec![None; seq.num_tasks()],
+            spans: Vec::new(),
+        };
+        engine.run(seq, &mut [&mut rec]);
+        let SpanRecorder { open, mut spans } = rec;
         for (idx, slot) in open.into_iter().enumerate() {
             if let Some((from, node)) = slot {
                 spans.push(Span {

@@ -17,7 +17,11 @@
 //! * [`adversary`] — the deterministic lower-bound adversary (Thm 4.3)
 //!   and the random hard sequence (Thm 5.2);
 //! * [`workload`] — synthetic workload generators and trace replay;
-//! * [`sim`] — metrics, migration-cost models, and parallel sweeps;
+//! * [`engine`] — the unified event engine: one batched,
+//!   observer-instrumented drive loop shared by the simulator, the
+//!   service, the CLI and the benches;
+//! * [`sim`] — the simulation harness over the engine: run helpers,
+//!   timelines, and parallel sweeps;
 //! * [`analysis`] — the paper's bound formulas, statistics, tables;
 //! * [`service`] — the allocation daemon (sharded machines, NDJSON
 //!   over TCP, live metrics, snapshot persistence).
@@ -53,6 +57,7 @@ struct ReadmeDoctests;
 pub use partalloc_adversary as adversary;
 pub use partalloc_analysis as analysis;
 pub use partalloc_core as core;
+pub use partalloc_engine as engine;
 pub use partalloc_exclusive as exclusive;
 pub use partalloc_model as model;
 pub use partalloc_service as service;
@@ -74,6 +79,10 @@ pub mod prelude {
         greedy_threshold, repack, Allocator, AllocatorKind, Basic, Constant, CopyFit,
         DReallocation, EpochPolicy, Greedy, LeftmostAlways, Migration, Placement,
         RandomizedDRealloc, RandomizedOblivious, ReallocTrigger, RoundRobin, TieBreak,
+    };
+    pub use partalloc_engine::{
+        CostObserver, Engine, EpochObserver, InvariantObserver, LoadProfileRecorder,
+        MetricsObserver, Observer, SizeTable, SlowdownObserver, Step,
     };
     pub use partalloc_exclusive::{
         run_exclusive, run_exclusive_with_policy, BuddyStrategy, FullRecognition, GrayCodeStrategy,
