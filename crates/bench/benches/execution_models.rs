@@ -6,10 +6,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use partalloc_core::AllocatorKind;
+use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_exclusive::{
     run_exclusive_with_policy, BuddyStrategy, GrayCodeStrategy, QueuePolicy, SubcubeStrategy,
 };
-use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_topology::BuddyTree;
 use partalloc_workload::TimedConfig;
 

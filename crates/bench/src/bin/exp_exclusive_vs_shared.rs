@@ -16,11 +16,11 @@
 use partalloc_analysis::{fmt_f64, Table};
 use partalloc_bench::{banner, default_seeds};
 use partalloc_core::AllocatorKind;
+use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_exclusive::{
     run_exclusive, run_exclusive_with_policy, BuddyStrategy, FullRecognition, GrayCodeStrategy,
     QueuePolicy, SubcubeStrategy,
 };
-use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_topology::BuddyTree;
 use partalloc_workload::TimedConfig;
 

@@ -9,8 +9,8 @@
 use partalloc_analysis::Table;
 use partalloc_bench::{banner, default_seeds, run_kind};
 use partalloc_core::{Allocator, AllocatorKind, Constant};
-use partalloc_model::Event;
 use partalloc_engine::run_sequence_dyn;
+use partalloc_model::Event;
 use partalloc_topology::BuddyTree;
 use partalloc_workload::{BurstyConfig, ClosedLoopConfig, Generator, PhasedConfig, PoissonConfig};
 

@@ -15,10 +15,10 @@
 use partalloc_analysis::{fmt_f64, sparkline, Table};
 use partalloc_bench::{banner, run_kind};
 use partalloc_core::AllocatorKind;
+use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_exclusive::{
     run_exclusive_with_policy, BuddyStrategy, GrayCodeStrategy, QueuePolicy,
 };
-use partalloc_engine::{execute, ExecutorConfig};
 use partalloc_topology::BuddyTree;
 use partalloc_workload::parse_swf;
 

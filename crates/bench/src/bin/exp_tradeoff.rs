@@ -12,8 +12,8 @@ use partalloc_adversary::DeterministicAdversary;
 use partalloc_analysis::{bounds, fmt_f64, Table};
 use partalloc_bench::{banner, default_seeds, run_kind, worst_ratio};
 use partalloc_core::{AllocatorKind, DReallocation};
-use partalloc_sim::parallel_sweep;
 use partalloc_engine::run_sequence;
+use partalloc_sim::parallel_sweep;
 use partalloc_topology::BuddyTree;
 use partalloc_workload::{ClosedLoopConfig, Generator, PhasedConfig};
 

@@ -34,8 +34,8 @@
 
 use partalloc_analysis::Summary;
 use partalloc_core::AllocatorKind;
-use partalloc_model::TaskSequence;
 use partalloc_engine::{run_sequence_dyn, RunMetrics};
+use partalloc_model::TaskSequence;
 use partalloc_topology::BuddyTree;
 
 /// Print the standard experiment banner.

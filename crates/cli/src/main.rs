@@ -68,6 +68,7 @@ fn dispatch(raw: &[String]) -> Result<String, String> {
         "exclusive" => cmd_exclusive(&args),
         "serve" => serve::cmd_serve(&args),
         "drive" => serve::cmd_drive(&args),
+        "chaos" => serve::cmd_chaos(&args),
         "figure1" => Ok(cmd_figure1()),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
@@ -106,13 +107,20 @@ fn usage() -> String {
      \x20            --pes N --alg SPEC [--shards K] [--router POLICY]\n\
      \x20            [--addr HOST:PORT] [--addr-file FILE] [--seed S]\n\
      \x20            [--snapshot FILE [--snapshot-every M]] [--resume FILE]\n\
+     \x20            [--max-line-bytes B] [--shard-faults SPEC [--fault-seed S]]\n\
      \x20 drive      replay a trace or generated workload against a daemon\n\
      \x20            --addr HOST:PORT (--trace FILE | --pes N [--events E])\n\
      \x20            [--seed S] [--batch B] [--shutdown yes]\n\
+     \x20            [--retries R] [--timeout-ms T] [--retry-seed S]\n\
+     \x20 chaos      fault-injecting TCP proxy in front of a daemon\n\
+     \x20            --upstream HOST:PORT [--listen HOST:PORT] [--addr-file FILE]\n\
+     \x20            [--faults SPEC] [--seed S] [--duration-ms T]\n\
      \x20 figure1    replay the paper's Figure 1 example\n\
      \n\
      algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n\
-     routing policies: round-robin, least-loaded, size-class\n"
+     routing policies: round-robin, least-loaded, size-class\n\
+     fault specs: drop=P,delay=P,delay-ms=T,truncate=P,corrupt=P,kill=P,\n\
+     \x20            panic=P,limit=N (probabilities in [0,1])\n"
         .to_owned()
 }
 

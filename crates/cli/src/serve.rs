@@ -1,14 +1,18 @@
-//! `palloc serve` and `palloc drive` — the daemon and its load driver.
+//! `palloc serve`, `palloc drive` and `palloc chaos` — the daemon,
+//! its load driver, and the fault-injecting proxy between them.
 
 use std::collections::HashMap;
 use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use partalloc_engine::FaultPlan;
 use partalloc_model::{read_trace, Event, TaskSequence};
 use partalloc_service::{
-    BatchItem, Response, RouterKind, Server, ServiceConfig, ServiceCore, ServiceSnapshot,
-    TcpClient,
+    BatchItem, ChaosProxy, Response, RetryPolicy, RouterKind, Server, ServiceConfig, ServiceCore,
+    ServiceSnapshot, TcpClient,
 };
 use partalloc_workload::{ClosedLoopConfig, Generator};
 
@@ -26,6 +30,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
 
     let core = if let Some(resume) = args.get("resume") {
+        for flag in ["shard-faults", "fault-seed", "max-line-bytes"] {
+            if args.get(flag).is_some() {
+                return Err(format!("--{flag} cannot be combined with --resume"));
+            }
+        }
         let snap = ServiceSnapshot::load(Path::new(resume))
             .map_err(|e| format!("cannot read {resume}: {e}"))?;
         ServiceCore::from_snapshot(&snap).map_err(|e| e.to_string())?
@@ -40,13 +49,24 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         let router: RouterKind = args
             .get_or("router", RouterKind::default(), "a routing policy")
             .map_err(|e| e.to_string())?;
-        ServiceCore::new(
-            ServiceConfig::new(kind, pes)
-                .shards(shards)
-                .seed(seed)
-                .router(router),
-        )
-        .map_err(|e| e.to_string())?
+        let mut config = ServiceConfig::new(kind, pes)
+            .shards(shards)
+            .seed(seed)
+            .router(router);
+        if let Some(bytes) = args.get("max-line-bytes") {
+            let bytes: usize = bytes
+                .parse()
+                .map_err(|_| "--max-line-bytes must be an integer".to_string())?;
+            config = config.max_line_bytes(bytes);
+        }
+        if let Some(spec) = args.get("shard-faults") {
+            let fault_seed: u64 = args
+                .get_or("fault-seed", seed, "an integer")
+                .map_err(|e| e.to_string())?;
+            let plan = FaultPlan::from_spec(spec, fault_seed).map_err(|e| e.to_string())?;
+            config = config.shard_faults(plan);
+        }
+        ServiceCore::new(config).map_err(|e| e.to_string())?
     };
     let core = match (args.get("snapshot"), args.get("snapshot-every")) {
         (Some(path), every) => {
@@ -100,8 +120,26 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
     if batch == 0 {
         return Err("--batch must be at least 1".into());
     }
+    let retries: u32 = args
+        .get_or("retries", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let timeout_ms: u64 = args
+        .get_or("timeout-ms", 0, "milliseconds (0 = no deadline)")
+        .map_err(|e| e.to_string())?;
+    let retry_seed: u64 = args
+        .get_or("retry-seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut policy = RetryPolicy::default()
+        .retries(retries)
+        .retry_seed(retry_seed);
+    if timeout_ms > 0 {
+        policy = policy
+            .connect_timeout(Duration::from_millis(timeout_ms))
+            .io_timeout(Duration::from_millis(timeout_ms));
+    }
     let seq = load_or_generate(args)?;
-    let mut client = TcpClient::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut client =
+        TcpClient::connect_with(addr, policy).map_err(|e| format!("cannot reach {addr}: {e}"))?;
     client.ping().map_err(|e| e.to_string())?;
 
     // The service assigns its own global ids; remember which one each
@@ -148,7 +186,13 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
     let load = client.query_load().map_err(|e| e.to_string())?;
     let stats = client.stats().map_err(|e| e.to_string())?;
     if args.get("shutdown").is_some() {
-        client.shutdown().map_err(|e| e.to_string())?;
+        if retries > 0 {
+            // Best-effort under retries: the shutdown may land while
+            // its reply is lost to a dying connection.
+            let _ = client.shutdown();
+        } else {
+            client.shutdown().map_err(|e| e.to_string())?;
+        }
     }
     let rate = seq.len() as f64 / elapsed.as_secs_f64().max(1e-9);
     let mode = if batch > 1 {
@@ -162,6 +206,8 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
          \x20 active            {} tasks, {} PEs\n\
          \x20 realloc epochs    {} (this client), {} (server lifetime)\n\
          \x20 rejected requests {}\n\
+         \x20 transport retries {}\n\
+         \x20 shard recoveries  {}\n\
          \x20 server p99        {} ns\n",
         seq.len(),
         elapsed,
@@ -173,8 +219,75 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
         reallocs,
         stats.realloc_epochs,
         errors,
+        client.transport_retries(),
+        stats.health.shard_recoveries.iter().sum::<u64>(),
         stats.latency.p99_ns,
     ))
+}
+
+/// Run a deterministic fault-injecting proxy in front of a daemon:
+/// clients dial the proxy, the proxy forwards to `--upstream` while a
+/// seeded fault plan drops, delays, truncates, corrupts and kills
+/// lines. Exits when the upstream stays unreachable (it shut down) or
+/// after `--duration-ms`.
+pub fn cmd_chaos(args: &Args) -> Result<String, String> {
+    let upstream_s = args.require("upstream").map_err(|e| e.to_string())?;
+    let upstream: SocketAddr = upstream_s
+        .parse()
+        .map_err(|_| format!("--upstream must be HOST:PORT, got {upstream_s:?}"))?;
+    let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let plan = match args.get("faults") {
+        Some(spec) => FaultPlan::from_spec(spec, seed).map_err(|e| e.to_string())?,
+        None => FaultPlan::new(seed),
+    };
+    let duration_ms: u64 = args
+        .get_or("duration-ms", 0, "milliseconds (0 = until upstream exits)")
+        .map_err(|e| e.to_string())?;
+
+    let proxy = ChaosProxy::spawn(listen, upstream, plan).map_err(|e| e.to_string())?;
+    let local = proxy.local_addr();
+    println!("chaos proxy on {local} → {upstream}");
+    std::io::stdout().flush().ok();
+    if let Some(addr_file) = args.get("addr-file") {
+        std::fs::write(addr_file, format!("{local}\n")).map_err(|e| e.to_string())?;
+    }
+
+    let started = Instant::now();
+    let mut down = 0u32;
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if duration_ms > 0 && started.elapsed() >= Duration::from_millis(duration_ms) {
+            break;
+        }
+        // Probe the upstream; three consecutive refusals mean it shut
+        // down for good (a single failed probe could be a hiccup).
+        match TcpStream::connect_timeout(&upstream, Duration::from_millis(250)) {
+            Ok(_) => down = 0,
+            Err(_) => {
+                down += 1;
+                if down >= 3 {
+                    break;
+                }
+            }
+        }
+    }
+    let stats = proxy.stats();
+    let summary = format!(
+        "chaos proxy done: {} lines forwarded, {} faults injected \
+         ({} dropped, {} delayed, {} truncated, {} corrupted, {} killed)\n",
+        stats.forwarded.load(Ordering::Relaxed),
+        stats.faults(),
+        stats.dropped.load(Ordering::Relaxed),
+        stats.delayed.load(Ordering::Relaxed),
+        stats.truncated.load(Ordering::Relaxed),
+        stats.corrupted.load(Ordering::Relaxed),
+        stats.killed.load(Ordering::Relaxed),
+    );
+    proxy.stop();
+    Ok(summary)
 }
 
 /// Replay `seq` in batches of up to `cap` mutations. Departures whose
@@ -395,6 +508,93 @@ mod tests {
     }
 
     #[test]
+    fn drive_rides_out_a_chaos_proxy() {
+        let dir = std::env::temp_dir().join(format!("palloc-chaos-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let serve_addr_file = dir.join("serve-addr");
+        let proxy_addr_file = dir.join("proxy-addr");
+        let serve_addr_s = serve_addr_file.to_str().unwrap().to_owned();
+        let proxy_addr_s = proxy_addr_file.to_str().unwrap().to_owned();
+
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_G",
+                "--shards",
+                "2",
+                "--shard-faults",
+                "panic=0.01",
+                "--fault-seed",
+                "7",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &serve_addr_s,
+            ])
+        });
+        let wait_addr = |file: &std::path::Path| loop {
+            if let Ok(text) = std::fs::read_to_string(file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let upstream = wait_addr(&serve_addr_file);
+
+        let proxy = std::thread::spawn(move || {
+            run(&[
+                "chaos",
+                "--upstream",
+                &upstream,
+                "--listen",
+                "127.0.0.1:0",
+                "--faults",
+                "drop=0.01,corrupt=0.01",
+                "--seed",
+                "3",
+                "--addr-file",
+                &proxy_addr_s,
+            ])
+        });
+        let proxied = wait_addr(&proxy_addr_file);
+
+        let out = run(&[
+            "drive",
+            "--addr",
+            &proxied,
+            "--pes",
+            "64",
+            "--events",
+            "200",
+            "--retries",
+            "16",
+            "--timeout-ms",
+            "200",
+            "--retry-seed",
+            "9",
+            "--shutdown",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("drove 200 events"), "{out}");
+        assert!(out.contains("transport retries"), "{out}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("shut down after"), "{summary}");
+        // The proxy notices the upstream is gone and reports its tally.
+        let chaos_summary = proxy.join().unwrap().unwrap();
+        assert!(
+            chaos_summary.contains("chaos proxy done"),
+            "{chaos_summary}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_flag_validation() {
         assert!(run(&[
             "serve",
@@ -419,5 +619,29 @@ mod tests {
             "10"
         ])
         .is_err());
+        assert!(run(&[
+            "serve",
+            "--pes",
+            "64",
+            "--alg",
+            "A_G",
+            "--resume",
+            "nope.json",
+            "--shard-faults",
+            "panic=0.5"
+        ])
+        .unwrap_err()
+        .contains("--resume"));
+        assert!(run(&[
+            "serve",
+            "--pes",
+            "64",
+            "--alg",
+            "A_G",
+            "--shard-faults",
+            "levitate=1"
+        ])
+        .is_err());
+        assert!(run(&["chaos", "--upstream", "not-an-addr"]).is_err());
     }
 }

@@ -56,7 +56,7 @@ impl SnapshotEntry {
 /// *valid*, just not future-identical (the deterministic algorithms
 /// are future-identical, which `tests/snapshot_roundtrip.rs` asserts
 /// by replaying the remainder of the sequence on both instances).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Snapshot {
     /// Machine size.
     pub num_pes: u64,

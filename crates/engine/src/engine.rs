@@ -198,10 +198,7 @@ impl<A: Allocator> Engine<A> {
         events: &[Event],
         observers: &mut [&mut dyn Observer],
     ) -> Vec<EventOutcome> {
-        events
-            .iter()
-            .map(|ev| self.drive(ev, observers))
-            .collect()
+        events.iter().map(|ev| self.drive(ev, observers)).collect()
     }
 
     /// Drive a whole validated sequence, then deliver

@@ -175,7 +175,12 @@ pub fn execute_with<A: Allocator>(
             // Epsilon absorbs accumulated floating-point error (e.g.
             // fifteen additions of 1/3 summing to just under 5.0).
             if progress[i] + 1e-9 >= tasks[i].work {
-                engine.drive(&Event::Departure { id: TaskId(i as u64) }, observers);
+                engine.drive(
+                    &Event::Departure {
+                        id: TaskId(i as u64),
+                    },
+                    observers,
+                );
                 completion[i] = tick;
                 remaining -= 1;
             } else {

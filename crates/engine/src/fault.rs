@@ -1,0 +1,478 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded menu of misfortunes: each call to
+//! [`FaultPlan::decide`] draws once from an inline SplitMix64 stream and
+//! returns at most one [`FaultKind`] according to the configured rates.
+//! The same seed always yields the same schedule, so chaos runs are
+//! replayable bit-for-bit.
+//!
+//! Two consumers share the plan type:
+//!
+//! * [`FaultObserver`] sits in an [`Engine`](crate::Engine) observer
+//!   slot and panics mid-event when the plan draws
+//!   [`FaultKind::PanicShard`] — the in-process simulation of a shard
+//!   dying halfway through a mutation. Transport-level kinds drawn by an
+//!   in-process observer are ignored (an observer has no wire to drop).
+//! * The service's `palloc chaos` TCP proxy consumes the transport kinds
+//!   (drop, delay, truncate, corrupt, kill) between client and daemon.
+//!
+//! [`FaultPlan::split`] derives independent per-stream plans from one
+//! seed, so each proxy direction and each shard gets its own
+//! deterministic schedule.
+
+use std::fmt;
+use std::str::FromStr;
+
+use partalloc_core::Allocator;
+
+use crate::engine::{Observer, SizeTable, Step};
+
+/// A small, fast, seedable PRNG (Sebastiano Vigna's SplitMix64).
+///
+/// Used everywhere the fault plane needs reproducible randomness —
+/// fault schedules and retry-backoff jitter — so that no external RNG
+/// dependency is needed and every draw is replayable from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose entire output sequence is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One injectable misfortune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Swallow an NDJSON line entirely (transport).
+    DropLine,
+    /// Hold a line back for `ms` milliseconds before forwarding
+    /// (transport).
+    Delay {
+        /// How long the line is delayed.
+        ms: u64,
+    },
+    /// Forward only a prefix of the line, then sever the connection
+    /// (transport).
+    Truncate,
+    /// Flip a byte in the middle of the line so it no longer parses
+    /// (transport).
+    Corrupt,
+    /// Sever the connection without warning (transport).
+    Kill,
+    /// Panic inside a shard, mid-mutation (in-process).
+    PanicShard,
+}
+
+/// Error from parsing a fault-plan spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError(String);
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+/// A seeded schedule of faults.
+///
+/// Rates are per-decision probabilities in `[0, 1]`; their sum must not
+/// exceed 1. Every [`decide`](FaultPlan::decide) consumes exactly one
+/// RNG draw whenever any rate is non-zero, so plans with identical
+/// seeds and rates produce identical schedules.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: SplitMix64,
+    drop: f64,
+    delay: f64,
+    truncate: f64,
+    corrupt: f64,
+    kill: f64,
+    panic_shard: f64,
+    delay_ms: u64,
+    limit: Option<u64>,
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// A benign plan (all rates zero) with the given seed. Dial in
+    /// misfortune with the rate builders.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rng: SplitMix64::new(seed),
+            drop: 0.0,
+            delay: 0.0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            kill: 0.0,
+            panic_shard: 0.0,
+            delay_ms: 5,
+            limit: None,
+            injected: 0,
+        }
+    }
+
+    /// Set the probability of [`FaultKind::DropLine`] per decision.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop = rate;
+        self
+    }
+
+    /// Set the probability of [`FaultKind::Delay`] per decision.
+    pub fn delay_rate(mut self, rate: f64) -> Self {
+        self.delay = rate;
+        self
+    }
+
+    /// Set how long a [`FaultKind::Delay`] holds a line back.
+    pub fn delay_ms(mut self, ms: u64) -> Self {
+        self.delay_ms = ms;
+        self
+    }
+
+    /// Set the probability of [`FaultKind::Truncate`] per decision.
+    pub fn truncate_rate(mut self, rate: f64) -> Self {
+        self.truncate = rate;
+        self
+    }
+
+    /// Set the probability of [`FaultKind::Corrupt`] per decision.
+    pub fn corrupt_rate(mut self, rate: f64) -> Self {
+        self.corrupt = rate;
+        self
+    }
+
+    /// Set the probability of [`FaultKind::Kill`] per decision.
+    pub fn kill_rate(mut self, rate: f64) -> Self {
+        self.kill = rate;
+        self
+    }
+
+    /// Set the probability of [`FaultKind::PanicShard`] per decision.
+    pub fn panic_rate(mut self, rate: f64) -> Self {
+        self.panic_shard = rate;
+        self
+    }
+
+    /// Cap the total number of faults this plan will ever inject.
+    /// `limit(1)` with `panic_rate(1.0)` panics exactly once — handy
+    /// for tests that want one deterministic failure, then calm.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// True when every rate is zero — the plan can never injure anyone.
+    pub fn is_benign(&self) -> bool {
+        self.total_rate() <= 0.0
+    }
+
+    /// How many faults this plan has injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The seed this plan (or this split stream) draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn total_rate(&self) -> f64 {
+        self.drop + self.delay + self.truncate + self.corrupt + self.kill + self.panic_shard
+    }
+
+    /// Derive an independent plan with the same rates but its own
+    /// deterministic RNG stream. Use distinct `stream` values for each
+    /// consumer (proxy directions, shards) so their schedules do not
+    /// march in lockstep. Each split carries its own fresh fault
+    /// budget when a [`limit`](FaultPlan::limit) is set.
+    pub fn split(&self, stream: u64) -> FaultPlan {
+        let seed = self
+            .seed
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ stream.wrapping_add(1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        FaultPlan {
+            seed,
+            rng: SplitMix64::new(seed),
+            injected: 0,
+            ..self.clone()
+        }
+    }
+
+    /// Draw the next scheduled fault, if any. Consumes exactly one RNG
+    /// draw unless the plan is benign or its fault budget is spent.
+    pub fn decide(&mut self) -> Option<FaultKind> {
+        if let Some(limit) = self.limit {
+            if self.injected >= limit {
+                return None;
+            }
+        }
+        if self.is_benign() {
+            return None;
+        }
+        let draw = self.rng.next_f64();
+        let mut acc = 0.0;
+        let menu = [
+            (self.drop, FaultKind::DropLine),
+            (self.delay, FaultKind::Delay { ms: self.delay_ms }),
+            (self.truncate, FaultKind::Truncate),
+            (self.corrupt, FaultKind::Corrupt),
+            (self.kill, FaultKind::Kill),
+            (self.panic_shard, FaultKind::PanicShard),
+        ];
+        for (rate, kind) in menu {
+            acc += rate;
+            if draw < acc {
+                self.injected += 1;
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Parse `spec` into a plan seeded with `seed`.
+    ///
+    /// The grammar is comma-separated `key=value` pairs; keys are
+    /// `drop`, `delay`, `truncate`, `corrupt`, `kill`, `panic` (rates
+    /// in `[0, 1]`), `delay-ms` (milliseconds) and `limit` (total fault
+    /// budget). Example: `drop=0.05,kill=0.02,delay=0.01,delay-ms=5`.
+    pub fn from_spec(spec: &str, seed: u64) -> Result<FaultPlan, ParseFaultError> {
+        let mut plan = FaultPlan::new(seed);
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| ParseFaultError(format!("`{part}` is not key=value")))?;
+            match key.trim() {
+                "delay-ms" => plan.delay_ms = parse_u64(key, value)?,
+                "limit" => plan.limit = Some(parse_u64(key, value)?),
+                "drop" => plan.drop = parse_rate(key, value)?,
+                "delay" => plan.delay = parse_rate(key, value)?,
+                "truncate" => plan.truncate = parse_rate(key, value)?,
+                "corrupt" => plan.corrupt = parse_rate(key, value)?,
+                "kill" => plan.kill = parse_rate(key, value)?,
+                "panic" => plan.panic_shard = parse_rate(key, value)?,
+                other => {
+                    return Err(ParseFaultError(format!("unknown fault kind `{other}`")));
+                }
+            }
+        }
+        if plan.total_rate() > 1.0 {
+            return Err(ParseFaultError(format!(
+                "rates sum to {} > 1",
+                plan.total_rate()
+            )));
+        }
+        Ok(plan)
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = ParseFaultError;
+
+    /// Parse a spec with seed 0; use [`FaultPlan::from_spec`] to seed.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultPlan::from_spec(s, 0)
+    }
+}
+
+fn parse_rate(key: &str, value: &str) -> Result<f64, ParseFaultError> {
+    let rate: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| ParseFaultError(format!("`{key}` rate `{value}` is not a number")))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ParseFaultError(format!(
+            "`{key}` rate {rate} outside [0, 1]"
+        )));
+    }
+    Ok(rate)
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, ParseFaultError> {
+    value
+        .trim()
+        .parse()
+        .map_err(|_| ParseFaultError(format!("`{key}` value `{value}` is not an integer")))
+}
+
+/// An [`Observer`] that consults a [`FaultPlan`] on every driven event
+/// and panics mid-mutation when the plan draws
+/// [`FaultKind::PanicShard`].
+///
+/// The panic fires *after* the allocator has applied the event but
+/// *before* the engine finishes settling it — exactly the torn state a
+/// real mid-mutation crash leaves behind, which is what the service's
+/// self-healing shards must recover from. Transport-kind draws are
+/// counted but otherwise ignored: an in-process observer has no wire to
+/// damage.
+#[derive(Debug, Clone)]
+pub struct FaultObserver {
+    plan: FaultPlan,
+}
+
+impl FaultObserver {
+    /// Wrap `plan` for use in an engine observer slot.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultObserver { plan }
+    }
+
+    /// The plan being consulted (its `injected` count is live).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl Observer for FaultObserver {
+    fn on_event(&mut self, step: &Step<'_>, _alloc: &dyn Allocator, _sizes: &SizeTable) {
+        if self.plan.decide() == Some(FaultKind::PanicShard) {
+            panic!("injected fault: shard panic at engine event {}", step.index);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use partalloc_core::AllocatorKind;
+    use partalloc_model::{Event, TaskId};
+    use partalloc_topology::BuddyTree;
+
+    use super::*;
+    use crate::Engine;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let build = || {
+            FaultPlan::new(42)
+                .drop_rate(0.2)
+                .kill_rate(0.1)
+                .corrupt_rate(0.1)
+        };
+        let (mut a, mut b) = (build(), build());
+        let seq_a: Vec<_> = (0..1000).map(|_| a.decide()).collect();
+        let seq_b: Vec<_> = (0..1000).map(|_| b.decide()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0, "rates this high must fire in 1000 draws");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::new(1).drop_rate(0.5);
+        let mut b = FaultPlan::new(2).drop_rate(0.5);
+        let seq_a: Vec<_> = (0..256).map(|_| a.decide()).collect();
+        let seq_b: Vec<_> = (0..256).map(|_| b.decide()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn split_streams_are_independent_but_deterministic() {
+        let base = FaultPlan::new(7).drop_rate(0.5);
+        let mut s1 = base.split(1);
+        let mut s2 = base.split(2);
+        let mut s1_again = base.split(1);
+        let seq1: Vec<_> = (0..256).map(|_| s1.decide()).collect();
+        let seq2: Vec<_> = (0..256).map(|_| s2.decide()).collect();
+        let seq1_again: Vec<_> = (0..256).map(|_| s1_again.decide()).collect();
+        assert_eq!(seq1, seq1_again);
+        assert_ne!(seq1, seq2);
+    }
+
+    #[test]
+    fn benign_plan_never_fires() {
+        let mut plan = FaultPlan::new(99);
+        assert!(plan.is_benign());
+        assert!((0..1000).all(|_| plan.decide().is_none()));
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn limit_caps_the_fault_budget() {
+        let mut plan = FaultPlan::new(3).panic_rate(1.0).limit(2);
+        assert_eq!(plan.decide(), Some(FaultKind::PanicShard));
+        assert_eq!(plan.decide(), Some(FaultKind::PanicShard));
+        assert!((0..100).all(|_| plan.decide().is_none()));
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn spec_roundtrip_and_rejection() {
+        let plan =
+            FaultPlan::from_spec("drop=0.05, kill=0.02, delay=0.01, delay-ms=9, limit=4", 11)
+                .unwrap();
+        assert!(!plan.is_benign());
+        assert_eq!(plan.delay_ms, 9);
+        assert_eq!(plan.limit, Some(4));
+
+        let benign = FaultPlan::from_spec("", 0).unwrap();
+        assert!(benign.is_benign());
+
+        assert!(FaultPlan::from_spec("drop", 0).is_err());
+        assert!(FaultPlan::from_spec("levitate=0.5", 0).is_err());
+        assert!(FaultPlan::from_spec("drop=1.5", 0).is_err());
+        assert!(FaultPlan::from_spec("drop=0.9,kill=0.9", 0).is_err());
+        assert!(FaultPlan::from_spec("delay-ms=soon", 0).is_err());
+    }
+
+    #[test]
+    fn delay_carries_configured_ms() {
+        let mut plan = FaultPlan::new(5).delay_rate(1.0).delay_ms(17);
+        assert_eq!(plan.decide(), Some(FaultKind::Delay { ms: 17 }));
+    }
+
+    #[test]
+    fn observer_panics_mid_event_under_a_panic_plan() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut engine = Engine::new(AllocatorKind::Greedy.build(machine, 0));
+        let mut faults = FaultObserver::new(FaultPlan::new(1).panic_rate(1.0));
+        let ev = Event::Arrival {
+            id: TaskId(0),
+            size_log2: 0,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            engine.try_drive(&ev, &mut [&mut faults])
+        }));
+        assert!(result.is_err(), "panic plan must unwind out of the drive");
+        assert_eq!(faults.plan().injected(), 1);
+    }
+
+    #[test]
+    fn observer_ignores_transport_kinds() {
+        let machine = BuddyTree::new(8).unwrap();
+        let mut engine = Engine::new(AllocatorKind::Greedy.build(machine, 0));
+        let mut faults = FaultObserver::new(FaultPlan::new(1).drop_rate(1.0));
+        let ev = Event::Arrival {
+            id: TaskId(0),
+            size_log2: 0,
+        };
+        engine.try_drive(&ev, &mut [&mut faults]).unwrap();
+        assert_eq!(engine.events_driven(), 1);
+    }
+}

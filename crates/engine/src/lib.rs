@@ -43,6 +43,7 @@ mod cost;
 mod engine;
 mod epoch;
 mod executor;
+mod fault;
 mod invariant;
 mod metrics;
 mod run;
@@ -52,9 +53,8 @@ pub use cost::{CostObserver, CostReport, MigrationCostModel};
 pub use engine::{Engine, Observer, SizeTable, Step};
 pub use epoch::EpochObserver;
 pub use executor::{execute, execute_with, ExecutorConfig, ResponseReport};
+pub use fault::{FaultKind, FaultObserver, FaultPlan, ParseFaultError, SplitMix64};
 pub use invariant::InvariantObserver;
-pub use metrics::{
-    LoadProfileRecorder, MetricsObserver, RunMetrics, DEFAULT_PROFILE_CAP,
-};
+pub use metrics::{LoadProfileRecorder, MetricsObserver, RunMetrics, DEFAULT_PROFILE_CAP};
 pub use run::{run_sequence, run_sequence_dyn, run_with_cost, run_with_slowdowns};
 pub use slowdown::{SlowdownObserver, SlowdownReport};

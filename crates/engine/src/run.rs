@@ -154,8 +154,7 @@ mod tests {
     fn by_value_and_dyn_runs_agree() {
         let seq = figure1_sigma_star();
         let by_value = run_sequence(Greedy::new(BuddyTree::new(4).unwrap()), &seq);
-        let mut boxed: Box<dyn Allocator> =
-            Box::new(Greedy::new(BuddyTree::new(4).unwrap()));
+        let mut boxed: Box<dyn Allocator> = Box::new(Greedy::new(BuddyTree::new(4).unwrap()));
         let dynamic = run_sequence_dyn(boxed.as_mut(), &seq);
         assert_eq!(by_value, dynamic);
     }

@@ -6,9 +6,7 @@
 //! auditor attached so every randomly reached allocator state is also
 //! structurally valid.
 
-use partalloc_core::{
-    AllocatorKind, CopyFit, EpochPolicy, EventOutcome, ReallocTrigger, TieBreak,
-};
+use partalloc_core::{AllocatorKind, CopyFit, EpochPolicy, EventOutcome, ReallocTrigger, TieBreak};
 use partalloc_engine::{Engine, InvariantObserver, MetricsObserver, Observer, RunMetrics};
 use partalloc_model::{Event, TaskId};
 use partalloc_topology::BuddyTree;

@@ -1,0 +1,304 @@
+//! A deterministic fault-injecting TCP proxy — what `palloc chaos`
+//! runs between a client and a server to rehearse transport failure.
+//!
+//! The proxy forwards NDJSON lines in both directions and consults a
+//! seeded [`FaultPlan`] per line: drop it, delay it, truncate it
+//! mid-line and sever the link, corrupt a byte so it no longer
+//! parses, or kill the connection outright. Connection `n` consumes
+//! the plan's `split(2n)` stream client→server and `split(2n + 1)`
+//! server→client, so a rerun with the same seed and connection order
+//! injects the identical misfortune schedule. Combined with a
+//! retrying client and the server's dedupe window, a run through the
+//! proxy must converge to the same final state as a clean run — the
+//! chaos e2e test holds the pair to byte-identical snapshots.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use partalloc_engine::{FaultKind, FaultPlan};
+
+/// Live counters of what the proxy has done to the traffic.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Lines forwarded unharmed.
+    pub forwarded: AtomicU64,
+    /// Lines swallowed whole.
+    pub dropped: AtomicU64,
+    /// Lines held back before forwarding.
+    pub delayed: AtomicU64,
+    /// Lines cut mid-byte (the connection died with them).
+    pub truncated: AtomicU64,
+    /// Lines with a byte zeroed so they cannot parse.
+    pub corrupted: AtomicU64,
+    /// Connections severed without warning.
+    pub killed: AtomicU64,
+}
+
+impl ProxyStats {
+    /// Total faults injected, across all kinds.
+    pub fn faults(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+            + self.delayed.load(Ordering::Relaxed)
+            + self.truncated.load(Ordering::Relaxed)
+            + self.corrupted.load(Ordering::Relaxed)
+            + self.killed.load(Ordering::Relaxed)
+    }
+}
+
+/// A running fault-injecting proxy in front of one upstream server.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stats: Arc<ProxyStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind `listen` (port 0 for ephemeral) and start proxying every
+    /// accepted connection to `upstream` under `plan`.
+    pub fn spawn(
+        listen: impl ToSocketAddrs,
+        upstream: SocketAddr,
+        plan: FaultPlan,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ProxyStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stats = Arc::clone(&stats);
+        let thread_stop = Arc::clone(&stop);
+        let accept_thread = thread::Builder::new()
+            .name("partalloc-chaos".into())
+            .spawn(move || accept_loop(listener, upstream, plan, thread_stats, thread_stop))?;
+        Ok(ChaosProxy {
+            addr,
+            stats,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's bound address (what clients should dial).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live damage counters.
+    pub fn stats(&self) -> Arc<ProxyStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Stop accepting. Existing pumps die with their connections.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    stats: Arc<ProxyStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conn_index = 0u64;
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = incoming else { continue };
+        let Ok(server) = TcpStream::connect(upstream) else {
+            // Upstream is gone: refuse the client, keep accepting (it
+            // may come back; the client's retries bridge the gap).
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        let (Ok(client_read), Ok(server_read)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        let c2s = plan.split(2 * conn_index);
+        let s2c = plan.split(2 * conn_index + 1);
+        conn_index += 1;
+        spawn_pump("partalloc-chaos-c2s", client_read, server, c2s, &stats);
+        spawn_pump("partalloc-chaos-s2c", server_read, client, s2c, &stats);
+    }
+}
+
+fn spawn_pump(
+    name: &str,
+    from: TcpStream,
+    to: TcpStream,
+    plan: FaultPlan,
+    stats: &Arc<ProxyStats>,
+) {
+    let stats = Arc::clone(stats);
+    let _ = thread::Builder::new()
+        .name(name.into())
+        .spawn(move || pump(from, to, plan, stats));
+}
+
+/// Shovel lines one way until EOF, a fatal fault, or an I/O error;
+/// then sever both halves so the peer pump unblocks too.
+fn pump(from: TcpStream, mut to: TcpStream, mut plan: FaultPlan, stats: Arc<ProxyStats>) {
+    let mut reader = BufReader::new(from);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        match plan.decide() {
+            None => {
+                // Count at decision time, before the write: a reader on
+                // the other end may observe the line (and check stats)
+                // the instant the flush lands.
+                stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
+                    break;
+                }
+            }
+            Some(FaultKind::DropLine) => {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(FaultKind::Delay { ms }) => {
+                stats.delayed.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(Duration::from_millis(ms));
+                if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
+                    break;
+                }
+            }
+            Some(FaultKind::Truncate) => {
+                stats.truncated.fetch_add(1, Ordering::Relaxed);
+                let half = &line.as_bytes()[..line.len() / 2];
+                let _ = to.write_all(half);
+                let _ = to.flush();
+                break;
+            }
+            Some(FaultKind::Corrupt) => {
+                stats.corrupted.fetch_add(1, Ordering::Relaxed);
+                // A NUL is invalid anywhere in JSON, so the damaged
+                // line can never parse as a *different* valid request.
+                let mut bytes = line.clone().into_bytes();
+                let mid = bytes.len() / 2;
+                bytes[mid] = 0;
+                if to.write_all(&bytes).is_err() || to.flush().is_err() {
+                    break;
+                }
+            }
+            Some(FaultKind::Kill) => {
+                stats.killed.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Some(FaultKind::PanicShard) => {
+                // An in-process fault kind: meaningless on the wire,
+                // so the line passes unharmed.
+                stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = reader.into_inner().shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A line-echo upstream for exercising the proxy without a real
+    /// service behind it.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for incoming in listener.incoming() {
+                let Ok(stream) = incoming else { continue };
+                thread::spawn(move || {
+                    let mut r = BufReader::new(stream.try_clone().unwrap());
+                    let mut w = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match r.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        if w.write_all(line.as_bytes()).is_err() || w.flush().is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn a_benign_plan_proxies_transparently() {
+        let upstream = echo_upstream();
+        let proxy = ChaosProxy::spawn("127.0.0.1:0", upstream, FaultPlan::new(1)).unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        for _ in 0..3 {
+            conn.write_all(b"hello\n").unwrap();
+            let mut reply = String::new();
+            r.read_line(&mut reply).unwrap();
+            assert_eq!(reply, "hello\n");
+        }
+        let stats = proxy.stats();
+        assert_eq!(stats.forwarded.load(Ordering::Relaxed), 6);
+        assert_eq!(stats.faults(), 0);
+        proxy.stop();
+    }
+
+    #[test]
+    fn a_kill_plan_severs_the_connection() {
+        let upstream = echo_upstream();
+        let plan = FaultPlan::new(2).kill_rate(1.0);
+        let proxy = ChaosProxy::spawn("127.0.0.1:0", upstream, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        conn.write_all(b"doomed\n").unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut reply = String::new();
+        // The line was swallowed and the link cut: EOF or reset, but
+        // never an echo.
+        assert!(matches!(r.read_line(&mut reply), Ok(0) | Err(_)));
+        assert_eq!(proxy.stats().killed.load(Ordering::Relaxed), 1);
+        proxy.stop();
+    }
+
+    #[test]
+    fn a_corrupting_plan_breaks_parses_not_connections() {
+        let upstream = echo_upstream();
+        let plan = FaultPlan::new(5).corrupt_rate(1.0).limit(1);
+        let proxy = ChaosProxy::spawn("127.0.0.1:0", upstream, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        conn.write_all(b"abcdef\n").unwrap();
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        // One mid-line byte became NUL on the way out...
+        assert_eq!(reply.as_bytes()[3], 0);
+        assert_eq!(reply.len(), 7);
+        // ...and with the budget spent, the link still works cleanly.
+        conn.write_all(b"abcdef\n").unwrap();
+        reply.clear();
+        r.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "abcdef\n");
+        proxy.stop();
+    }
+}

@@ -1,12 +1,29 @@
 //! A small blocking NDJSON client for the TCP transport — what
 //! `palloc drive` and the e2e tests speak.
+//!
+//! By default the client is a thin one-shot socket, byte-compatible
+//! with the original: no deadlines, no retries, no envelope fields.
+//! Arm it with a [`RetryPolicy`] ([`TcpClient::connect_with`]) and it
+//! becomes resilient: connect/read/write deadlines, transparent
+//! reconnect, and bounded exponential backoff with seeded jitter
+//! ([`Backoff`]). A retrying client stamps every mutation with a
+//! `req_id` so the server's dedupe window makes the retries
+//! exactly-once — a reply lost to a dropped line or a killed
+//! connection is replayed, never re-executed.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::Duration;
+
+use partalloc_engine::SplitMix64;
 
 use crate::metrics::ServiceStats;
-use crate::proto::{BatchItem, Departed, ErrorReply, LoadReport, Placed, Request, Response};
+use crate::proto::{
+    request_line, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response,
+};
 use crate::snapshot::ServiceSnapshot;
 
 /// Why a client call failed.
@@ -38,25 +55,187 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// How hard a [`TcpClient`] fights a flaky transport.
+///
+/// The default is the legacy behaviour: block forever, fail on the
+/// first error, attach no envelope fields.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Deadline for (re)connecting; `None` blocks indefinitely.
+    pub connect_timeout: Option<Duration>,
+    /// Read/write deadline per socket operation; `None` blocks
+    /// indefinitely. Must be non-zero when set.
+    pub io_timeout: Option<Duration>,
+    /// Extra attempts after the first (0 = fail fast).
+    pub retries: u32,
+    /// First backoff delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff delays never exceed this.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter stream (and the `req_id` session base), so
+    /// a run's retry timing is reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            connect_timeout: None,
+            io_timeout: None,
+            retries: 0,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Set the connect deadline.
+    pub fn connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = Some(t);
+        self
+    }
+
+    /// Set the per-operation read/write deadline (must be non-zero).
+    pub fn io_timeout(mut self, t: Duration) -> Self {
+        self.io_timeout = Some(t);
+        self
+    }
+
+    /// Set how many extra attempts follow a failed one.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// Set the backoff range: first delay `base`, doubling up to `cap`.
+    pub fn backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Set the jitter/session seed.
+    pub fn retry_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Bounded exponential backoff with seeded jitter: delay `n` is
+/// `min(cap, base << n)` scaled by a factor in `[0.5, 1.0)` drawn from
+/// a [`SplitMix64`] stream, so two runs with the same seed sleep the
+/// same schedule.
+#[derive(Debug)]
+pub struct Backoff {
+    rng: SplitMix64,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh schedule.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            rng: SplitMix64::new(seed),
+            base,
+            cap,
+            attempt: 0,
+        }
+    }
+
+    /// The next delay to sleep before retrying.
+    pub fn next_delay(&mut self) -> Duration {
+        let base_ns = u64::try_from(self.base.as_nanos()).unwrap_or(u64::MAX);
+        let cap_ns = u64::try_from(self.cap.as_nanos()).unwrap_or(u64::MAX);
+        let shift = self.attempt.min(16);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = base_ns.saturating_mul(1u64 << shift).min(cap_ns);
+        let jitter = 0.5 + self.rng.next_f64() / 2.0;
+        Duration::from_nanos((raw as f64 * jitter) as u64)
+    }
+}
+
 /// A blocking connection to a running server.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    /// Base for this session's `req_id`s (randomized per client so
+    /// concurrent clients don't collide in the dedupe window).
+    session: u64,
+    /// Requests issued; `session + seq` identifies a mutation.
+    seq: u64,
+    /// Attempts beyond the first, across the client's lifetime.
+    retried: u64,
 }
 
 impl TcpClient {
-    /// Connect to `addr`.
+    /// Connect to `addr` with the legacy fail-fast behaviour.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, RetryPolicy::default())
+    }
+
+    /// Connect to `addr` under `policy`.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::open(&addrs, &policy)?;
+        static CLIENTS: AtomicU64 = AtomicU64::new(0);
+        let nonce = CLIENTS.fetch_add(1, Ordering::Relaxed);
+        let entropy = u64::from(std::process::id()) ^ (nonce << 32) ^ policy.seed;
+        let session = SplitMix64::new(entropy).next_u64();
         Ok(TcpClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            addrs,
+            policy,
+            session,
+            seq: 0,
+            retried: 0,
         })
     }
 
+    fn open(addrs: &[SocketAddr], policy: &RetryPolicy) -> io::Result<TcpStream> {
+        let mut last: Option<io::Error> = None;
+        for addr in addrs {
+            let attempt = match policy.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(addr, t),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    s.set_read_timeout(policy.io_timeout)?;
+                    s.set_write_timeout(policy.io_timeout)?;
+                    return Ok(s);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        match last {
+            Some(e) => Err(e),
+            None => Err(io::Error::new(io::ErrorKind::InvalidInput, "no addresses")),
+        }
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = Self::open(&self.addrs, &self.policy)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
+
+    /// How many transport retries this client has performed.
+    pub fn transport_retries(&self) -> u64 {
+        self.retried
+    }
+
     /// Send one raw line (no trailing newline needed) and read one
-    /// reply line. Public so tests can exercise malformed input.
+    /// reply line — always a single attempt, even under a retry
+    /// policy. Public so tests can exercise malformed input.
     pub fn send_raw(&mut self, line: &str) -> Result<Response, ClientError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -69,11 +248,65 @@ impl TcpClient {
             .map_err(|e| ClientError::Protocol(format!("{e}: {reply:?}")))
     }
 
-    /// Send one request, read one reply.
+    /// Send one request, read one reply. Under a retry policy
+    /// (`retries > 0`) a failed exchange sleeps a backoff delay,
+    /// reconnects and resends the *same* line; mutations carry a
+    /// `req_id`, so the server replays rather than re-executes any
+    /// attempt that did get through.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let line = serde_json::to_string(req)
-            .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
-        self.send_raw(&line)
+        let tag_mutations = self.policy.retries > 0;
+        let line = if tag_mutations && is_mutation(req) {
+            request_line(req, Some(self.session.wrapping_add(self.seq)))
+        } else {
+            serde_json::to_string(req)
+        }
+        .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+        self.seq = self.seq.wrapping_add(1);
+        self.exchange(&line)
+    }
+
+    /// A reply that signals in-flight damage rather than a semantic
+    /// refusal: `bad-request` (this client only sends well-formed
+    /// lines, so the server must have read a corrupted one) and
+    /// `shard-panicked` (nothing applied; a retry gets a fresh
+    /// attempt). Both are safe to retry under a `req_id`.
+    fn retryable_reply(resp: &Response) -> bool {
+        matches!(
+            resp,
+            Response::Error(e)
+                if matches!(e.code, ErrorCode::BadRequest | ErrorCode::ShardPanicked)
+        )
+    }
+
+    fn exchange(&mut self, line: &str) -> Result<Response, ClientError> {
+        let mut backoff = Backoff::new(
+            self.policy.backoff_base,
+            self.policy.backoff_cap,
+            self.policy.seed ^ self.seq,
+        );
+        let mut outcome: Result<Response, ClientError> =
+            Err(ClientError::Protocol("no attempt made".into()));
+        for attempt in 0..=self.policy.retries {
+            if attempt > 0 {
+                self.retried += 1;
+                thread::sleep(backoff.next_delay());
+                if let Err(e) = self.reconnect() {
+                    outcome = Err(ClientError::Io(e));
+                    continue;
+                }
+            }
+            match self.send_raw(line) {
+                Ok(resp) => {
+                    if attempt < self.policy.retries && Self::retryable_reply(&resp) {
+                        outcome = Ok(resp);
+                        continue;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => outcome = Err(e),
+            }
+        }
+        outcome
     }
 
     fn fail(resp: Response) -> ClientError {
@@ -146,6 +379,58 @@ impl TcpClient {
         match self.request(&Request::Shutdown)? {
             Response::ShuttingDown => Ok(()),
             other => Err(Self::fail(other)),
+        }
+    }
+}
+
+fn is_mutation(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Arrive { .. } | Request::Depart { .. } | Request::Batch { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut a = Backoff::new(base, cap, 42);
+        let mut b = Backoff::new(base, cap, 42);
+        let first: Vec<Duration> = (0..8).map(|_| a.next_delay()).collect();
+        let second: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        assert_eq!(first, second);
+        // A different seed jitters differently somewhere.
+        let mut c = Backoff::new(base, cap, 43);
+        let third: Vec<Duration> = (0..8).map(|_| c.next_delay()).collect();
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn backoff_grows_within_bounds() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut b = Backoff::new(base, cap, 7);
+        let delays: Vec<Duration> = (0..10).map(|_| b.next_delay()).collect();
+        for (n, d) in delays.iter().enumerate() {
+            // Each delay is the exponential step scaled into [0.5, 1.0).
+            let raw = base.saturating_mul(1 << n.min(16) as u32).min(cap);
+            assert!(*d >= raw / 2, "delay {n} below jitter floor: {d:?}");
+            assert!(*d < raw, "delay {n} above its step: {d:?}");
+        }
+        // The schedule saturates at the cap, never beyond.
+        assert!(delays[9] >= cap / 2);
+        assert!(delays[9] < cap);
+    }
+
+    #[test]
+    fn long_schedules_do_not_overflow() {
+        let mut b = Backoff::new(Duration::from_secs(1), Duration::from_secs(2), 1);
+        for _ in 0..200 {
+            assert!(b.next_delay() <= Duration::from_secs(2));
         }
     }
 }

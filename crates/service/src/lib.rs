@@ -31,13 +31,37 @@
 //!
 //! Malformed lines, unknown tasks and oversized requests all come
 //! back as [`Response::Error`] replies — no input a client can send
-//! kills the daemon.
+//! kills the daemon (request lines are length-capped, so not even an
+//! unbounded line exhausts memory).
+//!
+//! ## The fault plane
+//!
+//! The daemon is built to be rehearsed against failure, not just
+//! hoped through it (`DESIGN.md` §11):
+//!
+//! * **Idempotent retries** — a request line may carry a `req_id`;
+//!   the core remembers recent identified-mutation replies in a
+//!   bounded window and *replays* them on retry, so a client that
+//!   lost a reply can resend without double-applying.
+//! * **Resilient client** — [`TcpClient`] armed with a
+//!   [`RetryPolicy`] gets deadlines, transparent reconnects and
+//!   seeded-jitter [`Backoff`], stamping mutations with `req_id`s.
+//! * **Deterministic fault injection** — a seeded
+//!   [`FaultPlan`](partalloc_engine::FaultPlan) drives both the
+//!   in-process shard-panic observer
+//!   ([`ServiceConfig::shard_faults`]) and the [`ChaosProxy`] TCP
+//!   proxy (`palloc chaos`), so a chaos run can be replayed exactly.
+//! * **Self-healing shards** — a panicking shard is rebuilt from its
+//!   last good baseline plus an op journal; the incident is visible
+//!   as [`ServiceHealth`] in `stats` and snapshots, and the daemon
+//!   never dies for it.
 //!
 //! [`AllocatorKind`]: partalloc_core::AllocatorKind
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod client;
 mod metrics;
 mod net;
@@ -46,17 +70,22 @@ mod server;
 mod shard;
 mod snapshot;
 
-pub use client::{ClientError, TcpClient};
+pub use chaos::{ChaosProxy, ProxyStats};
+pub use client::{Backoff, ClientError, RetryPolicy, TcpClient};
 pub use metrics::{
     BatchSizeSummary, LatencyHistogram, LatencySummary, Log2Histogram, Metrics, ServiceStats,
 };
 pub use net::Server;
 pub use proto::{
-    BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
+    parse_request_line, request_line, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport,
+    Placed, Request, Response, ShardLoad,
 };
-pub use server::{ServiceConfig, ServiceCore, ServiceError, ServiceHandle};
+pub use server::{
+    ServiceConfig, ServiceCore, ServiceError, ServiceHandle, DEFAULT_DEDUPE_WINDOW,
+    DEFAULT_MAX_LINE_BYTES,
+};
 pub use shard::{
     LeastLoadedRouter, ParseRouterError, RoundRobinRouter, RouterKind, Shard, ShardArrival,
-    ShardEffect, ShardOp, ShardRouter, SizeClassRouter,
+    ShardEffect, ShardError, ShardOp, ShardRouter, SizeClassRouter,
 };
-pub use snapshot::{ServiceSnapshot, ServiceTaskEntry};
+pub use snapshot::{ServiceHealth, ServiceSnapshot, ServiceTaskEntry};

@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+use crate::snapshot::ServiceHealth;
+
 /// Number of log2 buckets: bucket `i` holds samples in
 /// `[2^(i-1), 2^i)` (bucket 0 holds the value 0, the last bucket
 /// absorbs everything ≥ 2^62 — for latencies that is ~146 years in
@@ -122,6 +124,9 @@ pub struct Metrics {
     /// Error replies sent (all classes, including malformed lines and
     /// per-item batch errors).
     pub errors: AtomicU64,
+    /// Identified mutations answered from the dedupe window instead of
+    /// re-executing (retries made exactly-once).
+    pub dedupe_replays: AtomicU64,
     /// Reallocation epochs triggered across all shards.
     pub realloc_epochs: AtomicU64,
     /// Tasks moved by reallocations (layer-only and physical).
@@ -152,8 +157,9 @@ impl Metrics {
     }
 
     /// Snapshot the registry for a `stats` reply. `shard_max_loads` are
-    /// the per-shard load gauges at read time.
-    pub fn report(&self, shard_max_loads: Vec<u64>) -> ServiceStats {
+    /// the per-shard load gauges at read time; `health` is the fault
+    /// plane's ledger (degraded/recovery counters) at read time.
+    pub fn report(&self, shard_max_loads: Vec<u64>, health: ServiceHealth) -> ServiceStats {
         ServiceStats {
             arrivals: self.arrivals.load(Ordering::Relaxed),
             departures: self.departures.load(Ordering::Relaxed),
@@ -162,10 +168,12 @@ impl Metrics {
             stats_queries: self.stats_queries.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            dedupe_replays: self.dedupe_replays.load(Ordering::Relaxed),
             realloc_epochs: self.realloc_epochs.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
             physical_migrations: self.physical_migrations.load(Ordering::Relaxed),
             shard_max_loads,
+            health,
             latency: self.latency.latency_summary(),
             batch_sizes: self.batch_sizes.batch_summary(),
         }
@@ -221,6 +229,8 @@ pub struct ServiceStats {
     pub pings: u64,
     /// Error replies sent.
     pub errors: u64,
+    /// Identified mutations replayed from the dedupe window.
+    pub dedupe_replays: u64,
     /// Reallocation epochs triggered.
     pub realloc_epochs: u64,
     /// Tasks moved by reallocations.
@@ -229,6 +239,11 @@ pub struct ServiceStats {
     pub physical_migrations: u64,
     /// Per-shard max-load gauges at read time.
     pub shard_max_loads: Vec<u64>,
+    /// The fault plane's ledger: per-shard degraded/recovery counters
+    /// and the total faults injected (defaults to all-zero when
+    /// parsing stats from before the fault plane existed).
+    #[serde(default)]
+    pub health: ServiceHealth,
     /// Request latency summary.
     pub latency: LatencySummary,
     /// Batch-size summary.
@@ -288,10 +303,17 @@ mod tests {
         Metrics::add(&m.migrations, 4);
         m.latency.record(500);
         m.batch_sizes.record(3);
-        let stats = m.report(vec![3, 0]);
+        let health = ServiceHealth {
+            shard_degraded: vec![1, 0],
+            shard_recoveries: vec![1, 0],
+            faults_injected: 1,
+        };
+        let stats = m.report(vec![3, 0], health.clone());
         assert_eq!(stats.arrivals, 1);
         assert_eq!(stats.migrations, 4);
         assert_eq!(stats.shard_max_loads, vec![3, 0]);
+        assert_eq!(stats.dedupe_replays, 0);
+        assert_eq!(stats.health, health);
         assert_eq!(stats.latency.count, 1);
         assert_eq!(stats.batch_sizes.batches, 1);
         assert_eq!(stats.batch_sizes.p50_items, 4);

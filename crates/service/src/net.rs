@@ -4,7 +4,14 @@
 //! A connection reads one request per line and writes one response per
 //! line; lines that do not parse get a `bad-request` error reply and
 //! the connection keeps going — nothing a client sends can kill the
-//! daemon. Shutdown is graceful: a `shutdown` request (or
+//! daemon. Lines are read through a bounded buffer
+//! ([`ServiceConfig::max_line_bytes`](crate::server::ServiceConfig)):
+//! an overlong line is drained without being stored, answered with
+//! `bad-request`, and the connection resynchronizes at the next
+//! newline. A line may carry a `req_id` envelope field; the core then
+//! treats retries of that id as replays (see
+//! [`ServiceCore::handle_with_id`]). Shutdown is graceful: a
+//! `shutdown` request (or
 //! [`Server::shutdown`]) flips the core's flag, the accept loop is
 //! poked awake by a loop-back connection and exits, live connections
 //! get a grace period to finish their in-flight dialogue, and any
@@ -19,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::proto::{Request, Response};
+use crate::proto::parse_request_line;
 use crate::server::ServiceCore;
 
 type ConnSlot = (TcpStream, JoinHandle<()>);
@@ -137,23 +144,28 @@ fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let cap = core.config().max_line_bytes;
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut line = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {}
-            Err(_) => break, // force-closed during drain, or I/O error
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let resp = match serde_json::from_str::<Request>(trimmed) {
-            Ok(req) => core.handle(&req),
-            Err(e) => core.malformed(e),
+        let resp = match read_bounded_line(&mut reader, &mut line, cap) {
+            // Client closed, force-closed during drain, or I/O error.
+            Ok(LineRead::Eof) | Err(_) => break,
+            Ok(LineRead::TooLong) => core.malformed(format!("request line exceeds {cap} bytes")),
+            Ok(LineRead::Line) => match std::str::from_utf8(&line) {
+                Ok(text) => {
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    match parse_request_line(trimmed) {
+                        Ok((req_id, req)) => core.handle_with_id(req_id, &req),
+                        Err(e) => core.malformed(e),
+                    }
+                }
+                Err(_) => core.malformed("request line is not valid UTF-8"),
+            },
         };
         let Ok(mut json) = serde_json::to_string(&resp) else {
             break;
@@ -162,5 +174,122 @@ fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
         if writer.write_all(json.as_bytes()).is_err() || writer.flush().is_err() {
             break;
         }
+    }
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (without its newline) is in the buffer.
+    Line,
+    /// The line exceeded the cap; it was drained but not stored.
+    TooLong,
+    /// Clean end of stream with no pending partial line.
+    Eof,
+}
+
+/// Read one `\n`-terminated line into `buf`, holding at most `cap`
+/// bytes: once a line overflows the cap, the rest of it is consumed
+/// and discarded so the stream resynchronizes at the newline, and the
+/// read reports [`LineRead::TooLong`]. An unterminated final line
+/// (EOF without `\n`) still counts as a line, mirroring `read_line`.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<LineRead> {
+    buf.clear();
+    let mut overlong = false;
+    loop {
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(a) => a,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                return Ok(if overlong {
+                    LineRead::TooLong
+                } else if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    if !overlong {
+                        buf.extend_from_slice(&available[..i]);
+                    }
+                    (true, i + 1)
+                }
+                None => {
+                    if !overlong {
+                        buf.extend_from_slice(available);
+                    }
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if buf.len() > cap {
+            buf.clear();
+            overlong = true;
+        }
+        if done {
+            return Ok(if overlong {
+                LineRead::TooLong
+            } else {
+                LineRead::Line
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn next(r: &mut impl BufRead, buf: &mut Vec<u8>, cap: usize) -> LineRead {
+        read_bounded_line(r, buf, cap).unwrap()
+    }
+
+    #[test]
+    fn bounded_reader_splits_lines_and_reports_eof() {
+        let mut r = Cursor::new(&b"one\ntwo\nthree"[..]);
+        let mut buf = Vec::new();
+        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
+        assert_eq!(buf, b"one");
+        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
+        assert_eq!(buf, b"two");
+        // The unterminated tail still counts as a line...
+        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
+        assert_eq!(buf, b"three");
+        // ...and then the stream is cleanly done.
+        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Eof));
+    }
+
+    #[test]
+    fn overlong_lines_are_drained_not_buffered() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        // A tiny BufReader forces the cap check across many refills.
+        let mut r = BufReader::with_capacity(8, Cursor::new(input));
+        let mut buf = Vec::new();
+        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::TooLong));
+        // Memory stayed bounded, and the stream resynchronized at the
+        // newline: the following line reads normally.
+        assert!(buf.capacity() <= 64);
+        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::Line));
+        assert_eq!(buf, b"ok");
+    }
+
+    #[test]
+    fn an_overlong_unterminated_tail_is_too_long() {
+        let mut r = BufReader::with_capacity(8, Cursor::new(vec![b'y'; 50]));
+        let mut buf = Vec::new();
+        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::TooLong));
+        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::Eof));
     }
 }

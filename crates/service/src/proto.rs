@@ -21,11 +21,24 @@
 //! → {"op":"batch","items":[{"op":"arrive","size_log2":1},{"op":"depart","task":0}]}
 //! ← {"reply":"batch","results":[{"reply":"placed",...},{"reply":"departed",...}]}
 //! ```
+//!
+//! # Idempotent retries
+//!
+//! Any request line may carry an optional client-assigned `req_id`
+//! field alongside `"op"` (an unsigned 64-bit integer, stripped before
+//! the op itself is parsed — see [`parse_request_line`]). The server
+//! remembers the replies of recent identified mutations in a bounded
+//! dedupe window; retrying the same `req_id` replays the original
+//! reply instead of re-executing, so a client that lost a reply to a
+//! broken connection can retry without double-allocating. Ids must be
+//! unique per mutation attempt — reusing one returns the cached reply
+//! of its first use.
 
 use serde::{Deserialize, Serialize};
 
 use partalloc_core::CoreError;
 
+use crate::shard::ShardError;
 use crate::snapshot::ServiceSnapshot;
 
 /// One mutation inside a [`Request::Batch`], tagged by `"op"` exactly
@@ -78,6 +91,12 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Panic the named shard on purpose and let it self-heal; replied
+    /// with [`Response::FaultInjected`]. The chaos-testing hook.
+    InjectFault {
+        /// Index of the shard to panic.
+        shard: usize,
+    },
     /// Begin a graceful shutdown: no new work is accepted, connections
     /// drain, and the server exits.
     Shutdown,
@@ -94,6 +113,7 @@ impl Request {
             Request::Snapshot => "snapshot",
             Request::Stats => "stats",
             Request::Ping => "ping",
+            Request::InjectFault { .. } => "inject-fault",
             Request::Shutdown => "shutdown",
         }
     }
@@ -171,6 +191,9 @@ pub enum ErrorCode {
     BadRequest,
     /// The service is shutting down and accepts no new work.
     Unavailable,
+    /// A shard panicked on every attempt at this op; the shard healed
+    /// but the op was abandoned. Safe to retry.
+    ShardPanicked,
     /// The request was valid but the service failed to honour it.
     Internal,
 }
@@ -206,6 +229,13 @@ pub enum Response {
     Stats(crate::metrics::ServiceStats),
     /// Reply to `ping`.
     Pong,
+    /// Reply to `inject-fault`: the shard panicked and healed.
+    FaultInjected {
+        /// The shard that was panicked.
+        shard: usize,
+        /// The shard's total completed recoveries, this one included.
+        recoveries: u64,
+    },
     /// Reply to `shutdown`: the service is draining.
     ShuttingDown,
     /// The request could not be honoured.
@@ -230,6 +260,43 @@ impl Response {
         };
         Response::error(code, err.to_string())
     }
+
+    /// Map a shard failure onto the wire error classes.
+    pub fn from_shard_error(err: ShardError) -> Self {
+        match err {
+            ShardError::Rejected(e) => Response::from_core_error(e),
+            ShardError::Panicked => Response::error(ErrorCode::ShardPanicked, err.to_string()),
+        }
+    }
+}
+
+/// Parse one NDJSON request line into its optional `req_id` envelope
+/// and the [`Request`] itself.
+///
+/// The `req_id` field is stripped from the object before the op is
+/// parsed, so requests without one hit exactly the same code path as
+/// before the envelope existed; unknown fields are still rejected.
+pub fn parse_request_line(line: &str) -> Result<(Option<u64>, Request), String> {
+    let mut value: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let req_id = match value.as_object_mut().and_then(|obj| obj.remove("req_id")) {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| format!("req_id must be an unsigned integer, got {v}"))?,
+        ),
+    };
+    let req = serde_json::from_value(value).map_err(|e| e.to_string())?;
+    Ok((req_id, req))
+}
+
+/// Serialize a request as one NDJSON line (no trailing newline),
+/// attaching the `req_id` envelope field when given.
+pub fn request_line(req: &Request, req_id: Option<u64>) -> Result<String, serde_json::Error> {
+    let mut value = serde_json::to_value(req)?;
+    if let (Some(id), Some(obj)) = (req_id, value.as_object_mut()) {
+        obj.insert("req_id".into(), serde_json::Value::from(id));
+    }
+    serde_json::to_string(&value)
 }
 
 #[cfg(test)]
@@ -376,5 +443,55 @@ mod tests {
     fn request_labels() {
         assert_eq!(Request::QueryLoad.label(), "query-load");
         assert_eq!(Request::Arrive { size_log2: 0 }.label(), "arrive");
+        assert_eq!(Request::InjectFault { shard: 0 }.label(), "inject-fault");
+    }
+
+    #[test]
+    fn inject_fault_roundtrips() {
+        let req: Request = serde_json::from_str(r#"{"op":"inject-fault","shard":1}"#).unwrap();
+        assert_eq!(req, Request::InjectFault { shard: 1 });
+        let resp = Response::FaultInjected {
+            shard: 1,
+            recoveries: 3,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"reply\":\"fault-injected\""), "{json}");
+        let code = serde_json::to_string(&ErrorCode::ShardPanicked).unwrap();
+        assert_eq!(code, r#""shard-panicked""#);
+    }
+
+    #[test]
+    fn envelope_strips_and_restores_req_id() {
+        let line = request_line(&Request::Arrive { size_log2: 2 }, Some(77)).unwrap();
+        assert!(line.contains("\"req_id\":77"), "{line}");
+        let (req_id, req) = parse_request_line(&line).unwrap();
+        assert_eq!(req_id, Some(77));
+        assert_eq!(req, Request::Arrive { size_log2: 2 });
+
+        // Without an id, the line is exactly the plain serialization's
+        // content and parses to req_id = None.
+        let plain = request_line(&Request::Ping, None).unwrap();
+        let (req_id, req) = parse_request_line(&plain).unwrap();
+        assert_eq!(req_id, None);
+        assert_eq!(req, Request::Ping);
+    }
+
+    #[test]
+    fn envelope_still_rejects_malformed_lines() {
+        for bad in [
+            "not json at all",
+            "{}",
+            r#"{"op":"levitate","req_id":1}"#,
+            r#"{"op":"arrive","size_log2":2,"extra":1,"req_id":1}"#,
+            r#"{"op":"arrive","size_log2":2,"req_id":"seven"}"#,
+            r#"{"op":"arrive","size_log2":2,"req_id":-3}"#,
+            "[1,2,3]",
+        ] {
+            assert!(parse_request_line(bad).is_err(), "{bad:?}");
+        }
+        // req_id on a batch works like on any other mutation.
+        let (req_id, req) = parse_request_line(r#"{"op":"batch","items":[],"req_id":9}"#).unwrap();
+        assert_eq!(req_id, Some(9));
+        assert_eq!(req, Request::Batch { items: vec![] });
     }
 }

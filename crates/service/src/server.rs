@@ -16,7 +16,7 @@
 //! states, directory and counters are therefore mutually consistent
 //! (no task half-arrived into a shard but missing from the directory).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
@@ -27,6 +27,7 @@ use std::time::Instant;
 use parking_lot::{Mutex, RwLock};
 
 use partalloc_core::{restore, AllocatorKind, CoreError};
+use partalloc_engine::{FaultObserver, FaultPlan};
 use partalloc_model::TaskId;
 use partalloc_topology::BuddyTree;
 
@@ -34,8 +35,14 @@ use crate::metrics::{Metrics, ServiceStats};
 use crate::proto::{
     BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
 };
-use crate::shard::{RouterKind, Shard, ShardEffect, ShardOp, ShardRouter};
-use crate::snapshot::{ServiceSnapshot, ServiceTaskEntry};
+use crate::shard::{RouterKind, Shard, ShardEffect, ShardError, ShardOp, ShardRouter};
+use crate::snapshot::{ServiceHealth, ServiceSnapshot, ServiceTaskEntry};
+
+/// Default cap on one NDJSON request line (1 MiB).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Default capacity of the idempotency dedupe window.
+pub const DEFAULT_DEDUPE_WINDOW: usize = 1024;
 
 /// How to build a service.
 #[derive(Debug, Clone)]
@@ -57,6 +64,15 @@ pub struct ServiceConfig {
     /// explicit `snapshot` requests). Persistence is best-effort: a
     /// failed periodic write never fails the request that tripped it.
     pub snapshot_every: u64,
+    /// Cap on one NDJSON request line; longer lines get a
+    /// `bad-request` reply instead of growing an unbounded buffer.
+    pub max_line_bytes: usize,
+    /// Capacity of the idempotency dedupe window (0 disables it): how
+    /// many recent identified-mutation replies are kept for replay.
+    pub dedupe_window: usize,
+    /// Deterministic in-process fault plan; shard `i` consumes the
+    /// plan's `split(i)` stream. `None` (the default) injects nothing.
+    pub shard_faults: Option<FaultPlan>,
 }
 
 impl ServiceConfig {
@@ -71,6 +87,9 @@ impl ServiceConfig {
             router: RouterKind::default(),
             snapshot_path: None,
             snapshot_every: 0,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            dedupe_window: DEFAULT_DEDUPE_WINDOW,
+            shard_faults: None,
         }
     }
 
@@ -97,6 +116,25 @@ impl ServiceConfig {
     pub fn persist_to(mut self, path: PathBuf, every: u64) -> Self {
         self.snapshot_path = Some(path);
         self.snapshot_every = every;
+        self
+    }
+
+    /// Set the request-line length cap.
+    pub fn max_line_bytes(mut self, bytes: usize) -> Self {
+        self.max_line_bytes = bytes;
+        self
+    }
+
+    /// Set the idempotency dedupe-window capacity (0 disables it).
+    pub fn dedupe_window(mut self, entries: usize) -> Self {
+        self.dedupe_window = entries;
+        self
+    }
+
+    /// Arm every shard with a deterministic fault plan (chaos testing);
+    /// shard `i` consumes the plan's `split(i)` stream.
+    pub fn shard_faults(mut self, plan: FaultPlan) -> Self {
+        self.shard_faults = Some(plan);
         self
     }
 }
@@ -137,6 +175,44 @@ pub struct ServiceCore {
     shutting_down: AtomicBool,
     /// Mutations hold this shared; snapshot builds hold it exclusive.
     quiesce: RwLock<()>,
+    /// Recent identified-mutation replies, for exactly-once retries.
+    dedupe: Mutex<DedupeWindow>,
+}
+
+/// A bounded FIFO map of recent identified-mutation replies: retrying
+/// a remembered `req_id` replays the original reply instead of
+/// re-executing the mutation.
+struct DedupeWindow {
+    cap: usize,
+    replies: HashMap<u64, Response>,
+    order: VecDeque<u64>,
+}
+
+impl DedupeWindow {
+    fn new(cap: usize) -> Self {
+        DedupeWindow {
+            cap,
+            replies: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<Response> {
+        self.replies.get(&id).cloned()
+    }
+
+    fn insert(&mut self, id: u64, resp: Response) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.replies.insert(id, resp).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > self.cap {
+                let oldest = self.order.pop_front().expect("window is non-empty");
+                self.replies.remove(&oldest);
+            }
+        }
+    }
 }
 
 /// One grouped same-shard run within a batch dispatch.
@@ -157,10 +233,11 @@ impl BatchRun {
 }
 
 /// Reply-side bookkeeping for one batched op: what the wire reply
-/// needs beyond the shard effect.
+/// needs beyond the shard effect (and what an abandoned depart needs
+/// restored into the directory).
 enum BatchMeta {
     Arrive,
-    Depart { global: u64 },
+    Depart { global: u64, local: u64 },
 }
 
 impl ServiceCore {
@@ -172,9 +249,17 @@ impl ServiceCore {
         let machine = BuddyTree::new(config.pes_per_shard)
             .map_err(|e| ServiceError::BadMachine(e.to_string()))?;
         let shards = (0..config.num_shards)
-            .map(|i| Shard::new(i, config.kind.build(machine, config.seed + i as u64)))
+            .map(|i| {
+                let seed = config.seed + i as u64;
+                let shard = Shard::new(i, config.kind, config.kind.build(machine, seed), seed);
+                match &config.shard_faults {
+                    Some(plan) => shard.with_faults(FaultObserver::new(plan.split(i as u64))),
+                    None => shard,
+                }
+            })
             .collect();
         let router = config.router.build();
+        let dedupe = Mutex::new(DedupeWindow::new(config.dedupe_window));
         Ok(ServiceCore {
             config,
             shards,
@@ -185,6 +270,7 @@ impl ServiceCore {
             metrics: Metrics::new(),
             shutting_down: AtomicBool::new(false),
             quiesce: RwLock::new(()),
+            dedupe,
         })
     }
 
@@ -215,7 +301,9 @@ impl ServiceCore {
             let alloc = restore(shard_snap, kind).map_err(|e| bad(format!("shard {i}: {e}")))?;
             shards.push(Shard::restored(
                 i,
+                kind,
                 alloc,
+                snap.seed + i as u64,
                 snap.next_local[i],
                 shard_snap.arrived_since_realloc,
             ));
@@ -237,8 +325,12 @@ impl ServiceCore {
             router: router_kind,
             snapshot_path: None,
             snapshot_every: 0,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            dedupe_window: DEFAULT_DEDUPE_WINDOW,
+            shard_faults: None,
         };
         let router = router_kind.build();
+        let dedupe = Mutex::new(DedupeWindow::new(config.dedupe_window));
         Ok(ServiceCore {
             config,
             shards,
@@ -249,6 +341,7 @@ impl ServiceCore {
             metrics: Metrics::new(),
             shutting_down: AtomicBool::new(false),
             quiesce: RwLock::new(()),
+            dedupe,
         })
     }
 
@@ -287,6 +380,50 @@ impl ServiceCore {
         resp
     }
 
+    /// Serve one request carrying an optional idempotency id.
+    ///
+    /// Identified mutations (arrive/depart/batch) are remembered in a
+    /// bounded window: retrying the same `req_id` replays the original
+    /// reply without touching the machines, directory or latency
+    /// histogram. Non-mutations ignore the id (retrying a query is
+    /// naturally safe), as do unidentified requests.
+    pub fn handle_with_id(&self, req_id: Option<u64>, req: &Request) -> Response {
+        let Some(id) = req_id else {
+            return self.handle(req);
+        };
+        if !matches!(
+            req,
+            Request::Arrive { .. } | Request::Depart { .. } | Request::Batch { .. }
+        ) {
+            return self.handle(req);
+        }
+        if let Some(replay) = self.dedupe.lock().get(id) {
+            Metrics::incr(&self.metrics.dedupe_replays);
+            return replay;
+        }
+        let resp = self.handle(req);
+        if Self::cacheable(req, &resp) {
+            self.dedupe.lock().insert(id, resp.clone());
+        }
+        resp
+    }
+
+    /// Should this identified-mutation reply be remembered for replay?
+    ///
+    /// Batch replies always: a batch may have partially applied, so a
+    /// retry must see the original per-item replies rather than
+    /// re-execute. A single op that died with `shard-panicked` applied
+    /// nothing — leave it uncached so a retry gets a fresh attempt.
+    fn cacheable(req: &Request, resp: &Response) -> bool {
+        match req {
+            Request::Batch { .. } => true,
+            _ => !matches!(
+                resp,
+                Response::Error(e) if e.code == ErrorCode::ShardPanicked
+            ),
+        }
+    }
+
     fn dispatch(&self, req: &Request) -> Response {
         match req {
             Request::Arrive { size_log2 } => self.arrive(*size_log2),
@@ -317,6 +454,21 @@ impl ServiceCore {
                 Metrics::incr(&self.metrics.pings);
                 Response::Pong
             }
+            Request::InjectFault { shard } => {
+                let idx = *shard;
+                if idx >= self.shards.len() {
+                    return Response::error(
+                        ErrorCode::BadRequest,
+                        format!("no shard {idx} (have {})", self.shards.len()),
+                    );
+                }
+                let _shared = self.quiesce.read();
+                let recoveries = self.shards[idx].inject_panic();
+                Response::FaultInjected {
+                    shard: idx,
+                    recoveries,
+                }
+            }
             Request::Shutdown => {
                 self.begin_shutdown();
                 Response::ShuttingDown
@@ -333,7 +485,7 @@ impl ServiceCore {
             let shard_idx = self.router.route(size_log2, &self.shards);
             let arrival = match self.shards[shard_idx].arrive(size_log2) {
                 Ok(a) => a,
-                Err(e) => return Response::from_core_error(e),
+                Err(e) => return Response::from_shard_error(e),
             };
             let global = self.next_global.fetch_add(1, Ordering::SeqCst);
             self.directory
@@ -379,7 +531,13 @@ impl ServiceCore {
             };
             let placement = match self.shards[shard_idx].depart(local) {
                 Ok(p) => p,
-                Err(e) => return Response::from_core_error(e),
+                Err(e) => {
+                    // The claim must be undone: the task is still
+                    // placed (an abandoned depart applies nothing), so
+                    // a later retry must be able to find it.
+                    self.directory.lock().insert(task, (shard_idx, local));
+                    return Response::from_shard_error(e);
+                }
             };
             Metrics::incr(&self.metrics.departures);
             Departed {
@@ -456,7 +614,10 @@ impl ServiceCore {
                         }
                         let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
                         r.ops.push(ShardOp::Depart { local });
-                        r.metas.push(BatchMeta::Depart { global: task });
+                        r.metas.push(BatchMeta::Depart {
+                            global: task,
+                            local,
+                        });
                     }
                 }
             }
@@ -506,7 +667,7 @@ impl ServiceCore {
                 }
                 Ok(ShardEffect::Departed { placement, .. }) => {
                     applied += 1;
-                    let BatchMeta::Depart { global } = meta else {
+                    let BatchMeta::Depart { global, .. } = meta else {
                         unreachable!("depart effects come from depart ops")
                     };
                     Metrics::incr(&self.metrics.departures);
@@ -518,8 +679,15 @@ impl ServiceCore {
                     }));
                 }
                 Err(e) => {
+                    // An abandoned depart applied nothing: restore its
+                    // claimed directory entry so the task stays
+                    // reachable.
+                    if let (ShardError::Panicked, BatchMeta::Depart { global, local }) = (&e, &meta)
+                    {
+                        self.directory.lock().insert(*global, (run.shard, *local));
+                    }
                     Metrics::incr(&self.metrics.errors);
-                    results.push(Response::from_core_error(e));
+                    results.push(Response::from_shard_error(e));
                 }
             }
         }
@@ -576,8 +744,8 @@ impl ServiceCore {
         let _exclusive = self.quiesce.write();
         let mut shards = Vec::with_capacity(self.shards.len());
         let mut next_local = Vec::with_capacity(self.shards.len());
-        for (i, shard) in self.shards.iter().enumerate() {
-            let (snap, next) = shard.snapshot(self.config.kind, self.config.seed + i as u64);
+        for shard in &self.shards {
+            let (snap, next) = shard.snapshot();
             shards.push(snap);
             next_local.push(next);
         }
@@ -600,6 +768,18 @@ impl ServiceCore {
             tasks,
             next_global: self.next_global.load(Ordering::SeqCst),
             next_local,
+            health: self.health(),
+        }
+    }
+
+    /// The fault plane's ledger: per-shard degraded/recovery counters
+    /// and the total in-process faults absorbed so far.
+    pub fn health(&self) -> ServiceHealth {
+        let shard_degraded: Vec<u64> = self.shards.iter().map(Shard::degraded).collect();
+        ServiceHealth {
+            faults_injected: shard_degraded.iter().sum(),
+            shard_recoveries: self.shards.iter().map(Shard::recoveries).collect(),
+            shard_degraded,
         }
     }
 
@@ -614,7 +794,7 @@ impl ServiceCore {
     /// The live metrics, as a `stats` reply would report them.
     pub fn stats(&self) -> ServiceStats {
         let gauges = self.shards.iter().map(Shard::load).collect();
-        self.metrics.report(gauges)
+        self.metrics.report(gauges, self.health())
     }
 
     /// Report a request line that did not parse: counts toward the
@@ -649,6 +829,21 @@ impl ServiceHandle {
     /// Serve one request.
     pub fn request(&self, req: &Request) -> Response {
         self.0.handle(req)
+    }
+
+    /// Serve one request under an idempotency id: retrying the same id
+    /// replays the original reply (see [`ServiceCore::handle_with_id`]).
+    pub fn request_with_id(&self, req_id: u64, req: &Request) -> Response {
+        self.0.handle_with_id(Some(req_id), req)
+    }
+
+    /// Deliberately panic-and-heal `shard` (chaos testing); returns its
+    /// total recovery count.
+    pub fn inject_fault(&self, shard: usize) -> Result<u64, ErrorReply> {
+        match self.request(&Request::InjectFault { shard }) {
+            Response::FaultInjected { recoveries, .. } => Ok(recoveries),
+            other => Err(Self::unexpected(other)),
+        }
     }
 
     fn unexpected(resp: Response) -> ErrorReply {
@@ -816,10 +1011,7 @@ mod tests {
             serde_json::to_string(&results).unwrap(),
             serde_json::to_string(&singles).unwrap()
         );
-        assert_eq!(
-            batched.query_load().unwrap(),
-            singly.query_load().unwrap()
-        );
+        assert_eq!(batched.query_load().unwrap(), singly.query_load().unwrap());
     }
 
     #[test]
@@ -988,5 +1180,120 @@ mod tests {
             ServiceCore::from_snapshot(&snap),
             Err(ServiceError::BadSnapshot(_))
         ));
+    }
+
+    #[test]
+    fn identified_mutations_replay_from_the_dedupe_window() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let first = h.request_with_id(7, &Request::Arrive { size_log2: 0 });
+        let replay = h.request_with_id(7, &Request::Arrive { size_log2: 0 });
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&replay).unwrap()
+        );
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.arrivals, 1);
+        assert_eq!(stats.dedupe_replays, 1);
+        assert_eq!(h.query_load().unwrap().active_tasks, 1);
+        // A fresh id executes for real and takes the next global id.
+        match h.request_with_id(8, &Request::Arrive { size_log2: 0 }) {
+            Response::Placed(p) => assert_eq!(p.task, 1),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedupe_window_is_bounded_fifo() {
+        let core = ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 8).dedupe_window(2))
+            .unwrap();
+        let h = ServiceHandle::new(core);
+        for id in 0..3u64 {
+            h.request_with_id(id, &Request::Arrive { size_log2: 0 });
+        }
+        // Id 0 was evicted (capacity 2): retrying it re-executes and
+        // places a fourth task; id 2 is still cached and replays.
+        match h.request_with_id(0, &Request::Arrive { size_log2: 0 }) {
+            Response::Placed(p) => assert_eq!(p.task, 3),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        match h.request_with_id(2, &Request::Arrive { size_log2: 0 }) {
+            Response::Placed(p) => assert_eq!(p.task, 2),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(h.stats().unwrap().dedupe_replays, 1);
+    }
+
+    #[test]
+    fn queries_are_never_deduped() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        h.request_with_id(9, &Request::Arrive { size_log2: 0 });
+        // Identified pings both execute: ids only bind mutations.
+        assert!(matches!(
+            h.request_with_id(9, &Request::Ping),
+            Response::Pong
+        ));
+        assert!(matches!(
+            h.request_with_id(9, &Request::Ping),
+            Response::Pong
+        ));
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.pings, 2);
+        assert_eq!(stats.dedupe_replays, 0);
+    }
+
+    #[test]
+    fn batches_with_same_id_apply_once() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let items = vec![
+            BatchItem::Arrive { size_log2: 0 },
+            BatchItem::Arrive { size_log2: 1 },
+        ];
+        let first = h.request_with_id(
+            5,
+            &Request::Batch {
+                items: items.clone(),
+            },
+        );
+        let replay = h.request_with_id(5, &Request::Batch { items });
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&replay).unwrap()
+        );
+        assert_eq!(h.query_load().unwrap().active_tasks, 2);
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.arrivals, 2);
+        assert_eq!(stats.dedupe_replays, 1);
+    }
+
+    #[test]
+    fn inject_fault_heals_and_is_observable() {
+        let h = handle(AllocatorKind::Greedy, 8, 2);
+        h.arrive(0).unwrap();
+        assert_eq!(h.inject_fault(0).unwrap(), 1);
+        assert_eq!(h.inject_fault(5).unwrap_err().code, ErrorCode::BadRequest);
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.health.shard_degraded, vec![1, 0]);
+        assert_eq!(stats.health.faults_injected, 1);
+        // The shard rebuilt: its task survived the panic.
+        assert_eq!(h.query_load().unwrap().active_tasks, 1);
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.health.shard_recoveries, vec![1, 0]);
+    }
+
+    #[test]
+    fn shard_fault_plans_panic_and_heal_under_load() {
+        let plan = FaultPlan::new(3).panic_rate(1.0).limit(1);
+        let core =
+            ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 8).shard_faults(plan))
+                .unwrap();
+        let h = ServiceHandle::new(core);
+        // The arrival panics in-shard, heals, and retries to success:
+        // the client sees a normal placement and no error.
+        let p = h.arrive(0).unwrap();
+        assert_eq!(p.task, 0);
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.health.faults_injected, 1);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(h.query_load().unwrap().active_tasks, 1);
     }
 }

@@ -20,24 +20,53 @@
 //! and the equivalent per-request sequence produce byte-identical
 //! placements (asserted end-to-end in `tests/e2e.rs`).
 //!
+//! # Self-healing
+//!
+//! Every op is applied under [`catch_unwind`], so a panic mid-mutation
+//! (injected by a [`FaultObserver`] or otherwise) never takes the
+//! daemon down. A panicking op can leave the engine torn — the
+//! allocator applied the event but the settling bookkeeping did not
+//! finish — so the shard heals by *rebuilding*: it restores from its
+//! last good baseline snapshot, replays the journal of ops applied
+//! since that baseline (with fault injection suppressed — those ops
+//! applied cleanly once), and then retries the panicking op. Only
+//! after several consecutive panics on the same op does the shard give
+//! up and report [`ShardError::Panicked`]. The journal is re-baselined
+//! every [`JOURNAL_CHECKPOINT`] ops so replay stays cheap.
+//!
+//! The rebuild is state-exact for the deterministic allocators. A
+//! randomized allocator restores with a reseeded RNG stream — the same
+//! documented lossiness as service snapshots — so its healed placements
+//! are valid but may diverge from a never-faulted run.
+//!
 //! Shard-local task ids are dense and **never reused**: the paper's
 //! repack procedure `A_R` walks active tasks in id order, so recycling
 //! ids would reorder repacks and break replay equivalence with an
-//! offline [`run_sequence`] over the same trace.
+//! offline [`run_sequence`] over the same trace. A panicked arrival
+//! consumes no id.
 //!
 //! [`run_sequence`]: https://docs.rs/partalloc-engine
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use partalloc_core::{
-    snapshot, Allocator, AllocatorKind, ArrivalOutcome, CoreError, EventOutcome, Placement,
-    Snapshot,
+    restore, snapshot, Allocator, AllocatorKind, ArrivalOutcome, CoreError, EventOutcome,
+    Placement, Snapshot,
 };
-use partalloc_engine::{Engine, EpochObserver};
+use partalloc_engine::{Engine, EpochObserver, FaultObserver};
 use partalloc_model::{Event, TaskId};
+
+/// Attempts per op before the shard reports [`ShardError::Panicked`]:
+/// one initial try plus `PANIC_RETRIES` heal-and-retry rounds.
+const PANIC_RETRIES: u32 = 4;
+
+/// Re-baseline after this many journaled ops, bounding replay cost.
+const JOURNAL_CHECKPOINT: usize = 256;
 
 struct ShardState {
     /// The drive loop around this shard's allocator.
@@ -48,13 +77,26 @@ struct ShardState {
     epoch: EpochObserver,
     /// Next dense local id (never reused; see module docs).
     next_local: u64,
+    /// Optional deterministic misfortune, consulted on every driven
+    /// event (suppressed during journal replay).
+    faults: Option<FaultObserver>,
+    /// Last good checkpoint to rebuild from after a panic.
+    baseline: Snapshot,
+    /// `next_local` as of the baseline.
+    baseline_next_local: u64,
+    /// Ops applied cleanly since the baseline, in order.
+    journal: Vec<ShardOp>,
 }
 
 /// One shard: an independent machine instance behind its own lock.
 pub struct Shard {
     index: usize,
+    kind: AllocatorKind,
+    seed: u64,
     state: Mutex<ShardState>,
     load_gauge: AtomicU64,
+    degraded: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 /// One shard-level mutation, ready to be applied singly or batched.
@@ -95,6 +137,57 @@ pub struct ShardArrival {
     pub outcome: ArrivalOutcome,
 }
 
+/// Why a shard refused (or failed) an op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The allocator rejected the op; nothing was applied.
+    Rejected(CoreError),
+    /// The op panicked on every attempt, even after rebuilds. The
+    /// shard itself healed back to its pre-op state; only this op was
+    /// abandoned.
+    Panicked,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Rejected(e) => write!(f, "{e}"),
+            ShardError::Panicked => {
+                write!(f, "shard panicked on every attempt; op abandoned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Rejected(e) => Some(e),
+            ShardError::Panicked => None,
+        }
+    }
+}
+
+impl From<CoreError> for ShardError {
+    fn from(e: CoreError) -> Self {
+        ShardError::Rejected(e)
+    }
+}
+
+/// Drive one event, consulting the fault observer when present.
+fn drive(st: &mut ShardState, ev: &Event) -> Result<EventOutcome, CoreError> {
+    let ShardState {
+        engine,
+        epoch,
+        faults,
+        ..
+    } = st;
+    match faults {
+        Some(f) => engine.try_drive(ev, &mut [epoch, f]),
+        None => engine.try_drive(ev, &mut [epoch]),
+    }
+}
+
 /// Apply one op to the locked state. A rejected op leaves the engine,
 /// the epoch mirror and the id counter untouched ([`Engine::try_drive`]
 /// has no side effects on error), so errors isolate per op even
@@ -106,7 +199,7 @@ fn apply(st: &mut ShardState, op: &ShardOp) -> Result<ShardEffect, CoreError> {
                 id: TaskId(st.next_local),
                 size_log2,
             };
-            let outcome = st.engine.try_drive(&ev, &mut [&mut st.epoch])?;
+            let outcome = drive(st, &ev)?;
             let EventOutcome::Arrival(outcome) = outcome else {
                 unreachable!("arrival events produce arrival outcomes")
             };
@@ -116,7 +209,7 @@ fn apply(st: &mut ShardState, op: &ShardOp) -> Result<ShardEffect, CoreError> {
         }
         ShardOp::Depart { local } => {
             let ev = Event::Departure { id: TaskId(local) };
-            let outcome = st.engine.try_drive(&ev, &mut [&mut st.epoch])?;
+            let outcome = drive(st, &ev)?;
             let EventOutcome::Departure(placement) = outcome else {
                 unreachable!("departure events produce departure outcomes")
             };
@@ -125,29 +218,78 @@ fn apply(st: &mut ShardState, op: &ShardOp) -> Result<ShardEffect, CoreError> {
     }
 }
 
+/// Capture the current state as the new baseline and clear the journal.
+fn checkpoint(st: &mut ShardState, kind: AllocatorKind, seed: u64) {
+    st.baseline = snapshot(
+        &**st.engine.allocator(),
+        kind,
+        seed,
+        st.epoch.arrived_since_realloc(),
+    );
+    st.baseline_next_local = st.next_local;
+    st.journal.clear();
+}
+
+/// Rebuild the shard from its baseline and replay the journal. Fault
+/// injection is suppressed for the replay: journaled ops applied
+/// cleanly once, so they must apply cleanly again.
+fn rebuild(st: &mut ShardState, kind: AllocatorKind) {
+    let alloc =
+        restore(&st.baseline, kind).expect("a shard's own baseline snapshot always restores");
+    st.engine = Engine::new(alloc);
+    st.epoch = EpochObserver::resumed(st.baseline.arrived_since_realloc);
+    st.next_local = st.baseline_next_local;
+    let faults = st.faults.take();
+    let journal = std::mem::take(&mut st.journal);
+    for op in &journal {
+        apply(st, op).expect("journaled ops applied cleanly once and replay cleanly");
+    }
+    st.journal = journal;
+    st.faults = faults;
+}
+
 impl Shard {
-    /// A fresh shard around a newly built allocator.
-    pub fn new(index: usize, alloc: Box<dyn Allocator>) -> Self {
-        Self::restored(index, alloc, 0, 0)
+    /// A fresh shard around a newly built allocator. `kind` and `seed`
+    /// must be the ones the allocator was built with; the shard reuses
+    /// them for baselines, rebuilds and snapshots.
+    pub fn new(index: usize, kind: AllocatorKind, alloc: Box<dyn Allocator>, seed: u64) -> Self {
+        Self::restored(index, kind, alloc, seed, 0, 0)
     }
 
     /// A shard resuming from a checkpoint, with its counters restored.
     pub fn restored(
         index: usize,
+        kind: AllocatorKind,
         alloc: Box<dyn Allocator>,
+        seed: u64,
         next_local: u64,
         arrived_since_realloc: u64,
     ) -> Self {
         let load_gauge = AtomicU64::new(alloc.max_load());
+        let baseline = snapshot(&*alloc, kind, seed, arrived_since_realloc);
         Shard {
             index,
+            kind,
+            seed,
             state: Mutex::new(ShardState {
                 engine: Engine::new(alloc),
                 epoch: EpochObserver::resumed(arrived_since_realloc),
                 next_local,
+                faults: None,
+                baseline,
+                baseline_next_local: next_local,
+                journal: Vec::new(),
             }),
             load_gauge,
+            degraded: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
         }
+    }
+
+    /// Arm this shard with a deterministic fault plan (chaos testing).
+    pub fn with_faults(self, faults: FaultObserver) -> Self {
+        self.state.lock().faults = Some(faults);
+        self
     }
 
     /// This shard's index.
@@ -160,24 +302,61 @@ impl Shard {
         self.load_gauge.load(Ordering::Relaxed)
     }
 
+    /// How many panics this shard has absorbed (each one marked it
+    /// degraded until the rebuild finished).
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// How many rebuilds from baseline this shard has completed.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Apply one op with panic healing: on a caught panic, mark the
+    /// shard degraded, rebuild from the baseline, and retry the op.
+    fn apply_healing(&self, st: &mut ShardState, op: &ShardOp) -> Result<ShardEffect, ShardError> {
+        for _ in 0..=PANIC_RETRIES {
+            match catch_unwind(AssertUnwindSafe(|| apply(st, op))) {
+                Ok(Ok(effect)) => {
+                    st.journal.push(*op);
+                    if st.journal.len() >= JOURNAL_CHECKPOINT {
+                        checkpoint(st, self.kind, self.seed);
+                    }
+                    return Ok(effect);
+                }
+                Ok(Err(rejected)) => return Err(ShardError::Rejected(rejected)),
+                Err(_panic) => {
+                    self.degraded.fetch_add(1, Ordering::Relaxed);
+                    rebuild(st, self.kind);
+                    self.recoveries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Err(ShardError::Panicked)
+    }
+
     /// Apply a slice of operations under one lock acquisition,
     /// publishing the load gauge once at the end.
     ///
     /// Each op succeeds or fails independently: a rejected op (unknown
     /// task, oversized arrival) contributes its error to the result
-    /// vector and the batch carries on. Results are in op order,
-    /// one per op.
-    pub fn submit_batch(&self, ops: &[ShardOp]) -> Vec<Result<ShardEffect, CoreError>> {
+    /// vector and the batch carries on — as does an op abandoned after
+    /// exhausting its panic retries. Results are in op order, one per
+    /// op.
+    pub fn submit_batch(&self, ops: &[ShardOp]) -> Vec<Result<ShardEffect, ShardError>> {
         let mut st = self.state.lock();
-        let results: Vec<Result<ShardEffect, CoreError>> =
-            ops.iter().map(|op| apply(&mut st, op)).collect();
+        let results: Vec<Result<ShardEffect, ShardError>> = ops
+            .iter()
+            .map(|op| self.apply_healing(&mut st, op))
+            .collect();
         self.load_gauge
             .store(st.engine.allocator().max_load(), Ordering::Relaxed);
         results
     }
 
     /// Place an arriving task, assigning it the next dense local id.
-    pub fn arrive(&self, size_log2: u8) -> Result<ShardArrival, CoreError> {
+    pub fn arrive(&self, size_log2: u8) -> Result<ShardArrival, ShardError> {
         let effect = self
             .submit_batch(&[ShardOp::Arrive { size_log2 }])
             .pop()
@@ -189,7 +368,7 @@ impl Shard {
     }
 
     /// Release a task by its local id.
-    pub fn depart(&self, local: u64) -> Result<Placement, CoreError> {
+    pub fn depart(&self, local: u64) -> Result<Placement, ShardError> {
         let effect = self
             .submit_batch(&[ShardOp::Depart { local }])
             .pop()
@@ -198,6 +377,26 @@ impl Shard {
             ShardEffect::Departed { placement, .. } => Ok(placement),
             ShardEffect::Arrived(_) => unreachable!("depart ops produce Departed effects"),
         }
+    }
+
+    /// Panic this shard on purpose and heal it: the operator-facing
+    /// fault hook behind the wire protocol's `inject-fault` op.
+    /// Returns the shard's total completed recoveries.
+    pub fn inject_panic(&self) -> u64 {
+        let mut st = self.state.lock();
+        let simulated = catch_unwind(AssertUnwindSafe(|| {
+            panic!(
+                "injected fault: operator-requested panic on shard {}",
+                self.index
+            );
+        }));
+        debug_assert!(simulated.is_err());
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        rebuild(&mut st, self.kind);
+        let total = self.recoveries.fetch_add(1, Ordering::Relaxed) + 1;
+        self.load_gauge
+            .store(st.engine.allocator().max_load(), Ordering::Relaxed);
+        total
     }
 
     /// Consistent `(max_load, active_tasks, active_size)` under the lock.
@@ -211,13 +410,14 @@ impl Shard {
         )
     }
 
-    /// Capture a core snapshot plus this shard's `next_local` counter.
-    pub fn snapshot(&self, kind: AllocatorKind, seed: u64) -> (Snapshot, u64) {
+    /// Capture a core snapshot plus this shard's `next_local` counter,
+    /// using the kind and seed the shard was built with.
+    pub fn snapshot(&self) -> (Snapshot, u64) {
         let st = self.state.lock();
         let snap = snapshot(
             &**st.engine.allocator(),
-            kind,
-            seed,
+            self.kind,
+            self.seed,
             st.epoch.arrived_since_realloc(),
         );
         (snap, st.next_local)
@@ -345,12 +545,16 @@ impl FromStr for RouterKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use partalloc_engine::FaultPlan;
     use partalloc_topology::BuddyTree;
 
     fn shards(n: usize, pes: u64) -> Vec<Shard> {
         let machine = BuddyTree::new(pes).unwrap();
         (0..n)
-            .map(|i| Shard::new(i, AllocatorKind::Greedy.build(machine, i as u64)))
+            .map(|i| {
+                let kind = AllocatorKind::Greedy;
+                Shard::new(i, kind, kind.build(machine, i as u64), i as u64)
+            })
             .collect()
     }
 
@@ -362,7 +566,10 @@ mod tests {
         s.depart(0).unwrap();
         // The freed id is not recycled.
         assert_eq!(s.arrive(0).unwrap().local, 2);
-        assert_eq!(s.depart(0).unwrap_err(), CoreError::UnknownTask(TaskId(0)));
+        assert_eq!(
+            s.depart(0).unwrap_err(),
+            ShardError::Rejected(CoreError::UnknownTask(TaskId(0)))
+        );
     }
 
     #[test]
@@ -383,23 +590,27 @@ mod tests {
         // A_M with d=1 on 8 PEs: quota 8, so the 8th unit triggers a
         // reallocation and resets the counter.
         let machine = BuddyTree::new(8).unwrap();
-        let s = Shard::new(0, AllocatorKind::DRealloc(1).build(machine, 0));
+        let kind = AllocatorKind::DRealloc(1);
+        let s = Shard::new(0, kind, kind.build(machine, 0), 0);
         for i in 0..7 {
             let a = s.arrive(0).unwrap();
             assert!(!a.outcome.reallocated, "arrival {i} reallocated early");
         }
-        let (snap, next_local) = s.snapshot(AllocatorKind::DRealloc(1), 0);
+        let (snap, next_local) = s.snapshot();
         assert_eq!(snap.arrived_since_realloc, 7);
         assert_eq!(next_local, 7);
         assert!(s.arrive(0).unwrap().outcome.reallocated);
-        let (snap, _) = s.snapshot(AllocatorKind::DRealloc(1), 0);
+        let (snap, _) = s.snapshot();
         assert_eq!(snap.arrived_since_realloc, 0);
     }
 
     #[test]
     fn oversized_arrivals_leave_the_shard_clean() {
         let s = &shards(1, 8)[0];
-        assert!(matches!(s.arrive(5), Err(CoreError::TaskTooLarge { .. })));
+        assert!(matches!(
+            s.arrive(5),
+            Err(ShardError::Rejected(CoreError::TaskTooLarge { .. }))
+        ));
         // The failed arrival consumed no id.
         assert_eq!(s.arrive(0).unwrap().local, 0);
     }
@@ -431,13 +642,19 @@ mod tests {
         let s = &shards(1, 8)[0];
         let results = s.submit_batch(&[
             ShardOp::Arrive { size_log2: 0 },
-            ShardOp::Arrive { size_log2: 5 },  // oversized: rejected
-            ShardOp::Depart { local: 42 },     // unknown: rejected
+            ShardOp::Arrive { size_log2: 5 }, // oversized: rejected
+            ShardOp::Depart { local: 42 },    // unknown: rejected
             ShardOp::Arrive { size_log2: 0 }, // still applies
         ]);
         assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(CoreError::TaskTooLarge { .. })));
-        assert_eq!(results[2], Err(CoreError::UnknownTask(TaskId(42))));
+        assert!(matches!(
+            results[1],
+            Err(ShardError::Rejected(CoreError::TaskTooLarge { .. }))
+        ));
+        assert_eq!(
+            results[2],
+            Err(ShardError::Rejected(CoreError::UnknownTask(TaskId(42))))
+        );
         // The rejected arrival consumed no id.
         let ShardEffect::Arrived(a) = results[3].as_ref().unwrap() else {
             panic!("expected an arrival effect");
@@ -457,13 +674,110 @@ mod tests {
         let batched = &shards(1, 8)[0];
         let singly = &shards(1, 8)[0];
         let batch_results = batched.submit_batch(&ops);
-        let single_results: Vec<_> = ops.iter().map(|op| singly.submit_batch(&[*op]).pop().unwrap()).collect();
+        let single_results: Vec<_> = ops
+            .iter()
+            .map(|op| singly.submit_batch(&[*op]).pop().unwrap())
+            .collect();
         assert_eq!(batch_results, single_results);
         assert_eq!(batched.load_figures(), singly.load_figures());
-        let (snap_b, nl_b) = batched.snapshot(AllocatorKind::Greedy, 0);
-        let (snap_s, nl_s) = singly.snapshot(AllocatorKind::Greedy, 0);
+        let (snap_b, nl_b) = batched.snapshot();
+        let (snap_s, nl_s) = singly.snapshot();
         assert_eq!(snap_b.entries, snap_s.entries);
         assert_eq!(nl_b, nl_s);
+    }
+
+    #[test]
+    fn a_single_panic_heals_and_matches_a_never_faulted_control() {
+        let machine = BuddyTree::new(8).unwrap();
+        let kind = AllocatorKind::Greedy;
+        let control = Shard::new(0, kind, kind.build(machine, 0), 0);
+        let faulty = Shard::new(0, kind, kind.build(machine, 0), 0).with_faults(
+            FaultObserver::new(FaultPlan::new(9).panic_rate(1.0).limit(1)),
+        );
+
+        // The very first op panics once mid-mutation, heals, retries.
+        let ops = [
+            ShardOp::Arrive { size_log2: 1 },
+            ShardOp::Arrive { size_log2: 0 },
+            ShardOp::Depart { local: 0 },
+            ShardOp::Arrive { size_log2: 2 },
+        ];
+        let healed = faulty.submit_batch(&ops);
+        let clean = control.submit_batch(&ops);
+        assert_eq!(healed, clean);
+        assert_eq!(faulty.degraded(), 1);
+        assert_eq!(faulty.recoveries(), 1);
+        assert_eq!(control.degraded(), 0);
+
+        // A panicked first attempt consumed no id, and the healed
+        // shard's state is byte-identical to the control's.
+        let (snap_f, nl_f) = faulty.snapshot();
+        let (snap_c, nl_c) = control.snapshot();
+        assert_eq!(snap_f, snap_c);
+        assert_eq!(nl_f, nl_c);
+        assert_eq!(faulty.load_figures(), control.load_figures());
+    }
+
+    #[test]
+    fn rebuild_preserves_mid_epoch_progress() {
+        let machine = BuddyTree::new(8).unwrap();
+        let kind = AllocatorKind::DRealloc(1);
+        let s = Shard::new(0, kind, kind.build(machine, 0), 0);
+        for _ in 0..5 {
+            s.arrive(0).unwrap();
+        }
+        s.inject_panic();
+        assert_eq!(s.degraded(), 1);
+        assert_eq!(s.recoveries(), 1);
+        // The rebuilt shard still remembers 5 arrivals into the epoch
+        // and 5 consumed local ids.
+        let (snap, next_local) = s.snapshot();
+        assert_eq!(snap.arrived_since_realloc, 5);
+        assert_eq!(next_local, 5);
+        // Two more arrivals stay in-epoch; the 8th unit reallocates,
+        // exactly as it would on a never-faulted shard.
+        assert!(!s.arrive(0).unwrap().outcome.reallocated);
+        assert!(!s.arrive(0).unwrap().outcome.reallocated);
+        assert!(s.arrive(0).unwrap().outcome.reallocated);
+    }
+
+    #[test]
+    fn journal_re_baselines_past_the_checkpoint_cap() {
+        let machine = BuddyTree::new(8).unwrap();
+        let kind = AllocatorKind::Greedy;
+        let control = Shard::new(0, kind, kind.build(machine, 0), 0);
+        let healed = Shard::new(0, kind, kind.build(machine, 0), 0);
+        // Well past JOURNAL_CHECKPOINT ops, so at least one re-baseline
+        // happened before the panic.
+        let mut local = 0;
+        for _ in 0..(JOURNAL_CHECKPOINT + 50) {
+            for s in [&control, &healed] {
+                s.arrive(0).unwrap();
+                s.depart(local).unwrap();
+            }
+            local += 1;
+        }
+        healed.inject_panic();
+        let (snap_h, nl_h) = healed.snapshot();
+        let (snap_c, nl_c) = control.snapshot();
+        assert_eq!(snap_h, snap_c);
+        assert_eq!(nl_h, nl_c);
+        assert_eq!(healed.load_figures(), control.load_figures());
+    }
+
+    #[test]
+    fn a_permanently_panicking_op_is_abandoned_not_fatal() {
+        let machine = BuddyTree::new(8).unwrap();
+        let kind = AllocatorKind::Greedy;
+        let s = Shard::new(0, kind, kind.build(machine, 0), 0)
+            .with_faults(FaultObserver::new(FaultPlan::new(2).panic_rate(1.0)));
+        assert_eq!(s.arrive(0).unwrap_err(), ShardError::Panicked);
+        let attempts = u64::from(PANIC_RETRIES) + 1;
+        assert_eq!(s.degraded(), attempts);
+        assert_eq!(s.recoveries(), attempts);
+        // The shard healed back to empty and still answers queries.
+        assert_eq!(s.load_figures(), (0, 0, 0));
+        assert_eq!(s.load(), 0);
     }
 
     #[test]

@@ -2,12 +2,26 @@
 //!
 //! A [`ServiceSnapshot`] wraps one [`partalloc_core::Snapshot`] per
 //! shard with the service-level state the core cannot know: the
-//! global→(shard, local) task directory, the id counters, and the
-//! canonical algorithm spec (see [`AllocatorKind::spec`]) so a restored
-//! daemon rebuilds byte-identical allocators. Snapshots serialize as a
-//! single JSON document and persist atomically (write to a `.tmp`
-//! sibling, then rename), so a crash mid-write never corrupts the last
-//! good checkpoint.
+//! global→(shard, local) task directory, the id counters, the fault
+//! [`ServiceHealth`] ledger, and the canonical algorithm spec (see
+//! [`AllocatorKind::spec`]) so a restored daemon rebuilds
+//! byte-identical allocators.
+//!
+//! # Integrity and generations
+//!
+//! Snapshots serialize as a single JSON document followed by a footer
+//! line carrying the payload length and an FNV-1a 64 checksum:
+//!
+//! ```text
+//! #partalloc-snapshot v1 len=<bytes> fnv1a=<16 hex digits>
+//! ```
+//!
+//! Persistence is atomic (write a `.tmp` sibling, then rename) and
+//! generational: before the rename, the previous checkpoint is rotated
+//! to a `.prev` sibling. [`ServiceSnapshot::load`] verifies the footer
+//! and falls back to the `.prev` generation when the current file is
+//! missing, truncated, or corrupt — a daemon never restores from a
+//! checkpoint it cannot prove whole.
 //!
 //! [`AllocatorKind::spec`]: partalloc_core::AllocatorKind::spec
 
@@ -19,6 +33,9 @@ use serde::{Deserialize, Serialize};
 
 use partalloc_core::Snapshot;
 
+/// Magic prefix of the integrity footer line.
+const FOOTER_MAGIC: &str = "#partalloc-snapshot v1 ";
+
 /// One active task's entry in the global directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceTaskEntry {
@@ -28,6 +45,21 @@ pub struct ServiceTaskEntry {
     pub shard: usize,
     /// Shard-local id (what the shard's allocator sees).
     pub local: u64,
+}
+
+/// The fault plane's ledger: how much misfortune each shard has
+/// absorbed, carried in `stats` replies and snapshots so chaos runs
+/// are observable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceHealth {
+    /// Per-shard count of panics absorbed (the shard was marked
+    /// degraded while it rebuilt).
+    pub shard_degraded: Vec<u64>,
+    /// Per-shard count of completed rebuilds from the last good
+    /// baseline.
+    pub shard_recoveries: Vec<u64>,
+    /// Total in-process faults injected across all shards.
+    pub faults_injected: u64,
 }
 
 /// A serializable checkpoint of the whole daemon.
@@ -53,23 +85,113 @@ pub struct ServiceSnapshot {
     pub next_global: u64,
     /// Next local id per shard (local ids are never reused).
     pub next_local: Vec<u64>,
+    /// Fault-plane counters at capture time (defaults to all-zero when
+    /// loading checkpoints from before the fault plane existed).
+    #[serde(default)]
+    pub health: ServiceHealth,
+}
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty to
+/// catch torn writes and bit rot (this is an integrity check, not a
+/// cryptographic one).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The `.prev` sibling holding the previous snapshot generation.
+fn prev_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".prev");
+    PathBuf::from(name)
+}
+
+fn bad_data(path: &Path, what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {what}", path.display()),
+    )
 }
 
 impl ServiceSnapshot {
-    /// Persist atomically: serialize, write a `.tmp` sibling, rename
-    /// over `path`.
+    /// Persist atomically and generationally: serialize with the
+    /// integrity footer, write a `.tmp` sibling, rotate any existing
+    /// checkpoint to `.prev`, then rename over `path`.
+    ///
+    /// A crash between the two renames leaves `.prev` and `.tmp` but no
+    /// `path`; [`ServiceSnapshot::load`] falls back to `.prev`, so the
+    /// worst case is losing one checkpoint interval, never the history.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let json = serde_json::to_string_pretty(self).map_err(io::Error::other)?;
+        let payload = json + "\n";
+        let footer = format!(
+            "{FOOTER_MAGIC}len={} fnv1a={:016x}\n",
+            payload.len(),
+            fnv1a(payload.as_bytes())
+        );
         let mut tmp_name = path.as_os_str().to_owned();
         tmp_name.push(".tmp");
         let tmp = PathBuf::from(tmp_name);
-        fs::write(&tmp, json + "\n")?;
+        fs::write(&tmp, payload + &footer)?;
+        if path.exists() {
+            fs::rename(path, prev_path(path))?;
+        }
         fs::rename(&tmp, path)
     }
 
-    /// Load a snapshot persisted by [`ServiceSnapshot::save`].
+    /// Load a snapshot persisted by [`ServiceSnapshot::save`], falling
+    /// back to the `.prev` generation when the current file is
+    /// unreadable, truncated, or fails its checksum. If both
+    /// generations are bad, the current file's error is returned.
     pub fn load(path: &Path) -> io::Result<Self> {
-        serde_json::from_str(&fs::read_to_string(path)?).map_err(io::Error::other)
+        match Self::load_exact(path) {
+            Ok(snap) => Ok(snap),
+            Err(primary) => Self::load_exact(&prev_path(path)).map_err(|_| primary),
+        }
+    }
+
+    /// Load one specific file, verifying the integrity footer strictly
+    /// (no generational fallback).
+    pub fn load_exact(path: &Path) -> io::Result<Self> {
+        let raw = fs::read_to_string(path)?;
+        let footer_at = raw
+            .rfind(FOOTER_MAGIC)
+            .ok_or_else(|| bad_data(path, "missing integrity footer (truncated?)"))?;
+        let payload = &raw[..footer_at];
+        let footer = raw[footer_at..].trim_end();
+        let rest = &footer[FOOTER_MAGIC.len()..];
+        let (len_part, sum_part) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad_data(path, "malformed integrity footer"))?;
+        let expect_len: usize = len_part
+            .strip_prefix("len=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad_data(path, "malformed footer length"))?;
+        let expect_sum: u64 = sum_part
+            .strip_prefix("fnv1a=")
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| bad_data(path, "malformed footer checksum"))?;
+        if payload.len() != expect_len {
+            return Err(bad_data(
+                path,
+                format!(
+                    "payload is {} bytes, footer says {expect_len} (truncated?)",
+                    payload.len()
+                ),
+            ));
+        }
+        let actual = fnv1a(payload.as_bytes());
+        if actual != expect_sum {
+            return Err(bad_data(
+                path,
+                format!("checksum mismatch: footer {expect_sum:016x}, payload {actual:016x}"),
+            ));
+        }
+        serde_json::from_str(payload).map_err(|e| bad_data(path, e))
     }
 }
 
@@ -102,7 +224,20 @@ mod tests {
             }],
             next_global: 6,
             next_local: vec![1],
+            health: ServiceHealth::default(),
         }
+    }
+
+    fn temp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "partalloc-service-snap-{tag}-{}.json",
+            std::process::id()
+        ))
+    }
+
+    fn cleanup(path: &Path) {
+        fs::remove_file(path).ok();
+        fs::remove_file(prev_path(path)).ok();
     }
 
     #[test]
@@ -114,23 +249,91 @@ mod tests {
         assert_eq!(back.tasks, snap.tasks);
         assert_eq!(back.next_local, snap.next_local);
         assert_eq!(back.shards[0].entries, snap.shards[0].entries);
+        assert_eq!(back.health, snap.health);
+    }
+
+    #[test]
+    fn pre_fault_plane_checkpoints_parse_with_zero_health() {
+        let mut json = serde_json::to_value(sample()).unwrap();
+        json.as_object_mut().unwrap().remove("health");
+        let back: ServiceSnapshot = serde_json::from_value(json).unwrap();
+        assert_eq!(back.health, ServiceHealth::default());
     }
 
     #[test]
     fn save_is_atomic_and_loads_back() {
-        let path = std::env::temp_dir().join(format!(
-            "partalloc-service-snap-test-{}.json",
-            std::process::id()
-        ));
+        let path = temp("atomic");
         let snap = sample();
         snap.save(&path).unwrap();
         // No .tmp residue.
         let mut tmp_name = path.as_os_str().to_owned();
         tmp_name.push(".tmp");
         assert!(!PathBuf::from(tmp_name).exists());
+        // The footer is physically present on disk.
+        let raw = fs::read_to_string(&path).unwrap();
+        assert!(raw.contains(FOOTER_MAGIC), "missing footer in {raw}");
         let back = ServiceSnapshot::load(&path).unwrap();
         assert_eq!(back.next_global, 6);
         assert_eq!(back.shards[0].arrived_since_realloc, 2);
-        fs::remove_file(&path).unwrap();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn second_save_rotates_a_previous_generation() {
+        let path = temp("rotate");
+        let mut snap = sample();
+        snap.save(&path).unwrap();
+        assert!(!prev_path(&path).exists());
+        snap.next_global = 99;
+        snap.save(&path).unwrap();
+        assert!(prev_path(&path).exists());
+        assert_eq!(ServiceSnapshot::load(&path).unwrap().next_global, 99);
+        let prev = ServiceSnapshot::load_exact(&prev_path(&path)).unwrap();
+        assert_eq!(prev.next_global, 6);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn corruption_falls_back_to_the_previous_generation() {
+        let path = temp("corrupt");
+        let mut snap = sample();
+        snap.save(&path).unwrap();
+        snap.next_global = 99;
+        snap.save(&path).unwrap();
+        // Flip one payload byte in the current generation.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 4;
+        bytes[mid] ^= 0x20;
+        fs::write(&path, &bytes).unwrap();
+        assert!(ServiceSnapshot::load_exact(&path).is_err());
+        // load() silently serves the previous generation.
+        assert_eq!(ServiceSnapshot::load(&path).unwrap().next_global, 6);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_parsed_blind() {
+        let path = temp("truncate");
+        sample().save(&path).unwrap();
+        let raw = fs::read(&path).unwrap();
+        // Chop the file mid-payload: no footer survives.
+        fs::write(&path, &raw[..raw.len() / 2]).unwrap();
+        let err = ServiceSnapshot::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn a_footer_over_short_payload_is_rejected() {
+        let path = temp("shortpay");
+        sample().save(&path).unwrap();
+        let raw = fs::read_to_string(&path).unwrap();
+        let footer_at = raw.rfind(FOOTER_MAGIC).unwrap();
+        // Keep the footer but drop part of the payload.
+        let forged = format!("{}{}", &raw[..footer_at / 2], &raw[footer_at..]);
+        fs::write(&path, forged).unwrap();
+        let err = ServiceSnapshot::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        cleanup(&path);
     }
 }

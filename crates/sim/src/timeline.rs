@@ -66,8 +66,9 @@ impl Timeline {
                     EventOutcome::Arrival(out) => {
                         for m in &out.migrations {
                             if m.from.node != m.to.node {
-                                let (from, node) =
-                                    self.open[m.task.idx()].take().expect("migrated task is open");
+                                let (from, node) = self.open[m.task.idx()]
+                                    .take()
+                                    .expect("migrated task is open");
                                 debug_assert_eq!(node, m.from.node);
                                 self.spans.push(Span {
                                     task: m.task,
