@@ -93,8 +93,9 @@ fn usage() -> String {
      \x20            --pes N --d D [--alg SPEC]\n\
      \x20 bounds     print the paper's bound table for one machine size\n\
      \x20            --pes N\n\
-     \x20 stats      summarize a workload trace\n\
+     \x20 stats      summarize a workload trace, or watch a live daemon\n\
      \x20            --trace FILE [--pes N]\n\
+     \x20            | --addr HOST:PORT [--watch N] [--interval-ms T]\n\
      \x20 render     draw a run's allocation timeline\n\
      \x20            --trace FILE --alg SPEC [--pes N] [--svg FILE] [--seed S]\n\
      \x20 import     convert a Standard Workload Format (SWF) trace\n\
@@ -108,6 +109,7 @@ fn usage() -> String {
      \x20            [--addr HOST:PORT] [--addr-file FILE] [--seed S]\n\
      \x20            [--snapshot FILE [--snapshot-every M]] [--resume FILE]\n\
      \x20            [--max-line-bytes B] [--shard-faults SPEC [--fault-seed S]]\n\
+     \x20            [--prom HOST:PORT [--prom-addr-file FILE]] [--flightrec DIR]\n\
      \x20 drive      replay a trace or generated workload against a daemon\n\
      \x20            --addr HOST:PORT (--trace FILE | --pes N [--events E])\n\
      \x20            [--seed S] [--batch B] [--shutdown yes]\n\
@@ -502,6 +504,11 @@ fn cmd_render(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_stats(args: &Args) -> Result<String, String> {
+    // Two modes: `--addr` polls a running daemon's live gauges,
+    // `--trace` summarizes a workload file offline.
+    if args.get("addr").is_some() {
+        return serve::cmd_stats_live(args);
+    }
     let trace = args.require("trace").map_err(|e| e.to_string())?;
     let seq = read_trace(Path::new(trace)).map_err(|e| e.to_string())?;
     let stats = seq.stats();

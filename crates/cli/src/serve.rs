@@ -8,11 +8,13 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use partalloc_analysis::{bounds, fmt_f64, Table};
+use partalloc_core::AllocatorKind;
 use partalloc_engine::FaultPlan;
 use partalloc_model::{read_trace, Event, TaskSequence};
 use partalloc_service::{
-    BatchItem, ChaosProxy, Response, RetryPolicy, RouterKind, Server, ServiceConfig, ServiceCore,
-    ServiceSnapshot, TcpClient,
+    BatchItem, ChaosProxy, PromServer, Response, RetryPolicy, RouterKind, Server, ServiceConfig,
+    ServiceCore, ServiceSnapshot, ServiceStats, TcpClient,
 };
 use partalloc_workload::{ClosedLoopConfig, Generator};
 
@@ -28,6 +30,9 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let grace: u64 = args
         .get_or("grace-ms", 1000, "milliseconds")
         .map_err(|e| e.to_string())?;
+    if args.get("prom-addr-file").is_some() && args.get("prom").is_none() {
+        return Err("--prom-addr-file needs --prom ADDR".into());
+    }
 
     let core = if let Some(resume) = args.get("resume") {
         for flag in ["shard-faults", "fault-seed", "max-line-bytes"] {
@@ -79,6 +84,13 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         (None, Some(_)) => return Err("--snapshot-every needs --snapshot FILE".into()),
         (None, None) => core,
     };
+    let core = match args.get("flightrec") {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            core.flight_recording(PathBuf::from(dir))
+        }
+        None => core,
+    };
 
     let config = core.config().clone();
     let server = Server::spawn(std::sync::Arc::new(core), addr).map_err(|e| e.to_string())?;
@@ -98,9 +110,26 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     if let Some(addr_file) = args.get("addr-file") {
         std::fs::write(addr_file, format!("{local}\n")).map_err(|e| e.to_string())?;
     }
+    let prom = match args.get("prom") {
+        Some(prom_addr) => {
+            let prom =
+                PromServer::spawn(prom_addr, server.core()).map_err(|e| e.to_string())?;
+            println!("prometheus exposition on http://{}/metrics", prom.local_addr());
+            std::io::stdout().flush().ok();
+            if let Some(file) = args.get("prom-addr-file") {
+                std::fs::write(file, format!("{}\n", prom.local_addr()))
+                    .map_err(|e| e.to_string())?;
+            }
+            Some(prom)
+        }
+        None => None,
+    };
 
     let core = server.core();
     server.run_until_shutdown(Duration::from_millis(grace));
+    if let Some(prom) = prom {
+        prom.stop();
+    }
     let stats = core.stats();
     Ok(format!(
         "shut down after {} requests ({} arrivals, {} departures, {} errors, \
@@ -288,6 +317,83 @@ pub fn cmd_chaos(args: &Args) -> Result<String, String> {
     );
     proxy.stop();
     Ok(summary)
+}
+
+/// `palloc stats --addr HOST:PORT [--watch N [--interval-ms T]]` —
+/// poll a running daemon and render its live load-vs-L* gauges
+/// against the paper's bound for the allocator it is running.
+pub fn cmd_stats_live(args: &Args) -> Result<String, String> {
+    let addr = args.require("addr").map_err(|e| e.to_string())?;
+    let watch: u64 = args
+        .get_or("watch", 1, "an integer (rounds to poll)")
+        .map_err(|e| e.to_string())?;
+    let interval_ms: u64 = args
+        .get_or("interval-ms", 1000, "milliseconds")
+        .map_err(|e| e.to_string())?;
+    let rounds = watch.max(1);
+    let mut client = TcpClient::connect_with(addr, RetryPolicy::default())
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut last = String::new();
+    for round in 0..rounds {
+        if round > 0 {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        last = render_gauges(&stats)?;
+        if round + 1 < rounds {
+            // Intermediate rounds stream to stdout as they happen; the
+            // final table is the command's return value.
+            println!("[{}/{rounds}]\n{last}", round + 1);
+            std::io::stdout().flush().ok();
+        }
+    }
+    Ok(last)
+}
+
+/// One refresh of the live table: per shard, the current and peak
+/// loads, the lower bound `L*` those imply, the realized competitive
+/// ratio, and the paper's guarantee for the serving allocator.
+fn render_gauges(stats: &ServiceStats) -> Result<String, String> {
+    let kind = parse_alg(&stats.algorithm)?;
+    let pes = stats.pes_per_shard;
+    let bound = bound_factor(kind, pes);
+    let mut table = Table::new(&["shard", "load", "peak", "L*", "peak/L*", "bound"]);
+    for g in &stats.shard_gauges {
+        table.row(&[
+            g.shard.to_string(),
+            g.load_current.to_string(),
+            g.peak_load.to_string(),
+            g.lstar.to_string(),
+            fmt_f64(g.competitive_ratio(), 2),
+            bound.clone(),
+        ]);
+    }
+    Ok(format!(
+        "{} on {} PEs/shard — live load vs L* (bound: the paper's factor on L*):\n{}",
+        stats.algorithm,
+        pes,
+        table.render_text()
+    ))
+}
+
+/// The paper's upper-bound factor on `L*` for `kind` on an `n`-PE
+/// shard: 1 for `A_C` (Thm 3.1), `min{d+1, ⌈(log N + 1)/2⌉}` for
+/// `A_M:d` (Thm 4.2), `⌈(log N + 1)/2⌉` for the never-reallocating
+/// deterministic algorithms (Thm 4.1), and `3·log N/log log N + 1`
+/// for randomized placement (Thm 5.1, needs `N ≥ 4`).
+fn bound_factor(kind: AllocatorKind, n: u64) -> String {
+    if !n.is_power_of_two() || n == 0 {
+        return "?".into();
+    }
+    match kind {
+        AllocatorKind::Constant => "1".into(),
+        AllocatorKind::DRealloc(d)
+        | AllocatorKind::DReallocWith(d, _, _)
+        | AllocatorKind::RandomizedDRealloc(d) => bounds::det_upper_factor(n, d).to_string(),
+        AllocatorKind::Randomized if n >= 4 => fmt_f64(bounds::rand_upper_factor(n), 2),
+        AllocatorKind::Randomized => "?".into(),
+        _ => bounds::greedy_upper_factor(n).to_string(),
+    }
 }
 
 /// Replay `seq` in batches of up to `cap` mutations. Departures whose
@@ -595,6 +701,85 @@ mod tests {
     }
 
     #[test]
+    fn serve_exposes_prometheus_and_live_gauges() {
+        use std::io::Read;
+        let dir = std::env::temp_dir().join(format!("palloc-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let prom_file = dir.join("prom-addr");
+        let flight_dir = dir.join("flight");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+        let prom_file_s = prom_file.to_str().unwrap().to_owned();
+        let flight_dir_s = flight_dir.to_str().unwrap().to_owned();
+
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_M:2",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+                "--prom",
+                "127.0.0.1:0",
+                "--prom-addr-file",
+                &prom_file_s,
+                "--flightrec",
+                &flight_dir_s,
+            ])
+        });
+        let wait_addr = |file: &std::path::Path| loop {
+            if let Ok(text) = std::fs::read_to_string(file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let addr = wait_addr(&addr_file);
+        let prom_addr = wait_addr(&prom_file);
+
+        let out = run(&["drive", "--addr", &addr, "--pes", "64", "--events", "100"]).unwrap();
+        assert!(out.contains("drove 100 events"), "{out}");
+
+        // The live table knows the A_M:2 bound (d + 1 = 3 on one shard).
+        let live = run(&["stats", "--addr", &addr, "--watch", "2", "--interval-ms", "10"])
+            .unwrap();
+        assert!(live.contains("A_M:2 on 64 PEs/shard"), "{live}");
+        assert!(live.contains("peak/L*"), "{live}");
+        assert!(live.contains("bound"), "{live}");
+
+        // The scrape endpoint serves the paper gauges as Prometheus text.
+        let mut conn = TcpStream::connect(&prom_addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut scrape = String::new();
+        conn.read_to_string(&mut scrape).unwrap();
+        assert!(scrape.starts_with("HTTP/1.1 200 OK"), "{scrape}");
+        assert!(scrape.contains("partalloc_competitive_ratio"), "{scrape}");
+        assert!(scrape.contains("partalloc_load_opt_lstar"), "{scrape}");
+
+        // A dump request lands ring files in the --flightrec directory.
+        let mut client = TcpClient::connect_with(&addr, RetryPolicy::default()).unwrap();
+        let files = client.dump().unwrap();
+        assert!(!files.is_empty());
+        assert!(files
+            .iter()
+            .any(|f| f.contains("flightrec-") && f.ends_with(".ndjson")), "{files:?}");
+        for f in &files {
+            assert!(std::path::Path::new(f).exists(), "missing dump {f}");
+        }
+        client.shutdown().unwrap();
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("shut down after"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_flag_validation() {
         assert!(run(&[
             "serve",
@@ -608,6 +793,17 @@ mod tests {
         .unwrap_err()
         .contains("--snapshot"));
         assert!(run(&["serve", "--pes", "63", "--alg", "A_G"]).is_err());
+        assert!(run(&[
+            "serve",
+            "--pes",
+            "64",
+            "--alg",
+            "A_G",
+            "--prom-addr-file",
+            "/tmp/never-written"
+        ])
+        .unwrap_err()
+        .contains("--prom"));
         assert!(run(&["serve", "--pes", "64", "--alg", "A_G", "--router", "warp"]).is_err());
         assert!(run(&[
             "drive",

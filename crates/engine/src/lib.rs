@@ -48,6 +48,7 @@ mod invariant;
 mod metrics;
 mod run;
 mod slowdown;
+mod trace;
 
 pub use cost::{CostObserver, CostReport, MigrationCostModel};
 pub use engine::{Engine, Observer, SizeTable, Step};
@@ -58,3 +59,4 @@ pub use invariant::InvariantObserver;
 pub use metrics::{LoadProfileRecorder, MetricsObserver, RunMetrics, DEFAULT_PROFILE_CAP};
 pub use run::{run_sequence, run_sequence_dyn, run_with_cost, run_with_slowdowns};
 pub use slowdown::{SlowdownObserver, SlowdownReport};
+pub use trace::TraceObserver;

@@ -1,0 +1,126 @@
+//! [`TraceObserver`]: the engine-side producer for the telemetry
+//! plane — every driven event becomes one [`SpanEvent`] on a
+//! [`Recorder`], so offline sim/bench runs emit the *same* span
+//! stream the live service does.
+
+use std::sync::Arc;
+
+use partalloc_core::{Allocator, EventOutcome};
+use partalloc_model::Event;
+use partalloc_obs::{IdGen, Recorder, SpanEvent, TraceContext, TraceId};
+
+use crate::engine::{Observer, SizeTable, Step};
+
+/// An [`Observer`] that narrates a run as span events.
+///
+/// One run carries one [`TraceId`] (minted from the seed, so reruns
+/// trace identically); each driven event gets its own span under that
+/// trace, tagged `layer="engine"` with the applied outcome and the
+/// machine's load figures at the instant of the event.
+pub struct TraceObserver {
+    recorder: Arc<dyn Recorder>,
+    ids: IdGen,
+    trace: TraceId,
+    events: u64,
+}
+
+impl TraceObserver {
+    /// A traced run over `recorder`, with ids minted from `seed`.
+    pub fn new(recorder: Arc<dyn Recorder>, seed: u64) -> Self {
+        let mut ids = IdGen::new(seed);
+        let trace = TraceId(ids.next_u64());
+        TraceObserver {
+            recorder,
+            ids,
+            trace,
+            events: 0,
+        }
+    }
+
+    /// The run's trace id.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+}
+
+impl Observer for TraceObserver {
+    fn on_event(&mut self, step: &Step<'_>, alloc: &dyn Allocator, sizes: &SizeTable) {
+        self.events += 1;
+        let ctx = TraceContext::new(self.trace, self.ids.span());
+        let ev = match (step.event, step.outcome) {
+            (Event::Arrival { id, size_log2 }, EventOutcome::Arrival(out)) => {
+                SpanEvent::new("arrival", "engine")
+                    .u64("task", id.0)
+                    .u64("size", 1u64 << size_log2)
+                    .u64("node", u64::from(out.placement.node.0))
+                    .bool("reallocated", out.reallocated)
+                    .u64("migrations", out.migrations.len() as u64)
+            }
+            (Event::Departure { id }, EventOutcome::Departure(_)) => {
+                SpanEvent::new("departure", "engine").u64("task", id.0)
+            }
+            // An outcome that contradicts its event cannot happen
+            // (the engine pairs them); narrate it rather than panic.
+            _ => SpanEvent::new("mismatch", "engine"),
+        };
+        self.recorder.record(
+            ev.with_trace(ctx)
+                .u64("index", step.index)
+                .u64("load", alloc.max_load())
+                .u64("active_size", alloc.active_size())
+                .u64("active_tasks", sizes.len() as u64),
+        );
+    }
+
+    fn finish(&mut self, alloc: &dyn Allocator) {
+        let ctx = TraceContext::new(self.trace, self.ids.span());
+        self.recorder.record(
+            SpanEvent::new("finish", "engine")
+                .with_trace(ctx)
+                .u64("events", self.events)
+                .u64("final_load", alloc.max_load()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use partalloc_core::Greedy;
+    use partalloc_model::figure1_sigma_star;
+    use partalloc_obs::VecRecorder;
+    use partalloc_topology::BuddyTree;
+
+    #[test]
+    fn every_event_is_narrated_under_one_trace() {
+        let rec = Arc::new(VecRecorder::new());
+        let seq = figure1_sigma_star();
+        let machine = BuddyTree::new(4).unwrap();
+        let mut engine = Engine::new(Greedy::new(machine));
+        let mut tracer = TraceObserver::new(Arc::clone(&rec) as Arc<dyn Recorder>, 11);
+        let trace = tracer.trace_id();
+        engine.run(&seq, &mut [&mut tracer]);
+        let events = rec.take();
+        // One span per event plus the finish span, all on one trace.
+        assert_eq!(events.len(), seq.len() + 1);
+        assert!(events
+            .iter()
+            .all(|e| e.trace.map(|c| c.trace) == Some(trace)));
+        assert_eq!(events.last().unwrap().name, "finish");
+    }
+
+    #[test]
+    fn seeded_tracing_replays_identically() {
+        let run = |seed| {
+            let rec = Arc::new(VecRecorder::new());
+            let seq = figure1_sigma_star();
+            let mut engine = Engine::new(Greedy::new(BuddyTree::new(4).unwrap()));
+            let mut tracer = TraceObserver::new(Arc::clone(&rec) as Arc<dyn Recorder>, seed);
+            engine.run(&seq, &mut [&mut tracer]);
+            rec.take()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

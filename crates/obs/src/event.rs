@@ -1,0 +1,186 @@
+//! Span events: named, layered, typed-attribute records that render
+//! to single-line NDJSON without serde.
+
+use std::fmt::Write as _;
+
+use crate::id::TraceContext;
+
+/// One typed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned counter or gauge reading.
+    U64(u64),
+    /// A ratio or duration.
+    F64(f64),
+    /// Free text (addresses, error strings, file names).
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+/// A point event within a span: what happened, in which layer, under
+/// which trace, with a flat bag of attributes.
+///
+/// The event sequence number (`seq`) is assigned by the recorder that
+/// stores it, not by the producer — there is deliberately **no wall
+/// clock** anywhere in this crate, so identical seeded runs produce
+/// byte-identical span streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// What happened (`"arrive"`, `"retry"`, `"panic"`, ...).
+    pub name: &'static str,
+    /// Which layer emitted it (`"client"`, `"server"`, `"shard"`,
+    /// `"proxy"`, `"engine"`).
+    pub layer: &'static str,
+    /// The trace this event belongs to, when one is in flight.
+    pub trace: Option<TraceContext>,
+    /// Typed attributes, flattened into the NDJSON object.
+    pub attrs: Vec<(&'static str, Value)>,
+}
+
+impl SpanEvent {
+    /// Start an event.
+    pub fn new(name: &'static str, layer: &'static str) -> Self {
+        SpanEvent {
+            name,
+            layer,
+            trace: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Attach a trace context.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attach an optional trace context.
+    pub fn with_trace_opt(mut self, trace: Option<TraceContext>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Add an unsigned attribute.
+    pub fn u64(mut self, key: &'static str, value: u64) -> Self {
+        self.attrs.push((key, Value::U64(value)));
+        self
+    }
+
+    /// Add a float attribute.
+    pub fn f64(mut self, key: &'static str, value: f64) -> Self {
+        self.attrs.push((key, Value::F64(value)));
+        self
+    }
+
+    /// Add a string attribute.
+    pub fn str(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        self.attrs.push((key, Value::Str(value.into())));
+        self
+    }
+
+    /// Add a boolean attribute.
+    pub fn bool(mut self, key: &'static str, value: bool) -> Self {
+        self.attrs.push((key, Value::Bool(value)));
+        self
+    }
+
+    /// Render as one NDJSON line (no trailing newline), with `seq` as
+    /// the recorder-assigned sequence number.
+    pub fn to_ndjson(&self, seq: u64) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\":");
+        let _ = write!(out, "{seq}");
+        out.push_str(",\"name\":");
+        escape_json_into(&mut out, self.name);
+        out.push_str(",\"layer\":");
+        escape_json_into(&mut out, self.layer);
+        if let Some(trace) = self.trace {
+            out.push_str(",\"trace\":");
+            escape_json_into(&mut out, &trace.to_string());
+        }
+        for (key, value) in &self.attrs {
+            out.push(',');
+            escape_json_into(&mut out, key);
+            out.push(':');
+            match value {
+                Value::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::F64(v) => {
+                    // NDJSON stays parseable even for the ratio's NaN
+                    // contract (no arrivals → no optimum).
+                    if v.is_finite() {
+                        let _ = write!(out, "{v}");
+                    } else {
+                        escape_json_into(&mut out, &v.to_string());
+                    }
+                }
+                Value::Str(v) => escape_json_into(&mut out, v),
+                Value::Bool(v) => {
+                    let _ = write!(out, "{v}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal (quotes included).
+fn escape_json_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{SpanId, TraceId};
+
+    #[test]
+    fn renders_flat_ndjson() {
+        let ev = SpanEvent::new("retry", "client")
+            .with_trace(TraceContext::new(TraceId(0xab), SpanId(1)))
+            .u64("attempt", 3)
+            .bool("reconnected", true);
+        assert_eq!(
+            ev.to_ndjson(7),
+            "{\"seq\":7,\"name\":\"retry\",\"layer\":\"client\",\
+             \"trace\":\"00000000000000ab-0000000000000001\",\
+             \"attempt\":3,\"reconnected\":true}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings_and_survives_nan() {
+        let ev = SpanEvent::new("fault", "proxy")
+            .str("detail", "line \"cut\"\nat byte 3")
+            .f64("ratio", f64::NAN);
+        let line = ev.to_ndjson(0);
+        assert!(line.contains("\\\"cut\\\"\\n"));
+        assert!(line.contains("\"ratio\":\"NaN\""));
+        // The line must parse back as JSON (checked by the service's
+        // serde-equipped tests; here we at least assert one-line-ness).
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn events_without_trace_omit_the_field() {
+        let line = SpanEvent::new("tick", "engine").to_ndjson(1);
+        assert!(!line.contains("trace"));
+    }
+}

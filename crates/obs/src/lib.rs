@@ -1,0 +1,47 @@
+//! # partalloc-obs
+//!
+//! The telemetry plane: a lightweight, **zero-dependency** structured
+//! tracing and metrics-exposition toolkit shared by every layer of the
+//! workspace — the engine's observers, the allocation service's
+//! shards, the retrying TCP client, the chaos proxy, and the CLI.
+//!
+//! Four pieces, deliberately small:
+//!
+//! * **Identity** ([`TraceId`], [`SpanId`], [`TraceContext`],
+//!   [`IdGen`]): 64-bit ids rendered as fixed-width hex. Generation is
+//!   seeded (splitmix64), so tests and replays mint the *same* ids for
+//!   the same seed — determinism first, like everything else in this
+//!   workspace.
+//! * **Events** ([`SpanEvent`]): a named point-in-span record with a
+//!   layer tag, an optional [`TraceContext`], and a flat bag of typed
+//!   attributes. Events render to single-line NDJSON with a hand-rolled
+//!   escaper, so the crate needs no serde.
+//! * **Recorders** ([`Recorder`] and friends): where events go. The
+//!   [`NullRecorder`] drops them, the [`VecRecorder`] keeps them for
+//!   assertions, the [`StderrRecorder`] streams NDJSON for humans, and
+//!   the [`FlightRecorder`] keeps the last *N* in a fixed-size ring for
+//!   post-mortem dumps.
+//! * **Exposition** ([`PromText`]): a tiny builder for the Prometheus
+//!   text format (`0.0.4`) — `# HELP`/`# TYPE` headers plus labeled
+//!   samples — used by the service's `metrics` op and the `--prom`
+//!   HTTP endpoint.
+//!
+//! The crate is a leaf on purpose: no serde, no parking_lot, no clock.
+//! Timestamps are *sequence numbers*, not wall times, because the rest
+//! of the workspace proves properties by replaying seeded histories
+//! and wall clocks would make the span streams diff-unstable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod id;
+mod prom;
+mod recorder;
+mod ring;
+
+pub use event::{SpanEvent, Value};
+pub use id::{IdGen, ParseTraceError, SpanId, TraceContext, TraceId};
+pub use prom::PromText;
+pub use recorder::{NullRecorder, Recorder, SharedRecorder, StderrRecorder, VecRecorder};
+pub use ring::FlightRecorder;

@@ -1,0 +1,130 @@
+//! Prometheus text exposition (format 0.0.4), hand-written: `# HELP`
+//! and `# TYPE` headers plus labeled samples.
+
+use std::fmt::Write as _;
+
+/// A builder for one exposition payload.
+///
+/// ```
+/// use partalloc_obs::PromText;
+/// let mut prom = PromText::new();
+/// prom.header("partalloc_arrivals_total", "Tasks placed.", "counter");
+/// prom.sample_u64("partalloc_arrivals_total", &[], 42);
+/// prom.header("partalloc_load_current", "Max PE load.", "gauge");
+/// prom.sample_u64("partalloc_load_current", &[("shard", "0")], 3);
+/// let text = prom.render();
+/// assert!(text.contains("partalloc_load_current{shard=\"0\"} 3\n"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit the `# HELP` / `# TYPE` pair for a metric family.
+    /// `kind` is `"counter"`, `"gauge"`, or `"histogram"`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = write!(self.out, "# HELP {name} ");
+        // HELP text escapes backslash and newline only (per the spec).
+        for c in help.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('\n');
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample_prefix(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (key, value)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(key);
+                self.out.push_str("=\"");
+                // Label values escape backslash, quote, and newline.
+                for c in value.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+    }
+
+    /// Emit one integer-valued sample.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_prefix(name, labels);
+        let _ = writeln!(self.out, "{value}");
+    }
+
+    /// Emit one float-valued sample. Non-finite values render as
+    /// Prometheus' `NaN` / `+Inf` / `-Inf` spellings.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_prefix(name, labels);
+        if value.is_nan() {
+            self.out.push_str("NaN\n");
+        } else if value == f64::INFINITY {
+            self.out.push_str("+Inf\n");
+        } else if value == f64::NEG_INFINITY {
+            self.out.push_str("-Inf\n");
+        } else {
+            let _ = writeln!(self.out, "{value}");
+        }
+    }
+
+    /// Finish the payload.
+    pub fn render(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_labeled_samples() {
+        let mut prom = PromText::new();
+        prom.header("x_total", "Things.", "counter");
+        prom.sample_u64("x_total", &[], 7);
+        prom.sample_u64("x_total", &[("shard", "1"), ("alg", "A_M:2")], 9);
+        assert_eq!(
+            prom.render(),
+            "# HELP x_total Things.\n# TYPE x_total counter\n\
+             x_total 7\nx_total{shard=\"1\",alg=\"A_M:2\"} 9\n"
+        );
+    }
+
+    #[test]
+    fn floats_cover_the_nonfinite_spellings() {
+        let mut prom = PromText::new();
+        prom.sample_f64("r", &[], 1.5);
+        prom.sample_f64("r", &[], f64::NAN);
+        prom.sample_f64("r", &[], f64::INFINITY);
+        assert_eq!(prom.render(), "r 1.5\nr NaN\nr +Inf\n");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut prom = PromText::new();
+        prom.sample_u64("m", &[("k", "a\"b\\c\nd")], 1);
+        assert_eq!(prom.render(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

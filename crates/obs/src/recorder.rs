@@ -1,0 +1,133 @@
+//! Where span events go: the [`Recorder`] trait and its stock
+//! implementations.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::SpanEvent;
+
+/// A sink for span events.
+///
+/// Recording takes `&self` so recorders can be shared across threads
+/// behind an [`Arc`] without wrapping them in another lock; all stock
+/// implementations are `Send + Sync`.
+pub trait Recorder: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: SpanEvent);
+}
+
+/// The shared handle every instrumented layer holds.
+pub type SharedRecorder = Arc<dyn Recorder>;
+
+/// Drops everything — the default when tracing is off.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: SpanEvent) {}
+}
+
+impl<R: Recorder + ?Sized> Recorder for Arc<R> {
+    fn record(&self, event: SpanEvent) {
+        (**self).record(event);
+    }
+}
+
+/// Keeps every event in order — for tests and small offline runs.
+#[derive(Debug, Default)]
+pub struct VecRecorder {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl VecRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far, in order.
+    pub fn snapshot(&self) -> Vec<SpanEvent> {
+        lock_unpoisoned(&self.events).clone()
+    }
+
+    /// Drain everything recorded so far.
+    pub fn take(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut *lock_unpoisoned(&self.events))
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.events).len()
+    }
+
+    /// Nothing recorded yet?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for VecRecorder {
+    fn record(&self, event: SpanEvent) {
+        lock_unpoisoned(&self.events).push(event);
+    }
+}
+
+/// Streams each event as one NDJSON line on stderr — the human-facing
+/// recorder behind `palloc drive`'s tracing flags.
+#[derive(Debug, Default)]
+pub struct StderrRecorder {
+    seq: AtomicU64,
+}
+
+impl StderrRecorder {
+    /// A recorder starting at sequence number 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Recorder for StderrRecorder {
+    fn record(&self, event: SpanEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = event.to_ndjson(seq);
+        line.push('\n');
+        // A full or closed stderr must never take the traffic down.
+        let _ = std::io::stderr().write_all(line.as_bytes());
+    }
+}
+
+/// Lock a mutex, recovering the data from a poisoned lock: recorders
+/// sit on paths that run under `catch_unwind` (the shard fault plane),
+/// and a panic mid-record must not wedge telemetry forever.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_recorder_keeps_order_and_drains() {
+        let rec = VecRecorder::new();
+        rec.record(SpanEvent::new("a", "t"));
+        rec.record(SpanEvent::new("b", "t"));
+        assert_eq!(rec.len(), 2);
+        let events = rec.take();
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn recorders_share_through_arc() {
+        let rec = Arc::new(VecRecorder::new());
+        let as_dyn: SharedRecorder = Arc::clone(&rec) as SharedRecorder;
+        as_dyn.record(SpanEvent::new("via-dyn", "t"));
+        // The blanket impl lets an Arc<R> itself be passed where a
+        // Recorder is expected.
+        Arc::clone(&rec).record(SpanEvent::new("via-arc", "t"));
+        assert_eq!(rec.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! The flight recorder: a fixed-size ring of the most recent span
+//! events, kept per shard for post-mortem dumps.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::SpanEvent;
+use crate::recorder::{lock_unpoisoned, Recorder};
+
+/// A bounded ring buffer of recent [`SpanEvent`]s.
+///
+/// Writers claim a slot with one `fetch_add` on the cursor and then
+/// store under that slot's own mutex, so concurrent recorders never
+/// contend on a shared lock (the cursor is lock-free; each slot lock
+/// covers a single clone-free store — `forbid(unsafe_code)` rules out
+/// a true seqlock, and a per-slot `Mutex<Option<_>>` is the honest
+/// safe-Rust equivalent). When the ring wraps, the oldest events are
+/// overwritten: after a crash the ring holds the *last* `capacity`
+/// things the shard did, which is exactly what a post-mortem wants.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Mutex<Option<(u64, SpanEvent)>>]>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A ring holding the most recent `capacity` events
+    /// (`capacity >= 1` enforced).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity).map(|_| Mutex::new(None)).collect();
+        FlightRecorder {
+            slots,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (monotonic; exceeds `capacity` once
+    /// the ring wraps).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::SeqCst)
+    }
+
+    /// The retained events in record order (oldest surviving first),
+    /// each with its global sequence number.
+    pub fn snapshot(&self) -> Vec<(u64, SpanEvent)> {
+        let mut events: Vec<(u64, SpanEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| lock_unpoisoned(slot).clone())
+            .collect();
+        events.sort_by_key(|(seq, _)| *seq);
+        events
+    }
+
+    /// Render the retained events as NDJSON, one line per event,
+    /// oldest first — the payload of a `flightrec-*.ndjson` dump.
+    pub fn dump_ndjson(&self) -> String {
+        let mut out = String::new();
+        for (seq, event) in self.snapshot() {
+            out.push_str(&event.to_ndjson(seq));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&self, event: SpanEvent) {
+        let seq = self.cursor.fetch_add(1, Ordering::SeqCst);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *lock_unpoisoned(&self.slots[slot]) = Some((seq, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(n: &'static str) -> SpanEvent {
+        SpanEvent::new(n, "test")
+    }
+
+    #[test]
+    fn keeps_the_most_recent_events_in_order() {
+        let ring = FlightRecorder::new(3);
+        for name in ["a", "b", "c", "d", "e"] {
+            ring.record(named(name));
+        }
+        let names: Vec<&str> = ring.snapshot().iter().map(|(_, e)| e.name).collect();
+        assert_eq!(names, ["c", "d", "e"]);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn dump_is_one_ndjson_line_per_event_with_global_seq() {
+        let ring = FlightRecorder::new(2);
+        ring.record(named("x").u64("k", 1));
+        ring.record(named("y"));
+        ring.record(named("z"));
+        let dump = ring.dump_ndjson();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":1,\"name\":\"y\""));
+        assert!(lines[1].starts_with("{\"seq\":2,\"name\":\"z\""));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = FlightRecorder::new(0);
+        ring.record(named("only"));
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_before_wrap() {
+        use std::sync::Arc;
+        let ring = Arc::new(FlightRecorder::new(1024));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        ring.record(named("hit"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 400);
+        assert_eq!(ring.snapshot().len(), 400);
+    }
+}

@@ -20,6 +20,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use partalloc_engine::{FaultKind, FaultPlan};
+use partalloc_obs::{NullRecorder, Recorder, SpanEvent};
 
 /// Live counters of what the proxy has done to the traffic.
 #[derive(Debug, Default)]
@@ -65,6 +66,21 @@ impl ChaosProxy {
         upstream: SocketAddr,
         plan: FaultPlan,
     ) -> io::Result<Self> {
+        Self::spawn_with_recorder(listen, upstream, plan, Arc::new(NullRecorder))
+    }
+
+    /// Like [`ChaosProxy::spawn`], but every injected fault also emits
+    /// a structured span event (layer `proxy`, named after the fault
+    /// kind, with a `dir` attribute of `c2s` or `s2c`) through
+    /// `recorder`, so a chaos run's misfortune schedule lands in the
+    /// same span stream as the client's retries and the server's
+    /// dedupe hits.
+    pub fn spawn_with_recorder(
+        listen: impl ToSocketAddrs,
+        upstream: SocketAddr,
+        plan: FaultPlan,
+        recorder: Arc<dyn Recorder>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(listen)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ProxyStats::default());
@@ -73,7 +89,9 @@ impl ChaosProxy {
         let thread_stop = Arc::clone(&stop);
         let accept_thread = thread::Builder::new()
             .name("partalloc-chaos".into())
-            .spawn(move || accept_loop(listener, upstream, plan, thread_stats, thread_stop))?;
+            .spawn(move || {
+                accept_loop(listener, upstream, plan, thread_stats, thread_stop, recorder)
+            })?;
         Ok(ChaosProxy {
             addr,
             stats,
@@ -109,6 +127,7 @@ fn accept_loop(
     plan: FaultPlan,
     stats: Arc<ProxyStats>,
     stop: Arc<AtomicBool>,
+    recorder: Arc<dyn Recorder>,
 ) {
     let mut conn_index = 0u64;
     for incoming in listener.incoming() {
@@ -130,27 +149,42 @@ fn accept_loop(
         let c2s = plan.split(2 * conn_index);
         let s2c = plan.split(2 * conn_index + 1);
         conn_index += 1;
-        spawn_pump("partalloc-chaos-c2s", client_read, server, c2s, &stats);
-        spawn_pump("partalloc-chaos-s2c", server_read, client, s2c, &stats);
+        spawn_pump("c2s", client_read, server, c2s, &stats, &recorder);
+        spawn_pump("s2c", server_read, client, s2c, &stats, &recorder);
     }
 }
 
 fn spawn_pump(
-    name: &str,
+    dir: &'static str,
     from: TcpStream,
     to: TcpStream,
     plan: FaultPlan,
     stats: &Arc<ProxyStats>,
+    recorder: &Arc<dyn Recorder>,
 ) {
     let stats = Arc::clone(stats);
+    let recorder = Arc::clone(recorder);
     let _ = thread::Builder::new()
-        .name(name.into())
-        .spawn(move || pump(from, to, plan, stats));
+        .name(format!("partalloc-chaos-{dir}"))
+        .spawn(move || pump(dir, from, to, plan, stats, recorder));
+}
+
+/// Record one injected fault as a span event: layer `proxy`, named
+/// after the fault kind, tagged with the pump direction.
+fn record_fault(recorder: &Arc<dyn Recorder>, name: &'static str, dir: &'static str) {
+    recorder.record(SpanEvent::new(name, "proxy").str("dir", dir));
 }
 
 /// Shovel lines one way until EOF, a fatal fault, or an I/O error;
 /// then sever both halves so the peer pump unblocks too.
-fn pump(from: TcpStream, mut to: TcpStream, mut plan: FaultPlan, stats: Arc<ProxyStats>) {
+fn pump(
+    dir: &'static str,
+    from: TcpStream,
+    mut to: TcpStream,
+    mut plan: FaultPlan,
+    stats: Arc<ProxyStats>,
+    recorder: Arc<dyn Recorder>,
+) {
     let mut reader = BufReader::new(from);
     let mut line = String::new();
     loop {
@@ -171,9 +205,11 @@ fn pump(from: TcpStream, mut to: TcpStream, mut plan: FaultPlan, stats: Arc<Prox
             }
             Some(FaultKind::DropLine) => {
                 stats.dropped.fetch_add(1, Ordering::Relaxed);
+                record_fault(&recorder, "drop", dir);
             }
             Some(FaultKind::Delay { ms }) => {
                 stats.delayed.fetch_add(1, Ordering::Relaxed);
+                recorder.record(SpanEvent::new("delay", "proxy").str("dir", dir).u64("ms", ms));
                 thread::sleep(Duration::from_millis(ms));
                 if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
                     break;
@@ -181,6 +217,7 @@ fn pump(from: TcpStream, mut to: TcpStream, mut plan: FaultPlan, stats: Arc<Prox
             }
             Some(FaultKind::Truncate) => {
                 stats.truncated.fetch_add(1, Ordering::Relaxed);
+                record_fault(&recorder, "truncate", dir);
                 let half = &line.as_bytes()[..line.len() / 2];
                 let _ = to.write_all(half);
                 let _ = to.flush();
@@ -188,6 +225,7 @@ fn pump(from: TcpStream, mut to: TcpStream, mut plan: FaultPlan, stats: Arc<Prox
             }
             Some(FaultKind::Corrupt) => {
                 stats.corrupted.fetch_add(1, Ordering::Relaxed);
+                record_fault(&recorder, "corrupt", dir);
                 // A NUL is invalid anywhere in JSON, so the damaged
                 // line can never parse as a *different* valid request.
                 let mut bytes = line.clone().into_bytes();
@@ -199,6 +237,7 @@ fn pump(from: TcpStream, mut to: TcpStream, mut plan: FaultPlan, stats: Arc<Prox
             }
             Some(FaultKind::Kill) => {
                 stats.killed.fetch_add(1, Ordering::Relaxed);
+                record_fault(&recorder, "kill", dir);
                 break;
             }
             Some(FaultKind::PanicShard) => {
@@ -278,6 +317,38 @@ mod tests {
         // never an echo.
         assert!(matches!(r.read_line(&mut reply), Ok(0) | Err(_)));
         assert_eq!(proxy.stats().killed.load(Ordering::Relaxed), 1);
+        proxy.stop();
+    }
+
+    #[test]
+    fn injected_faults_land_in_the_span_stream() {
+        use partalloc_obs::VecRecorder;
+        let upstream = echo_upstream();
+        let recorder = Arc::new(VecRecorder::new());
+        let plan = FaultPlan::new(5).corrupt_rate(1.0).limit(1);
+        let proxy = ChaosProxy::spawn_with_recorder(
+            "127.0.0.1:0",
+            upstream,
+            plan,
+            Arc::clone(&recorder) as Arc<dyn Recorder>,
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        conn.write_all(b"abcdef\n").unwrap();
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        // Each direction's plan split fired its one corrupt: the
+        // request on the way in, the echo on the way back.
+        let events = recorder.snapshot();
+        assert_eq!(events.len(), 2, "one fault per pump direction");
+        for ev in &events {
+            assert_eq!(ev.name, "corrupt");
+            assert_eq!(ev.layer, "proxy");
+        }
+        let lines: Vec<String> = events.iter().map(|e| e.to_ndjson(0)).collect();
+        assert!(lines.iter().any(|l| l.contains("c2s")));
+        assert!(lines.iter().any(|l| l.contains("s2c")));
         proxy.stop();
     }
 

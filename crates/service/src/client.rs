@@ -15,14 +15,17 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use partalloc_engine::SplitMix64;
+use partalloc_obs::{IdGen, NullRecorder, Recorder, SpanEvent, TraceContext};
 
 use crate::metrics::ServiceStats;
 use crate::proto::{
-    request_line, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response,
+    parse_response_line, request_line_traced, BatchItem, Departed, ErrorCode, ErrorReply,
+    LoadReport, Placed, Request, Response,
 };
 use crate::snapshot::ServiceSnapshot;
 
@@ -171,6 +174,14 @@ pub struct TcpClient {
     seq: u64,
     /// Attempts beyond the first, across the client's lifetime.
     retried: u64,
+    /// Seeded trace-id generator; `None` leaves requests untraced.
+    ids: Option<IdGen>,
+    /// The trace context stamped on the most recent request.
+    last_trace: Option<TraceContext>,
+    /// The trace context echoed on the most recent reply.
+    reply_trace: Option<TraceContext>,
+    /// Where the client's own span events (`retry`, `reconnect`) go.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl TcpClient {
@@ -195,7 +206,39 @@ impl TcpClient {
             session,
             seq: 0,
             retried: 0,
+            ids: None,
+            last_trace: None,
+            reply_trace: None,
+            recorder: Arc::new(NullRecorder),
         })
+    }
+
+    /// Stamp every request with a fresh, seeded trace context
+    /// (`trace` envelope field). The server propagates the id into its
+    /// shard journals and span events and echoes it on the reply, so
+    /// one id follows a request through retry, dedupe replay, and
+    /// shard rebuild.
+    pub fn with_tracing(mut self, seed: u64) -> Self {
+        self.ids = Some(IdGen::new(seed));
+        self
+    }
+
+    /// Route the client's own span events (`retry`, `reconnect`)
+    /// through `recorder` instead of dropping them.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The trace context stamped on the most recent request (`None`
+    /// before the first request or without [`TcpClient::with_tracing`]).
+    pub fn last_trace(&self) -> Option<TraceContext> {
+        self.last_trace
+    }
+
+    /// The trace context the server echoed on the most recent reply.
+    pub fn last_reply_trace(&self) -> Option<TraceContext> {
+        self.reply_trace
     }
 
     fn open(addrs: &[SocketAddr], policy: &RetryPolicy) -> io::Result<TcpStream> {
@@ -244,8 +287,10 @@ impl TcpClient {
         if self.reader.read_line(&mut reply)? == 0 {
             return Err(ClientError::Protocol("server closed the connection".into()));
         }
-        serde_json::from_str(reply.trim())
-            .map_err(|e| ClientError::Protocol(format!("{e}: {reply:?}")))
+        let (trace, resp) = parse_response_line(reply.trim())
+            .map_err(|e| ClientError::Protocol(format!("{e}: {reply:?}")))?;
+        self.reply_trace = trace;
+        Ok(resp)
     }
 
     /// Send one request, read one reply. Under a retry policy
@@ -254,9 +299,12 @@ impl TcpClient {
     /// `req_id`, so the server replays rather than re-executes any
     /// attempt that did get through.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        let tag_mutations = self.policy.retries > 0;
-        let line = if tag_mutations && is_mutation(req) {
-            request_line(req, Some(self.session.wrapping_add(self.seq)))
+        let req_id = (self.policy.retries > 0 && is_mutation(req))
+            .then(|| self.session.wrapping_add(self.seq));
+        let trace = self.ids.as_mut().map(IdGen::context);
+        self.last_trace = trace;
+        let line = if req_id.is_some() || trace.is_some() {
+            request_line_traced(req, req_id, trace)
         } else {
             serde_json::to_string(req)
         }
@@ -289,10 +337,20 @@ impl TcpClient {
         for attempt in 0..=self.policy.retries {
             if attempt > 0 {
                 self.retried += 1;
+                self.recorder.record(
+                    SpanEvent::new("retry", "client")
+                        .with_trace_opt(self.last_trace)
+                        .u64("attempt", u64::from(attempt)),
+                );
                 thread::sleep(backoff.next_delay());
-                if let Err(e) = self.reconnect() {
-                    outcome = Err(ClientError::Io(e));
-                    continue;
+                match self.reconnect() {
+                    Ok(()) => self.recorder.record(
+                        SpanEvent::new("reconnect", "client").with_trace_opt(self.last_trace),
+                    ),
+                    Err(e) => {
+                        outcome = Err(ClientError::Io(e));
+                        continue;
+                    }
                 }
             }
             match self.send_raw(line) {
@@ -362,6 +420,23 @@ impl TcpClient {
     pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
         match self.request(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Fetch the Prometheus text exposition over the NDJSON wire.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Ask the server to dump its flight-recorder rings; returns the
+    /// files written.
+    pub fn dump(&mut self) -> Result<Vec<String>, ClientError> {
+        match self.request(&Request::Dump)? {
+            Response::Dumped { files } => Ok(files),
             other => Err(Self::fail(other)),
         }
     }

@@ -56,6 +56,27 @@
 //!   as [`ServiceHealth`] in `stats` and snapshots, and the daemon
 //!   never dies for it.
 //!
+//! ## The telemetry plane
+//!
+//! Every layer narrates what it does through the zero-dependency
+//! `partalloc-obs` span model (`DESIGN.md` §12):
+//!
+//! * **Wire-propagated tracing** — a request line may carry a `trace`
+//!   envelope field ([`TraceContext`](partalloc_obs::TraceContext),
+//!   minted deterministically by [`TcpClient::with_tracing`]); the
+//!   server echoes it on the reply and threads it through retry,
+//!   dedupe replay and the shard journal, so one id follows one
+//!   logical operation end to end.
+//! * **Flight recorder** — each shard (and the core's dedupe window)
+//!   keeps a fixed-size ring of recent span events; a shard panic or
+//!   a `dump` request writes them to `flightrec-<shard>-<gen>.ndjson`,
+//!   referenced from [`ServiceHealth::flight_dumps`].
+//! * **Exposition** — a `metrics` request (or [`PromServer`], what
+//!   `palloc serve --prom` binds) renders Prometheus text: counters,
+//!   log₂ latency/batch histograms, and the paper gauges
+//!   `partalloc_load_current`, `partalloc_load_opt_lstar` and
+//!   `partalloc_competitive_ratio` per shard.
+//!
 //! [`AllocatorKind`]: partalloc_core::AllocatorKind
 
 #![forbid(unsafe_code)]
@@ -65,6 +86,7 @@ mod chaos;
 mod client;
 mod metrics;
 mod net;
+mod prom;
 mod proto;
 mod server;
 mod shard;
@@ -74,11 +96,14 @@ pub use chaos::{ChaosProxy, ProxyStats};
 pub use client::{Backoff, ClientError, RetryPolicy, TcpClient};
 pub use metrics::{
     BatchSizeSummary, LatencyHistogram, LatencySummary, Log2Histogram, Metrics, ServiceStats,
+    ShardGauge,
 };
 pub use net::Server;
+pub use prom::PromServer;
 pub use proto::{
-    parse_request_line, request_line, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport,
-    Placed, Request, Response, ShardLoad,
+    parse_request_envelope, parse_request_line, parse_response_line, request_line,
+    request_line_traced, response_line, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport,
+    Placed, Request, RequestEnvelope, Response, ShardLoad,
 };
 pub use server::{
     ServiceConfig, ServiceCore, ServiceError, ServiceHandle, DEFAULT_DEDUPE_WINDOW,
@@ -86,6 +111,6 @@ pub use server::{
 };
 pub use shard::{
     LeastLoadedRouter, ParseRouterError, RoundRobinRouter, RouterKind, Shard, ShardArrival,
-    ShardEffect, ShardError, ShardOp, ShardRouter, SizeClassRouter,
+    ShardEffect, ShardError, ShardOp, ShardRouter, SizeClassRouter, DEFAULT_FLIGHT_CAP,
 };
 pub use snapshot::{ServiceHealth, ServiceSnapshot, ServiceTaskEntry};

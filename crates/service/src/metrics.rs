@@ -29,6 +29,7 @@ const BUCKETS: usize = 64;
 pub struct Log2Histogram {
     buckets: [AtomicU64; BUCKETS],
     max: AtomicU64,
+    sum: AtomicU64,
 }
 
 /// The latency histogram's historical name, kept as an alias.
@@ -48,6 +49,31 @@ impl Log2Histogram {
     pub fn record(&self, v: u64) {
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Sum of all recorded samples (the `_sum` series of a Prometheus
+    /// histogram).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket sample counts, bucket 0 first (not cumulative).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Upper edge of bucket `i` — the `le` label of its Prometheus
+    /// `_bucket` series. Bucket 0 holds only the value 0.
+    pub fn upper_edge(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i.min(BUCKETS - 1)
+        }
     }
 
     /// Total samples recorded.
@@ -119,6 +145,10 @@ pub struct Metrics {
     pub snapshots: AtomicU64,
     /// `stats` requests served.
     pub stats_queries: AtomicU64,
+    /// `metrics` (Prometheus exposition) requests served.
+    pub metrics_queries: AtomicU64,
+    /// `dump` (flight-recorder) requests served.
+    pub dump_requests: AtomicU64,
     /// `ping` requests served.
     pub pings: AtomicU64,
     /// Error replies sent (all classes, including malformed lines and
@@ -156,27 +186,65 @@ impl Metrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Snapshot the registry for a `stats` reply. `shard_max_loads` are
-    /// the per-shard load gauges at read time; `health` is the fault
-    /// plane's ledger (degraded/recovery counters) at read time.
-    pub fn report(&self, shard_max_loads: Vec<u64>, health: ServiceHealth) -> ServiceStats {
+    /// Snapshot the registry for a `stats` reply. `shard_gauges` are
+    /// the per-shard paper gauges at read time (the legacy
+    /// `shard_max_loads` field is derived from them); `health` is the
+    /// fault plane's ledger (degraded/recovery counters) at read time.
+    pub fn report(
+        &self,
+        algorithm: String,
+        pes_per_shard: u64,
+        shard_gauges: Vec<ShardGauge>,
+        health: ServiceHealth,
+    ) -> ServiceStats {
         ServiceStats {
             arrivals: self.arrivals.load(Ordering::Relaxed),
             departures: self.departures.load(Ordering::Relaxed),
             load_queries: self.load_queries.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
             stats_queries: self.stats_queries.load(Ordering::Relaxed),
+            metrics_queries: self.metrics_queries.load(Ordering::Relaxed),
+            dump_requests: self.dump_requests.load(Ordering::Relaxed),
             pings: self.pings.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             dedupe_replays: self.dedupe_replays.load(Ordering::Relaxed),
             realloc_epochs: self.realloc_epochs.load(Ordering::Relaxed),
             migrations: self.migrations.load(Ordering::Relaxed),
             physical_migrations: self.physical_migrations.load(Ordering::Relaxed),
-            shard_max_loads,
+            shard_max_loads: shard_gauges.iter().map(|g| g.load_current).collect(),
+            algorithm,
+            pes_per_shard,
+            shard_gauges,
             health,
             latency: self.latency.latency_summary(),
             batch_sizes: self.batch_sizes.batch_summary(),
         }
+    }
+}
+
+/// One shard's paper gauges: the live counterpart of an offline run's
+/// `RunMetrics`, recomputed incrementally from `s(σ)` on every
+/// arrive/depart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardGauge {
+    /// Shard index.
+    pub shard: usize,
+    /// Current max PE load (`L_A(σ; now)`).
+    pub load_current: u64,
+    /// Highest max PE load ever reached (`L_A(σ)`).
+    pub peak_load: u64,
+    /// Highest cumulative active size ever reached (`max s(σ; τ)`).
+    pub peak_active_size: u64,
+    /// The optimal peak load `L* = ceil(max s(σ; τ) / N)` (Thm 3.1).
+    pub lstar: u64,
+}
+
+impl ShardGauge {
+    /// The live competitive ratio `peak_load / L*`; NaN when no task
+    /// ever arrived (the documented no-optimum contract, matching
+    /// `RunMetrics::peak_ratio`).
+    pub fn competitive_ratio(&self) -> f64 {
+        self.peak_load as f64 / self.lstar as f64
     }
 }
 
@@ -225,6 +293,13 @@ pub struct ServiceStats {
     pub snapshots: u64,
     /// `stats` requests served.
     pub stats_queries: u64,
+    /// `metrics` (Prometheus exposition) requests served (defaults to
+    /// 0 when parsing stats from before the telemetry plane existed).
+    #[serde(default)]
+    pub metrics_queries: u64,
+    /// `dump` (flight-recorder) requests served.
+    #[serde(default)]
+    pub dump_requests: u64,
     /// `ping` requests served.
     pub pings: u64,
     /// Error replies sent.
@@ -239,6 +314,17 @@ pub struct ServiceStats {
     pub physical_migrations: u64,
     /// Per-shard max-load gauges at read time.
     pub shard_max_loads: Vec<u64>,
+    /// Canonical spec of the allocator running on every shard (what
+    /// `stats --watch` parses to pick the right paper bound).
+    #[serde(default)]
+    pub algorithm: String,
+    /// PEs per shard machine (`N` in the gauge math).
+    #[serde(default)]
+    pub pes_per_shard: u64,
+    /// The per-shard paper gauges (empty when parsing stats from
+    /// before the telemetry plane existed).
+    #[serde(default)]
+    pub shard_gauges: Vec<ShardGauge>,
     /// The fault plane's ledger: per-shard degraded/recovery counters
     /// and the total faults injected (defaults to all-zero when
     /// parsing stats from before the fault plane existed).
@@ -296,6 +382,16 @@ mod tests {
         assert_eq!(s.p99_items, 256);
     }
 
+    fn gauge(shard: usize, load: u64, peak: u64, peak_active: u64, pes: u64) -> ShardGauge {
+        ShardGauge {
+            shard,
+            load_current: load,
+            peak_load: peak,
+            peak_active_size: peak_active,
+            lstar: peak_active.div_ceil(pes.max(1)),
+        }
+    }
+
     #[test]
     fn report_serializes() {
         let m = Metrics::new();
@@ -307,12 +403,19 @@ mod tests {
             shard_degraded: vec![1, 0],
             shard_recoveries: vec![1, 0],
             faults_injected: 1,
+            ..Default::default()
         };
-        let stats = m.report(vec![3, 0], health.clone());
+        let gauges = vec![gauge(0, 3, 5, 16, 8), gauge(1, 0, 0, 0, 8)];
+        let stats = m.report("A_G".into(), 8, gauges.clone(), health.clone());
         assert_eq!(stats.arrivals, 1);
         assert_eq!(stats.migrations, 4);
+        // The legacy per-shard load field is derived from the gauges.
         assert_eq!(stats.shard_max_loads, vec![3, 0]);
+        assert_eq!(stats.shard_gauges, gauges);
+        assert_eq!(stats.algorithm, "A_G");
+        assert_eq!(stats.pes_per_shard, 8);
         assert_eq!(stats.dedupe_replays, 0);
+        assert_eq!(stats.metrics_queries, 0);
         assert_eq!(stats.health, health);
         assert_eq!(stats.latency.count, 1);
         assert_eq!(stats.batch_sizes.batches, 1);
@@ -321,5 +424,47 @@ mod tests {
         let json = serde_json::to_string(&stats).unwrap();
         let back: ServiceStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn gauge_ratio_matches_the_paper_contract() {
+        // peak_load 5 against L* = ceil(16/8) = 2 → ratio 2.5.
+        let g = gauge(0, 3, 5, 16, 8);
+        assert_eq!(g.lstar, 2);
+        assert!((g.competitive_ratio() - 2.5).abs() < 1e-12);
+        // No arrivals ever → no optimum → NaN, like RunMetrics.
+        assert!(gauge(1, 0, 0, 0, 8).competitive_ratio().is_nan());
+    }
+
+    #[test]
+    fn histogram_buckets_expose_prometheus_series() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 3, 3, 100] {
+            h.record(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts.len(), 64);
+        assert_eq!(counts[0], 1); // the 0 sample
+        assert_eq!(counts[1], 1); // 1 ∈ [1, 2)
+        assert_eq!(counts[2], 2); // 3 ∈ [2, 4)
+        assert_eq!(counts[7], 1); // 100 ∈ [64, 128)
+        assert_eq!(h.sum(), 107);
+        assert_eq!(Log2Histogram::upper_edge(0), 0);
+        assert_eq!(Log2Histogram::upper_edge(2), 4);
+        assert_eq!(Log2Histogram::upper_edge(7), 128);
+    }
+
+    #[test]
+    fn pre_telemetry_stats_json_still_parses() {
+        let m = Metrics::new();
+        let stats = m.report("A_G".into(), 8, vec![gauge(0, 0, 0, 0, 8)], ServiceHealth::default());
+        let mut value = serde_json::to_value(&stats).unwrap();
+        let obj = value.as_object_mut().unwrap();
+        for legacy_missing in ["algorithm", "pes_per_shard", "shard_gauges", "metrics_queries", "dump_requests"] {
+            obj.remove(legacy_missing);
+        }
+        let back: ServiceStats = serde_json::from_value(value).unwrap();
+        assert_eq!(back.shard_gauges, Vec::new());
+        assert_eq!(back.algorithm, "");
     }
 }

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::proto::parse_request_line;
+use crate::proto::{parse_request_envelope, response_line};
 use crate::server::ServiceCore;
 
 type ConnSlot = (TcpStream, JoinHandle<()>);
@@ -149,6 +149,9 @@ fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
     let mut writer = stream;
     let mut line = Vec::new();
     loop {
+        // Echo the request's trace context on the reply so the client
+        // side of a span stream can correlate without guessing.
+        let mut trace = None;
         let resp = match read_bounded_line(&mut reader, &mut line, cap) {
             // Client closed, force-closed during drain, or I/O error.
             Ok(LineRead::Eof) | Err(_) => break,
@@ -159,15 +162,18 @@ fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
                     if trimmed.is_empty() {
                         continue;
                     }
-                    match parse_request_line(trimmed) {
-                        Ok((req_id, req)) => core.handle_with_id(req_id, &req),
+                    match parse_request_envelope(trimmed) {
+                        Ok((envelope, req)) => {
+                            trace = envelope.trace;
+                            core.handle_traced(envelope.req_id, envelope.trace, &req)
+                        }
                         Err(e) => core.malformed(e),
                     }
                 }
                 Err(_) => core.malformed("request line is not valid UTF-8"),
             },
         };
-        let Ok(mut json) = serde_json::to_string(&resp) else {
+        let Ok(mut json) = response_line(&resp, trace) else {
             break;
         };
         json.push('\n');

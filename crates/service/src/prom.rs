@@ -1,0 +1,139 @@
+//! A minimal Prometheus scrape endpoint over `std::net` — what
+//! `palloc serve --prom` binds next to the NDJSON port.
+//!
+//! One thread accepts, one short-lived thread serves each scrape:
+//! read the request head up to the blank line, answer any path with
+//! `200 OK`, `Content-Type: text/plain; version=0.0.4` and the
+//! current [`ServiceCore::prometheus_text`] rendering, then close.
+//! That is the whole protocol a scraper needs; anything fancier
+//! (keep-alive, routing, TLS) belongs to a real reverse proxy in
+//! front. The endpoint is read-only — nothing a scraper sends can
+//! mutate the core — and shuts down either explicitly via
+//! [`PromServer::stop`] or when the core begins its own shutdown.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use crate::server::ServiceCore;
+
+/// A running Prometheus text-exposition endpoint around a shared
+/// [`ServiceCore`].
+pub struct PromServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl PromServer {
+    /// Bind `addr` (port 0 for ephemeral) and start answering scrapes
+    /// with the core's live metrics.
+    pub fn spawn(addr: impl ToSocketAddrs, core: Arc<ServiceCore>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let accept_thread = thread::Builder::new()
+            .name("partalloc-prom".into())
+            .spawn(move || accept_loop(listener, core, thread_stop))?;
+        Ok(PromServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting scrapes and join the accept loop.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, core: Arc<ServiceCore>, stop: Arc<AtomicBool>) {
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        let scrape_core = Arc::clone(&core);
+        let _ = thread::Builder::new()
+            .name("partalloc-scrape".into())
+            .spawn(move || serve_scrape(scrape_core, stream));
+    }
+}
+
+/// Answer one HTTP request on `stream` with the current exposition
+/// and close. Request head parsing is deliberately forgiving: any
+/// method, any path, headers skipped up to the blank line.
+fn serve_scrape(core: Arc<ServiceCore>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    // Request line, then headers until the blank line. An EOF or I/O
+    // error mid-head means the scraper went away — nothing to answer.
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) if line.trim().is_empty() => break,
+            Ok(_) => {}
+        }
+    }
+    let body = core.prometheus_text();
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let mut writer = stream;
+    let _ = writer
+        .write_all(head.as_bytes())
+        .and_then(|()| writer.write_all(body.as_bytes()))
+        .and_then(|()| writer.flush());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServiceConfig;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        reply
+    }
+
+    #[test]
+    fn a_scrape_gets_the_live_exposition() {
+        let config = ServiceConfig::new(partalloc_core::AllocatorKind::Greedy, 8);
+        let core = Arc::new(ServiceCore::new(config).unwrap());
+        let prom = PromServer::spawn("127.0.0.1:0", Arc::clone(&core)).unwrap();
+        core.handle(&crate::proto::Request::Arrive { size_log2: 1 });
+        let reply = scrape(prom.local_addr());
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(reply.contains("partalloc_arrivals_total 1"), "{reply}");
+        assert!(reply.contains("partalloc_competitive_ratio"), "{reply}");
+        // Scrapes are one-shot: a second connection works too.
+        assert!(scrape(prom.local_addr()).contains("partalloc_arrivals_total 1"));
+        prom.stop();
+    }
+}

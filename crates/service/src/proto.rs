@@ -33,10 +33,22 @@
 //! broken connection can retry without double-allocating. Ids must be
 //! unique per mutation attempt — reusing one returns the cached reply
 //! of its first use.
+//!
+//! # Trace propagation
+//!
+//! A request line may also carry an optional `trace` envelope field —
+//! the wire form of a [`TraceContext`], `"<16 hex>-<16 hex>"` — which
+//! is stripped like `req_id` before the op parses
+//! ([`parse_request_envelope`]) and echoed back on the reply line
+//! ([`response_line`]). A retried line is byte-identical, so the same
+//! trace id follows the op through client retries, the server's
+//! dedupe window, and the shard journal; replies to clients that never
+//! sent a trace are unchanged.
 
 use serde::{Deserialize, Serialize};
 
 use partalloc_core::CoreError;
+use partalloc_obs::TraceContext;
 
 use crate::shard::ShardError;
 use crate::snapshot::ServiceSnapshot;
@@ -89,6 +101,14 @@ pub enum Request {
     Snapshot,
     /// Report the live metrics registry.
     Stats,
+    /// Render the metrics registry and the paper gauges in Prometheus
+    /// text exposition format; replied with [`Response::Metrics`].
+    Metrics,
+    /// Dump every flight-recorder ring to NDJSON files (the
+    /// `SIGUSR1`-style post-mortem hook); replied with
+    /// [`Response::Dumped`]. Errors when the service was started
+    /// without a flight-recorder directory.
+    Dump,
     /// Liveness probe.
     Ping,
     /// Panic the named shard on purpose and let it self-heal; replied
@@ -112,6 +132,8 @@ impl Request {
             Request::QueryLoad => "query-load",
             Request::Snapshot => "snapshot",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Dump => "dump",
             Request::Ping => "ping",
             Request::InjectFault { .. } => "inject-fault",
             Request::Shutdown => "shutdown",
@@ -227,6 +249,16 @@ pub enum Response {
     Snapshot(ServiceSnapshot),
     /// Metrics for `stats`.
     Stats(crate::metrics::ServiceStats),
+    /// Prometheus text payload for `metrics`.
+    Metrics {
+        /// The exposition body (text format 0.0.4).
+        text: String,
+    },
+    /// Reply to `dump`: the flight-recorder files written.
+    Dumped {
+        /// Paths of the NDJSON dump files, one per ring.
+        files: Vec<String>,
+    },
     /// Reply to `ping`.
     Pong,
     /// Reply to `inject-fault`: the shard panicked and healed.
@@ -270,13 +302,24 @@ impl Response {
     }
 }
 
-/// Parse one NDJSON request line into its optional `req_id` envelope
-/// and the [`Request`] itself.
+/// The request envelope: transport-level fields stripped off a line
+/// before the op itself is parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestEnvelope {
+    /// Client-assigned idempotency id (dedupe window key).
+    pub req_id: Option<u64>,
+    /// Trace context, echoed back on the reply line.
+    pub trace: Option<TraceContext>,
+}
+
+/// Parse one NDJSON request line into its [`RequestEnvelope`] and the
+/// [`Request`] itself.
 ///
-/// The `req_id` field is stripped from the object before the op is
-/// parsed, so requests without one hit exactly the same code path as
-/// before the envelope existed; unknown fields are still rejected.
-pub fn parse_request_line(line: &str) -> Result<(Option<u64>, Request), String> {
+/// The `req_id` and `trace` fields are stripped from the object
+/// before the op is parsed, so requests without them hit exactly the
+/// same code path as before the envelope existed; unknown fields are
+/// still rejected.
+pub fn parse_request_envelope(line: &str) -> Result<(RequestEnvelope, Request), String> {
     let mut value: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
     let req_id = match value.as_object_mut().and_then(|obj| obj.remove("req_id")) {
         None => None,
@@ -285,18 +328,81 @@ pub fn parse_request_line(line: &str) -> Result<(Option<u64>, Request), String> 
                 .ok_or_else(|| format!("req_id must be an unsigned integer, got {v}"))?,
         ),
     };
+    let trace = match value.as_object_mut().and_then(|obj| obj.remove("trace")) {
+        None => None,
+        Some(v) => {
+            let text = v
+                .as_str()
+                .ok_or_else(|| format!("trace must be a string, got {v}"))?;
+            Some(
+                text.parse::<TraceContext>()
+                    .map_err(|e| e.to_string())?,
+            )
+        }
+    };
     let req = serde_json::from_value(value).map_err(|e| e.to_string())?;
-    Ok((req_id, req))
+    Ok((RequestEnvelope { req_id, trace }, req))
+}
+
+/// Parse one NDJSON request line into its optional `req_id` envelope
+/// and the [`Request`] itself (a `trace` field, if present, is
+/// validated and dropped — see [`parse_request_envelope`] to keep it).
+pub fn parse_request_line(line: &str) -> Result<(Option<u64>, Request), String> {
+    let (envelope, req) = parse_request_envelope(line)?;
+    Ok((envelope.req_id, req))
+}
+
+/// Serialize a request as one NDJSON line (no trailing newline),
+/// attaching the envelope fields when given.
+pub fn request_line_traced(
+    req: &Request,
+    req_id: Option<u64>,
+    trace: Option<TraceContext>,
+) -> Result<String, serde_json::Error> {
+    let mut value = serde_json::to_value(req)?;
+    if let Some(obj) = value.as_object_mut() {
+        if let Some(id) = req_id {
+            obj.insert("req_id".into(), serde_json::Value::from(id));
+        }
+        if let Some(ctx) = trace {
+            obj.insert("trace".into(), serde_json::Value::from(ctx.to_string()));
+        }
+    }
+    serde_json::to_string(&value)
 }
 
 /// Serialize a request as one NDJSON line (no trailing newline),
 /// attaching the `req_id` envelope field when given.
 pub fn request_line(req: &Request, req_id: Option<u64>) -> Result<String, serde_json::Error> {
-    let mut value = serde_json::to_value(req)?;
-    if let (Some(id), Some(obj)) = (req_id, value.as_object_mut()) {
-        obj.insert("req_id".into(), serde_json::Value::from(id));
+    request_line_traced(req, req_id, None)
+}
+
+/// Serialize a response as one NDJSON line (no trailing newline),
+/// echoing the request's trace context when one was carried.
+///
+/// [`Response`] deserialization tolerates unknown fields, so clients
+/// that never sent a trace parse the echoed reply unchanged.
+pub fn response_line(
+    resp: &Response,
+    trace: Option<TraceContext>,
+) -> Result<String, serde_json::Error> {
+    let mut value = serde_json::to_value(resp)?;
+    if let (Some(ctx), Some(obj)) = (trace, value.as_object_mut()) {
+        obj.insert("trace".into(), serde_json::Value::from(ctx.to_string()));
     }
     serde_json::to_string(&value)
+}
+
+/// Parse one NDJSON response line into its optional echoed trace and
+/// the [`Response`] itself.
+pub fn parse_response_line(line: &str) -> Result<(Option<TraceContext>, Response), String> {
+    let mut value: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let trace = match value.as_object_mut().and_then(|obj| obj.remove("trace")) {
+        None => None,
+        Some(v) => v.as_str().and_then(|s| s.parse::<TraceContext>().ok()),
+    };
+    let resp = serde_json::from_value(value).map_err(|e| e.to_string())?;
+    Ok((trace, resp))
 }
 
 #[cfg(test)]
@@ -493,5 +599,70 @@ mod tests {
         let (req_id, req) = parse_request_line(r#"{"op":"batch","items":[],"req_id":9}"#).unwrap();
         assert_eq!(req_id, Some(9));
         assert_eq!(req, Request::Batch { items: vec![] });
+    }
+
+    #[test]
+    fn trace_envelope_round_trips_with_req_id() {
+        let ctx: TraceContext = "00000000000000ab-0000000000000001".parse().unwrap();
+        let line =
+            request_line_traced(&Request::Arrive { size_log2: 2 }, Some(7), Some(ctx)).unwrap();
+        assert!(line.contains("\"trace\":\"00000000000000ab-0000000000000001\""), "{line}");
+        let (envelope, req) = parse_request_envelope(&line).unwrap();
+        assert_eq!(envelope.req_id, Some(7));
+        assert_eq!(envelope.trace, Some(ctx));
+        assert_eq!(req, Request::Arrive { size_log2: 2 });
+
+        // The legacy parser validates and drops the trace.
+        let (req_id, req) = parse_request_line(&line).unwrap();
+        assert_eq!(req_id, Some(7));
+        assert_eq!(req, Request::Arrive { size_log2: 2 });
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_like_bad_req_ids() {
+        for bad in [
+            r#"{"op":"ping","trace":7}"#,
+            r#"{"op":"ping","trace":"short"}"#,
+            r#"{"op":"ping","trace":"zzzzzzzzzzzzzzzz-0000000000000001"}"#,
+        ] {
+            assert!(parse_request_envelope(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn replies_echo_the_trace_and_stay_parseable_without_one() {
+        let ctx: TraceContext = "0000000000000001-0000000000000002".parse().unwrap();
+        let line = response_line(&Response::Pong, Some(ctx)).unwrap();
+        assert!(line.contains("\"trace\":\"0000000000000001-0000000000000002\""), "{line}");
+        // A trace-naive client still parses the echoed reply...
+        let resp: Response = serde_json::from_str(&line).unwrap();
+        assert!(matches!(resp, Response::Pong));
+        // ...and a trace-aware one recovers the context.
+        let (trace, resp) = parse_response_line(&line).unwrap();
+        assert_eq!(trace, Some(ctx));
+        assert!(matches!(resp, Response::Pong));
+        // No trace in, none out: byte-identical to plain serialization.
+        let plain = response_line(&Response::Pong, None).unwrap();
+        assert_eq!(plain, serde_json::to_string(&Response::Pong).unwrap());
+    }
+
+    #[test]
+    fn metrics_and_dump_ops_roundtrip() {
+        let metrics: Request = serde_json::from_str(r#"{"op":"metrics"}"#).unwrap();
+        assert_eq!(metrics, Request::Metrics);
+        assert_eq!(metrics.label(), "metrics");
+        let dump: Request = serde_json::from_str(r#"{"op":"dump"}"#).unwrap();
+        assert_eq!(dump, Request::Dump);
+        assert_eq!(dump.label(), "dump");
+        let resp = Response::Metrics {
+            text: "# HELP x\n".into(),
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"reply\":\"metrics\""), "{json}");
+        let dumped = serde_json::to_string(&Response::Dumped {
+            files: vec!["results/flightrec-0-1.ndjson".into()],
+        })
+        .unwrap();
+        assert!(dumped.contains("\"reply\":\"dumped\""), "{dumped}");
     }
 }

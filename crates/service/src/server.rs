@@ -29,13 +29,16 @@ use parking_lot::{Mutex, RwLock};
 use partalloc_core::{restore, AllocatorKind, CoreError};
 use partalloc_engine::{FaultObserver, FaultPlan};
 use partalloc_model::TaskId;
+use partalloc_obs::{FlightRecorder, PromText, Recorder, SpanEvent, TraceContext};
 use partalloc_topology::BuddyTree;
 
-use crate::metrics::{Metrics, ServiceStats};
+use crate::metrics::{Log2Histogram, Metrics, ServiceStats, ShardGauge};
 use crate::proto::{
     BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
 };
-use crate::shard::{RouterKind, Shard, ShardEffect, ShardError, ShardOp, ShardRouter};
+use crate::shard::{
+    RouterKind, Shard, ShardEffect, ShardError, ShardOp, ShardRouter, DEFAULT_FLIGHT_CAP,
+};
 use crate::snapshot::{ServiceHealth, ServiceSnapshot, ServiceTaskEntry};
 
 /// Default cap on one NDJSON request line (1 MiB).
@@ -73,6 +76,12 @@ pub struct ServiceConfig {
     /// Deterministic in-process fault plan; shard `i` consumes the
     /// plan's `split(i)` stream. `None` (the default) injects nothing.
     pub shard_faults: Option<FaultPlan>,
+    /// Where flight-recorder dumps go (`flightrec-<shard>-<gen>.ndjson`
+    /// on a shard panic, plus `flightrec-core-<gen>.ndjson` on a `dump`
+    /// request); `None` (the default) keeps the rings memory-only.
+    pub flightrec_dir: Option<PathBuf>,
+    /// Span events retained per flight-recorder ring.
+    pub flightrec_cap: usize,
 }
 
 impl ServiceConfig {
@@ -90,6 +99,8 @@ impl ServiceConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             dedupe_window: DEFAULT_DEDUPE_WINDOW,
             shard_faults: None,
+            flightrec_dir: None,
+            flightrec_cap: DEFAULT_FLIGHT_CAP,
         }
     }
 
@@ -137,6 +148,19 @@ impl ServiceConfig {
         self.shard_faults = Some(plan);
         self
     }
+
+    /// Enable flight-recorder dumps into `dir` (crash dumps on shard
+    /// panics, plus everything on a `dump` request).
+    pub fn flight_recorder(mut self, dir: PathBuf) -> Self {
+        self.flightrec_dir = Some(dir);
+        self
+    }
+
+    /// Set the per-ring flight-recorder capacity (span events kept).
+    pub fn flight_capacity(mut self, events: usize) -> Self {
+        self.flightrec_cap = events;
+        self
+    }
 }
 
 /// Why a service could not be built.
@@ -177,6 +201,13 @@ pub struct ServiceCore {
     quiesce: RwLock<()>,
     /// Recent identified-mutation replies, for exactly-once retries.
     dedupe: Mutex<DedupeWindow>,
+    /// Service-level span ring (dedupe replays and other events that
+    /// never reach a shard), dumped as `flightrec-core-<gen>.ndjson`.
+    flight: FlightRecorder,
+    /// Dump generation counter for the core ring.
+    core_dump_gen: AtomicU64,
+    /// Paths of core-ring dumps written so far, for `ServiceHealth`.
+    core_dump_paths: Mutex<Vec<String>>,
 }
 
 /// A bounded FIFO map of recent identified-mutation replies: retrying
@@ -251,15 +282,22 @@ impl ServiceCore {
         let shards = (0..config.num_shards)
             .map(|i| {
                 let seed = config.seed + i as u64;
-                let shard = Shard::new(i, config.kind, config.kind.build(machine, seed), seed);
-                match &config.shard_faults {
-                    Some(plan) => shard.with_faults(FaultObserver::new(plan.split(i as u64))),
-                    None => shard,
+                let mut shard = Shard::new(i, config.kind, config.kind.build(machine, seed), seed);
+                if let Some(plan) = &config.shard_faults {
+                    shard = shard.with_faults(FaultObserver::new(plan.split(i as u64)));
                 }
+                if config.flightrec_cap != DEFAULT_FLIGHT_CAP {
+                    shard = shard.with_flight_capacity(config.flightrec_cap);
+                }
+                if let Some(dir) = &config.flightrec_dir {
+                    shard = shard.with_flight_dir(dir.clone());
+                }
+                shard
             })
             .collect();
         let router = config.router.build();
         let dedupe = Mutex::new(DedupeWindow::new(config.dedupe_window));
+        let flight = FlightRecorder::new(config.flightrec_cap);
         Ok(ServiceCore {
             config,
             shards,
@@ -271,6 +309,9 @@ impl ServiceCore {
             shutting_down: AtomicBool::new(false),
             quiesce: RwLock::new(()),
             dedupe,
+            flight,
+            core_dump_gen: AtomicU64::new(0),
+            core_dump_paths: Mutex::new(Vec::new()),
         })
     }
 
@@ -299,14 +340,22 @@ impl ServiceCore {
         let mut shards = Vec::with_capacity(snap.shards.len());
         for (i, shard_snap) in snap.shards.iter().enumerate() {
             let alloc = restore(shard_snap, kind).map_err(|e| bad(format!("shard {i}: {e}")))?;
-            shards.push(Shard::restored(
-                i,
-                kind,
-                alloc,
-                snap.seed + i as u64,
-                snap.next_local[i],
-                shard_snap.arrived_since_realloc,
-            ));
+            shards.push(
+                Shard::restored(
+                    i,
+                    kind,
+                    alloc,
+                    snap.seed + i as u64,
+                    snap.next_local[i],
+                    shard_snap.arrived_since_realloc,
+                )
+                // The fault ledger survives restarts: counters resume
+                // from their checkpointed values, not from zero.
+                .with_health(
+                    snap.health.shard_degraded.get(i).copied().unwrap_or(0),
+                    snap.health.shard_recoveries.get(i).copied().unwrap_or(0),
+                ),
+            );
         }
         let mut directory = HashMap::with_capacity(snap.tasks.len());
         for t in &snap.tasks {
@@ -328,9 +377,12 @@ impl ServiceCore {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             dedupe_window: DEFAULT_DEDUPE_WINDOW,
             shard_faults: None,
+            flightrec_dir: None,
+            flightrec_cap: DEFAULT_FLIGHT_CAP,
         };
         let router = router_kind.build();
         let dedupe = Mutex::new(DedupeWindow::new(config.dedupe_window));
+        let flight = FlightRecorder::new(config.flightrec_cap);
         Ok(ServiceCore {
             config,
             shards,
@@ -342,6 +394,9 @@ impl ServiceCore {
             shutting_down: AtomicBool::new(false),
             quiesce: RwLock::new(()),
             dedupe,
+            flight,
+            core_dump_gen: AtomicU64::new(0),
+            core_dump_paths: Mutex::new(Vec::new()),
         })
     }
 
@@ -349,6 +404,19 @@ impl ServiceCore {
     pub fn persisting(mut self, path: PathBuf, every: u64) -> Self {
         self.config.snapshot_path = Some(path);
         self.config.snapshot_every = every;
+        self
+    }
+
+    /// Re-attach flight-recorder dumping into `dir` (builder-style,
+    /// before sharing) — restored cores come up with dumping off, like
+    /// persistence.
+    pub fn flight_recording(mut self, dir: PathBuf) -> Self {
+        self.config.flightrec_dir = Some(dir.clone());
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_flight_dir(dir.clone()))
+            .collect();
         self
     }
 
@@ -370,41 +438,66 @@ impl ServiceCore {
     /// Serve one request. Never panics on untrusted input: every
     /// failure mode is an [`Response::Error`].
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_traced(None, None, req)
+    }
+
+    /// Serve one request carrying an optional idempotency id (see
+    /// [`ServiceCore::handle_traced`]).
+    pub fn handle_with_id(&self, req_id: Option<u64>, req: &Request) -> Response {
+        self.handle_traced(req_id, None, req)
+    }
+
+    /// Serve one request carrying an optional idempotency id and an
+    /// optional wire trace context.
+    ///
+    /// Identified mutations (arrive/depart/batch) are remembered in a
+    /// bounded window: retrying the same `req_id` replays the original
+    /// reply without touching the machines, directory or latency
+    /// histogram (the replay leaves a `dedupe_hit` span in the core
+    /// flight ring instead). Non-mutations ignore the id (retrying a
+    /// query is naturally safe), as do unidentified requests. The trace
+    /// context rides into the shard journals and span events of
+    /// whatever the request mutates.
+    pub fn handle_traced(
+        &self,
+        req_id: Option<u64>,
+        trace: Option<TraceContext>,
+        req: &Request,
+    ) -> Response {
+        let identified_mutation = req_id.is_some()
+            && matches!(
+                req,
+                Request::Arrive { .. } | Request::Depart { .. } | Request::Batch { .. }
+            );
+        if !identified_mutation {
+            return self.timed(req, trace);
+        }
+        let id = req_id.expect("checked above");
+        if let Some(replay) = self.dedupe.lock().get(id) {
+            Metrics::incr(&self.metrics.dedupe_replays);
+            self.flight.record(
+                SpanEvent::new("dedupe_hit", "server")
+                    .with_trace_opt(trace)
+                    .u64("req_id", id),
+            );
+            return replay;
+        }
+        let resp = self.timed(req, trace);
+        if Self::cacheable(req, &resp) {
+            self.dedupe.lock().insert(id, resp.clone());
+        }
+        resp
+    }
+
+    /// Dispatch under the latency histogram and error counter.
+    fn timed(&self, req: &Request, trace: Option<TraceContext>) -> Response {
         let start = Instant::now();
-        let resp = self.dispatch(req);
+        let resp = self.dispatch(req, trace);
         if matches!(resp, Response::Error(_)) {
             Metrics::incr(&self.metrics.errors);
         }
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.metrics.latency.record(ns);
-        resp
-    }
-
-    /// Serve one request carrying an optional idempotency id.
-    ///
-    /// Identified mutations (arrive/depart/batch) are remembered in a
-    /// bounded window: retrying the same `req_id` replays the original
-    /// reply without touching the machines, directory or latency
-    /// histogram. Non-mutations ignore the id (retrying a query is
-    /// naturally safe), as do unidentified requests.
-    pub fn handle_with_id(&self, req_id: Option<u64>, req: &Request) -> Response {
-        let Some(id) = req_id else {
-            return self.handle(req);
-        };
-        if !matches!(
-            req,
-            Request::Arrive { .. } | Request::Depart { .. } | Request::Batch { .. }
-        ) {
-            return self.handle(req);
-        }
-        if let Some(replay) = self.dedupe.lock().get(id) {
-            Metrics::incr(&self.metrics.dedupe_replays);
-            return replay;
-        }
-        let resp = self.handle(req);
-        if Self::cacheable(req, &resp) {
-            self.dedupe.lock().insert(id, resp.clone());
-        }
         resp
     }
 
@@ -424,11 +517,11 @@ impl ServiceCore {
         }
     }
 
-    fn dispatch(&self, req: &Request) -> Response {
+    fn dispatch(&self, req: &Request, trace: Option<TraceContext>) -> Response {
         match req {
-            Request::Arrive { size_log2 } => self.arrive(*size_log2),
-            Request::Depart { task } => self.depart(*task),
-            Request::Batch { items } => self.batch(items),
+            Request::Arrive { size_log2 } => self.arrive(*size_log2, trace),
+            Request::Depart { task } => self.depart(*task, trace),
+            Request::Batch { items } => self.batch(items, trace),
             Request::QueryLoad => {
                 Metrics::incr(&self.metrics.load_queries);
                 Response::Load(self.load_report())
@@ -449,6 +542,25 @@ impl ServiceCore {
             Request::Stats => {
                 Metrics::incr(&self.metrics.stats_queries);
                 Response::Stats(self.stats())
+            }
+            Request::Metrics => {
+                Metrics::incr(&self.metrics.metrics_queries);
+                Response::Metrics {
+                    text: self.prometheus_text(),
+                }
+            }
+            Request::Dump => {
+                Metrics::incr(&self.metrics.dump_requests);
+                if self.config.flightrec_dir.is_none() {
+                    return Response::error(
+                        ErrorCode::BadRequest,
+                        "no flight-recorder directory configured (serve with --flightrec)",
+                    );
+                }
+                let mut files: Vec<String> =
+                    self.shards.iter().filter_map(Shard::dump_flight).collect();
+                files.extend(self.dump_core_flight());
+                Response::Dumped { files }
             }
             Request::Ping => {
                 Metrics::incr(&self.metrics.pings);
@@ -476,14 +588,14 @@ impl ServiceCore {
         }
     }
 
-    fn arrive(&self, size_log2: u8) -> Response {
+    fn arrive(&self, size_log2: u8, trace: Option<TraceContext>) -> Response {
         if self.is_shutting_down() {
             return Response::error(ErrorCode::Unavailable, "service is shutting down");
         }
         let placed = {
             let _shared = self.quiesce.read();
             let shard_idx = self.router.route(size_log2, &self.shards);
-            let arrival = match self.shards[shard_idx].arrive(size_log2) {
+            let arrival = match self.shards[shard_idx].arrive_traced(size_log2, trace) {
                 Ok(a) => a,
                 Err(e) => return Response::from_shard_error(e),
             };
@@ -518,7 +630,7 @@ impl ServiceCore {
         Response::Placed(placed)
     }
 
-    fn depart(&self, task: u64) -> Response {
+    fn depart(&self, task: u64, trace: Option<TraceContext>) -> Response {
         let departed = {
             let _shared = self.quiesce.read();
             // Claim the directory entry first: local ids are never
@@ -529,7 +641,7 @@ impl ServiceCore {
             let Some((shard_idx, local)) = entry else {
                 return Response::from_core_error(CoreError::UnknownTask(TaskId(task)));
             };
-            let placement = match self.shards[shard_idx].depart(local) {
+            let placement = match self.shards[shard_idx].depart_traced(local, trace) {
                 Ok(p) => p,
                 Err(e) => {
                     // The claim must be undone: the task is still
@@ -560,7 +672,7 @@ impl ServiceCore {
     /// in item order, items succeed or fail independently, and a
     /// departure may name an arrival from earlier in the same batch
     /// (the pending run is flushed so the directory lookup can see it).
-    fn batch(&self, items: &[BatchItem]) -> Response {
+    fn batch(&self, items: &[BatchItem], trace: Option<TraceContext>) -> Response {
         self.metrics.batch_sizes.record(items.len() as u64);
         let mut results: Vec<Response> = Vec::with_capacity(items.len());
         let mut applied = 0u64;
@@ -572,7 +684,7 @@ impl ServiceCore {
                     BatchItem::Arrive { size_log2 } => {
                         if self.is_shutting_down() {
                             if let Some(r) = run.take() {
-                                applied += self.flush_run(r, &mut results);
+                                applied += self.flush_run(r, &mut results, trace);
                             }
                             Metrics::incr(&self.metrics.errors);
                             results.push(Response::error(
@@ -584,7 +696,7 @@ impl ServiceCore {
                         let shard_idx = self.router.route(size_log2, &self.shards);
                         if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
                             applied +=
-                                self.flush_run(run.take().expect("checked above"), &mut results);
+                                self.flush_run(run.take().expect("checked above"), &mut results, trace);
                         }
                         let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
                         r.ops.push(ShardOp::Arrive { size_log2 });
@@ -597,7 +709,7 @@ impl ServiceCore {
                             // this very batch, not yet flushed into the
                             // directory: flush the pending run, retry.
                             if let Some(r) = run.take() {
-                                applied += self.flush_run(r, &mut results);
+                                applied += self.flush_run(r, &mut results, trace);
                                 entry = self.directory.lock().remove(&task);
                             }
                         }
@@ -610,7 +722,7 @@ impl ServiceCore {
                         };
                         if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
                             applied +=
-                                self.flush_run(run.take().expect("checked above"), &mut results);
+                                self.flush_run(run.take().expect("checked above"), &mut results, trace);
                         }
                         let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
                         r.ops.push(ShardOp::Depart { local });
@@ -622,7 +734,7 @@ impl ServiceCore {
                 }
             }
             if let Some(r) = run.take() {
-                applied += self.flush_run(r, &mut results);
+                applied += self.flush_run(r, &mut results, trace);
             }
         }
         self.after_mutations(applied);
@@ -631,8 +743,13 @@ impl ServiceCore {
 
     /// Apply one grouped same-shard run, appending one reply per op;
     /// returns how many ops applied successfully.
-    fn flush_run(&self, run: BatchRun, results: &mut Vec<Response>) -> u64 {
-        let effects = self.shards[run.shard].submit_batch(&run.ops);
+    fn flush_run(
+        &self,
+        run: BatchRun,
+        results: &mut Vec<Response>,
+        trace: Option<TraceContext>,
+    ) -> u64 {
+        let effects = self.shards[run.shard].submit_batch_traced(&run.ops, trace);
         let mut applied = 0u64;
         for (effect, meta) in effects.into_iter().zip(run.metas) {
             match effect {
@@ -772,14 +889,22 @@ impl ServiceCore {
         }
     }
 
-    /// The fault plane's ledger: per-shard degraded/recovery counters
-    /// and the total in-process faults absorbed so far.
+    /// The fault plane's ledger: per-shard degraded/recovery counters,
+    /// the total in-process faults absorbed so far, and the paths of
+    /// every flight-recorder dump written.
     pub fn health(&self) -> ServiceHealth {
         let shard_degraded: Vec<u64> = self.shards.iter().map(Shard::degraded).collect();
+        let mut flight_dumps: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(Shard::flight_dump_paths)
+            .collect();
+        flight_dumps.extend(self.core_dump_paths.lock().iter().cloned());
         ServiceHealth {
             faults_injected: shard_degraded.iter().sum(),
             shard_recoveries: self.shards.iter().map(Shard::recoveries).collect(),
             shard_degraded,
+            flight_dumps,
         }
     }
 
@@ -791,10 +916,201 @@ impl ServiceCore {
         }
     }
 
+    /// The per-shard paper gauges at read time: current load, peak
+    /// load `L_A(σ)`, peak active size `max s(σ; τ)`, and the implied
+    /// optimum `L* = ceil(max s / N)` (Thm 3.1).
+    pub fn shard_gauges(&self) -> Vec<ShardGauge> {
+        let pes = self.config.pes_per_shard.max(1);
+        self.shards
+            .iter()
+            .map(|s| {
+                let (peak_load, peak_active) = s.peak_figures();
+                ShardGauge {
+                    shard: s.index(),
+                    load_current: s.load(),
+                    peak_load,
+                    peak_active_size: peak_active,
+                    lstar: peak_active.div_ceil(pes),
+                }
+            })
+            .collect()
+    }
+
     /// The live metrics, as a `stats` reply would report them.
     pub fn stats(&self) -> ServiceStats {
-        let gauges = self.shards.iter().map(Shard::load).collect();
-        self.metrics.report(gauges, self.health())
+        self.metrics.report(
+            self.config.kind.spec(),
+            self.config.pes_per_shard,
+            self.shard_gauges(),
+            self.health(),
+        )
+    }
+
+    /// The shard set, read-only (telemetry inspection: journals,
+    /// flight rings, peak gauges).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Events currently retained by the service-level flight ring
+    /// (`dedupe_hit` and other spans that never reach a shard).
+    pub fn flight_events(&self) -> Vec<SpanEvent> {
+        self.flight.snapshot().into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Dump the service-level flight ring to
+    /// `<dir>/flightrec-core-<gen>.ndjson`; `None` when no directory is
+    /// configured or the write failed.
+    fn dump_core_flight(&self) -> Option<String> {
+        let dir = self.config.flightrec_dir.as_ref()?;
+        let gen = self.core_dump_gen.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("flightrec-core-{gen}.ndjson"));
+        std::fs::create_dir_all(dir).ok()?;
+        std::fs::write(&path, self.flight.dump_ndjson()).ok()?;
+        let path = path.to_string_lossy().into_owned();
+        self.core_dump_paths.lock().push(path.clone());
+        Some(path)
+    }
+
+    /// Render the whole registry in Prometheus text exposition format
+    /// 0.0.4: the request counters, the latency and batch-size
+    /// histograms, and the live paper gauges — per shard,
+    /// `partalloc_load_current` (the gauge `L_A(σ; now)`),
+    /// `partalloc_load_peak`, `partalloc_load_opt_lstar` (`L*`, Thm
+    /// 3.1), and `partalloc_competitive_ratio` (`L_A(σ) / L*`, the
+    /// quantity Thms 4.2/6.1 bound).
+    pub fn prometheus_text(&self) -> String {
+        let stats = self.stats();
+        let mut prom = PromText::new();
+        for (name, help, value) in [
+            ("partalloc_arrivals_total", "Tasks placed.", stats.arrivals),
+            (
+                "partalloc_departures_total",
+                "Tasks released.",
+                stats.departures,
+            ),
+            (
+                "partalloc_realloc_epochs_total",
+                "Reallocation epochs triggered across all shards.",
+                stats.realloc_epochs,
+            ),
+            (
+                "partalloc_migrations_total",
+                "Tasks moved by reallocations (layer-only and physical).",
+                stats.migrations,
+            ),
+            (
+                "partalloc_physical_migrations_total",
+                "Migrations that moved a task between PEs.",
+                stats.physical_migrations,
+            ),
+            (
+                "partalloc_dedupe_replays_total",
+                "Identified retries answered from the dedupe window.",
+                stats.dedupe_replays,
+            ),
+            (
+                "partalloc_errors_total",
+                "Requests answered with an error reply.",
+                stats.errors,
+            ),
+            (
+                "partalloc_faults_injected_total",
+                "In-process shard faults absorbed (panic-and-heal).",
+                stats.health.faults_injected,
+            ),
+        ] {
+            prom.header(name, help, "counter");
+            prom.sample_u64(name, &[], value);
+        }
+        Self::histogram(
+            &mut prom,
+            "partalloc_request_latency_ns",
+            "Per-request-line service latency in nanoseconds.",
+            &self.metrics.latency,
+        );
+        Self::histogram(
+            &mut prom,
+            "partalloc_batch_items",
+            "Items per batch request.",
+            &self.metrics.batch_sizes,
+        );
+        let alg = stats.algorithm.as_str();
+        let shard_labels: Vec<String> = stats
+            .shard_gauges
+            .iter()
+            .map(|g| g.shard.to_string())
+            .collect();
+        prom.header(
+            "partalloc_load_current",
+            "Current max PE load per shard, L_A(sigma; now).",
+            "gauge",
+        );
+        for (g, shard) in stats.shard_gauges.iter().zip(&shard_labels) {
+            prom.sample_u64(
+                "partalloc_load_current",
+                &[("shard", shard), ("alg", alg)],
+                g.load_current,
+            );
+        }
+        prom.header(
+            "partalloc_load_peak",
+            "Highest max PE load ever reached per shard, L_A(sigma).",
+            "gauge",
+        );
+        for (g, shard) in stats.shard_gauges.iter().zip(&shard_labels) {
+            prom.sample_u64(
+                "partalloc_load_peak",
+                &[("shard", shard), ("alg", alg)],
+                g.peak_load,
+            );
+        }
+        prom.header(
+            "partalloc_load_opt_lstar",
+            "Optimal peak load per shard, L* = ceil(max s(sigma; tau) / N) (Thm 3.1).",
+            "gauge",
+        );
+        for (g, shard) in stats.shard_gauges.iter().zip(&shard_labels) {
+            prom.sample_u64(
+                "partalloc_load_opt_lstar",
+                &[("shard", shard), ("alg", alg)],
+                g.lstar,
+            );
+        }
+        prom.header(
+            "partalloc_competitive_ratio",
+            "Live competitive ratio per shard, L_A(sigma) / L* (NaN before the first arrival).",
+            "gauge",
+        );
+        for (g, shard) in stats.shard_gauges.iter().zip(&shard_labels) {
+            prom.sample_f64(
+                "partalloc_competitive_ratio",
+                &[("shard", shard), ("alg", alg)],
+                g.competitive_ratio(),
+            );
+        }
+        prom.render()
+    }
+
+    /// Emit one log2 histogram as a cumulative Prometheus `_bucket` /
+    /// `_sum` / `_count` family. Bucket upper edges are powers of two
+    /// (the ring's native resolution); trailing empty buckets collapse
+    /// into `+Inf`.
+    fn histogram(prom: &mut PromText, name: &str, help: &str, h: &Log2Histogram) {
+        prom.header(name, help, "histogram");
+        let counts = h.bucket_counts();
+        let occupied = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        let bucket = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().take(occupied).enumerate() {
+            cumulative += c;
+            let le = Log2Histogram::upper_edge(i).to_string();
+            prom.sample_u64(&bucket, &[("le", &le)], cumulative);
+        }
+        let total: u64 = counts.iter().sum();
+        prom.sample_u64(&bucket, &[("le", "+Inf")], total);
+        prom.sample_u64(&format!("{name}_sum"), &[], h.sum());
+        prom.sample_u64(&format!("{name}_count"), &[], total);
     }
 
     /// Report a request line that did not parse: counts toward the
@@ -901,6 +1217,23 @@ impl ServiceHandle {
     pub fn stats(&self) -> Result<ServiceStats, ErrorReply> {
         match self.request(&Request::Stats) {
             Response::Stats(s) => Ok(s),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// The registry rendered in Prometheus text exposition format.
+    pub fn prometheus(&self) -> Result<String, ErrorReply> {
+        match self.request(&Request::Metrics) {
+            Response::Metrics { text } => Ok(text),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Dump every flight-recorder ring to disk; returns the files
+    /// written (errors if no dump directory is configured).
+    pub fn dump_flight(&self) -> Result<Vec<String>, ErrorReply> {
+        match self.request(&Request::Dump) {
+            Response::Dumped { files } => Ok(files),
             other => Err(Self::unexpected(other)),
         }
     }
@@ -1278,6 +1611,139 @@ mod tests {
         assert_eq!(h.query_load().unwrap().active_tasks, 1);
         let snap = h.snapshot().unwrap();
         assert_eq!(snap.health.shard_recoveries, vec![1, 0]);
+    }
+
+    #[test]
+    fn health_counters_survive_a_restart() {
+        let h = handle(AllocatorKind::Greedy, 8, 2);
+        h.arrive(0).unwrap();
+        h.inject_fault(0).unwrap();
+        h.inject_fault(0).unwrap();
+        h.inject_fault(1).unwrap();
+        let snap = h.snapshot().unwrap();
+        assert_eq!(snap.health.shard_degraded, vec![2, 1]);
+        assert_eq!(snap.health.shard_recoveries, vec![2, 1]);
+        let r = ServiceHandle::new(ServiceCore::from_snapshot(&snap).unwrap());
+        let health = r.stats().unwrap().health;
+        assert_eq!(health.shard_degraded, vec![2, 1]);
+        assert_eq!(health.shard_recoveries, vec![2, 1]);
+        assert_eq!(health.faults_injected, 3);
+        // New faults accumulate on top of the restored base, not zero.
+        r.inject_fault(0).unwrap();
+        let health = r.stats().unwrap().health;
+        assert_eq!(health.shard_degraded, vec![3, 1]);
+        assert_eq!(health.faults_injected, 4);
+    }
+
+    #[test]
+    fn metrics_exposition_carries_the_paper_gauges() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        for _ in 0..8 {
+            h.arrive(0).unwrap();
+        }
+        // Render before any stats call: the 8 arrivals are the only
+        // latency samples at exposition time.
+        let text = h.prometheus().unwrap();
+        let alg = h.stats().unwrap().algorithm;
+        assert!(text.contains("# TYPE partalloc_competitive_ratio gauge"), "{text}");
+        assert!(text.contains("partalloc_arrivals_total 8\n"), "{text}");
+        // 8 unit tasks on 8 PEs: peak load 1, L* = ceil(8/8) = 1, ratio 1.
+        assert!(
+            text.contains(&format!("partalloc_load_peak{{shard=\"0\",alg=\"{alg}\"}} 1\n")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!("partalloc_load_opt_lstar{{shard=\"0\",alg=\"{alg}\"}} 1\n")),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "partalloc_competitive_ratio{{shard=\"0\",alg=\"{alg}\"}} 1\n"
+            )),
+            "{text}"
+        );
+        // Histograms expose cumulative buckets and totals.
+        assert!(text.contains("# TYPE partalloc_request_latency_ns histogram"), "{text}");
+        assert!(text.contains("partalloc_request_latency_ns_bucket{le=\"+Inf\"} 8\n"), "{text}");
+        assert!(text.contains("partalloc_request_latency_ns_count 8\n"), "{text}");
+        // An idle service exposes the documented NaN ratio.
+        let idle = handle(AllocatorKind::Greedy, 8, 1);
+        let idle_alg = idle.stats().unwrap().algorithm;
+        let text = idle.prometheus().unwrap();
+        assert!(
+            text.contains(&format!(
+                "partalloc_competitive_ratio{{shard=\"0\",alg=\"{idle_alg}\"}} NaN\n"
+            )),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn dump_requests_need_a_configured_directory() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        assert_eq!(h.dump_flight().unwrap_err().code, ErrorCode::BadRequest);
+        let dir = std::env::temp_dir().join(format!(
+            "partalloc-core-flight-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let core = ServiceCore::new(
+            ServiceConfig::new(AllocatorKind::Greedy, 8).flight_recorder(dir.clone()),
+        )
+        .unwrap();
+        let h = ServiceHandle::new(core);
+        h.arrive(0).unwrap();
+        let files = h.dump_flight().unwrap();
+        // One file per shard ring plus the core ring.
+        assert_eq!(files.len(), 2);
+        assert!(files[0].contains("flightrec-0-0"), "{files:?}");
+        assert!(files[1].contains("flightrec-core-0"), "{files:?}");
+        assert!(std::fs::read_to_string(&files[0])
+            .unwrap()
+            .contains("\"name\":\"arrive\""));
+        // The dumps are referenced from the health ledger.
+        assert_eq!(h.stats().unwrap().health.flight_dumps, files);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_requests_mark_every_layer() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let core = h.core();
+        let ctx: TraceContext = "00000000000000aa-0000000000000bbb".parse().unwrap();
+        let first = core.handle_traced(Some(7), Some(ctx), &Request::Arrive { size_log2: 0 });
+        let replay = core.handle_traced(Some(7), Some(ctx), &Request::Arrive { size_log2: 0 });
+        // The retry replayed byte-identically...
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&replay).unwrap()
+        );
+        // ...leaving a dedupe_hit span carrying the trace in the core ring...
+        let events = core.flight_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "dedupe_hit");
+        assert_eq!(events[0].trace, Some(ctx));
+        // ...while the shard journal remembers the original op's trace.
+        let journal = core.shards()[0].journal_entries();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal[0].1, Some(ctx));
+        assert_eq!(core.shards()[0].flight_events()[0].trace, Some(ctx));
+    }
+
+    #[test]
+    fn live_gauges_track_peaks_not_currents() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let a = h.arrive(2).unwrap();
+        h.arrive(2).unwrap();
+        h.depart(a.task).unwrap();
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.pes_per_shard, 8);
+        let g = stats.shard_gauges[0];
+        assert_eq!(g.load_current, 1);
+        assert_eq!(g.peak_load, 2);
+        assert_eq!(g.peak_active_size, 8);
+        assert_eq!(g.lstar, 1);
+        assert_eq!(stats.shard_max_loads, vec![1]);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -60,6 +61,7 @@ use partalloc_core::{
 };
 use partalloc_engine::{Engine, EpochObserver, FaultObserver};
 use partalloc_model::{Event, TaskId};
+use partalloc_obs::{FlightRecorder, Recorder, SpanEvent, TraceContext};
 
 /// Attempts per op before the shard reports [`ShardError::Panicked`]:
 /// one initial try plus `PANIC_RETRIES` heal-and-retry rounds.
@@ -67,6 +69,9 @@ const PANIC_RETRIES: u32 = 4;
 
 /// Re-baseline after this many journaled ops, bounding replay cost.
 const JOURNAL_CHECKPOINT: usize = 256;
+
+/// Default flight-recorder ring capacity (span events per shard).
+pub const DEFAULT_FLIGHT_CAP: usize = 256;
 
 struct ShardState {
     /// The drive loop around this shard's allocator.
@@ -84,8 +89,9 @@ struct ShardState {
     baseline: Snapshot,
     /// `next_local` as of the baseline.
     baseline_next_local: u64,
-    /// Ops applied cleanly since the baseline, in order.
-    journal: Vec<ShardOp>,
+    /// Ops applied cleanly since the baseline, in order, each with the
+    /// trace context it arrived under (replay uses only the op).
+    journal: Vec<(ShardOp, Option<TraceContext>)>,
 }
 
 /// One shard: an independent machine instance behind its own lock.
@@ -97,6 +103,19 @@ pub struct Shard {
     load_gauge: AtomicU64,
     degraded: AtomicU64,
     recoveries: AtomicU64,
+    /// Highest max-PE-load this shard has ever published (`L_A(σ)`).
+    peak_load: AtomicU64,
+    /// Highest cumulative active size ever observed (`max s(σ; τ)`),
+    /// the numerator of the live `L*` gauge.
+    peak_active: AtomicU64,
+    /// Ring of the shard's most recent span events.
+    flight: FlightRecorder,
+    /// Where flight dumps go; `None` disables dumping (unit tests).
+    flight_dir: Option<PathBuf>,
+    /// Dump generation counter (names `flightrec-<shard>-<gen>.ndjson`).
+    dump_gen: AtomicU64,
+    /// Paths of the dumps written so far, for `ServiceHealth`.
+    dump_paths: Mutex<Vec<String>>,
 }
 
 /// One shard-level mutation, ready to be applied singly or batched.
@@ -241,7 +260,7 @@ fn rebuild(st: &mut ShardState, kind: AllocatorKind) {
     st.next_local = st.baseline_next_local;
     let faults = st.faults.take();
     let journal = std::mem::take(&mut st.journal);
-    for op in &journal {
+    for (op, _trace) in &journal {
         apply(st, op).expect("journaled ops applied cleanly once and replay cleanly");
     }
     st.journal = journal;
@@ -266,6 +285,8 @@ impl Shard {
         arrived_since_realloc: u64,
     ) -> Self {
         let load_gauge = AtomicU64::new(alloc.max_load());
+        let peak_load = AtomicU64::new(alloc.max_load());
+        let peak_active = AtomicU64::new(alloc.active_size());
         let baseline = snapshot(&*alloc, kind, seed, arrived_since_realloc);
         Shard {
             index,
@@ -283,6 +304,12 @@ impl Shard {
             load_gauge,
             degraded: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
+            peak_load,
+            peak_active,
+            flight: FlightRecorder::new(DEFAULT_FLIGHT_CAP),
+            flight_dir: None,
+            dump_gen: AtomicU64::new(0),
+            dump_paths: Mutex::new(Vec::new()),
         }
     }
 
@@ -290,6 +317,32 @@ impl Shard {
     pub fn with_faults(self, faults: FaultObserver) -> Self {
         self.state.lock().faults = Some(faults);
         self
+    }
+
+    /// Restore fault-plane health counters from a checkpoint (the
+    /// snapshot-restart path; see `ServiceCore::from_snapshot`).
+    pub fn with_health(self, degraded: u64, recoveries: u64) -> Self {
+        self.degraded.store(degraded, Ordering::Relaxed);
+        self.recoveries.store(recoveries, Ordering::Relaxed);
+        self
+    }
+
+    /// Enable flight-recorder dumps into `dir`
+    /// (`dir/flightrec-<shard>-<gen>.ndjson`).
+    pub fn with_flight_dir(self, dir: PathBuf) -> Self {
+        Shard {
+            flight_dir: Some(dir),
+            ..self
+        }
+    }
+
+    /// Resize the flight-recorder ring (construction-time only; any
+    /// events already recorded are discarded).
+    pub fn with_flight_capacity(self, capacity: usize) -> Self {
+        Shard {
+            flight: FlightRecorder::new(capacity),
+            ..self
+        }
     }
 
     /// This shard's index.
@@ -313,26 +366,110 @@ impl Shard {
         self.recoveries.load(Ordering::Relaxed)
     }
 
+    /// `(peak_load, peak_active_size)`: the highest max-PE-load and
+    /// the highest cumulative active size this shard has ever reached.
+    /// `peak_active_size.div_ceil(N)` is the live `L*` (Thm 3.1).
+    pub fn peak_figures(&self) -> (u64, u64) {
+        (
+            self.peak_load.load(Ordering::Relaxed),
+            self.peak_active.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The journaled ops since the last re-baseline, each with the
+    /// trace context it was applied under — how a post-mortem ties a
+    /// wire trace to the shard's mutation history.
+    pub fn journal_entries(&self) -> Vec<(ShardOp, Option<TraceContext>)> {
+        self.state.lock().journal.clone()
+    }
+
+    /// Events currently retained by the shard's flight-recorder ring.
+    pub fn flight_events(&self) -> Vec<SpanEvent> {
+        self.flight.snapshot().into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// Dump the flight-recorder ring to
+    /// `<dir>/flightrec-<shard>-<gen>.ndjson`. Returns the path, or
+    /// `None` when no dump directory is configured or the write
+    /// failed (a failed dump must never take the mutation path down).
+    pub fn dump_flight(&self) -> Option<String> {
+        let dir = self.flight_dir.as_ref()?;
+        let gen = self.dump_gen.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("flightrec-{}-{}.ndjson", self.index, gen));
+        if std::fs::create_dir_all(dir).is_err() {
+            return None;
+        }
+        if std::fs::write(&path, self.flight.dump_ndjson()).is_err() {
+            return None;
+        }
+        let path = path.to_string_lossy().into_owned();
+        self.dump_paths.lock().push(path.clone());
+        Some(path)
+    }
+
+    /// Paths of every flight dump this shard has written.
+    pub fn flight_dump_paths(&self) -> Vec<String> {
+        self.dump_paths.lock().clone()
+    }
+
     /// Apply one op with panic healing: on a caught panic, mark the
-    /// shard degraded, rebuild from the baseline, and retry the op.
-    fn apply_healing(&self, st: &mut ShardState, op: &ShardOp) -> Result<ShardEffect, ShardError> {
-        for _ in 0..=PANIC_RETRIES {
+    /// shard degraded, dump the flight recorder, rebuild from the
+    /// baseline, and retry the op.
+    fn apply_healing(
+        &self,
+        st: &mut ShardState,
+        op: &ShardOp,
+        trace: Option<TraceContext>,
+    ) -> Result<ShardEffect, ShardError> {
+        for attempt in 0..=PANIC_RETRIES {
             match catch_unwind(AssertUnwindSafe(|| apply(st, op))) {
                 Ok(Ok(effect)) => {
-                    st.journal.push(*op);
+                    st.journal.push((*op, trace));
                     if st.journal.len() >= JOURNAL_CHECKPOINT {
                         checkpoint(st, self.kind, self.seed);
                     }
+                    let (name, local) = match &effect {
+                        ShardEffect::Arrived(a) => ("arrive", a.local),
+                        ShardEffect::Departed { local, .. } => ("depart", *local),
+                    };
+                    self.flight.record(
+                        SpanEvent::new(name, "shard")
+                            .with_trace_opt(trace)
+                            .u64("shard", self.index as u64)
+                            .u64("local", local)
+                            .u64("load", st.engine.allocator().max_load()),
+                    );
                     return Ok(effect);
                 }
                 Ok(Err(rejected)) => return Err(ShardError::Rejected(rejected)),
                 Err(_panic) => {
                     self.degraded.fetch_add(1, Ordering::Relaxed);
+                    self.flight.record(
+                        SpanEvent::new("panic", "shard")
+                            .with_trace_opt(trace)
+                            .u64("shard", self.index as u64)
+                            .u64("attempt", u64::from(attempt)),
+                    );
+                    // The crash dump happens the moment catch_unwind
+                    // trips, before the rebuild overwrites the ring
+                    // with replayed history.
+                    self.dump_flight();
                     rebuild(st, self.kind);
                     self.recoveries.fetch_add(1, Ordering::Relaxed);
+                    self.flight.record(
+                        SpanEvent::new("rebuild", "shard")
+                            .with_trace_opt(trace)
+                            .u64("shard", self.index as u64)
+                            .u64("recoveries", self.recoveries.load(Ordering::Relaxed)),
+                    );
                 }
             }
         }
+        self.flight.record(
+            SpanEvent::new("abandoned", "shard")
+                .with_trace_opt(trace)
+                .u64("shard", self.index as u64),
+        );
         Err(ShardError::Panicked)
     }
 
@@ -345,11 +482,34 @@ impl Shard {
     /// exhausting its panic retries. Results are in op order, one per
     /// op.
     pub fn submit_batch(&self, ops: &[ShardOp]) -> Vec<Result<ShardEffect, ShardError>> {
+        self.submit_batch_traced(ops, None)
+    }
+
+    /// [`Shard::submit_batch`] with a trace context: the context rides
+    /// into the journal and the per-op span events, so one wire trace
+    /// id is observable at every layer the op touched.
+    ///
+    /// The paper gauges update per successful op *inside* the lock:
+    /// the peak active size is sampled at the instant each event
+    /// settles, which makes the live `L*` agree exactly with an
+    /// offline replay's `TaskSequence::optimal_load`.
+    pub fn submit_batch_traced(
+        &self,
+        ops: &[ShardOp],
+        trace: Option<TraceContext>,
+    ) -> Vec<Result<ShardEffect, ShardError>> {
         let mut st = self.state.lock();
-        let results: Vec<Result<ShardEffect, ShardError>> = ops
-            .iter()
-            .map(|op| self.apply_healing(&mut st, op))
-            .collect();
+        let mut results = Vec::with_capacity(ops.len());
+        for op in ops {
+            let result = self.apply_healing(&mut st, op, trace);
+            if result.is_ok() {
+                let alloc = st.engine.allocator();
+                self.peak_load.fetch_max(alloc.max_load(), Ordering::Relaxed);
+                self.peak_active
+                    .fetch_max(alloc.active_size(), Ordering::Relaxed);
+            }
+            results.push(result);
+        }
         self.load_gauge
             .store(st.engine.allocator().max_load(), Ordering::Relaxed);
         results
@@ -357,8 +517,17 @@ impl Shard {
 
     /// Place an arriving task, assigning it the next dense local id.
     pub fn arrive(&self, size_log2: u8) -> Result<ShardArrival, ShardError> {
+        self.arrive_traced(size_log2, None)
+    }
+
+    /// [`Shard::arrive`] under a wire trace context.
+    pub fn arrive_traced(
+        &self,
+        size_log2: u8,
+        trace: Option<TraceContext>,
+    ) -> Result<ShardArrival, ShardError> {
         let effect = self
-            .submit_batch(&[ShardOp::Arrive { size_log2 }])
+            .submit_batch_traced(&[ShardOp::Arrive { size_log2 }], trace)
             .pop()
             .expect("one op in, one result out")?;
         match effect {
@@ -369,8 +538,17 @@ impl Shard {
 
     /// Release a task by its local id.
     pub fn depart(&self, local: u64) -> Result<Placement, ShardError> {
+        self.depart_traced(local, None)
+    }
+
+    /// [`Shard::depart`] under a wire trace context.
+    pub fn depart_traced(
+        &self,
+        local: u64,
+        trace: Option<TraceContext>,
+    ) -> Result<Placement, ShardError> {
         let effect = self
-            .submit_batch(&[ShardOp::Depart { local }])
+            .submit_batch_traced(&[ShardOp::Depart { local }], trace)
             .pop()
             .expect("one op in, one result out")?;
         match effect {
@@ -392,8 +570,19 @@ impl Shard {
         }));
         debug_assert!(simulated.is_err());
         self.degraded.fetch_add(1, Ordering::Relaxed);
+        self.flight.record(
+            SpanEvent::new("panic", "shard")
+                .u64("shard", self.index as u64)
+                .bool("injected", true),
+        );
+        self.dump_flight();
         rebuild(&mut st, self.kind);
         let total = self.recoveries.fetch_add(1, Ordering::Relaxed) + 1;
+        self.flight.record(
+            SpanEvent::new("rebuild", "shard")
+                .u64("shard", self.index as u64)
+                .u64("recoveries", total),
+        );
         self.load_gauge
             .store(st.engine.allocator().max_load(), Ordering::Relaxed);
         total
@@ -808,6 +997,79 @@ mod tests {
         assert_eq!(r.route(1, &shards), 1);
         assert_eq!(r.route(2, &shards), 0);
         assert_eq!(r.route(3, &shards), 1);
+    }
+
+    #[test]
+    fn peak_gauges_remember_the_high_water_marks() {
+        let s = &shards(1, 8)[0];
+        s.arrive(2).unwrap(); // active size 4, load 1
+        s.arrive(2).unwrap(); // active size 8, load 2
+        s.depart(0).unwrap(); // active size back to 4
+        assert_eq!(s.load(), 1);
+        let (peak_load, peak_active) = s.peak_figures();
+        assert_eq!(peak_load, 2);
+        assert_eq!(peak_active, 8);
+        // L* = ceil(peak_active / N) = ceil(8/8) = 1.
+        assert_eq!(peak_active.div_ceil(8), 1);
+    }
+
+    #[test]
+    fn journal_and_flight_ring_carry_the_trace() {
+        let s = &shards(1, 8)[0];
+        let ctx: TraceContext = "00000000000000aa-0000000000000bbb".parse().unwrap();
+        s.submit_batch_traced(&[ShardOp::Arrive { size_log2: 0 }], Some(ctx));
+        s.submit_batch(&[ShardOp::Arrive { size_log2: 0 }]);
+        let journal = s.journal_entries();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal[0], (ShardOp::Arrive { size_log2: 0 }, Some(ctx)));
+        assert_eq!(journal[1].1, None);
+        let events = s.flight_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "arrive");
+        assert_eq!(events[0].trace, Some(ctx));
+        assert_eq!(events[1].trace, None);
+    }
+
+    #[test]
+    fn panics_dump_the_flight_ring_when_a_dir_is_configured() {
+        let dir = std::env::temp_dir().join(format!("partalloc-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let machine = BuddyTree::new(8).unwrap();
+        let kind = AllocatorKind::Greedy;
+        let s = Shard::new(0, kind, kind.build(machine, 0), 0).with_flight_dir(dir.clone());
+        s.arrive(0).unwrap();
+        s.inject_panic();
+        let dumps = s.flight_dump_paths();
+        assert_eq!(dumps.len(), 1);
+        let body = std::fs::read_to_string(&dumps[0]).unwrap();
+        // The dump holds the pre-panic history plus the panic marker.
+        assert!(body.contains("\"name\":\"arrive\""), "{body}");
+        assert!(body.contains("\"name\":\"panic\""), "{body}");
+        assert!(body.contains("\"injected\":true"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undumped_shards_still_record_but_write_nothing() {
+        let s = &shards(1, 8)[0];
+        s.arrive(0).unwrap();
+        s.inject_panic();
+        assert!(s.dump_flight().is_none());
+        assert!(s.flight_dump_paths().is_empty());
+        assert!(!s.flight_events().is_empty());
+    }
+
+    #[test]
+    fn with_health_restores_the_counters() {
+        let machine = BuddyTree::new(8).unwrap();
+        let kind = AllocatorKind::Greedy;
+        let s = Shard::new(0, kind, kind.build(machine, 0), 0).with_health(2, 3);
+        assert_eq!(s.degraded(), 2);
+        assert_eq!(s.recoveries(), 3);
+        // New faults keep counting on top of the restored base.
+        s.inject_panic();
+        assert_eq!(s.degraded(), 3);
+        assert_eq!(s.recoveries(), 4);
     }
 
     #[test]

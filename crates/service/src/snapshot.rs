@@ -60,6 +60,11 @@ pub struct ServiceHealth {
     pub shard_recoveries: Vec<u64>,
     /// Total in-process faults injected across all shards.
     pub faults_injected: u64,
+    /// Paths of flight-recorder dumps written so far (crash dumps and
+    /// explicit `dump` requests), newest last. Absent in checkpoints
+    /// from before the telemetry plane.
+    #[serde(default)]
+    pub flight_dumps: Vec<String>,
 }
 
 /// A serializable checkpoint of the whole daemon.

@@ -1,0 +1,153 @@
+//! Telemetry-plane integration tests: trace contexts survive the
+//! wire, batch splitting and dedupe replay byte-for-byte, and the
+//! live load-vs-L* gauges agree exactly with an offline replay of the
+//! same sequence for every allocator.
+
+use proptest::prelude::*;
+
+use partalloc_core::AllocatorKind;
+use partalloc_model::Event;
+use partalloc_obs::{IdGen, TraceContext};
+use partalloc_service::{
+    parse_request_envelope, parse_response_line, request_line_traced, response_line, BatchItem,
+    Request, ServiceConfig, ServiceCore, ServiceHandle,
+};
+use partalloc_sim::run_sequence_dyn;
+use partalloc_topology::BuddyTree;
+use partalloc_workload::{ClosedLoopConfig, Generator};
+
+fn core(shards: usize) -> ServiceCore {
+    ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 16).shards(shards)).unwrap()
+}
+
+/// Arrivals of modest sizes plus departures of low ids — some name
+/// tasks that exist, some don't, so error replies ride along too.
+fn item() -> impl Strategy<Value = BatchItem> {
+    prop_oneof![
+        (0u8..3).prop_map(|size_log2| BatchItem::Arrive { size_log2 }),
+        (0u64..20).prop_map(|task| BatchItem::Depart { task }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One trace context stamped on a batch survives everything the
+    /// service does to the request: the envelope round-trips the wire
+    /// encoding, the batch is split across shards yet every journal
+    /// entry carries the id, and a dedupe replay returns the original
+    /// reply line byte-for-byte — original trace id included.
+    #[test]
+    fn trace_ids_survive_batch_split_and_dedupe_replay(
+        items in proptest::collection::vec(item(), 1..40),
+        shards in 1usize..4,
+        id in any::<u64>(),
+        trace_seed in any::<u64>(),
+    ) {
+        let trace = IdGen::new(trace_seed).context();
+        let req = Request::Batch { items };
+
+        // Wire round-trip: the stamped line parses back to the same
+        // envelope and request.
+        let line = request_line_traced(&req, Some(id), Some(trace)).unwrap();
+        let (envelope, parsed) = parse_request_envelope(&line).unwrap();
+        prop_assert_eq!(envelope.req_id, Some(id));
+        prop_assert_eq!(envelope.trace, Some(trace));
+        prop_assert_eq!(
+            serde_json::to_string(&parsed).unwrap(),
+            serde_json::to_string(&req).unwrap()
+        );
+
+        // Batch splitting: every applied op lands in some shard's
+        // journal still tagged with the one trace context.
+        let core = core(shards);
+        let first = core.handle_traced(Some(id), Some(trace), &parsed);
+        let applied: Vec<(usize, Option<TraceContext>)> = core
+            .shards()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.journal_entries().into_iter().map(move |(_, t)| (i, t))
+            })
+            .collect();
+        for (shard, tagged) in applied {
+            prop_assert_eq!(tagged, Some(trace), "shard {} journal lost the trace", shard);
+        }
+
+        // Dedupe replay: the reply line — trace echo and all — is
+        // byte-identical to the original.
+        let replay = core.handle_traced(Some(id), Some(trace), &parsed);
+        let first_line = response_line(&first, Some(trace)).unwrap();
+        let replay_line = response_line(&replay, Some(trace)).unwrap();
+        prop_assert_eq!(&first_line, &replay_line);
+        let (echoed, decoded) = parse_response_line(&replay_line).unwrap();
+        prop_assert_eq!(echoed, Some(trace));
+        prop_assert_eq!(
+            serde_json::to_string(&decoded).unwrap(),
+            serde_json::to_string(&first).unwrap()
+        );
+    }
+}
+
+/// Drive a 500-event seeded trace through a single-shard service and
+/// through the offline simulator with the same allocator and seed:
+/// the live gauges must equal the offline metrics exactly — integer
+/// equality for peak load and L*, bit equality for the ratio.
+#[test]
+fn live_gauges_match_offline_replay_for_every_allocator() {
+    const PES: u64 = 64;
+    const SEED: u64 = 11;
+    let seq = ClosedLoopConfig::new(PES)
+        .events(500)
+        .target_load(2)
+        .generate(SEED);
+    let kinds = [
+        AllocatorKind::Constant,
+        AllocatorKind::Greedy,
+        AllocatorKind::Basic,
+        AllocatorKind::DRealloc(1),
+        AllocatorKind::DRealloc(3),
+        AllocatorKind::Randomized,
+        AllocatorKind::RandomizedDRealloc(2),
+        AllocatorKind::LeftmostAlways,
+        AllocatorKind::RoundRobin,
+    ];
+    for kind in kinds {
+        // Offline replay.
+        let machine = BuddyTree::new(PES).unwrap();
+        let mut alloc = kind.build(machine, SEED);
+        let offline = run_sequence_dyn(alloc.as_mut(), &seq);
+
+        // Live service: one shard, same allocator seed (shard i gets
+        // `seed + i`, so shard 0 matches the offline build exactly).
+        let config = ServiceConfig::new(kind, PES).seed(SEED);
+        let h = ServiceHandle::new(ServiceCore::new(config).unwrap());
+        let mut ids = std::collections::HashMap::new();
+        for event in seq.events() {
+            match *event {
+                Event::Arrival { id, size_log2 } => {
+                    let placed = h.arrive(size_log2).unwrap();
+                    ids.insert(id.0, placed.task);
+                }
+                Event::Departure { id } => {
+                    h.depart(ids[&id.0]).unwrap();
+                }
+            }
+        }
+        let stats = h.stats().unwrap();
+        let gauge = &stats.shard_gauges[0];
+        assert_eq!(
+            gauge.peak_load, offline.peak_load,
+            "{kind:?}: live peak diverges from offline replay"
+        );
+        assert_eq!(
+            gauge.lstar, offline.lstar,
+            "{kind:?}: live L* diverges from offline replay"
+        );
+        assert_eq!(
+            gauge.competitive_ratio().to_bits(),
+            offline.peak_ratio().to_bits(),
+            "{kind:?}: live ratio gauge diverges from offline replay"
+        );
+    }
+}

@@ -33,7 +33,7 @@ pub use partalloc_engine::{
     execute, execute_with, run_sequence, run_sequence_dyn, run_with_cost, run_with_slowdowns,
     CostObserver, CostReport, Engine, EpochObserver, ExecutorConfig, InvariantObserver,
     LoadProfileRecorder, MetricsObserver, MigrationCostModel, Observer, ResponseReport, RunMetrics,
-    SizeTable, SlowdownObserver, SlowdownReport, Step, DEFAULT_PROFILE_CAP,
+    SizeTable, SlowdownObserver, SlowdownReport, Step, TraceObserver, DEFAULT_PROFILE_CAP,
 };
 pub use sweep::parallel_sweep;
 pub use timeline::{Span, Timeline};
