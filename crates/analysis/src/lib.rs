@@ -1,9 +1,12 @@
 //! # partalloc-analysis
 //!
 //! Experiment support: the paper's bound formulas ([`bounds`]),
-//! summary statistics over repeated trials ([`Summary`]), and plain
+//! summary statistics over repeated trials ([`Summary`]), plain
 //! text / Markdown / CSV table rendering ([`Table`]) used by every
-//! experiment binary to print the rows recorded in `EXPERIMENTS.md`.
+//! experiment binary to print the rows recorded in `EXPERIMENTS.md`,
+//! and offline trace analysis ([`trace`]) — the read side of the
+//! telemetry plane, reconstructing per-request trees from recorded
+//! span streams for `palloc trace`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -13,8 +16,13 @@ mod chart;
 mod stats;
 mod svgchart;
 mod table;
+pub mod trace;
 
 pub use chart::{bar_chart, load_heatmap, multi_sparkline, sparkline};
 pub use stats::{LinearFit, Summary};
 pub use svgchart::{line_chart_svg, Series};
 pub use table::{fmt_f64, Table};
+pub use trace::{
+    analyze, layer_rank, Anomaly, AnomalyKind, SourceSummary, StageRow, TraceReport, TraceSource,
+    TraceStep, TraceTree,
+};

@@ -1,0 +1,676 @@
+//! Offline trace analysis: reconstruct per-request trees from recorded
+//! span streams and attribute where events happened, stage by stage.
+//!
+//! The input is one or more NDJSON span streams — a `palloc drive
+//! --spans` recording, `flightrec-<shard>-<gen>.ndjson` /
+//! `flightrec-core-<gen>.ndjson` dumps fetched via the `dump` op, or a
+//! `--trace stderr` capture. Events are parsed with
+//! [`partalloc_obs::parse_span_stream`], grouped by trace id into
+//! request trees spanning the client → proxy → server → shard → engine
+//! layers, and summarized as deterministic ASCII tables plus an SVG
+//! timeline.
+//!
+//! ## Determinism
+//!
+//! The whole workspace deliberately has **no wall clock** in its span
+//! plane: a span's time is its recorder sequence number. All analysis
+//! here is therefore in *seq-time* — latency attribution means "how
+//! many events, over which seq window, in which layer", not
+//! nanoseconds — and two runs of the same seeded workload produce
+//! byte-identical reports. Sources are labeled by file basename (never
+//! full paths) and every aggregation iterates sorted containers, so
+//! report bytes cannot depend on temp-dir names or map order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use partalloc_obs::{parse_span_stream, ParseEventError, ParsedEvent, ParsedValue, TraceId};
+
+use crate::svgchart::{line_chart_svg, Series};
+use crate::table::{fmt_f64, Table};
+
+/// Rank of a layer along the request path: client(0) → proxy(1) →
+/// server(2) → shard(3) → engine(4); unknown layers rank last (5).
+pub fn layer_rank(layer: &str) -> u8 {
+    match layer {
+        "client" => 0,
+        "proxy" => 1,
+        "server" => 2,
+        "shard" => 3,
+        "engine" => 4,
+        _ => 5,
+    }
+}
+
+/// One labeled span stream (one file, usually).
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    /// Display label — a file *basename*, so reports stay
+    /// byte-identical across working directories.
+    pub label: String,
+    /// The parsed events, in file order.
+    pub events: Vec<ParsedEvent>,
+}
+
+impl TraceSource {
+    /// Parse an NDJSON span stream under a label.
+    pub fn parse(label: impl Into<String>, text: &str) -> Result<Self, ParseEventError> {
+        Ok(TraceSource {
+            label: label.into(),
+            events: parse_span_stream(text)?,
+        })
+    }
+}
+
+/// One event's place in a request tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Index into the report's sources.
+    pub source: usize,
+    /// Recorder sequence number within that source.
+    pub seq: u64,
+    /// Emitting layer.
+    pub layer: String,
+    /// Event name.
+    pub name: String,
+    /// The `shard` attribute, when the event carries one.
+    pub shard: Option<u64>,
+}
+
+/// All events of one trace id, reconstructed across sources.
+///
+/// Steps are ordered by (layer rank, source, seq): the request path
+/// order first, then chronology within each recorder — the
+/// deterministic spine the report renders as the trace's tree.
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace id.
+    pub trace: TraceId,
+    /// Every event carrying this trace, ordered as documented above.
+    pub steps: Vec<TraceStep>,
+}
+
+impl TraceTree {
+    /// Distinct layers touched, in rank order.
+    pub fn layers(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for step in &self.steps {
+            if !seen.contains(&step.layer.as_str()) {
+                seen.push(&step.layer);
+            }
+        }
+        seen
+    }
+
+    /// The request path as `client->server->shard`.
+    pub fn path(&self) -> String {
+        self.layers().join("->")
+    }
+
+    /// Distinct shards touched by this trace's events.
+    pub fn shards(&self) -> BTreeSet<u64> {
+        self.steps.iter().filter_map(|s| s.shard).collect()
+    }
+
+    /// How many steps carry a given event name.
+    pub fn count_named(&self, name: &str) -> usize {
+        self.steps.iter().filter(|s| s.name == name).count()
+    }
+}
+
+/// Per-source ingest summary.
+#[derive(Debug, Clone)]
+pub struct SourceSummary {
+    /// The source's label (file basename).
+    pub label: String,
+    /// Total events parsed.
+    pub events: usize,
+    /// Events carrying a trace context.
+    pub traced: usize,
+    /// Distinct trace ids seen in this source.
+    pub traces: usize,
+}
+
+/// Per-layer seq-time attribution: how much of the recorded activity
+/// each request-path stage accounts for.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// The layer (stage) name.
+    pub layer: String,
+    /// Events emitted by this layer across all sources.
+    pub events: usize,
+    /// Share of all events (0..=1).
+    pub share: f64,
+    /// Distinct traces that touched this layer.
+    pub traces: usize,
+}
+
+/// Which anomaly rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AnomalyKind {
+    /// A trace retried three or more times.
+    RetryStorm,
+    /// A retry was answered from the server's dedupe window.
+    DedupeReplay,
+    /// A shard panicked and rebuilt (seq window of the outage).
+    PanicRebuild,
+    /// A shard panicked with no rebuild in the stream.
+    UnhealedPanic,
+    /// One batch's items fanned out across multiple shards.
+    BatchFanOut,
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnomalyKind::RetryStorm => "retry-storm",
+            AnomalyKind::DedupeReplay => "dedupe-replay",
+            AnomalyKind::PanicRebuild => "panic-rebuild",
+            AnomalyKind::UnhealedPanic => "unhealed-panic",
+            AnomalyKind::BatchFanOut => "batch-fan-out",
+        })
+    }
+}
+
+/// One flagged anomaly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Anomaly {
+    /// The rule that fired.
+    pub kind: AnomalyKind,
+    /// What it fired on (`trace <id>` or a source label).
+    pub subject: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The analyzer's output: summaries, request trees, anomalies, and the
+/// critical path, all built deterministically from the sources.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Per-source ingest summaries, in input order.
+    pub sources: Vec<SourceSummary>,
+    /// Per-layer attribution rows, in layer-rank order.
+    pub stages: Vec<StageRow>,
+    /// Request trees, sorted by trace id.
+    pub trees: Vec<TraceTree>,
+    /// Flagged anomalies, sorted by (kind, subject, detail).
+    pub anomalies: Vec<Anomaly>,
+    /// Total events across all sources.
+    pub total_events: usize,
+    labels: Vec<String>,
+    timeline: Vec<Vec<(f64, f64)>>,
+}
+
+/// Group the sources' events into request trees and summarize them.
+pub fn analyze(sources: Vec<TraceSource>) -> TraceReport {
+    let mut summaries = Vec::with_capacity(sources.len());
+    let mut by_trace: BTreeMap<TraceId, Vec<TraceStep>> = BTreeMap::new();
+    let mut layer_events: BTreeMap<String, usize> = BTreeMap::new();
+    let mut layer_traces: BTreeMap<String, BTreeSet<TraceId>> = BTreeMap::new();
+    let mut total_events = 0usize;
+    let mut labels = Vec::with_capacity(sources.len());
+    let mut timeline = Vec::with_capacity(sources.len());
+
+    for (si, source) in sources.iter().enumerate() {
+        let mut traced = 0usize;
+        let mut ids: BTreeSet<TraceId> = BTreeSet::new();
+        let mut line: Vec<(f64, f64)> = Vec::with_capacity(source.events.len());
+        for ev in &source.events {
+            total_events += 1;
+            *layer_events.entry(ev.layer.clone()).or_default() += 1;
+            line.push((ev.seq as f64, f64::from(layer_rank(&ev.layer))));
+            let shard = ev.attr("shard").and_then(ParsedValue::as_u64);
+            if let Some(ctx) = ev.trace {
+                traced += 1;
+                ids.insert(ctx.trace);
+                layer_traces
+                    .entry(ev.layer.clone())
+                    .or_default()
+                    .insert(ctx.trace);
+                by_trace.entry(ctx.trace).or_default().push(TraceStep {
+                    source: si,
+                    seq: ev.seq,
+                    layer: ev.layer.clone(),
+                    name: ev.name.clone(),
+                    shard,
+                });
+            }
+        }
+        summaries.push(SourceSummary {
+            label: source.label.clone(),
+            events: source.events.len(),
+            traced,
+            traces: ids.len(),
+        });
+        labels.push(source.label.clone());
+        timeline.push(line);
+    }
+
+    let trees: Vec<TraceTree> = by_trace
+        .into_iter()
+        .map(|(trace, mut steps)| {
+            steps.sort_by(|a, b| {
+                (layer_rank(&a.layer), a.source, a.seq, a.name.as_str()).cmp(&(
+                    layer_rank(&b.layer),
+                    b.source,
+                    b.seq,
+                    b.name.as_str(),
+                ))
+            });
+            TraceTree { trace, steps }
+        })
+        .collect();
+
+    let mut stages: Vec<StageRow> = layer_events
+        .iter()
+        .map(|(layer, &events)| StageRow {
+            layer: layer.clone(),
+            events,
+            share: if total_events == 0 {
+                0.0
+            } else {
+                events as f64 / total_events as f64
+            },
+            traces: layer_traces.get(layer).map_or(0, BTreeSet::len),
+        })
+        .collect();
+    stages.sort_by(|a, b| {
+        (layer_rank(&a.layer), a.layer.as_str()).cmp(&(layer_rank(&b.layer), b.layer.as_str()))
+    });
+
+    let anomalies = detect_anomalies(&sources, &trees);
+
+    TraceReport {
+        sources: summaries,
+        stages,
+        trees,
+        anomalies,
+        total_events,
+        labels,
+        timeline,
+    }
+}
+
+/// Apply the anomaly rules (see `DESIGN.md` §13): retry storms (≥3
+/// retries in one trace), dedupe replays, panic→rebuild windows per
+/// source, and batch fan-out (one trace touching ≥2 shards).
+fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    for tree in trees {
+        let subject = format!("trace {}", tree.trace);
+        let retries = tree.count_named("retry");
+        if retries >= 3 {
+            out.push(Anomaly {
+                kind: AnomalyKind::RetryStorm,
+                subject: subject.clone(),
+                detail: format!("{retries} retries"),
+            });
+        }
+        let replays = tree.count_named("dedupe_hit");
+        if replays > 0 {
+            out.push(Anomaly {
+                kind: AnomalyKind::DedupeReplay,
+                subject: subject.clone(),
+                detail: format!("{replays} replay(s) answered from the dedupe window"),
+            });
+        }
+        let shards = tree.shards();
+        if shards.len() >= 2 {
+            let list: Vec<String> = shards.iter().map(u64::to_string).collect();
+            out.push(Anomaly {
+                kind: AnomalyKind::BatchFanOut,
+                subject,
+                detail: format!("split across shards {}", list.join(",")),
+            });
+        }
+    }
+    for source in sources {
+        // Panic/rebuild windows are per recorder stream: a `panic`
+        // opens an outage window on its shard, the next `rebuild` on
+        // the same shard closes it.
+        let mut open: BTreeMap<u64, u64> = BTreeMap::new();
+        for ev in &source.events {
+            let shard = ev.attr("shard").and_then(ParsedValue::as_u64).unwrap_or(0);
+            match ev.name.as_str() {
+                "panic" => {
+                    open.entry(shard).or_insert(ev.seq);
+                }
+                "rebuild" => {
+                    if let Some(start) = open.remove(&shard) {
+                        out.push(Anomaly {
+                            kind: AnomalyKind::PanicRebuild,
+                            subject: source.label.clone(),
+                            detail: format!(
+                                "shard {shard} down over seq [{start}, {}]",
+                                ev.seq
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (shard, start) in open {
+            out.push(Anomaly {
+                kind: AnomalyKind::UnhealedPanic,
+                subject: source.label.clone(),
+                detail: format!("shard {shard} panicked at seq {start}, no rebuild recorded"),
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.kind, a.subject.as_str(), a.detail.as_str()).cmp(&(
+            b.kind,
+            b.subject.as_str(),
+            b.detail.as_str(),
+        ))
+    });
+    out
+}
+
+impl TraceReport {
+    /// Number of reconstructed request trees (distinct trace ids).
+    pub fn trace_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The critical path: the steps of the deepest request tree (most
+    /// events; ties break toward the smallest trace id), in request
+    /// path order. Empty when no events carried a trace.
+    pub fn critical_path(&self) -> Option<&TraceTree> {
+        self.trees
+            .iter()
+            .max_by(|a, b| {
+                // max_by keeps the *last* maximum; compare ids in
+                // reverse so the smallest id wins ties.
+                (a.steps.len(), std::cmp::Reverse(a.trace))
+                    .cmp(&(b.steps.len(), std::cmp::Reverse(b.trace)))
+            })
+            .filter(|t| !t.steps.is_empty())
+    }
+
+    /// Render the whole report as deterministic ASCII (the `palloc
+    /// trace` output). `top` caps the per-trace table; deeper trees
+    /// win, ties break toward smaller ids.
+    pub fn render_text(&self, top: usize) -> String {
+        let mut out = String::new();
+        out.push_str("palloc trace report\n===================\n\n");
+
+        out.push_str("## Sources\n");
+        let mut t = Table::new(&["file", "events", "traced", "traces"]);
+        for s in &self.sources {
+            t.row(&[
+                s.label.clone(),
+                s.events.to_string(),
+                s.traced.to_string(),
+                s.traces.to_string(),
+            ]);
+        }
+        out.push_str(&t.render_text());
+
+        out.push_str("\n## Stage attribution (seq-time, events per layer)\n");
+        let mut t = Table::new(&["stage", "events", "share", "traces"]);
+        for s in &self.stages {
+            t.row(&[
+                s.layer.clone(),
+                s.events.to_string(),
+                format!("{}%", fmt_f64(100.0 * s.share, 1)),
+                s.traces.to_string(),
+            ]);
+        }
+        out.push_str(&t.render_text());
+
+        out.push_str(&format!(
+            "\n## Request trees ({} trace(s), {} event(s) total)\n",
+            self.trees.len(),
+            self.total_events
+        ));
+        let mut ranked: Vec<&TraceTree> = self.trees.iter().collect();
+        ranked.sort_by(|a, b| {
+            (b.steps.len(), a.trace).cmp(&(a.steps.len(), b.trace))
+        });
+        let mut t = Table::new(&["trace", "events", "path", "shards"]);
+        for tree in ranked.iter().take(top) {
+            let shards: Vec<String> = tree.shards().iter().map(u64::to_string).collect();
+            t.row(&[
+                tree.trace.to_string(),
+                tree.steps.len().to_string(),
+                tree.path(),
+                if shards.is_empty() {
+                    "-".to_string()
+                } else {
+                    shards.join(",")
+                },
+            ]);
+        }
+        out.push_str(&t.render_text());
+        if self.trees.len() > top {
+            out.push_str(&format!("({} more not shown)\n", self.trees.len() - top));
+        }
+
+        match self.critical_path() {
+            Some(tree) => {
+                out.push_str(&format!(
+                    "\n## Critical path (trace {}, {} events)\n",
+                    tree.trace,
+                    tree.steps.len()
+                ));
+                for (i, step) in tree.steps.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{:>4}. {}/{} seq={} [{}]\n",
+                        i + 1,
+                        step.layer,
+                        step.name,
+                        step.seq,
+                        self.labels[step.source],
+                    ));
+                }
+            }
+            None => out.push_str("\n## Critical path\n(no traced events)\n"),
+        }
+
+        out.push_str("\n## Anomalies\n");
+        if self.anomalies.is_empty() {
+            out.push_str("none detected\n");
+        } else {
+            let mut t = Table::new(&["kind", "subject", "detail"]);
+            for a in &self.anomalies {
+                t.row(&[a.kind.to_string(), a.subject.clone(), a.detail.clone()]);
+            }
+            out.push_str(&t.render_text());
+        }
+        out
+    }
+
+    /// The seq-time timeline as an SVG: one series per source, x = the
+    /// recorder seq, y = the emitting layer's rank. `None` when no
+    /// source has any events (an empty chart cannot be drawn).
+    pub fn timeline_svg(&self, width: u32, height: u32) -> Option<String> {
+        let series: Vec<Series<'_>> = self
+            .labels
+            .iter()
+            .zip(&self.timeline)
+            .filter(|(_, pts)| !pts.is_empty())
+            .map(|(label, pts)| (label.as_str(), pts.as_slice()))
+            .collect();
+        if series.is_empty() {
+            return None;
+        }
+        Some(line_chart_svg(
+            &series,
+            width,
+            height,
+            "seq (recorder order)",
+            "layer rank (client=0 .. engine=4)",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(line: &str) -> ParsedEvent {
+        partalloc_obs::parse_span_line(line).unwrap()
+    }
+
+    fn source(label: &str, lines: &[String]) -> TraceSource {
+        TraceSource {
+            label: label.into(),
+            events: lines.iter().map(|l| ev(l)).collect(),
+        }
+    }
+
+    const T1: &str = "00000000000000aa-0000000000000001";
+    const T2: &str = "00000000000000bb-0000000000000002";
+
+    fn client_stream() -> TraceSource {
+        source(
+            "client.ndjson",
+            &[
+                format!(r#"{{"seq":0,"name":"retry","layer":"client","trace":"{T1}","attempt":1}}"#),
+                format!(r#"{{"seq":1,"name":"retry","layer":"client","trace":"{T1}","attempt":2}}"#),
+                format!(r#"{{"seq":2,"name":"retry","layer":"client","trace":"{T1}","attempt":3}}"#),
+                format!(r#"{{"seq":3,"name":"send","layer":"client","trace":"{T2}"}}"#),
+            ],
+        )
+    }
+
+    fn shard_stream() -> TraceSource {
+        source(
+            "flightrec-0-0.ndjson",
+            &[
+                format!(r#"{{"seq":0,"name":"arrive","layer":"shard","trace":"{T1}","shard":0}}"#),
+                format!(r#"{{"seq":1,"name":"dedupe_hit","layer":"server","trace":"{T1}","req_id":7}}"#),
+                format!(r#"{{"seq":2,"name":"panic","layer":"shard","shard":0,"attempt":1}}"#),
+                format!(r#"{{"seq":3,"name":"rebuild","layer":"shard","shard":0,"recoveries":1}}"#),
+                format!(r#"{{"seq":4,"name":"arrive","layer":"shard","trace":"{T2}","shard":1}}"#),
+                format!(r#"{{"seq":5,"name":"arrive","layer":"shard","trace":"{T2}","shard":0}}"#),
+            ],
+        )
+    }
+
+    #[test]
+    fn trees_group_by_trace_across_sources() {
+        let report = analyze(vec![client_stream(), shard_stream()]);
+        assert_eq!(report.trace_count(), 2);
+        assert_eq!(report.total_events, 10);
+        // T1: 3 client retries + 1 shard arrive + 1 server dedupe_hit.
+        let t1 = &report.trees[0];
+        assert_eq!(t1.trace.to_string(), "00000000000000aa");
+        assert_eq!(t1.steps.len(), 5);
+        // Steps come back in request-path order: client before server
+        // before shard.
+        assert_eq!(t1.path(), "client->server->shard");
+        assert_eq!(t1.steps[0].layer, "client");
+        assert_eq!(t1.steps[4].layer, "shard");
+    }
+
+    #[test]
+    fn anomaly_rules_fire() {
+        let report = analyze(vec![client_stream(), shard_stream()]);
+        let kinds: Vec<AnomalyKind> = report.anomalies.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AnomalyKind::RetryStorm,
+                AnomalyKind::DedupeReplay,
+                AnomalyKind::PanicRebuild,
+                AnomalyKind::BatchFanOut,
+            ]
+        );
+        // The storm names T1, the fan-out names T2's two shards.
+        assert!(report.anomalies[0].subject.contains("00000000000000aa"));
+        assert_eq!(report.anomalies[0].detail, "3 retries");
+        assert!(report.anomalies[3].subject.contains("00000000000000bb"));
+        assert!(report.anomalies[3].detail.contains("0,1"));
+        // The outage window spans panic..rebuild.
+        assert_eq!(report.anomalies[2].subject, "flightrec-0-0.ndjson");
+        assert!(report.anomalies[2].detail.contains("seq [2, 3]"));
+    }
+
+    #[test]
+    fn unhealed_panics_are_flagged() {
+        let s = source(
+            "flightrec-1-0.ndjson",
+            &[r#"{"seq":0,"name":"panic","layer":"shard","shard":3,"attempt":1}"#.to_string()],
+        );
+        let report = analyze(vec![s]);
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].kind, AnomalyKind::UnhealedPanic);
+        assert!(report.anomalies[0].detail.contains("shard 3"));
+    }
+
+    #[test]
+    fn report_text_is_deterministic_and_structured() {
+        let a = analyze(vec![client_stream(), shard_stream()]).render_text(10);
+        let b = analyze(vec![client_stream(), shard_stream()]).render_text(10);
+        assert_eq!(a, b);
+        assert!(a.contains("palloc trace report"), "{a}");
+        assert!(a.contains("## Sources"), "{a}");
+        assert!(a.contains("## Stage attribution"), "{a}");
+        assert!(a.contains("## Critical path (trace 00000000000000aa, 5 events)"), "{a}");
+        assert!(a.contains("client/retry seq=0 [client.ndjson]"), "{a}");
+        assert!(a.contains("retry-storm"), "{a}");
+        // The top cap trims the per-trace table but keeps the count.
+        let capped = analyze(vec![client_stream(), shard_stream()]).render_text(1);
+        assert!(capped.contains("(1 more not shown)"), "{capped}");
+    }
+
+    #[test]
+    fn critical_path_prefers_deeper_then_smaller_id() {
+        let report = analyze(vec![client_stream(), shard_stream()]);
+        // T1 has 5 steps, T2 has 3 → T1 wins.
+        assert_eq!(
+            report.critical_path().unwrap().trace.to_string(),
+            "00000000000000aa"
+        );
+        // Equal depth: the smaller id wins.
+        let tie = source(
+            "tie.ndjson",
+            &[
+                format!(r#"{{"seq":0,"name":"a","layer":"client","trace":"{T1}"}}"#),
+                format!(r#"{{"seq":1,"name":"a","layer":"client","trace":"{T2}"}}"#),
+            ],
+        );
+        let report = analyze(vec![tie]);
+        assert_eq!(
+            report.critical_path().unwrap().trace.to_string(),
+            "00000000000000aa"
+        );
+    }
+
+    #[test]
+    fn timeline_svg_has_one_series_per_source() {
+        let report = analyze(vec![client_stream(), shard_stream()]);
+        let svg = report.timeline_svg(640, 360).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("client.ndjson"));
+        // Determinism, byte for byte.
+        assert_eq!(svg, analyze(vec![client_stream(), shard_stream()]).timeline_svg(640, 360).unwrap());
+        // No events → no chart.
+        assert!(analyze(vec![]).timeline_svg(640, 360).is_none());
+        assert!(analyze(vec![source("empty.ndjson", &[])])
+            .timeline_svg(640, 360)
+            .is_none());
+    }
+
+    #[test]
+    fn stage_rows_attribute_events_per_layer() {
+        let report = analyze(vec![client_stream(), shard_stream()]);
+        let by_name: BTreeMap<&str, &StageRow> = report
+            .stages
+            .iter()
+            .map(|s| (s.layer.as_str(), s))
+            .collect();
+        assert_eq!(by_name["client"].events, 4);
+        assert_eq!(by_name["shard"].events, 5);
+        assert_eq!(by_name["server"].events, 1);
+        assert_eq!(by_name["client"].traces, 2);
+        let total: f64 = report.stages.iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Rank order: client first, shard after server.
+        assert_eq!(report.stages[0].layer, "client");
+    }
+}

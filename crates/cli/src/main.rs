@@ -8,6 +8,8 @@
 //! palloc bounds --pes 1024
 //! palloc serve --pes 256 --alg A_M:2 --shards 4 --addr 127.0.0.1:7411
 //! palloc drive --addr 127.0.0.1:7411 --trace trace.json --shutdown yes
+//! palloc trace --input spans.ndjson,flightrec-0-0.ndjson --svg timeline.svg
+//! palloc flight --addr 127.0.0.1:7411
 //! palloc figure1
 //! palloc help
 //! ```
@@ -15,6 +17,7 @@
 mod alg;
 mod args;
 mod serve;
+mod tracecmd;
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -69,6 +72,8 @@ fn dispatch(raw: &[String]) -> Result<String, String> {
         "serve" => serve::cmd_serve(&args),
         "drive" => serve::cmd_drive(&args),
         "chaos" => serve::cmd_chaos(&args),
+        "trace" => tracecmd::cmd_trace(&args),
+        "flight" => tracecmd::cmd_flight(&args),
         "figure1" => Ok(cmd_figure1()),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
@@ -114,9 +119,15 @@ fn usage() -> String {
      \x20            --addr HOST:PORT (--trace FILE | --pes N [--events E])\n\
      \x20            [--seed S] [--batch B] [--shutdown yes]\n\
      \x20            [--retries R] [--timeout-ms T] [--retry-seed S]\n\
+     \x20            [--trace-seed S] [--spans FILE]\n\
      \x20 chaos      fault-injecting TCP proxy in front of a daemon\n\
      \x20            --upstream HOST:PORT [--listen HOST:PORT] [--addr-file FILE]\n\
      \x20            [--faults SPEC] [--seed S] [--duration-ms T]\n\
+     \x20 trace      offline trace analysis over recorded span streams\n\
+     \x20            --input FILE[,FILE...] [--top N] [--svg FILE]\n\
+     \x20            [--bench yes [--iters I] [--bench-out FILE]]\n\
+     \x20 flight     dump and analyze a live daemon's flight recorder\n\
+     \x20            --addr HOST:PORT [--top N]\n\
      \x20 figure1    replay the paper's Figure 1 example\n\
      \n\
      algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n\

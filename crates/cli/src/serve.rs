@@ -6,12 +6,14 @@ use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use partalloc_analysis::{bounds, fmt_f64, Table};
 use partalloc_core::AllocatorKind;
 use partalloc_engine::FaultPlan;
 use partalloc_model::{read_trace, Event, TaskSequence};
+use partalloc_obs::{Recorder, VecRecorder};
 use partalloc_service::{
     BatchItem, ChaosProxy, PromServer, Response, RetryPolicy, RouterKind, Server, ServiceConfig,
     ServiceCore, ServiceSnapshot, ServiceStats, TcpClient,
@@ -169,6 +171,22 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
     let seq = load_or_generate(args)?;
     let mut client =
         TcpClient::connect_with(addr, policy).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    // The telemetry flags: `--trace-seed` stamps every request with a
+    // deterministic trace context the server propagates end to end;
+    // `--spans FILE` keeps the client's own span events (`retry`,
+    // `reconnect`) and writes them as NDJSON when the drive finishes —
+    // the file `palloc trace` ingests alongside flight-recorder dumps.
+    if let Some(seed) = args.get("trace-seed") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| "--trace-seed must be an integer".to_string())?;
+        client = client.with_tracing(seed);
+    }
+    let spans_path = args.get("spans");
+    let recorder = spans_path.map(|_| Arc::new(VecRecorder::new()));
+    if let Some(rec) = &recorder {
+        client = client.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+    }
     client.ping().map_err(|e| e.to_string())?;
 
     // The service assigns its own global ids; remember which one each
@@ -229,6 +247,17 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
     } else {
         String::new()
     };
+    let mut spans_line = String::new();
+    if let (Some(path), Some(rec)) = (spans_path, &recorder) {
+        let events = rec.take();
+        let mut text = String::with_capacity(events.len() * 64);
+        for (seq, event) in events.iter().enumerate() {
+            text.push_str(&event.to_ndjson(seq as u64));
+            text.push('\n');
+        }
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        spans_line = format!("  span events       {} → {path}\n", events.len());
+    }
     Ok(format!(
         "drove {} events to {addr} in {:.2?} ({:.0} req/s over TCP{mode}):\n\
          \x20 max load          {}  over {} shard(s)\n\
@@ -237,7 +266,8 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
          \x20 rejected requests {}\n\
          \x20 transport retries {}\n\
          \x20 shard recoveries  {}\n\
-         \x20 server p99        {} ns\n",
+         \x20 server p99        {} ns\n\
+         {spans_line}",
         seq.len(),
         elapsed,
         rate,
@@ -776,6 +806,65 @@ mod tests {
 
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("shut down after"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drive_records_spans_under_a_trace_seed() {
+        let dir = std::env::temp_dir().join(format!("palloc-spans-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let spans_file = dir.join("spans.ndjson");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_M:2",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+            ])
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+
+        let bad = run(&["drive", "--addr", &addr, "--pes", "64", "--trace-seed", "x"]);
+        assert!(bad.unwrap_err().contains("--trace-seed"), "bad seed accepted");
+
+        let out = run(&[
+            "drive",
+            "--addr",
+            &addr,
+            "--pes",
+            "64",
+            "--events",
+            "100",
+            "--trace-seed",
+            "11",
+            "--spans",
+            spans_file.to_str().unwrap(),
+            "--shutdown",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("drove 100 events"), "{out}");
+        assert!(out.contains("span events"), "{out}");
+        // The file exists even when the fault-free drive needed no
+        // retries — an empty recording is still a recording.
+        assert!(spans_file.exists());
+
+        server.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,280 @@
+//! `palloc trace` and `palloc flight` — the offline read side of the
+//! telemetry plane.
+//!
+//! `trace` ingests recorded span streams (a `palloc drive --spans`
+//! recording, `flightrec-*.ndjson` dumps, or any NDJSON produced by a
+//! [`partalloc_obs`] recorder), reconstructs per-trace-id request
+//! trees, and renders the deterministic report built by
+//! [`partalloc_analysis::analyze`]. `flight` is the live-side helper:
+//! it asks a running daemon to dump its flight-recorder rings, then
+//! analyzes the dumped files in place.
+
+use std::path::Path;
+use std::time::Instant;
+
+use partalloc_analysis::{analyze, TraceReport, TraceSource};
+use partalloc_service::{RetryPolicy, TcpClient};
+
+use crate::args::Args;
+
+/// The basename of `path`, used as a source label so reports stay
+/// byte-identical across working directories.
+fn basename(path: &str) -> String {
+    Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_owned())
+}
+
+/// Read and parse every input file into a labeled source.
+fn load_sources(paths: &[&str]) -> Result<Vec<TraceSource>, String> {
+    paths
+        .iter()
+        .map(|p| {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            TraceSource::parse(basename(p), &text).map_err(|e| format!("{p}: {e}"))
+        })
+        .collect()
+}
+
+/// Render `report` plus an optional `--svg FILE` timeline.
+fn render(report: &TraceReport, top: usize, args: &Args) -> Result<String, String> {
+    let mut out = report.render_text(top);
+    if let Some(svg_path) = args.get("svg") {
+        match report.timeline_svg(1280, 360) {
+            Some(svg) => {
+                std::fs::write(svg_path, svg).map_err(|e| format!("cannot write {svg_path}: {e}"))?;
+                out.push_str(&format!("\ntimeline SVG written to {svg_path}\n"));
+            }
+            None => out.push_str("\nno events recorded — timeline SVG not written\n"),
+        }
+    }
+    Ok(out)
+}
+
+/// `palloc trace --input FILE[,FILE...] [--top N] [--svg FILE]`
+/// `[--bench yes [--iters I] [--bench-out FILE]]`
+pub fn cmd_trace(args: &Args) -> Result<String, String> {
+    let input = args.require("input").map_err(|e| e.to_string())?;
+    let paths: Vec<&str> = input
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if paths.is_empty() {
+        return Err("--input needs at least one file".into());
+    }
+    let top: usize = args
+        .get_or("top", 10, "an integer")
+        .map_err(|e| e.to_string())?;
+    if args.get("bench").is_some() {
+        return cmd_trace_bench(args, &paths);
+    }
+    let report = analyze(load_sources(&paths)?);
+    render(&report, top, args)
+}
+
+/// `--bench yes`: replay the recorded streams through parse + analyze
+/// `--iters` times, time both stages, and write the result as
+/// `BENCH_trace.json` (schema documented in `EXPERIMENTS.md`).
+fn cmd_trace_bench(args: &Args, paths: &[&str]) -> Result<String, String> {
+    let iters: u32 = args
+        .get_or("iters", 20, "an integer")
+        .map_err(|e| e.to_string())?;
+    if iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    let out_path = args.get("bench-out").unwrap_or("BENCH_trace.json");
+    let texts: Vec<(String, String)> = paths
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p)
+                .map(|text| (basename(p), text))
+                .map_err(|e| format!("cannot read {p}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut parse_ns = 0u128;
+    let mut analyze_ns = 0u128;
+    let mut last: Option<TraceReport> = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let sources: Vec<TraceSource> = texts
+            .iter()
+            .map(|(label, text)| TraceSource::parse(label.clone(), text))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        parse_ns += t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        last = Some(analyze(sources));
+        analyze_ns += t1.elapsed().as_nanos();
+    }
+    let report = last.expect("iters >= 1");
+    let total_secs = (parse_ns + analyze_ns) as f64 / 1e9;
+    let replayed = report.total_events as u64 * u64::from(iters);
+    let events_per_sec = if total_secs > 0.0 {
+        replayed as f64 / total_secs
+    } else {
+        0.0
+    };
+    let json = serde_json::json!({
+        "bench": "trace",
+        "inputs": paths.iter().map(|p| basename(p)).collect::<Vec<_>>(),
+        "events": report.total_events,
+        "traces": report.trace_count(),
+        "anomalies": report.anomalies.len(),
+        "iters": iters,
+        "parse_ns_per_iter": (parse_ns / u128::from(iters)) as u64,
+        "analyze_ns_per_iter": (analyze_ns / u128::from(iters)) as u64,
+        "events_per_sec": events_per_sec,
+    });
+    let mut text = serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?;
+    text.push('\n');
+    std::fs::write(out_path, &text).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "trace bench: {} event(s) × {iters} iter(s) in {:.3}s ({:.0} events/s)\n\
+         \x20 parse    {} ns/iter\n\
+         \x20 analyze  {} ns/iter\n\
+         results written to {out_path}\n",
+        report.total_events,
+        total_secs,
+        events_per_sec,
+        parse_ns / u128::from(iters),
+        analyze_ns / u128::from(iters),
+    ))
+}
+
+/// `palloc flight --addr HOST:PORT [--top N]` — ask a running daemon
+/// to dump its flight-recorder rings (the `dump` op), merge the file
+/// list with everything [`ServiceHealth::flight_dumps`] already
+/// references, and analyze the dumps in place. The daemon must share a
+/// filesystem with this process (the dump paths are server-local).
+///
+/// [`ServiceHealth::flight_dumps`]: partalloc_service::ServiceHealth
+pub fn cmd_flight(args: &Args) -> Result<String, String> {
+    let addr = args.require("addr").map_err(|e| e.to_string())?;
+    let top: usize = args
+        .get_or("top", 10, "an integer")
+        .map_err(|e| e.to_string())?;
+    let mut client = TcpClient::connect_with(addr, RetryPolicy::default())
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut files = client.dump().map_err(|e| e.to_string())?;
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    files.extend(stats.health.flight_dumps.iter().cloned());
+    files.sort();
+    files.dedup();
+    if files.is_empty() {
+        return Ok(format!(
+            "no flight-recorder dumps at {addr} (is the daemon running with --flightrec DIR?)\n"
+        ));
+    }
+    let paths: Vec<&str> = files.iter().map(String::as_str).collect();
+    let report = analyze(load_sources(&paths)?);
+    let mut out = format!("{} dump file(s) from {addr}:\n", files.len());
+    for f in &files {
+        out.push_str(&format!("  {f}\n"));
+    }
+    out.push('\n');
+    out.push_str(&render(&report, top, args)?);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dispatch;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn fixture_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("palloc-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const STREAM: &str = concat!(
+        r#"{"seq":0,"name":"retry","layer":"client","trace":"00000000000000aa-0000000000000001","attempt":1}"#,
+        "\n",
+        r#"{"seq":1,"name":"arrive","layer":"shard","trace":"00000000000000bb-0000000000000002","shard":0}"#,
+        "\n",
+    );
+
+    #[test]
+    fn trace_command_reports_and_draws() {
+        let dir = fixture_dir("trace-cmd");
+        let input = dir.join("spans.ndjson");
+        std::fs::write(&input, STREAM).unwrap();
+        let report = run(&["trace", "--input", input.to_str().unwrap(), "--top", "5"]).unwrap();
+        assert!(report.contains("palloc trace report"), "{report}");
+        assert!(report.contains("## Request trees (2 trace(s)"), "{report}");
+        // Labels are basenames: the temp directory never leaks into the
+        // report, so reruns from anywhere are byte-identical.
+        assert!(!report.contains(dir.to_str().unwrap()), "{report}");
+
+        let svg = dir.join("timeline.svg");
+        let out = run(&[
+            "trace",
+            "--input",
+            input.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("timeline SVG written to"), "{out}");
+        assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_command_validates_input() {
+        assert!(run(&["trace", "--input", " , "]).is_err());
+        assert!(run(&["trace", "--input", "/nonexistent/x.ndjson"])
+            .unwrap_err()
+            .contains("cannot read"));
+        let dir = fixture_dir("trace-bad");
+        let input = dir.join("bad.ndjson");
+        std::fs::write(&input, "{not json}\n").unwrap();
+        assert!(run(&["trace", "--input", input.to_str().unwrap()]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_bench_writes_the_schema() {
+        let dir = fixture_dir("trace-bench");
+        let input = dir.join("spans.ndjson");
+        std::fs::write(&input, STREAM).unwrap();
+        let bench = dir.join("BENCH_trace.json");
+        let out = run(&[
+            "trace",
+            "--input",
+            input.to_str().unwrap(),
+            "--bench",
+            "yes",
+            "--iters",
+            "3",
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace bench"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+        assert_eq!(v["bench"], "trace");
+        assert_eq!(v["events"], 2);
+        assert_eq!(v["traces"], 2);
+        assert_eq!(v["iters"], 3);
+        assert!(v["parse_ns_per_iter"].as_u64().is_some());
+        assert!(v["analyze_ns_per_iter"].as_u64().is_some());
+        assert!(v["events_per_sec"].as_f64().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_needs_a_reachable_daemon() {
+        assert!(run(&["flight", "--addr", "127.0.0.1:1"])
+            .unwrap_err()
+            .contains("cannot reach"));
+    }
+}

@@ -1,0 +1,270 @@
+//! End-to-end: drive a seeded chaos workload against a real `palloc
+//! serve` process with tracing on, record the span streams, and check
+//! that `palloc trace` reconstructs every trace id into a request tree
+//! and renders the exact same report bytes on every run.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+use partalloc_obs::parse_span_stream;
+use partalloc_service::{RetryPolicy, TcpClient};
+
+fn palloc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_palloc"))
+        .args(args)
+        .output()
+        .expect("run palloc")
+}
+
+fn palloc_ok(args: &[&str]) -> String {
+    let out = palloc(args);
+    assert!(
+        out.status.success(),
+        "palloc {args:?} failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+/// Kills the daemon on drop so a failing assertion can't leak it.
+struct ServeGuard(Child);
+
+impl ServeGuard {
+    /// Wait for a gracefully shut-down daemon to exit; kill it if it
+    /// has not within ten seconds.
+    fn wait_graceful(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if self.0.try_wait().expect("try_wait").is_some() {
+                std::mem::forget(self);
+                return;
+            }
+            if Instant::now() >= deadline {
+                return; // drop kills it
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_serve(args: &[&str], addr_file: &Path) -> (ServeGuard, String) {
+    let child = Command::new(env!("CARGO_BIN_EXE_palloc"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn palloc serve");
+    let guard = ServeGuard(child);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            if text.ends_with('\n') {
+                break text.trim().to_owned();
+            }
+        }
+        assert!(Instant::now() < deadline, "serve never wrote {addr_file:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    (guard, addr)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("palloc-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trace_report_is_byte_identical_and_complete() {
+    let dir = temp_dir("trace-e2e");
+    let flight_dir = dir.join("flight");
+    std::fs::create_dir_all(&flight_dir).unwrap();
+    let addr_file = dir.join("addr");
+    let spans_file = dir.join("spans.ndjson");
+
+    let (guard, addr) = spawn_serve(
+        &[
+            "serve",
+            "--pes",
+            "64",
+            "--alg",
+            "A_M:2",
+            "--shards",
+            "2",
+            "--shard-faults",
+            "panic=0.02",
+            "--fault-seed",
+            "7",
+            "--flightrec",
+            flight_dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ],
+        &addr_file,
+    );
+
+    let out = palloc_ok(&[
+        "drive",
+        "--addr",
+        &addr,
+        "--pes",
+        "64",
+        "--events",
+        "400",
+        "--seed",
+        "5",
+        "--retries",
+        "8",
+        "--timeout-ms",
+        "2000",
+        "--retry-seed",
+        "9",
+        "--trace-seed",
+        "11",
+        "--spans",
+        spans_file.to_str().unwrap(),
+    ]);
+    assert!(out.contains("drove 400 events"), "{out}");
+    assert!(out.contains("span events"), "{out}");
+    assert!(spans_file.exists());
+
+    // `palloc flight` dumps the rings over the wire and analyzes the
+    // dumped files in place.
+    let flight_out = palloc_ok(&["flight", "--addr", &addr, "--top", "3"]);
+    assert!(flight_out.contains("dump file(s) from"), "{flight_out}");
+    assert!(flight_out.contains("flightrec-core-"), "{flight_out}");
+    assert!(flight_out.contains("palloc trace report"), "{flight_out}");
+
+    palloc_ok(&[
+        "drive", "--addr", &addr, "--pes", "64", "--events", "2", "--shutdown", "yes",
+    ]);
+    guard.wait_graceful();
+
+    // Analyze the client recording plus every flight-recorder dump.
+    let mut inputs: Vec<PathBuf> = std::fs::read_dir(&flight_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ndjson"))
+        .collect();
+    inputs.sort();
+    assert!(!inputs.is_empty(), "no flight-recorder dumps were written");
+    inputs.push(spans_file.clone());
+    let list = inputs
+        .iter()
+        .map(|p| p.to_str().unwrap())
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let first = palloc_ok(&["trace", "--input", &list, "--top", "8"]);
+    let second = palloc_ok(&["trace", "--input", &list, "--top", "8"]);
+    assert_eq!(first, second, "trace report is not byte-deterministic");
+    assert!(first.contains("palloc trace report"), "{first}");
+    assert!(first.contains("## Stage attribution"), "{first}");
+    assert!(first.contains("## Critical path (trace"), "{first}");
+
+    // Every distinct trace id in the recorded streams reappears as
+    // exactly one reconstructed request tree.
+    let mut ids = BTreeSet::new();
+    for input in &inputs {
+        let events = parse_span_stream(&std::fs::read_to_string(input).unwrap()).unwrap();
+        ids.extend(events.iter().filter_map(|e| e.trace.map(|c| c.trace)));
+    }
+    assert!(!ids.is_empty(), "no traced events were recorded");
+    assert!(
+        first.contains(&format!("## Request trees ({} trace(s)", ids.len())),
+        "expected {} trees in:\n{first}",
+        ids.len()
+    );
+
+    // The bench mode replays the same streams and writes the
+    // BENCH_trace.json schema documented in EXPERIMENTS.md.
+    let bench = dir.join("BENCH_trace.json");
+    let out = palloc_ok(&[
+        "trace",
+        "--input",
+        &list,
+        "--bench",
+        "yes",
+        "--iters",
+        "3",
+        "--bench-out",
+        bench.to_str().unwrap(),
+    ]);
+    assert!(out.contains("trace bench"), "{out}");
+    let v: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+    assert_eq!(v["bench"], "trace");
+    assert_eq!(v["iters"], 3);
+    assert!(v["events"].as_u64().unwrap() > 0);
+    assert_eq!(v["traces"].as_u64().unwrap(), ids.len() as u64);
+    assert!(v["parse_ns_per_iter"].as_u64().is_some());
+    assert!(v["analyze_ns_per_iter"].as_u64().is_some());
+    assert!(v["events_per_sec"].as_f64().unwrap() > 0.0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stage_latency_histograms_surface_in_the_scrape() {
+    let dir = temp_dir("trace-scrape");
+    let addr_file = dir.join("addr");
+    let (guard, addr) = spawn_serve(
+        &[
+            "serve",
+            "--pes",
+            "64",
+            "--alg",
+            "A_M:2",
+            "--shards",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ],
+        &addr_file,
+    );
+
+    let out = palloc_ok(&["drive", "--addr", &addr, "--pes", "64", "--events", "200"]);
+    assert!(out.contains("drove 200 events"), "{out}");
+
+    let mut client = TcpClient::connect_with(&addr, RetryPolicy::default()).unwrap();
+    let scrape = client.metrics().unwrap();
+    assert!(
+        scrape.contains("# TYPE partalloc_stage_latency_ns histogram"),
+        "{scrape}"
+    );
+    let stage_count = |stage: &str| -> u64 {
+        let needle = format!("partalloc_stage_latency_ns_count{{stage=\"{stage}\"}} ");
+        scrape
+            .lines()
+            .find_map(|l| l.strip_prefix(needle.as_str()))
+            .unwrap_or_else(|| panic!("no {stage} stage in scrape:\n{scrape}"))
+            .trim()
+            .parse()
+            .unwrap()
+    };
+    // All four stages were exercised over the wire: the 200 driven
+    // events hit parse and settle (transport), route (the router /
+    // directory) and shard (the allocator call under the quiesce lock).
+    for stage in ["parse", "route", "shard", "settle"] {
+        assert!(stage_count(stage) > 0, "stage {stage} never recorded");
+    }
+
+    client.shutdown().unwrap();
+    guard.wait_graceful();
+    std::fs::remove_dir_all(&dir).ok();
+}

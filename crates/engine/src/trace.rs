@@ -111,6 +111,30 @@ mod tests {
     }
 
     #[test]
+    fn engine_spans_round_trip_through_the_parser() {
+        // The stream a traced run emits is exactly what the offline
+        // analyzer ingests: render every span to NDJSON, parse it back,
+        // and the events must survive unchanged.
+        let rec = Arc::new(VecRecorder::new());
+        let seq = figure1_sigma_star();
+        let mut engine = Engine::new(Greedy::new(BuddyTree::new(4).unwrap()));
+        let mut tracer = TraceObserver::new(Arc::clone(&rec) as Arc<dyn Recorder>, 5);
+        engine.run(&seq, &mut [&mut tracer]);
+        let events = rec.take();
+        let mut ndjson = String::new();
+        for (seq_no, event) in events.iter().enumerate() {
+            ndjson.push_str(&event.to_ndjson(seq_no as u64));
+            ndjson.push('\n');
+        }
+        let parsed = partalloc_obs::parse_span_stream(&ndjson).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        for (p, e) in parsed.iter().zip(&events) {
+            assert_eq!(p, e);
+        }
+        assert!(parsed.iter().all(|p| p.layer == "engine"));
+    }
+
+    #[test]
     fn seeded_tracing_replays_identically() {
         let run = |seed| {
             let rec = Arc::new(VecRecorder::new());

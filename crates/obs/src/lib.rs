@@ -5,7 +5,7 @@
 //! workspace — the engine's observers, the allocation service's
 //! shards, the retrying TCP client, the chaos proxy, and the CLI.
 //!
-//! Four pieces, deliberately small:
+//! Five pieces, deliberately small:
 //!
 //! * **Identity** ([`TraceId`], [`SpanId`], [`TraceContext`],
 //!   [`IdGen`]): 64-bit ids rendered as fixed-width hex. Generation is
@@ -16,6 +16,10 @@
 //!   layer tag, an optional [`TraceContext`], and a flat bag of typed
 //!   attributes. Events render to single-line NDJSON with a hand-rolled
 //!   escaper, so the crate needs no serde.
+//! * **Parsing** ([`parse_span_stream`], [`ParsedEvent`]): the read
+//!   side — recorder output and flight-recorder dumps parse back into
+//!   structured events, round-tripping the renderer exactly, so the
+//!   trace analyzer never shells out to `grep`.
 //! * **Recorders** ([`Recorder`] and friends): where events go. The
 //!   [`NullRecorder`] drops them, the [`VecRecorder`] keeps them for
 //!   assertions, the [`StderrRecorder`] streams NDJSON for humans, and
@@ -36,12 +40,14 @@
 
 mod event;
 mod id;
+mod parse;
 mod prom;
 mod recorder;
 mod ring;
 
 pub use event::{SpanEvent, Value};
 pub use id::{IdGen, ParseTraceError, SpanId, TraceContext, TraceId};
+pub use parse::{parse_span_line, parse_span_stream, ParseEventError, ParsedEvent, ParsedValue};
 pub use prom::PromText;
 pub use recorder::{NullRecorder, Recorder, SharedRecorder, StderrRecorder, VecRecorder};
 pub use ring::FlightRecorder;

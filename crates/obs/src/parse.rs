@@ -1,0 +1,512 @@
+//! The read side of the span stream: parse the NDJSON lines that
+//! [`SpanEvent::to_ndjson`] renders back into structured events.
+//!
+//! The renderer is hand-rolled, so the parser is too — a tiny scanner
+//! for the exact flat-object shape the writer emits (one JSON object
+//! per line, scalar values only, `seq`/`name`/`layer` first). Parsed
+//! events own their strings ([`ParsedEvent`]) because `SpanEvent`
+//! carries `&'static str` names; equality against the original event
+//! is still exact — `parse(render(event)) == event` — via a
+//! [`PartialEq`] impl that understands the two renderings that lose
+//! type (integral floats render as bare integers, non-finite floats
+//! render as quoted strings).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::event::{SpanEvent, Value};
+use crate::id::TraceContext;
+
+/// A span-stream line that did not parse; the message says where and
+/// why (byte offsets are within the offending line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventError(String);
+
+impl ParseEventError {
+    fn new(msg: impl Into<String>) -> Self {
+        ParseEventError(msg.into())
+    }
+
+    fn at_line(self, line: usize) -> Self {
+        ParseEventError(format!("line {line}: {}", self.0))
+    }
+}
+
+impl fmt::Display for ParseEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed span line: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseEventError {}
+
+/// One attribute value as read off the wire.
+///
+/// The writer's `Value::F64` renders integral finite floats as bare
+/// integers and non-finite floats as quoted strings, so the wire does
+/// not preserve the `U64`/`F64`/`Str` split exactly; comparisons
+/// against a [`Value`] (see [`ParsedEvent`]'s `PartialEq`) account for
+/// that.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedValue {
+    /// A non-negative integer.
+    U64(u64),
+    /// Any other JSON number.
+    F64(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl ParsedValue {
+    /// The value as an unsigned integer, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            ParsedValue::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParsedValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            ParsedValue::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed span-stream line: the recorder-assigned sequence number
+/// plus the event fields, with owned strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// The recorder's sequence number for this event (file-local).
+    pub seq: u64,
+    /// What happened.
+    pub name: String,
+    /// Which layer emitted it.
+    pub layer: String,
+    /// The trace the event belongs to, when one was in flight.
+    pub trace: Option<TraceContext>,
+    /// The attributes, in wire order.
+    pub attrs: Vec<(String, ParsedValue)>,
+}
+
+impl ParsedEvent {
+    /// Look up an attribute by key (first match, matching the
+    /// writer's duplicate-key-free streams).
+    pub fn attr(&self, key: &str) -> Option<&ParsedValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Shorthand for an unsigned attribute.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        self.attr(key).and_then(ParsedValue::as_u64)
+    }
+}
+
+/// Does a wire value match the in-memory value it was rendered from?
+fn value_matches(parsed: &ParsedValue, original: &Value) -> bool {
+    match (parsed, original) {
+        (ParsedValue::U64(a), Value::U64(b)) => a == b,
+        // Integral floats render as bare integers ("2", not "2.0").
+        (ParsedValue::U64(a), Value::F64(b)) => *a as f64 == *b,
+        (ParsedValue::F64(a), Value::F64(b)) => a == b,
+        (ParsedValue::Str(a), Value::Str(b)) => a == b,
+        // Non-finite floats render as quoted strings ("NaN", "inf").
+        (ParsedValue::Str(a), Value::F64(b)) => !b.is_finite() && *a == b.to_string(),
+        (ParsedValue::Bool(a), Value::Bool(b)) => a == b,
+        _ => false,
+    }
+}
+
+impl PartialEq<SpanEvent> for ParsedEvent {
+    fn eq(&self, other: &SpanEvent) -> bool {
+        self.name == other.name
+            && self.layer == other.layer
+            && self.trace == other.trace
+            && self.attrs.len() == other.attrs.len()
+            && self
+                .attrs
+                .iter()
+                .zip(&other.attrs)
+                .all(|((pk, pv), (ok, ov))| pk == ok && value_matches(pv, ov))
+    }
+}
+
+impl PartialEq<ParsedEvent> for SpanEvent {
+    fn eq(&self, other: &ParsedEvent) -> bool {
+        other == self
+    }
+}
+
+/// Parse one span-stream NDJSON line (as rendered by
+/// [`SpanEvent::to_ndjson`]).
+pub fn parse_span_line(line: &str) -> Result<ParsedEvent, ParseEventError> {
+    let mut scan = Scanner::new(line.trim());
+    scan.expect('{')?;
+    let mut seq = None;
+    let mut name = None;
+    let mut layer = None;
+    let mut trace = None;
+    let mut attrs = Vec::new();
+    let mut first = true;
+    loop {
+        scan.skip_ws();
+        if scan.eat('}') {
+            break;
+        }
+        if !first {
+            scan.expect(',')?;
+            scan.skip_ws();
+        }
+        first = false;
+        let key = scan.string()?;
+        scan.skip_ws();
+        scan.expect(':')?;
+        scan.skip_ws();
+        let value = scan.value()?;
+        match key.as_str() {
+            "seq" => match value {
+                ParsedValue::U64(v) if seq.is_none() => seq = Some(v),
+                _ => return Err(ParseEventError::new("\"seq\" must be one unsigned integer")),
+            },
+            "name" => match value {
+                ParsedValue::Str(s) if name.is_none() => name = Some(s),
+                _ => return Err(ParseEventError::new("\"name\" must be one string")),
+            },
+            "layer" => match value {
+                ParsedValue::Str(s) if layer.is_none() => layer = Some(s),
+                _ => return Err(ParseEventError::new("\"layer\" must be one string")),
+            },
+            "trace" => match value {
+                ParsedValue::Str(s) if trace.is_none() => {
+                    trace = Some(TraceContext::from_str(&s).map_err(|e| {
+                        ParseEventError::new(format!("bad trace context: {e}"))
+                    })?);
+                }
+                _ => return Err(ParseEventError::new("\"trace\" must be one string")),
+            },
+            _ => attrs.push((key, value)),
+        }
+    }
+    scan.skip_ws();
+    if !scan.done() {
+        return Err(ParseEventError::new("trailing bytes after the object"));
+    }
+    Ok(ParsedEvent {
+        seq: seq.ok_or_else(|| ParseEventError::new("missing \"seq\""))?,
+        name: name.ok_or_else(|| ParseEventError::new("missing \"name\""))?,
+        layer: layer.ok_or_else(|| ParseEventError::new("missing \"layer\""))?,
+        trace,
+        attrs,
+    })
+}
+
+/// Parse a whole span stream (one event per line; blank lines are
+/// skipped). Errors carry the 1-based line number.
+pub fn parse_span_stream(text: &str) -> Result<Vec<ParsedEvent>, ParseEventError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_span_line(line).map_err(|e| e.at_line(i + 1))?);
+    }
+    Ok(events)
+}
+
+/// A byte-level scanner over one line.
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Scanner {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseEventError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(ParseEventError::new(format!(
+                "expected {c:?} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    /// One JSON string literal (quotes and escapes included).
+    fn string(&mut self) -> Result<String, ParseEventError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(ParseEventError::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(ParseEventError::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(ParseEventError::new(format!(
+                                "unknown escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                // Multi-byte UTF-8 sequences pass through verbatim:
+                // the input is a &str, so the bytes are valid UTF-8.
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| ParseEventError::new("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// The character after `\u`, including surrogate pairs.
+    fn unicode_escape(&mut self) -> Result<char, ParseEventError> {
+        let first = self.hex4()?;
+        let code = if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: a low surrogate must follow.
+            if !(self.eat('\\') && self.eat('u')) {
+                return Err(ParseEventError::new("lone high surrogate"));
+            }
+            let second = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(ParseEventError::new("bad low surrogate"));
+            }
+            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+        } else {
+            first
+        };
+        char::from_u32(code).ok_or_else(|| ParseEventError::new("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseEventError> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| ParseEventError::new("truncated \\u escape"))?;
+        let v = u32::from_str_radix(chunk, 16)
+            .map_err(|_| ParseEventError::new("non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// One scalar value: string, number, or boolean. The writer never
+    /// emits nested objects, arrays, or null.
+    fn value(&mut self) -> Result<ParsedValue, ParseEventError> {
+        match self.peek() {
+            Some(b'"') => Ok(ParsedValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", ParsedValue::Bool(true)),
+            Some(b'f') => self.literal("false", ParsedValue::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(ParseEventError::new(format!(
+                "unexpected value starting with {:?} at byte {}",
+                other as char, self.pos
+            ))),
+            None => Err(ParseEventError::new("missing value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: ParsedValue) -> Result<ParsedValue, ParseEventError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(ParseEventError::new(format!(
+                "expected {text:?} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    /// A JSON number. Non-negative integers that fit a `u64` parse as
+    /// [`ParsedValue::U64`]; everything else falls back to `f64`.
+    fn number(&mut self) -> Result<ParsedValue, ParseEventError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let integral = self.pos;
+        if self.eat('.') {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits and punctuation are ASCII");
+        if text.is_empty() || text == "-" {
+            return Err(ParseEventError::new(format!("bad number at byte {start}")));
+        }
+        if integral == self.pos && !text.starts_with('-') {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(ParsedValue::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(ParsedValue::F64)
+            .map_err(|_| ParseEventError::new(format!("bad number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{IdGen, SpanId, TraceId};
+
+    #[test]
+    fn round_trips_a_plain_event() {
+        let ev = SpanEvent::new("retry", "client")
+            .with_trace(TraceContext::new(TraceId(0xab), SpanId(1)))
+            .u64("attempt", 3)
+            .bool("reconnected", true);
+        let parsed = parse_span_line(&ev.to_ndjson(7)).unwrap();
+        assert_eq!(parsed.seq, 7);
+        assert_eq!(parsed, ev);
+        assert_eq!(parsed.attr_u64("attempt"), Some(3));
+        assert_eq!(parsed.attr("reconnected").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn round_trips_escapes_and_nonfinite_floats() {
+        let ev = SpanEvent::new("fault", "proxy")
+            .str("detail", "line \"cut\"\nat byte 3\tπ≠\u{1}")
+            .f64("ratio", f64::NAN)
+            .f64("speed", f64::INFINITY)
+            .f64("half", 0.5)
+            .f64("whole", 2.0);
+        let parsed = parse_span_line(&ev.to_ndjson(0)).unwrap();
+        assert_eq!(parsed, ev);
+        assert_eq!(parsed.attr("ratio").unwrap().as_str(), Some("NaN"));
+        // The integral float came back as a bare integer — equality
+        // still holds through the value-match rules.
+        assert_eq!(parsed.attr_u64("whole"), Some(2));
+        assert_eq!(parsed.attr("half"), Some(&ParsedValue::F64(0.5)));
+    }
+
+    #[test]
+    fn parses_a_stream_and_reports_the_failing_line() {
+        let a = SpanEvent::new("a", "t").to_ndjson(0);
+        let b = SpanEvent::new("b", "t").to_ndjson(1);
+        let ok = parse_span_stream(&format!("{a}\n\n{b}\n")).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[1].name, "b");
+        let err = parse_span_stream(&format!("{a}\nnot json\n")).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"seq\":1}",
+            "{\"seq\":1,\"name\":\"a\"}",
+            "{\"seq\":-1,\"name\":\"a\",\"layer\":\"t\"}",
+            "{\"seq\":1,\"name\":3,\"layer\":\"t\"}",
+            "{\"seq\":1,\"name\":\"a\",\"layer\":\"t\",\"trace\":\"zz\"}",
+            "{\"seq\":1,\"name\":\"a\",\"layer\":\"t\",\"k\":[1]}",
+            "{\"seq\":1,\"name\":\"a\",\"layer\":\"t\",\"k\":null}",
+            "{\"seq\":1,\"name\":\"a\",\"layer\":\"t\"}trailing",
+            "{\"seq\":1,\"name\":\"a\",\"layer\":\"t\",\"s\":\"unterminated",
+        ] {
+            assert!(parse_span_line(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_contexts_round_trip_through_the_wire_form() {
+        let mut ids = IdGen::new(9);
+        let ctx = ids.context();
+        let ev = SpanEvent::new("arrive", "shard").with_trace(ctx).u64("shard", 1);
+        let parsed = parse_span_line(&ev.to_ndjson(4)).unwrap();
+        assert_eq!(parsed.trace, Some(ctx));
+    }
+
+    #[test]
+    fn symmetric_equality() {
+        let ev = SpanEvent::new("x", "t").u64("k", 1);
+        let parsed = parse_span_line(&ev.to_ndjson(0)).unwrap();
+        assert!(ev == parsed);
+        assert!(parsed == ev);
+        let other = SpanEvent::new("x", "t").u64("k", 2);
+        assert!(parsed != other);
+    }
+}

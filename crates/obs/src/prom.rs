@@ -89,6 +89,34 @@ impl PromText {
         }
     }
 
+    /// Emit one histogram's sample series: cumulative `_bucket` lines
+    /// from non-cumulative `(upper_edge, count)` pairs, then `_sum` and
+    /// `_count`, all carrying `labels` (plus the `le` label on the
+    /// buckets). Trailing empty buckets collapse into the mandatory
+    /// `+Inf` bucket, so an empty histogram renders as just
+    /// `_bucket{le="+Inf"} 0`, `_sum 0`, `_count 0` — the family stays
+    /// visible in a scrape before the first sample. The caller emits
+    /// the family [`header`](Self::header) once (labeled histograms
+    /// share one header across label sets).
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], buckets: &[(u64, u64)], sum: u64) {
+        let occupied = buckets.iter().rposition(|&(_, c)| c > 0).map_or(0, |i| i + 1);
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for &(edge, count) in &buckets[..occupied] {
+            cumulative += count;
+            let le = edge.to_string();
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample_u64(&bucket_name, &with_le, cumulative);
+        }
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        let mut with_le = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample_u64(&bucket_name, &with_le, total);
+        self.sample_u64(&format!("{name}_sum"), labels, sum);
+        self.sample_u64(&format!("{name}_count"), labels, total);
+    }
+
     /// Finish the payload.
     pub fn render(self) -> String {
         self.out
@@ -119,6 +147,35 @@ mod tests {
         prom.sample_f64("r", &[], f64::NAN);
         prom.sample_f64("r", &[], f64::INFINITY);
         assert_eq!(prom.render(), "r 1.5\nr NaN\nr +Inf\n");
+    }
+
+    #[test]
+    fn an_empty_histogram_still_renders_its_family() {
+        let mut prom = PromText::new();
+        prom.header("h_ns", "Empty.", "histogram");
+        prom.histogram("h_ns", &[], &[(0, 0), (2, 0), (4, 0)], 0);
+        assert_eq!(
+            prom.render(),
+            "# HELP h_ns Empty.\n# TYPE h_ns histogram\n\
+             h_ns_bucket{le=\"+Inf\"} 0\nh_ns_sum 0\nh_ns_count 0\n"
+        );
+    }
+
+    #[test]
+    fn histograms_accumulate_and_carry_labels() {
+        let mut prom = PromText::new();
+        prom.histogram("lat", &[("stage", "parse")], &[(0, 1), (2, 2), (4, 0), (8, 1)], 17);
+        let text = prom.render();
+        assert_eq!(
+            text,
+            "lat_bucket{stage=\"parse\",le=\"0\"} 1\n\
+             lat_bucket{stage=\"parse\",le=\"2\"} 3\n\
+             lat_bucket{stage=\"parse\",le=\"4\"} 3\n\
+             lat_bucket{stage=\"parse\",le=\"8\"} 4\n\
+             lat_bucket{stage=\"parse\",le=\"+Inf\"} 4\n\
+             lat_sum{stage=\"parse\"} 17\n\
+             lat_count{stage=\"parse\"} 4\n"
+        );
     }
 
     #[test]

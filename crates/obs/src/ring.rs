@@ -112,6 +112,27 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_at_exact_capacity_keeps_everything_then_evicts_one() {
+        let ring = FlightRecorder::new(4);
+        for name in ["a", "b", "c", "d"] {
+            ring.record(named(name));
+        }
+        // Exactly at capacity: nothing evicted, order intact, and the
+        // sequence numbers are the full 0..capacity range.
+        let snap = ring.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(_, e)| e.name).collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+        let seqs: Vec<u64> = snap.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, [0, 1, 2, 3]);
+        assert_eq!(ring.recorded(), 4);
+        // One past capacity: exactly the oldest event falls off.
+        ring.record(named("e"));
+        let names: Vec<&str> = ring.snapshot().iter().map(|(_, e)| e.name).collect();
+        assert_eq!(names, ["b", "c", "d", "e"]);
+        assert_eq!(ring.recorded(), 5);
+    }
+
+    #[test]
     fn zero_capacity_is_clamped_to_one() {
         let ring = FlightRecorder::new(0);
         ring.record(named("only"));

@@ -1,0 +1,107 @@
+//! Property tests: the span-stream parser inverts the renderer —
+//! `parse(render(event)) == event` for arbitrary events, including
+//! hostile strings, non-finite floats, and every attribute shape the
+//! workspace emits.
+
+use proptest::prelude::*;
+
+use partalloc_obs::{
+    parse_span_line, parse_span_stream, IdGen, SpanEvent, SpanId, TraceContext, TraceId, Value,
+};
+
+/// The renderer takes `&'static str` names, so strategies draw from a
+/// fixed vocabulary — the union of every name/layer/key the workspace
+/// actually emits, plus adversarial spellings (empty string, embedded
+/// quotes and newlines). The envelope keys `seq`/`name`/`layer`/`trace`
+/// are excluded from KEYS: the writer flattens attrs into the same flat
+/// object, so reusing them would produce duplicate JSON keys, which the
+/// parser (correctly) rejects.
+const NAMES: &[&str] = &[
+    "arrival", "departure", "finish", "retry", "reconnect", "dedupe_hit", "arrive", "depart",
+    "panic", "rebuild", "abandoned", "delay", "drop", "corrupt", "", "weird \"name\"\n",
+];
+const LAYERS: &[&str] = &["engine", "client", "proxy", "server", "shard", "π-layer"];
+const KEYS: &[&str] = &[
+    "task", "size", "node", "load", "attempt", "shard", "local", "recoveries", "req_id", "ms",
+    "dir", "ratio", "detail", "injected", "k",
+];
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::U64),
+        any::<f64>().prop_map(Value::F64),
+        prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY)
+        ]
+        .prop_map(Value::F64),
+        "[ -~]{0,20}".prop_map(Value::Str),
+        // Strings exercising escapes, controls, and multi-byte UTF-8.
+        prop_oneof![
+            Just("line \"cut\"\nat\tbyte\r3".to_string()),
+            Just("\u{1}\u{1f}π≠𝔘".to_string()),
+            Just("\\u0041 literal backslash \\".to_string()),
+            Just("NaN".to_string()),
+        ]
+        .prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn event_strategy() -> impl Strategy<Value = SpanEvent> {
+    (
+        proptest::sample::select(NAMES),
+        proptest::sample::select(LAYERS),
+        proptest::option::of((any::<u64>(), any::<u64>())),
+        proptest::collection::vec((proptest::sample::select(KEYS), value_strategy()), 0..6),
+    )
+        .prop_map(|(name, layer, trace, attrs)| {
+            let mut ev = SpanEvent::new(name, layer)
+                .with_trace_opt(trace.map(|(t, s)| TraceContext::new(TraceId(t), SpanId(s))));
+            for (key, value) in attrs {
+                ev.attrs.push((key, value));
+            }
+            ev
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The core contract: parsing a rendered line recovers the event
+    /// (and the sequence number) exactly.
+    #[test]
+    fn parse_inverts_render(ev in event_strategy(), seq in any::<u64>()) {
+        let line = ev.to_ndjson(seq);
+        let parsed = parse_span_line(&line).unwrap();
+        prop_assert_eq!(parsed.seq, seq);
+        prop_assert!(parsed == ev, "parsed {:?} != original {:?} (line {:?})", parsed, ev, line);
+    }
+
+    /// Rendering the stream as a whole (the flight-recorder dump
+    /// format) parses back event by event, in order.
+    #[test]
+    fn streams_round_trip(events in proptest::collection::vec(event_strategy(), 0..12)) {
+        let mut text = String::new();
+        for (i, ev) in events.iter().enumerate() {
+            text.push_str(&ev.to_ndjson(i as u64));
+            text.push('\n');
+        }
+        let parsed = parse_span_stream(&text).unwrap();
+        prop_assert_eq!(parsed.len(), events.len());
+        for (i, (p, e)) in parsed.iter().zip(&events).enumerate() {
+            prop_assert_eq!(p.seq, i as u64);
+            prop_assert!(p == *e, "event {} diverged", i);
+        }
+    }
+
+    /// Seeded trace contexts survive the trip bit for bit.
+    #[test]
+    fn trace_ids_survive(seed in any::<u64>()) {
+        let ctx = IdGen::new(seed).context();
+        let ev = SpanEvent::new("arrive", "shard").with_trace(ctx).u64("shard", 0);
+        let parsed = parse_span_line(&ev.to_ndjson(1)).unwrap();
+        prop_assert_eq!(parsed.trace, Some(ctx));
+    }
+}

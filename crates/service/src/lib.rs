@@ -96,7 +96,7 @@ pub use chaos::{ChaosProxy, ProxyStats};
 pub use client::{Backoff, ClientError, RetryPolicy, TcpClient};
 pub use metrics::{
     BatchSizeSummary, LatencyHistogram, LatencySummary, Log2Histogram, Metrics, ServiceStats,
-    ShardGauge,
+    ShardGauge, StageHistograms,
 };
 pub use net::Server;
 pub use prom::PromServer;

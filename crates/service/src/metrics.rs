@@ -116,6 +116,7 @@ impl Log2Histogram {
             p50_ns: self.quantile(0.50),
             p90_ns: self.quantile(0.90),
             p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
             max_ns: self.max(),
         }
     }
@@ -129,6 +130,44 @@ impl Log2Histogram {
             p99_items: self.quantile(0.99),
             max_items: self.max(),
         }
+    }
+}
+
+/// Per-stage latency histograms: where a request's time went, split at
+/// the four fixed points of the request path. `parse` is wire bytes →
+/// request envelope, `route` is routing plus directory bookkeeping,
+/// `shard` is the shard call itself (under the quiesce lock), and
+/// `settle` is response rendering + the socket write. Each stage is a
+/// full [`Log2Histogram`], so the Prometheus endpoint can expose one
+/// labeled `partalloc_stage_latency_ns` family.
+#[derive(Debug, Default)]
+pub struct StageHistograms {
+    /// Wire line → parsed request envelope.
+    pub parse: Log2Histogram,
+    /// Routing decision + directory bookkeeping.
+    pub route: Log2Histogram,
+    /// The shard call (arrive/depart/batch under the quiesce lock).
+    pub shard: Log2Histogram,
+    /// Response rendering + socket write.
+    pub settle: Log2Histogram,
+}
+
+impl StageHistograms {
+    /// A zeroed set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stages with their Prometheus `stage` label values, in
+    /// request-path order (the exposition's deterministic order).
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Log2Histogram)> {
+        [
+            ("parse", &self.parse),
+            ("route", &self.route),
+            ("shard", &self.shard),
+            ("settle", &self.settle),
+        ]
+        .into_iter()
     }
 }
 
@@ -168,6 +207,8 @@ pub struct Metrics {
     pub latency: Log2Histogram,
     /// Item counts of `batch` requests (one sample per batch).
     pub batch_sizes: Log2Histogram,
+    /// Per-stage latency split (parse/route/shard/settle).
+    pub stages: StageHistograms,
 }
 
 impl Metrics {
@@ -260,6 +301,10 @@ pub struct LatencySummary {
     pub p90_ns: u64,
     /// 99th percentile (ns, bucket upper edge).
     pub p99_ns: u64,
+    /// 99.9th percentile (ns, bucket upper edge; defaults to 0 when
+    /// parsing stats from before the trace-analysis plane existed).
+    #[serde(default)]
+    pub p999_ns: u64,
     /// Worst observed latency (ns, exact).
     pub max_ns: u64,
 }
@@ -463,8 +508,52 @@ mod tests {
         for legacy_missing in ["algorithm", "pes_per_shard", "shard_gauges", "metrics_queries", "dump_requests"] {
             obj.remove(legacy_missing);
         }
+        // p999 postdates the trace-analysis plane; old stats lack it.
+        obj.get_mut("latency")
+            .and_then(|l| l.as_object_mut())
+            .unwrap()
+            .remove("p999_ns");
         let back: ServiceStats = serde_json::from_value(value).unwrap();
         assert_eq!(back.shard_gauges, Vec::new());
         assert_eq!(back.algorithm, "");
+        assert_eq!(back.latency.p999_ns, 0);
+    }
+
+    #[test]
+    fn latency_summary_includes_p999() {
+        let h = Log2Histogram::new();
+        for _ in 0..999 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let s = h.latency_summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_ns, 128);
+        assert_eq!(s.p99_ns, 128);
+        // Rank ceil(0.999 * 1000) = 999 still sits in the [64, 128)
+        // bucket; the outlier only surfaces at max.
+        assert_eq!(s.p999_ns, 128);
+        assert_eq!(s.max_ns, 1_000_000);
+        // With ten samples the 0.999 rank is the outlier itself.
+        let h = Log2Histogram::new();
+        for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.latency_summary().p999_ns, 1 << 20);
+    }
+
+    #[test]
+    fn stage_histograms_iterate_in_request_path_order() {
+        let stages = StageHistograms::new();
+        stages.parse.record(10);
+        stages.route.record(20);
+        stages.shard.record(40);
+        stages.settle.record(3);
+        let seen: Vec<(&str, u64)> = stages.iter().map(|(n, h)| (n, h.sum())).collect();
+        assert_eq!(
+            seen,
+            vec![("parse", 10), ("route", 20), ("shard", 40), ("settle", 3)]
+        );
+        assert!(stages.iter().all(|(_, h)| h.count() == 1));
     }
 }

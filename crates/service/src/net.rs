@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::metrics::Log2Histogram;
 use crate::proto::{parse_request_envelope, response_line};
 use crate::server::ServiceCore;
 
@@ -162,7 +163,11 @@ fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
                     if trimmed.is_empty() {
                         continue;
                     }
-                    match parse_request_envelope(trimmed) {
+                    // The wire `parse` stage: request line → envelope.
+                    let parse_start = Instant::now();
+                    let parsed = parse_request_envelope(trimmed);
+                    record_stage(&core.metrics().stages.parse, parse_start);
+                    match parsed {
                         Ok((envelope, req)) => {
                             trace = envelope.trace;
                             core.handle_traced(envelope.req_id, envelope.trace, &req)
@@ -173,14 +178,23 @@ fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
                 Err(_) => core.malformed("request line is not valid UTF-8"),
             },
         };
+        // The wire `settle` stage: response rendering + socket write.
+        let settle_start = Instant::now();
         let Ok(mut json) = response_line(&resp, trace) else {
             break;
         };
         json.push('\n');
-        if writer.write_all(json.as_bytes()).is_err() || writer.flush().is_err() {
+        let wrote = writer.write_all(json.as_bytes()).and_then(|()| writer.flush());
+        record_stage(&core.metrics().stages.settle, settle_start);
+        if wrote.is_err() {
             break;
         }
     }
+}
+
+/// Record the time since `start` into stage histogram `h`.
+fn record_stage(h: &Log2Histogram, start: Instant) {
+    h.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
 }
 
 /// Outcome of one bounded line read.

@@ -501,6 +501,14 @@ impl ServiceCore {
         resp
     }
 
+    /// Run `f` and record its wall duration into stage histogram `h`.
+    fn staged<T>(h: &Log2Histogram, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        h.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        out
+    }
+
     /// Should this identified-mutation reply be remembered for replay?
     ///
     /// Batch replies always: a batch may have partially applied, so a
@@ -594,8 +602,12 @@ impl ServiceCore {
         }
         let placed = {
             let _shared = self.quiesce.read();
-            let shard_idx = self.router.route(size_log2, &self.shards);
-            let arrival = match self.shards[shard_idx].arrive_traced(size_log2, trace) {
+            let shard_idx = Self::staged(&self.metrics.stages.route, || {
+                self.router.route(size_log2, &self.shards)
+            });
+            let arrival = match Self::staged(&self.metrics.stages.shard, || {
+                self.shards[shard_idx].arrive_traced(size_log2, trace)
+            }) {
                 Ok(a) => a,
                 Err(e) => return Response::from_shard_error(e),
             };
@@ -637,11 +649,15 @@ impl ServiceCore {
             // reused, so a claimed entry always departs cleanly, and a
             // racing duplicate depart loses the claim and reports
             // `unknown-task` (instead of racing inside the shard).
-            let entry = self.directory.lock().remove(&task);
+            let entry = Self::staged(&self.metrics.stages.route, || {
+                self.directory.lock().remove(&task)
+            });
             let Some((shard_idx, local)) = entry else {
                 return Response::from_core_error(CoreError::UnknownTask(TaskId(task)));
             };
-            let placement = match self.shards[shard_idx].depart_traced(local, trace) {
+            let placement = match Self::staged(&self.metrics.stages.shard, || {
+                self.shards[shard_idx].depart_traced(local, trace)
+            }) {
                 Ok(p) => p,
                 Err(e) => {
                     // The claim must be undone: the task is still
@@ -693,7 +709,9 @@ impl ServiceCore {
                             ));
                             continue;
                         }
-                        let shard_idx = self.router.route(size_log2, &self.shards);
+                        let shard_idx = Self::staged(&self.metrics.stages.route, || {
+                            self.router.route(size_log2, &self.shards)
+                        });
                         if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
                             applied +=
                                 self.flush_run(run.take().expect("checked above"), &mut results, trace);
@@ -703,7 +721,9 @@ impl ServiceCore {
                         r.metas.push(BatchMeta::Arrive);
                     }
                     BatchItem::Depart { task } => {
-                        let mut entry = self.directory.lock().remove(&task);
+                        let mut entry = Self::staged(&self.metrics.stages.route, || {
+                            self.directory.lock().remove(&task)
+                        });
                         if entry.is_none() {
                             // The task may be an arrival from earlier in
                             // this very batch, not yet flushed into the
@@ -749,7 +769,9 @@ impl ServiceCore {
         results: &mut Vec<Response>,
         trace: Option<TraceContext>,
     ) -> u64 {
-        let effects = self.shards[run.shard].submit_batch_traced(&run.ops, trace);
+        let effects = Self::staged(&self.metrics.stages.shard, || {
+            self.shards[run.shard].submit_batch_traced(&run.ops, trace)
+        });
         let mut applied = 0u64;
         for (effect, meta) in effects.into_iter().zip(run.metas) {
             match effect {
@@ -937,6 +959,12 @@ impl ServiceCore {
     }
 
     /// The live metrics, as a `stats` reply would report them.
+    /// The live metrics registry — the transport records wire-stage
+    /// timings (parse/settle) into it directly.
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
     pub fn stats(&self) -> ServiceStats {
         self.metrics.report(
             self.config.kind.spec(),
@@ -1035,6 +1063,20 @@ impl ServiceCore {
             "Items per batch request.",
             &self.metrics.batch_sizes,
         );
+        prom.header(
+            "partalloc_stage_latency_ns",
+            "Per-stage request latency split in nanoseconds \
+             (parse/route/shard/settle).",
+            "histogram",
+        );
+        for (stage, h) in self.metrics.stages.iter() {
+            prom.histogram(
+                "partalloc_stage_latency_ns",
+                &[("stage", stage)],
+                &Self::log2_buckets(h),
+                h.sum(),
+            );
+        }
         let alg = stats.algorithm.as_str();
         let shard_labels: Vec<String> = stats
             .shard_gauges
@@ -1092,25 +1134,23 @@ impl ServiceCore {
         prom.render()
     }
 
-    /// Emit one log2 histogram as a cumulative Prometheus `_bucket` /
-    /// `_sum` / `_count` family. Bucket upper edges are powers of two
-    /// (the ring's native resolution); trailing empty buckets collapse
-    /// into `+Inf`.
+    /// Emit one unlabeled log2 histogram as a cumulative Prometheus
+    /// `_bucket` / `_sum` / `_count` family. Bucket upper edges are
+    /// powers of two (the ring's native resolution); trailing empty
+    /// buckets collapse into `+Inf` (see [`PromText::histogram`]).
     fn histogram(prom: &mut PromText, name: &str, help: &str, h: &Log2Histogram) {
         prom.header(name, help, "histogram");
-        let counts = h.bucket_counts();
-        let occupied = counts.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
-        let bucket = format!("{name}_bucket");
-        let mut cumulative = 0u64;
-        for (i, &c) in counts.iter().take(occupied).enumerate() {
-            cumulative += c;
-            let le = Log2Histogram::upper_edge(i).to_string();
-            prom.sample_u64(&bucket, &[("le", &le)], cumulative);
-        }
-        let total: u64 = counts.iter().sum();
-        prom.sample_u64(&bucket, &[("le", "+Inf")], total);
-        prom.sample_u64(&format!("{name}_sum"), &[], h.sum());
-        prom.sample_u64(&format!("{name}_count"), &[], total);
+        prom.histogram(name, &[], &Self::log2_buckets(h), h.sum());
+    }
+
+    /// A [`Log2Histogram`]'s counts as `(upper_edge, count)` pairs —
+    /// the shape [`PromText::histogram`] consumes.
+    fn log2_buckets(h: &Log2Histogram) -> Vec<(u64, u64)> {
+        h.bucket_counts()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (Log2Histogram::upper_edge(i), c))
+            .collect()
     }
 
     /// Report a request line that did not parse: counts toward the
@@ -1666,6 +1706,17 @@ mod tests {
         assert!(text.contains("# TYPE partalloc_request_latency_ns histogram"), "{text}");
         assert!(text.contains("partalloc_request_latency_ns_bucket{le=\"+Inf\"} 8\n"), "{text}");
         assert!(text.contains("partalloc_request_latency_ns_count 8\n"), "{text}");
+        // The stage split: 8 in-process arrivals hit route + shard; the
+        // wire-only stages (parse/settle) stay empty but their series
+        // must still render, so dashboards see the family immediately.
+        assert!(text.contains("# TYPE partalloc_stage_latency_ns histogram"), "{text}");
+        assert!(text.contains("partalloc_stage_latency_ns_count{stage=\"route\"} 8\n"), "{text}");
+        assert!(text.contains("partalloc_stage_latency_ns_count{stage=\"shard\"} 8\n"), "{text}");
+        assert!(
+            text.contains("partalloc_stage_latency_ns_bucket{stage=\"parse\",le=\"+Inf\"} 0\n"),
+            "{text}"
+        );
+        assert!(text.contains("partalloc_stage_latency_ns_count{stage=\"settle\"} 0\n"), "{text}");
         // An idle service exposes the documented NaN ratio.
         let idle = handle(AllocatorKind::Greedy, 8, 1);
         let idle_alg = idle.stats().unwrap().algorithm;
