@@ -6,9 +6,10 @@
 //! `flightrec-core-<gen>.ndjson` dumps fetched via the `dump` op, or a
 //! `--trace stderr` capture. Events are parsed with
 //! [`partalloc_obs::parse_span_stream`], grouped by trace id into
-//! request trees spanning the client → proxy → server → shard → engine
-//! layers, and summarized as deterministic ASCII tables plus an SVG
-//! timeline.
+//! request trees spanning the client → proxy → router → server →
+//! shard → engine layers (the router tier appears when the spans come
+//! from a `palloc router` cluster run), and summarized as
+//! deterministic ASCII tables plus an SVG timeline.
 //!
 //! ## Determinism
 //!
@@ -30,15 +31,17 @@ use crate::svgchart::{line_chart_svg, Series};
 use crate::table::{fmt_f64, Table};
 
 /// Rank of a layer along the request path: client(0) → proxy(1) →
-/// server(2) → shard(3) → engine(4); unknown layers rank last (5).
+/// router(2) → server(3) → shard(4) → engine(5); unknown layers rank
+/// last (6).
 pub fn layer_rank(layer: &str) -> u8 {
     match layer {
         "client" => 0,
         "proxy" => 1,
-        "server" => 2,
-        "shard" => 3,
-        "engine" => 4,
-        _ => 5,
+        "router" => 2,
+        "server" => 3,
+        "shard" => 4,
+        "engine" => 5,
+        _ => 6,
     }
 }
 
@@ -158,6 +161,9 @@ pub enum AnomalyKind {
     UnhealedPanic,
     /// One batch's items fanned out across multiple shards.
     BatchFanOut,
+    /// The routing tier re-forwarded an arrival to a different node
+    /// after its first pick died mid-request.
+    CrossNodeReroute,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -168,6 +174,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::PanicRebuild => "panic-rebuild",
             AnomalyKind::UnhealedPanic => "unhealed-panic",
             AnomalyKind::BatchFanOut => "batch-fan-out",
+            AnomalyKind::CrossNodeReroute => "cross-node-reroute",
         })
     }
 }
@@ -293,7 +300,9 @@ pub fn analyze(sources: Vec<TraceSource>) -> TraceReport {
 
 /// Apply the anomaly rules (see `DESIGN.md` §13): retry storms (≥3
 /// retries in one trace), dedupe replays, panic→rebuild windows per
-/// source, and batch fan-out (one trace touching ≥2 shards).
+/// source, batch fan-out (one trace touching ≥2 shards), and
+/// cross-node reroutes (a router `reroute` event — an arrival moved
+/// to a survivor after its first node died).
 fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly> {
     let mut out = Vec::new();
     for tree in trees {
@@ -330,6 +339,19 @@ fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly
         // the same shard closes it.
         let mut open: BTreeMap<u64, u64> = BTreeMap::new();
         for ev in &source.events {
+            if ev.layer == "router" && ev.name == "reroute" {
+                let from = ev.attr("from").and_then(ParsedValue::as_u64).unwrap_or(0);
+                let to = ev.attr("to").and_then(ParsedValue::as_u64).unwrap_or(0);
+                let subject = match ev.trace {
+                    Some(ctx) => format!("trace {}", ctx.trace),
+                    None => source.label.clone(),
+                };
+                out.push(Anomaly {
+                    kind: AnomalyKind::CrossNodeReroute,
+                    subject,
+                    detail: format!("rerouted node {from} -> node {to} at seq {}", ev.seq),
+                });
+            }
             let shard = ev.attr("shard").and_then(ParsedValue::as_u64).unwrap_or(0);
             match ev.name.as_str() {
                 "panic" => {
@@ -340,10 +362,7 @@ fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly
                         out.push(Anomaly {
                             kind: AnomalyKind::PanicRebuild,
                             subject: source.label.clone(),
-                            detail: format!(
-                                "shard {shard} down over seq [{start}, {}]",
-                                ev.seq
-                            ),
+                            detail: format!("shard {shard} down over seq [{start}, {}]", ev.seq),
                         });
                     }
                 }
@@ -426,9 +445,7 @@ impl TraceReport {
             self.total_events
         ));
         let mut ranked: Vec<&TraceTree> = self.trees.iter().collect();
-        ranked.sort_by(|a, b| {
-            (b.steps.len(), a.trace).cmp(&(a.steps.len(), b.trace))
-        });
+        ranked.sort_by(|a, b| (b.steps.len(), a.trace).cmp(&(a.steps.len(), b.trace)));
         let mut t = Table::new(&["trace", "events", "path", "shards"]);
         for tree in ranked.iter().take(top) {
             let shards: Vec<String> = tree.shards().iter().map(u64::to_string).collect();
@@ -501,7 +518,7 @@ impl TraceReport {
             width,
             height,
             "seq (recorder order)",
-            "layer rank (client=0 .. engine=4)",
+            "layer rank (client=0 .. engine=5)",
         ))
     }
 }
@@ -528,9 +545,15 @@ mod tests {
         source(
             "client.ndjson",
             &[
-                format!(r#"{{"seq":0,"name":"retry","layer":"client","trace":"{T1}","attempt":1}}"#),
-                format!(r#"{{"seq":1,"name":"retry","layer":"client","trace":"{T1}","attempt":2}}"#),
-                format!(r#"{{"seq":2,"name":"retry","layer":"client","trace":"{T1}","attempt":3}}"#),
+                format!(
+                    r#"{{"seq":0,"name":"retry","layer":"client","trace":"{T1}","attempt":1}}"#
+                ),
+                format!(
+                    r#"{{"seq":1,"name":"retry","layer":"client","trace":"{T1}","attempt":2}}"#
+                ),
+                format!(
+                    r#"{{"seq":2,"name":"retry","layer":"client","trace":"{T1}","attempt":3}}"#
+                ),
                 format!(r#"{{"seq":3,"name":"send","layer":"client","trace":"{T2}"}}"#),
             ],
         )
@@ -541,7 +564,9 @@ mod tests {
             "flightrec-0-0.ndjson",
             &[
                 format!(r#"{{"seq":0,"name":"arrive","layer":"shard","trace":"{T1}","shard":0}}"#),
-                format!(r#"{{"seq":1,"name":"dedupe_hit","layer":"server","trace":"{T1}","req_id":7}}"#),
+                format!(
+                    r#"{{"seq":1,"name":"dedupe_hit","layer":"server","trace":"{T1}","req_id":7}}"#
+                ),
                 format!(r#"{{"seq":2,"name":"panic","layer":"shard","shard":0,"attempt":1}}"#),
                 format!(r#"{{"seq":3,"name":"rebuild","layer":"shard","shard":0,"recoveries":1}}"#),
                 format!(r#"{{"seq":4,"name":"arrive","layer":"shard","trace":"{T2}","shard":1}}"#),
@@ -609,7 +634,10 @@ mod tests {
         assert!(a.contains("palloc trace report"), "{a}");
         assert!(a.contains("## Sources"), "{a}");
         assert!(a.contains("## Stage attribution"), "{a}");
-        assert!(a.contains("## Critical path (trace 00000000000000aa, 5 events)"), "{a}");
+        assert!(
+            a.contains("## Critical path (trace 00000000000000aa, 5 events)"),
+            "{a}"
+        );
         assert!(a.contains("client/retry seq=0 [client.ndjson]"), "{a}");
         assert!(a.contains("retry-storm"), "{a}");
         // The top cap trims the per-trace table but keeps the count.
@@ -648,7 +676,12 @@ mod tests {
         assert_eq!(svg.matches("<polyline").count(), 2);
         assert!(svg.contains("client.ndjson"));
         // Determinism, byte for byte.
-        assert_eq!(svg, analyze(vec![client_stream(), shard_stream()]).timeline_svg(640, 360).unwrap());
+        assert_eq!(
+            svg,
+            analyze(vec![client_stream(), shard_stream()])
+                .timeline_svg(640, 360)
+                .unwrap()
+        );
         // No events → no chart.
         assert!(analyze(vec![]).timeline_svg(640, 360).is_none());
         assert!(analyze(vec![source("empty.ndjson", &[])])
@@ -672,5 +705,51 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-12);
         // Rank order: client first, shard after server.
         assert_eq!(report.stages[0].layer, "client");
+    }
+
+    #[test]
+    fn router_reroutes_are_flagged_and_ranked_between_proxy_and_server() {
+        let s = source(
+            "router.ndjson",
+            &[
+                format!(
+                    r#"{{"seq":0,"name":"route","layer":"router","trace":"{T1}","node":1,"op":"arrive"}}"#
+                ),
+                format!(
+                    r#"{{"seq":1,"name":"reroute","layer":"router","trace":"{T1}","from":1,"to":2}}"#
+                ),
+                format!(r#"{{"seq":2,"name":"arrive","layer":"shard","trace":"{T1}","shard":0}}"#),
+            ],
+        );
+        let report = analyze(vec![client_stream(), s]);
+        let reroutes: Vec<&Anomaly> = report
+            .anomalies
+            .iter()
+            .filter(|a| a.kind == AnomalyKind::CrossNodeReroute)
+            .collect();
+        assert_eq!(reroutes.len(), 1);
+        assert!(reroutes[0].subject.contains("00000000000000aa"));
+        assert!(
+            reroutes[0].detail.contains("node 1 -> node 2"),
+            "{}",
+            reroutes[0].detail
+        );
+        // The router tier slots between client and shard on the path.
+        let t1 = report
+            .trees
+            .iter()
+            .find(|t| t.trace.to_string() == "00000000000000aa")
+            .unwrap();
+        assert_eq!(t1.path(), "client->router->shard");
+        assert!(layer_rank("proxy") < layer_rank("router"));
+        assert!(layer_rank("router") < layer_rank("server"));
+        // An untraced reroute falls back to the source label.
+        let untraced = source(
+            "router2.ndjson",
+            &[r#"{"seq":0,"name":"reroute","layer":"router","from":0,"to":2}"#.to_string()],
+        );
+        let report = analyze(vec![untraced]);
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].subject, "router2.ndjson");
     }
 }

@@ -1,0 +1,499 @@
+//! `palloc router` and `palloc cluster` — the multi-node plane from
+//! the command line: serve the routing tier over N daemons, administer
+//! membership (info/join/leave/snapshot/stats), and benchmark 1-node
+//! vs 3-node scaling into `BENCH_cluster.json`.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use partalloc_analysis::{fmt_f64, Table};
+use partalloc_cluster::{ClusterClient, ClusterConfig, ClusterCore, ClusterHarness, ClusterServer};
+use partalloc_core::AllocatorKind;
+use partalloc_model::{Event, TaskSequence};
+use partalloc_obs::{Recorder, VecRecorder};
+use partalloc_service::{PromRender, PromServer, RouterKind, ServiceConfig, TcpClient};
+use partalloc_workload::{ClosedLoopConfig, Generator};
+
+use crate::alg::parse_alg;
+use crate::args::Args;
+
+/// Serve the routing tier: one stateless router multiplexing the
+/// NDJSON protocol across `--nodes`. Runs until a client sends
+/// `shutdown` (which the router forwards to every live node first).
+pub fn cmd_router(args: &Args) -> Result<String, String> {
+    let nodes_spec = args.require("nodes").map_err(|e| e.to_string())?;
+    let nodes: Vec<String> = nodes_spec
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if nodes.is_empty() {
+        return Err("--nodes needs at least one HOST:PORT".into());
+    }
+    let router: RouterKind = args
+        .get_or("router", RouterKind::ConsistentHash, "a routing policy")
+        .map_err(|e| e.to_string())?;
+    let retries: u32 = args
+        .get_or("retries", 2, "an integer")
+        .map_err(|e| e.to_string())?;
+    let timeout_ms: u64 = args
+        .get_or("timeout-ms", 0, "milliseconds (0 = defaults)")
+        .map_err(|e| e.to_string())?;
+    let grace: u64 = args
+        .get_or("grace-ms", 1000, "milliseconds")
+        .map_err(|e| e.to_string())?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    if args.get("prom-addr-file").is_some() && args.get("prom").is_none() {
+        return Err("--prom-addr-file needs --prom ADDR".into());
+    }
+
+    let mut config = ClusterConfig::new(nodes)
+        .router(router)
+        .forward_retries(retries);
+    if timeout_ms > 0 {
+        let t = Duration::from_millis(timeout_ms);
+        config = config.timeouts(t, t);
+    }
+    let mut core = ClusterCore::new(config).map_err(|e| e.to_string())?;
+    let recorder = args.get("spans").map(|_| Arc::new(VecRecorder::new()));
+    if let Some(rec) = &recorder {
+        core = core.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
+    }
+    let core = Arc::new(core);
+    let server = ClusterServer::spawn(Arc::clone(&core), addr).map_err(|e| e.to_string())?;
+    let local = server.local_addr();
+
+    println!(
+        "routing {} node(s) ({}) on {local}",
+        core.members().len(),
+        core.router_kind().spec(),
+    );
+    std::io::stdout().flush().ok();
+    if let Some(addr_file) = args.get("addr-file") {
+        std::fs::write(addr_file, format!("{local}\n")).map_err(|e| e.to_string())?;
+    }
+    let prom = match args.get("prom") {
+        Some(prom_addr) => {
+            let render_core = Arc::clone(&core);
+            let render: PromRender = Arc::new(move || render_core.prometheus_text());
+            let prom = PromServer::spawn_with(prom_addr, render).map_err(|e| e.to_string())?;
+            println!(
+                "prometheus exposition on http://{}/metrics",
+                prom.local_addr()
+            );
+            std::io::stdout().flush().ok();
+            if let Some(file) = args.get("prom-addr-file") {
+                std::fs::write(file, format!("{}\n", prom.local_addr()))
+                    .map_err(|e| e.to_string())?;
+            }
+            Some(prom)
+        }
+        None => None,
+    };
+
+    server.run_until_shutdown(Duration::from_millis(grace));
+    if let Some(prom) = prom {
+        prom.stop();
+    }
+
+    let mut spans_line = String::new();
+    if let (Some(path), Some(rec)) = (args.get("spans"), &recorder) {
+        let events = rec.take();
+        let mut text = String::with_capacity(events.len() * 64);
+        for (seq, event) in events.iter().enumerate() {
+            text.push_str(&event.to_ndjson(seq as u64));
+            text.push('\n');
+        }
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        spans_line = format!(", {} span events → {path}", events.len());
+    }
+    let mut forwards = 0u64;
+    core.members().for_each(|_, m| forwards += m.forwarded());
+    let metrics = core.metrics();
+    Ok(format!(
+        "router shut down: {} forwards, {} reroutes, {} errors, {} joins, {} leaves{spans_line}\n",
+        forwards,
+        partalloc_cluster::RouterMetrics::get(&metrics.reroutes),
+        partalloc_cluster::RouterMetrics::get(&metrics.errors),
+        partalloc_cluster::RouterMetrics::get(&metrics.joins),
+        partalloc_cluster::RouterMetrics::get(&metrics.leaves),
+    ))
+}
+
+/// Administer a running cluster through its router (`--op
+/// info|join|leave|snapshot|stats`), or — with `--bench yes` — spawn
+/// throwaway in-process clusters and benchmark 1-node vs 3-node
+/// throughput into `BENCH_cluster.json`.
+pub fn cmd_cluster(args: &Args) -> Result<String, String> {
+    if args.get("bench").is_some() {
+        return cmd_cluster_bench(args);
+    }
+    let addr = args.require("addr").map_err(|e| e.to_string())?;
+    let mut admin =
+        ClusterClient::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    match args.get("op").unwrap_or("info") {
+        "info" => {
+            let (router, rows) = admin.info().map_err(|e| e.to_string())?;
+            Ok(format!("router {router} over:\n{}", node_table(&rows)))
+        }
+        "join" => {
+            let node_addr = args.require("node-addr").map_err(|e| e.to_string())?;
+            let rows = admin.join(node_addr).map_err(|e| e.to_string())?;
+            Ok(format!("joined {node_addr}:\n{}", node_table(&rows)))
+        }
+        "leave" => {
+            let node: usize = args
+                .require_parsed("node", "a slot index")
+                .map_err(|e| e.to_string())?;
+            let rows = admin.leave(node).map_err(|e| e.to_string())?;
+            Ok(format!("node {node} left:\n{}", node_table(&rows)))
+        }
+        "snapshot" => {
+            let snaps = admin.snapshots().map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for s in &snaps {
+                out.push_str(&format!(
+                    "node {}: {} active task(s) over {} shard(s)\n",
+                    s.node,
+                    s.snapshot.tasks.len(),
+                    s.snapshot.shards.len(),
+                ));
+            }
+            if let Some(path) = args.get("out") {
+                let json = serde_json::to_string_pretty(&snaps).map_err(|e| e.to_string())?;
+                std::fs::write(path, json + "\n")
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                out.push_str(&format!("{} snapshot(s) written to {path}\n", snaps.len()));
+            }
+            Ok(out)
+        }
+        "stats" => {
+            let rows = admin.stats_per_node().map_err(|e| e.to_string())?;
+            let mut table = Table::new(&[
+                "node",
+                "arrivals",
+                "departures",
+                "errors",
+                "dedupe replays",
+                "faults",
+            ]);
+            for r in &rows {
+                table.row(&[
+                    r.node.to_string(),
+                    r.stats.arrivals.to_string(),
+                    r.stats.departures.to_string(),
+                    r.stats.errors.to_string(),
+                    r.stats.dedupe_replays.to_string(),
+                    r.stats.health.faults_injected.to_string(),
+                ]);
+            }
+            Ok(table.render_text())
+        }
+        other => Err(format!(
+            "unknown cluster op {other:?} (info|join|leave|snapshot|stats)"
+        )),
+    }
+}
+
+fn node_table(rows: &[partalloc_cluster::NodeInfo]) -> String {
+    let mut table = Table::new(&["node", "state", "addr", "forwarded"]);
+    for r in rows {
+        table.row(&[
+            r.node.to_string(),
+            r.state.clone(),
+            r.addr.clone(),
+            r.forwarded.to_string(),
+        ]);
+    }
+    table.render_text()
+}
+
+/// The cluster scaling bench: the same closed-loop workload driven
+/// through a 1-node and a 3-node in-process cluster, per event and
+/// batched. Schema documented in `EXPERIMENTS.md`.
+fn cmd_cluster_bench(args: &Args) -> Result<String, String> {
+    let events: usize = args
+        .get_or("events", 2000, "an integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let pes: u64 = args
+        .get_or("pes", 64, "a power of two")
+        .map_err(|e| e.to_string())?;
+    let batch: usize = args
+        .get_or("batch", 64, "an integer")
+        .map_err(|e| e.to_string())?;
+    if batch < 2 {
+        return Err("--batch must be at least 2".into());
+    }
+    let out = args.get("out").unwrap_or("BENCH_cluster.json");
+    let kind = match args.get("alg") {
+        Some(spec) => parse_alg(spec)?,
+        None => AllocatorKind::Greedy,
+    };
+    let seq = ClosedLoopConfig::new(pes)
+        .events(events)
+        .target_load(2)
+        .generate(seed);
+
+    let mut configs = Vec::new();
+    let mut table = Table::new(&["nodes", "mode", "events/sec", "elapsed ms"]);
+    for &nodes in &[1usize, 3] {
+        for &(mode, cap) in &[("per-event", 1usize), ("batched", batch)] {
+            let (rate, ms) = bench_once(nodes, kind, pes, seed, &seq, cap)?;
+            table.row(&[
+                nodes.to_string(),
+                if cap > 1 {
+                    format!("{mode} ×{cap}")
+                } else {
+                    mode.to_string()
+                },
+                fmt_f64(rate, 0),
+                fmt_f64(ms, 1),
+            ]);
+            configs.push(serde_json::json!({
+                "nodes": nodes,
+                "mode": mode,
+                "batch": cap,
+                "events_per_sec": rate,
+                "elapsed_ms": ms,
+            }));
+        }
+    }
+    let report = serde_json::json!({
+        "bench": "cluster",
+        "events": events,
+        "seed": seed,
+        "pes_per_node": pes,
+        "algorithm": kind.label(),
+        "router": "consistent-hash",
+        "configs": configs,
+    });
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "cluster bench ({events} events, {} per node):\n{}results written to {out}\n",
+        kind.label(),
+        table.render_text()
+    ))
+}
+
+/// One bench leg: an `n`-node cluster driven to completion, returning
+/// (events/sec, elapsed ms).
+fn bench_once(
+    nodes: usize,
+    kind: AllocatorKind,
+    pes: u64,
+    seed: u64,
+    seq: &TaskSequence,
+    cap: usize,
+) -> Result<(f64, f64), String> {
+    let harness = ClusterHarness::spawn(
+        nodes,
+        |i| ServiceConfig::new(kind, pes).seed(seed + i as u64),
+        |c| c,
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut client = TcpClient::connect(harness.router_addr())
+        .map_err(|e| e.to_string())?
+        .with_tracing(seed.wrapping_add(0x9e37_79b9_7f4a_7c15));
+    let mut ids: HashMap<u64, u64> = HashMap::new();
+    let start = Instant::now();
+    if cap > 1 {
+        let mut reallocs = 0u64;
+        let mut errors = 0u64;
+        crate::serve::drive_batched(&mut client, seq, cap, &mut ids, &mut reallocs, &mut errors)?;
+        if errors > 0 {
+            return Err(format!("bench batch drive rejected {errors} request(s)"));
+        }
+    } else {
+        for event in seq.events() {
+            match *event {
+                Event::Arrival { id, size_log2 } => {
+                    let p = client.arrive(size_log2).map_err(|e| e.to_string())?;
+                    ids.insert(id.0, p.task);
+                }
+                Event::Departure { id } => {
+                    if let Some(&task) = ids.get(&id.0) {
+                        client.depart(task).map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    drop(client);
+    harness.shutdown(Duration::from_millis(500));
+    let rate = seq.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok((rate, elapsed.as_secs_f64() * 1e3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+    use partalloc_service::{Server, ServiceCore};
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn wait_addr(file: &std::path::Path) -> String {
+        loop {
+            if let Ok(text) = std::fs::read_to_string(file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn router_serves_and_drives_a_two_node_cluster() {
+        let dir = std::env::temp_dir().join(format!("palloc-router-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("router-addr");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+
+        let spawn_node = |seed: u64| {
+            let config = ServiceConfig::new(AllocatorKind::Greedy, 64).seed(seed);
+            let core = Arc::new(ServiceCore::new(config).unwrap());
+            Server::spawn(core, "127.0.0.1:0").unwrap()
+        };
+        let n0 = spawn_node(1);
+        let n1 = spawn_node(2);
+        let nodes = format!("{},{}", n0.local_addr(), n1.local_addr());
+
+        let router = std::thread::spawn(move || {
+            run(&[
+                "router",
+                "--nodes",
+                &nodes,
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+            ])
+        });
+        let addr = wait_addr(&addr_file);
+
+        // The ordinary drive speaks to the router as if it were one
+        // big daemon; `--shutdown` drains the whole cluster.
+        let out = run(&[
+            "drive",
+            "--addr",
+            &addr,
+            "--pes",
+            "64",
+            "--events",
+            "200",
+            "--trace-seed",
+            "5",
+            "--shutdown",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("drove 200 events"), "{out}");
+
+        let summary = router.join().unwrap().unwrap();
+        assert!(summary.contains("router shut down"), "{summary}");
+        n0.shutdown(Duration::from_secs(1));
+        n1.shutdown(Duration::from_secs(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_admin_ops_over_a_live_harness() {
+        let harness = ClusterHarness::spawn(
+            2,
+            |i| ServiceConfig::new(AllocatorKind::Greedy, 32).seed(5 + i as u64),
+            |c| c,
+            None,
+        )
+        .unwrap();
+        let addr = harness.router_addr().to_string();
+
+        let info = run(&["cluster", "--addr", &addr]).unwrap();
+        assert!(info.contains("consistent-hash"), "{info}");
+        assert!(info.contains("up"), "{info}");
+
+        let stats = run(&["cluster", "--addr", &addr, "--op", "stats"]).unwrap();
+        assert!(stats.contains("dedupe replays"), "{stats}");
+
+        let left = run(&["cluster", "--addr", &addr, "--op", "leave", "--node", "1"]).unwrap();
+        assert!(left.contains("removed"), "{left}");
+
+        let back = run(&[
+            "cluster",
+            "--addr",
+            &addr,
+            "--op",
+            "join",
+            "--node-addr",
+            &harness.node_addr(1).unwrap().to_string(),
+        ])
+        .unwrap();
+        assert!(back.contains("up"), "{back}");
+
+        let dir = std::env::temp_dir().join(format!("palloc-cladmin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_file = dir.join("snaps.json");
+        let snaps = run(&[
+            "cluster",
+            "--addr",
+            &addr,
+            "--op",
+            "snapshot",
+            "--out",
+            snap_file.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(snaps.contains("written to"), "{snaps}");
+        let text = std::fs::read_to_string(&snap_file).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+
+        assert!(run(&["cluster", "--addr", &addr, "--op", "warp"]).is_err());
+        harness.shutdown(Duration::from_millis(500));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_bench_writes_the_report() {
+        let dir = std::env::temp_dir().join(format!("palloc-clbench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_file = dir.join("BENCH_cluster.json");
+        let out = run(&[
+            "cluster",
+            "--bench",
+            "yes",
+            "--pes",
+            "32",
+            "--events",
+            "120",
+            "--batch",
+            "8",
+            "--out",
+            out_file.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("cluster bench"), "{out}");
+        assert!(out.contains("events/sec"), "{out}");
+
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_file).unwrap()).unwrap();
+        assert_eq!(v["bench"], "cluster");
+        let configs = v["configs"].as_array().unwrap();
+        assert_eq!(configs.len(), 4, "1-node and 3-node, per-event and batched");
+        for c in configs {
+            assert!(c["events_per_sec"].as_f64().unwrap() > 0.0, "{c}");
+        }
+        assert!(run(&["cluster", "--bench", "yes", "--batch", "1"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,6 +8,9 @@
 //! palloc bounds --pes 1024
 //! palloc serve --pes 256 --alg A_M:2 --shards 4 --addr 127.0.0.1:7411
 //! palloc drive --addr 127.0.0.1:7411 --trace trace.json --shutdown yes
+//! palloc router --nodes 127.0.0.1:7411,127.0.0.1:7412,127.0.0.1:7413
+//! palloc cluster --addr 127.0.0.1:7400 --op info
+//! palloc cluster --bench yes --out BENCH_cluster.json
 //! palloc trace --input spans.ndjson,flightrec-0-0.ndjson --svg timeline.svg
 //! palloc flight --addr 127.0.0.1:7411
 //! palloc figure1
@@ -16,6 +19,7 @@
 
 mod alg;
 mod args;
+mod cluster;
 mod serve;
 mod tracecmd;
 
@@ -72,6 +76,8 @@ fn dispatch(raw: &[String]) -> Result<String, String> {
         "serve" => serve::cmd_serve(&args),
         "drive" => serve::cmd_drive(&args),
         "chaos" => serve::cmd_chaos(&args),
+        "router" => cluster::cmd_router(&args),
+        "cluster" => cluster::cmd_cluster(&args),
         "trace" => tracecmd::cmd_trace(&args),
         "flight" => tracecmd::cmd_flight(&args),
         "figure1" => Ok(cmd_figure1()),
@@ -101,6 +107,7 @@ fn usage() -> String {
      \x20 stats      summarize a workload trace, or watch a live daemon\n\
      \x20            --trace FILE [--pes N]\n\
      \x20            | --addr HOST:PORT [--watch N] [--interval-ms T]\n\
+     \x20            (--addr may be a cluster router: stats aggregate all nodes)\n\
      \x20 render     draw a run's allocation timeline\n\
      \x20            --trace FILE --alg SPEC [--pes N] [--svg FILE] [--seed S]\n\
      \x20 import     convert a Standard Workload Format (SWF) trace\n\
@@ -123,6 +130,16 @@ fn usage() -> String {
      \x20 chaos      fault-injecting TCP proxy in front of a daemon\n\
      \x20            --upstream HOST:PORT [--listen HOST:PORT] [--addr-file FILE]\n\
      \x20            [--faults SPEC] [--seed S] [--duration-ms T]\n\
+     \x20 router     stateless routing tier multiplexing N daemons as one cluster\n\
+     \x20            --nodes HOST:PORT,... [--router consistent-hash|size-class]\n\
+     \x20            [--addr HOST:PORT] [--addr-file FILE] [--retries R]\n\
+     \x20            [--timeout-ms T] [--grace-ms T] [--spans FILE]\n\
+     \x20            [--prom HOST:PORT [--prom-addr-file FILE]]\n\
+     \x20 cluster    administer a cluster through its router, or benchmark one\n\
+     \x20            --addr ROUTER [--op info|join|leave|snapshot|stats]\n\
+     \x20            [--node N] [--node-addr HOST:PORT] [--out FILE]\n\
+     \x20            | --bench yes [--pes N] [--events E] [--seed S]\n\
+     \x20            [--batch B] [--alg SPEC] [--out FILE]\n\
      \x20 trace      offline trace analysis over recorded span streams\n\
      \x20            --input FILE[,FILE...] [--top N] [--svg FILE]\n\
      \x20            [--bench yes [--iters I] [--bench-out FILE]]\n\
@@ -131,7 +148,9 @@ fn usage() -> String {
      \x20 figure1    replay the paper's Figure 1 example\n\
      \n\
      algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n\
-     routing policies: round-robin, least-loaded, size-class\n\
+     routing policies: round-robin, least-loaded, size-class, consistent-hash\n\
+     \x20            (node routing needs a stateless policy: consistent-hash or\n\
+     \x20            size-class)\n\
      fault specs: drop=P,delay=P,delay-ms=T,truncate=P,corrupt=P,kill=P,\n\
      \x20            panic=P,limit=N (probabilities in [0,1])\n"
         .to_owned()

@@ -114,9 +114,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     }
     let prom = match args.get("prom") {
         Some(prom_addr) => {
-            let prom =
-                PromServer::spawn(prom_addr, server.core()).map_err(|e| e.to_string())?;
-            println!("prometheus exposition on http://{}/metrics", prom.local_addr());
+            let prom = PromServer::spawn(prom_addr, server.core()).map_err(|e| e.to_string())?;
+            println!(
+                "prometheus exposition on http://{}/metrics",
+                prom.local_addr()
+            );
             std::io::stdout().flush().ok();
             if let Some(file) = args.get("prom-addr-file") {
                 std::fs::write(file, format!("{}\n", prom.local_addr()))
@@ -429,7 +431,7 @@ fn bound_factor(kind: AllocatorKind, n: u64) -> String {
 /// Replay `seq` in batches of up to `cap` mutations. Departures whose
 /// arrival is still buffered force an early flush so the directory
 /// lookup can succeed — placements stay identical to per-event driving.
-fn drive_batched(
+pub(crate) fn drive_batched(
     client: &mut TcpClient,
     seq: &TaskSequence,
     cap: usize,
@@ -776,8 +778,16 @@ mod tests {
         assert!(out.contains("drove 100 events"), "{out}");
 
         // The live table knows the A_M:2 bound (d + 1 = 3 on one shard).
-        let live = run(&["stats", "--addr", &addr, "--watch", "2", "--interval-ms", "10"])
-            .unwrap();
+        let live = run(&[
+            "stats",
+            "--addr",
+            &addr,
+            "--watch",
+            "2",
+            "--interval-ms",
+            "10",
+        ])
+        .unwrap();
         assert!(live.contains("A_M:2 on 64 PEs/shard"), "{live}");
         assert!(live.contains("peak/L*"), "{live}");
         assert!(live.contains("bound"), "{live}");
@@ -796,9 +806,12 @@ mod tests {
         let mut client = TcpClient::connect_with(&addr, RetryPolicy::default()).unwrap();
         let files = client.dump().unwrap();
         assert!(!files.is_empty());
-        assert!(files
-            .iter()
-            .any(|f| f.contains("flightrec-") && f.ends_with(".ndjson")), "{files:?}");
+        assert!(
+            files
+                .iter()
+                .any(|f| f.contains("flightrec-") && f.ends_with(".ndjson")),
+            "{files:?}"
+        );
         for f in &files {
             assert!(std::path::Path::new(f).exists(), "missing dump {f}");
         }
@@ -840,7 +853,10 @@ mod tests {
         };
 
         let bad = run(&["drive", "--addr", &addr, "--pes", "64", "--trace-seed", "x"]);
-        assert!(bad.unwrap_err().contains("--trace-seed"), "bad seed accepted");
+        assert!(
+            bad.unwrap_err().contains("--trace-seed"),
+            "bad seed accepted"
+        );
 
         let out = run(&[
             "drive",

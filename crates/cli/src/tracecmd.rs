@@ -31,8 +31,7 @@ fn load_sources(paths: &[&str]) -> Result<Vec<TraceSource>, String> {
     paths
         .iter()
         .map(|p| {
-            let text =
-                std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
             TraceSource::parse(basename(p), &text).map_err(|e| format!("{p}: {e}"))
         })
         .collect()
@@ -44,7 +43,8 @@ fn render(report: &TraceReport, top: usize, args: &Args) -> Result<String, Strin
     if let Some(svg_path) = args.get("svg") {
         match report.timeline_svg(1280, 360) {
             Some(svg) => {
-                std::fs::write(svg_path, svg).map_err(|e| format!("cannot write {svg_path}: {e}"))?;
+                std::fs::write(svg_path, svg)
+                    .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
                 out.push_str(&format!("\ntimeline SVG written to {svg_path}\n"));
             }
             None => out.push_str("\nno events recorded — timeline SVG not written\n"),

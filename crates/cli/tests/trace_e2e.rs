@@ -149,7 +149,15 @@ fn trace_report_is_byte_identical_and_complete() {
     assert!(flight_out.contains("palloc trace report"), "{flight_out}");
 
     palloc_ok(&[
-        "drive", "--addr", &addr, "--pes", "64", "--events", "2", "--shutdown", "yes",
+        "drive",
+        "--addr",
+        &addr,
+        "--pes",
+        "64",
+        "--events",
+        "2",
+        "--shutdown",
+        "yes",
     ]);
     guard.wait_graceful();
 

@@ -1,0 +1,135 @@
+//! A small blocking client for the cluster-admin ops.
+//!
+//! The regular service protocol through a router is spoken by the
+//! ordinary [`partalloc_service::TcpClient`] — a router is
+//! wire-compatible with a node. This client adds the `cluster-*`
+//! admin plane, whose replies are not service [`Response`]s.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use partalloc_service::{parse_response_line, ErrorReply, Response};
+
+use crate::proto::{ClusterReply, ClusterRequest, NodeInfo, NodeSnapshot, NodeStats};
+
+/// Why a cluster-admin call failed.
+#[derive(Debug)]
+pub enum ClusterClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The router refused the op with a service-style error reply.
+    Rejected(ErrorReply),
+    /// The reply line was not a cluster reply at all.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClusterClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClusterClientError::Rejected(e) => write!(f, "rejected ({:?}): {}", e.code, e.message),
+            ClusterClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterClientError {}
+
+impl From<io::Error> for ClusterClientError {
+    fn from(e: io::Error) -> Self {
+        ClusterClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a running router's admin plane.
+pub struct ClusterClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ClusterClient {
+    /// Connect to a router at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ClusterClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one admin op and parse its reply.
+    pub fn call(&mut self, req: &ClusterRequest) -> Result<ClusterReply, ClusterClientError> {
+        let line =
+            serde_json::to_string(req).map_err(|e| ClusterClientError::Protocol(e.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClusterClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "router closed the connection",
+            )));
+        }
+        let trimmed = reply.trim_end();
+        if let Ok(parsed) = serde_json::from_str::<ClusterReply>(trimmed) {
+            return Ok(parsed);
+        }
+        match parse_response_line(trimmed) {
+            Ok((_, Response::Error(e))) => Err(ClusterClientError::Rejected(e)),
+            Ok((_, other)) => Err(ClusterClientError::Protocol(format!(
+                "expected a cluster reply, got {other:?}"
+            ))),
+            Err(e) => Err(ClusterClientError::Protocol(e)),
+        }
+    }
+
+    /// Fetch the membership table.
+    pub fn info(&mut self) -> Result<(String, Vec<NodeInfo>), ClusterClientError> {
+        match self.call(&ClusterRequest::ClusterInfo)? {
+            ClusterReply::ClusterInfo { router, nodes } => Ok((router, nodes)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Admit (or re-admit) a node by address; returns the new table.
+    pub fn join(&mut self, addr: &str) -> Result<Vec<NodeInfo>, ClusterClientError> {
+        match self.call(&ClusterRequest::ClusterJoin {
+            addr: addr.to_owned(),
+        })? {
+            ClusterReply::ClusterInfo { nodes, .. } => Ok(nodes),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Retire a node slot; returns the new table.
+    pub fn leave(&mut self, node: usize) -> Result<Vec<NodeInfo>, ClusterClientError> {
+        match self.call(&ClusterRequest::ClusterLeave { node })? {
+            ClusterReply::ClusterInfo { nodes, .. } => Ok(nodes),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Capture one snapshot per live node.
+    pub fn snapshots(&mut self) -> Result<Vec<NodeSnapshot>, ClusterClientError> {
+        match self.call(&ClusterRequest::ClusterSnapshot)? {
+            ClusterReply::ClusterSnapshot { snapshots } => Ok(snapshots),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetch the raw per-node stats replies.
+    pub fn stats_per_node(&mut self) -> Result<Vec<NodeStats>, ClusterClientError> {
+        match self.call(&ClusterRequest::ClusterStats)? {
+            ClusterReply::ClusterStats { nodes } => Ok(nodes),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    fn unexpected(reply: &ClusterReply) -> ClusterClientError {
+        ClusterClientError::Protocol(format!("unexpected cluster reply {reply:?}"))
+    }
+}

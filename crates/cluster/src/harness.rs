@@ -1,0 +1,114 @@
+//! An in-process N-node cluster for tests, benches and the CLI's
+//! cluster bench: N node daemons plus one router, all on ephemeral
+//! loopback ports, with handles to every layer so tests can kill a
+//! node mid-drive and still inspect its core.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use partalloc_obs::Recorder;
+use partalloc_service::{Server, ServiceConfig, ServiceCore};
+
+use crate::net::ClusterServer;
+use crate::router::{ClusterConfig, ClusterCore};
+
+/// A running cluster: node daemons behind one router.
+pub struct ClusterHarness {
+    nodes: Vec<Option<Server>>,
+    cores: Vec<Arc<ServiceCore>>,
+    router: Option<ClusterServer>,
+    router_core: Arc<ClusterCore>,
+}
+
+impl ClusterHarness {
+    /// Spawn `n` nodes (node `i` from `make_config(i)`) and a router
+    /// over them, tuned by `tune` (retries, timeouts, policy).
+    pub fn spawn(
+        n: usize,
+        make_config: impl Fn(usize) -> ServiceConfig,
+        tune: impl FnOnce(ClusterConfig) -> ClusterConfig,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> io::Result<Self> {
+        let mut nodes = Vec::with_capacity(n);
+        let mut cores = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for i in 0..n {
+            let core = Arc::new(ServiceCore::new(make_config(i)).map_err(io::Error::other)?);
+            let server = Server::spawn(Arc::clone(&core), "127.0.0.1:0")?;
+            addrs.push(server.local_addr().to_string());
+            cores.push(core);
+            nodes.push(Some(server));
+        }
+        let config = tune(ClusterConfig::new(addrs));
+        let mut core = ClusterCore::new(config).map_err(io::Error::other)?;
+        if let Some(rec) = recorder {
+            core = core.with_recorder(rec);
+        }
+        let router_core = Arc::new(core);
+        let router = ClusterServer::spawn(Arc::clone(&router_core), "127.0.0.1:0")?;
+        Ok(ClusterHarness {
+            nodes,
+            cores,
+            router: Some(router),
+            router_core,
+        })
+    }
+
+    /// The router's dial address.
+    pub fn router_addr(&self) -> std::net::SocketAddr {
+        self.router
+            .as_ref()
+            .expect("router is running")
+            .local_addr()
+    }
+
+    /// Node `i`'s own dial address (to bypass the router).
+    pub fn node_addr(&self, i: usize) -> Option<std::net::SocketAddr> {
+        self.nodes[i].as_ref().map(Server::local_addr)
+    }
+
+    /// The shared router core.
+    pub fn router_core(&self) -> Arc<ClusterCore> {
+        Arc::clone(&self.router_core)
+    }
+
+    /// Node `i`'s service core — alive even after the node's server
+    /// was killed, so tests can snapshot a dead node's final state.
+    pub fn node_core(&self, i: usize) -> Arc<ServiceCore> {
+        Arc::clone(&self.cores[i])
+    }
+
+    /// How many nodes were spawned.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// No nodes at all?
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Fail-stop node `i`: shut its TCP server down hard. The router
+    /// discovers the death on its next forward. Idempotent.
+    pub fn kill_node(&mut self, i: usize) {
+        if let Some(server) = self.nodes[i].take() {
+            server.core().begin_shutdown();
+            server.shutdown(Duration::ZERO);
+        }
+    }
+
+    /// Shut everything down: the router first, then every node still
+    /// alive.
+    pub fn shutdown(mut self, grace: Duration) {
+        if let Some(router) = self.router.take() {
+            router.shutdown(grace);
+        }
+        for node in self.nodes.iter_mut() {
+            if let Some(server) = node.take() {
+                server.core().begin_shutdown();
+                server.shutdown(grace);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # partalloc-cluster
+//!
+//! The cluster plane: one **stateless routing tier** multiplexes the
+//! NDJSON service protocol across N `partalloc-service` daemon nodes,
+//! so the paper's partitionable machine scales past one process
+//! without giving up the properties the lower layers earned —
+//! exactly-once mutations, deterministic replay, and end-to-end trace
+//! propagation (`DESIGN.md` §14).
+//!
+//! Four pieces:
+//!
+//! * **Membership** ([`Membership`], [`NodeState`]): an append-only
+//!   slot table (at most [`MAX_NODES`] nodes ever) with
+//!   up/degraded/down/removed lifecycle, and the task-id bijection
+//!   ([`encode_task`]/[`decode_task`]) that lets a departure find its
+//!   node with no directory at all.
+//! * **Routing** ([`ClusterCore`], [`ClusterConfig`]): arrivals hash
+//!   onto the consistent ring over the live slots (or pin by size
+//!   class); node death reroutes with the *same key*, which the
+//!   ring's minimal-movement property makes equivalent to a graceful
+//!   leave — the keystone of the cluster's chaos-convergence
+//!   guarantee. Health, `req_id` dedupe derivation and trace contexts
+//!   all flow through, so retries replay instead of double-applying
+//!   and `palloc trace` reconstructs client → router → node → shard
+//!   trees.
+//! * **Transport** ([`ClusterServer`], [`ClusterClient`]): the same
+//!   bounded-line NDJSON-over-TCP discipline as a node, plus the
+//!   `cluster-*` admin ops ([`ClusterRequest`]) for join/leave,
+//!   per-node snapshots and per-node stats.
+//! * **Harness** ([`ClusterHarness`]): an in-process N-node cluster
+//!   on ephemeral ports for tests and the `palloc cluster --bench`
+//!   driver, with node-kill at any moment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod harness;
+mod member;
+mod metrics;
+mod net;
+mod proto;
+mod router;
+
+pub use client::{ClusterClient, ClusterClientError};
+pub use harness::ClusterHarness;
+pub use member::{
+    decode_task, encode_task, Member, Membership, MembershipError, NodeState, MAX_NODES, NODE_BITS,
+};
+pub use metrics::{merge_stats, RouterMetrics};
+pub use net::{ClusterServer, MAX_LINE_BYTES};
+pub use proto::{
+    cluster_reply_line, parse_cluster_request, ClusterReply, ClusterRequest, NodeInfo,
+    NodeSnapshot, NodeStats,
+};
+pub use router::{ClusterConfig, ClusterCore, ClusterError, NodeLinks};

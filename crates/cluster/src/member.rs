@@ -1,0 +1,295 @@
+//! Node membership: the router's table of daemon nodes, their
+//! lifecycle states, and the task-id bijection that keeps departure
+//! routing stateless.
+//!
+//! # Slots are forever
+//!
+//! A node joins into a *slot* — an index in the membership table —
+//! and keeps it for the cluster's lifetime: leaving marks the slot
+//! [`NodeState::Removed`] rather than compacting the table, so the
+//! cluster-visible task ids minted while the node was alive keep
+//! decoding to the right slot. The table is therefore append-only,
+//! capped at [`MAX_NODES`] slots.
+//!
+//! # The task-id bijection
+//!
+//! A node hands out its own dense task ids; the router re-encodes
+//! them as `(node_task << NODE_BITS) | slot` before replying. A later
+//! `depart` decodes the slot straight out of the task id — no routing
+//! table, no directory, nothing for the router to lose. The price is
+//! a [`MAX_NODES`]-way split of the id space, which still leaves
+//! `2^58` tasks per node.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Bits of a cluster task id reserved for the node slot.
+pub const NODE_BITS: u32 = 6;
+
+/// Maximum nodes a cluster can ever have joined (slot capacity).
+pub const MAX_NODES: usize = 1 << NODE_BITS;
+
+/// Re-encode a node-local task id as a cluster task id.
+pub fn encode_task(slot: usize, node_task: u64) -> u64 {
+    (node_task << NODE_BITS) | slot as u64
+}
+
+/// Split a cluster task id back into `(slot, node_task)`.
+pub fn decode_task(task: u64) -> (usize, u64) {
+    ((task & (MAX_NODES as u64 - 1)) as usize, task >> NODE_BITS)
+}
+
+/// A node's lifecycle state, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Reachable and serving.
+    Up,
+    /// Reachable, but its health ledger shows absorbed shard faults.
+    Degraded,
+    /// Unreachable: a forward or probe failed and nothing has revived
+    /// it since. Down nodes are skipped at ring-lookup time, which is
+    /// equivalent to a ring rebuilt without them.
+    Down,
+    /// Gracefully left the cluster; the slot is retired.
+    Removed,
+}
+
+impl NodeState {
+    /// The Prometheus label value (`up` / `degraded` / `down` /
+    /// `removed`).
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeState::Up => "up",
+            NodeState::Degraded => "degraded",
+            NodeState::Down => "down",
+            NodeState::Removed => "removed",
+        }
+    }
+}
+
+/// One membership slot.
+#[derive(Debug)]
+pub struct Member {
+    addr: String,
+    removed: AtomicBool,
+    down: AtomicBool,
+    /// Requests forwarded to this node (the per-node counter behind
+    /// `partalloc_cluster_forwarded_total`).
+    forwarded: AtomicU64,
+}
+
+impl Member {
+    fn new(addr: String) -> Self {
+        Member {
+            addr,
+            removed: AtomicBool::new(false),
+            down: AtomicBool::new(false),
+            forwarded: AtomicU64::new(0),
+        }
+    }
+
+    /// The node's dial address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Is the slot retired?
+    pub fn is_removed(&self) -> bool {
+        self.removed.load(Ordering::SeqCst)
+    }
+
+    /// Is the node currently marked unreachable?
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Routable right now?
+    pub fn is_alive(&self) -> bool {
+        !self.is_removed() && !self.is_down()
+    }
+
+    /// Requests forwarded to this node so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Count one forward.
+    pub fn count_forward(&self) {
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Why a membership change was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipError {
+    /// All [`MAX_NODES`] slots are taken.
+    Full,
+    /// The named slot does not exist.
+    NoSuchNode(usize),
+    /// The named slot has already been removed.
+    AlreadyRemoved(usize),
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::Full => write!(f, "cluster is full ({MAX_NODES} slots)"),
+            MembershipError::NoSuchNode(i) => write!(f, "no node {i}"),
+            MembershipError::AlreadyRemoved(i) => write!(f, "node {i} has already left"),
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// The append-only membership table.
+#[derive(Debug, Default)]
+pub struct Membership {
+    members: RwLock<Vec<Member>>,
+}
+
+impl Membership {
+    /// Seed the table with the initial node addresses, slot `i` for
+    /// `addrs[i]`.
+    pub fn new(addrs: impl IntoIterator<Item = String>) -> Self {
+        Membership {
+            members: RwLock::new(addrs.into_iter().map(Member::new).collect()),
+        }
+    }
+
+    /// How many slots exist (including removed and down ones).
+    pub fn len(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// No slots at all?
+    pub fn is_empty(&self) -> bool {
+        self.members.read().is_empty()
+    }
+
+    /// The slots that are routable right now, in slot order.
+    pub fn alive(&self) -> Vec<usize> {
+        self.members
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_alive())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The dial address of slot `slot`, if it exists.
+    pub fn addr(&self, slot: usize) -> Option<String> {
+        self.members.read().get(slot).map(|m| m.addr.clone())
+    }
+
+    /// Run `f` over every slot as `(slot, member)`.
+    pub fn for_each<F: FnMut(usize, &Member)>(&self, mut f: F) {
+        for (i, m) in self.members.read().iter().enumerate() {
+            f(i, m);
+        }
+    }
+
+    /// Count one forward to `slot`.
+    pub fn count_forward(&self, slot: usize) {
+        if let Some(m) = self.members.read().get(slot) {
+            m.count_forward();
+        }
+    }
+
+    /// Mark `slot` unreachable; returns `true` when this call made the
+    /// transition (so callers emit the `node_down` span exactly once).
+    pub fn mark_down(&self, slot: usize) -> bool {
+        match self.members.read().get(slot) {
+            Some(m) => !m.down.swap(true, Ordering::SeqCst),
+            None => false,
+        }
+    }
+
+    /// Mark `slot` reachable again (a probe answered); returns `true`
+    /// when this call made the transition.
+    pub fn revive(&self, slot: usize) -> bool {
+        match self.members.read().get(slot) {
+            Some(m) if !m.is_removed() => m.down.swap(false, Ordering::SeqCst),
+            _ => false,
+        }
+    }
+
+    /// Join `addr` into the cluster: revive its old slot when the
+    /// address is already known, otherwise append a fresh slot.
+    /// Returns the slot index.
+    pub fn join(&self, addr: &str) -> Result<usize, MembershipError> {
+        let mut members = self.members.write();
+        if let Some(i) = members.iter().position(|m| m.addr == addr) {
+            members[i].removed.store(false, Ordering::SeqCst);
+            members[i].down.store(false, Ordering::SeqCst);
+            return Ok(i);
+        }
+        if members.len() >= MAX_NODES {
+            return Err(MembershipError::Full);
+        }
+        members.push(Member::new(addr.to_owned()));
+        Ok(members.len() - 1)
+    }
+
+    /// Retire `slot` gracefully.
+    pub fn leave(&self, slot: usize) -> Result<(), MembershipError> {
+        let members = self.members.read();
+        let m = members.get(slot).ok_or(MembershipError::NoSuchNode(slot))?;
+        if m.removed.swap(true, Ordering::SeqCst) {
+            return Err(MembershipError::AlreadyRemoved(slot));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_ids_roundtrip_the_bijection() {
+        for slot in [0usize, 1, 5, MAX_NODES - 1] {
+            for local in [0u64, 1, 7, 1 << 40] {
+                let cluster = encode_task(slot, local);
+                assert_eq!(decode_task(cluster), (slot, local));
+            }
+        }
+        // Distinct (slot, local) pairs never collide.
+        assert_ne!(encode_task(0, 1), encode_task(1, 0));
+        assert_ne!(encode_task(2, 3), encode_task(3, 2));
+    }
+
+    #[test]
+    fn lifecycle_up_down_leave_join() {
+        let m = Membership::new(["a:1".into(), "b:2".into(), "c:3".into()]);
+        assert_eq!(m.alive(), vec![0, 1, 2]);
+        assert!(m.mark_down(1));
+        assert!(!m.mark_down(1), "second mark is not a transition");
+        assert_eq!(m.alive(), vec![0, 2]);
+        assert!(m.revive(1));
+        assert_eq!(m.alive(), vec![0, 1, 2]);
+
+        m.leave(2).unwrap();
+        assert_eq!(m.alive(), vec![0, 1]);
+        assert_eq!(m.leave(2), Err(MembershipError::AlreadyRemoved(2)));
+        assert!(!m.revive(2), "removed slots do not revive by probe");
+
+        // Rejoining a known address revives its old slot...
+        assert_eq!(m.join("c:3").unwrap(), 2);
+        assert_eq!(m.alive(), vec![0, 1, 2]);
+        // ...and a new address appends a fresh one.
+        assert_eq!(m.join("d:4").unwrap(), 3);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn join_caps_at_max_nodes() {
+        let m = Membership::new((0..MAX_NODES).map(|i| format!("n{i}:1")));
+        assert_eq!(m.join("late:1"), Err(MembershipError::Full));
+        // A known address still rejoins even at capacity.
+        m.leave(3).unwrap();
+        assert_eq!(m.join("n3:1").unwrap(), 3);
+    }
+}

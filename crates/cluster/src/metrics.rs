@@ -1,0 +1,166 @@
+//! Router-side counters and the cluster-wide stats merge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use partalloc_service::{
+    BatchSizeSummary, LatencySummary, ServiceHealth, ServiceStats, ShardGauge,
+};
+
+/// Live counters of what the routing tier has done.
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Arrivals re-forwarded to a different node after their first
+    /// pick went down mid-request.
+    pub reroutes: AtomicU64,
+    /// Requests answered with an error reply by the router itself.
+    pub errors: AtomicU64,
+    /// `cluster-join` admissions.
+    pub joins: AtomicU64,
+    /// `cluster-leave` retirements.
+    pub leaves: AtomicU64,
+}
+
+impl RouterMetrics {
+    /// Bump `counter` by one.
+    pub fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read `counter`.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Merge per-node `stats` replies into one cluster-wide
+/// [`ServiceStats`]: counters sum, the per-shard gauge vectors
+/// concatenate in node order with shard indices re-numbered into one
+/// flat cluster-wide sequence, and the algorithm/machine fields come
+/// from the first node (a cluster runs one algorithm). Latency and
+/// batch-size quantiles cannot be merged from summaries and are
+/// reported as all-zero — scrape the nodes directly for those.
+pub fn merge_stats(per_node: &[(usize, ServiceStats)]) -> ServiceStats {
+    let mut merged = ServiceStats {
+        arrivals: 0,
+        departures: 0,
+        load_queries: 0,
+        snapshots: 0,
+        stats_queries: 0,
+        metrics_queries: 0,
+        dump_requests: 0,
+        pings: 0,
+        errors: 0,
+        dedupe_replays: 0,
+        realloc_epochs: 0,
+        migrations: 0,
+        physical_migrations: 0,
+        shard_max_loads: Vec::new(),
+        algorithm: String::new(),
+        pes_per_shard: 0,
+        shard_gauges: Vec::new(),
+        health: ServiceHealth::default(),
+        latency: LatencySummary {
+            count: 0,
+            p50_ns: 0,
+            p90_ns: 0,
+            p99_ns: 0,
+            p999_ns: 0,
+            max_ns: 0,
+        },
+        batch_sizes: BatchSizeSummary {
+            batches: 0,
+            p50_items: 0,
+            p90_items: 0,
+            p99_items: 0,
+            max_items: 0,
+        },
+    };
+    for (_, stats) in per_node {
+        if merged.algorithm.is_empty() {
+            merged.algorithm = stats.algorithm.clone();
+            merged.pes_per_shard = stats.pes_per_shard;
+        }
+        merged.arrivals += stats.arrivals;
+        merged.departures += stats.departures;
+        merged.load_queries += stats.load_queries;
+        merged.snapshots += stats.snapshots;
+        merged.stats_queries += stats.stats_queries;
+        merged.metrics_queries += stats.metrics_queries;
+        merged.dump_requests += stats.dump_requests;
+        merged.pings += stats.pings;
+        merged.errors += stats.errors;
+        merged.dedupe_replays += stats.dedupe_replays;
+        merged.realloc_epochs += stats.realloc_epochs;
+        merged.migrations += stats.migrations;
+        merged.physical_migrations += stats.physical_migrations;
+        merged
+            .shard_max_loads
+            .extend(stats.shard_max_loads.iter().copied());
+        for g in &stats.shard_gauges {
+            merged.shard_gauges.push(ShardGauge {
+                shard: merged.shard_gauges.len(),
+                ..*g
+            });
+        }
+        merged.latency.count += stats.latency.count;
+        merged.latency.max_ns = merged.latency.max_ns.max(0);
+        merged.batch_sizes.batches += stats.batch_sizes.batches;
+        merged
+            .health
+            .shard_degraded
+            .extend(stats.health.shard_degraded.iter().copied());
+        merged
+            .health
+            .shard_recoveries
+            .extend(stats.health.shard_recoveries.iter().copied());
+        merged.health.faults_injected += stats.health.faults_injected;
+        merged
+            .health
+            .flight_dumps
+            .extend(stats.health.flight_dumps.iter().cloned());
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(arrivals: u64, gauges: usize) -> ServiceStats {
+        let mut s = merge_stats(&[]);
+        s.arrivals = arrivals;
+        s.algorithm = "A_G".into();
+        s.pes_per_shard = 8;
+        s.shard_gauges = (0..gauges)
+            .map(|i| ShardGauge {
+                shard: i,
+                load_current: 1,
+                peak_load: 2,
+                peak_active_size: 8,
+                lstar: 1,
+            })
+            .collect();
+        s.health.shard_degraded = vec![0; gauges];
+        s.health.shard_recoveries = vec![0; gauges];
+        s
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_renumber() {
+        let merged = merge_stats(&[(0, stats(3, 2)), (2, stats(4, 2))]);
+        assert_eq!(merged.arrivals, 7);
+        assert_eq!(merged.algorithm, "A_G");
+        assert_eq!(merged.pes_per_shard, 8);
+        let shards: Vec<usize> = merged.shard_gauges.iter().map(|g| g.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3]);
+        assert_eq!(merged.health.shard_degraded.len(), 4);
+    }
+
+    #[test]
+    fn empty_merge_is_all_zero() {
+        let merged = merge_stats(&[]);
+        assert_eq!(merged.arrivals, 0);
+        assert!(merged.shard_gauges.is_empty());
+        assert!(merged.algorithm.is_empty());
+    }
+}

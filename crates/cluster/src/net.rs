@@ -1,22 +1,12 @@
-//! The TCP transport: newline-delimited JSON over `std::net`, one
-//! thread per connection.
+//! The router's TCP front: the same NDJSON-over-TCP discipline as the
+//! node daemon ([`partalloc_service::Server`]), one thread per client
+//! connection, each with its own [`NodeLinks`] pool of forwarding
+//! connections.
 //!
-//! A connection reads one request per line and writes one response per
-//! line; lines that do not parse get a `bad-request` error reply and
-//! the connection keeps going — nothing a client sends can kill the
-//! daemon. Lines are read through a bounded buffer
-//! ([`ServiceConfig::max_line_bytes`](crate::server::ServiceConfig)):
-//! an overlong line is drained without being stored, answered with
+//! The bounded line reader mirrors the node server's: an overlong
+//! request line is drained without being stored, answered with
 //! `bad-request`, and the connection resynchronizes at the next
-//! newline. A line may carry a `req_id` envelope field; the core then
-//! treats retries of that id as replays (see
-//! [`ServiceCore::handle_with_id`]). Shutdown is graceful: a
-//! `shutdown` request (or
-//! [`Server::shutdown`]) flips the core's flag, the accept loop is
-//! poked awake by a loop-back connection and exits, live connections
-//! get a grace period to finish their in-flight dialogue, and any
-//! still open after the grace are force-closed via
-//! [`TcpStream::shutdown`] so the drain always terminates.
+//! newline — nothing a client sends exhausts the router's memory.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -26,33 +16,36 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::metrics::Log2Histogram;
-use crate::proto::{parse_request_envelope, response_line};
-use crate::server::ServiceCore;
+use crate::router::{ClusterCore, NodeLinks};
+
+/// Cap on one request line through the router, matching the node
+/// daemon's default.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 type ConnSlot = (TcpStream, JoinHandle<()>);
 
-/// A running NDJSON-over-TCP server around a shared [`ServiceCore`].
-pub struct Server {
-    core: Arc<ServiceCore>,
+/// A running NDJSON-over-TCP routing tier around a shared
+/// [`ClusterCore`].
+pub struct ClusterServer {
+    core: Arc<ClusterCore>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<ConnSlot>>>,
 }
 
-impl Server {
+impl ClusterServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start
-    /// accepting connections.
-    pub fn spawn(core: Arc<ServiceCore>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+    /// accepting client connections.
+    pub fn spawn(core: Arc<ClusterCore>, addr: impl ToSocketAddrs) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_core = Arc::clone(&core);
         let accept_conns = Arc::clone(&conns);
         let accept_thread = thread::Builder::new()
-            .name("partalloc-accept".into())
+            .name("partalloc-router-accept".into())
             .spawn(move || accept_loop(listener, accept_core, accept_conns))?;
-        Ok(Server {
+        Ok(ClusterServer {
             core,
             addr,
             accept_thread: Some(accept_thread),
@@ -66,12 +59,12 @@ impl Server {
     }
 
     /// The shared core.
-    pub fn core(&self) -> Arc<ServiceCore> {
+    pub fn core(&self) -> Arc<ClusterCore> {
         Arc::clone(&self.core)
     }
 
     /// Block until a `shutdown` request flips the core's flag, then
-    /// drain and return. This is what `palloc serve` runs.
+    /// drain and return. This is what `palloc router` runs.
     pub fn run_until_shutdown(self, grace: Duration) {
         while !self.core.is_shutting_down() {
             thread::sleep(Duration::from_millis(10));
@@ -86,14 +79,11 @@ impl Server {
     }
 
     fn finish(mut self, grace: Duration) {
-        // Poke the accept loop awake; it sees the flag and exits. The
-        // connect also covers the race where a real client grabbed the
-        // wakeup slot: accept keeps looping until the flag is visible.
+        // Poke the accept loop awake; it sees the flag and exits.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Grace period: let live connections finish their dialogue.
         let deadline = Instant::now() + grace;
         loop {
             let mut conns = self.conns.lock();
@@ -102,7 +92,6 @@ impl Server {
                 return;
             }
             if Instant::now() >= deadline {
-                // Force-close the stragglers; their reads error out.
                 for (stream, _) in conns.iter() {
                     let _ = stream.shutdown(Shutdown::Both);
                 }
@@ -119,7 +108,7 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, core: Arc<ServiceCore>, conns: Arc<Mutex<Vec<ConnSlot>>>) {
+fn accept_loop(listener: TcpListener, core: Arc<ClusterCore>, conns: Arc<Mutex<Vec<ConnSlot>>>) {
     for incoming in listener.incoming() {
         if core.is_shutting_down() {
             break;
@@ -130,7 +119,7 @@ fn accept_loop(listener: TcpListener, core: Arc<ServiceCore>, conns: Arc<Mutex<V
         };
         let conn_core = Arc::clone(&core);
         let spawned = thread::Builder::new()
-            .name("partalloc-conn".into())
+            .name("partalloc-router-conn".into())
             .spawn(move || serve_conn(conn_core, stream));
         if let Ok(handle) = spawned {
             let mut conns = conns.lock();
@@ -140,80 +129,62 @@ fn accept_loop(listener: TcpListener, core: Arc<ServiceCore>, conns: Arc<Mutex<V
     }
 }
 
-fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
+fn serve_conn(core: Arc<ClusterCore>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let cap = core.config().max_line_bytes;
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let mut line = Vec::new();
+    let mut links = NodeLinks::new();
     loop {
-        // Echo the request's trace context on the reply so the client
-        // side of a span stream can correlate without guessing.
-        let mut trace = None;
-        let resp = match read_bounded_line(&mut reader, &mut line, cap) {
-            // Client closed, force-closed during drain, or I/O error.
+        let reply = match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES) {
             Ok(LineRead::Eof) | Err(_) => break,
-            Ok(LineRead::TooLong) => core.malformed(format!("request line exceeds {cap} bytes")),
+            Ok(LineRead::TooLong) => {
+                error_line(format!("request line exceeds {MAX_LINE_BYTES} bytes"))
+            }
             Ok(LineRead::Line) => match std::str::from_utf8(&line) {
                 Ok(text) => {
                     let trimmed = text.trim();
                     if trimmed.is_empty() {
                         continue;
                     }
-                    // The wire `parse` stage: request line → envelope.
-                    let parse_start = Instant::now();
-                    let parsed = parse_request_envelope(trimmed);
-                    record_stage(&core.metrics().stages.parse, parse_start);
-                    match parsed {
-                        Ok((envelope, req)) => {
-                            trace = envelope.trace;
-                            core.handle_traced(envelope.req_id, envelope.trace, &req)
-                        }
-                        Err(e) => core.malformed(e),
-                    }
+                    core.handle_line(trimmed, &mut links)
                 }
-                Err(_) => core.malformed("request line is not valid UTF-8"),
+                Err(_) => error_line("request line is not valid UTF-8".to_owned()),
             },
         };
-        // The wire `settle` stage: response rendering + socket write.
-        let settle_start = Instant::now();
-        let Ok(mut json) = response_line(&resp, trace) else {
-            break;
-        };
+        let mut json = reply;
         json.push('\n');
         let wrote = writer
             .write_all(json.as_bytes())
             .and_then(|()| writer.flush());
-        record_stage(&core.metrics().stages.settle, settle_start);
         if wrote.is_err() {
             break;
         }
     }
 }
 
-/// Record the time since `start` into stage histogram `h`.
-fn record_stage(h: &Log2Histogram, start: Instant) {
-    h.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+/// A pre-rendered `bad-request` reply line.
+fn error_line(message: impl Into<String>) -> String {
+    use partalloc_service::{response_line, ErrorCode, Response};
+    let resp = Response::error(ErrorCode::BadRequest, message);
+    response_line(&resp, None)
+        .unwrap_or_else(|_| "{\"reply\":\"error\",\"code\":\"bad-request\"}".to_owned())
 }
 
 /// Outcome of one bounded line read.
 enum LineRead {
-    /// A complete line (without its newline) is in the buffer.
     Line,
-    /// The line exceeded the cap; it was drained but not stored.
     TooLong,
-    /// Clean end of stream with no pending partial line.
     Eof,
 }
 
 /// Read one `\n`-terminated line into `buf`, holding at most `cap`
-/// bytes: once a line overflows the cap, the rest of it is consumed
-/// and discarded so the stream resynchronizes at the newline, and the
-/// read reports [`LineRead::TooLong`]. An unterminated final line
-/// (EOF without `\n`) still counts as a line, mirroring `read_line`.
+/// bytes; an overlong line is drained but not stored (the stream
+/// resynchronizes at the newline). Same contract as the node server's
+/// reader.
 fn read_bounded_line<R: BufRead>(
     reader: &mut R,
     buf: &mut Vec<u8>,
@@ -272,46 +243,32 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
-    fn next(r: &mut impl BufRead, buf: &mut Vec<u8>, cap: usize) -> LineRead {
-        read_bounded_line(r, buf, cap).unwrap()
-    }
-
     #[test]
-    fn bounded_reader_splits_lines_and_reports_eof() {
-        let mut r = Cursor::new(&b"one\ntwo\nthree"[..]);
-        let mut buf = Vec::new();
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
-        assert_eq!(buf, b"one");
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
-        assert_eq!(buf, b"two");
-        // The unterminated tail still counts as a line...
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
-        assert_eq!(buf, b"three");
-        // ...and then the stream is cleanly done.
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Eof));
-    }
-
-    #[test]
-    fn overlong_lines_are_drained_not_buffered() {
-        let mut input = vec![b'x'; 100];
+    fn bounded_reader_matches_the_node_contract() {
+        let mut input = vec![b'x'; 64];
         input.push(b'\n');
         input.extend_from_slice(b"ok\n");
-        // A tiny BufReader forces the cap check across many refills.
         let mut r = BufReader::with_capacity(8, Cursor::new(input));
         let mut buf = Vec::new();
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::TooLong));
-        // Memory stayed bounded, and the stream resynchronized at the
-        // newline: the following line reads normally.
-        assert!(buf.capacity() <= 64);
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::Line));
+        assert!(matches!(
+            read_bounded_line(&mut r, &mut buf, 10).unwrap(),
+            LineRead::TooLong
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, &mut buf, 10).unwrap(),
+            LineRead::Line
+        ));
         assert_eq!(buf, b"ok");
+        assert!(matches!(
+            read_bounded_line(&mut r, &mut buf, 10).unwrap(),
+            LineRead::Eof
+        ));
     }
 
     #[test]
-    fn an_overlong_unterminated_tail_is_too_long() {
-        let mut r = BufReader::with_capacity(8, Cursor::new(vec![b'y'; 50]));
-        let mut buf = Vec::new();
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::TooLong));
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::Eof));
+    fn error_lines_render_as_service_errors() {
+        let line = error_line("nope");
+        assert!(line.contains("\"reply\":\"error\""), "{line}");
+        assert!(line.contains("bad-request"), "{line}");
     }
 }

@@ -1,0 +1,224 @@
+//! The cluster-admin extension of the NDJSON wire protocol.
+//!
+//! A router speaks the full service protocol (forwarded to nodes)
+//! *plus* a handful of `cluster-*` ops it answers itself. Admin ops
+//! use the same envelope rules as service ops — an optional `req_id`
+//! and an optional `trace` field are stripped before the op parses and
+//! the trace is echoed on the reply — so one client, one connection
+//! and one trace id cover both planes.
+//!
+//! ```text
+//! → {"op":"cluster-info"}
+//! ← {"reply":"cluster-info","router":"consistent-hash","nodes":[...]}
+//! → {"op":"cluster-join","addr":"127.0.0.1:7071"}
+//! → {"op":"cluster-leave","node":2}
+//! → {"op":"cluster-snapshot"}
+//! → {"op":"cluster-stats"}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use partalloc_obs::TraceContext;
+use partalloc_service::{ServiceSnapshot, ServiceStats};
+
+/// A cluster-admin request, tagged by `"op"` like a service request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "kebab-case", deny_unknown_fields)]
+pub enum ClusterRequest {
+    /// Describe the membership table and routing policy.
+    ClusterInfo,
+    /// Join (or rejoin) a node by address. The router probes the node
+    /// before admitting it.
+    ClusterJoin {
+        /// The node's NDJSON dial address.
+        addr: String,
+    },
+    /// Retire a node slot gracefully.
+    ClusterLeave {
+        /// The slot to retire.
+        node: usize,
+    },
+    /// Capture one service snapshot per live node.
+    ClusterSnapshot,
+    /// Fetch the raw per-node `stats` replies (the aggregate is what a
+    /// plain `stats` op returns).
+    ClusterStats,
+}
+
+impl ClusterRequest {
+    /// Stable label for spans and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClusterRequest::ClusterInfo => "cluster-info",
+            ClusterRequest::ClusterJoin { .. } => "cluster-join",
+            ClusterRequest::ClusterLeave { .. } => "cluster-leave",
+            ClusterRequest::ClusterSnapshot => "cluster-snapshot",
+            ClusterRequest::ClusterStats => "cluster-stats",
+        }
+    }
+}
+
+/// One node's row in a `cluster-info` reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// The node's slot index.
+    pub node: usize,
+    /// The node's dial address.
+    pub addr: String,
+    /// Lifecycle state label: `up`, `degraded`, `down`, or `removed`.
+    pub state: String,
+    /// Requests the router has forwarded to this node.
+    pub forwarded: u64,
+}
+
+/// One node's snapshot in a `cluster-snapshot` reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// The node's slot index.
+    pub node: usize,
+    /// The node's service snapshot.
+    pub snapshot: ServiceSnapshot,
+}
+
+/// One node's stats in a `cluster-stats` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// The node's slot index.
+    pub node: usize,
+    /// The node's raw `stats` reply.
+    pub stats: ServiceStats,
+}
+
+/// A cluster-admin reply, tagged by `"reply"` like a service response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "kebab-case")]
+pub enum ClusterReply {
+    /// The membership table.
+    ClusterInfo {
+        /// Node-routing policy spec.
+        router: String,
+        /// One row per slot, in slot order.
+        nodes: Vec<NodeInfo>,
+    },
+    /// One snapshot per live node, in slot order.
+    ClusterSnapshot {
+        /// The per-node snapshots.
+        snapshots: Vec<NodeSnapshot>,
+    },
+    /// One raw stats reply per live node, in slot order.
+    ClusterStats {
+        /// The per-node stats.
+        nodes: Vec<NodeStats>,
+    },
+}
+
+/// Serialize a cluster reply as one NDJSON line (no trailing
+/// newline), echoing the request's trace context when one was
+/// carried — the cluster twin of
+/// [`partalloc_service::response_line`].
+pub fn cluster_reply_line(
+    reply: &ClusterReply,
+    trace: Option<TraceContext>,
+) -> Result<String, serde_json::Error> {
+    let mut value = serde_json::to_value(reply)?;
+    if let (Some(ctx), Some(obj)) = (trace, value.as_object_mut()) {
+        obj.insert("trace".into(), serde_json::Value::from(ctx.to_string()));
+    }
+    serde_json::to_string(&value)
+}
+
+/// Parse one NDJSON line as a cluster-admin request, stripping the
+/// same `req_id`/`trace` envelope fields the service parser strips.
+/// `Err` means "not a cluster op" — the caller should fall through to
+/// the service protocol.
+pub fn parse_cluster_request(line: &str) -> Result<(Option<TraceContext>, ClusterRequest), String> {
+    let mut value: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let obj = value
+        .as_object_mut()
+        .ok_or_else(|| "request is not a JSON object".to_owned())?;
+    obj.remove("req_id");
+    let trace = match obj.remove("trace") {
+        None => None,
+        Some(v) => {
+            let text = v
+                .as_str()
+                .ok_or_else(|| format!("trace must be a string, got {v}"))?;
+            Some(text.parse::<TraceContext>().map_err(|e| e.to_string())?)
+        }
+    };
+    let req = serde_json::from_value(value).map_err(|e| e.to_string())?;
+    Ok((trace, req))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_ops_roundtrip_as_tagged_json() {
+        let reqs = [
+            ClusterRequest::ClusterInfo,
+            ClusterRequest::ClusterJoin {
+                addr: "127.0.0.1:7071".into(),
+            },
+            ClusterRequest::ClusterLeave { node: 2 },
+            ClusterRequest::ClusterSnapshot,
+            ClusterRequest::ClusterStats,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            assert!(json.contains("\"op\":\"cluster-"), "{json}");
+            let (trace, back) = parse_cluster_request(&json).unwrap();
+            assert_eq!(trace, None);
+            assert_eq!(back, req);
+        }
+        let (_, info) = parse_cluster_request(r#"{"op":"cluster-info"}"#).unwrap();
+        assert_eq!(info, ClusterRequest::ClusterInfo);
+        assert_eq!(info.label(), "cluster-info");
+    }
+
+    #[test]
+    fn envelope_fields_strip_like_the_service_parser() {
+        let line = r#"{"op":"cluster-leave","node":1,"req_id":9,"trace":"00000000000000ab-0000000000000001"}"#;
+        let (trace, req) = parse_cluster_request(line).unwrap();
+        assert_eq!(req, ClusterRequest::ClusterLeave { node: 1 });
+        assert_eq!(
+            trace.unwrap().to_string(),
+            "00000000000000ab-0000000000000001"
+        );
+    }
+
+    #[test]
+    fn service_ops_are_not_cluster_ops() {
+        for not_ours in [
+            r#"{"op":"arrive","size_log2":2}"#,
+            r#"{"op":"ping"}"#,
+            r#"{"op":"levitate"}"#,
+            "not json",
+        ] {
+            assert!(parse_cluster_request(not_ours).is_err(), "{not_ours:?}");
+        }
+    }
+
+    #[test]
+    fn replies_echo_the_trace() {
+        let reply = ClusterReply::ClusterInfo {
+            router: "consistent-hash".into(),
+            nodes: vec![NodeInfo {
+                node: 0,
+                addr: "127.0.0.1:1".into(),
+                state: "up".into(),
+                forwarded: 3,
+            }],
+        };
+        let ctx: TraceContext = "0000000000000001-0000000000000002".parse().unwrap();
+        let line = cluster_reply_line(&reply, Some(ctx)).unwrap();
+        assert!(line.contains("\"reply\":\"cluster-info\""), "{line}");
+        assert!(
+            line.contains("\"trace\":\"0000000000000001-0000000000000002\""),
+            "{line}"
+        );
+        let plain = cluster_reply_line(&reply, None).unwrap();
+        assert!(!plain.contains("trace"), "{plain}");
+    }
+}

@@ -1,0 +1,1162 @@
+//! The stateless routing tier: one [`ClusterCore`] multiplexes the
+//! full NDJSON service protocol across N daemon nodes.
+//!
+//! # Statelessness
+//!
+//! The router holds no allocation state at all — everything it needs
+//! to route is recomputable from the request line and the membership
+//! table:
+//!
+//! * **Arrivals** hash a stable per-request key onto the consistent
+//!   ring over the currently-alive slots ([`ring_owner`]), or pin by
+//!   size class. The key prefers the request's trace id, then its
+//!   `req_id`, then a local counter — a client *retry* resends the
+//!   byte-identical line, so traced/identified retries re-derive the
+//!   same key and land on the same node, where the node's dedupe
+//!   window replays the original reply.
+//! * **Departures** decode their destination straight out of the task
+//!   id via the [`member`](crate::member) bijection — no directory to
+//!   lose, so a router restart forgets nothing.
+//!
+//! # Fail-stop node handling
+//!
+//! The router assumes nodes are fail-stop: an I/O error on a forward
+//! is treated as node death. The slot is marked down (emitting one
+//! `node_down` span), and an *arrival* is rerouted — re-picked with
+//! the **same key** over the survivors, which by the ring's minimal-
+//! movement property is exactly where a ring rebuilt without the dead
+//! node would have sent it. That equivalence is what makes a chaos
+//! run that kills a node converge byte-identically with a run where
+//! the node gracefully left (asserted in `tests/cluster_e2e.rs`).
+//! Failed *batched* sub-requests are answered with `unavailable`
+//! errors instead of rerouting: replaying half a batch elsewhere
+//! would reorder arrivals on the survivors. Drive per event (or
+//! retry the batch) when byte-level convergence matters.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use partalloc_obs::{NullRecorder, PromText, Recorder, SpanEvent, TraceContext};
+use partalloc_service::{
+    mix64, parse_request_envelope, parse_response_line, request_line_traced, response_line,
+    ring_owner, BatchItem, ErrorCode, LoadReport, Request, RequestEnvelope, Response, RetryPolicy,
+    RouterKind, ServiceStats, ShardLoad, TcpClient,
+};
+
+use crate::member::{decode_task, encode_task, Membership, NodeState, MAX_NODES};
+use crate::metrics::{merge_stats, RouterMetrics};
+use crate::proto::{
+    cluster_reply_line, parse_cluster_request, ClusterReply, ClusterRequest, NodeInfo,
+    NodeSnapshot, NodeStats,
+};
+
+/// How a router is wired: nodes, node-routing policy, and the
+/// patience it extends to a flaky node before declaring it dead.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node dial addresses; index `i` becomes slot `i`.
+    pub nodes: Vec<String>,
+    /// Node-selection policy for arrivals. Only
+    /// [`RouterKind::ConsistentHash`] and [`RouterKind::SizeClass`]
+    /// are stateless enough for the routing tier.
+    pub router: RouterKind,
+    /// Extra forward attempts (reconnect + resend) per node before
+    /// the node is declared down.
+    pub forward_retries: u32,
+    /// Deadline for (re)connecting to a node.
+    pub connect_timeout: Duration,
+    /// Read/write deadline per forwarded request.
+    pub io_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A router over `nodes` with the defaults: consistent-hash
+    /// routing, 2 forward retries, 1s connect / 5s I/O deadlines.
+    pub fn new(nodes: Vec<String>) -> Self {
+        ClusterConfig {
+            nodes,
+            router: RouterKind::ConsistentHash,
+            forward_retries: 2,
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Set the node-routing policy.
+    pub fn router(mut self, kind: RouterKind) -> Self {
+        self.router = kind;
+        self
+    }
+
+    /// Set the forward retry count.
+    pub fn forward_retries(mut self, n: u32) -> Self {
+        self.forward_retries = n;
+        self
+    }
+
+    /// Set both node deadlines.
+    pub fn timeouts(mut self, connect: Duration, io: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+}
+
+/// Why a [`ClusterCore`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No node addresses were given.
+    NoNodes,
+    /// More than [`MAX_NODES`] seed nodes.
+    TooManyNodes(usize),
+    /// The policy needs per-shard load or a mutable cursor, which a
+    /// stateless tier cannot have.
+    UnsupportedRouter(&'static str),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoNodes => write!(f, "a cluster needs at least one node address"),
+            ClusterError::TooManyNodes(n) => {
+                write!(f, "{n} seed nodes exceed the {MAX_NODES}-slot capacity")
+            }
+            ClusterError::UnsupportedRouter(spec) => write!(
+                f,
+                "router {spec:?} is stateful; a routing tier supports consistent-hash or size-class"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One pooled forwarding connection to a node.
+struct NodeConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Per-client-connection pool of node connections. Each client
+/// connection gets its own links so one slow client never blocks
+/// another's forwards.
+#[derive(Default)]
+pub struct NodeLinks {
+    conns: HashMap<usize, NodeConn>,
+}
+
+impl NodeLinks {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn drop_conn(&mut self, slot: usize) {
+        self.conns.remove(&slot);
+    }
+
+    fn get_or_connect(
+        &mut self,
+        slot: usize,
+        addr: &str,
+        config: &ClusterConfig,
+    ) -> io::Result<&mut NodeConn> {
+        use std::collections::hash_map::Entry;
+        match self.conns.entry(slot) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => {
+                let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no address");
+                for sockaddr in std::net::ToSocketAddrs::to_socket_addrs(addr)? {
+                    match TcpStream::connect_timeout(&sockaddr, config.connect_timeout) {
+                        Ok(stream) => {
+                            stream.set_read_timeout(Some(config.io_timeout))?;
+                            stream.set_write_timeout(Some(config.io_timeout))?;
+                            let writer = stream.try_clone()?;
+                            return Ok(e.insert(NodeConn {
+                                reader: BufReader::new(stream),
+                                writer,
+                            }));
+                        }
+                        Err(err) => last = err,
+                    }
+                }
+                Err(last)
+            }
+        }
+    }
+}
+
+/// What a handled line produced: a service-shaped response or a
+/// cluster-admin reply.
+enum Reply {
+    Service(Response),
+    Cluster(ClusterReply),
+}
+
+/// The transport-independent routing tier.
+pub struct ClusterCore {
+    config: ClusterConfig,
+    members: Membership,
+    metrics: RouterMetrics,
+    recorder: Arc<dyn Recorder>,
+    /// Key source for unidentified, untraced arrivals.
+    fallback_key: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl ClusterCore {
+    /// Build a router over `config.nodes`.
+    pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        if config.nodes.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        if config.nodes.len() > MAX_NODES {
+            return Err(ClusterError::TooManyNodes(config.nodes.len()));
+        }
+        match config.router {
+            RouterKind::ConsistentHash | RouterKind::SizeClass => {}
+            other => return Err(ClusterError::UnsupportedRouter(other.spec())),
+        }
+        let members = Membership::new(config.nodes.iter().cloned());
+        Ok(ClusterCore {
+            config,
+            members,
+            metrics: RouterMetrics::default(),
+            recorder: Arc::new(NullRecorder),
+            fallback_key: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        })
+    }
+
+    /// Attach a span recorder (builder style).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The membership table.
+    pub fn members(&self) -> &Membership {
+        &self.members
+    }
+
+    /// The live router counters.
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.metrics
+    }
+
+    /// The configured node-routing policy.
+    pub fn router_kind(&self) -> RouterKind {
+        self.config.router
+    }
+
+    /// Has a `shutdown` been requested?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful shutdown of the routing tier.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Handle one NDJSON request line, forwarding through `links`,
+    /// and return the full reply line (no trailing newline).
+    pub fn handle_line(&self, line: &str, links: &mut NodeLinks) -> String {
+        let (trace, reply) = self.dispatch(line, links);
+        if let Reply::Service(Response::Error(_)) = reply {
+            RouterMetrics::incr(&self.metrics.errors);
+        }
+        let rendered = match &reply {
+            Reply::Service(resp) => response_line(resp, trace),
+            Reply::Cluster(resp) => cluster_reply_line(resp, trace),
+        };
+        rendered.unwrap_or_else(|e| {
+            format!(
+                "{{\"reply\":\"error\",\"code\":\"internal\",\"message\":\"render failed: {e}\"}}"
+            )
+        })
+    }
+
+    fn dispatch(&self, line: &str, links: &mut NodeLinks) -> (Option<TraceContext>, Reply) {
+        if is_cluster_line(line) {
+            return match parse_cluster_request(line) {
+                Ok((trace, req)) => (trace, self.handle_cluster(&req, links)),
+                Err(msg) => (
+                    None,
+                    Reply::Service(Response::error(ErrorCode::BadRequest, msg)),
+                ),
+            };
+        }
+        match parse_request_envelope(line) {
+            Ok((envelope, req)) => {
+                let reply = self.handle_service(&envelope, req, links);
+                (envelope.trace, Reply::Service(reply))
+            }
+            Err(msg) => (
+                None,
+                Reply::Service(Response::error(ErrorCode::BadRequest, msg)),
+            ),
+        }
+    }
+
+    // ---- service-protocol dispatch ---------------------------------
+
+    fn handle_service(
+        &self,
+        envelope: &RequestEnvelope,
+        req: Request,
+        links: &mut NodeLinks,
+    ) -> Response {
+        if self.is_shutting_down() && !matches!(req, Request::Ping | Request::Shutdown) {
+            return Response::error(ErrorCode::Unavailable, "router is shutting down");
+        }
+        match req {
+            Request::Arrive { size_log2 } => self.forward_arrive(envelope, size_log2, links),
+            Request::Depart { task } => self.forward_depart(envelope, task, links),
+            Request::Batch { items } => self.forward_batch(envelope, &items, links),
+            Request::QueryLoad => self.fanout_load(envelope, links),
+            Request::Stats => {
+                let per_node = self.fanout_stats(envelope, links);
+                Response::Stats(merge_stats(&per_node))
+            }
+            Request::Metrics => Response::Metrics {
+                text: self.prometheus_text(),
+            },
+            Request::Snapshot => Response::error(
+                ErrorCode::BadRequest,
+                "snapshots are per node behind a router; use op cluster-snapshot",
+            ),
+            Request::Dump => self.fanout_dump(envelope, links),
+            Request::Ping => Response::Pong,
+            Request::InjectFault { shard } => self.forward_fault(envelope, shard, links),
+            Request::Shutdown => {
+                for slot in self.members.alive() {
+                    let line = match request_line_traced(&Request::Shutdown, None, envelope.trace) {
+                        Ok(l) => l,
+                        Err(_) => continue,
+                    };
+                    let _ = self.forward_line(links, slot, &line, envelope.trace);
+                }
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// The stable routing key for an arrival: trace id, else `req_id`,
+    /// else a local counter. Retried lines are byte-identical, so
+    /// traced/identified retries re-derive the same key.
+    fn route_key(&self, envelope: &RequestEnvelope) -> u64 {
+        if let Some(ctx) = envelope.trace {
+            ctx.trace.0
+        } else if let Some(id) = envelope.req_id {
+            id
+        } else {
+            self.fallback_key.fetch_add(1, Ordering::Relaxed)
+        }
+    }
+
+    /// Pick the destination slot for an arrival among the live nodes.
+    fn pick_node(&self, key: u64, size_log2: u8) -> Option<usize> {
+        let alive = self.members.alive();
+        if alive.is_empty() {
+            return None;
+        }
+        match self.config.router {
+            RouterKind::SizeClass => Some(alive[size_log2 as usize % alive.len()]),
+            _ => ring_owner(key, &alive),
+        }
+    }
+
+    fn forward_arrive(
+        &self,
+        envelope: &RequestEnvelope,
+        size_log2: u8,
+        links: &mut NodeLinks,
+    ) -> Response {
+        let key = self.route_key(envelope);
+        let req = Request::Arrive { size_log2 };
+        let line = match request_line_traced(&req, envelope.req_id, envelope.trace) {
+            Ok(l) => l,
+            Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+        };
+        let mut failed_from: Option<usize> = None;
+        loop {
+            let Some(slot) = self.pick_node(key, size_log2) else {
+                return Response::error(ErrorCode::Unavailable, "no live nodes");
+            };
+            if let Some(from) = failed_from.take() {
+                RouterMetrics::incr(&self.metrics.reroutes);
+                self.recorder.record(
+                    SpanEvent::new("reroute", "router")
+                        .u64("from", from as u64)
+                        .u64("to", slot as u64)
+                        .with_trace_opt(envelope.trace),
+                );
+            }
+            match self.forward_line(links, slot, &line, envelope.trace) {
+                Ok(resp) => {
+                    self.record_route(slot, "arrive", envelope.trace);
+                    return rewrite_response(resp, slot);
+                }
+                Err(_) => {
+                    self.node_down(slot, envelope.trace, links);
+                    failed_from = Some(slot);
+                }
+            }
+        }
+    }
+
+    fn forward_depart(
+        &self,
+        envelope: &RequestEnvelope,
+        task: u64,
+        links: &mut NodeLinks,
+    ) -> Response {
+        let (slot, local) = decode_task(task);
+        match self.slot_status(slot) {
+            SlotStatus::Missing => {
+                return Response::error(
+                    ErrorCode::UnknownTask,
+                    format!("task {task} names node {slot}, which never joined"),
+                )
+            }
+            SlotStatus::Unserving => {
+                return Response::error(
+                    ErrorCode::Unavailable,
+                    format!("task {task} lives on node {slot}, which is not serving"),
+                )
+            }
+            SlotStatus::Alive => {}
+        }
+        let req = Request::Depart { task: local };
+        let line = match request_line_traced(&req, envelope.req_id, envelope.trace) {
+            Ok(l) => l,
+            Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+        };
+        match self.forward_line(links, slot, &line, envelope.trace) {
+            Ok(resp) => {
+                self.record_route(slot, "depart", envelope.trace);
+                rewrite_response(resp, slot)
+            }
+            Err(_) => {
+                self.node_down(slot, envelope.trace, links);
+                Response::error(
+                    ErrorCode::Unavailable,
+                    format!("node {slot} went down; retry when it returns"),
+                )
+            }
+        }
+    }
+
+    fn forward_batch(
+        &self,
+        envelope: &RequestEnvelope,
+        items: &[BatchItem],
+        links: &mut NodeLinks,
+    ) -> Response {
+        let base = self.route_key(envelope);
+        let mut results: Vec<Option<Response>> = vec![None; items.len()];
+        // Destination per item; routing errors answer the item in place.
+        let mut groups: std::collections::BTreeMap<usize, (Vec<BatchItem>, Vec<usize>)> =
+            std::collections::BTreeMap::new();
+        for (i, item) in items.iter().enumerate() {
+            match *item {
+                BatchItem::Arrive { size_log2 } => {
+                    match self.pick_node(mix64(base ^ i as u64), size_log2) {
+                        Some(slot) => {
+                            let g = groups.entry(slot).or_default();
+                            g.0.push(BatchItem::Arrive { size_log2 });
+                            g.1.push(i);
+                        }
+                        None => {
+                            results[i] =
+                                Some(Response::error(ErrorCode::Unavailable, "no live nodes"));
+                        }
+                    }
+                }
+                BatchItem::Depart { task } => {
+                    let (slot, local) = decode_task(task);
+                    match self.slot_status(slot) {
+                        SlotStatus::Missing => {
+                            results[i] = Some(Response::error(
+                                ErrorCode::UnknownTask,
+                                format!("task {task} names node {slot}, which never joined"),
+                            ));
+                        }
+                        SlotStatus::Unserving => {
+                            results[i] = Some(Response::error(
+                                ErrorCode::Unavailable,
+                                format!("task {task} lives on node {slot}, which is not serving"),
+                            ));
+                        }
+                        SlotStatus::Alive => {
+                            let g = groups.entry(slot).or_default();
+                            g.0.push(BatchItem::Depart { task: local });
+                            g.1.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        // Forward per-node sub-batches in ascending slot order. The
+        // sub-batch req_id is derived deterministically from the
+        // client's, so a client retry replays from each node's dedupe
+        // window instead of re-applying.
+        for (slot, (sub, idxs)) in groups {
+            let sub_id = envelope.req_id.map(|id| mix64(id ^ mix64(slot as u64 + 1)));
+            let req = Request::Batch { items: sub };
+            let line = match request_line_traced(&req, sub_id, envelope.trace) {
+                Ok(l) => l,
+                Err(e) => {
+                    let err = Response::error(ErrorCode::Internal, e.to_string());
+                    for &i in &idxs {
+                        results[i] = Some(err.clone());
+                    }
+                    continue;
+                }
+            };
+            match self.forward_line(links, slot, &line, envelope.trace) {
+                Ok(Response::Batch { results: sub_res }) if sub_res.len() == idxs.len() => {
+                    self.record_route(slot, "batch", envelope.trace);
+                    for (r, &i) in sub_res.into_iter().zip(&idxs) {
+                        results[i] = Some(rewrite_response(r, slot));
+                    }
+                }
+                Ok(other) => {
+                    let err = match other {
+                        Response::Error(e) => Response::Error(e),
+                        _ => Response::error(
+                            ErrorCode::Internal,
+                            format!("node {slot} answered a batch with a non-batch reply"),
+                        ),
+                    };
+                    for &i in &idxs {
+                        results[i] = Some(err.clone());
+                    }
+                }
+                Err(_) => {
+                    // No reroute mid-batch: replaying half a sub-batch
+                    // elsewhere would reorder arrivals on survivors.
+                    self.node_down(slot, envelope.trace, links);
+                    for &i in &idxs {
+                        results[i] = Some(Response::error(
+                            ErrorCode::Unavailable,
+                            format!("node {slot} went down mid-batch; retry the batch"),
+                        ));
+                    }
+                }
+            }
+        }
+        Response::Batch {
+            results: results
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|| {
+                        Response::error(ErrorCode::Internal, "item was never routed")
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn fanout_load(&self, envelope: &RequestEnvelope, links: &mut NodeLinks) -> Response {
+        let mut report = LoadReport {
+            max_load: 0,
+            active_tasks: 0,
+            active_size: 0,
+            shards: Vec::new(),
+        };
+        for slot in self.members.alive() {
+            let line = match request_line_traced(&Request::QueryLoad, None, envelope.trace) {
+                Ok(l) => l,
+                Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+            };
+            match self.forward_line(links, slot, &line, envelope.trace) {
+                Ok(Response::Load(node)) => {
+                    report.max_load = report.max_load.max(node.max_load);
+                    report.active_tasks += node.active_tasks;
+                    report.active_size += node.active_size;
+                    for s in node.shards {
+                        report.shards.push(ShardLoad {
+                            shard: report.shards.len(),
+                            ..s
+                        });
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => self.node_down(slot, envelope.trace, links),
+            }
+        }
+        Response::Load(report)
+    }
+
+    fn fanout_stats(
+        &self,
+        envelope: &RequestEnvelope,
+        links: &mut NodeLinks,
+    ) -> Vec<(usize, ServiceStats)> {
+        let mut per_node = Vec::new();
+        for slot in self.members.alive() {
+            let line = match request_line_traced(&Request::Stats, None, envelope.trace) {
+                Ok(l) => l,
+                Err(_) => continue,
+            };
+            match self.forward_line(links, slot, &line, envelope.trace) {
+                Ok(Response::Stats(stats)) => per_node.push((slot, stats)),
+                Ok(_) => {}
+                Err(_) => self.node_down(slot, envelope.trace, links),
+            }
+        }
+        per_node
+    }
+
+    fn fanout_dump(&self, envelope: &RequestEnvelope, links: &mut NodeLinks) -> Response {
+        let mut files = Vec::new();
+        let mut first_err: Option<Response> = None;
+        for slot in self.members.alive() {
+            let line = match request_line_traced(&Request::Dump, None, envelope.trace) {
+                Ok(l) => l,
+                Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+            };
+            match self.forward_line(links, slot, &line, envelope.trace) {
+                Ok(Response::Dumped { files: f }) => files.extend(f),
+                Ok(Response::Error(e)) => {
+                    first_err.get_or_insert(Response::Error(e));
+                }
+                Ok(_) => {}
+                Err(_) => self.node_down(slot, envelope.trace, links),
+            }
+        }
+        if files.is_empty() {
+            first_err.unwrap_or(Response::Dumped { files })
+        } else {
+            Response::Dumped { files }
+        }
+    }
+
+    fn forward_fault(
+        &self,
+        envelope: &RequestEnvelope,
+        shard: usize,
+        links: &mut NodeLinks,
+    ) -> Response {
+        // Cluster shard ids ride the same bijection as task ids.
+        let (slot, local) = decode_task(shard as u64);
+        match self.slot_status(slot) {
+            SlotStatus::Missing => {
+                return Response::error(
+                    ErrorCode::BadRequest,
+                    format!("shard {shard} names node {slot}, which never joined"),
+                )
+            }
+            SlotStatus::Unserving => {
+                return Response::error(
+                    ErrorCode::Unavailable,
+                    format!("shard {shard} lives on node {slot}, which is not serving"),
+                )
+            }
+            SlotStatus::Alive => {}
+        }
+        let req = Request::InjectFault {
+            shard: local as usize,
+        };
+        let line = match request_line_traced(&req, envelope.req_id, envelope.trace) {
+            Ok(l) => l,
+            Err(e) => return Response::error(ErrorCode::Internal, e.to_string()),
+        };
+        match self.forward_line(links, slot, &line, envelope.trace) {
+            Ok(Response::FaultInjected {
+                shard: node_shard,
+                recoveries,
+            }) => Response::FaultInjected {
+                shard: encode_task(slot, node_shard as u64) as usize,
+                recoveries,
+            },
+            Ok(other) => other,
+            Err(_) => {
+                self.node_down(slot, envelope.trace, links);
+                Response::error(ErrorCode::Unavailable, format!("node {slot} went down"))
+            }
+        }
+    }
+
+    // ---- cluster-admin dispatch ------------------------------------
+
+    fn handle_cluster(&self, req: &ClusterRequest, links: &mut NodeLinks) -> Reply {
+        match req {
+            ClusterRequest::ClusterInfo => Reply::Cluster(self.info_reply()),
+            ClusterRequest::ClusterJoin { addr } => {
+                // Probe before admitting: a node that cannot answer a
+                // ping would only blackhole traffic.
+                if self.probe(addr).is_none() {
+                    return Reply::Service(Response::error(
+                        ErrorCode::Unavailable,
+                        format!("node {addr} did not answer a stats probe; not admitted"),
+                    ));
+                }
+                match self.members.join(addr) {
+                    Ok(slot) => {
+                        RouterMetrics::incr(&self.metrics.joins);
+                        self.recorder
+                            .record(SpanEvent::new("node_join", "router").u64("node", slot as u64));
+                        Reply::Cluster(self.info_reply())
+                    }
+                    Err(e) => Reply::Service(Response::error(ErrorCode::BadRequest, e.to_string())),
+                }
+            }
+            ClusterRequest::ClusterLeave { node } => match self.members.leave(*node) {
+                Ok(()) => {
+                    RouterMetrics::incr(&self.metrics.leaves);
+                    self.recorder
+                        .record(SpanEvent::new("node_leave", "router").u64("node", *node as u64));
+                    Reply::Cluster(self.info_reply())
+                }
+                Err(e) => Reply::Service(Response::error(ErrorCode::BadRequest, e.to_string())),
+            },
+            ClusterRequest::ClusterSnapshot => {
+                let mut snapshots = Vec::new();
+                for slot in self.members.alive() {
+                    let line = match request_line_traced(&Request::Snapshot, None, None) {
+                        Ok(l) => l,
+                        Err(e) => {
+                            return Reply::Service(Response::error(
+                                ErrorCode::Internal,
+                                e.to_string(),
+                            ))
+                        }
+                    };
+                    match self.forward_line(links, slot, &line, None) {
+                        Ok(Response::Snapshot(snapshot)) => {
+                            snapshots.push(NodeSnapshot {
+                                node: slot,
+                                snapshot,
+                            });
+                        }
+                        Ok(Response::Error(e)) => return Reply::Service(Response::Error(e)),
+                        Ok(_) => {
+                            return Reply::Service(Response::error(
+                                ErrorCode::Internal,
+                                format!("node {slot} answered snapshot with a foreign reply"),
+                            ))
+                        }
+                        Err(e) => {
+                            self.node_down(slot, None, links);
+                            return Reply::Service(Response::error(
+                                ErrorCode::Unavailable,
+                                format!("node {slot} went down mid-snapshot: {e}"),
+                            ));
+                        }
+                    }
+                }
+                Reply::Cluster(ClusterReply::ClusterSnapshot { snapshots })
+            }
+            ClusterRequest::ClusterStats => {
+                let per_node = self.fanout_stats(&RequestEnvelope::default(), links);
+                Reply::Cluster(ClusterReply::ClusterStats {
+                    nodes: per_node
+                        .into_iter()
+                        .map(|(node, stats)| NodeStats { node, stats })
+                        .collect(),
+                })
+            }
+        }
+    }
+
+    fn info_reply(&self) -> ClusterReply {
+        ClusterReply::ClusterInfo {
+            router: self.config.router.spec().to_owned(),
+            nodes: self.node_rows(),
+        }
+    }
+
+    // ---- forwarding transport --------------------------------------
+
+    /// Forward one already-rendered request line to `slot`, retrying
+    /// reconnect-and-resend up to the configured budget. Resending the
+    /// identical line is safe for identified mutations (the node's
+    /// dedupe window replays) and harmless for queries.
+    fn forward_line(
+        &self,
+        links: &mut NodeLinks,
+        slot: usize,
+        line: &str,
+        _trace: Option<TraceContext>,
+    ) -> io::Result<Response> {
+        let addr = self
+            .members
+            .addr(slot)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no node {slot}")))?;
+        let mut last = io::Error::new(io::ErrorKind::NotConnected, "never attempted");
+        for attempt in 0..=self.config.forward_retries {
+            if attempt > 0 {
+                links.drop_conn(slot);
+            }
+            let conn = match links.get_or_connect(slot, &addr, &self.config) {
+                Ok(c) => c,
+                Err(e) => {
+                    last = e;
+                    continue;
+                }
+            };
+            match exchange(conn, line) {
+                Ok(resp) => {
+                    self.members.count_forward(slot);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    last = e;
+                    links.drop_conn(slot);
+                }
+            }
+        }
+        Err(last)
+    }
+
+    fn record_route(&self, slot: usize, op: &'static str, trace: Option<TraceContext>) {
+        self.recorder.record(
+            SpanEvent::new("route", "router")
+                .u64("node", slot as u64)
+                .str("op", op)
+                .with_trace_opt(trace),
+        );
+    }
+
+    /// Declare `slot` dead after a forward failed: mark it down (span
+    /// on the transition) and drop its pooled connection.
+    fn node_down(&self, slot: usize, trace: Option<TraceContext>, links: &mut NodeLinks) {
+        links.drop_conn(slot);
+        if self.members.mark_down(slot) {
+            self.recorder.record(
+                SpanEvent::new("node_down", "router")
+                    .u64("node", slot as u64)
+                    .with_trace_opt(trace),
+            );
+        }
+    }
+
+    fn slot_status(&self, slot: usize) -> SlotStatus {
+        if slot >= self.members.len() {
+            return SlotStatus::Missing;
+        }
+        let mut alive = false;
+        self.members.for_each(|i, m| {
+            if i == slot {
+                alive = m.is_alive();
+            }
+        });
+        if alive {
+            SlotStatus::Alive
+        } else {
+            SlotStatus::Unserving
+        }
+    }
+
+    // ---- health probing and exposition -----------------------------
+
+    /// Probe `addr` out of band with a short-deadline client; `Some`
+    /// carries its stats reply.
+    fn probe(&self, addr: &str) -> Option<ServiceStats> {
+        let policy = RetryPolicy::default()
+            .connect_timeout(self.config.connect_timeout)
+            .io_timeout(self.config.io_timeout);
+        let mut client = TcpClient::connect_with(addr, policy).ok()?;
+        client.stats().ok()
+    }
+
+    /// Probe every slot and return `(state, probed stats)` rows; the
+    /// probe outcome also drives down/revive transitions.
+    pub fn probe_states(&self) -> Vec<(usize, NodeState, Option<ServiceStats>)> {
+        let mut rows = Vec::new();
+        let mut addrs = Vec::new();
+        self.members.for_each(|slot, m| {
+            addrs.push((slot, m.addr().to_owned(), m.is_removed()));
+        });
+        for (slot, addr, removed) in addrs {
+            if removed {
+                rows.push((slot, NodeState::Removed, None));
+                continue;
+            }
+            match self.probe(&addr) {
+                Some(stats) => {
+                    self.members.revive(slot);
+                    let state = if stats.health.faults_injected > 0 {
+                        NodeState::Degraded
+                    } else {
+                        NodeState::Up
+                    };
+                    rows.push((slot, state, Some(stats)));
+                }
+                None => {
+                    if self.members.mark_down(slot) {
+                        self.recorder
+                            .record(SpanEvent::new("node_down", "router").u64("node", slot as u64));
+                    }
+                    rows.push((slot, NodeState::Down, None));
+                }
+            }
+        }
+        rows
+    }
+
+    /// The `cluster-info` rows (probing every slot).
+    pub fn node_rows(&self) -> Vec<NodeInfo> {
+        let states = self.probe_states();
+        let mut rows = Vec::new();
+        for (slot, state, _) in states {
+            let (addr, forwarded) = {
+                let mut pair = (String::new(), 0u64);
+                self.members.for_each(|i, m| {
+                    if i == slot {
+                        pair = (m.addr().to_owned(), m.forwarded());
+                    }
+                });
+                pair
+            };
+            rows.push(NodeInfo {
+                node: slot,
+                addr,
+                state: state.label().to_owned(),
+                forwarded,
+            });
+        }
+        rows
+    }
+
+    /// Render the router's Prometheus exposition: node lifecycle
+    /// counts, per-node forward counters, reroute/error totals, and
+    /// the per-node paper gauge `partalloc_competitive_ratio`.
+    pub fn prometheus_text(&self) -> String {
+        let states = self.probe_states();
+        let mut prom = PromText::new();
+
+        prom.header(
+            "partalloc_cluster_nodes",
+            "Nodes per lifecycle state as seen by the router.",
+            "gauge",
+        );
+        for state in [
+            NodeState::Up,
+            NodeState::Degraded,
+            NodeState::Down,
+            NodeState::Removed,
+        ] {
+            let count = states.iter().filter(|(_, s, _)| *s == state).count() as u64;
+            prom.sample_u64(
+                "partalloc_cluster_nodes",
+                &[("state", state.label())],
+                count,
+            );
+        }
+
+        prom.header(
+            "partalloc_cluster_forwarded_total",
+            "Requests forwarded to each node.",
+            "counter",
+        );
+        let mut forwards: Vec<(String, u64)> = Vec::new();
+        self.members.for_each(|slot, m| {
+            forwards.push((slot.to_string(), m.forwarded()));
+        });
+        for (label, count) in &forwards {
+            prom.sample_u64(
+                "partalloc_cluster_forwarded_total",
+                &[("node", label.as_str())],
+                *count,
+            );
+        }
+
+        prom.header(
+            "partalloc_cluster_reroutes_total",
+            "Arrivals re-forwarded after their first node died mid-request.",
+            "counter",
+        );
+        prom.sample_u64(
+            "partalloc_cluster_reroutes_total",
+            &[],
+            RouterMetrics::get(&self.metrics.reroutes),
+        );
+
+        prom.header(
+            "partalloc_cluster_errors_total",
+            "Error replies the router answered itself.",
+            "counter",
+        );
+        prom.sample_u64(
+            "partalloc_cluster_errors_total",
+            &[],
+            RouterMetrics::get(&self.metrics.errors),
+        );
+
+        prom.header(
+            "partalloc_competitive_ratio",
+            "Worst-shard live competitive ratio per node (peak load / L*).",
+            "gauge",
+        );
+        for (slot, _, stats) in &states {
+            let Some(stats) = stats else { continue };
+            let worst = stats
+                .shard_gauges
+                .iter()
+                .map(|g| g.competitive_ratio())
+                .filter(|r| r.is_finite())
+                .fold(f64::NAN, f64::max);
+            let label = slot.to_string();
+            prom.sample_f64(
+                "partalloc_competitive_ratio",
+                &[("node", label.as_str())],
+                worst,
+            );
+        }
+
+        prom.render()
+    }
+}
+
+/// Where a slot stands for point-to-point routing.
+enum SlotStatus {
+    Missing,
+    Unserving,
+    Alive,
+}
+
+/// One write-read round trip on a pooled connection.
+fn exchange(conn: &mut NodeConn, line: &str) -> io::Result<Response> {
+    conn.writer.write_all(line.as_bytes())?;
+    conn.writer.write_all(b"\n")?;
+    conn.writer.flush()?;
+    let mut reply = String::new();
+    let n = conn.reader.read_line(&mut reply)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "node closed the connection",
+        ));
+    }
+    let (_, resp) = parse_response_line(reply.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(resp)
+}
+
+/// Does this line carry a `cluster-*` op? (A cheap peek so the two
+/// protocol planes report their own parse errors.)
+fn is_cluster_line(line: &str) -> bool {
+    serde_json::from_str::<serde_json::Value>(line)
+        .ok()
+        .and_then(|v| {
+            v.get("op")
+                .and_then(|op| op.as_str().map(|s| s.starts_with("cluster-")))
+        })
+        .unwrap_or(false)
+}
+
+/// Re-encode the node-local ids in a node's reply as cluster ids.
+fn rewrite_response(resp: Response, slot: usize) -> Response {
+    match resp {
+        Response::Placed(mut p) => {
+            p.task = encode_task(slot, p.task);
+            p.shard = encode_task(slot, p.shard as u64) as usize;
+            Response::Placed(p)
+        }
+        Response::Departed(mut d) => {
+            d.task = encode_task(slot, d.task);
+            d.shard = encode_task(slot, d.shard as u64) as usize;
+            Response::Departed(d)
+        }
+        Response::Batch { results } => Response::Batch {
+            results: results
+                .into_iter()
+                .map(|r| rewrite_response(r, slot))
+                .collect(),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(nodes: &[&str]) -> ClusterConfig {
+        ClusterConfig::new(nodes.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn config_validation_rejects_stateful_routers() {
+        assert_eq!(
+            ClusterCore::new(config(&[])).err(),
+            Some(ClusterError::NoNodes)
+        );
+        let err = ClusterCore::new(config(&["a:1"]).router(RouterKind::LeastLoaded))
+            .err()
+            .unwrap();
+        assert!(matches!(err, ClusterError::UnsupportedRouter(_)), "{err}");
+        let err = ClusterCore::new(config(&["a:1"]).router(RouterKind::RoundRobin))
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("round-robin"), "{err}");
+        assert!(ClusterCore::new(config(&["a:1", "b:2"])).is_ok());
+        assert!(ClusterCore::new(config(&["a:1"]).router(RouterKind::SizeClass)).is_ok());
+    }
+
+    #[test]
+    fn rewrite_maps_task_and_shard_ids_through_the_bijection() {
+        let placed = partalloc_service::Placed {
+            task: 5,
+            shard: 1,
+            node: 4,
+            layer: 0,
+            reallocated: false,
+            migrations: 0,
+            physical_migrations: 0,
+        };
+        match rewrite_response(Response::Placed(placed), 2) {
+            Response::Placed(p) => {
+                assert_eq!(decode_task(p.task), (2, 5));
+                assert_eq!(decode_task(p.shard as u64), (2, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Errors pass through untouched.
+        match rewrite_response(Response::error(ErrorCode::Internal, "x"), 2) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::Internal),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cluster_lines_are_peeked_without_consuming_service_ops() {
+        assert!(is_cluster_line(r#"{"op":"cluster-info"}"#));
+        assert!(is_cluster_line(r#"{"op":"cluster-leave","node":1}"#));
+        assert!(!is_cluster_line(r#"{"op":"arrive","size_log2":2}"#));
+        assert!(!is_cluster_line("not json"));
+    }
+
+    #[test]
+    fn malformed_lines_answer_with_bad_request_not_silence() {
+        let core = ClusterCore::new(config(&["127.0.0.1:1"])).unwrap();
+        let mut links = NodeLinks::new();
+        let reply = core.handle_line("nonsense", &mut links);
+        assert!(reply.contains("\"reply\":\"error\""), "{reply}");
+        assert!(reply.contains("bad-request"), "{reply}");
+        // Ping is answered by the router itself, no node needed.
+        let pong = core.handle_line(r#"{"op":"ping"}"#, &mut links);
+        assert!(pong.contains("\"reply\":\"pong\""), "{pong}");
+        // Snapshot is redirected to the cluster op.
+        let snap = core.handle_line(r#"{"op":"snapshot"}"#, &mut links);
+        assert!(snap.contains("cluster-snapshot"), "{snap}");
+    }
+
+    #[test]
+    fn depart_of_an_unknown_slot_is_unknown_task() {
+        let core = ClusterCore::new(config(&["127.0.0.1:1"])).unwrap();
+        let mut links = NodeLinks::new();
+        // Task id 3 decodes to slot 3, which never joined.
+        let reply = core.handle_line(r#"{"op":"depart","task":3}"#, &mut links);
+        assert!(reply.contains("unknown-task"), "{reply}");
+    }
+}

@@ -1,0 +1,364 @@
+//! Cluster-plane acceptance: a seeded 3-node chaos soak — wire faults
+//! between the client and the router, one node fail-stopped mid-drive
+//! — must converge to the exact state of a fault-free run in which the
+//! same node *gracefully left* at the same moment. Placement trails
+//! byte-identical, survivor snapshots byte-identical, and the recorded
+//! spans must let the trace analyzer rebuild a cross-node request tree
+//! and flag the reroute.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use partalloc_analysis::{analyze, AnomalyKind, TraceSource};
+use partalloc_cluster::{
+    decode_task, encode_task, ClusterClient, ClusterHarness, NodeSnapshot, RouterMetrics,
+};
+use partalloc_core::AllocatorKind;
+use partalloc_engine::{FaultPlan, SplitMix64};
+use partalloc_obs::{Recorder, SpanEvent, VecRecorder};
+use partalloc_service::{
+    ChaosProxy, ClientError, Placed, Request, Response, RetryPolicy, ServiceConfig, ServiceHealth,
+    TcpClient,
+};
+
+const NODES: usize = 3;
+const EVENTS: usize = 240;
+const DISRUPT_AT: usize = 120;
+const VICTIM: usize = 1;
+
+fn node_config(i: usize) -> ServiceConfig {
+    ServiceConfig::new(AllocatorKind::Greedy, 32)
+        .shards(2)
+        .seed(11 + i as u64)
+}
+
+/// How node `VICTIM` goes away at event `DISRUPT_AT`.
+#[derive(Clone, Copy)]
+enum Disruption {
+    /// Fail-stop: the node's server dies; the router discovers the
+    /// death on its next forward and reroutes with the same key.
+    Kill,
+    /// Graceful: `cluster-leave` retires the slot before any forward
+    /// can fail.
+    Leave,
+}
+
+struct Soak {
+    trail: Vec<Placed>,
+    snaps: Vec<NodeSnapshot>,
+    reroutes: u64,
+    wire_faults: u64,
+    client_retries: u64,
+    client_spans: Vec<SpanEvent>,
+    router_spans: Vec<SpanEvent>,
+}
+
+/// One full soak: spawn the cluster, drive the deterministic
+/// closed-loop trace through the router (optionally through a seeded
+/// chaos proxy), disrupt the victim mid-drive, and capture the
+/// survivors' state. The op sequence depends only on the seeds and
+/// the task ids handed back, so two soaks that place identically stay
+/// identical to the end.
+fn soak(disruption: Disruption, chaos: bool) -> Soak {
+    let router_rec = Arc::new(VecRecorder::new());
+    let mut harness = ClusterHarness::spawn(
+        NODES,
+        node_config,
+        |c| c,
+        Some(Arc::clone(&router_rec) as Arc<dyn Recorder>),
+    )
+    .expect("cluster failed to spawn");
+
+    let proxy = chaos.then(|| {
+        let plan = FaultPlan::new(33)
+            .drop_rate(0.02)
+            .truncate_rate(0.01)
+            .corrupt_rate(0.01)
+            .kill_rate(0.01)
+            .delay_rate(0.02)
+            .delay_ms(10);
+        ChaosProxy::spawn("127.0.0.1:0", harness.router_addr(), plan).expect("proxy failed")
+    });
+    let dial = proxy
+        .as_ref()
+        .map_or(harness.router_addr(), |p| p.local_addr());
+
+    let policy = RetryPolicy::default()
+        .retries(16)
+        .connect_timeout(Duration::from_secs(2))
+        .io_timeout(Duration::from_millis(250))
+        .backoff(Duration::from_millis(2), Duration::from_millis(50))
+        .retry_seed(5);
+    let client_rec = Arc::new(VecRecorder::new());
+    // Tracing is load-bearing, not decorative: the trace id is the
+    // routing key, and the traced stream is what makes the two runs'
+    // keys (and therefore placements) identical.
+    let mut client = TcpClient::connect_with(dial, policy)
+        .expect("client failed to connect")
+        .with_tracing(7)
+        .with_recorder(Arc::clone(&client_rec) as Arc<dyn Recorder>);
+
+    let mut rng = SplitMix64::new(99);
+    let mut live: Vec<u64> = Vec::new();
+    let mut trail: Vec<Placed> = Vec::new();
+    for event in 0..EVENTS {
+        if event == DISRUPT_AT {
+            match disruption {
+                Disruption::Kill => harness.kill_node(VICTIM),
+                Disruption::Leave => {
+                    let mut admin = ClusterClient::connect(harness.router_addr())
+                        .expect("admin connect failed");
+                    admin.leave(VICTIM).expect("cluster-leave failed");
+                }
+            }
+        }
+        let roll = rng.next_f64();
+        if live.is_empty() || roll < 0.6 {
+            let size = (rng.next_u64() % 3) as u8;
+            let p = client.arrive(size).expect("arrive must survive the soak");
+            live.push(p.task);
+            trail.push(p);
+        } else {
+            let idx = (rng.next_u64() as usize) % live.len();
+            let task = live.swap_remove(idx);
+            match client.depart(task) {
+                Ok(d) => assert_eq!(d.task, task),
+                // Tasks stranded on the disrupted node answer with an
+                // error reply in BOTH runs (down and removed are
+                // equally unreachable); dropping them from the live
+                // set keeps the op sequences identical.
+                Err(ClientError::Server(_)) => {}
+                Err(e) => panic!("depart {task} failed in transit: {e}"),
+            }
+        }
+    }
+
+    let mut admin =
+        ClusterClient::connect(harness.router_addr()).expect("admin connect failed after drive");
+    let snaps = admin.snapshots().expect("cluster-snapshot failed");
+    let core = harness.router_core();
+    let reroutes = RouterMetrics::get(&core.metrics().reroutes);
+    let wire_faults = proxy.as_ref().map_or(0, |p| p.stats().faults());
+    let client_retries = client.transport_retries();
+
+    drop(client);
+    drop(admin);
+    if let Some(p) = proxy {
+        p.stop();
+    }
+    harness.shutdown(Duration::from_secs(1));
+
+    Soak {
+        trail,
+        snaps,
+        reroutes,
+        wire_faults,
+        client_retries,
+        client_spans: client_rec.take(),
+        router_spans: router_rec.take(),
+    }
+}
+
+fn spans_to_ndjson(events: &[SpanEvent]) -> String {
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| ev.to_ndjson(i as u64))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Survivor snapshots keyed by slot, health zeroed (the faulted run
+/// is allowed — expected — to have absorbed faults; everything else
+/// must match byte-for-byte).
+fn survivor_bytes(snaps: &[NodeSnapshot]) -> Vec<(usize, String)> {
+    snaps
+        .iter()
+        .map(|s| {
+            let mut snap = s.snapshot.clone();
+            snap.health = ServiceHealth::default();
+            (s.node, serde_json::to_string_pretty(&snap).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn faulted_kill_soak_converges_with_a_fault_free_graceful_leave() {
+    let faulted = soak(Disruption::Kill, true);
+    let clean = soak(Disruption::Leave, false);
+
+    // The equivalence below was earned, not vacuous: the wire plan
+    // fired, the client retried through it, and the router rerouted
+    // off the dead node.
+    assert!(faulted.wire_faults > 0, "the chaos proxy never fired");
+    assert!(
+        faulted.client_retries > 0,
+        "faults were injected but the client never retried"
+    );
+    assert!(
+        faulted.reroutes > 0,
+        "the router never rerouted off the dead node"
+    );
+    assert_eq!(clean.reroutes, 0, "a graceful leave must not reroute");
+
+    // Identical placement trails: same cluster task ids, same
+    // cluster shard ids, in the same order.
+    assert_eq!(
+        serde_json::to_string(&faulted.trail).unwrap(),
+        serde_json::to_string(&clean.trail).unwrap(),
+        "placement trails diverged between kill and leave"
+    );
+
+    // No retry ever double-placed, and placements really did spread
+    // across nodes (the victim held tasks before it died).
+    let ids: HashSet<u64> = faulted.trail.iter().map(|p| p.task).collect();
+    assert_eq!(ids.len(), faulted.trail.len(), "a task id was duplicated");
+    let slots: HashSet<usize> = faulted
+        .trail
+        .iter()
+        .map(|p| decode_task(p.task).0)
+        .collect();
+    assert!(slots.len() >= 2, "placements never crossed a node boundary");
+    assert!(
+        slots.contains(&VICTIM),
+        "the victim never took a placement before dying"
+    );
+
+    // Byte-identical survivor snapshots: the faulted fail-stop run
+    // converged to exactly the graceful-leave state.
+    let f = survivor_bytes(&faulted.snaps);
+    let c = survivor_bytes(&clean.snaps);
+    assert_eq!(f.len(), NODES - 1, "expected exactly the two survivors");
+    assert!(f.iter().all(|(node, _)| *node != VICTIM));
+    assert_eq!(f, c, "survivor snapshots diverged between kill and leave");
+}
+
+#[test]
+fn soak_spans_reconstruct_a_cross_node_request_tree() {
+    let faulted = soak(Disruption::Kill, true);
+    assert!(!faulted.client_spans.is_empty(), "client recorded no spans");
+    assert!(!faulted.router_spans.is_empty(), "router recorded no spans");
+
+    let report = analyze(vec![
+        TraceSource::parse("client", &spans_to_ndjson(&faulted.client_spans)).unwrap(),
+        TraceSource::parse("router", &spans_to_ndjson(&faulted.router_spans)).unwrap(),
+    ]);
+
+    // The reroute rule fired on the fail-stop...
+    assert!(
+        report
+            .anomalies
+            .iter()
+            .any(|a| a.kind == AnomalyKind::CrossNodeReroute),
+        "no cross-node-reroute anomaly in the soak spans"
+    );
+    // ...and at least one request tree stitches the client tier to
+    // the routing tier under one trace id.
+    assert!(
+        report.trees.iter().any(|t| {
+            let layers = t.layers();
+            layers.contains(&"client") && layers.contains(&"router")
+        }),
+        "no request tree spans both the client and the router tier"
+    );
+}
+
+#[test]
+fn inject_fault_degrades_a_node_and_stats_aggregate_cluster_wide() {
+    let harness = ClusterHarness::spawn(2, node_config, |c| c, None).expect("cluster spawn");
+    let mut client = TcpClient::connect(harness.router_addr()).expect("client connect");
+
+    // Panic node 1's local shard 1 through the cluster-wide id.
+    let shard = encode_task(1, 1) as usize;
+    match client
+        .request(&Request::InjectFault { shard })
+        .expect("inject-fault transport")
+    {
+        Response::FaultInjected {
+            shard: echoed,
+            recoveries,
+        } => {
+            assert_eq!(echoed, shard, "fault reply must echo the cluster shard id");
+            assert_eq!(recoveries, 1);
+        }
+        other => panic!("unexpected inject-fault reply: {other:?}"),
+    }
+
+    // A plain `stats` through the router is the cluster-wide merge:
+    // both nodes' shards in one renumbered sequence, faults summed.
+    let stats = client.stats().expect("merged stats");
+    assert_eq!(stats.shard_gauges.len(), 4, "2 nodes x 2 shards");
+    let shards: Vec<usize> = stats.shard_gauges.iter().map(|g| g.shard).collect();
+    assert_eq!(shards, vec![0, 1, 2, 3]);
+    assert_eq!(stats.health.faults_injected, 1);
+
+    // The router's own exposition probes the nodes: the faulted node
+    // shows degraded, the other up, and the paper's competitive-ratio
+    // gauge is exported per node.
+    let text = harness.router_core().prometheus_text();
+    assert!(
+        text.contains("partalloc_cluster_nodes{state=\"up\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("partalloc_cluster_nodes{state=\"degraded\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("partalloc_competitive_ratio{node=\"0\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("partalloc_competitive_ratio{node=\"1\"}"),
+        "{text}"
+    );
+
+    harness.shutdown(Duration::from_millis(500));
+}
+
+#[test]
+fn leave_and_rejoin_steer_placements_around_retired_slots() {
+    let harness = ClusterHarness::spawn(NODES, node_config, |c| c, None).expect("cluster spawn");
+    let mut client = TcpClient::connect(harness.router_addr())
+        .expect("client connect")
+        .with_tracing(41);
+    let mut admin = ClusterClient::connect(harness.router_addr()).expect("admin connect");
+
+    // Keyed arrivals spread across the ring...
+    let mut placed = Vec::new();
+    for _ in 0..48 {
+        placed.push(client.arrive(0).expect("arrive"));
+    }
+    let slots: HashSet<usize> = placed.iter().map(|p| decode_task(p.task).0).collect();
+    assert!(slots.len() >= 2, "48 keyed arrivals stayed on one node");
+
+    // ...and every departure finds its node through the bijection.
+    for p in &placed {
+        let d = client.depart(p.task).expect("depart");
+        assert_eq!(d.task, p.task);
+    }
+
+    // Retire node 2: the table shows it removed and no new placement
+    // ever lands there.
+    admin.leave(2).expect("cluster-leave");
+    let (_, rows) = admin.info().expect("cluster-info");
+    assert_eq!(rows[2].state, "removed");
+    for _ in 0..24 {
+        let p = client.arrive(1).expect("arrive after leave");
+        assert_ne!(decode_task(p.task).0, 2, "placed on a retired node");
+    }
+
+    // Re-admit it by address: the same slot revives (the bijection
+    // depends on stable slot numbers) and takes traffic again.
+    let addr = harness.node_addr(2).expect("node 2 is still running");
+    let rows = admin.join(&addr.to_string()).expect("cluster-join");
+    assert_eq!(rows[2].state, "up");
+    let rejoined = (0..48).any(|_| {
+        let p = client.arrive(0).expect("arrive after rejoin");
+        decode_task(p.task).0 == 2
+    });
+    assert!(rejoined, "the rejoined node never took a placement");
+
+    harness.shutdown(Duration::from_millis(500));
+}

@@ -1,0 +1,64 @@
+//! The ring's minimal-movement property, the keystone of cluster
+//! convergence: when a member leaves, only the keys it owned move;
+//! when a member joins, keys move only *to* the joiner. Everything
+//! else stays put — which is why skipping down nodes at lookup time
+//! is equivalent to a ring rebuilt without them.
+
+use proptest::prelude::*;
+
+use partalloc_service::ring_owner;
+
+proptest! {
+    #[test]
+    fn leave_moves_only_the_leavers_keys(
+        members in proptest::collection::btree_set(0usize..64, 2..10),
+        pick in any::<prop::sample::Index>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let full: Vec<usize> = members.iter().copied().collect();
+        let gone = full[pick.index(full.len())];
+        let without: Vec<usize> = full.iter().copied().filter(|&m| m != gone).collect();
+        for key in keys {
+            let before = ring_owner(key, &full).unwrap();
+            let after = ring_owner(key, &without).unwrap();
+            if before == gone {
+                // The leaver's keys must land somewhere else...
+                prop_assert_ne!(after, gone);
+            } else {
+                // ...and every other key must not move at all.
+                prop_assert_eq!(before, after, "key {} moved needlessly", key);
+            }
+        }
+    }
+
+    #[test]
+    fn join_moves_keys_only_to_the_joiner(
+        members in proptest::collection::btree_set(0usize..64, 2..10),
+        pick in any::<prop::sample::Index>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let full: Vec<usize> = members.iter().copied().collect();
+        let joiner = full[pick.index(full.len())];
+        let before_join: Vec<usize> = full.iter().copied().filter(|&m| m != joiner).collect();
+        for key in keys {
+            let before = ring_owner(key, &before_join).unwrap();
+            let after = ring_owner(key, &full).unwrap();
+            if before != after {
+                // A key may only move to the member that just joined.
+                prop_assert_eq!(after, joiner, "key {} moved to a bystander", key);
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_total(
+        members in proptest::collection::btree_set(0usize..64, 1..10),
+        key in any::<u64>(),
+    ) {
+        let members: Vec<usize> = members.iter().copied().collect();
+        let a = ring_owner(key, &members).unwrap();
+        let b = ring_owner(key, &members).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert!(members.contains(&a));
+    }
+}

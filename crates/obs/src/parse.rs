@@ -190,9 +190,10 @@ pub fn parse_span_line(line: &str) -> Result<ParsedEvent, ParseEventError> {
             },
             "trace" => match value {
                 ParsedValue::Str(s) if trace.is_none() => {
-                    trace = Some(TraceContext::from_str(&s).map_err(|e| {
-                        ParseEventError::new(format!("bad trace context: {e}"))
-                    })?);
+                    trace =
+                        Some(TraceContext::from_str(&s).map_err(|e| {
+                            ParseEventError::new(format!("bad trace context: {e}"))
+                        })?);
                 }
                 _ => return Err(ParseEventError::new("\"trace\" must be one string")),
             },
@@ -495,7 +496,9 @@ mod tests {
     fn trace_contexts_round_trip_through_the_wire_form() {
         let mut ids = IdGen::new(9);
         let ctx = ids.context();
-        let ev = SpanEvent::new("arrive", "shard").with_trace(ctx).u64("shard", 1);
+        let ev = SpanEvent::new("arrive", "shard")
+            .with_trace(ctx)
+            .u64("shard", 1);
         let parsed = parse_span_line(&ev.to_ndjson(4)).unwrap();
         assert_eq!(parsed.trace, Some(ctx));
     }

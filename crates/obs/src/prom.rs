@@ -98,8 +98,17 @@ impl PromText {
     /// visible in a scrape before the first sample. The caller emits
     /// the family [`header`](Self::header) once (labeled histograms
     /// share one header across label sets).
-    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], buckets: &[(u64, u64)], sum: u64) {
-        let occupied = buckets.iter().rposition(|&(_, c)| c > 0).map_or(0, |i| i + 1);
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(u64, u64)],
+        sum: u64,
+    ) {
+        let occupied = buckets
+            .iter()
+            .rposition(|&(_, c)| c > 0)
+            .map_or(0, |i| i + 1);
         let bucket_name = format!("{name}_bucket");
         let mut cumulative = 0u64;
         for &(edge, count) in &buckets[..occupied] {
@@ -164,7 +173,12 @@ mod tests {
     #[test]
     fn histograms_accumulate_and_carry_labels() {
         let mut prom = PromText::new();
-        prom.histogram("lat", &[("stage", "parse")], &[(0, 1), (2, 2), (4, 0), (8, 1)], 17);
+        prom.histogram(
+            "lat",
+            &[("stage", "parse")],
+            &[(0, 1), (2, 2), (4, 0), (8, 1)],
+            17,
+        );
         let text = prom.render();
         assert_eq!(
             text,

@@ -17,25 +17,48 @@ use partalloc_obs::{
 /// object, so reusing them would produce duplicate JSON keys, which the
 /// parser (correctly) rejects.
 const NAMES: &[&str] = &[
-    "arrival", "departure", "finish", "retry", "reconnect", "dedupe_hit", "arrive", "depart",
-    "panic", "rebuild", "abandoned", "delay", "drop", "corrupt", "", "weird \"name\"\n",
+    "arrival",
+    "departure",
+    "finish",
+    "retry",
+    "reconnect",
+    "dedupe_hit",
+    "arrive",
+    "depart",
+    "panic",
+    "rebuild",
+    "abandoned",
+    "delay",
+    "drop",
+    "corrupt",
+    "",
+    "weird \"name\"\n",
 ];
 const LAYERS: &[&str] = &["engine", "client", "proxy", "server", "shard", "π-layer"];
 const KEYS: &[&str] = &[
-    "task", "size", "node", "load", "attempt", "shard", "local", "recoveries", "req_id", "ms",
-    "dir", "ratio", "detail", "injected", "k",
+    "task",
+    "size",
+    "node",
+    "load",
+    "attempt",
+    "shard",
+    "local",
+    "recoveries",
+    "req_id",
+    "ms",
+    "dir",
+    "ratio",
+    "detail",
+    "injected",
+    "k",
 ];
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<u64>().prop_map(Value::U64),
         any::<f64>().prop_map(Value::F64),
-        prop_oneof![
-            Just(f64::NAN),
-            Just(f64::INFINITY),
-            Just(f64::NEG_INFINITY)
-        ]
-        .prop_map(Value::F64),
+        prop_oneof![Just(f64::NAN), Just(f64::INFINITY), Just(f64::NEG_INFINITY)]
+            .prop_map(Value::F64),
         "[ -~]{0,20}".prop_map(Value::Str),
         // Strings exercising escapes, controls, and multi-byte UTF-8.
         prop_oneof![

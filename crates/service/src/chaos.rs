@@ -90,7 +90,14 @@ impl ChaosProxy {
         let accept_thread = thread::Builder::new()
             .name("partalloc-chaos".into())
             .spawn(move || {
-                accept_loop(listener, upstream, plan, thread_stats, thread_stop, recorder)
+                accept_loop(
+                    listener,
+                    upstream,
+                    plan,
+                    thread_stats,
+                    thread_stop,
+                    recorder,
+                )
             })?;
         Ok(ChaosProxy {
             addr,
@@ -209,7 +216,11 @@ fn pump(
             }
             Some(FaultKind::Delay { ms }) => {
                 stats.delayed.fetch_add(1, Ordering::Relaxed);
-                recorder.record(SpanEvent::new("delay", "proxy").str("dir", dir).u64("ms", ms));
+                recorder.record(
+                    SpanEvent::new("delay", "proxy")
+                        .str("dir", dir)
+                        .u64("ms", ms),
+                );
                 thread::sleep(Duration::from_millis(ms));
                 if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
                     break;

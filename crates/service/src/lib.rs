@@ -99,7 +99,7 @@ pub use metrics::{
     ShardGauge, StageHistograms,
 };
 pub use net::Server;
-pub use prom::PromServer;
+pub use prom::{PromRender, PromServer};
 pub use proto::{
     parse_request_envelope, parse_request_line, parse_response_line, request_line,
     request_line_traced, response_line, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport,
@@ -110,7 +110,8 @@ pub use server::{
     DEFAULT_MAX_LINE_BYTES,
 };
 pub use shard::{
-    LeastLoadedRouter, ParseRouterError, RoundRobinRouter, RouterKind, Shard, ShardArrival,
-    ShardEffect, ShardError, ShardOp, ShardRouter, SizeClassRouter, DEFAULT_FLIGHT_CAP,
+    mix64, ring_owner, ConsistentHashRouter, LeastLoadedRouter, ParseRouterError, RoundRobinRouter,
+    RouterKind, Shard, ShardArrival, ShardEffect, ShardError, ShardOp, ShardRouter,
+    SizeClassRouter, DEFAULT_FLIGHT_CAP, HASH_RING_VNODES,
 };
 pub use snapshot::{ServiceHealth, ServiceSnapshot, ServiceTaskEntry};

@@ -502,10 +502,21 @@ mod tests {
     #[test]
     fn pre_telemetry_stats_json_still_parses() {
         let m = Metrics::new();
-        let stats = m.report("A_G".into(), 8, vec![gauge(0, 0, 0, 0, 8)], ServiceHealth::default());
+        let stats = m.report(
+            "A_G".into(),
+            8,
+            vec![gauge(0, 0, 0, 0, 8)],
+            ServiceHealth::default(),
+        );
         let mut value = serde_json::to_value(&stats).unwrap();
         let obj = value.as_object_mut().unwrap();
-        for legacy_missing in ["algorithm", "pes_per_shard", "shard_gauges", "metrics_queries", "dump_requests"] {
+        for legacy_missing in [
+            "algorithm",
+            "pes_per_shard",
+            "shard_gauges",
+            "metrics_queries",
+            "dump_requests",
+        ] {
             obj.remove(legacy_missing);
         }
         // p999 postdates the trace-analysis plane; old stats lack it.

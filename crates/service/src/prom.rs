@@ -19,8 +19,12 @@ use std::thread::{self, JoinHandle};
 
 use crate::server::ServiceCore;
 
+/// The exposition body producer a [`PromServer`] calls per scrape.
+pub type PromRender = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// A running Prometheus text-exposition endpoint around a shared
-/// [`ServiceCore`].
+/// [`ServiceCore`] (or, via [`PromServer::spawn_with`], any render
+/// closure — what the cluster router binds).
 pub struct PromServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -31,13 +35,30 @@ impl PromServer {
     /// Bind `addr` (port 0 for ephemeral) and start answering scrapes
     /// with the core's live metrics.
     pub fn spawn(addr: impl ToSocketAddrs, core: Arc<ServiceCore>) -> io::Result<Self> {
+        let render_core = Arc::clone(&core);
+        let render: PromRender = Arc::new(move || render_core.prometheus_text());
+        let done: Arc<dyn Fn() -> bool + Send + Sync> = Arc::new(move || core.is_shutting_down());
+        Self::spawn_inner(addr, render, done)
+    }
+
+    /// Bind `addr` and answer every scrape with whatever `render`
+    /// produces at scrape time. Runs until [`PromServer::stop`].
+    pub fn spawn_with(addr: impl ToSocketAddrs, render: PromRender) -> io::Result<Self> {
+        Self::spawn_inner(addr, render, Arc::new(|| false))
+    }
+
+    fn spawn_inner(
+        addr: impl ToSocketAddrs,
+        render: PromRender,
+        done: Arc<dyn Fn() -> bool + Send + Sync>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let accept_thread = thread::Builder::new()
             .name("partalloc-prom".into())
-            .spawn(move || accept_loop(listener, core, thread_stop))?;
+            .spawn(move || accept_loop(listener, render, thread_stop, done))?;
         Ok(PromServer {
             addr,
             stop,
@@ -61,23 +82,28 @@ impl PromServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, core: Arc<ServiceCore>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    render: PromRender,
+    stop: Arc<AtomicBool>,
+    done: Arc<dyn Fn() -> bool + Send + Sync>,
+) {
     for incoming in listener.incoming() {
-        if stop.load(Ordering::SeqCst) || core.is_shutting_down() {
+        if stop.load(Ordering::SeqCst) || done() {
             break;
         }
         let Ok(stream) = incoming else { continue };
-        let scrape_core = Arc::clone(&core);
+        let scrape_render = Arc::clone(&render);
         let _ = thread::Builder::new()
             .name("partalloc-scrape".into())
-            .spawn(move || serve_scrape(scrape_core, stream));
+            .spawn(move || serve_scrape(scrape_render, stream));
     }
 }
 
 /// Answer one HTTP request on `stream` with the current exposition
 /// and close. Request head parsing is deliberately forgiving: any
 /// method, any path, headers skipped up to the blank line.
-fn serve_scrape(core: Arc<ServiceCore>, stream: TcpStream) {
+fn serve_scrape(render: PromRender, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -94,7 +120,7 @@ fn serve_scrape(core: Arc<ServiceCore>, stream: TcpStream) {
             Ok(_) => {}
         }
     }
-    let body = core.prometheus_text();
+    let body = render();
     let head = format!(
         "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()

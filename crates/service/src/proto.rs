@@ -334,10 +334,7 @@ pub fn parse_request_envelope(line: &str) -> Result<(RequestEnvelope, Request), 
             let text = v
                 .as_str()
                 .ok_or_else(|| format!("trace must be a string, got {v}"))?;
-            Some(
-                text.parse::<TraceContext>()
-                    .map_err(|e| e.to_string())?,
-            )
+            Some(text.parse::<TraceContext>().map_err(|e| e.to_string())?)
         }
     };
     let req = serde_json::from_value(value).map_err(|e| e.to_string())?;
@@ -606,7 +603,10 @@ mod tests {
         let ctx: TraceContext = "00000000000000ab-0000000000000001".parse().unwrap();
         let line =
             request_line_traced(&Request::Arrive { size_log2: 2 }, Some(7), Some(ctx)).unwrap();
-        assert!(line.contains("\"trace\":\"00000000000000ab-0000000000000001\""), "{line}");
+        assert!(
+            line.contains("\"trace\":\"00000000000000ab-0000000000000001\""),
+            "{line}"
+        );
         let (envelope, req) = parse_request_envelope(&line).unwrap();
         assert_eq!(envelope.req_id, Some(7));
         assert_eq!(envelope.trace, Some(ctx));
@@ -633,7 +633,10 @@ mod tests {
     fn replies_echo_the_trace_and_stay_parseable_without_one() {
         let ctx: TraceContext = "0000000000000001-0000000000000002".parse().unwrap();
         let line = response_line(&Response::Pong, Some(ctx)).unwrap();
-        assert!(line.contains("\"trace\":\"0000000000000001-0000000000000002\""), "{line}");
+        assert!(
+            line.contains("\"trace\":\"0000000000000001-0000000000000002\""),
+            "{line}"
+        );
         // A trace-naive client still parses the echoed reply...
         let resp: Response = serde_json::from_str(&line).unwrap();
         assert!(matches!(resp, Response::Pong));

@@ -713,8 +713,11 @@ impl ServiceCore {
                             self.router.route(size_log2, &self.shards)
                         });
                         if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
-                            applied +=
-                                self.flush_run(run.take().expect("checked above"), &mut results, trace);
+                            applied += self.flush_run(
+                                run.take().expect("checked above"),
+                                &mut results,
+                                trace,
+                            );
                         }
                         let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
                         r.ops.push(ShardOp::Arrive { size_log2 });
@@ -741,8 +744,11 @@ impl ServiceCore {
                             continue;
                         };
                         if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
-                            applied +=
-                                self.flush_run(run.take().expect("checked above"), &mut results, trace);
+                            applied += self.flush_run(
+                                run.take().expect("checked above"),
+                                &mut results,
+                                trace,
+                            );
                         }
                         let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
                         r.ops.push(ShardOp::Depart { local });
@@ -1685,15 +1691,22 @@ mod tests {
         // latency samples at exposition time.
         let text = h.prometheus().unwrap();
         let alg = h.stats().unwrap().algorithm;
-        assert!(text.contains("# TYPE partalloc_competitive_ratio gauge"), "{text}");
+        assert!(
+            text.contains("# TYPE partalloc_competitive_ratio gauge"),
+            "{text}"
+        );
         assert!(text.contains("partalloc_arrivals_total 8\n"), "{text}");
         // 8 unit tasks on 8 PEs: peak load 1, L* = ceil(8/8) = 1, ratio 1.
         assert!(
-            text.contains(&format!("partalloc_load_peak{{shard=\"0\",alg=\"{alg}\"}} 1\n")),
+            text.contains(&format!(
+                "partalloc_load_peak{{shard=\"0\",alg=\"{alg}\"}} 1\n"
+            )),
             "{text}"
         );
         assert!(
-            text.contains(&format!("partalloc_load_opt_lstar{{shard=\"0\",alg=\"{alg}\"}} 1\n")),
+            text.contains(&format!(
+                "partalloc_load_opt_lstar{{shard=\"0\",alg=\"{alg}\"}} 1\n"
+            )),
             "{text}"
         );
         assert!(
@@ -1703,20 +1716,41 @@ mod tests {
             "{text}"
         );
         // Histograms expose cumulative buckets and totals.
-        assert!(text.contains("# TYPE partalloc_request_latency_ns histogram"), "{text}");
-        assert!(text.contains("partalloc_request_latency_ns_bucket{le=\"+Inf\"} 8\n"), "{text}");
-        assert!(text.contains("partalloc_request_latency_ns_count 8\n"), "{text}");
+        assert!(
+            text.contains("# TYPE partalloc_request_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("partalloc_request_latency_ns_bucket{le=\"+Inf\"} 8\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("partalloc_request_latency_ns_count 8\n"),
+            "{text}"
+        );
         // The stage split: 8 in-process arrivals hit route + shard; the
         // wire-only stages (parse/settle) stay empty but their series
         // must still render, so dashboards see the family immediately.
-        assert!(text.contains("# TYPE partalloc_stage_latency_ns histogram"), "{text}");
-        assert!(text.contains("partalloc_stage_latency_ns_count{stage=\"route\"} 8\n"), "{text}");
-        assert!(text.contains("partalloc_stage_latency_ns_count{stage=\"shard\"} 8\n"), "{text}");
+        assert!(
+            text.contains("# TYPE partalloc_stage_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("partalloc_stage_latency_ns_count{stage=\"route\"} 8\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("partalloc_stage_latency_ns_count{stage=\"shard\"} 8\n"),
+            "{text}"
+        );
         assert!(
             text.contains("partalloc_stage_latency_ns_bucket{stage=\"parse\",le=\"+Inf\"} 0\n"),
             "{text}"
         );
-        assert!(text.contains("partalloc_stage_latency_ns_count{stage=\"settle\"} 0\n"), "{text}");
+        assert!(
+            text.contains("partalloc_stage_latency_ns_count{stage=\"settle\"} 0\n"),
+            "{text}"
+        );
         // An idle service exposes the documented NaN ratio.
         let idle = handle(AllocatorKind::Greedy, 8, 1);
         let idle_alg = idle.stats().unwrap().algorithm;
@@ -1733,10 +1767,8 @@ mod tests {
     fn dump_requests_need_a_configured_directory() {
         let h = handle(AllocatorKind::Greedy, 8, 1);
         assert_eq!(h.dump_flight().unwrap_err().code, ErrorCode::BadRequest);
-        let dir = std::env::temp_dir().join(format!(
-            "partalloc-core-flight-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("partalloc-core-flight-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let core = ServiceCore::new(
             ServiceConfig::new(AllocatorKind::Greedy, 8).flight_recorder(dir.clone()),

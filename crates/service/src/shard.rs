@@ -504,7 +504,8 @@ impl Shard {
             let result = self.apply_healing(&mut st, op, trace);
             if result.is_ok() {
                 let alloc = st.engine.allocator();
-                self.peak_load.fetch_max(alloc.max_load(), Ordering::Relaxed);
+                self.peak_load
+                    .fetch_max(alloc.max_load(), Ordering::Relaxed);
                 self.peak_active
                     .fetch_max(alloc.active_size(), Ordering::Relaxed);
             }
@@ -669,6 +670,66 @@ impl ShardRouter for SizeClassRouter {
     }
 }
 
+/// The 64-bit SplitMix64 finalizer: a cheap, well-mixed hash for
+/// consistent-hash point placement. Shared with the cluster tier's
+/// ring (`partalloc-cluster`), which uses the identical mix so a
+/// shard-level and a node-level ring agree on point order.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Virtual points per member on a consistent-hash ring. More points
+/// smooth the key distribution; the count trades lookup cost for
+/// balance and is shared with the cluster tier.
+pub const HASH_RING_VNODES: u64 = 16;
+
+/// Consistent-hash owner of `key` among `members` ring indices:
+/// each member contributes [`HASH_RING_VNODES`] hashed points, the key
+/// hashes onto the circle, and the first point at or after it (with
+/// wraparound) wins. Removing a member only reassigns keys that member
+/// owned — the minimal-movement property the cluster tier's
+/// join/leave proptests pin down.
+pub fn ring_owner(key: u64, members: &[usize]) -> Option<usize> {
+    let hashed = mix64(key);
+    let mut best: Option<(u64, usize)> = None; // first point >= hashed
+    let mut wrap: Option<(u64, usize)> = None; // smallest point overall
+    for &m in members {
+        for r in 0..HASH_RING_VNODES {
+            let point = mix64((m as u64) << 32 | r);
+            let candidate = (point, m);
+            if point >= hashed && best.map_or(true, |b| candidate < b) {
+                best = Some(candidate);
+            }
+            if wrap.map_or(true, |w| candidate < w) {
+                wrap = Some(candidate);
+            }
+        }
+    }
+    best.or(wrap).map(|(_, m)| m)
+}
+
+/// Place arrivals by consistent hashing: a per-router arrival counter
+/// hashes onto a ring of [`HASH_RING_VNODES`] points per shard. The
+/// assignment is deterministic for a sequential request stream, and —
+/// unlike [`RoundRobinRouter`] — stable under membership change: if a
+/// ring member disappears, only the keys it owned move (the property
+/// the cluster tier builds on).
+#[derive(Debug, Default)]
+pub struct ConsistentHashRouter {
+    next: AtomicU64,
+}
+
+impl ShardRouter for ConsistentHashRouter {
+    fn route(&self, _size_log2: u8, shards: &[Shard]) -> usize {
+        let key = self.next.fetch_add(1, Ordering::Relaxed);
+        let members: Vec<usize> = (0..shards.len()).collect();
+        ring_owner(key, &members).expect("shards is never empty")
+    }
+}
+
 /// Uniform constructor for the routing policies, mirroring
 /// [`AllocatorKind`]'s role for allocators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -680,6 +741,8 @@ pub enum RouterKind {
     LeastLoaded,
     /// [`SizeClassRouter`].
     SizeClass,
+    /// [`ConsistentHashRouter`].
+    ConsistentHash,
 }
 
 impl RouterKind {
@@ -689,6 +752,7 @@ impl RouterKind {
             RouterKind::RoundRobin => Box::<RoundRobinRouter>::default(),
             RouterKind::LeastLoaded => Box::new(LeastLoadedRouter),
             RouterKind::SizeClass => Box::new(SizeClassRouter),
+            RouterKind::ConsistentHash => Box::<ConsistentHashRouter>::default(),
         }
     }
 
@@ -698,6 +762,7 @@ impl RouterKind {
             RouterKind::RoundRobin => "round-robin",
             RouterKind::LeastLoaded => "least-loaded",
             RouterKind::SizeClass => "size-class",
+            RouterKind::ConsistentHash => "consistent-hash",
         }
     }
 }
@@ -710,7 +775,7 @@ impl std::fmt::Display for ParseRouterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:?}: unknown router (expected round-robin, least-loaded, or size-class)",
+            "{:?}: unknown router (expected round-robin, least-loaded, size-class, or consistent-hash)",
             self.0
         )
     }
@@ -726,6 +791,7 @@ impl FromStr for RouterKind {
             "round-robin" | "roundrobin" | "rr" => Ok(RouterKind::RoundRobin),
             "least-loaded" | "leastloaded" | "ll" => Ok(RouterKind::LeastLoaded),
             "size-class" | "sizeclass" | "sc" => Ok(RouterKind::SizeClass),
+            "consistent-hash" | "consistenthash" | "ch" => Ok(RouterKind::ConsistentHash),
             _ => Err(ParseRouterError(spec.to_owned())),
         }
     }
@@ -1078,11 +1144,33 @@ mod tests {
             RouterKind::RoundRobin,
             RouterKind::LeastLoaded,
             RouterKind::SizeClass,
+            RouterKind::ConsistentHash,
         ] {
             assert_eq!(kind.spec().parse::<RouterKind>().unwrap(), kind);
         }
         assert_eq!("RR".parse::<RouterKind>().unwrap(), RouterKind::RoundRobin);
+        assert_eq!(
+            "ch".parse::<RouterKind>().unwrap(),
+            RouterKind::ConsistentHash
+        );
         assert!("zigzag".parse::<RouterKind>().is_err());
         assert_eq!(RouterKind::default(), RouterKind::RoundRobin);
+    }
+
+    #[test]
+    fn ring_owner_is_stable_and_minimal_on_membership_change() {
+        let full: Vec<usize> = vec![0, 1, 2];
+        let without_1: Vec<usize> = vec![0, 2];
+        for key in 0..512u64 {
+            let owner = ring_owner(key, &full).unwrap();
+            let after = ring_owner(key, &without_1).unwrap();
+            if owner != 1 {
+                // Keys not owned by the removed member must not move.
+                assert_eq!(owner, after, "key {key} moved needlessly");
+            } else {
+                assert_ne!(after, 1);
+            }
+        }
+        assert_eq!(ring_owner(7, &[]), None);
     }
 }

@@ -24,7 +24,10 @@
 //!   timelines, and parallel sweeps;
 //! * [`analysis`] — the paper's bound formulas, statistics, tables;
 //! * [`service`] — the allocation daemon (sharded machines, NDJSON
-//!   over TCP, live metrics, snapshot persistence).
+//!   over TCP, live metrics, snapshot persistence);
+//! * [`cluster`] — the multi-node plane: a stateless routing tier,
+//!   node lifecycle, and cluster-wide chaos convergence over N
+//!   daemons.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +59,7 @@ struct ReadmeDoctests;
 
 pub use partalloc_adversary as adversary;
 pub use partalloc_analysis as analysis;
+pub use partalloc_cluster as cluster;
 pub use partalloc_core as core;
 pub use partalloc_engine as engine;
 pub use partalloc_exclusive as exclusive;
@@ -73,6 +77,9 @@ pub mod prelude {
     pub use partalloc_analysis::{
         bar_chart, bounds, fmt_f64, line_chart_svg, load_heatmap, multi_sparkline, sparkline,
         LinearFit, Summary, Table,
+    };
+    pub use partalloc_cluster::{
+        ClusterClient, ClusterConfig, ClusterCore, ClusterHarness, ClusterServer,
     };
     pub use partalloc_core::validate::{validate, Violation};
     pub use partalloc_core::{
