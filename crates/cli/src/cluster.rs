@@ -13,7 +13,7 @@ use partalloc_cluster::{ClusterClient, ClusterConfig, ClusterCore, ClusterHarnes
 use partalloc_core::AllocatorKind;
 use partalloc_model::{Event, TaskSequence};
 use partalloc_obs::{Recorder, VecRecorder};
-use partalloc_service::{PromRender, PromServer, RouterKind, ServiceConfig, TcpClient};
+use partalloc_service::{Proto, PromRender, PromServer, RouterKind, ServiceConfig, TcpClient};
 use partalloc_workload::{ClosedLoopConfig, Generator};
 
 use crate::alg::parse_alg;
@@ -44,6 +44,13 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
     let grace: u64 = args
         .get_or("grace-ms", 1000, "milliseconds")
         .map_err(|e| e.to_string())?;
+    // One flag for both hops: what `hello` may negotiate on client
+    // connections AND what the forwarding links ask the nodes for.
+    // Each hop still settles independently — a node that refuses the
+    // upgrade leaves only its own link on NDJSON.
+    let proto: Proto = args
+        .get_or("proto", Proto::Binary, "ndjson or binary")
+        .map_err(|e| e.to_string())?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     if args.get("prom-addr-file").is_some() && args.get("prom").is_none() {
         return Err("--prom-addr-file needs --prom ADDR".into());
@@ -51,7 +58,8 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
 
     let mut config = ClusterConfig::new(nodes)
         .router(router)
-        .forward_retries(retries);
+        .forward_retries(retries)
+        .proto(proto);
     if timeout_ms > 0 {
         let t = Duration::from_millis(timeout_ms);
         config = config.timeouts(t, t);
@@ -62,11 +70,12 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
         core = core.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
     }
     let core = Arc::new(core);
-    let server = ClusterServer::spawn(Arc::clone(&core), addr).map_err(|e| e.to_string())?;
+    let server =
+        ClusterServer::spawn_with_proto(Arc::clone(&core), addr, proto).map_err(|e| e.to_string())?;
     let local = server.local_addr();
 
     println!(
-        "routing {} node(s) ({}) on {local}",
+        "routing {} node(s) ({}, proto ceiling {proto}) on {local}",
         core.members().len(),
         core.router_kind().spec(),
     );
@@ -131,8 +140,11 @@ pub fn cmd_cluster(args: &Args) -> Result<String, String> {
         return cmd_cluster_bench(args);
     }
     let addr = args.require("addr").map_err(|e| e.to_string())?;
-    let mut admin =
-        ClusterClient::connect(addr).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let proto: Proto = args
+        .get_or("proto", Proto::Ndjson, "ndjson or binary")
+        .map_err(|e| e.to_string())?;
+    let mut admin = ClusterClient::connect_with_proto(addr, proto)
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
     match args.get("op").unwrap_or("info") {
         "info" => {
             let (router, rows) = admin.info().map_err(|e| e.to_string())?;

@@ -15,8 +15,8 @@ use partalloc_engine::FaultPlan;
 use partalloc_model::{read_trace, Event, TaskSequence};
 use partalloc_obs::{Recorder, VecRecorder};
 use partalloc_service::{
-    BatchItem, ChaosProxy, PromServer, Response, RetryPolicy, RouterKind, Server, ServiceConfig,
-    ServiceCore, ServiceSnapshot, ServiceStats, TcpClient,
+    BatchItem, ChaosProxy, PromServer, Proto, Response, RetryPolicy, RouterKind, Server,
+    ServiceConfig, ServiceCore, ServiceSnapshot, ServiceStats, TcpClient,
 };
 use partalloc_workload::{ClosedLoopConfig, Generator};
 
@@ -31,6 +31,11 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
     let grace: u64 = args
         .get_or("grace-ms", 1000, "milliseconds")
+        .map_err(|e| e.to_string())?;
+    // The ceiling on what `hello` may negotiate: `binary` (default)
+    // allows the frame upgrade, `ndjson` refuses it.
+    let proto: Proto = args
+        .get_or("proto", Proto::Binary, "ndjson or binary")
         .map_err(|e| e.to_string())?;
     if args.get("prom-addr-file").is_some() && args.get("prom").is_none() {
         return Err("--prom-addr-file needs --prom ADDR".into());
@@ -95,14 +100,15 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     };
 
     let config = core.config().clone();
-    let server = Server::spawn(std::sync::Arc::new(core), addr).map_err(|e| e.to_string())?;
+    let server = Server::spawn_with_proto(std::sync::Arc::new(core), addr, proto)
+        .map_err(|e| e.to_string())?;
     let local = server.local_addr();
 
     // Announce the bound address immediately (stdout, before blocking),
     // and optionally drop it in a file so scripts and tests can find an
     // ephemeral port without parsing our output.
     println!(
-        "serving {} × {} PEs ({}, router {}) on {local}",
+        "serving {} × {} PEs ({}, router {}, proto ceiling {proto}) on {local}",
         config.num_shards,
         config.pes_per_shard,
         config.kind.label(),
@@ -171,8 +177,19 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
             .io_timeout(Duration::from_millis(timeout_ms));
     }
     let seq = load_or_generate(args)?;
+    // `--proto binary` negotiates the frame upgrade; a server that
+    // refuses (or predates the handshake) leaves the drive on NDJSON,
+    // reported in the summary line.
+    let proto: Proto = args
+        .get_or("proto", Proto::Ndjson, "ndjson or binary")
+        .map_err(|e| e.to_string())?;
     let mut client =
         TcpClient::connect_with(addr, policy).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if proto == Proto::Binary {
+        client = client
+            .with_proto(Proto::Binary)
+            .map_err(|e| format!("hello handshake with {addr} failed: {e}"))?;
+    }
     // The telemetry flags: `--trace-seed` stamps every request with a
     // deterministic trace context the server propagates end to end;
     // `--spans FILE` keeps the client's own span events (`retry`,
@@ -244,11 +261,16 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
         }
     }
     let rate = seq.len() as f64 / elapsed.as_secs_f64().max(1e-9);
-    let mode = if batch > 1 {
+    let mut mode = if batch > 1 {
         format!(", batched ×{batch}")
     } else {
         String::new()
     };
+    if client.active_proto() == Proto::Binary {
+        mode.push_str(", binary frames");
+    } else if proto == Proto::Binary {
+        mode.push_str(", binary refused");
+    }
     let mut spans_line = String::new();
     if let (Some(path), Some(rec)) = (spans_path, &recorder) {
         let events = rec.take();

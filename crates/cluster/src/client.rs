@@ -8,7 +8,11 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use partalloc_service::{parse_response_line, ErrorReply, Response};
+use partalloc_service::{
+    configure_stream, decode_raw_response_line, decode_response, encode_raw_request_line,
+    parse_response_line, read_frame, request_line_traced, write_frame, ErrorReply, FrameRead,
+    Proto, Request, Response,
+};
 
 use crate::proto::{ClusterReply, ClusterRequest, NodeInfo, NodeSnapshot, NodeStats};
 
@@ -45,35 +49,115 @@ impl From<io::Error> for ClusterClientError {
 pub struct ClusterClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    proto: Proto,
 }
 
 impl ClusterClient {
-    /// Connect to a router at `addr`.
+    /// Connect to a router at `addr` (NDJSON framing).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(ClusterClient {
-            reader: BufReader::new(stream),
-            writer,
-        })
+        Self::connect_with_proto(addr, Proto::Ndjson)
     }
 
-    /// Send one admin op and parse its reply.
-    pub fn call(&mut self, req: &ClusterRequest) -> Result<ClusterReply, ClusterClientError> {
-        let line =
-            serde_json::to_string(req).map_err(|e| ClusterClientError::Protocol(e.to_string()))?;
+    /// Connect to a router at `addr`, negotiating `proto` via the
+    /// `hello` handshake. A refusal (or a router that predates the
+    /// handshake) falls back to NDJSON rather than failing.
+    pub fn connect_with_proto(addr: impl ToSocketAddrs, proto: Proto) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        configure_stream(&stream);
+        let writer = stream.try_clone()?;
+        let mut client = ClusterClient {
+            reader: BufReader::new(stream),
+            writer,
+            proto: Proto::Ndjson,
+        };
+        if proto == Proto::Binary {
+            client.proto = client.negotiate()?;
+        }
+        Ok(client)
+    }
+
+    /// The framing this connection settled on.
+    pub fn active_proto(&self) -> Proto {
+        self.proto
+    }
+
+    /// Ask for the binary upgrade over NDJSON; any answer other than
+    /// a grant leaves the connection on NDJSON.
+    fn negotiate(&mut self) -> io::Result<Proto> {
+        let req = Request::Hello {
+            proto: Proto::Binary.label().to_owned(),
+        };
+        let line = request_line_traced(&req, None, None)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let reply = self.exchange_line(&line)?;
+        match parse_response_line(reply.trim_end()) {
+            Ok((_, Response::Hello { proto })) if proto == Proto::Binary.label() => {
+                Ok(Proto::Binary)
+            }
+            _ => Ok(Proto::Ndjson),
+        }
+    }
+
+    /// One line-out, line-back round trip in NDJSON framing.
+    fn exchange_line(&mut self, line: &str) -> io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let mut reply = String::new();
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
-            return Err(ClusterClientError::Io(io::Error::new(
+            return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "router closed the connection",
-            )));
+            ));
         }
+        Ok(reply)
+    }
+
+    /// One line-out, line-back round trip in binary framing: the line
+    /// rides a raw-line frame both ways (admin replies are
+    /// [`ClusterReply`]s, which only the raw-line tag can carry).
+    fn exchange_frame(&mut self, line: &str) -> Result<String, ClusterClientError> {
+        write_frame(&mut self.writer, &encode_raw_request_line(line.as_bytes()))?;
+        self.writer.flush()?;
+        let mut payload = Vec::new();
+        match read_frame(&mut self.reader, &mut payload, usize::MAX)? {
+            FrameRead::Frame => {
+                if let Some(raw) = decode_raw_response_line(&payload)
+                    .map_err(|e| ClusterClientError::Protocol(e.to_string()))?
+                {
+                    return Ok(raw.to_owned());
+                }
+                // A compact frame means a plain service reply (e.g.
+                // an error); surface it through the same paths.
+                match decode_response(&payload) {
+                    Ok(d) => match d.resp {
+                        Response::Error(e) => Err(ClusterClientError::Rejected(e)),
+                        other => Err(ClusterClientError::Protocol(format!(
+                            "expected a cluster reply, got {other:?}"
+                        ))),
+                    },
+                    Err(e) => Err(ClusterClientError::Protocol(e.to_string())),
+                }
+            }
+            FrameRead::TooBig(len) => Err(ClusterClientError::Protocol(format!(
+                "router reply frame of {len} bytes exceeds the cap"
+            ))),
+            FrameRead::Eof => Err(ClusterClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "router closed the connection",
+            ))),
+        }
+    }
+
+    /// Send one admin op and parse its reply.
+    pub fn call(&mut self, req: &ClusterRequest) -> Result<ClusterReply, ClusterClientError> {
+        let line =
+            serde_json::to_string(req).map_err(|e| ClusterClientError::Protocol(e.to_string()))?;
+        let reply = match self.proto {
+            Proto::Ndjson => self.exchange_line(&line)?,
+            Proto::Binary => self.exchange_frame(&line)?,
+        };
         let trimmed = reply.trim_end();
         if let Ok(parsed) = serde_json::from_str::<ClusterReply>(trimmed) {
             return Ok(parsed);

@@ -1,61 +1,85 @@
-//! The router's TCP front: the same NDJSON-over-TCP discipline as the
-//! node daemon ([`partalloc_service::Server`]), one thread per client
-//! connection, each with its own [`NodeLinks`] pool of forwarding
-//! connections.
+//! The router's TCP front: the same multiplexed reactor and
+//! negotiated framing as the node daemon
+//! ([`partalloc_service::Server`]), with one [`NodeLinks`] pool of
+//! forwarding connections per client connection.
 //!
-//! The bounded line reader mirrors the node server's: an overlong
-//! request line is drained without being stored, answered with
-//! `bad-request`, and the connection resynchronizes at the next
-//! newline — nothing a client sends exhausts the router's memory.
+//! The router core stays line-oriented internally
+//! ([`ClusterCore::handle_line`] takes and returns NDJSON lines, so
+//! the service and cluster planes share one dispatch path). A client
+//! connection that negotiated binary framing is therefore
+//! *transcoded* at this layer: the hot request tags decode straight
+//! to [`Request`] values and are re-rendered as the line the core
+//! expects; tag-0 frames already carry their line verbatim; the
+//! core's reply line rides back inside a tag-0 response frame.
+//! Client↔router framing is independent of router↔node framing — the
+//! forwarding links negotiate their own (see
+//! [`ClusterConfig::proto`](crate::ClusterConfig)).
+//!
+//! Oversized lines and frames are drained without being stored,
+//! answered with `bad-request`, and the connection resynchronizes —
+//! nothing a client sends exhausts the router's memory.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use partalloc_service::{
+    decode_raw_request_line, decode_request, encode_raw_response_line, negotiate_hello,
+    parse_request_envelope, request_line_traced, response_line, Proto, Request,
+};
+use partalloc_wire::{Reactor, ReactorConfig, WireHandler, WireReply};
 
 use crate::router::{ClusterCore, NodeLinks};
 
-/// Cap on one request line through the router, matching the node
-/// daemon's default.
+/// Cap on one request line or frame payload through the router,
+/// matching the node daemon's default.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
-type ConnSlot = (TcpStream, JoinHandle<()>);
-
-/// A running NDJSON-over-TCP routing tier around a shared
-/// [`ClusterCore`].
+/// A running TCP routing tier around a shared [`ClusterCore`].
 pub struct ClusterServer {
     core: Arc<ClusterCore>,
-    addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<ConnSlot>>>,
+    reactor: Option<Reactor>,
 }
 
 impl ClusterServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start
-    /// accepting client connections.
+    /// accepting client connections. Binary upgrades are allowed;
+    /// clients that never send `hello` stay on NDJSON.
     pub fn spawn(core: Arc<ClusterCore>, addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_core = Arc::clone(&core);
-        let accept_conns = Arc::clone(&conns);
-        let accept_thread = thread::Builder::new()
-            .name("partalloc-router-accept".into())
-            .spawn(move || accept_loop(listener, accept_core, accept_conns))?;
+        Self::spawn_with_proto(core, addr, Proto::Binary)
+    }
+
+    /// [`ClusterServer::spawn`] with an explicit ceiling on what
+    /// `hello` may negotiate on *client* connections (the forwarding
+    /// links' framing is the cluster config's business).
+    pub fn spawn_with_proto(
+        core: Arc<ClusterCore>,
+        addr: impl ToSocketAddrs,
+        allowed: Proto,
+    ) -> io::Result<Self> {
+        let handler = Arc::new(RouterHandler {
+            core: Arc::clone(&core),
+            allowed,
+        });
+        let config = ReactorConfig {
+            max_payload: MAX_LINE_BYTES,
+            name: "partalloc-router".into(),
+            ..ReactorConfig::default()
+        };
+        let reactor = Reactor::bind(addr, config, handler)?;
         Ok(ClusterServer {
             core,
-            addr,
-            accept_thread: Some(accept_thread),
-            conns,
+            reactor: Some(reactor),
         })
     }
 
     /// The bound address (with the resolved ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.reactor
+            .as_ref()
+            .expect("reactor runs until the server is consumed")
+            .local_addr()
     }
 
     /// The shared core.
@@ -67,7 +91,7 @@ impl ClusterServer {
     /// drain and return. This is what `palloc router` runs.
     pub fn run_until_shutdown(self, grace: Duration) {
         while !self.core.is_shutting_down() {
-            thread::sleep(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(10));
         }
         self.finish(grace);
     }
@@ -79,191 +103,126 @@ impl ClusterServer {
     }
 
     fn finish(mut self, grace: Duration) {
-        // Poke the accept loop awake; it sees the flag and exits.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        let deadline = Instant::now() + grace;
-        loop {
-            let mut conns = self.conns.lock();
-            conns.retain(|(_, h)| !h.is_finished());
-            if conns.is_empty() {
-                return;
-            }
-            if Instant::now() >= deadline {
-                for (stream, _) in conns.iter() {
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
-                let handles: Vec<JoinHandle<()>> = conns.drain(..).map(|(_, h)| h).collect();
-                drop(conns);
-                for h in handles {
-                    let _ = h.join();
-                }
-                return;
-            }
-            drop(conns);
-            thread::sleep(Duration::from_millis(2));
+        if let Some(reactor) = self.reactor.take() {
+            reactor.finish(grace);
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, core: Arc<ClusterCore>, conns: Arc<Mutex<Vec<ConnSlot>>>) {
-    for incoming in listener.incoming() {
-        if core.is_shutting_down() {
-            break;
+struct RouterHandler {
+    core: Arc<ClusterCore>,
+    allowed: Proto,
+}
+
+impl RouterHandler {
+    /// Frame one reply line for the connection's framing.
+    fn reply(proto: Proto, line: String) -> WireReply {
+        match proto {
+            Proto::Ndjson => WireReply::send(line.into_bytes()),
+            Proto::Binary => WireReply::send(encode_raw_response_line(line.as_bytes())),
         }
-        let Ok(stream) = incoming else { continue };
-        let Ok(retained) = stream.try_clone() else {
-            continue;
+    }
+
+    /// Answer a `hello` line: render the negotiated reply and attach
+    /// the framing switch.
+    fn hello(&self, proto: Proto, line: &str) -> Option<WireReply> {
+        // Cheap peek before the full parse; `hello` is once per
+        // connection, everything else skips both checks.
+        if !line.contains("\"op\":\"hello\"") {
+            return None;
+        }
+        let Ok((envelope, Request::Hello { proto: wanted })) = parse_request_envelope(line) else {
+            return None;
         };
-        let conn_core = Arc::clone(&core);
-        let spawned = thread::Builder::new()
-            .name("partalloc-router-conn".into())
-            .spawn(move || serve_conn(conn_core, stream));
-        if let Ok(handle) = spawned {
-            let mut conns = conns.lock();
-            conns.retain(|(_, h)| !h.is_finished());
-            conns.push((retained, handle));
+        let (resp, switch) = negotiate_hello(&wanted, self.allowed, proto);
+        let Ok(reply_line) = response_line(&resp, envelope.trace) else {
+            return None;
+        };
+        let mut reply = Self::reply(proto, reply_line);
+        reply.switch_to = switch;
+        Some(reply)
+    }
+
+    fn handle_line(&self, conn: &mut NodeLinks, proto: Proto, line: &str) -> WireReply {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return WireReply::silent();
         }
+        if let Some(reply) = self.hello(proto, trimmed) {
+            return reply;
+        }
+        Self::reply(proto, self.core.handle_line(trimmed, conn))
     }
 }
 
-fn serve_conn(core: Arc<ClusterCore>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = Vec::new();
-    let mut links = NodeLinks::new();
-    loop {
-        let reply = match read_bounded_line(&mut reader, &mut line, MAX_LINE_BYTES) {
-            Ok(LineRead::Eof) | Err(_) => break,
-            Ok(LineRead::TooLong) => {
-                error_line(format!("request line exceeds {MAX_LINE_BYTES} bytes"))
-            }
-            Ok(LineRead::Line) => match std::str::from_utf8(&line) {
-                Ok(text) => {
-                    let trimmed = text.trim();
-                    if trimmed.is_empty() {
-                        continue;
-                    }
-                    core.handle_line(trimmed, &mut links)
-                }
-                Err(_) => error_line("request line is not valid UTF-8".to_owned()),
+impl WireHandler for RouterHandler {
+    type Conn = NodeLinks;
+
+    fn open_conn(&self) -> NodeLinks {
+        NodeLinks::new()
+    }
+
+    fn handle(&self, conn: &mut NodeLinks, proto: Proto, payload: &[u8]) -> WireReply {
+        match proto {
+            Proto::Ndjson => match std::str::from_utf8(payload) {
+                Ok(text) => self.handle_line(conn, proto, text),
+                Err(_) => Self::reply(proto, error_line("request line is not valid UTF-8")),
             },
-        };
-        let mut json = reply;
-        json.push('\n');
-        let wrote = writer
-            .write_all(json.as_bytes())
-            .and_then(|()| writer.flush());
-        if wrote.is_err() {
-            break;
+            Proto::Binary => {
+                // Tag-0 frames carry the core's dispatch line
+                // verbatim — including the `cluster-*` admin ops,
+                // which are not service requests and which only the
+                // raw tag can carry — so peel those without
+                // interpreting them.
+                match decode_raw_request_line(payload) {
+                    Ok(Some(line)) => return self.handle_line(conn, proto, line),
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Self::reply(proto, error_line(format!("bad binary frame: {e}")))
+                    }
+                }
+                // Transcode a compact frame: decode, then re-render
+                // the line the core dispatches on.
+                let line = match decode_request(payload) {
+                    Ok(d) => match request_line_traced(&d.req, d.envelope.req_id, d.envelope.trace)
+                    {
+                        Ok(line) => line,
+                        Err(e) => {
+                            return Self::reply(
+                                proto,
+                                error_line(format!("unrenderable request: {e}")),
+                            )
+                        }
+                    },
+                    Err(e) => {
+                        return Self::reply(proto, error_line(format!("bad binary frame: {e}")))
+                    }
+                };
+                self.handle_line(conn, proto, &line)
+            }
         }
+    }
+
+    fn oversized(&self, _conn: &mut NodeLinks, proto: Proto, cap: usize) -> WireReply {
+        let unit = match proto {
+            Proto::Ndjson => "line",
+            Proto::Binary => "frame",
+        };
+        Self::reply(proto, error_line(format!("request {unit} exceeds {cap} bytes")))
     }
 }
 
 /// A pre-rendered `bad-request` reply line.
 fn error_line(message: impl Into<String>) -> String {
-    use partalloc_service::{response_line, ErrorCode, Response};
+    use partalloc_service::{ErrorCode, Response};
     let resp = Response::error(ErrorCode::BadRequest, message);
     response_line(&resp, None)
         .unwrap_or_else(|_| "{\"reply\":\"error\",\"code\":\"bad-request\"}".to_owned())
 }
 
-/// Outcome of one bounded line read.
-enum LineRead {
-    Line,
-    TooLong,
-    Eof,
-}
-
-/// Read one `\n`-terminated line into `buf`, holding at most `cap`
-/// bytes; an overlong line is drained but not stored (the stream
-/// resynchronizes at the newline). Same contract as the node server's
-/// reader.
-fn read_bounded_line<R: BufRead>(
-    reader: &mut R,
-    buf: &mut Vec<u8>,
-    cap: usize,
-) -> io::Result<LineRead> {
-    buf.clear();
-    let mut overlong = false;
-    loop {
-        let (done, used) = {
-            let available = match reader.fill_buf() {
-                Ok(a) => a,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            };
-            if available.is_empty() {
-                return Ok(if overlong {
-                    LineRead::TooLong
-                } else if buf.is_empty() {
-                    LineRead::Eof
-                } else {
-                    LineRead::Line
-                });
-            }
-            match available.iter().position(|&b| b == b'\n') {
-                Some(i) => {
-                    if !overlong {
-                        buf.extend_from_slice(&available[..i]);
-                    }
-                    (true, i + 1)
-                }
-                None => {
-                    if !overlong {
-                        buf.extend_from_slice(available);
-                    }
-                    (false, available.len())
-                }
-            }
-        };
-        reader.consume(used);
-        if buf.len() > cap {
-            buf.clear();
-            overlong = true;
-        }
-        if done {
-            return Ok(if overlong {
-                LineRead::TooLong
-            } else {
-                LineRead::Line
-            });
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
-
-    #[test]
-    fn bounded_reader_matches_the_node_contract() {
-        let mut input = vec![b'x'; 64];
-        input.push(b'\n');
-        input.extend_from_slice(b"ok\n");
-        let mut r = BufReader::with_capacity(8, Cursor::new(input));
-        let mut buf = Vec::new();
-        assert!(matches!(
-            read_bounded_line(&mut r, &mut buf, 10).unwrap(),
-            LineRead::TooLong
-        ));
-        assert!(matches!(
-            read_bounded_line(&mut r, &mut buf, 10).unwrap(),
-            LineRead::Line
-        ));
-        assert_eq!(buf, b"ok");
-        assert!(matches!(
-            read_bounded_line(&mut r, &mut buf, 10).unwrap(),
-            LineRead::Eof
-        ));
-    }
 
     #[test]
     fn error_lines_render_as_service_errors() {

@@ -42,9 +42,10 @@ use std::time::Duration;
 
 use partalloc_obs::{NullRecorder, PromText, Recorder, SpanEvent, TraceContext};
 use partalloc_service::{
-    mix64, parse_request_envelope, parse_response_line, request_line_traced, response_line,
-    ring_owner, BatchItem, ErrorCode, LoadReport, Request, RequestEnvelope, Response, RetryPolicy,
-    RouterKind, ServiceStats, ShardLoad, TcpClient,
+    configure_stream, decode_response, encode_raw_request_line, mix64, parse_request_envelope,
+    parse_response_line, read_frame, request_line_traced, response_line, ring_owner, write_frame,
+    BatchItem, ErrorCode, FrameRead, LoadReport, Proto, Request, RequestEnvelope, Response,
+    RetryPolicy, RouterKind, ServiceStats, ShardLoad, TcpClient,
 };
 
 use crate::member::{decode_task, encode_task, Membership, NodeState, MAX_NODES};
@@ -71,6 +72,13 @@ pub struct ClusterConfig {
     pub connect_timeout: Duration,
     /// Read/write deadline per forwarded request.
     pub io_timeout: Duration,
+    /// Framing to negotiate on the forwarding links:
+    /// [`Proto::Binary`] attempts the `hello` upgrade on each fresh
+    /// link (falling back per link when a node refuses or predates
+    /// the handshake); [`Proto::Ndjson`] skips the handshake. This is
+    /// independent of what *client* connections negotiate with the
+    /// router's own front.
+    pub proto: Proto,
 }
 
 impl ClusterConfig {
@@ -83,6 +91,7 @@ impl ClusterConfig {
             forward_retries: 2,
             connect_timeout: Duration::from_secs(1),
             io_timeout: Duration::from_secs(5),
+            proto: Proto::Ndjson,
         }
     }
 
@@ -102,6 +111,12 @@ impl ClusterConfig {
     pub fn timeouts(mut self, connect: Duration, io: Duration) -> Self {
         self.connect_timeout = connect;
         self.io_timeout = io;
+        self
+    }
+
+    /// Set the framing to negotiate on the forwarding links.
+    pub fn proto(mut self, proto: Proto) -> Self {
+        self.proto = proto;
         self
     }
 }
@@ -135,10 +150,12 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
-/// One pooled forwarding connection to a node.
+/// One pooled forwarding connection to a node, remembering the
+/// framing its own `hello` handshake settled on.
 struct NodeConn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    proto: Proto,
 }
 
 /// Per-client-connection pool of node connections. Each client
@@ -173,13 +190,19 @@ impl NodeLinks {
                 for sockaddr in std::net::ToSocketAddrs::to_socket_addrs(addr)? {
                     match TcpStream::connect_timeout(&sockaddr, config.connect_timeout) {
                         Ok(stream) => {
+                            configure_stream(&stream);
                             stream.set_read_timeout(Some(config.io_timeout))?;
                             stream.set_write_timeout(Some(config.io_timeout))?;
                             let writer = stream.try_clone()?;
-                            return Ok(e.insert(NodeConn {
+                            let mut conn = NodeConn {
                                 reader: BufReader::new(stream),
                                 writer,
-                            }));
+                                proto: Proto::Ndjson,
+                            };
+                            if config.proto == Proto::Binary {
+                                conn.proto = negotiate_link(&mut conn)?;
+                            }
+                            return Ok(e.insert(conn));
                         }
                         Err(err) => last = err,
                     }
@@ -331,6 +354,12 @@ impl ClusterCore {
                 "snapshots are per node behind a router; use op cluster-snapshot",
             ),
             Request::Dump => self.fanout_dump(envelope, links),
+            // Framing is per hop: the router's TCP front end
+            // intercepts `hello` itself; a core reached directly has
+            // no framing to switch and grants the default.
+            Request::Hello { .. } => Response::Hello {
+                proto: "ndjson".to_owned(),
+            },
             Request::Ping => Response::Pong,
             Request::InjectFault { shard } => self.forward_fault(envelope, shard, links),
             Request::Shutdown => {
@@ -1024,8 +1053,65 @@ enum SlotStatus {
     Alive,
 }
 
-/// One write-read round trip on a pooled connection.
+/// One write-read round trip on a pooled connection, in whatever
+/// framing the link negotiated. The request stays the byte-identical
+/// rendered line either way (binary links carry it in a raw-line
+/// frame), so retries replay from the node's dedupe window under both
+/// framings.
 fn exchange(conn: &mut NodeConn, line: &str) -> io::Result<Response> {
+    match conn.proto {
+        Proto::Ndjson => {
+            conn.writer.write_all(line.as_bytes())?;
+            conn.writer.write_all(b"\n")?;
+            conn.writer.flush()?;
+            let mut reply = String::new();
+            let n = conn.reader.read_line(&mut reply)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "node closed the connection",
+                ));
+            }
+            let (_, resp) = parse_response_line(reply.trim_end())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            Ok(resp)
+        }
+        Proto::Binary => {
+            write_frame(&mut conn.writer, &encode_raw_request_line(line.as_bytes()))?;
+            conn.writer.flush()?;
+            // Reply frames are uncapped, mirroring the unbounded
+            // `read_line` above — we trust our own nodes' replies.
+            let mut payload = Vec::new();
+            match read_frame(&mut conn.reader, &mut payload, usize::MAX)? {
+                FrameRead::Frame => {
+                    let decoded = decode_response(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    Ok(decoded.resp)
+                }
+                FrameRead::TooBig(len) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("node reply frame of {len} bytes exceeds the cap"),
+                )),
+                FrameRead::Eof => Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "node closed the connection",
+                )),
+            }
+        }
+    }
+}
+
+/// Ask a fresh forwarding link to upgrade to binary framing. The
+/// `hello` rides NDJSON (every node speaks that); a grant switches
+/// the link, anything else — refusal, `bad-request` from a node that
+/// predates the handshake — leaves it on NDJSON. Only I/O failures
+/// are errors.
+fn negotiate_link(conn: &mut NodeConn) -> io::Result<Proto> {
+    let req = Request::Hello {
+        proto: Proto::Binary.label().to_owned(),
+    };
+    let line = request_line_traced(&req, None, None)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     conn.writer.write_all(line.as_bytes())?;
     conn.writer.write_all(b"\n")?;
     conn.writer.flush()?;
@@ -1034,12 +1120,13 @@ fn exchange(conn: &mut NodeConn, line: &str) -> io::Result<Response> {
     if n == 0 {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
-            "node closed the connection",
+            "node closed the connection during hello",
         ));
     }
-    let (_, resp) = parse_response_line(reply.trim_end())
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    Ok(resp)
+    match parse_response_line(reply.trim_end()) {
+        Ok((_, Response::Hello { proto })) if proto == Proto::Binary.label() => Ok(Proto::Binary),
+        _ => Ok(Proto::Ndjson),
+    }
 }
 
 /// Does this line carry a `cluster-*` op? (A cheap peek so the two

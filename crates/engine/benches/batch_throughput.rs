@@ -6,8 +6,13 @@
 //! * `in_process` — [`ServiceHandle`] mutations one at a time vs
 //!   [`ServiceHandle::submit_batch`] (one shard-lock acquisition and
 //!   one gauge publish per batch instead of per event);
-//! * `tcp` — the same dialogue over a real loop-back connection, where
-//!   batching collapses `2·B` NDJSON round trips into 2.
+//! * `tcp` — the same dialogue over a real loop-back connection, in
+//!   both negotiated framings (`proto` dimension: `ndjson` lines vs
+//!   `binary` frames), where batching collapses `2·B` round trips
+//!   into 2;
+//! * `wire` — the transport alone: the same batch payloads through
+//!   the reactor and an echo handler, isolating framing + event-loop
+//!   cost from allocation work.
 //!
 //! Besides the criterion groups, `--save-json PATH` runs a small
 //! fixed-duration harness over the same workloads and writes an
@@ -19,6 +24,8 @@
 //!     --save-json BENCH_engine.json
 //! ```
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,12 +36,23 @@ use partalloc_core::AllocatorKind;
 use partalloc_engine::Engine;
 use partalloc_model::{Event, TaskId};
 use partalloc_service::{
-    BatchItem, Response, Server, ServiceConfig, ServiceCore, ServiceHandle, TcpClient,
+    encode_request, request_line_traced, BatchItem, Proto, Request, Response, Server,
+    ServiceConfig, ServiceCore, ServiceHandle, TcpClient,
 };
 use partalloc_topology::BuddyTree;
+use partalloc_wire::{
+    read_frame, write_frame, FrameRead, Reactor, ReactorConfig, WireHandler, WireReply,
+};
 
 /// Task pairs per batch (B arrivals + B departures per round).
 const BATCH: usize = 64;
+
+/// Frames in flight per `wire` round: the reactor pipelines, so the
+/// transport-only bench writes a window of batch payloads before
+/// reading the echoes back — that keeps the worker sweep hot instead
+/// of paying a full poll-loop round trip per frame, which is exactly
+/// the ability the reactor adds over the thread-per-connection loop.
+const DEPTH: usize = 32;
 
 /// B arrival events with fresh ids starting at `*next`, then B
 /// departures of the same tasks — a steady-state pair workload.
@@ -154,25 +172,160 @@ fn batched_round_tcp(client: &mut TcpClient) {
 fn bench_tcp(c: &mut Criterion) {
     let core = ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 256)).unwrap();
     let server = Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap();
-    let mut client = TcpClient::connect(server.local_addr()).unwrap();
 
     let mut group = c.benchmark_group("tcp");
     group.throughput(Throughput::Elements(2 * BATCH as u64));
-    group.bench_function(BenchmarkId::new("arrive_depart", "per_event"), |b| {
-        b.iter(|| per_event_round_tcp(&mut client))
-    });
-    group.bench_function(BenchmarkId::new("arrive_depart", "batched"), |b| {
-        b.iter(|| batched_round_tcp(&mut client))
-    });
+    for proto in [Proto::Ndjson, Proto::Binary] {
+        let mut client = TcpClient::connect(server.local_addr())
+            .unwrap()
+            .with_proto(proto)
+            .unwrap();
+        assert_eq!(client.active_proto(), proto, "upgrade refused");
+        group.bench_function(
+            BenchmarkId::new("arrive_depart", format!("per_event/{proto}")),
+            |b| b.iter(|| per_event_round_tcp(&mut client)),
+        );
+        group.bench_function(
+            BenchmarkId::new("arrive_depart", format!("batched/{proto}")),
+            |b| b.iter(|| batched_round_tcp(&mut client)),
+        );
+    }
     group.finish();
 
-    drop(client);
     server.shutdown(Duration::from_millis(200));
 }
 
+/// An echo handler: the transport-only benchmark. A first NDJSON line
+/// of `upgrade` grants binary framing, mirroring the real handshake's
+/// switch-after-reply discipline.
+struct EchoHandler;
+
+impl WireHandler for EchoHandler {
+    type Conn = ();
+
+    fn open_conn(&self) {}
+
+    fn handle(&self, _conn: &mut (), proto: Proto, payload: &[u8]) -> WireReply {
+        if proto == Proto::Ndjson && payload == b"upgrade" {
+            let mut reply = WireReply::send(b"granted".to_vec());
+            reply.switch_to = Some(Proto::Binary);
+            return reply;
+        }
+        WireReply::send(payload.to_vec())
+    }
+
+    fn oversized(&self, _conn: &mut (), _proto: Proto, _cap: usize) -> WireReply {
+        WireReply::send(b"too-big".to_vec())
+    }
+}
+
+/// The two request payloads a batched round sends (B arrivals, then B
+/// departures), rendered once in `proto`'s encoding.
+fn wire_round_payloads(proto: Proto) -> (Vec<u8>, Vec<u8>) {
+    let arrive = Request::Batch {
+        items: vec![BatchItem::Arrive { size_log2: 2 }; BATCH],
+    };
+    let depart = Request::Batch {
+        items: (0..BATCH as u64)
+            .map(|task| BatchItem::Depart { task })
+            .collect(),
+    };
+    let render = |req: &Request| match proto {
+        Proto::Ndjson => request_line_traced(req, Some(7), None)
+            .unwrap()
+            .into_bytes(),
+        Proto::Binary => encode_request(req, Some(7), None).unwrap(),
+    };
+    (render(&arrive), render(&depart))
+}
+
+/// One pipelined wire round: `DEPTH` copies of both payloads written
+/// in one burst, then all `2·DEPTH` echoes read back.
+fn wire_round(
+    proto: Proto,
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    payloads: &(Vec<u8>, Vec<u8>),
+) {
+    match proto {
+        Proto::Ndjson => {
+            let mut out = Vec::new();
+            for _ in 0..DEPTH {
+                for payload in [&payloads.0, &payloads.1] {
+                    out.extend_from_slice(payload);
+                    out.push(b'\n');
+                }
+            }
+            stream.write_all(&out).unwrap();
+            stream.flush().unwrap();
+            let mut line = String::new();
+            for _ in 0..2 * DEPTH {
+                line.clear();
+                assert!(reader.read_line(&mut line).unwrap() > 0);
+            }
+        }
+        Proto::Binary => {
+            let mut out = Vec::new();
+            for _ in 0..DEPTH {
+                for payload in [&payloads.0, &payloads.1] {
+                    write_frame(&mut out, payload).unwrap();
+                }
+            }
+            stream.write_all(&out).unwrap();
+            stream.flush().unwrap();
+            let mut buf = Vec::new();
+            for _ in 0..2 * DEPTH {
+                match read_frame(reader, &mut buf, 1 << 20).unwrap() {
+                    FrameRead::Frame => {}
+                    other => panic!("expected the echo, got {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// Connect to the echo reactor, upgrading when `proto` asks for it.
+fn wire_client(addr: std::net::SocketAddr, proto: Proto) -> (TcpStream, BufReader<TcpStream>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    if proto == Proto::Binary {
+        stream.write_all(b"upgrade\n").unwrap();
+        stream.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "granted\n");
+    }
+    (stream, reader)
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let reactor = Reactor::bind(
+        "127.0.0.1:0",
+        ReactorConfig::default(),
+        Arc::new(EchoHandler),
+    )
+    .unwrap();
+    let addr = reactor.local_addr();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements((DEPTH * 2 * BATCH) as u64));
+    for proto in [Proto::Ndjson, Proto::Binary] {
+        let payloads = wire_round_payloads(proto);
+        let (mut stream, mut reader) = wire_client(addr, proto);
+        group.bench_function(BenchmarkId::new("echo", format!("batched/{proto}")), |b| {
+            b.iter(|| wire_round(proto, &mut stream, &mut reader, &payloads))
+        });
+    }
+    group.finish();
+
+    reactor.finish(Duration::from_millis(200));
+}
+
 /// Fixed-duration measurement for the JSON trajectory: run `round`
-/// for ~0.5 s and report events per second.
-fn measure(mut round: impl FnMut()) -> f64 {
+/// (which drives `events_per_round` events) for ~0.5 s and report
+/// events per second.
+fn measure(events_per_round: u64, mut round: impl FnMut()) -> f64 {
     for _ in 0..4 {
         round(); // warm-up
     }
@@ -182,10 +335,13 @@ fn measure(mut round: impl FnMut()) -> f64 {
         round();
         rounds += 1;
     }
-    (rounds * 2 * BATCH as u64) as f64 / start.elapsed().as_secs_f64()
+    (rounds * events_per_round) as f64 / start.elapsed().as_secs_f64()
 }
 
 fn save_json(path: &str) {
+    // (path, mode, proto, events/sec). `proto: "none"` marks the
+    // layers a wire framing cannot reach.
+    let round_events = 2 * BATCH as u64;
     let mut results = Vec::new();
 
     let mut engine = fresh_engine();
@@ -193,7 +349,8 @@ fn save_json(path: &str) {
     results.push((
         "engine",
         "per_event",
-        measure(|| {
+        "none",
+        measure(round_events, || {
             for ev in &pair_events(&mut next, 2) {
                 black_box(engine.drive(ev, &mut []));
             }
@@ -204,7 +361,8 @@ fn save_json(path: &str) {
     results.push((
         "engine",
         "batched",
-        measure(|| {
+        "none",
+        measure(round_events, || {
             let events = pair_events(&mut next, 2);
             black_box(engine.drive_batch(&events, &mut []));
         }),
@@ -214,33 +372,66 @@ fn save_json(path: &str) {
     results.push((
         "in_process",
         "per_event",
-        measure(|| per_event_round_in_process(&h)),
+        "none",
+        measure(round_events, || per_event_round_in_process(&h)),
     ));
     let h = service_handle();
     results.push((
         "in_process",
         "batched",
-        measure(|| batched_round_in_process(&h)),
+        "none",
+        measure(round_events, || batched_round_in_process(&h)),
     ));
 
     let core = ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 256)).unwrap();
     let server = Server::spawn(Arc::new(core), "127.0.0.1:0").unwrap();
-    let mut client = TcpClient::connect(server.local_addr()).unwrap();
-    results.push((
-        "tcp",
-        "per_event",
-        measure(|| per_event_round_tcp(&mut client)),
-    ));
-    results.push(("tcp", "batched", measure(|| batched_round_tcp(&mut client))));
-    drop(client);
+    for proto in [Proto::Ndjson, Proto::Binary] {
+        let mut client = TcpClient::connect(server.local_addr())
+            .unwrap()
+            .with_proto(proto)
+            .unwrap();
+        results.push((
+            "tcp",
+            "per_event",
+            proto.label(),
+            measure(round_events, || per_event_round_tcp(&mut client)),
+        ));
+        results.push((
+            "tcp",
+            "batched",
+            proto.label(),
+            measure(round_events, || batched_round_tcp(&mut client)),
+        ));
+    }
     server.shutdown(Duration::from_millis(200));
+
+    let reactor = Reactor::bind(
+        "127.0.0.1:0",
+        ReactorConfig::default(),
+        Arc::new(EchoHandler),
+    )
+    .unwrap();
+    for proto in [Proto::Ndjson, Proto::Binary] {
+        let payloads = wire_round_payloads(proto);
+        let (mut stream, mut reader) = wire_client(reactor.local_addr(), proto);
+        results.push((
+            "wire",
+            "batched",
+            proto.label(),
+            measure((DEPTH as u64) * round_events, || {
+                wire_round(proto, &mut stream, &mut reader, &payloads)
+            }),
+        ));
+    }
+    reactor.finish(Duration::from_millis(200));
 
     let entries: Vec<serde_json::Value> = results
         .iter()
-        .map(|(path, mode, eps)| {
+        .map(|(path, mode, proto, eps)| {
             serde_json::json!({
                 "path": path,
                 "mode": mode,
+                "proto": proto,
                 "events_per_sec": (eps.round() as u64),
             })
         })
@@ -248,6 +439,7 @@ fn save_json(path: &str) {
     let doc = serde_json::json!({
         "bench": "engine_batch_throughput",
         "batch": BATCH,
+        "wire_depth": DEPTH,
         "allocator": "A_G",
         "pes": 256,
         "results": entries,
@@ -262,7 +454,7 @@ criterion_group! {
         .sample_size(30)
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1));
-    targets = bench_engine, bench_in_process, bench_tcp
+    targets = bench_engine, bench_in_process, bench_tcp, bench_wire
 }
 
 fn main() {

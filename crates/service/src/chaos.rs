@@ -1,39 +1,48 @@
 //! A deterministic fault-injecting TCP proxy — what `palloc chaos`
 //! runs between a client and a server to rehearse transport failure.
 //!
-//! The proxy forwards NDJSON lines in both directions and consults a
-//! seeded [`FaultPlan`] per line: drop it, delay it, truncate it
-//! mid-line and sever the link, corrupt a byte so it no longer
-//! parses, or kill the connection outright. Connection `n` consumes
-//! the plan's `split(2n)` stream client→server and `split(2n + 1)`
+//! The proxy forwards protocol units in both directions and consults
+//! a seeded [`FaultPlan`] per unit: drop it, delay it, truncate it
+//! mid-byte and sever the link, corrupt it so it no longer parses, or
+//! kill the connection outright. Connection `n` consumes the plan's
+//! `split(2n)` stream client→server and `split(2n + 1)`
 //! server→client, so a rerun with the same seed and connection order
 //! injects the identical misfortune schedule. Combined with a
 //! retrying client and the server's dedupe window, a run through the
 //! proxy must converge to the same final state as a clean run — the
 //! chaos e2e test holds the pair to byte-identical snapshots.
+//!
+//! A unit is an NDJSON line until the proxy watches a `hello` binary
+//! upgrade complete through it (the request forwarded unharmed, the
+//! server's reply granting `binary`); from then on both pumps forward
+//! length-prefixed frames. Corruption under binary framing flips the
+//! payload's *flags* byte to an all-ones pattern the codec is
+//! guaranteed to reject — damage must surface as `bad-request`, never
+//! as a different valid request.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use partalloc_engine::{FaultKind, FaultPlan};
 use partalloc_obs::{NullRecorder, Recorder, SpanEvent};
+use partalloc_wire::{read_frame, write_frame, FrameRead};
 
 /// Live counters of what the proxy has done to the traffic.
 #[derive(Debug, Default)]
 pub struct ProxyStats {
-    /// Lines forwarded unharmed.
+    /// Units (lines or frames) forwarded unharmed.
     pub forwarded: AtomicU64,
-    /// Lines swallowed whole.
+    /// Units swallowed whole.
     pub dropped: AtomicU64,
-    /// Lines held back before forwarding.
+    /// Units held back before forwarding.
     pub delayed: AtomicU64,
-    /// Lines cut mid-byte (the connection died with them).
+    /// Units cut mid-byte (the connection died with them).
     pub truncated: AtomicU64,
-    /// Lines with a byte zeroed so they cannot parse.
+    /// Units damaged so they cannot parse.
     pub corrupted: AtomicU64,
     /// Connections severed without warning.
     pub killed: AtomicU64,
@@ -156,10 +165,21 @@ fn accept_loop(
         let c2s = plan.split(2 * conn_index);
         let s2c = plan.split(2 * conn_index + 1);
         conn_index += 1;
-        spawn_pump("c2s", client_read, server, c2s, &stats, &recorder);
-        spawn_pump("s2c", server_read, client, s2c, &stats, &recorder);
+        // The two pumps of one connection share its framing mode: the
+        // c2s pump marks the handshake pending, the s2c pump resolves
+        // it from the server's reply.
+        let mode = Arc::new(AtomicU8::new(MODE_PLAIN));
+        spawn_pump("c2s", client_read, server, c2s, &stats, &recorder, &mode);
+        spawn_pump("s2c", server_read, client, s2c, &stats, &recorder, &mode);
     }
 }
+
+/// Both directions still speak NDJSON lines.
+const MODE_PLAIN: u8 = 0;
+/// A `hello` asking for binary went through; the grant is in flight.
+const MODE_PENDING: u8 = 1;
+/// The upgrade completed; both directions speak frames.
+const MODE_BINARY: u8 = 2;
 
 fn spawn_pump(
     dir: &'static str,
@@ -168,12 +188,14 @@ fn spawn_pump(
     plan: FaultPlan,
     stats: &Arc<ProxyStats>,
     recorder: &Arc<dyn Recorder>,
+    mode: &Arc<AtomicU8>,
 ) {
     let stats = Arc::clone(stats);
     let recorder = Arc::clone(recorder);
+    let mode = Arc::clone(mode);
     let _ = thread::Builder::new()
         .name(format!("partalloc-chaos-{dir}"))
-        .spawn(move || pump(dir, from, to, plan, stats, recorder));
+        .spawn(move || pump(dir, from, to, plan, stats, recorder, mode));
 }
 
 /// Record one injected fault as a span event: layer `proxy`, named
@@ -182,8 +204,8 @@ fn record_fault(recorder: &Arc<dyn Recorder>, name: &'static str, dir: &'static 
     recorder.record(SpanEvent::new(name, "proxy").str("dir", dir));
 }
 
-/// Shovel lines one way until EOF, a fatal fault, or an I/O error;
-/// then sever both halves so the peer pump unblocks too.
+/// Shovel protocol units one way until EOF, a fatal fault, or an I/O
+/// error; then sever both halves so the peer pump unblocks too.
 fn pump(
     dir: &'static str,
     from: TcpStream,
@@ -191,78 +213,208 @@ fn pump(
     mut plan: FaultPlan,
     stats: Arc<ProxyStats>,
     recorder: Arc<dyn Recorder>,
+    mode: Arc<AtomicU8>,
 ) {
     let mut reader = BufReader::new(from);
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
+        if dir == "c2s" {
+            // Don't block in a line read while the grant is in
+            // flight: the client's next bytes may already be a binary
+            // frame. The client itself waits for the grant before
+            // sending more, so this settles quickly; the deadline
+            // only guards against a reply the s2c pump never saw.
+            let mut waited_ms = 0u32;
+            while mode.load(Ordering::SeqCst) == MODE_PENDING && waited_ms < 60_000 {
+                thread::sleep(Duration::from_millis(1));
+                waited_ms += 1;
+            }
         }
-        match plan.decide() {
-            None => {
-                // Count at decision time, before the write: a reader on
-                // the other end may observe the line (and check stats)
-                // the instant the flush lands.
-                stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
-                    break;
-                }
-            }
-            Some(FaultKind::DropLine) => {
-                stats.dropped.fetch_add(1, Ordering::Relaxed);
-                record_fault(&recorder, "drop", dir);
-            }
-            Some(FaultKind::Delay { ms }) => {
-                stats.delayed.fetch_add(1, Ordering::Relaxed);
-                recorder.record(
-                    SpanEvent::new("delay", "proxy")
-                        .str("dir", dir)
-                        .u64("ms", ms),
-                );
-                thread::sleep(Duration::from_millis(ms));
-                if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
-                    break;
-                }
-            }
-            Some(FaultKind::Truncate) => {
-                stats.truncated.fetch_add(1, Ordering::Relaxed);
-                record_fault(&recorder, "truncate", dir);
-                let half = &line.as_bytes()[..line.len() / 2];
-                let _ = to.write_all(half);
-                let _ = to.flush();
-                break;
-            }
-            Some(FaultKind::Corrupt) => {
-                stats.corrupted.fetch_add(1, Ordering::Relaxed);
-                record_fault(&recorder, "corrupt", dir);
-                // A NUL is invalid anywhere in JSON, so the damaged
-                // line can never parse as a *different* valid request.
-                let mut bytes = line.clone().into_bytes();
-                let mid = bytes.len() / 2;
-                bytes[mid] = 0;
-                if to.write_all(&bytes).is_err() || to.flush().is_err() {
-                    break;
-                }
-            }
-            Some(FaultKind::Kill) => {
-                stats.killed.fetch_add(1, Ordering::Relaxed);
-                record_fault(&recorder, "kill", dir);
-                break;
-            }
-            Some(FaultKind::PanicShard) => {
-                // An in-process fault kind: meaningless on the wire,
-                // so the line passes unharmed.
-                stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
-                    break;
-                }
-            }
+        let keep_going = if mode.load(Ordering::SeqCst) == MODE_BINARY {
+            pump_frame(dir, &mut reader, &mut to, &mut plan, &stats, &recorder)
+        } else {
+            pump_line(dir, &mut reader, &mut to, &mut plan, &stats, &recorder, &mode)
+        };
+        if !keep_going {
+            break;
         }
     }
     let _ = to.shutdown(Shutdown::Both);
     let _ = reader.into_inner().shutdown(Shutdown::Both);
+}
+
+/// One line-mode pump step; `false` ends the pump.
+#[allow(clippy::too_many_arguments)]
+fn pump_line(
+    dir: &'static str,
+    reader: &mut BufReader<TcpStream>,
+    to: &mut TcpStream,
+    plan: &mut FaultPlan,
+    stats: &ProxyStats,
+    recorder: &Arc<dyn Recorder>,
+    mode: &AtomicU8,
+) -> bool {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => return false,
+        Ok(_) => {}
+    }
+    // The s2c pump resolves a pending handshake from the server's
+    // reply at decision time: once the server *sent* a grant it
+    // speaks binary, whatever the fault below does to the copy the
+    // client sees (a damaged grant strands the client, exactly the
+    // kind of misfortune this proxy exists to rehearse).
+    if dir == "s2c" && mode.load(Ordering::SeqCst) == MODE_PENDING {
+        let granted = line.contains("\"reply\":\"hello\"") && line.contains("\"proto\":\"binary\"");
+        mode.store(
+            if granted { MODE_BINARY } else { MODE_PLAIN },
+            Ordering::SeqCst,
+        );
+    }
+    match plan.decide() {
+        None => {
+            // Count at decision time, before the write: a reader on
+            // the other end may observe the line (and check stats)
+            // the instant the flush lands.
+            stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
+                return false;
+            }
+            mark_hello(dir, &line, mode);
+        }
+        Some(FaultKind::DropLine) => {
+            stats.dropped.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "drop", dir);
+        }
+        Some(FaultKind::Delay { ms }) => {
+            stats.delayed.fetch_add(1, Ordering::Relaxed);
+            recorder.record(
+                SpanEvent::new("delay", "proxy")
+                    .str("dir", dir)
+                    .u64("ms", ms),
+            );
+            thread::sleep(Duration::from_millis(ms));
+            if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
+                return false;
+            }
+            mark_hello(dir, &line, mode);
+        }
+        Some(FaultKind::Truncate) => {
+            stats.truncated.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "truncate", dir);
+            let half = &line.as_bytes()[..line.len() / 2];
+            let _ = to.write_all(half);
+            let _ = to.flush();
+            return false;
+        }
+        Some(FaultKind::Corrupt) => {
+            stats.corrupted.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "corrupt", dir);
+            // A NUL is invalid anywhere in JSON, so the damaged
+            // line can never parse as a *different* valid request.
+            let mut bytes = line.clone().into_bytes();
+            let mid = bytes.len() / 2;
+            bytes[mid] = 0;
+            if to.write_all(&bytes).is_err() || to.flush().is_err() {
+                return false;
+            }
+            // A corrupted hello never reaches the server as a
+            // handshake, so the mode stays plain.
+        }
+        Some(FaultKind::Kill) => {
+            stats.killed.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "kill", dir);
+            return false;
+        }
+        Some(FaultKind::PanicShard) => {
+            // An in-process fault kind: meaningless on the wire,
+            // so the line passes unharmed.
+            stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            if to.write_all(line.as_bytes()).is_err() || to.flush().is_err() {
+                return false;
+            }
+            mark_hello(dir, &line, mode);
+        }
+    }
+    true
+}
+
+/// After a clean client→server forward: was that line a binary
+/// upgrade request? If so the connection's framing is now pending on
+/// the server's answer.
+fn mark_hello(dir: &'static str, line: &str, mode: &AtomicU8) {
+    if dir == "c2s"
+        && line.contains("\"op\":\"hello\"")
+        && line.contains("\"proto\":\"binary\"")
+        && mode.load(Ordering::SeqCst) == MODE_PLAIN
+    {
+        mode.store(MODE_PENDING, Ordering::SeqCst);
+    }
+}
+
+/// One frame-mode pump step; `false` ends the pump.
+fn pump_frame(
+    dir: &'static str,
+    reader: &mut BufReader<TcpStream>,
+    to: &mut TcpStream,
+    plan: &mut FaultPlan,
+    stats: &ProxyStats,
+    recorder: &Arc<dyn Recorder>,
+) -> bool {
+    // The proxy imposes no cap of its own; the endpoints enforce
+    // theirs.
+    let mut payload = Vec::new();
+    match read_frame(reader, &mut payload, usize::MAX) {
+        Ok(FrameRead::Frame) => {}
+        Ok(FrameRead::TooBig(_) | FrameRead::Eof) | Err(_) => return false,
+    }
+    match plan.decide() {
+        None | Some(FaultKind::PanicShard) => {
+            stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            write_frame(to, &payload).is_ok() && to.flush().is_ok()
+        }
+        Some(FaultKind::DropLine) => {
+            stats.dropped.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "drop", dir);
+            true
+        }
+        Some(FaultKind::Delay { ms }) => {
+            stats.delayed.fetch_add(1, Ordering::Relaxed);
+            recorder.record(
+                SpanEvent::new("delay", "proxy")
+                    .str("dir", dir)
+                    .u64("ms", ms),
+            );
+            thread::sleep(Duration::from_millis(ms));
+            write_frame(to, &payload).is_ok() && to.flush().is_ok()
+        }
+        Some(FaultKind::Truncate) => {
+            stats.truncated.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "truncate", dir);
+            // Half the encoded frame — header included — then sever:
+            // the receiver sees a torn frame, never a short valid one.
+            let mut encoded = (payload.len() as u32).to_le_bytes().to_vec();
+            encoded.extend_from_slice(&payload);
+            let _ = to.write_all(&encoded[..encoded.len() / 2]);
+            let _ = to.flush();
+            false
+        }
+        Some(FaultKind::Corrupt) => {
+            stats.corrupted.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "corrupt", dir);
+            // Flip the flags byte to all-ones: the codec rejects
+            // unknown flag bits, so the damage surfaces as a parse
+            // error, never as a different valid message.
+            if let Some(flags) = payload.first_mut() {
+                *flags = 0xFF;
+            }
+            write_frame(to, &payload).is_ok() && to.flush().is_ok()
+        }
+        Some(FaultKind::Kill) => {
+            stats.killed.fetch_add(1, Ordering::Relaxed);
+            record_fault(recorder, "kill", dir);
+            false
+        }
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +512,56 @@ mod tests {
         let lines: Vec<String> = events.iter().map(|e| e.to_ndjson(0)).collect();
         assert!(lines.iter().any(|l| l.contains("c2s")));
         assert!(lines.iter().any(|l| l.contains("s2c")));
+        proxy.stop();
+    }
+
+    #[test]
+    fn a_binary_upgrade_switches_the_pumps_to_frames() {
+        // An upstream that grants the handshake, then echoes frames.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for incoming in listener.incoming() {
+                let Ok(stream) = incoming else { continue };
+                thread::spawn(move || {
+                    let mut r = BufReader::new(stream.try_clone().unwrap());
+                    let mut w = stream;
+                    let mut line = String::new();
+                    r.read_line(&mut line).unwrap();
+                    assert!(line.contains("\"op\":\"hello\""), "{line}");
+                    w.write_all(b"{\"reply\":\"hello\",\"proto\":\"binary\"}\n")
+                        .unwrap();
+                    w.flush().unwrap();
+                    let mut p = Vec::new();
+                    while let Ok(FrameRead::Frame) = read_frame(&mut r, &mut p, usize::MAX) {
+                        if write_frame(&mut w, &p).is_err() || w.flush().is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let proxy = ChaosProxy::spawn("127.0.0.1:0", upstream, FaultPlan::new(7)).unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        conn.write_all(b"{\"op\":\"hello\",\"proto\":\"binary\"}\n")
+            .unwrap();
+        conn.flush().unwrap();
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"proto\":\"binary\""), "{reply}");
+        // An embedded newline proves the pumps stopped line-splitting.
+        let payload = b"\x00\x04binary\npayload".to_vec();
+        write_frame(&mut conn, &payload).unwrap();
+        conn.flush().unwrap();
+        let mut p = Vec::new();
+        match read_frame(&mut r, &mut p, usize::MAX).unwrap() {
+            FrameRead::Frame => assert_eq!(p, payload),
+            other => panic!("expected the frame back, got {other:?}"),
+        }
+        // hello + grant + frame out + frame back.
+        assert_eq!(proxy.stats().forwarded.load(Ordering::Relaxed), 4);
+        assert_eq!(proxy.stats().faults(), 0);
         proxy.stop();
     }
 

@@ -1,5 +1,8 @@
-//! A small blocking NDJSON client for the TCP transport — what
-//! `palloc drive` and the e2e tests speak.
+//! A small blocking client for the TCP transport — what `palloc
+//! drive` and the e2e tests speak. NDJSON by default;
+//! [`TcpClient::with_proto`] negotiates length-prefixed binary frames
+//! via the `hello` handshake (falling back to NDJSON against servers
+//! that refuse or predate it).
 //!
 //! By default the client is a thin one-shot socket, byte-compatible
 //! with the original: no deadlines, no retries, no envelope fields.
@@ -21,7 +24,9 @@ use std::time::Duration;
 
 use partalloc_engine::SplitMix64;
 use partalloc_obs::{IdGen, NullRecorder, Recorder, SpanEvent, TraceContext};
+use partalloc_wire::{configure_stream, read_frame, write_frame, FrameRead, Proto};
 
+use crate::codec::{decode_response, encode_raw_request_line, encode_request};
 use crate::metrics::ServiceStats;
 use crate::proto::{
     parse_response_line, request_line_traced, BatchItem, Departed, ErrorCode, ErrorReply,
@@ -182,6 +187,12 @@ pub struct TcpClient {
     reply_trace: Option<TraceContext>,
     /// Where the client's own span events (`retry`, `reconnect`) go.
     recorder: Arc<dyn Recorder>,
+    /// The framing the client *wants* ([`TcpClient::with_proto`]).
+    wanted: Proto,
+    /// The framing the current connection negotiated. Re-negotiated
+    /// on every reconnect; a refusing (or pre-handshake) server
+    /// leaves the connection on NDJSON.
+    active: Proto,
 }
 
 impl TcpClient {
@@ -210,7 +221,25 @@ impl TcpClient {
             last_trace: None,
             reply_trace: None,
             recorder: Arc::new(NullRecorder),
+            wanted: Proto::Ndjson,
+            active: Proto::Ndjson,
         })
+    }
+
+    /// Ask for a wire framing. [`Proto::Binary`] negotiates the
+    /// `hello` handshake on the open connection (and again on every
+    /// reconnect); a server that refuses — or predates the handshake
+    /// and answers `bad-request` — leaves the connection on NDJSON,
+    /// so this is always safe against old servers.
+    pub fn with_proto(mut self, proto: Proto) -> Result<Self, ClientError> {
+        self.wanted = proto;
+        self.negotiate()?;
+        Ok(self)
+    }
+
+    /// The framing the current connection actually negotiated.
+    pub fn active_proto(&self) -> Proto {
+        self.active
     }
 
     /// Stamp every request with a fresh, seeded trace context
@@ -250,7 +279,7 @@ impl TcpClient {
             };
             match attempt {
                 Ok(s) => {
-                    let _ = s.set_nodelay(true);
+                    configure_stream(&s);
                     s.set_read_timeout(policy.io_timeout)?;
                     s.set_write_timeout(policy.io_timeout)?;
                     return Ok(s);
@@ -264,11 +293,43 @@ impl TcpClient {
         }
     }
 
-    fn reconnect(&mut self) -> io::Result<()> {
+    fn reconnect(&mut self) -> Result<(), ClientError> {
         let stream = Self::open(&self.addrs, &self.policy)?;
         self.reader = BufReader::new(stream.try_clone()?);
         self.writer = stream;
-        Ok(())
+        // A fresh connection starts on NDJSON; re-run the handshake
+        // (the server — or a different server behind the same address
+        // — may grant differently this time).
+        self.negotiate()
+    }
+
+    /// Run the `hello` handshake when the client wants binary. Always
+    /// spoken over NDJSON (a fresh connection's framing); downgrade
+    /// answers and pre-handshake `bad-request` replies leave the
+    /// connection on NDJSON.
+    fn negotiate(&mut self) -> Result<(), ClientError> {
+        self.active = Proto::Ndjson;
+        if self.wanted != Proto::Binary {
+            return Ok(());
+        }
+        let req = Request::Hello {
+            proto: Proto::Binary.label().to_owned(),
+        };
+        let line = serde_json::to_string(&req)
+            .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+        match self.send_line(&line)? {
+            Response::Hello { proto } if proto == Proto::Binary.label() => {
+                self.active = Proto::Binary;
+                Ok(())
+            }
+            // Granted ndjson, or an old server that has never heard
+            // of `hello`: stay on NDJSON.
+            Response::Hello { .. } => Ok(()),
+            Response::Error(e) if matches!(e.code, ErrorCode::BadRequest) => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected hello reply: {other:?}"
+            ))),
+        }
     }
 
     /// How many transport retries this client has performed.
@@ -276,10 +337,20 @@ impl TcpClient {
         self.retried
     }
 
-    /// Send one raw line (no trailing newline needed) and read one
-    /// reply line — always a single attempt, even under a retry
-    /// policy. Public so tests can exercise malformed input.
+    /// Send one raw NDJSON line (no trailing newline needed) and read
+    /// one reply — always a single attempt, even under a retry
+    /// policy. On a binary connection the line rides verbatim inside
+    /// a tag-0 frame, keeping its semantics (envelope fields and all)
+    /// identical. Public so tests can exercise malformed input.
     pub fn send_raw(&mut self, line: &str) -> Result<Response, ClientError> {
+        match self.active {
+            Proto::Ndjson => self.send_line(line),
+            Proto::Binary => self.send_frame(&encode_raw_request_line(line.as_bytes())),
+        }
+    }
+
+    /// One NDJSON exchange: write the line, read the reply line.
+    fn send_line(&mut self, line: &str) -> Result<Response, ClientError> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -293,6 +364,31 @@ impl TcpClient {
         Ok(resp)
     }
 
+    /// One binary exchange: write the payload as a frame, read the
+    /// reply frame. Like the NDJSON `read_line` path, the client does
+    /// not cap reply sizes — snapshots and metrics bodies may be
+    /// large.
+    fn send_frame(&mut self, payload: &[u8]) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, payload)?;
+        self.writer.flush()?;
+        let mut reply = Vec::new();
+        match read_frame(&mut self.reader, &mut reply, usize::MAX)? {
+            FrameRead::Frame => {}
+            FrameRead::Eof => {
+                return Err(ClientError::Protocol("server closed the connection".into()))
+            }
+            FrameRead::TooBig(n) => {
+                return Err(ClientError::Protocol(format!(
+                    "reply frame of {n} bytes exceeds the cap"
+                )))
+            }
+        }
+        let decoded = decode_response(&reply)
+            .map_err(|e| ClientError::Protocol(format!("bad reply frame: {e}")))?;
+        self.reply_trace = decoded.trace;
+        Ok(decoded.resp)
+    }
+
     /// Send one request, read one reply. Under a retry policy
     /// (`retries > 0`) a failed exchange sleeps a backoff delay,
     /// reconnects and resends the *same* line; mutations carry a
@@ -303,14 +399,38 @@ impl TcpClient {
             .then(|| self.session.wrapping_add(self.seq));
         let trace = self.ids.as_mut().map(IdGen::context);
         self.last_trace = trace;
-        let line = if req_id.is_some() || trace.is_some() {
-            request_line_traced(req, req_id, trace)
-        } else {
-            serde_json::to_string(req)
-        }
-        .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
         self.seq = self.seq.wrapping_add(1);
-        self.exchange(&line)
+        self.exchange(req, req_id, trace)
+    }
+
+    /// Encode `req` for the connection's *current* framing and run
+    /// one exchange. Re-encoding per attempt matters: a reconnect
+    /// re-negotiates, and the retried request must ride whatever the
+    /// new connection granted. The encoding is deterministic in
+    /// (`req`, `req_id`, `trace`), so retries stay byte-identical
+    /// when the framing is unchanged.
+    fn send_encoded(
+        &mut self,
+        req: &Request,
+        req_id: Option<u64>,
+        trace: Option<TraceContext>,
+    ) -> Result<Response, ClientError> {
+        match self.active {
+            Proto::Ndjson => {
+                let line = if req_id.is_some() || trace.is_some() {
+                    request_line_traced(req, req_id, trace)
+                } else {
+                    serde_json::to_string(req)
+                }
+                .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+                self.send_line(&line)
+            }
+            Proto::Binary => {
+                let payload = encode_request(req, req_id, trace)
+                    .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+                self.send_frame(&payload)
+            }
+        }
     }
 
     /// A reply that signals in-flight damage rather than a semantic
@@ -326,7 +446,12 @@ impl TcpClient {
         )
     }
 
-    fn exchange(&mut self, line: &str) -> Result<Response, ClientError> {
+    fn exchange(
+        &mut self,
+        req: &Request,
+        req_id: Option<u64>,
+        trace: Option<TraceContext>,
+    ) -> Result<Response, ClientError> {
         let mut backoff = Backoff::new(
             self.policy.backoff_base,
             self.policy.backoff_cap,
@@ -348,12 +473,12 @@ impl TcpClient {
                         SpanEvent::new("reconnect", "client").with_trace_opt(self.last_trace),
                     ),
                     Err(e) => {
-                        outcome = Err(ClientError::Io(e));
+                        outcome = Err(e);
                         continue;
                     }
                 }
             }
-            match self.send_raw(line) {
+            match self.send_encoded(req, req_id, trace) {
                 Ok(resp) => {
                     if attempt < self.policy.retries && Self::retryable_reply(&resp) {
                         outcome = Ok(resp);

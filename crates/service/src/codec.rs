@@ -1,0 +1,789 @@
+//! The binary payload codec: what rides inside a `partalloc-wire`
+//! length-prefixed frame once a connection negotiates
+//! `proto: binary`.
+//!
+//! # Layout
+//!
+//! A request payload is:
+//!
+//! ```text
+//! flags:u8  [req_id:u64 LE]  [trace:u64 LE, span:u64 LE]  tag:u8  body…
+//! ```
+//!
+//! `flags` bit 0 marks a `req_id`, bit 1 a trace context; **unknown
+//! flag bits are rejected**, so a corrupted flags byte fails decode
+//! instead of silently decoding as a different valid request. The hot
+//! mutations get compact tags:
+//!
+//! | tag | op         | body                                            |
+//! |----:|------------|-------------------------------------------------|
+//! |   0 | raw line   | the complete NDJSON request line, verbatim      |
+//! |   1 | arrive     | `size_log2:u8`                                  |
+//! |   2 | depart     | `task:u64 LE`                                   |
+//! |   3 | batch      | `count:u32 LE`, then per item `0 size:u8` or `1 task:u64 LE` |
+//! |   4 | ping       | —                                               |
+//! |   5 | query-load | —                                               |
+//! |   6 | shutdown   | —                                               |
+//!
+//! Tag 0 is the universal fallback: *any* request the compact tags do
+//! not cover (snapshots, metrics, dumps, fault injection, the
+//! `hello` handshake itself, and the router's `cluster-*` admin ops)
+//! rides as its NDJSON line inside a frame. Tag 0 therefore requires
+//! `flags == 0` — its envelope fields live inside the JSON, exactly
+//! as they would on an NDJSON connection, so every op keeps its
+//! dedupe and tracing semantics without a second serialization.
+//!
+//! A response payload mirrors the shape (bit 0 is never set):
+//!
+//! | tag | reply         | body                                         |
+//! |----:|---------------|----------------------------------------------|
+//! |   0 | raw line      | the complete NDJSON response line, verbatim  |
+//! |   1 | placed        | `task:u64 shard:u64 node:u32 layer:u32 reallocated:u8 migrations:u64 physical:u64` (LE) |
+//! |   2 | departed      | `task:u64 shard:u64 node:u32 layer:u32` (LE) |
+//! |   3 | batch         | `count:u32 LE`, then per item `tag:u8 body…` (tags 1, 2, 5; no flags/trace) |
+//! |   4 | pong          | —                                            |
+//! |   5 | error         | `code_len:u32 LE code… msg_len:u32 LE msg…` (code is the kebab label) |
+//! |   6 | shutting-down | —                                            |
+//!
+//! Both sides of every pairing are exercised by the NDJSON↔binary
+//! equivalence proptests in `tests/codec_equivalence.rs`.
+
+use partalloc_obs::{SpanId, TraceContext, TraceId};
+
+use crate::proto::{
+    parse_request_envelope, parse_response_line, request_line_traced, response_line, BatchItem,
+    Departed, ErrorCode, ErrorReply, Placed, Request, RequestEnvelope, Response,
+};
+
+const FLAG_REQ_ID: u8 = 1 << 0;
+const FLAG_TRACE: u8 = 1 << 1;
+
+const TAG_RAW: u8 = 0;
+const TAG_ARRIVE: u8 = 1;
+const TAG_DEPART: u8 = 2;
+const TAG_BATCH: u8 = 3;
+const TAG_PING: u8 = 4;
+const TAG_QUERY_LOAD: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+
+const RTAG_RAW: u8 = 0;
+const RTAG_PLACED: u8 = 1;
+const RTAG_DEPARTED: u8 = 2;
+const RTAG_BATCH: u8 = 3;
+const RTAG_PONG: u8 = 4;
+const RTAG_ERROR: u8 = 5;
+const RTAG_SHUTTING_DOWN: u8 = 6;
+
+/// Why a binary payload failed to decode. The transport answers these
+/// with a `bad-request` error reply; the connection stays open and
+/// resynchronizes at the next frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the declared structure did.
+    Truncated,
+    /// The flags byte carried bits this codec does not define — the
+    /// frame is corrupt (or from a future protocol revision).
+    UnknownFlags(u8),
+    /// An undefined request/response/item tag.
+    UnknownTag(u8),
+    /// Structurally valid bytes with an invalid meaning (bad UTF-8,
+    /// unknown error code, an embedded raw line that fails to parse).
+    Invalid(String),
+    /// Bytes left over after the declared structure ended.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "binary payload truncated"),
+            CodecError::UnknownFlags(b) => write!(f, "unknown flag bits {b:#04x}"),
+            CodecError::UnknownTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::Invalid(msg) => write!(f, "invalid binary payload: {msg}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after binary payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// One decoded inbound request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedRequest {
+    /// The envelope (dedupe id + trace), exactly as an NDJSON line
+    /// would carry it.
+    pub envelope: RequestEnvelope,
+    /// The request itself.
+    pub req: Request,
+    /// For tag-0 frames: the verbatim NDJSON line the frame carried,
+    /// so line-oriented layers (the cluster router) can route the
+    /// original bytes instead of re-rendering them.
+    pub raw_line: Option<String>,
+}
+
+/// One decoded inbound response frame.
+#[derive(Debug, Clone)]
+pub struct DecodedResponse {
+    /// The echoed trace context, when one was carried.
+    pub trace: Option<TraceContext>,
+    /// The response itself.
+    pub resp: Response,
+}
+
+// ---- encode helpers ---------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_envelope(out: &mut Vec<u8>, req_id: Option<u64>, trace: Option<TraceContext>) {
+    let mut flags = 0u8;
+    if req_id.is_some() {
+        flags |= FLAG_REQ_ID;
+    }
+    if trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    out.push(flags);
+    if let Some(id) = req_id {
+        put_u64(out, id);
+    }
+    if let Some(ctx) = trace {
+        put_u64(out, ctx.trace.0);
+        put_u64(out, ctx.span.0);
+    }
+}
+
+/// Encode a request as one binary frame payload. The hot mutations
+/// (`arrive`, `depart`, `batch`) and the tiny control ops get compact
+/// tags; everything else falls back to its NDJSON line under tag 0,
+/// envelope embedded in the JSON.
+pub fn encode_request(
+    req: &Request,
+    req_id: Option<u64>,
+    trace: Option<TraceContext>,
+) -> Result<Vec<u8>, serde_json::Error> {
+    let mut out = Vec::with_capacity(32);
+    match req {
+        Request::Arrive { size_log2 } => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_ARRIVE);
+            out.push(*size_log2);
+        }
+        Request::Depart { task } => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_DEPART);
+            put_u64(&mut out, *task);
+        }
+        Request::Batch { items } => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_BATCH);
+            put_u32(&mut out, items.len() as u32);
+            for item in items {
+                match item {
+                    BatchItem::Arrive { size_log2 } => {
+                        out.push(0);
+                        out.push(*size_log2);
+                    }
+                    BatchItem::Depart { task } => {
+                        out.push(1);
+                        put_u64(&mut out, *task);
+                    }
+                }
+            }
+        }
+        Request::Ping => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_PING);
+        }
+        Request::QueryLoad => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_QUERY_LOAD);
+        }
+        Request::Shutdown => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_SHUTDOWN);
+        }
+        other => {
+            let line = request_line_traced(other, req_id, trace)?;
+            return Ok(encode_raw_request_line(line.as_bytes()));
+        }
+    }
+    Ok(out)
+}
+
+/// Wrap a verbatim NDJSON request line (envelope fields embedded in
+/// the JSON, as always) as a tag-0 binary payload. This is how
+/// `send_raw` lines and the router's `cluster-*` admin ops ride a
+/// binary connection.
+pub fn encode_raw_request_line(line: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(line.len() + 2);
+    out.push(0); // flags: envelope lives in the JSON
+    out.push(TAG_RAW);
+    out.extend_from_slice(line);
+    out
+}
+
+/// Encode a response as one binary frame payload: compact tags for
+/// the hot replies, the NDJSON line under tag 0 for the rest.
+pub fn encode_response(
+    resp: &Response,
+    trace: Option<TraceContext>,
+) -> Result<Vec<u8>, serde_json::Error> {
+    let mut out = Vec::with_capacity(64);
+    match resp {
+        Response::Placed(p) => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_PLACED);
+            put_placed(&mut out, p);
+        }
+        Response::Departed(d) => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_DEPARTED);
+            put_departed(&mut out, d);
+        }
+        Response::Batch { results } if results.iter().all(batch_item_encodable) => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_BATCH);
+            put_u32(&mut out, results.len() as u32);
+            for item in results {
+                match item {
+                    Response::Placed(p) => {
+                        out.push(RTAG_PLACED);
+                        put_placed(&mut out, p);
+                    }
+                    Response::Departed(d) => {
+                        out.push(RTAG_DEPARTED);
+                        put_departed(&mut out, d);
+                    }
+                    Response::Error(e) => {
+                        out.push(RTAG_ERROR);
+                        put_error(&mut out, e);
+                    }
+                    _ => unreachable!("batch_item_encodable vetted the items"),
+                }
+            }
+        }
+        Response::Pong => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_PONG);
+        }
+        Response::Error(e) => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_ERROR);
+            put_error(&mut out, e);
+        }
+        Response::ShuttingDown => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_SHUTTING_DOWN);
+        }
+        other => {
+            let line = response_line(other, trace)?;
+            return Ok(encode_raw_response_line(line.as_bytes()));
+        }
+    }
+    Ok(out)
+}
+
+/// Wrap a verbatim NDJSON response line (trace embedded in the JSON)
+/// as a tag-0 binary payload.
+pub fn encode_raw_response_line(line: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(line.len() + 2);
+    out.push(0);
+    out.push(RTAG_RAW);
+    out.extend_from_slice(line);
+    out
+}
+
+/// Peel a tag-0 response payload back to its verbatim NDJSON line
+/// without interpreting it. Returns `None` for compact (non-raw)
+/// payloads. This is how clients of the *cluster-admin* plane read
+/// binary replies — those lines are [`ClusterReply`]s, not service
+/// [`Response`]s, so [`decode_response`] cannot parse them.
+///
+/// [`ClusterReply`]: https://docs.rs/partalloc-cluster
+pub fn decode_raw_response_line(payload: &[u8]) -> Result<Option<&str>, CodecError> {
+    match payload {
+        [0, tag, line @ ..] if *tag == RTAG_RAW => std::str::from_utf8(line)
+            .map(Some)
+            .map_err(|e| CodecError::Invalid(e.to_string())),
+        _ => Ok(None),
+    }
+}
+
+/// Peel a tag-0 request payload back to its verbatim NDJSON line
+/// without interpreting it. Returns `None` for compact (non-raw)
+/// payloads. The router's dispatch needs this rather than
+/// [`decode_request`]: its line-oriented core also accepts
+/// `cluster-*` admin lines, which are not service [`Request`]s and
+/// which only the raw tag can carry.
+pub fn decode_raw_request_line(payload: &[u8]) -> Result<Option<&str>, CodecError> {
+    match payload {
+        [0, tag, line @ ..] if *tag == TAG_RAW => std::str::from_utf8(line)
+            .map(Some)
+            .map_err(|e| CodecError::Invalid(e.to_string())),
+        _ => Ok(None),
+    }
+}
+
+fn batch_item_encodable(resp: &Response) -> bool {
+    matches!(
+        resp,
+        Response::Placed(_) | Response::Departed(_) | Response::Error(_)
+    )
+}
+
+fn put_response_envelope(out: &mut Vec<u8>, trace: Option<TraceContext>) {
+    let mut flags = 0u8;
+    if trace.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    out.push(flags);
+    if let Some(ctx) = trace {
+        put_u64(out, ctx.trace.0);
+        put_u64(out, ctx.span.0);
+    }
+}
+
+fn put_placed(out: &mut Vec<u8>, p: &Placed) {
+    put_u64(out, p.task);
+    put_u64(out, p.shard as u64);
+    put_u32(out, p.node);
+    put_u32(out, p.layer);
+    out.push(u8::from(p.reallocated));
+    put_u64(out, p.migrations);
+    put_u64(out, p.physical_migrations);
+}
+
+fn put_departed(out: &mut Vec<u8>, d: &Departed) {
+    put_u64(out, d.task);
+    put_u64(out, d.shard as u64);
+    put_u32(out, d.node);
+    put_u32(out, d.layer);
+}
+
+fn error_code_label(code: ErrorCode) -> &'static str {
+    match code {
+        ErrorCode::UnknownTask => "unknown-task",
+        ErrorCode::DuplicateTask => "duplicate-task",
+        ErrorCode::TaskTooLarge => "task-too-large",
+        ErrorCode::BadRequest => "bad-request",
+        ErrorCode::Unavailable => "unavailable",
+        ErrorCode::ShardPanicked => "shard-panicked",
+        ErrorCode::Internal => "internal",
+    }
+}
+
+fn error_code_from_label(label: &str) -> Option<ErrorCode> {
+    Some(match label {
+        "unknown-task" => ErrorCode::UnknownTask,
+        "duplicate-task" => ErrorCode::DuplicateTask,
+        "task-too-large" => ErrorCode::TaskTooLarge,
+        "bad-request" => ErrorCode::BadRequest,
+        "unavailable" => ErrorCode::Unavailable,
+        "shard-panicked" => ErrorCode::ShardPanicked,
+        "internal" => ErrorCode::Internal,
+        _ => return None,
+    })
+}
+
+fn put_error(out: &mut Vec<u8>, e: &ErrorReply) {
+    let code = error_code_label(e.code);
+    put_u32(out, code.len() as u32);
+    out.extend_from_slice(code.as_bytes());
+    put_u32(out, e.message.len() as u32);
+    out.extend_from_slice(e.message.as_bytes());
+}
+
+// ---- decode helpers ---------------------------------------------------
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    fn done(&self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+
+    fn str_block(&mut self) -> Result<&'a str, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|e| CodecError::Invalid(e.to_string()))
+    }
+}
+
+fn trace_from(cur: &mut Cur<'_>) -> Result<TraceContext, CodecError> {
+    let trace = cur.u64()?;
+    let span = cur.u64()?;
+    Ok(TraceContext::new(TraceId(trace), SpanId(span)))
+}
+
+/// Decode one inbound binary request payload.
+pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, CodecError> {
+    let mut cur = Cur::new(payload);
+    let flags = cur.u8()?;
+    if flags & !(FLAG_REQ_ID | FLAG_TRACE) != 0 {
+        return Err(CodecError::UnknownFlags(flags));
+    }
+    let req_id = if flags & FLAG_REQ_ID != 0 {
+        Some(cur.u64()?)
+    } else {
+        None
+    };
+    let trace = if flags & FLAG_TRACE != 0 {
+        Some(trace_from(&mut cur)?)
+    } else {
+        None
+    };
+    let tag = cur.u8()?;
+    let (envelope, req, raw_line) = match tag {
+        TAG_RAW => {
+            if flags != 0 {
+                return Err(CodecError::Invalid(
+                    "tag-0 frames carry their envelope inside the JSON".into(),
+                ));
+            }
+            let line = std::str::from_utf8(cur.rest())
+                .map_err(|e| CodecError::Invalid(e.to_string()))?;
+            let (envelope, req) =
+                parse_request_envelope(line).map_err(CodecError::Invalid)?;
+            (envelope, req, Some(line.to_owned()))
+        }
+        TAG_ARRIVE => {
+            let size_log2 = cur.u8()?;
+            (
+                RequestEnvelope { req_id, trace },
+                Request::Arrive { size_log2 },
+                None,
+            )
+        }
+        TAG_DEPART => {
+            let task = cur.u64()?;
+            (
+                RequestEnvelope { req_id, trace },
+                Request::Depart { task },
+                None,
+            )
+        }
+        TAG_BATCH => {
+            let count = cur.u32()? as usize;
+            // Each item is at least 2 bytes; reject counts the payload
+            // cannot possibly hold before allocating for them.
+            if count > payload.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                match cur.u8()? {
+                    0 => items.push(BatchItem::Arrive {
+                        size_log2: cur.u8()?,
+                    }),
+                    1 => items.push(BatchItem::Depart { task: cur.u64()? }),
+                    other => return Err(CodecError::UnknownTag(other)),
+                }
+            }
+            (
+                RequestEnvelope { req_id, trace },
+                Request::Batch { items },
+                None,
+            )
+        }
+        TAG_PING => (RequestEnvelope { req_id, trace }, Request::Ping, None),
+        TAG_QUERY_LOAD => (RequestEnvelope { req_id, trace }, Request::QueryLoad, None),
+        TAG_SHUTDOWN => (RequestEnvelope { req_id, trace }, Request::Shutdown, None),
+        other => return Err(CodecError::UnknownTag(other)),
+    };
+    cur.done()?;
+    Ok(DecodedRequest {
+        envelope,
+        req,
+        raw_line,
+    })
+}
+
+fn decode_placed(cur: &mut Cur<'_>) -> Result<Placed, CodecError> {
+    Ok(Placed {
+        task: cur.u64()?,
+        shard: cur.u64()? as usize,
+        node: cur.u32()?,
+        layer: cur.u32()?,
+        reallocated: cur.u8()? != 0,
+        migrations: cur.u64()?,
+        physical_migrations: cur.u64()?,
+    })
+}
+
+fn decode_departed(cur: &mut Cur<'_>) -> Result<Departed, CodecError> {
+    Ok(Departed {
+        task: cur.u64()?,
+        shard: cur.u64()? as usize,
+        node: cur.u32()?,
+        layer: cur.u32()?,
+    })
+}
+
+fn decode_error(cur: &mut Cur<'_>) -> Result<ErrorReply, CodecError> {
+    let label = cur.str_block()?;
+    let code = error_code_from_label(label)
+        .ok_or_else(|| CodecError::Invalid(format!("unknown error code {label:?}")))?;
+    let message = cur.str_block()?.to_owned();
+    Ok(ErrorReply { code, message })
+}
+
+/// Decode one inbound binary response payload.
+pub fn decode_response(payload: &[u8]) -> Result<DecodedResponse, CodecError> {
+    let mut cur = Cur::new(payload);
+    let flags = cur.u8()?;
+    if flags & !FLAG_TRACE != 0 {
+        return Err(CodecError::UnknownFlags(flags));
+    }
+    let trace = if flags & FLAG_TRACE != 0 {
+        Some(trace_from(&mut cur)?)
+    } else {
+        None
+    };
+    let tag = cur.u8()?;
+    let (trace, resp) = match tag {
+        RTAG_RAW => {
+            if flags != 0 {
+                return Err(CodecError::Invalid(
+                    "tag-0 frames carry their trace inside the JSON".into(),
+                ));
+            }
+            let line = std::str::from_utf8(cur.rest())
+                .map_err(|e| CodecError::Invalid(e.to_string()))?;
+            let (trace, resp) = parse_response_line(line).map_err(CodecError::Invalid)?;
+            (trace, resp)
+        }
+        RTAG_PLACED => (trace, Response::Placed(decode_placed(&mut cur)?)),
+        RTAG_DEPARTED => (trace, Response::Departed(decode_departed(&mut cur)?)),
+        RTAG_BATCH => {
+            let count = cur.u32()? as usize;
+            if count > payload.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                match cur.u8()? {
+                    RTAG_PLACED => results.push(Response::Placed(decode_placed(&mut cur)?)),
+                    RTAG_DEPARTED => results.push(Response::Departed(decode_departed(&mut cur)?)),
+                    RTAG_ERROR => results.push(Response::Error(decode_error(&mut cur)?)),
+                    other => return Err(CodecError::UnknownTag(other)),
+                }
+            }
+            (trace, Response::Batch { results })
+        }
+        RTAG_PONG => (trace, Response::Pong),
+        RTAG_ERROR => (trace, Response::Error(decode_error(&mut cur)?)),
+        RTAG_SHUTTING_DOWN => (trace, Response::ShuttingDown),
+        other => return Err(CodecError::UnknownTag(other)),
+    };
+    cur.done()?;
+    Ok(DecodedResponse { trace, resp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(t: u64, s: u64) -> TraceContext {
+        TraceContext::new(TraceId(t), SpanId(s))
+    }
+
+    #[test]
+    fn hot_requests_round_trip_compactly() {
+        let cases: Vec<(Request, Option<u64>, Option<TraceContext>)> = vec![
+            (Request::Arrive { size_log2: 3 }, Some(7), Some(ctx(1, 2))),
+            (Request::Depart { task: u64::MAX }, Some(0), None),
+            (
+                Request::Batch {
+                    items: vec![
+                        BatchItem::Arrive { size_log2: 0 },
+                        BatchItem::Depart { task: 42 },
+                    ],
+                },
+                None,
+                Some(ctx(9, 9)),
+            ),
+            (Request::Ping, None, None),
+            (Request::QueryLoad, None, None),
+            (Request::Shutdown, Some(5), None),
+        ];
+        for (req, req_id, trace) in cases {
+            let bytes = encode_request(&req, req_id, trace).unwrap();
+            // Compact: no JSON in the hot payloads.
+            assert!(!bytes.contains(&b'{'), "{req:?} fell back to JSON");
+            let back = decode_request(&bytes).unwrap();
+            assert_eq!(back.req, req);
+            assert_eq!(back.envelope.req_id, req_id);
+            assert_eq!(back.envelope.trace, trace);
+            assert!(back.raw_line.is_none());
+        }
+    }
+
+    #[test]
+    fn cold_requests_fall_back_to_the_raw_line() {
+        let req = Request::InjectFault { shard: 2 };
+        let bytes = encode_request(&req, Some(11), Some(ctx(3, 4))).unwrap();
+        assert_eq!(bytes[0], 0, "tag-0 carries no binary envelope");
+        assert_eq!(bytes[1], TAG_RAW);
+        let back = decode_request(&bytes).unwrap();
+        assert_eq!(back.req, req);
+        assert_eq!(back.envelope.req_id, Some(11));
+        assert_eq!(back.envelope.trace, Some(ctx(3, 4)));
+        let line = back.raw_line.unwrap();
+        assert!(line.contains("\"op\":\"inject-fault\""), "{line}");
+    }
+
+    #[test]
+    fn hot_responses_round_trip_compactly() {
+        let placed = Placed {
+            task: 1,
+            shard: 2,
+            node: 3,
+            layer: 4,
+            reallocated: true,
+            migrations: 5,
+            physical_migrations: 6,
+        };
+        let departed = Departed {
+            task: 9,
+            shard: 0,
+            node: 1,
+            layer: 0,
+        };
+        let cases: Vec<(Response, Option<TraceContext>)> = vec![
+            (Response::Placed(placed), Some(ctx(7, 8))),
+            (Response::Departed(departed), None),
+            (
+                Response::Batch {
+                    results: vec![
+                        Response::Placed(placed),
+                        Response::Error(ErrorReply {
+                            code: ErrorCode::UnknownTask,
+                            message: "no task 9".into(),
+                        }),
+                        Response::Departed(departed),
+                    ],
+                },
+                Some(ctx(1, 1)),
+            ),
+            (Response::Pong, None),
+            (
+                Response::Error(ErrorReply {
+                    code: ErrorCode::ShardPanicked,
+                    message: "shard 3 panicked".into(),
+                }),
+                Some(ctx(2, 2)),
+            ),
+            (Response::ShuttingDown, None),
+        ];
+        for (resp, trace) in cases {
+            let bytes = encode_response(&resp, trace).unwrap();
+            let back = decode_response(&bytes).unwrap();
+            assert_eq!(back.trace, trace);
+            let a = serde_json::to_string(&back.resp).unwrap();
+            let b = serde_json::to_string(&resp).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn corrupted_flag_bytes_are_rejected_not_misread() {
+        let mut bytes = encode_request(&Request::Arrive { size_log2: 1 }, Some(1), None).unwrap();
+        bytes[0] = 0xFF; // the chaos proxy's binary corruption fault
+        assert!(matches!(
+            decode_request(&bytes).unwrap_err(),
+            CodecError::UnknownFlags(0xFF)
+        ));
+        let mut reply = encode_response(&Response::Pong, None).unwrap();
+        reply[0] = 0xFF;
+        assert!(matches!(
+            decode_response(&reply).unwrap_err(),
+            CodecError::UnknownFlags(0xFF)
+        ));
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let bytes = encode_request(&Request::Depart { task: 7 }, Some(1), Some(ctx(1, 2))).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_request(&bytes[..cut]).is_err(),
+                "accepted a {cut}-byte prefix"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_request(&padded).unwrap_err(), CodecError::TrailingBytes);
+        assert!(decode_request(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(matches!(
+            decode_request(&[0, 99]).unwrap_err(),
+            CodecError::UnknownTag(99)
+        ));
+        assert!(matches!(
+            decode_response(&[0, 77]).unwrap_err(),
+            CodecError::UnknownTag(77)
+        ));
+    }
+
+    #[test]
+    fn batch_counts_beyond_the_payload_are_rejected_before_allocation() {
+        let mut bytes = vec![0u8, TAG_BATCH];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&bytes).unwrap_err(),
+            CodecError::Truncated
+        ));
+    }
+}

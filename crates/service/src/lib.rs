@@ -84,6 +84,7 @@
 
 mod chaos;
 mod client;
+mod codec;
 mod metrics;
 mod net;
 mod prom;
@@ -94,11 +95,20 @@ mod snapshot;
 
 pub use chaos::{ChaosProxy, ProxyStats};
 pub use client::{Backoff, ClientError, RetryPolicy, TcpClient};
+pub use codec::{
+    decode_raw_request_line, decode_raw_response_line, decode_request, decode_response,
+    encode_raw_request_line, encode_raw_response_line, encode_request, encode_response, CodecError,
+    DecodedRequest, DecodedResponse,
+};
+pub use partalloc_wire::{
+    configure_stream, read_bounded_line, read_frame, write_frame, FrameRead, LineRead,
+    ParseProtoError, Proto, DEFAULT_MAX_PAYLOAD_BYTES,
+};
 pub use metrics::{
     BatchSizeSummary, LatencyHistogram, LatencySummary, Log2Histogram, Metrics, ServiceStats,
     ShardGauge, StageHistograms,
 };
-pub use net::Server;
+pub use net::{negotiate_hello, Server};
 pub use prom::{PromRender, PromServer};
 pub use proto::{
     parse_request_envelope, parse_request_line, parse_response_line, request_line,

@@ -1,68 +1,87 @@
-//! The TCP transport: newline-delimited JSON over `std::net`, one
-//! thread per connection.
+//! The TCP transport: a multiplexed nonblocking server core
+//! (`partalloc-wire`'s [`Reactor`]) speaking negotiated NDJSON or
+//! binary framing.
 //!
-//! A connection reads one request per line and writes one response per
-//! line; lines that do not parse get a `bad-request` error reply and
-//! the connection keeps going — nothing a client sends can kill the
-//! daemon. Lines are read through a bounded buffer
-//! ([`ServiceConfig::max_line_bytes`](crate::server::ServiceConfig)):
-//! an overlong line is drained without being stored, answered with
-//! `bad-request`, and the connection resynchronizes at the next
-//! newline. A line may carry a `req_id` envelope field; the core then
-//! treats retries of that id as replays (see
-//! [`ServiceCore::handle_with_id`]). Shutdown is graceful: a
-//! `shutdown` request (or
-//! [`Server::shutdown`]) flips the core's flag, the accept loop is
-//! poked awake by a loop-back connection and exits, live connections
-//! get a grace period to finish their in-flight dialogue, and any
-//! still open after the grace are force-closed via
-//! [`TcpStream::shutdown`] so the drain always terminates.
+//! Every connection starts as newline-delimited JSON — one request
+//! per line, one response per line — and may upgrade to
+//! length-prefixed binary frames via the in-band `hello` handshake
+//! ([`Request::Hello`]); NDJSON remains the default and the
+//! compatibility floor. Inputs that do not parse (malformed JSON,
+//! corrupt frames, unknown flag bits) get a `bad-request` error reply
+//! and the connection keeps going — nothing a client sends can kill
+//! the daemon. Both framings enforce
+//! [`ServiceConfig::max_line_bytes`](crate::server::ServiceConfig)
+//! with the drain-don't-store discipline, so not even an unbounded
+//! line or frame exhausts memory.
+//!
+//! Requests are *pipelined*: a client may write any number of
+//! requests before reading replies; the reactor answers them in
+//! order, batching reply writes. A request may carry a `req_id`
+//! envelope field; the core then treats retries of that id as replays
+//! (see [`ServiceCore::handle_with_id`]). Shutdown is graceful: a
+//! `shutdown` request (or [`Server::shutdown`]) flips the core's
+//! flag, the accept loop is poked awake by a loop-back connection and
+//! exits, live connections get a grace period to finish their
+//! in-flight dialogue, and any still open after the grace are
+//! force-closed so the drain always terminates.
 
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use partalloc_wire::{Proto, Reactor, ReactorConfig, WireHandler, WireReply};
 
+use crate::codec::{decode_request, encode_response};
 use crate::metrics::Log2Histogram;
-use crate::proto::{parse_request_envelope, response_line};
+use crate::proto::{parse_request_envelope, response_line, Request, RequestEnvelope, Response};
 use crate::server::ServiceCore;
 
-type ConnSlot = (TcpStream, JoinHandle<()>);
-
-/// A running NDJSON-over-TCP server around a shared [`ServiceCore`].
+/// A running TCP server around a shared [`ServiceCore`].
 pub struct Server {
     core: Arc<ServiceCore>,
-    addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<ConnSlot>>>,
+    reactor: Option<Reactor>,
 }
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start
-    /// accepting connections.
+    /// accepting connections. Binary upgrades are allowed; clients
+    /// that never send `hello` stay on NDJSON.
     pub fn spawn(core: Arc<ServiceCore>, addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_core = Arc::clone(&core);
-        let accept_conns = Arc::clone(&conns);
-        let accept_thread = thread::Builder::new()
-            .name("partalloc-accept".into())
-            .spawn(move || accept_loop(listener, accept_core, accept_conns))?;
+        Self::spawn_with_proto(core, addr, Proto::Binary)
+    }
+
+    /// [`Server::spawn`] with an explicit ceiling on what `hello` may
+    /// negotiate: [`Proto::Ndjson`] refuses binary upgrades (the
+    /// handshake still answers, granting `ndjson`), [`Proto::Binary`]
+    /// allows them.
+    pub fn spawn_with_proto(
+        core: Arc<ServiceCore>,
+        addr: impl ToSocketAddrs,
+        allowed: Proto,
+    ) -> io::Result<Self> {
+        let handler = Arc::new(ServiceHandler {
+            core: Arc::clone(&core),
+            allowed,
+        });
+        let config = ReactorConfig {
+            max_payload: core.config().max_line_bytes,
+            name: "partalloc".into(),
+            ..ReactorConfig::default()
+        };
+        let reactor = Reactor::bind(addr, config, handler)?;
         Ok(Server {
             core,
-            addr,
-            accept_thread: Some(accept_thread),
-            conns,
+            reactor: Some(reactor),
         })
     }
 
     /// The bound address (with the resolved ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.reactor
+            .as_ref()
+            .expect("reactor runs until the server is consumed")
+            .local_addr()
     }
 
     /// The shared core.
@@ -74,7 +93,7 @@ impl Server {
     /// drain and return. This is what `palloc serve` runs.
     pub fn run_until_shutdown(self, grace: Duration) {
         while !self.core.is_shutting_down() {
-            thread::sleep(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(10));
         }
         self.finish(grace);
     }
@@ -86,232 +105,159 @@ impl Server {
     }
 
     fn finish(mut self, grace: Duration) {
-        // Poke the accept loop awake; it sees the flag and exits. The
-        // connect also covers the race where a real client grabbed the
-        // wakeup slot: accept keeps looping until the flag is visible.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Grace period: let live connections finish their dialogue.
-        let deadline = Instant::now() + grace;
-        loop {
-            let mut conns = self.conns.lock();
-            conns.retain(|(_, h)| !h.is_finished());
-            if conns.is_empty() {
-                return;
-            }
-            if Instant::now() >= deadline {
-                // Force-close the stragglers; their reads error out.
-                for (stream, _) in conns.iter() {
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
-                let handles: Vec<JoinHandle<()>> = conns.drain(..).map(|(_, h)| h).collect();
-                drop(conns);
-                for h in handles {
-                    let _ = h.join();
-                }
-                return;
-            }
-            drop(conns);
-            thread::sleep(Duration::from_millis(2));
+        if let Some(reactor) = self.reactor.take() {
+            reactor.finish(grace);
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, core: Arc<ServiceCore>, conns: Arc<Mutex<Vec<ConnSlot>>>) {
-    for incoming in listener.incoming() {
-        if core.is_shutting_down() {
-            break;
-        }
-        let Ok(stream) = incoming else { continue };
-        let Ok(retained) = stream.try_clone() else {
-            continue;
-        };
-        let conn_core = Arc::clone(&core);
-        let spawned = thread::Builder::new()
-            .name("partalloc-conn".into())
-            .spawn(move || serve_conn(conn_core, stream));
-        if let Ok(handle) = spawned {
-            let mut conns = conns.lock();
-            conns.retain(|(_, h)| !h.is_finished());
-            conns.push((retained, handle));
-        }
-    }
-}
-
-fn serve_conn(core: Arc<ServiceCore>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
+/// Decide a `hello` handshake: what framing to grant (the requested
+/// one when `allowed` covers it, NDJSON otherwise) and whether the
+/// connection must switch. The reply is written in the *old* framing;
+/// the switch applies right after it.
+pub fn negotiate_hello(
+    requested: &str,
+    allowed: Proto,
+    current: Proto,
+) -> (Response, Option<Proto>) {
+    let Ok(requested) = requested.parse::<Proto>() else {
+        return (
+            crate::proto::Response::error(
+                crate::proto::ErrorCode::BadRequest,
+                format!("unknown protocol {requested:?} (expected ndjson or binary)"),
+            ),
+            None,
+        );
     };
-    let cap = core.config().max_line_bytes;
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = Vec::new();
-    loop {
-        // Echo the request's trace context on the reply so the client
-        // side of a span stream can correlate without guessing.
-        let mut trace = None;
-        let resp = match read_bounded_line(&mut reader, &mut line, cap) {
-            // Client closed, force-closed during drain, or I/O error.
-            Ok(LineRead::Eof) | Err(_) => break,
-            Ok(LineRead::TooLong) => core.malformed(format!("request line exceeds {cap} bytes")),
-            Ok(LineRead::Line) => match std::str::from_utf8(&line) {
-                Ok(text) => {
-                    let trimmed = text.trim();
-                    if trimmed.is_empty() {
-                        continue;
-                    }
-                    // The wire `parse` stage: request line → envelope.
-                    let parse_start = Instant::now();
-                    let parsed = parse_request_envelope(trimmed);
-                    record_stage(&core.metrics().stages.parse, parse_start);
-                    match parsed {
-                        Ok((envelope, req)) => {
-                            trace = envelope.trace;
-                            core.handle_traced(envelope.req_id, envelope.trace, &req)
-                        }
-                        Err(e) => core.malformed(e),
-                    }
-                }
-                Err(_) => core.malformed("request line is not valid UTF-8"),
-            },
-        };
-        // The wire `settle` stage: response rendering + socket write.
+    let granted = match (requested, allowed) {
+        (Proto::Binary, Proto::Binary) => Proto::Binary,
+        _ => Proto::Ndjson,
+    };
+    let reply = Response::Hello {
+        proto: granted.label().to_owned(),
+    };
+    let switch = (granted != current).then_some(granted);
+    (reply, switch)
+}
+
+struct ServiceHandler {
+    core: Arc<ServiceCore>,
+    allowed: Proto,
+}
+
+impl ServiceHandler {
+    /// Render `resp` for the connection's framing as a reactor reply.
+    /// Rendering is the wire `settle` stage (the socket write itself
+    /// is batched by the reactor and not attributable to one request).
+    fn render(&self, proto: Proto, resp: &Response, envelope: &RequestEnvelope) -> WireReply {
         let settle_start = Instant::now();
-        let Ok(mut json) = response_line(&resp, trace) else {
-            break;
+        let bytes = match proto {
+            Proto::Ndjson => response_line(resp, envelope.trace).map(String::into_bytes),
+            Proto::Binary => encode_response(resp, envelope.trace),
         };
-        json.push('\n');
-        let wrote = writer
-            .write_all(json.as_bytes())
-            .and_then(|()| writer.flush());
-        record_stage(&core.metrics().stages.settle, settle_start);
-        if wrote.is_err() {
-            break;
+        record_stage(&self.core.metrics().stages.settle, settle_start);
+        match bytes {
+            Ok(b) => WireReply::send(b),
+            // Serialization of our own response types cannot fail;
+            // if it somehow does, drop the connection rather than
+            // desynchronize the reply stream.
+            Err(_) => WireReply {
+                payload: None,
+                switch_to: None,
+                close: true,
+            },
         }
+    }
+
+    /// Dispatch one parsed request, intercepting the transport-level
+    /// `hello` handshake.
+    fn dispatch(&self, proto: Proto, envelope: RequestEnvelope, req: Request) -> WireReply {
+        if let Request::Hello { proto: wanted } = &req {
+            let (resp, switch) = negotiate_hello(wanted, self.allowed, proto);
+            let mut reply = self.render(proto, &resp, &envelope);
+            reply.switch_to = switch;
+            return reply;
+        }
+        let resp = self
+            .core
+            .handle_traced(envelope.req_id, envelope.trace, &req);
+        self.render(proto, &resp, &envelope)
+    }
+
+    fn handle_line(&self, payload: &[u8]) -> WireReply {
+        let empty = RequestEnvelope {
+            req_id: None,
+            trace: None,
+        };
+        let Ok(text) = std::str::from_utf8(payload) else {
+            let resp = self.core.malformed("request line is not valid UTF-8");
+            return self.render(Proto::Ndjson, &resp, &empty);
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return WireReply::silent();
+        }
+        // The wire `parse` stage: request line → envelope.
+        let parse_start = Instant::now();
+        let parsed = parse_request_envelope(trimmed);
+        record_stage(&self.core.metrics().stages.parse, parse_start);
+        match parsed {
+            Ok((envelope, req)) => self.dispatch(Proto::Ndjson, envelope, req),
+            Err(e) => {
+                let resp = self.core.malformed(e);
+                self.render(Proto::Ndjson, &resp, &empty)
+            }
+        }
+    }
+
+    fn handle_frame(&self, payload: &[u8]) -> WireReply {
+        let empty = RequestEnvelope {
+            req_id: None,
+            trace: None,
+        };
+        // The wire `parse` stage: frame payload → envelope.
+        let parse_start = Instant::now();
+        let decoded = decode_request(payload);
+        record_stage(&self.core.metrics().stages.parse, parse_start);
+        match decoded {
+            Ok(d) => self.dispatch(Proto::Binary, d.envelope, d.req),
+            Err(e) => {
+                let resp = self.core.malformed(format!("bad binary frame: {e}"));
+                self.render(Proto::Binary, &resp, &empty)
+            }
+        }
+    }
+}
+
+impl WireHandler for ServiceHandler {
+    type Conn = ();
+
+    fn open_conn(&self) {}
+
+    fn handle(&self, _conn: &mut (), proto: Proto, payload: &[u8]) -> WireReply {
+        match proto {
+            Proto::Ndjson => self.handle_line(payload),
+            Proto::Binary => self.handle_frame(payload),
+        }
+    }
+
+    fn oversized(&self, _conn: &mut (), proto: Proto, cap: usize) -> WireReply {
+        let unit = match proto {
+            Proto::Ndjson => "line",
+            Proto::Binary => "frame",
+        };
+        let resp = self
+            .core
+            .malformed(format!("request {unit} exceeds {cap} bytes"));
+        let empty = RequestEnvelope {
+            req_id: None,
+            trace: None,
+        };
+        self.render(proto, &resp, &empty)
     }
 }
 
 /// Record the time since `start` into stage histogram `h`.
 fn record_stage(h: &Log2Histogram, start: Instant) {
     h.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-}
-
-/// Outcome of one bounded line read.
-enum LineRead {
-    /// A complete line (without its newline) is in the buffer.
-    Line,
-    /// The line exceeded the cap; it was drained but not stored.
-    TooLong,
-    /// Clean end of stream with no pending partial line.
-    Eof,
-}
-
-/// Read one `\n`-terminated line into `buf`, holding at most `cap`
-/// bytes: once a line overflows the cap, the rest of it is consumed
-/// and discarded so the stream resynchronizes at the newline, and the
-/// read reports [`LineRead::TooLong`]. An unterminated final line
-/// (EOF without `\n`) still counts as a line, mirroring `read_line`.
-fn read_bounded_line<R: BufRead>(
-    reader: &mut R,
-    buf: &mut Vec<u8>,
-    cap: usize,
-) -> io::Result<LineRead> {
-    buf.clear();
-    let mut overlong = false;
-    loop {
-        let (done, used) = {
-            let available = match reader.fill_buf() {
-                Ok(a) => a,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            };
-            if available.is_empty() {
-                return Ok(if overlong {
-                    LineRead::TooLong
-                } else if buf.is_empty() {
-                    LineRead::Eof
-                } else {
-                    LineRead::Line
-                });
-            }
-            match available.iter().position(|&b| b == b'\n') {
-                Some(i) => {
-                    if !overlong {
-                        buf.extend_from_slice(&available[..i]);
-                    }
-                    (true, i + 1)
-                }
-                None => {
-                    if !overlong {
-                        buf.extend_from_slice(available);
-                    }
-                    (false, available.len())
-                }
-            }
-        };
-        reader.consume(used);
-        if buf.len() > cap {
-            buf.clear();
-            overlong = true;
-        }
-        if done {
-            return Ok(if overlong {
-                LineRead::TooLong
-            } else {
-                LineRead::Line
-            });
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::io::Cursor;
-
-    fn next(r: &mut impl BufRead, buf: &mut Vec<u8>, cap: usize) -> LineRead {
-        read_bounded_line(r, buf, cap).unwrap()
-    }
-
-    #[test]
-    fn bounded_reader_splits_lines_and_reports_eof() {
-        let mut r = Cursor::new(&b"one\ntwo\nthree"[..]);
-        let mut buf = Vec::new();
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
-        assert_eq!(buf, b"one");
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
-        assert_eq!(buf, b"two");
-        // The unterminated tail still counts as a line...
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Line));
-        assert_eq!(buf, b"three");
-        // ...and then the stream is cleanly done.
-        assert!(matches!(next(&mut r, &mut buf, 16), LineRead::Eof));
-    }
-
-    #[test]
-    fn overlong_lines_are_drained_not_buffered() {
-        let mut input = vec![b'x'; 100];
-        input.push(b'\n');
-        input.extend_from_slice(b"ok\n");
-        // A tiny BufReader forces the cap check across many refills.
-        let mut r = BufReader::with_capacity(8, Cursor::new(input));
-        let mut buf = Vec::new();
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::TooLong));
-        // Memory stayed bounded, and the stream resynchronized at the
-        // newline: the following line reads normally.
-        assert!(buf.capacity() <= 64);
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::Line));
-        assert_eq!(buf, b"ok");
-    }
-
-    #[test]
-    fn an_overlong_unterminated_tail_is_too_long() {
-        let mut r = BufReader::with_capacity(8, Cursor::new(vec![b'y'; 50]));
-        let mut buf = Vec::new();
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::TooLong));
-        assert!(matches!(next(&mut r, &mut buf, 10), LineRead::Eof));
-    }
 }

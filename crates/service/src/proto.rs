@@ -109,6 +109,18 @@ pub enum Request {
     /// [`Response::Dumped`]. Errors when the service was started
     /// without a flight-recorder directory.
     Dump,
+    /// Negotiate the connection's wire framing. The connection always
+    /// starts as NDJSON; a client that wants binary frames sends
+    /// `{"op":"hello","proto":"binary"}` and the server replies
+    /// [`Response::Hello`] carrying the framing it *granted* — the
+    /// requested one when allowed, `"ndjson"` otherwise. Both sides
+    /// switch right after the reply. A pre-handshake server answers
+    /// with a `bad-request` error, which clients treat as "stay on
+    /// NDJSON".
+    Hello {
+        /// The framing the client asks for (`"ndjson"` / `"binary"`).
+        proto: String,
+    },
     /// Liveness probe.
     Ping,
     /// Panic the named shard on purpose and let it self-heal; replied
@@ -134,6 +146,7 @@ impl Request {
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Dump => "dump",
+            Request::Hello { .. } => "hello",
             Request::Ping => "ping",
             Request::InjectFault { .. } => "inject-fault",
             Request::Shutdown => "shutdown",
@@ -258,6 +271,12 @@ pub enum Response {
     Dumped {
         /// Paths of the NDJSON dump files, one per ring.
         files: Vec<String>,
+    },
+    /// Reply to `hello`: the framing the server granted. The
+    /// connection switches to it immediately after this reply.
+    Hello {
+        /// The granted framing (`"ndjson"` / `"binary"`).
+        proto: String,
     },
     /// Reply to `ping`.
     Pong,

@@ -570,6 +570,16 @@ impl ServiceCore {
                 files.extend(self.dump_core_flight());
                 Response::Dumped { files }
             }
+            Request::Hello { .. } => {
+                // Framing is a transport concern: the TCP server
+                // intercepts `hello` before dispatch and answers with
+                // whatever it granted. A core reached directly (tests,
+                // in-process handles) has no framing to switch, so it
+                // grants the default.
+                Response::Hello {
+                    proto: "ndjson".to_owned(),
+                }
+            }
             Request::Ping => {
                 Metrics::incr(&self.metrics.pings);
                 Response::Pong

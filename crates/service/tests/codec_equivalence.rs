@@ -1,0 +1,326 @@
+//! NDJSON ↔ binary equivalence for the negotiated wire codec: every
+//! request and reply the service speaks decodes to the same value
+//! whether it rode an NDJSON line or a binary frame, the raw tag
+//! carries foreign (cluster-admin) lines verbatim, and damaged or
+//! oversized payloads are rejected, never misread.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use partalloc_core::AllocatorKind;
+use partalloc_obs::{SpanId, TraceContext, TraceId};
+use partalloc_service::{
+    decode_raw_request_line, decode_raw_response_line, decode_request, decode_response,
+    encode_raw_request_line, encode_raw_response_line, encode_request, encode_response,
+    parse_request_envelope, parse_response_line, read_frame, request_line_traced, response_line,
+    write_frame, BatchItem, Departed, ErrorCode, ErrorReply, FrameRead, LoadReport, Placed,
+    Request, Response, ServiceConfig, ServiceCore, ServiceHandle, ShardLoad,
+    DEFAULT_MAX_PAYLOAD_BYTES,
+};
+
+fn trace() -> impl Strategy<Value = Option<TraceContext>> {
+    proptest::option::of(
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(t, s)| TraceContext::new(TraceId(t), SpanId(s))),
+    )
+}
+
+fn batch_item() -> impl Strategy<Value = BatchItem> {
+    prop_oneof![
+        any::<u8>().prop_map(|size_log2| BatchItem::Arrive { size_log2 }),
+        any::<u64>().prop_map(|task| BatchItem::Depart { task }),
+    ]
+}
+
+/// Every request op, hot and cold — including the `hello` handshake
+/// itself and strings that need JSON escaping.
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        any::<u8>().prop_map(|size_log2| Request::Arrive { size_log2 }),
+        any::<u64>().prop_map(|task| Request::Depart { task }),
+        proptest::collection::vec(batch_item(), 0..20)
+            .prop_map(|items| Request::Batch { items }),
+        Just(Request::QueryLoad),
+        Just(Request::Snapshot),
+        Just(Request::Stats),
+        Just(Request::Metrics),
+        Just(Request::Dump),
+        ".{0,12}".prop_map(|proto| Request::Hello { proto }),
+        Just(Request::Ping),
+        (0usize..64).prop_map(|shard| Request::InjectFault { shard }),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn placed() -> impl Strategy<Value = Placed> {
+    (
+        any::<u64>(),
+        0usize..64,
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(task, shard, node, layer, reallocated, migrations, physical_migrations)| Placed {
+                task,
+                shard,
+                node,
+                layer,
+                reallocated,
+                migrations,
+                physical_migrations,
+            },
+        )
+}
+
+fn departed() -> impl Strategy<Value = Departed> {
+    (any::<u64>(), 0usize..64, any::<u32>(), any::<u32>()).prop_map(
+        |(task, shard, node, layer)| Departed {
+            task,
+            shard,
+            node,
+            layer,
+        },
+    )
+}
+
+fn error_reply() -> impl Strategy<Value = ErrorReply> {
+    (
+        prop_oneof![
+            Just(ErrorCode::UnknownTask),
+            Just(ErrorCode::DuplicateTask),
+            Just(ErrorCode::TaskTooLarge),
+            Just(ErrorCode::BadRequest),
+            Just(ErrorCode::Unavailable),
+            Just(ErrorCode::ShardPanicked),
+            Just(ErrorCode::Internal),
+        ],
+        ".{0,24}",
+    )
+        .prop_map(|(code, message)| ErrorReply { code, message })
+}
+
+fn load_report() -> impl Strategy<Value = LoadReport> {
+    proptest::collection::vec(
+        (0usize..64, any::<u64>(), any::<u64>(), any::<u64>()),
+        0..6,
+    )
+    .prop_map(|shards| {
+        let shards: Vec<ShardLoad> = shards
+            .into_iter()
+            .map(|(shard, max_load, active_tasks, active_size)| ShardLoad {
+                shard,
+                max_load,
+                active_tasks,
+                active_size,
+            })
+            .collect();
+        LoadReport {
+            max_load: shards.iter().map(|s| s.max_load).max().unwrap_or(0),
+            active_tasks: shards.iter().map(|s| s.active_tasks).sum(),
+            active_size: shards.iter().map(|s| s.active_size).sum(),
+            shards,
+        }
+    })
+}
+
+/// One batchable per-item result.
+fn batch_result() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        placed().prop_map(Response::Placed),
+        departed().prop_map(Response::Departed),
+        error_reply().prop_map(Response::Error),
+    ]
+}
+
+/// Every reply shape except the two whose payloads need a live
+/// service ([`Response::Snapshot`], [`Response::Stats`]) — those are
+/// covered by `live_snapshot_and_stats_replies_round_trip` below.
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        placed().prop_map(Response::Placed),
+        departed().prop_map(Response::Departed),
+        proptest::collection::vec(batch_result(), 0..8)
+            .prop_map(|results| Response::Batch { results }),
+        load_report().prop_map(Response::Load),
+        ".{0,48}".prop_map(|text| Response::Metrics { text }),
+        proptest::collection::vec(".{0,16}", 0..4)
+            .prop_map(|files| Response::Dumped { files }),
+        ".{0,12}".prop_map(|proto| Response::Hello { proto }),
+        Just(Response::Pong),
+        (0usize..64, any::<u64>())
+            .prop_map(|(shard, recoveries)| Response::FaultInjected { shard, recoveries }),
+        Just(Response::ShuttingDown),
+        error_reply().prop_map(Response::Error),
+    ]
+}
+
+fn json(resp: &Response) -> String {
+    serde_json::to_string(resp).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The same request, rendered as an NDJSON line and as a binary
+    /// payload, decodes to the same op and the same envelope.
+    #[test]
+    fn requests_decode_identically_under_both_framings(
+        req in request(),
+        req_id in proptest::option::of(any::<u64>()),
+        trace in trace(),
+    ) {
+        let line = request_line_traced(&req, req_id, trace).unwrap();
+        let (env_line, req_line) = parse_request_envelope(&line).unwrap();
+        prop_assert_eq!(&req_line, &req);
+        prop_assert_eq!(env_line.req_id, req_id);
+        prop_assert_eq!(env_line.trace, trace);
+
+        let bytes = encode_request(&req, req_id, trace).unwrap();
+        let decoded = decode_request(&bytes).unwrap();
+        prop_assert_eq!(&decoded.req, &req);
+        prop_assert_eq!(decoded.envelope.req_id, req_id);
+        prop_assert_eq!(decoded.envelope.trace, trace);
+        // A raw fallback carries the exact NDJSON line — what a
+        // transcoding router dispatches must be byte-identical to the
+        // line an NDJSON client would have sent.
+        if let Some(raw) = decoded.raw_line {
+            prop_assert_eq!(raw, line);
+        }
+    }
+
+    /// The same reply, rendered both ways, decodes to the same value
+    /// and the same echoed trace.
+    #[test]
+    fn responses_decode_identically_under_both_framings(
+        resp in response(),
+        trace in trace(),
+    ) {
+        let line = response_line(&resp, trace).unwrap();
+        let (trace_line, resp_line) = parse_response_line(&line).unwrap();
+        prop_assert_eq!(trace_line, trace);
+        prop_assert_eq!(json(&resp_line), json(&resp));
+
+        let bytes = encode_response(&resp, trace).unwrap();
+        let decoded = decode_response(&bytes).unwrap();
+        prop_assert_eq!(decoded.trace, trace);
+        prop_assert_eq!(json(&decoded.resp), json(&resp));
+    }
+
+    /// Any single-line text — cluster-admin ops included — survives a
+    /// raw-tag round trip verbatim, without being interpreted.
+    #[test]
+    fn raw_tag_payloads_carry_foreign_lines_verbatim(line in "[^\n]{0,64}") {
+        let framed = encode_raw_request_line(line.as_bytes());
+        prop_assert_eq!(
+            decode_raw_request_line(&framed).unwrap(),
+            Some(line.as_str())
+        );
+        let framed = encode_raw_response_line(line.as_bytes());
+        prop_assert_eq!(
+            decode_raw_response_line(&framed).unwrap(),
+            Some(line.as_str())
+        );
+    }
+
+    /// Arbitrary byte soup never panics a decoder; and flipping the
+    /// flags byte of a valid payload to the chaos proxy's corruption
+    /// pattern is always rejected, never misread as a different op.
+    #[test]
+    fn damaged_payloads_are_rejected_not_misread(
+        soup in proptest::collection::vec(any::<u8>(), 0..64),
+        req in request(),
+        req_id in proptest::option::of(any::<u64>()),
+    ) {
+        let _ = decode_request(&soup);
+        let _ = decode_response(&soup);
+        let mut bytes = encode_request(&req, req_id, None).unwrap();
+        bytes[0] = 0xFF;
+        prop_assert!(decode_request(&bytes).is_err());
+    }
+}
+
+/// The cluster-admin plane's lines are not service [`Request`]s; only
+/// the raw-line peel may touch them, and it must not interpret them.
+#[test]
+fn cluster_admin_lines_ride_the_raw_tag() {
+    let admin_lines = [
+        r#"{"op":"cluster-info"}"#,
+        r#"{"op":"cluster-join","addr":"127.0.0.1:7001"}"#,
+        r#"{"op":"cluster-leave","addr":"127.0.0.1:7001"}"#,
+        r#"{"op":"cluster-drain","addr":"127.0.0.1:7001"}"#,
+    ];
+    for line in admin_lines {
+        let framed = encode_raw_request_line(line.as_bytes());
+        assert_eq!(decode_raw_request_line(&framed).unwrap(), Some(line));
+        // The full request decoder must NOT accept these — they are
+        // the router core's business, not the service's.
+        assert!(decode_request(&framed).is_err(), "{line}");
+    }
+    // Admin replies are ClusterReply lines, equally foreign.
+    let reply = r#"{"reply":"cluster-info","nodes":[]}"#;
+    let framed = encode_raw_response_line(reply.as_bytes());
+    assert_eq!(decode_raw_response_line(&framed).unwrap(), Some(reply));
+}
+
+/// Snapshot and stats replies carry deep structures; take them from a
+/// live service and check both framings agree byte-for-byte.
+#[test]
+fn live_snapshot_and_stats_replies_round_trip() {
+    let h = ServiceHandle::new(
+        ServiceCore::new(ServiceConfig::new(AllocatorKind::Greedy, 16).shards(2)).unwrap(),
+    );
+    for _ in 0..5 {
+        h.arrive(1).unwrap();
+    }
+    let trace = Some(TraceContext::new(TraceId(3), SpanId(4)));
+    for resp in [
+        Response::Snapshot(h.snapshot().unwrap()),
+        Response::Stats(h.stats().unwrap()),
+        Response::Load(h.query_load().unwrap()),
+    ] {
+        let line = response_line(&resp, trace).unwrap();
+        let (trace_line, resp_line) = parse_response_line(&line).unwrap();
+        let bytes = encode_response(&resp, trace).unwrap();
+        let decoded = decode_response(&bytes).unwrap();
+        assert_eq!(trace_line, trace);
+        assert_eq!(decoded.trace, trace);
+        assert_eq!(json(&resp_line), json(&resp));
+        assert_eq!(json(&decoded.resp), json(&resp));
+    }
+}
+
+/// The frame layer's cap mirrors the NDJSON line cap: a frame
+/// declaring more than 1 MiB is drained, reported, and the stream
+/// resynchronizes at the next frame — same discipline, different
+/// framing.
+#[test]
+fn oversized_frames_mirror_the_line_cap() {
+    assert_eq!(DEFAULT_MAX_PAYLOAD_BYTES, 1 << 20);
+    let big = vec![b'x'; DEFAULT_MAX_PAYLOAD_BYTES + 1];
+    let ok = encode_request(&Request::Ping, Some(1), None).unwrap();
+    let mut stream = Vec::new();
+    write_frame(&mut stream, &big).unwrap();
+    write_frame(&mut stream, &ok).unwrap();
+
+    let mut r = Cursor::new(stream);
+    let mut buf = Vec::new();
+    assert_eq!(
+        read_frame(&mut r, &mut buf, DEFAULT_MAX_PAYLOAD_BYTES).unwrap(),
+        FrameRead::TooBig((DEFAULT_MAX_PAYLOAD_BYTES + 1) as u32)
+    );
+    assert!(buf.is_empty(), "oversized payloads are never stored");
+    assert_eq!(
+        read_frame(&mut r, &mut buf, DEFAULT_MAX_PAYLOAD_BYTES).unwrap(),
+        FrameRead::Frame
+    );
+    let decoded = decode_request(&buf).unwrap();
+    assert_eq!(decoded.req, Request::Ping);
+    assert_eq!(
+        read_frame(&mut r, &mut buf, DEFAULT_MAX_PAYLOAD_BYTES).unwrap(),
+        FrameRead::Eof
+    );
+}

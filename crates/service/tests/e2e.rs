@@ -9,8 +9,8 @@ use std::time::Duration;
 use partalloc_core::{Allocator, AllocatorKind};
 use partalloc_model::{Event, Task};
 use partalloc_service::{
-    BatchItem, ErrorCode, Request, Response, RouterKind, Server, ServiceConfig, ServiceCore,
-    ServiceSnapshot, TcpClient,
+    BatchItem, ErrorCode, Proto, Request, Response, RouterKind, Server, ServiceConfig,
+    ServiceCore, ServiceSnapshot, TcpClient,
 };
 use partalloc_sim::run_sequence_dyn;
 use partalloc_topology::BuddyTree;
@@ -189,6 +189,89 @@ fn batched_tcp_replay_is_byte_identical_to_per_event_replay() {
 
     drop((a, b));
     server_a.shutdown(GRACE);
+    server_b.shutdown(GRACE);
+}
+
+#[test]
+fn binary_framed_replay_is_byte_identical_to_ndjson_replay() {
+    // Two servers with the same deterministic config, the same seeded
+    // sequence: one client stays on NDJSON lines, the other negotiates
+    // binary frames. Every reply, the load report and the final
+    // snapshot must serialize to the same bytes — the framing is pure
+    // transport, invisible to the allocation semantics.
+    let kind = AllocatorKind::DRealloc(2);
+    let config = || {
+        ServiceConfig::new(kind, 64)
+            .shards(2)
+            .router(RouterKind::RoundRobin)
+    };
+    let seq = ClosedLoopConfig::new(64)
+        .events(400)
+        .target_load(2)
+        .generate(17);
+
+    let drive = |client: &mut TcpClient| -> Vec<Response> {
+        let mut replies = Vec::new();
+        for chunk in seq.events().chunks(5) {
+            let items: Vec<BatchItem> = chunk
+                .iter()
+                .map(|ev| match *ev {
+                    Event::Arrival { size_log2, .. } => BatchItem::Arrive { size_log2 },
+                    Event::Departure { id } => BatchItem::Depart { task: id.0 },
+                })
+                .collect();
+            replies.extend(client.batch(items).unwrap());
+        }
+        // A few per-event rounds too, so both compact tags and the
+        // batch tag cross the wire.
+        for req in [
+            Request::Arrive { size_log2: 0 },
+            Request::Ping,
+            Request::QueryLoad,
+        ] {
+            replies.push(client.request(&req).unwrap());
+        }
+        replies
+    };
+
+    let server_n = spawn_server(config());
+    let mut ndjson = TcpClient::connect(server_n.local_addr()).unwrap();
+    assert_eq!(ndjson.active_proto(), Proto::Ndjson);
+    let replies_n = drive(&mut ndjson);
+
+    let server_b = spawn_server(config());
+    let mut binary = TcpClient::connect(server_b.local_addr())
+        .unwrap()
+        .with_proto(Proto::Binary)
+        .unwrap();
+    assert_eq!(binary.active_proto(), Proto::Binary);
+    let replies_b = drive(&mut binary);
+
+    let to_json = |rs: &[Response]| -> Vec<String> {
+        rs.iter()
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect()
+    };
+    assert_eq!(to_json(&replies_n), to_json(&replies_b));
+
+    assert_eq!(
+        serde_json::to_string(&ndjson.query_load().unwrap()).unwrap(),
+        serde_json::to_string(&binary.query_load().unwrap()).unwrap()
+    );
+    // Snapshots ride the raw tag on a binary connection; they must
+    // still be byte-identical to the NDJSON server's view.
+    assert_eq!(
+        serde_json::to_string(&ndjson.snapshot().unwrap()).unwrap(),
+        serde_json::to_string(&binary.snapshot().unwrap()).unwrap()
+    );
+    let stats_n = ndjson.stats().unwrap();
+    let stats_b = binary.stats().unwrap();
+    assert_eq!(stats_n.arrivals, stats_b.arrivals);
+    assert_eq!(stats_n.departures, stats_b.departures);
+    assert_eq!(stats_b.errors, 0);
+
+    drop((ndjson, binary));
+    server_n.shutdown(GRACE);
     server_b.shutdown(GRACE);
 }
 

@@ -1,0 +1,151 @@
+//! Length-prefixed binary framing: `[u32 LE length][payload]`.
+//!
+//! The frame layer is deliberately payload-agnostic — what the bytes
+//! *mean* (the request/response records, the JSON fallback) is the
+//! service layer's business (`partalloc-service`'s codec module).
+//! Here live only the blocking read/write helpers the clients and the
+//! router's forwarding links use; the reactor has its own
+//! nonblocking incremental deframer over the same format.
+//!
+//! The payload cap mirrors the NDJSON line cap: an oversized frame is
+//! drained from the stream without being stored (the connection
+//! resynchronizes at the next frame boundary) and reported as
+//! [`FrameRead::TooBig`], exactly the discipline
+//! [`read_bounded_line`](crate::read_bounded_line) applies to lines.
+
+use std::io::{self, Read, Write};
+
+/// Outcome of one bounded frame read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete payload is in the buffer.
+    Frame,
+    /// The frame's declared length exceeded the cap; its payload was
+    /// drained but not stored. Carries the declared length.
+    TooBig(u32),
+    /// Clean end of stream at a frame boundary.
+    Eof,
+}
+
+/// Write one frame: the 4-byte little-endian length, then `payload`.
+/// No flush — callers batch frames and flush once.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds u32", payload.len()),
+        )
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame's payload into `buf`, holding at most `cap` bytes.
+/// A frame declaring more than `cap` is consumed and discarded so the
+/// stream resynchronizes at the next frame, and the read reports
+/// [`FrameRead::TooBig`]. EOF cleanly between frames reports
+/// [`FrameRead::Eof`]; EOF inside a frame (header or payload) is an
+/// [`io::ErrorKind::UnexpectedEof`] error.
+pub fn read_frame<R: Read>(reader: &mut R, buf: &mut Vec<u8>, cap: usize) -> io::Result<FrameRead> {
+    buf.clear();
+    let mut header = [0u8; 4];
+    // A clean EOF before the first header byte is a closed stream; a
+    // torn header is a protocol error.
+    let mut got = 0;
+    while got < header.len() {
+        match reader.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame header",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len as usize > cap {
+        drain_exact(reader, u64::from(len))?;
+        return Ok(FrameRead::TooBig(len));
+    }
+    buf.resize(len as usize, 0);
+    reader.read_exact(buf)?;
+    Ok(FrameRead::Frame)
+}
+
+/// Consume and discard exactly `n` bytes.
+fn drain_exact<R: Read>(reader: &mut R, n: u64) -> io::Result<()> {
+    let copied = io::copy(&mut reader.take(n), &mut io::sink())?;
+    if copied < n {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream closed inside an oversized frame",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame(&mut out, payload).unwrap();
+        out
+    }
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut stream = frame(b"first");
+        stream.extend_from_slice(&frame(b""));
+        stream.extend_from_slice(&frame(b"third"));
+        let mut r = Cursor::new(stream);
+        let mut buf = Vec::new();
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"first");
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"");
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"third");
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameRead::Eof);
+    }
+
+    #[test]
+    fn oversized_frames_are_drained_and_the_stream_resynchronizes() {
+        let mut stream = frame(&[b'x'; 100]);
+        stream.extend_from_slice(&frame(b"ok"));
+        let mut r = Cursor::new(stream);
+        let mut buf = Vec::new();
+        assert_eq!(
+            read_frame(&mut r, &mut buf, 10).unwrap(),
+            FrameRead::TooBig(100)
+        );
+        assert!(buf.is_empty());
+        assert_eq!(read_frame(&mut r, &mut buf, 10).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"ok");
+    }
+
+    #[test]
+    fn torn_headers_and_payloads_are_errors_not_eofs() {
+        // Two header bytes, then the peer died.
+        let mut r = Cursor::new(vec![5u8, 0]);
+        let mut buf = Vec::new();
+        let err = read_frame(&mut r, &mut buf, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // A full header promising more payload than the stream holds.
+        let mut short = 8u32.to_le_bytes().to_vec();
+        short.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(short), &mut buf, 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Same, inside an oversized frame's drain.
+        let mut torn_big = 100u32.to_le_bytes().to_vec();
+        torn_big.extend_from_slice(b"abc");
+        let err = read_frame(&mut Cursor::new(torn_big), &mut buf, 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

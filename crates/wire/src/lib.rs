@@ -1,0 +1,33 @@
+//! `partalloc-wire`: the shared transport layer under the service
+//! daemon, the cluster router, and their clients.
+//!
+//! The crate is deliberately **zero-dependency** (std only) so the
+//! transport contract — framing, payload caps, drain discipline,
+//! socket options — can be tested in isolation and reused identically
+//! by every layer:
+//!
+//! - [`Proto`]: which framing a connection speaks (NDJSON lines or
+//!   length-prefixed binary frames), negotiated per connection by the
+//!   in-band `hello` handshake; [`configure_stream`] is the one place
+//!   socket options are applied.
+//! - [`read_bounded_line`]: the bounded NDJSON line reader (cap,
+//!   drain-not-store, resync-at-newline) that used to be duplicated
+//!   in the service and cluster net modules.
+//! - [`read_frame`] / [`write_frame`]: the blocking binary frame
+//!   helpers with the same cap discipline.
+//! - [`Reactor`]: a multiplexed nonblocking TCP server core (accept
+//!   thread + worker event loops) that serves pipelined requests over
+//!   either framing through a [`WireHandler`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod frame;
+mod line;
+mod proto;
+mod reactor;
+
+pub use frame::{read_frame, write_frame, FrameRead};
+pub use line::{read_bounded_line, LineRead, DEFAULT_MAX_PAYLOAD_BYTES};
+pub use proto::{configure_stream, ParseProtoError, Proto};
+pub use reactor::{Reactor, ReactorConfig, WireHandler, WireReply};

@@ -1,0 +1,88 @@
+//! The wire protocol selector: which framing a connection speaks.
+
+use std::fmt;
+use std::net::TcpStream;
+use std::str::FromStr;
+
+/// How payloads are framed on a connection.
+///
+/// Every connection starts in [`Proto::Ndjson`] — one JSON object per
+/// `\n`-terminated line — and may upgrade to [`Proto::Binary`] via the
+/// in-band `hello` handshake (see `DESIGN.md` §15). NDJSON stays the
+/// default for compatibility and debuggability; binary trades that for
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Proto {
+    /// Newline-delimited JSON: one object per line.
+    #[default]
+    Ndjson,
+    /// Length-prefixed binary frames: `[u32 LE length][payload]`.
+    Binary,
+}
+
+impl Proto {
+    /// The canonical spelling (`"ndjson"` / `"binary"`), as used by
+    /// the `hello` handshake and the `--proto` CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Proto::Ndjson => "ndjson",
+            Proto::Binary => "binary",
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error from parsing a protocol name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProtoError(pub String);
+
+impl fmt::Display for ParseProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown protocol {:?} (expected ndjson or binary)", self.0)
+    }
+}
+
+impl std::error::Error for ParseProtoError {}
+
+impl FromStr for Proto {
+    type Err = ParseProtoError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ndjson" => Ok(Proto::Ndjson),
+            "binary" => Ok(Proto::Binary),
+            other => Err(ParseProtoError(other.to_owned())),
+        }
+    }
+}
+
+/// Apply the house socket options to a fresh stream, ignoring
+/// failures: `TCP_NODELAY` is a latency optimization, and a transport
+/// that cannot honour it should still carry traffic. Every layer
+/// (service client, cluster client, router forwarding links, chaos
+/// proxy, and accepted server connections) goes through this one
+/// helper so none of them drifts on the ignore-vs-propagate question
+/// again.
+pub fn configure_stream(stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for proto in [Proto::Ndjson, Proto::Binary] {
+            assert_eq!(proto.label().parse::<Proto>().unwrap(), proto);
+            assert_eq!(proto.to_string(), proto.label());
+        }
+        assert!("msgpack".parse::<Proto>().is_err());
+        assert_eq!(Proto::default(), Proto::Ndjson);
+    }
+}

@@ -1,0 +1,747 @@
+//! A multiplexed nonblocking TCP server core: one acceptor thread
+//! feeding a small pool of event-loop workers, each owning a set of
+//! nonblocking connections.
+//!
+//! This replaces the thread-per-connection accept loops of the
+//! service daemon and the cluster router with a shape whose thread
+//! count is fixed (`workers`, default one per core up to 8) instead
+//! of linear in clients, and which serves *pipelined* requests: a
+//! client may write many requests before reading any reply, and a
+//! worker processes every complete unit in a connection's read buffer
+//! per tick, batching the replies into one socket write.
+//!
+//! # The poll discipline
+//!
+//! The loop is a hand-rolled poll reactor over `std::net` only — no
+//! `mio`, no `epoll` binding, keeping the workspace's zero-dependency
+//! transport discipline. Sockets are nonblocking; a worker sweeps its
+//! connections, and a sweep with no progress sleeps ~0.5 ms before
+//! the next. Under load reads keep succeeding and the loop never
+//! sleeps; idle connections cost one failed `read` per sweep.
+//!
+//! # Per-connection protocol state
+//!
+//! Each connection starts in the reactor's initial framing (NDJSON)
+//! and may be switched per connection by the handler's reply (the
+//! `hello` negotiation): the reply to the switching request is still
+//! written in the old framing, then both directions flip. Both
+//! framings enforce the same payload cap with the same drain
+//! discipline as the blocking readers: an overlong line is discarded
+//! up to its newline, an oversized frame's payload is skipped, the
+//! handler answers with its `oversized` reply, and the connection
+//! resynchronizes.
+//!
+//! # Drain semantics
+//!
+//! [`Reactor::finish`] preserves the thread-per-connection servers'
+//! contract exactly: stop accepting (the accept loop is poked awake
+//! by a loop-back connection), give live connections a grace period
+//! to finish their in-flight dialogue, then force-close stragglers so
+//! the drain always terminates.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::line::DEFAULT_MAX_PAYLOAD_BYTES;
+use crate::proto::{configure_stream, Proto};
+
+/// Pending unread replies beyond which a connection's read side is
+/// paused until the peer drains (backpressure against clients that
+/// pipeline without reading).
+const OUTBUF_HIGH_WATER: usize = 1 << 22;
+
+/// Worker read scratch size per `read(2)`.
+const SCRATCH_BYTES: usize = 1 << 16;
+
+/// How long an idle worker sweep sleeps before the next.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// What the application layer does with one inbound payload.
+///
+/// The reactor deframes (lines or binary frames per the connection's
+/// negotiated [`Proto`]) and hands the handler raw payload bytes; the
+/// handler parses, dispatches, and returns the reply payload to be
+/// framed back. One handler serves every connection; per-connection
+/// application state lives in [`WireHandler::Conn`].
+pub trait WireHandler: Send + Sync + 'static {
+    /// Per-connection application state (e.g. a router's forwarding
+    /// links). Built once per accepted connection.
+    type Conn: Send + 'static;
+
+    /// State for a freshly accepted connection.
+    fn open_conn(&self) -> Self::Conn;
+
+    /// Handle one inbound payload: a line without its newline
+    /// (`Proto::Ndjson`) or a frame payload (`Proto::Binary`).
+    fn handle(&self, conn: &mut Self::Conn, proto: Proto, payload: &[u8]) -> WireReply;
+
+    /// Handle an inbound unit that exceeded the payload cap (the unit
+    /// was drained, never stored).
+    fn oversized(&self, conn: &mut Self::Conn, proto: Proto, cap: usize) -> WireReply;
+}
+
+/// What a handler tells the reactor after processing one unit.
+#[derive(Debug, Default)]
+pub struct WireReply {
+    /// The reply payload to frame back; `None` sends nothing (e.g.
+    /// the blank-line skip).
+    pub payload: Option<Vec<u8>>,
+    /// Switch the connection's framing *after* this reply is written
+    /// in the old framing (the `hello` upgrade).
+    pub switch_to: Option<Proto>,
+    /// Close the connection once the reply has been flushed.
+    pub close: bool,
+}
+
+impl WireReply {
+    /// A plain reply.
+    pub fn send(payload: Vec<u8>) -> Self {
+        WireReply {
+            payload: Some(payload),
+            ..Self::default()
+        }
+    }
+
+    /// No reply at all.
+    pub fn silent() -> Self {
+        Self::default()
+    }
+}
+
+/// Reactor tuning.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Event-loop worker threads; 0 picks one per core, capped at 8.
+    pub workers: usize,
+    /// Cap on one line / frame payload, bytes.
+    pub max_payload: usize,
+    /// Thread-name prefix (`<name>-accept`, `<name>-worker<i>`).
+    pub name: String,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: 0,
+            max_payload: DEFAULT_MAX_PAYLOAD_BYTES,
+            name: "wire".to_owned(),
+        }
+    }
+}
+
+impl ReactorConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2)
+    }
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    force: AtomicBool,
+    live: AtomicUsize,
+    next: AtomicUsize,
+    inboxes: Vec<Mutex<Vec<TcpStream>>>,
+}
+
+/// A running multiplexed server. Generic glue (`Server`,
+/// `ClusterServer`) wraps this with its protocol handler.
+pub struct Reactor {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Bind `addr` (port 0 for ephemeral) and start serving through
+    /// `handler`.
+    pub fn bind<H: WireHandler>(
+        addr: impl ToSocketAddrs,
+        config: ReactorConfig,
+        handler: Arc<H>,
+    ) -> io::Result<Reactor> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let n = config.effective_workers();
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            force: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+        });
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            let cap = config.max_payload;
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("{}-worker{i}", config.name))
+                    .spawn(move || worker_loop(i, shared, handler, cap))?,
+            );
+        }
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name(format!("{}-accept", config.name))
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Reactor {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, give live connections `grace` to finish their
+    /// dialogue, then force-close stragglers. Always terminates.
+    pub fn finish(mut self, grace: Duration) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop awake; it sees the flag and exits. The
+        // connect also covers the race where a real client grabbed the
+        // wakeup slot: accept keeps looping until the flag is visible.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + grace;
+        while self.shared.live.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                self.shared.force.store(true, Ordering::SeqCst);
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for incoming in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        configure_stream(&stream);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let w = shared.next.fetch_add(1, Ordering::Relaxed) % shared.inboxes.len();
+        shared.live.fetch_add(1, Ordering::SeqCst);
+        shared.inboxes[w].lock().unwrap().push(stream);
+    }
+}
+
+/// Skip state while an overlong unit is being discarded.
+enum DrainState {
+    None,
+    /// Discarding an overlong line up to its newline; the oversized
+    /// reply is sent when the newline lands (mirroring the blocking
+    /// reader, which reports `TooLong` at line end).
+    Line,
+    /// Discarding this many more payload bytes of an oversized frame;
+    /// its reply was already queued at header time.
+    Frame(usize),
+}
+
+struct Conn<C> {
+    stream: TcpStream,
+    proto: Proto,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    drain: DrainState,
+    state: C,
+    /// Read side saw EOF; close once the replies are flushed.
+    eof: bool,
+    /// The EOF tail (an unterminated final line) was processed.
+    eof_tail_done: bool,
+    /// Handler asked to close; stop reading, flush, close.
+    closing: bool,
+}
+
+impl<C> Conn<C> {
+    fn new(stream: TcpStream, proto: Proto, state: C) -> Self {
+        Conn {
+            stream,
+            proto,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            drain: DrainState::None,
+            state,
+            eof: false,
+            eof_tail_done: false,
+            closing: false,
+        }
+    }
+
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+}
+
+fn worker_loop<H: WireHandler>(idx: usize, shared: Arc<Shared>, handler: Arc<H>, cap: usize) {
+    let mut conns: Vec<Conn<H::Conn>> = Vec::new();
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    loop {
+        {
+            let mut inbox = shared.inboxes[idx].lock().unwrap();
+            for stream in inbox.drain(..) {
+                conns.push(Conn::new(stream, Proto::Ndjson, handler.open_conn()));
+            }
+        }
+        if shared.force.load(Ordering::SeqCst) {
+            for conn in conns.drain(..) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && conns.is_empty() {
+            // Late arrivals already counted live must still be closed.
+            let mut inbox = shared.inboxes[idx].lock().unwrap();
+            for stream in inbox.drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            }
+            return;
+        }
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let alive = tick(handler.as_ref(), &mut conns[i], cap, &mut scratch, &mut progress);
+            if alive {
+                i += 1;
+            } else {
+                let conn = conns.swap_remove(i);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        if !progress {
+            thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// One sweep over one connection: absorb readable bytes (processing
+/// complete units as they land), handle the EOF tail, flush pending
+/// replies. Returns whether the connection stays alive.
+fn tick<H: WireHandler>(
+    handler: &H,
+    conn: &mut Conn<H::Conn>,
+    cap: usize,
+    scratch: &mut [u8],
+    progress: &mut bool,
+) -> bool {
+    if !conn.eof && !conn.closing && conn.pending_out() < OUTBUF_HIGH_WATER {
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    *progress = true;
+                    break;
+                }
+                Ok(n) => {
+                    *progress = true;
+                    conn.inbuf.extend_from_slice(&scratch[..n]);
+                    process_units(handler, conn, cap);
+                    if conn.closing || conn.pending_out() >= OUTBUF_HIGH_WATER {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+    if conn.eof && !conn.eof_tail_done {
+        conn.eof_tail_done = true;
+        process_eof_tail(handler, conn, cap);
+    }
+    if !flush_out(conn, progress) {
+        return false;
+    }
+    // Close once everything owed has been written.
+    !((conn.eof || conn.closing) && conn.pending_out() == 0)
+}
+
+/// Consume every complete unit currently in `inbuf`.
+fn process_units<H: WireHandler>(handler: &H, conn: &mut Conn<H::Conn>, cap: usize) {
+    let mut pos = 0usize;
+    loop {
+        if conn.closing {
+            pos = conn.inbuf.len();
+            break;
+        }
+        match conn.drain {
+            DrainState::Line => {
+                match conn.inbuf[pos..].iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        pos += i + 1;
+                        conn.drain = DrainState::None;
+                        let reply = handler.oversized(&mut conn.state, conn.proto, cap);
+                        apply_reply(conn, reply);
+                    }
+                    None => {
+                        pos = conn.inbuf.len();
+                        break;
+                    }
+                }
+            }
+            DrainState::Frame(rem) => {
+                let avail = conn.inbuf.len() - pos;
+                if avail >= rem {
+                    pos += rem;
+                    conn.drain = DrainState::None;
+                } else {
+                    conn.drain = DrainState::Frame(rem - avail);
+                    pos = conn.inbuf.len();
+                    break;
+                }
+            }
+            DrainState::None => match conn.proto {
+                Proto::Ndjson => match conn.inbuf[pos..].iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        let end = pos + i;
+                        let reply = if i > cap {
+                            handler.oversized(&mut conn.state, conn.proto, cap)
+                        } else {
+                            handler.handle(&mut conn.state, conn.proto, &conn.inbuf[pos..end])
+                        };
+                        pos = end + 1;
+                        apply_reply(conn, reply);
+                    }
+                    None => {
+                        if conn.inbuf.len() - pos > cap {
+                            conn.drain = DrainState::Line;
+                            pos = conn.inbuf.len();
+                        }
+                        break;
+                    }
+                },
+                Proto::Binary => {
+                    let avail = conn.inbuf.len() - pos;
+                    if avail < 4 {
+                        break;
+                    }
+                    let len = u32::from_le_bytes([
+                        conn.inbuf[pos],
+                        conn.inbuf[pos + 1],
+                        conn.inbuf[pos + 2],
+                        conn.inbuf[pos + 3],
+                    ]) as usize;
+                    if len > cap {
+                        pos += 4;
+                        conn.drain = DrainState::Frame(len);
+                        let reply = handler.oversized(&mut conn.state, conn.proto, cap);
+                        apply_reply(conn, reply);
+                    } else if avail >= 4 + len {
+                        let start = pos + 4;
+                        let reply =
+                            handler.handle(&mut conn.state, conn.proto, &conn.inbuf[start..start + len]);
+                        pos = start + len;
+                        apply_reply(conn, reply);
+                    } else {
+                        break;
+                    }
+                }
+            },
+        }
+    }
+    conn.inbuf.drain(..pos);
+}
+
+/// The EOF tail: an overlong line cut off by EOF still earns its
+/// oversized reply, and an unterminated final NDJSON line still
+/// counts as a line — both mirroring the blocking bounded reader. A
+/// torn binary frame is dropped (the peer died mid-frame).
+fn process_eof_tail<H: WireHandler>(handler: &H, conn: &mut Conn<H::Conn>, cap: usize) {
+    if conn.closing {
+        return;
+    }
+    if matches!(conn.drain, DrainState::Line) {
+        conn.drain = DrainState::None;
+        let reply = handler.oversized(&mut conn.state, conn.proto, cap);
+        apply_reply(conn, reply);
+        return;
+    }
+    if matches!(conn.drain, DrainState::None)
+        && conn.proto == Proto::Ndjson
+        && !conn.inbuf.is_empty()
+    {
+        let inbuf = std::mem::take(&mut conn.inbuf);
+        let reply = handler.handle(&mut conn.state, conn.proto, &inbuf);
+        apply_reply(conn, reply);
+    }
+}
+
+/// Frame `reply` in the connection's *current* protocol, then apply
+/// any protocol switch and close request.
+fn apply_reply<C>(conn: &mut Conn<C>, reply: WireReply) {
+    if let Some(payload) = reply.payload {
+        match conn.proto {
+            Proto::Ndjson => {
+                conn.outbuf.extend_from_slice(&payload);
+                conn.outbuf.push(b'\n');
+            }
+            Proto::Binary => {
+                let len = payload.len() as u32;
+                conn.outbuf.extend_from_slice(&len.to_le_bytes());
+                conn.outbuf.extend_from_slice(&payload);
+            }
+        }
+    }
+    if let Some(next) = reply.switch_to {
+        conn.proto = next;
+    }
+    if reply.close {
+        conn.closing = true;
+    }
+}
+
+/// Push pending reply bytes; returns false on a dead socket.
+fn flush_out<C>(conn: &mut Conn<C>, progress: &mut bool) -> bool {
+    while conn.out_pos < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[conn.out_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out_pos += n;
+                *progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.out_pos == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.out_pos = 0;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{read_frame, write_frame, FrameRead};
+    use std::io::{BufRead, BufReader, Write as IoWrite};
+
+    /// Echo handler: replies with the payload; `"hello-binary"`
+    /// upgrades the connection; `"bye"` closes it; empty lines are
+    /// silent.
+    struct Echo;
+
+    impl WireHandler for Echo {
+        type Conn = ();
+
+        fn open_conn(&self) {}
+
+        fn handle(&self, _conn: &mut (), _proto: Proto, payload: &[u8]) -> WireReply {
+            if payload.is_empty() {
+                return WireReply::silent();
+            }
+            if payload == b"hello-binary" {
+                let mut reply = WireReply::send(b"ok-binary".to_vec());
+                reply.switch_to = Some(Proto::Binary);
+                return reply;
+            }
+            if payload == b"bye" {
+                let mut reply = WireReply::send(b"closing".to_vec());
+                reply.close = true;
+                return reply;
+            }
+            WireReply::send(payload.to_vec())
+        }
+
+        fn oversized(&self, _conn: &mut (), _proto: Proto, cap: usize) -> WireReply {
+            WireReply::send(format!("too-big:{cap}").into_bytes())
+        }
+    }
+
+    fn spawn_echo(cap: usize) -> Reactor {
+        let config = ReactorConfig {
+            workers: 2,
+            max_payload: cap,
+            name: "test".into(),
+        };
+        Reactor::bind("127.0.0.1:0", config, Arc::new(Echo)).unwrap()
+    }
+
+    #[test]
+    fn echoes_lines_and_preserves_pipelined_order() {
+        let reactor = spawn_echo(1 << 20);
+        let mut conn = TcpStream::connect(reactor.local_addr()).unwrap();
+        // Pipelined: three requests in one write, no read in between.
+        conn.write_all(b"one\ntwo\nthree\n").unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        for expect in ["one", "two", "three"] {
+            line.clear();
+            r.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), expect);
+        }
+        reactor.finish(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn empty_lines_are_silently_skipped() {
+        let reactor = spawn_echo(1 << 20);
+        let mut conn = TcpStream::connect(reactor.local_addr()).unwrap();
+        conn.write_all(b"\n\nreal\n").unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "real");
+        reactor.finish(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn overlong_lines_get_the_oversized_reply_and_the_conn_survives() {
+        let reactor = spawn_echo(8);
+        let mut conn = TcpStream::connect(reactor.local_addr()).unwrap();
+        let mut big = vec![b'x'; 100];
+        big.push(b'\n');
+        big.extend_from_slice(b"ok\n");
+        conn.write_all(&big).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "too-big:8");
+        line.clear();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ok");
+        reactor.finish(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn upgrades_to_binary_frames_mid_connection() {
+        let reactor = spawn_echo(1 << 20);
+        let mut conn = TcpStream::connect(reactor.local_addr()).unwrap();
+        conn.write_all(b"before\nhello-binary\n").unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "before");
+        line.clear();
+        // The upgrade reply itself still rides the old framing.
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ok-binary");
+        // From here, frames both ways — including payloads that would
+        // be illegal as lines (embedded newlines).
+        let mut out = Vec::new();
+        write_frame(&mut out, b"bin\nary").unwrap();
+        write_frame(&mut out, b"second").unwrap();
+        conn.write_all(&out).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"bin\nary");
+        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"second");
+        reactor.finish(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn oversized_frames_are_skipped_and_answered() {
+        let reactor = spawn_echo(16);
+        let mut conn = TcpStream::connect(reactor.local_addr()).unwrap();
+        conn.write_all(b"hello-binary\n").unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ok-binary");
+        let mut out = Vec::new();
+        write_frame(&mut out, &vec![b'z'; 50]).unwrap();
+        write_frame(&mut out, b"ok").unwrap();
+        conn.write_all(&out).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"too-big:16");
+        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(buf, b"ok");
+        reactor.finish(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn handler_close_flushes_the_goodbye_first() {
+        let reactor = spawn_echo(1 << 20);
+        let mut conn = TcpStream::connect(reactor.local_addr()).unwrap();
+        conn.write_all(b"bye\nignored\n").unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "closing");
+        line.clear();
+        // The connection is closed; the post-close request was never
+        // answered.
+        assert_eq!(r.read_line(&mut line).unwrap(), 0);
+        reactor.finish(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn an_unterminated_tail_line_is_served_before_the_close() {
+        let reactor = spawn_echo(1 << 20);
+        let mut conn = TcpStream::connect(reactor.local_addr()).unwrap();
+        conn.write_all(b"tail").unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "tail");
+        assert_eq!(r.read_line(&mut line).unwrap(), 0);
+        reactor.finish(Duration::from_millis(200));
+    }
+
+    #[test]
+    fn drain_force_closes_stragglers_after_the_grace() {
+        let reactor = spawn_echo(1 << 20);
+        let addr = reactor.local_addr();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"ping\n").unwrap();
+        let mut r = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ping");
+        let start = Instant::now();
+        reactor.finish(Duration::from_millis(50));
+        assert!(start.elapsed() < Duration::from_secs(5), "drain terminated");
+        // The held-open connection was force-closed.
+        line.clear();
+        assert!(matches!(r.read_line(&mut line), Ok(0) | Err(_)));
+        // The port no longer accepts.
+        let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        if let Ok(mut s) = refused {
+            // A connect may land in the dead listener's backlog; any
+            // write/read must then fail or EOF.
+            let _ = s.write_all(b"ping\n");
+            let mut buf = [0u8; 1];
+            let mut tries = 0;
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {
+                        tries += 1;
+                        assert!(tries < 1000, "dead reactor answered traffic");
+                    }
+                }
+            }
+        }
+    }
+}
