@@ -164,6 +164,11 @@ pub enum AnomalyKind {
     /// The routing tier re-forwarded an arrival to a different node
     /// after its first pick died mid-request.
     CrossNodeReroute,
+    /// A rebalancing join's state transfer did not complete cleanly: a
+    /// donor kept shadowed duplicates after the flip (`transfer_abort`
+    /// with `partial=1`), or a `transfer_begin` has no terminal flip
+    /// or abort in the stream.
+    PartialTransfer,
 }
 
 impl fmt::Display for AnomalyKind {
@@ -175,6 +180,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::UnhealedPanic => "unhealed-panic",
             AnomalyKind::BatchFanOut => "batch-fan-out",
             AnomalyKind::CrossNodeReroute => "cross-node-reroute",
+            AnomalyKind::PartialTransfer => "partial-transfer",
         })
     }
 }
@@ -300,9 +306,11 @@ pub fn analyze(sources: Vec<TraceSource>) -> TraceReport {
 
 /// Apply the anomaly rules (see `DESIGN.md` §13): retry storms (≥3
 /// retries in one trace), dedupe replays, panic→rebuild windows per
-/// source, batch fan-out (one trace touching ≥2 shards), and
-/// cross-node reroutes (a router `reroute` event — an arrival moved
-/// to a survivor after its first node died).
+/// source, batch fan-out (one trace touching ≥2 shards), cross-node
+/// reroutes (a router `reroute` event — an arrival moved to a
+/// survivor after its first node died), and partial transfers (a
+/// rebalancing join that left shadowed duplicates on a donor, or a
+/// `transfer_begin` with no terminal flip/abort).
 fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly> {
     let mut out = Vec::new();
     for tree in trees {
@@ -336,9 +344,38 @@ fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly
     for source in sources {
         // Panic/rebuild windows are per recorder stream: a `panic`
         // opens an outage window on its shard, the next `rebuild` on
-        // the same shard closes it.
+        // the same shard closes it. Likewise a `transfer_begin` opens
+        // a transfer that the next flip or abort closes; transfers
+        // are sequential per router, so a simple queue suffices.
         let mut open: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut open_transfers: Vec<u64> = Vec::new();
         for ev in &source.events {
+            if ev.layer == "router" {
+                match ev.name.as_str() {
+                    "transfer_begin" => open_transfers.push(ev.seq),
+                    "transfer_flip" => {
+                        open_transfers.pop();
+                    }
+                    "transfer_abort" => {
+                        let partial = ev.attr("partial").and_then(ParsedValue::as_u64);
+                        if partial != Some(1) {
+                            open_transfers.pop();
+                        }
+                        if partial == Some(1) {
+                            let node = ev.attr("node").and_then(ParsedValue::as_u64).unwrap_or(0);
+                            out.push(Anomaly {
+                                kind: AnomalyKind::PartialTransfer,
+                                subject: source.label.clone(),
+                                detail: format!(
+                                    "donor node {node} kept shadowed duplicates after the flip (seq {})",
+                                    ev.seq
+                                ),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
             if ev.layer == "router" && ev.name == "reroute" {
                 let from = ev.attr("from").and_then(ParsedValue::as_u64).unwrap_or(0);
                 let to = ev.attr("to").and_then(ParsedValue::as_u64).unwrap_or(0);
@@ -374,6 +411,13 @@ fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly
                 kind: AnomalyKind::UnhealedPanic,
                 subject: source.label.clone(),
                 detail: format!("shard {shard} panicked at seq {start}, no rebuild recorded"),
+            });
+        }
+        for start in open_transfers {
+            out.push(Anomaly {
+                kind: AnomalyKind::PartialTransfer,
+                subject: source.label.clone(),
+                detail: format!("transfer begun at seq {start} never flipped or aborted"),
             });
         }
     }
@@ -705,6 +749,67 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-12);
         // Rank order: client first, shard after server.
         assert_eq!(report.stages[0].layer, "client");
+    }
+
+    #[test]
+    fn partial_transfers_are_flagged_but_clean_ones_are_not() {
+        // A clean rebalance: begin → exports/imports → flip → commits.
+        let clean = source(
+            "router-clean.ndjson",
+            &[
+                r#"{"seq":0,"name":"transfer_begin","layer":"router","node":2}"#.to_string(),
+                r#"{"seq":1,"name":"transfer_export","layer":"router","node":0,"tasks":3}"#
+                    .to_string(),
+                r#"{"seq":2,"name":"transfer_import","layer":"router","node":2,"tasks":3}"#
+                    .to_string(),
+                r#"{"seq":3,"name":"transfer_flip","layer":"router","node":2,"epoch":1}"#
+                    .to_string(),
+                r#"{"seq":4,"name":"transfer_commit","layer":"router","node":0,"dropped":3}"#
+                    .to_string(),
+            ],
+        );
+        assert!(analyze(vec![clean.clone()]).anomalies.is_empty());
+        // A pre-flip abort closes the transfer cleanly too.
+        let aborted = source(
+            "router-abort.ndjson",
+            &[
+                r#"{"seq":0,"name":"transfer_begin","layer":"router","node":2}"#.to_string(),
+                r#"{"seq":1,"name":"transfer_abort","layer":"router","partial":0}"#.to_string(),
+            ],
+        );
+        assert!(analyze(vec![aborted]).anomalies.is_empty());
+        // A post-flip partial commit is flagged.
+        let partial = source(
+            "router-partial.ndjson",
+            &[
+                r#"{"seq":0,"name":"transfer_begin","layer":"router","node":2}"#.to_string(),
+                r#"{"seq":1,"name":"transfer_flip","layer":"router","node":2,"epoch":1}"#
+                    .to_string(),
+                r#"{"seq":2,"name":"transfer_abort","layer":"router","node":0,"partial":1}"#
+                    .to_string(),
+            ],
+        );
+        let report = analyze(vec![partial]);
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].kind, AnomalyKind::PartialTransfer);
+        assert!(
+            report.anomalies[0].detail.contains("donor node 0"),
+            "{}",
+            report.anomalies[0].detail
+        );
+        // A begin with no terminal event at all is flagged.
+        let hung = source(
+            "router-hung.ndjson",
+            &[r#"{"seq":0,"name":"transfer_begin","layer":"router","node":2}"#.to_string()],
+        );
+        let report = analyze(vec![hung]);
+        assert_eq!(report.anomalies.len(), 1);
+        assert_eq!(report.anomalies[0].kind, AnomalyKind::PartialTransfer);
+        assert!(
+            report.anomalies[0].detail.contains("never flipped"),
+            "{}",
+            report.anomalies[0].detail
+        );
     }
 
     #[test]

@@ -9,11 +9,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use partalloc_analysis::{fmt_f64, Table};
-use partalloc_cluster::{ClusterClient, ClusterConfig, ClusterCore, ClusterHarness, ClusterServer};
+use partalloc_cluster::{
+    ClusterClient, ClusterConfig, ClusterCore, ClusterHarness, ClusterReply, ClusterRequest,
+    ClusterServer,
+};
 use partalloc_core::AllocatorKind;
 use partalloc_model::{Event, TaskSequence};
 use partalloc_obs::{Recorder, VecRecorder};
-use partalloc_service::{Proto, PromRender, PromServer, RouterKind, ServiceConfig, TcpClient};
+use partalloc_service::{PromRender, PromServer, Proto, RouterKind, ServiceConfig, TcpClient};
 use partalloc_workload::{ClosedLoopConfig, Generator};
 
 use crate::alg::parse_alg;
@@ -55,14 +58,38 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
     if args.get("prom-addr-file").is_some() && args.get("prom").is_none() {
         return Err("--prom-addr-file needs --prom ADDR".into());
     }
+    // Peer routers for replica sync: a `stale-epoch` fence from a node
+    // makes this router pull membership from its peers and re-forward.
+    let peers: Vec<String> = args
+        .get("peers")
+        .map(|s| {
+            s.split(',')
+                .map(|p| p.trim().to_owned())
+                .filter(|p| !p.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
 
     let mut config = ClusterConfig::new(nodes)
         .router(router)
         .forward_retries(retries)
-        .proto(proto);
+        .proto(proto)
+        .peers(peers);
     if timeout_ms > 0 {
         let t = Duration::from_millis(timeout_ms);
         config = config.timeouts(t, t);
+    }
+    if let Some(ms) = opt_parsed::<u64>(args, "transfer-deadline-ms", "milliseconds")? {
+        config = config.transfer_deadline(Duration::from_millis(ms));
+    }
+    if let Some(r) = opt_parsed::<u32>(args, "transfer-retries", "an integer")? {
+        config = config.transfer_retries(r);
+    }
+    if let Some(ms) = opt_parsed::<u64>(args, "transfer-backoff-ms", "milliseconds")? {
+        config = config.transfer_backoff(Duration::from_millis(ms));
+    }
+    if let Some(s) = opt_parsed::<u64>(args, "transfer-seed", "an integer")? {
+        config = config.transfer_seed(s);
     }
     let mut core = ClusterCore::new(config).map_err(|e| e.to_string())?;
     let recorder = args.get("spans").map(|_| Arc::new(VecRecorder::new()));
@@ -70,8 +97,8 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
         core = core.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
     }
     let core = Arc::new(core);
-    let server =
-        ClusterServer::spawn_with_proto(Arc::clone(&core), addr, proto).map_err(|e| e.to_string())?;
+    let server = ClusterServer::spawn_with_proto(Arc::clone(&core), addr, proto)
+        .map_err(|e| e.to_string())?;
     let local = server.local_addr();
 
     println!(
@@ -122,19 +149,41 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
     core.members().for_each(|_, m| forwards += m.forwarded());
     let metrics = core.metrics();
     Ok(format!(
-        "router shut down: {} forwards, {} reroutes, {} errors, {} joins, {} leaves{spans_line}\n",
+        "router shut down: {} forwards, {} reroutes, {} errors, {} joins, {} leaves, \
+         {} transfers ({} retries, {} aborts){spans_line}\n",
         forwards,
         partalloc_cluster::RouterMetrics::get(&metrics.reroutes),
         partalloc_cluster::RouterMetrics::get(&metrics.errors),
         partalloc_cluster::RouterMetrics::get(&metrics.joins),
         partalloc_cluster::RouterMetrics::get(&metrics.leaves),
+        partalloc_cluster::RouterMetrics::get(&metrics.transfers),
+        partalloc_cluster::RouterMetrics::get(&metrics.transfer_retries),
+        partalloc_cluster::RouterMetrics::get(&metrics.transfer_aborts),
     ))
 }
 
+/// An optional typed flag (`None` when absent, error when malformed).
+fn opt_parsed<T: std::str::FromStr>(
+    args: &Args,
+    flag: &'static str,
+    expected: &'static str,
+) -> Result<Option<T>, String> {
+    match args.get(flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--{flag} got {v:?}, expected {expected}")),
+    }
+}
+
 /// Administer a running cluster through its router (`--op
-/// info|join|leave|snapshot|stats`), or — with `--bench yes` — spawn
-/// throwaway in-process clusters and benchmark 1-node vs 3-node
-/// throughput into `BENCH_cluster.json`.
+/// info|join|leave|snapshot|stats|rebalance`), or — with `--bench
+/// yes` — spawn throwaway in-process clusters and benchmark 1-node vs
+/// 3-node throughput into `BENCH_cluster.json`. `rebalance` is the
+/// state-transferring join: donors drain the joiner's ring ranges
+/// before membership flips (`--transfer-*` knobs tune the deadline,
+/// retries, backoff and jitter seed).
 pub fn cmd_cluster(args: &Args) -> Result<String, String> {
     if args.get("bench").is_some() {
         return cmd_cluster_bench(args);
@@ -154,6 +203,36 @@ pub fn cmd_cluster(args: &Args) -> Result<String, String> {
             let node_addr = args.require("node-addr").map_err(|e| e.to_string())?;
             let rows = admin.join(node_addr).map_err(|e| e.to_string())?;
             Ok(format!("joined {node_addr}:\n{}", node_table(&rows)))
+        }
+        "rebalance" => {
+            let node_addr = args.require("node-addr").map_err(|e| e.to_string())?;
+            let req = ClusterRequest::ClusterRebalance {
+                addr: node_addr.to_owned(),
+                deadline_ms: opt_parsed(args, "transfer-deadline-ms", "milliseconds")?,
+                retries: opt_parsed(args, "transfer-retries", "an integer")?,
+                backoff_ms: opt_parsed(args, "transfer-backoff-ms", "milliseconds")?,
+                seed: opt_parsed(args, "transfer-seed", "an integer")?,
+            };
+            match admin.call(&req).map_err(|e| e.to_string())? {
+                ClusterReply::ClusterRebalanced {
+                    node,
+                    epoch,
+                    moved,
+                    deduped,
+                    donors,
+                } => {
+                    let donor_list: Vec<String> = donors.iter().map(usize::to_string).collect();
+                    let (_, rows) = admin.info().map_err(|e| e.to_string())?;
+                    Ok(format!(
+                        "rebalanced {node_addr} into slot {node} at epoch {epoch}: \
+                         {moved} task(s) and {deduped} dedupe reply(ies) moved \
+                         from donor(s) [{}]\n{}",
+                        donor_list.join(","),
+                        node_table(&rows)
+                    ))
+                }
+                other => Err(format!("unexpected cluster reply {other:?}")),
+            }
         }
         "leave" => {
             let node: usize = args
@@ -204,7 +283,7 @@ pub fn cmd_cluster(args: &Args) -> Result<String, String> {
             Ok(table.render_text())
         }
         other => Err(format!(
-            "unknown cluster op {other:?} (info|join|leave|snapshot|stats)"
+            "unknown cluster op {other:?} (info|join|leave|snapshot|stats|rebalance)"
         )),
     }
 }
@@ -318,7 +397,15 @@ fn bench_once(
     if cap > 1 {
         let mut reallocs = 0u64;
         let mut errors = 0u64;
-        crate::serve::drive_batched(&mut client, seq, cap, &mut ids, &mut reallocs, &mut errors)?;
+        crate::serve::drive_batched(
+            &mut client,
+            seq,
+            cap,
+            &mut ids,
+            &mut reallocs,
+            &mut errors,
+            &mut None,
+        )?;
         if errors > 0 {
             return Err(format!("bench batch drive rejected {errors} request(s)"));
         }
@@ -473,6 +560,68 @@ mod tests {
         assert!(run(&["cluster", "--addr", &addr, "--op", "warp"]).is_err());
         harness.shutdown(Duration::from_millis(500));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_rebalance_admits_a_fresh_node_with_state_transfer() {
+        let mut harness = ClusterHarness::spawn(
+            2,
+            |i| ServiceConfig::new(AllocatorKind::Greedy, 32).seed(21 + i as u64),
+            |c| c,
+            None,
+        )
+        .unwrap();
+        let addr = harness.router_addr().to_string();
+
+        // Park some state on the donors first.
+        let mut client = TcpClient::connect(harness.router_addr()).unwrap();
+        for req_id in 0..32u64 {
+            let line = format!(r#"{{"op":"arrive","size_log2":0,"req_id":{req_id}}}"#);
+            let reply = client.send_raw(&line).unwrap();
+            assert!(
+                matches!(reply, partalloc_service::Response::Placed(_)),
+                "{reply:?}"
+            );
+        }
+
+        let joiner = harness
+            .add_node(ServiceConfig::new(AllocatorKind::Greedy, 32).seed(23))
+            .unwrap();
+        let out = run(&[
+            "cluster",
+            "--addr",
+            &addr,
+            "--op",
+            "rebalance",
+            "--node-addr",
+            &joiner.to_string(),
+            "--transfer-seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("rebalanced"), "{out}");
+        assert!(out.contains("epoch 1"), "{out}");
+        // The joiner shows up in the table as a third live node.
+        let up_rows = out
+            .lines()
+            .filter(|l| l.split_whitespace().any(|w| w == "up"))
+            .count();
+        assert_eq!(up_rows, 3, "{out}");
+
+        // Rebalancing an address that is already a live member fails.
+        let err = run(&[
+            "cluster",
+            "--addr",
+            &addr,
+            "--op",
+            "rebalance",
+            "--node-addr",
+            &joiner.to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("already a live member"), "{err}");
+        drop(client);
+        harness.shutdown(Duration::from_millis(500));
     }
 
     #[test]

@@ -126,7 +126,7 @@ fn usage() -> String {
      \x20            --addr HOST:PORT (--trace FILE | --pes N [--events E])\n\
      \x20            [--seed S] [--batch B] [--shutdown yes]\n\
      \x20            [--retries R] [--timeout-ms T] [--retry-seed S]\n\
-     \x20            [--trace-seed S] [--spans FILE]\n\
+     \x20            [--trace-seed S] [--spans FILE] [--trail FILE]\n\
      \x20 chaos      fault-injecting TCP proxy in front of a daemon\n\
      \x20            --upstream HOST:PORT [--listen HOST:PORT] [--addr-file FILE]\n\
      \x20            [--faults SPEC] [--seed S] [--duration-ms T]\n\
@@ -134,10 +134,12 @@ fn usage() -> String {
      \x20            --nodes HOST:PORT,... [--router consistent-hash|size-class]\n\
      \x20            [--addr HOST:PORT] [--addr-file FILE] [--retries R]\n\
      \x20            [--timeout-ms T] [--grace-ms T] [--spans FILE]\n\
-     \x20            [--prom HOST:PORT [--prom-addr-file FILE]]\n\
+     \x20            [--peers ROUTER,...] [--prom HOST:PORT [--prom-addr-file FILE]]\n\
      \x20 cluster    administer a cluster through its router, or benchmark one\n\
-     \x20            --addr ROUTER [--op info|join|leave|snapshot|stats]\n\
+     \x20            --addr ROUTER [--op info|join|leave|snapshot|stats|rebalance]\n\
      \x20            [--node N] [--node-addr HOST:PORT] [--out FILE]\n\
+     \x20            [--transfer-deadline-ms T] [--transfer-retries R]\n\
+     \x20            [--transfer-backoff-ms T] [--transfer-seed S]\n\
      \x20            | --bench yes [--pes N] [--events E] [--seed S]\n\
      \x20            [--batch B] [--alg SPEC] [--out FILE]\n\
      \x20 trace      offline trace analysis over recorded span streams\n\

@@ -15,7 +15,7 @@ use partalloc_engine::FaultPlan;
 use partalloc_model::{read_trace, Event, TaskSequence};
 use partalloc_obs::{Recorder, VecRecorder};
 use partalloc_service::{
-    BatchItem, ChaosProxy, PromServer, Proto, Response, RetryPolicy, RouterKind, Server,
+    BatchItem, ChaosProxy, Placed, PromServer, Proto, Response, RetryPolicy, RouterKind, Server,
     ServiceConfig, ServiceCore, ServiceSnapshot, ServiceStats, TcpClient,
 };
 use partalloc_workload::{ClosedLoopConfig, Generator};
@@ -206,6 +206,11 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
     if let Some(rec) = &recorder {
         client = client.with_recorder(Arc::clone(rec) as Arc<dyn Recorder>);
     }
+    // `--trail FILE` keeps every placement reply in arrival order and
+    // writes them as NDJSON when the drive finishes — the byte-level
+    // artifact CI `cmp`s between chaos and fault-free cluster runs.
+    let trail_path = args.get("trail");
+    let mut trail: Option<Vec<Placed>> = trail_path.map(|_| Vec::new());
     client.ping().map_err(|e| e.to_string())?;
 
     // The service assigns its own global ids; remember which one each
@@ -222,6 +227,7 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
             &mut ids,
             &mut reallocs,
             &mut errors,
+            &mut trail,
         )?;
     } else {
         for event in seq.events() {
@@ -230,6 +236,9 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
                     Ok(placed) => {
                         ids.insert(id.0, placed.task);
                         reallocs += u64::from(placed.reallocated);
+                        if let Some(trail) = trail.as_mut() {
+                            trail.push(placed);
+                        }
                     }
                     Err(partalloc_service::ClientError::Server(_)) => errors += 1,
                     Err(e) => return Err(e.to_string()),
@@ -281,6 +290,15 @@ pub fn cmd_drive(args: &Args) -> Result<String, String> {
         }
         std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
         spans_line = format!("  span events       {} → {path}\n", events.len());
+    }
+    if let (Some(path), Some(trail)) = (trail_path, &trail) {
+        let mut text = String::with_capacity(trail.len() * 96);
+        for p in trail {
+            text.push_str(&serde_json::to_string(p).map_err(|e| e.to_string())?);
+            text.push('\n');
+        }
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        spans_line.push_str(&format!("  placement trail   {} → {path}\n", trail.len()));
     }
     Ok(format!(
         "drove {} events to {addr} in {:.2?} ({:.0} req/s over TCP{mode}):\n\
@@ -460,6 +478,7 @@ pub(crate) fn drive_batched(
     ids: &mut HashMap<u64, u64>,
     reallocs: &mut u64,
     errors: &mut u64,
+    trail: &mut Option<Vec<Placed>>,
 ) -> Result<(), String> {
     let mut items: Vec<BatchItem> = Vec::with_capacity(cap);
     // For each buffered item, the trace id an arrival should bind to
@@ -473,6 +492,7 @@ pub(crate) fn drive_batched(
         ids: &mut HashMap<u64, u64>,
         reallocs: &mut u64,
         errors: &mut u64,
+        trail: &mut Option<Vec<Placed>>,
     ) -> Result<(), String> {
         if items.is_empty() {
             return Ok(());
@@ -494,6 +514,9 @@ pub(crate) fn drive_batched(
                         ids.insert(trace, p.task);
                     }
                     *reallocs += u64::from(p.reallocated);
+                    if let Some(trail) = trail.as_mut() {
+                        trail.push(p);
+                    }
                 }
                 Response::Departed(_) => {}
                 Response::Error(_) => *errors += 1,
@@ -511,7 +534,15 @@ pub(crate) fn drive_batched(
             }
             Event::Departure { id } => {
                 if !ids.contains_key(&id.0) && !items.is_empty() {
-                    flush(client, &mut items, &mut traces, ids, reallocs, errors)?;
+                    flush(
+                        client,
+                        &mut items,
+                        &mut traces,
+                        ids,
+                        reallocs,
+                        errors,
+                        trail,
+                    )?;
                 }
                 let Some(&global) = ids.get(&id.0) else {
                     *errors += 1;
@@ -522,10 +553,26 @@ pub(crate) fn drive_batched(
             }
         }
         if items.len() >= cap {
-            flush(client, &mut items, &mut traces, ids, reallocs, errors)?;
+            flush(
+                client,
+                &mut items,
+                &mut traces,
+                ids,
+                reallocs,
+                errors,
+                trail,
+            )?;
         }
     }
-    flush(client, &mut items, &mut traces, ids, reallocs, errors)
+    flush(
+        client,
+        &mut items,
+        &mut traces,
+        ids,
+        reallocs,
+        errors,
+        trail,
+    )
 }
 
 fn load_or_generate(args: &Args) -> Result<TaskSequence, String> {
@@ -903,6 +950,75 @@ mod tests {
         assert!(spans_file.exists());
 
         server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drive_trail_writes_one_placement_per_line() {
+        let dir = std::env::temp_dir().join(format!("palloc-trail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // The same seeded workload against two fresh identical
+        // daemons, per-event and batched, must leave the identical
+        // placement trail on disk (batched ≡ per-event is the
+        // engine's equivalence guarantee, extended to the artifact CI
+        // compares byte-for-byte).
+        let mut trails = Vec::new();
+        for (tag, batch) in [("a", "1"), ("b", "8")] {
+            let addr_file = dir.join(format!("addr-{tag}"));
+            let addr_file_s = addr_file.to_str().unwrap().to_owned();
+            let server = std::thread::spawn(move || {
+                run(&[
+                    "serve",
+                    "--pes",
+                    "64",
+                    "--alg",
+                    "A_G",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--addr-file",
+                    &addr_file_s,
+                ])
+            });
+            let addr = loop {
+                if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                    if text.ends_with('\n') {
+                        break text.trim().to_owned();
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            };
+            let trail_file = dir.join(format!("trail-{tag}.ndjson"));
+            let out = run(&[
+                "drive",
+                "--addr",
+                &addr,
+                "--pes",
+                "64",
+                "--events",
+                "120",
+                "--seed",
+                "5",
+                "--batch",
+                batch,
+                "--trail",
+                trail_file.to_str().unwrap(),
+                "--shutdown",
+                "yes",
+            ])
+            .unwrap();
+            assert!(out.contains("placement trail"), "{out}");
+            server.join().unwrap().unwrap();
+            trails.push(std::fs::read_to_string(&trail_file).unwrap());
+        }
+
+        let (a, b) = (&trails[0], &trails[1]);
+        assert!(!a.is_empty(), "the trail file is empty");
+        for line in a.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("task").is_some(), "not a placement line: {line}");
+        }
+        assert_eq!(a, b, "batched and per-event trails diverged");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -213,6 +213,31 @@ impl ClusterClient {
         }
     }
 
+    /// Join `addr` with state transfer (`cluster-rebalance`, default
+    /// knobs): donors drain the joiner's ring ranges before the
+    /// membership flip. Returns the full rebalance reply.
+    pub fn rebalance(&mut self, addr: &str) -> Result<ClusterReply, ClusterClientError> {
+        match self.call(&ClusterRequest::ClusterRebalance {
+            addr: addr.to_owned(),
+            deadline_ms: None,
+            retries: None,
+            backoff_ms: None,
+            seed: None,
+        })? {
+            done @ ClusterReply::ClusterRebalanced { .. } => Ok(done),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetch the router's epoch-stamped replication state
+    /// (`cluster-sync`).
+    pub fn sync(&mut self) -> Result<ClusterReply, ClusterClientError> {
+        match self.call(&ClusterRequest::ClusterSync)? {
+            synced @ ClusterReply::ClusterSynced { .. } => Ok(synced),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
     fn unexpected(reply: &ClusterReply) -> ClusterClientError {
         ClusterClientError::Protocol(format!("unexpected cluster reply {reply:?}"))
     }

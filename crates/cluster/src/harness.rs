@@ -89,6 +89,19 @@ impl ClusterHarness {
         self.cores.is_empty()
     }
 
+    /// Spawn one more node daemon on an ephemeral port *without*
+    /// telling the router — the joiner for a rebalancing-join test.
+    /// Returns its dial address; the node becomes `node_addr(len-1)` /
+    /// `node_core(len-1)`.
+    pub fn add_node(&mut self, config: ServiceConfig) -> io::Result<std::net::SocketAddr> {
+        let core = Arc::new(ServiceCore::new(config).map_err(io::Error::other)?);
+        let server = Server::spawn(Arc::clone(&core), "127.0.0.1:0")?;
+        let addr = server.local_addr();
+        self.cores.push(core);
+        self.nodes.push(Some(server));
+        Ok(addr)
+    }
+
     /// Fail-stop node `i`: shut its TCP server down hard. The router
     /// discovers the death on its next forward. Idempotent.
     pub fn kill_node(&mut self, i: usize) {

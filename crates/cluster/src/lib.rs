@@ -30,6 +30,15 @@
 //! * **Harness** ([`ClusterHarness`]): an in-process N-node cluster
 //!   on ephemeral ports for tests and the `palloc cluster --bench`
 //!   driver, with node-kill at any moment.
+//!
+//! On top of those, the **state-transfer plane** (`DESIGN.md` §16)
+//! turns a join into a *rebalancing* join: the router drains the ring
+//! ranges the joiner will own from each donor (snapshot slice +
+//! dedupe-window suffix, checksummed), replays them on the joiner,
+//! and flips membership atomically ([`ClusterCore::rebalance`],
+//! [`TransferKnobs`]); epoch-stamped forwards let router replicas
+//! detect staleness and resync ([`MemberEntry`]) instead of
+//! misrouting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,7 +54,8 @@ mod router;
 pub use client::{ClusterClient, ClusterClientError};
 pub use harness::ClusterHarness;
 pub use member::{
-    decode_task, encode_task, Member, Membership, MembershipError, NodeState, MAX_NODES, NODE_BITS,
+    decode_task, encode_task, Member, MemberEntry, Membership, MembershipError, NodeState,
+    MAX_NODES, NODE_BITS,
 };
 pub use metrics::{merge_stats, RouterMetrics};
 pub use net::{ClusterServer, MAX_LINE_BYTES};
@@ -53,4 +63,4 @@ pub use proto::{
     cluster_reply_line, parse_cluster_request, ClusterReply, ClusterRequest, NodeInfo,
     NodeSnapshot, NodeStats,
 };
-pub use router::{ClusterConfig, ClusterCore, ClusterError, NodeLinks};
+pub use router::{ClusterConfig, ClusterCore, ClusterError, NodeLinks, Rebalanced, TransferKnobs};

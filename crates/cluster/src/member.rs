@@ -23,6 +23,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 
 /// Bits of a cluster task id reserved for the node slot.
 pub const NODE_BITS: u32 = 6;
@@ -120,6 +121,20 @@ impl Member {
     }
 }
 
+/// One membership slot as shipped between routers by `cluster-sync`:
+/// the address plus the two lifecycle bits, without the counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberEntry {
+    /// The node's dial address.
+    pub addr: String,
+    /// Is the slot retired?
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub removed: bool,
+    /// Is the node marked unreachable?
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub down: bool,
+}
+
 /// Why a membership change was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MembershipError {
@@ -144,9 +159,17 @@ impl std::fmt::Display for MembershipError {
 impl std::error::Error for MembershipError {}
 
 /// The append-only membership table.
+///
+/// The table carries a monotone *epoch*, bumped on every topology
+/// change (join or leave) but never on reachability flaps (down /
+/// revive). Routers stamp the epoch into forwarded requests so nodes
+/// can fence stale replicas, and a replica installs a peer's table
+/// only when the peer's epoch is strictly newer (see
+/// [`Membership::install`]).
 #[derive(Debug, Default)]
 pub struct Membership {
     members: RwLock<Vec<Member>>,
+    epoch: AtomicU64,
 }
 
 impl Membership {
@@ -155,7 +178,53 @@ impl Membership {
     pub fn new(addrs: impl IntoIterator<Item = String>) -> Self {
         Membership {
             members: RwLock::new(addrs.into_iter().map(Member::new).collect()),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The current membership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The table as plain entries, in slot order — what `cluster-sync`
+    /// ships between router replicas.
+    pub fn entries(&self) -> Vec<MemberEntry> {
+        self.members
+            .read()
+            .iter()
+            .map(|m| MemberEntry {
+                addr: m.addr.clone(),
+                removed: m.is_removed(),
+                down: m.is_down(),
+            })
+            .collect()
+    }
+
+    /// Replace the table with `entries` stamped `epoch`, preserving the
+    /// forwarded counters of slots whose address carries over. Returns
+    /// `false` (and changes nothing) unless `epoch` is strictly newer
+    /// than the local one — replicas never roll a table backwards.
+    pub fn install(&self, epoch: u64, entries: &[MemberEntry]) -> bool {
+        let mut members = self.members.write();
+        if epoch <= self.epoch.load(Ordering::SeqCst) {
+            return false;
+        }
+        let fresh: Vec<Member> = entries
+            .iter()
+            .map(|e| {
+                let m = Member::new(e.addr.clone());
+                m.removed.store(e.removed, Ordering::SeqCst);
+                m.down.store(e.down, Ordering::SeqCst);
+                if let Some(old) = members.iter().find(|o| o.addr == e.addr) {
+                    m.forwarded.store(old.forwarded(), Ordering::Relaxed);
+                }
+                m
+            })
+            .collect();
+        *members = fresh;
+        self.epoch.store(epoch, Ordering::SeqCst);
+        true
     }
 
     /// How many slots exist (including removed and down ones).
@@ -224,12 +293,14 @@ impl Membership {
         if let Some(i) = members.iter().position(|m| m.addr == addr) {
             members[i].removed.store(false, Ordering::SeqCst);
             members[i].down.store(false, Ordering::SeqCst);
+            self.epoch.fetch_add(1, Ordering::SeqCst);
             return Ok(i);
         }
         if members.len() >= MAX_NODES {
             return Err(MembershipError::Full);
         }
         members.push(Member::new(addr.to_owned()));
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         Ok(members.len() - 1)
     }
 
@@ -240,6 +311,7 @@ impl Membership {
         if m.removed.swap(true, Ordering::SeqCst) {
             return Err(MembershipError::AlreadyRemoved(slot));
         }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
 }
@@ -282,6 +354,36 @@ mod tests {
         // ...and a new address appends a fresh one.
         assert_eq!(m.join("d:4").unwrap(), 3);
         assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn epoch_moves_on_topology_not_reachability() {
+        let m = Membership::new(["a:1".into(), "b:2".into()]);
+        assert_eq!(m.epoch(), 0);
+        m.mark_down(1);
+        m.revive(1);
+        assert_eq!(m.epoch(), 0, "down/revive are not topology changes");
+        m.join("c:3").unwrap();
+        assert_eq!(m.epoch(), 1);
+        m.leave(2).unwrap();
+        assert_eq!(m.epoch(), 2);
+
+        // A replica installs a strictly-newer table, keeping the
+        // forwarded counters of addresses that carry over...
+        let replica = Membership::new(["a:1".into(), "b:2".into()]);
+        replica.count_forward(0);
+        replica.count_forward(0);
+        assert!(replica.install(m.epoch(), &m.entries()));
+        assert_eq!(replica.epoch(), 2);
+        assert_eq!(replica.len(), 3);
+        assert_eq!(replica.alive(), vec![0, 1]);
+        let mut forwarded = Vec::new();
+        replica.for_each(|_, mem| forwarded.push(mem.forwarded()));
+        assert_eq!(forwarded, vec![2, 0, 0]);
+        // ...and refuses equal or older epochs.
+        assert!(!replica.install(2, &[]));
+        assert!(!replica.install(1, &[]));
+        assert_eq!(replica.len(), 3);
     }
 
     #[test]

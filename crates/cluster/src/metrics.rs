@@ -18,6 +18,14 @@ pub struct RouterMetrics {
     pub joins: AtomicU64,
     /// `cluster-leave` retirements.
     pub leaves: AtomicU64,
+    /// Rebalancing joins driven (`cluster-rebalance`), aborted ones
+    /// included.
+    pub transfers: AtomicU64,
+    /// Transfer network steps retried after a transport failure.
+    pub transfer_retries: AtomicU64,
+    /// Transfers aborted before the membership flip, plus post-flip
+    /// partial commits (donor kept shadowed duplicates).
+    pub transfer_aborts: AtomicU64,
 }
 
 impl RouterMetrics {

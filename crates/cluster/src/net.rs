@@ -208,7 +208,10 @@ impl WireHandler for RouterHandler {
             Proto::Ndjson => "line",
             Proto::Binary => "frame",
         };
-        Self::reply(proto, error_line(format!("request {unit} exceeds {cap} bytes")))
+        Self::reply(
+            proto,
+            error_line(format!("request {unit} exceeds {cap} bytes")),
+        )
     }
 }
 

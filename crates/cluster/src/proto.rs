@@ -21,6 +21,8 @@ use serde::{Deserialize, Serialize};
 use partalloc_obs::TraceContext;
 use partalloc_service::{ServiceSnapshot, ServiceStats};
 
+use crate::member::MemberEntry;
+
 /// A cluster-admin request, tagged by `"op"` like a service request.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(tag = "op", rename_all = "kebab-case", deny_unknown_fields)]
@@ -43,6 +45,29 @@ pub enum ClusterRequest {
     /// Fetch the raw per-node `stats` replies (the aggregate is what a
     /// plain `stats` op returns).
     ClusterStats,
+    /// Join a node *with state transfer*: the router computes the ring
+    /// ranges the joiner will own, drains matching in-flight tasks
+    /// from each donor, replays them on the joiner, and only then
+    /// flips membership. Consistent-hash routing only.
+    ClusterRebalance {
+        /// The joiner's NDJSON dial address.
+        addr: String,
+        /// Overall transfer deadline in milliseconds (default 5000).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        deadline_ms: Option<u64>,
+        /// Retries per transfer step (default 3).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        retries: Option<u32>,
+        /// Base backoff between retries in milliseconds (default 2).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        backoff_ms: Option<u64>,
+        /// Seed for the retry backoff jitter (default 0).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        seed: Option<u64>,
+    },
+    /// Fetch the router's epoch-stamped membership table and task
+    /// remap — what a stale router replica pulls from its peers.
+    ClusterSync,
 }
 
 impl ClusterRequest {
@@ -54,6 +79,8 @@ impl ClusterRequest {
             ClusterRequest::ClusterLeave { .. } => "cluster-leave",
             ClusterRequest::ClusterSnapshot => "cluster-snapshot",
             ClusterRequest::ClusterStats => "cluster-stats",
+            ClusterRequest::ClusterRebalance { .. } => "cluster-rebalance",
+            ClusterRequest::ClusterSync => "cluster-sync",
         }
     }
 }
@@ -78,6 +105,10 @@ pub struct NodeSnapshot {
     pub node: usize,
     /// The node's service snapshot.
     pub snapshot: ServiceSnapshot,
+    /// `true` when the node was unreachable and this is its last
+    /// snapshot the router managed to fetch, not a live capture.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub stale: bool,
 }
 
 /// One node's stats in a `cluster-stats` reply.
@@ -109,6 +140,31 @@ pub enum ClusterReply {
     ClusterStats {
         /// The per-node stats.
         nodes: Vec<NodeStats>,
+    },
+    /// A rebalancing join completed: state was transferred and
+    /// membership flipped.
+    ClusterRebalanced {
+        /// The joiner's slot index.
+        node: usize,
+        /// The membership epoch after the flip.
+        epoch: u64,
+        /// In-flight tasks moved onto the joiner.
+        moved: u64,
+        /// Dedupe-window replies handed over with them.
+        deduped: u64,
+        /// Donor slots that shipped a (possibly empty) slice.
+        donors: Vec<usize>,
+    },
+    /// The router's replication state, for peer sync.
+    ClusterSynced {
+        /// The membership epoch the entries are stamped with.
+        epoch: u64,
+        /// Node-routing policy spec.
+        router: String,
+        /// The membership table, in slot order.
+        members: Vec<MemberEntry>,
+        /// Task-id remap pairs `(old, new)` accumulated by transfers.
+        remap: Vec<(u64, u64)>,
     },
 }
 
@@ -164,6 +220,14 @@ mod tests {
             ClusterRequest::ClusterLeave { node: 2 },
             ClusterRequest::ClusterSnapshot,
             ClusterRequest::ClusterStats,
+            ClusterRequest::ClusterRebalance {
+                addr: "127.0.0.1:7072".into(),
+                deadline_ms: Some(2500),
+                retries: None,
+                backoff_ms: Some(4),
+                seed: None,
+            },
+            ClusterRequest::ClusterSync,
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -175,6 +239,19 @@ mod tests {
         let (_, info) = parse_cluster_request(r#"{"op":"cluster-info"}"#).unwrap();
         assert_eq!(info, ClusterRequest::ClusterInfo);
         assert_eq!(info.label(), "cluster-info");
+        // The transfer knobs are all optional on the wire.
+        let (_, reb) = parse_cluster_request(r#"{"op":"cluster-rebalance","addr":"n:1"}"#).unwrap();
+        assert_eq!(
+            reb,
+            ClusterRequest::ClusterRebalance {
+                addr: "n:1".into(),
+                deadline_ms: None,
+                retries: None,
+                backoff_ms: None,
+                seed: None,
+            }
+        );
+        assert_eq!(reb.label(), "cluster-rebalance");
     }
 
     #[test]

@@ -38,17 +38,22 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
 
 use partalloc_obs::{NullRecorder, PromText, Recorder, SpanEvent, TraceContext};
 use partalloc_service::{
     configure_stream, decode_response, encode_raw_request_line, mix64, parse_request_envelope,
     parse_response_line, read_frame, request_line_traced, response_line, ring_owner, write_frame,
-    BatchItem, ErrorCode, FrameRead, LoadReport, Proto, Request, RequestEnvelope, Response,
-    RetryPolicy, RouterKind, ServiceStats, ShardLoad, TcpClient,
+    Backoff, BatchItem, ErrorCode, FrameRead, LoadReport, Proto, Request, RequestEnvelope,
+    Response, RetryPolicy, RouterKind, ServiceSnapshot, ServiceStats, ShardLoad, TcpClient,
+    TransferDedupe, TransferSlice,
 };
 
-use crate::member::{decode_task, encode_task, Membership, NodeState, MAX_NODES};
+use crate::member::{
+    decode_task, encode_task, MemberEntry, Membership, MembershipError, NodeState, MAX_NODES,
+};
 use crate::metrics::{merge_stats, RouterMetrics};
 use crate::proto::{
     cluster_reply_line, parse_cluster_request, ClusterReply, ClusterRequest, NodeInfo,
@@ -79,6 +84,22 @@ pub struct ClusterConfig {
     /// independent of what *client* connections negotiate with the
     /// router's own front.
     pub proto: Proto,
+    /// Peer router addresses for replica sync: when a node fences a
+    /// forward as `stale-epoch`, the router pulls membership from its
+    /// peers (`cluster-sync`) and re-forwards instead of misrouting.
+    /// Empty for a single-router tier.
+    pub peers: Vec<String>,
+    /// Default overall deadline for a rebalancing join's state
+    /// transfer (`cluster-rebalance` may override per call).
+    pub transfer_deadline: Duration,
+    /// Default retries per transfer step (export / import / commit).
+    pub transfer_retries: u32,
+    /// Default base backoff between transfer-step retries (delays
+    /// double up to 16× the base).
+    pub transfer_backoff: Duration,
+    /// Default seed for the transfer retry jitter, so a rebalance
+    /// rehearsal replays the same schedule.
+    pub transfer_seed: u64,
 }
 
 impl ClusterConfig {
@@ -92,6 +113,11 @@ impl ClusterConfig {
             connect_timeout: Duration::from_secs(1),
             io_timeout: Duration::from_secs(5),
             proto: Proto::Ndjson,
+            peers: Vec::new(),
+            transfer_deadline: Duration::from_secs(5),
+            transfer_retries: 3,
+            transfer_backoff: Duration::from_millis(2),
+            transfer_seed: 0,
         }
     }
 
@@ -117,6 +143,36 @@ impl ClusterConfig {
     /// Set the framing to negotiate on the forwarding links.
     pub fn proto(mut self, proto: Proto) -> Self {
         self.proto = proto;
+        self
+    }
+
+    /// Set the peer router addresses for replica sync.
+    pub fn peers(mut self, peers: Vec<String>) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// Set the default transfer deadline for rebalancing joins.
+    pub fn transfer_deadline(mut self, d: Duration) -> Self {
+        self.transfer_deadline = d;
+        self
+    }
+
+    /// Set the default per-step transfer retry count.
+    pub fn transfer_retries(mut self, n: u32) -> Self {
+        self.transfer_retries = n;
+        self
+    }
+
+    /// Set the default base backoff between transfer-step retries.
+    pub fn transfer_backoff(mut self, d: Duration) -> Self {
+        self.transfer_backoff = d;
+        self
+    }
+
+    /// Set the default transfer retry jitter seed.
+    pub fn transfer_seed(mut self, seed: u64) -> Self {
+        self.transfer_seed = seed;
         self
     }
 }
@@ -149,6 +205,68 @@ impl std::fmt::Display for ClusterError {
 }
 
 impl std::error::Error for ClusterError {}
+
+/// Tuning for one rebalancing join's state transfer.
+#[derive(Debug, Clone)]
+pub struct TransferKnobs {
+    /// Overall wall-clock deadline for the whole transfer.
+    pub deadline: Duration,
+    /// Retries per transfer network step.
+    pub retries: u32,
+    /// Base backoff between step retries (delays double, capped at
+    /// 16× the base).
+    pub backoff: Duration,
+    /// Seed for the retry jitter, for reproducible rehearsals.
+    pub seed: u64,
+}
+
+/// What a completed rebalancing join moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rebalanced {
+    /// The joiner's slot.
+    pub node: usize,
+    /// The membership epoch after the flip.
+    pub epoch: u64,
+    /// In-flight tasks moved onto the joiner.
+    pub moved: u64,
+    /// Dedupe-window replies handed over with them.
+    pub deduped: u64,
+    /// The donor slots the transfer drained, in slot order.
+    pub donors: Vec<usize>,
+}
+
+/// Shared mutable state of one transfer: the deadline, the per-step
+/// retry budget, the seeded backoff schedule, and the crash-rehearsal
+/// switch.
+struct TransferCtx {
+    deadline: Instant,
+    retries: u32,
+    backoff: Backoff,
+    kill: KillSwitch,
+}
+
+/// The crash-rehearsal switch: transfer network-step attempt `at`
+/// (counted from 0; export, import and commit attempts all count, the
+/// abort path's discard never does) fails as if the link died — and
+/// so does every attempt after it, modelling a router that crashed
+/// mid-transfer.
+struct KillSwitch {
+    at: Option<u64>,
+    n: u64,
+}
+
+impl KillSwitch {
+    fn step_allowed(&mut self) -> bool {
+        let i = self.n;
+        self.n += 1;
+        self.at.is_none_or(|k| i < k)
+    }
+}
+
+/// Did the node fence this forward as coming from a stale replica?
+fn is_stale_epoch(resp: &Response) -> bool {
+    matches!(resp, Response::Error(e) if matches!(e.code, ErrorCode::StaleEpoch))
+}
 
 /// One pooled forwarding connection to a node, remembering the
 /// framing its own `hello` handshake settled on.
@@ -185,32 +303,38 @@ impl NodeLinks {
         use std::collections::hash_map::Entry;
         match self.conns.entry(slot) {
             Entry::Occupied(e) => Ok(e.into_mut()),
-            Entry::Vacant(e) => {
-                let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no address");
-                for sockaddr in std::net::ToSocketAddrs::to_socket_addrs(addr)? {
-                    match TcpStream::connect_timeout(&sockaddr, config.connect_timeout) {
-                        Ok(stream) => {
-                            configure_stream(&stream);
-                            stream.set_read_timeout(Some(config.io_timeout))?;
-                            stream.set_write_timeout(Some(config.io_timeout))?;
-                            let writer = stream.try_clone()?;
-                            let mut conn = NodeConn {
-                                reader: BufReader::new(stream),
-                                writer,
-                                proto: Proto::Ndjson,
-                            };
-                            if config.proto == Proto::Binary {
-                                conn.proto = negotiate_link(&mut conn)?;
-                            }
-                            return Ok(e.insert(conn));
-                        }
-                        Err(err) => last = err,
-                    }
-                }
-                Err(last)
-            }
+            Entry::Vacant(e) => Ok(e.insert(connect_node(addr, config)?)),
         }
     }
+}
+
+/// Dial one fresh forwarding connection to `addr` under the config's
+/// deadlines, negotiating binary framing when the config wants it.
+/// Also what the transfer plane uses to reach a joiner that is not in
+/// the membership table yet.
+fn connect_node(addr: &str, config: &ClusterConfig) -> io::Result<NodeConn> {
+    let mut last = io::Error::new(io::ErrorKind::AddrNotAvailable, "no address");
+    for sockaddr in std::net::ToSocketAddrs::to_socket_addrs(addr)? {
+        match TcpStream::connect_timeout(&sockaddr, config.connect_timeout) {
+            Ok(stream) => {
+                configure_stream(&stream);
+                stream.set_read_timeout(Some(config.io_timeout))?;
+                stream.set_write_timeout(Some(config.io_timeout))?;
+                let writer = stream.try_clone()?;
+                let mut conn = NodeConn {
+                    reader: BufReader::new(stream),
+                    writer,
+                    proto: Proto::Ndjson,
+                };
+                if config.proto == Proto::Binary {
+                    conn.proto = negotiate_link(&mut conn)?;
+                }
+                return Ok(conn);
+            }
+            Err(err) => last = err,
+        }
+    }
+    Err(last)
 }
 
 /// What a handled line produced: a service-shaped response or a
@@ -229,6 +353,15 @@ pub struct ClusterCore {
     /// Key source for unidentified, untraced arrivals.
     fallback_key: AtomicU64,
     shutting_down: AtomicBool,
+    /// Task-id forwarding installed by state transfers: a client
+    /// holding a pre-transfer cluster id departs through here to the
+    /// task's current home. Chains (a task moved twice) are followed
+    /// at lookup time.
+    remap: RwLock<HashMap<u64, u64>>,
+    /// Last successfully fetched snapshot per slot, so a
+    /// `cluster-snapshot` can still ship a dead node's final state
+    /// (flagged `stale`) instead of dropping it.
+    snap_cache: Mutex<HashMap<usize, ServiceSnapshot>>,
 }
 
 impl ClusterCore {
@@ -252,6 +385,8 @@ impl ClusterCore {
             recorder: Arc::new(NullRecorder),
             fallback_key: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
+            remap: RwLock::new(HashMap::new()),
+            snap_cache: Mutex::new(HashMap::new()),
         })
     }
 
@@ -362,6 +497,15 @@ impl ClusterCore {
             },
             Request::Ping => Response::Pong,
             Request::InjectFault { shard } => self.forward_fault(envelope, shard, links),
+            // The transfer plane is driven by the router itself during
+            // a rebalancing join; clients never speak it.
+            Request::TransferExport { .. }
+            | Request::TransferImport { .. }
+            | Request::TransferCommit { .. }
+            | Request::TransferDiscard { .. } => Response::error(
+                ErrorCode::BadRequest,
+                "transfer ops are node-internal; drive a rebalancing join with op cluster-rebalance",
+            ),
             Request::Shutdown => {
                 for slot in self.members.alive() {
                     let line = match request_line_traced(&Request::Shutdown, None, envelope.trace) {
@@ -430,7 +574,13 @@ impl ClusterCore {
             match self.forward_line(links, slot, &line, envelope.trace) {
                 Ok(resp) => {
                     self.record_route(slot, "arrive", envelope.trace);
-                    return rewrite_response(resp, slot);
+                    // A transferred dedupe replay is already
+                    // cluster-encoded for its original donor — unwrap
+                    // it without re-encoding for this node.
+                    return match resp {
+                        Response::Transferred { inner } => *inner,
+                        resp => rewrite_response(resp, slot),
+                    };
                 }
                 Err(_) => {
                     self.node_down(slot, envelope.trace, links);
@@ -440,13 +590,31 @@ impl ClusterCore {
         }
     }
 
+    /// Follow the transfer remap chain from a client-visible task id
+    /// to the task's current cluster id. Bounded: a chain grows only
+    /// when a task moves again, and ids are never remapped twice.
+    fn resolve_task(&self, task: u64) -> u64 {
+        let remap = self.remap.read();
+        let mut current = task;
+        for _ in 0..MAX_NODES {
+            match remap.get(&current) {
+                Some(&next) => current = next,
+                None => break,
+            }
+        }
+        current
+    }
+
     fn forward_depart(
         &self,
         envelope: &RequestEnvelope,
         task: u64,
         links: &mut NodeLinks,
     ) -> Response {
-        let (slot, local) = decode_task(task);
+        // A pre-transfer id departs through the remap to the task's
+        // current home; the reply then restores the client's id.
+        let routed = self.resolve_task(task);
+        let (slot, local) = decode_task(routed);
         match self.slot_status(slot) {
             SlotStatus::Missing => {
                 return Response::error(
@@ -470,7 +638,13 @@ impl ClusterCore {
         match self.forward_line(links, slot, &line, envelope.trace) {
             Ok(resp) => {
                 self.record_route(slot, "depart", envelope.trace);
-                rewrite_response(resp, slot)
+                let mut resp = rewrite_response(resp, slot);
+                if routed != task {
+                    if let Response::Departed(d) = &mut resp {
+                        d.task = task;
+                    }
+                }
+                resp
             }
             Err(_) => {
                 self.node_down(slot, envelope.trace, links);
@@ -490,6 +664,8 @@ impl ClusterCore {
     ) -> Response {
         let base = self.route_key(envelope);
         let mut results: Vec<Option<Response>> = vec![None; items.len()];
+        // Client ids whose depart was remapped, to restore on replies.
+        let mut restore: HashMap<usize, u64> = HashMap::new();
         // Destination per item; routing errors answer the item in place.
         let mut groups: std::collections::BTreeMap<usize, (Vec<BatchItem>, Vec<usize>)> =
             std::collections::BTreeMap::new();
@@ -509,7 +685,11 @@ impl ClusterCore {
                     }
                 }
                 BatchItem::Depart { task } => {
-                    let (slot, local) = decode_task(task);
+                    let routed = self.resolve_task(task);
+                    if routed != task {
+                        restore.insert(i, task);
+                    }
+                    let (slot, local) = decode_task(routed);
                     match self.slot_status(slot) {
                         SlotStatus::Missing => {
                             results[i] = Some(Response::error(
@@ -579,6 +759,11 @@ impl ClusterCore {
                         ));
                     }
                 }
+            }
+        }
+        for (i, original) in restore {
+            if let Some(Some(Response::Departed(d))) = results.get_mut(i) {
+                d.task = original;
             }
         }
         Response::Batch {
@@ -749,37 +934,55 @@ impl ClusterCore {
             },
             ClusterRequest::ClusterSnapshot => {
                 let mut snapshots = Vec::new();
-                for slot in self.members.alive() {
-                    let line = match request_line_traced(&Request::Snapshot, None, None) {
-                        Ok(l) => l,
-                        Err(e) => {
-                            return Reply::Service(Response::error(
-                                ErrorCode::Internal,
-                                e.to_string(),
-                            ))
+                let mut slots = Vec::new();
+                self.members
+                    .for_each(|slot, m| slots.push((slot, m.is_removed(), m.is_down())));
+                for (slot, removed, down) in slots {
+                    if removed {
+                        continue;
+                    }
+                    if !down {
+                        let line = match request_line_traced(&Request::Snapshot, None, None) {
+                            Ok(l) => l,
+                            Err(e) => {
+                                return Reply::Service(Response::error(
+                                    ErrorCode::Internal,
+                                    e.to_string(),
+                                ))
+                            }
+                        };
+                        match self.forward_line(links, slot, &line, None) {
+                            Ok(Response::Snapshot(snapshot)) => {
+                                self.snap_cache.lock().insert(slot, snapshot.clone());
+                                snapshots.push(NodeSnapshot {
+                                    node: slot,
+                                    snapshot,
+                                    stale: false,
+                                });
+                                continue;
+                            }
+                            Ok(Response::Error(e)) => return Reply::Service(Response::Error(e)),
+                            Ok(_) => {
+                                return Reply::Service(Response::error(
+                                    ErrorCode::Internal,
+                                    format!("node {slot} answered snapshot with a foreign reply"),
+                                ))
+                            }
+                            // Died mid-snapshot: mark it down and fall
+                            // through to the stale path below.
+                            Err(_) => self.node_down(slot, None, links),
                         }
-                    };
-                    match self.forward_line(links, slot, &line, None) {
-                        Ok(Response::Snapshot(snapshot)) => {
-                            snapshots.push(NodeSnapshot {
-                                node: slot,
-                                snapshot,
-                            });
-                        }
-                        Ok(Response::Error(e)) => return Reply::Service(Response::Error(e)),
-                        Ok(_) => {
-                            return Reply::Service(Response::error(
-                                ErrorCode::Internal,
-                                format!("node {slot} answered snapshot with a foreign reply"),
-                            ))
-                        }
-                        Err(e) => {
-                            self.node_down(slot, None, links);
-                            return Reply::Service(Response::error(
-                                ErrorCode::Unavailable,
-                                format!("node {slot} went down mid-snapshot: {e}"),
-                            ));
-                        }
+                    }
+                    // Down: ship the node's last captured snapshot,
+                    // flagged stale, rather than dropping the node
+                    // from the reply. Nothing cached yet means the
+                    // node is simply absent, as before.
+                    if let Some(snapshot) = self.snap_cache.lock().get(&slot).cloned() {
+                        snapshots.push(NodeSnapshot {
+                            node: slot,
+                            snapshot,
+                            stale: true,
+                        });
                     }
                 }
                 Reply::Cluster(ClusterReply::ClusterSnapshot { snapshots })
@@ -791,6 +994,49 @@ impl ClusterCore {
                         .into_iter()
                         .map(|(node, stats)| NodeStats { node, stats })
                         .collect(),
+                })
+            }
+            ClusterRequest::ClusterRebalance {
+                addr,
+                deadline_ms,
+                retries,
+                backoff_ms,
+                seed,
+            } => {
+                let knobs = TransferKnobs {
+                    deadline: deadline_ms
+                        .map(Duration::from_millis)
+                        .unwrap_or(self.config.transfer_deadline),
+                    retries: retries.unwrap_or(self.config.transfer_retries),
+                    backoff: backoff_ms
+                        .map(Duration::from_millis)
+                        .unwrap_or(self.config.transfer_backoff),
+                    seed: seed.unwrap_or(self.config.transfer_seed),
+                };
+                match self.rebalance_with_kill(addr, &knobs, None, links) {
+                    Ok(done) => Reply::Cluster(ClusterReply::ClusterRebalanced {
+                        node: done.node,
+                        epoch: done.epoch,
+                        moved: done.moved,
+                        deduped: done.deduped,
+                        donors: done.donors,
+                    }),
+                    Err(resp) => Reply::Service(resp),
+                }
+            }
+            ClusterRequest::ClusterSync => {
+                let mut remap: Vec<(u64, u64)> = self
+                    .remap
+                    .read()
+                    .iter()
+                    .map(|(&old, &new)| (old, new))
+                    .collect();
+                remap.sort_unstable();
+                Reply::Cluster(ClusterReply::ClusterSynced {
+                    epoch: self.members.epoch(),
+                    router: self.config.router.spec().to_owned(),
+                    members: self.members.entries(),
+                    remap,
                 })
             }
         }
@@ -805,41 +1051,582 @@ impl ClusterCore {
 
     // ---- forwarding transport --------------------------------------
 
-    /// Forward one already-rendered request line to `slot`, retrying
-    /// reconnect-and-resend up to the configured budget. Resending the
-    /// identical line is safe for identified mutations (the node's
-    /// dedupe window replays) and harmless for queries.
+    /// Stamp the membership epoch into a rendered request line when
+    /// the router is epoch-aware — a topology change has happened or
+    /// replica peers are configured. A fresh single-router tier
+    /// forwards lines verbatim, so byte-level forwarding stays exactly
+    /// what the client sent.
+    fn stamp_epoch(&self, line: &str) -> String {
+        let epoch = self.members.epoch();
+        if epoch == 0 && self.config.peers.is_empty() {
+            return line.to_owned();
+        }
+        if let Ok(mut value) = serde_json::from_str::<serde_json::Value>(line) {
+            if let Some(obj) = value.as_object_mut() {
+                obj.insert("epoch".into(), serde_json::Value::from(epoch));
+                if let Ok(stamped) = serde_json::to_string(&value) {
+                    return stamped;
+                }
+            }
+        }
+        line.to_owned()
+    }
+
+    /// Forward one already-rendered request line to `slot`, stamping
+    /// the membership epoch and retrying up to the configured budget.
+    /// A `stale-epoch` fence from the node means *this* router is the
+    /// stale replica: it pulls membership from its peers and
+    /// re-forwards once with the fresh stamp instead of misrouting.
     fn forward_line(
         &self,
         links: &mut NodeLinks,
         slot: usize,
         line: &str,
-        _trace: Option<TraceContext>,
+        trace: Option<TraceContext>,
+    ) -> io::Result<Response> {
+        let stamped = self.stamp_epoch(line);
+        match self.forward_attempts(links, slot, &stamped) {
+            Ok(resp) if is_stale_epoch(&resp) => {
+                if self.sync_from_peers(trace) {
+                    let restamped = self.stamp_epoch(line);
+                    self.forward_attempts(links, slot, &restamped)
+                } else {
+                    Ok(resp)
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// The reconnect-and-resend loop under the same deadline budget a
+    /// [`RetryPolicy`]-armed client gets: at most
+    /// `(connect + io) × (retries + 1)` of wall clock, with seeded
+    /// backoff between attempts. Resending the identical line is safe
+    /// for identified mutations (the node's dedupe window replays)
+    /// and harmless for queries.
+    fn forward_attempts(
+        &self,
+        links: &mut NodeLinks,
+        slot: usize,
+        line: &str,
     ) -> io::Result<Response> {
         let addr = self
             .members
             .addr(slot)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no node {slot}")))?;
+        let per_attempt = self.config.connect_timeout + self.config.io_timeout;
+        let deadline = Instant::now() + per_attempt * (self.config.forward_retries + 1);
+        let mut backoff = Backoff::new(
+            Duration::from_millis(2),
+            Duration::from_millis(50),
+            self.config.transfer_seed ^ (slot as u64 + 1),
+        );
         let mut last = io::Error::new(io::ErrorKind::NotConnected, "never attempted");
         for attempt in 0..=self.config.forward_retries {
             if attempt > 0 {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(backoff.next_delay());
                 links.drop_conn(slot);
             }
-            let conn = match links.get_or_connect(slot, &addr, &self.config) {
-                Ok(c) => c,
-                Err(e) => {
-                    last = e;
-                    continue;
+            match self.forward_once(links, slot, &addr, line) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// One connect-if-needed, write, read attempt against `slot`.
+    fn forward_once(
+        &self,
+        links: &mut NodeLinks,
+        slot: usize,
+        addr: &str,
+        line: &str,
+    ) -> io::Result<Response> {
+        let conn = links.get_or_connect(slot, addr, &self.config)?;
+        match exchange(conn, line) {
+            Ok(resp) => {
+                self.members.count_forward(slot);
+                Ok(resp)
+            }
+            Err(e) => {
+                links.drop_conn(slot);
+                Err(e)
+            }
+        }
+    }
+
+    /// Pull membership and remap state from each configured peer
+    /// router (`cluster-sync`) and install whatever is strictly newer
+    /// than the local epoch. Returns `true` when anything installed.
+    fn sync_from_peers(&self, trace: Option<TraceContext>) -> bool {
+        let mut installed = false;
+        for peer in &self.config.peers {
+            let Some((epoch, entries, remap)) = self.fetch_sync(peer) else {
+                continue;
+            };
+            if self.members.install(epoch, &entries) {
+                let mut table = self.remap.write();
+                for (old, new) in remap {
+                    table.insert(old, new);
+                }
+                drop(table);
+                installed = true;
+                self.recorder.record(
+                    SpanEvent::new("member_sync", "router")
+                        .u64("epoch", epoch)
+                        .with_trace_opt(trace),
+                );
+            }
+        }
+        installed
+    }
+
+    /// One `cluster-sync` round trip to a peer router, under the
+    /// forwarding deadlines, in plain NDJSON.
+    fn fetch_sync(&self, peer: &str) -> Option<(u64, Vec<MemberEntry>, Vec<(u64, u64)>)> {
+        let sockaddr = std::net::ToSocketAddrs::to_socket_addrs(peer)
+            .ok()?
+            .next()?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.config.connect_timeout).ok()?;
+        configure_stream(&stream);
+        stream.set_read_timeout(Some(self.config.io_timeout)).ok()?;
+        stream
+            .set_write_timeout(Some(self.config.io_timeout))
+            .ok()?;
+        let mut writer = stream.try_clone().ok()?;
+        let mut reader = BufReader::new(stream);
+        let line = serde_json::to_string(&ClusterRequest::ClusterSync).ok()?;
+        writer.write_all(line.as_bytes()).ok()?;
+        writer.write_all(b"\n").ok()?;
+        writer.flush().ok()?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply).ok()? == 0 {
+            return None;
+        }
+        match serde_json::from_str::<ClusterReply>(reply.trim_end()).ok()? {
+            ClusterReply::ClusterSynced {
+                epoch,
+                members,
+                remap,
+                ..
+            } => Some((epoch, members, remap)),
+            _ => None,
+        }
+    }
+
+    // ---- the transfer plane ----------------------------------------
+
+    /// Drive a rebalancing join of `addr` with the router's default
+    /// transfer knobs. See [`ClusterCore::rebalance_with_kill`].
+    pub fn rebalance(&self, addr: &str, links: &mut NodeLinks) -> Result<Rebalanced, Response> {
+        let knobs = TransferKnobs {
+            deadline: self.config.transfer_deadline,
+            retries: self.config.transfer_retries,
+            backoff: self.config.transfer_backoff,
+            seed: self.config.transfer_seed,
+        };
+        self.rebalance_with_kill(addr, &knobs, None, links)
+    }
+
+    /// Drive a rebalancing join: compute the ring ranges `addr` will
+    /// own under the prospective membership, drain the matching
+    /// in-flight tasks from each donor (`transfer-export`), replay
+    /// them on the joiner with their dedupe-window replies
+    /// (`transfer-import`), and only then flip membership — the flip
+    /// is the commit point. Before it, any failure aborts cleanly:
+    /// donors were never mutated and the joiner is told to discard its
+    /// partial state. After it, donors drop their moved copies
+    /// (`transfer-commit`); a commit that still fails after retries
+    /// leaves shadowed duplicates behind, which is flagged
+    /// (`transfer_abort` span with `partial=1`, aborts counter) but
+    /// does not fail the join — the remap keeps routing correct.
+    ///
+    /// `kill_at` is the crash-rehearsal hook: transfer network step
+    /// number `kill_at` (export, import and commit attempts count, in
+    /// order) fails as if the link died, and so does every later one.
+    /// The abort path's joiner discard is exempt — it stands in for
+    /// the joiner's own garbage collection.
+    pub fn rebalance_with_kill(
+        &self,
+        addr: &str,
+        knobs: &TransferKnobs,
+        kill_at: Option<u64>,
+        links: &mut NodeLinks,
+    ) -> Result<Rebalanced, Response> {
+        if !matches!(self.config.router, RouterKind::ConsistentHash) {
+            return Err(Response::error(
+                ErrorCode::BadRequest,
+                "a rebalancing join needs consistent-hash routing; use op cluster-join",
+            ));
+        }
+        let mut known = None;
+        let mut live = false;
+        self.members.for_each(|slot, m| {
+            if m.addr() == addr {
+                known = Some(slot);
+                live = m.is_alive();
+            }
+        });
+        if live {
+            return Err(Response::error(
+                ErrorCode::BadRequest,
+                format!("{addr} is already a live member; nothing to rebalance"),
+            ));
+        }
+        // Probe before shipping anything: a joiner that cannot answer
+        // a stats probe would only blackhole the transferred state.
+        if self.probe(addr).is_none() {
+            return Err(Response::error(
+                ErrorCode::Unavailable,
+                format!("node {addr} did not answer a stats probe; not admitted"),
+            ));
+        }
+        // The slot the joiner will own after the flip: its old slot
+        // when the address is known, the next free one otherwise.
+        let joiner = match known {
+            Some(slot) => slot,
+            None if self.members.len() >= MAX_NODES => {
+                return Err(Response::error(
+                    ErrorCode::BadRequest,
+                    MembershipError::Full.to_string(),
+                ))
+            }
+            None => self.members.len(),
+        };
+        let donors = self.members.alive();
+        let mut prospective = donors.clone();
+        if !prospective.contains(&joiner) {
+            prospective.push(joiner);
+        }
+        prospective.sort_unstable();
+
+        self.recorder
+            .record(SpanEvent::new("transfer_begin", "router").u64("node", joiner as u64));
+        RouterMetrics::incr(&self.metrics.transfers);
+        let mut ctx = TransferCtx {
+            deadline: Instant::now() + knobs.deadline,
+            retries: knobs.retries,
+            backoff: Backoff::new(knobs.backoff, knobs.backoff * 16, knobs.seed),
+            kill: KillSwitch { at: kill_at, n: 0 },
+        };
+
+        // Phase A/B, pipelined per donor in slot order: export the
+        // donor's joiner-owned slice, then import it on the joiner
+        // over a direct link (the joiner is not in the membership
+        // table yet). Export is read-only on the donor; import is
+        // self-compensating on the joiner.
+        let mut joiner_conn: Option<NodeConn> = None;
+        let mut moved = 0u64;
+        let mut deduped = 0u64;
+        let mut remaps: Vec<(u64, u64)> = Vec::new();
+        let mut commits: Vec<(usize, Vec<u64>)> = Vec::new();
+        let mut imported: Vec<u64> = Vec::new();
+        let mut dedupe_ids: Vec<u64> = Vec::new();
+        for &donor in &donors {
+            let export = Request::TransferExport {
+                members: prospective.clone(),
+                joiner,
+            };
+            let slice = match self.transfer_step_member(links, donor, &export, &mut ctx) {
+                Ok(Response::TransferExported { slice }) => slice,
+                Ok(other) => {
+                    return Err(self.transfer_abort(
+                        &mut joiner_conn,
+                        addr,
+                        imported,
+                        dedupe_ids,
+                        format!("node {donor} answered transfer-export with {other:?}"),
+                    ))
+                }
+                Err(why) => {
+                    return Err(self.transfer_abort(
+                        &mut joiner_conn,
+                        addr,
+                        imported,
+                        dedupe_ids,
+                        why,
+                    ))
                 }
             };
-            match exchange(conn, line) {
-                Ok(resp) => {
-                    self.members.count_forward(slot);
-                    return Ok(resp);
+            self.recorder.record(
+                SpanEvent::new("transfer_export", "router")
+                    .u64("node", donor as u64)
+                    .u64("tasks", slice.tasks.len() as u64),
+            );
+            if slice.tasks.is_empty() && slice.dedupe.is_empty() {
+                continue;
+            }
+            // Re-encode the shipped dedupe replies for the cluster id
+            // space and mark them as transfer replays, so a retried
+            // request whose original landed on the donor gets its
+            // byte-identical original reply back from the joiner.
+            let mut wrapped = Vec::with_capacity(slice.dedupe.len());
+            for d in &slice.dedupe {
+                let Ok(resp) = serde_json::from_str::<Response>(&d.reply) else {
+                    return Err(self.transfer_abort(
+                        &mut joiner_conn,
+                        addr,
+                        imported,
+                        dedupe_ids,
+                        format!("node {donor} shipped an unparseable dedupe reply"),
+                    ));
+                };
+                let inner = Box::new(rewrite_response(resp, donor));
+                let Ok(reply) = serde_json::to_string(&Response::Transferred { inner }) else {
+                    return Err(self.transfer_abort(
+                        &mut joiner_conn,
+                        addr,
+                        imported,
+                        dedupe_ids,
+                        "dedupe reply re-rendering failed".to_owned(),
+                    ));
+                };
+                wrapped.push(TransferDedupe {
+                    req_id: d.req_id,
+                    reply,
+                });
+            }
+            let dedupe_count = wrapped.len() as u64;
+            let shipped_ids: Vec<u64> = wrapped.iter().map(|d| d.req_id).collect();
+            let import = Request::TransferImport {
+                slice: TransferSlice {
+                    tasks: slice.tasks.clone(),
+                    dedupe: wrapped,
+                    checksum: slice.checksum,
+                },
+            };
+            let remap =
+                match self.transfer_step_joiner(&mut joiner_conn, addr, &import, &mut ctx, true) {
+                    Ok(Response::TransferImported { remap }) => remap,
+                    Ok(other) => {
+                        return Err(self.transfer_abort(
+                            &mut joiner_conn,
+                            addr,
+                            imported,
+                            dedupe_ids,
+                            format!("joiner answered transfer-import with {other:?}"),
+                        ))
+                    }
+                    Err(why) => {
+                        return Err(self.transfer_abort(
+                            &mut joiner_conn,
+                            addr,
+                            imported,
+                            dedupe_ids,
+                            why,
+                        ))
+                    }
+                };
+            self.recorder.record(
+                SpanEvent::new("transfer_import", "router")
+                    .u64("node", joiner as u64)
+                    .u64("tasks", remap.len() as u64),
+            );
+            moved += remap.len() as u64;
+            deduped += dedupe_count;
+            dedupe_ids.extend(shipped_ids);
+            for &(old, new) in &remap {
+                remaps.push((encode_task(donor, old), encode_task(joiner, new)));
+                imported.push(new);
+            }
+            commits.push((donor, slice.tasks.iter().map(|t| t.global).collect()));
+        }
+
+        // Phase C — the commit point: flip membership (bumping the
+        // epoch) and install the remap. From here the join has
+        // happened; nothing below can undo it.
+        let slot = match self.members.join(addr) {
+            Ok(slot) => slot,
+            Err(e) => {
+                return Err(self.transfer_abort(
+                    &mut joiner_conn,
+                    addr,
+                    imported,
+                    dedupe_ids,
+                    e.to_string(),
+                ))
+            }
+        };
+        {
+            let mut table = self.remap.write();
+            for &(old, new) in &remaps {
+                table.insert(old, new);
+            }
+        }
+        let epoch = self.members.epoch();
+        RouterMetrics::incr(&self.metrics.joins);
+        self.recorder.record(
+            SpanEvent::new("transfer_flip", "router")
+                .u64("node", slot as u64)
+                .u64("epoch", epoch),
+        );
+
+        // Phase D: donors drop their moved copies. Failures here are
+        // partial transfers, not rollbacks — the moved tasks live on
+        // the joiner and the remap shadows the donor duplicates, so
+        // the anomaly is flagged for the analysis plane and the join
+        // still succeeds.
+        for (donor, tasks) in commits {
+            let commit = Request::TransferCommit { tasks };
+            match self.transfer_step_member(links, donor, &commit, &mut ctx) {
+                Ok(Response::TransferCommitted { dropped }) => {
+                    self.recorder.record(
+                        SpanEvent::new("transfer_commit", "router")
+                            .u64("node", donor as u64)
+                            .u64("dropped", dropped),
+                    );
                 }
+                _ => {
+                    RouterMetrics::incr(&self.metrics.transfer_aborts);
+                    self.recorder.record(
+                        SpanEvent::new("transfer_abort", "router")
+                            .u64("node", donor as u64)
+                            .u64("partial", 1),
+                    );
+                }
+            }
+        }
+        Ok(Rebalanced {
+            node: slot,
+            epoch,
+            moved,
+            deduped,
+            donors,
+        })
+    }
+
+    /// Abort a transfer before the flip: tell the joiner (best
+    /// effort) to discard everything imported so far, count the
+    /// abort, and shape the caller's error reply. Donors were never
+    /// mutated, so no compensation runs there.
+    fn transfer_abort(
+        &self,
+        conn: &mut Option<NodeConn>,
+        addr: &str,
+        imported: Vec<u64>,
+        dedupe_ids: Vec<u64>,
+        why: String,
+    ) -> Response {
+        if !imported.is_empty() || !dedupe_ids.is_empty() {
+            let discard = Request::TransferDiscard {
+                tasks: imported,
+                dedupe: dedupe_ids,
+            };
+            // Exempt from the crash rehearsal: a real joiner that
+            // never receives the discard is restarted or re-imports
+            // idempotently on the next attempt.
+            let mut ctx = TransferCtx {
+                deadline: Instant::now() + Duration::from_secs(1),
+                retries: 1,
+                backoff: Backoff::new(Duration::from_millis(2), Duration::from_millis(32), 0),
+                kill: KillSwitch { at: None, n: 0 },
+            };
+            let _ = self.transfer_step_joiner(conn, addr, &discard, &mut ctx, false);
+        }
+        RouterMetrics::incr(&self.metrics.transfer_aborts);
+        self.recorder
+            .record(SpanEvent::new("transfer_abort", "router").u64("partial", 0));
+        Response::error(
+            ErrorCode::Unavailable,
+            format!("rebalancing join of {addr} aborted: {why}"),
+        )
+    }
+
+    /// One retried transfer step against member `slot` over the
+    /// pooled forwarding links. An error reply from the node is
+    /// terminal (retrying would not change it); transport failures
+    /// retry under the transfer's shared deadline with seeded
+    /// backoff.
+    fn transfer_step_member(
+        &self,
+        links: &mut NodeLinks,
+        slot: usize,
+        req: &Request,
+        ctx: &mut TransferCtx,
+    ) -> Result<Response, String> {
+        let line = request_line_traced(req, None, None).map_err(|e| e.to_string())?;
+        let line = self.stamp_epoch(&line);
+        let Some(addr) = self.members.addr(slot) else {
+            return Err(format!("no node {slot}"));
+        };
+        let mut last = format!("node {slot}: never attempted");
+        for attempt in 0..=ctx.retries {
+            if attempt > 0 {
+                RouterMetrics::incr(&self.metrics.transfer_retries);
+                self.recorder
+                    .record(SpanEvent::new("transfer_retry", "router").u64("node", slot as u64));
+                std::thread::sleep(ctx.backoff.next_delay());
+            }
+            if Instant::now() >= ctx.deadline {
+                return Err(format!("transfer deadline exhausted at node {slot}"));
+            }
+            if !ctx.kill.step_allowed() {
+                return Err(format!("transfer step to node {slot} killed by rehearsal"));
+            }
+            match self.forward_once(links, slot, &addr, &line) {
+                Ok(Response::Error(e)) => {
+                    return Err(format!("node {slot} refused: {}", e.message))
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => last = format!("node {slot}: {e}"),
+            }
+        }
+        Err(last)
+    }
+
+    /// One retried transfer step against the joiner over a direct
+    /// link — the joiner is not in the membership table until the
+    /// flip. `count_kill` exempts the abort path's discard from the
+    /// crash rehearsal.
+    fn transfer_step_joiner(
+        &self,
+        conn: &mut Option<NodeConn>,
+        addr: &str,
+        req: &Request,
+        ctx: &mut TransferCtx,
+        count_kill: bool,
+    ) -> Result<Response, String> {
+        let line = request_line_traced(req, None, None).map_err(|e| e.to_string())?;
+        let line = self.stamp_epoch(&line);
+        let mut last = format!("joiner {addr}: never attempted");
+        for attempt in 0..=ctx.retries {
+            if attempt > 0 {
+                RouterMetrics::incr(&self.metrics.transfer_retries);
+                self.recorder
+                    .record(SpanEvent::new("transfer_retry", "router").str("node", "joiner"));
+                std::thread::sleep(ctx.backoff.next_delay());
+                *conn = None;
+            }
+            if Instant::now() >= ctx.deadline {
+                return Err(format!("transfer deadline exhausted at joiner {addr}"));
+            }
+            if count_kill && !ctx.kill.step_allowed() {
+                return Err(format!(
+                    "transfer step to joiner {addr} killed by rehearsal"
+                ));
+            }
+            if conn.is_none() {
+                match connect_node(addr, &self.config) {
+                    Ok(c) => *conn = Some(c),
+                    Err(e) => {
+                        last = format!("joiner {addr}: {e}");
+                        continue;
+                    }
+                }
+            }
+            let c = conn.as_mut().expect("connected above");
+            match exchange(c, &line) {
+                Ok(Response::Error(e)) => {
+                    return Err(format!("joiner {addr} refused: {}", e.message))
+                }
+                Ok(resp) => return Ok(resp),
                 Err(e) => {
-                    last = e;
-                    links.drop_conn(slot);
+                    *conn = None;
+                    last = format!("joiner {addr}: {e}");
                 }
             }
         }
@@ -1019,6 +1806,39 @@ impl ClusterCore {
             "partalloc_cluster_errors_total",
             &[],
             RouterMetrics::get(&self.metrics.errors),
+        );
+
+        prom.header(
+            "partalloc_cluster_transfers_total",
+            "Rebalancing joins the router has driven (including aborted ones).",
+            "counter",
+        );
+        prom.sample_u64(
+            "partalloc_cluster_transfers_total",
+            &[],
+            RouterMetrics::get(&self.metrics.transfers),
+        );
+
+        prom.header(
+            "partalloc_cluster_transfer_retries",
+            "Transfer network steps that were retried after a transport failure.",
+            "counter",
+        );
+        prom.sample_u64(
+            "partalloc_cluster_transfer_retries",
+            &[],
+            RouterMetrics::get(&self.metrics.transfer_retries),
+        );
+
+        prom.header(
+            "partalloc_cluster_transfer_aborts_total",
+            "Transfers aborted before the flip plus partial commits after it.",
+            "counter",
+        );
+        prom.sample_u64(
+            "partalloc_cluster_transfer_aborts_total",
+            &[],
+            RouterMetrics::get(&self.metrics.transfer_aborts),
         );
 
         prom.header(
@@ -1245,5 +2065,98 @@ mod tests {
         // Task id 3 decodes to slot 3, which never joined.
         let reply = core.handle_line(r#"{"op":"depart","task":3}"#, &mut links);
         assert!(reply.contains("unknown-task"), "{reply}");
+    }
+
+    #[test]
+    fn resolve_task_follows_remap_chains_and_stops_on_cycles() {
+        let core = ClusterCore::new(config(&["a:1", "b:2"])).unwrap();
+        assert_eq!(core.resolve_task(7), 7);
+        {
+            let mut table = core.remap.write();
+            table.insert(encode_task(0, 1), encode_task(1, 4));
+            table.insert(encode_task(1, 4), encode_task(2, 9));
+            // A (never-produced) cycle must not hang the router.
+            table.insert(encode_task(3, 0), encode_task(4, 0));
+            table.insert(encode_task(4, 0), encode_task(3, 0));
+        }
+        assert_eq!(core.resolve_task(encode_task(0, 1)), encode_task(2, 9));
+        assert_eq!(core.resolve_task(encode_task(1, 4)), encode_task(2, 9));
+        let looped = core.resolve_task(encode_task(3, 0));
+        assert!(looped == encode_task(3, 0) || looped == encode_task(4, 0));
+    }
+
+    #[test]
+    fn epoch_stamping_is_gated_on_topology_changes() {
+        let core = ClusterCore::new(config(&["a:1"])).unwrap();
+        // Fresh single-router cluster: forwards stay byte-identical.
+        let line = r#"{"op":"arrive","size_log2":2,"req_id":7}"#;
+        assert_eq!(core.stamp_epoch(line), line);
+        // After a topology change the epoch rides along.
+        core.members.join("b:2").unwrap();
+        let stamped = core.stamp_epoch(line);
+        assert!(stamped.contains("\"epoch\":1"), "{stamped}");
+        // A replica with peers stamps even at epoch 0.
+        let replica = ClusterCore::new(config(&["a:1"]).peers(vec!["r:9".into()])).unwrap();
+        assert!(replica.stamp_epoch(line).contains("\"epoch\":0"));
+    }
+
+    #[test]
+    fn kill_switch_counts_steps_and_stays_dead() {
+        let mut kill = KillSwitch { at: None, n: 0 };
+        assert!((0..10).all(|_| kill.step_allowed()));
+        let mut kill = KillSwitch { at: Some(2), n: 0 };
+        assert!(kill.step_allowed());
+        assert!(kill.step_allowed());
+        assert!(!kill.step_allowed());
+        assert!(!kill.step_allowed());
+    }
+
+    #[test]
+    fn rebalance_preconditions_reject_before_any_transfer() {
+        let mut links = NodeLinks::new();
+        let knobs = TransferKnobs {
+            deadline: Duration::from_millis(200),
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            seed: 0,
+        };
+        // Wrong router kind.
+        let core =
+            ClusterCore::new(config(&["127.0.0.1:1"]).router(RouterKind::SizeClass)).unwrap();
+        let err = core
+            .rebalance_with_kill("127.0.0.1:9", &knobs, None, &mut links)
+            .unwrap_err();
+        assert!(
+            matches!(&err, Response::Error(e) if e.code == ErrorCode::BadRequest),
+            "{err:?}"
+        );
+        // Already a live member.
+        let core = ClusterCore::new(config(&["127.0.0.1:1"])).unwrap();
+        let err = core
+            .rebalance_with_kill("127.0.0.1:1", &knobs, None, &mut links)
+            .unwrap_err();
+        assert!(
+            matches!(&err, Response::Error(e) if e.message.contains("already a live member")),
+            "{err:?}"
+        );
+        // Unreachable joiner fails the probe, not the transfer.
+        let err = core
+            .rebalance_with_kill("127.0.0.1:9", &knobs, None, &mut links)
+            .unwrap_err();
+        assert!(
+            matches!(&err, Response::Error(e) if e.code == ErrorCode::Unavailable),
+            "{err:?}"
+        );
+        assert_eq!(RouterMetrics::get(&core.metrics.transfers), 0);
+    }
+
+    #[test]
+    fn stale_epoch_detection_matches_only_the_fence() {
+        assert!(is_stale_epoch(&Response::error(
+            ErrorCode::StaleEpoch,
+            "router behind"
+        )));
+        assert!(!is_stale_epoch(&Response::error(ErrorCode::Internal, "x")));
+        assert!(!is_stale_epoch(&Response::Pong));
     }
 }

@@ -5,21 +5,33 @@
 //! byte-identical, survivor snapshots byte-identical, and the recorded
 //! spans must let the trace analyzer rebuild a cross-node request tree
 //! and flag the reroute.
+//!
+//! The state-transfer plane gets the same treatment: a *rebalancing
+//! join* mid-drive under the chaos proxy must converge byte-identically
+//! (trails and all-node snapshots, joiner included) to the fault-free
+//! rebalance, an aborted transfer must leave the donors byte-identical
+//! and the joiner empty, and a proptest over crash points pins the
+//! dedupe-window handoff: a retried request whose original landed on a
+//! donor replays its original reply byte-for-byte wherever the transfer
+//! happened to die.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
+use proptest::prelude::*;
+
 use partalloc_analysis::{analyze, AnomalyKind, TraceSource};
 use partalloc_cluster::{
-    decode_task, encode_task, ClusterClient, ClusterHarness, NodeSnapshot, RouterMetrics,
+    decode_task, encode_task, ClusterClient, ClusterHarness, ClusterReply, ClusterRequest,
+    NodeLinks, NodeSnapshot, RouterMetrics, TransferKnobs,
 };
 use partalloc_core::AllocatorKind;
 use partalloc_engine::{FaultPlan, SplitMix64};
 use partalloc_obs::{Recorder, SpanEvent, VecRecorder};
 use partalloc_service::{
-    ChaosProxy, ClientError, Placed, Request, Response, RetryPolicy, ServiceConfig, ServiceHealth,
-    TcpClient,
+    ChaosProxy, ClientError, ErrorCode, Placed, Request, Response, RetryPolicy, ServiceConfig,
+    ServiceHealth, TcpClient,
 };
 
 const NODES: usize = 3;
@@ -361,4 +373,438 @@ fn leave_and_rejoin_steer_placements_around_retired_slots() {
     assert!(rejoined, "the rejoined node never took a placement");
 
     harness.shutdown(Duration::from_millis(500));
+}
+
+// ---------------------------------------------------------------------------
+// State-transfer plane: rebalancing joins, aborts, and the dedupe handoff.
+// ---------------------------------------------------------------------------
+
+/// Routing keys crafted against the consistent ring: under two members
+/// the keys 23/25/32 hash to node 0 and 17/20/33 to node 1, and every
+/// one of them is owned by slot 2 once a third member joins — so a
+/// rebalancing join drains a non-empty slice from *both* donors.
+const HANDOFF_KEYS: [u64; 6] = [17, 20, 23, 25, 32, 33];
+
+struct RebalanceSoak {
+    trail: Vec<Placed>,
+    snaps: Vec<NodeSnapshot>,
+    done: (usize, u64, u64, u64, Vec<usize>),
+    wire_faults: u64,
+    client_retries: u64,
+    router_spans: Vec<SpanEvent>,
+}
+
+/// Like [`soak`], but the mid-drive disruption is a *rebalancing join*:
+/// a fourth node spins up at event `DISRUPT_AT` and is admitted through
+/// the admin plane with a fixed transfer seed. Client calls are
+/// synchronous, so every retry has settled before the join runs — the
+/// transfer sees identical donor state in the chaos and fault-free
+/// runs, and the drive after the flip steers by the same ring.
+fn rebalance_soak(chaos: bool) -> RebalanceSoak {
+    let router_rec = Arc::new(VecRecorder::new());
+    let mut harness = ClusterHarness::spawn(
+        NODES,
+        node_config,
+        |c| c,
+        Some(Arc::clone(&router_rec) as Arc<dyn Recorder>),
+    )
+    .expect("cluster failed to spawn");
+
+    let proxy = chaos.then(|| {
+        let plan = FaultPlan::new(33)
+            .drop_rate(0.02)
+            .truncate_rate(0.01)
+            .corrupt_rate(0.01)
+            .kill_rate(0.01)
+            .delay_rate(0.02)
+            .delay_ms(10);
+        ChaosProxy::spawn("127.0.0.1:0", harness.router_addr(), plan).expect("proxy failed")
+    });
+    let dial = proxy
+        .as_ref()
+        .map_or(harness.router_addr(), |p| p.local_addr());
+
+    let policy = RetryPolicy::default()
+        .retries(16)
+        .connect_timeout(Duration::from_secs(2))
+        .io_timeout(Duration::from_millis(250))
+        .backoff(Duration::from_millis(2), Duration::from_millis(50))
+        .retry_seed(5);
+    let mut client = TcpClient::connect_with(dial, policy)
+        .expect("client failed to connect")
+        .with_tracing(7);
+
+    let mut rng = SplitMix64::new(99);
+    let mut live: Vec<u64> = Vec::new();
+    let mut trail: Vec<Placed> = Vec::new();
+    let mut done = None;
+    for event in 0..EVENTS {
+        if event == DISRUPT_AT {
+            let joiner = harness.add_node(node_config(NODES)).expect("joiner spawn");
+            let mut admin =
+                ClusterClient::connect(harness.router_addr()).expect("admin connect failed");
+            match admin
+                .call(&ClusterRequest::ClusterRebalance {
+                    addr: joiner.to_string(),
+                    deadline_ms: Some(5_000),
+                    retries: None,
+                    backoff_ms: None,
+                    seed: Some(13),
+                })
+                .expect("cluster-rebalance transport")
+            {
+                ClusterReply::ClusterRebalanced {
+                    node,
+                    epoch,
+                    moved,
+                    deduped,
+                    donors,
+                } => done = Some((node, epoch, moved, deduped, donors)),
+                other => panic!("unexpected cluster-rebalance reply: {other:?}"),
+            }
+        }
+        let roll = rng.next_f64();
+        if live.is_empty() || roll < 0.6 {
+            let size = (rng.next_u64() % 3) as u8;
+            let p = client.arrive(size).expect("arrive must survive the soak");
+            live.push(p.task);
+            trail.push(p);
+        } else {
+            let idx = (rng.next_u64() as usize) % live.len();
+            let task = live.swap_remove(idx);
+            // Nobody dies in this soak: every departure must succeed,
+            // including tasks the transfer moved (the remap chain
+            // resolves their original ids to the joiner).
+            let d = client.depart(task).expect("depart must survive the soak");
+            assert_eq!(d.task, task);
+        }
+    }
+
+    let mut admin =
+        ClusterClient::connect(harness.router_addr()).expect("admin connect failed after drive");
+    let snaps = admin.snapshots().expect("cluster-snapshot failed");
+    let wire_faults = proxy.as_ref().map_or(0, |p| p.stats().faults());
+    let client_retries = client.transport_retries();
+
+    drop(client);
+    drop(admin);
+    if let Some(p) = proxy {
+        p.stop();
+    }
+    harness.shutdown(Duration::from_secs(1));
+
+    RebalanceSoak {
+        trail,
+        snaps,
+        done: done.expect("the rebalance never ran"),
+        wire_faults,
+        client_retries,
+        router_spans: router_rec.take(),
+    }
+}
+
+#[test]
+fn chaos_rebalancing_join_converges_with_the_fault_free_rebalance() {
+    let faulted = rebalance_soak(true);
+    let clean = rebalance_soak(false);
+
+    // The equivalence was earned: the wire plan fired and the client
+    // retried through it while the join was in flight.
+    assert!(faulted.wire_faults > 0, "the chaos proxy never fired");
+    assert!(
+        faulted.client_retries > 0,
+        "faults were injected but the client never retried"
+    );
+
+    // Both runs agreed on the join itself...
+    assert_eq!(
+        faulted.done, clean.done,
+        "the rebalance outcome diverged between chaos and fault-free"
+    );
+    let (node, epoch, moved, _, ref donors) = faulted.done;
+    assert_eq!(node, NODES, "the joiner took an unexpected slot");
+    assert_eq!(epoch, 1, "the flip must bump the epoch exactly once");
+    assert!(moved > 0, "the joiner took over no in-flight tasks");
+    assert_eq!(*donors, vec![0, 1, 2], "every member must have donated");
+
+    // ...on every placement before and after the flip...
+    assert_eq!(
+        serde_json::to_string(&faulted.trail).unwrap(),
+        serde_json::to_string(&clean.trail).unwrap(),
+        "placement trails diverged between chaos and fault-free rebalance"
+    );
+    assert!(
+        faulted.trail.iter().any(|p| decode_task(p.task).0 == NODES),
+        "no placement ever landed on the joiner after the flip"
+    );
+
+    // ...and on the final state of ALL four nodes, joiner included,
+    // byte for byte.
+    let f = survivor_bytes(&faulted.snaps);
+    let c = survivor_bytes(&clean.snaps);
+    assert_eq!(f.len(), NODES + 1, "expected all four nodes in the reply");
+    assert_eq!(f, c, "node snapshots diverged between chaos and fault-free");
+
+    // The transfer's span story is clean: begin and flip were
+    // recorded, and the analyzer sees no partial transfer — chaos on
+    // the client wire must not leak into the router↔node transfer.
+    let names: HashSet<&str> = faulted.router_spans.iter().map(|ev| ev.name).collect();
+    assert!(names.contains("transfer_begin"), "transfer_begin missing");
+    assert!(names.contains("transfer_flip"), "transfer_flip missing");
+    let report = analyze(vec![TraceSource::parse(
+        "router",
+        &spans_to_ndjson(&faulted.router_spans),
+    )
+    .unwrap()]);
+    assert!(
+        report
+            .anomalies
+            .iter()
+            .all(|a| a.kind != AnomalyKind::PartialTransfer),
+        "a clean rebalance was flagged as a partial transfer"
+    );
+}
+
+#[test]
+fn aborted_transfer_leaves_the_donors_byte_identical() {
+    let mut harness = ClusterHarness::spawn(2, node_config, |c| c, None).expect("cluster spawn");
+    let mut client = TcpClient::connect(harness.router_addr()).expect("client connect");
+    for key in HANDOFF_KEYS {
+        let line = format!("{{\"op\":\"arrive\",\"size_log2\":0,\"req_id\":{key}}}");
+        let reply = client.send_raw(&line).expect("arrive transport");
+        assert!(matches!(reply, Response::Placed(_)), "arrive: {reply:?}");
+    }
+
+    // Node-local snapshots taken straight from the donors, bypassing
+    // the router: the transfer must not leave a single byte behind.
+    let donor_bytes = |harness: &ClusterHarness| -> Vec<String> {
+        (0..2)
+            .map(|i| {
+                let addr = harness.node_addr(i).expect("donor is still running");
+                let snap = TcpClient::connect(addr)
+                    .expect("donor connect")
+                    .snapshot()
+                    .expect("donor snapshot");
+                serde_json::to_string_pretty(&snap).unwrap()
+            })
+            .collect()
+    };
+    let before = donor_bytes(&harness);
+
+    let joiner = harness.add_node(node_config(2)).expect("joiner spawn");
+    let core = harness.router_core();
+    let knobs = TransferKnobs {
+        deadline: Duration::from_secs(5),
+        retries: 0,
+        backoff: Duration::from_millis(1),
+        seed: 3,
+    };
+
+    // Crash the transfer at every pre-flip step — both exports, both
+    // imports. Every abort must roll the cluster back to exactly the
+    // pre-transfer state: same members, same epoch, donors untouched,
+    // joiner empty.
+    for kill_at in 0..4 {
+        let mut links = NodeLinks::new();
+        let err = core
+            .rebalance_with_kill(&joiner.to_string(), &knobs, Some(kill_at), &mut links)
+            .expect_err("a pre-flip crash must abort the join");
+        match err {
+            Response::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Unavailable, "crash at step {kill_at}")
+            }
+            other => panic!("unexpected abort reply: {other:?}"),
+        }
+        assert_eq!(core.members().len(), 2, "membership flipped despite abort");
+        assert_eq!(core.members().epoch(), 0, "epoch bumped despite abort");
+        assert_eq!(
+            donor_bytes(&harness),
+            before,
+            "the abort at step {kill_at} dented a donor"
+        );
+        let jsnap = TcpClient::connect(joiner)
+            .expect("joiner connect")
+            .snapshot()
+            .expect("joiner snapshot");
+        assert!(
+            jsnap.tasks.is_empty(),
+            "the abort at step {kill_at} stranded {} task(s) on the joiner",
+            jsnap.tasks.len()
+        );
+    }
+    assert_eq!(
+        RouterMetrics::get(&core.metrics().transfer_aborts),
+        4,
+        "each crashed transfer must count one abort"
+    );
+
+    // The same join, un-crashed, then succeeds and drains both donors.
+    let mut links = NodeLinks::new();
+    let done = core
+        .rebalance_with_kill(&joiner.to_string(), &knobs, None, &mut links)
+        .expect("the clean rebalance must succeed");
+    assert_eq!(
+        (done.node, done.epoch, done.moved, done.deduped),
+        (2, 1, 6, 6)
+    );
+    assert_eq!(done.donors, vec![0, 1]);
+
+    harness.shutdown(Duration::from_millis(500));
+}
+
+#[test]
+fn cluster_snapshot_ships_a_dead_nodes_last_snapshot_as_stale() {
+    let mut harness = ClusterHarness::spawn(2, node_config, |c| c, None).expect("cluster spawn");
+    let mut client = TcpClient::connect(harness.router_addr()).expect("client connect");
+    for key in HANDOFF_KEYS {
+        let line = format!("{{\"op\":\"arrive\",\"size_log2\":0,\"req_id\":{key}}}");
+        client.send_raw(&line).expect("arrive transport");
+    }
+
+    let mut admin = ClusterClient::connect(harness.router_addr()).expect("admin connect");
+    let first = admin.snapshots().expect("first cluster-snapshot");
+    assert!(
+        first.iter().all(|s| !s.stale),
+        "nothing is stale while every node answers"
+    );
+    let victim = first.iter().find(|s| s.node == 1).expect("node 1 row");
+    assert!(
+        !victim.snapshot.tasks.is_empty(),
+        "node 1 held nothing; the stale copy would be vacuous"
+    );
+    let last_known = serde_json::to_string(&victim.snapshot).unwrap();
+
+    harness.kill_node(1);
+
+    // The dead node keeps its row: flagged stale, carrying the last
+    // snapshot the router captured — byte for byte.
+    let second = admin
+        .snapshots()
+        .expect("cluster-snapshot with a dead node");
+    assert_eq!(second.len(), 2, "the dead node's row was dropped");
+    let dead = second.iter().find(|s| s.node == 1).expect("dead node row");
+    assert!(dead.stale, "the dead node's snapshot was not marked stale");
+    assert_eq!(
+        serde_json::to_string(&dead.snapshot).unwrap(),
+        last_known,
+        "the stale snapshot is not the last captured one"
+    );
+    let live = second.iter().find(|s| s.node == 0).expect("live node row");
+    assert!(!live.stale, "a live node was marked stale");
+
+    harness.shutdown(Duration::from_millis(500));
+}
+
+/// One run of the dedupe-window handoff scenario for one crash point.
+///
+/// With zero step retries the crash schedule is exact: steps 0–3 are
+/// the two export/import pairs (crashing any of them aborts pre-flip),
+/// steps 4–5 are the post-flip commits (crashing one leaves shadowed
+/// duplicates on that donor — the flip has already won). Wherever the
+/// transfer dies, retrying a request whose original landed on a donor
+/// must replay the ORIGINAL reply byte for byte: from the joiner's
+/// handed-over window after a flip, from the donor's own otherwise.
+fn handoff_case(kill_at: Option<u64>) {
+    let mut harness = ClusterHarness::spawn(2, node_config, |c| c, None).expect("cluster spawn");
+    let mut client = TcpClient::connect(harness.router_addr()).expect("client connect");
+
+    // Raw lines so the req_id is both the routing key and the dedupe
+    // key, exactly like an idempotent retrying client.
+    let mut originals = Vec::new();
+    for key in HANDOFF_KEYS {
+        let line = format!("{{\"op\":\"arrive\",\"size_log2\":0,\"req_id\":{key}}}");
+        let reply = client.send_raw(&line).expect("arrive transport");
+        let task = match &reply {
+            Response::Placed(p) => p.task,
+            other => panic!("arrive reply: {other:?}"),
+        };
+        originals.push((line, serde_json::to_string(&reply).unwrap(), task));
+    }
+
+    let joiner = harness.add_node(node_config(2)).expect("joiner spawn");
+    let core = harness.router_core();
+    let knobs = TransferKnobs {
+        deadline: Duration::from_secs(5),
+        retries: 0,
+        backoff: Duration::from_millis(1),
+        seed: 9,
+    };
+    let mut links = NodeLinks::new();
+    let outcome = core.rebalance_with_kill(&joiner.to_string(), &knobs, kill_at, &mut links);
+
+    let flipped = kill_at.is_none_or(|k| k >= 4);
+    match &outcome {
+        Ok(done) => {
+            assert!(flipped, "crash at {kill_at:?} should have aborted");
+            assert_eq!((done.node, done.moved, done.deduped), (2, 6, 6));
+            assert_eq!(core.members().epoch(), 1);
+        }
+        Err(resp) => {
+            assert!(!flipped, "crash at {kill_at:?} should have flipped");
+            assert!(matches!(resp, Response::Error(_)), "abort reply: {resp:?}");
+            assert_eq!(core.members().len(), 2);
+            assert_eq!(core.members().epoch(), 0);
+            let jsnap = TcpClient::connect(joiner)
+                .expect("joiner connect")
+                .snapshot()
+                .expect("joiner snapshot");
+            assert!(
+                jsnap.tasks.is_empty(),
+                "the abort stranded {} task(s) on the joiner",
+                jsnap.tasks.len()
+            );
+        }
+    }
+
+    // The satellite guarantee itself.
+    for (line, want, _) in &originals {
+        let replay = client.send_raw(line).expect("replay transport");
+        assert_eq!(
+            &serde_json::to_string(&replay).unwrap(),
+            want,
+            "crash at {kill_at:?} broke a dedupe replay"
+        );
+    }
+
+    // Replays never re-executed: the cluster-wide live-task census is
+    // exactly the originals, plus the shadowed duplicates a post-flip
+    // commit crash is documented to leave behind (the analyzer flags
+    // those as partial transfers; routing never reaches them).
+    let mut admin = ClusterClient::connect(harness.router_addr()).expect("admin connect");
+    let total: usize = admin
+        .snapshots()
+        .expect("cluster-snapshot")
+        .iter()
+        .map(|s| s.snapshot.tasks.len())
+        .sum();
+    let expected = match kill_at {
+        Some(4) => 12, // neither commit ran: both donors still shadow their slice
+        Some(5) => 9,  // donor 0 committed, donor 1 still shadows its three
+        _ => 6,
+    };
+    assert_eq!(
+        total, expected,
+        "live-task census after crash at {kill_at:?}"
+    );
+
+    // After a flip every original id still departs exactly once,
+    // resolved through the remap chain to the joiner.
+    if flipped {
+        for (_, _, task) in &originals {
+            let d = client.depart(*task).expect("depart after handoff");
+            assert_eq!(d.task, *task, "depart echoed the wrong id");
+        }
+    }
+
+    harness.shutdown(Duration::from_millis(500));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn dedupe_handoff_replays_originals_across_crash_points(
+        kill_at in proptest::option::of(0u64..6)
+    ) {
+        handoff_case(kill_at);
+    }
 }

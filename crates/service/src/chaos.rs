@@ -232,7 +232,15 @@ fn pump(
         let keep_going = if mode.load(Ordering::SeqCst) == MODE_BINARY {
             pump_frame(dir, &mut reader, &mut to, &mut plan, &stats, &recorder)
         } else {
-            pump_line(dir, &mut reader, &mut to, &mut plan, &stats, &recorder, &mode)
+            pump_line(
+                dir,
+                &mut reader,
+                &mut to,
+                &mut plan,
+                &stats,
+                &recorder,
+                &mode,
+            )
         };
         if !keep_going {
             break;

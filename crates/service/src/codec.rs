@@ -24,6 +24,12 @@
 //! |   4 | ping       | —                                               |
 //! |   5 | query-load | —                                               |
 //! |   6 | shutdown   | —                                               |
+//! |   7 | transfer-export | `joiner:u64 LE`, `count:u32 LE`, then `count` member slots as `u64 LE` |
+//! |   8 | transfer-commit | `count:u32 LE`, then `count` task ids as `u64 LE` |
+//! |   9 | transfer-discard | task-id list then req-id list, each `count:u32 LE` + `u64 LE`s |
+//!
+//! (`transfer-import` carries a JSON-shaped slice, so it rides the
+//! tag-0 raw line like any cold op.)
 //!
 //! Tag 0 is the universal fallback: *any* request the compact tags do
 //! not cover (snapshots, metrics, dumps, fault injection, the
@@ -44,6 +50,8 @@
 //! |   4 | pong          | —                                            |
 //! |   5 | error         | `code_len:u32 LE code… msg_len:u32 LE msg…` (code is the kebab label) |
 //! |   6 | shutting-down | —                                            |
+//! |   7 | transfer-committed | `dropped:u64 LE`                        |
+//! |   8 | transfer-discarded | `dropped:u64 LE`                        |
 //!
 //! Both sides of every pairing are exercised by the NDJSON↔binary
 //! equivalence proptests in `tests/codec_equivalence.rs`.
@@ -65,6 +73,9 @@ const TAG_BATCH: u8 = 3;
 const TAG_PING: u8 = 4;
 const TAG_QUERY_LOAD: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_TRANSFER_EXPORT: u8 = 7;
+const TAG_TRANSFER_COMMIT: u8 = 8;
+const TAG_TRANSFER_DISCARD: u8 = 9;
 
 const RTAG_RAW: u8 = 0;
 const RTAG_PLACED: u8 = 1;
@@ -73,6 +84,8 @@ const RTAG_BATCH: u8 = 3;
 const RTAG_PONG: u8 = 4;
 const RTAG_ERROR: u8 = 5;
 const RTAG_SHUTTING_DOWN: u8 = 6;
+const RTAG_TRANSFER_COMMITTED: u8 = 7;
+const RTAG_TRANSFER_DISCARDED: u8 = 8;
 
 /// Why a binary payload failed to decode. The transport answers these
 /// with a `bad-request` error reply; the connection stays open and
@@ -138,6 +151,13 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_list(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(out, vs.len() as u32);
+    for v in vs {
+        put_u64(out, *v);
+    }
 }
 
 fn put_envelope(out: &mut Vec<u8>, req_id: Option<u64>, trace: Option<TraceContext>) {
@@ -207,6 +227,26 @@ pub fn encode_request(
         Request::Shutdown => {
             put_envelope(&mut out, req_id, trace);
             out.push(TAG_SHUTDOWN);
+        }
+        Request::TransferExport { members, joiner } => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_TRANSFER_EXPORT);
+            put_u64(&mut out, *joiner as u64);
+            put_u32(&mut out, members.len() as u32);
+            for m in members {
+                put_u64(&mut out, *m as u64);
+            }
+        }
+        Request::TransferCommit { tasks } => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_TRANSFER_COMMIT);
+            put_u64_list(&mut out, tasks);
+        }
+        Request::TransferDiscard { tasks, dedupe } => {
+            put_envelope(&mut out, req_id, trace);
+            out.push(TAG_TRANSFER_DISCARD);
+            put_u64_list(&mut out, tasks);
+            put_u64_list(&mut out, dedupe);
         }
         other => {
             let line = request_line_traced(other, req_id, trace)?;
@@ -280,6 +320,16 @@ pub fn encode_response(
         Response::ShuttingDown => {
             put_response_envelope(&mut out, trace);
             out.push(RTAG_SHUTTING_DOWN);
+        }
+        Response::TransferCommitted { dropped } => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_TRANSFER_COMMITTED);
+            put_u64(&mut out, *dropped);
+        }
+        Response::TransferDiscarded { dropped } => {
+            put_response_envelope(&mut out, trace);
+            out.push(RTAG_TRANSFER_DISCARDED);
+            put_u64(&mut out, *dropped);
         }
         other => {
             let line = response_line(other, trace)?;
@@ -374,6 +424,7 @@ fn error_code_label(code: ErrorCode) -> &'static str {
         ErrorCode::BadRequest => "bad-request",
         ErrorCode::Unavailable => "unavailable",
         ErrorCode::ShardPanicked => "shard-panicked",
+        ErrorCode::StaleEpoch => "stale-epoch",
         ErrorCode::Internal => "internal",
     }
 }
@@ -386,6 +437,7 @@ fn error_code_from_label(label: &str) -> Option<ErrorCode> {
         "bad-request" => ErrorCode::BadRequest,
         "unavailable" => ErrorCode::Unavailable,
         "shard-panicked" => ErrorCode::ShardPanicked,
+        "stale-epoch" => ErrorCode::StaleEpoch,
         "internal" => ErrorCode::Internal,
         _ => return None,
     })
@@ -464,6 +516,20 @@ fn trace_from(cur: &mut Cur<'_>) -> Result<TraceContext, CodecError> {
     Ok(TraceContext::new(TraceId(trace), SpanId(span)))
 }
 
+/// A `count:u32` + `count × u64 LE` list, with the count sanity-capped
+/// against the payload length before allocating.
+fn u64_list(cur: &mut Cur<'_>, payload_len: usize) -> Result<Vec<u64>, CodecError> {
+    let count = cur.u32()? as usize;
+    if count > payload_len {
+        return Err(CodecError::Truncated);
+    }
+    let mut vs = Vec::with_capacity(count);
+    for _ in 0..count {
+        vs.push(cur.u64()?);
+    }
+    Ok(vs)
+}
+
 /// Decode one inbound binary request payload.
 pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, CodecError> {
     let mut cur = Cur::new(payload);
@@ -489,16 +555,19 @@ pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, CodecError> {
                     "tag-0 frames carry their envelope inside the JSON".into(),
                 ));
             }
-            let line = std::str::from_utf8(cur.rest())
-                .map_err(|e| CodecError::Invalid(e.to_string()))?;
-            let (envelope, req) =
-                parse_request_envelope(line).map_err(CodecError::Invalid)?;
+            let line =
+                std::str::from_utf8(cur.rest()).map_err(|e| CodecError::Invalid(e.to_string()))?;
+            let (envelope, req) = parse_request_envelope(line).map_err(CodecError::Invalid)?;
             (envelope, req, Some(line.to_owned()))
         }
         TAG_ARRIVE => {
             let size_log2 = cur.u8()?;
             (
-                RequestEnvelope { req_id, trace },
+                RequestEnvelope {
+                    req_id,
+                    trace,
+                    epoch: None,
+                },
                 Request::Arrive { size_log2 },
                 None,
             )
@@ -506,7 +575,11 @@ pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, CodecError> {
         TAG_DEPART => {
             let task = cur.u64()?;
             (
-                RequestEnvelope { req_id, trace },
+                RequestEnvelope {
+                    req_id,
+                    trace,
+                    epoch: None,
+                },
                 Request::Depart { task },
                 None,
             )
@@ -529,14 +602,87 @@ pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest, CodecError> {
                 }
             }
             (
-                RequestEnvelope { req_id, trace },
+                RequestEnvelope {
+                    req_id,
+                    trace,
+                    epoch: None,
+                },
                 Request::Batch { items },
                 None,
             )
         }
-        TAG_PING => (RequestEnvelope { req_id, trace }, Request::Ping, None),
-        TAG_QUERY_LOAD => (RequestEnvelope { req_id, trace }, Request::QueryLoad, None),
-        TAG_SHUTDOWN => (RequestEnvelope { req_id, trace }, Request::Shutdown, None),
+        TAG_PING => (
+            RequestEnvelope {
+                req_id,
+                trace,
+                epoch: None,
+            },
+            Request::Ping,
+            None,
+        ),
+        TAG_QUERY_LOAD => (
+            RequestEnvelope {
+                req_id,
+                trace,
+                epoch: None,
+            },
+            Request::QueryLoad,
+            None,
+        ),
+        TAG_SHUTDOWN => (
+            RequestEnvelope {
+                req_id,
+                trace,
+                epoch: None,
+            },
+            Request::Shutdown,
+            None,
+        ),
+        TAG_TRANSFER_EXPORT => {
+            let joiner = cur.u64()? as usize;
+            let count = cur.u32()? as usize;
+            if count > payload.len() {
+                return Err(CodecError::Truncated);
+            }
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                members.push(cur.u64()? as usize);
+            }
+            (
+                RequestEnvelope {
+                    req_id,
+                    trace,
+                    epoch: None,
+                },
+                Request::TransferExport { members, joiner },
+                None,
+            )
+        }
+        TAG_TRANSFER_COMMIT => {
+            let tasks = u64_list(&mut cur, payload.len())?;
+            (
+                RequestEnvelope {
+                    req_id,
+                    trace,
+                    epoch: None,
+                },
+                Request::TransferCommit { tasks },
+                None,
+            )
+        }
+        TAG_TRANSFER_DISCARD => {
+            let tasks = u64_list(&mut cur, payload.len())?;
+            let dedupe = u64_list(&mut cur, payload.len())?;
+            (
+                RequestEnvelope {
+                    req_id,
+                    trace,
+                    epoch: None,
+                },
+                Request::TransferDiscard { tasks, dedupe },
+                None,
+            )
+        }
         other => return Err(CodecError::UnknownTag(other)),
     };
     cur.done()?;
@@ -596,8 +742,8 @@ pub fn decode_response(payload: &[u8]) -> Result<DecodedResponse, CodecError> {
                     "tag-0 frames carry their trace inside the JSON".into(),
                 ));
             }
-            let line = std::str::from_utf8(cur.rest())
-                .map_err(|e| CodecError::Invalid(e.to_string()))?;
+            let line =
+                std::str::from_utf8(cur.rest()).map_err(|e| CodecError::Invalid(e.to_string()))?;
             let (trace, resp) = parse_response_line(line).map_err(CodecError::Invalid)?;
             (trace, resp)
         }
@@ -622,6 +768,18 @@ pub fn decode_response(payload: &[u8]) -> Result<DecodedResponse, CodecError> {
         RTAG_PONG => (trace, Response::Pong),
         RTAG_ERROR => (trace, Response::Error(decode_error(&mut cur)?)),
         RTAG_SHUTTING_DOWN => (trace, Response::ShuttingDown),
+        RTAG_TRANSFER_COMMITTED => (
+            trace,
+            Response::TransferCommitted {
+                dropped: cur.u64()?,
+            },
+        ),
+        RTAG_TRANSFER_DISCARDED => (
+            trace,
+            Response::TransferDiscarded {
+                dropped: cur.u64()?,
+            },
+        ),
         other => return Err(CodecError::UnknownTag(other)),
     };
     cur.done()?;
@@ -761,7 +919,10 @@ mod tests {
         }
         let mut padded = bytes.clone();
         padded.push(0);
-        assert_eq!(decode_request(&padded).unwrap_err(), CodecError::TrailingBytes);
+        assert_eq!(
+            decode_request(&padded).unwrap_err(),
+            CodecError::TrailingBytes
+        );
         assert!(decode_request(&[]).is_err());
     }
 
@@ -775,6 +936,69 @@ mod tests {
             decode_response(&[0, 77]).unwrap_err(),
             CodecError::UnknownTag(77)
         ));
+    }
+
+    #[test]
+    fn transfer_ops_round_trip_compactly_or_via_raw_lines() {
+        use crate::proto::{TransferSlice, TransferTask};
+        let compact = [
+            Request::TransferExport {
+                members: vec![0, 2, 3],
+                joiner: 3,
+            },
+            Request::TransferCommit {
+                tasks: vec![1, 2, u64::MAX],
+            },
+            Request::TransferDiscard {
+                tasks: vec![7],
+                dedupe: vec![9, 10],
+            },
+        ];
+        for req in compact {
+            let bytes = encode_request(&req, Some(3), Some(ctx(1, 2))).unwrap();
+            assert!(!bytes.contains(&b'{'), "{req:?} fell back to JSON");
+            let back = decode_request(&bytes).unwrap();
+            assert_eq!(back.req, req);
+            assert_eq!(back.envelope.req_id, Some(3));
+            for cut in 0..bytes.len() {
+                assert!(decode_request(&bytes[..cut]).is_err(), "{cut}-byte prefix");
+            }
+        }
+        // The import (JSON-shaped slice) rides the raw tag.
+        let import = Request::TransferImport {
+            slice: TransferSlice {
+                tasks: vec![TransferTask {
+                    global: 1,
+                    size_log2: 0,
+                    key: 5,
+                    trace: None,
+                }],
+                dedupe: vec![],
+                checksum: 11,
+            },
+        };
+        let bytes = encode_request(&import, None, None).unwrap();
+        assert_eq!(bytes[1], TAG_RAW);
+        let back = decode_request(&bytes).unwrap();
+        assert_eq!(back.req, import);
+        // Reply side: compact committed/discarded plus stale-epoch
+        // errors survive the label mapping.
+        for resp in [
+            Response::TransferCommitted { dropped: 4 },
+            Response::TransferDiscarded { dropped: 0 },
+            Response::Error(ErrorReply {
+                code: ErrorCode::StaleEpoch,
+                message: "epoch 1 behind 2".into(),
+            }),
+        ] {
+            let bytes = encode_response(&resp, Some(ctx(5, 6))).unwrap();
+            let back = decode_response(&bytes).unwrap();
+            assert_eq!(back.trace, Some(ctx(5, 6)));
+            assert_eq!(
+                serde_json::to_string(&back.resp).unwrap(),
+                serde_json::to_string(&resp).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -100,20 +100,21 @@ pub use codec::{
     encode_raw_request_line, encode_raw_response_line, encode_request, encode_response, CodecError,
     DecodedRequest, DecodedResponse,
 };
-pub use partalloc_wire::{
-    configure_stream, read_bounded_line, read_frame, write_frame, FrameRead, LineRead,
-    ParseProtoError, Proto, DEFAULT_MAX_PAYLOAD_BYTES,
-};
 pub use metrics::{
     BatchSizeSummary, LatencyHistogram, LatencySummary, Log2Histogram, Metrics, ServiceStats,
     ShardGauge, StageHistograms,
 };
 pub use net::{negotiate_hello, Server};
+pub use partalloc_wire::{
+    configure_stream, read_bounded_line, read_frame, write_frame, FrameRead, LineRead,
+    ParseProtoError, Proto, DEFAULT_MAX_PAYLOAD_BYTES,
+};
 pub use prom::{PromRender, PromServer};
 pub use proto::{
     parse_request_envelope, parse_request_line, parse_response_line, request_line,
-    request_line_traced, response_line, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport,
-    Placed, Request, RequestEnvelope, Response, ShardLoad,
+    request_line_traced, response_line, transfer_checksum, BatchItem, Departed, ErrorCode,
+    ErrorReply, LoadReport, Placed, Request, RequestEnvelope, Response, ShardLoad, TransferDedupe,
+    TransferSlice, TransferTask,
 };
 pub use server::{
     ServiceConfig, ServiceCore, ServiceError, ServiceHandle, DEFAULT_DEDUPE_WINDOW,

@@ -178,9 +178,7 @@ impl ServiceHandler {
             reply.switch_to = switch;
             return reply;
         }
-        let resp = self
-            .core
-            .handle_traced(envelope.req_id, envelope.trace, &req);
+        let resp = self.core.handle_enveloped(&envelope, &req);
         self.render(proto, &resp, &envelope)
     }
 
@@ -188,6 +186,7 @@ impl ServiceHandler {
         let empty = RequestEnvelope {
             req_id: None,
             trace: None,
+            epoch: None,
         };
         let Ok(text) = std::str::from_utf8(payload) else {
             let resp = self.core.malformed("request line is not valid UTF-8");
@@ -214,6 +213,7 @@ impl ServiceHandler {
         let empty = RequestEnvelope {
             req_id: None,
             trace: None,
+            epoch: None,
         };
         // The wire `parse` stage: frame payload → envelope.
         let parse_start = Instant::now();
@@ -252,6 +252,7 @@ impl WireHandler for ServiceHandler {
         let empty = RequestEnvelope {
             req_id: None,
             trace: None,
+            epoch: None,
         };
         self.render(proto, &resp, &empty)
     }

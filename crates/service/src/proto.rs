@@ -129,6 +129,46 @@ pub enum Request {
         /// Index of the shard to panic.
         shard: usize,
     },
+    /// Read-only transfer step 1 (sent by a router to a *donor* node
+    /// during a rebalancing join): select every in-flight task whose
+    /// arrival routing key lands on `joiner` under the post-join ring
+    /// over `members`, and reply with a checksummed
+    /// [`TransferSlice`] ([`Response::TransferExported`]). The donor's
+    /// state is untouched — ownership moves only at a later
+    /// `transfer-commit`.
+    TransferExport {
+        /// The post-join alive slot set, `joiner` included.
+        members: Vec<usize>,
+        /// The slot the joiner will own.
+        joiner: usize,
+    },
+    /// Transfer step 2 (sent to the *joiner*): replay the slice's
+    /// tasks locally — preserving each task's routing key and trace
+    /// context — and absorb its dedupe entries. Replies
+    /// [`Response::TransferImported`] with the old→new task-id remap.
+    /// Idempotent: a retried import replays the recorded remap
+    /// instead of double-placing.
+    TransferImport {
+        /// The slice exported by a donor.
+        slice: TransferSlice,
+    },
+    /// Transfer step 3 (back on the donor, after the membership flip):
+    /// drop the moved tasks. Unknown ids are skipped, so a retried
+    /// commit is naturally idempotent. Replies
+    /// [`Response::TransferCommitted`].
+    TransferCommit {
+        /// The donor-local task ids that moved.
+        tasks: Vec<u64>,
+    },
+    /// Abort path (sent to the *joiner* when a transfer faults before
+    /// the flip): discard the partially imported tasks and dedupe
+    /// entries. Replies [`Response::TransferDiscarded`].
+    TransferDiscard {
+        /// Joiner-local task ids to drop.
+        tasks: Vec<u64>,
+        /// Dedupe-window `req_id`s to forget.
+        dedupe: Vec<u64>,
+    },
     /// Begin a graceful shutdown: no new work is accepted, connections
     /// drain, and the server exits.
     Shutdown,
@@ -149,9 +189,72 @@ impl Request {
             Request::Hello { .. } => "hello",
             Request::Ping => "ping",
             Request::InjectFault { .. } => "inject-fault",
+            Request::TransferExport { .. } => "transfer-export",
+            Request::TransferImport { .. } => "transfer-import",
+            Request::TransferCommit { .. } => "transfer-commit",
+            Request::TransferDiscard { .. } => "transfer-discard",
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// One in-flight task inside a [`TransferSlice`]: everything the
+/// joiner needs to replay the arrival as its own.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferTask {
+    /// The donor-local task id (the donor's `global` counter value).
+    pub global: u64,
+    /// log2 of the task's submachine size.
+    pub size_log2: u8,
+    /// The arrival routing key the router originally hashed — the
+    /// moved-set predicate and the key the joiner re-records so a
+    /// *future* rebalance can move the task again.
+    pub key: u64,
+    /// The arrival's trace context in wire form
+    /// (`"<16 hex>-<16 hex>"`), preserved into the joiner's journal.
+    pub trace: Option<String>,
+}
+
+/// One dedupe-window entry shipped with a slice so a client retry
+/// whose original landed on the donor replays from the joiner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferDedupe {
+    /// The client-assigned idempotency id.
+    pub req_id: u64,
+    /// The original reply, rendered as one NDJSON response line.
+    /// (A line, not a [`Response`], so transfer requests stay `Eq`
+    /// and the router can rewrite node-local ids before import.)
+    pub reply: String,
+}
+
+/// A donor's checksummed export: the tasks whose routing keys the
+/// joiner's ring ranges own, plus the dedupe entries that replay
+/// their original placements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferSlice {
+    /// The moved tasks, sorted by donor-local id.
+    pub tasks: Vec<TransferTask>,
+    /// The dedupe entries whose replies placed a moved task, sorted
+    /// by `req_id`.
+    pub dedupe: Vec<TransferDedupe>,
+    /// FNV-1a over the JSON serialization of `tasks`
+    /// ([`transfer_checksum`]); the joiner refuses a slice whose
+    /// checksum disagrees.
+    pub checksum: u64,
+}
+
+/// The integrity checksum over a slice's task list: FNV-1a of its
+/// JSON serialization. Dedupe replies are excluded — the router
+/// rewrites their node-local ids in flight, so only the task list is
+/// stable end to end.
+pub fn transfer_checksum(tasks: &[TransferTask]) -> u64 {
+    let bytes = serde_json::to_vec(tasks).unwrap_or_default();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Where an arrival landed.
@@ -229,6 +332,10 @@ pub enum ErrorCode {
     /// A shard panicked on every attempt at this op; the shard healed
     /// but the op was abandoned. Safe to retry.
     ShardPanicked,
+    /// The request was stamped with a membership epoch older than one
+    /// this node has already seen — the sending router's view is
+    /// stale, and it should refetch membership instead of misrouting.
+    StaleEpoch,
     /// The request was valid but the service failed to honour it.
     Internal,
 }
@@ -287,6 +394,35 @@ pub enum Response {
         /// The shard's total completed recoveries, this one included.
         recoveries: u64,
     },
+    /// Reply to `transfer-export`: the donor's checksummed slice.
+    TransferExported {
+        /// The tasks and dedupe entries the joiner should absorb.
+        slice: TransferSlice,
+    },
+    /// Reply to `transfer-import`: how the joiner renamed the tasks.
+    TransferImported {
+        /// `(donor-local id, joiner-local id)` pairs, in import order.
+        remap: Vec<(u64, u64)>,
+    },
+    /// Reply to `transfer-commit`.
+    TransferCommitted {
+        /// How many tasks this commit actually dropped (already-gone
+        /// ids are skipped, so a retried commit reports fewer).
+        dropped: u64,
+    },
+    /// Reply to `transfer-discard`.
+    TransferDiscarded {
+        /// How many partially imported tasks were dropped.
+        dropped: u64,
+    },
+    /// A dedupe reply inherited through a state transfer. The router
+    /// unwraps `inner` *without* re-encoding its ids — they were
+    /// rewritten against the donor's slot before import, so the retry
+    /// sees the byte-identical original placement.
+    Transferred {
+        /// The original reply, ids already cluster-encoded.
+        inner: Box<Response>,
+    },
     /// Reply to `shutdown`: the service is draining.
     ShuttingDown,
     /// The request could not be honoured.
@@ -329,6 +465,12 @@ pub struct RequestEnvelope {
     pub req_id: Option<u64>,
     /// Trace context, echoed back on the reply line.
     pub trace: Option<TraceContext>,
+    /// Membership epoch stamped by a routing tier. A node remembers
+    /// the highest epoch it has seen and answers anything older with
+    /// an [`ErrorCode::StaleEpoch`] error so a lagging router replica
+    /// refetches membership instead of misrouting. Plain clients
+    /// never set this.
+    pub epoch: Option<u64>,
 }
 
 /// Parse one NDJSON request line into its [`RequestEnvelope`] and the
@@ -356,8 +498,22 @@ pub fn parse_request_envelope(line: &str) -> Result<(RequestEnvelope, Request), 
             Some(text.parse::<TraceContext>().map_err(|e| e.to_string())?)
         }
     };
+    let epoch = match value.as_object_mut().and_then(|obj| obj.remove("epoch")) {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| format!("epoch must be an unsigned integer, got {v}"))?,
+        ),
+    };
     let req = serde_json::from_value(value).map_err(|e| e.to_string())?;
-    Ok((RequestEnvelope { req_id, trace }, req))
+    Ok((
+        RequestEnvelope {
+            req_id,
+            trace,
+            epoch,
+        },
+        req,
+    ))
 }
 
 /// Parse one NDJSON request line into its optional `req_id` envelope
@@ -666,6 +822,88 @@ mod tests {
         // No trace in, none out: byte-identical to plain serialization.
         let plain = response_line(&Response::Pong, None).unwrap();
         assert_eq!(plain, serde_json::to_string(&Response::Pong).unwrap());
+    }
+
+    #[test]
+    fn transfer_ops_roundtrip_as_tagged_json() {
+        let slice = TransferSlice {
+            tasks: vec![TransferTask {
+                global: 4,
+                size_log2: 2,
+                key: 0xabcd,
+                trace: Some("00000000000000ab-0000000000000001".into()),
+            }],
+            dedupe: vec![TransferDedupe {
+                req_id: 9,
+                reply: r#"{"reply":"pong"}"#.into(),
+            }],
+            checksum: 7,
+        };
+        let reqs = [
+            Request::TransferExport {
+                members: vec![0, 1, 2],
+                joiner: 2,
+            },
+            Request::TransferImport {
+                slice: slice.clone(),
+            },
+            Request::TransferCommit { tasks: vec![4, 5] },
+            Request::TransferDiscard {
+                tasks: vec![1],
+                dedupe: vec![9],
+            },
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            assert!(json.contains("\"op\":\"transfer-"), "{json}");
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req);
+            assert!(req.label().starts_with("transfer-"), "{}", req.label());
+        }
+        // The reply side nests and unwraps.
+        let exported = Response::TransferExported { slice };
+        let json = serde_json::to_string(&exported).unwrap();
+        assert!(json.contains("\"reply\":\"transfer-exported\""), "{json}");
+        let wrapped = Response::Transferred {
+            inner: Box::new(Response::Pong),
+        };
+        let json = serde_json::to_string(&wrapped).unwrap();
+        assert!(json.contains("\"reply\":\"transferred\""), "{json}");
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Transferred { inner } => assert!(matches!(*inner, Response::Pong)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_checksums_pin_the_task_list() {
+        let mut tasks = vec![TransferTask {
+            global: 1,
+            size_log2: 0,
+            key: 2,
+            trace: None,
+        }];
+        let a = transfer_checksum(&tasks);
+        assert_eq!(a, transfer_checksum(&tasks), "deterministic");
+        tasks[0].key = 3;
+        assert_ne!(a, transfer_checksum(&tasks), "sensitive to content");
+        assert_ne!(transfer_checksum(&[]), 0);
+    }
+
+    #[test]
+    fn epoch_envelope_strips_like_req_id() {
+        let (envelope, req) =
+            parse_request_envelope(r#"{"op":"ping","epoch":4,"req_id":1}"#).unwrap();
+        assert_eq!(envelope.epoch, Some(4));
+        assert_eq!(envelope.req_id, Some(1));
+        assert_eq!(req, Request::Ping);
+        let (envelope, _) = parse_request_envelope(r#"{"op":"ping"}"#).unwrap();
+        assert_eq!(envelope.epoch, None);
+        assert!(parse_request_envelope(r#"{"op":"ping","epoch":"x"}"#).is_err());
+        assert!(parse_request_envelope(r#"{"op":"ping","epoch":-1}"#).is_err());
+        // The stale-epoch error code uses the kebab spelling.
+        let code = serde_json::to_string(&ErrorCode::StaleEpoch).unwrap();
+        assert_eq!(code, r#""stale-epoch""#);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! states, directory and counters are therefore mutually consistent
 //! (no task half-arrived into a shard but missing from the directory).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
@@ -34,10 +34,12 @@ use partalloc_topology::BuddyTree;
 
 use crate::metrics::{Log2Histogram, Metrics, ServiceStats, ShardGauge};
 use crate::proto::{
-    BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request, Response, ShardLoad,
+    transfer_checksum, BatchItem, Departed, ErrorCode, ErrorReply, LoadReport, Placed, Request,
+    RequestEnvelope, Response, ShardLoad, TransferDedupe, TransferSlice, TransferTask,
 };
 use crate::shard::{
-    RouterKind, Shard, ShardEffect, ShardError, ShardOp, ShardRouter, DEFAULT_FLIGHT_CAP,
+    ring_owner, RouterKind, Shard, ShardEffect, ShardError, ShardOp, ShardRouter,
+    DEFAULT_FLIGHT_CAP,
 };
 use crate::snapshot::{ServiceHealth, ServiceSnapshot, ServiceTaskEntry};
 
@@ -191,12 +193,20 @@ pub struct ServiceCore {
     config: ServiceConfig,
     shards: Vec<Shard>,
     router: Box<dyn ShardRouter>,
-    /// global id → (shard index, shard-local id), active tasks only.
-    directory: Mutex<HashMap<u64, (usize, u64)>>,
+    /// global id → placement + arrival facts, active tasks only.
+    directory: Mutex<HashMap<u64, DirEntry>>,
     next_global: AtomicU64,
     mutations: AtomicU64,
     metrics: Metrics,
     shutting_down: AtomicBool,
+    /// Highest membership epoch seen in a request envelope; lower
+    /// epochs are fenced with a `stale-epoch` error so a router with
+    /// an outdated membership table refetches instead of misrouting.
+    epoch_seen: AtomicU64,
+    /// donor global id → local global id, for tasks accepted through
+    /// `transfer-import`: a retried import replays the same remap
+    /// instead of placing duplicates.
+    transfer_imports: Mutex<HashMap<u64, u64>>,
     /// Mutations hold this shared; snapshot builds hold it exclusive.
     quiesce: RwLock<()>,
     /// Recent identified-mutation replies, for exactly-once retries.
@@ -208,6 +218,21 @@ pub struct ServiceCore {
     core_dump_gen: AtomicU64,
     /// Paths of core-ring dumps written so far, for `ServiceHealth`.
     core_dump_paths: Mutex<Vec<String>>,
+}
+
+/// One active task's directory record: where it lives plus the
+/// arrival-time facts a state transfer must preserve. `key` is the
+/// routing key the cluster tier hashed to pick this node (trace id
+/// over req id, mirroring the router's precedence); tasks that
+/// arrived without either — batch items, snapshot restores — have no
+/// key and are never eligible to move.
+#[derive(Debug, Clone)]
+struct DirEntry {
+    shard: usize,
+    local: u64,
+    size_log2: u8,
+    key: Option<u64>,
+    trace: Option<TraceContext>,
 }
 
 /// A bounded FIFO map of recent identified-mutation replies: retrying
@@ -244,6 +269,19 @@ impl DedupeWindow {
             }
         }
     }
+
+    /// Every retained `(req_id, reply)` pair (transfer export scans
+    /// these for replies that must follow their tasks to the joiner).
+    fn entries(&self) -> impl Iterator<Item = (u64, &Response)> {
+        self.replies.iter().map(|(&id, r)| (id, r))
+    }
+
+    /// Forget one reply (transfer discard). The id may linger in the
+    /// eviction queue; removing it there too would cost a scan, and a
+    /// stale queue entry only makes a future eviction a no-op.
+    fn remove(&mut self, id: u64) {
+        self.replies.remove(&id);
+    }
 }
 
 /// One grouped same-shard run within a batch dispatch.
@@ -267,8 +305,8 @@ impl BatchRun {
 /// needs beyond the shard effect (and what an abandoned depart needs
 /// restored into the directory).
 enum BatchMeta {
-    Arrive,
-    Depart { global: u64, local: u64 },
+    Arrive { size_log2: u8 },
+    Depart { global: u64, entry: DirEntry },
 }
 
 impl ServiceCore {
@@ -307,6 +345,8 @@ impl ServiceCore {
             mutations: AtomicU64::new(0),
             metrics: Metrics::new(),
             shutting_down: AtomicBool::new(false),
+            epoch_seen: AtomicU64::new(0),
+            transfer_imports: Mutex::new(HashMap::new()),
             quiesce: RwLock::new(()),
             dedupe,
             flight,
@@ -362,7 +402,17 @@ impl ServiceCore {
             if t.shard >= shards.len() {
                 return Err(bad(format!("task {} names shard {}", t.global, t.shard)));
             }
-            if directory.insert(t.global, (t.shard, t.local)).is_some() {
+            // Snapshots record placement only: restored tasks carry no
+            // routing key (or size/trace), so they are pinned to this
+            // node until they depart.
+            let entry = DirEntry {
+                shard: t.shard,
+                local: t.local,
+                size_log2: 0,
+                key: None,
+                trace: None,
+            };
+            if directory.insert(t.global, entry).is_some() {
                 return Err(bad(format!("task {} appears twice", t.global)));
             }
         }
@@ -392,6 +442,8 @@ impl ServiceCore {
             mutations: AtomicU64::new(0),
             metrics: Metrics::new(),
             shutting_down: AtomicBool::new(false),
+            epoch_seen: AtomicU64::new(0),
+            transfer_imports: Mutex::new(HashMap::new()),
             quiesce: RwLock::new(()),
             dedupe,
             flight,
@@ -447,6 +499,27 @@ impl ServiceCore {
         self.handle_traced(req_id, None, req)
     }
 
+    /// Serve one request under its full wire envelope. Epoch-stamped
+    /// forwards (a cluster router includes its membership epoch) are
+    /// fenced: an epoch lower than the highest this node has seen gets
+    /// a `stale-epoch` error — the router refetches membership and
+    /// re-forwards instead of acting on a stale table. Unstamped
+    /// requests (direct clients, single-node deployments) skip the
+    /// fence. Id and trace semantics are those of
+    /// [`ServiceCore::handle_traced`].
+    pub fn handle_enveloped(&self, envelope: &RequestEnvelope, req: &Request) -> Response {
+        if let Some(epoch) = envelope.epoch {
+            let seen = self.epoch_seen.fetch_max(epoch, Ordering::SeqCst);
+            if epoch < seen {
+                return Response::error(
+                    ErrorCode::StaleEpoch,
+                    format!("membership epoch {epoch} is stale (this node has seen {seen})"),
+                );
+            }
+        }
+        self.handle_traced(envelope.req_id, envelope.trace, req)
+    }
+
     /// Serve one request carrying an optional idempotency id and an
     /// optional wire trace context.
     ///
@@ -470,7 +543,7 @@ impl ServiceCore {
                 Request::Arrive { .. } | Request::Depart { .. } | Request::Batch { .. }
             );
         if !identified_mutation {
-            return self.timed(req, trace);
+            return self.timed(req_id, req, trace);
         }
         let id = req_id.expect("checked above");
         if let Some(replay) = self.dedupe.lock().get(id) {
@@ -482,7 +555,7 @@ impl ServiceCore {
             );
             return replay;
         }
-        let resp = self.timed(req, trace);
+        let resp = self.timed(req_id, req, trace);
         if Self::cacheable(req, &resp) {
             self.dedupe.lock().insert(id, resp.clone());
         }
@@ -490,9 +563,9 @@ impl ServiceCore {
     }
 
     /// Dispatch under the latency histogram and error counter.
-    fn timed(&self, req: &Request, trace: Option<TraceContext>) -> Response {
+    fn timed(&self, req_id: Option<u64>, req: &Request, trace: Option<TraceContext>) -> Response {
         let start = Instant::now();
-        let resp = self.dispatch(req, trace);
+        let resp = self.dispatch(req_id, req, trace);
         if matches!(resp, Response::Error(_)) {
             Metrics::incr(&self.metrics.errors);
         }
@@ -525,11 +598,29 @@ impl ServiceCore {
         }
     }
 
-    fn dispatch(&self, req: &Request, trace: Option<TraceContext>) -> Response {
+    fn dispatch(
+        &self,
+        req_id: Option<u64>,
+        req: &Request,
+        trace: Option<TraceContext>,
+    ) -> Response {
         match req {
-            Request::Arrive { size_log2 } => self.arrive(*size_log2, trace),
+            Request::Arrive { size_log2 } => {
+                // The routing key the cluster tier would have hashed to
+                // pick this node — same precedence as the router's
+                // route_key (trace id over req id) — remembered so a
+                // state transfer can re-derive ring ownership.
+                let key = trace.map(|c| c.trace.0).or(req_id);
+                self.arrive(*size_log2, key, trace)
+            }
             Request::Depart { task } => self.depart(*task, trace),
             Request::Batch { items } => self.batch(items, trace),
+            Request::TransferExport { members, joiner } => self.transfer_export(members, *joiner),
+            Request::TransferImport { slice } => self.transfer_import(slice),
+            Request::TransferCommit { tasks } => self.transfer_commit(tasks, trace),
+            Request::TransferDiscard { tasks, dedupe } => {
+                self.transfer_discard(tasks, dedupe, trace)
+            }
             Request::QueryLoad => {
                 Metrics::incr(&self.metrics.load_queries);
                 Response::Load(self.load_report())
@@ -606,7 +697,7 @@ impl ServiceCore {
         }
     }
 
-    fn arrive(&self, size_log2: u8, trace: Option<TraceContext>) -> Response {
+    fn arrive(&self, size_log2: u8, key: Option<u64>, trace: Option<TraceContext>) -> Response {
         if self.is_shutting_down() {
             return Response::error(ErrorCode::Unavailable, "service is shutting down");
         }
@@ -622,9 +713,16 @@ impl ServiceCore {
                 Err(e) => return Response::from_shard_error(e),
             };
             let global = self.next_global.fetch_add(1, Ordering::SeqCst);
-            self.directory
-                .lock()
-                .insert(global, (shard_idx, arrival.local));
+            self.directory.lock().insert(
+                global,
+                DirEntry {
+                    shard: shard_idx,
+                    local: arrival.local,
+                    size_log2,
+                    key,
+                    trace,
+                },
+            );
             Metrics::incr(&self.metrics.arrivals);
             let outcome = &arrival.outcome;
             let migrations = outcome.migrations.len() as u64;
@@ -662,9 +760,10 @@ impl ServiceCore {
             let entry = Self::staged(&self.metrics.stages.route, || {
                 self.directory.lock().remove(&task)
             });
-            let Some((shard_idx, local)) = entry else {
+            let Some(entry) = entry else {
                 return Response::from_core_error(CoreError::UnknownTask(TaskId(task)));
             };
+            let (shard_idx, local) = (entry.shard, entry.local);
             let placement = match Self::staged(&self.metrics.stages.shard, || {
                 self.shards[shard_idx].depart_traced(local, trace)
             }) {
@@ -673,7 +772,7 @@ impl ServiceCore {
                     // The claim must be undone: the task is still
                     // placed (an abandoned depart applies nothing), so
                     // a later retry must be able to find it.
-                    self.directory.lock().insert(task, (shard_idx, local));
+                    self.directory.lock().insert(task, entry);
                     return Response::from_shard_error(e);
                 }
             };
@@ -687,6 +786,163 @@ impl ServiceCore {
         };
         self.after_mutations(1);
         Response::Departed(departed)
+    }
+
+    /// Serve a `transfer-export`: the donor side of a rebalancing
+    /// join. Under the exclusive quiesce lock (so the slice is a
+    /// consistent cut), select every keyed task whose ring owner under
+    /// the prospective membership (`members` includes the joiner) is
+    /// the joiner, plus the dedupe-window replies that answered those
+    /// placements — a retry that lands on the joiner after the flip
+    /// must replay the original reply. Read-only: the donor gives
+    /// nothing up until a later `transfer-commit`.
+    fn transfer_export(&self, members: &[usize], joiner: usize) -> Response {
+        if !members.contains(&joiner) {
+            return Response::error(
+                ErrorCode::BadRequest,
+                format!("joiner {joiner} is not in the prospective member list {members:?}"),
+            );
+        }
+        let _exclusive = self.quiesce.write();
+        let mut tasks: Vec<TransferTask> = self
+            .directory
+            .lock()
+            .iter()
+            .filter_map(|(&global, e)| {
+                let key = e.key?;
+                (ring_owner(key, members) == Some(joiner)).then(|| TransferTask {
+                    global,
+                    size_log2: e.size_log2,
+                    key,
+                    trace: e.trace.map(|c| c.to_string()),
+                })
+            })
+            .collect();
+        tasks.sort_by_key(|t| t.global);
+        let moved: HashSet<u64> = tasks.iter().map(|t| t.global).collect();
+        let mut dedupe: Vec<TransferDedupe> = self
+            .dedupe
+            .lock()
+            .entries()
+            .filter_map(|(req_id, resp)| match resp {
+                Response::Placed(p) if moved.contains(&p.task) => Some(TransferDedupe {
+                    req_id,
+                    reply: serde_json::to_string(resp).ok()?,
+                }),
+                _ => None,
+            })
+            .collect();
+        dedupe.sort_by_key(|d| d.req_id);
+        let checksum = transfer_checksum(&tasks);
+        Response::TransferExported {
+            slice: TransferSlice {
+                tasks,
+                dedupe,
+                checksum,
+            },
+        }
+    }
+
+    /// Serve a `transfer-import`: the joiner side. Verify the slice
+    /// checksum, place every task in donor order with its original
+    /// routing key and trace preserved, then install the shipped
+    /// dedupe replies — only after every task landed, so a partially
+    /// imported slice can never replay a reply for a task it dropped.
+    /// Idempotent: a retried import replays the recorded remap for
+    /// tasks already accepted. Atomic: if any placement fails, the
+    /// tasks this call placed are departed again and their remap
+    /// entries forgotten, leaving the joiner as if the import never
+    /// arrived.
+    fn transfer_import(&self, slice: &TransferSlice) -> Response {
+        if transfer_checksum(&slice.tasks) != slice.checksum {
+            return Response::error(
+                ErrorCode::BadRequest,
+                format!(
+                    "transfer slice checksum mismatch: got {:#018x}, computed {:#018x}",
+                    slice.checksum,
+                    transfer_checksum(&slice.tasks)
+                ),
+            );
+        }
+        let mut remap: Vec<(u64, u64)> = Vec::with_capacity(slice.tasks.len());
+        let mut fresh: Vec<u64> = Vec::new(); // donor ids placed by THIS call
+        for t in &slice.tasks {
+            let replayed = self.transfer_imports.lock().get(&t.global).copied();
+            if let Some(new) = replayed {
+                remap.push((t.global, new));
+                continue;
+            }
+            let trace = t.trace.as_deref().and_then(|s| s.parse().ok());
+            match self.arrive(t.size_log2, Some(t.key), trace) {
+                Response::Placed(p) => {
+                    self.transfer_imports.lock().insert(t.global, p.task);
+                    remap.push((t.global, p.task));
+                    fresh.push(t.global);
+                }
+                failure => {
+                    // Compensate: un-place what this call placed so a
+                    // failed import leaves no partial state behind.
+                    for &old in &fresh {
+                        if let Some(new) = self.transfer_imports.lock().remove(&old) {
+                            let _ = self.depart(new, None);
+                        }
+                    }
+                    return failure;
+                }
+            }
+        }
+        let mut window = self.dedupe.lock();
+        for d in &slice.dedupe {
+            if let Ok(resp) = serde_json::from_str::<Response>(&d.reply) {
+                window.insert(d.req_id, resp);
+            }
+        }
+        drop(window);
+        Response::TransferImported { remap }
+    }
+
+    /// Serve a `transfer-commit`: after the membership flip, the donor
+    /// drops the tasks the joiner now owns. Skipping ids it no longer
+    /// holds makes the commit idempotent under router retries.
+    fn transfer_commit(&self, tasks: &[u64], trace: Option<TraceContext>) -> Response {
+        let mut dropped = 0u64;
+        for &task in tasks {
+            match self.depart(task, trace) {
+                Response::Departed(_) => dropped += 1,
+                Response::Error(e) if e.code == ErrorCode::UnknownTask => {}
+                failure => return failure,
+            }
+        }
+        Response::TransferCommitted { dropped }
+    }
+
+    /// Serve a `transfer-discard`: an aborted transfer tells the
+    /// joiner to throw away everything it imported — the listed tasks
+    /// (already renumbered into this node's id space), their remap
+    /// entries, and the shipped dedupe replies. Best-effort and
+    /// idempotent: ids already gone are skipped.
+    fn transfer_discard(
+        &self,
+        tasks: &[u64],
+        dedupe: &[u64],
+        trace: Option<TraceContext>,
+    ) -> Response {
+        let mut dropped = 0u64;
+        for &task in tasks {
+            if let Response::Departed(_) = self.depart(task, trace) {
+                dropped += 1;
+            }
+        }
+        let discarded: HashSet<u64> = tasks.iter().copied().collect();
+        self.transfer_imports
+            .lock()
+            .retain(|_, new| !discarded.contains(new));
+        let mut window = self.dedupe.lock();
+        for &id in dedupe {
+            window.remove(id);
+        }
+        drop(window);
+        Response::TransferDiscarded { dropped }
     }
 
     /// Serve a `batch` request: apply the items in order, grouping
@@ -731,7 +987,7 @@ impl ServiceCore {
                         }
                         let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
                         r.ops.push(ShardOp::Arrive { size_log2 });
-                        r.metas.push(BatchMeta::Arrive);
+                        r.metas.push(BatchMeta::Arrive { size_log2 });
                     }
                     BatchItem::Depart { task } => {
                         let mut entry = Self::staged(&self.metrics.stages.route, || {
@@ -746,13 +1002,14 @@ impl ServiceCore {
                                 entry = self.directory.lock().remove(&task);
                             }
                         }
-                        let Some((shard_idx, local)) = entry else {
+                        let Some(entry) = entry else {
                             Metrics::incr(&self.metrics.errors);
                             results.push(Response::from_core_error(CoreError::UnknownTask(
                                 TaskId(task),
                             )));
                             continue;
                         };
+                        let shard_idx = entry.shard;
                         if run.as_ref().is_some_and(|r| r.shard != shard_idx) {
                             applied += self.flush_run(
                                 run.take().expect("checked above"),
@@ -761,10 +1018,10 @@ impl ServiceCore {
                             );
                         }
                         let r = run.get_or_insert_with(|| BatchRun::new(shard_idx));
-                        r.ops.push(ShardOp::Depart { local });
+                        r.ops.push(ShardOp::Depart { local: entry.local });
                         r.metas.push(BatchMeta::Depart {
                             global: task,
-                            local,
+                            entry,
                         });
                     }
                 }
@@ -793,10 +1050,23 @@ impl ServiceCore {
             match effect {
                 Ok(ShardEffect::Arrived(arrival)) => {
                     applied += 1;
+                    let BatchMeta::Arrive { size_log2 } = meta else {
+                        unreachable!("arrive effects come from arrive ops")
+                    };
                     let global = self.next_global.fetch_add(1, Ordering::SeqCst);
-                    self.directory
-                        .lock()
-                        .insert(global, (run.shard, arrival.local));
+                    // Batch items carry no per-item identity, so no
+                    // routing key: batch-placed tasks stay put through
+                    // state transfers.
+                    self.directory.lock().insert(
+                        global,
+                        DirEntry {
+                            shard: run.shard,
+                            local: arrival.local,
+                            size_log2,
+                            key: None,
+                            trace,
+                        },
+                    );
                     Metrics::incr(&self.metrics.arrivals);
                     let outcome = &arrival.outcome;
                     let migrations = outcome.migrations.len() as u64;
@@ -837,9 +1107,9 @@ impl ServiceCore {
                     // An abandoned depart applied nothing: restore its
                     // claimed directory entry so the task stays
                     // reachable.
-                    if let (ShardError::Panicked, BatchMeta::Depart { global, local }) = (&e, &meta)
+                    if let (ShardError::Panicked, BatchMeta::Depart { global, entry }) = (&e, &meta)
                     {
-                        self.directory.lock().insert(*global, (run.shard, *local));
+                        self.directory.lock().insert(*global, entry.clone());
                     }
                     Metrics::incr(&self.metrics.errors);
                     results.push(Response::from_shard_error(e));
@@ -908,10 +1178,10 @@ impl ServiceCore {
             .directory
             .lock()
             .iter()
-            .map(|(&global, &(shard, local))| ServiceTaskEntry {
+            .map(|(&global, entry)| ServiceTaskEntry {
                 global,
-                shard,
-                local,
+                shard: entry.shard,
+                local: entry.local,
             })
             .collect();
         tasks.sort_by_key(|t| t.global);
@@ -1854,5 +2124,150 @@ mod tests {
         assert_eq!(stats.health.faults_injected, 1);
         assert_eq!(stats.errors, 0);
         assert_eq!(h.query_load().unwrap().active_tasks, 1);
+    }
+
+    #[test]
+    fn stale_epochs_are_fenced() {
+        let h = handle(AllocatorKind::Greedy, 8, 1);
+        let core = h.core();
+        let env = |epoch| RequestEnvelope {
+            req_id: None,
+            trace: None,
+            epoch,
+        };
+        assert!(matches!(
+            core.handle_enveloped(&env(Some(5)), &Request::Ping),
+            Response::Pong
+        ));
+        // A lower epoch is stale: the router must refetch, not misroute.
+        match core.handle_enveloped(&env(Some(3)), &Request::Ping) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::StaleEpoch),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // The same epoch and unstamped requests pass the fence.
+        assert!(matches!(
+            core.handle_enveloped(&env(Some(5)), &Request::Ping),
+            Response::Pong
+        ));
+        assert!(matches!(
+            core.handle_enveloped(&env(None), &Request::Ping),
+            Response::Pong
+        ));
+    }
+
+    /// Drive a donor with identified arrivals and export the slice a
+    /// join of node 1 (members `[0, 1]`) would ship.
+    fn exported_donor() -> (ServiceHandle, TransferSlice, Vec<u64>, u64) {
+        let donor = handle(AllocatorKind::Greedy, 32, 1);
+        let core = donor.core();
+        let mut moved = Vec::new();
+        let mut kept = 0u64;
+        // 0..64 splits 44/20 between the two ring members (0..16 would
+        // all hash to member 0).
+        for id in 0..64u64 {
+            match core.handle_with_id(Some(id), &Request::Arrive { size_log2: 0 }) {
+                Response::Placed(_) => {}
+                other => panic!("wrong variant: {other:?}"),
+            }
+            if ring_owner(id, &[0, 1]) == Some(1) {
+                moved.push(id);
+            } else {
+                kept += 1;
+            }
+        }
+        assert!(!moved.is_empty() && kept > 0, "seed must split both ways");
+        let resp = core.handle(&Request::TransferExport {
+            members: vec![0, 1],
+            joiner: 1,
+        });
+        let Response::TransferExported { slice } = resp else {
+            panic!("wrong variant: {resp:?}");
+        };
+        (donor, slice, moved, kept)
+    }
+
+    #[test]
+    fn transfer_ships_ring_owned_tasks_with_their_dedupe_replies() {
+        let (donor, slice, moved, kept) = exported_donor();
+        let dcore = donor.core();
+        // The export selected exactly the ring-owned tasks, with their
+        // replies, and the checksum pins the list. Export is read-only.
+        assert_eq!(slice.tasks.len(), moved.len());
+        assert_eq!(slice.dedupe.len(), moved.len());
+        assert_eq!(slice.checksum, transfer_checksum(&slice.tasks));
+        assert_eq!(dcore.load_report().active_tasks, kept + moved.len() as u64);
+        let joiner = handle(AllocatorKind::Greedy, 32, 1);
+        let jcore = joiner.core();
+        let resp = jcore.handle(&Request::TransferImport {
+            slice: slice.clone(),
+        });
+        let Response::TransferImported { remap } = resp else {
+            panic!("wrong variant: {resp:?}");
+        };
+        assert_eq!(remap.len(), slice.tasks.len());
+        // A retried import replays the same remap without duplicating.
+        let resp = jcore.handle(&Request::TransferImport {
+            slice: slice.clone(),
+        });
+        let Response::TransferImported { remap: again } = resp else {
+            panic!("wrong variant: {resp:?}");
+        };
+        assert_eq!(remap, again);
+        assert_eq!(jcore.load_report().active_tasks as usize, slice.tasks.len());
+        // Commit on the donor drops exactly the moved tasks, once.
+        let commit: Vec<u64> = slice.tasks.iter().map(|t| t.global).collect();
+        let resp = dcore.handle(&Request::TransferCommit {
+            tasks: commit.clone(),
+        });
+        assert!(
+            matches!(resp, Response::TransferCommitted { dropped } if dropped == commit.len() as u64)
+        );
+        assert_eq!(dcore.load_report().active_tasks, kept);
+        let resp = dcore.handle(&Request::TransferCommit { tasks: commit });
+        assert!(matches!(resp, Response::TransferCommitted { dropped: 0 }));
+        // A retried request whose original landed on the donor now
+        // replays its original reply byte-for-byte from the joiner.
+        let rid = moved[0];
+        let replay = jcore.handle_with_id(Some(rid), &Request::Arrive { size_log2: 0 });
+        let original = slice.dedupe.iter().find(|d| d.req_id == rid).unwrap();
+        assert_eq!(serde_json::to_string(&replay).unwrap(), original.reply);
+    }
+
+    #[test]
+    fn corrupt_slices_are_rejected_and_discard_cleans_the_joiner() {
+        let (_donor, slice, moved, _kept) = exported_donor();
+        let joiner = handle(AllocatorKind::Greedy, 32, 1);
+        let jcore = joiner.core();
+        // A checksum mismatch never touches the joiner.
+        let mut corrupt = slice.clone();
+        corrupt.checksum ^= 1;
+        match jcore.handle(&Request::TransferImport { slice: corrupt }) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(jcore.load_report().active_tasks, 0);
+        // Import, then abort: discard drops the imported tasks, their
+        // remap entries, and the shipped dedupe replies.
+        let resp = jcore.handle(&Request::TransferImport {
+            slice: slice.clone(),
+        });
+        let Response::TransferImported { remap } = resp else {
+            panic!("wrong variant: {resp:?}");
+        };
+        let resp = jcore.handle(&Request::TransferDiscard {
+            tasks: remap.iter().map(|&(_, new)| new).collect(),
+            dedupe: slice.dedupe.iter().map(|d| d.req_id).collect(),
+        });
+        assert!(
+            matches!(resp, Response::TransferDiscarded { dropped } if dropped == remap.len() as u64)
+        );
+        assert_eq!(jcore.load_report().active_tasks, 0);
+        // The dedupe entries are gone: a moved req_id re-executes.
+        let rid = moved[0];
+        match jcore.handle_with_id(Some(rid), &Request::Arrive { size_log2: 0 }) {
+            Response::Placed(_) => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert_eq!(jcore.stats().dedupe_replays, 0);
     }
 }

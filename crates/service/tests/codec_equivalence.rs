@@ -21,8 +21,7 @@ use partalloc_service::{
 
 fn trace() -> impl Strategy<Value = Option<TraceContext>> {
     proptest::option::of(
-        (any::<u64>(), any::<u64>())
-            .prop_map(|(t, s)| TraceContext::new(TraceId(t), SpanId(s))),
+        (any::<u64>(), any::<u64>()).prop_map(|(t, s)| TraceContext::new(TraceId(t), SpanId(s))),
     )
 }
 
@@ -39,8 +38,7 @@ fn request() -> impl Strategy<Value = Request> {
     prop_oneof![
         any::<u8>().prop_map(|size_log2| Request::Arrive { size_log2 }),
         any::<u64>().prop_map(|task| Request::Depart { task }),
-        proptest::collection::vec(batch_item(), 0..20)
-            .prop_map(|items| Request::Batch { items }),
+        proptest::collection::vec(batch_item(), 0..20).prop_map(|items| Request::Batch { items }),
         Just(Request::QueryLoad),
         Just(Request::Snapshot),
         Just(Request::Stats),
@@ -77,14 +75,14 @@ fn placed() -> impl Strategy<Value = Placed> {
 }
 
 fn departed() -> impl Strategy<Value = Departed> {
-    (any::<u64>(), 0usize..64, any::<u32>(), any::<u32>()).prop_map(
-        |(task, shard, node, layer)| Departed {
+    (any::<u64>(), 0usize..64, any::<u32>(), any::<u32>()).prop_map(|(task, shard, node, layer)| {
+        Departed {
             task,
             shard,
             node,
             layer,
-        },
-    )
+        }
+    })
 }
 
 fn error_reply() -> impl Strategy<Value = ErrorReply> {
@@ -104,27 +102,24 @@ fn error_reply() -> impl Strategy<Value = ErrorReply> {
 }
 
 fn load_report() -> impl Strategy<Value = LoadReport> {
-    proptest::collection::vec(
-        (0usize..64, any::<u64>(), any::<u64>(), any::<u64>()),
-        0..6,
-    )
-    .prop_map(|shards| {
-        let shards: Vec<ShardLoad> = shards
-            .into_iter()
-            .map(|(shard, max_load, active_tasks, active_size)| ShardLoad {
-                shard,
-                max_load,
-                active_tasks,
-                active_size,
-            })
-            .collect();
-        LoadReport {
-            max_load: shards.iter().map(|s| s.max_load).max().unwrap_or(0),
-            active_tasks: shards.iter().map(|s| s.active_tasks).sum(),
-            active_size: shards.iter().map(|s| s.active_size).sum(),
-            shards,
-        }
-    })
+    proptest::collection::vec((0usize..64, any::<u64>(), any::<u64>(), any::<u64>()), 0..6)
+        .prop_map(|shards| {
+            let shards: Vec<ShardLoad> = shards
+                .into_iter()
+                .map(|(shard, max_load, active_tasks, active_size)| ShardLoad {
+                    shard,
+                    max_load,
+                    active_tasks,
+                    active_size,
+                })
+                .collect();
+            LoadReport {
+                max_load: shards.iter().map(|s| s.max_load).max().unwrap_or(0),
+                active_tasks: shards.iter().map(|s| s.active_tasks).sum(),
+                active_size: shards.iter().map(|s| s.active_size).sum(),
+                shards,
+            }
+        })
 }
 
 /// One batchable per-item result.
@@ -147,8 +142,7 @@ fn response() -> impl Strategy<Value = Response> {
             .prop_map(|results| Response::Batch { results }),
         load_report().prop_map(Response::Load),
         ".{0,48}".prop_map(|text| Response::Metrics { text }),
-        proptest::collection::vec(".{0,16}", 0..4)
-            .prop_map(|files| Response::Dumped { files }),
+        proptest::collection::vec(".{0,16}", 0..4).prop_map(|files| Response::Dumped { files }),
         ".{0,12}".prop_map(|proto| Response::Hello { proto }),
         Just(Response::Pong),
         (0usize..64, any::<u64>())

@@ -9,8 +9,8 @@ use std::time::Duration;
 use partalloc_core::{Allocator, AllocatorKind};
 use partalloc_model::{Event, Task};
 use partalloc_service::{
-    BatchItem, ErrorCode, Proto, Request, Response, RouterKind, Server, ServiceConfig,
-    ServiceCore, ServiceSnapshot, TcpClient,
+    BatchItem, ErrorCode, Proto, Request, Response, RouterKind, Server, ServiceConfig, ServiceCore,
+    ServiceSnapshot, TcpClient,
 };
 use partalloc_sim::run_sequence_dyn;
 use partalloc_topology::BuddyTree;

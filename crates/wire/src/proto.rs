@@ -43,7 +43,11 @@ pub struct ParseProtoError(pub String);
 
 impl fmt::Display for ParseProtoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown protocol {:?} (expected ndjson or binary)", self.0)
+        write!(
+            f,
+            "unknown protocol {:?} (expected ndjson or binary)",
+            self.0
+        )
     }
 }
 

@@ -325,7 +325,13 @@ fn worker_loop<H: WireHandler>(idx: usize, shared: Arc<Shared>, handler: Arc<H>,
         let mut progress = false;
         let mut i = 0;
         while i < conns.len() {
-            let alive = tick(handler.as_ref(), &mut conns[i], cap, &mut scratch, &mut progress);
+            let alive = tick(
+                handler.as_ref(),
+                &mut conns[i],
+                cap,
+                &mut scratch,
+                &mut progress,
+            );
             if alive {
                 i += 1;
             } else {
@@ -392,20 +398,18 @@ fn process_units<H: WireHandler>(handler: &H, conn: &mut Conn<H::Conn>, cap: usi
             break;
         }
         match conn.drain {
-            DrainState::Line => {
-                match conn.inbuf[pos..].iter().position(|&b| b == b'\n') {
-                    Some(i) => {
-                        pos += i + 1;
-                        conn.drain = DrainState::None;
-                        let reply = handler.oversized(&mut conn.state, conn.proto, cap);
-                        apply_reply(conn, reply);
-                    }
-                    None => {
-                        pos = conn.inbuf.len();
-                        break;
-                    }
+            DrainState::Line => match conn.inbuf[pos..].iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    pos += i + 1;
+                    conn.drain = DrainState::None;
+                    let reply = handler.oversized(&mut conn.state, conn.proto, cap);
+                    apply_reply(conn, reply);
                 }
-            }
+                None => {
+                    pos = conn.inbuf.len();
+                    break;
+                }
+            },
             DrainState::Frame(rem) => {
                 let avail = conn.inbuf.len() - pos;
                 if avail >= rem {
@@ -455,8 +459,11 @@ fn process_units<H: WireHandler>(handler: &H, conn: &mut Conn<H::Conn>, cap: usi
                         apply_reply(conn, reply);
                     } else if avail >= 4 + len {
                         let start = pos + 4;
-                        let reply =
-                            handler.handle(&mut conn.state, conn.proto, &conn.inbuf[start..start + len]);
+                        let reply = handler.handle(
+                            &mut conn.state,
+                            conn.proto,
+                            &conn.inbuf[start..start + len],
+                        );
                         pos = start + len;
                         apply_reply(conn, reply);
                     } else {
@@ -651,9 +658,15 @@ mod tests {
         write_frame(&mut out, b"second").unwrap();
         conn.write_all(&out).unwrap();
         let mut buf = Vec::new();
-        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(
+            read_frame(&mut r, &mut buf, 1 << 20).unwrap(),
+            FrameRead::Frame
+        );
         assert_eq!(buf, b"bin\nary");
-        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(
+            read_frame(&mut r, &mut buf, 1 << 20).unwrap(),
+            FrameRead::Frame
+        );
         assert_eq!(buf, b"second");
         reactor.finish(Duration::from_millis(200));
     }
@@ -672,9 +685,15 @@ mod tests {
         write_frame(&mut out, b"ok").unwrap();
         conn.write_all(&out).unwrap();
         let mut buf = Vec::new();
-        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(
+            read_frame(&mut r, &mut buf, 1 << 20).unwrap(),
+            FrameRead::Frame
+        );
         assert_eq!(buf, b"too-big:16");
-        assert_eq!(read_frame(&mut r, &mut buf, 1 << 20).unwrap(), FrameRead::Frame);
+        assert_eq!(
+            read_frame(&mut r, &mut buf, 1 << 20).unwrap(),
+            FrameRead::Frame
+        );
         assert_eq!(buf, b"ok");
         reactor.finish(Duration::from_millis(200));
     }
