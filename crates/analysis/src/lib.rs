@@ -23,6 +23,6 @@ pub use stats::{LinearFit, Summary};
 pub use svgchart::{line_chart_svg, Series};
 pub use table::{fmt_f64, Table};
 pub use trace::{
-    analyze, layer_rank, Anomaly, AnomalyKind, SourceSummary, StageRow, TraceReport, TraceSource,
-    TraceStep, TraceTree,
+    analyze, layer_rank, timeline_svg_from, Anomaly, AnomalyKind, ReportView, SourceSummary,
+    StageRow, TraceAccumulator, TraceReport, TraceSource, TraceStep, TraceTree, TreeRow,
 };

@@ -11,6 +11,22 @@
 //! from a `palloc router` cluster run), and summarized as
 //! deterministic ASCII tables plus an SVG timeline.
 //!
+//! ## Streaming
+//!
+//! Since PR 9 the analyzer is a fold, not a batch: a
+//! [`TraceAccumulator`] consumes one event at a time (`begin_source`,
+//! then `push` per event, then `finish`), so the same aggregation code
+//! runs over an in-memory parse *and* over the indexed trace store's
+//! cursors (`partalloc-tracestore`) without materializing a full event
+//! vector twice. [`analyze`] is the thin batch wrapper.
+//!
+//! Overlapping flight-recorder dumps (pre-rebuild ring dumps across
+//! generations) can repeat spans; the accumulator drops duplicates by
+//! `(trace_id, span_id, seq)` plus a content digest (recorder seqs are
+//! per-stream, so the digest keeps two *different* recorders' records
+//! apart) and counts them, so ingesting the same window twice cannot
+//! double-count a request tree.
+//!
 //! ## Determinism
 //!
 //! The whole workspace deliberately has **no wall clock** in its span
@@ -21,14 +37,62 @@
 //! byte-identical reports. Sources are labeled by file basename (never
 //! full paths) and every aggregation iterates sorted containers, so
 //! report bytes cannot depend on temp-dir names or map order.
+//! [`ReportView`] owns the text rendering: the in-memory
+//! [`TraceReport`] and the trace store's manifest-backed view both
+//! build one, so the two paths cannot drift apart byte-wise.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use partalloc_obs::{parse_span_stream, ParseEventError, ParsedEvent, ParsedValue, TraceId};
+use partalloc_obs::{
+    parse_span_stream, parse_span_stream_lossy, ParseEventError, ParsedEvent, ParsedValue, SpanId,
+    TraceId,
+};
 
 use crate::svgchart::{line_chart_svg, Series};
 use crate::table::{fmt_f64, Table};
+
+/// FNV-1a-64 digest of an event's layer, name, and attributes — the
+/// part of a span record's identity that `(trace, span, seq)` does not
+/// cover. Recorder seqs are per-stream (every recorder counts from 0),
+/// so one propagated trace context can legitimately appear in two
+/// different recorders' streams at the same local seq; a *real*
+/// duplicate (the same ring window dumped twice across generations) is
+/// byte-identical, so the digest separates the two cases. `0xff` never
+/// occurs in UTF-8, making it an unambiguous separator.
+fn event_digest(ev: &ParsedEvent) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(ev.layer.as_bytes());
+    eat(&[0xff]);
+    eat(ev.name.as_bytes());
+    eat(&[0xff]);
+    for (key, value) in &ev.attrs {
+        eat(key.as_bytes());
+        match value {
+            ParsedValue::U64(v) => {
+                eat(&[0xff, 0x01]);
+                eat(&v.to_le_bytes());
+            }
+            ParsedValue::F64(v) => {
+                eat(&[0xff, 0x02]);
+                eat(&v.to_bits().to_le_bytes());
+            }
+            ParsedValue::Str(v) => {
+                eat(&[0xff, 0x03]);
+                eat(v.as_bytes());
+            }
+            ParsedValue::Bool(v) => eat(&[0xff, 0x04, u8::from(*v)]),
+        }
+        eat(&[0xff]);
+    }
+    h
+}
 
 /// Rank of a layer along the request path: client(0) → proxy(1) →
 /// router(2) → server(3) → shard(4) → engine(5); unknown layers rank
@@ -53,14 +117,29 @@ pub struct TraceSource {
     pub label: String,
     /// The parsed events, in file order.
     pub events: Vec<ParsedEvent>,
+    /// Torn trailing lines skipped by a lossy parse (0 for strict).
+    pub torn_tails: usize,
 }
 
 impl TraceSource {
-    /// Parse an NDJSON span stream under a label.
+    /// Parse an NDJSON span stream under a label, strictly.
     pub fn parse(label: impl Into<String>, text: &str) -> Result<Self, ParseEventError> {
         Ok(TraceSource {
             label: label.into(),
             events: parse_span_stream(text)?,
+            torn_tails: 0,
+        })
+    }
+
+    /// Parse tolerating a torn tail (a dump cut mid-write by SIGKILL):
+    /// the truncated final line is skipped and counted instead of
+    /// failing the stream.
+    pub fn parse_lossy(label: impl Into<String>, text: &str) -> Result<Self, ParseEventError> {
+        let lossy = parse_span_stream_lossy(text)?;
+        Ok(TraceSource {
+            label: label.into(),
+            events: lossy.events,
+            torn_tails: lossy.torn_tails,
         })
     }
 }
@@ -119,24 +198,41 @@ impl TraceTree {
     pub fn count_named(&self, name: &str) -> usize {
         self.steps.iter().filter(|s| s.name == name).count()
     }
+
+    /// Events per layer, in (layer rank, layer name) order — the
+    /// seq-time cost of each stage for this one trace.
+    pub fn layer_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<(u8, &str), usize> = BTreeMap::new();
+        for step in &self.steps {
+            *counts
+                .entry((layer_rank(&step.layer), step.layer.as_str()))
+                .or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|((_, layer), n)| (layer.to_owned(), n))
+            .collect()
+    }
 }
 
 /// Per-source ingest summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SourceSummary {
     /// The source's label (file basename).
     pub label: String,
-    /// Total events parsed.
+    /// Total events parsed from this source (duplicates included).
     pub events: usize,
-    /// Events carrying a trace context.
+    /// Kept events carrying a trace context.
     pub traced: usize,
     /// Distinct trace ids seen in this source.
     pub traces: usize,
+    /// Torn trailing lines skipped while reading this source.
+    pub torn: usize,
 }
 
 /// Per-layer seq-time attribution: how much of the recorded activity
 /// each request-path stage accounts for.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageRow {
     /// The layer (stage) name.
     pub layer: String,
@@ -171,6 +267,24 @@ pub enum AnomalyKind {
     PartialTransfer,
 }
 
+impl AnomalyKind {
+    /// Every kind, in sort order (the order reports group by).
+    pub const ALL: &'static [AnomalyKind] = &[
+        AnomalyKind::RetryStorm,
+        AnomalyKind::DedupeReplay,
+        AnomalyKind::PanicRebuild,
+        AnomalyKind::UnhealedPanic,
+        AnomalyKind::BatchFanOut,
+        AnomalyKind::CrossNodeReroute,
+        AnomalyKind::PartialTransfer,
+    ];
+
+    /// Parse the hyphenated display form back into a kind.
+    pub fn parse(s: &str) -> Option<AnomalyKind> {
+        Self::ALL.iter().copied().find(|k| k.to_string() == s)
+    }
+}
+
 impl fmt::Display for AnomalyKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -196,262 +310,50 @@ pub struct Anomaly {
     pub detail: String,
 }
 
-/// The analyzer's output: summaries, request trees, anomalies, and the
-/// critical path, all built deterministically from the sources.
+/// One row of the ranked request-tree table: everything the report
+/// needs about a tree *except* its steps — what the trace store's
+/// index holds, so store-backed reports render without touching
+/// segment data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeRow {
+    /// The trace id.
+    pub trace: TraceId,
+    /// Number of events in the tree.
+    pub events: usize,
+    /// The request path (`client->server->shard`).
+    pub path: String,
+    /// Distinct shards the tree touched.
+    pub shards: BTreeSet<u64>,
+}
+
+/// Everything the deterministic text report renders, decoupled from
+/// where it came from. The in-memory [`TraceReport`] builds one from
+/// its full trees; the trace store builds one from its manifest plus a
+/// single indexed fetch (the critical path's steps). Both therefore
+/// produce byte-identical `render_text` output for the same recording.
 #[derive(Debug, Clone)]
-pub struct TraceReport {
+pub struct ReportView {
     /// Per-source ingest summaries, in input order.
     pub sources: Vec<SourceSummary>,
     /// Per-layer attribution rows, in layer-rank order.
     pub stages: Vec<StageRow>,
-    /// Request trees, sorted by trace id.
-    pub trees: Vec<TraceTree>,
+    /// One row per request tree, sorted by trace id.
+    pub trees: Vec<TreeRow>,
+    /// The critical path: the deepest tree's id and ordered steps.
+    pub critical: Option<(TraceId, Vec<TraceStep>)>,
     /// Flagged anomalies, sorted by (kind, subject, detail).
     pub anomalies: Vec<Anomaly>,
-    /// Total events across all sources.
+    /// Total kept events across all sources.
     pub total_events: usize,
-    labels: Vec<String>,
-    timeline: Vec<Vec<(f64, f64)>>,
+    /// Duplicate spans dropped (same (trace, span, seq) seen twice).
+    pub dup_dropped: usize,
+    /// Torn trailing lines skipped across all sources.
+    pub torn_tails: usize,
+    /// Source labels, in input order (step rendering refers to them).
+    pub labels: Vec<String>,
 }
 
-/// Group the sources' events into request trees and summarize them.
-pub fn analyze(sources: Vec<TraceSource>) -> TraceReport {
-    let mut summaries = Vec::with_capacity(sources.len());
-    let mut by_trace: BTreeMap<TraceId, Vec<TraceStep>> = BTreeMap::new();
-    let mut layer_events: BTreeMap<String, usize> = BTreeMap::new();
-    let mut layer_traces: BTreeMap<String, BTreeSet<TraceId>> = BTreeMap::new();
-    let mut total_events = 0usize;
-    let mut labels = Vec::with_capacity(sources.len());
-    let mut timeline = Vec::with_capacity(sources.len());
-
-    for (si, source) in sources.iter().enumerate() {
-        let mut traced = 0usize;
-        let mut ids: BTreeSet<TraceId> = BTreeSet::new();
-        let mut line: Vec<(f64, f64)> = Vec::with_capacity(source.events.len());
-        for ev in &source.events {
-            total_events += 1;
-            *layer_events.entry(ev.layer.clone()).or_default() += 1;
-            line.push((ev.seq as f64, f64::from(layer_rank(&ev.layer))));
-            let shard = ev.attr("shard").and_then(ParsedValue::as_u64);
-            if let Some(ctx) = ev.trace {
-                traced += 1;
-                ids.insert(ctx.trace);
-                layer_traces
-                    .entry(ev.layer.clone())
-                    .or_default()
-                    .insert(ctx.trace);
-                by_trace.entry(ctx.trace).or_default().push(TraceStep {
-                    source: si,
-                    seq: ev.seq,
-                    layer: ev.layer.clone(),
-                    name: ev.name.clone(),
-                    shard,
-                });
-            }
-        }
-        summaries.push(SourceSummary {
-            label: source.label.clone(),
-            events: source.events.len(),
-            traced,
-            traces: ids.len(),
-        });
-        labels.push(source.label.clone());
-        timeline.push(line);
-    }
-
-    let trees: Vec<TraceTree> = by_trace
-        .into_iter()
-        .map(|(trace, mut steps)| {
-            steps.sort_by(|a, b| {
-                (layer_rank(&a.layer), a.source, a.seq, a.name.as_str()).cmp(&(
-                    layer_rank(&b.layer),
-                    b.source,
-                    b.seq,
-                    b.name.as_str(),
-                ))
-            });
-            TraceTree { trace, steps }
-        })
-        .collect();
-
-    let mut stages: Vec<StageRow> = layer_events
-        .iter()
-        .map(|(layer, &events)| StageRow {
-            layer: layer.clone(),
-            events,
-            share: if total_events == 0 {
-                0.0
-            } else {
-                events as f64 / total_events as f64
-            },
-            traces: layer_traces.get(layer).map_or(0, BTreeSet::len),
-        })
-        .collect();
-    stages.sort_by(|a, b| {
-        (layer_rank(&a.layer), a.layer.as_str()).cmp(&(layer_rank(&b.layer), b.layer.as_str()))
-    });
-
-    let anomalies = detect_anomalies(&sources, &trees);
-
-    TraceReport {
-        sources: summaries,
-        stages,
-        trees,
-        anomalies,
-        total_events,
-        labels,
-        timeline,
-    }
-}
-
-/// Apply the anomaly rules (see `DESIGN.md` §13): retry storms (≥3
-/// retries in one trace), dedupe replays, panic→rebuild windows per
-/// source, batch fan-out (one trace touching ≥2 shards), cross-node
-/// reroutes (a router `reroute` event — an arrival moved to a
-/// survivor after its first node died), and partial transfers (a
-/// rebalancing join that left shadowed duplicates on a donor, or a
-/// `transfer_begin` with no terminal flip/abort).
-fn detect_anomalies(sources: &[TraceSource], trees: &[TraceTree]) -> Vec<Anomaly> {
-    let mut out = Vec::new();
-    for tree in trees {
-        let subject = format!("trace {}", tree.trace);
-        let retries = tree.count_named("retry");
-        if retries >= 3 {
-            out.push(Anomaly {
-                kind: AnomalyKind::RetryStorm,
-                subject: subject.clone(),
-                detail: format!("{retries} retries"),
-            });
-        }
-        let replays = tree.count_named("dedupe_hit");
-        if replays > 0 {
-            out.push(Anomaly {
-                kind: AnomalyKind::DedupeReplay,
-                subject: subject.clone(),
-                detail: format!("{replays} replay(s) answered from the dedupe window"),
-            });
-        }
-        let shards = tree.shards();
-        if shards.len() >= 2 {
-            let list: Vec<String> = shards.iter().map(u64::to_string).collect();
-            out.push(Anomaly {
-                kind: AnomalyKind::BatchFanOut,
-                subject,
-                detail: format!("split across shards {}", list.join(",")),
-            });
-        }
-    }
-    for source in sources {
-        // Panic/rebuild windows are per recorder stream: a `panic`
-        // opens an outage window on its shard, the next `rebuild` on
-        // the same shard closes it. Likewise a `transfer_begin` opens
-        // a transfer that the next flip or abort closes; transfers
-        // are sequential per router, so a simple queue suffices.
-        let mut open: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut open_transfers: Vec<u64> = Vec::new();
-        for ev in &source.events {
-            if ev.layer == "router" {
-                match ev.name.as_str() {
-                    "transfer_begin" => open_transfers.push(ev.seq),
-                    "transfer_flip" => {
-                        open_transfers.pop();
-                    }
-                    "transfer_abort" => {
-                        let partial = ev.attr("partial").and_then(ParsedValue::as_u64);
-                        if partial != Some(1) {
-                            open_transfers.pop();
-                        }
-                        if partial == Some(1) {
-                            let node = ev.attr("node").and_then(ParsedValue::as_u64).unwrap_or(0);
-                            out.push(Anomaly {
-                                kind: AnomalyKind::PartialTransfer,
-                                subject: source.label.clone(),
-                                detail: format!(
-                                    "donor node {node} kept shadowed duplicates after the flip (seq {})",
-                                    ev.seq
-                                ),
-                            });
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            if ev.layer == "router" && ev.name == "reroute" {
-                let from = ev.attr("from").and_then(ParsedValue::as_u64).unwrap_or(0);
-                let to = ev.attr("to").and_then(ParsedValue::as_u64).unwrap_or(0);
-                let subject = match ev.trace {
-                    Some(ctx) => format!("trace {}", ctx.trace),
-                    None => source.label.clone(),
-                };
-                out.push(Anomaly {
-                    kind: AnomalyKind::CrossNodeReroute,
-                    subject,
-                    detail: format!("rerouted node {from} -> node {to} at seq {}", ev.seq),
-                });
-            }
-            let shard = ev.attr("shard").and_then(ParsedValue::as_u64).unwrap_or(0);
-            match ev.name.as_str() {
-                "panic" => {
-                    open.entry(shard).or_insert(ev.seq);
-                }
-                "rebuild" => {
-                    if let Some(start) = open.remove(&shard) {
-                        out.push(Anomaly {
-                            kind: AnomalyKind::PanicRebuild,
-                            subject: source.label.clone(),
-                            detail: format!("shard {shard} down over seq [{start}, {}]", ev.seq),
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
-        for (shard, start) in open {
-            out.push(Anomaly {
-                kind: AnomalyKind::UnhealedPanic,
-                subject: source.label.clone(),
-                detail: format!("shard {shard} panicked at seq {start}, no rebuild recorded"),
-            });
-        }
-        for start in open_transfers {
-            out.push(Anomaly {
-                kind: AnomalyKind::PartialTransfer,
-                subject: source.label.clone(),
-                detail: format!("transfer begun at seq {start} never flipped or aborted"),
-            });
-        }
-    }
-    out.sort_by(|a, b| {
-        (a.kind, a.subject.as_str(), a.detail.as_str()).cmp(&(
-            b.kind,
-            b.subject.as_str(),
-            b.detail.as_str(),
-        ))
-    });
-    out
-}
-
-impl TraceReport {
-    /// Number of reconstructed request trees (distinct trace ids).
-    pub fn trace_count(&self) -> usize {
-        self.trees.len()
-    }
-
-    /// The critical path: the steps of the deepest request tree (most
-    /// events; ties break toward the smallest trace id), in request
-    /// path order. Empty when no events carried a trace.
-    pub fn critical_path(&self) -> Option<&TraceTree> {
-        self.trees
-            .iter()
-            .max_by(|a, b| {
-                // max_by keeps the *last* maximum; compare ids in
-                // reverse so the smallest id wins ties.
-                (a.steps.len(), std::cmp::Reverse(a.trace))
-                    .cmp(&(b.steps.len(), std::cmp::Reverse(b.trace)))
-            })
-            .filter(|t| !t.steps.is_empty())
-    }
-
+impl ReportView {
     /// Render the whole report as deterministic ASCII (the `palloc
     /// trace` output). `top` caps the per-trace table; deeper trees
     /// win, ties break toward smaller ids.
@@ -470,6 +372,12 @@ impl TraceReport {
             ]);
         }
         out.push_str(&t.render_text());
+        if self.dup_dropped > 0 || self.torn_tails > 0 {
+            out.push_str(&format!(
+                "(dropped {} duplicate span(s), skipped {} torn tail line(s))\n",
+                self.dup_dropped, self.torn_tails
+            ));
+        }
 
         out.push_str("\n## Stage attribution (seq-time, events per layer)\n");
         let mut t = Table::new(&["stage", "events", "share", "traces"]);
@@ -488,15 +396,15 @@ impl TraceReport {
             self.trees.len(),
             self.total_events
         ));
-        let mut ranked: Vec<&TraceTree> = self.trees.iter().collect();
-        ranked.sort_by(|a, b| (b.steps.len(), a.trace).cmp(&(a.steps.len(), b.trace)));
+        let mut ranked: Vec<&TreeRow> = self.trees.iter().collect();
+        ranked.sort_by(|a, b| (b.events, a.trace).cmp(&(a.events, b.trace)));
         let mut t = Table::new(&["trace", "events", "path", "shards"]);
         for tree in ranked.iter().take(top) {
-            let shards: Vec<String> = tree.shards().iter().map(u64::to_string).collect();
+            let shards: Vec<String> = tree.shards.iter().map(u64::to_string).collect();
             t.row(&[
                 tree.trace.to_string(),
-                tree.steps.len().to_string(),
-                tree.path(),
+                tree.events.to_string(),
+                tree.path.clone(),
                 if shards.is_empty() {
                     "-".to_string()
                 } else {
@@ -509,14 +417,14 @@ impl TraceReport {
             out.push_str(&format!("({} more not shown)\n", self.trees.len() - top));
         }
 
-        match self.critical_path() {
-            Some(tree) => {
+        match &self.critical {
+            Some((trace, steps)) => {
                 out.push_str(&format!(
                     "\n## Critical path (trace {}, {} events)\n",
-                    tree.trace,
-                    tree.steps.len()
+                    trace,
+                    steps.len()
                 ));
-                for (i, step) in tree.steps.iter().enumerate() {
+                for (i, step) in steps.iter().enumerate() {
                     out.push_str(&format!(
                         "{:>4}. {}/{} seq={} [{}]\n",
                         i + 1,
@@ -542,28 +450,428 @@ impl TraceReport {
         }
         out
     }
+}
+
+/// The analyzer's output: summaries, request trees, anomalies, and the
+/// critical path, all built deterministically from the sources.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Per-source ingest summaries, in input order.
+    pub sources: Vec<SourceSummary>,
+    /// Per-layer attribution rows, in layer-rank order.
+    pub stages: Vec<StageRow>,
+    /// Request trees, sorted by trace id.
+    pub trees: Vec<TraceTree>,
+    /// Flagged anomalies, sorted by (kind, subject, detail).
+    pub anomalies: Vec<Anomaly>,
+    /// Total kept events across all sources.
+    pub total_events: usize,
+    /// Duplicate spans dropped by (trace, span, seq) dedupe.
+    pub dup_dropped: usize,
+    /// Torn trailing lines skipped across all sources.
+    pub torn_tails: usize,
+    labels: Vec<String>,
+    timeline: Vec<Vec<(f64, f64)>>,
+}
+
+/// Streams events into the analyzer one at a time.
+///
+/// Call [`begin_source`](TraceAccumulator::begin_source) for each
+/// stream (in input order), [`push`](TraceAccumulator::push) for each
+/// of its events (in file order), then
+/// [`finish`](TraceAccumulator::finish). `push` returns `false` when
+/// the event was dropped as a duplicate — the trace store's ingest
+/// uses that to skip writing the record.
+#[derive(Debug, Default)]
+pub struct TraceAccumulator {
+    summaries: Vec<SourceSummary>,
+    labels: Vec<String>,
+    timeline: Vec<Vec<(f64, f64)>>,
+    by_trace: BTreeMap<TraceId, Vec<TraceStep>>,
+    layer_events: BTreeMap<String, usize>,
+    layer_traces: BTreeMap<String, BTreeSet<TraceId>>,
+    seen: BTreeSet<(TraceId, SpanId, u64, u64)>,
+    total_events: usize,
+    dup_dropped: usize,
+    torn_tails: usize,
+    anomalies: Vec<Anomaly>,
+    cur: Option<SourceState>,
+}
+
+/// Per-source streaming state: the summary counters plus the anomaly
+/// window machines that live within one recorder stream.
+#[derive(Debug)]
+struct SourceState {
+    index: usize,
+    label: String,
+    events: usize,
+    traced: usize,
+    ids: BTreeSet<TraceId>,
+    torn: usize,
+    /// shard → seq of its open `panic` (awaiting a `rebuild`).
+    open_panics: BTreeMap<u64, u64>,
+    /// seqs of `transfer_begin`s awaiting a flip or abort.
+    open_transfers: Vec<u64>,
+}
+
+impl TraceAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start the next source stream. Events pushed after this belong
+    /// to it. Returns the source's index.
+    pub fn begin_source(&mut self, label: impl Into<String>) -> usize {
+        self.end_source();
+        let label = label.into();
+        let index = self.labels.len();
+        self.labels.push(label.clone());
+        self.timeline.push(Vec::new());
+        self.cur = Some(SourceState {
+            index,
+            label,
+            events: 0,
+            traced: 0,
+            ids: BTreeSet::new(),
+            torn: 0,
+            open_panics: BTreeMap::new(),
+            open_transfers: Vec::new(),
+        });
+        index
+    }
+
+    /// Record torn trailing lines skipped while reading the current
+    /// source.
+    pub fn note_torn(&mut self, count: usize) {
+        self.torn_tails += count;
+        if let Some(cur) = self.cur.as_mut() {
+            cur.torn += count;
+        }
+    }
+
+    /// Feed one event of the current source. Returns `false` when the
+    /// event was dropped as a duplicate of an already-seen
+    /// `(trace, span, seq)` triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no source was begun.
+    pub fn push(&mut self, ev: &ParsedEvent) -> bool {
+        let cur = self
+            .cur
+            .as_mut()
+            .expect("begin_source before pushing events");
+        cur.events += 1;
+        if let Some(ctx) = ev.trace {
+            if !self
+                .seen
+                .insert((ctx.trace, ctx.span, ev.seq, event_digest(ev)))
+            {
+                self.dup_dropped += 1;
+                return false;
+            }
+        }
+        self.total_events += 1;
+        *self.layer_events.entry(ev.layer.clone()).or_default() += 1;
+        self.timeline[cur.index].push((ev.seq as f64, f64::from(layer_rank(&ev.layer))));
+        let shard = ev.attr("shard").and_then(ParsedValue::as_u64);
+        if let Some(ctx) = ev.trace {
+            cur.traced += 1;
+            cur.ids.insert(ctx.trace);
+            self.layer_traces
+                .entry(ev.layer.clone())
+                .or_default()
+                .insert(ctx.trace);
+            self.by_trace.entry(ctx.trace).or_default().push(TraceStep {
+                source: cur.index,
+                seq: ev.seq,
+                layer: ev.layer.clone(),
+                name: ev.name.clone(),
+                shard,
+            });
+        }
+
+        // Per-source anomaly window machines (see `DESIGN.md` §13):
+        // a `panic` opens an outage window on its shard, the next
+        // `rebuild` on the same shard closes it. A `transfer_begin`
+        // opens a transfer that the next flip or abort closes;
+        // transfers are sequential per router, so a queue suffices.
+        if ev.layer == "router" {
+            match ev.name.as_str() {
+                "transfer_begin" => cur.open_transfers.push(ev.seq),
+                "transfer_flip" => {
+                    cur.open_transfers.pop();
+                }
+                "transfer_abort" => {
+                    let partial = ev.attr("partial").and_then(ParsedValue::as_u64);
+                    if partial != Some(1) {
+                        cur.open_transfers.pop();
+                    }
+                    if partial == Some(1) {
+                        let node = ev.attr("node").and_then(ParsedValue::as_u64).unwrap_or(0);
+                        self.anomalies.push(Anomaly {
+                            kind: AnomalyKind::PartialTransfer,
+                            subject: cur.label.clone(),
+                            detail: format!(
+                                "donor node {node} kept shadowed duplicates after the flip (seq {})",
+                                ev.seq
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if ev.layer == "router" && ev.name == "reroute" {
+            let from = ev.attr("from").and_then(ParsedValue::as_u64).unwrap_or(0);
+            let to = ev.attr("to").and_then(ParsedValue::as_u64).unwrap_or(0);
+            let subject = match ev.trace {
+                Some(ctx) => format!("trace {}", ctx.trace),
+                None => cur.label.clone(),
+            };
+            self.anomalies.push(Anomaly {
+                kind: AnomalyKind::CrossNodeReroute,
+                subject,
+                detail: format!("rerouted node {from} -> node {to} at seq {}", ev.seq),
+            });
+        }
+        let shard_attr = shard.unwrap_or(0);
+        match ev.name.as_str() {
+            "panic" => {
+                cur.open_panics.entry(shard_attr).or_insert(ev.seq);
+            }
+            "rebuild" => {
+                if let Some(start) = cur.open_panics.remove(&shard_attr) {
+                    self.anomalies.push(Anomaly {
+                        kind: AnomalyKind::PanicRebuild,
+                        subject: cur.label.clone(),
+                        detail: format!("shard {shard_attr} down over seq [{start}, {}]", ev.seq),
+                    });
+                }
+            }
+            _ => {}
+        }
+        true
+    }
+
+    /// Close the current source: flush its summary and the anomalies
+    /// whose windows never closed.
+    fn end_source(&mut self) {
+        let Some(cur) = self.cur.take() else { return };
+        for (&shard, &start) in &cur.open_panics {
+            self.anomalies.push(Anomaly {
+                kind: AnomalyKind::UnhealedPanic,
+                subject: cur.label.clone(),
+                detail: format!("shard {shard} panicked at seq {start}, no rebuild recorded"),
+            });
+        }
+        for &start in &cur.open_transfers {
+            self.anomalies.push(Anomaly {
+                kind: AnomalyKind::PartialTransfer,
+                subject: cur.label.clone(),
+                detail: format!("transfer begun at seq {start} never flipped or aborted"),
+            });
+        }
+        self.summaries.push(SourceSummary {
+            label: cur.label,
+            events: cur.events,
+            traced: cur.traced,
+            traces: cur.ids.len(),
+            torn: cur.torn,
+        });
+    }
+
+    /// Finish: build the deterministic report.
+    pub fn finish(mut self) -> TraceReport {
+        self.end_source();
+        let trees: Vec<TraceTree> = self
+            .by_trace
+            .into_iter()
+            .map(|(trace, mut steps)| {
+                steps.sort_by(|a, b| {
+                    (layer_rank(&a.layer), a.source, a.seq, a.name.as_str()).cmp(&(
+                        layer_rank(&b.layer),
+                        b.source,
+                        b.seq,
+                        b.name.as_str(),
+                    ))
+                });
+                TraceTree { trace, steps }
+            })
+            .collect();
+
+        let total_events = self.total_events;
+        let mut stages: Vec<StageRow> = self
+            .layer_events
+            .iter()
+            .map(|(layer, &events)| StageRow {
+                layer: layer.clone(),
+                events,
+                share: if total_events == 0 {
+                    0.0
+                } else {
+                    events as f64 / total_events as f64
+                },
+                traces: self.layer_traces.get(layer).map_or(0, BTreeSet::len),
+            })
+            .collect();
+        stages.sort_by(|a, b| {
+            (layer_rank(&a.layer), a.layer.as_str()).cmp(&(layer_rank(&b.layer), b.layer.as_str()))
+        });
+
+        // The per-trace rules: retry storms (≥3 retries), dedupe
+        // replays, batch fan-out (one trace touching ≥2 shards).
+        let mut anomalies = self.anomalies;
+        for tree in &trees {
+            let subject = format!("trace {}", tree.trace);
+            let retries = tree.count_named("retry");
+            if retries >= 3 {
+                anomalies.push(Anomaly {
+                    kind: AnomalyKind::RetryStorm,
+                    subject: subject.clone(),
+                    detail: format!("{retries} retries"),
+                });
+            }
+            let replays = tree.count_named("dedupe_hit");
+            if replays > 0 {
+                anomalies.push(Anomaly {
+                    kind: AnomalyKind::DedupeReplay,
+                    subject: subject.clone(),
+                    detail: format!("{replays} replay(s) answered from the dedupe window"),
+                });
+            }
+            let shards = tree.shards();
+            if shards.len() >= 2 {
+                let list: Vec<String> = shards.iter().map(u64::to_string).collect();
+                anomalies.push(Anomaly {
+                    kind: AnomalyKind::BatchFanOut,
+                    subject,
+                    detail: format!("split across shards {}", list.join(",")),
+                });
+            }
+        }
+        anomalies.sort_by(|a, b| {
+            (a.kind, a.subject.as_str(), a.detail.as_str()).cmp(&(
+                b.kind,
+                b.subject.as_str(),
+                b.detail.as_str(),
+            ))
+        });
+
+        TraceReport {
+            sources: self.summaries,
+            stages,
+            trees,
+            anomalies,
+            total_events,
+            dup_dropped: self.dup_dropped,
+            torn_tails: self.torn_tails,
+            labels: self.labels,
+            timeline: self.timeline,
+        }
+    }
+}
+
+/// Group the sources' events into request trees and summarize them —
+/// the batch wrapper over [`TraceAccumulator`].
+pub fn analyze(sources: Vec<TraceSource>) -> TraceReport {
+    let mut acc = TraceAccumulator::new();
+    for source in &sources {
+        acc.begin_source(source.label.clone());
+        acc.note_torn(source.torn_tails);
+        for ev in &source.events {
+            acc.push(ev);
+        }
+    }
+    acc.finish()
+}
+
+/// Build a seq-time timeline SVG: one series per label, x = the
+/// recorder seq, y = the emitting layer's rank. `None` when no series
+/// has points. Shared by the in-memory report and the trace store's
+/// cursor scan, so both draw identical charts.
+pub fn timeline_svg_from(
+    labels: &[String],
+    timeline: &[Vec<(f64, f64)>],
+    width: u32,
+    height: u32,
+) -> Option<String> {
+    let series: Vec<Series<'_>> = labels
+        .iter()
+        .zip(timeline)
+        .filter(|(_, pts)| !pts.is_empty())
+        .map(|(label, pts)| (label.as_str(), pts.as_slice()))
+        .collect();
+    if series.is_empty() {
+        return None;
+    }
+    Some(line_chart_svg(
+        &series,
+        width,
+        height,
+        "seq (recorder order)",
+        "layer rank (client=0 .. engine=5)",
+    ))
+}
+
+impl TraceReport {
+    /// Number of reconstructed request trees (distinct trace ids).
+    pub fn trace_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The critical path: the steps of the deepest request tree (most
+    /// events; ties break toward the smallest trace id), in request
+    /// path order. Empty when no events carried a trace.
+    pub fn critical_path(&self) -> Option<&TraceTree> {
+        self.trees
+            .iter()
+            .max_by(|a, b| {
+                // max_by keeps the *last* maximum; compare ids in
+                // reverse so the smallest id wins ties.
+                (a.steps.len(), std::cmp::Reverse(a.trace))
+                    .cmp(&(b.steps.len(), std::cmp::Reverse(b.trace)))
+            })
+            .filter(|t| !t.steps.is_empty())
+    }
+
+    /// The renderable view of this report (see [`ReportView`]).
+    pub fn view(&self) -> ReportView {
+        ReportView {
+            sources: self.sources.clone(),
+            stages: self.stages.clone(),
+            trees: self
+                .trees
+                .iter()
+                .map(|t| TreeRow {
+                    trace: t.trace,
+                    events: t.steps.len(),
+                    path: t.path(),
+                    shards: t.shards(),
+                })
+                .collect(),
+            critical: self.critical_path().map(|t| (t.trace, t.steps.clone())),
+            anomalies: self.anomalies.clone(),
+            total_events: self.total_events,
+            dup_dropped: self.dup_dropped,
+            torn_tails: self.torn_tails,
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Render the whole report as deterministic ASCII (the `palloc
+    /// trace` output). `top` caps the per-trace table; deeper trees
+    /// win, ties break toward smaller ids.
+    pub fn render_text(&self, top: usize) -> String {
+        self.view().render_text(top)
+    }
 
     /// The seq-time timeline as an SVG: one series per source, x = the
     /// recorder seq, y = the emitting layer's rank. `None` when no
     /// source has any events (an empty chart cannot be drawn).
     pub fn timeline_svg(&self, width: u32, height: u32) -> Option<String> {
-        let series: Vec<Series<'_>> = self
-            .labels
-            .iter()
-            .zip(&self.timeline)
-            .filter(|(_, pts)| !pts.is_empty())
-            .map(|(label, pts)| (label.as_str(), pts.as_slice()))
-            .collect();
-        if series.is_empty() {
-            return None;
-        }
-        Some(line_chart_svg(
-            &series,
-            width,
-            height,
-            "seq (recorder order)",
-            "layer rank (client=0 .. engine=5)",
-        ))
+        timeline_svg_from(&self.labels, &self.timeline, width, height)
     }
 }
 
@@ -579,6 +887,7 @@ mod tests {
         TraceSource {
             label: label.into(),
             events: lines.iter().map(|l| ev(l)).collect(),
+            torn_tails: 0,
         }
     }
 
@@ -624,6 +933,7 @@ mod tests {
         let report = analyze(vec![client_stream(), shard_stream()]);
         assert_eq!(report.trace_count(), 2);
         assert_eq!(report.total_events, 10);
+        assert_eq!(report.dup_dropped, 0);
         // T1: 3 client retries + 1 shard arrive + 1 server dedupe_hit.
         let t1 = &report.trees[0];
         assert_eq!(t1.trace.to_string(), "00000000000000aa");
@@ -633,6 +943,67 @@ mod tests {
         assert_eq!(t1.path(), "client->server->shard");
         assert_eq!(t1.steps[0].layer, "client");
         assert_eq!(t1.steps[4].layer, "shard");
+        // Per-trace layer counts, in rank order.
+        assert_eq!(
+            t1.layer_counts(),
+            vec![
+                ("client".to_string(), 3),
+                ("server".to_string(), 1),
+                ("shard".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_spans_are_dropped_and_counted() {
+        // The same ring window dumped twice (pre-rebuild generations):
+        // every traced span in the second copy is a duplicate.
+        let mut second = shard_stream();
+        second.label = "flightrec-0-1.ndjson".into();
+        let report = analyze(vec![client_stream(), shard_stream(), second]);
+        // Trees and totals match the single-copy analysis: the four
+        // traced duplicates were dropped...
+        assert_eq!(report.trace_count(), 2);
+        assert_eq!(report.dup_dropped, 4);
+        assert_eq!(report.trees[0].steps.len(), 5);
+        // ...but the untraced panic/rebuild pair has no (trace, span)
+        // identity and legitimately counts again.
+        assert_eq!(report.total_events, 10 + 2);
+        // The second copy's summary still reports what the file held.
+        assert_eq!(report.sources[2].events, 6);
+        assert_eq!(report.sources[2].traced, 0);
+        // The report calls the drop out.
+        let text = report.render_text(10);
+        assert!(
+            text.contains("(dropped 4 duplicate span(s), skipped 0 torn tail line(s))"),
+            "{text}"
+        );
+        // A shared context at the same *local* seq in two different
+        // recorders is not a duplicate: the content digest keeps the
+        // client's seq-0 retry and the shard's seq-0 arrive apart.
+        assert_eq!(
+            analyze(vec![client_stream(), shard_stream()]).dup_dropped,
+            0
+        );
+        // A clean analysis never prints the line.
+        let clean = analyze(vec![client_stream()]).render_text(10);
+        assert!(!clean.contains("duplicate span"), "{clean}");
+    }
+
+    #[test]
+    fn torn_tails_flow_into_the_report() {
+        let a = source("a.ndjson", &[]);
+        let mut b = client_stream();
+        b.torn_tails = 1;
+        let report = analyze(vec![a, b]);
+        assert_eq!(report.torn_tails, 1);
+        assert_eq!(report.sources[1].torn, 1);
+        assert_eq!(report.sources[0].torn, 0);
+        let text = report.render_text(10);
+        assert!(
+            text.contains("(dropped 0 duplicate span(s), skipped 1 torn tail line(s))"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -687,6 +1058,18 @@ mod tests {
         // The top cap trims the per-trace table but keeps the count.
         let capped = analyze(vec![client_stream(), shard_stream()]).render_text(1);
         assert!(capped.contains("(1 more not shown)"), "{capped}");
+    }
+
+    #[test]
+    fn view_renders_identically_to_the_report() {
+        let report = analyze(vec![client_stream(), shard_stream()]);
+        assert_eq!(report.render_text(10), report.view().render_text(10));
+        assert_eq!(report.render_text(1), report.view().render_text(1));
+        // The view's rows carry what the report's trees say.
+        let view = report.view();
+        assert_eq!(view.trees.len(), 2);
+        assert_eq!(view.trees[0].path, "client->server->shard");
+        assert_eq!(view.critical.as_ref().unwrap().1.len(), 5);
     }
 
     #[test]
@@ -749,6 +1132,14 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-12);
         // Rank order: client first, shard after server.
         assert_eq!(report.stages[0].layer, "client");
+    }
+
+    #[test]
+    fn anomaly_kind_parses_its_display_form() {
+        for &kind in AnomalyKind::ALL {
+            assert_eq!(AnomalyKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(AnomalyKind::parse("nope"), None);
     }
 
     #[test]

@@ -144,7 +144,12 @@ fn usage() -> String {
      \x20            [--batch B] [--alg SPEC] [--out FILE]\n\
      \x20 trace      offline trace analysis over recorded span streams\n\
      \x20            --input FILE[,FILE...] [--top N] [--svg FILE]\n\
-     \x20            [--bench yes [--iters I] [--bench-out FILE]]\n\
+     \x20            | --input FILE[,...] --ingest yes --store DIR\n\
+     \x20            | --store DIR [--top N] [--svg FILE] [--verify yes]\n\
+     \x20            | --store DIR --repl yes\n\
+     \x20            | --diff DIRA,DIRB [--pes N]\n\
+     \x20            | --bench yes (--input FILE[,...] [--iters I]\n\
+     \x20            | --synth SPANS[,SPANS...] [--seed S]) [--bench-out FILE]\n\
      \x20 flight     dump and analyze a live daemon's flight recorder\n\
      \x20            --addr HOST:PORT [--top N]\n\
      \x20 figure1    replay the paper's Figure 1 example\n\

@@ -5,15 +5,21 @@
 //! recording, `flightrec-*.ndjson` dumps, or any NDJSON produced by a
 //! [`partalloc_obs`] recorder), reconstructs per-trace-id request
 //! trees, and renders the deterministic report built by
-//! [`partalloc_analysis::analyze`]. `flight` is the live-side helper:
-//! it asks a running daemon to dump its flight-recorder rings, then
-//! analyzes the dumped files in place.
+//! [`partalloc_analysis::analyze`]. With `--ingest yes --store DIR`
+//! it instead writes an indexed on-disk [`TraceStore`]; `--store DIR`
+//! alone renders the same report bytes from the store without
+//! re-parsing any NDJSON, `--repl yes` drops into the interactive
+//! query loop, and `--diff A,B` compares two stores. `flight` is the
+//! live-side helper: it asks a running daemon to dump its
+//! flight-recorder rings, then analyzes the dumped files in place.
 
+use std::io::{BufReader, Write as _};
 use std::path::Path;
 use std::time::Instant;
 
-use partalloc_analysis::{analyze, TraceReport, TraceSource};
+use partalloc_analysis::{analyze, timeline_svg_from, TraceReport, TraceSource};
 use partalloc_service::{RetryPolicy, TcpClient};
+use partalloc_tracestore::{diff_stores, run_repl, synth_recording, Ingest, TraceStore};
 
 use crate::args::Args;
 
@@ -53,9 +59,30 @@ fn render(report: &TraceReport, top: usize, args: &Args) -> Result<String, Strin
     Ok(out)
 }
 
-/// `palloc trace --input FILE[,FILE...] [--top N] [--svg FILE]`
-/// `[--bench yes [--iters I] [--bench-out FILE]]`
+/// `palloc trace` — report, ingest, warm query, REPL, diff, or bench:
+///
+/// ```text
+/// palloc trace --input FILE[,FILE...] [--top N] [--svg FILE]
+/// palloc trace --input FILE[,...] --ingest yes --store DIR
+/// palloc trace --store DIR [--top N] [--svg FILE] [--verify yes]
+/// palloc trace --store DIR --repl yes
+/// palloc trace --diff DIRA,DIRB [--pes N]
+/// palloc trace --input FILE[,...] --bench yes [--iters I] [--bench-out FILE]
+/// palloc trace --bench yes --synth SPANS[,SPANS...] [--seed S] [--bench-out FILE]
+/// ```
 pub fn cmd_trace(args: &Args) -> Result<String, String> {
+    if let Some(spec) = args.get("diff") {
+        return cmd_trace_diff(args, spec);
+    }
+    if args.get("repl").is_some() {
+        return cmd_trace_repl(args);
+    }
+    if args.get("bench").is_some() && args.get("synth").is_some() {
+        return cmd_trace_bench_synth(args);
+    }
+    if args.get("store").is_some() && args.get("ingest").is_none() {
+        return cmd_trace_store_report(args);
+    }
     let input = args.require("input").map_err(|e| e.to_string())?;
     let paths: Vec<&str> = input
         .split(',')
@@ -65,6 +92,9 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
     if paths.is_empty() {
         return Err("--input needs at least one file".into());
     }
+    if args.get("ingest").is_some() {
+        return cmd_trace_ingest(args, &paths);
+    }
     let top: usize = args
         .get_or("top", 10, "an integer")
         .map_err(|e| e.to_string())?;
@@ -73,6 +103,120 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
     }
     let report = analyze(load_sources(&paths)?);
     render(&report, top, args)
+}
+
+/// `--ingest yes --store DIR`: parse the inputs once (sharded) and
+/// write the indexed store. The directory must not already hold one.
+fn cmd_trace_ingest(args: &Args, paths: &[&str]) -> Result<String, String> {
+    let dir = args.require("store").map_err(|e| e.to_string())?;
+    let t0 = Instant::now();
+    let mut ingest = Ingest::create(dir).map_err(|e| e.to_string())?;
+    for p in paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+        ingest
+            .add_source(&basename(p), &text)
+            .map_err(|e| e.to_string())?;
+    }
+    let stats = ingest.finish().map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    Ok(format!(
+        "ingested {} event(s) from {} file(s) into {dir} in {:.3}s\n\
+         \x20 records   {} ({} duplicate span(s) dropped, {} torn tail(s) skipped)\n\
+         \x20 traces    {}\n\
+         \x20 anomalies {}\n\
+         \x20 segments  {} ({} byte(s))\n",
+        stats.events,
+        paths.len(),
+        elapsed.as_secs_f64(),
+        stats.records,
+        stats.dup_dropped,
+        stats.torn_tails,
+        stats.traces,
+        stats.anomalies,
+        stats.segments,
+        stats.segment_bytes,
+    ))
+}
+
+/// `--store DIR`: render the standard report from the store's
+/// manifest and indexes — no NDJSON is re-parsed. `--verify yes`
+/// additionally checksums every segment. `--svg FILE` scans the
+/// segments once for the timeline (the only full read).
+fn cmd_trace_store_report(args: &Args) -> Result<String, String> {
+    let dir = args.require("store").map_err(|e| e.to_string())?;
+    let top: usize = args
+        .get_or("top", 10, "an integer")
+        .map_err(|e| e.to_string())?;
+    let store = TraceStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let mut out = String::new();
+    if args.get("verify").is_some() {
+        store.verify().map_err(|e| format!("{dir}: {e}"))?;
+        out.push_str(&format!(
+            "store {dir} verified: {} segment(s) intact\n\n",
+            store.manifest().segments.len()
+        ));
+    }
+    out.push_str(&store.render_report(top).map_err(|e| e.to_string())?);
+    if let Some(svg_path) = args.get("svg") {
+        let labels: Vec<String> = store
+            .manifest()
+            .sources
+            .iter()
+            .map(|s| s.label.clone())
+            .collect();
+        let points = store.timeline_points().map_err(|e| e.to_string())?;
+        match timeline_svg_from(&labels, &points, 1280, 360) {
+            Some(svg) => {
+                std::fs::write(svg_path, svg)
+                    .map_err(|e| format!("cannot write {svg_path}: {e}"))?;
+                out.push_str(&format!("\ntimeline SVG written to {svg_path}\n"));
+            }
+            None => out.push_str("\nno events recorded — timeline SVG not written\n"),
+        }
+    }
+    Ok(out)
+}
+
+/// `--repl yes --store DIR`: the interactive query loop over stdin /
+/// stdout. Scripted input (a pipe) yields a deterministic transcript.
+fn cmd_trace_repl(args: &Args) -> Result<String, String> {
+    let dir = args.require("store").map_err(|e| e.to_string())?;
+    let store = TraceStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    run_repl(&store, BufReader::new(stdin.lock()), &mut out).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(String::new())
+}
+
+/// `--diff DIRA,DIRB [--pes N]`: compare two stores — per-stage event
+/// deltas, anomaly deltas, and (with `--pes`) the achieved
+/// competitive ratio of each side against the paper's greedy bound.
+fn cmd_trace_diff(args: &Args, spec: &str) -> Result<String, String> {
+    let dirs: Vec<&str> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let [dir_a, dir_b] = dirs.as_slice() else {
+        return Err("--diff needs exactly two store directories, comma-separated".into());
+    };
+    let pes = match args.get("pes") {
+        None => None,
+        Some(_) => Some(
+            args.require_parsed::<u64>("pes", "a power-of-two machine size")
+                .map_err(|e| e.to_string())?,
+        ),
+    };
+    if let Some(n) = pes {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(format!("--pes got {n}, expected a power of two"));
+        }
+    }
+    let a = TraceStore::open(*dir_a).map_err(|e| format!("{dir_a}: {e}"))?;
+    let b = TraceStore::open(*dir_b).map_err(|e| format!("{dir_b}: {e}"))?;
+    Ok(diff_stores(&basename(dir_a), &a, &basename(dir_b), &b, pes))
 }
 
 /// `--bench yes`: replay the recorded streams through parse + analyze
@@ -143,6 +287,99 @@ fn cmd_trace_bench(args: &Args, paths: &[&str]) -> Result<String, String> {
         parse_ns / u128::from(iters),
         analyze_ns / u128::from(iters),
     ))
+}
+
+/// `--bench yes --synth SPANS[,SPANS...]`: generate a seeded
+/// synthetic recording at each size, then time three paths — cold
+/// (parse + analyze + render straight from NDJSON), ingest (write
+/// the indexed store), and warm (open the store and render the same
+/// report from its manifest and indexes, no NDJSON touched). The
+/// warm render is checked byte-identical to the cold one, and the
+/// rows land in `BENCH_trace.json` (schema in `EXPERIMENTS.md`).
+fn cmd_trace_bench_synth(args: &Args) -> Result<String, String> {
+    let spec = args.require("synth").map_err(|e| e.to_string())?;
+    let sizes: Vec<usize> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("--synth got {s:?}, expected a span count"))
+        })
+        .collect::<Result<_, _>>()?;
+    if sizes.is_empty() {
+        return Err("--synth needs at least one span count".into());
+    }
+    let seed: u64 = args
+        .get_or("seed", 42, "an integer")
+        .map_err(|e| e.to_string())?;
+    let out_path = args.get("bench-out").unwrap_or("BENCH_trace.json");
+    let top = 10;
+    let mut rows = Vec::new();
+    let mut text = String::from("trace store bench (synthetic recordings)\n");
+    for &spans in &sizes {
+        let recording = synth_recording(spans, seed);
+        let t0 = Instant::now();
+        let source =
+            TraceSource::parse("synth.ndjson".into(), &recording).map_err(|e| e.to_string())?;
+        let report = analyze(vec![source]);
+        let cold_render = report.render_text(top);
+        let cold_ns = t0.elapsed().as_nanos() as u64;
+
+        let dir =
+            std::env::temp_dir().join(format!("palloc-bench-store-{spans}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t1 = Instant::now();
+        let mut ingest = Ingest::create(&dir).map_err(|e| e.to_string())?;
+        ingest
+            .add_source("synth.ndjson", &recording)
+            .map_err(|e| e.to_string())?;
+        let stats = ingest.finish().map_err(|e| e.to_string())?;
+        let ingest_ns = t1.elapsed().as_nanos() as u64;
+
+        let t2 = Instant::now();
+        let store = TraceStore::open(&dir).map_err(|e| e.to_string())?;
+        let warm_render = store.render_report(top).map_err(|e| e.to_string())?;
+        let warm_ns = t2.elapsed().as_nanos() as u64;
+        std::fs::remove_dir_all(&dir).ok();
+
+        if warm_render != cold_render {
+            return Err(format!(
+                "store-backed report diverged from the in-memory report at {spans} span(s)"
+            ));
+        }
+        let speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+        text.push_str(&format!(
+            "\x20 {spans} span(s): cold {} ms, ingest {} ms, warm {} ms — {:.1}x\n",
+            cold_ns / 1_000_000,
+            ingest_ns / 1_000_000,
+            warm_ns / 1_000_000,
+            speedup,
+        ));
+        rows.push(serde_json::json!({
+            "spans": spans,
+            "events": stats.events,
+            "traces": stats.traces,
+            "anomalies": stats.anomalies,
+            "segment_bytes": stats.segment_bytes,
+            "cold_analyze_ns": cold_ns,
+            "ingest_ns": ingest_ns,
+            "warm_query_ns": warm_ns,
+            "speedup_cold_over_warm": speedup,
+            "identical": true,
+        }));
+    }
+    let json = serde_json::json!({
+        "bench": "trace",
+        "mode": "synth",
+        "seed": seed,
+        "store": rows,
+    });
+    let mut body = serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?;
+    body.push('\n');
+    std::fs::write(out_path, &body).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    text.push_str(&format!("results written to {out_path}\n"));
+    Ok(text)
 }
 
 /// `palloc flight --addr HOST:PORT [--top N]` — ask a running daemon
@@ -269,6 +506,154 @@ mod tests {
         assert!(v["analyze_ns_per_iter"].as_u64().is_some());
         assert!(v["events_per_sec"].as_f64().is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_round_trip_matches_the_in_memory_report() {
+        let dir = fixture_dir("trace-store-cli");
+        let input = dir.join("spans.ndjson");
+        std::fs::write(&input, STREAM).unwrap();
+        let store = dir.join("store");
+        let out = run(&[
+            "trace",
+            "--input",
+            input.to_str().unwrap(),
+            "--ingest",
+            "yes",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("ingested 2 event(s) from 1 file(s)"), "{out}");
+        assert!(out.contains("traces    2"), "{out}");
+
+        // The warm report re-parses nothing and matches byte-for-byte.
+        let mem = run(&["trace", "--input", input.to_str().unwrap(), "--top", "5"]).unwrap();
+        let warm = run(&["trace", "--store", store.to_str().unwrap(), "--top", "5"]).unwrap();
+        assert_eq!(mem, warm, "store-backed report diverged");
+
+        // `--verify yes` checksums every segment and says so.
+        let verified = run(&[
+            "trace",
+            "--store",
+            store.to_str().unwrap(),
+            "--verify",
+            "yes",
+        ])
+        .unwrap();
+        assert!(verified.contains("segment(s) intact"), "{verified}");
+
+        // The store-side SVG is the same drawing the in-memory path makes.
+        let svg_mem = dir.join("mem.svg");
+        let svg_store = dir.join("store.svg");
+        run(&[
+            "trace",
+            "--input",
+            input.to_str().unwrap(),
+            "--svg",
+            svg_mem.to_str().unwrap(),
+        ])
+        .unwrap();
+        run(&[
+            "trace",
+            "--store",
+            store.to_str().unwrap(),
+            "--svg",
+            svg_store.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&svg_mem).unwrap(),
+            std::fs::read_to_string(&svg_store).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_compares_two_stores_deterministically() {
+        let dir = fixture_dir("trace-diff-cli");
+        let mk = |tag: &str, body: &str| {
+            let input = dir.join(format!("{tag}.ndjson"));
+            std::fs::write(&input, body).unwrap();
+            let store = dir.join(format!("store-{tag}"));
+            run(&[
+                "trace",
+                "--input",
+                input.to_str().unwrap(),
+                "--ingest",
+                "yes",
+                "--store",
+                store.to_str().unwrap(),
+            ])
+            .unwrap();
+            store
+        };
+        let a = mk("a", STREAM);
+        let b = mk(
+            "b",
+            concat!(
+                r#"{"seq":0,"name":"arrival","layer":"engine","load":4,"active_size":32}"#,
+                "\n"
+            ),
+        );
+        let spec = format!("{},{}", a.to_str().unwrap(), b.to_str().unwrap());
+        let d1 = run(&["trace", "--diff", &spec, "--pes", "8"]).unwrap();
+        let d2 = run(&["trace", "--diff", &spec, "--pes", "8"]).unwrap();
+        assert_eq!(d1, d2, "diff is not deterministic");
+        assert!(d1.contains("palloc trace diff"), "{d1}");
+        assert!(d1.contains("## Stage deltas"), "{d1}");
+        assert!(d1.contains("greedy bound (N=8)"), "{d1}");
+
+        assert!(run(&["trace", "--diff", a.to_str().unwrap()])
+            .unwrap_err()
+            .contains("exactly two"));
+        assert!(run(&["trace", "--diff", &spec, "--pes", "3"])
+            .unwrap_err()
+            .contains("power of two"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn synth_bench_writes_store_rows() {
+        let dir = fixture_dir("trace-synthbench");
+        let bench = dir.join("BENCH_trace.json");
+        let out = run(&[
+            "trace",
+            "--bench",
+            "yes",
+            "--synth",
+            "2000",
+            "--seed",
+            "7",
+            "--bench-out",
+            bench.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace store bench"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&bench).unwrap()).unwrap();
+        assert_eq!(v["bench"], "trace");
+        assert_eq!(v["mode"], "synth");
+        let row = &v["store"][0];
+        assert_eq!(row["spans"], 2000);
+        assert!(row["events"].as_u64().unwrap() >= 2000);
+        assert!(row["cold_analyze_ns"].as_u64().is_some());
+        assert!(row["ingest_ns"].as_u64().is_some());
+        assert!(row["warm_query_ns"].as_u64().is_some());
+        assert!(row["speedup_cold_over_warm"].as_f64().is_some());
+        assert_eq!(row["identical"], true);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repl_and_store_flags_validate() {
+        assert!(run(&["trace", "--repl", "yes"])
+            .unwrap_err()
+            .contains("--store"));
+        assert!(run(&["trace", "--store", "/nonexistent/store"]).is_err());
+        assert!(run(&["trace", "--synth", "abc", "--bench", "yes"])
+            .unwrap_err()
+            .contains("span count"));
     }
 
     #[test]

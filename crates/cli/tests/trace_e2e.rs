@@ -225,6 +225,148 @@ fn trace_report_is_byte_identical_and_complete() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Write a small deterministic NDJSON recording for the store tests:
+/// traced client/router/shard/engine activity plus a retry storm (so
+/// anomalies and the critical path are exercised end to end).
+fn write_recording(path: &Path, seed: u64, requests: u64) {
+    use partalloc_obs::{IdGen, SpanEvent};
+    let mut ids = IdGen::new(seed);
+    let mut out = String::new();
+    let mut seq = 0u64;
+    let mut emit = |ev: &SpanEvent| {
+        out.push_str(&ev.to_ndjson(seq));
+        out.push('\n');
+        seq += 1;
+    };
+    for i in 0..requests {
+        let ctx = ids.context();
+        if i % 5 == 0 {
+            for attempt in 1..=3 {
+                emit(
+                    &SpanEvent::new("retry", "client")
+                        .with_trace(ctx)
+                        .u64("attempt", attempt),
+                );
+            }
+        }
+        emit(&SpanEvent::new("send", "client").with_trace(ctx));
+        emit(
+            &SpanEvent::new("route", "router")
+                .with_trace(ctx)
+                .u64("node", i % 3),
+        );
+        emit(
+            &SpanEvent::new("arrive", "shard")
+                .with_trace(ctx)
+                .u64("shard", i % 4),
+        );
+        emit(
+            &SpanEvent::new("arrival", "engine")
+                .with_trace(ctx)
+                .u64("size", 1 << (i % 4))
+                .u64("load", 2 + i % 5)
+                .u64("active_size", 16 + i),
+        );
+    }
+    std::fs::write(path, out).unwrap();
+}
+
+#[test]
+fn store_ingest_query_repl_and_diff_round_trip() {
+    let dir = temp_dir("trace-store-e2e");
+    let rec_a = dir.join("run-a.ndjson");
+    let rec_b = dir.join("run-b.ndjson");
+    write_recording(&rec_a, 11, 40);
+    write_recording(&rec_b, 23, 25);
+    let store_a = dir.join("store-a");
+    let store_b = dir.join("store-b");
+
+    // Ingest both recordings into indexed stores.
+    let out = palloc_ok(&[
+        "trace",
+        "--input",
+        rec_a.to_str().unwrap(),
+        "--ingest",
+        "yes",
+        "--store",
+        store_a.to_str().unwrap(),
+    ]);
+    assert!(out.contains("ingested"), "{out}");
+    assert!(store_a.join("MANIFEST").exists());
+    palloc_ok(&[
+        "trace",
+        "--input",
+        rec_b.to_str().unwrap(),
+        "--ingest",
+        "yes",
+        "--store",
+        store_b.to_str().unwrap(),
+    ]);
+
+    // The warm, store-backed report is byte-identical to the
+    // in-memory one — and to itself across runs.
+    let mem = palloc_ok(&["trace", "--input", rec_a.to_str().unwrap(), "--top", "8"]);
+    let warm1 = palloc_ok(&["trace", "--store", store_a.to_str().unwrap(), "--top", "8"]);
+    let warm2 = palloc_ok(&["trace", "--store", store_a.to_str().unwrap(), "--top", "8"]);
+    assert_eq!(mem, warm1, "store-backed report diverged from in-memory");
+    assert_eq!(warm1, warm2, "store-backed report is not deterministic");
+    assert!(warm1.contains("retry-storm"), "{warm1}");
+
+    // A scripted REPL session produces the same transcript twice.
+    let script = "summary\ntraces 3\nanomalies retry-storm\nstage engine 90\nquit\n";
+    let repl = |_tag: &str| -> String {
+        use std::io::Write as _;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_palloc"))
+            .args([
+                "trace",
+                "--store",
+                store_a.to_str().unwrap(),
+                "--repl",
+                "yes",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn repl");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(script.as_bytes())
+            .unwrap();
+        let out = child.wait_with_output().expect("repl output");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("repl stdout is UTF-8")
+    };
+    let t1 = repl("one");
+    let t2 = repl("two");
+    assert_eq!(t1, t2, "REPL transcript is not deterministic");
+    assert!(t1.contains("palloc trace store:"), "{t1}");
+    assert!(t1.contains("retry-storm"), "{t1}");
+    assert!(t1.contains("bye"), "{t1}");
+
+    // Diffing the two stores is deterministic and carries the
+    // ratio-vs-bound rows when the machine size is known.
+    let spec = format!(
+        "{},{}",
+        store_a.to_str().unwrap(),
+        store_b.to_str().unwrap()
+    );
+    let d1 = palloc_ok(&["trace", "--diff", &spec, "--pes", "64"]);
+    let d2 = palloc_ok(&["trace", "--diff", &spec, "--pes", "64"]);
+    assert_eq!(d1, d2, "diff is not deterministic");
+    assert!(d1.contains("palloc trace diff"), "{d1}");
+    assert!(d1.contains("## Stage deltas"), "{d1}");
+    assert!(d1.contains("greedy bound (N=64)"), "{d1}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn stage_latency_histograms_surface_in_the_scrape() {
     let dir = temp_dir("trace-scrape");

@@ -47,7 +47,10 @@ mod ring;
 
 pub use event::{SpanEvent, Value};
 pub use id::{IdGen, ParseTraceError, SpanId, TraceContext, TraceId};
-pub use parse::{parse_span_line, parse_span_stream, ParseEventError, ParsedEvent, ParsedValue};
+pub use parse::{
+    parse_span_line, parse_span_stream, parse_span_stream_lossy, LossyParse, ParseEventError,
+    ParsedEvent, ParsedValue,
+};
 pub use prom::PromText;
 pub use recorder::{NullRecorder, Recorder, SharedRecorder, StderrRecorder, VecRecorder};
 pub use ring::FlightRecorder;

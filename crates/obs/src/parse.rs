@@ -226,6 +226,46 @@ pub fn parse_span_stream(text: &str) -> Result<Vec<ParsedEvent>, ParseEventError
     Ok(events)
 }
 
+/// A tolerantly parsed span stream: the complete events plus the count
+/// of torn trailing lines that were skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyParse {
+    /// Every complete event, in file order.
+    pub events: Vec<ParsedEvent>,
+    /// How many torn trailing lines were skipped (0 or 1: only the
+    /// final, newline-less line of a stream may be torn).
+    pub torn_tails: usize,
+}
+
+/// Parse a span stream tolerating a torn tail.
+///
+/// A recorder killed mid-dump (SIGKILL during a flight-recorder write)
+/// leaves a final line that was cut before its `\n` landed. That line
+/// is skipped and counted instead of failing the whole stream — but
+/// *only* the final line, and only when the stream does not end with a
+/// newline: every newline-terminated line was written completely, so a
+/// malformed one is real corruption and still errors (with its 1-based
+/// line number, exactly like [`parse_span_stream`]).
+pub fn parse_span_stream_lossy(text: &str) -> Result<LossyParse, ParseEventError> {
+    let mut events = Vec::new();
+    let mut torn_tails = 0usize;
+    let complete = text.ends_with('\n');
+    let lines = text.lines().count();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_span_line(line) {
+            Ok(ev) => events.push(ev),
+            // The only tolerated failure: the textual last line of a
+            // stream whose final byte is not '\n'.
+            Err(_) if !complete && i + 1 == lines => torn_tails += 1,
+            Err(e) => return Err(e.at_line(i + 1)),
+        }
+    }
+    Ok(LossyParse { events, torn_tails })
+}
+
 /// A byte-level scanner over one line.
 struct Scanner<'a> {
     bytes: &'a [u8],
@@ -470,6 +510,41 @@ mod tests {
         assert_eq!(ok[1].name, "b");
         let err = parse_span_stream(&format!("{a}\nnot json\n")).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn lossy_parse_skips_only_a_torn_tail() {
+        let a = SpanEvent::new("a", "t").to_ndjson(0);
+        let b = SpanEvent::new("b", "t").u64("k", 7).to_ndjson(1);
+        // A tail cut mid-record (no trailing newline) is skipped and
+        // counted; everything before it survives.
+        let torn = format!("{a}\n{}", &b[..b.len() - 4]);
+        let got = parse_span_stream_lossy(&torn).unwrap();
+        assert_eq!(got.events.len(), 1);
+        assert_eq!(got.events[0].name, "a");
+        assert_eq!(got.torn_tails, 1);
+        // A complete stream parses exactly like the strict parser.
+        let whole = format!("{a}\n{b}\n");
+        let got = parse_span_stream_lossy(&whole).unwrap();
+        assert_eq!(got.events, parse_span_stream(&whole).unwrap());
+        assert_eq!(got.torn_tails, 0);
+        // A final line cut exactly before its newline is a complete
+        // record: accepted, not torn.
+        let exact = format!("{a}\n{b}");
+        let got = parse_span_stream_lossy(&exact).unwrap();
+        assert_eq!(got.events.len(), 2);
+        assert_eq!(got.torn_tails, 0);
+        // A newline-terminated malformed line is real corruption and
+        // still errors with its line number.
+        let corrupt = format!("{a}\nnot json\n{b}\n");
+        let err = parse_span_stream_lossy(&corrupt).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let corrupt_tail = format!("{a}\nnot json\n");
+        assert!(parse_span_stream_lossy(&corrupt_tail).is_err());
+        // An empty stream is fine.
+        let got = parse_span_stream_lossy("").unwrap();
+        assert!(got.events.is_empty());
+        assert_eq!(got.torn_tails, 0);
     }
 
     #[test]

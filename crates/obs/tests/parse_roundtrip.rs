@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 
 use partalloc_obs::{
-    parse_span_line, parse_span_stream, IdGen, SpanEvent, SpanId, TraceContext, TraceId, Value,
+    parse_span_line, parse_span_stream, parse_span_stream_lossy, IdGen, SpanEvent, SpanId,
+    TraceContext, TraceId, Value,
 };
 
 /// The renderer takes `&'static str` names, so strategies draw from a
@@ -126,5 +127,44 @@ proptest! {
         let ev = SpanEvent::new("arrive", "shard").with_trace(ctx).u64("shard", 0);
         let parsed = parse_span_line(&ev.to_ndjson(1)).unwrap();
         prop_assert_eq!(parsed.trace, Some(ctx));
+    }
+
+    /// Torn tails: cut a rendered stream at an arbitrary byte (a
+    /// SIGKILL mid-dump) and the lossy parser recovers every record
+    /// that landed completely, skipping at most the torn final line.
+    #[test]
+    fn torn_tails_are_skipped_and_counted(
+        events in proptest::collection::vec(event_strategy(), 1..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut text = String::new();
+        let mut ends = Vec::new(); // byte offset after each record's '\n'
+        for (i, ev) in events.iter().enumerate() {
+            text.push_str(&ev.to_ndjson(i as u64));
+            text.push('\n');
+            ends.push(text.len());
+        }
+        // Cut on a char boundary at roughly cut_frac of the stream.
+        let mut cut = (text.len() as f64 * cut_frac) as usize;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let torn = &text[..cut];
+        let got = parse_span_stream_lossy(torn).unwrap();
+        // Records whose terminating newline landed are all recovered.
+        let complete = ends.iter().filter(|&&e| e <= cut).count();
+        // The tail may additionally survive if the cut landed exactly
+        // at the end of a record body (before its newline).
+        prop_assert!(got.events.len() >= complete,
+            "only {} of {complete} complete records at cut {cut}", got.events.len());
+        prop_assert!(got.events.len() <= complete + 1);
+        for (p, e) in got.events.iter().zip(&events) {
+            prop_assert!(p == *e);
+        }
+        // Anything else was counted, never silently dropped: every
+        // parsed-or-torn line accounts for the whole prefix.
+        let nonempty_lines = torn.lines().filter(|l| !l.trim().is_empty()).count();
+        prop_assert_eq!(got.events.len() + got.torn_tails, nonempty_lines);
+        prop_assert!(got.torn_tails <= 1);
     }
 }

@@ -1,0 +1,255 @@
+//! Store-to-store diffing: the before/after comparison that validates
+//! a perf PR against the paper's competitive-ratio bounds.
+//!
+//! Both inputs are opened stores, so the diff never parses NDJSON —
+//! every number comes from the two manifests. Output is deterministic
+//! text: fixed input stores produce byte-identical diffs.
+
+use partalloc_analysis::bounds::{greedy_upper_factor, optimal_load};
+use partalloc_analysis::{fmt_f64, layer_rank, AnomalyKind, Table};
+
+use crate::store::TraceStore;
+
+/// Format a signed integer delta with an explicit `+`.
+fn signed(delta: i64) -> String {
+    if delta > 0 {
+        format!("+{delta}")
+    } else {
+        delta.to_string()
+    }
+}
+
+/// Format a signed float delta with an explicit `+`.
+fn signed_f(delta: f64, digits: usize) -> String {
+    let text = fmt_f64(delta, digits);
+    if delta > 0.0 && !text.starts_with('+') {
+        format!("+{text}")
+    } else {
+        text
+    }
+}
+
+fn share(events: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        events as f64 / total as f64
+    }
+}
+
+/// Render the diff of two stores. `labels` name the two sides in the
+/// header (the CLI passes the store directory basenames); `pes`, when
+/// given, is the machine size `N` for the ratio-vs-bound section.
+pub fn diff_stores(
+    label_a: &str,
+    a: &TraceStore,
+    label_b: &str,
+    b: &TraceStore,
+    pes: Option<u64>,
+) -> String {
+    let ma = a.manifest();
+    let mb = b.manifest();
+    let mut out = String::new();
+    out.push_str("palloc trace diff\n=================\n\n");
+    out.push_str(&format!(
+        "A = {label_a}: {} record(s), {} trace(s), {} anomaly(ies)\n",
+        ma.records,
+        a.trace_entries().len(),
+        ma.anomalies.len()
+    ));
+    out.push_str(&format!(
+        "B = {label_b}: {} record(s), {} trace(s), {} anomaly(ies)\n",
+        mb.records,
+        b.trace_entries().len(),
+        mb.anomalies.len()
+    ));
+
+    // Per-stage deltas over the union of layers, in rank order.
+    out.push_str("\n## Stage deltas (seq-time events per layer)\n");
+    let mut layers: Vec<&str> = ma
+        .stages
+        .iter()
+        .chain(&mb.stages)
+        .map(|s| s.layer.as_str())
+        .collect();
+    layers.sort_by_key(|l| (layer_rank(l), *l));
+    layers.dedup();
+    let mut t = Table::new(&[
+        "stage", "events A", "events B", "delta", "share A", "share B", "drift",
+    ]);
+    for layer in layers {
+        let ea = ma
+            .stages
+            .iter()
+            .find(|s| s.layer == layer)
+            .map_or(0, |s| s.events);
+        let eb = mb
+            .stages
+            .iter()
+            .find(|s| s.layer == layer)
+            .map_or(0, |s| s.events);
+        let sa = 100.0 * share(ea, ma.records);
+        let sb = 100.0 * share(eb, mb.records);
+        t.row(&[
+            layer.to_string(),
+            ea.to_string(),
+            eb.to_string(),
+            signed(eb as i64 - ea as i64),
+            format!("{}%", fmt_f64(sa, 1)),
+            format!("{}%", fmt_f64(sb, 1)),
+            format!("{}pp", signed_f(sb - sa, 1)),
+        ]);
+    }
+    out.push_str(&t.render_text());
+
+    // Anomaly deltas by kind.
+    out.push_str("\n## Anomaly deltas\n");
+    let count = |anomalies: &[partalloc_analysis::Anomaly], kind: AnomalyKind| {
+        anomalies.iter().filter(|a| a.kind == kind).count()
+    };
+    let mut t = Table::new(&["kind", "A", "B", "delta"]);
+    let mut any = false;
+    for &kind in AnomalyKind::ALL {
+        let ca = count(&ma.anomalies, kind);
+        let cb = count(&mb.anomalies, kind);
+        if ca == 0 && cb == 0 {
+            continue;
+        }
+        any = true;
+        t.row(&[
+            kind.to_string(),
+            ca.to_string(),
+            cb.to_string(),
+            signed(cb as i64 - ca as i64),
+        ]);
+    }
+    if any {
+        out.push_str(&t.render_text());
+    } else {
+        out.push_str("none in either store\n");
+    }
+
+    // Engine peaks, and — when the machine size is known — the
+    // achieved competitive ratio against the paper's greedy bound.
+    out.push_str("\n## Engine load\n");
+    if ma.peaks.events == 0 && mb.peaks.events == 0 {
+        out.push_str("no engine events in either store\n");
+        return out;
+    }
+    let mut t = Table::new(&["metric", "A", "B", "delta"]);
+    t.row(&[
+        "engine events".into(),
+        ma.peaks.events.to_string(),
+        mb.peaks.events.to_string(),
+        signed(mb.peaks.events as i64 - ma.peaks.events as i64),
+    ]);
+    t.row(&[
+        "peak load".into(),
+        ma.peaks.peak_load.to_string(),
+        mb.peaks.peak_load.to_string(),
+        signed(mb.peaks.peak_load as i64 - ma.peaks.peak_load as i64),
+    ]);
+    t.row(&[
+        "peak active size".into(),
+        ma.peaks.peak_active.to_string(),
+        mb.peaks.peak_active.to_string(),
+        signed(mb.peaks.peak_active as i64 - ma.peaks.peak_active as i64),
+    ]);
+    if let Some(n) = pes {
+        let la = optimal_load(ma.peaks.peak_active, n).max(1);
+        let lb = optimal_load(mb.peaks.peak_active, n).max(1);
+        let ra = ma.peaks.peak_load as f64 / la as f64;
+        let rb = mb.peaks.peak_load as f64 / lb as f64;
+        t.row(&[
+            "optimal load L*".into(),
+            la.to_string(),
+            lb.to_string(),
+            signed(lb as i64 - la as i64),
+        ]);
+        t.row(&[
+            "ratio load/L*".into(),
+            fmt_f64(ra, 3),
+            fmt_f64(rb, 3),
+            signed_f(rb - ra, 3),
+        ]);
+        let bound = greedy_upper_factor(n);
+        t.row(&[
+            format!("greedy bound (N={n})"),
+            bound.to_string(),
+            bound.to_string(),
+            "0".into(),
+        ]);
+        t.row(&[
+            "headroom bound-ratio".into(),
+            fmt_f64(bound as f64 - ra, 3),
+            fmt_f64(bound as f64 - rb, 3),
+            signed_f(ra - rb, 3),
+        ]);
+    }
+    out.push_str(&t.render_text());
+    if pes.is_none() {
+        out.push_str("(pass --pes N for the ratio-vs-bound rows)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::Ingest;
+    use std::path::PathBuf;
+
+    fn store(tag: &str, text: &str) -> TraceStore {
+        let dir: PathBuf =
+            std::env::temp_dir().join(format!("partalloc-difftest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ingest = Ingest::create(&dir).unwrap();
+        ingest.add_source("r.ndjson", text).unwrap();
+        ingest.finish().unwrap();
+        TraceStore::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn diff_is_deterministic_and_signed() {
+        let a = store(
+            "a",
+            concat!(
+                r#"{"seq":0,"name":"retry","layer":"client","trace":"00000000000000aa-0000000000000001"}"#,
+                "\n",
+                r#"{"seq":1,"name":"retry","layer":"client","trace":"00000000000000aa-0000000000000001"}"#,
+                "\n",
+                r#"{"seq":2,"name":"retry","layer":"client","trace":"00000000000000aa-0000000000000001"}"#,
+                "\n",
+                r#"{"seq":3,"name":"arrival","layer":"engine","load":6,"active_size":16}"#,
+                "\n"
+            ),
+        );
+        let b = store(
+            "b",
+            concat!(
+                r#"{"seq":0,"name":"send","layer":"client","trace":"00000000000000bb-0000000000000002"}"#,
+                "\n",
+                r#"{"seq":1,"name":"arrival","layer":"engine","load":2,"active_size":16}"#,
+                "\n"
+            ),
+        );
+        let d1 = diff_stores("runA", &a, "runB", &b, Some(8));
+        let d2 = diff_stores("runA", &a, "runB", &b, Some(8));
+        assert_eq!(d1, d2);
+        assert!(d1.contains("A = runA: 4 record(s)"), "{d1}");
+        assert!(d1.contains("retry-storm"), "{d1}");
+        // retry-storm: 1 → 0 is a -1 delta.
+        assert!(d1.contains("-1"), "{d1}");
+        // Ratio rows: L* = ceil(16/8) = 2, ratios 3.000 vs 1.000,
+        // bound ⌈(log2 8 + 1)/2⌉ = 2.
+        assert!(d1.contains("ratio load/L*"), "{d1}");
+        assert!(d1.contains("3.000"), "{d1}");
+        assert!(d1.contains("-2.000"), "{d1}");
+        assert!(d1.contains("greedy bound (N=8)"), "{d1}");
+        // Without --pes the hint appears instead.
+        let bare = diff_stores("runA", &a, "runB", &b, None);
+        assert!(bare.contains("--pes"), "{bare}");
+        std::fs::remove_dir_all(a.dir()).unwrap();
+        std::fs::remove_dir_all(b.dir()).unwrap();
+    }
+}

@@ -1,0 +1,383 @@
+//! Sidecar indexes: compact binary files mapping trace ids, layers,
+//! span names, and per-source seq ranges to record ids.
+//!
+//! Every index file is `8-byte magic | body | u64 FNV-1a` where the
+//! trailing checksum covers magic plus body and is verified when the
+//! store opens (index files are small next to the segments, so the
+//! full check is cheap). Record ids are u32s assigned in ingest
+//! (accept) order; `offsets.idx` resolves an id to its segment and
+//! byte offset.
+
+use crate::util::{fnv1a, put_str, Cur};
+use partalloc_obs::TraceId;
+
+/// `traces.idx` magic.
+pub const TRACES_MAGIC: &[u8; 8] = b"PTTRv1\n\0";
+/// `layers.idx` magic.
+pub const LAYERS_MAGIC: &[u8; 8] = b"PTLAv1\n\0";
+/// `names.idx` magic.
+pub const NAMES_MAGIC: &[u8; 8] = b"PTNAv1\n\0";
+/// `seqs.idx` magic.
+pub const SEQS_MAGIC: &[u8; 8] = b"PTSQv1\n\0";
+/// `offsets.idx` magic.
+pub const OFFSETS_MAGIC: &[u8; 8] = b"PTOFv1\n\0";
+
+/// One trace id's index row: enough to render its request-tree table
+/// row without touching the segments, plus the postings to fetch its
+/// full tree when drilling in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The trace id.
+    pub trace: TraceId,
+    /// The request path (`client->server->shard`).
+    pub path: String,
+    /// Distinct shards the trace touched, sorted.
+    pub shards: Vec<u64>,
+    /// Record ids of the trace's events, ascending (= accept order).
+    pub postings: Vec<u32>,
+}
+
+/// One layer's index row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerEntry {
+    /// The layer name.
+    pub layer: String,
+    /// Distinct traces that touched this layer.
+    pub traces: u32,
+    /// Record ids of the layer's events (traced or not), ascending.
+    pub postings: Vec<u32>,
+}
+
+/// One span name's index row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameEntry {
+    /// The event name.
+    pub name: String,
+    /// Record ids of events with this name, ascending.
+    pub postings: Vec<u32>,
+}
+
+/// One source's seq-range row: its records are the contiguous id
+/// range `[first, first + records)`, covering seqs `min..=max`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceRange {
+    /// The source's label (file basename).
+    pub label: String,
+    /// First record id of the source.
+    pub first: u32,
+    /// Number of records kept from the source.
+    pub records: u32,
+    /// Smallest kept seq (0 when the source kept nothing).
+    pub min_seq: u64,
+    /// Largest kept seq (0 when the source kept nothing).
+    pub max_seq: u64,
+}
+
+/// Record-id → location table: per-segment record counts plus each
+/// record's byte offset within its segment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Offsets {
+    /// Records per segment, in segment order.
+    pub per_segment: Vec<u32>,
+    /// Byte offset of each record's frame, in record-id order.
+    pub offsets: Vec<u64>,
+}
+
+impl Offsets {
+    /// Resolve a record id to `(segment index, byte offset)`.
+    pub fn locate(&self, id: u32) -> Option<(usize, u64)> {
+        let offset = *self.offsets.get(id as usize)?;
+        let mut remaining = id;
+        for (seg, &count) in self.per_segment.iter().enumerate() {
+            if remaining < count {
+                return Some((seg, offset));
+            }
+            remaining -= count;
+        }
+        None
+    }
+}
+
+fn seal(magic: &[u8; 8], body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len() + 8);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&body);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Strip and verify the magic + trailing checksum, returning the body.
+fn unseal<'a>(magic: &[u8; 8], bytes: &'a [u8]) -> Option<&'a [u8]> {
+    if bytes.len() < 16 || &bytes[..8] != magic {
+        return None;
+    }
+    let body_end = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if fnv1a(&bytes[..body_end]) != stored {
+        return None;
+    }
+    Some(&bytes[8..body_end])
+}
+
+fn put_postings(out: &mut Vec<u8>, postings: &[u32]) {
+    out.extend_from_slice(&(postings.len() as u32).to_le_bytes());
+    for &id in postings {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+}
+
+fn get_postings(cur: &mut Cur<'_>) -> Option<Vec<u32>> {
+    let n = cur.u32()? as usize;
+    if n > cur.remaining() / 4 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.u32()?);
+    }
+    Some(out)
+}
+
+/// Encode `traces.idx`. Entries must be sorted by trace id.
+pub fn encode_traces(entries: &[TraceEntry]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        body.extend_from_slice(&e.trace.0.to_le_bytes());
+        put_str(&mut body, &e.path);
+        body.extend_from_slice(&(e.shards.len() as u32).to_le_bytes());
+        for &s in &e.shards {
+            body.extend_from_slice(&s.to_le_bytes());
+        }
+        put_postings(&mut body, &e.postings);
+    }
+    seal(TRACES_MAGIC, body)
+}
+
+/// Decode `traces.idx`.
+pub fn decode_traces(bytes: &[u8]) -> Option<Vec<TraceEntry>> {
+    let mut cur = Cur::new(unseal(TRACES_MAGIC, bytes)?);
+    let n = cur.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let trace = TraceId(cur.u64()?);
+        let path = cur.str()?;
+        let nshards = cur.u32()? as usize;
+        if nshards > cur.remaining() / 8 {
+            return None;
+        }
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            shards.push(cur.u64()?);
+        }
+        let postings = get_postings(&mut cur)?;
+        out.push(TraceEntry {
+            trace,
+            path,
+            shards,
+            postings,
+        });
+    }
+    (cur.remaining() == 0).then_some(out)
+}
+
+/// Encode `layers.idx`. Entries must be in layer-rank order (the
+/// order the stage table renders).
+pub fn encode_layers(entries: &[LayerEntry]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        put_str(&mut body, &e.layer);
+        body.extend_from_slice(&e.traces.to_le_bytes());
+        put_postings(&mut body, &e.postings);
+    }
+    seal(LAYERS_MAGIC, body)
+}
+
+/// Decode `layers.idx`.
+pub fn decode_layers(bytes: &[u8]) -> Option<Vec<LayerEntry>> {
+    let mut cur = Cur::new(unseal(LAYERS_MAGIC, bytes)?);
+    let n = cur.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(LayerEntry {
+            layer: cur.str()?,
+            traces: cur.u32()?,
+            postings: get_postings(&mut cur)?,
+        });
+    }
+    (cur.remaining() == 0).then_some(out)
+}
+
+/// Encode `names.idx`. Entries must be sorted by name.
+pub fn encode_names(entries: &[NameEntry]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        put_str(&mut body, &e.name);
+        put_postings(&mut body, &e.postings);
+    }
+    seal(NAMES_MAGIC, body)
+}
+
+/// Decode `names.idx`.
+pub fn decode_names(bytes: &[u8]) -> Option<Vec<NameEntry>> {
+    let mut cur = Cur::new(unseal(NAMES_MAGIC, bytes)?);
+    let n = cur.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(NameEntry {
+            name: cur.str()?,
+            postings: get_postings(&mut cur)?,
+        });
+    }
+    (cur.remaining() == 0).then_some(out)
+}
+
+/// Encode `seqs.idx`. Entries are in source (ingest) order.
+pub fn encode_seqs(entries: &[SourceRange]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        put_str(&mut body, &e.label);
+        body.extend_from_slice(&e.first.to_le_bytes());
+        body.extend_from_slice(&e.records.to_le_bytes());
+        body.extend_from_slice(&e.min_seq.to_le_bytes());
+        body.extend_from_slice(&e.max_seq.to_le_bytes());
+    }
+    seal(SEQS_MAGIC, body)
+}
+
+/// Decode `seqs.idx`.
+pub fn decode_seqs(bytes: &[u8]) -> Option<Vec<SourceRange>> {
+    let mut cur = Cur::new(unseal(SEQS_MAGIC, bytes)?);
+    let n = cur.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(SourceRange {
+            label: cur.str()?,
+            first: cur.u32()?,
+            records: cur.u32()?,
+            min_seq: cur.u64()?,
+            max_seq: cur.u64()?,
+        });
+    }
+    (cur.remaining() == 0).then_some(out)
+}
+
+/// Encode `offsets.idx`.
+pub fn encode_offsets(offsets: &Offsets) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(offsets.per_segment.len() as u32).to_le_bytes());
+    for &count in &offsets.per_segment {
+        body.extend_from_slice(&count.to_le_bytes());
+    }
+    body.extend_from_slice(&(offsets.offsets.len() as u32).to_le_bytes());
+    for &off in &offsets.offsets {
+        body.extend_from_slice(&off.to_le_bytes());
+    }
+    seal(OFFSETS_MAGIC, body)
+}
+
+/// Decode `offsets.idx`, checking the per-segment counts add up.
+pub fn decode_offsets(bytes: &[u8]) -> Option<Offsets> {
+    let mut cur = Cur::new(unseal(OFFSETS_MAGIC, bytes)?);
+    let nseg = cur.u32()? as usize;
+    if nseg > cur.remaining() / 4 {
+        return None;
+    }
+    let mut per_segment = Vec::with_capacity(nseg);
+    for _ in 0..nseg {
+        per_segment.push(cur.u32()?);
+    }
+    let n = cur.u32()? as usize;
+    if n > cur.remaining() / 8 {
+        return None;
+    }
+    let mut offsets = Vec::with_capacity(n);
+    for _ in 0..n {
+        offsets.push(cur.u64()?);
+    }
+    if cur.remaining() != 0 {
+        return None;
+    }
+    let total: u64 = per_segment.iter().map(|&c| u64::from(c)).sum();
+    (total == offsets.len() as u64).then_some(Offsets {
+        per_segment,
+        offsets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_round_trip() {
+        let traces = vec![
+            TraceEntry {
+                trace: TraceId(0xaa),
+                path: "client->shard".into(),
+                shards: vec![0, 3],
+                postings: vec![0, 2, 5],
+            },
+            TraceEntry {
+                trace: TraceId(0xbb),
+                path: "client".into(),
+                shards: vec![],
+                postings: vec![1],
+            },
+        ];
+        assert_eq!(decode_traces(&encode_traces(&traces)).unwrap(), traces);
+
+        let layers = vec![LayerEntry {
+            layer: "engine".into(),
+            traces: 4,
+            postings: vec![7, 9],
+        }];
+        assert_eq!(decode_layers(&encode_layers(&layers)).unwrap(), layers);
+
+        let names = vec![NameEntry {
+            name: "weird \"name\"\n".into(),
+            postings: vec![3],
+        }];
+        assert_eq!(decode_names(&encode_names(&names)).unwrap(), names);
+
+        let seqs = vec![SourceRange {
+            label: "a.ndjson".into(),
+            first: 0,
+            records: 6,
+            min_seq: 0,
+            max_seq: 5,
+        }];
+        assert_eq!(decode_seqs(&encode_seqs(&seqs)).unwrap(), seqs);
+
+        let offsets = Offsets {
+            per_segment: vec![2, 1],
+            offsets: vec![8, 40, 8],
+        };
+        assert_eq!(decode_offsets(&encode_offsets(&offsets)).unwrap(), offsets);
+        assert_eq!(offsets.locate(0), Some((0, 8)));
+        assert_eq!(offsets.locate(2), Some((1, 8)));
+        assert_eq!(offsets.locate(3), None);
+    }
+
+    #[test]
+    fn corruption_fails_the_checksum() {
+        let traces = vec![TraceEntry {
+            trace: TraceId(1),
+            path: "client".into(),
+            shards: vec![],
+            postings: vec![0],
+        }];
+        let mut bytes = encode_traces(&traces);
+        bytes[10] ^= 1;
+        assert!(decode_traces(&bytes).is_none());
+        // Wrong magic family is rejected outright.
+        assert!(decode_layers(&encode_traces(&traces)).is_none());
+        // Truncation too.
+        let good = encode_traces(&traces);
+        assert!(decode_traces(&good[..good.len() - 1]).is_none());
+    }
+}

@@ -1,0 +1,462 @@
+//! The write path: sharded NDJSON parsing, streaming accumulation,
+//! segment + index + manifest authoring.
+//!
+//! Ingest is a single pass per source: the text is chunk-parallel
+//! parsed (each worker takes a line-aligned slice), then the events
+//! are folded *serially* through the analysis crate's
+//! [`TraceAccumulator`] — the same fold `palloc trace` runs in memory
+//! — so the store's manifest is the in-memory report's data by
+//! construction, not by reimplementation. Events the accumulator
+//! accepts (not duplicates) are encoded and appended to the current
+//! segment; postings and seq ranges are collected along the way and
+//! written as sidecar indexes at the end.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use partalloc_analysis::TraceAccumulator;
+use partalloc_obs::{
+    parse_span_stream, parse_span_stream_lossy, LossyParse, ParseEventError, ParsedEvent,
+};
+
+use crate::index::{
+    encode_layers, encode_names, encode_offsets, encode_seqs, encode_traces, LayerEntry, NameEntry,
+    Offsets, SourceRange, TraceEntry,
+};
+use crate::manifest::{EnginePeaks, IndexMeta, Manifest, StageCounts, MANIFEST_FILE};
+use crate::segment::{SegmentMeta, SegmentWriter};
+use crate::util::fnv1a;
+
+/// Ingest tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestOptions {
+    /// Roll to a new segment once the current one exceeds this many
+    /// bytes (default 32 MiB).
+    pub segment_bytes: u64,
+    /// Parallel parse workers per source (default: the machine's
+    /// available parallelism, capped at 8).
+    pub parse_shards: usize,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            segment_bytes: 32 << 20,
+            parse_shards: std::thread::available_parallelism()
+                .map_or(4, usize::from)
+                .min(8),
+        }
+    }
+}
+
+/// What `palloc trace --ingest` reports when the store is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records written to segments.
+    pub records: usize,
+    /// Events parsed (kept + duplicates).
+    pub events: usize,
+    /// Duplicate spans dropped.
+    pub dup_dropped: usize,
+    /// Torn trailing lines skipped.
+    pub torn_tails: usize,
+    /// Distinct trace ids.
+    pub traces: usize,
+    /// Anomalies detected.
+    pub anomalies: usize,
+    /// Segment files written.
+    pub segments: usize,
+    /// Total segment bytes.
+    pub segment_bytes: u64,
+}
+
+/// What can go wrong while writing a store.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Filesystem trouble.
+    Io(io::Error),
+    /// A source failed to parse (torn tails excepted).
+    Parse {
+        /// The source's label.
+        label: String,
+        /// The parse error, with its line number.
+        error: ParseEventError,
+    },
+    /// A structural cap was exceeded (record count, source count).
+    Limit(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest i/o error: {e}"),
+            IngestError::Parse { label, error } => write!(f, "{label}: {error}"),
+            IngestError::Limit(msg) => write!(f, "ingest limit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// Slice `text` into up to `n` line-aligned chunks of roughly equal
+/// byte size. Chunks cover the text exactly; all but the last end on
+/// a newline.
+fn line_chunks(text: &str, n: usize) -> Vec<&str> {
+    let mut chunks = Vec::with_capacity(n);
+    let target = text.len().div_ceil(n.max(1));
+    let mut start = 0;
+    while start < text.len() {
+        let mut end = (start + target).min(text.len());
+        if end < text.len() {
+            match text[end..].find('\n') {
+                Some(nl) => end += nl + 1,
+                None => end = text.len(),
+            }
+        }
+        chunks.push(&text[start..end]);
+        start = end;
+    }
+    chunks
+}
+
+/// Parse one source's text with chunk-parallel workers. Interior
+/// chunks parse strictly; the final chunk parses lossily (only the
+/// stream's true tail may be torn). Any worker error falls back to a
+/// serial parse so the reported line number is stream-absolute.
+pub fn parse_sharded(text: &str, shards: usize) -> Result<LossyParse, ParseEventError> {
+    if shards <= 1 || text.len() < (1 << 16) {
+        return parse_span_stream_lossy(text);
+    }
+    let chunks = line_chunks(text, shards);
+    if chunks.len() <= 1 {
+        return parse_span_stream_lossy(text);
+    }
+    let last = chunks.len() - 1;
+    let results: Vec<Option<LossyParse>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, chunk)| {
+                scope.spawn(move || {
+                    if i == last {
+                        parse_span_stream_lossy(chunk).ok()
+                    } else {
+                        parse_span_stream(chunk).ok().map(|events| LossyParse {
+                            events,
+                            torn_tails: 0,
+                        })
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    if results.iter().any(Option::is_none) {
+        // Authoritative error, with absolute line numbers.
+        return parse_span_stream_lossy(text);
+    }
+    let mut out = LossyParse {
+        events: Vec::new(),
+        torn_tails: 0,
+    };
+    for part in results.into_iter().flatten() {
+        out.events.extend(part.events);
+        out.torn_tails += part.torn_tails;
+    }
+    Ok(out)
+}
+
+/// Builds one store directory: create, add sources, finish.
+pub struct Ingest {
+    dir: PathBuf,
+    opts: IngestOptions,
+    acc: TraceAccumulator,
+    writer: Option<SegmentWriter>,
+    segments: Vec<SegmentMeta>,
+    offsets: Offsets,
+    next_record: u64,
+    trace_postings: BTreeMap<partalloc_obs::TraceId, Vec<u32>>,
+    layer_postings: BTreeMap<String, Vec<u32>>,
+    name_postings: BTreeMap<String, Vec<u32>>,
+    ranges: Vec<SourceRange>,
+    peaks: EnginePeaks,
+    source_index: u32,
+}
+
+impl Ingest {
+    /// Start a store at `dir` (created if absent; existing store
+    /// files are overwritten).
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, IngestError> {
+        Self::create_with(dir, IngestOptions::default())
+    }
+
+    /// [`Ingest::create`] with explicit options.
+    pub fn create_with(dir: impl Into<PathBuf>, opts: IngestOptions) -> Result<Self, IngestError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Ingest {
+            dir,
+            opts,
+            acc: TraceAccumulator::new(),
+            writer: None,
+            segments: Vec::new(),
+            offsets: Offsets::default(),
+            next_record: 0,
+            trace_postings: BTreeMap::new(),
+            layer_postings: BTreeMap::new(),
+            name_postings: BTreeMap::new(),
+            ranges: Vec::new(),
+            peaks: EnginePeaks::default(),
+            source_index: 0,
+        })
+    }
+
+    /// Parse and ingest one labeled NDJSON source.
+    pub fn add_source(&mut self, label: &str, text: &str) -> Result<(), IngestError> {
+        let parsed =
+            parse_sharded(text, self.opts.parse_shards).map_err(|error| IngestError::Parse {
+                label: label.to_string(),
+                error,
+            })?;
+        self.add_parsed(label, &parsed)
+    }
+
+    /// Ingest an already-parsed source.
+    pub fn add_parsed(&mut self, label: &str, parsed: &LossyParse) -> Result<(), IngestError> {
+        if self.source_index == u32::MAX {
+            return Err(IngestError::Limit("too many sources".to_string()));
+        }
+        let source = self.source_index;
+        self.source_index += 1;
+        self.acc.begin_source(label);
+        self.acc.note_torn(parsed.torn_tails);
+        let first = self.next_record as u32;
+        let mut kept = 0u32;
+        let mut min_seq = u64::MAX;
+        let mut max_seq = 0u64;
+        for ev in &parsed.events {
+            if !self.acc.push(ev) {
+                continue; // duplicate: counted by the accumulator
+            }
+            self.append_record(source, ev)?;
+            kept += 1;
+            min_seq = min_seq.min(ev.seq);
+            max_seq = max_seq.max(ev.seq);
+        }
+        self.ranges.push(SourceRange {
+            label: label.to_string(),
+            first,
+            records: kept,
+            min_seq: if kept == 0 { 0 } else { min_seq },
+            max_seq: if kept == 0 { 0 } else { max_seq },
+        });
+        Ok(())
+    }
+
+    fn append_record(&mut self, source: u32, ev: &ParsedEvent) -> Result<(), IngestError> {
+        if self.next_record > u64::from(u32::MAX) {
+            return Err(IngestError::Limit("store exceeds 2^32 records".to_string()));
+        }
+        let id = self.next_record as u32;
+        self.next_record += 1;
+
+        // Roll the segment before the write, never mid-record.
+        if self
+            .writer
+            .as_ref()
+            .is_some_and(|w| !w.is_empty() && w.len() >= self.opts.segment_bytes)
+        {
+            self.finish_segment()?;
+        }
+        if self.writer.is_none() {
+            self.writer = Some(SegmentWriter::create(&self.dir, self.segments.len())?);
+        }
+        let writer = self.writer.as_mut().expect("segment writer just ensured");
+        let offset = writer.append(&crate::record::encode(source, ev))?;
+        self.offsets.offsets.push(offset);
+
+        if let Some(ctx) = ev.trace {
+            self.trace_postings.entry(ctx.trace).or_default().push(id);
+        }
+        self.layer_postings
+            .entry(ev.layer.clone())
+            .or_default()
+            .push(id);
+        self.name_postings
+            .entry(ev.name.clone())
+            .or_default()
+            .push(id);
+        if ev.layer == "engine" {
+            self.peaks.events += 1;
+            if let Some(load) = ev.attr_u64("load") {
+                self.peaks.peak_load = self.peaks.peak_load.max(load);
+            }
+            if let Some(active) = ev.attr_u64("active_size") {
+                self.peaks.peak_active = self.peaks.peak_active.max(active);
+            }
+        }
+        Ok(())
+    }
+
+    fn finish_segment(&mut self) -> Result<(), IngestError> {
+        if let Some(writer) = self.writer.take() {
+            let (meta, _offsets_already_tracked) = writer.finish()?;
+            self.offsets.per_segment.push(meta.records);
+            self.segments.push(meta);
+        }
+        Ok(())
+    }
+
+    /// Seal the store: close the last segment, write every index and
+    /// the manifest, and return the ingest stats.
+    pub fn finish(mut self) -> Result<IngestStats, IngestError> {
+        self.finish_segment()?;
+        let report = std::mem::take(&mut self.acc).finish();
+
+        // Trace entries: the report's trees (sorted by id) zipped
+        // with the postings map (also id-sorted). They cover the same
+        // id set by construction.
+        debug_assert_eq!(report.trees.len(), self.trace_postings.len());
+        let traces: Vec<TraceEntry> = report
+            .trees
+            .iter()
+            .map(|tree| TraceEntry {
+                trace: tree.trace,
+                path: tree.path(),
+                shards: tree.shards().into_iter().collect(),
+                postings: self.trace_postings.remove(&tree.trace).unwrap_or_default(),
+            })
+            .collect();
+        let layers: Vec<LayerEntry> = report
+            .stages
+            .iter()
+            .map(|stage| LayerEntry {
+                layer: stage.layer.clone(),
+                traces: stage.traces as u32,
+                postings: self.layer_postings.remove(&stage.layer).unwrap_or_default(),
+            })
+            .collect();
+        let names: Vec<NameEntry> = std::mem::take(&mut self.name_postings)
+            .into_iter()
+            .map(|(name, postings)| NameEntry { name, postings })
+            .collect();
+
+        let files: [(&str, Vec<u8>); 5] = [
+            ("traces.idx", encode_traces(&traces)),
+            ("layers.idx", encode_layers(&layers)),
+            ("names.idx", encode_names(&names)),
+            ("seqs.idx", encode_seqs(&self.ranges)),
+            ("offsets.idx", encode_offsets(&self.offsets)),
+        ];
+        let mut indexes = Vec::with_capacity(files.len());
+        for (name, bytes) in &files {
+            write_atomic(&self.dir.join(name), bytes)?;
+            indexes.push(IndexMeta {
+                file: (*name).to_string(),
+                len: bytes.len() as u64,
+                fnv: fnv1a(bytes),
+            });
+        }
+
+        let manifest = Manifest {
+            records: self.next_record as usize,
+            events: report.sources.iter().map(|s| s.events).sum(),
+            dup_dropped: report.dup_dropped,
+            torn_tails: report.torn_tails,
+            sources: report.sources.clone(),
+            stages: report
+                .stages
+                .iter()
+                .map(|s| StageCounts {
+                    layer: s.layer.clone(),
+                    events: s.events,
+                    traces: s.traces,
+                })
+                .collect(),
+            anomalies: report.anomalies.clone(),
+            segments: self.segments.clone(),
+            indexes,
+            peaks: self.peaks,
+        };
+        write_atomic(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
+
+        Ok(IngestStats {
+            records: self.next_record as usize,
+            events: manifest.events,
+            dup_dropped: report.dup_dropped,
+            torn_tails: report.torn_tails,
+            traces: report.trees.len(),
+            anomalies: report.anomalies.len(),
+            segments: self.segments.len(),
+            segment_bytes: self.segments.iter().map(|s| s.len).sum(),
+        })
+    }
+
+    /// The store directory being written.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Write via a `.tmp` sibling then rename, the snapshot discipline —
+/// a crash mid-write never leaves a half-written index in place.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_text_on_line_boundaries() {
+        let text = "aa\nbbbb\nc\ndddddd\ne";
+        for n in 1..6 {
+            let chunks = line_chunks(text, n);
+            assert_eq!(chunks.concat(), text, "n={n}");
+            for chunk in &chunks[..chunks.len().saturating_sub(1)] {
+                assert!(chunk.ends_with('\n'), "n={n} chunk={chunk:?}");
+            }
+        }
+        assert!(line_chunks("", 4).is_empty());
+    }
+
+    #[test]
+    fn sharded_parse_matches_serial() {
+        let mut text = String::new();
+        for i in 0..2000 {
+            text.push_str(&format!(
+                r#"{{"seq":{i},"name":"arrive","layer":"shard","shard":{}}}"#,
+                i % 4
+            ));
+            text.push('\n');
+        }
+        // Torn tail on top.
+        text.push_str(r#"{"seq":2000,"name":"arr"#);
+        let serial = parse_span_stream_lossy(&text).unwrap();
+        // Force the sharded path despite the small input.
+        let chunks = line_chunks(&text, 4);
+        assert!(chunks.len() > 1);
+        let big = text.repeat(40); // >64 KiB, still line-aligned
+        let serial_big = parse_span_stream_lossy(&big);
+        let sharded_big = parse_sharded(&big, 4);
+        // The repeat makes interior torn lines: both paths must agree
+        // on accept-or-reject.
+        assert_eq!(serial_big.is_ok(), sharded_big.is_ok());
+        let sharded = parse_sharded(&text, 4).unwrap();
+        assert_eq!(sharded, serial);
+        assert_eq!(sharded.torn_tails, 1);
+        assert_eq!(sharded.events.len(), 2000);
+    }
+}

@@ -1,0 +1,61 @@
+//! # partalloc-tracestore
+//!
+//! The indexed on-disk trace store: ingest million-event NDJSON span
+//! recordings once, query them incrementally forever.
+//!
+//! `palloc trace` originally re-parsed every recording on every
+//! invocation; at reactor event rates that stops scaling. This crate
+//! is the SnapViewer-shaped answer — an indexed trace database with
+//! sharded loading and a query REPL — built from parts the workspace
+//! already trusts:
+//!
+//! * **Segments** ([`segment`]): append-only files of length-prefixed
+//!   record frames (the wire crate's codec), FNV-1a checksummed like
+//!   the service's snapshots. Records preserve parsed events exactly,
+//!   bit-for-bit floats included.
+//! * **Indexes** ([`index`]): compact checksummed sidecars keyed by
+//!   trace id, layer, span name, and per-source seq range, mapping to
+//!   u32 record ids; `offsets.idx` resolves ids to byte offsets.
+//! * **Manifest** ([`manifest`]): a footer-checksummed text summary
+//!   (totals, per-source rows, stage counts, anomalies, engine peaks)
+//!   plus the ledger of every file's length and checksum.
+//! * **Ingest** ([`Ingest`]): chunk-parallel parse, then one serial
+//!   fold through the analysis crate's `TraceAccumulator` — the same
+//!   fold the in-memory analyzer runs, so store-backed reports are
+//!   byte-identical to `palloc trace`'s by construction.
+//! * **Queries** ([`TraceStore`]): open verifies every checksum ledger
+//!   entry; the standard report then needs manifest + `traces.idx` +
+//!   one postings fetch, and drill-downs (trees, stage latency, seq
+//!   ranges, name lookups) touch only the records they name.
+//! * **REPL** ([`run_repl`]): a line-oriented interactive query shell
+//!   with deterministic output, scriptable via stdin for CI goldens.
+//! * **Diff** ([`diff_stores`]): compare two stores — per-stage
+//!   deltas, anomaly deltas, engine peak-load drift against the
+//!   paper's ratio bounds.
+//! * **Synth** ([`synth_recording`]): a seeded synthetic workload
+//!   generator for benchmarking cold analysis vs warm indexed reads.
+//!
+//! Everything is deterministic: fixed inputs produce byte-identical
+//! stores (modulo nothing — there are no clocks, pids, or map-order
+//! dependencies in any file) and byte-identical query output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod index;
+pub mod ingest;
+pub mod manifest;
+pub mod record;
+pub mod repl;
+pub mod segment;
+pub mod store;
+pub mod synth;
+mod util;
+
+pub use diff::diff_stores;
+pub use ingest::{Ingest, IngestError, IngestOptions, IngestStats};
+pub use manifest::Manifest;
+pub use repl::run_repl;
+pub use store::{StoreError, TraceStore};
+pub use synth::synth_recording;

@@ -1,0 +1,350 @@
+//! The store manifest: a human-readable text summary of everything
+//! the report needs that is not per-record — totals, per-source
+//! summaries, stage rows, anomalies, engine peaks — plus the
+//! length/checksum ledger for every segment and index file.
+//!
+//! The file is `key=value` lines under a versioned header, with
+//! free-form values `%`-escaped, and ends with the same
+//! `len=…/fnv1a=…` footer discipline the service's snapshots use: the
+//! footer checksums every byte before it, so a torn or edited
+//! manifest is detected before any index is trusted.
+
+use std::collections::BTreeMap;
+
+use partalloc_analysis::{Anomaly, AnomalyKind, SourceSummary};
+
+use crate::segment::SegmentMeta;
+use crate::util::{esc, fnv1a, unesc};
+
+/// The manifest's header line.
+pub const MANIFEST_HEADER: &str = "#partalloc-tracestore v1";
+/// The manifest file's name inside the store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// A stage row as stored: the share is derived from the totals at
+/// render time, exactly as the in-memory analyzer derives it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageCounts {
+    /// The layer name.
+    pub layer: String,
+    /// Kept events in this layer.
+    pub events: usize,
+    /// Distinct traces that touched this layer.
+    pub traces: usize,
+}
+
+/// An index file's ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// File name within the store directory.
+    pub file: String,
+    /// Byte length.
+    pub len: u64,
+    /// FNV-1a over the whole file.
+    pub fnv: u64,
+}
+
+/// Engine-layer peaks tracked during ingest, for ratio-vs-bound
+/// checks in `palloc trace --diff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnginePeaks {
+    /// Peak of the `load` attribute over engine events.
+    pub peak_load: u64,
+    /// Peak of the `active_size` attribute over engine events.
+    pub peak_active: u64,
+    /// Engine events seen (0 means the peaks are meaningless).
+    pub events: usize,
+}
+
+/// Everything the manifest records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Kept records across all segments.
+    pub records: usize,
+    /// Events parsed (kept + duplicates).
+    pub events: usize,
+    /// Duplicate spans dropped at ingest.
+    pub dup_dropped: usize,
+    /// Torn trailing lines skipped at ingest.
+    pub torn_tails: usize,
+    /// Per-source summaries, in ingest order.
+    pub sources: Vec<SourceSummary>,
+    /// Stage counts, in layer-rank order.
+    pub stages: Vec<StageCounts>,
+    /// Anomalies, in report order.
+    pub anomalies: Vec<Anomaly>,
+    /// Segment ledger, in segment order.
+    pub segments: Vec<SegmentMeta>,
+    /// Index-file ledger.
+    pub indexes: Vec<IndexMeta>,
+    /// Engine peaks for diffing.
+    pub peaks: EnginePeaks,
+}
+
+impl Manifest {
+    /// Render the manifest, footer included.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "totals records={} events={} dup_dropped={} torn_tails={}\n",
+            self.records, self.events, self.dup_dropped, self.torn_tails
+        ));
+        for s in &self.sources {
+            out.push_str(&format!(
+                "source label={} events={} traced={} traces={} torn={}\n",
+                esc(&s.label),
+                s.events,
+                s.traced,
+                s.traces,
+                s.torn
+            ));
+        }
+        for s in &self.stages {
+            out.push_str(&format!(
+                "stage layer={} events={} traces={}\n",
+                esc(&s.layer),
+                s.events,
+                s.traces
+            ));
+        }
+        for a in &self.anomalies {
+            out.push_str(&format!(
+                "anomaly kind={} subject={} detail={}\n",
+                a.kind,
+                esc(&a.subject),
+                esc(&a.detail)
+            ));
+        }
+        for s in &self.segments {
+            out.push_str(&format!(
+                "segment file={} records={} len={} fnv1a={:016x}\n",
+                esc(&s.file),
+                s.records,
+                s.len,
+                s.fnv
+            ));
+        }
+        for i in &self.indexes {
+            out.push_str(&format!(
+                "index file={} len={} fnv1a={:016x}\n",
+                esc(&i.file),
+                i.len,
+                i.fnv
+            ));
+        }
+        out.push_str(&format!(
+            "engine peak_load={} peak_active={} events={}\n",
+            self.peaks.peak_load, self.peaks.peak_active, self.peaks.events
+        ));
+        let footer = format!(
+            "#footer len={} fnv1a={:016x}\n",
+            out.len(),
+            fnv1a(out.as_bytes())
+        );
+        out.push_str(&footer);
+        out
+    }
+
+    /// Parse and verify a manifest. The error string names what is
+    /// wrong — the store surfaces it as a corruption error.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        // Verify the footer first: nothing above it is trusted until
+        // the checksum holds.
+        let body_end = text
+            .rfind("#footer ")
+            .ok_or_else(|| "manifest has no footer".to_string())?;
+        let footer = text[body_end..]
+            .strip_suffix('\n')
+            .ok_or_else(|| "manifest footer is torn".to_string())?;
+        let fields = kv_fields(footer.trim_start_matches("#footer "))?;
+        let len: usize = req(&fields, "len")?;
+        let sum: u64 = u64::from_str_radix(fields.get("fnv1a").ok_or("footer missing fnv1a")?, 16)
+            .map_err(|_| "footer fnv1a is not hex".to_string())?;
+        if len != body_end {
+            return Err(format!(
+                "manifest footer length {len} != body length {body_end}"
+            ));
+        }
+        if fnv1a(text[..body_end].as_bytes()) != sum {
+            return Err("manifest checksum mismatch".to_string());
+        }
+
+        let mut lines = text[..body_end].lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err("bad manifest header".to_string());
+        }
+        let mut manifest = Manifest {
+            records: 0,
+            events: 0,
+            dup_dropped: 0,
+            torn_tails: 0,
+            sources: Vec::new(),
+            stages: Vec::new(),
+            anomalies: Vec::new(),
+            segments: Vec::new(),
+            indexes: Vec::new(),
+            peaks: EnginePeaks::default(),
+        };
+        let mut saw_totals = false;
+        for line in lines {
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let fields = kv_fields(rest)?;
+            match tag {
+                "totals" => {
+                    saw_totals = true;
+                    manifest.records = req(&fields, "records")?;
+                    manifest.events = req(&fields, "events")?;
+                    manifest.dup_dropped = req(&fields, "dup_dropped")?;
+                    manifest.torn_tails = req(&fields, "torn_tails")?;
+                }
+                "source" => manifest.sources.push(SourceSummary {
+                    label: req_str(&fields, "label")?,
+                    events: req(&fields, "events")?,
+                    traced: req(&fields, "traced")?,
+                    traces: req(&fields, "traces")?,
+                    torn: req(&fields, "torn")?,
+                }),
+                "stage" => manifest.stages.push(StageCounts {
+                    layer: req_str(&fields, "layer")?,
+                    events: req(&fields, "events")?,
+                    traces: req(&fields, "traces")?,
+                }),
+                "anomaly" => {
+                    let kind = req_str(&fields, "kind")?;
+                    let kind = AnomalyKind::parse(&kind)
+                        .ok_or_else(|| format!("unknown anomaly kind {kind:?}"))?;
+                    manifest.anomalies.push(Anomaly {
+                        kind,
+                        subject: req_str(&fields, "subject")?,
+                        detail: req_str(&fields, "detail")?,
+                    });
+                }
+                "segment" => manifest.segments.push(SegmentMeta {
+                    file: req_str(&fields, "file")?,
+                    records: req(&fields, "records")?,
+                    len: req(&fields, "len")?,
+                    fnv: u64::from_str_radix(
+                        fields.get("fnv1a").ok_or("segment missing fnv1a")?,
+                        16,
+                    )
+                    .map_err(|_| "segment fnv1a is not hex".to_string())?,
+                }),
+                "index" => manifest.indexes.push(IndexMeta {
+                    file: req_str(&fields, "file")?,
+                    len: req(&fields, "len")?,
+                    fnv: u64::from_str_radix(fields.get("fnv1a").ok_or("index missing fnv1a")?, 16)
+                        .map_err(|_| "index fnv1a is not hex".to_string())?,
+                }),
+                "engine" => {
+                    manifest.peaks = EnginePeaks {
+                        peak_load: req(&fields, "peak_load")?,
+                        peak_active: req(&fields, "peak_active")?,
+                        events: req(&fields, "events")?,
+                    }
+                }
+                other => return Err(format!("unknown manifest line tag {other:?}")),
+            }
+        }
+        if !saw_totals {
+            return Err("manifest has no totals line".to_string());
+        }
+        Ok(manifest)
+    }
+}
+
+fn kv_fields(rest: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    for field in rest.split(' ').filter(|f| !f.is_empty()) {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed manifest field {field:?}"))?;
+        out.insert(k.to_string(), v.to_string());
+    }
+    Ok(out)
+}
+
+fn req<T: std::str::FromStr>(fields: &BTreeMap<String, String>, key: &str) -> Result<T, String> {
+    fields
+        .get(key)
+        .ok_or_else(|| format!("missing manifest field {key:?}"))?
+        .parse()
+        .map_err(|_| format!("unparsable manifest field {key:?}"))
+}
+
+fn req_str(fields: &BTreeMap<String, String>, key: &str) -> Result<String, String> {
+    let raw = fields
+        .get(key)
+        .ok_or_else(|| format!("missing manifest field {key:?}"))?;
+    unesc(raw).ok_or_else(|| format!("malformed escape in manifest field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            records: 10,
+            events: 12,
+            dup_dropped: 2,
+            torn_tails: 1,
+            sources: vec![SourceSummary {
+                label: "odd name.ndjson".into(),
+                events: 12,
+                traced: 8,
+                traces: 2,
+                torn: 1,
+            }],
+            stages: vec![StageCounts {
+                layer: "client".into(),
+                events: 4,
+                traces: 2,
+            }],
+            anomalies: vec![Anomaly {
+                kind: AnomalyKind::RetryStorm,
+                subject: "trace 00000000000000aa".into(),
+                detail: "3 retries".into(),
+            }],
+            segments: vec![SegmentMeta {
+                file: "seg-0000.bin".into(),
+                records: 10,
+                len: 321,
+                fnv: 0xdead_beef,
+            }],
+            indexes: vec![IndexMeta {
+                file: "traces.idx".into(),
+                len: 64,
+                fnv: 7,
+            }],
+            peaks: EnginePeaks {
+                peak_load: 3,
+                peak_active: 24,
+                events: 6,
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let text = m.render();
+        assert!(text.starts_with(MANIFEST_HEADER));
+        assert!(text.contains("label=odd%20name.ndjson"), "{text}");
+        let parsed = Manifest::parse(&text).unwrap();
+        assert_eq!(parsed, m);
+        // Render is deterministic.
+        assert_eq!(text, parsed.render());
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let text = sample().render();
+        let tampered = text.replace("records=10", "records=11");
+        assert!(Manifest::parse(&tampered).unwrap_err().contains("checksum"));
+        let torn = &text[..text.len() - 2];
+        assert!(Manifest::parse(torn).is_err());
+        assert!(Manifest::parse("").is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! The binary record codec: one accepted span event, with its source
+//! index, as a frame payload.
+//!
+//! Records preserve a [`ParsedEvent`] *exactly* — every attribute, in
+//! order, with `U64`/`F64`/`Str`/`Bool` typing intact (floats as raw
+//! bits) — which is what lets store-backed analysis reproduce the
+//! in-memory analyzer's output byte for byte.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! source u32 | seq u64 | flags u8 | [trace u64, span u64] |
+//! name str | layer str | nattrs u32 | nattrs × (key str, tag u8, value)
+//! ```
+//!
+//! where `str` is a u32 length prefix plus UTF-8 bytes, `flags` bit 0
+//! marks a present trace context, and value tags are 1=`U64` (8
+//! bytes), 2=`F64` (8 bytes, IEEE bits), 3=`Str`, 4=`Bool` (1 byte).
+
+use partalloc_obs::{ParsedEvent, ParsedValue, SpanId, TraceContext, TraceId};
+
+use crate::util::{put_str, Cur};
+
+/// One stored record: which source it came from, and the event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Index into the store's source list.
+    pub source: u32,
+    /// The event, exactly as parsed at ingest.
+    pub event: ParsedEvent,
+}
+
+/// Encode a record as a frame payload.
+pub fn encode(source: u32, ev: &ParsedEvent) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&source.to_le_bytes());
+    out.extend_from_slice(&ev.seq.to_le_bytes());
+    out.push(u8::from(ev.trace.is_some()));
+    if let Some(ctx) = ev.trace {
+        out.extend_from_slice(&ctx.trace.0.to_le_bytes());
+        out.extend_from_slice(&ctx.span.0.to_le_bytes());
+    }
+    put_str(&mut out, &ev.name);
+    put_str(&mut out, &ev.layer);
+    out.extend_from_slice(&(ev.attrs.len() as u32).to_le_bytes());
+    for (key, value) in &ev.attrs {
+        put_str(&mut out, key);
+        match value {
+            ParsedValue::U64(v) => {
+                out.push(1);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            ParsedValue::F64(v) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            ParsedValue::Str(v) => {
+                out.push(3);
+                put_str(&mut out, v);
+            }
+            ParsedValue::Bool(v) => {
+                out.push(4);
+                out.push(u8::from(*v));
+            }
+        }
+    }
+    out
+}
+
+/// Decode a frame payload back into a record. `None` on any
+/// truncation, trailing garbage, or unknown tag — the caller maps
+/// that to a corruption error naming the segment.
+pub fn decode(payload: &[u8]) -> Option<Record> {
+    let mut cur = Cur::new(payload);
+    let source = cur.u32()?;
+    let seq = cur.u64()?;
+    let flags = cur.u8()?;
+    let trace = if flags & 1 != 0 {
+        Some(TraceContext::new(TraceId(cur.u64()?), SpanId(cur.u64()?)))
+    } else {
+        None
+    };
+    let name = cur.str()?;
+    let layer = cur.str()?;
+    let nattrs = cur.u32()? as usize;
+    // Each attr is at least 6 bytes (empty key + tag + bool); a count
+    // that cannot fit in the remaining bytes is corruption, checked
+    // up front so a hostile count cannot trigger a huge allocation.
+    if nattrs > cur.remaining() / 6 {
+        return None;
+    }
+    let mut attrs = Vec::with_capacity(nattrs);
+    for _ in 0..nattrs {
+        let key = cur.str()?;
+        let value = match cur.u8()? {
+            1 => ParsedValue::U64(cur.u64()?),
+            2 => ParsedValue::F64(f64::from_bits(cur.u64()?)),
+            3 => ParsedValue::Str(cur.str()?),
+            4 => ParsedValue::Bool(cur.u8()? != 0),
+            _ => return None,
+        };
+        attrs.push((key, value));
+    }
+    if cur.remaining() != 0 {
+        return None;
+    }
+    Some(Record {
+        source,
+        event: ParsedEvent {
+            seq,
+            name,
+            layer,
+            trace,
+            attrs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_obs::parse_span_line;
+
+    fn roundtrip(line: &str) {
+        let ev = parse_span_line(line).unwrap();
+        let payload = encode(3, &ev);
+        let rec = decode(&payload).unwrap();
+        assert_eq!(rec.source, 3);
+        assert_eq!(rec.event, ev, "{line}");
+    }
+
+    #[test]
+    fn records_round_trip_every_value_shape() {
+        roundtrip(
+            r#"{"seq":0,"name":"arrive","layer":"shard","trace":"00000000000000aa-0000000000000001","shard":4}"#,
+        );
+        roundtrip(
+            r#"{"seq":18446744073709551615,"name":"","layer":"π-layer","ratio":1.5,"flag":true,"s":"x y"}"#,
+        );
+        roundtrip(
+            r#"{"seq":7,"name":"weird \"name\"\n","layer":"engine","detail":"tab\there","ok":false}"#,
+        );
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let ev = parse_span_line(r#"{"seq":1,"name":"a","layer":"engine","ratio":"NaN"}"#).unwrap();
+        let rec = decode(&encode(0, &ev)).unwrap();
+        assert_eq!(rec.event, ev);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let ev = parse_span_line(r#"{"seq":1,"name":"a","layer":"b","k":1}"#).unwrap();
+        let payload = encode(0, &ev);
+        for cut in 0..payload.len() {
+            assert!(decode(&payload[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode(&long).is_none());
+        // A huge attr count must not allocate.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&0u32.to_le_bytes());
+        hostile.extend_from_slice(&0u64.to_le_bytes());
+        hostile.push(0);
+        put_str(&mut hostile, "n");
+        put_str(&mut hostile, "l");
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&hostile).is_none());
+    }
+}

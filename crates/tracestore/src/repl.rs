@@ -1,0 +1,466 @@
+//! The interactive query shell behind `palloc trace --repl`.
+//!
+//! Line-oriented, prompt-echoing, and byte-deterministic: the same
+//! store and the same input script always produce the same transcript,
+//! so CI drives it with a here-doc and `cmp`s against a golden file.
+//! Query errors print and the loop continues; only I/O errors on the
+//! output abort.
+
+use std::io::{self, BufRead, Write};
+
+use partalloc_analysis::{fmt_f64, Table};
+use partalloc_obs::TraceId;
+
+use crate::store::TraceStore;
+use crate::util::esc;
+
+const HELP: &str = "\
+commands:
+  summary                  store totals and per-source rows
+  report [N]               the standard trace report (top N trees)
+  traces [N]               ranked request trees
+  tree <id-prefix>         drill into one request tree
+  anomalies [kind]         anomalies, optionally one kind
+  stage <layer> [pct]      per-trace event-count percentiles for a layer
+  name <event-name> [N]    records with a span name
+  range <source> <lo> <hi> one source's records in a seq window
+  sources                  ingested sources and their seq ranges
+  verify                   checksum every segment
+  help                     this text
+  quit                     leave
+";
+
+/// Run the REPL: read commands from `input`, write the transcript to
+/// `out`, until `quit`/`exit` or end of input.
+pub fn run_repl<R: BufRead, W: Write>(store: &TraceStore, input: R, mut out: W) -> io::Result<()> {
+    let m = store.manifest();
+    writeln!(
+        out,
+        "palloc trace store: {} record(s), {} trace(s), {} anomaly(ies)",
+        m.records,
+        store.trace_entries().len(),
+        m.anomalies.len()
+    )?;
+    writeln!(out, "type 'help' for commands, 'quit' to leave")?;
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        writeln!(out, "palloc> {line}")?;
+        let mut words = line.split_whitespace();
+        let cmd = words.next().unwrap_or("");
+        let args: Vec<&str> = words.collect();
+        match cmd {
+            "quit" | "exit" => {
+                writeln!(out, "bye")?;
+                return Ok(());
+            }
+            "help" => write!(out, "{HELP}")?,
+            "summary" => cmd_summary(store, &mut out)?,
+            "report" => {
+                let top = args.first().and_then(|a| a.parse().ok()).unwrap_or(10);
+                match store.render_report(top) {
+                    Ok(text) => write!(out, "{text}")?,
+                    Err(e) => writeln!(out, "error: {e}")?,
+                }
+            }
+            "traces" => {
+                let top = args.first().and_then(|a| a.parse().ok()).unwrap_or(10);
+                cmd_traces(store, top, &mut out)?;
+            }
+            "tree" => match args.first() {
+                Some(prefix) => cmd_tree(store, prefix, &mut out)?,
+                None => writeln!(out, "usage: tree <id-prefix>")?,
+            },
+            "anomalies" => cmd_anomalies(store, args.first().copied(), &mut out)?,
+            "stage" => match args.first() {
+                Some(layer) => {
+                    let pct = args.get(1).and_then(|a| a.parse::<u8>().ok());
+                    cmd_stage(store, layer, pct, &mut out)?;
+                }
+                None => writeln!(out, "usage: stage <layer> [percentile]")?,
+            },
+            "name" => match args.first() {
+                Some(name) => {
+                    let top = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+                    cmd_name(store, name, top, &mut out)?;
+                }
+                None => writeln!(out, "usage: name <event-name> [N]")?,
+            },
+            "range" => match (args.first(), args.get(1), args.get(2)) {
+                (Some(source), Some(lo), Some(hi)) => {
+                    match (lo.parse::<u64>(), hi.parse::<u64>()) {
+                        (Ok(lo), Ok(hi)) => cmd_range(store, source, lo, hi, &mut out)?,
+                        _ => writeln!(out, "usage: range <source> <lo> <hi>")?,
+                    }
+                }
+                _ => writeln!(out, "usage: range <source> <lo> <hi>")?,
+            },
+            "sources" => cmd_sources(store, &mut out)?,
+            "verify" => match store.verify() {
+                Ok(()) => writeln!(
+                    out,
+                    "ok: {} segment(s) verified",
+                    store.manifest().segments.len()
+                )?,
+                Err(e) => writeln!(out, "error: {e}")?,
+            },
+            other => writeln!(out, "unknown command {other:?} (try 'help')")?,
+        }
+    }
+    writeln!(out, "bye")?;
+    Ok(())
+}
+
+fn cmd_summary<W: Write>(store: &TraceStore, out: &mut W) -> io::Result<()> {
+    let m = store.manifest();
+    writeln!(
+        out,
+        "records={} events={} dup_dropped={} torn_tails={} traces={} anomalies={} segments={}",
+        m.records,
+        m.events,
+        m.dup_dropped,
+        m.torn_tails,
+        store.trace_entries().len(),
+        m.anomalies.len(),
+        m.segments.len()
+    )?;
+    let mut t = Table::new(&["file", "events", "traced", "traces", "torn"]);
+    for s in &m.sources {
+        t.row(&[
+            s.label.clone(),
+            s.events.to_string(),
+            s.traced.to_string(),
+            s.traces.to_string(),
+            s.torn.to_string(),
+        ]);
+    }
+    write!(out, "{}", t.render_text())
+}
+
+fn cmd_traces<W: Write>(store: &TraceStore, top: usize, out: &mut W) -> io::Result<()> {
+    let mut ranked: Vec<_> = store.trace_entries().iter().collect();
+    ranked.sort_by(|a, b| (b.postings.len(), a.trace).cmp(&(a.postings.len(), b.trace)));
+    let mut t = Table::new(&["trace", "events", "path", "shards"]);
+    for e in ranked.iter().take(top) {
+        let shards: Vec<String> = e.shards.iter().map(u64::to_string).collect();
+        t.row(&[
+            e.trace.to_string(),
+            e.postings.len().to_string(),
+            e.path.clone(),
+            if shards.is_empty() {
+                "-".to_string()
+            } else {
+                shards.join(",")
+            },
+        ]);
+    }
+    write!(out, "{}", t.render_text())?;
+    if ranked.len() > top {
+        writeln!(out, "({} more not shown)", ranked.len() - top)?;
+    }
+    Ok(())
+}
+
+fn cmd_tree<W: Write>(store: &TraceStore, prefix: &str, out: &mut W) -> io::Result<()> {
+    let matches = store.traces_by_prefix(prefix);
+    match matches.as_slice() {
+        [] => writeln!(out, "no trace matches {prefix:?}"),
+        [one] => {
+            let tree = match store.tree(*one) {
+                Ok(Some(tree)) => tree,
+                Ok(None) => return writeln!(out, "no trace matches {prefix:?}"),
+                Err(e) => return writeln!(out, "error: {e}"),
+            };
+            let labels: Vec<String> = store
+                .manifest()
+                .sources
+                .iter()
+                .map(|s| s.label.clone())
+                .collect();
+            writeln!(
+                out,
+                "trace {} ({} events, path {})",
+                tree.trace,
+                tree.steps.len(),
+                tree.path()
+            )?;
+            for (i, step) in tree.steps.iter().enumerate() {
+                let label = labels.get(step.source).map_or("?", |l| l.as_str());
+                writeln!(
+                    out,
+                    "{:>4}. {}/{} seq={} [{}]",
+                    i + 1,
+                    step.layer,
+                    step.name,
+                    step.seq,
+                    label
+                )?;
+            }
+            Ok(())
+        }
+        many => {
+            writeln!(out, "{} traces match {prefix:?}:", many.len())?;
+            for t in many {
+                writeln!(out, "  {t}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn cmd_anomalies<W: Write>(store: &TraceStore, kind: Option<&str>, out: &mut W) -> io::Result<()> {
+    let anomalies: Vec<_> = store
+        .anomalies()
+        .iter()
+        .filter(|a| kind.is_none_or(|k| a.kind.to_string() == k))
+        .collect();
+    if anomalies.is_empty() {
+        return writeln!(out, "none detected");
+    }
+    let mut t = Table::new(&["kind", "subject", "detail"]);
+    for a in anomalies {
+        t.row(&[a.kind.to_string(), a.subject.clone(), a.detail.clone()]);
+    }
+    write!(out, "{}", t.render_text())
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[usize], pct: u8) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (usize::from(pct) * sorted.len()).div_ceil(100).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn cmd_stage<W: Write>(
+    store: &TraceStore,
+    layer: &str,
+    pct: Option<u8>,
+    out: &mut W,
+) -> io::Result<()> {
+    let counts = match store.layer_trace_counts(layer) {
+        Ok(counts) => counts,
+        Err(e) => return writeln!(out, "error: {e}"),
+    };
+    if counts.is_empty() {
+        return writeln!(out, "no traced events in layer {layer:?}");
+    }
+    let total: usize = counts.iter().map(|(_, n)| n).sum();
+    writeln!(
+        out,
+        "layer {layer}: {total} traced event(s) across {} trace(s)",
+        counts.len()
+    )?;
+    let mut sorted: Vec<usize> = counts.iter().map(|&(_, n)| n).collect();
+    sorted.sort_unstable();
+    match pct {
+        Some(p) => writeln!(out, "p{p}={} events/trace", percentile(&sorted, p))?,
+        None => writeln!(
+            out,
+            "p50={} p90={} p99={} max={} events/trace (mean {})",
+            percentile(&sorted, 50),
+            percentile(&sorted, 90),
+            percentile(&sorted, 99),
+            sorted.last().copied().unwrap_or(0),
+            fmt_f64(total as f64 / counts.len() as f64, 1)
+        )?,
+    }
+    let mut offenders: Vec<&(TraceId, usize)> = counts.iter().collect();
+    offenders.sort_by(|a, b| (b.1, a.0).cmp(&(a.1, b.0)));
+    let mut t = Table::new(&["trace", "events"]);
+    for (trace, n) in offenders.iter().take(5) {
+        t.row(&[trace.to_string(), n.to_string()]);
+    }
+    write!(out, "{}", t.render_text())
+}
+
+fn cmd_name<W: Write>(store: &TraceStore, name: &str, top: usize, out: &mut W) -> io::Result<()> {
+    let Some(entry) = store.name_entries().iter().find(|e| e.name == name) else {
+        return writeln!(out, "no events named {:?}", esc(name));
+    };
+    writeln!(out, "{} event(s) named {:?}", entry.postings.len(), name)?;
+    let ids: Vec<u32> = entry.postings.iter().take(top).copied().collect();
+    let records = match store.fetch(&ids) {
+        Ok(records) => records,
+        Err(e) => return writeln!(out, "error: {e}"),
+    };
+    let labels: Vec<String> = store
+        .manifest()
+        .sources
+        .iter()
+        .map(|s| s.label.clone())
+        .collect();
+    let mut t = Table::new(&["record", "source", "seq", "layer", "trace"]);
+    for (id, rec) in ids.iter().zip(records) {
+        t.row(&[
+            id.to_string(),
+            labels
+                .get(rec.source as usize)
+                .cloned()
+                .unwrap_or_else(|| "?".into()),
+            rec.event.seq.to_string(),
+            rec.event.layer.clone(),
+            rec.event
+                .trace
+                .map_or("-".to_string(), |ctx| ctx.trace.to_string()),
+        ]);
+    }
+    write!(out, "{}", t.render_text())?;
+    if entry.postings.len() > top {
+        writeln!(out, "({} more not shown)", entry.postings.len() - top)?;
+    }
+    Ok(())
+}
+
+fn cmd_range<W: Write>(
+    store: &TraceStore,
+    source: &str,
+    lo: u64,
+    hi: u64,
+    out: &mut W,
+) -> io::Result<()> {
+    let records = match store.records_in_range(source, lo, hi) {
+        Ok(records) => records,
+        Err(e) => return writeln!(out, "error: {e}"),
+    };
+    if records.is_empty() {
+        return writeln!(out, "no records of {source:?} with seq in [{lo}, {hi}]");
+    }
+    writeln!(
+        out,
+        "{} record(s) of {source} with seq in [{lo}, {hi}]",
+        records.len()
+    )?;
+    const CAP: usize = 20;
+    let mut t = Table::new(&["seq", "layer", "name", "trace"]);
+    for rec in records.iter().take(CAP) {
+        t.row(&[
+            rec.event.seq.to_string(),
+            rec.event.layer.clone(),
+            rec.event.name.clone(),
+            rec.event
+                .trace
+                .map_or("-".to_string(), |ctx| ctx.trace.to_string()),
+        ]);
+    }
+    write!(out, "{}", t.render_text())?;
+    if records.len() > CAP {
+        writeln!(out, "({} more not shown)", records.len() - CAP)?;
+    }
+    Ok(())
+}
+
+fn cmd_sources<W: Write>(store: &TraceStore, out: &mut W) -> io::Result<()> {
+    let mut t = Table::new(&["source", "records", "first", "seqs"]);
+    for r in store.source_ranges() {
+        t.row(&[
+            r.label.clone(),
+            r.records.to_string(),
+            r.first.to_string(),
+            if r.records == 0 {
+                "-".to_string()
+            } else {
+                format!("{}..{}", r.min_seq, r.max_seq)
+            },
+        ]);
+    }
+    write!(out, "{}", t.render_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::Ingest;
+
+    fn sample_store(tag: &str) -> TraceStore {
+        let dir =
+            std::env::temp_dir().join(format!("partalloc-repltest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut ingest = Ingest::create(&dir).unwrap();
+        ingest
+            .add_source(
+                "run.ndjson",
+                concat!(
+                    r#"{"seq":0,"name":"retry","layer":"client","trace":"00000000000000aa-0000000000000001"}"#,
+                    "\n",
+                    r#"{"seq":1,"name":"retry","layer":"client","trace":"00000000000000aa-0000000000000001"}"#,
+                    "\n",
+                    r#"{"seq":2,"name":"retry","layer":"client","trace":"00000000000000aa-0000000000000001"}"#,
+                    "\n",
+                    r#"{"seq":3,"name":"arrive","layer":"shard","trace":"00000000000000bb-0000000000000002","shard":1}"#,
+                    "\n"
+                ),
+            )
+            .unwrap();
+        ingest.finish().unwrap();
+        TraceStore::open(&dir).unwrap()
+    }
+
+    fn drive(store: &TraceStore, script: &str) -> String {
+        let mut out = Vec::new();
+        run_repl(store, script.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn scripted_session_is_deterministic() {
+        let store = sample_store("script");
+        let script = "summary\ntraces\ntree 00000000000000aa\nanomalies\nstage client\nname retry\nrange run.ndjson 1 2\nsources\nverify\nquit\n";
+        let a = drive(&store, script);
+        let b = drive(&store, script);
+        assert_eq!(a, b);
+        assert!(a.contains("palloc> summary"), "{a}");
+        assert!(a.contains("records=4"), "{a}");
+        assert!(
+            a.contains("trace 00000000000000aa (3 events, path client)"),
+            "{a}"
+        );
+        assert!(a.contains("retry-storm"), "{a}");
+        assert!(a.contains("p50=3"), "{a}");
+        assert!(a.contains("3 event(s) named \"retry\""), "{a}");
+        assert!(a.contains("ok: 1 segment(s) verified"), "{a}");
+        assert!(a.ends_with("bye\n"), "{a}");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn bad_commands_do_not_abort_the_session() {
+        let store = sample_store("bad");
+        let out = drive(
+            &store,
+            "frobnicate\ntree\ntree ff\nstage nope\nrange x 2 1\nname nothing\n",
+        );
+        assert!(out.contains("unknown command \"frobnicate\""), "{out}");
+        assert!(out.contains("usage: tree <id-prefix>"), "{out}");
+        assert!(out.contains("no trace matches \"ff\""), "{out}");
+        assert!(out.contains("no traced events in layer \"nope\""), "{out}");
+        assert!(out.contains("no records of \"x\""), "{out}");
+        assert!(out.contains("no events named"), "{out}");
+        // EOF without quit still says bye.
+        assert!(out.ends_with("bye\n"), "{out}");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn prefix_ambiguity_lists_matches() {
+        let store = sample_store("prefix");
+        let out = drive(&store, "tree 00000000000000\nquit\n");
+        assert!(out.contains("2 traces match"), "{out}");
+        assert!(out.contains("00000000000000aa"), "{out}");
+        assert!(out.contains("00000000000000bb"), "{out}");
+        std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 1), 7);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 99), 4);
+        assert_eq!(percentile(&[1, 2, 3, 4], 25), 1);
+    }
+}

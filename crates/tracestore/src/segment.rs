@@ -1,0 +1,281 @@
+//! Append-only record segments.
+//!
+//! A segment file is an 8-byte magic (`PTSGv1\n\0`) followed by
+//! length-prefixed record frames written with the wire crate's frame
+//! codec (`[u32 LE length][payload]` — the same discipline the PR 7
+//! binary transport negotiated). Segments are immutable once written;
+//! the manifest records each one's byte length and whole-file FNV-1a,
+//! verified cheaply (length) at open and fully on demand.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use partalloc_wire::{read_frame, write_frame, FrameRead};
+
+use crate::record::{decode, Record};
+use crate::util::{fnv1a_extend, FNV_SEED};
+
+/// The 8-byte segment magic: format name plus version.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"PTSGv1\n\0";
+
+/// The largest record frame the store will read back (16 MiB — far
+/// above any real span, small enough to bound a corrupt length).
+pub const MAX_RECORD_BYTES: usize = 16 << 20;
+
+/// The name of segment number `index`.
+pub fn segment_file_name(index: usize) -> String {
+    format!("seg-{index:04}.bin")
+}
+
+/// What the writer accumulated for one finished segment — the
+/// manifest line's worth of metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File name within the store directory.
+    pub file: String,
+    /// Records in this segment.
+    pub records: u32,
+    /// Total file length in bytes (magic included).
+    pub len: u64,
+    /// FNV-1a over the whole file.
+    pub fnv: u64,
+}
+
+/// Writes one segment file, tracking length, checksum, and per-record
+/// byte offsets as it goes.
+pub struct SegmentWriter {
+    path: PathBuf,
+    file_name: String,
+    out: BufWriter<File>,
+    len: u64,
+    fnv: u64,
+    records: u32,
+    /// Byte offset of each record's frame header within the file.
+    offsets: Vec<u64>,
+}
+
+impl SegmentWriter {
+    /// Create `seg-<index>.bin` in `dir` and write the magic.
+    pub fn create(dir: &Path, index: usize) -> io::Result<Self> {
+        let file_name = segment_file_name(index);
+        let path = dir.join(&file_name);
+        let mut out = BufWriter::new(File::create(&path)?);
+        out.write_all(SEGMENT_MAGIC)?;
+        Ok(SegmentWriter {
+            path,
+            file_name,
+            out,
+            len: SEGMENT_MAGIC.len() as u64,
+            fnv: fnv1a_extend(FNV_SEED, SEGMENT_MAGIC),
+            records: 0,
+            offsets: Vec::new(),
+        })
+    }
+
+    /// Append one record frame; returns its byte offset in the file.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let offset = self.len;
+        write_frame(&mut self.out, payload)?;
+        let header = (payload.len() as u32).to_le_bytes();
+        self.fnv = fnv1a_extend(self.fnv, &header);
+        self.fnv = fnv1a_extend(self.fnv, payload);
+        self.len += (header.len() + payload.len()) as u64;
+        self.records += 1;
+        self.offsets.push(offset);
+        Ok(offset)
+    }
+
+    /// Bytes written so far (the roll-over check reads this).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Flush, sync, and return the segment's metadata plus its
+    /// per-record offsets.
+    pub fn finish(mut self) -> io::Result<(SegmentMeta, Vec<u64>)> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        Ok((
+            SegmentMeta {
+                file: self.file_name,
+                records: self.records,
+                len: self.len,
+                fnv: self.fnv,
+            },
+            self.offsets,
+        ))
+    }
+
+    /// The path being written (error messages name it).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Open a segment and check its magic; the reader is positioned at
+/// the first frame.
+pub fn open_segment(path: &Path) -> io::Result<File> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if &magic != SEGMENT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: bad segment magic", path.display()),
+        ));
+    }
+    Ok(file)
+}
+
+/// Read the record at `offset` in an open segment.
+pub fn read_record_at(file: &mut File, offset: u64, buf: &mut Vec<u8>) -> io::Result<Record> {
+    file.seek(SeekFrom::Start(offset))?;
+    match read_frame(file, buf, MAX_RECORD_BYTES)? {
+        FrameRead::Frame => {}
+        FrameRead::TooBig(len) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("record frame of {len} bytes exceeds the record cap"),
+            ))
+        }
+        FrameRead::Eof => {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "record offset points at end of segment",
+            ))
+        }
+    }
+    decode(buf)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable record frame"))
+}
+
+/// Sequentially decode every record in a segment, in file order.
+pub fn scan_segment(path: &Path) -> io::Result<Vec<Record>> {
+    let file = open_segment(path)?;
+    let mut reader = BufReader::new(file);
+    let mut buf = Vec::new();
+    let mut records = Vec::new();
+    loop {
+        match read_frame(&mut reader, &mut buf, MAX_RECORD_BYTES)? {
+            FrameRead::Frame => match decode(&buf) {
+                Some(rec) => records.push(rec),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: undecodable record frame", path.display()),
+                    ))
+                }
+            },
+            FrameRead::TooBig(len) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{}: record frame of {len} bytes exceeds cap",
+                        path.display()
+                    ),
+                ))
+            }
+            FrameRead::Eof => return Ok(records),
+        }
+    }
+}
+
+/// Recompute a segment file's whole-file FNV-1a and length.
+pub fn checksum_file(path: &Path) -> io::Result<(u64, u64)> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut hash = FNV_SEED;
+    let mut len = 0u64;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Ok((hash, len));
+        }
+        hash = fnv1a_extend(hash, &chunk[..n]);
+        len += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::encode;
+    use partalloc_obs::parse_span_line;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("partalloc-segtest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_and_checksum_agree() {
+        let dir = tmpdir("rw");
+        let events = [
+            r#"{"seq":0,"name":"arrive","layer":"shard","trace":"00000000000000aa-0000000000000001","shard":0}"#,
+            r#"{"seq":1,"name":"panic","layer":"shard","shard":0}"#,
+            r#"{"seq":2,"name":"finish","layer":"engine","load":3}"#,
+        ];
+        let mut writer = SegmentWriter::create(&dir, 0).unwrap();
+        assert!(writer.is_empty());
+        for line in events {
+            let ev = parse_span_line(line).unwrap();
+            writer.append(&encode(0, &ev)).unwrap();
+        }
+        let (meta, offsets) = writer.finish().unwrap();
+        assert_eq!(meta.records, 3);
+        assert_eq!(offsets.len(), 3);
+        assert_eq!(offsets[0], 8);
+
+        let path = dir.join(&meta.file);
+        // The manifest checksum matches the bytes on disk.
+        let (fnv, len) = checksum_file(&path).unwrap();
+        assert_eq!((fnv, len), (meta.fnv, meta.len));
+
+        // Sequential scan sees everything, in order.
+        let scanned = scan_segment(&path).unwrap();
+        assert_eq!(scanned.len(), 3);
+        assert_eq!(scanned[1].event.name, "panic");
+
+        // Random access by stored offset hits the same records.
+        let mut file = open_segment(&path).unwrap();
+        let mut buf = Vec::new();
+        for (i, &off) in offsets.iter().enumerate() {
+            let rec = read_record_at(&mut file, off, &mut buf).unwrap();
+            assert_eq!(rec, scanned[i]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let mut writer = SegmentWriter::create(&dir, 0).unwrap();
+        let ev = parse_span_line(r#"{"seq":0,"name":"a","layer":"b"}"#).unwrap();
+        writer.append(&encode(0, &ev)).unwrap();
+        let (meta, _) = writer.finish().unwrap();
+        let path = dir.join(&meta.file);
+        // Flip one payload byte: the checksum changes and the scan
+        // fails to decode.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (fnv, _) = checksum_file(&path).unwrap();
+        assert_ne!(fnv, meta.fnv);
+        assert!(scan_segment(&path).is_err());
+        // A wrong magic is rejected at open.
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(open_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! Seeded synthetic span recordings for benchmarking.
+//!
+//! `palloc trace --bench` needs recordings at 10^5–10^6 spans to
+//! measure cold analysis against warm indexed queries; real chaos
+//! soaks at that size are too slow to regenerate per bench run. This
+//! generator emits a deterministic NDJSON stream with the workspace's
+//! real shape — client retries, router routes and reroutes, shard
+//! arrivals, engine load spans, occasional panic/rebuild windows and
+//! dedupe replays — so the analyzer and the store exercise the same
+//! code paths they do on genuine recordings.
+
+use std::fmt::Write as _;
+
+use partalloc_obs::{IdGen, SpanEvent};
+
+/// splitmix64 — the same tiny generator the workspace's seeded ids
+/// use, kept local so recordings depend only on the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generate a synthetic recording of at least `spans` events (the
+/// last request runs to completion, so the total may overshoot by a
+/// few lines). Deterministic in `(spans, seed)`.
+pub fn synth_recording(spans: usize, seed: u64) -> String {
+    let mut out = String::with_capacity(spans.saturating_mul(96));
+    let mut rng = Rng(seed ^ 0x5eed_cafe_f00d_d00d);
+    let mut ids = IdGen::new(seed);
+    let mut seq = 0u64;
+    let mut active_size = 64u64;
+    let mut lines = 0usize;
+    let emit = |out: &mut String, ev: &SpanEvent, seq: &mut u64, lines: &mut usize| {
+        let _ = writeln!(out, "{}", ev.to_ndjson(*seq));
+        *seq += 1;
+        *lines += 1;
+    };
+    while lines < spans {
+        let ctx = ids.context();
+        // Client: a send, with a 2% retry storm and 10% single retry.
+        let retries = match rng.below(100) {
+            0 | 1 => 3,
+            2..=11 => 1,
+            _ => 0,
+        };
+        for attempt in 0..retries {
+            let ev = SpanEvent::new("retry", "client")
+                .with_trace(ctx)
+                .u64("attempt", attempt + 1);
+            emit(&mut out, &ev, &mut seq, &mut lines);
+        }
+        let ev = SpanEvent::new("send", "client").with_trace(ctx);
+        emit(&mut out, &ev, &mut seq, &mut lines);
+        // Router: a route, rerouted 1% of the time.
+        let node = rng.below(4);
+        let ev = SpanEvent::new("route", "router")
+            .with_trace(ctx)
+            .u64("node", node);
+        emit(&mut out, &ev, &mut seq, &mut lines);
+        if rng.below(100) == 0 {
+            let ev = SpanEvent::new("reroute", "router")
+                .with_trace(ctx)
+                .u64("from", node)
+                .u64("to", (node + 1) % 4);
+            emit(&mut out, &ev, &mut seq, &mut lines);
+        }
+        // 3% of requests are batches that fan out across two shards.
+        let first_shard = rng.below(8);
+        let shards = if rng.below(100) < 3 {
+            vec![first_shard, (first_shard + 1) % 8]
+        } else {
+            vec![first_shard]
+        };
+        for &shard in &shards {
+            let ev = SpanEvent::new("arrive", "shard")
+                .with_trace(ctx)
+                .u64("shard", shard);
+            emit(&mut out, &ev, &mut seq, &mut lines);
+            let size = 1 << rng.below(5);
+            active_size = (active_size + size).min(4096);
+            let load = active_size / 64 + rng.below(3);
+            let ev = SpanEvent::new("arrival", "engine")
+                .with_trace(ctx)
+                .u64("task", seq)
+                .u64("size", size)
+                .u64("node", node)
+                .u64("load", load)
+                .u64("active_size", active_size)
+                .u64("active_tasks", active_size / 8);
+            emit(&mut out, &ev, &mut seq, &mut lines);
+            if rng.below(2) == 0 {
+                let departed = size.min(active_size - 1);
+                active_size -= departed;
+                let ev = SpanEvent::new("departure", "engine")
+                    .with_trace(ctx)
+                    .u64("task", seq)
+                    .u64("size", departed)
+                    .u64("active_size", active_size);
+                emit(&mut out, &ev, &mut seq, &mut lines);
+            }
+        }
+        // 1% of requests hit the server's dedupe window.
+        if rng.below(100) == 0 {
+            let ev = SpanEvent::new("dedupe_hit", "server")
+                .with_trace(ctx)
+                .u64("req_id", rng.below(1 << 20));
+            emit(&mut out, &ev, &mut seq, &mut lines);
+        }
+        // Roughly every 5000 events, a shard panics and rebuilds
+        // (untraced, like the real flight-recorder stream).
+        if rng.below(5000) < 4 {
+            let shard = rng.below(8);
+            let ev = SpanEvent::new("panic", "shard").u64("shard", shard);
+            emit(&mut out, &ev, &mut seq, &mut lines);
+            let ev = SpanEvent::new("rebuild", "shard")
+                .u64("shard", shard)
+                .u64("recoveries", 1);
+            emit(&mut out, &ev, &mut seq, &mut lines);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partalloc_obs::parse_span_stream;
+
+    #[test]
+    fn recordings_are_deterministic_and_parse() {
+        let a = synth_recording(2000, 42);
+        let b = synth_recording(2000, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, synth_recording(2000, 43));
+        let events = parse_span_stream(&a).unwrap();
+        assert!(events.len() >= 2000);
+        // Seqs are the line numbers.
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+        }
+        // The mix covers the layers the analyzer attributes.
+        for layer in ["client", "router", "shard", "engine"] {
+            assert!(events.iter().any(|e| e.layer == layer), "{layer}");
+        }
+        let report = partalloc_analysis::analyze(vec![partalloc_analysis::TraceSource {
+            label: "synth.ndjson".into(),
+            events,
+            torn_tails: 0,
+        }]);
+        // Anomaly machinery fires on the synthetic mix.
+        assert!(!report.anomalies.is_empty());
+        assert!(report.trace_count() > 100);
+    }
+}

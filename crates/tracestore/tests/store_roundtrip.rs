@@ -1,0 +1,143 @@
+//! Property test: `ingest → open → query` reproduces *exactly* what
+//! the in-memory analyzer computes — over hostile span names, labels
+//! and layers, every layer rank, colliding trace ids across sources,
+//! and arbitrary attribute payloads.
+//!
+//! The full report (every tree included), each individual tree
+//! fetched by id, and the anomaly list must all match the analyzer
+//! byte-for-byte / value-for-value after a round trip through the
+//! on-disk segments and indexes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use partalloc_analysis::{analyze, TraceSource};
+use partalloc_obs::{LossyParse, ParsedEvent, ParsedValue, SpanId, TraceContext, TraceId};
+use partalloc_tracestore::{Ingest, TraceStore};
+
+/// Strings that stress the store: manifest `%`-escaping, JSON-ish
+/// punctuation, spaces, unicode, embedded newlines and NULs.
+fn hostile_string() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("plain".to_owned()),
+        Just("with space".to_owned()),
+        Just("a=b%c".to_owned()),
+        Just("new\nline".to_owned()),
+        Just("nul\0byte".to_owned()),
+        Just("π≠𝔘 — dash".to_owned()),
+        "[a-z]{1,8}",
+        "\\PC{0,6}",
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = ParsedValue> {
+    prop_oneof![
+        any::<u64>().prop_map(ParsedValue::U64),
+        any::<f64>().prop_map(ParsedValue::F64),
+        hostile_string().prop_map(ParsedValue::Str),
+        any::<bool>().prop_map(ParsedValue::Bool),
+    ]
+}
+
+fn arb_layer() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("client".to_owned()),
+        Just("proxy".to_owned()),
+        Just("router".to_owned()),
+        Just("server".to_owned()),
+        Just("shard".to_owned()),
+        Just("engine".to_owned()),
+        hostile_string(),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = ParsedEvent> {
+    (
+        any::<u64>(),
+        hostile_string(),
+        arb_layer(),
+        proptest::option::of((0u64..6, 0u64..4)),
+        proptest::collection::vec((hostile_string(), arb_value()), 0..4),
+    )
+        .prop_map(|(seq, name, layer, trace, attrs)| ParsedEvent {
+            seq,
+            name,
+            layer,
+            trace: trace.map(|(t, s)| TraceContext::new(TraceId(t), SpanId(s))),
+            attrs,
+        })
+}
+
+fn arb_source() -> impl Strategy<Value = (String, Vec<ParsedEvent>, usize)> {
+    (
+        hostile_string(),
+        proptest::collection::vec(arb_event(), 0..40),
+        0usize..2,
+    )
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_queries_match_the_in_memory_analyzer(
+        sources in proptest::collection::vec(arb_source(), 1..4)
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "partalloc-roundtrip-{}-{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The reference answer: the in-memory analyzer over the very
+        // same parsed events.
+        let report = analyze(
+            sources
+                .iter()
+                .map(|(label, events, torn)| TraceSource {
+                    label: label.clone(),
+                    events: events.clone(),
+                    torn_tails: *torn,
+                })
+                .collect(),
+        );
+
+        // The store answer: ingest the same events, reopen from disk.
+        let mut ingest = Ingest::create(&dir).unwrap();
+        for (label, events, torn) in &sources {
+            ingest
+                .add_parsed(label, &LossyParse { events: events.clone(), torn_tails: *torn })
+                .unwrap();
+        }
+        ingest.finish().unwrap();
+        let store = TraceStore::open(&dir).unwrap();
+        store.verify().unwrap();
+
+        // The full report — every tree included — is byte-identical.
+        let top = report.trees.len().max(1);
+        prop_assert_eq!(report.render_text(top), store.render_report(top).unwrap());
+
+        // Every tree the analyzer built is reachable by trace id with
+        // the identical step sequence, and the store knows no extras.
+        prop_assert_eq!(store.trace_entries().len(), report.trees.len());
+        for tree in &report.trees {
+            let stored = store.tree(tree.trace).unwrap().unwrap();
+            prop_assert_eq!(&stored.steps, &tree.steps, "trace {}", tree.trace);
+        }
+
+        // Anomalies survive the manifest round trip exactly.
+        prop_assert_eq!(store.anomalies(), &report.anomalies[..]);
+
+        // Dedupe and torn-tail accounting agree with the analyzer.
+        prop_assert_eq!(store.manifest().dup_dropped, report.dup_dropped);
+        prop_assert_eq!(store.manifest().torn_tails, report.torn_tails);
+        prop_assert_eq!(store.manifest().events, report.total_events + report.dup_dropped);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -27,7 +27,10 @@
 //!   over TCP, live metrics, snapshot persistence);
 //! * [`cluster`] — the multi-node plane: a stateless routing tier,
 //!   node lifecycle, and cluster-wide chaos convergence over N
-//!   daemons.
+//!   daemons;
+//! * [`tracestore`] — the indexed on-disk trace store: checksummed
+//!   append-only segments with sidecar indexes, an interactive query
+//!   REPL, and store-to-store diffing.
 //!
 //! ## Quickstart
 //!
@@ -67,6 +70,7 @@ pub use partalloc_model as model;
 pub use partalloc_service as service;
 pub use partalloc_sim as sim;
 pub use partalloc_topology as topology;
+pub use partalloc_tracestore as tracestore;
 pub use partalloc_workload as workload;
 
 /// Convenient glob import of the most common types.
@@ -110,6 +114,7 @@ pub mod prelude {
         BuddyTree, Butterfly, FatTree, Hypercube, Mesh2D, NodeId, Partitionable, TopologyKind,
         Torus2D, TreeMachine,
     };
+    pub use partalloc_tracestore::{diff_stores, run_repl, Ingest, TraceStore};
     pub use partalloc_workload::{
         parse_swf, BurstyConfig, ClosedLoopConfig, DiurnalConfig, Generator, PhasedConfig,
         PoissonConfig, SizeDistribution, SwfImport, TimedConfig, TimedTask, TimedWorkload,
