@@ -265,6 +265,10 @@ pub enum AnomalyKind {
     /// with `partial=1`), or a `transfer_begin` has no terminal flip
     /// or abort in the stream.
     PartialTransfer,
+    /// The metrics alert engine fired a rule (a `monitor`-layer
+    /// `alert` event recorded by `palloc monitor`), e.g. the
+    /// competitive ratio held above the paper bound.
+    MonitorAlert,
 }
 
 impl AnomalyKind {
@@ -277,6 +281,7 @@ impl AnomalyKind {
         AnomalyKind::BatchFanOut,
         AnomalyKind::CrossNodeReroute,
         AnomalyKind::PartialTransfer,
+        AnomalyKind::MonitorAlert,
     ];
 
     /// Parse the hyphenated display form back into a kind.
@@ -295,6 +300,7 @@ impl fmt::Display for AnomalyKind {
             AnomalyKind::BatchFanOut => "batch-fan-out",
             AnomalyKind::CrossNodeReroute => "cross-node-reroute",
             AnomalyKind::PartialTransfer => "partial-transfer",
+            AnomalyKind::MonitorAlert => "monitor-alert",
         })
     }
 }
@@ -622,6 +628,32 @@ impl TraceAccumulator {
                 }
                 _ => {}
             }
+        }
+        // Alert events recorded by the metrics monitor carry the rule
+        // spec and the offending series as string attributes; each one
+        // surfaces verbatim as an anomaly.
+        if ev.layer == "monitor" && ev.name == "alert" {
+            let rule = ev
+                .attr("rule")
+                .and_then(ParsedValue::as_str)
+                .unwrap_or("unknown");
+            let series = ev
+                .attr("series")
+                .and_then(ParsedValue::as_str)
+                .unwrap_or("-");
+            let detail = ev
+                .attr("detail")
+                .and_then(ParsedValue::as_str)
+                .unwrap_or("");
+            self.anomalies.push(Anomaly {
+                kind: AnomalyKind::MonitorAlert,
+                subject: format!("rule {rule}"),
+                detail: if detail.is_empty() {
+                    format!("{series} at sample {}", ev.seq)
+                } else {
+                    format!("{series}: {detail} (sample {})", ev.seq)
+                },
+            });
         }
         if ev.layer == "router" && ev.name == "reroute" {
             let from = ev.attr("from").and_then(ParsedValue::as_u64).unwrap_or(0);
@@ -1039,6 +1071,27 @@ mod tests {
         assert_eq!(report.anomalies.len(), 1);
         assert_eq!(report.anomalies[0].kind, AnomalyKind::UnhealedPanic);
         assert!(report.anomalies[0].detail.contains("shard 3"));
+    }
+
+    #[test]
+    fn monitor_alerts_surface_as_anomalies() {
+        let s = source(
+            "alerts.ndjson",
+            &[
+                r#"{"seq":4,"name":"alert","layer":"monitor","rule":"ratio:auto:2","series":"partalloc_competitive_ratio{shard=\"0\"}","value":2.5,"detail":"ratio 2.500 above bound 2.000 for 2 consecutive sample(s)"}"#.to_string(),
+            ],
+        );
+        let report = analyze(vec![s]);
+        assert_eq!(report.anomalies.len(), 1);
+        let a = &report.anomalies[0];
+        assert_eq!(a.kind, AnomalyKind::MonitorAlert);
+        assert_eq!(a.subject, "rule ratio:auto:2");
+        assert!(a.detail.contains("above bound"), "{}", a.detail);
+        assert!(a.detail.contains("(sample 4)"), "{}", a.detail);
+        assert_eq!(
+            AnomalyKind::parse("monitor-alert"),
+            Some(AnomalyKind::MonitorAlert)
+        );
     }
 
     #[test]

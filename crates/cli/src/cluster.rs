@@ -58,6 +58,7 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
     if args.get("prom-addr-file").is_some() && args.get("prom").is_none() {
         return Err("--prom-addr-file needs --prom ADDR".into());
     }
+    let metrics_log = crate::serve::metrics_log_flags(args)?;
     // Peer routers for replica sync: a `stale-epoch` fence from a node
     // makes this router pull membership from its peers and re-forward.
     let peers: Vec<String> = args
@@ -129,10 +130,27 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
         None => None,
     };
 
+    let sampler = match &metrics_log {
+        Some((dir, interval)) => {
+            let scrape_core = Arc::clone(&core);
+            Some(crate::serve::MetricsSampler::spawn(
+                dir,
+                &local.to_string(),
+                *interval,
+                move || scrape_core.prometheus_text(),
+            )?)
+        }
+        None => None,
+    };
+
     server.run_until_shutdown(Duration::from_millis(grace));
     if let Some(prom) = prom {
         prom.stop();
     }
+    let metrics_line = match sampler {
+        Some(s) => s.finish()?,
+        None => String::new(),
+    };
 
     let mut spans_line = String::new();
     if let (Some(path), Some(rec)) = (args.get("spans"), &recorder) {
@@ -150,7 +168,7 @@ pub fn cmd_router(args: &Args) -> Result<String, String> {
     let metrics = core.metrics();
     Ok(format!(
         "router shut down: {} forwards, {} reroutes, {} errors, {} joins, {} leaves, \
-         {} transfers ({} retries, {} aborts){spans_line}\n",
+         {} transfers ({} retries, {} aborts){spans_line}\n{metrics_line}",
         forwards,
         partalloc_cluster::RouterMetrics::get(&metrics.reroutes),
         partalloc_cluster::RouterMetrics::get(&metrics.errors),
@@ -467,6 +485,9 @@ mod tests {
         let n0 = spawn_node(1);
         let n1 = spawn_node(2);
         let nodes = format!("{},{}", n0.local_addr(), n1.local_addr());
+        let store = dir.join("metrics");
+        let store_s = store.to_str().unwrap().to_owned();
+        let store_arg = store_s.clone();
 
         let router = std::thread::spawn(move || {
             run(&[
@@ -477,6 +498,10 @@ mod tests {
                 "127.0.0.1:0",
                 "--addr-file",
                 &addr_file_s,
+                "--metrics-log",
+                &store_arg,
+                "--metrics-interval-ms",
+                "20",
             ])
         });
         let addr = wait_addr(&addr_file);
@@ -501,6 +526,12 @@ mod tests {
 
         let summary = router.join().unwrap().unwrap();
         assert!(summary.contains("router shut down"), "{summary}");
+        assert!(summary.contains("metrics log:"), "{summary}");
+
+        // The router's embedded sampler recorded its cluster gauges
+        // into an openable store.
+        let view = run(&["monitor", "--store", &store_s]).unwrap();
+        assert!(view.contains("partalloc_cluster_nodes"), "{view}");
         n0.shutdown(Duration::from_secs(1));
         n1.shutdown(Duration::from_secs(1));
         std::fs::remove_dir_all(&dir).ok();

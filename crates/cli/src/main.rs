@@ -13,6 +13,8 @@
 //! palloc cluster --bench yes --out BENCH_cluster.json
 //! palloc trace --input spans.ndjson,flightrec-0-0.ndjson --svg timeline.svg
 //! palloc flight --addr 127.0.0.1:7411
+//! palloc monitor --record yes --addr 127.0.0.1:7411 --store metrics --samples 30
+//! palloc monitor --store metrics --pes 256 --alerts ratio:auto:3,aborts:1
 //! palloc figure1
 //! palloc help
 //! ```
@@ -20,6 +22,7 @@
 mod alg;
 mod args;
 mod cluster;
+mod monitor;
 mod serve;
 mod tracecmd;
 
@@ -80,6 +83,7 @@ fn dispatch(raw: &[String]) -> Result<String, String> {
         "cluster" => cluster::cmd_cluster(&args),
         "trace" => tracecmd::cmd_trace(&args),
         "flight" => tracecmd::cmd_flight(&args),
+        "monitor" => monitor::cmd_monitor(&args),
         "figure1" => Ok(cmd_figure1()),
         other => Err(format!("unknown subcommand {other:?}\n{}", usage())),
     }
@@ -107,6 +111,7 @@ fn usage() -> String {
      \x20 stats      summarize a workload trace, or watch a live daemon\n\
      \x20            --trace FILE [--pes N]\n\
      \x20            | --addr HOST:PORT [--watch N] [--interval-ms T]\n\
+     \x20            [--retry-seed S]\n\
      \x20            (--addr may be a cluster router: stats aggregate all nodes)\n\
      \x20 render     draw a run's allocation timeline\n\
      \x20            --trace FILE --alg SPEC [--pes N] [--svg FILE] [--seed S]\n\
@@ -122,6 +127,7 @@ fn usage() -> String {
      \x20            [--snapshot FILE [--snapshot-every M]] [--resume FILE]\n\
      \x20            [--max-line-bytes B] [--shard-faults SPEC [--fault-seed S]]\n\
      \x20            [--prom HOST:PORT [--prom-addr-file FILE]] [--flightrec DIR]\n\
+     \x20            [--metrics-log DIR [--metrics-interval-ms T]]\n\
      \x20 drive      replay a trace or generated workload against a daemon\n\
      \x20            --addr HOST:PORT (--trace FILE | --pes N [--events E])\n\
      \x20            [--seed S] [--batch B] [--shutdown yes]\n\
@@ -135,6 +141,7 @@ fn usage() -> String {
      \x20            [--addr HOST:PORT] [--addr-file FILE] [--retries R]\n\
      \x20            [--timeout-ms T] [--grace-ms T] [--spans FILE]\n\
      \x20            [--peers ROUTER,...] [--prom HOST:PORT [--prom-addr-file FILE]]\n\
+     \x20            [--metrics-log DIR [--metrics-interval-ms T]]\n\
      \x20 cluster    administer a cluster through its router, or benchmark one\n\
      \x20            --addr ROUTER [--op info|join|leave|snapshot|stats|rebalance]\n\
      \x20            [--node N] [--node-addr HOST:PORT] [--out FILE]\n\
@@ -144,7 +151,7 @@ fn usage() -> String {
      \x20            [--batch B] [--alg SPEC] [--out FILE]\n\
      \x20 trace      offline trace analysis over recorded span streams\n\
      \x20            --input FILE[,FILE...] [--top N] [--svg FILE]\n\
-     \x20            | --input FILE[,...] --ingest yes --store DIR\n\
+     \x20            | --input FILE[,...] --ingest yes --store DIR [--append yes]\n\
      \x20            | --store DIR [--top N] [--svg FILE] [--verify yes]\n\
      \x20            | --store DIR --repl yes\n\
      \x20            | --diff DIRA,DIRB [--pes N]\n\
@@ -152,6 +159,14 @@ fn usage() -> String {
      \x20            | --synth SPANS[,SPANS...] [--seed S]) [--bench-out FILE]\n\
      \x20 flight     dump and analyze a live daemon's flight recorder\n\
      \x20            --addr HOST:PORT [--top N]\n\
+     \x20 monitor    record, view and export a daemon's metrics over seq time\n\
+     \x20            --record yes --addr HOST:PORT --store DIR [--samples N]\n\
+     \x20            [--interval-ms T]\n\
+     \x20            | --store DIR [--pes N] [--alerts SPEC,...]\n\
+     \x20            [--alerts-out FILE]\n\
+     \x20            | --export ndjson|csv --store DIR [--out FILE]\n\
+     \x20            | --bench yes [--seed S] [--polls P] [--shards K]\n\
+     \x20            [--bench-out FILE]\n\
      \x20 figure1    replay the paper's Figure 1 example\n\
      \n\
      algorithm specs: A_C, A_G, A_B, A_M:<d>, A_rand[:d], leftmost, round-robin\n\
@@ -159,7 +174,9 @@ fn usage() -> String {
      \x20            (node routing needs a stateless policy: consistent-hash or\n\
      \x20            size-class)\n\
      fault specs: drop=P,delay=P,delay-ms=T,truncate=P,corrupt=P,kill=P,\n\
-     \x20            panic=P,limit=N (probabilities in [0,1])\n"
+     \x20            panic=P,limit=N (probabilities in [0,1])\n\
+     alert specs: ratio:<auto|R>:<K>, p999:<stage>:<F>, retries:<R>:<K>,\n\
+     \x20            aborts:<N>, flaps:<N>\n"
         .to_owned()
 }
 

@@ -1,0 +1,499 @@
+//! `palloc monitor` — the metrics time-series plane from the command
+//! line: record a daemon's `metrics` op into a checksummed store,
+//! render per-series sparklines of load/L*/ratio against the paper's
+//! bounds with a declarative alert panel, export series dumps CI can
+//! `cmp`, and benchmark the whole plane into `BENCH_metrics.json`.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use partalloc_analysis::{fmt_f64, sparkline, Table};
+use partalloc_core::AllocatorKind;
+use partalloc_metricstore::{
+    auto_bound, evaluate, export_csv, export_ndjson, parse_series_key, synth_scrape, AlertRule,
+    MetricRecorder, MetricStore, MetricValue,
+};
+use partalloc_service::{RetryPolicy, TcpClient};
+
+use crate::args::Args;
+
+/// Route the monitor modes: `--bench yes` benchmarks the plane,
+/// `--record yes` polls a live daemon into a store, `--export
+/// ndjson|csv` dumps a recorded store, and a bare `--store DIR`
+/// renders the live view with an optional `--alerts` panel.
+pub fn cmd_monitor(args: &Args) -> Result<String, String> {
+    if args.get("bench").is_some() {
+        return cmd_monitor_bench(args);
+    }
+    if args.get("record").is_some() {
+        return cmd_monitor_record(args);
+    }
+    if let Some(format) = args.get("export") {
+        return cmd_monitor_export(args, format);
+    }
+    cmd_monitor_view(args)
+}
+
+/// `--record yes --addr HOST:PORT --store DIR [--samples N]
+/// [--interval-ms T]`: poll the daemon (or router) `metrics` op
+/// `--samples` times and seal the store. Seq time is the poll index,
+/// so a settled daemon records byte-identical stores across runs.
+fn cmd_monitor_record(args: &Args) -> Result<String, String> {
+    let addr = args.require("addr").map_err(|e| e.to_string())?;
+    let dir = args.require("store").map_err(|e| e.to_string())?;
+    let samples: u64 = args
+        .get_or("samples", 10, "an integer")
+        .map_err(|e| e.to_string())?;
+    if samples == 0 {
+        return Err("--samples must be at least 1".into());
+    }
+    let interval_ms: u64 = args
+        .get_or("interval-ms", 1000, "milliseconds")
+        .map_err(|e| e.to_string())?;
+    let mut client = TcpClient::connect_with(addr, RetryPolicy::default())
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let mut rec = MetricRecorder::create(Path::new(dir), addr).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    for poll in 0..samples {
+        if poll > 0 {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        let text = client.metrics().map_err(|e| e.to_string())?;
+        rec.record_scrape(&text).map_err(|e| e.to_string())?;
+    }
+    let manifest = rec.finish().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "recorded {} poll(s) from {addr} into {dir} in {:.2?} \
+         ({} series, {} sample(s))\n",
+        manifest.polls,
+        start.elapsed(),
+        manifest.series.len(),
+        manifest.samples,
+    ))
+}
+
+/// `--export ndjson|csv --store DIR [--out FILE]`: deterministic
+/// series dump — same store, same bytes — to stdout or `--out`.
+fn cmd_monitor_export(args: &Args, format: &str) -> Result<String, String> {
+    let dir = args.require("store").map_err(|e| e.to_string())?;
+    let store = MetricStore::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    let text = match format {
+        "ndjson" => export_ndjson(&store),
+        "csv" => export_csv(&store),
+        other => return Err(format!("unknown export format {other:?} (ndjson|csv)")),
+    };
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "exported {} series ({} sample(s), {format}) to {path}\n",
+                store.manifest().series.len(),
+                store.manifest().samples,
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+/// The gauge prefixes the live view renders, in display order: the
+/// daemon's per-shard paper gauges, then the router's node census.
+const VIEW_PREFIXES: &[&str] = &[
+    "partalloc_load_current",
+    "partalloc_load_opt_lstar",
+    "partalloc_competitive_ratio",
+    "partalloc_cluster_nodes",
+];
+
+/// `--store DIR [--pes N] [--alerts SPEC,... [--alerts-out FILE]]`:
+/// per-series sparklines of the recorded gauges, the ratio rows
+/// annotated with the paper bound their `alg` label implies, plus an
+/// alert panel when rules are given.
+fn cmd_monitor_view(args: &Args) -> Result<String, String> {
+    let dir = args.require("store").map_err(|e| e.to_string())?;
+    let store = MetricStore::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    let pes: Option<u64> = match args.get("pes") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| "--pes must be an integer".to_string())?,
+        ),
+        None => None,
+    };
+    let width: usize = args
+        .get_or("width", 32, "an integer")
+        .map_err(|e| e.to_string())?;
+
+    let mut out = format!("monitor view of {dir}: {}\n", store.summary_line());
+    let mut table = Table::new(&["series", "last", "bound", "history"]);
+    let mut rows = 0usize;
+    for prefix in VIEW_PREFIXES {
+        for (key, points) in store.series_with_prefix(prefix) {
+            let Some(&(_, last)) = points.last() else {
+                continue;
+            };
+            table.row(&[
+                key.to_string(),
+                match last {
+                    MetricValue::U64(v) => v.to_string(),
+                    MetricValue::F64(v) => fmt_f64(v, 2),
+                },
+                series_bound(key, pes),
+                spark_series(points, width),
+            ]);
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        out.push_str("no gauge series recorded (the store may hold only counters)\n");
+    } else {
+        out.push_str(&table.render_text());
+    }
+
+    if let Some(specs) = args.get("alerts") {
+        let rules = AlertRule::parse_list(specs).map_err(|e| e.to_string())?;
+        let alerts = evaluate(&store, &rules, pes)?;
+        out.push_str(&format!(
+            "alerts ({} rule(s), {} fired):\n",
+            rules.len(),
+            alerts.len()
+        ));
+        for a in &alerts {
+            out.push_str(&format!(
+                "  [seq {}] {} on {}: {}\n",
+                a.seq, a.rule, a.series, a.detail
+            ));
+        }
+        if let Some(path) = args.get("alerts-out") {
+            let mut text = String::new();
+            for a in &alerts {
+                text.push_str(&a.to_ndjson());
+                text.push('\n');
+            }
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            out.push_str(&format!(
+                "{} alert event(s) written to {path}\n",
+                alerts.len()
+            ));
+        }
+    } else if args.get("alerts-out").is_some() {
+        return Err("--alerts-out needs --alerts SPEC,...".into());
+    }
+    Ok(out)
+}
+
+/// The bound column: the paper's factor for a ratio series whose
+/// `alg` label parses, `-` everywhere else (load gauges, router
+/// ratios without an alg label, unknown machine size).
+fn series_bound(key: &str, pes: Option<u64>) -> String {
+    if !key.starts_with("partalloc_competitive_ratio") {
+        return "-".into();
+    }
+    let Some(n) = pes else {
+        return "?".into();
+    };
+    let Some((_, labels)) = parse_series_key(key) else {
+        return "?".into();
+    };
+    let Some(alg) = labels.iter().find(|(k, _)| k == "alg").map(|(_, v)| v) else {
+        return "-".into();
+    };
+    let Ok(kind) = alg.parse::<AllocatorKind>() else {
+        return "?".into();
+    };
+    match auto_bound(kind, n) {
+        Some(b) => fmt_f64(b, 2),
+        None => "?".into(),
+    }
+}
+
+/// One series as a sparkline. Integer gauges plot directly; float
+/// series (the ratios) plot in centi-units so sub-integer motion
+/// still shows, with non-finite samples flattened to zero.
+fn spark_series(points: &[(u64, MetricValue)], width: usize) -> String {
+    let values: Vec<u64> = points
+        .iter()
+        .map(|&(_, v)| match v {
+            MetricValue::U64(u) => u,
+            MetricValue::F64(f) if f.is_finite() && f > 0.0 => (f * 100.0).round() as u64,
+            MetricValue::F64(_) => 0,
+        })
+        .collect();
+    sparkline(&values, width)
+}
+
+/// `--bench yes [--seed S] [--polls P] [--shards K] [--bench-out
+/// FILE]`: time the plane end to end over seeded synthetic scrapes —
+/// record, open+verify, alert evaluation, export — and write
+/// `BENCH_metrics.json` (schema in `EXPERIMENTS.md`).
+fn cmd_monitor_bench(args: &Args) -> Result<String, String> {
+    let seed: u64 = args
+        .get_or("seed", 0, "an integer")
+        .map_err(|e| e.to_string())?;
+    let polls: u64 = args
+        .get_or("polls", 200, "an integer")
+        .map_err(|e| e.to_string())?;
+    if polls == 0 {
+        return Err("--polls must be at least 1".into());
+    }
+    let shards: u64 = args
+        .get_or("shards", 4, "an integer")
+        .map_err(|e| e.to_string())?;
+    let out = args.get("bench-out").unwrap_or("BENCH_metrics.json");
+    let dir = std::env::temp_dir().join(format!(
+        "palloc-monitor-bench-{}-{seed}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let t = Instant::now();
+    let mut rec = MetricRecorder::create(&dir, "synthetic").map_err(|e| e.to_string())?;
+    for poll in 0..polls {
+        rec.record_scrape(&synth_scrape(seed, poll, shards))
+            .map_err(|e| e.to_string())?;
+    }
+    let manifest = rec.finish().map_err(|e| e.to_string())?;
+    let record_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let store = MetricStore::open(&dir).map_err(|e| e.to_string())?;
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // The synthetic daemon runs A_M:2, so a fixed ratio threshold and
+    // a stage regression exercise the two expensive evaluators.
+    let rules = AlertRule::parse_list("ratio:2.0:3,p999:parse:2").map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    let alerts = evaluate(&store, &rules, None)?;
+    let alert_eval_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let ndjson = export_ndjson(&store);
+    let export_ms = t.elapsed().as_secs_f64() * 1e3;
+    std::fs::remove_dir_all(&dir).ok();
+
+    let report = serde_json::json!({
+        "bench": "metrics",
+        "seed": seed,
+        "polls": polls,
+        "shards": shards,
+        "series": manifest.series.len(),
+        "samples": manifest.samples,
+        "record_ms": record_ms,
+        "record_polls_per_sec": polls as f64 / (record_ms / 1e3).max(1e-9),
+        "open_ms": open_ms,
+        "alert_eval_ms": alert_eval_ms,
+        "alerts": alerts.len(),
+        "export_ms": export_ms,
+        "export_bytes": ndjson.len(),
+    });
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(out, json + "\n").map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "metrics bench ({polls} poll(s) × {shards} shard(s), seed {seed}):\n\
+         \x20 record       {} ms ({} polls/s)\n\
+         \x20 open+verify  {} ms\n\
+         \x20 alert eval   {} ms ({} alert(s))\n\
+         \x20 export       {} ms ({} bytes)\n\
+         results written to {out}\n",
+        fmt_f64(record_ms, 1),
+        fmt_f64(polls as f64 / (record_ms / 1e3).max(1e-9), 0),
+        fmt_f64(open_ms, 1),
+        fmt_f64(alert_eval_ms, 1),
+        alerts.len(),
+        fmt_f64(export_ms, 1),
+        ndjson.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("palloc-monitor-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A store recorded from seeded synthetic scrapes (no daemon in
+    /// the loop): the view/export/alert paths read it like any live
+    /// recording.
+    fn synth_store(dir: &std::path::Path, polls: u64) {
+        let mut rec = MetricRecorder::create(dir, "synthetic").unwrap();
+        for poll in 0..polls {
+            rec.record_scrape(&synth_scrape(11, poll, 2)).unwrap();
+        }
+        rec.finish().unwrap();
+    }
+
+    #[test]
+    fn record_needs_a_reachable_daemon() {
+        let dir = tmpdir("unreachable");
+        let err = run(&[
+            "monitor",
+            "--record",
+            "yes",
+            "--addr",
+            "127.0.0.1:1",
+            "--store",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot reach"), "{err}");
+        assert!(run(&["monitor", "--record", "yes", "--store", "x"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_then_view_then_export_a_live_daemon() {
+        let dir = tmpdir("live");
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_M:2",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+            ])
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let out = run(&["drive", "--addr", &addr, "--pes", "64", "--events", "200"]).unwrap();
+        assert!(out.contains("drove 200 events"), "{out}");
+
+        // Two recordings of the settled daemon, byte-identical.
+        let mut exports = Vec::new();
+        for tag in ["a", "b"] {
+            let store = dir.join(format!("store-{tag}"));
+            let store_s = store.to_str().unwrap().to_owned();
+            let rec = run(&[
+                "monitor",
+                "--record",
+                "yes",
+                "--addr",
+                &addr,
+                "--store",
+                &store_s,
+                "--samples",
+                "3",
+                "--interval-ms",
+                "1",
+            ])
+            .unwrap();
+            assert!(rec.contains("recorded 3 poll(s)"), "{rec}");
+
+            let view = run(&["monitor", "--store", &store_s, "--pes", "64"]).unwrap();
+            assert!(view.contains("partalloc_competitive_ratio"), "{view}");
+            assert!(view.contains("partalloc_load_opt_lstar"), "{view}");
+            // A_M:2 on 64 PEs: the paper bound d + 1 = 3.
+            assert!(view.contains("3.00"), "{view}");
+
+            exports.push(run(&["monitor", "--export", "ndjson", "--store", &store_s]).unwrap());
+        }
+        assert!(!exports[0].is_empty());
+        assert_eq!(exports[0], exports[1], "recordings diverged");
+
+        // A forced-low threshold fires on the recorded ratio history
+        // and the written events ingest as monitor-alert anomalies.
+        let store_s = dir.join("store-a").to_str().unwrap().to_owned();
+        let alerts_file = dir.join("alerts.ndjson");
+        let view = run(&[
+            "monitor",
+            "--store",
+            &store_s,
+            "--pes",
+            "64",
+            "--alerts",
+            "ratio:0.5:2",
+            "--alerts-out",
+            alerts_file.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(view.contains("alerts (1 rule(s)"), "{view}");
+        assert!(view.contains("above bound 0.500"), "{view}");
+        let traced = run(&["trace", "--input", alerts_file.to_str().unwrap()]).unwrap();
+        assert!(traced.contains("monitor-alert"), "{traced}");
+
+        // CSV export carries the header; unknown formats are refused.
+        let csv = run(&["monitor", "--export", "csv", "--store", &store_s]).unwrap();
+        assert!(csv.starts_with("series,seq,value\n"), "{csv}");
+        assert!(run(&["monitor", "--export", "tsv", "--store", &store_s]).is_err());
+
+        let mut client = TcpClient::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn view_flags_are_validated() {
+        let dir = tmpdir("view");
+        synth_store(&dir, 6);
+        let store_s = dir.to_str().unwrap().to_owned();
+        // Without --pes the auto bound column degrades to '?' and
+        // ratio:auto evaluation errors out loud.
+        let view = run(&["monitor", "--store", &store_s]).unwrap();
+        assert!(view.contains("?"), "{view}");
+        let err = run(&["monitor", "--store", &store_s, "--alerts", "ratio:auto:2"]).unwrap_err();
+        assert!(err.contains("--pes"), "{err}");
+        let err = run(&[
+            "monitor",
+            "--store",
+            &store_s,
+            "--alerts-out",
+            "/tmp/never-written",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--alerts"), "{err}");
+        assert!(run(&["monitor", "--store", &store_s, "--alerts", "bogus:1"]).is_err());
+        assert!(run(&["monitor", "--store", "/nonexistent/metrics-store"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_writes_the_report() {
+        let dir = tmpdir("bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_file = dir.join("BENCH_metrics.json");
+        let out = run(&[
+            "monitor",
+            "--bench",
+            "yes",
+            "--seed",
+            "5",
+            "--polls",
+            "40",
+            "--shards",
+            "2",
+            "--bench-out",
+            out_file.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("metrics bench"), "{out}");
+        assert!(out.contains("results written to"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_file).unwrap()).unwrap();
+        assert_eq!(v["bench"], "metrics");
+        assert_eq!(v["polls"], 40);
+        assert!(v["record_polls_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(v["series"].as_u64().unwrap() > 0);
+        assert!(run(&["monitor", "--bench", "yes", "--polls", "0"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

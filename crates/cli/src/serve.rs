@@ -5,23 +5,107 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use partalloc_analysis::{bounds, fmt_f64, Table};
 use partalloc_core::AllocatorKind;
 use partalloc_engine::FaultPlan;
+use partalloc_metricstore::{Manifest, MetricRecorder};
 use partalloc_model::{read_trace, Event, TaskSequence};
 use partalloc_obs::{Recorder, VecRecorder};
 use partalloc_service::{
-    BatchItem, ChaosProxy, Placed, PromServer, Proto, Response, RetryPolicy, RouterKind, Server,
-    ServiceConfig, ServiceCore, ServiceSnapshot, ServiceStats, TcpClient,
+    Backoff, BatchItem, ChaosProxy, Placed, PromServer, Proto, Response, RetryPolicy, RouterKind,
+    Server, ServiceConfig, ServiceCore, ServiceSnapshot, ServiceStats, TcpClient,
 };
 use partalloc_workload::{ClosedLoopConfig, Generator};
 
 use crate::alg::parse_alg;
 use crate::args::Args;
+
+/// The embedded metrics sampler behind `--metrics-log DIR`: a thread
+/// polling an in-process scrape renderer on an interval into a
+/// metricstore, sealed when the daemon (or router) shuts down.
+pub(crate) struct MetricsSampler {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<Result<Manifest, String>>,
+    dir: String,
+}
+
+impl MetricsSampler {
+    /// Start sampling `render` every `interval_ms` into `dir`. The
+    /// first poll happens immediately; `target` labels the store's
+    /// manifest with where the scrapes came from.
+    pub(crate) fn spawn(
+        dir: &str,
+        target: &str,
+        interval_ms: u64,
+        render: impl Fn() -> String + Send + 'static,
+    ) -> Result<MetricsSampler, String> {
+        let mut rec = MetricRecorder::create(Path::new(dir), target)
+            .map_err(|e| format!("cannot create metrics log {dir}: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let interval = interval_ms.max(1);
+        let handle = std::thread::spawn(move || {
+            loop {
+                rec.record_scrape(&render()).map_err(|e| e.to_string())?;
+                // Sleep in short slices so shutdown stays prompt even
+                // under long sampling intervals.
+                let mut waited = 0u64;
+                while waited < interval && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = (interval - waited).min(10);
+                    std::thread::sleep(Duration::from_millis(slice));
+                    waited += slice;
+                }
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            rec.finish().map_err(|e| e.to_string())
+        });
+        Ok(MetricsSampler {
+            stop,
+            handle,
+            dir: dir.to_owned(),
+        })
+    }
+
+    /// Stop sampling, seal the store, and describe it in one line.
+    pub(crate) fn finish(self) -> Result<String, String> {
+        self.stop.store(true, Ordering::Relaxed);
+        let manifest = self
+            .handle
+            .join()
+            .map_err(|_| "metrics sampler panicked".to_string())??;
+        Ok(format!(
+            "metrics log: {} poll(s), {} series → {}\n",
+            manifest.polls,
+            manifest.series.len(),
+            self.dir
+        ))
+    }
+}
+
+/// Reject `--metrics-interval-ms` without `--metrics-log`, and parse
+/// the interval (default one second) when the log is on.
+pub(crate) fn metrics_log_flags(args: &Args) -> Result<Option<(String, u64)>, String> {
+    match args.get("metrics-log") {
+        None => {
+            if args.get("metrics-interval-ms").is_some() {
+                return Err("--metrics-interval-ms needs --metrics-log DIR".into());
+            }
+            Ok(None)
+        }
+        Some(dir) => {
+            let interval: u64 = args
+                .get_or("metrics-interval-ms", 1000, "milliseconds")
+                .map_err(|e| e.to_string())?;
+            Ok(Some((dir.to_owned(), interval)))
+        }
+    }
+}
 
 /// Run the allocation daemon until a client sends `shutdown`.
 pub fn cmd_serve(args: &Args) -> Result<String, String> {
@@ -40,6 +124,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     if args.get("prom-addr-file").is_some() && args.get("prom").is_none() {
         return Err("--prom-addr-file needs --prom ADDR".into());
     }
+    let metrics_log = metrics_log_flags(args)?;
 
     let core = if let Some(resume) = args.get("resume") {
         for flag in ["shard-faults", "fault-seed", "max-line-bytes"] {
@@ -135,15 +220,32 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
         None => None,
     };
 
+    let sampler = match &metrics_log {
+        Some((dir, interval)) => {
+            let scrape_core = server.core();
+            Some(MetricsSampler::spawn(
+                dir,
+                &local.to_string(),
+                *interval,
+                move || scrape_core.prometheus_text(),
+            )?)
+        }
+        None => None,
+    };
+
     let core = server.core();
     server.run_until_shutdown(Duration::from_millis(grace));
     if let Some(prom) = prom {
         prom.stop();
     }
+    let metrics_line = match sampler {
+        Some(s) => s.finish()?,
+        None => String::new(),
+    };
     let stats = core.stats();
     Ok(format!(
         "shut down after {} requests ({} arrivals, {} departures, {} errors, \
-         {} reallocation epochs)\n",
+         {} reallocation epochs)\n{metrics_line}",
         stats.latency.count, stats.arrivals, stats.departures, stats.errors, stats.realloc_epochs,
     ))
 }
@@ -391,9 +493,12 @@ pub fn cmd_chaos(args: &Args) -> Result<String, String> {
     Ok(summary)
 }
 
-/// `palloc stats --addr HOST:PORT [--watch N [--interval-ms T]]` —
-/// poll a running daemon and render its live load-vs-L* gauges
-/// against the paper's bound for the allocator it is running.
+/// `palloc stats --addr HOST:PORT [--watch N [--interval-ms T]]
+/// [--retry-seed S]` — poll a running daemon and render its live
+/// load-vs-L* gauges against the paper's bound for the allocator it
+/// is running. A transient connection failure mid-watch reconnects
+/// under the seeded backoff instead of exiting, noting the gap in
+/// the output.
 pub fn cmd_stats_live(args: &Args) -> Result<String, String> {
     let addr = args.require("addr").map_err(|e| e.to_string())?;
     let watch: u64 = args
@@ -401,6 +506,9 @@ pub fn cmd_stats_live(args: &Args) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let interval_ms: u64 = args
         .get_or("interval-ms", 1000, "milliseconds")
+        .map_err(|e| e.to_string())?;
+    let retry_seed: u64 = args
+        .get_or("retry-seed", 0, "an integer")
         .map_err(|e| e.to_string())?;
     let rounds = watch.max(1);
     let mut client = TcpClient::connect_with(addr, RetryPolicy::default())
@@ -410,8 +518,11 @@ pub fn cmd_stats_live(args: &Args) -> Result<String, String> {
         if round > 0 {
             std::thread::sleep(Duration::from_millis(interval_ms));
         }
-        let stats = client.stats().map_err(|e| e.to_string())?;
-        last = render_gauges(&stats)?;
+        let (stats, gap) = match client.stats() {
+            Ok(stats) => (stats, String::new()),
+            Err(e) => rewatch(addr, retry_seed, &e.to_string(), &mut client)?,
+        };
+        last = format!("{gap}{}", render_gauges(&stats)?);
         if round + 1 < rounds {
             // Intermediate rounds stream to stdout as they happen; the
             // final table is the command's return value.
@@ -420,6 +531,36 @@ pub fn cmd_stats_live(args: &Args) -> Result<String, String> {
         }
     }
     Ok(last)
+}
+
+/// Ride out a dropped connection mid-watch: up to five reconnect
+/// attempts under the seeded jittered backoff (base 10 ms, cap 1 s).
+/// On recovery the fresh connection replaces the dead one and the
+/// gap note is prepended to the next table; when every attempt fails
+/// the watch reports what it lost.
+fn rewatch(
+    addr: &str,
+    seed: u64,
+    err: &str,
+    client: &mut TcpClient,
+) -> Result<(ServiceStats, String), String> {
+    let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_secs(1), seed);
+    for attempt in 1..=5u32 {
+        std::thread::sleep(backoff.next_delay());
+        let Ok(mut fresh) = TcpClient::connect_with(addr, RetryPolicy::default()) else {
+            continue;
+        };
+        if let Ok(stats) = fresh.stats() {
+            *client = fresh;
+            return Ok((
+                stats,
+                format!("(watch gap: reconnected after {attempt} attempt(s): {err})\n"),
+            ));
+        }
+    }
+    Err(format!(
+        "lost {addr} mid-watch ({err}) and 5 reconnect attempt(s) failed"
+    ))
 }
 
 /// One refresh of the live table: per shard, the current and peak
@@ -1023,6 +1164,118 @@ mod tests {
     }
 
     #[test]
+    fn serve_metrics_log_records_a_store() {
+        let dir = std::env::temp_dir().join(format!("palloc-mlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let store = dir.join("metrics");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+        let store_s = store.to_str().unwrap().to_owned();
+        let store_arg = store_s.clone();
+
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_M:2",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+                "--metrics-log",
+                &store_arg,
+                "--metrics-interval-ms",
+                "20",
+            ])
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        run(&["drive", "--addr", &addr, "--pes", "64", "--events", "200"]).unwrap();
+        // Let the sampler catch at least one post-drive poll.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut client = TcpClient::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("metrics log:"), "{summary}");
+        assert!(summary.contains("poll(s)"), "{summary}");
+
+        // The sealed store opens and renders the paper gauges.
+        let view = run(&["monitor", "--store", &store_s, "--pes", "64"]).unwrap();
+        assert!(view.contains("partalloc_load_current"), "{view}");
+        assert!(view.contains("partalloc_competitive_ratio"), "{view}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_watch_retries_then_reports_the_loss() {
+        let dir = std::env::temp_dir().join(format!("palloc-watch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_file_s = addr_file.to_str().unwrap().to_owned();
+
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                "--pes",
+                "64",
+                "--alg",
+                "A_G",
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                &addr_file_s,
+                "--grace-ms",
+                "10",
+            ])
+        });
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_owned();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        run(&["drive", "--addr", &addr, "--pes", "64", "--events", "50"]).unwrap();
+
+        // Start a long watch, then shut the daemon down underneath
+        // it: the watch must retry with the seeded backoff and only
+        // then report the loss — not exit on the first failure.
+        let watch_addr = addr.clone();
+        let watcher = std::thread::spawn(move || {
+            run(&[
+                "stats",
+                "--addr",
+                &watch_addr,
+                "--watch",
+                "1000",
+                "--interval-ms",
+                "5",
+                "--retry-seed",
+                "7",
+            ])
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let mut client = TcpClient::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap().unwrap();
+
+        let err = watcher.join().unwrap().unwrap_err();
+        assert!(err.contains("mid-watch"), "{err}");
+        assert!(err.contains("reconnect attempt(s) failed"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_flag_validation() {
         assert!(run(&[
             "serve",
@@ -1048,6 +1301,17 @@ mod tests {
         .unwrap_err()
         .contains("--prom"));
         assert!(run(&["serve", "--pes", "64", "--alg", "A_G", "--router", "warp"]).is_err());
+        assert!(run(&[
+            "serve",
+            "--pes",
+            "64",
+            "--alg",
+            "A_G",
+            "--metrics-interval-ms",
+            "50"
+        ])
+        .unwrap_err()
+        .contains("--metrics-log"));
         assert!(run(&[
             "drive",
             "--addr",

@@ -63,7 +63,7 @@ fn render(report: &TraceReport, top: usize, args: &Args) -> Result<String, Strin
 ///
 /// ```text
 /// palloc trace --input FILE[,FILE...] [--top N] [--svg FILE]
-/// palloc trace --input FILE[,...] --ingest yes --store DIR
+/// palloc trace --input FILE[,...] --ingest yes --store DIR [--append yes]
 /// palloc trace --store DIR [--top N] [--svg FILE] [--verify yes]
 /// palloc trace --store DIR --repl yes
 /// palloc trace --diff DIRA,DIRB [--pes N]
@@ -106,11 +106,18 @@ pub fn cmd_trace(args: &Args) -> Result<String, String> {
 }
 
 /// `--ingest yes --store DIR`: parse the inputs once (sharded) and
-/// write the indexed store. The directory must not already hold one.
+/// write the indexed store. With `--append yes` an existing store is
+/// reopened, verified, and extended instead — new sources land in new
+/// segments, the indexes are rewritten, and the manifest epoch bumps.
 fn cmd_trace_ingest(args: &Args, paths: &[&str]) -> Result<String, String> {
     let dir = args.require("store").map_err(|e| e.to_string())?;
+    let append = args.get("append").is_some();
     let t0 = Instant::now();
-    let mut ingest = Ingest::create(dir).map_err(|e| e.to_string())?;
+    let mut ingest = if append {
+        Ingest::append(dir).map_err(|e| e.to_string())?
+    } else {
+        Ingest::create(dir).map_err(|e| e.to_string())?
+    };
     for p in paths {
         let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
         ingest
@@ -119,8 +126,9 @@ fn cmd_trace_ingest(args: &Args, paths: &[&str]) -> Result<String, String> {
     }
     let stats = ingest.finish().map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
+    let verb = if append { "appended" } else { "ingested" };
     Ok(format!(
-        "ingested {} event(s) from {} file(s) into {dir} in {:.3}s\n\
+        "{verb} {} event(s) from {} file(s) into {dir} in {:.3}s (epoch {})\n\
          \x20 records   {} ({} duplicate span(s) dropped, {} torn tail(s) skipped)\n\
          \x20 traces    {}\n\
          \x20 anomalies {}\n\
@@ -128,6 +136,7 @@ fn cmd_trace_ingest(args: &Args, paths: &[&str]) -> Result<String, String> {
         stats.events,
         paths.len(),
         elapsed.as_secs_f64(),
+        stats.epoch,
         stats.records,
         stats.dup_dropped,
         stats.torn_tails,
@@ -566,6 +575,64 @@ mod tests {
             std::fs::read_to_string(&svg_mem).unwrap(),
             std::fs::read_to_string(&svg_store).unwrap()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_extends_an_existing_store() {
+        let dir = fixture_dir("trace-append-cli");
+        let first = dir.join("first.ndjson");
+        std::fs::write(&first, STREAM).unwrap();
+        let more = dir.join("more.ndjson");
+        std::fs::write(
+            &more,
+            concat!(
+                r#"{"seq":9,"name":"arrival","layer":"engine","load":4,"active_size":32}"#,
+                "\n"
+            ),
+        )
+        .unwrap();
+        let store = dir.join("store");
+        run(&[
+            "trace",
+            "--input",
+            first.to_str().unwrap(),
+            "--ingest",
+            "yes",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&[
+            "trace",
+            "--input",
+            more.to_str().unwrap(),
+            "--ingest",
+            "yes",
+            "--append",
+            "yes",
+            "--store",
+            store.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("appended 3 event(s)"), "{out}");
+        assert!(out.contains("(epoch 1)"), "{out}");
+        let report = run(&["trace", "--store", store.to_str().unwrap()]).unwrap();
+        assert!(report.contains("more.ndjson"), "{report}");
+        // Appending where no store exists fails up front.
+        assert!(run(&[
+            "trace",
+            "--input",
+            more.to_str().unwrap(),
+            "--ingest",
+            "yes",
+            "--append",
+            "yes",
+            "--store",
+            dir.join("nope").to_str().unwrap(),
+        ])
+        .unwrap_err()
+        .contains("cannot append"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

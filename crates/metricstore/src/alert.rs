@@ -1,0 +1,669 @@
+//! The declarative alert-rule engine: a colon-separated spec grammar
+//! (the same shape as the allocator `--alg` specs) compiled against a
+//! recorded store, emitting deterministic alerts along the seq-time
+//! axis. No wall clock anywhere: the same store and the same rules
+//! always produce the same alerts, byte for byte.
+//!
+//! Rules:
+//!
+//! * `ratio:<auto|FLOAT>:<K>` — a `partalloc_competitive_ratio`
+//!   series above the threshold for `K` consecutive samples. `auto`
+//!   derives the paper bound from the series' `alg` label and the
+//!   machine size: `d+1` capped at `⌈(log N + 1)/2⌉` for the
+//!   reallocating allocators, the greedy bound otherwise (Theorems
+//!   4.1/4.2, Theorem 5.1 for `A_rand`).
+//! * `p999:<stage>:<FACTOR>` — the stage's p99.9 latency (from the
+//!   cumulative `partalloc_stage_latency_ns` buckets) regressed past
+//!   `FACTOR ×` its first-recorded baseline.
+//! * `retries:<RATE>:<K>` — transfer retries growing by at least
+//!   `RATE` per sample for `K` consecutive samples (a retry storm).
+//! * `aborts:<N>` — total transfer aborts reached `N`.
+//! * `flaps:<N>` — the cluster node-state census changed `N` times.
+
+use std::fmt;
+
+use partalloc_analysis::bounds;
+use partalloc_core::AllocatorKind;
+use partalloc_obs::SpanEvent;
+
+use crate::prom::parse_series_key;
+use crate::store::MetricStore;
+
+/// The threshold of a `ratio` rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatioThreshold {
+    /// Derive the paper bound from the series' `alg` label.
+    Auto,
+    /// A fixed ratio.
+    Fixed(f64),
+}
+
+/// One parsed alert rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlertRule {
+    /// `ratio:<auto|FLOAT>:<K>`.
+    Ratio {
+        /// Bound source.
+        threshold: RatioThreshold,
+        /// Consecutive samples required to fire.
+        window: usize,
+    },
+    /// `p999:<stage>:<FACTOR>`.
+    StageP999 {
+        /// The stage label to watch.
+        stage: String,
+        /// Regression factor over the baseline.
+        factor: f64,
+    },
+    /// `retries:<RATE>:<K>`.
+    RetryRate {
+        /// Minimum per-sample retry growth.
+        rate: u64,
+        /// Consecutive samples required to fire.
+        window: usize,
+    },
+    /// `aborts:<N>`.
+    Aborts {
+        /// Abort count that fires the alert.
+        min: u64,
+    },
+    /// `flaps:<N>`.
+    Flaps {
+        /// Node-state changes that fire the alert.
+        min: u64,
+    },
+}
+
+/// Why an alert spec failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlertError {
+    spec: String,
+    reason: String,
+}
+
+impl fmt::Display for ParseAlertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alert spec {:?}: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for ParseAlertError {}
+
+impl AlertRule {
+    /// Parse one spec. The grammar is documented on the module.
+    pub fn parse(spec: &str) -> Result<AlertRule, ParseAlertError> {
+        let err = |reason: &str| ParseAlertError {
+            spec: spec.to_string(),
+            reason: reason.to_string(),
+        };
+        let parts: Vec<&str> = spec.trim().split(':').collect();
+        let head = parts[0].to_ascii_lowercase();
+        match (head.as_str(), &parts[1..]) {
+            ("ratio", [threshold, window]) => {
+                let threshold = if threshold.eq_ignore_ascii_case("auto") {
+                    RatioThreshold::Auto
+                } else {
+                    let t: f64 = threshold
+                        .parse()
+                        .map_err(|_| err("threshold must be 'auto' or a number"))?;
+                    if !t.is_finite() || t <= 0.0 {
+                        return Err(err("threshold must be positive and finite"));
+                    }
+                    RatioThreshold::Fixed(t)
+                };
+                Ok(AlertRule::Ratio {
+                    threshold,
+                    window: parse_window(window).ok_or_else(|| err("K must be >= 1"))?,
+                })
+            }
+            ("ratio", _) => Err(err("expected ratio:<auto|FLOAT>:<K>")),
+            ("p999", [stage, factor]) => {
+                if stage.is_empty() {
+                    return Err(err("stage must be non-empty"));
+                }
+                let f: f64 = factor.parse().map_err(|_| err("factor must be a number"))?;
+                if !f.is_finite() || f <= 0.0 {
+                    return Err(err("factor must be positive and finite"));
+                }
+                Ok(AlertRule::StageP999 {
+                    stage: stage.to_string(),
+                    factor: f,
+                })
+            }
+            ("p999", _) => Err(err("expected p999:<stage>:<FACTOR>")),
+            ("retries", [rate, window]) => Ok(AlertRule::RetryRate {
+                rate: rate.parse().map_err(|_| err("rate must be an integer"))?,
+                window: parse_window(window).ok_or_else(|| err("K must be >= 1"))?,
+            }),
+            ("retries", _) => Err(err("expected retries:<RATE>:<K>")),
+            ("aborts", [min]) => Ok(AlertRule::Aborts {
+                min: parse_min(min).ok_or_else(|| err("N must be an integer >= 1"))?,
+            }),
+            ("aborts", _) => Err(err("expected aborts:<N>")),
+            ("flaps", [min]) => Ok(AlertRule::Flaps {
+                min: parse_min(min).ok_or_else(|| err("N must be an integer >= 1"))?,
+            }),
+            ("flaps", _) => Err(err("expected flaps:<N>")),
+            _ => Err(err(
+                "unknown rule (expected ratio:..., p999:..., retries:..., aborts:<N>, flaps:<N>)",
+            )),
+        }
+    }
+
+    /// Parse a comma-separated list of specs.
+    pub fn parse_list(specs: &str) -> Result<Vec<AlertRule>, ParseAlertError> {
+        specs
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(AlertRule::parse)
+            .collect()
+    }
+
+    /// Canonical spec, the inverse of [`AlertRule::parse`].
+    pub fn spec(&self) -> String {
+        match self {
+            AlertRule::Ratio { threshold, window } => match threshold {
+                RatioThreshold::Auto => format!("ratio:auto:{window}"),
+                RatioThreshold::Fixed(t) => format!("ratio:{t}:{window}"),
+            },
+            AlertRule::StageP999 { stage, factor } => format!("p999:{stage}:{factor}"),
+            AlertRule::RetryRate { rate, window } => format!("retries:{rate}:{window}"),
+            AlertRule::Aborts { min } => format!("aborts:{min}"),
+            AlertRule::Flaps { min } => format!("flaps:{min}"),
+        }
+    }
+}
+
+fn parse_window(s: &str) -> Option<usize> {
+    s.parse::<usize>().ok().filter(|&w| w >= 1)
+}
+
+fn parse_min(s: &str) -> Option<u64> {
+    s.parse::<u64>().ok().filter(|&m| m >= 1)
+}
+
+/// One fired alert, pinned to the seq-time axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// The poll seq the rule fired at.
+    pub seq: u64,
+    /// The firing rule's canonical spec.
+    pub rule: String,
+    /// The series (or series family) that fired it.
+    pub series: String,
+    /// The observed value at the firing sample.
+    pub value: f64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Alert {
+    /// Render as one NDJSON span event (`name="alert"`,
+    /// `layer="monitor"`) that `palloc trace` ingests as an anomaly
+    /// source.
+    pub fn to_ndjson(&self) -> String {
+        SpanEvent::new("alert", "monitor")
+            .str("rule", self.rule.as_str())
+            .str("series", self.series.as_str())
+            .f64("value", self.value)
+            .str("detail", self.detail.as_str())
+            .to_ndjson(self.seq)
+    }
+}
+
+/// The paper bound for one allocator on an `n`-PE machine, as the
+/// `ratio:auto` threshold. `None` when no finite bound applies.
+pub fn auto_bound(kind: AllocatorKind, n: u64) -> Option<f64> {
+    if !n.is_power_of_two() {
+        return None;
+    }
+    match kind {
+        AllocatorKind::Constant => Some(1.0),
+        AllocatorKind::DRealloc(d)
+        | AllocatorKind::DReallocWith(d, _, _)
+        | AllocatorKind::RandomizedDRealloc(d) => Some(bounds::det_upper_factor(n, d) as f64),
+        AllocatorKind::Randomized => (n >= 4).then(|| bounds::rand_upper_factor(n)),
+        _ => Some(bounds::greedy_upper_factor(n) as f64),
+    }
+}
+
+/// Evaluate `rules` against a store. `pes` is the machine size the
+/// `ratio:auto` bound needs; fixed-threshold rules ignore it. Alerts
+/// come back sorted by `(seq, rule, series)`.
+pub fn evaluate(
+    store: &MetricStore,
+    rules: &[AlertRule],
+    pes: Option<u64>,
+) -> Result<Vec<Alert>, String> {
+    let mut alerts = Vec::new();
+    for rule in rules {
+        match rule {
+            AlertRule::Ratio { threshold, window } => {
+                eval_ratio(store, rule, *threshold, *window, pes, &mut alerts)?
+            }
+            AlertRule::StageP999 { stage, factor } => {
+                eval_p999(store, rule, stage, *factor, &mut alerts)
+            }
+            AlertRule::RetryRate { rate, window } => {
+                eval_retries(store, rule, *rate, *window, &mut alerts)
+            }
+            AlertRule::Aborts { min } => eval_aborts(store, rule, *min, &mut alerts),
+            AlertRule::Flaps { min } => eval_flaps(store, rule, *min, &mut alerts),
+        }
+    }
+    alerts.sort_by(|a, b| (a.seq, &a.rule, &a.series).cmp(&(b.seq, &b.rule, &b.series)));
+    Ok(alerts)
+}
+
+fn eval_ratio(
+    store: &MetricStore,
+    rule: &AlertRule,
+    threshold: RatioThreshold,
+    window: usize,
+    pes: Option<u64>,
+    alerts: &mut Vec<Alert>,
+) -> Result<(), String> {
+    for (key, points) in store.series_with_prefix("partalloc_competitive_ratio") {
+        let bound = match threshold {
+            RatioThreshold::Fixed(t) => t,
+            RatioThreshold::Auto => {
+                let Some((_, labels)) = parse_series_key(key) else {
+                    continue;
+                };
+                let Some(alg) = labels.iter().find(|(k, _)| k == "alg").map(|(_, v)| v) else {
+                    // Router ratio gauges carry no alg label; auto
+                    // cannot bound them.
+                    continue;
+                };
+                let kind: AllocatorKind = alg
+                    .parse()
+                    .map_err(|e| format!("{key}: unparsable alg label: {e}"))?;
+                let n = pes
+                    .ok_or_else(|| "ratio:auto needs the machine size (pass --pes)".to_string())?;
+                auto_bound(kind, n)
+                    .ok_or_else(|| format!("{key}: no finite bound for {alg} on N={n}"))?
+            }
+        };
+        let mut run = 0usize;
+        for &(seq, value) in points {
+            let v = value.as_f64();
+            if v.is_finite() && v > bound {
+                run += 1;
+                if run == window {
+                    alerts.push(Alert {
+                        seq,
+                        rule: rule.spec(),
+                        series: key.to_string(),
+                        value: v,
+                        detail: format!(
+                            "ratio {v:.3} above bound {bound:.3} for {window} consecutive sample(s)"
+                        ),
+                    });
+                }
+            } else {
+                run = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The p99.9 edge of a cumulative bucket census, or `None` while the
+/// histogram is empty. The overflow bucket reports `+Inf`.
+fn p999_edge(edges: &[(f64, u64)]) -> Option<f64> {
+    let total = edges.last().map(|&(_, c)| c)?;
+    if total == 0 {
+        return None;
+    }
+    let rank = (total * 999).div_ceil(1000).max(1);
+    edges
+        .iter()
+        .find(|&&(_, c)| c >= rank)
+        .map(|&(edge, _)| edge)
+}
+
+fn eval_p999(
+    store: &MetricStore,
+    rule: &AlertRule,
+    stage: &str,
+    factor: f64,
+    alerts: &mut Vec<Alert>,
+) {
+    // Bucket series for this stage, each with its upper edge.
+    let mut buckets: Vec<(f64, &[(u64, crate::prom::MetricValue)])> = Vec::new();
+    for (key, points) in store.series_with_prefix("partalloc_stage_latency_ns_bucket{") {
+        let Some((_, labels)) = parse_series_key(key) else {
+            continue;
+        };
+        if labels.iter().any(|(k, v)| k == "stage" && v == stage) {
+            let Some(le) = labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v) else {
+                continue;
+            };
+            let edge = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                match le.parse::<f64>() {
+                    Ok(e) => e,
+                    Err(_) => continue,
+                }
+            };
+            buckets.push((edge, points));
+        }
+    }
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if buckets.is_empty() {
+        return;
+    }
+    let count_at = |points: &[(u64, crate::prom::MetricValue)], seq: u64| -> u64 {
+        points
+            .binary_search_by_key(&seq, |p| p.0)
+            .ok()
+            .and_then(|i| points[i].1.as_u64())
+            .unwrap_or(0)
+    };
+    let mut baseline: Option<f64> = None;
+    let mut above = false;
+    for seq in 0..store.polls().len() as u64 {
+        let edges: Vec<(f64, u64)> = buckets
+            .iter()
+            .map(|&(edge, points)| (edge, count_at(points, seq)))
+            .collect();
+        let Some(p999) = p999_edge(&edges) else {
+            continue;
+        };
+        let base = *baseline.get_or_insert(p999);
+        if p999 > factor * base {
+            if !above {
+                above = true;
+                alerts.push(Alert {
+                    seq,
+                    rule: rule.spec(),
+                    series: format!("partalloc_stage_latency_ns{{stage=\"{stage}\"}}"),
+                    value: p999,
+                    detail: format!(
+                        "stage {stage} p999 {p999} regressed past {factor}x baseline {base}"
+                    ),
+                });
+            }
+        } else {
+            above = false;
+        }
+    }
+}
+
+fn eval_retries(
+    store: &MetricStore,
+    rule: &AlertRule,
+    rate: u64,
+    window: usize,
+    alerts: &mut Vec<Alert>,
+) {
+    for (key, points) in store.series_with_prefix("partalloc_cluster_transfer_retries") {
+        let mut run = 0usize;
+        for pair in points.windows(2) {
+            let (prev, cur) = (&pair[0], &pair[1]);
+            let delta = cur
+                .1
+                .as_u64()
+                .unwrap_or(0)
+                .saturating_sub(prev.1.as_u64().unwrap_or(0));
+            if delta >= rate {
+                run += 1;
+                if run == window {
+                    alerts.push(Alert {
+                        seq: cur.0,
+                        rule: rule.spec(),
+                        series: key.to_string(),
+                        value: delta as f64,
+                        detail: format!(
+                            "retries grew >= {rate}/sample for {window} consecutive sample(s)"
+                        ),
+                    });
+                }
+            } else {
+                run = 0;
+            }
+        }
+    }
+}
+
+fn eval_aborts(store: &MetricStore, rule: &AlertRule, min: u64, alerts: &mut Vec<Alert>) {
+    for (key, points) in store.series_with_prefix("partalloc_cluster_transfer_aborts_total") {
+        let mut fired = false;
+        for &(seq, value) in points {
+            let v = value.as_u64().unwrap_or(0);
+            if v >= min && !fired {
+                fired = true;
+                alerts.push(Alert {
+                    seq,
+                    rule: rule.spec(),
+                    series: key.to_string(),
+                    value: v as f64,
+                    detail: format!("transfer aborts reached {v} (threshold {min})"),
+                });
+            }
+        }
+    }
+}
+
+fn eval_flaps(store: &MetricStore, rule: &AlertRule, min: u64, alerts: &mut Vec<Alert>) {
+    let mut prev: Option<Vec<(String, u64)>> = None;
+    let mut flaps = 0u64;
+    for poll in store.polls() {
+        let census: Vec<(String, u64)> = poll
+            .samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("partalloc_cluster_nodes{"))
+            .map(|(k, v)| (k.clone(), v.as_u64().unwrap_or(0)))
+            .collect();
+        if census.is_empty() {
+            continue;
+        }
+        if let Some(p) = &prev {
+            if *p != census {
+                flaps += 1;
+                if flaps == min {
+                    alerts.push(Alert {
+                        seq: poll.seq,
+                        rule: rule.spec(),
+                        series: "partalloc_cluster_nodes".to_string(),
+                        value: flaps as f64,
+                        detail: format!("node state census changed {flaps} time(s)"),
+                    });
+                }
+            }
+        }
+        prev = Some(census);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MetricRecorder;
+    use partalloc_obs::{parse_span_line, PromText};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("partalloc-malert-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn specs_round_trip() {
+        for spec in [
+            "ratio:auto:3",
+            "ratio:1.5:2",
+            "p999:parse:2",
+            "retries:5:3",
+            "aborts:1",
+            "flaps:4",
+        ] {
+            let rule = AlertRule::parse(spec).expect(spec);
+            assert_eq!(rule.spec(), spec);
+        }
+        let rules = AlertRule::parse_list("ratio:auto:3,aborts:1").unwrap();
+        assert_eq!(rules.len(), 2);
+        for bad in [
+            "ratio:auto",
+            "ratio:-1:2",
+            "ratio:auto:0",
+            "p999::2",
+            "retries:x:1",
+            "aborts:0",
+            "flaps",
+            "nonsense:1",
+        ] {
+            assert!(AlertRule::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn auto_bounds_follow_the_paper() {
+        assert_eq!(auto_bound("A_C".parse().unwrap(), 16), Some(1.0));
+        assert_eq!(auto_bound("A_M:1".parse().unwrap(), 16), Some(2.0));
+        assert_eq!(auto_bound("A_M:9".parse().unwrap(), 16), Some(3.0));
+        assert_eq!(auto_bound("A_G".parse().unwrap(), 16), Some(3.0));
+        assert_eq!(auto_bound("A_M:1".parse().unwrap(), 12), None);
+    }
+
+    fn ratio_store(dir: &PathBuf, ratios: &[f64]) -> MetricStore {
+        let mut rec = MetricRecorder::create(dir, "test").unwrap();
+        for &r in ratios {
+            let mut prom = PromText::new();
+            prom.header("partalloc_competitive_ratio", "Ratio.", "gauge");
+            prom.sample_f64(
+                "partalloc_competitive_ratio",
+                &[("shard", "0"), ("alg", "A_M:1")],
+                r,
+            );
+            rec.record_scrape(&prom.render()).unwrap();
+        }
+        rec.finish().unwrap();
+        MetricStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn ratio_rule_needs_k_consecutive_and_fires_once_per_episode() {
+        let dir = tmpdir("ratio");
+        // Bound for A_M:1 on N=16 is 2. Episodes: [2.5] (len 1, too
+        // short), [2.5, 3.0] fires at its 2nd sample, later [2.1, 2.2,
+        // 2.3] fires once at its 2nd sample.
+        let store = ratio_store(
+            &dir,
+            &[1.0, 2.5, 1.0, 2.5, 3.0, 1.5, 2.1, 2.2, 2.3, f64::NAN],
+        );
+        let rules = [AlertRule::parse("ratio:auto:2").unwrap()];
+        let alerts = evaluate(&store, &rules, Some(16)).unwrap();
+        assert_eq!(alerts.len(), 2, "{alerts:?}");
+        assert_eq!(alerts[0].seq, 4);
+        assert_eq!(alerts[1].seq, 7);
+        assert!(alerts[0].detail.contains("above bound 2.000"));
+        // Fixed threshold behaves the same without pes.
+        let fixed = [AlertRule::parse("ratio:2.9:1").unwrap()];
+        let alerts = evaluate(&store, &fixed, None).unwrap();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].seq, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ratio_auto_without_pes_is_an_error() {
+        let dir = tmpdir("nopes");
+        let store = ratio_store(&dir, &[1.0]);
+        let rules = [AlertRule::parse("ratio:auto:1").unwrap()];
+        assert!(evaluate(&store, &rules, None)
+            .unwrap_err()
+            .contains("--pes"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cluster_rules_fire_on_retries_aborts_and_flaps() {
+        let dir = tmpdir("cluster");
+        let mut rec = MetricRecorder::create(&dir, "test").unwrap();
+        let polls = [
+            (0u64, 0u64, 3u64),
+            (5, 0, 3),
+            (12, 1, 2),
+            (20, 2, 3),
+            (20, 2, 3),
+        ];
+        for (retries, aborts, up) in polls {
+            let mut prom = PromText::new();
+            prom.header("partalloc_cluster_nodes", "Nodes.", "gauge");
+            prom.sample_u64("partalloc_cluster_nodes", &[("state", "up")], up);
+            prom.sample_u64("partalloc_cluster_nodes", &[("state", "down")], 3 - up);
+            prom.header("partalloc_cluster_transfer_retries", "R.", "counter");
+            prom.sample_u64("partalloc_cluster_transfer_retries", &[], retries);
+            prom.header("partalloc_cluster_transfer_aborts_total", "A.", "counter");
+            prom.sample_u64("partalloc_cluster_transfer_aborts_total", &[], aborts);
+            rec.record_scrape(&prom.render()).unwrap();
+        }
+        rec.finish().unwrap();
+        let store = MetricStore::open(&dir).unwrap();
+        let rules = AlertRule::parse_list("retries:5:2,aborts:2,flaps:2").unwrap();
+        let alerts = evaluate(&store, &rules, None).unwrap();
+        let specs: Vec<(&str, u64)> = alerts.iter().map(|a| (a.rule.as_str(), a.seq)).collect();
+        // Retries grow by 5,7,8,0: two consecutive >= 5 at seq 2; the
+        // abort counter reaches 2 at seq 3; the census flips at seq 2
+        // and back at seq 3 (second flap).
+        assert_eq!(
+            specs,
+            vec![("retries:5:2", 2), ("aborts:2", 3), ("flaps:2", 3)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn p999_regression_fires_against_the_baseline() {
+        let dir = tmpdir("p999");
+        let mut rec = MetricRecorder::create(&dir, "test").unwrap();
+        // Poll 0: all fast (p999 = 16). Poll 1: a slow burst pushes
+        // p999 to 4096 (> 2x baseline).
+        for (fast, slow) in [(100u64, 0u64), (100, 50)] {
+            let mut prom = PromText::new();
+            prom.header("partalloc_stage_latency_ns", "L.", "histogram");
+            prom.histogram(
+                "partalloc_stage_latency_ns",
+                &[("stage", "parse")],
+                &[(16, fast), (4096, slow)],
+                0,
+            );
+            rec.record_scrape(&prom.render()).unwrap();
+        }
+        rec.finish().unwrap();
+        let store = MetricStore::open(&dir).unwrap();
+        let rules = [AlertRule::parse("p999:parse:2").unwrap()];
+        let alerts = evaluate(&store, &rules, None).unwrap();
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].seq, 1);
+        assert_eq!(alerts[0].value, 4096.0);
+        // A stage that never appears fires nothing.
+        let rules = [AlertRule::parse("p999:absent:2").unwrap()];
+        assert!(evaluate(&store, &rules, None).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn alerts_render_as_ingestable_span_events() {
+        let alert = Alert {
+            seq: 9,
+            rule: "ratio:auto:2".into(),
+            series: "partalloc_competitive_ratio{shard=\"0\",alg=\"A_M:1\"}".into(),
+            value: 2.5,
+            detail: "ratio 2.500 above bound 2.000 for 2 consecutive sample(s)".into(),
+        };
+        let line = alert.to_ndjson();
+        let ev = parse_span_line(&line).expect("parse back");
+        assert_eq!(ev.seq, 9);
+        assert_eq!(ev.name, "alert");
+        assert_eq!(ev.layer, "monitor");
+        assert_eq!(
+            ev.attr("rule").and_then(|v| v.as_str()),
+            Some("ratio:auto:2")
+        );
+    }
+}

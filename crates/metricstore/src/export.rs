@@ -1,0 +1,138 @@
+//! Deterministic series dumps: the same store always exports the
+//! same bytes (series sorted by key, points in seq order), so CI can
+//! `cmp` two exports of the same seeded run.
+
+use std::fmt::Write as _;
+
+use crate::prom::MetricValue;
+use crate::store::MetricStore;
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_token(value: MetricValue) -> String {
+    match value {
+        MetricValue::U64(v) => v.to_string(),
+        MetricValue::F64(v) if v.is_nan() => "NaN".to_string(),
+        MetricValue::F64(v) if v == f64::INFINITY => "+Inf".to_string(),
+        MetricValue::F64(v) if v == f64::NEG_INFINITY => "-Inf".to_string(),
+        MetricValue::F64(v) => v.to_string(),
+    }
+}
+
+/// Export every series as NDJSON: one
+/// `{"series":...,"seq":N,"value":V}` object per point. Non-finite
+/// values carry their Prometheus spelling as a JSON string.
+pub fn export_ndjson(store: &MetricStore) -> String {
+    let mut out = String::new();
+    for key in store.series_keys().collect::<Vec<_>>() {
+        for &(seq, value) in store.series(key).expect("listed key") {
+            out.push_str("{\"series\":\"");
+            json_escape_into(&mut out, key);
+            let _ = write!(out, "\",\"seq\":{seq},\"value\":");
+            match value {
+                MetricValue::F64(v) if !v.is_finite() => {
+                    let _ = write!(out, "\"{}\"", value_token(value));
+                }
+                _ => out.push_str(&value_token(value)),
+            }
+            out.push_str("}\n");
+        }
+    }
+    out
+}
+
+/// Export every series as CSV with a `series,seq,value` header. The
+/// series column is always quoted (keys contain quotes and commas);
+/// embedded quotes double, per RFC 4180.
+pub fn export_csv(store: &MetricStore) -> String {
+    let mut out = String::from("series,seq,value\n");
+    for key in store.series_keys().collect::<Vec<_>>() {
+        for &(seq, value) in store.series(key).expect("listed key") {
+            out.push('"');
+            for c in key.chars() {
+                if c == '"' {
+                    out.push('"');
+                }
+                out.push(c);
+            }
+            let _ = writeln!(out, "\",{seq},{}", value_token(value));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MetricRecorder;
+    use partalloc_obs::PromText;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("partalloc-mexp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build(dir: &PathBuf) -> MetricStore {
+        let mut rec = MetricRecorder::create(dir, "test").unwrap();
+        for poll in 0..2u64 {
+            let mut prom = PromText::new();
+            prom.sample_u64("a_total", &[], poll * 2);
+            prom.sample_f64(
+                "r",
+                &[("shard", "0")],
+                if poll == 0 { f64::NAN } else { 1.5 },
+            );
+            rec.record_scrape(&prom.render()).unwrap();
+        }
+        rec.finish().unwrap();
+        MetricStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn ndjson_is_deterministic_and_quotes_nonfinite() {
+        let dir = tmpdir("ndjson");
+        let store = build(&dir);
+        let text = export_ndjson(&store);
+        assert_eq!(
+            text,
+            "{\"series\":\"a_total\",\"seq\":0,\"value\":0}\n\
+             {\"series\":\"a_total\",\"seq\":1,\"value\":2}\n\
+             {\"series\":\"r{shard=\\\"0\\\"}\",\"seq\":0,\"value\":\"NaN\"}\n\
+             {\"series\":\"r{shard=\\\"0\\\"}\",\"seq\":1,\"value\":1.5}\n"
+        );
+        assert_eq!(text, export_ndjson(&store));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_doubles_embedded_quotes() {
+        let dir = tmpdir("csv");
+        let store = build(&dir);
+        let text = export_csv(&store);
+        assert_eq!(
+            text,
+            "series,seq,value\n\
+             \"a_total\",0,0\n\
+             \"a_total\",1,2\n\
+             \"r{shard=\"\"0\"\"}\",0,NaN\n\
+             \"r{shard=\"\"0\"\"}\",1,1.5\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,52 @@
+//! The metrics time-series plane: record live Prometheus scrapes into
+//! a checksummed on-disk store and evaluate declarative alert rules
+//! over the recorded history.
+//!
+//! The daemon and router already export the paper's quantities — per
+//! shard load, the optimal load `L*`, and the competitive ratio the
+//! `d+1` and `⌈(log N + 1)/2⌉` theorems bound — as point-in-time
+//! Prometheus text. This crate closes the loop over time:
+//!
+//! * [`parse_scrape`] inverts [`partalloc_obs::PromText`] exactly
+//!   (byte-identical re-render), the same symmetry the span parser
+//!   has with the span renderer;
+//! * [`MetricRecorder`] / [`MetricStore`] persist one poll per seq
+//!   tick into append-only segments under an FNV-1a manifest — the
+//!   trace store's durability discipline, reused for gauges. Seq
+//!   time is the poll index; no wall clock ever reaches the bytes,
+//!   so seeded runs record byte-identical series;
+//! * [`AlertRule`] / [`evaluate`] compile colon-spec alert rules
+//!   (ratio above the paper bound for K consecutive samples,
+//!   stage-p999 regression, retry storms, transfer aborts, node
+//!   flaps) into deterministic [`Alert`]s, which render as NDJSON
+//!   span events `palloc trace` ingests as anomalies;
+//! * [`export_ndjson`] / [`export_csv`] dump series
+//!   deterministically, and [`synth_scrape`] generates seeded
+//!   synthetic scrapes for benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alert;
+mod export;
+mod manifest;
+mod prom;
+mod record;
+mod recorder;
+mod segment;
+mod store;
+mod synth;
+mod util;
+
+pub use alert::{auto_bound, evaluate, Alert, AlertRule, ParseAlertError, RatioThreshold};
+pub use export::{export_csv, export_ndjson};
+pub use manifest::{Manifest, SeriesMeta, MANIFEST_FILE, MANIFEST_HEADER};
+pub use prom::{
+    parse_scrape, parse_series_key, series_key, Family, FamilyHeader, MetricValue,
+    ParseScrapeError, Sample, Scrape,
+};
+pub use record::Poll;
+pub use recorder::{MetricRecorder, RecordError, DEFAULT_SEGMENT_BYTES};
+pub use segment::SegmentMeta;
+pub use store::MetricStore;
+pub use synth::synth_scrape;

@@ -1,0 +1,225 @@
+//! The metrics store manifest: totals, the per-series point ledger,
+//! and the length/checksum ledger for every segment file.
+//!
+//! Same discipline as the trace store's manifest: `key=value` lines
+//! under a versioned header, free-form values `%`-escaped, and a
+//! `#footer len=…/fnv1a=…` line that checksums every byte before it,
+//! so a torn or edited manifest is detected before any segment is
+//! trusted.
+
+use std::collections::BTreeMap;
+
+use crate::segment::SegmentMeta;
+use crate::util::{esc, fnv1a, unesc};
+
+/// The manifest's header line.
+pub const MANIFEST_HEADER: &str = "#partalloc-metricstore v1";
+/// The manifest file's name inside the store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// One recorded series: its canonical key and how many points it has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesMeta {
+    /// Canonical series key (`name{k="v",...}`).
+    pub key: String,
+    /// Points recorded for this series.
+    pub points: usize,
+}
+
+/// Everything the manifest records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Polls recorded across all segments.
+    pub polls: usize,
+    /// Total sample points across all polls.
+    pub samples: usize,
+    /// The label the recorder stamped (target address or `synthetic`).
+    pub target: String,
+    /// Series ledger, sorted by key.
+    pub series: Vec<SeriesMeta>,
+    /// Segment ledger, in segment order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Render the manifest, footer included.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MANIFEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "totals polls={} samples={} target={}\n",
+            self.polls,
+            self.samples,
+            esc(&self.target)
+        ));
+        for s in &self.series {
+            out.push_str(&format!("series key={} points={}\n", esc(&s.key), s.points));
+        }
+        for s in &self.segments {
+            out.push_str(&format!(
+                "segment file={} records={} len={} fnv1a={:016x}\n",
+                esc(&s.file),
+                s.records,
+                s.len,
+                s.fnv
+            ));
+        }
+        let footer = format!(
+            "#footer len={} fnv1a={:016x}\n",
+            out.len(),
+            fnv1a(out.as_bytes())
+        );
+        out.push_str(&footer);
+        out
+    }
+
+    /// Parse and verify a manifest. The error string names what is
+    /// wrong — the store surfaces it as a corruption error.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        // Verify the footer first: nothing above it is trusted until
+        // the checksum holds.
+        let body_end = text
+            .rfind("#footer ")
+            .ok_or_else(|| "manifest has no footer".to_string())?;
+        let footer = text[body_end..]
+            .strip_suffix('\n')
+            .ok_or_else(|| "manifest footer is torn".to_string())?;
+        let fields = kv_fields(footer.trim_start_matches("#footer "))?;
+        let len: usize = req(&fields, "len")?;
+        let sum: u64 = u64::from_str_radix(fields.get("fnv1a").ok_or("footer missing fnv1a")?, 16)
+            .map_err(|_| "footer fnv1a is not hex".to_string())?;
+        if len != body_end {
+            return Err(format!(
+                "manifest footer length {len} != body length {body_end}"
+            ));
+        }
+        if fnv1a(text[..body_end].as_bytes()) != sum {
+            return Err("manifest checksum mismatch".to_string());
+        }
+
+        let mut lines = text[..body_end].lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err("bad manifest header".to_string());
+        }
+        let mut manifest = Manifest {
+            polls: 0,
+            samples: 0,
+            target: String::new(),
+            series: Vec::new(),
+            segments: Vec::new(),
+        };
+        let mut saw_totals = false;
+        for line in lines {
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let fields = kv_fields(rest)?;
+            match tag {
+                "totals" => {
+                    saw_totals = true;
+                    manifest.polls = req(&fields, "polls")?;
+                    manifest.samples = req(&fields, "samples")?;
+                    manifest.target = req_str(&fields, "target")?;
+                }
+                "series" => manifest.series.push(SeriesMeta {
+                    key: req_str(&fields, "key")?,
+                    points: req(&fields, "points")?,
+                }),
+                "segment" => manifest.segments.push(SegmentMeta {
+                    file: req_str(&fields, "file")?,
+                    records: req(&fields, "records")?,
+                    len: req(&fields, "len")?,
+                    fnv: u64::from_str_radix(
+                        fields.get("fnv1a").ok_or("segment missing fnv1a")?,
+                        16,
+                    )
+                    .map_err(|_| "segment fnv1a is not hex".to_string())?,
+                }),
+                other => return Err(format!("unknown manifest line tag {other:?}")),
+            }
+        }
+        if !saw_totals {
+            return Err("manifest has no totals line".to_string());
+        }
+        Ok(manifest)
+    }
+}
+
+fn kv_fields(rest: &str) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    for field in rest.split(' ').filter(|f| !f.is_empty()) {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed manifest field {field:?}"))?;
+        out.insert(k.to_string(), v.to_string());
+    }
+    Ok(out)
+}
+
+fn req<T: std::str::FromStr>(fields: &BTreeMap<String, String>, key: &str) -> Result<T, String> {
+    fields
+        .get(key)
+        .ok_or_else(|| format!("missing manifest field {key:?}"))?
+        .parse()
+        .map_err(|_| format!("unparsable manifest field {key:?}"))
+}
+
+fn req_str(fields: &BTreeMap<String, String>, key: &str) -> Result<String, String> {
+    let raw = fields
+        .get(key)
+        .ok_or_else(|| format!("missing manifest field {key:?}"))?;
+    unesc(raw).ok_or_else(|| format!("malformed escape in manifest field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            polls: 5,
+            samples: 40,
+            target: "127.0.0.1:9001".into(),
+            series: vec![
+                SeriesMeta {
+                    key: "partalloc_arrivals_total".into(),
+                    points: 5,
+                },
+                SeriesMeta {
+                    key: "partalloc_load_current{shard=\"0\",alg=\"A_M:2\"}".into(),
+                    points: 5,
+                },
+            ],
+            segments: vec![SegmentMeta {
+                file: "seg-0000.bin".into(),
+                records: 5,
+                len: 321,
+                fnv: 0xdead_beef,
+            }],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let text = m.render();
+        assert!(text.starts_with(MANIFEST_HEADER));
+        // The series key's quotes and equals signs are escaped into
+        // the field grammar.
+        assert!(text.contains("shard%3d"), "{text}");
+        let parsed = Manifest::parse(&text).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(text, parsed.render());
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let text = sample().render();
+        let tampered = text.replace("polls=5", "polls=6");
+        assert!(Manifest::parse(&tampered).unwrap_err().contains("checksum"));
+        let torn = &text[..text.len() - 2];
+        assert!(Manifest::parse(torn).is_err());
+        assert!(Manifest::parse("").is_err());
+        let alien = text.replace("totals ", "extras ");
+        assert!(Manifest::parse(&alien).is_err());
+    }
+}

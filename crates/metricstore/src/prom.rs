@@ -1,0 +1,596 @@
+//! Prometheus text-exposition parser — the inverse of
+//! [`partalloc_obs::PromText`], the same way the span parser in `obs`
+//! inverts the span renderer. The grammar is exactly what `PromText`
+//! emits (format 0.0.4 without timestamps): `# HELP` / `# TYPE` header
+//! pairs followed by sample lines with optional `{k="v",...}` label
+//! sets and a `u64`, decimal-float, `NaN`, `+Inf`, or `-Inf` value.
+//!
+//! The parse is strict — unknown comment forms, dangling headers,
+//! malformed label sets, and unparsable values are hard errors with a
+//! line number, because a scrape that does not round-trip is corrupt
+//! input, not a formatting preference. For text produced by
+//! `PromText`, `parse(text).render()` is byte-identical (hostile but
+//! valid input may normalize: leading-zero integers and exponent
+//! floats re-render in canonical form).
+
+use partalloc_obs::PromText;
+use std::fmt;
+
+/// One sample value, preserving the integer/float distinction the
+/// renderer made: `PromText::sample_u64` values parse back as
+/// [`MetricValue::U64`], everything else as [`MetricValue::F64`].
+#[derive(Debug, Clone, Copy)]
+pub enum MetricValue {
+    /// An integer sample (counters, integer gauges, bucket counts).
+    U64(u64),
+    /// A float sample, including `NaN` / `+Inf` / `-Inf`.
+    F64(f64),
+}
+
+impl MetricValue {
+    /// The value as a float (`U64` widens losslessly up to 2^53).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            MetricValue::U64(v) => v as f64,
+            MetricValue::F64(v) => v,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            MetricValue::U64(v) => Some(v),
+            MetricValue::F64(_) => None,
+        }
+    }
+
+    /// True for finite floats and all integers.
+    pub fn is_finite(self) -> bool {
+        match self {
+            MetricValue::U64(_) => true,
+            MetricValue::F64(v) => v.is_finite(),
+        }
+    }
+}
+
+// Bit-equality for floats so `NaN == NaN` holds: round-trip tests and
+// store verification compare recorded values exactly, and a NaN gauge
+// (the ratio before the first arrival) is a legitimate stored sample.
+impl PartialEq for MetricValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (MetricValue::U64(a), MetricValue::U64(b)) => a == b,
+            (MetricValue::F64(a), MetricValue::F64(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for MetricValue {}
+
+/// One sample line: full metric name (including any `_bucket` /
+/// `_sum` / `_count` suffix), labels in emission order, and the value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// The metric name exactly as it appeared on the line.
+    pub name: String,
+    /// Label pairs in the order they were rendered.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: MetricValue,
+}
+
+impl Sample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The canonical series key for this sample: the name plus the
+    /// label set re-rendered in emission order. Two scrapes of the
+    /// same exporter produce the same key for the same series, so the
+    /// key is the store's series identity.
+    pub fn series_key(&self) -> String {
+        series_key(&self.name, &self.labels)
+    }
+}
+
+/// Render the canonical `name{k="v",...}` series key (label values
+/// escaped exactly as `PromText` escapes them).
+pub fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    let mut out = String::from(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (key, value)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(key);
+            out.push_str("=\"");
+            for c in value.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out
+}
+
+/// Parse a canonical series key back into its metric name and label
+/// pairs (the inverse of [`series_key`]). `None` on malformed keys.
+pub fn parse_series_key(key: &str) -> Option<(String, Vec<(String, String)>)> {
+    let sample = parse_sample_line(&format!("{key} 0"), 0).ok()?;
+    Some((sample.name, sample.labels))
+}
+
+/// The `# HELP` / `# TYPE` pair that opens a headered family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyHeader {
+    /// Unescaped help text.
+    pub help: String,
+    /// The declared kind (`counter`, `gauge`, `histogram`).
+    pub kind: String,
+}
+
+/// One metric family: a header (when the exporter emitted one) and
+/// the samples that followed it. Histogram families hold their
+/// `_bucket` / `_sum` / `_count` samples under the base name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Family {
+    /// The family's base metric name.
+    pub name: String,
+    /// The header, or `None` for samples emitted without one.
+    pub header: Option<FamilyHeader>,
+    /// Samples in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Family {
+    fn accepts(&self, sample_name: &str) -> bool {
+        if self.header.is_some() {
+            sample_name == self.name
+                || sample_name
+                    .strip_prefix(self.name.as_str())
+                    .is_some_and(|rest| matches!(rest, "_bucket" | "_sum" | "_count"))
+        } else {
+            sample_name == self.name
+        }
+    }
+}
+
+/// A parsed scrape: families in document order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Scrape {
+    /// Metric families in the order they appeared.
+    pub families: Vec<Family>,
+}
+
+impl Scrape {
+    /// All samples in document order.
+    pub fn samples(&self) -> impl Iterator<Item = &Sample> {
+        self.families.iter().flat_map(|f| f.samples.iter())
+    }
+
+    /// Flatten to `(series key, value)` pairs in document order —
+    /// the shape the sample store records per poll.
+    pub fn flatten(&self) -> Vec<(String, MetricValue)> {
+        self.samples().map(|s| (s.series_key(), s.value)).collect()
+    }
+
+    /// Look up one sample by name and exact label set (order-sensitive,
+    /// matching the exporter's deterministic emission order).
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<MetricValue> {
+        self.samples()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|s| s.value)
+    }
+
+    /// Re-render through [`PromText`]. For input that came from
+    /// `PromText` this is byte-identical to the original scrape.
+    pub fn render(&self) -> String {
+        let mut prom = PromText::new();
+        for family in &self.families {
+            if let Some(header) = &family.header {
+                prom.header(&family.name, &header.help, &header.kind);
+            }
+            for sample in &family.samples {
+                let labels: Vec<(&str, &str)> = sample
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match sample.value {
+                    MetricValue::U64(v) => prom.sample_u64(&sample.name, &labels, v),
+                    MetricValue::F64(v) => prom.sample_f64(&sample.name, &labels, v),
+                }
+            }
+        }
+        prom.render()
+    }
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScrapeError {
+    /// 1-based line number in the scrape text.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseScrapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scrape line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseScrapeError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseScrapeError> {
+    Err(ParseScrapeError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+fn unescape_help(escaped: &str, line: usize) -> Result<String, ParseScrapeError> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some(other) => return err(line, format!("unknown help escape \\{other}")),
+                None => return err(line, "trailing backslash in help text"),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(token: &str, line: usize) -> Result<MetricValue, ParseScrapeError> {
+    match token {
+        "NaN" => return Ok(MetricValue::F64(f64::NAN)),
+        "+Inf" => return Ok(MetricValue::F64(f64::INFINITY)),
+        "-Inf" => return Ok(MetricValue::F64(f64::NEG_INFINITY)),
+        "" => return err(line, "missing sample value"),
+        _ => {}
+    }
+    if token.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(v) = token.parse::<u64>() {
+            return Ok(MetricValue::U64(v));
+        }
+    }
+    match token.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(MetricValue::F64(v)),
+        _ => err(line, format!("unparsable sample value {token:?}")),
+    }
+}
+
+fn parse_sample_line(text: &str, line: usize) -> Result<Sample, ParseScrapeError> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b' ' {
+        i += 1;
+    }
+    if i == 0 {
+        return err(line, "missing metric name");
+    }
+    let name = text[..i].to_string();
+    let mut labels = Vec::new();
+    if i < bytes.len() && bytes[i] == b'{' {
+        i += 1;
+        if bytes.get(i) == Some(&b'}') {
+            return err(line, "empty label set");
+        }
+        loop {
+            let key_start = i;
+            while i < bytes.len() && bytes[i] != b'=' {
+                if matches!(bytes[i], b'{' | b'}' | b'"' | b',' | b' ') {
+                    return err(line, format!("malformed label name after {:?}", &text[..i]));
+                }
+                i += 1;
+            }
+            if i >= bytes.len() || i == key_start {
+                return err(line, "unterminated label set");
+            }
+            let key = text[key_start..i].to_string();
+            i += 1; // '='
+            if bytes.get(i) != Some(&b'"') {
+                return err(line, format!("label {key:?} missing opening quote"));
+            }
+            i += 1;
+            let mut value = String::new();
+            loop {
+                match bytes.get(i) {
+                    None => return err(line, format!("unterminated value for label {key:?}")),
+                    Some(b'"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(b'\\') => {
+                        match bytes.get(i + 1) {
+                            Some(b'\\') => value.push('\\'),
+                            Some(b'"') => value.push('"'),
+                            Some(b'n') => value.push('\n'),
+                            _ => return err(line, format!("unknown escape in label {key:?}")),
+                        }
+                        i += 2;
+                    }
+                    Some(_) => {
+                        // Safe: `i` sits on a char boundary (ASCII
+                        // delimiters above are single bytes).
+                        let c = text[i..].chars().next().unwrap();
+                        value.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            labels.push((key, value));
+            match bytes.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                _ => return err(line, "expected ',' or '}' after label value"),
+            }
+        }
+    }
+    if bytes.get(i) != Some(&b' ') {
+        return err(line, "expected space before sample value");
+    }
+    i += 1;
+    let token = &text[i..];
+    if token.contains(' ') {
+        // PromText never emits timestamps; trailing fields are noise.
+        return err(line, "unexpected field after sample value");
+    }
+    let value = parse_value(token, line)?;
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Parse one scrape payload.
+pub fn parse_scrape(text: &str) -> Result<Scrape, ParseScrapeError> {
+    let mut families: Vec<Family> = Vec::new();
+    // A `# HELP` line waiting for its `# TYPE` partner.
+    let mut pending: Option<(String, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.is_empty() {
+            continue;
+        }
+        if let Some(rest) = raw.strip_prefix("# HELP ") {
+            if pending.is_some() {
+                return err(line, "HELP not followed by TYPE");
+            }
+            let Some((name, escaped)) = rest.split_once(' ') else {
+                return err(line, "HELP missing metric name");
+            };
+            if name.is_empty() {
+                return err(line, "HELP missing metric name");
+            }
+            pending = Some((name.to_string(), unescape_help(escaped, line)?));
+        } else if let Some(rest) = raw.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                return err(line, "TYPE missing kind");
+            };
+            if kind.is_empty() || kind.contains(' ') {
+                return err(line, format!("malformed TYPE kind {kind:?}"));
+            }
+            match pending.take() {
+                Some((help_name, help)) if help_name == name => families.push(Family {
+                    name: name.to_string(),
+                    header: Some(FamilyHeader {
+                        help,
+                        kind: kind.to_string(),
+                    }),
+                    samples: Vec::new(),
+                }),
+                Some((help_name, _)) => {
+                    return err(line, format!("TYPE {name:?} after HELP {help_name:?}"))
+                }
+                None => return err(line, "TYPE without preceding HELP"),
+            }
+        } else if raw.starts_with('#') {
+            return err(line, format!("unrecognized comment {raw:?}"));
+        } else {
+            if pending.is_some() {
+                return err(line, "sample between HELP and TYPE");
+            }
+            let sample = parse_sample_line(raw, line)?;
+            match families.last_mut() {
+                Some(f) if f.accepts(&sample.name) => f.samples.push(sample),
+                _ => families.push(Family {
+                    name: sample.name.clone(),
+                    header: None,
+                    samples: vec![sample],
+                }),
+            }
+        }
+    }
+    if pending.is_some() {
+        return err(text.lines().count(), "dangling HELP at end of scrape");
+    }
+    Ok(Scrape { families })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon_like_scrape() -> String {
+        let mut prom = PromText::new();
+        prom.header("partalloc_arrivals_total", "Tasks placed.", "counter");
+        prom.sample_u64("partalloc_arrivals_total", &[], 42);
+        prom.header(
+            "partalloc_stage_latency_ns",
+            "Per-stage latency.",
+            "histogram",
+        );
+        prom.histogram(
+            "partalloc_stage_latency_ns",
+            &[("stage", "parse")],
+            &[(16, 2), (64, 1), (256, 0)],
+            190,
+        );
+        prom.histogram("partalloc_stage_latency_ns", &[("stage", "apply")], &[], 0);
+        prom.header("partalloc_competitive_ratio", "Ratio vs L*.", "gauge");
+        prom.sample_f64(
+            "partalloc_competitive_ratio",
+            &[("shard", "0"), ("alg", "A_M:2")],
+            1.5,
+        );
+        prom.sample_f64(
+            "partalloc_competitive_ratio",
+            &[("shard", "1"), ("alg", "A_M:2")],
+            f64::NAN,
+        );
+        prom.render()
+    }
+
+    #[test]
+    fn parse_then_render_is_byte_identical() {
+        let text = daemon_like_scrape();
+        let scrape = parse_scrape(&text).expect("parse");
+        assert_eq!(scrape.render(), text);
+    }
+
+    #[test]
+    fn families_group_histogram_suffixes() {
+        let scrape = parse_scrape(&daemon_like_scrape()).expect("parse");
+        assert_eq!(scrape.families.len(), 3);
+        let hist = &scrape.families[1];
+        assert_eq!(hist.name, "partalloc_stage_latency_ns");
+        assert_eq!(
+            hist.header.as_ref().map(|h| h.kind.as_str()),
+            Some("histogram")
+        );
+        // Two label sets: parse has 3 buckets + sum + count, apply is
+        // empty (just +Inf, sum, count).
+        assert_eq!(hist.samples.len(), 5 + 3);
+        assert_eq!(
+            scrape.find(
+                "partalloc_stage_latency_ns_bucket",
+                &[("stage", "parse"), ("le", "+Inf")]
+            ),
+            Some(MetricValue::U64(3))
+        );
+    }
+
+    #[test]
+    fn values_keep_the_int_float_distinction() {
+        let scrape = parse_scrape("a 7\nb 7.5\nc NaN\nd +Inf\ne -Inf\nf -3\n").expect("parse");
+        let values: Vec<MetricValue> = scrape.samples().map(|s| s.value).collect();
+        assert_eq!(values[0], MetricValue::U64(7));
+        assert_eq!(values[1], MetricValue::F64(7.5));
+        assert_eq!(values[2], MetricValue::F64(f64::NAN));
+        assert_eq!(values[3], MetricValue::F64(f64::INFINITY));
+        assert_eq!(values[4], MetricValue::F64(f64::NEG_INFINITY));
+        assert_eq!(values[5], MetricValue::F64(-3.0));
+        assert_eq!(scrape.render(), "a 7\nb 7.5\nc NaN\nd +Inf\ne -Inf\nf -3\n");
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let mut prom = PromText::new();
+        prom.sample_u64("m", &[("k", "a\"b\\c\nd"), ("π", "µ units")], 1);
+        let text = prom.render();
+        let scrape = parse_scrape(&text).expect("parse");
+        let sample = scrape.samples().next().expect("sample");
+        assert_eq!(sample.label("k"), Some("a\"b\\c\nd"));
+        assert_eq!(sample.label("π"), Some("µ units"));
+        assert_eq!(scrape.render(), text);
+    }
+
+    #[test]
+    fn series_keys_are_canonical() {
+        let scrape = parse_scrape("m{shard=\"0\",alg=\"A_M:2\"} 3\n").expect("parse");
+        assert_eq!(
+            scrape.flatten(),
+            vec![(
+                "m{shard=\"0\",alg=\"A_M:2\"}".to_string(),
+                MetricValue::U64(3)
+            )]
+        );
+        let (name, labels) = parse_series_key("m{shard=\"0\",alg=\"A_M:2\"}").expect("key");
+        assert_eq!(name, "m");
+        assert_eq!(
+            labels,
+            vec![
+                ("shard".to_string(), "0".to_string()),
+                ("alg".to_string(), "A_M:2".to_string())
+            ]
+        );
+        assert_eq!(parse_series_key("bare"), Some(("bare".to_string(), vec![])));
+        assert_eq!(parse_series_key("m{k=\"v}"), None);
+    }
+
+    #[test]
+    fn malformed_lines_are_hard_errors() {
+        for (text, want) in [
+            ("# HELP a Help.\n", "dangling HELP"),
+            ("# HELP a Help.\n# TYPE b gauge\n", "after HELP"),
+            ("# TYPE a gauge\n", "without preceding HELP"),
+            ("# HELP a Help.\nx 1\n", "between HELP and TYPE"),
+            ("# EOF\n", "unrecognized comment"),
+            ("m{} 1\n", "empty label set"),
+            ("m{k=\"v} 1\n", "unterminated value"),
+            ("m{k=\"\\t\"} 1\n", "unknown escape"),
+            ("m{k=v\"} 1\n", "missing opening quote"),
+            ("m 1 2\n", "after sample value"),
+            ("m x7\n", "unparsable sample value"),
+            ("m\n", "expected space"),
+            (" 1\n", "missing metric name"),
+            ("# HELP a bad\\q\n# TYPE a gauge\n", "unknown help escape"),
+        ] {
+            let got = parse_scrape(text).expect_err(text);
+            assert!(got.msg.contains(want), "{text:?}: {got}");
+        }
+    }
+
+    #[test]
+    fn help_escapes_round_trip() {
+        let mut prom = PromText::new();
+        prom.header("m", "line one\nback\\slash", "gauge");
+        prom.sample_u64("m", &[], 1);
+        let text = prom.render();
+        let scrape = parse_scrape(&text).expect("parse");
+        assert_eq!(
+            scrape.families[0].header.as_ref().map(|h| h.help.as_str()),
+            Some("line one\nback\\slash")
+        );
+        assert_eq!(scrape.render(), text);
+    }
+
+    #[test]
+    fn headerless_samples_group_by_name() {
+        let scrape = parse_scrape("a 1\na 2\nb 3\n").expect("parse");
+        assert_eq!(scrape.families.len(), 2);
+        assert_eq!(scrape.families[0].samples.len(), 2);
+        assert_eq!(scrape.render(), "a 1\na 2\nb 3\n");
+    }
+}

@@ -1,0 +1,146 @@
+//! The binary codec for one recorded poll: a sequence number (the
+//! deterministic seq-time axis — poll index, never wall clock) and the
+//! flattened `(series key, value)` pairs of one scrape.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! seq u64 | nsamples u32 | nsamples × ( key str | tag u8 | value u64 )
+//! ```
+//!
+//! where `str` is u32-length-prefixed UTF-8, tag `1` carries a `u64`
+//! value verbatim, and tag `2` carries an `f64` as its IEEE-754 bits
+//! (so NaN payloads round-trip exactly and re-encoding is
+//! byte-identical).
+
+use crate::prom::MetricValue;
+use crate::util::{put_str, Cur};
+
+const TAG_U64: u8 = 1;
+const TAG_F64: u8 = 2;
+
+/// One decoded poll: the seq number and its samples in scrape order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poll {
+    /// Poll index along the seq-time axis.
+    pub seq: u64,
+    /// Flattened `(series key, value)` pairs in scrape order.
+    pub samples: Vec<(String, MetricValue)>,
+}
+
+/// Encode one poll.
+pub fn encode(seq: u64, samples: &[(String, MetricValue)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + samples.len() * 24);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+    for (key, value) in samples {
+        put_str(&mut out, key);
+        match value {
+            MetricValue::U64(v) => {
+                out.push(TAG_U64);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            MetricValue::F64(v) => {
+                out.push(TAG_F64);
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode one poll payload. `None` on truncation, a hostile sample
+/// count, an unknown tag, or trailing garbage.
+pub fn decode(payload: &[u8]) -> Option<Poll> {
+    let mut cur = Cur::new(payload);
+    let seq = cur.u64()?;
+    let nsamples = cur.u32()? as usize;
+    // Each sample needs at least 13 bytes (empty key + tag + value);
+    // reject counts a truncated or corrupt header could not satisfy.
+    if nsamples > cur.remaining() / 13 {
+        return None;
+    }
+    let mut samples = Vec::with_capacity(nsamples);
+    for _ in 0..nsamples {
+        let key = cur.str()?;
+        let value = match cur.u8()? {
+            TAG_U64 => MetricValue::U64(cur.u64()?),
+            TAG_F64 => MetricValue::F64(f64::from_bits(cur.u64()?)),
+            _ => return None,
+        };
+        samples.push((key, value));
+    }
+    if cur.remaining() != 0 {
+        return None;
+    }
+    Some(Poll { seq, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_poll() -> Poll {
+        Poll {
+            seq: 7,
+            samples: vec![
+                ("partalloc_arrivals_total".into(), MetricValue::U64(42)),
+                (
+                    "partalloc_competitive_ratio{shard=\"0\",alg=\"A_M:2\"}".into(),
+                    MetricValue::F64(1.5),
+                ),
+                (
+                    "partalloc_competitive_ratio{shard=\"1\",alg=\"A_M:2\"}".into(),
+                    MetricValue::F64(f64::NAN),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_including_nan_bits() {
+        let poll = sample_poll();
+        let bytes = encode(poll.seq, &poll.samples);
+        assert_eq!(decode(&bytes), Some(poll.clone()));
+        // Re-encoding the decode is byte-identical.
+        let again = decode(&bytes).unwrap();
+        assert_eq!(encode(again.seq, &again.samples), bytes);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_rejected() {
+        let poll = sample_poll();
+        let bytes = encode(poll.seq, &poll.samples);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode(&padded), None);
+        // Hostile sample count.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&0u64.to_le_bytes());
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&hostile), None);
+        // Unknown tag.
+        let mut bad_tag = Vec::new();
+        bad_tag.extend_from_slice(&0u64.to_le_bytes());
+        bad_tag.extend_from_slice(&1u32.to_le_bytes());
+        put_str(&mut bad_tag, "k");
+        bad_tag.push(9);
+        bad_tag.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode(&bad_tag), None);
+    }
+
+    #[test]
+    fn empty_poll_round_trips() {
+        let bytes = encode(0, &[]);
+        assert_eq!(
+            decode(&bytes),
+            Some(Poll {
+                seq: 0,
+                samples: vec![]
+            })
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! The store's write path: feed scrape payloads in poll order, get a
+//! checksummed on-disk store back.
+//!
+//! The recorder assigns each scrape the next seq number (the poll
+//! index — the store's only notion of time), flattens it to
+//! `(series key, value)` pairs, and appends the encoded poll to the
+//! current segment, rolling to a new segment past the size threshold.
+//! `finish` writes the manifest atomically; a store without a
+//! manifest is a crashed recording and will not open.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::{Manifest, SeriesMeta, MANIFEST_FILE};
+use crate::prom::{parse_scrape, ParseScrapeError};
+use crate::record::encode;
+use crate::segment::{write_atomic, SegmentMeta, SegmentWriter};
+
+/// Default segment roll-over threshold.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 32 << 20;
+
+/// Why a scrape could not be recorded.
+#[derive(Debug)]
+pub enum RecordError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The scrape text did not parse.
+    Parse(ParseScrapeError),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Io(e) => write!(f, "io error: {e}"),
+            RecordError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<io::Error> for RecordError {
+    fn from(e: io::Error) -> Self {
+        RecordError::Io(e)
+    }
+}
+
+impl From<ParseScrapeError> for RecordError {
+    fn from(e: ParseScrapeError) -> Self {
+        RecordError::Parse(e)
+    }
+}
+
+/// Records a series of scrapes into a store directory.
+pub struct MetricRecorder {
+    dir: PathBuf,
+    target: String,
+    segment_bytes: u64,
+    writer: Option<SegmentWriter>,
+    segments: Vec<SegmentMeta>,
+    polls: usize,
+    samples: usize,
+    series: BTreeMap<String, usize>,
+}
+
+impl MetricRecorder {
+    /// Create (or reuse) `dir` and start recording. `target` labels
+    /// where the scrapes came from (an address, or `synthetic`).
+    pub fn create(dir: &Path, target: &str) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(MetricRecorder {
+            dir: dir.to_path_buf(),
+            target: target.to_string(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            writer: None,
+            segments: Vec::new(),
+            polls: 0,
+            samples: 0,
+            series: BTreeMap::new(),
+        })
+    }
+
+    /// Override the segment roll-over threshold (tests force small
+    /// segments with this).
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// Polls recorded so far.
+    pub fn polls(&self) -> usize {
+        self.polls
+    }
+
+    /// Parse one scrape payload and append it as the next poll.
+    /// Returns the number of samples the poll carried.
+    pub fn record_scrape(&mut self, text: &str) -> Result<usize, RecordError> {
+        let scrape = parse_scrape(text)?;
+        let samples = scrape.flatten();
+        let payload = encode(self.polls as u64, &samples);
+        if let Some(w) = &self.writer {
+            if !w.is_empty() && w.len() >= self.segment_bytes {
+                self.finish_segment()?;
+            }
+        }
+        if self.writer.is_none() {
+            self.writer = Some(SegmentWriter::create(&self.dir, self.segments.len())?);
+        }
+        self.writer
+            .as_mut()
+            .expect("writer just ensured")
+            .append(&payload)?;
+        self.polls += 1;
+        self.samples += samples.len();
+        for (key, _) in &samples {
+            *self.series.entry(key.clone()).or_insert(0) += 1;
+        }
+        Ok(samples.len())
+    }
+
+    fn finish_segment(&mut self) -> io::Result<()> {
+        if let Some(writer) = self.writer.take() {
+            self.segments.push(writer.finish()?);
+        }
+        Ok(())
+    }
+
+    /// Seal the store: finish the open segment and write the manifest
+    /// atomically. Returns the manifest.
+    pub fn finish(mut self) -> io::Result<Manifest> {
+        self.finish_segment()?;
+        let manifest = Manifest {
+            polls: self.polls,
+            samples: self.samples,
+            target: self.target.clone(),
+            series: self
+                .series
+                .iter()
+                .map(|(key, &points)| SeriesMeta {
+                    key: key.clone(),
+                    points,
+                })
+                .collect(),
+            segments: self.segments.clone(),
+        };
+        write_atomic(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
+        Ok(manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MetricStore;
+    use partalloc_obs::PromText;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("partalloc-mrec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn scrape(poll: u64) -> String {
+        let mut prom = PromText::new();
+        prom.header("a_total", "A.", "counter");
+        prom.sample_u64("a_total", &[], poll * 3);
+        prom.header("r", "Ratio.", "gauge");
+        prom.sample_f64("r", &[("shard", "0")], poll as f64 / 2.0);
+        prom.render()
+    }
+
+    #[test]
+    fn records_and_reopens() {
+        let dir = tmpdir("basic");
+        let mut rec = MetricRecorder::create(&dir, "test").unwrap();
+        for poll in 0..4 {
+            assert_eq!(rec.record_scrape(&scrape(poll)).unwrap(), 2);
+        }
+        let manifest = rec.finish().unwrap();
+        assert_eq!(manifest.polls, 4);
+        assert_eq!(manifest.samples, 8);
+        assert_eq!(manifest.series.len(), 2);
+        let store = MetricStore::open(&dir).unwrap();
+        assert_eq!(store.polls().len(), 4);
+        let series = store.series("a_total").unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[3].0, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_segments_roll() {
+        let dir = tmpdir("roll");
+        let mut rec = MetricRecorder::create(&dir, "test")
+            .unwrap()
+            .with_segment_bytes(1);
+        for poll in 0..3 {
+            rec.record_scrape(&scrape(poll)).unwrap();
+        }
+        let manifest = rec.finish().unwrap();
+        assert_eq!(manifest.segments.len(), 3);
+        let store = MetricStore::open(&dir).unwrap();
+        assert_eq!(store.polls().len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identical_scrapes_record_identical_bytes() {
+        let dir_a = tmpdir("det-a");
+        let dir_b = tmpdir("det-b");
+        for dir in [&dir_a, &dir_b] {
+            let mut rec = MetricRecorder::create(dir, "test").unwrap();
+            for poll in 0..3 {
+                rec.record_scrape(&scrape(poll)).unwrap();
+            }
+            rec.finish().unwrap();
+        }
+        for file in ["MANIFEST", "seg-0000.bin"] {
+            assert_eq!(
+                std::fs::read(dir_a.join(file)).unwrap(),
+                std::fs::read(dir_b.join(file)).unwrap(),
+                "{file}"
+            );
+        }
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn bad_scrapes_are_rejected() {
+        let dir = tmpdir("bad");
+        let mut rec = MetricRecorder::create(&dir, "test").unwrap();
+        assert!(matches!(
+            rec.record_scrape("# EOF\n"),
+            Err(RecordError::Parse(_))
+        ));
+        assert_eq!(rec.polls(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

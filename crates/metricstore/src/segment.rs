@@ -1,0 +1,240 @@
+//! Append-only poll segments.
+//!
+//! A segment file is an 8-byte magic (`PMSGv1\n\0`) followed by
+//! length-prefixed poll frames written with the wire crate's frame
+//! codec (`[u32 LE length][payload]` — the same discipline the trace
+//! store and the PR 7 binary transport use). Segments are immutable
+//! once written; the manifest records each one's byte length and
+//! whole-file FNV-1a, verified cheaply (length) at open and fully on
+//! demand.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use partalloc_wire::{read_frame, write_frame, FrameRead};
+
+use crate::record::{decode, Poll};
+use crate::util::{fnv1a_extend, FNV_SEED};
+
+/// The 8-byte segment magic: format name plus version.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"PMSGv1\n\0";
+
+/// The largest poll frame the store will read back (16 MiB — far
+/// above any real scrape, small enough to bound a corrupt length).
+pub const MAX_POLL_BYTES: usize = 16 << 20;
+
+/// The name of segment number `index`.
+pub fn segment_file_name(index: usize) -> String {
+    format!("seg-{index:04}.bin")
+}
+
+/// What the writer accumulated for one finished segment — the
+/// manifest line's worth of metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File name within the store directory.
+    pub file: String,
+    /// Polls in this segment.
+    pub records: u32,
+    /// Total file length in bytes (magic included).
+    pub len: u64,
+    /// FNV-1a over the whole file.
+    pub fnv: u64,
+}
+
+/// Writes one segment file, tracking length and checksum as it goes.
+pub struct SegmentWriter {
+    file_name: String,
+    out: BufWriter<File>,
+    len: u64,
+    fnv: u64,
+    records: u32,
+}
+
+impl SegmentWriter {
+    /// Create `seg-<index>.bin` in `dir` and write the magic.
+    pub fn create(dir: &Path, index: usize) -> io::Result<Self> {
+        let file_name = segment_file_name(index);
+        let path = dir.join(&file_name);
+        let mut out = BufWriter::new(File::create(&path)?);
+        out.write_all(SEGMENT_MAGIC)?;
+        Ok(SegmentWriter {
+            file_name,
+            out,
+            len: SEGMENT_MAGIC.len() as u64,
+            fnv: fnv1a_extend(FNV_SEED, SEGMENT_MAGIC),
+            records: 0,
+        })
+    }
+
+    /// Append one poll frame.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.out, payload)?;
+        let header = (payload.len() as u32).to_le_bytes();
+        self.fnv = fnv1a_extend(self.fnv, &header);
+        self.fnv = fnv1a_extend(self.fnv, payload);
+        self.len += (header.len() + payload.len()) as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Bytes written so far (the roll-over check reads this).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Flush, sync, and return the segment's metadata.
+    pub fn finish(mut self) -> io::Result<SegmentMeta> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        Ok(SegmentMeta {
+            file: self.file_name,
+            records: self.records,
+            len: self.len,
+            fnv: self.fnv,
+        })
+    }
+}
+
+/// Open a segment and check its magic; the reader is positioned at
+/// the first frame.
+pub fn open_segment(path: &Path) -> io::Result<File> {
+    let mut file = File::open(path)?;
+    let mut magic = [0u8; 8];
+    file.read_exact(&mut magic)?;
+    if &magic != SEGMENT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: bad segment magic", path.display()),
+        ));
+    }
+    Ok(file)
+}
+
+/// Sequentially decode every poll in a segment, in file order.
+pub fn scan_segment(path: &Path) -> io::Result<Vec<Poll>> {
+    let file = open_segment(path)?;
+    let mut reader = BufReader::new(file);
+    let mut buf = Vec::new();
+    let mut polls = Vec::new();
+    loop {
+        match read_frame(&mut reader, &mut buf, MAX_POLL_BYTES)? {
+            FrameRead::Frame => match decode(&buf) {
+                Some(poll) => polls.push(poll),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: undecodable poll frame", path.display()),
+                    ))
+                }
+            },
+            FrameRead::TooBig(len) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: poll frame of {len} bytes exceeds cap", path.display()),
+                ))
+            }
+            FrameRead::Eof => return Ok(polls),
+        }
+    }
+}
+
+/// Recompute a segment file's whole-file FNV-1a and length.
+pub fn checksum_file(path: &Path) -> io::Result<(u64, u64)> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut hash = FNV_SEED;
+    let mut len = 0u64;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        let n = reader.read(&mut chunk)?;
+        if n == 0 {
+            return Ok((hash, len));
+        }
+        hash = fnv1a_extend(hash, &chunk[..n]);
+        len += n as u64;
+    }
+}
+
+/// Write `bytes` to `path` atomically: a `.tmp` sibling, then rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prom::MetricValue;
+    use crate::record::encode;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("partalloc-msegtest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_scan_and_checksum_agree() {
+        let dir = tmpdir("rw");
+        let mut writer = SegmentWriter::create(&dir, 0).unwrap();
+        assert!(writer.is_empty());
+        for seq in 0..3u64 {
+            let samples = vec![
+                ("a_total".to_string(), MetricValue::U64(seq)),
+                ("r".to_string(), MetricValue::F64(seq as f64 + 0.5)),
+            ];
+            writer.append(&encode(seq, &samples)).unwrap();
+        }
+        let meta = writer.finish().unwrap();
+        assert_eq!(meta.records, 3);
+        let path = dir.join(&meta.file);
+        let (fnv, len) = checksum_file(&path).unwrap();
+        assert_eq!((fnv, len), (meta.fnv, meta.len));
+        let polls = scan_segment(&path).unwrap();
+        assert_eq!(polls.len(), 3);
+        assert_eq!(polls[2].seq, 2);
+        assert_eq!(polls[2].samples[0].1, MetricValue::U64(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = tmpdir("corrupt");
+        let mut writer = SegmentWriter::create(&dir, 0).unwrap();
+        writer
+            .append(&encode(0, &[("k".to_string(), MetricValue::U64(1))]))
+            .unwrap();
+        let meta = writer.finish().unwrap();
+        let path = dir.join(&meta.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip the value tag (9 bytes from the end: tag + u64 value):
+        // the checksum changes and the scan fails to decode.
+        let tag_at = bytes.len() - 9;
+        bytes[tag_at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (fnv, _) = checksum_file(&path).unwrap();
+        assert_ne!(fnv, meta.fnv);
+        assert!(scan_segment(&path).is_err());
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(open_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

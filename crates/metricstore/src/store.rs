@@ -1,0 +1,227 @@
+//! The store's read path: open a recorded directory, verify every
+//! byte against the manifest, and serve per-series history.
+//!
+//! Opening is a full verification pass — the manifest footer checksum,
+//! then each segment's length and whole-file FNV-1a, then a scan that
+//! cross-checks the poll count, seq contiguity, and the series ledger.
+//! Metrics stores are small (one poll per sampling tick), so paying
+//! the full read up front buys an unambiguous answer to "is this
+//! recording intact?" before anything renders a sparkline from it.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::manifest::{Manifest, MANIFEST_FILE};
+use crate::prom::MetricValue;
+use crate::record::Poll;
+use crate::segment::{checksum_file, scan_segment};
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// An opened, verified metrics store.
+#[derive(Debug)]
+pub struct MetricStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    polls: Vec<Poll>,
+    series: BTreeMap<String, Vec<(u64, MetricValue)>>,
+}
+
+impl MetricStore {
+    /// Open and fully verify the store at `dir`.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", manifest_path.display())))?;
+        let manifest = Manifest::parse(&text)
+            .map_err(|e| corrupt(format!("{}: {e}", manifest_path.display())))?;
+
+        let mut polls = Vec::with_capacity(manifest.polls);
+        for meta in &manifest.segments {
+            let path = dir.join(&meta.file);
+            let (fnv, len) = checksum_file(&path)?;
+            if len != meta.len || fnv != meta.fnv {
+                return Err(corrupt(format!(
+                    "{}: segment does not match its manifest entry \
+                     (len {len} vs {}, fnv1a {fnv:016x} vs {:016x})",
+                    path.display(),
+                    meta.len,
+                    meta.fnv
+                )));
+            }
+            let scanned = scan_segment(&path)?;
+            if scanned.len() != meta.records as usize {
+                return Err(corrupt(format!(
+                    "{}: {} poll(s) on disk, manifest says {}",
+                    path.display(),
+                    scanned.len(),
+                    meta.records
+                )));
+            }
+            polls.extend(scanned);
+        }
+        if polls.len() != manifest.polls {
+            return Err(corrupt(format!(
+                "store holds {} poll(s), manifest says {}",
+                polls.len(),
+                manifest.polls
+            )));
+        }
+        let mut series: BTreeMap<String, Vec<(u64, MetricValue)>> = BTreeMap::new();
+        let mut samples = 0usize;
+        for (i, poll) in polls.iter().enumerate() {
+            if poll.seq != i as u64 {
+                return Err(corrupt(format!(
+                    "poll {i} carries seq {} — seq axis is not contiguous",
+                    poll.seq
+                )));
+            }
+            samples += poll.samples.len();
+            for (key, value) in &poll.samples {
+                series
+                    .entry(key.clone())
+                    .or_default()
+                    .push((poll.seq, *value));
+            }
+        }
+        if samples != manifest.samples {
+            return Err(corrupt(format!(
+                "store holds {samples} sample(s), manifest says {}",
+                manifest.samples
+            )));
+        }
+        if series.len() != manifest.series.len()
+            || !manifest
+                .series
+                .iter()
+                .all(|m| series.get(&m.key).is_some_and(|pts| pts.len() == m.points))
+        {
+            return Err(corrupt("series ledger does not match recorded polls"));
+        }
+        Ok(MetricStore {
+            dir: dir.to_path_buf(),
+            manifest,
+            polls,
+            series,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The verified manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// All polls in seq order.
+    pub fn polls(&self) -> &[Poll] {
+        &self.polls
+    }
+
+    /// All series keys, sorted.
+    pub fn series_keys(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// One series' `(seq, value)` points, in seq order.
+    pub fn series(&self, key: &str) -> Option<&[(u64, MetricValue)]> {
+        self.series.get(key).map(Vec::as_slice)
+    }
+
+    /// Series whose key starts with `prefix` (a bare metric name
+    /// matches all of its label sets), sorted by key.
+    pub fn series_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a [(u64, MetricValue)])> {
+        self.series
+            .range(prefix.to_string()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// A one-line summary for banners and store listings.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} poll(s), {} series, {} sample(s) from {} in {} segment(s)",
+            self.manifest.polls,
+            self.manifest.series.len(),
+            self.manifest.samples,
+            self.manifest.target,
+            self.manifest.segments.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MetricRecorder;
+    use partalloc_obs::PromText;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("partalloc-mstore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build(dir: &Path, polls: u64) {
+        let mut rec = MetricRecorder::create(dir, "test").unwrap();
+        for poll in 0..polls {
+            let mut prom = PromText::new();
+            prom.header("a_total", "A.", "counter");
+            prom.sample_u64("a_total", &[], poll * 2);
+            prom.sample_u64("b", &[("shard", "0")], poll);
+            rec.record_scrape(&prom.render()).unwrap();
+        }
+        rec.finish().unwrap();
+    }
+
+    #[test]
+    fn open_serves_series_history() {
+        let dir = tmpdir("serve");
+        build(&dir, 5);
+        let store = MetricStore::open(&dir).unwrap();
+        assert_eq!(store.polls().len(), 5);
+        assert_eq!(
+            store.series_keys().collect::<Vec<_>>(),
+            vec!["a_total", "b{shard=\"0\"}"]
+        );
+        let a = store.series("a_total").unwrap();
+        assert_eq!(a[4], (4, MetricValue::U64(8)));
+        let prefixed: Vec<&str> = store.series_with_prefix("b").map(|(k, _)| k).collect();
+        assert_eq!(prefixed, vec!["b{shard=\"0\"}"]);
+        assert!(store.summary_line().contains("5 poll(s)"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_tampering_fails_open() {
+        let dir = tmpdir("tamper");
+        build(&dir, 3);
+        let seg = dir.join("seg-0000.bin");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = MetricStore::open(&dir).unwrap_err();
+        assert!(err.to_string().contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_fails_open() {
+        let dir = tmpdir("nomanifest");
+        build(&dir, 1);
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        assert!(MetricStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! Small shared pieces: the FNV-1a checksum every store file carries,
+//! a bounds-checked byte cursor for decoding, and the `%`-escaping the
+//! manifest uses for free-form strings. The same discipline as the
+//! trace store's — the module is duplicated because both crates keep
+//! it private on purpose (neither exports a checksum API).
+
+/// FNV-1a-64 over a byte slice — the same checksum the service's
+/// snapshot footer and the trace store use, so every durable artifact
+/// in the workspace shares one integrity discipline.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Streaming FNV-1a-64: fold more bytes into a running hash.
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The FNV-1a-64 offset basis (the hash of the empty string).
+pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A bounds-checked little-endian reader over a byte slice. Every
+/// decode in the store goes through this, so a truncated or corrupt
+/// file surfaces as a `None` (mapped to a corruption error by the
+/// caller), never a panic.
+pub struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    /// Start reading at the front of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cur { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// A little-endian u64.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// A little-endian u32.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// A u32-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// Append a u32-length-prefixed string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// `%`-escape a string for the manifest's `key=value` lines: `%`,
+/// `=`, spaces, and control bytes become `%XX`, so values round-trip
+/// through line- and space-splitting parsers unambiguously.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        if ch == '%' || ch == '=' || ch == ' ' || ch.is_control() {
+            let mut buf = [0u8; 4];
+            for b in ch.encode_utf8(&mut buf).as_bytes() {
+                out.push_str(&format!("%{b:02x}"));
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Invert [`esc`]. `None` on malformed escapes or invalid UTF-8.
+pub fn unesc(s: &str) -> Option<String> {
+    let mut bytes = Vec::with_capacity(s.len());
+    let mut it = s.bytes();
+    while let Some(b) = it.next() {
+        if b == b'%' {
+            let hi = it.next()?;
+            let lo = it.next()?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).ok()?;
+            bytes.push(u8::from_str_radix(hex, 16).ok()?);
+        } else {
+            bytes.push(b);
+        }
+    }
+    String::from_utf8(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_extend(FNV_SEED, b"a"), fnv1a(b"a"));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["", "plain", "a b=c%d", "tab\there", "π≠𝔘"] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s), "{s:?}");
+            assert!(!esc(s).contains(' '), "{s:?}");
+            assert!(!esc(s).contains('='), "{s:?}");
+        }
+        assert_eq!(unesc("%zz"), None);
+    }
+
+    #[test]
+    fn cursor_is_bounds_checked() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&9u64.to_le_bytes());
+        put_str(&mut buf, "hi");
+        let mut cur = Cur::new(&buf);
+        assert_eq!(cur.u32(), Some(7));
+        assert_eq!(cur.u64(), Some(9));
+        assert_eq!(cur.str().as_deref(), Some("hi"));
+        assert_eq!(cur.remaining(), 0);
+        assert_eq!(cur.u8(), None);
+        let bytes = u32::MAX.to_le_bytes();
+        let mut cur = Cur::new(&bytes);
+        assert_eq!(cur.str(), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Property tests pinning the scrape parser to `obs::PromText`: for
+//! any exposition the renderer can produce — hostile label values,
+//! arbitrary UTF-8, empty histograms, adversarial label ordering —
+//! parsing yields exactly the modeled scrape, and re-rendering the
+//! parse is byte-identical to the original text.
+
+use partalloc_metricstore::{parse_scrape, Family, FamilyHeader, MetricValue, Sample, Scrape};
+use partalloc_obs::PromText;
+use proptest::prelude::*;
+
+/// What `parse_scrape` yields for a float rendered by
+/// `PromText::sample_f64`: integral floats print without a point and
+/// read back as integers when they fit `u64`.
+fn expected_f64(v: f64) -> MetricValue {
+    if v.is_finite() {
+        let token = format!("{v}");
+        if token.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(u) = token.parse::<u64>() {
+                return MetricValue::U64(u);
+            }
+        }
+    }
+    MetricValue::F64(v)
+}
+
+/// Mirror `PromText::histogram`'s cumulative expansion and
+/// trailing-empty-bucket collapse, as expected `Sample`s.
+fn histogram_samples(
+    name: &str,
+    labels: &[(String, String)],
+    buckets: &[(u64, u64)],
+    sum: u64,
+) -> Vec<Sample> {
+    let occupied = buckets
+        .iter()
+        .rposition(|&(_, c)| c > 0)
+        .map_or(0, |i| i + 1);
+    let mut out = Vec::new();
+    let mut cumulative = 0u64;
+    for &(edge, count) in &buckets[..occupied] {
+        cumulative += count;
+        let mut with_le = labels.to_vec();
+        with_le.push(("le".to_string(), edge.to_string()));
+        out.push(Sample {
+            name: format!("{name}_bucket"),
+            labels: with_le,
+            value: MetricValue::U64(cumulative),
+        });
+    }
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    let mut with_le = labels.to_vec();
+    with_le.push(("le".to_string(), "+Inf".to_string()));
+    out.push(Sample {
+        name: format!("{name}_bucket"),
+        labels: with_le,
+        value: MetricValue::U64(total),
+    });
+    out.push(Sample {
+        name: format!("{name}_sum"),
+        labels: labels.to_vec(),
+        value: MetricValue::U64(sum),
+    });
+    out.push(Sample {
+        name: format!("{name}_count"),
+        labels: labels.to_vec(),
+        value: MetricValue::U64(total),
+    });
+    out
+}
+
+fn metric_name() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,12}"
+}
+
+fn label_name() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,8}"
+}
+
+/// Hostile label values: quotes, backslashes, newlines, and arbitrary
+/// UTF-8 (carriage returns included — they sit mid-line and survive).
+fn label_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => any::<char>(),
+            1 => Just('"'),
+            1 => Just('\\'),
+            1 => Just('\n'),
+            1 => Just('\r'),
+            1 => Just('µ'),
+        ],
+        0..10,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Help text: anything except a trailing carriage return, which the
+/// line-oriented reader cannot distinguish from the line terminator.
+fn help_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            6 => any::<char>(),
+            1 => Just('\\'),
+            1 => Just('\n'),
+        ],
+        0..16,
+    )
+    .prop_map(|chars| {
+        let mut s: String = chars.into_iter().collect();
+        while s.ends_with('\r') {
+            s.pop();
+        }
+        s
+    })
+}
+
+fn labels() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((label_name(), label_value()), 0..4)
+}
+
+fn scalar_value() -> impl Strategy<Value = ScalarValue> {
+    prop_oneof![
+        any::<u64>().prop_map(ScalarValue::U64),
+        finite_or_inf().prop_map(ScalarValue::F64),
+        Just(ScalarValue::F64(f64::NAN)),
+    ]
+}
+
+fn finite_or_inf() -> impl Strategy<Value = f64> {
+    use proptest::num::f64;
+    f64::POSITIVE | f64::NEGATIVE | f64::NORMAL | f64::SUBNORMAL | f64::ZERO | f64::INFINITE
+}
+
+#[derive(Debug, Clone)]
+enum ScalarValue {
+    U64(u64),
+    F64(f64),
+}
+
+#[derive(Debug, Clone)]
+enum FamilySpec {
+    Scalar {
+        name: String,
+        help: String,
+        kind: &'static str,
+        samples: Vec<(Vec<(String, String)>, ScalarValue)>,
+    },
+    Histogram {
+        name: String,
+        help: String,
+        series: Vec<(Vec<(String, String)>, Vec<(u64, u64)>, u64)>,
+    },
+}
+
+fn family_spec() -> impl Strategy<Value = FamilySpec> {
+    let scalar = (
+        metric_name(),
+        help_text(),
+        prop_oneof![Just("counter"), Just("gauge")],
+        proptest::collection::vec((labels(), scalar_value()), 0..4),
+    )
+        .prop_map(|(name, help, kind, samples)| FamilySpec::Scalar {
+            name,
+            help,
+            kind,
+            samples,
+        });
+    let buckets = proptest::collection::vec((0u64..1000, 0u64..50), 0..6).prop_map(|mut b| {
+        b.sort_by_key(|&(edge, _)| edge);
+        b.dedup_by_key(|&mut (edge, _)| edge);
+        b
+    });
+    let histogram = (
+        metric_name(),
+        help_text(),
+        proptest::collection::vec((labels(), buckets, any::<u64>()), 0..3),
+    )
+        .prop_map(|(name, help, series)| FamilySpec::Histogram { name, help, series });
+    prop_oneof![3 => scalar, 2 => histogram]
+}
+
+/// Render the spec through `PromText` and build the scrape the parser
+/// must produce for it.
+fn build(specs: &[FamilySpec]) -> (String, Scrape) {
+    let mut prom = PromText::new();
+    let mut families = Vec::new();
+    for spec in specs {
+        match spec {
+            FamilySpec::Scalar {
+                name,
+                help,
+                kind,
+                samples,
+            } => {
+                prom.header(name, help, kind);
+                let mut expected = Vec::new();
+                for (labels, value) in samples {
+                    let borrowed: Vec<(&str, &str)> = labels
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.as_str()))
+                        .collect();
+                    let expected_value = match value {
+                        ScalarValue::U64(v) => {
+                            prom.sample_u64(name, &borrowed, *v);
+                            MetricValue::U64(*v)
+                        }
+                        ScalarValue::F64(v) => {
+                            prom.sample_f64(name, &borrowed, *v);
+                            expected_f64(*v)
+                        }
+                    };
+                    expected.push(Sample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        value: expected_value,
+                    });
+                }
+                families.push(Family {
+                    name: name.clone(),
+                    header: Some(FamilyHeader {
+                        help: help.clone(),
+                        kind: kind.to_string(),
+                    }),
+                    samples: expected,
+                });
+            }
+            FamilySpec::Histogram { name, help, series } => {
+                prom.header(name, help, "histogram");
+                let mut expected = Vec::new();
+                for (labels, buckets, sum) in series {
+                    let borrowed: Vec<(&str, &str)> = labels
+                        .iter()
+                        .map(|(k, v)| (k.as_str(), v.as_str()))
+                        .collect();
+                    prom.histogram(name, &borrowed, buckets, *sum);
+                    expected.extend(histogram_samples(name, labels, buckets, *sum));
+                }
+                families.push(Family {
+                    name: name.clone(),
+                    header: Some(FamilyHeader {
+                        help: help.clone(),
+                        kind: "histogram".to_string(),
+                    }),
+                    samples: expected,
+                });
+            }
+        }
+    }
+    (prom.render(), Scrape { families })
+}
+
+proptest! {
+    #[test]
+    fn parse_inverts_promtext(specs in proptest::collection::vec(family_spec(), 1..5)) {
+        let (text, expected) = build(&specs);
+        let parsed = parse_scrape(&text).expect("PromText output must parse");
+        prop_assert_eq!(&parsed, &expected);
+        // Re-rendering the parse reproduces the scrape byte for byte.
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn series_keys_parse_back(labels in labels(), name in metric_name()) {
+        let key = partalloc_metricstore::series_key(&name, &labels);
+        let round = partalloc_metricstore::parse_series_key(&key);
+        prop_assert_eq!(round, Some((name, labels)));
+    }
+}

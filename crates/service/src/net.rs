@@ -155,7 +155,12 @@ impl ServiceHandler {
             Proto::Ndjson => response_line(resp, envelope.trace).map(String::into_bytes),
             Proto::Binary => encode_response(resp, envelope.trace),
         };
-        record_stage(&self.core.metrics().stages.settle, settle_start);
+        // The scrape path must not perturb the series it reports (see
+        // `ServiceCore::timed`): a `metrics` reply leaves the settle
+        // histogram untouched.
+        if !matches!(resp, Response::Metrics { .. }) {
+            record_stage(&self.core.metrics().stages.settle, settle_start);
+        }
         match bytes {
             Ok(b) => WireReply::send(b),
             // Serialization of our own response types cannot fail;
@@ -196,10 +201,14 @@ impl ServiceHandler {
         if trimmed.is_empty() {
             return WireReply::silent();
         }
-        // The wire `parse` stage: request line → envelope.
+        // The wire `parse` stage: request line → envelope. A `metrics`
+        // request is exempt so the scrape never perturbs the stage
+        // series it reports.
         let parse_start = Instant::now();
         let parsed = parse_request_envelope(trimmed);
-        record_stage(&self.core.metrics().stages.parse, parse_start);
+        if !matches!(&parsed, Ok((_, Request::Metrics))) {
+            record_stage(&self.core.metrics().stages.parse, parse_start);
+        }
         match parsed {
             Ok((envelope, req)) => self.dispatch(Proto::Ndjson, envelope, req),
             Err(e) => {
@@ -215,10 +224,14 @@ impl ServiceHandler {
             trace: None,
             epoch: None,
         };
-        // The wire `parse` stage: frame payload → envelope.
+        // The wire `parse` stage: frame payload → envelope. A
+        // `metrics` request is exempt so the scrape never perturbs
+        // the stage series it reports.
         let parse_start = Instant::now();
         let decoded = decode_request(payload);
-        record_stage(&self.core.metrics().stages.parse, parse_start);
+        if !matches!(&decoded, Ok(d) if matches!(d.req, Request::Metrics)) {
+            record_stage(&self.core.metrics().stages.parse, parse_start);
+        }
         match decoded {
             Ok(d) => self.dispatch(Proto::Binary, d.envelope, d.req),
             Err(e) => {

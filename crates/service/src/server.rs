@@ -564,6 +564,13 @@ impl ServiceCore {
 
     /// Dispatch under the latency histogram and error counter.
     fn timed(&self, req_id: Option<u64>, req: &Request, trace: Option<TraceContext>) -> Response {
+        // The scrape path must not perturb the series it reports: a
+        // `metrics` read leaves the latency histogram untouched, so an
+        // idle daemon scrapes byte-identically however often a
+        // recorder polls it.
+        if matches!(req, Request::Metrics) {
+            return self.dispatch(req_id, req, trace);
+        }
         let start = Instant::now();
         let resp = self.dispatch(req_id, req, trace);
         if matches!(resp, Response::Error(_)) {

@@ -17,7 +17,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use partalloc_analysis::TraceAccumulator;
+use partalloc_analysis::{SourceSummary, TraceAccumulator};
 use partalloc_obs::{
     parse_span_stream, parse_span_stream_lossy, LossyParse, ParseEventError, ParsedEvent,
 };
@@ -28,6 +28,7 @@ use crate::index::{
 };
 use crate::manifest::{EnginePeaks, IndexMeta, Manifest, StageCounts, MANIFEST_FILE};
 use crate::segment::{SegmentMeta, SegmentWriter};
+use crate::store::{StoreError, TraceStore};
 use crate::util::fnv1a;
 
 /// Ingest tuning knobs.
@@ -71,6 +72,8 @@ pub struct IngestStats {
     pub segments: usize,
     /// Total segment bytes.
     pub segment_bytes: u64,
+    /// The manifest epoch written (0 on create, bumped per append).
+    pub epoch: u64,
 }
 
 /// What can go wrong while writing a store.
@@ -87,6 +90,8 @@ pub enum IngestError {
     },
     /// A structural cap was exceeded (record count, source count).
     Limit(String),
+    /// The store being appended to failed to open or verify.
+    Reopen(StoreError),
 }
 
 impl fmt::Display for IngestError {
@@ -95,6 +100,7 @@ impl fmt::Display for IngestError {
             IngestError::Io(e) => write!(f, "ingest i/o error: {e}"),
             IngestError::Parse { label, error } => write!(f, "{label}: {error}"),
             IngestError::Limit(msg) => write!(f, "ingest limit: {msg}"),
+            IngestError::Reopen(e) => write!(f, "cannot append to store: {e}"),
         }
     }
 }
@@ -190,6 +196,16 @@ pub struct Ingest {
     ranges: Vec<SourceRange>,
     peaks: EnginePeaks,
     source_index: u32,
+    /// The manifest epoch `finish` will write: 0 on create, the prior
+    /// epoch plus one on append.
+    epoch: u64,
+    /// Prior sources' stored summaries. Replay feeds the accumulator
+    /// kept records only, so the as-ingested counts (duplicates
+    /// included) come from the old manifest, not the re-fold.
+    prior_sources: Vec<SourceSummary>,
+    /// Duplicates dropped by the prior ingest(s); added to the
+    /// re-fold's count at finish.
+    prior_dup_dropped: usize,
 }
 
 impl Ingest {
@@ -217,6 +233,74 @@ impl Ingest {
             ranges: Vec::new(),
             peaks: EnginePeaks::default(),
             source_index: 0,
+            epoch: 0,
+            prior_sources: Vec::new(),
+            prior_dup_dropped: 0,
+        })
+    }
+
+    /// Reopen an existing store for incremental re-ingest: verify it,
+    /// replay its kept records through a fresh accumulator (so the
+    /// cross-source rules — dedupe, retry storms, fan-out — see old
+    /// and new events together), and resume appending. New sources
+    /// extend the segment files; `finish` rewrites the indexes and the
+    /// manifest with the epoch bumped by one.
+    pub fn append(dir: impl Into<PathBuf>) -> Result<Self, IngestError> {
+        Self::append_with(dir, IngestOptions::default())
+    }
+
+    /// [`Ingest::append`] with explicit options.
+    pub fn append_with(dir: impl Into<PathBuf>, opts: IngestOptions) -> Result<Self, IngestError> {
+        let dir = dir.into();
+        let store = TraceStore::open(&dir).map_err(IngestError::Reopen)?;
+        let manifest = store.manifest().clone();
+
+        let mut trace_postings = BTreeMap::new();
+        for e in store.trace_entries() {
+            trace_postings.insert(e.trace, e.postings.clone());
+        }
+        let mut layer_postings = BTreeMap::new();
+        for e in store.layer_entries() {
+            layer_postings.insert(e.layer.clone(), e.postings.clone());
+        }
+        let mut name_postings = BTreeMap::new();
+        for e in store.name_entries() {
+            name_postings.insert(e.name.clone(), e.postings.clone());
+        }
+
+        // Replay: records of one source are contiguous by construction
+        // (`add_parsed` drains a whole source before the next begins).
+        // Every stored record was kept at its original ingest, so the
+        // accumulator accepts each one again.
+        let mut acc = TraceAccumulator::new();
+        for (range, summary) in store.source_ranges().iter().zip(&manifest.sources) {
+            acc.begin_source(&range.label);
+            acc.note_torn(summary.torn);
+            if range.records > 0 {
+                let ids: Vec<u32> = (range.first..range.first + range.records).collect();
+                for rec in store.fetch(&ids).map_err(IngestError::Reopen)? {
+                    acc.push(&rec.event);
+                }
+            }
+        }
+
+        Ok(Ingest {
+            opts,
+            acc,
+            writer: None,
+            segments: manifest.segments.clone(),
+            offsets: store.offsets().clone(),
+            next_record: manifest.records as u64,
+            trace_postings,
+            layer_postings,
+            name_postings,
+            ranges: store.source_ranges().to_vec(),
+            peaks: manifest.peaks,
+            source_index: manifest.sources.len() as u32,
+            epoch: manifest.epoch + 1,
+            prior_sources: manifest.sources,
+            prior_dup_dropped: manifest.dup_dropped,
+            dir,
         })
     }
 
@@ -322,6 +406,15 @@ impl Ingest {
         self.finish_segment()?;
         let report = std::mem::take(&mut self.acc).finish();
 
+        // On append, the replayed sources' summaries count kept
+        // records only; restore the stored as-ingested numbers and
+        // fold the prior ingests' duplicate count back in.
+        let mut sources = report.sources.clone();
+        for (slot, prior) in sources.iter_mut().zip(&self.prior_sources) {
+            slot.clone_from(prior);
+        }
+        let dup_dropped = report.dup_dropped + self.prior_dup_dropped;
+
         // Trace entries: the report's trees (sorted by id) zipped
         // with the postings map (also id-sorted). They cover the same
         // id set by construction.
@@ -368,11 +461,12 @@ impl Ingest {
         }
 
         let manifest = Manifest {
+            epoch: self.epoch,
             records: self.next_record as usize,
-            events: report.sources.iter().map(|s| s.events).sum(),
-            dup_dropped: report.dup_dropped,
+            events: sources.iter().map(|s| s.events).sum(),
+            dup_dropped,
             torn_tails: report.torn_tails,
-            sources: report.sources.clone(),
+            sources,
             stages: report
                 .stages
                 .iter()
@@ -392,12 +486,13 @@ impl Ingest {
         Ok(IngestStats {
             records: self.next_record as usize,
             events: manifest.events,
-            dup_dropped: report.dup_dropped,
+            dup_dropped,
             torn_tails: report.torn_tails,
             traces: report.trees.len(),
             anomalies: report.anomalies.len(),
             segments: self.segments.len(),
             segment_bytes: self.segments.iter().map(|s| s.len).sum(),
+            epoch: self.epoch,
         })
     }
 

@@ -59,6 +59,10 @@ pub struct EnginePeaks {
 /// Everything the manifest records.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Manifest {
+    /// Ingest epoch: 0 for a freshly created store, bumped by one on
+    /// every `--append` re-ingest. Manifests written before the field
+    /// existed parse as epoch 0.
+    pub epoch: u64,
     /// Kept records across all segments.
     pub records: usize,
     /// Events parsed (kept + duplicates).
@@ -88,8 +92,8 @@ impl Manifest {
         out.push_str(MANIFEST_HEADER);
         out.push('\n');
         out.push_str(&format!(
-            "totals records={} events={} dup_dropped={} torn_tails={}\n",
-            self.records, self.events, self.dup_dropped, self.torn_tails
+            "totals records={} events={} dup_dropped={} torn_tails={} epoch={}\n",
+            self.records, self.events, self.dup_dropped, self.torn_tails, self.epoch
         ));
         for s in &self.sources {
             out.push_str(&format!(
@@ -176,6 +180,7 @@ impl Manifest {
             return Err("bad manifest header".to_string());
         }
         let mut manifest = Manifest {
+            epoch: 0,
             records: 0,
             events: 0,
             dup_dropped: 0,
@@ -198,6 +203,13 @@ impl Manifest {
                     manifest.events = req(&fields, "events")?;
                     manifest.dup_dropped = req(&fields, "dup_dropped")?;
                     manifest.torn_tails = req(&fields, "torn_tails")?;
+                    // Optional for pre-append manifests.
+                    manifest.epoch = match fields.get("epoch") {
+                        Some(raw) => raw
+                            .parse()
+                            .map_err(|_| "unparsable manifest field \"epoch\"".to_string())?,
+                        None => 0,
+                    };
                 }
                 "source" => manifest.sources.push(SourceSummary {
                     label: req_str(&fields, "label")?,
@@ -286,6 +298,7 @@ mod tests {
 
     fn sample() -> Manifest {
         Manifest {
+            epoch: 3,
             records: 10,
             events: 12,
             dup_dropped: 2,
@@ -336,6 +349,21 @@ mod tests {
         assert_eq!(parsed, m);
         // Render is deterministic.
         assert_eq!(text, parsed.render());
+    }
+
+    #[test]
+    fn pre_epoch_manifests_parse_as_epoch_zero() {
+        let mut body = String::from(MANIFEST_HEADER);
+        body.push('\n');
+        body.push_str("totals records=0 events=0 dup_dropped=0 torn_tails=0\n");
+        let footer = format!(
+            "#footer len={} fnv1a={:016x}\n",
+            body.len(),
+            fnv1a(body.as_bytes())
+        );
+        body.push_str(&footer);
+        let m = Manifest::parse(&body).unwrap();
+        assert_eq!(m.epoch, 0);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! output abort.
 
 use std::io::{self, BufRead, Write};
+use std::path::Path;
 
 use partalloc_analysis::{fmt_f64, Table};
 use partalloc_obs::TraceId;
 
+use crate::diff::diff_stores;
 use crate::store::TraceStore;
 use crate::util::esc;
 
@@ -25,14 +27,26 @@ commands:
   name <event-name> [N]    records with a span name
   range <source> <lo> <hi> one source's records in a seq window
   sources                  ingested sources and their seq ranges
+  open <DIR>               open a second store for diffing
+  diff [DIR]               diff this store against DIR (or the opened one)
   verify                   checksum every segment
   help                     this text
   quit                     leave
 ";
 
+/// The directory basename, used to label diff sides so transcripts
+/// stay byte-identical across working directories.
+fn store_label(dir: &Path) -> String {
+    dir.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| dir.display().to_string())
+}
+
 /// Run the REPL: read commands from `input`, write the transcript to
 /// `out`, until `quit`/`exit` or end of input.
 pub fn run_repl<R: BufRead, W: Write>(store: &TraceStore, input: R, mut out: W) -> io::Result<()> {
+    // The second store `open` loads and `diff` compares against.
+    let mut other: Option<TraceStore> = None;
     let m = store.manifest();
     writeln!(
         out,
@@ -99,6 +113,50 @@ pub fn run_repl<R: BufRead, W: Write>(store: &TraceStore, input: R, mut out: W) 
                 _ => writeln!(out, "usage: range <source> <lo> <hi>")?,
             },
             "sources" => cmd_sources(store, &mut out)?,
+            "open" => match args.first() {
+                Some(dir) => match TraceStore::open(*dir) {
+                    Ok(second) => {
+                        let sm = second.manifest();
+                        writeln!(
+                            out,
+                            "opened {}: {} record(s), {} trace(s), {} anomaly(ies), epoch {}",
+                            store_label(second.dir()),
+                            sm.records,
+                            second.trace_entries().len(),
+                            sm.anomalies.len(),
+                            sm.epoch
+                        )?;
+                        other = Some(second);
+                    }
+                    Err(e) => writeln!(out, "error: {e}")?,
+                },
+                None => writeln!(out, "usage: open <DIR>")?,
+            },
+            "diff" => {
+                if let Some(dir) = args.first() {
+                    match TraceStore::open(*dir) {
+                        Ok(second) => other = Some(second),
+                        Err(e) => {
+                            writeln!(out, "error: {e}")?;
+                            continue;
+                        }
+                    }
+                }
+                match other.as_ref() {
+                    Some(b) => write!(
+                        out,
+                        "{}",
+                        diff_stores(
+                            &store_label(store.dir()),
+                            store,
+                            &store_label(b.dir()),
+                            b,
+                            None,
+                        )
+                    )?,
+                    None => writeln!(out, "no second store (use 'open <DIR>' or 'diff <DIR>')")?,
+                }
+            }
             "verify" => match store.verify() {
                 Ok(()) => writeln!(
                     out,
@@ -443,6 +501,30 @@ mod tests {
         // EOF without quit still says bye.
         assert!(out.ends_with("bye\n"), "{out}");
         std::fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn open_and_diff_compare_stores_in_session() {
+        let a = sample_store("diff-a");
+        let b = sample_store("diff-b");
+        let script = format!("open {}\ndiff\nquit\n", b.dir().display());
+        let out = drive(&a, &script);
+        assert!(out.contains("opened "), "{out}");
+        assert!(out.contains("epoch 0"), "{out}");
+        assert!(out.contains("palloc trace diff"), "{out}");
+        // `diff <DIR>` opens and compares in one step.
+        let one_shot = drive(&a, &format!("diff {}\nquit\n", b.dir().display()));
+        assert!(one_shot.contains("palloc trace diff"), "{one_shot}");
+        // Without a second store, diff explains itself.
+        let bare = drive(&a, "diff\nquit\n");
+        assert!(bare.contains("no second store"), "{bare}");
+        // A bad directory errors without aborting the session.
+        let bad = drive(&a, "open /nonexistent\ndiff /nonexistent\nopen\n");
+        assert!(bad.contains("error:"), "{bad}");
+        assert!(bad.contains("usage: open <DIR>"), "{bad}");
+        assert!(bad.ends_with("bye\n"), "{bad}");
+        std::fs::remove_dir_all(a.dir()).unwrap();
+        std::fs::remove_dir_all(b.dir()).unwrap();
     }
 
     #[test]

@@ -163,6 +163,12 @@ impl TraceStore {
         &self.ranges
     }
 
+    /// The record-id → location table (`Ingest::append` resumes from
+    /// it).
+    pub(crate) fn offsets(&self) -> &Offsets {
+        &self.offsets
+    }
+
     /// The anomalies, in report order.
     pub fn anomalies(&self) -> &[Anomaly] {
         &self.manifest.anomalies
@@ -500,6 +506,59 @@ mod tests {
         let svg_store = partalloc_analysis::timeline_svg_from(&labels, &points, 640, 360).unwrap();
         assert_eq!(svg_store, svg_mem);
         fs::remove_dir_all(store.dir()).unwrap();
+    }
+
+    #[test]
+    fn append_extends_the_store_and_bumps_the_epoch() {
+        let dir = tmpdir("append");
+        let (client, shard) = recording();
+        let mut ingest = Ingest::create(&dir).unwrap();
+        ingest.add_source("client.ndjson", &client).unwrap();
+        let s0 = ingest.finish().unwrap();
+        assert_eq!(s0.epoch, 0);
+
+        let mut append = Ingest::append(&dir).unwrap();
+        append.add_source("flightrec-0-0.ndjson", &shard).unwrap();
+        let s1 = append.finish().unwrap();
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.records, 9);
+        assert_eq!(s1.traces, 2);
+        assert_eq!(s1.segments, 2);
+
+        // The appended store answers queries and renders the report
+        // byte-identically to a single-shot ingest of both sources.
+        let store = TraceStore::open(&dir).unwrap();
+        assert_eq!(store.manifest().epoch, 1);
+        store.verify().unwrap();
+        let report = in_memory();
+        for top in [1, 5, 50] {
+            assert_eq!(store.render_report(top).unwrap(), report.render_text(top));
+        }
+        assert_eq!(store.manifest().peaks.peak_load, 3);
+        drop(store);
+
+        // Re-appending a source that only repeats traced events drops
+        // them all as duplicates; the epoch still advances.
+        let mut again = Ingest::append(&dir).unwrap();
+        again.add_source("client-redo.ndjson", &client).unwrap();
+        let s2 = again.finish().unwrap();
+        assert_eq!(s2.epoch, 2);
+        assert_eq!(s2.records, 9);
+        assert_eq!(s2.dup_dropped, 4);
+        let store = TraceStore::open(&dir).unwrap();
+        assert_eq!(store.manifest().sources.len(), 3);
+        assert_eq!(store.manifest().sources[2].events, 4);
+        store.verify().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_needs_an_intact_store() {
+        let err = match Ingest::append("/nonexistent/store") {
+            Ok(_) => panic!("append of a missing store must fail"),
+            Err(e) => e.to_string(),
+        };
+        assert!(err.contains("cannot append"), "{err}");
     }
 
     #[test]
